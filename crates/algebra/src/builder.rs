@@ -1,0 +1,212 @@
+//! A fluent builder for XMAS plans.
+//!
+//! The translator covers queries written in the XQuery subset; tests,
+//! tools and downstream users sometimes want to assemble plans
+//! directly (e.g. to use operators the surface language does not
+//! reach, like `orderBy` or explicit semijoins). The builder keeps
+//! that terse while staying honest: [`PlanBuilder::done`] validates the
+//! result.
+//!
+//! ```
+//! use mix_algebra::builder::xmas;
+//! use mix_common::CmpOp;
+//!
+//! let plan = xmas()
+//!     .mksrc("root2", "J")
+//!     .get("J", "order", "O")
+//!     .get("O", "order.value.data()", "V")
+//!     .select_cmp("V", CmpOp::Gt, 2000)
+//!     .tuple_destroy("O", Some("rootv"))
+//!     .expect("valid plan");
+//! assert!(plan.render().contains("select($V > 2000)"));
+//! ```
+
+use crate::cond::Cond;
+use crate::op::{CatArg, ChildSpec, Op, Side};
+use crate::plan::Plan;
+use crate::validate::validate;
+use mix_common::{CmpOp, Name, Result, Value};
+use mix_xml::LabelPath;
+
+/// Start building from a source scan.
+pub fn xmas() -> PlanBuilder {
+    PlanBuilder { op: None }
+}
+
+/// A plan under construction. Operators stack bottom-up.
+pub struct PlanBuilder {
+    op: Option<Op>,
+}
+
+impl PlanBuilder {
+    fn push(mut self, f: impl FnOnce(Box<Op>) -> Op) -> PlanBuilder {
+        let inner = self.op.take().expect("a source operator must come first");
+        self.op = Some(f(Box::new(inner)));
+        self
+    }
+
+    /// `mksrc(source, $var)` — must be the first operator (or a join
+    /// input).
+    pub fn mksrc(mut self, source: &str, var: &str) -> PlanBuilder {
+        assert!(self.op.is_none(), "mksrc starts a pipeline");
+        self.op = Some(Op::MkSrc { source: Name::new(source), var: Name::new(var) });
+        self
+    }
+
+    /// `getD($from.path, $to)`; the path is dot-separated and parsed.
+    pub fn get(self, from: &str, path: &str, to: &str) -> PlanBuilder {
+        let path = LabelPath::parse(path).expect("valid getD path");
+        let (from, to) = (Name::new(from), Name::new(to));
+        self.push(|input| Op::GetD { input, from, path, to })
+    }
+
+    /// `select($var op const)`.
+    pub fn select_cmp(self, var: &str, op: CmpOp, c: impl Into<Value>) -> PlanBuilder {
+        let cond = Cond::cmp_const(var, op, c);
+        self.push(|input| Op::Select { input, cond })
+    }
+
+    /// `select` with an arbitrary condition.
+    pub fn select(self, cond: Cond) -> PlanBuilder {
+        self.push(|input| Op::Select { input, cond })
+    }
+
+    /// `π̃(vars…)`.
+    pub fn project(self, vars: &[&str]) -> PlanBuilder {
+        let vars = vars.iter().map(Name::new).collect();
+        self.push(|input| Op::Project { input, vars })
+    }
+
+    /// `join_θ(self, right)`; `cond = None` is a cartesian product.
+    pub fn join(self, right: PlanBuilder, cond: Option<Cond>) -> PlanBuilder {
+        let r = right.op.expect("right side has operators");
+        self.push(|left| Op::Join { left, right: Box::new(r), cond })
+    }
+
+    /// Semijoin keeping this (left) side: `rightSemijoin`.
+    pub fn semijoin_keep_self(self, other: PlanBuilder, cond: Option<Cond>) -> PlanBuilder {
+        let r = other.op.expect("filter side has operators");
+        self.push(|left| Op::SemiJoin { left, right: Box::new(r), cond, keep: Side::Left })
+    }
+
+    /// `crElt(label, skolem(group…), children → $out)`.
+    pub fn crelt(
+        self,
+        label: &str,
+        skolem: &str,
+        group: &[&str],
+        children: ChildSpec,
+        out: &str,
+    ) -> PlanBuilder {
+        let (label, skolem, out) = (Name::new(label), Name::new(skolem), Name::new(out));
+        let group = group.iter().map(Name::new).collect();
+        self.push(|input| Op::CrElt { input, label, skolem, group, children, out })
+    }
+
+    /// `cat(l, r → $out)`.
+    pub fn cat(self, left: CatArg, right: CatArg, out: &str) -> PlanBuilder {
+        let out = Name::new(out);
+        self.push(|input| Op::Cat { input, left, right, out })
+    }
+
+    /// `gBy([group…] → $out)`.
+    pub fn group_by(self, group: &[&str], out: &str) -> PlanBuilder {
+        let group = group.iter().map(Name::new).collect();
+        let out = Name::new(out);
+        self.push(|input| Op::GroupBy { input, group, out })
+    }
+
+    /// `apply` with the standard collection plan `tD($collect)` over
+    /// `nestedSrc($partition)`.
+    pub fn collect(self, partition: &str, collect: &str, out: &str) -> PlanBuilder {
+        let part = Name::new(partition);
+        let plan = Op::TupleDestroy {
+            input: Box::new(Op::NestedSrc { var: part.clone() }),
+            var: Name::new(collect),
+            root: None,
+        };
+        let out = Name::new(out);
+        self.push(|input| Op::Apply { input, plan: Box::new(plan), param: Some(part), out })
+    }
+
+    /// `orderBy([$vars…])`.
+    pub fn order_by(self, vars: &[&str]) -> PlanBuilder {
+        let vars = vars.iter().map(Name::new).collect();
+        self.push(|input| Op::OrderBy { input, vars })
+    }
+
+    /// Finish with `tD($var[, root])` and validate.
+    pub fn tuple_destroy(self, var: &str, root: Option<&str>) -> Result<Plan> {
+        let var = Name::new(var);
+        let root = root.map(Name::new);
+        let built = self.push(|input| Op::TupleDestroy { input, var, root });
+        let plan = Plan::new(built.op.expect("operators present"));
+        validate(&plan)?;
+        Ok(plan)
+    }
+
+    /// The raw operator tree without a `tD` (for splicing into other
+    /// plans); not validated.
+    pub fn into_op(self) -> Op {
+        self.op.expect("operators present")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_the_fig6_shape() {
+        let customers = xmas()
+            .mksrc("root1", "K")
+            .get("K", "customer", "C")
+            .get("C", "customer.id.data()", "1");
+        let orders = xmas()
+            .mksrc("root2", "J")
+            .get("J", "order", "O")
+            .get("O", "order.cid.data()", "2");
+        let plan = customers
+            .join(orders, Some(Cond::cmp_vars("1", CmpOp::Eq, "2")))
+            .crelt("OrderInfo", "g", &["O"], ChildSpec::Single(Name::new("O")), "P")
+            .group_by(&["C"], "X")
+            .collect("X", "P", "Z")
+            .cat(CatArg::Single(Name::new("C")), CatArg::ListVar(Name::new("Z")), "W")
+            .crelt("CustRec", "f", &["C"], ChildSpec::ListVar(Name::new("W")), "V")
+            .tuple_destroy("V", Some("rootv"))
+            .unwrap();
+        let text = plan.render();
+        assert!(text.contains("crElt(CustRec, f($C), $W -> $V)"), "{text}");
+        assert!(text.contains("gBy([$C] -> $X)"), "{text}");
+        assert!(text.contains("join($1 = $2)"), "{text}");
+    }
+
+    #[test]
+    fn validation_failures_surface() {
+        let bad = xmas()
+            .mksrc("root1", "K")
+            .get("K", "customer", "C")
+            .tuple_destroy("Nope", None);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn semijoin_and_order_by() {
+        let big = xmas()
+            .mksrc("root2", "J")
+            .get("J", "order", "O")
+            .get("O", "order.value.data()", "V")
+            .select_cmp("V", CmpOp::Gt, 100_000)
+            .get("O", "order.cid.data()", "2");
+        let plan = xmas()
+            .mksrc("root1", "K")
+            .get("K", "customer", "C")
+            .get("C", "customer.id.data()", "1")
+            .semijoin_keep_self(big, Some(Cond::cmp_vars("1", CmpOp::Eq, "2")))
+            .order_by(&["C"])
+            .project(&["C"])
+            .tuple_destroy("C", Some("rootv"))
+            .unwrap();
+        assert!(plan.render().contains("Rsemijoin($1 = $2)"), "{}", plan.render());
+    }
+}

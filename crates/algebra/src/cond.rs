@@ -1,0 +1,126 @@
+//! Selection and join conditions.
+
+use mix_common::{CmpOp, Name, Value};
+use mix_xml::Oid;
+use std::fmt;
+
+/// One side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CondArg {
+    /// A variable (bound to a leaf whose value is compared).
+    Var(Name),
+    /// A constant.
+    Const(Value),
+}
+
+impl CondArg {
+    /// The variable, if this side is one.
+    pub fn var(&self) -> Option<&Name> {
+        match self {
+            CondArg::Var(v) => Some(v),
+            CondArg::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for CondArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CondArg::Var(v) => write!(f, "{}", v.display_var()),
+            CondArg::Const(Value::Str(s)) => write!(f, "\"{s}\""),
+            CondArg::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A condition `θ` of `select`, `join` or `semijoin`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// `$v op c` or `$v₁ op $v₂` on leaf values.
+    Cmp { l: CondArg, op: CmpOp, r: CondArg },
+    /// `$v = &oid` — fixes a variable to a specific vertex. This is the
+    /// selection decontextualization adds (Fig. 10's
+    /// `select($C = &XYZ123)`).
+    OidEq { var: Name, oid: Oid },
+    /// `$v₁ ≐ $v₂` — the bound *nodes* are the same object (equal
+    /// keys/oids). Rule 9 introduces joins on group-by variables with
+    /// this condition (the `join($C)` of Fig. 18).
+    OidCmp { l: Name, r: Name },
+}
+
+impl Cond {
+    /// `$v op c` shorthand.
+    pub fn cmp_const(v: impl Into<Name>, op: CmpOp, c: impl Into<Value>) -> Cond {
+        Cond::Cmp { l: CondArg::Var(v.into()), op, r: CondArg::Const(c.into()) }
+    }
+
+    /// `$v₁ op $v₂` shorthand.
+    pub fn cmp_vars(l: impl Into<Name>, op: CmpOp, r: impl Into<Name>) -> Cond {
+        Cond::Cmp { l: CondArg::Var(l.into()), op, r: CondArg::Var(r.into()) }
+    }
+
+    /// The variables this condition reads.
+    pub fn vars(&self) -> Vec<Name> {
+        match self {
+            Cond::Cmp { l, r, .. } => {
+                l.var().into_iter().chain(r.var()).cloned().collect()
+            }
+            Cond::OidEq { var, .. } => vec![var.clone()],
+            Cond::OidCmp { l, r } => vec![l.clone(), r.clone()],
+        }
+    }
+
+    /// Rewrite variable names (used by the rewriter's renaming steps).
+    pub fn rename(&self, from: &Name, to: &Name) -> Cond {
+        let map = |a: &CondArg| match a {
+            CondArg::Var(v) if v == from => CondArg::Var(to.clone()),
+            other => other.clone(),
+        };
+        match self {
+            Cond::Cmp { l, op, r } => Cond::Cmp { l: map(l), op: *op, r: map(r) },
+            Cond::OidEq { var, oid } => Cond::OidEq {
+                var: if var == from { to.clone() } else { var.clone() },
+                oid: oid.clone(),
+            },
+            Cond::OidCmp { l, r } => Cond::OidCmp {
+                l: if l == from { to.clone() } else { l.clone() },
+                r: if r == from { to.clone() } else { r.clone() },
+            },
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::Cmp { l, op, r } => write!(f, "{l} {op} {r}"),
+            Cond::OidEq { var, oid } => write!(f, "{} = {oid}", var.display_var()),
+            Cond::OidCmp { l, r } => write!(f, "{} = {}", l.display_var(), r.display_var()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_figures() {
+        let c = Cond::cmp_const("3", CmpOp::Gt, 20000);
+        assert_eq!(c.to_string(), "$3 > 20000");
+        let c = Cond::cmp_vars("1", CmpOp::Eq, "2");
+        assert_eq!(c.to_string(), "$1 = $2");
+        let c = Cond::OidEq { var: Name::new("C"), oid: Oid::key("XYZ123") };
+        assert_eq!(c.to_string(), "$C = &XYZ123");
+    }
+
+    #[test]
+    fn vars_and_rename() {
+        let c = Cond::cmp_vars("a", CmpOp::Lt, "b");
+        assert_eq!(c.vars(), vec![Name::new("a"), Name::new("b")]);
+        let r = c.rename(&Name::new("a"), &Name::new("x"));
+        assert_eq!(r.to_string(), "$x < $b");
+        let c = Cond::cmp_const("a", CmpOp::Eq, "z");
+        assert_eq!(c.vars().len(), 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! The XMAS operators.
+
+use crate::cond::Cond;
+use mix_common::Name;
+use mix_relational::SelectStmt;
+use mix_xml::LabelPath;
+use std::fmt;
+
+/// Which input's variables a semijoin keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// `rightSemijoin(I₁,I₂) = π_{V₁}(join(I₁,I₂))` — keep the *left*
+    /// input's variables.
+    Left,
+    /// `leftSemijoin(I₁,I₂) = π_{V₂}(join(I₁,I₂))` — keep the *right*
+    /// input's variables (the `Lsemijoin` of Figs. 20–21).
+    Right,
+}
+
+/// The children specification of `crElt`: `$ch` (already a list) or
+/// `list($ch)` (a single element wrapped into a singleton list).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChildSpec {
+    /// `$ch` holds the list of children.
+    ListVar(Name),
+    /// `list($ch)`: `$ch` holds one element.
+    Single(Name),
+}
+
+impl ChildSpec {
+    /// The underlying variable.
+    pub fn var(&self) -> &Name {
+        match self {
+            ChildSpec::ListVar(v) | ChildSpec::Single(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for ChildSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChildSpec::ListVar(v) => write!(f, "{}", v.display_var()),
+            ChildSpec::Single(v) => write!(f, "list({})", v.display_var()),
+        }
+    }
+}
+
+/// One argument of `cat`: a list variable or `list($x)`.
+pub type CatArg = ChildSpec;
+
+/// How one output variable of `rQ` is assembled from result columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RqKind {
+    /// Rebuild a wrapper tuple element: label `element`, one field per
+    /// `(column name, result position)`, oid from the `key` positions.
+    Element { element: Name, cols: Vec<(Name, usize)>, key: Vec<usize> },
+    /// Bind the leaf value at one result position.
+    Value { col: usize },
+}
+
+/// One entry of the `rQ` map parameter `m`, "the mapping between the
+/// variables in the binding lists output by the operator, and the
+/// attribute positions in the result of the SQL query".
+#[derive(Debug, Clone, PartialEq)]
+pub struct RqBinding {
+    pub var: Name,
+    pub kind: RqKind,
+}
+
+impl fmt::Display for RqBinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            RqKind::Element { cols, .. } => {
+                let positions: Vec<String> =
+                    cols.iter().map(|(_, p)| (p + 1).to_string()).collect();
+                write!(f, "{} = {{{}}}", self.var.display_var(), positions.join(","))
+            }
+            RqKind::Value { col } => {
+                write!(f, "{} = {{{}}}", self.var.display_var(), col + 1)
+            }
+        }
+    }
+}
+
+/// An XMAS operator (one node of a plan tree).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `mksrc_{&srcid,$X}`: one binding per child of the source root.
+    MkSrc { source: Name, var: Name },
+    /// `mksrc` over an *inline view plan* instead of a registered
+    /// source: one binding per child of the inner plan's (`tD`-rooted)
+    /// virtual result. This is how naive composition splices a view
+    /// under a query (Fig. 13) before rewrite rule 11 eliminates the
+    /// `tD`/`mksrc` pair.
+    MkSrcOver { input: Box<Op>, var: Name },
+    /// `getD_{$A.r→$X}`: bind `$X` to every node reachable from `$A`'s
+    /// node by `path` (whose first label matches the start node).
+    GetD { input: Box<Op>, from: Name, path: LabelPath, to: Name },
+    /// `select_θ`.
+    Select { input: Box<Op>, cond: Cond },
+    /// `π̃_vars`: projection with duplicate elimination.
+    Project { input: Box<Op>, vars: Vec<Name> },
+    /// `join_θ`; `cond = None` is the cartesian product the translation
+    /// uses to combine unconnected FOR expressions.
+    Join { left: Box<Op>, right: Box<Op>, cond: Option<Cond> },
+    /// `rightSemijoin`/`leftSemijoin` (see [`Side`]).
+    SemiJoin { left: Box<Op>, right: Box<Op>, cond: Option<Cond>, keep: Side },
+    /// `crElt_{label, skolem(group), children→out}`: construct one
+    /// element per tuple; its oid is the skolem term over the group
+    /// variables' keys.
+    CrElt {
+        input: Box<Op>,
+        label: Name,
+        skolem: Name,
+        group: Vec<Name>,
+        children: ChildSpec,
+        out: Name,
+    },
+    /// `cat_{x,y→out}`: per-tuple list concatenation.
+    Cat { input: Box<Op>, left: CatArg, right: CatArg, out: Name },
+    /// `tD_{$A[,root_oid]}`: the final operator of every plan — export
+    /// the `list[v₁,…,vₙ]` tree, hiding the tuple structure.
+    TupleDestroy { input: Box<Op>, var: Name, root: Option<Name> },
+    /// `groupBy_{group→out}`: partition by the group variables; `out`
+    /// is bound to each partition (a set of binding lists).
+    GroupBy { input: Box<Op>, group: Vec<Name>, out: Name },
+    /// `apply_{plan, param→out}`: run `plan` once per input tuple, with
+    /// `nestedSrc` reading the tuple's `param` value; `param = None`
+    /// runs the plan on independent input.
+    Apply { input: Box<Op>, plan: Box<Op>, param: Option<Name>, out: Name },
+    /// `nestedSrc_{$x}`: placeholder leaf inside nested plans.
+    NestedSrc { var: Name },
+    /// `rQ_{s,q,m}`: source-access operator for relational databases.
+    RelQuery { server: Name, sql: SelectStmt, map: Vec<RqBinding> },
+    /// `orderBy_{[$V…]}`: sort by the *ids* of the bound nodes (the
+    /// paper's orderBy "orders only according to the id's of the
+    /// nodes").
+    OrderBy { input: Box<Op>, vars: Vec<Name> },
+    /// The empty plan (unsatisfiable path — rewrite rule 4), declaring
+    /// the variables it would have produced.
+    Empty { vars: Vec<Name> },
+}
+
+impl Op {
+    /// The operator's direct inputs.
+    pub fn inputs(&self) -> Vec<&Op> {
+        match self {
+            Op::MkSrc { .. } | Op::NestedSrc { .. } | Op::RelQuery { .. } | Op::Empty { .. } => {
+                vec![]
+            }
+            Op::MkSrcOver { input, .. } => vec![input],
+            Op::GetD { input, .. }
+            | Op::Select { input, .. }
+            | Op::Project { input, .. }
+            | Op::CrElt { input, .. }
+            | Op::Cat { input, .. }
+            | Op::TupleDestroy { input, .. }
+            | Op::GroupBy { input, .. }
+            | Op::OrderBy { input, .. } => vec![input],
+            Op::Apply { input, .. } => vec![input],
+            Op::Join { left, right, .. } | Op::SemiJoin { left, right, .. } => {
+                vec![left, right]
+            }
+        }
+    }
+
+    /// A short operator name (for traces and tests).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::MkSrc { .. } => "mksrc",
+            Op::MkSrcOver { .. } => "mksrc",
+            Op::GetD { .. } => "getD",
+            Op::Select { .. } => "select",
+            Op::Project { .. } => "project",
+            Op::Join { .. } => "join",
+            Op::SemiJoin { keep: Side::Left, .. } => "Rsemijoin",
+            Op::SemiJoin { keep: Side::Right, .. } => "Lsemijoin",
+            Op::CrElt { .. } => "crElt",
+            Op::Cat { .. } => "cat",
+            Op::TupleDestroy { .. } => "tD",
+            Op::GroupBy { .. } => "gBy",
+            Op::Apply { .. } => "apply",
+            Op::NestedSrc { .. } => "nSrc",
+            Op::RelQuery { .. } => "rQ",
+            Op::OrderBy { .. } => "orderBy",
+            Op::Empty { .. } => "empty",
+        }
+    }
+
+    /// Render just this operator's head (no inputs), paper-style:
+    /// `crElt(custRec, f($C), $W -> $V)`.
+    pub fn head(&self) -> String {
+        fn vars(vs: &[Name]) -> String {
+            vs.iter().map(|v| v.display_var()).collect::<Vec<_>>().join(",")
+        }
+        match self {
+            Op::MkSrc { source, var } => format!("mksrc({source}, {})", var.display_var()),
+            Op::MkSrcOver { var, .. } => format!("mksrc(<view>, {})", var.display_var()),
+            Op::GetD { from, path, to, .. } => {
+                format!("getD({}.{path}, {})", from.display_var(), to.display_var())
+            }
+            Op::Select { cond, .. } => format!("select({cond})"),
+            Op::Project { vars: vs, .. } => format!("project({})", vars(vs)),
+            Op::Join { cond, .. } => match cond {
+                Some(c) => format!("join({c})"),
+                None => "join(×)".to_string(),
+            },
+            Op::SemiJoin { cond, keep, .. } => {
+                let n = if *keep == Side::Right { "Lsemijoin" } else { "Rsemijoin" };
+                match cond {
+                    Some(c) => format!("{n}({c})"),
+                    None => format!("{n}(×)"),
+                }
+            }
+            Op::CrElt { label, skolem, group, children, out, .. } => format!(
+                "crElt({label}, {skolem}({}), {children} -> {})",
+                vars(group),
+                out.display_var()
+            ),
+            Op::Cat { left, right, out, .. } => {
+                format!("cat({left}, {right} -> {})", out.display_var())
+            }
+            Op::TupleDestroy { var, root, .. } => match root {
+                Some(r) => format!("tD({}, {r})", var.display_var()),
+                None => format!("tD({})", var.display_var()),
+            },
+            Op::GroupBy { group, out, .. } => {
+                format!("gBy([{}] -> {})", vars(group), out.display_var())
+            }
+            Op::Apply { param, out, .. } => match param {
+                Some(p) => format!("apply(p, {} -> {})", p.display_var(), out.display_var()),
+                None => format!("apply(p, null -> {})", out.display_var()),
+            },
+            Op::NestedSrc { var } => format!("nSrc({})", var.display_var()),
+            Op::RelQuery { server, sql, map } => {
+                let m: Vec<String> = map.iter().map(|b| b.to_string()).collect();
+                format!("rQ({server}, \"{sql}\", {{{}}})", m.join(", "))
+            }
+            Op::OrderBy { vars: vs, .. } => format!("orderBy([{}])", vars(vs)),
+            Op::Empty { vars: vs } => format!("empty({})", vars(vs)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_common::CmpOp;
+
+    #[test]
+    fn heads_render_paper_style() {
+        let mk = Op::MkSrc { source: Name::new("root1"), var: Name::new("K") };
+        assert_eq!(mk.head(), "mksrc(root1, $K)");
+        let gd = Op::GetD {
+            input: Box::new(mk.clone()),
+            from: Name::new("K"),
+            path: LabelPath::parse("customer").unwrap(),
+            to: Name::new("C"),
+        };
+        assert_eq!(gd.head(), "getD($K.customer, $C)");
+        let ce = Op::CrElt {
+            input: Box::new(gd.clone()),
+            label: Name::new("custRec"),
+            skolem: Name::new("f"),
+            group: vec![Name::new("C")],
+            children: ChildSpec::ListVar(Name::new("W")),
+            out: Name::new("V"),
+        };
+        assert_eq!(ce.head(), "crElt(custRec, f($C), $W -> $V)");
+        let sj = Op::SemiJoin {
+            left: Box::new(mk.clone()),
+            right: Box::new(gd.clone()),
+            cond: Some(Cond::cmp_vars("C", CmpOp::Eq, "C2")),
+            keep: Side::Right,
+        };
+        assert_eq!(sj.head(), "Lsemijoin($C = $C2)");
+        assert_eq!(sj.name(), "Lsemijoin");
+    }
+
+    #[test]
+    fn inputs_enumeration() {
+        let mk = Op::MkSrc { source: Name::new("r"), var: Name::new("X") };
+        assert!(mk.inputs().is_empty());
+        let j = Op::Join { left: Box::new(mk.clone()), right: Box::new(mk.clone()), cond: None };
+        assert_eq!(j.inputs().len(), 2);
+    }
+
+    #[test]
+    fn rq_map_display_is_one_based() {
+        let b = RqBinding {
+            var: Name::new("C"),
+            kind: RqKind::Element {
+                element: Name::new("customer"),
+                cols: vec![(Name::new("id"), 0), (Name::new("name"), 1)],
+                key: vec![0],
+            },
+        };
+        // Fig. 22 writes {$C = {1,2}} with 1-based positions.
+        assert_eq!(b.to_string(), "$C = {1,2}");
+    }
+}

@@ -1,0 +1,557 @@
+//! Plan trees: pretty printing, variable analysis, transformation.
+
+use crate::op::Op;
+use mix_common::{MixError, Name, Result};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A complete XMAS plan (the root is normally a `tD`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    pub root: Op,
+}
+
+impl Plan {
+    /// Wrap an operator tree.
+    pub fn new(root: Op) -> Plan {
+        Plan { root }
+    }
+
+    /// Paper-figure-style rendering: one operator per line, inputs
+    /// indented, nested plans flagged with `p:` and a `|` gutter.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_op(&self.root, &mut out, 0);
+        out
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+fn render_op(op: &Op, out: &mut String, depth: usize) {
+    let pad = "  ".repeat(depth);
+    let _ = writeln!(out, "{pad}{}", op.head());
+    if let Op::Apply { plan, .. } = op {
+        // Render the nested plan in a `|` gutter before the input.
+        let mut nested = String::new();
+        render_op(plan, &mut nested, 0);
+        for line in nested.lines() {
+            let _ = writeln!(out, "{pad}  | {line}");
+        }
+    }
+    for input in op.inputs() {
+        render_op(input, out, depth + 1);
+    }
+}
+
+/// The variables an operator exports, plus — for partition-valued
+/// variables produced by `groupBy` — the variables of the tuples inside
+/// each partition (needed to resolve `nestedSrc`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VarInfo {
+    /// Exported variables, in a stable order.
+    pub vars: Vec<Name>,
+    /// partition variable → variables of the tuples it contains.
+    pub partitions: HashMap<Name, Vec<Name>>,
+}
+
+impl VarInfo {
+    fn with_var(mut self, v: Name) -> VarInfo {
+        if !self.vars.contains(&v) {
+            self.vars.push(v);
+        }
+        self
+    }
+}
+
+/// Compute [`VarInfo`] for `op`. `env` resolves `nestedSrc` variables
+/// (partition var → inner tuple variables); top-level plans use an
+/// empty env.
+pub fn var_info(op: &Op, env: &HashMap<Name, Vec<Name>>) -> Result<VarInfo> {
+    let dup = |v: &Name| MixError::invalid(format!("variable {} bound twice", v.display_var()));
+    Ok(match op {
+        Op::MkSrc { var, .. } => VarInfo::default().with_var(var.clone()),
+        Op::MkSrcOver { input, var } => {
+            // The inner plan must be a complete (tD-rooted) plan.
+            if !matches!(**input, Op::TupleDestroy { .. } | Op::Empty { .. }) {
+                return Err(MixError::invalid("mksrc view plan must be rooted at tD"));
+            }
+            var_info(input, env)?;
+            VarInfo::default().with_var(var.clone())
+        }
+        Op::GetD { input, from, to, .. } => {
+            let info = var_info(input, env)?;
+            if !info.vars.contains(from) {
+                return Err(MixError::invalid(format!(
+                    "getD source variable {} not bound by input",
+                    from.display_var()
+                )));
+            }
+            if info.vars.contains(to) {
+                return Err(dup(to));
+            }
+            info.with_var(to.clone())
+        }
+        Op::Select { input, cond } => {
+            let info = var_info(input, env)?;
+            for v in cond.vars() {
+                if !info.vars.contains(&v) {
+                    return Err(MixError::invalid(format!(
+                        "select condition references unbound {}",
+                        v.display_var()
+                    )));
+                }
+            }
+            info
+        }
+        Op::Project { input, vars } => {
+            let info = var_info(input, env)?;
+            for v in vars {
+                if !info.vars.contains(v) {
+                    return Err(MixError::invalid(format!(
+                        "projection of unbound {}",
+                        v.display_var()
+                    )));
+                }
+            }
+            VarInfo {
+                vars: vars.clone(),
+                partitions: info
+                    .partitions
+                    .into_iter()
+                    .filter(|(k, _)| vars.contains(k))
+                    .collect(),
+            }
+        }
+        Op::Join { left, right, cond } => {
+            let l = var_info(left, env)?;
+            let r = var_info(right, env)?;
+            if let Some(shared) = l.vars.iter().find(|v| r.vars.contains(v)) {
+                return Err(MixError::invalid(format!(
+                    "join inputs share variable {}",
+                    shared.display_var()
+                )));
+            }
+            if let Some(c) = cond {
+                for v in c.vars() {
+                    if !l.vars.contains(&v) && !r.vars.contains(&v) {
+                        return Err(MixError::invalid(format!(
+                            "join condition references unbound {}",
+                            v.display_var()
+                        )));
+                    }
+                }
+            }
+            let mut vars = l.vars;
+            vars.extend(r.vars);
+            let mut partitions = l.partitions;
+            partitions.extend(r.partitions);
+            VarInfo { vars, partitions }
+        }
+        Op::SemiJoin { left, right, cond, keep } => {
+            let l = var_info(left, env)?;
+            let r = var_info(right, env)?;
+            if let Some(c) = cond {
+                for v in c.vars() {
+                    if !l.vars.contains(&v) && !r.vars.contains(&v) {
+                        return Err(MixError::invalid(format!(
+                            "semijoin condition references unbound {}",
+                            v.display_var()
+                        )));
+                    }
+                }
+            }
+            match keep {
+                crate::op::Side::Left => l,
+                crate::op::Side::Right => r,
+            }
+        }
+        Op::CrElt { input, group, children, out, .. } => {
+            let info = var_info(input, env)?;
+            for v in group.iter().chain(std::iter::once(children.var())) {
+                if !info.vars.contains(v) {
+                    return Err(MixError::invalid(format!(
+                        "crElt references unbound {}",
+                        v.display_var()
+                    )));
+                }
+            }
+            if info.vars.contains(out) {
+                return Err(dup(out));
+            }
+            info.with_var(out.clone())
+        }
+        Op::Cat { input, left, right, out } => {
+            let info = var_info(input, env)?;
+            for v in [left.var(), right.var()] {
+                if !info.vars.contains(v) {
+                    return Err(MixError::invalid(format!(
+                        "cat references unbound {}",
+                        v.display_var()
+                    )));
+                }
+            }
+            if info.vars.contains(out) {
+                return Err(dup(out));
+            }
+            info.with_var(out.clone())
+        }
+        Op::TupleDestroy { input, var, .. } => {
+            let info = var_info(input, env)?;
+            if !info.vars.contains(var) {
+                return Err(MixError::invalid(format!(
+                    "tD of unbound {}",
+                    var.display_var()
+                )));
+            }
+            // tD exports a tree, not tuples: no variables flow upward.
+            VarInfo::default()
+        }
+        Op::GroupBy { input, group, out } => {
+            let info = var_info(input, env)?;
+            for v in group {
+                if !info.vars.contains(v) {
+                    return Err(MixError::invalid(format!(
+                        "group-by on unbound {}",
+                        v.display_var()
+                    )));
+                }
+            }
+            if info.vars.contains(out) {
+                return Err(dup(out));
+            }
+            let mut partitions = HashMap::new();
+            partitions.insert(out.clone(), info.vars.clone());
+            VarInfo { vars: group.iter().cloned().chain([out.clone()]).collect(), partitions }
+        }
+        Op::Apply { input, plan, param, out } => {
+            let info = var_info(input, env)?;
+            let mut nested_env = env.clone();
+            if let Some(p) = param {
+                let inner = info.partitions.get(p).cloned().ok_or_else(|| {
+                    MixError::invalid(format!(
+                        "apply parameter {} is not a partition variable",
+                        p.display_var()
+                    ))
+                })?;
+                nested_env.insert(p.clone(), inner);
+            }
+            // The nested plan must itself be well-formed under that env.
+            var_info(plan, &nested_env)?;
+            if info.vars.contains(out) {
+                return Err(dup(out));
+            }
+            info.with_var(out.clone())
+        }
+        Op::NestedSrc { var } => {
+            let inner = env.get(var).ok_or_else(|| {
+                MixError::invalid(format!(
+                    "nestedSrc({}) used outside a matching apply",
+                    var.display_var()
+                ))
+            })?;
+            VarInfo { vars: inner.clone(), partitions: HashMap::new() }
+        }
+        Op::RelQuery { map, .. } => {
+            let mut info = VarInfo::default();
+            for b in map {
+                if info.vars.contains(&b.var) {
+                    return Err(dup(&b.var));
+                }
+                info.vars.push(b.var.clone());
+            }
+            info
+        }
+        Op::OrderBy { input, vars } => {
+            let info = var_info(input, env)?;
+            for v in vars {
+                if !info.vars.contains(v) {
+                    return Err(MixError::invalid(format!(
+                        "orderBy on unbound {}",
+                        v.display_var()
+                    )));
+                }
+            }
+            info
+        }
+        Op::Empty { vars } => VarInfo { vars: vars.clone(), partitions: HashMap::new() },
+    })
+}
+
+/// Rename every occurrence of variable `from` to `to`, recursively
+/// (including nested plans and conditions).
+pub fn rename_var(op: &Op, from: &Name, to: &Name) -> Op {
+    let r = |n: &Name| if n == from { to.clone() } else { n.clone() };
+    let rv = |vs: &[Name]| vs.iter().map(&r).collect::<Vec<_>>();
+    let rb = |b: &Op| Box::new(rename_var(b, from, to));
+    let rc = |c: &crate::op::ChildSpec| match c {
+        crate::op::ChildSpec::ListVar(v) => crate::op::ChildSpec::ListVar(r(v)),
+        crate::op::ChildSpec::Single(v) => crate::op::ChildSpec::Single(r(v)),
+    };
+    match op {
+        Op::MkSrc { source, var } => Op::MkSrc { source: source.clone(), var: r(var) },
+        Op::MkSrcOver { input, var } => Op::MkSrcOver { input: rb(input), var: r(var) },
+        Op::GetD { input, from: f, path, to: t } => Op::GetD {
+            input: rb(input),
+            from: r(f),
+            path: path.clone(),
+            to: r(t),
+        },
+        Op::Select { input, cond } => {
+            Op::Select { input: rb(input), cond: cond.rename(from, to) }
+        }
+        Op::Project { input, vars } => Op::Project { input: rb(input), vars: rv(vars) },
+        Op::Join { left, right, cond } => Op::Join {
+            left: rb(left),
+            right: rb(right),
+            cond: cond.as_ref().map(|c| c.rename(from, to)),
+        },
+        Op::SemiJoin { left, right, cond, keep } => Op::SemiJoin {
+            left: rb(left),
+            right: rb(right),
+            cond: cond.as_ref().map(|c| c.rename(from, to)),
+            keep: *keep,
+        },
+        Op::CrElt { input, label, skolem, group, children, out } => Op::CrElt {
+            input: rb(input),
+            label: label.clone(),
+            skolem: skolem.clone(),
+            group: rv(group),
+            children: rc(children),
+            out: r(out),
+        },
+        Op::Cat { input, left, right, out } => Op::Cat {
+            input: rb(input),
+            left: rc(left),
+            right: rc(right),
+            out: r(out),
+        },
+        Op::TupleDestroy { input, var, root } => Op::TupleDestroy {
+            input: rb(input),
+            var: r(var),
+            root: root.clone(),
+        },
+        Op::GroupBy { input, group, out } => Op::GroupBy {
+            input: rb(input),
+            group: rv(group),
+            out: r(out),
+        },
+        Op::Apply { input, plan, param, out } => Op::Apply {
+            input: rb(input),
+            plan: rb(plan),
+            param: param.as_ref().map(&r),
+            out: r(out),
+        },
+        Op::NestedSrc { var } => Op::NestedSrc { var: r(var) },
+        Op::RelQuery { server, sql, map } => Op::RelQuery {
+            server: server.clone(),
+            sql: sql.clone(),
+            map: map
+                .iter()
+                .map(|b| crate::op::RqBinding { var: r(&b.var), kind: b.kind.clone() })
+                .collect(),
+        },
+        Op::OrderBy { input, vars } => Op::OrderBy { input: rb(input), vars: rv(vars) },
+        Op::Empty { vars } => Op::Empty { vars: rv(vars) },
+    }
+}
+
+/// All variables mentioned anywhere in the plan (bound or referenced) —
+/// used for fresh-name generation during rewriting.
+pub fn all_vars(op: &Op) -> Vec<Name> {
+    let mut out = Vec::new();
+    collect_vars(op, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn collect_vars(op: &Op, out: &mut Vec<Name>) {
+    match op {
+        Op::MkSrc { var, .. } | Op::NestedSrc { var } => out.push(var.clone()),
+        Op::MkSrcOver { var, .. } => out.push(var.clone()),
+        Op::GetD { from, to, .. } => {
+            out.push(from.clone());
+            out.push(to.clone());
+        }
+        Op::Select { cond, .. } => out.extend(cond.vars()),
+        Op::Project { vars, .. } | Op::OrderBy { vars, .. } | Op::Empty { vars } => {
+            out.extend(vars.iter().cloned())
+        }
+        Op::Join { cond, .. } | Op::SemiJoin { cond, .. } => {
+            if let Some(c) = cond {
+                out.extend(c.vars());
+            }
+        }
+        Op::CrElt { group, children, out: o, .. } => {
+            out.extend(group.iter().cloned());
+            out.push(children.var().clone());
+            out.push(o.clone());
+        }
+        Op::Cat { left, right, out: o, .. } => {
+            out.push(left.var().clone());
+            out.push(right.var().clone());
+            out.push(o.clone());
+        }
+        Op::TupleDestroy { var, .. } => out.push(var.clone()),
+        Op::GroupBy { group, out: o, .. } => {
+            out.extend(group.iter().cloned());
+            out.push(o.clone());
+        }
+        Op::Apply { param, out: o, .. } => {
+            if let Some(p) = param {
+                out.push(p.clone());
+            }
+            out.push(o.clone());
+        }
+        Op::RelQuery { map, .. } => out.extend(map.iter().map(|b| b.var.clone())),
+    }
+    for i in op.inputs() {
+        collect_vars(i, out);
+    }
+    if let Op::Apply { plan, .. } = op {
+        collect_vars(plan, out);
+    }
+}
+
+/// A fresh variable named `prefix` + counter, avoiding everything in
+/// `taken`.
+pub fn fresh_var(prefix: &str, taken: &[Name]) -> Name {
+    for i in 0.. {
+        let candidate = Name::new(format!("{prefix}{i}"));
+        if !taken.contains(&candidate) {
+            return candidate;
+        }
+    }
+    unreachable!()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cond;
+    use mix_common::CmpOp;
+    use mix_xml::LabelPath;
+
+    fn mk(source: &str, var: &str) -> Op {
+        Op::MkSrc { source: Name::new(source), var: Name::new(var) }
+    }
+
+    #[test]
+    fn var_info_tracks_bindings() {
+        let env = HashMap::new();
+        let plan = Op::GetD {
+            input: Box::new(mk("root1", "K")),
+            from: Name::new("K"),
+            path: LabelPath::parse("customer").unwrap(),
+            to: Name::new("C"),
+        };
+        let info = var_info(&plan, &env).unwrap();
+        assert_eq!(info.vars, vec![Name::new("K"), Name::new("C")]);
+    }
+
+    #[test]
+    fn join_requires_disjoint_vars() {
+        let env = HashMap::new();
+        let bad = Op::Join {
+            left: Box::new(mk("a", "X")),
+            right: Box::new(mk("b", "X")),
+            cond: None,
+        };
+        assert!(var_info(&bad, &env).is_err());
+    }
+
+    #[test]
+    fn select_unbound_var_rejected() {
+        let env = HashMap::new();
+        let bad = Op::Select {
+            input: Box::new(mk("a", "X")),
+            cond: Cond::cmp_const("Y", CmpOp::Eq, 1),
+        };
+        assert!(var_info(&bad, &env).is_err());
+    }
+
+    #[test]
+    fn group_by_and_apply_env() {
+        let env = HashMap::new();
+        let grouped = Op::GroupBy {
+            input: Box::new(mk("a", "X")),
+            group: vec![Name::new("X")],
+            out: Name::new("P"),
+        };
+        let info = var_info(&grouped, &env).unwrap();
+        assert_eq!(info.vars, vec![Name::new("X"), Name::new("P")]);
+        assert_eq!(info.partitions[&Name::new("P")], vec![Name::new("X")]);
+
+        let apply = Op::Apply {
+            input: Box::new(grouped),
+            plan: Box::new(Op::TupleDestroy {
+                input: Box::new(Op::NestedSrc { var: Name::new("P") }),
+                var: Name::new("X"),
+                root: None,
+            }),
+            param: Some(Name::new("P")),
+            out: Name::new("Z"),
+        };
+        let info = var_info(&apply, &env).unwrap();
+        assert!(info.vars.contains(&Name::new("Z")));
+    }
+
+    #[test]
+    fn nested_src_outside_apply_is_rejected() {
+        let env = HashMap::new();
+        assert!(var_info(&Op::NestedSrc { var: Name::new("P") }, &env).is_err());
+    }
+
+    #[test]
+    fn rename_is_deep() {
+        let plan = Op::Select {
+            input: Box::new(Op::GetD {
+                input: Box::new(mk("r", "K")),
+                from: Name::new("K"),
+                path: LabelPath::parse("a").unwrap(),
+                to: Name::new("X"),
+            }),
+            cond: Cond::cmp_const("X", CmpOp::Gt, 5),
+        };
+        let renamed = rename_var(&plan, &Name::new("X"), &Name::new("Y"));
+        let text = Plan::new(renamed).render();
+        assert!(text.contains("$Y > 5"), "{text}");
+        assert!(text.contains("getD($K.a, $Y)"), "{text}");
+        assert!(!text.contains("$X"), "{text}");
+    }
+
+    #[test]
+    fn fresh_var_avoids_taken() {
+        let taken = vec![Name::new("w0"), Name::new("w1")];
+        assert_eq!(fresh_var("w", &taken).as_str(), "w2");
+    }
+
+    #[test]
+    fn render_shows_nested_plans() {
+        let apply = Op::Apply {
+            input: Box::new(Op::GroupBy {
+                input: Box::new(mk("a", "X")),
+                group: vec![Name::new("X")],
+                out: Name::new("P"),
+            }),
+            plan: Box::new(Op::TupleDestroy {
+                input: Box::new(Op::NestedSrc { var: Name::new("P") }),
+                var: Name::new("X"),
+                root: None,
+            }),
+            param: Some(Name::new("P")),
+            out: Name::new("Z"),
+        };
+        let text = Plan::new(apply).render();
+        assert!(text.contains("apply(p, $P -> $Z)"), "{text}");
+        assert!(text.contains("| tD($X)"), "{text}");
+        assert!(text.contains("|   nSrc($P)"), "{text}");
+        assert!(text.contains("gBy([$X] -> $P)"), "{text}");
+    }
+}

@@ -1,0 +1,746 @@
+//! XQuery → XMAS translation (paper Section 3).
+//!
+//! The three clauses translate separately and compose:
+//!
+//! 1. **FOR** — `document("src")/path` becomes
+//!    `getD_{$s.path,$v}(mksrc_{src,$s})`; `$r/path` wraps the
+//!    expression that binds `$r` with a `getD` whose path is prefixed
+//!    with `$r`'s (statically known) element label — exactly how Fig. 6
+//!    derives `getD($K.customer, $C)` and Fig. 11 derives
+//!    `getD($R.custRec.orderInfo, $S)`.
+//! 2. **WHERE** — path operands get fresh condition variables bound by
+//!    `getD` (the `$1`, `$2`, `$3` of the figures); conditions whose
+//!    variables live in one expression become `select`s, conditions
+//!    spanning two become `join`s; leftover expressions combine with a
+//!    cartesian product.
+//! 3. **RETURN** — each element creation is a `crElt`, subelement
+//!    concatenation is a `cat` chain, group-by lists become
+//!    `gBy` + `apply(tD ∘ nestedSrc)` collection, and the whole plan is
+//!    capped by `tD($V, rootv)`.
+//!
+//! Nested FOR/WHERE/RETURN subqueries are *unnested* into the outer
+//! clauses first (the paper's own running example Q1 is the unnested
+//! form of the natural nested query; both produce the Fig. 6 plan).
+//! Like Fig. 6, inner grouped elements are built per-tuple with
+//! skolem-deduplicated ids rather than via nested `gBy` — set semantics
+//! make the two equivalent for the supported subset.
+
+use crate::cond::{Cond, CondArg};
+use crate::op::{CatArg, ChildSpec, Op};
+use crate::plan::Plan;
+use mix_common::{MixError, Name, Result};
+use mix_xml::{LabelPath, Step};
+use mix_xquery::{Condition, Element, ForBinding, Item, Operand, PathBase, Query, ReturnExpr};
+use std::collections::HashMap;
+
+/// Translate a query; the result tree root is named `rootv`.
+pub fn translate(q: &Query) -> Result<Plan> {
+    translate_with_root(q, "rootv")
+}
+
+/// Translate a query naming the result root `root_name`.
+pub fn translate_with_root(q: &Query, root_name: &str) -> Result<Plan> {
+    let q = normalize(q);
+    let mut t = Translator::new(&q);
+    t.translate(&q, root_name)
+}
+
+/// The special source name that `document(root)` (a query-in-place)
+/// maps to; composition/decontextualization replaces `mksrc` operators
+/// on this source.
+pub const QUERY_ROOT: &str = "root";
+
+// ---------------------------------------------------------------------
+// Normalization: unnest subqueries.
+// ---------------------------------------------------------------------
+
+fn normalize(q: &Query) -> Query {
+    let mut q = q.clone();
+    if let ReturnExpr::Elem(e) = &mut q.ret {
+        let mut extra_for = Vec::new();
+        let mut extra_where = Vec::new();
+        unnest_element(e, &mut extra_for, &mut extra_where);
+        q.for_clause.extend(extra_for);
+        q.where_clause.extend(extra_where);
+    }
+    q
+}
+
+fn unnest_element(e: &mut Element, extra_for: &mut Vec<ForBinding>, extra_where: &mut Vec<Condition>) {
+    for item in &mut e.children {
+        match item {
+            Item::Var(_) => {}
+            Item::Elem(inner) => unnest_element(inner, extra_for, extra_where),
+            Item::SubQuery(sub) => {
+                let sub = normalize(sub);
+                extra_for.extend(sub.for_clause.iter().cloned());
+                extra_where.extend(sub.where_clause.iter().cloned());
+                *item = match sub.ret {
+                    ReturnExpr::Var(v) => Item::Var(v),
+                    ReturnExpr::Elem(inner) => Item::Elem(inner),
+                };
+                if let Item::Elem(inner) = item {
+                    unnest_element(inner, extra_for, extra_where);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The translator.
+// ---------------------------------------------------------------------
+
+/// One FOR/WHERE expression under construction.
+struct Expr {
+    op: Op,
+    vars: Vec<Name>,
+}
+
+struct Translator {
+    /// Every name already in use (user variables + generated ones).
+    taken: Vec<Name>,
+    /// Known element label of each variable (for prefixing relative
+    /// paths).
+    label_of: HashMap<Name, Option<Name>>,
+    skolem_counter: usize,
+}
+
+/// Variable name pools echoing the paper's figures.
+const SRC_POOL: &[&str] = &["K", "J", "M", "A", "B", "D", "E"];
+const CAT_POOL: &[&str] = &["W", "W1", "W2", "W3"];
+const TOP_ELT_POOL: &[&str] = &["V", "V1", "V2", "V3"];
+const INNER_ELT_POOL: &[&str] = &["P", "P1", "P2", "P3"];
+const GRP_POOL: &[&str] = &["X", "X1", "X2"];
+const APP_POOL: &[&str] = &["Z", "Z1", "Z2"];
+const SKOLEM_POOL: &[&str] = &["f", "g", "h", "k", "f1", "g1", "h1", "k1"];
+
+impl Translator {
+    fn new(q: &Query) -> Translator {
+        let mut taken: Vec<Name> = q.bound_vars();
+        // Also reserve variables referenced in WHERE/RETURN (they must
+        // be FOR-bound anyway, but reserving is harmless).
+        for c in &q.where_clause {
+            for o in [&c.lhs, &c.rhs] {
+                if let Operand::Path { var, .. } = o {
+                    taken.push(var.clone());
+                }
+            }
+        }
+        Translator { taken, label_of: HashMap::new(), skolem_counter: 0 }
+    }
+
+    fn fresh(&mut self, pool: &[&str], fallback: &str) -> Name {
+        for cand in pool {
+            let n = Name::new(*cand);
+            if !self.taken.contains(&n) {
+                self.taken.push(n.clone());
+                return n;
+            }
+        }
+        let n = crate::plan::fresh_var(fallback, &self.taken);
+        self.taken.push(n.clone());
+        n
+    }
+
+    /// Numeric condition variables `$1`, `$2`, … like the figures.
+    fn fresh_numeric(&mut self) -> Name {
+        for i in 1.. {
+            let n = Name::new(i.to_string());
+            if !self.taken.contains(&n) {
+                self.taken.push(n.clone());
+                return n;
+            }
+        }
+        unreachable!()
+    }
+
+    fn fresh_skolem(&mut self) -> Name {
+        let n = if self.skolem_counter < SKOLEM_POOL.len() {
+            Name::new(SKOLEM_POOL[self.skolem_counter])
+        } else {
+            Name::new(format!("sk{}", self.skolem_counter))
+        };
+        self.skolem_counter += 1;
+        n
+    }
+
+    fn translate(&mut self, q: &Query, root_name: &str) -> Result<Plan> {
+        if q.for_clause.is_empty() {
+            return Err(MixError::invalid("query has no FOR clause"));
+        }
+        let mut exprs: Vec<Expr> = Vec::new();
+
+        // --- FOR clause ---
+        for b in &q.for_clause {
+            self.add_for_binding(b, &mut exprs)?;
+        }
+
+        // --- WHERE clause: bind operand paths, then apply conditions ---
+        let mut conds = Vec::new();
+        for c in &q.where_clause {
+            let l = self.bind_operand(&c.lhs, &mut exprs)?;
+            let r = self.bind_operand(&c.rhs, &mut exprs)?;
+            conds.push(Cond::Cmp { l, op: c.op, r });
+        }
+        for cond in conds {
+            self.apply_condition(cond, &mut exprs)?;
+        }
+
+        // --- combine leftovers with cartesian products ---
+        let mut iter = exprs.into_iter();
+        let mut current = iter.next().expect("at least one FOR binding");
+        for next in iter {
+            current = Expr {
+                vars: current.vars.iter().chain(&next.vars).cloned().collect(),
+                op: Op::Join { left: Box::new(current.op), right: Box::new(next.op), cond: None },
+            };
+        }
+
+        // --- RETURN clause ---
+        let root = match &q.ret {
+            ReturnExpr::Var(v) => {
+                if !current.vars.contains(v) {
+                    return Err(MixError::invalid(format!(
+                        "RETURN references unbound {}",
+                        v.display_var()
+                    )));
+                }
+                Op::TupleDestroy {
+                    input: Box::new(current.op),
+                    var: v.clone(),
+                    root: Some(Name::new(root_name)),
+                }
+            }
+            ReturnExpr::Elem(e) => {
+                let skolem = self.fresh_skolem();
+                let (op, out) = self.build_element(e, current.op, &current.vars, skolem)?;
+                Op::TupleDestroy {
+                    input: Box::new(op),
+                    var: out,
+                    root: Some(Name::new(root_name)),
+                }
+            }
+        };
+        Ok(Plan::new(root))
+    }
+
+    fn add_for_binding(&mut self, b: &ForBinding, exprs: &mut Vec<Expr>) -> Result<()> {
+        match &b.base {
+            PathBase::Document(_) | PathBase::QueryRoot => {
+                let src = match &b.base {
+                    PathBase::Document(s) => s.clone(),
+                    PathBase::QueryRoot => Name::new(QUERY_ROOT),
+                    PathBase::Var(_) => unreachable!(),
+                };
+                let s = self.fresh(SRC_POOL, "s");
+                let mksrc = Op::MkSrc { source: src, var: s.clone() };
+                if b.steps.is_empty() {
+                    // `document(r)` with no steps: the variable *is* the
+                    // per-child binding.
+                    self.label_of.insert(b.var.clone(), None);
+                    // rename s -> var
+                    let op = crate::plan::rename_var(&mksrc, &s, &b.var);
+                    exprs.push(Expr { op, vars: vec![b.var.clone()] });
+                } else {
+                    let path = LabelPath::new(b.steps.clone())?;
+                    self.label_of.insert(b.var.clone(), last_label(&path));
+                    exprs.push(Expr {
+                        op: Op::GetD {
+                            input: Box::new(mksrc),
+                            from: s.clone(),
+                            path,
+                            to: b.var.clone(),
+                        },
+                        vars: vec![s, b.var.clone()],
+                    });
+                }
+                Ok(())
+            }
+            PathBase::Var(r) => {
+                let idx = exprs
+                    .iter()
+                    .position(|e| e.vars.contains(r))
+                    .ok_or_else(|| {
+                        MixError::invalid(format!(
+                            "FOR binding uses unbound variable {}",
+                            r.display_var()
+                        ))
+                    })?;
+                let path = self.relative_path(r, &b.steps)?;
+                self.label_of.insert(b.var.clone(), last_label(&path));
+                let e = &mut exprs[idx];
+                e.op = Op::GetD {
+                    input: Box::new(std::mem::replace(
+                        &mut e.op,
+                        Op::Empty { vars: vec![] },
+                    )),
+                    from: r.clone(),
+                    path,
+                    to: b.var.clone(),
+                };
+                e.vars.push(b.var.clone());
+                Ok(())
+            }
+        }
+    }
+
+    /// A path relative to `$r`, prefixed with `$r`'s own label (the
+    /// paper's convention that paths include the start node's label).
+    /// When the label is statically unknown, a wildcard step stands in.
+    fn relative_path(&self, r: &Name, steps: &[Step]) -> Result<LabelPath> {
+        let first = match self.label_of.get(r) {
+            Some(Some(l)) => Step::Label(l.clone()),
+            _ => Step::Wild,
+        };
+        let mut all = vec![first];
+        all.extend(steps.iter().cloned());
+        LabelPath::new(all)
+    }
+
+    fn bind_operand(&mut self, o: &Operand, exprs: &mut [Expr]) -> Result<CondArg> {
+        match o {
+            Operand::Const(v) => Ok(CondArg::Const(v.clone())),
+            Operand::Path { var, steps } if steps.is_empty() => {
+                if !exprs.iter().any(|e| e.vars.contains(var)) {
+                    return Err(MixError::invalid(format!(
+                        "WHERE references unbound {}",
+                        var.display_var()
+                    )));
+                }
+                Ok(CondArg::Var(var.clone()))
+            }
+            Operand::Path { var, steps } => {
+                let idx = exprs.iter().position(|e| e.vars.contains(var)).ok_or_else(|| {
+                    MixError::invalid(format!(
+                        "WHERE references unbound {}",
+                        var.display_var()
+                    ))
+                })?;
+                let path = self.relative_path(var, steps)?;
+                let c = self.fresh_numeric();
+                let e = &mut exprs[idx];
+                e.op = Op::GetD {
+                    input: Box::new(std::mem::replace(&mut e.op, Op::Empty { vars: vec![] })),
+                    from: var.clone(),
+                    path,
+                    to: c.clone(),
+                };
+                e.vars.push(c.clone());
+                Ok(CondArg::Var(c))
+            }
+        }
+    }
+
+    fn apply_condition(&mut self, cond: Cond, exprs: &mut Vec<Expr>) -> Result<()> {
+        let vars = cond.vars();
+        let mut touching: Vec<usize> = exprs
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| vars.iter().any(|v| e.vars.contains(v)))
+            .map(|(i, _)| i)
+            .collect();
+        match touching.len() {
+            0 => Err(MixError::internal("condition touches no expression")),
+            1 => {
+                let e = &mut exprs[touching[0]];
+                e.op = Op::Select {
+                    input: Box::new(std::mem::replace(&mut e.op, Op::Empty { vars: vec![] })),
+                    cond,
+                };
+                Ok(())
+            }
+            2 => {
+                // Join the two expressions on this condition.
+                touching.sort_unstable();
+                let right = exprs.remove(touching[1]);
+                let left = exprs.remove(touching[0]);
+                exprs.insert(
+                    touching[0],
+                    Expr {
+                        vars: left.vars.iter().chain(&right.vars).cloned().collect(),
+                        op: Op::Join {
+                            left: Box::new(left.op),
+                            right: Box::new(right.op),
+                            cond: Some(cond),
+                        },
+                    },
+                );
+                Ok(())
+            }
+            _ => Err(MixError::internal("binary condition touches >2 expressions")),
+        }
+    }
+
+    /// Build the `crElt`/`cat`/`gBy`/`apply` pipeline for one RETURN
+    /// element. Returns the extended plan and the variable bound to the
+    /// constructed element.
+    fn build_element(
+        &mut self,
+        e: &Element,
+        mut op: Op,
+        in_vars: &[Name],
+        skolem: Name,
+    ) -> Result<(Op, Name)> {
+        if e.children.is_empty() {
+            return Err(MixError::invalid(format!(
+                "element <{}> has no content (grammar requires at least one item)",
+                e.label
+            )));
+        }
+        for g in &e.group_by {
+            if !in_vars.contains(g) {
+                return Err(MixError::invalid(format!(
+                    "group-by variable {} is not bound",
+                    g.display_var()
+                )));
+            }
+        }
+        struct Entry {
+            arg: CatArg,
+            depends: Vec<Name>,
+        }
+        let mut entries = Vec::new();
+        let mut vars = in_vars.to_vec();
+        for item in &e.children {
+            match item {
+                Item::Var(v) => {
+                    if !vars.contains(v) {
+                        return Err(MixError::invalid(format!(
+                            "element content references unbound {}",
+                            v.display_var()
+                        )));
+                    }
+                    entries.push(Entry { arg: CatArg::Single(v.clone()), depends: vec![v.clone()] });
+                }
+                Item::Elem(inner) => {
+                    let inner_skolem = self.fresh_skolem();
+                    // Inner elements are built per tuple (Fig. 6's
+                    // crElt(OrderInfo, g($O), …) sits below the gBy).
+                    let deps = content_vars(inner);
+                    let (new_op, out) =
+                        self.build_inner_element(inner, op, &vars, inner_skolem)?;
+                    op = new_op;
+                    vars.push(out.clone());
+                    entries.push(Entry { arg: CatArg::Single(out), depends: deps });
+                }
+                Item::SubQuery(_) => {
+                    return Err(MixError::internal(
+                        "subqueries must be unnested before element construction",
+                    ))
+                }
+            }
+        }
+
+        if e.group_by.is_empty() {
+            let children = self.cat_chain(&mut op, entries.into_iter().map(|e| e.arg))?;
+            let group: Vec<Name> = Vec::new();
+            let out = self.fresh(TOP_ELT_POOL, "V");
+            let op = Op::CrElt {
+                input: Box::new(op),
+                label: e.label.clone(),
+                skolem,
+                group,
+                children,
+                out: out.clone(),
+            };
+            return Ok((op, out));
+        }
+
+        // Grouped element: gBy on the group list, collect varying
+        // entries via apply(tD ∘ nestedSrc).
+        let part = self.fresh(GRP_POOL, "X");
+        op = Op::GroupBy {
+            input: Box::new(op),
+            group: e.group_by.clone(),
+            out: part.clone(),
+        };
+        let mut final_args = Vec::new();
+        for entry in entries {
+            let invariant =
+                !entry.depends.is_empty() && entry.depends.iter().all(|v| e.group_by.contains(v));
+            if invariant {
+                final_args.push(entry.arg);
+            } else {
+                // Collect this entry's per-tuple values into a list.
+                let collected = self.fresh(APP_POOL, "Z");
+                let inner_var = entry.arg.var().clone();
+                op = Op::Apply {
+                    input: Box::new(op),
+                    plan: Box::new(Op::TupleDestroy {
+                        input: Box::new(Op::NestedSrc { var: part.clone() }),
+                        var: inner_var,
+                        root: None,
+                    }),
+                    param: Some(part.clone()),
+                    out: collected.clone(),
+                };
+                final_args.push(CatArg::ListVar(collected));
+            }
+        }
+        let children = self.cat_chain(&mut op, final_args.into_iter())?;
+        let out = self.fresh(TOP_ELT_POOL, "V");
+        let op = Op::CrElt {
+            input: Box::new(op),
+            label: e.label.clone(),
+            skolem,
+            group: e.group_by.clone(),
+            children,
+            out: out.clone(),
+        };
+        Ok((op, out))
+    }
+
+    /// Build a non-top-level element per tuple (no grouping machinery;
+    /// grouped inner elements rely on skolem-id set semantics, matching
+    /// Fig. 6).
+    fn build_inner_element(
+        &mut self,
+        e: &Element,
+        mut op: Op,
+        in_vars: &[Name],
+        skolem: Name,
+    ) -> Result<(Op, Name)> {
+        if e.children.is_empty() {
+            return Err(MixError::invalid(format!("element <{}> has no content", e.label)));
+        }
+        let mut args = Vec::new();
+        let mut vars = in_vars.to_vec();
+        for item in &e.children {
+            match item {
+                Item::Var(v) => {
+                    if !vars.contains(v) {
+                        return Err(MixError::invalid(format!(
+                            "element content references unbound {}",
+                            v.display_var()
+                        )));
+                    }
+                    args.push(CatArg::Single(v.clone()));
+                }
+                Item::Elem(inner) => {
+                    let inner_skolem = self.fresh_skolem();
+                    let (new_op, out) =
+                        self.build_inner_element(inner, op, &vars, inner_skolem)?;
+                    op = new_op;
+                    vars.push(out.clone());
+                    args.push(CatArg::Single(out));
+                }
+                Item::SubQuery(_) => {
+                    return Err(MixError::internal("subqueries must be unnested first"))
+                }
+            }
+        }
+        let children = self.cat_chain(&mut op, args.into_iter())?;
+        // The skolem arguments: the element's group-by list when given
+        // (Fig. 6's g($O) for OrderInfo{$O}), else its content vars.
+        let group = if e.group_by.is_empty() { content_vars(e) } else { e.group_by.clone() };
+        let out = self.fresh(INNER_ELT_POOL, "P");
+        let op = Op::CrElt {
+            input: Box::new(op),
+            label: e.label.clone(),
+            skolem,
+            group,
+            children,
+            out: out.clone(),
+        };
+        Ok((op, out))
+    }
+
+    /// Chain `cat` operators over the arguments, in order. A single
+    /// argument is passed through unchanged (crElt accepts both forms).
+    fn cat_chain(&mut self, op: &mut Op, args: impl Iterator<Item = CatArg>) -> Result<ChildSpec> {
+        let mut args: Vec<CatArg> = args.collect();
+        if args.is_empty() {
+            return Err(MixError::internal("cat chain over zero arguments"));
+        }
+        if args.len() == 1 {
+            return Ok(args.pop().unwrap());
+        }
+        let mut acc = args.remove(0);
+        for next in args {
+            let w = self.fresh(CAT_POOL, "W");
+            *op = Op::Cat {
+                input: Box::new(std::mem::replace(op, Op::Empty { vars: vec![] })),
+                left: acc,
+                right: next,
+                out: w.clone(),
+            };
+            acc = CatArg::ListVar(w);
+        }
+        Ok(acc)
+    }
+}
+
+fn last_label(path: &LabelPath) -> Option<Name> {
+    match path.steps().last() {
+        Some(Step::Label(l)) => Some(l.clone()),
+        _ => None,
+    }
+}
+
+/// The FOR-bound variables an element's content references.
+fn content_vars(e: &Element) -> Vec<Name> {
+    let mut out = Vec::new();
+    fn walk(e: &Element, out: &mut Vec<Name>) {
+        for item in &e.children {
+            match item {
+                Item::Var(v) => {
+                    if !out.contains(v) {
+                        out.push(v.clone());
+                    }
+                }
+                Item::Elem(inner) => walk(inner, out),
+                Item::SubQuery(q) => {
+                    // after normalization this cannot occur; be safe
+                    if let ReturnExpr::Elem(inner) = &q.ret {
+                        walk(inner, out);
+                    }
+                }
+            }
+        }
+    }
+    walk(e, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use mix_xquery::parse_query;
+
+    const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
+         WHERE $C/id/data() = $O/cid/data() \
+         RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
+
+    #[test]
+    fn q1_translates_to_fig6_shape() {
+        let q = parse_query(Q1).unwrap();
+        let plan = translate(&q).unwrap();
+        let text = plan.render();
+        // Top of the plan: tD($V, rootv) over crElt(CustRec, f($C), …).
+        assert!(text.starts_with("tD($V, rootv)\n"), "{text}");
+        assert!(text.contains("crElt(CustRec, f($C), $W -> $V)"), "{text}");
+        // The children: cat(list($C), $Z -> $W) — $C then the collected
+        // OrderInfo list.
+        assert!(text.contains("cat(list($C), $Z -> $W)"), "{text}");
+        // The collection: apply over gBy($C).
+        assert!(text.contains("apply(p, $X -> $Z)"), "{text}");
+        assert!(text.contains("| tD($P)"), "{text}");
+        assert!(text.contains("|   nSrc($X)"), "{text}");
+        assert!(text.contains("gBy([$C] -> $X)"), "{text}");
+        // Per-tuple OrderInfo elements below the group-by.
+        assert!(text.contains("crElt(OrderInfo, g($O), list($O) -> $P)"), "{text}");
+        // The join over the two source branches with the condition vars.
+        assert!(text.contains("join($1 = $2)"), "{text}");
+        assert!(text.contains("getD($C.customer.id.data(), $1)"), "{text}");
+        assert!(text.contains("getD($O.order.cid.data(), $2)"), "{text}");
+        assert!(text.contains("getD($K.customer, $C)"), "{text}");
+        assert!(text.contains("getD($J.order, $O)"), "{text}");
+        assert!(text.contains("mksrc(root1, $K)"), "{text}");
+        assert!(text.contains("mksrc(root2, $J)"), "{text}");
+        validate(&plan).unwrap();
+    }
+
+    #[test]
+    fn q2_translates_with_query_root() {
+        let q = parse_query(
+            "FOR $P IN document(root)/CustRec WHERE $P/customer/name < \"B\" RETURN $P",
+        )
+        .unwrap();
+        let plan = translate(&q).unwrap();
+        let text = plan.render();
+        assert!(text.contains("mksrc(root, $K)"), "{text}");
+        assert!(text.contains("getD($K.CustRec, $P)"), "{text}");
+        assert!(text.contains("getD($P.CustRec.customer.name, $1)"), "{text}");
+        assert!(text.contains("select($1 < \"B\")"), "{text}");
+        assert!(text.starts_with("tD($P, rootv)"), "{text}");
+        validate(&plan).unwrap();
+    }
+
+    #[test]
+    fn fig12_plan_matches_fig11() {
+        let q = parse_query(
+            "FOR $R in document(rootv)/CustRec $S in $R/OrderInfo \
+             WHERE $S/order/value > 20000 RETURN $R",
+        )
+        .unwrap();
+        let plan = translate(&q).unwrap();
+        let text = plan.render();
+        assert!(text.contains("mksrc(rootv, $K)"), "{text}");
+        assert!(text.contains("getD($K.CustRec, $R)"), "{text}");
+        // $S IN $R/OrderInfo gets $R's label prefixed (Fig. 11).
+        assert!(text.contains("getD($R.CustRec.OrderInfo, $S)"), "{text}");
+        assert!(text.contains("getD($S.OrderInfo.order.value, $1)"), "{text}");
+        assert!(text.contains("select($1 > 20000)"), "{text}");
+        validate(&plan).unwrap();
+    }
+
+    #[test]
+    fn unconnected_fors_become_cartesian() {
+        let q = parse_query(
+            "FOR $A IN document(r1)/x $B IN document(r2)/y RETURN <pair> $A $B </pair>",
+        )
+        .unwrap();
+        let plan = translate(&q).unwrap();
+        let text = plan.render();
+        assert!(text.contains("join(×)"), "{text}");
+        assert!(text.contains("cat(list($A), list($B) -> $W)"), "{text}");
+        validate(&plan).unwrap();
+    }
+
+    #[test]
+    fn nested_subquery_unnests_like_q1() {
+        let nested = "FOR $C IN source(&root1)/customer \
+             RETURN <CustRec> $C \
+               FOR $O IN document(&root2)/order \
+               WHERE $C/id/data() = $O/cid/data() \
+               RETURN <OrderInfo> $O </OrderInfo> {$O} \
+             </CustRec> {$C}";
+        let flat = translate(&parse_query(Q1).unwrap()).unwrap();
+        let unnested = translate(&parse_query(nested).unwrap()).unwrap();
+        assert_eq!(flat.render(), unnested.render());
+    }
+
+    #[test]
+    fn errors_on_unbound_variables() {
+        for bad in [
+            "FOR $C IN document(r)/c WHERE $D/x = 1 RETURN $C",
+            "FOR $C IN document(r)/c RETURN $D",
+            "FOR $C IN document(r)/c RETURN <a> $D </a>",
+            "FOR $C IN document(r)/c RETURN <a> $C </a> {$D}",
+            "FOR $S IN $R/x RETURN $S",
+        ] {
+            let q = parse_query(bad).unwrap();
+            assert!(translate(&q).is_err(), "should fail: {bad}");
+        }
+    }
+
+    #[test]
+    fn bare_variable_condition_is_select() {
+        let q = parse_query(
+            "FOR $C IN document(r)/c/name/data() WHERE $C = \"Ann\" RETURN $C",
+        )
+        .unwrap();
+        let plan = translate(&q).unwrap();
+        let text = plan.render();
+        assert!(text.contains("select($C = \"Ann\")"), "{text}");
+        assert!(text.contains("getD($K.c.name.data(), $C)"), "{text}");
+    }
+
+    #[test]
+    fn multi_var_group_by() {
+        let q = parse_query(
+            "FOR $A IN document(r)/x $B IN $A/y \
+             RETURN <g> $A $B </g> {$A, $B}",
+        )
+        .unwrap();
+        let plan = translate(&q).unwrap();
+        let text = plan.render();
+        assert!(text.contains("gBy([$A,$B] -> $X)"), "{text}");
+        // Both children are group-invariant: no apply is needed.
+        assert!(!text.contains("apply"), "{text}");
+        assert!(text.contains("crElt(g, f($A,$B), $W -> $V)"), "{text}");
+        validate(&plan).unwrap();
+    }
+}

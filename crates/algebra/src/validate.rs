@@ -1,0 +1,53 @@
+//! Whole-plan validation.
+
+use crate::op::Op;
+use crate::plan::{var_info, Plan, VarInfo};
+use mix_common::{MixError, Result};
+use std::collections::HashMap;
+
+/// Validate a complete plan: variable scoping, join disjointness,
+/// `nestedSrc`/`apply` pairing, and the invariant that the root is a
+/// `tD` ("the tuple destroy operator is used as the final operator in
+/// every XMAS plan").
+pub fn validate(plan: &Plan) -> Result<VarInfo> {
+    if !matches!(plan.root, Op::TupleDestroy { .. } | Op::Empty { .. }) {
+        return Err(MixError::invalid(format!(
+            "plan root must be tD (or the empty plan), found {}",
+            plan.root.name()
+        )));
+    }
+    let env = HashMap::new();
+    // var_info of the tD checks its whole subtree; compute on the tD's
+    // input so callers get the exported tuple variables.
+    var_info(&plan.root, &env)?;
+    match &plan.root {
+        Op::TupleDestroy { input, .. } => var_info(input, &env),
+        Op::Empty { .. } => Ok(VarInfo::default()),
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_common::Name;
+
+    #[test]
+    fn root_must_be_td() {
+        let plan = Plan::new(Op::MkSrc { source: Name::new("r"), var: Name::new("X") });
+        assert!(validate(&plan).is_err());
+        let ok = Plan::new(Op::TupleDestroy {
+            input: Box::new(Op::MkSrc { source: Name::new("r"), var: Name::new("X") }),
+            var: Name::new("X"),
+            root: Some(Name::new("rootv")),
+        });
+        let info = validate(&ok).unwrap();
+        assert_eq!(info.vars, vec![Name::new("X")]);
+    }
+
+    #[test]
+    fn empty_plan_is_valid() {
+        let plan = Plan::new(Op::Empty { vars: vec![Name::new("X")] });
+        assert!(validate(&plan).is_ok());
+    }
+}

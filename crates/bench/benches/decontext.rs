@@ -1,0 +1,41 @@
+//! E3: decontextualized queries-in-place vs. the materialize-the-
+//! subtree-then-query strawman.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mix::prelude::*;
+use mix_bench::{scaled_mediator, Q1};
+
+fn bench_decontext(c: &mut Criterion) {
+    let mut g = c.benchmark_group("in_place_query_fanout");
+    g.sample_size(10);
+    for fanout in [50usize, 300] {
+        g.bench_with_input(BenchmarkId::new("decontextualize", fanout), &fanout, |b, &f| {
+            b.iter(|| {
+                let (m, _stats) = scaled_mediator(50, f, 5, true, AccessMode::Lazy);
+                let mut s = m.session();
+                let p0 = s.query(Q1).unwrap();
+                let p1 = s.d(p0).unwrap();
+                let a = s
+                    .q("FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 99000 RETURN $O", p1)
+                    .unwrap();
+                s.child_count(a)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("materialize", fanout), &fanout, |b, &f| {
+            b.iter(|| {
+                let (m, _stats) = scaled_mediator(50, f, 5, true, AccessMode::Lazy);
+                let mut s = m.session();
+                let p0 = s.query(Q1).unwrap();
+                let p1 = s.d(p0).unwrap();
+                let a = s
+                    .q_materialized("FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 99000 RETURN $O", p1)
+                    .unwrap();
+                s.child_count(a)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_decontext);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E7: the stateless presorted groupBy (Table 1) vs. the buffering
+//! stateful implementation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mix::prelude::*;
+use mix_bench::{drain, Q1};
+
+fn bench_gby(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gby_drain_q1");
+    g.sample_size(10);
+    for n in [500usize, 2000] {
+        for (label, mode) in [
+            ("stateless", GByMode::StatelessPresorted),
+            ("stateful", GByMode::Stateful),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter(|| {
+                    let (catalog, _db) = mix_repro::datagen::customers_orders(n, 5, 31);
+                    let m = Mediator::with_options(
+                        catalog,
+                        MediatorOptions { gby: mode, ..Default::default() },
+                    );
+                    let mut s = m.session();
+                    let p0 = s.query(Q1).unwrap();
+                    drain(&s, p0)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gby);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! The experiments harness.
+//!
+//! ```sh
+//! cargo run -p mix-bench --bin experiments            # everything
+//! cargo run -p mix-bench --bin experiments -- figures # paper artifacts
+//! cargo run -p mix-bench --bin experiments -- e4      # one experiment
+//! ```
+
+use mix_bench::{experiments, figures};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    match what {
+        "figures" => print!("{}", figures::render_all()),
+        "e1" => print!("{}", experiments::e1_lazy_vs_eager()),
+        "e2" => print!("{}", experiments::e2_first_result_latency()),
+        "e3" => print!("{}", experiments::e3_decontext_vs_materialize()),
+        "e4" => print!("{}", experiments::e4_pushdown_selectivity()),
+        "e5" => print!("{}", experiments::e5_mediator_work()),
+        "e6" => print!("{}", experiments::e6_in_place_scaling()),
+        "e7" => print!("{}", experiments::e7_gby_ablation()),
+        "e8" => print!("{}", experiments::e8_rule_ablation()),
+        "bench-tables" => print!("{}", experiments::run_all()),
+        "all" => {
+            print!("{}", figures::render_all());
+            print!("{}", experiments::run_all());
+        }
+        other => {
+            eprintln!(
+                "unknown command {other:?}; expected one of: figures, e1..e8, bench-tables, all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

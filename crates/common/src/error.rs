@@ -1,0 +1,75 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Result alias used across the MIX workspace.
+pub type Result<T> = std::result::Result<T, MixError>;
+
+/// Errors surfaced by the MIX mediator stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MixError {
+    /// A parser rejected its input (XQuery, SQL, or XML). Carries the
+    /// offending position (byte offset or line) and a message.
+    Parse { what: &'static str, pos: usize, msg: String },
+    /// A name (table, column, variable, source, view) is unknown.
+    Unknown { what: &'static str, name: String },
+    /// A query or plan is structurally invalid (variable scoping,
+    /// operator arity, type mismatch).
+    Invalid(String),
+    /// A navigation command was applied to a node id that does not
+    /// support it (e.g. `fv` on a non-leaf).
+    Navigation(String),
+    /// The rewriter or engine hit an internal invariant violation.
+    Internal(String),
+}
+
+impl MixError {
+    /// Shorthand for a parse error.
+    pub fn parse(what: &'static str, pos: usize, msg: impl Into<String>) -> MixError {
+        MixError::Parse { what, pos, msg: msg.into() }
+    }
+
+    /// Shorthand for an unknown-name error.
+    pub fn unknown(what: &'static str, name: impl Into<String>) -> MixError {
+        MixError::Unknown { what, name: name.into() }
+    }
+
+    /// Shorthand for an invalid-structure error.
+    pub fn invalid(msg: impl Into<String>) -> MixError {
+        MixError::Invalid(msg.into())
+    }
+
+    /// Shorthand for an internal invariant violation.
+    pub fn internal(msg: impl Into<String>) -> MixError {
+        MixError::Internal(msg.into())
+    }
+}
+
+impl fmt::Display for MixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MixError::Parse { what, pos, msg } => {
+                write!(f, "{what} parse error at {pos}: {msg}")
+            }
+            MixError::Unknown { what, name } => write!(f, "unknown {what}: {name}"),
+            MixError::Invalid(m) => write!(f, "invalid query/plan: {m}"),
+            MixError::Navigation(m) => write!(f, "navigation error: {m}"),
+            MixError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = MixError::parse("xquery", 10, "expected FOR");
+        assert_eq!(e.to_string(), "xquery parse error at 10: expected FOR");
+        let e = MixError::unknown("table", "custs");
+        assert_eq!(e.to_string(), "unknown table: custs");
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared foundations for the MIX mediator workspace.
+//!
+//! This crate holds the pieces every other MIX crate needs and that must
+//! agree across crate boundaries:
+//!
+//! * [`Value`] — the scalar domain `D` of the paper's data model
+//!   ("string-like" constants plus the numeric types the relational
+//!   sources produce), with the comparison semantics used by `WHERE`
+//!   clauses and XMAS `select`/`join` conditions.
+//! * [`CmpOp`] — the relational operators `=, !=, <, <=, >, >=` of the
+//!   Fig. 4 grammar.
+//! * [`Name`] — cheaply clonable identifiers for variables, labels,
+//!   table and column names.
+//! * [`MixError`] / [`Result`] — the workspace-wide error type.
+//! * [`Stats`] — per-source counters (queries issued, tuples shipped,
+//!   navigation commands served) that make the paper's performance
+//!   claims measurable.
+
+pub mod error;
+pub mod name;
+pub mod stats;
+pub mod value;
+
+pub use error::{MixError, Result};
+pub use name::Name;
+pub use stats::{Stats, StatsSnapshot};
+pub use value::{CmpOp, Value};

@@ -1,0 +1,95 @@
+//! Cheap, clonable identifiers.
+//!
+//! Variables (`$C`), element labels (`CustRec`), table and column names
+//! are copied around constantly by the translator, rewriter and engine.
+//! [`Name`] wraps `Rc<str>` so clones are reference-count bumps, while
+//! still comparing and hashing by string content.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::rc::Rc;
+
+/// An interned-style identifier: variable, label, table or column name.
+///
+/// Variables are stored *without* the `$` sigil; [`Name::display_var`]
+/// renders them with it.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name(Rc<str>);
+
+impl Name {
+    /// Create a name from any string-ish input, stripping one leading
+    /// `$` sigil if present (so `Name::new("$C") == Name::new("C")`).
+    pub fn new(s: impl AsRef<str>) -> Name {
+        let s = s.as_ref();
+        let s = s.strip_prefix('$').unwrap_or(s);
+        Name(Rc::from(s))
+    }
+
+    /// The raw text (no sigil).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Render as a variable: `$C`.
+    pub fn display_var(&self) -> String {
+        format!("${}", self.0)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({})", self.0)
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Self {
+        Name::new(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Self {
+        Name::new(s)
+    }
+}
+
+impl Borrow<str> for Name {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigil_is_stripped() {
+        assert_eq!(Name::new("$C"), Name::new("C"));
+        assert_eq!(Name::new("$C").as_str(), "C");
+        assert_eq!(Name::new("$C").display_var(), "$C");
+    }
+
+    #[test]
+    fn compares_by_content() {
+        let a = Name::new("x");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(Name::new("a").cmp(&Name::new("b")), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn borrows_as_str_for_map_lookup() {
+        use std::collections::HashMap;
+        let mut m: HashMap<Name, i32> = HashMap::new();
+        m.insert(Name::new("k"), 1);
+        assert_eq!(m.get("k"), Some(&1));
+    }
+}

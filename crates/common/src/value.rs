@@ -1,0 +1,356 @@
+//! The scalar value domain `D` and comparison semantics.
+//!
+//! The paper's data model gives vertices labels from a set of constants
+//! `D` that "includes all string-like data, i.e., element names,
+//! character content, etc.". Because MIX wraps relational databases, the
+//! leaf values flowing through the engine are typed: integers, floats,
+//! booleans and strings. [`Value`] covers that domain; comparisons
+//! follow SQL-ish rules (numeric cross-type comparison, lexicographic
+//! strings, `Null` incomparable).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A scalar constant: the domain `D` of the labeled-ordered-tree model,
+/// plus the typed values relational sources produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL / absent value. Never equal to anything, including itself,
+    /// under [`Value::compare`]; equal to itself under `Eq` (so values can
+    /// key hash maps and be deduplicated).
+    Null,
+    /// Boolean constant.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. NaN is normalized to `Null` at construction sites;
+    /// `Float` payloads are expected to be non-NaN.
+    Float(f64),
+    /// String / character content.
+    Str(String),
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        core::mem::discriminant(self).hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+        }
+    }
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// True if this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, widening integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parse a textual token into the most specific value type:
+    /// integer, then float, then bool, falling back to a string.
+    ///
+    /// This is how the XML parser and the wrapper type leaf content.
+    pub fn parse_literal(s: &str) -> Value {
+        if let Ok(i) = s.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = s.parse::<f64>() {
+            if f.is_finite() {
+                return Value::Float(f);
+            }
+        }
+        match s {
+            "true" => Value::Bool(true),
+            "false" => Value::Bool(false),
+            _ => Value::Str(s.to_string()),
+        }
+    }
+
+    /// Total ordering used for deterministic output (sorting, group
+    /// keys). Unlike [`Value::compare`], this orders across types
+    /// (Null < Bool < numeric < Str) and is total.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+
+    /// SQL-style comparison: `None` when the operands are incomparable
+    /// (either is `Null`, or the types are incompatible, e.g. a string
+    /// against an integer).
+    ///
+    /// Query conditions built on this treat `None` as *false*, matching
+    /// the paper's select semantics (a tuple qualifies only when the
+    /// condition evaluates to true).
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            _ => None,
+        }
+    }
+
+    /// Evaluate `self op other` with [`Value::compare`] semantics;
+    /// incomparable operands yield `false`.
+    pub fn satisfies(&self, op: CmpOp, other: &Value) -> bool {
+        match self.compare(other) {
+            Some(ord) => op.matches(ord),
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        if v.is_nan() {
+            Value::Null
+        } else {
+            Value::Float(v)
+        }
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// The comparison operators of the Fig. 4 grammar
+/// (`RelOp ::= = | != | < | <= | > | >=`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Does an ordering outcome satisfy this operator?
+    pub fn matches(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// The operator with operands swapped: `a op b == b op.flip() a`.
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Logical negation: `!(a op b) == a op.negate() b` (for non-null
+    /// comparable operands).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// Parse the textual operator as it appears in XQuery and SQL.
+    pub fn parse(s: &str) -> Option<CmpOp> {
+        Some(match s {
+            "=" | "==" => CmpOp::Eq,
+            "!=" | "<>" => CmpOp::Ne,
+            "<" => CmpOp::Lt,
+            "<=" => CmpOp::Le,
+            ">" => CmpOp::Gt,
+            ">=" => CmpOp::Ge,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_literal_types() {
+        assert_eq!(Value::parse_literal("42"), Value::Int(42));
+        assert_eq!(Value::parse_literal("-7"), Value::Int(-7));
+        assert_eq!(Value::parse_literal("2.5"), Value::Float(2.5));
+        assert_eq!(Value::parse_literal("true"), Value::Bool(true));
+        assert_eq!(Value::parse_literal("XYZ123"), Value::str("XYZ123"));
+    }
+
+    #[test]
+    fn cross_type_numeric_compare() {
+        assert!(Value::Int(2).satisfies(CmpOp::Lt, &Value::Float(2.5)));
+        assert!(Value::Float(3.0).satisfies(CmpOp::Eq, &Value::Int(3)));
+    }
+
+    #[test]
+    fn null_is_incomparable() {
+        assert!(!Value::Null.satisfies(CmpOp::Eq, &Value::Null));
+        assert!(!Value::Int(1).satisfies(CmpOp::Ne, &Value::Null));
+    }
+
+    #[test]
+    fn incompatible_types_are_false() {
+        assert!(!Value::str("a").satisfies(CmpOp::Lt, &Value::Int(1)));
+        assert!(!Value::str("a").satisfies(CmpOp::Eq, &Value::Int(1)));
+    }
+
+    #[test]
+    fn string_compare_is_lexicographic() {
+        // The paper's Q2: customer name < "B" selects names starting with "A".
+        assert!(Value::str("ABCInc.").satisfies(CmpOp::Lt, &Value::str("B")));
+        assert!(!Value::str("XYZInc.").satisfies(CmpOp::Lt, &Value::str("B")));
+    }
+
+    #[test]
+    fn total_cmp_is_total_and_cross_type() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::Null.total_cmp(&Value::Int(0)), Less);
+        assert_eq!(Value::Int(1).total_cmp(&Value::str("a")), Less);
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Equal);
+    }
+
+    #[test]
+    fn op_flip_negate() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.negate(), CmpOp::Gt);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.flip().flip(), op);
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for v in [Value::Int(5), Value::str("x"), Value::Bool(true)] {
+            assert_eq!(Value::parse_literal(&v.to_string()), v);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests for the value domain: comparison laws that WHERE
+//! clause semantics depend on.
+
+use mix_common::{CmpOp, Value};
+use proptest::prelude::*;
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::str),
+    ]
+}
+
+fn op() -> impl Strategy<Value = CmpOp> {
+    use CmpOp::*;
+    prop::sample::select(vec![Eq, Ne, Lt, Le, Gt, Ge])
+}
+
+proptest! {
+    /// total_cmp is a total order.
+    #[test]
+    fn total_cmp_laws(a in value(), b in value(), c in value()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// satisfies respects flip: `a op b == b op.flip() a`.
+    #[test]
+    fn satisfies_flip(a in value(), b in value(), o in op()) {
+        prop_assert_eq!(a.satisfies(o, &b), b.satisfies(o.flip(), &a));
+    }
+
+    /// For comparable operands, negation complements; for incomparable
+    /// operands both are false (the paper's "qualifies only when true").
+    #[test]
+    fn satisfies_negate(a in value(), b in value(), o in op()) {
+        let pos = a.satisfies(o, &b);
+        let neg = a.satisfies(o.negate(), &b);
+        if a.compare(&b).is_some() {
+            prop_assert_ne!(pos, neg);
+        } else {
+            prop_assert!(!pos && !neg);
+        }
+    }
+
+    /// Null never satisfies anything.
+    #[test]
+    fn null_satisfies_nothing(a in value(), o in op()) {
+        prop_assert!(!Value::Null.satisfies(o, &a));
+        prop_assert!(!a.satisfies(o, &Value::Null));
+    }
+
+    /// parse_literal ∘ to_string is the identity for ints and simple strings.
+    #[test]
+    fn int_display_roundtrip(n in any::<i64>()) {
+        prop_assert_eq!(Value::parse_literal(&Value::Int(n).to_string()), Value::Int(n));
+    }
+}

@@ -1,0 +1,272 @@
+//! Evaluation context: sources, counters, engine options.
+
+use crate::lval::{force_list, LList, LVal};
+use mix_common::{MixError, Name, Result, Stats, Value};
+use mix_wrapper::Catalog;
+use mix_xml::{NavDoc, Oid};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// How source views are obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Fetch tuples on demand (navigation-driven evaluation).
+    Lazy,
+    /// Materialize each source view up front (the conventional
+    /// mediator baseline).
+    Eager,
+}
+
+/// Which `groupBy` implementation the lazy engine uses (Section 4:
+/// "the stateless gBy assumes that its input is sorted along the
+/// group-by variables; the stateful gBy makes no such assumptions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GByMode {
+    /// Table 1's presorted stateless implementation: constant operator
+    /// state, groups discovered by scanning until the key changes.
+    StatelessPresorted,
+    /// Buffering implementation: drains and hash-partitions its input.
+    Stateful,
+}
+
+/// Shared state for one plan evaluation (or one QDOM session).
+pub struct EvalContext {
+    catalog: Catalog,
+    mode: AccessMode,
+    pub gby_mode: GByMode,
+    stats: Stats,
+    docs: RefCell<HashMap<Name, Rc<dyn NavDoc>>>,
+}
+
+impl EvalContext {
+    /// A context over `catalog` in the given access mode.
+    pub fn new(catalog: Catalog, mode: AccessMode) -> EvalContext {
+        EvalContext {
+            catalog,
+            mode,
+            gby_mode: GByMode::StatelessPresorted,
+            stats: Stats::new(),
+            docs: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mediator-side counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The access mode.
+    pub fn mode(&self) -> AccessMode {
+        self.mode
+    }
+
+    /// The navigable view of a source, cached so all `mksrc` operators
+    /// on the same source share one fetch cursor (and node refs stay
+    /// stable across the session).
+    pub fn doc(&self, name: &Name) -> Result<Rc<dyn NavDoc>> {
+        if let Some(d) = self.docs.borrow().get(name) {
+            return Ok(Rc::clone(d));
+        }
+        let d = match self.mode {
+            AccessMode::Lazy => self.catalog.lazy(name.as_str())?,
+            AccessMode::Eager => self.catalog.materialized(name.as_str())?,
+        };
+        self.docs.borrow_mut().insert(name.clone(), Rc::clone(&d));
+        Ok(d)
+    }
+
+    /// Register an in-memory document under its name (used to splice a
+    /// materialized intermediate result in as a source — the
+    /// "materialize then re-query" baseline of experiment E3).
+    pub fn register_doc(&self, doc: Rc<dyn NavDoc>) {
+        self.docs.borrow_mut().insert(doc.doc_name().clone(), doc);
+    }
+
+    // ---- generic LVal navigation ------------------------------------
+
+    /// The element label of a value (`list` for list values, Fig. 5's
+    /// convention for the tree representation of binding lists).
+    pub fn lval_label(&self, v: &LVal) -> Option<Name> {
+        match v {
+            LVal::Src { doc, node } => self.doc(doc).ok()?.label(*node),
+            LVal::Leaf(_) => None,
+            LVal::Elem(e) => Some(e.label.clone()),
+            LVal::List(_) => Some(Name::new("list")),
+            LVal::Part(_) => Some(Name::new("list")),
+        }
+    }
+
+    /// The leaf value of a value node, if it is one.
+    pub fn lval_value(&self, v: &LVal) -> Option<Value> {
+        match v {
+            LVal::Src { doc, node } => self.doc(doc).ok()?.value(*node),
+            LVal::Leaf(x) => Some(x.clone()),
+            _ => None,
+        }
+    }
+
+    /// The vertex id of a value.
+    pub fn lval_oid(&self, v: &LVal) -> Oid {
+        match v {
+            LVal::Src { doc, node } => match self.doc(doc) {
+                Ok(d) => d.oid(*node),
+                Err(_) => Oid::surrogate(u64::MAX),
+            },
+            LVal::Leaf(x) => Oid::lit(x.clone()),
+            LVal::Elem(e) => e.oid.clone(),
+            LVal::List(_) | LVal::Part(_) => Oid::surrogate(u64::MAX - 1),
+        }
+    }
+
+    /// The children of a value, as values (forces lazy lists only when
+    /// iterated by the caller — here materialized for simplicity of
+    /// path walking; bounded by one element's subtree).
+    pub fn lval_children(&self, v: &LVal) -> Result<Vec<LVal>> {
+        Ok(match v {
+            LVal::Src { doc, node } => {
+                let d = self.doc(doc)?;
+                let mut out = Vec::new();
+                let mut c = d.first_child(*node);
+                while let Some(n) = c {
+                    out.push(LVal::Src { doc: doc.clone(), node: n });
+                    c = d.next_sibling(n);
+                }
+                out
+            }
+            LVal::Leaf(_) => Vec::new(),
+            LVal::Elem(e) => force_list(&e.children),
+            LVal::List(l) => force_list(l),
+            LVal::Part(_) => {
+                return Err(MixError::invalid(
+                    "cannot navigate into a group partition with a path",
+                ))
+            }
+        })
+    }
+
+    /// The child of a value at `index`, forcing lazily only up to it.
+    pub fn lval_child_at(&self, v: &LVal, index: usize) -> Result<Option<LVal>> {
+        Ok(match v {
+            LVal::Src { doc, node } => {
+                let d = self.doc(doc)?;
+                let mut c = d.first_child(*node);
+                let mut i = 0;
+                while let Some(n) = c {
+                    if i == index {
+                        return Ok(Some(LVal::Src { doc: doc.clone(), node: n }));
+                    }
+                    i += 1;
+                    c = d.next_sibling(n);
+                }
+                None
+            }
+            LVal::Leaf(_) => None,
+            LVal::Elem(e) => e.children.get(index),
+            LVal::List(l) => l.get(index),
+            LVal::Part(_) => None,
+        })
+    }
+
+    /// The scalar a condition sees for a value: a leaf's value, or the
+    /// value of an element's single text child (the wrapper's
+    /// `<id>XYZ123</id>` shape). `None` (⇒ condition false) otherwise.
+    pub fn lval_scalar(&self, v: &LVal) -> Option<Value> {
+        if let Some(x) = self.lval_value(v) {
+            return Some(x);
+        }
+        match v {
+            LVal::Src { doc, node } => {
+                let d = self.doc(doc).ok()?;
+                mix_xml::node_scalar(&*d, *node)
+            }
+            LVal::Elem(e) => {
+                let first = e.children.get(0)?;
+                if e.children.get(1).is_some() {
+                    return None;
+                }
+                self.lval_value(&first)
+            }
+            _ => None,
+        }
+    }
+
+    /// The grouping/skolem key of a value: its oid for element nodes,
+    /// the *value* for leaves (a leaf's label is its value in the data
+    /// model, so two equal-valued leaves group together). This is what
+    /// `crElt` puts into constructed ids ("the constructed id's include
+    /// all information necessary for tracing the ancestry of an
+    /// object").
+    pub fn lval_key(&self, v: &LVal) -> Oid {
+        match self.lval_value(v) {
+            Some(x) => Oid::lit(x),
+            None => self.lval_oid(v),
+        }
+    }
+
+    /// An empty list value (convenience).
+    pub fn empty_list() -> LVal {
+        LVal::List(LList::empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lval::LElem;
+    use mix_wrapper::fig2_catalog;
+
+    fn ctx(mode: AccessMode) -> EvalContext {
+        EvalContext::new(fig2_catalog().0, mode)
+    }
+
+    #[test]
+    fn doc_cache_shares_views() {
+        let c = ctx(AccessMode::Lazy);
+        let a = c.doc(&Name::new("root1")).unwrap();
+        let b = c.doc(&Name::new("root1")).unwrap();
+        assert!(Rc::ptr_eq(&a, &b));
+        assert!(c.doc(&Name::new("nope")).is_err());
+    }
+
+    #[test]
+    fn lval_navigation_over_sources() {
+        let c = ctx(AccessMode::Eager);
+        let d = c.doc(&Name::new("root1")).unwrap();
+        let root = LVal::Src { doc: Name::new("root1"), node: d.root() };
+        assert_eq!(c.lval_label(&root).unwrap().as_str(), "list");
+        let kids = c.lval_children(&root).unwrap();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(c.lval_oid(&kids[0]).to_string(), "&DEF345");
+        // scalar of the id field
+        let id_field = &c.lval_children(&kids[0]).unwrap()[0];
+        assert_eq!(c.lval_scalar(id_field), Some(Value::str("DEF345")));
+        assert_eq!(c.lval_child_at(&root, 1).unwrap().map(|v| c.lval_oid(&v).to_string()),
+                   Some("&XYZ123".to_string()));
+        assert!(c.lval_child_at(&root, 2).unwrap().is_none());
+    }
+
+    #[test]
+    fn lval_navigation_over_constructed() {
+        let c = ctx(AccessMode::Eager);
+        let e = LVal::Elem(Rc::new(LElem {
+            label: Name::new("CustRec"),
+            oid: Oid::skolem("f", "V", vec![Oid::key("X")]),
+            children: LList::fixed(vec![LVal::Leaf(Value::Int(7))]),
+        }));
+        assert_eq!(c.lval_label(&e).unwrap().as_str(), "CustRec");
+        assert_eq!(c.lval_scalar(&e), Some(Value::Int(7)));
+        assert_eq!(c.lval_oid(&e).to_string(), "&($V,f(&X))");
+        assert_eq!(c.lval_children(&e).unwrap().len(), 1);
+        // leaves
+        let leaf = LVal::Leaf(Value::str("x"));
+        assert!(c.lval_label(&leaf).is_none());
+        assert_eq!(c.lval_value(&leaf), Some(Value::str("x")));
+        assert_eq!(c.lval_oid(&leaf).to_string(), "x");
+    }
+}

@@ -1,0 +1,692 @@
+//! The eager evaluator — the conventional-mediator baseline.
+//!
+//! Direct transcription of the Section 3 operator definitions over
+//! fully materialized binding tables. `evaluate` computes the *entire*
+//! result document up front, shipping every source tuple the plan
+//! touches — exactly the behaviour the paper ascribes to "other XML
+//! mediator systems, even those based on the virtual approach".
+//!
+//! Also used as the independent oracle the lazy engine is property-
+//! tested against, and home of the Fig. 5 tree rendering of binding
+//! tables.
+
+use crate::context::EvalContext;
+use crate::lval::{force_list, BindingTable, ChildPart, LElem, LList, LTuple, LVal, Partition};
+use crate::pathwalk::eval_path;
+use mix_algebra::{ChildSpec, Cond, CondArg, Op, RqKind, Side};
+use mix_common::{MixError, Name, Result, Value};
+use mix_xml::{Document, NodeRef, Oid};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Evaluate a complete plan (rooted at `tD`) into a materialized
+/// result document.
+pub fn evaluate(plan: &mix_algebra::Plan, ctx: &EvalContext) -> Result<Document> {
+    match &plan.root {
+        Op::TupleDestroy { input, var, root } => {
+            let table = eval_table(input, ctx, &HashMap::new())?;
+            let name = root.clone().unwrap_or_else(|| Name::new("result"));
+            let mut doc = Document::new(name, "list");
+            let parent = doc.root_ref();
+            let mut seen = std::collections::HashSet::new();
+            for t in &table.tuples {
+                let v = t
+                    .get(var)
+                    .ok_or_else(|| MixError::internal(format!("tD var {var} missing")))?;
+                // Set semantics at the tD boundary: two values with the
+                // same vertex id are the same object (skolem
+                // deduplication — binding lists are sets in the paper).
+                if let Some(key) = dedup_key(ctx, v) {
+                    if !seen.insert(key) {
+                        continue;
+                    }
+                }
+                materialize_lval(ctx, &mut doc, parent, v)?;
+            }
+            Ok(doc)
+        }
+        Op::Empty { .. } => Ok(Document::new("rootv", "list")),
+        other => Err(MixError::invalid(format!(
+            "plan root must be tD, found {}",
+            other.name()
+        ))),
+    }
+}
+
+/// Copy a value into `doc` under `parent`, preserving oids. Source
+/// subtrees are deep-copied (this is the eager materialization cost the
+/// lazy engine avoids).
+pub fn materialize_lval(
+    ctx: &EvalContext,
+    doc: &mut Document,
+    parent: NodeRef,
+    v: &LVal,
+) -> Result<NodeRef> {
+    ctx.stats().add_nodes_built(1);
+    Ok(match v {
+        LVal::Leaf(x) => doc.add_text_with_oid(parent, x.clone(), Oid::lit(x.clone())),
+        LVal::Src { .. } | LVal::Elem(_) => {
+            if let Some(x) = ctx.lval_value(v) {
+                doc.add_text_with_oid(parent, x.clone(), Oid::lit(x))
+            } else {
+                let label = ctx
+                    .lval_label(v)
+                    .ok_or_else(|| MixError::internal("element without label"))?;
+                let n = doc.add_elem_with_oid(parent, label, ctx.lval_oid(v));
+                for c in ctx.lval_children(v)? {
+                    materialize_lval(ctx, doc, n, &c)?;
+                }
+                n
+            }
+        }
+        LVal::List(l) => {
+            let n = doc.add_elem_with_oid(parent, "list", Oid::surrogate(doc.len() as u64));
+            for c in force_list(l) {
+                materialize_lval(ctx, doc, n, &c)?;
+            }
+            n
+        }
+        LVal::Part(_) => {
+            return Err(MixError::invalid("cannot materialize a group partition directly"))
+        }
+    })
+}
+
+/// Evaluate a tuple-producing operator to a materialized table.
+/// `env` resolves `nestedSrc` variables to the partitions of the
+/// current outer tuple.
+pub fn eval_table(
+    op: &Op,
+    ctx: &EvalContext,
+    env: &HashMap<Name, BindingTable>,
+) -> Result<BindingTable> {
+    ctx.stats().add_mediator_op(1);
+    match op {
+        Op::MkSrc { source, var } => {
+            let d = ctx.doc(source)?;
+            let vars = Rc::new(vec![var.clone()]);
+            let mut table = BindingTable { vars: Rc::clone(&vars), tuples: vec![] };
+            let mut c = d.first_child(d.root());
+            while let Some(n) = c {
+                table.tuples.push(LTuple::new(
+                    Rc::clone(&vars),
+                    vec![LVal::Src { doc: source.clone(), node: n }],
+                ));
+                c = d.next_sibling(n);
+            }
+            Ok(table)
+        }
+        Op::MkSrcOver { input, var } => {
+            // One binding per child of the inline view plan's result:
+            // the tD variable's value of each inner tuple.
+            let Op::TupleDestroy { input: view_input, var: view_var, .. } = &**input else {
+                return Ok(BindingTable::new(vec![var.clone()]));
+            };
+            let inner = eval_table(view_input, ctx, env)?;
+            let vars = Rc::new(vec![var.clone()]);
+            let mut table = BindingTable { vars: Rc::clone(&vars), tuples: vec![] };
+            for t in &inner.tuples {
+                let v = t
+                    .get(view_var)
+                    .cloned()
+                    .ok_or_else(|| MixError::internal("view tD var missing"))?;
+                table.tuples.push(LTuple::new(Rc::clone(&vars), vec![v]));
+            }
+            Ok(table)
+        }
+        Op::GetD { input, from, path, to } => {
+            let inp = eval_table(input, ctx, env)?;
+            let vars = extend_vars(&inp.vars, to);
+            let mut out = BindingTable { vars: Rc::clone(&vars), tuples: vec![] };
+            for t in &inp.tuples {
+                let base = t
+                    .get(from)
+                    .ok_or_else(|| MixError::internal(format!("getD var {from} missing")))?;
+                for hit in eval_path(ctx, base, path)? {
+                    let mut vals = t.vals.clone();
+                    vals.push(hit);
+                    out.tuples.push(LTuple::new(Rc::clone(&vars), vals));
+                }
+            }
+            Ok(out)
+        }
+        Op::Select { input, cond } => {
+            let inp = eval_table(input, ctx, env)?;
+            let tuples = inp
+                .tuples
+                .into_iter()
+                .filter(|t| cond_holds(ctx, cond, t))
+                .collect();
+            Ok(BindingTable { vars: inp.vars, tuples })
+        }
+        Op::Project { input, vars } => {
+            let inp = eval_table(input, ctx, env)?;
+            let mut out = BindingTable::new(vars.clone());
+            let mut seen = std::collections::HashSet::new();
+            for t in &inp.tuples {
+                let p = t.project(vars);
+                let key = tuple_key(ctx, &p);
+                if seen.insert(key) {
+                    out.tuples.push(p);
+                }
+            }
+            Ok(out)
+        }
+        Op::Join { left, right, cond } => {
+            let l = eval_table(left, ctx, env)?;
+            let r = eval_table(right, ctx, env)?;
+            let mut vars = (*l.vars).clone();
+            vars.extend(r.vars.iter().cloned());
+            let vars = Rc::new(vars);
+            let mut out = BindingTable { vars: Rc::clone(&vars), tuples: vec![] };
+            for lt in &l.tuples {
+                for rt in &r.tuples {
+                    let joined = lt.concat(rt);
+                    if cond.as_ref().is_none_or(|c| cond_holds(ctx, c, &joined)) {
+                        out.tuples.push(joined);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Op::SemiJoin { left, right, cond, keep } => {
+            let l = eval_table(left, ctx, env)?;
+            let r = eval_table(right, ctx, env)?;
+            let (kept, other) = match keep {
+                Side::Left => (l, r),
+                Side::Right => (r, l),
+            };
+            let tuples = kept
+                .tuples
+                .iter()
+                .filter(|kt| {
+                    other.tuples.iter().any(|ot| {
+                        let joined = match keep {
+                            Side::Left => kt.concat(ot),
+                            Side::Right => ot.concat(kt),
+                        };
+                        cond.as_ref().is_none_or(|c| cond_holds(ctx, c, &joined))
+                    })
+                })
+                .cloned()
+                .collect();
+            Ok(BindingTable { vars: kept.vars, tuples })
+        }
+        Op::CrElt { input, label, skolem, group, children, out } => {
+            let inp = eval_table(input, ctx, env)?;
+            let vars = extend_vars(&inp.vars, out);
+            let mut table = BindingTable { vars: Rc::clone(&vars), tuples: vec![] };
+            for t in &inp.tuples {
+                let elem = build_element(ctx, t, label, skolem, group, children, out)?;
+                let mut vals = t.vals.clone();
+                vals.push(elem);
+                table.tuples.push(LTuple::new(Rc::clone(&vars), vals));
+            }
+            Ok(table)
+        }
+        Op::Cat { input, left, right, out } => {
+            let inp = eval_table(input, ctx, env)?;
+            let vars = extend_vars(&inp.vars, out);
+            let mut table = BindingTable { vars: Rc::clone(&vars), tuples: vec![] };
+            for t in &inp.tuples {
+                let list = cat_value(t, left, right)?;
+                let mut vals = t.vals.clone();
+                vals.push(list);
+                table.tuples.push(LTuple::new(Rc::clone(&vars), vals));
+            }
+            Ok(table)
+        }
+        Op::GroupBy { input, group, out } => {
+            let inp = eval_table(input, ctx, env)?;
+            let mut order: Vec<Vec<Oid>> = Vec::new();
+            let mut groups: HashMap<Vec<Oid>, Vec<LTuple>> = HashMap::new();
+            for t in &inp.tuples {
+                let key: Vec<Oid> = group
+                    .iter()
+                    .map(|g| {
+                        t.get(g)
+                            .map(|v| ctx.lval_key(v))
+                            .ok_or_else(|| MixError::internal(format!("gBy var {g} missing")))
+                    })
+                    .collect::<Result<_>>()?;
+                if !groups.contains_key(&key) {
+                    order.push(key.clone());
+                }
+                groups.entry(key).or_default().push(t.clone());
+            }
+            let vars: Vec<Name> = group.iter().cloned().chain([out.clone()]).collect();
+            let vars = Rc::new(vars);
+            let mut table = BindingTable { vars: Rc::clone(&vars), tuples: vec![] };
+            for key in order {
+                let tuples = groups.remove(&key).unwrap();
+                let first = &tuples[0];
+                let mut vals: Vec<LVal> = group
+                    .iter()
+                    .map(|g| first.get(g).cloned().unwrap())
+                    .collect();
+                vals.push(LVal::Part(Partition::done(Rc::clone(&inp.vars), tuples)));
+                table.tuples.push(LTuple::new(Rc::clone(&vars), vals));
+            }
+            Ok(table)
+        }
+        Op::Apply { input, plan, param, out } => {
+            let inp = eval_table(input, ctx, env)?;
+            let vars = extend_vars(&inp.vars, out);
+            let mut table = BindingTable { vars: Rc::clone(&vars), tuples: vec![] };
+            for t in &inp.tuples {
+                let mut env2 = env.clone();
+                if let Some(p) = param {
+                    let part = match t.get(p) {
+                        Some(LVal::Part(part)) => part.clone(),
+                        _ => {
+                            return Err(MixError::invalid(format!(
+                                "apply parameter {} is not a partition",
+                                p.display_var()
+                            )))
+                        }
+                    };
+                    env2.insert(
+                        p.clone(),
+                        BindingTable { vars: Rc::clone(&part.vars), tuples: part.force() },
+                    );
+                }
+                let result = eval_nested(plan, ctx, &env2)?;
+                let mut vals = t.vals.clone();
+                vals.push(result);
+                table.tuples.push(LTuple::new(Rc::clone(&vars), vals));
+            }
+            Ok(table)
+        }
+        Op::NestedSrc { var } => env
+            .get(var)
+            .cloned()
+            .ok_or_else(|| MixError::invalid(format!("nestedSrc({}) unbound", var.display_var()))),
+        Op::RelQuery { server, sql, map } => {
+            let db = ctx.catalog().database(server.as_str())?;
+            let mut cur = db.execute(sql)?;
+            let vars: Vec<Name> = map.iter().map(|b| b.var.clone()).collect();
+            let vars = Rc::new(vars);
+            let mut table = BindingTable { vars: Rc::clone(&vars), tuples: vec![] };
+            while let Some(row) = cur.next() {
+                table
+                    .tuples
+                    .push(LTuple::new(Rc::clone(&vars), rq_row_to_vals(ctx, map, &row)));
+            }
+            Ok(table)
+        }
+        Op::OrderBy { input, vars } => {
+            let mut inp = eval_table(input, ctx, env)?;
+            let keys: Vec<Name> = vars.clone();
+            inp.tuples.sort_by(|a, b| {
+                for k in &keys {
+                    let (x, y) = (a.get(k), b.get(k));
+                    let o = match (x, y) {
+                        (Some(x), Some(y)) => ctx.lval_oid(x).total_cmp(&ctx.lval_oid(y)),
+                        _ => std::cmp::Ordering::Equal,
+                    };
+                    if o != std::cmp::Ordering::Equal {
+                        return o;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(inp)
+        }
+        Op::Empty { vars } => Ok(BindingTable::new(vars.clone())),
+        Op::TupleDestroy { .. } => Err(MixError::invalid(
+            "tD may only appear as a plan (or nested plan) root",
+        )),
+    }
+}
+
+/// Evaluate a nested plan (rooted at `tD` without a root name) to the
+/// list value `apply` binds.
+fn eval_nested(plan: &Op, ctx: &EvalContext, env: &HashMap<Name, BindingTable>) -> Result<LVal> {
+    match plan {
+        Op::TupleDestroy { input, var, .. } => {
+            let table = eval_table(input, ctx, env)?;
+            let mut vals = Vec::with_capacity(table.tuples.len());
+            let mut seen = std::collections::HashSet::new();
+            for t in &table.tuples {
+                let v = t
+                    .get(var)
+                    .cloned()
+                    .ok_or_else(|| MixError::internal(format!("nested tD var {var} missing")))?;
+                if let Some(key) = dedup_key(ctx, &v) {
+                    if !seen.insert(key) {
+                        continue;
+                    }
+                }
+                vals.push(v);
+            }
+            Ok(LVal::List(LList::fixed(vals)))
+        }
+        other => Err(MixError::invalid(format!(
+            "nested plan root must be tD, found {}",
+            other.name()
+        ))),
+    }
+}
+
+/// Construct one element for one tuple (shared with the lazy engine).
+pub fn build_element(
+    ctx: &EvalContext,
+    t: &LTuple,
+    label: &Name,
+    skolem: &Name,
+    group: &[Name],
+    children: &ChildSpec,
+    out: &Name,
+) -> Result<LVal> {
+    let args: Vec<Oid> = group
+        .iter()
+        .map(|g| {
+            t.get(g)
+                .map(|v| ctx.lval_key(v))
+                .ok_or_else(|| MixError::internal(format!("skolem arg {g} missing")))
+        })
+        .collect::<Result<_>>()?;
+    let oid = Oid::skolem(skolem.clone(), out.clone(), args);
+    let kids = match children {
+        ChildSpec::Single(v) => {
+            let val = t
+                .get(v)
+                .cloned()
+                .ok_or_else(|| MixError::internal(format!("crElt child var {v} missing")))?;
+            LList::fixed(vec![val])
+        }
+        ChildSpec::ListVar(v) => match t.get(v) {
+            Some(LVal::List(l)) => l.clone(),
+            Some(other) => LList::fixed(vec![other.clone()]),
+            None => return Err(MixError::internal(format!("crElt child var {v} missing"))),
+        },
+    };
+    ctx.stats().add_nodes_built(1);
+    Ok(LVal::Elem(Rc::new(LElem { label: label.clone(), oid, children: kids })))
+}
+
+/// The `cat` value for one tuple (shared with the lazy engine).
+pub fn cat_value(t: &LTuple, left: &ChildSpec, right: &ChildSpec) -> Result<LVal> {
+    let part = |spec: &ChildSpec| -> Result<ChildPart> {
+        let v = t
+            .get(spec.var())
+            .cloned()
+            .ok_or_else(|| MixError::internal(format!("cat var {} missing", spec.var())))?;
+        Ok(match spec {
+            ChildSpec::Single(_) => ChildPart::One(v),
+            ChildSpec::ListVar(_) => match v {
+                LVal::List(l) => ChildPart::Splice(l),
+                other => ChildPart::One(other),
+            },
+        })
+    };
+    Ok(LVal::List(LList::from_parts(vec![part(left)?, part(right)?])))
+}
+
+/// Does a condition hold on a tuple? Incomparable ⇒ false (paper
+/// select semantics).
+pub fn cond_holds(ctx: &EvalContext, cond: &Cond, t: &LTuple) -> bool {
+    match cond {
+        Cond::Cmp { l, op, r } => {
+            let scalar = |arg: &CondArg| -> Option<Value> {
+                match arg {
+                    CondArg::Const(v) => Some(v.clone()),
+                    CondArg::Var(v) => t.get(v).and_then(|lv| ctx.lval_scalar(lv)),
+                }
+            };
+            match (scalar(l), scalar(r)) {
+                (Some(a), Some(b)) => a.satisfies(*op, &b),
+                _ => false,
+            }
+        }
+        Cond::OidEq { var, oid } => t
+            .get(var)
+            .map(|v| ctx.lval_oid(v) == *oid)
+            .unwrap_or(false),
+        Cond::OidCmp { l, r } => match (t.get(l), t.get(r)) {
+            (Some(a), Some(b)) => ctx.lval_key(a) == ctx.lval_key(b),
+            _ => false,
+        },
+    }
+}
+
+/// The identity key a `tD` deduplicates on: the vertex id for nodes
+/// and leaves; lists/partitions have no identity and are always kept.
+pub(crate) fn dedup_key(ctx: &EvalContext, v: &LVal) -> Option<String> {
+    match v {
+        LVal::List(_) | LVal::Part(_) => None,
+        _ => Some(ctx.lval_oid(v).to_string()),
+    }
+}
+
+fn extend_vars(vars: &Rc<Vec<Name>>, extra: &Name) -> Rc<Vec<Name>> {
+    let mut v = (**vars).clone();
+    v.push(extra.clone());
+    Rc::new(v)
+}
+
+/// A deduplication key for projected tuples (π̃ has set semantics).
+fn tuple_key(ctx: &EvalContext, t: &LTuple) -> String {
+    let mut s = String::new();
+    for v in &t.vals {
+        s.push_str(&ctx.lval_oid(v).to_string());
+        s.push('\u{1}');
+    }
+    s
+}
+
+pub(crate) fn rq_row_to_vals(ctx: &EvalContext, map: &[mix_algebra::RqBinding], row: &[Value]) -> Vec<LVal> {
+    map.iter()
+        .map(|b| match &b.kind {
+            RqKind::Value { col } => LVal::Leaf(row.get(*col).cloned().unwrap_or(Value::Null)),
+            RqKind::Element { element, cols, key } => {
+                let key_text: Vec<String> = key
+                    .iter()
+                    .map(|&k| row.get(k).cloned().unwrap_or(Value::Null).to_string())
+                    .collect();
+                let key_text = key_text.join("|");
+                let kids: Vec<LVal> = cols
+                    .iter()
+                    .map(|(cname, pos)| {
+                        let v = row.get(*pos).cloned().unwrap_or(Value::Null);
+                        ctx.stats().add_nodes_built(1);
+                        LVal::Elem(Rc::new(LElem {
+                            label: cname.clone(),
+                            oid: Oid::key(format!("{key_text}.{cname}")),
+                            children: LList::fixed(vec![LVal::Leaf(v)]),
+                        }))
+                    })
+                    .collect();
+                ctx.stats().add_nodes_built(1);
+                LVal::Elem(Rc::new(LElem {
+                    label: element.clone(),
+                    oid: Oid::key(key_text),
+                    children: LList::fixed(kids),
+                }))
+            }
+        })
+        .collect()
+}
+
+/// Render a binding table in the Fig. 5 tree style.
+pub fn render_binding_table(ctx: &EvalContext, table: &BindingTable) -> String {
+    let mut out = String::new();
+    out.push_str("list\n");
+    for (i, t) in table.tuples.iter().enumerate() {
+        out.push_str(&format!("  binding &b{i}\n"));
+        render_tuple(ctx, t, &mut out, 2);
+    }
+    out
+}
+
+fn render_tuple(ctx: &EvalContext, t: &LTuple, out: &mut String, depth: usize) {
+    for (var, val) in t.vars.iter().zip(&t.vals) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&var.display_var());
+        out.push('\n');
+        render_lval(ctx, val, out, depth + 1);
+    }
+}
+
+fn render_lval(ctx: &EvalContext, v: &LVal, out: &mut String, depth: usize) {
+    let pad = "  ".repeat(depth);
+    match v {
+        LVal::Part(p) => {
+            out.push_str(&pad);
+            out.push_str("set\n");
+            for (i, t) in p.force().iter().enumerate() {
+                out.push_str(&"  ".repeat(depth + 1));
+                out.push_str(&format!("binding &n{i}\n"));
+                render_tuple(ctx, t, out, depth + 2);
+            }
+        }
+        LVal::List(l) => {
+            out.push_str(&pad);
+            out.push_str("list\n");
+            for e in force_list(l) {
+                render_lval(ctx, &e, out, depth + 1);
+            }
+        }
+        other => {
+            if let Some(val) = ctx.lval_value(other) {
+                out.push_str(&format!("{pad}{val}\n"));
+            } else if let Some(label) = ctx.lval_label(other) {
+                out.push_str(&format!("{pad}{} {label}\n", ctx.lval_oid(other)));
+                for c in ctx.lval_children(other).unwrap_or_default() {
+                    render_lval(ctx, &c, out, depth + 1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_xml::NavDoc;
+    use crate::context::AccessMode;
+    use mix_algebra::{translate, Plan};
+    use mix_wrapper::fig2_catalog;
+    use mix_xquery::parse_query;
+
+    pub const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
+         WHERE $C/id/data() = $O/cid/data() \
+         RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
+
+    fn ctx() -> EvalContext {
+        EvalContext::new(fig2_catalog().0, AccessMode::Eager)
+    }
+
+    fn run(q: &str) -> Document {
+        let plan = translate(&parse_query(q).unwrap()).unwrap();
+        evaluate(&plan, &ctx()).unwrap()
+    }
+
+    #[test]
+    fn q1_produces_fig7_result() {
+        let doc = run(Q1);
+        let text = mix_xml::print::render_tree(&doc, doc.root());
+        // Fig. 7: one CustRec per customer with matching orders, with
+        // skolem ids; DEF345 sorts first (key order).
+        assert!(text.starts_with("&rootv list\n"), "{text}");
+        assert!(text.contains("&($V,f(&DEF345)) CustRec"), "{text}");
+        assert!(text.contains("&($V,f(&XYZ123)) CustRec"), "{text}");
+        assert!(text.contains("&($P,g(&28904)) OrderInfo"), "{text}");
+        assert!(text.contains("&($P,g(&87456)) OrderInfo"), "{text}");
+        assert!(text.contains("&XYZ123 customer"), "{text}");
+        assert!(text.contains("value = 2400"), "{text}");
+        // XYZ123 has two orders, DEF345 one.
+        let custrec_count = text.matches("CustRec").count();
+        assert_eq!(custrec_count, 2);
+        assert_eq!(text.matches("OrderInfo").count(), 3);
+    }
+
+    #[test]
+    fn selection_filters() {
+        let doc = run(
+            "FOR $O IN document(&root2)/order WHERE $O/value > 2000 RETURN <big> $O </big> {$O}",
+        );
+        assert_eq!(doc.child_count(doc.root()), 2);
+    }
+
+    #[test]
+    fn bare_var_return() {
+        let doc = run("FOR $C IN source(&root1)/customer RETURN $C");
+        assert_eq!(doc.child_count(doc.root()), 2);
+        let first = doc.first_child(doc.root()).unwrap();
+        assert_eq!(doc.label(first).unwrap().as_str(), "customer");
+        assert_eq!(doc.oid(first).to_string(), "&DEF345");
+    }
+
+    #[test]
+    fn oid_eq_select_fixes_node() {
+        use mix_algebra::Cond;
+        let plan = translate(&parse_query("FOR $C IN source(&root1)/customer RETURN $C").unwrap())
+            .unwrap();
+        // Wrap the tD input with select($C = &XYZ123), like Fig. 10.
+        let Op::TupleDestroy { input, var, root } = plan.root else { panic!() };
+        let wrapped = Plan::new(Op::TupleDestroy {
+            input: Box::new(Op::Select {
+                input,
+                cond: Cond::OidEq { var: Name::new("C"), oid: Oid::key("XYZ123") },
+            }),
+            var,
+            root,
+        });
+        let doc = evaluate(&wrapped, &ctx()).unwrap();
+        assert_eq!(doc.child_count(doc.root()), 1);
+        let only = doc.first_child(doc.root()).unwrap();
+        assert_eq!(doc.oid(only).to_string(), "&XYZ123");
+    }
+
+    #[test]
+    fn binding_table_renders_fig5_style() {
+        let c = ctx();
+        let plan = translate(&parse_query(Q1).unwrap()).unwrap();
+        let Op::TupleDestroy { input, .. } = &plan.root else { panic!() };
+        let table = eval_table(input, &c, &HashMap::new()).unwrap();
+        let text = render_binding_table(&c, &table);
+        assert!(text.starts_with("list\n"), "{text}");
+        assert!(text.contains("binding &b0"), "{text}");
+        assert!(text.contains("$C\n"), "{text}");
+        assert!(text.contains("set\n"), "{text}");
+    }
+
+    #[test]
+    fn rq_operator_reconstructs_tuples() {
+        use mix_algebra::{RqBinding, RqKind};
+        use mix_relational::parse_sql;
+        let c = ctx();
+        let plan = Op::RelQuery {
+            server: Name::new("db1"),
+            sql: parse_sql("SELECT c.id, c.name, o.orid, o.value FROM customer c, orders o \
+                            WHERE c.id = o.cid ORDER BY c.id, o.orid")
+                .unwrap(),
+            map: vec![
+                RqBinding {
+                    var: Name::new("C"),
+                    kind: RqKind::Element {
+                        element: Name::new("customer"),
+                        cols: vec![(Name::new("id"), 0), (Name::new("name"), 1)],
+                        key: vec![0],
+                    },
+                },
+                RqBinding { var: Name::new("val"), kind: RqKind::Value { col: 3 } },
+            ],
+        };
+        let table = eval_table(&plan, &c, &HashMap::new()).unwrap();
+        assert_eq!(table.len(), 3);
+        let t = &table.tuples[0];
+        let cust = t.get(&Name::new("C")).unwrap();
+        assert_eq!(c.lval_label(cust).unwrap().as_str(), "customer");
+        assert_eq!(c.lval_oid(cust).to_string(), "&DEF345");
+        assert_eq!(c.lval_value(t.get(&Name::new("val")).unwrap()), Some(Value::Int(500)));
+    }
+
+    #[test]
+    fn empty_plan_evaluates_to_empty_doc() {
+        let plan = Plan::new(Op::Empty { vars: vec![] });
+        let doc = evaluate(&plan, &ctx()).unwrap();
+        assert_eq!(doc.child_count(doc.root()), 0);
+    }
+}

@@ -1,0 +1,435 @@
+//! The engine's value model.
+//!
+//! A binding list (tuple) binds variables to values; "each value can
+//! either be a single element, a list of elements or a set of binding
+//! lists" (Section 3). [`LVal`] covers those three, with two extras the
+//! implementation needs: leaf values (for `data()`-bound variables and
+//! `rQ` column bindings) and *lazy* lists/partitions, which is where
+//! navigation-driven evaluation lives.
+
+use mix_common::{Name, Value};
+use mix_xml::{NodeRef, Oid};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A value bound to a variable in a binding list.
+#[derive(Clone)]
+pub enum LVal {
+    /// A node inside a registered source document, navigated in place.
+    Src { doc: Name, node: NodeRef },
+    /// A leaf value (typed text). Its oid is the literal itself.
+    Leaf(Value),
+    /// An element constructed by `crElt` (or reconstructed by `rQ`).
+    Elem(Rc<LElem>),
+    /// A list of elements (`cat`/`apply` outputs), possibly lazy.
+    List(LList),
+    /// A set of binding lists: a `groupBy` partition.
+    Part(Partition),
+}
+
+/// A constructed element: label, skolem oid, and its children as an
+/// ordered sequence of parts (single values and possibly-lazy
+/// sublists).
+pub struct LElem {
+    pub label: Name,
+    pub oid: Oid,
+    pub children: LList,
+}
+
+/// One segment of a list's content.
+#[derive(Clone)]
+pub enum ChildPart {
+    /// A single value.
+    One(LVal),
+    /// Another list spliced in (its elements, not a list node).
+    Splice(LList),
+    /// A lazily produced run of values.
+    Lazy(LazyList),
+}
+
+/// A list value: an ordered sequence of parts.
+#[derive(Clone)]
+pub struct LList {
+    pub parts: Rc<Vec<ChildPart>>,
+}
+
+impl LList {
+    /// The empty list.
+    pub fn empty() -> LList {
+        LList { parts: Rc::new(Vec::new()) }
+    }
+
+    /// A fully materialized list.
+    pub fn fixed(vals: Vec<LVal>) -> LList {
+        LList { parts: Rc::new(vals.into_iter().map(ChildPart::One).collect()) }
+    }
+
+    /// A list backed by one lazy producer.
+    pub fn lazy(producer: LazyList) -> LList {
+        LList { parts: Rc::new(vec![ChildPart::Lazy(producer)]) }
+    }
+
+    /// A list from explicit parts.
+    pub fn from_parts(parts: Vec<ChildPart>) -> LList {
+        LList { parts: Rc::new(parts) }
+    }
+
+    /// Random access with lazy forcing up to `index` only.
+    pub fn get(&self, index: usize) -> Option<LVal> {
+        let mut remaining = index;
+        for part in self.parts.iter() {
+            match part {
+                ChildPart::One(v) => {
+                    if remaining == 0 {
+                        return Some(v.clone());
+                    }
+                    remaining -= 1;
+                }
+                ChildPart::Splice(sub) => match sub.get(remaining) {
+                    Some(v) => return Some(v),
+                    None => remaining -= sub.len_forced(),
+                },
+                ChildPart::Lazy(ll) => match ll.get(remaining) {
+                    Some(v) => return Some(v),
+                    None => remaining -= ll.produced_len(),
+                },
+            }
+        }
+        None
+    }
+
+    /// Length, forcing everything.
+    pub fn len_forced(&self) -> usize {
+        let mut n = 0;
+        while self.get(n).is_some() {
+            n += 1;
+        }
+        n
+    }
+}
+
+/// Flatten a list into a vector (forces lazy parts).
+pub fn force_list(list: &LList) -> Vec<LVal> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(v) = list.get(i) {
+        out.push(v);
+        i += 1;
+    }
+    out
+}
+
+/// A lazily produced sequence of values: a cache of what has been
+/// produced plus an optional producer for the rest.
+#[derive(Clone)]
+pub struct LazyList {
+    inner: Rc<RefCell<LazyListState>>,
+}
+
+struct LazyListState {
+    produced: Vec<LVal>,
+    producer: Option<Box<dyn FnMut() -> Option<LVal>>>,
+}
+
+impl LazyList {
+    /// Wrap a producer closure (`None` = exhausted).
+    pub fn new(producer: Box<dyn FnMut() -> Option<LVal>>) -> LazyList {
+        LazyList {
+            inner: Rc::new(RefCell::new(LazyListState {
+                produced: Vec::new(),
+                producer: Some(producer),
+            })),
+        }
+    }
+
+    /// An already-exhausted lazy list over the given values.
+    pub fn done(vals: Vec<LVal>) -> LazyList {
+        LazyList {
+            inner: Rc::new(RefCell::new(LazyListState { produced: vals, producer: None })),
+        }
+    }
+
+    /// The value at `index`, producing up to it on demand.
+    pub fn get(&self, index: usize) -> Option<LVal> {
+        let mut st = self.inner.borrow_mut();
+        while st.produced.len() <= index {
+            let Some(p) = st.producer.as_mut() else { break };
+            match p() {
+                Some(v) => st.produced.push(v),
+                None => {
+                    st.producer = None;
+                    break;
+                }
+            }
+        }
+        st.produced.get(index).cloned()
+    }
+
+    /// Force the entire list.
+    pub fn force(&self) -> Vec<LVal> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while let Some(v) = self.get(i) {
+            out.push(v);
+            i += 1;
+        }
+        out
+    }
+
+    /// How many values have been produced so far (laziness metric).
+    pub fn produced_len(&self) -> usize {
+        self.inner.borrow().produced.len()
+    }
+}
+
+/// A `groupBy` partition: the set of binding lists of one group.
+///
+/// Backed by a lazily filled shared buffer — the stateless presorted
+/// `gBy` appends tuples as the shared input stream is consumed
+/// (Table 1's behaviour: a group's members are discovered by `r`
+/// commands on the underlying stream until the key changes).
+#[derive(Clone)]
+pub struct Partition {
+    pub vars: Rc<Vec<Name>>,
+    inner: Rc<RefCell<PartitionState>>,
+}
+
+struct PartitionState {
+    tuples: Vec<LTuple>,
+    /// Pulls the next tuple of this group from the shared stream;
+    /// `None` once the group is complete.
+    producer: Option<Box<dyn FnMut() -> Option<LTuple>>>,
+}
+
+impl Partition {
+    pub fn new(vars: Rc<Vec<Name>>, producer: Box<dyn FnMut() -> Option<LTuple>>) -> Partition {
+        Partition {
+            vars,
+            inner: Rc::new(RefCell::new(PartitionState {
+                tuples: Vec::new(),
+                producer: Some(producer),
+            })),
+        }
+    }
+
+    pub fn done(vars: Rc<Vec<Name>>, tuples: Vec<LTuple>) -> Partition {
+        Partition {
+            vars,
+            inner: Rc::new(RefCell::new(PartitionState { tuples, producer: None })),
+        }
+    }
+
+    /// Tuple at `index`, pulling from the shared stream on demand.
+    pub fn get(&self, index: usize) -> Option<LTuple> {
+        let mut st = self.inner.borrow_mut();
+        while st.tuples.len() <= index {
+            let Some(p) = st.producer.as_mut() else { break };
+            match p() {
+                Some(t) => st.tuples.push(t),
+                None => {
+                    st.producer = None;
+                    break;
+                }
+            }
+        }
+        st.tuples.get(index).cloned()
+    }
+
+    /// Force the whole partition.
+    pub fn force(&self) -> Vec<LTuple> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while let Some(t) = self.get(i) {
+            out.push(t);
+            i += 1;
+        }
+        out
+    }
+}
+
+/// A binding list: one tuple of variable bindings. The variable schema
+/// is shared across a stream's tuples.
+#[derive(Clone)]
+pub struct LTuple {
+    pub vars: Rc<Vec<Name>>,
+    pub vals: Vec<LVal>,
+}
+
+impl LTuple {
+    pub fn new(vars: Rc<Vec<Name>>, vals: Vec<LVal>) -> LTuple {
+        debug_assert_eq!(vars.len(), vals.len());
+        LTuple { vars, vals }
+    }
+
+    /// The value bound to `var`.
+    pub fn get(&self, var: &Name) -> Option<&LVal> {
+        self.vars.iter().position(|v| v == var).map(|i| &self.vals[i])
+    }
+
+    /// Extend with one more binding (`bᵢ + ($v = w)` in the paper).
+    pub fn extended(&self, var: Name, val: LVal) -> LTuple {
+        let mut vars = (*self.vars).clone();
+        let mut vals = self.vals.clone();
+        vars.push(var);
+        vals.push(val);
+        LTuple { vars: Rc::new(vars), vals }
+    }
+
+    /// Concatenate two tuples (`bₖ = bᵢ + bⱼ`).
+    pub fn concat(&self, other: &LTuple) -> LTuple {
+        let mut vars = (*self.vars).clone();
+        vars.extend(other.vars.iter().cloned());
+        let mut vals = self.vals.clone();
+        vals.extend(other.vals.iter().cloned());
+        LTuple { vars: Rc::new(vars), vals }
+    }
+
+    /// Keep only `keep` variables, in `keep` order.
+    pub fn project(&self, keep: &[Name]) -> LTuple {
+        let vals = keep
+            .iter()
+            .map(|k| self.get(k).cloned().expect("projection var present"))
+            .collect();
+        LTuple { vars: Rc::new(keep.to_vec()), vals }
+    }
+}
+
+/// A fully materialized set of binding lists (the eager engine's
+/// currency, and the payload of forced partitions).
+#[derive(Clone)]
+pub struct BindingTable {
+    pub vars: Rc<Vec<Name>>,
+    pub tuples: Vec<LTuple>,
+}
+
+impl BindingTable {
+    pub fn new(vars: Vec<Name>) -> BindingTable {
+        BindingTable { vars: Rc::new(vars), tuples: Vec::new() }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.vars.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+impl fmt::Debug for LVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LVal::Src { doc, node } => write!(f, "Src({doc}:{})", node.0),
+            LVal::Leaf(v) => write!(f, "Leaf({v})"),
+            LVal::Elem(e) => write!(f, "Elem({}, {})", e.label, e.oid),
+            LVal::List(_) => write!(f, "List(..)"),
+            LVal::Part(_) => write!(f, "Part(..)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(i: i64) -> LVal {
+        LVal::Leaf(Value::Int(i))
+    }
+
+    fn as_int(v: &LVal) -> i64 {
+        match v {
+            LVal::Leaf(Value::Int(i)) => *i,
+            other => panic!("not an int leaf: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lazy_list_produces_on_demand() {
+        let mut n = 0;
+        let ll = LazyList::new(Box::new(move || {
+            if n < 3 {
+                n += 1;
+                Some(leaf(n))
+            } else {
+                None
+            }
+        }));
+        assert_eq!(ll.produced_len(), 0);
+        assert_eq!(as_int(&ll.get(1).unwrap()), 2);
+        assert_eq!(ll.produced_len(), 2);
+        assert!(ll.get(5).is_none());
+        assert_eq!(ll.force().len(), 3);
+    }
+
+    #[test]
+    fn list_random_access_flattens_parts() {
+        let sub = LList::fixed(vec![leaf(2), leaf(3)]);
+        let mut n = 0;
+        let lazy = LazyList::new(Box::new(move || {
+            if n < 2 {
+                n += 1;
+                Some(leaf(4 + n - 1))
+            } else {
+                None
+            }
+        }));
+        let list = LList::from_parts(vec![
+            ChildPart::One(leaf(1)),
+            ChildPart::Splice(sub),
+            ChildPart::Lazy(lazy),
+            ChildPart::One(leaf(6)),
+        ]);
+        let vals: Vec<i64> = force_list(&list).iter().map(as_int).collect();
+        assert_eq!(vals, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(as_int(&list.get(3).unwrap()), 4);
+        assert!(list.get(6).is_none());
+        assert_eq!(list.len_forced(), 6);
+    }
+
+    #[test]
+    fn empty_list() {
+        assert!(LList::empty().get(0).is_none());
+        assert_eq!(LList::empty().len_forced(), 0);
+    }
+
+    #[test]
+    fn tuple_operations() {
+        let vars = Rc::new(vec![Name::new("A"), Name::new("B")]);
+        let t = LTuple::new(vars, vec![leaf(1), leaf(2)]);
+        assert_eq!(as_int(t.get(&Name::new("B")).unwrap()), 2);
+        let t2 = t.extended(Name::new("C"), leaf(3));
+        assert_eq!(t2.vars.len(), 3);
+        let p = t2.project(&[Name::new("C"), Name::new("A")]);
+        assert_eq!(p.vars.as_slice(), &[Name::new("C"), Name::new("A")]);
+        assert_eq!(as_int(&p.vals[0]), 3);
+        let u = t.concat(&LTuple::new(Rc::new(vec![Name::new("D")]), vec![leaf(9)]));
+        assert_eq!(u.vars.len(), 3);
+    }
+
+    #[test]
+    fn partition_pulls_incrementally() {
+        let vars = Rc::new(vec![Name::new("X")]);
+        let mut n = 0;
+        let vclone = Rc::clone(&vars);
+        let p = Partition::new(
+            vars,
+            Box::new(move || {
+                if n < 2 {
+                    n += 1;
+                    Some(LTuple::new(Rc::clone(&vclone), vec![leaf(n)]))
+                } else {
+                    None
+                }
+            }),
+        );
+        assert!(p.get(0).is_some());
+        assert!(p.get(1).is_some());
+        assert!(p.get(2).is_none());
+        assert_eq!(p.force().len(), 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! `getD` path evaluation over engine values.
+//!
+//! Works uniformly over source nodes, constructed elements and list
+//! values (a list value acts as a virtual node labeled `list`, which is
+//! how rewritten paths like `$W.list.orderInfo` address the outputs of
+//! `cat`).
+
+use crate::context::EvalContext;
+use crate::lval::LVal;
+use mix_common::Result;
+use mix_xml::{LabelPath, Step};
+
+fn step_matches(ctx: &EvalContext, step: &Step, v: &LVal) -> bool {
+    match step {
+        Step::Label(l) => ctx.lval_label(v).as_ref() == Some(l),
+        Step::Wild => ctx.lval_label(v).is_some(),
+        Step::Data => ctx.lval_value(v).is_some(),
+    }
+}
+
+/// All nodes reachable from `start` by `path` (first step matches
+/// `start` itself), in document order.
+pub fn eval_path(ctx: &EvalContext, start: &LVal, path: &LabelPath) -> Result<Vec<LVal>> {
+    let steps = path.steps();
+    if !step_matches(ctx, &steps[0], start) {
+        return Ok(Vec::new());
+    }
+    let mut frontier = vec![start.clone()];
+    for step in &steps[1..] {
+        let mut next = Vec::new();
+        for v in &frontier {
+            for child in ctx.lval_children(v)? {
+                if step_matches(ctx, step, &child) {
+                    next.push(child);
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    Ok(frontier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::AccessMode;
+    use crate::lval::{LElem, LList};
+    use mix_common::{Name, Value};
+    use mix_wrapper::fig2_catalog;
+    use mix_xml::Oid;
+    use std::rc::Rc;
+
+    fn ctx() -> EvalContext {
+        EvalContext::new(fig2_catalog().0, AccessMode::Eager)
+    }
+
+    #[test]
+    fn walks_source_paths() {
+        let c = ctx();
+        let d = c.doc(&Name::new("root2")).unwrap();
+        let root = LVal::Src { doc: Name::new("root2"), node: d.root() };
+        let hits = eval_path(&c, &root, &LabelPath::parse("list.order.value.data()").unwrap()).unwrap();
+        assert_eq!(hits.len(), 3);
+        assert_eq!(c.lval_value(&hits[0]), Some(Value::Int(2400)));
+        // first-label mismatch ⇒ empty
+        let none = eval_path(&c, &root, &LabelPath::parse("order.value").unwrap()).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn walks_constructed_and_list_values() {
+        let c = ctx();
+        let d = c.doc(&Name::new("root1")).unwrap();
+        let cust = d.first_child(d.root()).unwrap();
+        let custv = LVal::Src { doc: Name::new("root1"), node: cust };
+        let elem = LVal::Elem(Rc::new(LElem {
+            label: Name::new("CustRec"),
+            oid: Oid::skolem("f", "V", vec![]),
+            children: LList::fixed(vec![custv]),
+        }));
+        let hits =
+            eval_path(&c, &elem, &LabelPath::parse("CustRec.customer.name").unwrap()).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(c.lval_scalar(&hits[0]), Some(Value::str("DEFCorp.")));
+        // list values match the virtual `list` label
+        let listv = LVal::List(LList::fixed(vec![elem.clone()]));
+        let hits = eval_path(&c, &listv, &LabelPath::parse("list.CustRec").unwrap()).unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn wildcard_and_data_steps() {
+        let c = ctx();
+        let d = c.doc(&Name::new("root1")).unwrap();
+        let root = LVal::Src { doc: Name::new("root1"), node: d.root() };
+        let hits = eval_path(&c, &root, &LabelPath::parse("list.customer.*").unwrap()).unwrap();
+        assert_eq!(hits.len(), 6); // 3 fields × 2 customers
+        let hits = eval_path(
+            &c,
+            &root,
+            &LabelPath::parse("list.customer.id.data()").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(c.lval_value(&hits[0]).is_some());
+    }
+}

@@ -1,0 +1,970 @@
+//! Lazy tuple streams — the pipelined operator implementations of
+//! Section 4.
+//!
+//! Every XMAS operator compiles to a [`TStream`] that produces binding
+//! tuples strictly on demand; "when an operator … receives a navigation
+//! command from an operator that is above it in the plan, it sends
+//! navigation commands to the operators below, and combines the results
+//! it receives". Highlights:
+//!
+//! * `mksrc` pulls source children one at a time (one relational tuple
+//!   per pull on wrapped relations);
+//! * the presorted `gBy` is the *stateless* implementation of Table 1:
+//!   it holds only a one-tuple lookahead, discovers a group's members
+//!   by advancing the shared input until the key changes, and skipping
+//!   a group drains exactly that group (the `repeat r(bs) until key
+//!   changes` loop of Table 1);
+//! * `apply` materializes nothing: the collected list is a lazy view
+//!   over the group partition;
+//! * `rQ` holds a live SQL cursor and pulls one row per tuple.
+//!
+//! Plans must be validated before compilation
+//! ([`mix_algebra::validate`]); streams treat violated invariants as
+//! programming errors.
+
+use crate::context::{EvalContext, GByMode};
+use crate::eager::{build_element, cat_value, cond_holds, rq_row_to_vals};
+use crate::lval::{LList, LTuple, LVal, LazyList, Partition};
+use crate::pathwalk::eval_path;
+use mix_algebra::{Op, Side};
+use mix_common::{MixError, Name, Result};
+use mix_relational::Cursor;
+use mix_xml::{NavDoc, NodeRef, Oid};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// A lazy stream of binding tuples.
+pub trait TStream {
+    /// The variable schema of produced tuples.
+    fn vars(&self) -> Rc<Vec<Name>>;
+    /// Produce the next tuple, doing only the work it requires.
+    fn next(&mut self) -> Option<LTuple>;
+}
+
+/// Nested-plan environment: partition bindings for `nestedSrc`.
+pub type Env = Rc<HashMap<Name, Partition>>;
+
+/// Compile a tuple-producing operator into a stream.
+///
+/// Fails on unresolvable sources/servers; runtime invariants assume a
+/// validated plan.
+pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn TStream>> {
+    ctx.stats().add_mediator_op(1);
+    Ok(match op {
+        Op::MkSrc { source, var } => {
+            let doc = ctx.doc(source)?;
+            Box::new(MkSrcStream {
+                doc,
+                source: source.clone(),
+                vars: Rc::new(vec![var.clone()]),
+                cur: None,
+                started: false,
+            })
+        }
+        Op::MkSrcOver { input, var } => {
+            let Op::TupleDestroy { input: view_input, var: view_var, .. } = &**input else {
+                return Ok(Box::new(EmptyStream { vars: Rc::new(vec![var.clone()]) }));
+            };
+            let inner = build_stream(view_input, ctx, env)?;
+            Box::new(MkSrcOverStream {
+                inner,
+                view_var: view_var.clone(),
+                vars: Rc::new(vec![var.clone()]),
+            })
+        }
+        Op::GetD { input, from, path, to } => {
+            let input = build_stream(input, ctx, env)?;
+            let mut vars = (*input.vars()).clone();
+            vars.push(to.clone());
+            Box::new(GetDStream {
+                ctx: Rc::clone(ctx),
+                input,
+                from: from.clone(),
+                path: path.clone(),
+                vars: Rc::new(vars),
+                pending: VecDeque::new(),
+            })
+        }
+        Op::Select { input, cond } => {
+            let input = build_stream(input, ctx, env)?;
+            Box::new(SelectStream { ctx: Rc::clone(ctx), input, cond: cond.clone() })
+        }
+        Op::Project { input, vars } => {
+            let input = build_stream(input, ctx, env)?;
+            Box::new(ProjectStream { input, keep: Rc::new(vars.clone()) })
+        }
+        Op::Join { left, right, cond } => {
+            let left = build_stream(left, ctx, env)?;
+            let right = build_stream(right, ctx, env)?;
+            let mut vars = (*left.vars()).clone();
+            vars.extend(right.vars().iter().cloned());
+            Box::new(JoinStream {
+                ctx: Rc::clone(ctx),
+                left,
+                right: Some(right),
+                right_rows: Vec::new(),
+                cur_left: None,
+                idx: 0,
+                cond: cond.clone(),
+                vars: Rc::new(vars),
+            })
+        }
+        Op::SemiJoin { left, right, cond, keep } => {
+            let left = build_stream(left, ctx, env)?;
+            let right = build_stream(right, ctx, env)?;
+            let (kept, other) = match keep {
+                Side::Left => (left, right),
+                Side::Right => (right, left),
+            };
+            Box::new(SemiJoinStream {
+                ctx: Rc::clone(ctx),
+                kept,
+                other: Some(other),
+                other_rows: Vec::new(),
+                cond: cond.clone(),
+                keep: *keep,
+            })
+        }
+        Op::CrElt { input, label, skolem, group, children, out } => {
+            let input = build_stream(input, ctx, env)?;
+            let mut vars = (*input.vars()).clone();
+            vars.push(out.clone());
+            Box::new(MapStream {
+                ctx: Rc::clone(ctx),
+                input,
+                vars: Rc::new(vars),
+                f: MapKind::CrElt {
+                    label: label.clone(),
+                    skolem: skolem.clone(),
+                    group: group.clone(),
+                    children: children.clone(),
+                    out: out.clone(),
+                },
+            })
+        }
+        Op::Cat { input, left, right, out } => {
+            let input = build_stream(input, ctx, env)?;
+            let mut vars = (*input.vars()).clone();
+            vars.push(out.clone());
+            Box::new(MapStream {
+                ctx: Rc::clone(ctx),
+                input,
+                vars: Rc::new(vars),
+                f: MapKind::Cat { left: left.clone(), right: right.clone() },
+            })
+        }
+        Op::GroupBy { input, group, out } => {
+            let input = build_stream(input, ctx, env)?;
+            match ctx.gby_mode {
+                GByMode::StatelessPresorted => Box::new(GByStream::new(
+                    Rc::clone(ctx),
+                    input,
+                    group.clone(),
+                    out.clone(),
+                )),
+                GByMode::Stateful => Box::new(GByStatefulStream::new(
+                    Rc::clone(ctx),
+                    input,
+                    group.clone(),
+                    out.clone(),
+                )),
+            }
+        }
+        Op::Apply { input, plan, param, out } => {
+            let input = build_stream(input, ctx, env)?;
+            let mut vars = (*input.vars()).clone();
+            vars.push(out.clone());
+            Box::new(ApplyStream {
+                ctx: Rc::clone(ctx),
+                input,
+                plan: (**plan).clone(),
+                param: param.clone(),
+                env: Rc::clone(env),
+                vars: Rc::new(vars),
+            })
+        }
+        Op::NestedSrc { var } => {
+            let part = env
+                .get(var)
+                .cloned()
+                .ok_or_else(|| MixError::invalid(format!("nestedSrc({}) unbound", var.display_var())))?;
+            Box::new(NestedSrcStream { vars: Rc::clone(&part.vars), part, idx: 0 })
+        }
+        Op::RelQuery { server, sql, map } => {
+            let db = ctx.catalog().database(server.as_str())?;
+            let cursor = db.execute(sql)?;
+            Box::new(RelQueryStream {
+                ctx: Rc::clone(ctx),
+                cursor,
+                map: map.clone(),
+                vars: Rc::new(map.iter().map(|b| b.var.clone()).collect()),
+            })
+        }
+        Op::OrderBy { input, vars } => {
+            let input = build_stream(input, ctx, env)?;
+            Box::new(OrderByStream {
+                ctx: Rc::clone(ctx),
+                input: Some(input),
+                keys: vars.clone(),
+                sorted: Vec::new(),
+                idx: 0,
+            })
+        }
+        Op::Empty { vars } => Box::new(EmptyStream { vars: Rc::new(vars.clone()) }),
+        Op::TupleDestroy { .. } => {
+            return Err(MixError::invalid(
+                "tD is handled by the virtual-result layer, not as a stream",
+            ))
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+
+struct MkSrcStream {
+    doc: Rc<dyn NavDoc>,
+    source: Name,
+    vars: Rc<Vec<Name>>,
+    cur: Option<NodeRef>,
+    started: bool,
+}
+
+impl TStream for MkSrcStream {
+    fn vars(&self) -> Rc<Vec<Name>> {
+        Rc::clone(&self.vars)
+    }
+
+    fn next(&mut self) -> Option<LTuple> {
+        self.cur = if !self.started {
+            self.started = true;
+            self.doc.first_child(self.doc.root())
+        } else {
+            self.doc.next_sibling(self.cur?)
+        };
+        let n = self.cur?;
+        Some(LTuple::new(
+            Rc::clone(&self.vars),
+            vec![LVal::Src { doc: self.source.clone(), node: n }],
+        ))
+    }
+}
+
+/// `mksrc` over an inline view plan: one binding per inner tuple's
+/// tD-variable value — lazily, so naive composition still evaluates
+/// navigation-driven.
+struct MkSrcOverStream {
+    inner: Box<dyn TStream>,
+    view_var: Name,
+    vars: Rc<Vec<Name>>,
+}
+
+impl TStream for MkSrcOverStream {
+    fn vars(&self) -> Rc<Vec<Name>> {
+        Rc::clone(&self.vars)
+    }
+
+    fn next(&mut self) -> Option<LTuple> {
+        let t = self.inner.next()?;
+        let v = t.get(&self.view_var).expect("validated: view tD var bound").clone();
+        Some(LTuple::new(Rc::clone(&self.vars), vec![v]))
+    }
+}
+
+struct GetDStream {
+    ctx: Rc<EvalContext>,
+    input: Box<dyn TStream>,
+    from: Name,
+    path: mix_xml::LabelPath,
+    vars: Rc<Vec<Name>>,
+    pending: VecDeque<LTuple>,
+}
+
+impl TStream for GetDStream {
+    fn vars(&self) -> Rc<Vec<Name>> {
+        Rc::clone(&self.vars)
+    }
+
+    fn next(&mut self) -> Option<LTuple> {
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                return Some(t);
+            }
+            let t = self.input.next()?;
+            let base = t.get(&self.from).expect("validated: getD source var bound").clone();
+            let hits = eval_path(&self.ctx, &base, &self.path)
+                .expect("path evaluation on resolved sources");
+            for hit in hits {
+                let mut vals = t.vals.clone();
+                vals.push(hit);
+                self.pending.push_back(LTuple::new(Rc::clone(&self.vars), vals));
+            }
+        }
+    }
+}
+
+struct SelectStream {
+    ctx: Rc<EvalContext>,
+    input: Box<dyn TStream>,
+    cond: mix_algebra::Cond,
+}
+
+impl TStream for SelectStream {
+    fn vars(&self) -> Rc<Vec<Name>> {
+        self.input.vars()
+    }
+
+    fn next(&mut self) -> Option<LTuple> {
+        loop {
+            let t = self.input.next()?;
+            if cond_holds(&self.ctx, &self.cond, &t) {
+                return Some(t);
+            }
+        }
+    }
+}
+
+/// Projection. Note: unlike the eager π̃, the streaming projection does
+/// not eliminate duplicates (stateless operators cannot); rewritten
+/// plans rely on `DISTINCT` in the pushed SQL instead.
+struct ProjectStream {
+    input: Box<dyn TStream>,
+    keep: Rc<Vec<Name>>,
+}
+
+impl TStream for ProjectStream {
+    fn vars(&self) -> Rc<Vec<Name>> {
+        Rc::clone(&self.keep)
+    }
+
+    fn next(&mut self) -> Option<LTuple> {
+        let t = self.input.next()?;
+        Some(t.project(&self.keep))
+    }
+}
+
+/// Nested-loop join, lazy in its left (driver) input; the right input
+/// is drained on first pull, like the relational executor's build side.
+struct JoinStream {
+    ctx: Rc<EvalContext>,
+    left: Box<dyn TStream>,
+    right: Option<Box<dyn TStream>>,
+    right_rows: Vec<LTuple>,
+    cur_left: Option<LTuple>,
+    idx: usize,
+    cond: Option<mix_algebra::Cond>,
+    vars: Rc<Vec<Name>>,
+}
+
+impl TStream for JoinStream {
+    fn vars(&self) -> Rc<Vec<Name>> {
+        Rc::clone(&self.vars)
+    }
+
+    fn next(&mut self) -> Option<LTuple> {
+        if let Some(mut right) = self.right.take() {
+            while let Some(t) = right.next() {
+                self.right_rows.push(t);
+            }
+        }
+        loop {
+            if self.cur_left.is_none() {
+                self.cur_left = Some(self.left.next()?);
+                self.idx = 0;
+            }
+            let l = self.cur_left.as_ref().unwrap();
+            while self.idx < self.right_rows.len() {
+                let r = &self.right_rows[self.idx];
+                self.idx += 1;
+                let joined = l.concat(r);
+                if self.cond.as_ref().is_none_or(|c| cond_holds(&self.ctx, c, &joined)) {
+                    return Some(joined);
+                }
+            }
+            self.cur_left = None;
+        }
+    }
+}
+
+struct SemiJoinStream {
+    ctx: Rc<EvalContext>,
+    kept: Box<dyn TStream>,
+    other: Option<Box<dyn TStream>>,
+    other_rows: Vec<LTuple>,
+    cond: Option<mix_algebra::Cond>,
+    keep: Side,
+}
+
+impl TStream for SemiJoinStream {
+    fn vars(&self) -> Rc<Vec<Name>> {
+        self.kept.vars()
+    }
+
+    fn next(&mut self) -> Option<LTuple> {
+        if let Some(mut other) = self.other.take() {
+            while let Some(t) = other.next() {
+                self.other_rows.push(t);
+            }
+        }
+        loop {
+            let t = self.kept.next()?;
+            let matched = self.other_rows.iter().any(|o| {
+                let joined = match self.keep {
+                    Side::Left => t.concat(o),
+                    Side::Right => o.concat(&t),
+                };
+                self.cond.as_ref().is_none_or(|c| cond_holds(&self.ctx, c, &joined))
+            });
+            if matched {
+                return Some(t);
+            }
+        }
+    }
+}
+
+enum MapKind {
+    CrElt {
+        label: Name,
+        skolem: Name,
+        group: Vec<Name>,
+        children: mix_algebra::ChildSpec,
+        out: Name,
+    },
+    Cat { left: mix_algebra::ChildSpec, right: mix_algebra::ChildSpec },
+}
+
+struct MapStream {
+    ctx: Rc<EvalContext>,
+    input: Box<dyn TStream>,
+    vars: Rc<Vec<Name>>,
+    f: MapKind,
+}
+
+impl TStream for MapStream {
+    fn vars(&self) -> Rc<Vec<Name>> {
+        Rc::clone(&self.vars)
+    }
+
+    fn next(&mut self) -> Option<LTuple> {
+        let t = self.input.next()?;
+        let val = match &self.f {
+            MapKind::CrElt { label, skolem, group, children, out } => {
+                build_element(&self.ctx, &t, label, skolem, group, children, out)
+                    .expect("validated: crElt vars bound")
+            }
+            MapKind::Cat { left, right } => {
+                cat_value(&t, left, right).expect("validated: cat vars bound")
+            }
+        };
+        let mut vals = t.vals;
+        vals.push(val);
+        Some(LTuple::new(Rc::clone(&self.vars), vals))
+    }
+}
+
+// ---------------------------------------------------------------------
+// The stateless presorted groupBy (Table 1).
+// ---------------------------------------------------------------------
+
+struct GByShared {
+    input: Box<dyn TStream>,
+    lookahead: Option<LTuple>,
+    done: bool,
+}
+
+impl GByShared {
+    fn pull(&mut self) -> Option<LTuple> {
+        if let Some(t) = self.lookahead.take() {
+            return Some(t);
+        }
+        if self.done {
+            return None;
+        }
+        match self.input.next() {
+            Some(t) => Some(t),
+            None => {
+                self.done = true;
+                None
+            }
+        }
+    }
+}
+
+struct GByStream {
+    ctx: Rc<EvalContext>,
+    shared: Rc<RefCell<GByShared>>,
+    group: Vec<Name>,
+    in_vars: Rc<Vec<Name>>,
+    vars: Rc<Vec<Name>>,
+    /// The group currently being (lazily) exposed; drained before the
+    /// next group starts — exactly Table 1's `repeat b0s = r(bs) until
+    /// keys differ` skip loop.
+    current: Option<Partition>,
+}
+
+impl GByStream {
+    fn new(ctx: Rc<EvalContext>, input: Box<dyn TStream>, group: Vec<Name>, out: Name) -> GByStream {
+        let in_vars = input.vars();
+        let vars: Vec<Name> = group.iter().cloned().chain([out]).collect();
+        GByStream {
+            ctx,
+            shared: Rc::new(RefCell::new(GByShared { input, lookahead: None, done: false })),
+            group,
+            in_vars,
+            vars: Rc::new(vars),
+            current: None,
+        }
+    }
+}
+
+fn group_key(ctx: &EvalContext, t: &LTuple, group: &[Name]) -> Vec<Oid> {
+    group
+        .iter()
+        .map(|g| ctx.lval_key(t.get(g).expect("validated: group var bound")))
+        .collect()
+}
+
+impl TStream for GByStream {
+    fn vars(&self) -> Rc<Vec<Name>> {
+        Rc::clone(&self.vars)
+    }
+
+    fn next(&mut self) -> Option<LTuple> {
+        // Finish the previous group first (skipping forward drains it).
+        if let Some(prev) = self.current.take() {
+            prev.force();
+        }
+        let seed = self.shared.borrow_mut().pull()?;
+        let key = group_key(&self.ctx, &seed, &self.group);
+        let group_vals: Vec<LVal> =
+            self.group.iter().map(|g| seed.get(g).cloned().unwrap()).collect();
+        // The partition producer: first the seed, then shared tuples
+        // while the key matches; a mismatching tuple is pushed back
+        // into the lookahead slot.
+        let shared = Rc::clone(&self.shared);
+        let ctx = Rc::clone(&self.ctx);
+        let group = self.group.clone();
+        let my_key = key;
+        let mut seed = Some(seed);
+        let producer = Box::new(move || {
+            if let Some(s) = seed.take() {
+                return Some(s);
+            }
+            let mut sh = shared.borrow_mut();
+            let t = sh.pull()?;
+            if group_key(&ctx, &t, &group) == my_key {
+                Some(t)
+            } else {
+                sh.lookahead = Some(t);
+                None
+            }
+        });
+        let part = Partition::new(Rc::clone(&self.in_vars), producer);
+        self.current = Some(part.clone());
+        let mut vals = group_vals;
+        vals.push(LVal::Part(part));
+        Some(LTuple::new(Rc::clone(&self.vars), vals))
+    }
+}
+
+/// The buffering (stateful) groupBy: drains and hash-partitions its
+/// input up front. Correct on unsorted input; pays full
+/// materialization.
+struct GByStatefulStream {
+    ctx: Rc<EvalContext>,
+    input: Option<Box<dyn TStream>>,
+    group: Vec<Name>,
+    in_vars: Rc<Vec<Name>>,
+    vars: Rc<Vec<Name>>,
+    groups: Vec<(Vec<LVal>, Vec<LTuple>)>,
+    idx: usize,
+}
+
+impl GByStatefulStream {
+    fn new(
+        ctx: Rc<EvalContext>,
+        input: Box<dyn TStream>,
+        group: Vec<Name>,
+        out: Name,
+    ) -> GByStatefulStream {
+        let in_vars = input.vars();
+        let vars: Vec<Name> = group.iter().cloned().chain([out]).collect();
+        GByStatefulStream {
+            ctx,
+            input: Some(input),
+            group,
+            in_vars,
+            vars: Rc::new(vars),
+            groups: Vec::new(),
+            idx: 0,
+        }
+    }
+}
+
+impl TStream for GByStatefulStream {
+    fn vars(&self) -> Rc<Vec<Name>> {
+        Rc::clone(&self.vars)
+    }
+
+    fn next(&mut self) -> Option<LTuple> {
+        if let Some(mut input) = self.input.take() {
+            let mut map: HashMap<Vec<Oid>, usize> = HashMap::new();
+            while let Some(t) = input.next() {
+                let key = group_key(&self.ctx, &t, &self.group);
+                let next_slot = self.groups.len();
+                let slot = *map.entry(key).or_insert_with(|| {
+                    next_slot
+                });
+                if slot == self.groups.len() {
+                    let vals: Vec<LVal> =
+                        self.group.iter().map(|g| t.get(g).cloned().unwrap()).collect();
+                    self.groups.push((vals, Vec::new()));
+                }
+                self.groups[slot].1.push(t);
+            }
+        }
+        let (vals, tuples) = self.groups.get(self.idx)?;
+        self.idx += 1;
+        let part = Partition::done(Rc::clone(&self.in_vars), tuples.clone());
+        let mut vals = vals.clone();
+        vals.push(LVal::Part(part));
+        Some(LTuple::new(Rc::clone(&self.vars), vals))
+    }
+}
+
+// ---------------------------------------------------------------------
+
+struct ApplyStream {
+    ctx: Rc<EvalContext>,
+    input: Box<dyn TStream>,
+    plan: Op,
+    param: Option<Name>,
+    env: Env,
+    vars: Rc<Vec<Name>>,
+}
+
+impl TStream for ApplyStream {
+    fn vars(&self) -> Rc<Vec<Name>> {
+        Rc::clone(&self.vars)
+    }
+
+    fn next(&mut self) -> Option<LTuple> {
+        let t = self.input.next()?;
+        let mut env2 = (*self.env).clone();
+        if let Some(p) = &self.param {
+            let LVal::Part(part) = t.get(p).expect("validated: apply param bound").clone() else {
+                panic!("validated: apply parameter {} must be a partition", p.display_var());
+            };
+            env2.insert(p.clone(), part);
+        }
+        let env2 = Rc::new(env2);
+        // The nested plan (tD over a subplan) becomes a lazy list: one
+        // value per nested tuple, produced on demand.
+        let Op::TupleDestroy { input: nested_input, var: nested_var, .. } = &self.plan else {
+            panic!("validated: nested plans end in tD");
+        };
+        let mut nested = build_stream(nested_input, &self.ctx, &env2)
+            .expect("validated: nested plan compiles");
+        let nvar = nested_var.clone();
+        let dedup_ctx = Rc::clone(&self.ctx);
+        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+        let lazy = LazyList::new(Box::new(move || loop {
+            let t = nested.next()?;
+            let v = t.get(&nvar).expect("validated: nested tD var bound").clone();
+            // Set semantics at the nested-tD boundary (see eager::dedup_key).
+            if let Some(key) = crate::eager::dedup_key(&dedup_ctx, &v) {
+                if !seen.insert(key) {
+                    continue;
+                }
+            }
+            return Some(v);
+        }));
+        let mut vals = t.vals;
+        vals.push(LVal::List(LList::lazy(lazy)));
+        Some(LTuple::new(Rc::clone(&self.vars), vals))
+    }
+}
+
+struct NestedSrcStream {
+    part: Partition,
+    vars: Rc<Vec<Name>>,
+    idx: usize,
+}
+
+impl TStream for NestedSrcStream {
+    fn vars(&self) -> Rc<Vec<Name>> {
+        Rc::clone(&self.vars)
+    }
+
+    fn next(&mut self) -> Option<LTuple> {
+        let t = self.part.get(self.idx)?;
+        self.idx += 1;
+        Some(t)
+    }
+}
+
+struct RelQueryStream {
+    ctx: Rc<EvalContext>,
+    cursor: Cursor,
+    map: Vec<mix_algebra::RqBinding>,
+    vars: Rc<Vec<Name>>,
+}
+
+impl TStream for RelQueryStream {
+    fn vars(&self) -> Rc<Vec<Name>> {
+        Rc::clone(&self.vars)
+    }
+
+    fn next(&mut self) -> Option<LTuple> {
+        let row = self.cursor.next()?;
+        Some(LTuple::new(Rc::clone(&self.vars), rq_row_to_vals(&self.ctx, &self.map, &row)))
+    }
+}
+
+/// `orderBy` is inherently blocking: it drains its input and sorts by
+/// the node ids of the listed variables.
+struct OrderByStream {
+    ctx: Rc<EvalContext>,
+    input: Option<Box<dyn TStream>>,
+    keys: Vec<Name>,
+    sorted: Vec<LTuple>,
+    idx: usize,
+}
+
+impl TStream for OrderByStream {
+    fn vars(&self) -> Rc<Vec<Name>> {
+        match &self.input {
+            Some(i) => i.vars(),
+            None => self
+                .sorted
+                .first()
+                .map(|t| Rc::clone(&t.vars))
+                .unwrap_or_else(|| Rc::new(Vec::new())),
+        }
+    }
+
+    fn next(&mut self) -> Option<LTuple> {
+        if let Some(mut input) = self.input.take() {
+            while let Some(t) = input.next() {
+                self.sorted.push(t);
+            }
+            let ctx = Rc::clone(&self.ctx);
+            let keys = self.keys.clone();
+            self.sorted.sort_by(|a, b| {
+                for k in &keys {
+                    let (x, y) = (a.get(k), b.get(k));
+                    let o = match (x, y) {
+                        (Some(x), Some(y)) => ctx.lval_oid(x).total_cmp(&ctx.lval_oid(y)),
+                        _ => std::cmp::Ordering::Equal,
+                    };
+                    if o != std::cmp::Ordering::Equal {
+                        return o;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        let t = self.sorted.get(self.idx)?;
+        self.idx += 1;
+        Some(t.clone())
+    }
+}
+
+struct EmptyStream {
+    vars: Rc<Vec<Name>>,
+}
+
+impl TStream for EmptyStream {
+    fn vars(&self) -> Rc<Vec<Name>> {
+        Rc::clone(&self.vars)
+    }
+
+    fn next(&mut self) -> Option<LTuple> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::AccessMode;
+    use mix_algebra::translate;
+    use mix_wrapper::fig2_catalog;
+    use mix_xquery::parse_query;
+
+    fn lazy_ctx() -> Rc<EvalContext> {
+        Rc::new(EvalContext::new(fig2_catalog().0, AccessMode::Lazy))
+    }
+
+    fn plan_input(q: &str) -> Op {
+        let plan = translate(&parse_query(q).unwrap()).unwrap();
+        match plan.root {
+            Op::TupleDestroy { input, .. } => *input,
+            other => other,
+        }
+    }
+
+    const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
+         WHERE $C/id/data() = $O/cid/data() \
+         RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
+
+    #[test]
+    fn mksrc_pulls_one_tuple_per_next() {
+        let ctx = lazy_ctx();
+        let op = Op::MkSrc { source: Name::new("root2"), var: Name::new("O") };
+        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let stats = ctx.catalog().database("db1").unwrap().stats().clone();
+        assert_eq!(stats.tuples_shipped(), 0);
+        assert!(s.next().is_some());
+        assert_eq!(stats.tuples_shipped(), 1);
+        assert!(s.next().is_some());
+        assert_eq!(stats.tuples_shipped(), 2);
+        assert!(s.next().is_some());
+        assert!(s.next().is_none());
+        assert_eq!(stats.tuples_shipped(), 3);
+    }
+
+    #[test]
+    fn select_filters_lazily() {
+        let ctx = lazy_ctx();
+        let op = plan_input("FOR $O IN document(root2)/order WHERE $O/value > 2000 RETURN $O");
+        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let mut n = 0;
+        while s.next().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn q1_stream_produces_custrec_per_customer() {
+        let ctx = lazy_ctx();
+        let op = plan_input(Q1);
+        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let t1 = s.next().unwrap();
+        let v1 = t1.get(&Name::new("V")).unwrap();
+        assert_eq!(ctx.lval_oid(v1).to_string(), "&($V,f(&DEF345))");
+        let t2 = s.next().unwrap();
+        let v2 = t2.get(&Name::new("V")).unwrap();
+        assert_eq!(ctx.lval_oid(v2).to_string(), "&($V,f(&XYZ123))");
+        assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn stateless_gby_partitions_by_group() {
+        let ctx = lazy_ctx();
+        let op = plan_input(Q1);
+        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let a = s.next().unwrap();
+        let LVal::Part(pa) = a.get(&Name::new("X")).unwrap().clone() else { panic!() };
+        assert_eq!(pa.force().len(), 1); // DEF345 has one order
+        let b = s.next().unwrap();
+        let LVal::Part(pb) = b.get(&Name::new("X")).unwrap().clone() else { panic!() };
+        assert_eq!(pb.force().len(), 2); // XYZ123 has two
+    }
+
+    /// A catalog whose order stream interleaves customer ids
+    /// (XYZ123, DEF345, XYZ123 in orid order) — unsorted group keys.
+    fn interleaved_catalog() -> mix_wrapper::Catalog {
+        let mut db = mix_relational::fixtures::sample_db();
+        // orid 90000 sorts after DEF345's 99111? No: 90000 < 99111, so
+        // the orid order is 28904(XYZ), 87456(XYZ), 90000(DEF), 99111(XYZ).
+        db.insert("orders", vec![
+            mix_common::Value::Int(90000),
+            mix_common::Value::str("DEF345"),
+            mix_common::Value::Int(7),
+        ])
+        .unwrap();
+        db.insert("orders", vec![
+            mix_common::Value::Int(99999),
+            mix_common::Value::str("XYZ123"),
+            mix_common::Value::Int(8),
+        ])
+        .unwrap();
+        mix_wrapper::wrap_customers_orders(db)
+    }
+
+    #[test]
+    fn stateful_gby_handles_unsorted_input() {
+        let ctx = Rc::new({
+            let mut c = EvalContext::new(interleaved_catalog(), AccessMode::Lazy);
+            c.gby_mode = GByMode::Stateful;
+            c
+        });
+        // Group orders by the cid *value* (data() leaf): keys run
+        // XYZ123, XYZ123, DEF345, XYZ123 — not presorted.
+        let op = plan_input("FOR $O IN document(root2)/order $B IN $O/cid/data() \
+                             RETURN <g> $O </g> {$B}");
+        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let mut groups = 0;
+        while s.next().is_some() {
+            groups += 1;
+        }
+        assert_eq!(groups, 2);
+    }
+
+    #[test]
+    fn stateless_gby_fragments_unsorted_input() {
+        // The presorted stateless gBy on unsorted keys fragments groups
+        // (Section 4: it *assumes* sorted input) — the documented
+        // trade-off the E7 ablation measures.
+        let ctx = Rc::new(EvalContext::new(interleaved_catalog(), AccessMode::Lazy));
+        let op = plan_input("FOR $O IN document(root2)/order $B IN $O/cid/data() \
+                             RETURN <g> $O </g> {$B}");
+        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let mut groups = 0;
+        while s.next().is_some() {
+            groups += 1;
+        }
+        assert_eq!(groups, 3);
+    }
+
+    #[test]
+    fn apply_collection_is_lazy() {
+        let ctx = lazy_ctx();
+        let op = plan_input(Q1);
+        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let t = s.next().unwrap();
+        let LVal::List(l) = t.get(&Name::new("Z")).unwrap().clone() else { panic!() };
+        let first = l.get(0).unwrap();
+        assert_eq!(ctx.lval_label(&first).unwrap().as_str(), "OrderInfo");
+        assert!(l.get(1).is_none()); // DEF345 has exactly one order
+    }
+
+    #[test]
+    fn q1_first_custrec_does_not_drain_sources() {
+        // The laziness claim: producing the first CustRec tuple must not
+        // ship the whole join input.
+        let ctx = lazy_ctx();
+        let stats = ctx.catalog().database("db1").unwrap().stats().clone();
+        stats.reset();
+        let op = plan_input(Q1);
+        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let _first = s.next().unwrap();
+        let after_first = stats.tuples_shipped();
+        while s.next().is_some() {}
+        // Draining the rest pulls at least one more customer tuple.
+        assert!(stats.tuples_shipped() > after_first,
+                "first={after_first}, total={}", stats.tuples_shipped());
+    }
+
+    #[test]
+    fn empty_and_project_streams() {
+        let ctx = lazy_ctx();
+        let mut s = build_stream(
+            &Op::Empty { vars: vec![Name::new("X")] },
+            &ctx,
+            &Rc::new(HashMap::new()),
+        )
+        .unwrap();
+        assert!(s.next().is_none());
+
+        let op = Op::Project {
+            input: Box::new(Op::MkSrc { source: Name::new("root1"), var: Name::new("C") }),
+            vars: vec![Name::new("C")],
+        };
+        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let t = s.next().unwrap();
+        assert_eq!(t.vars.len(), 1);
+    }
+}

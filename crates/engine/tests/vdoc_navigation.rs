@@ -1,0 +1,116 @@
+//! Virtual-result navigation edge cases: list-valued results, deep
+//! revisits, fv/fl on every node kind, and id stability under
+//! interleaved navigation.
+
+use mix_algebra::{translate, xmas, CatArg};
+use mix_common::{CmpOp, Name, Value};
+use mix_engine::{AccessMode, EvalContext, VirtualResult};
+use mix_wrapper::fig2_catalog;
+use mix_xml::NavDoc;
+use mix_xquery::parse_query;
+use std::rc::Rc;
+
+fn vresult(plan: &mix_algebra::Plan) -> VirtualResult {
+    let ctx = Rc::new(EvalContext::new(fig2_catalog().0, AccessMode::Lazy));
+    VirtualResult::new(plan, ctx).unwrap()
+}
+
+#[test]
+fn td_of_list_valued_var_exports_list_nodes() {
+    // cat produces a list; tD of it exports `list` nodes at the root.
+    let plan = xmas()
+        .mksrc("root1", "K")
+        .get("K", "customer", "C")
+        .cat(CatArg::Single(Name::new("C")), CatArg::Single(Name::new("K")), "W")
+        .tuple_destroy("W", Some("rootv"))
+        .unwrap();
+    let v = vresult(&plan);
+    let first = v.first_child(v.root()).unwrap();
+    assert_eq!(v.label(first).unwrap().as_str(), "list");
+    // The list node's children are the customer element twice (C ≡ K here).
+    let c1 = v.first_child(first).unwrap();
+    let c2 = v.next_sibling(c1).unwrap();
+    assert_eq!(v.label(c1).unwrap().as_str(), "customer");
+    assert_eq!(v.label(c2).unwrap().as_str(), "customer");
+    assert!(v.next_sibling(c2).is_none());
+}
+
+#[test]
+fn interleaved_navigation_keeps_ids_stable() {
+    const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
+         WHERE $C/id/data() = $O/cid/data() \
+         RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
+    let plan = translate(&parse_query(Q1).unwrap()).unwrap();
+    let v = vresult(&plan);
+    let r1 = v.first_child(v.root()).unwrap();
+    let cust1 = v.first_child(r1).unwrap();
+    // Interleave: advance to the second CustRec, then come back.
+    let r2 = v.next_sibling(r1).unwrap();
+    let cust2 = v.first_child(r2).unwrap();
+    assert_ne!(v.oid(cust1), v.oid(cust2));
+    assert_eq!(v.first_child(r1), Some(cust1));
+    assert_eq!(v.oid(cust1).to_string(), "&DEF345");
+    // fl/fv across node kinds.
+    assert_eq!(v.label(v.root()).unwrap().as_str(), "list");
+    assert!(v.value(v.root()).is_none());
+    let id_field = v.first_child(cust1).unwrap();
+    let leaf = v.first_child(id_field).unwrap();
+    assert!(v.label(leaf).is_none());
+    assert_eq!(v.value(leaf), Some(Value::str("DEF345")));
+}
+
+#[test]
+fn empty_result_root_navigates_cleanly() {
+    let plan = xmas()
+        .mksrc("root1", "K")
+        .get("K", "customer", "C")
+        .get("C", "customer.name.data()", "N")
+        .select_cmp("N", CmpOp::Lt, "A")
+        .tuple_destroy("C", Some("rootv"))
+        .unwrap();
+    let v = vresult(&plan);
+    assert!(v.first_child(v.root()).is_none());
+    // Idempotent: asking again still returns None and builds nothing new.
+    let before = v.nodes_materialized();
+    assert!(v.first_child(v.root()).is_none());
+    assert_eq!(v.nodes_materialized(), before);
+}
+
+#[test]
+fn dedup_at_root_collapses_repeated_objects() {
+    // A join that repeats each customer once per order; tD($C) with set
+    // semantics exports each customer once.
+    let customers = xmas()
+        .mksrc("root1", "K")
+        .get("K", "customer", "C")
+        .get("C", "customer.id.data()", "1");
+    let orders = xmas()
+        .mksrc("root2", "J")
+        .get("J", "order", "O")
+        .get("O", "order.cid.data()", "2");
+    let plan = customers
+        .join(orders, Some(mix_algebra::Cond::cmp_vars("1", CmpOp::Eq, "2")))
+        .tuple_destroy("C", Some("rootv"))
+        .unwrap();
+    let v = vresult(&plan);
+    let mut n = 0;
+    let mut cur = v.first_child(v.root());
+    while let Some(c) = cur {
+        n += 1;
+        cur = v.next_sibling(c);
+    }
+    assert_eq!(n, 2, "XYZ123 has two orders but must appear once");
+}
+
+#[test]
+fn context_of_source_copied_node_reports_key_oid() {
+    const Q1: &str = "FOR $C IN source(&root1)/customer RETURN <R> $C </R> {$C}";
+    let plan = translate(&parse_query(Q1).unwrap()).unwrap();
+    let v = vresult(&plan);
+    let rec = v.first_child(v.root()).unwrap();
+    let cust = v.first_child(rec).unwrap();
+    let ctx = v.context(cust);
+    assert_eq!(ctx.oid.to_string(), "&DEF345");
+    // Its enclosing constructed node appears in the ancestor chain.
+    assert!(ctx.ancestors[0].as_skolem().is_some());
+}

@@ -1,0 +1,250 @@
+//! Decontextualization (paper Section 5).
+//!
+//! A query `q'` issued from a node `x` of the (virtual) result of a
+//! prior query must be turned into a query the sources understand
+//! *without* any context: "decontextualization … produces a query q''
+//! that delivers the same result with q' but without relying on the
+//! context created by q and x".
+//!
+//! The node id carries everything needed: a skolem oid
+//! `&($V, f(&XYZ123))` names the plan variable the node was bound to
+//! (`$V`), the `crElt` that built it (skolem function `f`), and the
+//! group-by keys (`&XYZ123`); ancestor skolems fix the enclosing
+//! groups. The algorithm (from the Section 5 prose and the Fig. 8→10
+//! example):
+//!
+//! 1. decode the id: bound variable + `(group var, key)` pairs for the
+//!    node and its enclosing constructed nodes;
+//! 2. take the view plan, *drop its top `tD`* ("the top tD operator in
+//!    the plan p which produced the node n is removed"), and add
+//!    `select($g = &key)` fixing selections;
+//! 3. in the query plan, replace `mksrc(root, $z)` with a `getD` from
+//!    the decoded variable over that plan ("replace references to the
+//!    node n … by a plan constructed by replacing operators of the form
+//!    mksrc(&root, $Z)").
+//!
+//! The result is handed to the rewriter, which pushes the fixing
+//! selections into the source SQL (Fig. 10 → Fig. 22's
+//! `select($C = &XYZ123)` becoming `WHERE c1.id = 'XYZ123'`).
+
+use crate::splice::{alpha_rename, children_of, replace_mksrc};
+use mix_algebra::{Cond, Op, Plan};
+use mix_common::{MixError, Name, Result};
+use mix_engine::NodeContext;
+use mix_xml::{LabelPath, Oid, Step};
+
+/// Build the decontextualized plan for `query` issued from a node with
+/// context `ctx` inside the result of `view` (the view's *logical*,
+/// pre-split plan).
+pub fn decontextualize(query: &Plan, ctx: &NodeContext, view: &Plan) -> Result<Plan> {
+    // 1. Decode the node's own id.
+    let (func, var, args) = ctx.oid.as_skolem().ok_or_else(|| {
+        MixError::invalid(format!(
+            "query-in-place from node {} requires a constructed (skolem) node; \
+             navigate to an enclosing constructed element or query from the result root",
+            ctx.oid
+        ))
+    })?;
+    // 2. The view body without its top tD.
+    let Op::TupleDestroy { input: body, .. } = &view.root else {
+        return Err(MixError::invalid("view plan must be rooted at tD"));
+    };
+    // Alpha-rename the view body away from the query's variables.
+    let qvars = mix_algebra::plan::all_vars(&query.root);
+    let (body, mapping) = alpha_rename(body, &qvars);
+    let mapped = |n: &Name| mapping.get(n).cloned().unwrap_or_else(|| n.clone());
+
+    // The crElt that constructed the node gives the element label and
+    // the group-by variables the skolem arguments fix.
+    let celt = find_crelt(&body, &mapped(func)).ok_or_else(|| {
+        MixError::invalid(format!("skolem function {func} not found in the view plan"))
+    })?;
+    let (label, bound_var) = match celt {
+        Op::CrElt { label, .. } => (label.clone(), mapped(var)),
+        _ => unreachable!(),
+    };
+
+    // 3. Fixing selections: the node's own skolem plus every enclosing
+    // skolem id fixes its group variables to the decoded keys. Each
+    // selection is inserted directly above the *producer* of its group
+    // variable — group variables bound below a `gBy` are not in scope
+    // at the plan top.
+    let mut fixed = body;
+    let fix_from_skolem = |plan: Op, f: &Name, args: &[Oid], mapped: &dyn Fn(&Name) -> Name| -> Result<Op> {
+        let Some(Op::CrElt { group, .. }) = find_crelt(&plan, &mapped(f)) else {
+            // An enclosing skolem from a different query generation —
+            // not in this view plan; ignore (its keys are implied by
+            // the node's own chain).
+            return Ok(plan);
+        };
+        let group = group.clone();
+        if group.len() != args.len() {
+            return Err(MixError::invalid(format!(
+                "skolem {f} arity {} does not match group-by list {:?}",
+                args.len(),
+                group
+            )));
+        }
+        let mut out = plan;
+        for (g, key) in group.iter().zip(args) {
+            let cond = Cond::OidEq { var: mapped(g), oid: key.clone() };
+            out = wrap_producer(&out, &mapped(g), &cond).ok_or_else(|| {
+                MixError::invalid(format!(
+                    "group variable {} has no producer in the view plan",
+                    g.display_var()
+                ))
+            })?;
+        }
+        Ok(out)
+    };
+    fixed = fix_from_skolem(fixed, func, args, &mapped)?;
+    for anc in &ctx.ancestors {
+        if let Some((af, _, aargs)) = anc.as_skolem() {
+            fixed = fix_from_skolem(fixed, af, aargs, &mapped)?;
+        }
+    }
+
+    // 4. The bound variable may live below the view's grouping
+    // machinery ($P for OrderInfo nodes in Fig. 6); peel the purely
+    // constructive suffix (crElt/cat/apply/gBy/orderBy) off the body
+    // until the variable is in scope. Filters stay (they restrict the
+    // tuples the node was built from).
+    let fixed = expose_var(fixed, &bound_var)?;
+
+    // 5. Substitute into the query: `mksrc(root, $z)` becomes "the
+    // children of the context node": getD($V.<label>.*, $z) over the
+    // fixed view body.
+    let path = LabelPath::new(vec![Step::Label(label), Step::Wild])
+        .expect("two-step path is valid");
+    let root = replace_mksrc(&query.root, crate::session::QUERY_ROOT, &|z| Op::GetD {
+        input: Box::new(fixed.clone()),
+        from: bound_var.clone(),
+        path: path.clone(),
+        to: z.clone(),
+    });
+    Ok(Plan::new(root))
+}
+
+/// Drop purely constructive operators from the top of `body` until
+/// `var` is exported. Selections are kept; a join/semijoin whose output
+/// misses the variable is an unsupported shape.
+fn expose_var(body: Op, var: &Name) -> Result<Op> {
+    let env = std::collections::HashMap::new();
+    let info = mix_algebra::plan::var_info(&body, &env)?;
+    if info.vars.contains(var) {
+        return Ok(body);
+    }
+    match body {
+        Op::CrElt { input, .. }
+        | Op::Cat { input, .. }
+        | Op::Apply { input, .. }
+        | Op::GroupBy { input, .. }
+        | Op::OrderBy { input, .. }
+        | Op::Project { input, .. } => expose_var(*input, var),
+        Op::Select { input, cond } => Ok(Op::Select {
+            input: Box::new(expose_var(*input, var)?),
+            cond,
+        }),
+        other => Err(MixError::invalid(format!(
+            "cannot expose {} above a {} operator for decontextualization",
+            var.display_var(),
+            other.name()
+        ))),
+    }
+}
+
+/// Wrap the operator that binds `var` with a fixing selection.
+fn wrap_producer(op: &Op, var: &Name, cond: &Cond) -> Option<Op> {
+    let binds = match op {
+        Op::MkSrc { var: v, .. } | Op::MkSrcOver { var: v, .. } => v == var,
+        Op::GetD { to, .. } => to == var,
+        Op::CrElt { out, .. } | Op::Cat { out, .. } | Op::GroupBy { out, .. } | Op::Apply { out, .. } => {
+            out == var
+        }
+        Op::RelQuery { map, .. } => map.iter().any(|b| &b.var == var),
+        _ => false,
+    };
+    if binds {
+        return Some(Op::Select { input: Box::new(op.clone()), cond: cond.clone() });
+    }
+    let kids = children_of(op);
+    for (i, k) in kids.iter().enumerate() {
+        if let Some(new) = wrap_producer(k, var, cond) {
+            return Some(crate::splice::with_child_of(op, i, new));
+        }
+    }
+    None
+}
+
+/// Find the `crElt` with the given skolem function name.
+fn find_crelt<'a>(op: &'a Op, func: &Name) -> Option<&'a Op> {
+    if let Op::CrElt { skolem, .. } = op {
+        if skolem == func {
+            return Some(op);
+        }
+    }
+    children_of(op).into_iter().find_map(|c| find_crelt(c, func))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_algebra::{translate, validate};
+    use mix_xquery::parse_query;
+
+    const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
+         WHERE $C/id/data() = $O/cid/data() \
+         RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
+
+    #[test]
+    fn fig10_decontextualized_plan() {
+        let view = translate(&parse_query(Q1).unwrap()).unwrap();
+        // q1 (Fig. 8) issued from node y = the CustRec for XYZ123.
+        let q = translate(&parse_query(
+            "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 2000 RETURN $O",
+        ).unwrap()).unwrap();
+        let ctx = NodeContext {
+            oid: Oid::skolem("f", "V", vec![Oid::key("XYZ123")]),
+            ancestors: vec![],
+        };
+        let plan = decontextualize(&q, &ctx, &view).unwrap();
+        validate(&plan).unwrap_or_else(|e| panic!("{e}\n{}", plan.render()));
+        let text = plan.render();
+        // The Fig. 10 hallmarks: the fixing selection and the spliced
+        // view below the query's operators.
+        assert!(text.contains("select($C = &XYZ123)"), "{text}");
+        assert!(text.contains("getD($V.CustRec.*, $K)"), "{text}");
+        assert!(text.contains("crElt(CustRec, f($C), $W -> $V)"), "{text}");
+        assert!(!text.contains("mksrc(root,"), "{text}");
+    }
+
+    #[test]
+    fn deeper_node_fixes_all_enclosing_groups() {
+        let view = translate(&parse_query(Q1).unwrap()).unwrap();
+        let q = translate(&parse_query(
+            "FOR $X IN document(root)/order WHERE $X/value > 0 RETURN $X",
+        ).unwrap()).unwrap();
+        // From an OrderInfo node: own skolem g(&28904), enclosing f(&XYZ123).
+        let ctx = NodeContext {
+            oid: Oid::skolem("g", "P", vec![Oid::key("28904")]),
+            ancestors: vec![Oid::skolem("f", "V", vec![Oid::key("XYZ123")])],
+        };
+        let plan = decontextualize(&q, &ctx, &view).unwrap();
+        validate(&plan).unwrap();
+        let text = plan.render();
+        assert!(text.contains("select($O = &28904)"), "{text}");
+        assert!(text.contains("select($C = &XYZ123)"), "{text}");
+        assert!(text.contains("getD($P.OrderInfo.*,"), "{text}");
+    }
+
+    #[test]
+    fn non_skolem_node_is_rejected_with_guidance() {
+        let view = translate(&parse_query(Q1).unwrap()).unwrap();
+        let q = translate(&parse_query(
+            "FOR $X IN document(root)/x RETURN $X",
+        ).unwrap()).unwrap();
+        let ctx = NodeContext { oid: Oid::key("XYZ123"), ancestors: vec![] };
+        let err = decontextualize(&q, &ctx, &view).unwrap_err();
+        assert!(err.to_string().contains("constructed"), "{err}");
+    }
+}

@@ -1,0 +1,117 @@
+//! The MIX mediator: sources, views, and session factory.
+
+use mix_algebra::{translate_with_root, Plan};
+use mix_common::{MixError, Name, Result};
+use mix_engine::{AccessMode, GByMode};
+use mix_wrapper::Catalog;
+use mix_xquery::parse_query;
+use std::collections::HashMap;
+
+/// Evaluation policy knobs (the benchmark axes).
+#[derive(Debug, Clone, Copy)]
+pub struct MediatorOptions {
+    /// Navigation-driven lazy evaluation (the paper's mode) or the
+    /// conventional full-materialization baseline.
+    pub access: AccessMode,
+    /// Run the rewriting optimizer + SQL pushdown (Section 6), or
+    /// execute naive plans as-is (the comparison strawman).
+    pub optimize: bool,
+    /// Which `groupBy` implementation the lazy engine uses.
+    pub gby: GByMode,
+}
+
+impl Default for MediatorOptions {
+    fn default() -> Self {
+        MediatorOptions {
+            access: AccessMode::Lazy,
+            optimize: true,
+            gby: GByMode::StatelessPresorted,
+        }
+    }
+}
+
+/// The mediator server: a catalog of wrapped sources plus named
+/// virtual views.
+pub struct Mediator {
+    catalog: Catalog,
+    views: HashMap<Name, Plan>,
+    options: MediatorOptions,
+}
+
+impl Mediator {
+    /// A mediator over `catalog` with default (lazy, optimizing)
+    /// options.
+    pub fn new(catalog: Catalog) -> Mediator {
+        Mediator::with_options(catalog, MediatorOptions::default())
+    }
+
+    /// A mediator with explicit evaluation options.
+    pub fn with_options(catalog: Catalog, options: MediatorOptions) -> Mediator {
+        Mediator { catalog, views: HashMap::new(), options }
+    }
+
+    /// The source catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The evaluation options.
+    pub fn options(&self) -> MediatorOptions {
+        self.options
+    }
+
+    /// Define a named virtual view. Client queries may then use
+    /// `document(<name>)` to range over it; the mediator composes
+    /// rather than materializing (Section 6).
+    pub fn define_view(&mut self, name: impl Into<Name>, query_text: &str) -> Result<()> {
+        let name = name.into();
+        if self.catalog.source(name.as_str()).is_ok() {
+            return Err(MixError::invalid(format!(
+                "view name {name} collides with a registered source"
+            )));
+        }
+        let q = parse_query(query_text)?;
+        let plan = translate_with_root(&q, name.as_str())?;
+        mix_algebra::validate(&plan)?;
+        self.views.insert(name, plan);
+        Ok(())
+    }
+
+    /// The logical plan of a view.
+    pub fn view(&self, name: &str) -> Option<&Plan> {
+        self.views.get(name)
+    }
+
+    /// Defined view names.
+    pub fn view_names(&self) -> Vec<Name> {
+        let mut v: Vec<Name> = self.views.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Open a QDOM client session.
+    pub fn session(&self) -> crate::session::QdomSession<'_> {
+        crate::session::QdomSession::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_wrapper::fig2_catalog;
+
+    #[test]
+    fn views_are_validated_and_named() {
+        let (cat, _) = fig2_catalog();
+        let mut m = Mediator::new(cat);
+        m.define_view("custview", "FOR $C IN source(&root1)/customer RETURN $C").unwrap();
+        assert!(m.view("custview").is_some());
+        assert_eq!(m.view_names().len(), 1);
+        // Bad query text is rejected.
+        assert!(m.define_view("bad", "FOR $C IN RETURN $C").is_err());
+        // Colliding with a source is rejected.
+        assert!(m
+            .define_view("root1", "FOR $C IN source(&root1)/customer RETURN $C")
+            .is_err());
+    }
+}

@@ -1,0 +1,488 @@
+//! QDOM client sessions: the `d`/`r`/`fl`/`fv`/`q` command set.
+
+use crate::decontext::decontextualize;
+use crate::mediator::Mediator;
+use crate::splice::{compose, references_source};
+use mix_algebra::{translate_with_root, Plan};
+use mix_common::{MixError, Name, Result, Value};
+use mix_engine::{eager, AccessMode, EvalContext, NodeContext, VirtualResult};
+use mix_rewrite::{optimize, rewrite, RewriteTrace};
+use mix_xml::{Document, NavDoc, NodeRef, Oid};
+use mix_xquery::parse_query;
+use std::rc::Rc;
+
+/// The special source name `document(root)` denotes — the node a
+/// query-in-place was issued from.
+pub const QUERY_ROOT: &str = "root";
+
+/// A client-side node handle (the paper's `p₀, p₁, …`): a query result
+/// plus a node id within it. Cheap to copy; stays valid for the whole
+/// session ("a 'thin' client-side library associates with each pᵢ the
+/// object id of the corresponding object exported by the mediator").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QNode {
+    pub(crate) result: usize,
+    pub(crate) node: NodeRef,
+}
+
+/// One query's result within a session.
+pub struct ResultInfo {
+    /// The executed plan (post-optimization).
+    pub exec_plan: Plan,
+    /// The logical (pre-SQL-split) plan — what composition and
+    /// decontextualization splice from.
+    pub logical_plan: Plan,
+    /// The rewrite derivation (empty when optimization is off).
+    pub trace: RewriteTrace,
+    doc: ResultDoc,
+}
+
+enum ResultDoc {
+    Lazy(Rc<VirtualResult>),
+    Eager(Rc<Document>),
+}
+
+impl ResultDoc {
+    fn nav(&self) -> &dyn NavDoc {
+        match self {
+            ResultDoc::Lazy(v) => v.as_ref(),
+            ResultDoc::Eager(d) => d.as_ref(),
+        }
+    }
+}
+
+/// An interactive QDOM session over a [`Mediator`].
+pub struct QdomSession<'m> {
+    mediator: &'m Mediator,
+    ctx: Rc<EvalContext>,
+    results: Vec<ResultInfo>,
+}
+
+impl<'m> QdomSession<'m> {
+    pub(crate) fn new(mediator: &'m Mediator) -> QdomSession<'m> {
+        let opts = mediator.options();
+        let mut ctx = EvalContext::new(mediator.catalog().clone(), opts.access);
+        ctx.gby_mode = opts.gby;
+        QdomSession { mediator, ctx: Rc::new(ctx), results: Vec::new() }
+    }
+
+    /// The shared evaluation context (stats, source views).
+    pub fn ctx(&self) -> &Rc<EvalContext> {
+        &self.ctx
+    }
+
+    /// Metadata about a result (plans + rewrite trace).
+    pub fn result_info(&self, p: QNode) -> &ResultInfo {
+        &self.results[p.result]
+    }
+
+    // ---- queries ------------------------------------------------------
+
+    /// Issue a query against the mediator's sources and views; returns
+    /// the root of the (virtual) answer document.
+    pub fn query(&mut self, text: &str) -> Result<QNode> {
+        let q = parse_query(text)?;
+        let result_name = format!("rootv{}", self.results.len());
+        let mut plan = translate_with_root(&q, &result_name)?;
+        // Compose away references to defined views.
+        for vname in self.mediator.view_names() {
+            if references_source(&plan.root, vname.as_str()) {
+                let view = self.mediator.view(vname.as_str()).expect("listed view exists");
+                plan = compose(&plan, vname.as_str(), view);
+            }
+        }
+        if references_source(&plan.root, QUERY_ROOT) {
+            return Err(MixError::invalid(
+                "document(root) is only meaningful in a query-in-place; use q(query, node)",
+            ));
+        }
+        self.execute(plan)
+    }
+
+    /// `q(query, p)`: issue a query *from node `p`* (Section 2). From a
+    /// result root this is composition (Section 6); from an interior
+    /// node it is decontextualization (Section 5). Inside the query,
+    /// `document(root)` denotes `p`.
+    pub fn q(&mut self, text: &str, p: QNode) -> Result<QNode> {
+        let q = parse_query(text)?;
+        let result_name = format!("rootv{}", self.results.len());
+        let qplan = translate_with_root(&q, &result_name)?;
+        let entry = &self.results[p.result];
+        let plan = if p.node == entry.doc.nav().root() {
+            // Composition with the producing plan.
+            compose(&qplan, QUERY_ROOT, &entry.logical_plan)
+        } else {
+            // Decontextualization from the node's id.
+            let ctx = self.context(p);
+            decontextualize(&qplan, &ctx, &entry.logical_plan)?
+        };
+        self.execute(plan)
+    }
+
+    /// The materialize-then-query strawman for queries-in-place: copy
+    /// the full subtree under `p` to the mediator, register it as the
+    /// query root, and evaluate against the copy. This is the baseline
+    /// experiment E3 compares decontextualization against.
+    pub fn q_materialized(&mut self, text: &str, p: QNode) -> Result<QNode> {
+        let q = parse_query(text)?;
+        let result_name = format!("rootv{}", self.results.len());
+        let plan = translate_with_root(&q, &result_name)?;
+        // Materialize the subtree under p as the `root` document.
+        let entry = &self.results[p.result];
+        let nav = entry.doc.nav();
+        let label = nav.label(p.node).unwrap_or_else(|| Name::new("list"));
+        let mut doc = Document::new(QUERY_ROOT, label);
+        let root = doc.root_ref();
+        copy_subtree_children(nav, p.node, &mut doc, root, &self.ctx);
+        self.ctx.register_doc(Rc::new(doc));
+        // No composition: the plan's mksrc(root) now resolves to the
+        // materialized copy.
+        self.execute_unoptimized(plan)
+    }
+
+    fn execute(&mut self, plan: Plan) -> Result<QNode> {
+        if self.mediator.options().optimize {
+            let out = optimize(&plan, self.mediator.catalog());
+            // The logical plan for later composition is the rewritten,
+            // pre-split plan.
+            let logical = rewrite(&plan).plan;
+            self.push_result(out.plan, logical, out.trace)
+        } else {
+            self.execute_unoptimized(plan)
+        }
+    }
+
+    fn execute_unoptimized(&mut self, plan: Plan) -> Result<QNode> {
+        let logical = plan.clone();
+        self.push_result(plan, logical, RewriteTrace::default())
+    }
+
+    fn push_result(&mut self, exec_plan: Plan, logical_plan: Plan, trace: RewriteTrace) -> Result<QNode> {
+        mix_algebra::validate(&exec_plan)?;
+        let doc = match self.ctx.mode() {
+            AccessMode::Lazy => {
+                ResultDoc::Lazy(Rc::new(VirtualResult::new(&exec_plan, Rc::clone(&self.ctx))?))
+            }
+            AccessMode::Eager => {
+                ResultDoc::Eager(Rc::new(eager::evaluate(&exec_plan, &self.ctx)?))
+            }
+        };
+        let root = doc.nav().root();
+        self.results.push(ResultInfo { exec_plan, logical_plan, trace, doc });
+        Ok(QNode { result: self.results.len() - 1, node: root })
+    }
+
+    // ---- navigation (Section 2's command set) --------------------------
+
+    /// `d(p)`: the first child, or `None` for a leaf.
+    pub fn d(&self, p: QNode) -> Option<QNode> {
+        self.results[p.result]
+            .doc
+            .nav()
+            .first_child(p.node)
+            .map(|n| QNode { result: p.result, node: n })
+    }
+
+    /// `r(p)`: the right sibling, or `None`.
+    pub fn r(&self, p: QNode) -> Option<QNode> {
+        self.results[p.result]
+            .doc
+            .nav()
+            .next_sibling(p.node)
+            .map(|n| QNode { result: p.result, node: n })
+    }
+
+    /// `fl(p)`: the element label (`None` for a text leaf).
+    pub fn fl(&self, p: QNode) -> Option<Name> {
+        self.results[p.result].doc.nav().label(p.node)
+    }
+
+    /// `fv(p)`: the leaf value (`None` for an element).
+    pub fn fv(&self, p: QNode) -> Option<Value> {
+        self.results[p.result].doc.nav().value(p.node)
+    }
+
+    /// The node's vertex id.
+    pub fn oid(&self, p: QNode) -> Oid {
+        self.results[p.result].doc.nav().oid(p.node)
+    }
+
+    /// The decontextualization payload of a node.
+    pub fn context(&self, p: QNode) -> NodeContext {
+        match &self.results[p.result].doc {
+            ResultDoc::Lazy(v) => v.context(p.node),
+            ResultDoc::Eager(d) => {
+                let mut ancestors = Vec::new();
+                let mut cur = d.parent(p.node);
+                while let Some(a) = cur {
+                    if a == d.root_ref() {
+                        break;
+                    }
+                    ancestors.push(d.oid(a));
+                    cur = d.parent(a);
+                }
+                NodeContext { oid: d.oid(p.node), ancestors }
+            }
+        }
+    }
+
+    /// Export a query result as a navigable source for *another*
+    /// mediator ("a MIX mediator can be such a source to another MIX
+    /// mediator", Section 4), renamed to `name`. Navigation commands
+    /// the upper mediator issues propagate into this (lazy) result.
+    pub fn export_result(&self, p: QNode, name: &str) -> Rc<dyn NavDoc> {
+        let inner: Rc<dyn NavDoc> = match &self.results[p.result].doc {
+            ResultDoc::Lazy(v) => Rc::clone(v) as Rc<dyn NavDoc>,
+            ResultDoc::Eager(d) => Rc::clone(d) as Rc<dyn NavDoc>,
+        };
+        Rc::new(mix_xml::RenamedDoc::new(inner, name))
+    }
+
+    /// Render the subtree under `p` (paper-figure tree style). Forces
+    /// the subtree — a debugging/verification helper, not part of the
+    /// QDOM protocol.
+    pub fn render(&self, p: QNode) -> String {
+        mix_xml::print::render_tree(self.results[p.result].doc.nav(), p.node)
+    }
+
+    /// Collect the children of `p` via `d`/`r` navigation (forces them).
+    pub fn children(&self, p: QNode) -> Vec<QNode> {
+        let mut out = Vec::new();
+        let mut cur = self.d(p);
+        while let Some(c) = cur {
+            out.push(c);
+            cur = self.r(c);
+        }
+        out
+    }
+
+    /// Count the children of `p` via `d`/`r` navigation.
+    pub fn child_count(&self, p: QNode) -> usize {
+        let mut n = 0;
+        let mut cur = self.d(p);
+        while let Some(c) = cur {
+            n += 1;
+            cur = self.r(c);
+        }
+        n
+    }
+}
+
+fn copy_subtree_children(
+    nav: &dyn NavDoc,
+    from: NodeRef,
+    doc: &mut Document,
+    to: NodeRef,
+    ctx: &EvalContext,
+) {
+    let mut cur = nav.first_child(from);
+    while let Some(c) = cur {
+        ctx.stats().add_nodes_built(1);
+        if let Some(v) = nav.value(c) {
+            doc.add_text_with_oid(to, v.clone(), Oid::lit(v));
+        } else if let Some(label) = nav.label(c) {
+            let new = doc.add_elem_with_oid(to, label, nav.oid(c));
+            copy_subtree_children(nav, c, doc, new, ctx);
+        }
+        cur = nav.next_sibling(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mediator::MediatorOptions;
+    use mix_engine::GByMode;
+    use mix_wrapper::fig2_catalog;
+
+    const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
+         WHERE $C/id/data() = $O/cid/data() \
+         RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
+
+    fn mediator(optimize: bool, access: AccessMode) -> Mediator {
+        let (cat, _) = fig2_catalog();
+        Mediator::with_options(
+            cat,
+            MediatorOptions { access, optimize, gby: GByMode::StatelessPresorted },
+        )
+    }
+
+    #[test]
+    fn example_2_1_full_session() {
+        // The paper's Example 2.1, end to end.
+        let m = mediator(true, AccessMode::Lazy);
+        let mut s = m.session();
+        let p0 = s.query(Q1).unwrap();
+        let p1 = s.d(p0).unwrap();
+        assert_eq!(s.fl(p1).unwrap().as_str(), "CustRec");
+        let p2 = s.r(p1).unwrap();
+        assert_eq!(s.fl(p2).unwrap().as_str(), "CustRec");
+        let p3 = s.d(p1).unwrap();
+        assert_eq!(s.fl(p3).unwrap().as_str(), "customer");
+        // p4 = q(Q2, p0): refine from the root (composition). The
+        // paper's Q2 wants names starting with "A"; our Fig. 2 data has
+        // DEFCorp./XYZInc., so filter below "E" to keep DEF345.
+        let p4 = s
+            .q(
+                "FOR $P IN document(root)/CustRec WHERE $P/customer/name < \"E\" RETURN $P",
+                p0,
+            )
+            .unwrap();
+        let p5 = s.d(p4).unwrap();
+        assert_eq!(s.fl(p5).unwrap().as_str(), "CustRec");
+        assert!(s.render(p5).contains("DEFCorp."), "{}", s.render(p5));
+        assert!(s.r(p5).is_none()); // XYZInc. filtered out
+        // p6..p8: navigate into customer and OrderInfo children.
+        let p6 = s.d(p5).unwrap();
+        assert_eq!(s.fl(p6).unwrap().as_str(), "customer");
+        let p7 = s.r(p6).unwrap();
+        assert_eq!(s.fl(p7).unwrap().as_str(), "OrderInfo");
+        // p9 = q(Q3, p5): in-place query from the CustRec node
+        // (decontextualization). DEF345's only order has value 500.
+        let p9 = s
+            .q(
+                "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O",
+                p5,
+            )
+            .unwrap();
+        assert_eq!(s.child_count(p9), 1);
+        let oi = s.d(p9).unwrap();
+        assert_eq!(s.fl(oi).unwrap().as_str(), "OrderInfo");
+        assert!(s.render(oi).contains("value = 500"), "{}", s.render(oi));
+    }
+
+    #[test]
+    fn q2_exact_paper_constant_yields_empty() {
+        // The literal Q2 (`name < "B"`) matches nothing in Fig. 2.
+        let m = mediator(true, AccessMode::Lazy);
+        let mut s = m.session();
+        let p0 = s.query(Q1).unwrap();
+        let p4 = s
+            .q(
+                "FOR $P IN document(root)/CustRec WHERE $P/customer/name < \"B\" RETURN $P",
+                p0,
+            )
+            .unwrap();
+        assert!(s.d(p4).is_none());
+    }
+
+    #[test]
+    fn decontextualized_query_pushes_key_predicate_to_sql() {
+        let m = mediator(true, AccessMode::Lazy);
+        let mut s = m.session();
+        let p0 = s.query(Q1).unwrap();
+        let p1 = s.d(p0).unwrap(); // CustRec for DEF345 (key order)
+        assert_eq!(s.oid(p1).to_string(), "&($V,f(&DEF345))");
+        let p9 = s
+            .q("FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O", p1)
+            .unwrap();
+        let info = s.result_info(p9);
+        let text = info.exec_plan.render();
+        assert!(text.contains("'DEF345'"), "{text}");
+        assert!(text.contains("rQ("), "{text}");
+        assert_eq!(s.child_count(p9), 1);
+    }
+
+    #[test]
+    fn lazy_and_eager_sessions_agree() {
+        for optimize in [false, true] {
+            let ml = mediator(optimize, AccessMode::Lazy);
+            let me = mediator(optimize, AccessMode::Eager);
+            let mut sl = ml.session();
+            let mut se = me.session();
+            let pl = sl.query(Q1).unwrap();
+            let pe = se.query(Q1).unwrap();
+            assert_eq!(sl.render(pl), se.render(pe), "optimize={optimize}");
+        }
+    }
+
+    #[test]
+    fn optimized_and_naive_results_agree() {
+        let mo = mediator(true, AccessMode::Lazy);
+        let mn = mediator(false, AccessMode::Lazy);
+        let mut so = mo.session();
+        let mut sn = mn.session();
+        let po = so.query(Q1).unwrap();
+        let pn = sn.query(Q1).unwrap();
+        assert_eq!(so.render(po), sn.render(pn));
+        // And for the composed query.
+        let q2 = "FOR $P IN document(root)/CustRec WHERE $P/customer/name < \"E\" RETURN $P";
+        let po2 = so.q(q2, po).unwrap();
+        let pn2 = sn.q(q2, pn).unwrap();
+        assert_eq!(so.render(po2), sn.render(pn2));
+    }
+
+    #[test]
+    fn views_compose_by_name() {
+        let (cat, _) = fig2_catalog();
+        let mut m = Mediator::new(cat);
+        m.define_view("custorders", Q1).unwrap();
+        let mut s = m.session();
+        let p = s
+            .query(
+                "FOR $R IN document(custorders)/CustRec $S IN $R/OrderInfo \
+                 WHERE $S/order/value > 20000 RETURN $R",
+            )
+            .unwrap();
+        // Only XYZ123 has an order above 20000.
+        assert_eq!(s.child_count(p), 1);
+        let rec = s.d(p).unwrap();
+        assert!(s.render(rec).contains("XYZInc."), "{}", s.render(rec));
+        // The optimized plan pushed a single SQL self-join.
+        let text = s.result_info(p).exec_plan.render();
+        assert_eq!(text.matches("rQ(").count(), 1, "{text}");
+        assert!(text.contains("SELECT DISTINCT"), "{text}");
+    }
+
+    /// Strip oids (identity) from a tree rendering, keeping structure
+    /// and content — plan transformations may rename skolem variable
+    /// tags without changing the result's content.
+    fn content_only(rendered: &str) -> String {
+        rendered
+            .lines()
+            .map(|l| {
+                let trimmed = l.trim_start();
+                let indent = &l[..l.len() - trimmed.len()];
+                let rest = match trimmed.strip_prefix('&') {
+                    Some(r) => r.split_once(' ').map(|(_, rest)| rest).unwrap_or(""),
+                    None => trimmed,
+                };
+                format!("{indent}{rest}")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn q_materialized_baseline_agrees_with_decontext() {
+        let m = mediator(true, AccessMode::Lazy);
+        let mut s = m.session();
+        let p0 = s.query(Q1).unwrap();
+        let p1 = s.d(p0).unwrap();
+        let q3 = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O";
+        let a = s.q(q3, p1).unwrap();
+        let b = s.q_materialized(q3, p1).unwrap();
+        assert_eq!(content_only(&s.render(a)), content_only(&s.render(b)));
+    }
+
+    #[test]
+    fn fv_and_oid_commands() {
+        let m = mediator(true, AccessMode::Lazy);
+        let mut s = m.session();
+        let p0 = s.query("FOR $C IN source(&root1)/customer RETURN $C").unwrap();
+        let cust = s.d(p0).unwrap();
+        assert_eq!(s.oid(cust).to_string(), "&DEF345");
+        assert!(s.fv(cust).is_none());
+        let id_field = s.d(cust).unwrap();
+        let leaf = s.d(id_field).unwrap();
+        assert_eq!(s.fv(leaf), Some(Value::str("DEF345")));
+        assert!(s.d(leaf).is_none());
+    }
+
+    #[test]
+    fn stray_document_root_is_rejected() {
+        let m = mediator(true, AccessMode::Lazy);
+        let mut s = m.session();
+        assert!(s.query("FOR $X IN document(root)/a RETURN $X").is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! Plan splicing: substituting a view plan for `mksrc` operators.
+
+use mix_algebra::plan::{all_vars, fresh_var, rename_var};
+use mix_algebra::{Op, Plan};
+use mix_common::Name;
+use std::collections::HashMap;
+
+/// Alpha-rename `view` so none of its variables collide with
+/// `taken_vars`. Returns the renamed plan and the old→new mapping.
+pub fn alpha_rename(view: &Op, taken_vars: &[Name]) -> (Op, HashMap<Name, Name>) {
+    let mut renamed = view.clone();
+    let mut taken: Vec<Name> = taken_vars.to_vec();
+    taken.extend(all_vars(view));
+    let mut mapping = HashMap::new();
+    for v in all_vars(view) {
+        if taken_vars.contains(&v) {
+            let fresh = fresh_var(&format!("{v}v"), &taken);
+            taken.push(fresh.clone());
+            renamed = rename_var(&renamed, &v, &fresh);
+            mapping.insert(v, fresh);
+        } else {
+            mapping.insert(v.clone(), v);
+        }
+    }
+    (renamed, mapping)
+}
+
+/// Replace every `mksrc(source, $v)` on `source_name` with the spliced
+/// subtree produced by `make(var)`.
+pub fn replace_mksrc(op: &Op, source_name: &str, make: &dyn Fn(&Name) -> Op) -> Op {
+    match op {
+        Op::MkSrc { source, var } if source.as_str() == source_name => make(var),
+        _ => {
+            let kids = crate::splice::children_of(op);
+            let mut out = op.clone();
+            for (i, k) in kids.iter().enumerate() {
+                out = crate::splice::with_child_of(&out, i, replace_mksrc(k, source_name, make));
+            }
+            out
+        }
+    }
+}
+
+/// Does the plan reference the given source with `mksrc`?
+pub fn references_source(op: &Op, source_name: &str) -> bool {
+    match op {
+        Op::MkSrc { source, .. } => source.as_str() == source_name,
+        _ => children_of(op).iter().any(|c| references_source(c, source_name)),
+    }
+}
+
+/// Naive composition (Fig. 13): query plan with the view plan inlined
+/// under `mksrc` via [`Op::MkSrcOver`].
+pub fn compose(query: &Plan, source_name: &str, view: &Plan) -> Plan {
+    let qvars = all_vars(&query.root);
+    let (view_renamed, _) = alpha_rename(&view.root, &qvars);
+    let root = replace_mksrc(&query.root, source_name, &|var| Op::MkSrcOver {
+        input: Box::new(view_renamed.clone()),
+        var: var.clone(),
+    });
+    Plan::new(root)
+}
+
+// Local copies of the child-walk helpers (they live in mix-rewrite's
+// private util module; duplicated here to keep crate boundaries clean).
+
+pub(crate) fn children_of(op: &Op) -> Vec<&Op> {
+    let mut c = op.inputs();
+    if let Op::Apply { plan, .. } = op {
+        c.push(plan);
+    }
+    c
+}
+
+pub(crate) fn with_child_of(op: &Op, n: usize, new: Op) -> Op {
+    let mut op = op.clone();
+    let boxed = Box::new(new);
+    match &mut op {
+        Op::MkSrcOver { input, .. }
+        | Op::GetD { input, .. }
+        | Op::Select { input, .. }
+        | Op::Project { input, .. }
+        | Op::CrElt { input, .. }
+        | Op::Cat { input, .. }
+        | Op::TupleDestroy { input, .. }
+        | Op::GroupBy { input, .. }
+        | Op::OrderBy { input, .. } => {
+            assert_eq!(n, 0);
+            *input = boxed;
+        }
+        Op::Apply { input, plan, .. } => match n {
+            0 => *input = boxed,
+            1 => *plan = boxed,
+            _ => panic!("apply has two children"),
+        },
+        Op::Join { left, right, .. } | Op::SemiJoin { left, right, .. } => match n {
+            0 => *left = boxed,
+            1 => *right = boxed,
+            _ => panic!("join has two children"),
+        },
+        Op::MkSrc { .. } | Op::NestedSrc { .. } | Op::RelQuery { .. } | Op::Empty { .. } => {
+            panic!("leaf operator has no children")
+        }
+    }
+    op
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_algebra::{translate, translate_with_root, validate};
+    use mix_xquery::parse_query;
+
+    const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
+         WHERE $C/id/data() = $O/cid/data() \
+         RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
+
+    #[test]
+    fn compose_produces_fig13_shape() {
+        let view = translate_with_root(&parse_query(Q1).unwrap(), "rootv").unwrap();
+        let q = translate(&parse_query(
+            "FOR $R in document(rootv)/CustRec $S in $R/OrderInfo \
+             WHERE $S/order/value > 20000 RETURN $R",
+        ).unwrap()).unwrap();
+        let naive = compose(&q, "rootv", &view);
+        validate(&naive).unwrap();
+        let text = naive.render();
+        assert!(text.contains("mksrc(<view>, $K)"), "{text}");
+        assert!(text.contains("tD($Vv0, rootv)") || text.contains("tD($V, rootv)"), "{text}");
+        assert!(!super::references_source(&naive.root, "rootv"), "{text}");
+    }
+
+    #[test]
+    fn alpha_rename_avoids_collisions() {
+        let view = translate(&parse_query(Q1).unwrap()).unwrap();
+        let taken = [mix_common::Name::new("C"), mix_common::Name::new("V")];
+        let (renamed, mapping) = alpha_rename(&view.root, &taken);
+        let vars = all_vars(&renamed);
+        assert!(!vars.contains(&mix_common::Name::new("C")));
+        assert!(!vars.contains(&mix_common::Name::new("V")));
+        assert_ne!(mapping[&mix_common::Name::new("C")], mix_common::Name::new("C"));
+        // untouched vars map to themselves
+        assert_eq!(mapping[&mix_common::Name::new("O")], mix_common::Name::new("O"));
+    }
+
+    #[test]
+    fn references_source_detects() {
+        let view = translate(&parse_query(Q1).unwrap()).unwrap();
+        assert!(references_source(&view.root, "root1"));
+        assert!(references_source(&view.root, "root2"));
+        assert!(!references_source(&view.root, "rootv"));
+    }
+}

@@ -1,0 +1,226 @@
+//! The SQL subset's abstract syntax.
+//!
+//! Covers exactly what the MIX rewriter generates (Fig. 22) and what a
+//! relational source must accept: conjunctive select-project-join
+//! queries with optional `DISTINCT` and `ORDER BY`:
+//!
+//! ```sql
+//! SELECT c1.id, c1.name, o1.orid, o1.value
+//! FROM customer c1, orders o1
+//! WHERE c1.id = o1.cid AND o1.value > 20000
+//! ORDER BY c1.id, o1.orid
+//! ```
+
+use mix_common::{CmpOp, Name, Value};
+use std::fmt;
+
+/// A possibly-qualified column reference: `c1.id` or `id`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColRef {
+    /// Table alias or table name; `None` when unqualified.
+    pub qualifier: Option<Name>,
+    /// Column name.
+    pub column: Name,
+}
+
+impl ColRef {
+    /// A qualified reference `q.c`.
+    pub fn qualified(q: impl Into<Name>, c: impl Into<Name>) -> ColRef {
+        ColRef { qualifier: Some(q.into()), column: c.into() }
+    }
+
+    /// An unqualified reference `c`.
+    pub fn bare(c: impl Into<Name>) -> ColRef {
+        ColRef { qualifier: None, column: c.into() }
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// A projected item (column, optionally `AS alias`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectItem {
+    pub col: ColRef,
+    pub alias: Option<Name>,
+}
+
+/// A FROM-list entry: table name plus optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FromItem {
+    pub table: Name,
+    pub alias: Option<Name>,
+}
+
+impl FromItem {
+    /// The name this item binds in the query (alias, else table name).
+    pub fn binding(&self) -> &Name {
+        self.alias.as_ref().unwrap_or(&self.table)
+    }
+}
+
+/// The right-hand side of a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    Col(ColRef),
+    Const(Value),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Col(c) => write!(f, "{c}"),
+            Operand::Const(Value::Str(s)) => write!(f, "'{}'", s.replace('\'', "''")),
+            Operand::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One conjunct of the WHERE clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pred {
+    pub lhs: ColRef,
+    pub op: CmpOp,
+    pub rhs: Operand,
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// A SELECT statement in the supported subset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    /// Empty means `SELECT *`.
+    pub items: Vec<SelectItem>,
+    pub from: Vec<FromItem>,
+    /// Conjunctive WHERE clause.
+    pub preds: Vec<Pred>,
+    pub order_by: Vec<ColRef>,
+}
+
+impl SelectStmt {
+    /// A `SELECT * FROM table` scan.
+    pub fn scan(table: impl Into<Name>) -> SelectStmt {
+        SelectStmt {
+            distinct: false,
+            items: vec![],
+            from: vec![FromItem { table: table.into(), alias: None }],
+            preds: vec![],
+            order_by: vec![],
+        }
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        if self.items.is_empty() {
+            write!(f, "*")?;
+        } else {
+            for (i, it) in self.items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", it.col)?;
+                if let Some(a) = &it.alias {
+                    write!(f, " AS {a}")?;
+                }
+            }
+        }
+        write!(f, " FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", t.table)?;
+            if let Some(a) = &t.alias {
+                write!(f, " {a}")?;
+            }
+        }
+        if !self.preds.is_empty() {
+            write!(f, " WHERE ")?;
+            for (i, p) in self.preds.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{p}")?;
+            }
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, c) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_fig22_style() {
+        let q = SelectStmt {
+            distinct: false,
+            items: vec![
+                SelectItem { col: ColRef::qualified("c1", "id"), alias: None },
+                SelectItem { col: ColRef::qualified("o1", "value"), alias: None },
+            ],
+            from: vec![
+                FromItem { table: Name::new("customer"), alias: Some(Name::new("c1")) },
+                FromItem { table: Name::new("orders"), alias: Some(Name::new("o1")) },
+            ],
+            preds: vec![
+                Pred {
+                    lhs: ColRef::qualified("c1", "id"),
+                    op: CmpOp::Eq,
+                    rhs: Operand::Col(ColRef::qualified("o1", "cid")),
+                },
+                Pred {
+                    lhs: ColRef::qualified("o1", "value"),
+                    op: CmpOp::Gt,
+                    rhs: Operand::Const(Value::Int(20000)),
+                },
+            ],
+            order_by: vec![ColRef::qualified("c1", "id"), ColRef::qualified("o1", "orid")],
+        };
+        assert_eq!(
+            q.to_string(),
+            "SELECT c1.id, o1.value FROM customer c1, orders o1 \
+             WHERE c1.id = o1.cid AND o1.value > 20000 ORDER BY c1.id, o1.orid"
+        );
+    }
+
+    #[test]
+    fn string_constants_are_quoted() {
+        let p = Pred {
+            lhs: ColRef::bare("name"),
+            op: CmpOp::Lt,
+            rhs: Operand::Const(Value::str("B's")),
+        };
+        assert_eq!(p.to_string(), "name < 'B''s'");
+    }
+
+    #[test]
+    fn scan_displays_star() {
+        assert_eq!(SelectStmt::scan("customer").to_string(), "SELECT * FROM customer");
+    }
+}

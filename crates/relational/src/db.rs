@@ -1,0 +1,144 @@
+//! The database: a named catalog of tables plus the query entry point.
+
+use crate::ast::SelectStmt;
+use crate::exec::Cursor;
+use crate::parser::parse_sql;
+use crate::plan::build_plan;
+use crate::schema::Schema;
+use crate::table::{Row, Table};
+use mix_common::{MixError, Name, Result, Stats};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// An in-memory relational database acting as one MIX source server.
+#[derive(Debug, Clone)]
+pub struct Database {
+    name: Name,
+    tables: BTreeMap<Name, Rc<Table>>,
+    stats: Stats,
+}
+
+impl Database {
+    /// An empty database named `name` (the mediator's "server name" —
+    /// the `s` parameter of the `rQ` operator).
+    pub fn new(name: impl Into<Name>) -> Database {
+        Database { name: name.into(), tables: BTreeMap::new(), stats: Stats::new() }
+    }
+
+    /// The server name.
+    pub fn name(&self) -> &Name {
+        &self.name
+    }
+
+    /// The shared per-source counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Create an empty table.
+    pub fn create_table(&mut self, name: impl Into<Name>, schema: Schema) -> Result<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(MixError::invalid(format!("table {name} already exists")));
+        }
+        self.tables.insert(name, Rc::new(Table::new(schema)));
+        Ok(())
+    }
+
+    /// Insert one row.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<()> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| MixError::unknown("table", table))?;
+        Rc::make_mut(t).insert(row)
+    }
+
+    /// Insert many rows.
+    pub fn insert_all<I: IntoIterator<Item = Row>>(&mut self, table: &str, rows: I) -> Result<()> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| MixError::unknown("table", table))?;
+        Rc::make_mut(t).insert_all(rows)
+    }
+
+    /// Sort a table by its primary key (deterministic wrapper exports).
+    pub fn sort_table_by_key(&mut self, table: &str) -> Result<()> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| MixError::unknown("table", table))?;
+        Rc::make_mut(t).sort_by_key();
+        Ok(())
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<Rc<Table>> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| MixError::unknown("table", name))
+    }
+
+    /// Table names in the catalog (sorted).
+    pub fn table_names(&self) -> Vec<Name> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Execute a parsed statement, returning a pipelined [`Cursor`].
+    ///
+    /// Each call counts as one SQL query against this source.
+    pub fn execute(&self, stmt: &SelectStmt) -> Result<Cursor> {
+        let plan = build_plan(self, stmt)?;
+        self.stats.add_sql_query(1);
+        Ok(Cursor::new(&plan, self.stats.clone()))
+    }
+
+    /// Parse and execute SQL text.
+    pub fn execute_sql(&self, sql: &str) -> Result<Cursor> {
+        self.execute(&parse_sql(sql)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fixtures::sample_db;
+    use mix_common::Value;
+
+    #[test]
+    fn catalog_operations() {
+        let db = sample_db();
+        assert_eq!(db.name().as_str(), "db1");
+        let names: Vec<String> = db.table_names().iter().map(|n| n.to_string()).collect();
+        assert_eq!(names, vec!["customer", "orders"]);
+        assert!(db.table("customer").is_ok());
+        assert!(db.table("nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = sample_db();
+        let schema = db.table("customer").unwrap().schema().clone();
+        assert!(db.create_table("customer", schema).is_err());
+    }
+
+    #[test]
+    fn query_counts_in_stats() {
+        let db = sample_db();
+        db.stats().reset();
+        let _ = db.execute_sql("SELECT * FROM customer").unwrap().collect_all();
+        let _ = db.execute_sql("SELECT * FROM orders").unwrap().collect_all();
+        assert_eq!(db.stats().sql_queries(), 2);
+        assert_eq!(db.stats().tuples_shipped(), 2 + 3);
+    }
+
+    #[test]
+    fn insert_after_share_uses_cow() {
+        let mut db = sample_db();
+        let before = db.table("orders").unwrap(); // hold an Rc
+        db.insert("orders", vec![Value::Int(5), Value::str("DEF345"), Value::Int(7)]).unwrap();
+        assert_eq!(before.len(), 3); // old snapshot unchanged
+        assert_eq!(db.table("orders").unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,169 @@
+//! Shared test and benchmark fixtures.
+//!
+//! [`sample_db`] is the paper's running-example database (Fig. 2):
+//! relations `customer(id, addr, name)` and `orders(orid, cid, value)`.
+//! [`gen_db`] scales the same shape to arbitrary sizes for benchmarks,
+//! using a tiny deterministic LCG so fixtures never depend on external
+//! randomness.
+
+use crate::db::Database;
+use crate::schema::{Column, ColumnType, Schema};
+use mix_common::Value;
+
+/// The Fig. 2 database: two customers, three orders.
+///
+/// * `customer`: `XYZ123` (LosAngeles, XYZInc.), `DEF345` (NewYork,
+///   DEFCorp.)
+/// * `orders`: `28904` (XYZ123, 2400), `87456` (XYZ123, 200000),
+///   `99111` (DEF345, 500)
+pub fn sample_db() -> Database {
+    let mut db = Database::new("db1");
+    db.create_table(
+        "customer",
+        Schema::new(
+            vec![
+                Column::new("id", ColumnType::Text),
+                Column::new("addr", ColumnType::Text),
+                Column::new("name", ColumnType::Text),
+            ],
+            &["id"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        "orders",
+        Schema::new(
+            vec![
+                Column::new("orid", ColumnType::Int),
+                Column::new("cid", ColumnType::Text),
+                Column::new("value", ColumnType::Int),
+            ],
+            &["orid"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    for (id, addr, name) in [
+        ("XYZ123", "LosAngeles", "XYZInc."),
+        ("DEF345", "NewYork", "DEFCorp."),
+    ] {
+        db.insert("customer", vec![Value::str(id), Value::str(addr), Value::str(name)]).unwrap();
+    }
+    for (orid, cid, value) in [(28904, "XYZ123", 2400), (87456, "XYZ123", 200000), (99111, "DEF345", 500)] {
+        db.insert("orders", vec![Value::Int(orid), Value::str(cid), Value::Int(value)]).unwrap();
+    }
+    db
+}
+
+/// A tiny deterministic linear congruential generator (so fixtures and
+/// benches are reproducible without a rand dependency here).
+#[derive(Debug, Clone)]
+pub struct Lcg(pub u64);
+
+impl Lcg {
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        // Numerical Recipes LCG constants.
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            // Modulo bias is irrelevant for workload generation.
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// A scaled customers/orders database: `n_customers` customers, each
+/// with `orders_per_customer` orders whose values are uniform in
+/// `[0, 100_000)`. Customer ids are `C000000`-style so lexicographic
+/// order equals generation order; names spread across the alphabet so
+/// prefix predicates (Q2's `name < "B"`) have tunable selectivity.
+pub fn gen_db(n_customers: usize, orders_per_customer: usize, seed: u64) -> Database {
+    let mut db = sample_template();
+    let mut rng = Lcg(seed);
+    let mut orid = 1i64;
+    for i in 0..n_customers {
+        let id = format!("C{i:06}");
+        let name = format!("{}{}Co.", (b'A' + (i % 26) as u8) as char, i);
+        let addr = ["LosAngeles", "NewYork", "SanDiego", "Austin"][(rng.below(4)) as usize];
+        db.insert("customer", vec![Value::str(&id), Value::str(addr), Value::str(name)]).unwrap();
+        for _ in 0..orders_per_customer {
+            let value = rng.below(100_000) as i64;
+            db.insert("orders", vec![Value::Int(orid), Value::str(&id), Value::Int(value)])
+                .unwrap();
+            orid += 1;
+        }
+    }
+    db
+}
+
+fn sample_template() -> Database {
+    let mut db = Database::new("db1");
+    db.create_table(
+        "customer",
+        Schema::new(
+            vec![
+                Column::new("id", ColumnType::Text),
+                Column::new("addr", ColumnType::Text),
+                Column::new("name", ColumnType::Text),
+            ],
+            &["id"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        "orders",
+        Schema::new(
+            vec![
+                Column::new("orid", ColumnType::Int),
+                Column::new("cid", ColumnType::Text),
+                Column::new("value", ColumnType::Int),
+            ],
+            &["orid"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_matches_fig2() {
+        let db = sample_db();
+        assert_eq!(db.table("customer").unwrap().len(), 2);
+        assert_eq!(db.table("orders").unwrap().len(), 3);
+        let c = db.table("customer").unwrap();
+        assert_eq!(c.schema().key_text(&c.rows()[0]), "XYZ123");
+    }
+
+    #[test]
+    fn gen_db_scales_and_is_deterministic() {
+        let a = gen_db(10, 3, 42);
+        let b = gen_db(10, 3, 42);
+        assert_eq!(a.table("orders").unwrap().len(), 30);
+        assert_eq!(a.table("orders").unwrap().rows(), b.table("orders").unwrap().rows());
+        let c = gen_db(10, 3, 43);
+        assert_ne!(a.table("orders").unwrap().rows(), c.table("orders").unwrap().rows());
+    }
+
+    #[test]
+    fn lcg_bounds() {
+        let mut r = Lcg(7);
+        for _ in 0..100 {
+            assert!(r.below(10) < 10);
+        }
+        assert_eq!(Lcg(1).below(0), 0);
+    }
+}

@@ -1,0 +1,375 @@
+//! SQL subset lexer and parser.
+
+use crate::ast::{ColRef, FromItem, Operand, Pred, SelectItem, SelectStmt};
+use mix_common::{CmpOp, MixError, Name, Result, Value};
+
+/// Parse one SELECT statement (optional trailing `;`).
+pub fn parse_sql(text: &str) -> Result<SelectStmt> {
+    let tokens = lex(text)?;
+    let mut p = P { toks: &tokens, pos: 0 };
+    let stmt = p.select()?;
+    p.eat_opt(&Tok::Semi);
+    if p.pos != p.toks.len() {
+        return Err(MixError::parse("sql", p.pos, format!("unexpected token {:?}", p.toks[p.pos])));
+    }
+    Ok(stmt)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Num(Value),
+    Comma,
+    Dot,
+    Star,
+    Semi,
+    Op(CmpOp),
+}
+
+fn lex(text: &str) -> Result<Vec<Tok>> {
+    let b = text.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            b'.' => {
+                out.push(Tok::Dot);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            b';' => {
+                out.push(Tok::Semi);
+                i += 1;
+            }
+            b'=' => {
+                out.push(Tok::Op(CmpOp::Eq));
+                i += 1;
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Op(CmpOp::Le));
+                    i += 2;
+                } else if b.get(i + 1) == Some(&b'>') {
+                    out.push(Tok::Op(CmpOp::Ne));
+                    i += 2;
+                } else {
+                    out.push(Tok::Op(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Op(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    out.push(Tok::Op(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Op(CmpOp::Ne));
+                    i += 2;
+                } else {
+                    return Err(MixError::parse("sql", i, "stray '!'"));
+                }
+            }
+            b'\'' => {
+                // SQL string literal with '' escaping.
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(i) {
+                        None => return Err(MixError::parse("sql", i, "unterminated string")),
+                        Some(b'\'') => {
+                            if b.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&ch) => {
+                            s.push(ch as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Tok::Str(s));
+            }
+            b'0'..=b'9' | b'-' => {
+                let start = i;
+                i += 1;
+                let mut is_float = false;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    if b[i] == b'.' {
+                        // `1.x` where x is not a digit is a syntax error we let parse fail on
+                        if is_float {
+                            break;
+                        }
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let textn = &text[start..i];
+                let v = if is_float {
+                    textn
+                        .parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|_| MixError::parse("sql", start, "bad number"))?
+                } else {
+                    textn
+                        .parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|_| MixError::parse("sql", start, "bad number"))?
+                };
+                out.push(Tok::Num(v));
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Tok::Ident(text[start..i].to_string()));
+            }
+            _ => return Err(MixError::parse("sql", i, format!("unexpected character {:?}", c as char))),
+        }
+    }
+    Ok(out)
+}
+
+struct P<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn eat_opt(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        if self.is_keyword(kw) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(MixError::parse("sql", self.pos, format!("expected {kw}")))
+        }
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<Name> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let n = Name::new(s);
+                self.pos += 1;
+                Ok(n)
+            }
+            t => Err(MixError::parse("sql", self.pos, format!("expected identifier, got {t:?}"))),
+        }
+    }
+
+    fn colref(&mut self) -> Result<ColRef> {
+        let first = self.ident()?;
+        if self.eat_opt(&Tok::Dot) {
+            let col = self.ident()?;
+            Ok(ColRef { qualifier: Some(first), column: col })
+        } else {
+            Ok(ColRef { qualifier: None, column: first })
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.keyword("SELECT")?;
+        let distinct = if self.is_keyword("DISTINCT") {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        if self.eat_opt(&Tok::Star) {
+            // SELECT * — items stays empty
+        } else {
+            loop {
+                let col = self.colref()?;
+                let alias = if self.is_keyword("AS") {
+                    self.pos += 1;
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem { col, alias });
+                if !self.eat_opt(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.keyword("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            let table = self.ident()?;
+            // optional alias: a bare identifier that is not a keyword
+            let alias = match self.peek() {
+                Some(Tok::Ident(s))
+                    if !["WHERE", "ORDER", "AS"].iter().any(|k| s.eq_ignore_ascii_case(k)) =>
+                {
+                    Some(self.ident()?)
+                }
+                _ => None,
+            };
+            from.push(FromItem { table, alias });
+            if !self.eat_opt(&Tok::Comma) {
+                break;
+            }
+        }
+        let mut preds = Vec::new();
+        if self.is_keyword("WHERE") {
+            self.pos += 1;
+            loop {
+                let lhs = self.colref()?;
+                let op = match self.peek() {
+                    Some(Tok::Op(op)) => {
+                        let op = *op;
+                        self.pos += 1;
+                        op
+                    }
+                    t => {
+                        return Err(MixError::parse(
+                            "sql",
+                            self.pos,
+                            format!("expected comparison operator, got {t:?}"),
+                        ))
+                    }
+                };
+                let rhs = match self.peek() {
+                    Some(Tok::Num(v)) => {
+                        let v = v.clone();
+                        self.pos += 1;
+                        Operand::Const(v)
+                    }
+                    Some(Tok::Str(s)) => {
+                        let v = Value::str(s.clone());
+                        self.pos += 1;
+                        Operand::Const(v)
+                    }
+                    Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("true") => {
+                        self.pos += 1;
+                        Operand::Const(Value::Bool(true))
+                    }
+                    Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("false") => {
+                        self.pos += 1;
+                        Operand::Const(Value::Bool(false))
+                    }
+                    _ => Operand::Col(self.colref()?),
+                };
+                preds.push(Pred { lhs, op, rhs });
+                if self.is_keyword("AND") {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.is_keyword("ORDER") {
+            self.pos += 1;
+            self.keyword("BY")?;
+            loop {
+                order_by.push(self.colref()?);
+                if !self.eat_opt(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        Ok(SelectStmt { distinct, items, from, preds, order_by })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_common::CmpOp;
+
+    #[test]
+    fn parses_fig22_query() {
+        // The query the rewriter ships to the source in Fig. 22.
+        let q = parse_sql(
+            "SELECT c1.id, c1.name, c1.addr, o1.orid, o1.value \
+             FROM customer c1, orders o1, customer c2, orders o2 \
+             WHERE c1.id = o1.cid AND c2.id = o2.cid AND c1.id = c2.id AND o2.value > 20000 \
+             ORDER BY c1.id, o1.orid",
+        )
+        .unwrap();
+        assert_eq!(q.items.len(), 5);
+        assert_eq!(q.from.len(), 4);
+        assert_eq!(q.preds.len(), 4);
+        assert_eq!(q.order_by.len(), 2);
+        assert_eq!(q.from[2].binding().as_str(), "c2");
+        assert_eq!(q.preds[3].op, CmpOp::Gt);
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let text = "SELECT DISTINCT c.id AS cid FROM customer c \
+                    WHERE c.name < 'B' AND c.id != 'X' ORDER BY c.id";
+        let q = parse_sql(text).unwrap();
+        assert_eq!(parse_sql(&q.to_string()).unwrap(), q);
+        assert!(q.distinct);
+        assert_eq!(q.items[0].alias.as_ref().unwrap().as_str(), "cid");
+    }
+
+    #[test]
+    fn parses_star_and_bare_columns() {
+        let q = parse_sql("SELECT * FROM orders WHERE value >= 100;").unwrap();
+        assert!(q.items.is_empty());
+        assert_eq!(q.preds[0].lhs, ColRef::bare("value"));
+        assert_eq!(q.preds[0].rhs, Operand::Const(Value::Int(100)));
+    }
+
+    #[test]
+    fn string_escapes_and_numbers() {
+        let q = parse_sql("SELECT * FROM t WHERE a = 'it''s' AND b = -2 AND c = 2.5").unwrap();
+        assert_eq!(q.preds[0].rhs, Operand::Const(Value::str("it's")));
+        assert_eq!(q.preds[1].rhs, Operand::Const(Value::Int(-2)));
+        assert_eq!(q.preds[2].rhs, Operand::Const(Value::Float(2.5)));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse_sql("select * from t where a = 1 order by a").is_ok());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_sql("SELECT FROM t").is_err());
+        assert!(parse_sql("SELECT a FROM").is_err());
+        assert!(parse_sql("SELECT a FROM t WHERE a").is_err());
+        assert!(parse_sql("SELECT a FROM t extra garbage here").is_err());
+        assert!(parse_sql("UPDATE t SET a = 1").is_err());
+        assert!(parse_sql("SELECT a FROM t WHERE a = 'unterminated").is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Table schemas.
+
+use mix_common::{MixError, Name, Result, Value};
+use std::fmt;
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    Int,
+    Float,
+    Text,
+    Bool,
+}
+
+impl ColumnType {
+    /// Does a value inhabit this type? `Null` inhabits every type.
+    pub fn admits(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_))
+                | (ColumnType::Float, Value::Int(_))
+                | (ColumnType::Text, Value::Str(_))
+                | (ColumnType::Bool, Value::Bool(_))
+        )
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColumnType::Int => "INT",
+            ColumnType::Float => "FLOAT",
+            ColumnType::Text => "TEXT",
+            ColumnType::Bool => "BOOL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: Name,
+    pub ty: ColumnType,
+}
+
+impl Column {
+    /// Build a column.
+    pub fn new(name: impl Into<Name>, ty: ColumnType) -> Column {
+        Column { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of columns plus the primary-key column positions.
+///
+/// The key matters to the mediator: the relational wrapper "assigns the
+/// tuple keys (eg, XYZ123) to be the oid's of the corresponding 'tuple'
+/// objects".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+    key: Vec<usize>,
+}
+
+impl Schema {
+    /// Build a schema; `key` names the primary-key columns (must be a
+    /// non-empty subset of `columns`).
+    pub fn new(columns: Vec<Column>, key: &[&str]) -> Result<Schema> {
+        if columns.is_empty() {
+            return Err(MixError::invalid("schema needs at least one column"));
+        }
+        let mut key_idx = Vec::with_capacity(key.len());
+        for k in key {
+            let pos = columns
+                .iter()
+                .position(|c| c.name.as_str() == *k)
+                .ok_or_else(|| MixError::unknown("key column", *k))?;
+            key_idx.push(pos);
+        }
+        if key_idx.is_empty() {
+            return Err(MixError::invalid("schema needs a primary key"));
+        }
+        let mut names: Vec<&str> = columns.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        if names.len() != columns.len() {
+            return Err(MixError::invalid("duplicate column name"));
+        }
+        Ok(Schema { columns, key: key_idx })
+    }
+
+    /// The columns, in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Primary-key column positions.
+    pub fn key(&self) -> &[usize] {
+        &self.key
+    }
+
+    /// Position of a column by name.
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.as_str() == name)
+    }
+
+    /// Render a row's key as the wrapper's oid text, e.g. `XYZ123` or
+    /// `12|west` for composite keys.
+    pub fn key_text(&self, row: &[Value]) -> String {
+        let mut out = String::new();
+        for (i, &k) in self.key.iter().enumerate() {
+            if i > 0 {
+                out.push('|');
+            }
+            out.push_str(&row[k].to_string());
+        }
+        out
+    }
+
+    /// Check a row against the schema (arity + types).
+    pub fn check_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(MixError::invalid(format!(
+                "row arity {} != schema arity {}",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        for (v, c) in row.iter().zip(&self.columns) {
+            if !c.ty.admits(v) {
+                return Err(MixError::invalid(format!(
+                    "value {v} does not fit column {} : {}",
+                    c.name, c.ty
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customers() -> Schema {
+        Schema::new(
+            vec![
+                Column::new("id", ColumnType::Text),
+                Column::new("name", ColumnType::Text),
+                Column::new("addr", ColumnType::Text),
+            ],
+            &["id"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_and_key() {
+        let s = customers();
+        assert_eq!(s.col_index("name"), Some(1));
+        assert_eq!(s.col_index("nope"), None);
+        assert_eq!(s.key(), &[0]);
+        let row = vec![Value::str("XYZ123"), Value::str("XYZInc."), Value::str("LA")];
+        assert_eq!(s.key_text(&row), "XYZ123");
+    }
+
+    #[test]
+    fn composite_key_text() {
+        let s = Schema::new(
+            vec![Column::new("a", ColumnType::Int), Column::new("b", ColumnType::Text)],
+            &["a", "b"],
+        )
+        .unwrap();
+        assert_eq!(s.key_text(&[Value::Int(12), Value::str("west")]), "12|west");
+    }
+
+    #[test]
+    fn row_checking() {
+        let s = customers();
+        assert!(s.check_row(&[Value::str("a"), Value::str("b"), Value::str("c")]).is_ok());
+        assert!(s.check_row(&[Value::Int(1), Value::str("b"), Value::str("c")]).is_err());
+        assert!(s.check_row(&[Value::str("a")]).is_err());
+        // NULL fits anywhere
+        assert!(s.check_row(&[Value::str("a"), Value::Null, Value::Null]).is_ok());
+    }
+
+    #[test]
+    fn schema_validation() {
+        assert!(Schema::new(vec![], &[]).is_err());
+        assert!(Schema::new(vec![Column::new("a", ColumnType::Int)], &["b"]).is_err());
+        assert!(Schema::new(vec![Column::new("a", ColumnType::Int)], &[]).is_err());
+        assert!(Schema::new(
+            vec![Column::new("a", ColumnType::Int), Column::new("a", ColumnType::Int)],
+            &["a"]
+        )
+        .is_err());
+        // int admits into float column
+        let s = Schema::new(vec![Column::new("x", ColumnType::Float)], &["x"]).unwrap();
+        assert!(s.check_row(&[Value::Int(3)]).is_ok());
+    }
+}

@@ -1,0 +1,110 @@
+//! Row storage.
+
+use crate::schema::Schema;
+use mix_common::{Result, Value};
+
+/// One tuple.
+pub type Row = Vec<Value>;
+
+/// An in-memory table: a schema plus rows in insertion order.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(schema: Schema) -> Table {
+        Table { schema, rows: Vec::new() }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Append a row after schema checking.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        self.schema.check_row(&row)?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Append many rows.
+    pub fn insert_all<I: IntoIterator<Item = Row>>(&mut self, rows: I) -> Result<()> {
+        for r in rows {
+            self.insert(r)?;
+        }
+        Ok(())
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Sort rows by the primary key (the wrapper exports tuples in key
+    /// order so repeated scans are deterministic).
+    pub fn sort_by_key(&mut self) {
+        let key: Vec<usize> = self.schema.key().to_vec();
+        self.rows.sort_by(|a, b| {
+            for &k in &key {
+                let o = a[k].total_cmp(&b[k]);
+                if o != std::cmp::Ordering::Equal {
+                    return o;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+
+    fn orders() -> Table {
+        let s = Schema::new(
+            vec![
+                Column::new("orid", ColumnType::Int),
+                Column::new("cid", ColumnType::Text),
+                Column::new("value", ColumnType::Int),
+            ],
+            &["orid"],
+        )
+        .unwrap();
+        Table::new(s)
+    }
+
+    #[test]
+    fn insert_and_read() {
+        let mut t = orders();
+        t.insert(vec![Value::Int(28904), Value::str("XYZ123"), Value::Int(2400)]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rows()[0][2], Value::Int(2400));
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn sort_by_key_orders_rows() {
+        let mut t = orders();
+        for orid in [3, 1, 2] {
+            t.insert(vec![Value::Int(orid), Value::str("c"), Value::Int(0)]).unwrap();
+        }
+        t.sort_by_key();
+        let ids: Vec<_> = t.rows().iter().map(|r| r[0].clone()).collect();
+        assert_eq!(ids, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+    }
+}

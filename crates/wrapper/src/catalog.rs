@@ -1,0 +1,212 @@
+//! The source catalog: names → wrapped sources.
+//!
+//! `mksrc_{&srcid,$X}` and XQuery's `document("src")` refer to sources
+//! by root name. The catalog resolves those names and tells the
+//! rewriter which sources are relational (and with what schema), which
+//! is what makes SQL pushdown possible.
+
+use crate::lazy::LazyRelationalDoc;
+use crate::relsource::RelationSource;
+use mix_common::{MixError, Name, Result};
+use mix_relational::Database;
+use mix_xml::{Document, NavDoc};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// One registered source.
+#[derive(Clone)]
+pub enum Source {
+    /// An XML file source (already materialized; the paper notes the
+    /// opportunities for lazy QDOM evaluation on file sources are
+    /// limited, so they are fetched whole).
+    Xml(Rc<Document>),
+    /// A wrapped relation.
+    Relation(RelationSource),
+    /// Any navigable view — in particular another mediator's (virtual)
+    /// query result: "a MIX mediator can be such a source to another
+    /// MIX mediator [and] client navigations are translated into r and
+    /// d commands sent to the source" (Section 4).
+    Nav(Rc<dyn NavDoc>),
+}
+
+/// Named sources available to the mediator.
+#[derive(Clone, Default)]
+pub struct Catalog {
+    sources: HashMap<Name, Source>,
+    databases: HashMap<Name, Database>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register an XML document under its own name.
+    pub fn register_xml(&mut self, doc: Document) {
+        self.sources.insert(doc.name().clone(), Source::Xml(Rc::new(doc)));
+    }
+
+    /// Register an arbitrary navigable view (e.g. another mediator's
+    /// virtual result) under `name`. Navigation commands on this source
+    /// propagate straight into the view — if it is lazy, the whole
+    /// stack stays lazy.
+    pub fn register_nav(&mut self, name: impl Into<Name>, doc: Rc<dyn NavDoc>) {
+        self.sources.insert(name.into(), Source::Nav(doc));
+    }
+
+    /// Register a wrapped relation under its root name; its database is
+    /// also registered under the database's server name (for `rQ`).
+    pub fn register_relation(&mut self, src: RelationSource) {
+        self.databases.insert(src.db().name().clone(), src.db().clone());
+        self.sources.insert(src.root().clone(), Source::Relation(src));
+    }
+
+    /// Look up a source.
+    pub fn source(&self, name: &str) -> Result<&Source> {
+        self.sources.get(name).ok_or_else(|| MixError::unknown("source", name))
+    }
+
+    /// Registered source names (sorted, for deterministic output).
+    pub fn source_names(&self) -> Vec<Name> {
+        let mut v: Vec<Name> = self.sources.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// The relation info behind a source, if it is relational — the
+    /// hook the rewriter's pushdown planner uses.
+    pub fn relation_info(&self, name: &str) -> Option<&RelationSource> {
+        match self.sources.get(name) {
+            Some(Source::Relation(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// A database server by name (the `s` parameter of `rQ`).
+    pub fn database(&self, server: &str) -> Result<&Database> {
+        self.databases.get(server).ok_or_else(|| MixError::unknown("server", server))
+    }
+
+    /// A *materialized* navigable view of the source (the eager
+    /// baseline; ships the entire relation).
+    pub fn materialized(&self, name: &str) -> Result<Rc<dyn NavDoc>> {
+        match self.source(name)? {
+            Source::Xml(d) => Ok(Rc::clone(d) as Rc<dyn NavDoc>),
+            Source::Relation(r) => Ok(Rc::new(r.materialize()?) as Rc<dyn NavDoc>),
+            Source::Nav(d) => {
+                // Force the view into a plain document (the eager
+                // baseline for federated sources).
+                let mut doc = Document::new(
+                    Name::new(name),
+                    d.label(d.root()).unwrap_or_else(|| Name::new("list")),
+                );
+                let root = doc.root_ref();
+                copy_children(&**d, d.root(), &mut doc, root);
+                Ok(Rc::new(doc) as Rc<dyn NavDoc>)
+            }
+        }
+    }
+
+    /// A *lazy* navigable view of the source. XML file sources are
+    /// served from memory (per the paper, they are obtained in one
+    /// step); relational sources fetch tuples on demand.
+    pub fn lazy(&self, name: &str) -> Result<Rc<dyn NavDoc>> {
+        match self.source(name)? {
+            Source::Xml(d) => Ok(Rc::clone(d) as Rc<dyn NavDoc>),
+            Source::Relation(r) => Ok(Rc::new(r.lazy()) as Rc<dyn NavDoc>),
+            Source::Nav(d) => Ok(Rc::clone(d) as Rc<dyn NavDoc>),
+        }
+    }
+
+    /// A lazy view with its concrete type (tests want
+    /// [`LazyRelationalDoc::fetched`]).
+    pub fn lazy_relational(&self, name: &str) -> Result<LazyRelationalDoc> {
+        match self.source(name)? {
+            Source::Relation(r) => Ok(r.lazy()),
+            _ => Err(MixError::invalid(format!("source {name} is not relational"))),
+        }
+    }
+}
+
+fn copy_children(src: &dyn NavDoc, from: mix_xml::NodeRef, doc: &mut Document, to: mix_xml::NodeRef) {
+    let mut cur = src.first_child(from);
+    while let Some(c) = cur {
+        if let Some(v) = src.value(c) {
+            doc.add_text_with_oid(to, v, src.oid(c));
+        } else if let Some(label) = src.label(c) {
+            let new = doc.add_elem_with_oid(to, label, src.oid(c));
+            copy_children(src, c, doc, new);
+        }
+        cur = src.next_sibling(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_common::Value;
+    use mix_relational::fixtures::sample_db;
+
+    fn catalog() -> Catalog {
+        crate::fig2_catalog().0
+    }
+
+    #[test]
+    fn resolves_sources() {
+        let cat = catalog();
+        assert!(cat.source("root1").is_ok());
+        assert!(cat.source("root2").is_ok());
+        assert!(cat.source("root3").is_err());
+        let names: Vec<String> = cat.source_names().iter().map(|n| n.to_string()).collect();
+        assert_eq!(names, vec!["root1", "root2"]);
+    }
+
+    #[test]
+    fn relation_info_exposes_schema() {
+        let cat = catalog();
+        let info = cat.relation_info("root2").unwrap();
+        assert_eq!(info.relation().as_str(), "orders");
+        assert_eq!(info.element().as_str(), "order");
+        assert!(cat.relation_info("nope").is_none());
+    }
+
+    #[test]
+    fn xml_sources_serve_both_modes_from_memory() {
+        let mut cat = Catalog::new();
+        let doc = mix_xml::parse_document("filesrc", "<list><a>1</a></list>").unwrap();
+        cat.register_xml(doc);
+        let eager = cat.materialized("filesrc").unwrap();
+        let lazy = cat.lazy("filesrc").unwrap();
+        let e = eager.first_child(eager.root()).unwrap();
+        let l = lazy.first_child(lazy.root()).unwrap();
+        assert_eq!(eager.label(e), lazy.label(l));
+        assert!(cat.lazy_relational("filesrc").is_err());
+    }
+
+    #[test]
+    fn database_lookup_for_rq() {
+        let cat = catalog();
+        let db = cat.database("db1").unwrap();
+        let rows = db.execute_sql("SELECT * FROM orders").unwrap().collect_all();
+        assert_eq!(rows.len(), 3);
+        assert!(cat.database("other").is_err());
+    }
+
+    #[test]
+    fn materialized_relational_ships_everything_lazy_does_not() {
+        let db = sample_db();
+        let stats = db.stats().clone();
+        let cat = crate::wrap_customers_orders(db);
+        stats.reset();
+        let _ = cat.materialized("root2").unwrap();
+        assert_eq!(stats.tuples_shipped(), 3);
+        stats.reset();
+        let lazy = cat.lazy("root2").unwrap();
+        let first = lazy.first_child(lazy.root()).unwrap();
+        assert_eq!(stats.tuples_shipped(), 1);
+        // sanity: the tuple really is order 28904
+        assert_eq!(lazy.oid(first).to_string(), "&28904");
+        let _ = Value::Int(0);
+    }
+}

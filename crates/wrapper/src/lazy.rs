@@ -1,0 +1,241 @@
+//! The lazy navigable view of a wrapped relation.
+//!
+//! A [`LazyRelationalDoc`] looks exactly like the materialized document
+//! of Fig. 2 through the [`NavDoc`] interface, but tuples are fetched
+//! from the source cursor *one at a time, as navigation reaches them*:
+//!
+//! * the root exists immediately — no SQL has been issued yet;
+//! * the first `d(root)` issues `SELECT * FROM r ORDER BY key` and pulls
+//!   one row;
+//! * each `r(tuple_i)` on the most recent tuple pulls row `i+1`;
+//! * navigation *within* an already-fetched tuple touches the source
+//!   not at all.
+//!
+//! Fetched tuples are kept (node ids handed to the client must remain
+//! valid), so the memory high-watermark equals the furthest point the
+//! client navigated — the paper's partial-evaluation claim in
+//! measurable form.
+
+use crate::relsource::RelationSource;
+use mix_common::{Name, Value};
+use mix_relational::Cursor;
+use mix_xml::{Document, NavDoc, NodeRef, Oid};
+use std::cell::RefCell;
+
+/// A virtual document over one relation, fetching tuples on demand.
+pub struct LazyRelationalDoc {
+    source: RelationSource,
+    state: RefCell<State>,
+}
+
+struct State {
+    /// Arena holding the root plus every tuple subtree fetched so far.
+    doc: Document,
+    /// Live cursor; `None` before the first fetch and after exhaustion.
+    cursor: Option<Cursor>,
+    /// Whether the cursor has been opened at least once.
+    opened: bool,
+    /// Tuple element nodes, in fetch order.
+    tuples: Vec<NodeRef>,
+    /// Column names (cached at open).
+    columns: Vec<Name>,
+}
+
+impl LazyRelationalDoc {
+    /// Wrap `source` lazily. No SQL is issued yet.
+    pub fn new(source: RelationSource) -> LazyRelationalDoc {
+        let doc = Document::new(source.root().clone(), "list");
+        LazyRelationalDoc {
+            source,
+            state: RefCell::new(State {
+                doc,
+                cursor: None,
+                opened: false,
+                tuples: Vec::new(),
+                columns: Vec::new(),
+            }),
+        }
+    }
+
+    /// Number of tuples fetched so far (the laziness metric).
+    pub fn fetched(&self) -> usize {
+        self.state.borrow().tuples.len()
+    }
+
+    /// Ensure at least `n + 1` tuples are fetched (so index `n` exists),
+    /// stopping early if the cursor runs dry. Returns the tuple node at
+    /// index `n` if it exists.
+    fn fetch_to(&self, n: usize) -> Option<NodeRef> {
+        let mut st = self.state.borrow_mut();
+        if !st.opened {
+            st.opened = true;
+            // A wrapper misconfiguration (missing relation) surfaces as
+            // an empty view rather than a panic; the mediator validates
+            // sources at registration time.
+            if let Ok(stmt) = self.source.scan_stmt() {
+                if let Ok(cur) = self.source.db().execute(&stmt) {
+                    st.cursor = Some(cur);
+                    st.columns = self.source.columns().unwrap_or_default();
+                }
+            }
+        }
+        while st.tuples.len() <= n {
+            let Some(cur) = st.cursor.as_mut() else { break };
+            match cur.next() {
+                None => {
+                    st.cursor = None;
+                    break;
+                }
+                Some(row) => {
+                    let key = {
+                        // key text needs the schema; recompute via source
+                        let table = self.source.db().table(self.source.relation().as_str());
+                        match table {
+                            Ok(t) => t.schema().key_text(&row),
+                            Err(_) => String::new(),
+                        }
+                    };
+                    let root = st.doc.root_ref();
+                    let elem = self.source.element().clone();
+                    let tuple = st.doc.add_elem_with_oid(root, elem, Oid::key(key.clone()));
+                    let columns = st.columns.clone();
+                    for (c, v) in columns.iter().zip(row) {
+                        let field = st
+                            .doc
+                            .add_elem_with_oid(tuple, c.clone(), Oid::key(format!("{key}.{c}")));
+                        st.doc.add_text_with_oid(field, v.clone(), Oid::lit(v));
+                    }
+                    st.tuples.push(tuple);
+                }
+            }
+        }
+        st.tuples.get(n).copied()
+    }
+}
+
+impl NavDoc for LazyRelationalDoc {
+    fn doc_name(&self) -> &Name {
+        self.source.root()
+    }
+
+    fn root(&self) -> NodeRef {
+        self.state.borrow().doc.root_ref()
+    }
+
+    fn first_child(&self, n: NodeRef) -> Option<NodeRef> {
+        if n == self.root() {
+            return self.fetch_to(0);
+        }
+        self.state.borrow().doc.first_child(n)
+    }
+
+    fn next_sibling(&self, n: NodeRef) -> Option<NodeRef> {
+        {
+            let st = self.state.borrow();
+            if let Some(s) = st.doc.next_sibling(n) {
+                return Some(s);
+            }
+            // Not the last fetched tuple ⇒ genuinely no sibling.
+            if st.tuples.last() != Some(&n) {
+                return None;
+            }
+        }
+        let idx = self.state.borrow().tuples.len();
+        self.fetch_to(idx)
+    }
+
+    fn label(&self, n: NodeRef) -> Option<Name> {
+        self.state.borrow().doc.label(n)
+    }
+
+    fn value(&self, n: NodeRef) -> Option<Value> {
+        self.state.borrow().doc.value(n)
+    }
+
+    fn oid(&self, n: NodeRef) -> Oid {
+        self.state.borrow().doc.oid(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_relational::fixtures::{gen_db, sample_db};
+    use mix_xml::nav::nav_children;
+
+    fn lazy_customers() -> LazyRelationalDoc {
+        RelationSource::new(sample_db(), "customer", "customer", "root1").lazy()
+    }
+
+    #[test]
+    fn no_sql_until_first_descent() {
+        // Fresh view: root exists, zero queries issued.
+        let src = RelationSource::new(sample_db(), "customer", "customer", "root1");
+        let stats = src.db().stats().clone();
+        let lazy = src.lazy();
+        let _root = lazy.root();
+        assert_eq!(stats.sql_queries(), 0);
+        let _ = lazy.first_child(lazy.root());
+        assert_eq!(stats.sql_queries(), 1);
+        assert_eq!(stats.tuples_shipped(), 1);
+    }
+
+    #[test]
+    fn tuples_fetch_one_per_sibling_step() {
+        let src = RelationSource::new(gen_db(50, 0, 1), "customer", "customer", "root1");
+        let stats = src.db().stats().clone();
+        let lazy = src.lazy();
+        let mut n = lazy.first_child(lazy.root()).unwrap();
+        assert_eq!(stats.tuples_shipped(), 1);
+        for expect in 2..=10u64 {
+            n = lazy.next_sibling(n).unwrap();
+            assert_eq!(stats.tuples_shipped(), expect);
+        }
+        assert_eq!(lazy.fetched(), 10);
+        // Navigation inside a fetched tuple costs nothing.
+        let field = lazy.first_child(n).unwrap();
+        let _ = lazy.next_sibling(field);
+        let _ = lazy.label(field);
+        assert_eq!(stats.tuples_shipped(), 10);
+    }
+
+    #[test]
+    fn lazy_view_equals_materialized_view() {
+        let src = RelationSource::new(sample_db(), "customer", "customer", "root1");
+        let eager = src.materialize().unwrap();
+        let lazy = src.lazy();
+        // Walk the lazy view to exhaustion, then compare rendering.
+        let kids = nav_children(&lazy, lazy.root());
+        assert_eq!(kids.len(), 2);
+        assert!(lazy.next_sibling(*kids.last().unwrap()).is_none());
+        let lt = mix_xml::print::render_tree(&lazy, lazy.root());
+        let et = mix_xml::print::render_tree(&eager, eager.root());
+        assert_eq!(lt, et);
+    }
+
+    #[test]
+    fn exhausted_cursor_stays_exhausted() {
+        let lazy = lazy_customers();
+        let kids = nav_children(&lazy, lazy.root());
+        let last = *kids.last().unwrap();
+        assert!(lazy.next_sibling(last).is_none());
+        assert!(lazy.next_sibling(last).is_none());
+        assert_eq!(lazy.fetched(), 2);
+    }
+
+    #[test]
+    fn empty_relation_has_no_children() {
+        let mut db = sample_db();
+        db.create_table(
+            "empty",
+            mix_relational::Schema::new(
+                vec![mix_relational::Column::new("k", mix_relational::ColumnType::Int)],
+                &["k"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let lazy = RelationSource::new(db, "empty", "e", "root9").lazy();
+        assert!(lazy.first_child(lazy.root()).is_none());
+    }
+}

@@ -1,0 +1,198 @@
+//! One wrapped relation: configuration + eager materialization.
+
+use crate::lazy::LazyRelationalDoc;
+use mix_common::{Name, Result};
+use mix_relational::{ColRef, Database, FromItem, SelectItem, SelectStmt};
+use mix_xml::{Document, Oid};
+
+/// A relation exported as an XML view.
+///
+/// `element` is the per-tuple element label (Fig. 2 exports relation
+/// `orders` as `order` elements); `root` is the source name clients use
+/// in `document(root)` / `source(&root)`.
+#[derive(Debug, Clone)]
+pub struct RelationSource {
+    db: Database,
+    relation: Name,
+    element: Name,
+    root: Name,
+}
+
+impl RelationSource {
+    /// Configure a wrapped relation.
+    pub fn new(
+        db: Database,
+        relation: impl Into<Name>,
+        element: impl Into<Name>,
+        root: impl Into<Name>,
+    ) -> RelationSource {
+        RelationSource {
+            db,
+            relation: relation.into(),
+            element: element.into(),
+            root: root.into(),
+        }
+    }
+
+    /// The backing database (shared handle).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The wrapped relation's name.
+    pub fn relation(&self) -> &Name {
+        &self.relation
+    }
+
+    /// The per-tuple element label.
+    pub fn element(&self) -> &Name {
+        &self.element
+    }
+
+    /// The exported source/root name.
+    pub fn root(&self) -> &Name {
+        &self.root
+    }
+
+    /// Column names of the wrapped relation, in order.
+    pub fn columns(&self) -> Result<Vec<Name>> {
+        Ok(self
+            .db
+            .table(self.relation.as_str())?
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect())
+    }
+
+    /// Primary-key column names.
+    pub fn key_columns(&self) -> Result<Vec<Name>> {
+        let t = self.db.table(self.relation.as_str())?;
+        Ok(t.schema()
+            .key()
+            .iter()
+            .map(|&i| t.schema().columns()[i].name.clone())
+            .collect())
+    }
+
+    /// The `SELECT * FROM relation ORDER BY key` scan that backs both
+    /// access modes. Ordering by key makes tuple order deterministic
+    /// across repeated cursors (node ids must stay stable while the
+    /// client navigates).
+    pub fn scan_stmt(&self) -> Result<SelectStmt> {
+        let t = self.db.table(self.relation.as_str())?;
+        let order_by = t
+            .schema()
+            .key()
+            .iter()
+            .map(|&i| ColRef::bare(t.schema().columns()[i].name.clone()))
+            .collect();
+        Ok(SelectStmt {
+            distinct: false,
+            items: vec![],
+            from: vec![FromItem { table: self.relation.clone(), alias: None }],
+            preds: vec![],
+            order_by,
+        })
+    }
+
+    /// SELECT items projecting every column of the relation (used by
+    /// the rewriter when it builds pushdown SQL).
+    pub fn all_select_items(&self, alias: &Name) -> Result<Vec<SelectItem>> {
+        Ok(self
+            .columns()?
+            .into_iter()
+            .map(|c| SelectItem { col: ColRef::qualified(alias.clone(), c), alias: None })
+            .collect())
+    }
+
+    /// Eagerly materialize the full XML view (the conventional-mediator
+    /// baseline). Every tuple ships through the cursor and is counted.
+    pub fn materialize(&self) -> Result<Document> {
+        let mut doc = Document::new(self.root.clone(), "list");
+        let root = doc.root_ref();
+        let table = self.db.table(self.relation.as_str())?;
+        let schema = table.schema().clone();
+        let cols = self.columns()?;
+        let mut cur = self.db.execute(&self.scan_stmt()?)?;
+        while let Some(row) = cur.next() {
+            let key = schema.key_text(&row);
+            let tuple = doc.add_elem_with_oid(root, self.element.clone(), Oid::key(key.clone()));
+            for (c, v) in cols.iter().zip(row) {
+                // Field oids are semantic too (`&KEY.col`), matching the
+                // elements `rQ` reconstructs from SQL results.
+                let field = doc.add_elem_with_oid(tuple, c.clone(), Oid::key(format!("{key}.{c}")));
+                doc.add_text_with_oid(field, v.clone(), Oid::lit(v));
+            }
+        }
+        Ok(doc)
+    }
+
+    /// The lazy navigable view.
+    pub fn lazy(&self) -> LazyRelationalDoc {
+        LazyRelationalDoc::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_common::Value;
+    use mix_relational::fixtures::sample_db;
+    use mix_xml::{print, NavDoc};
+
+    fn customers() -> RelationSource {
+        RelationSource::new(sample_db(), "customer", "customer", "root1")
+    }
+
+    #[test]
+    fn materialized_view_matches_fig2_shape() {
+        let doc = customers().materialize().unwrap();
+        let rendered = print::render_tree(&doc, doc.root());
+        // Fig. 2: &root1 list → &XYZ123 customer → id/addr/name fields.
+        assert!(rendered.starts_with("&root1 list\n"), "{rendered}");
+        assert!(rendered.contains("&DEF345 customer"), "{rendered}");
+        assert!(rendered.contains("id = XYZ123"), "{rendered}");
+        assert!(rendered.contains("addr = LosAngeles"), "{rendered}");
+        assert!(rendered.contains("name = XYZInc."), "{rendered}");
+    }
+
+    #[test]
+    fn tuples_exported_in_key_order() {
+        let doc = customers().materialize().unwrap();
+        let ids: Vec<String> =
+            doc.children(doc.root()).map(|c| doc.oid(c).to_string()).collect();
+        // DEF345 < XYZ123 lexicographically.
+        assert_eq!(ids, vec!["&DEF345", "&XYZ123"]);
+    }
+
+    #[test]
+    fn orders_view_uses_element_label() {
+        let src = RelationSource::new(sample_db(), "orders", "order", "root2");
+        let doc = src.materialize().unwrap();
+        let first = doc.first_child(doc.root()).unwrap();
+        assert_eq!(doc.label(first).unwrap().as_str(), "order");
+        assert_eq!(doc.oid(first).to_string(), "&28904");
+        let value_field = doc.children(first).nth(2).unwrap();
+        assert_eq!(doc.label(value_field).unwrap().as_str(), "value");
+        assert_eq!(
+            doc.value(doc.first_child(value_field).unwrap()),
+            Some(Value::Int(2400))
+        );
+    }
+
+    #[test]
+    fn schema_accessors() {
+        let src = customers();
+        let cols: Vec<String> = src.columns().unwrap().iter().map(|c| c.to_string()).collect();
+        assert_eq!(cols, vec!["id", "addr", "name"]);
+        let keys: Vec<String> =
+            src.key_columns().unwrap().iter().map(|c| c.to_string()).collect();
+        assert_eq!(keys, vec!["id"]);
+        assert_eq!(
+            src.scan_stmt().unwrap().to_string(),
+            "SELECT * FROM customer ORDER BY id"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Property test: the lazy wrapper view is indistinguishable from the
+//! materialized view (content, order, oids) on random databases, and
+//! its fetch count equals the navigation high-watermark.
+
+use mix_relational::fixtures::gen_db;
+use mix_wrapper::RelationSource;
+use mix_xml::{print, NavDoc};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lazy_equals_materialized(
+        n in 0usize..30,
+        per in 0usize..4,
+        seed in 0u64..1000,
+        relation_pick in 0usize..2,
+    ) {
+        let db = gen_db(n, per, seed);
+        let (rel, elem) = if relation_pick == 0 {
+            ("customer", "customer")
+        } else {
+            ("orders", "order")
+        };
+        let src = RelationSource::new(db.clone(), rel, elem, "rootx");
+        let eager = src.materialize().unwrap();
+        let lazy = src.lazy();
+        let lt = print::render_tree(&lazy, lazy.root());
+        let et = print::render_tree(&eager, eager.root());
+        prop_assert_eq!(lt, et);
+    }
+
+    #[test]
+    fn fetch_count_tracks_navigation(
+        n in 1usize..40,
+        k in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let db = gen_db(n, 0, seed);
+        let src = RelationSource::new(db.clone(), "customer", "customer", "rootx");
+        let stats = db.stats().clone();
+        stats.reset();
+        let lazy = src.lazy();
+        let mut cur = lazy.first_child(lazy.root());
+        let mut walked = 0;
+        while let Some(node) = cur {
+            walked += 1;
+            if walked >= k {
+                break;
+            }
+            cur = lazy.next_sibling(node);
+        }
+        let expect = walked.min(n);
+        prop_assert_eq!(lazy.fetched(), expect);
+        prop_assert_eq!(stats.tuples_shipped(), expect as u64);
+    }
+}

@@ -1,0 +1,140 @@
+//! The source-side navigation interface.
+//!
+//! QDOM's navigation commands (`d`, `r`, `fl`, `fv` — Section 2) bottom
+//! out on sources. In-memory [`Document`](crate::Document)s answer them
+//! directly; `mix-wrapper`'s lazy relational views answer them by
+//! fetching tuples on demand. [`NavDoc`] is that common interface.
+
+use crate::oid::Oid;
+use mix_common::{Name, Value};
+
+
+/// A document-local node handle. Only meaningful together with the
+/// document that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeRef(pub u32);
+
+/// Navigable tree source: the `d`/`r`/`fl`/`fv` command set plus oid
+/// fetch, mirroring the DOM subset QDOM exposes.
+pub trait NavDoc {
+    /// The name the source is registered under (e.g. `root1`).
+    fn doc_name(&self) -> &Name;
+    /// The root node.
+    fn root(&self) -> NodeRef;
+    /// `d(p)`: first child, or `None` if `p` is a leaf.
+    fn first_child(&self, n: NodeRef) -> Option<NodeRef>;
+    /// `r(p)`: right sibling, or `None`.
+    fn next_sibling(&self, n: NodeRef) -> Option<NodeRef>;
+    /// `fl(p)`: the element label, or `None` for a text leaf.
+    fn label(&self, n: NodeRef) -> Option<Name>;
+    /// `fv(p)`: the leaf value, or `None` for an element.
+    fn value(&self, n: NodeRef) -> Option<Value>;
+    /// The vertex id of `n`.
+    fn oid(&self, n: NodeRef) -> Oid;
+}
+
+/// The scalar content of a node for condition evaluation: the value of
+/// a leaf, or of an element's single text child (the `<id>XYZ123</id>`
+/// shape the wrapper produces).
+///
+/// WHERE-clause operands formally bind to leaf nodes (the translator
+/// appends `data()`), but accepting the single-text-child shape keeps
+/// hand-built plans convenient. Returns `None` for anything else, which
+/// conditions treat as *false*.
+pub fn node_scalar<D: NavDoc + ?Sized>(doc: &D, n: NodeRef) -> Option<Value> {
+    if let Some(v) = doc.value(n) {
+        return Some(v);
+    }
+    let first = doc.first_child(n)?;
+    if doc.next_sibling(first).is_some() {
+        return None;
+    }
+    doc.value(first)
+}
+
+/// A [`NavDoc`] re-exported under a different source name — the
+/// adapter that lets one mediator's (virtual) result register as a
+/// source of another mediator ("a MIX mediator can be such a source to
+/// another MIX mediator", Section 4).
+pub struct RenamedDoc {
+    inner: std::rc::Rc<dyn NavDoc>,
+    name: Name,
+}
+
+impl RenamedDoc {
+    /// Wrap `inner`, exposing it as source `name`.
+    pub fn new(inner: std::rc::Rc<dyn NavDoc>, name: impl Into<Name>) -> RenamedDoc {
+        RenamedDoc { inner, name: name.into() }
+    }
+}
+
+impl NavDoc for RenamedDoc {
+    fn doc_name(&self) -> &Name {
+        &self.name
+    }
+    fn root(&self) -> NodeRef {
+        self.inner.root()
+    }
+    fn first_child(&self, n: NodeRef) -> Option<NodeRef> {
+        self.inner.first_child(n)
+    }
+    fn next_sibling(&self, n: NodeRef) -> Option<NodeRef> {
+        self.inner.next_sibling(n)
+    }
+    fn label(&self, n: NodeRef) -> Option<Name> {
+        self.inner.label(n)
+    }
+    fn value(&self, n: NodeRef) -> Option<Value> {
+        self.inner.value(n)
+    }
+    fn oid(&self, n: NodeRef) -> Oid {
+        self.inner.oid(n)
+    }
+}
+
+/// Enumerate `n`'s children via the navigation commands (test helper
+/// and generic traversal utility).
+pub fn nav_children<D: NavDoc + ?Sized>(doc: &D, n: NodeRef) -> Vec<NodeRef> {
+    let mut out = Vec::new();
+    let mut cur = doc.first_child(n);
+    while let Some(c) = cur {
+        out.push(c);
+        cur = doc.next_sibling(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Document;
+
+    #[test]
+    fn node_scalar_handles_leaf_and_field() {
+        let mut d = Document::new("r", "list");
+        let root = d.root_ref();
+        let f = d.add_field(root, "id", Value::str("X"));
+        let leaf = d.first_child(f).unwrap();
+        assert_eq!(node_scalar(&d, leaf), Some(Value::str("X")));
+        assert_eq!(node_scalar(&d, f), Some(Value::str("X")));
+        // multi-child element has no scalar
+        let e = d.add_elem(root, "pair");
+        d.add_text(e, Value::Int(1));
+        d.add_text(e, Value::Int(2));
+        assert_eq!(node_scalar(&d, e), None);
+        // element child (not text) has no scalar
+        let w = d.add_elem(root, "wrap");
+        d.add_elem(w, "inner");
+        assert_eq!(node_scalar(&d, w), None);
+    }
+
+    #[test]
+    fn nav_children_matches_iterator() {
+        let mut d = Document::new("r", "list");
+        let root = d.root_ref();
+        for i in 0..4 {
+            d.add_field(root, "x", Value::Int(i));
+        }
+        assert_eq!(nav_children(&d, root), d.children(root).collect::<Vec<_>>());
+    }
+}

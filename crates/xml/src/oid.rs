@@ -1,0 +1,195 @@
+//! Vertex ids (the set `O` of the data model).
+//!
+//! The paper: "The id's may be random surrogates or they may carry
+//! semantic meaning. For example … the relational database wrapper
+//! exporting the database assigns the tuple keys (eg, XYZ123) to be the
+//! oid's of the corresponding 'tuple' objects — after it precedes them
+//! with the &."
+//!
+//! `crElt` constructs ids as *skolem terms* `f(~g)` over the group-by
+//! variables (Section 3, operator 7), and Section 5 relies on those ids
+//! encoding "the values of the group-by attributes associated with the
+//! nodes that enclose the given node, and the variable to which this
+//! node was bound" — that is exactly what [`Oid::Skolem`] stores.
+
+use mix_common::{Name, Value};
+use std::fmt;
+use std::rc::Rc;
+
+/// A vertex id. Cheap to clone (reference counted).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Oid(Rc<OidKind>);
+
+/// The shapes a vertex id can take.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OidKind {
+    /// A named root, e.g. `&root1` for a source document or `&rootv`
+    /// for a view result.
+    Root(Name),
+    /// A random surrogate assigned when nothing better exists
+    /// (file-source elements, text leaves).
+    Surrogate(u64),
+    /// A semantic key, e.g. `&XYZ123` — the wrapper uses tuple keys.
+    Key(String),
+    /// A literal value lifted into id position (skolem arguments over
+    /// leaf-valued group-by variables).
+    Lit(Value),
+    /// A constructed-element id: skolem function `func` applied to the
+    /// ids/values of the group-by variables, remembering the XMAS
+    /// variable `var` the element was bound to. Rendered as in Fig. 7:
+    /// `&($V,f(&XYZ123))`.
+    Skolem {
+        /// Skolem function symbol (`f`, `g`, … in the paper's plans).
+        func: Name,
+        /// The plan variable the constructed element is bound to.
+        var: Name,
+        /// One argument per group-by variable, in group-by list order.
+        args: Vec<Oid>,
+    },
+}
+
+impl Oid {
+    /// A named root id.
+    pub fn root(name: impl Into<Name>) -> Oid {
+        Oid(Rc::new(OidKind::Root(name.into())))
+    }
+
+    /// A surrogate id.
+    pub fn surrogate(n: u64) -> Oid {
+        Oid(Rc::new(OidKind::Surrogate(n)))
+    }
+
+    /// A semantic key id (`&XYZ123`).
+    pub fn key(k: impl Into<String>) -> Oid {
+        Oid(Rc::new(OidKind::Key(k.into())))
+    }
+
+    /// A literal-value id (used as a skolem argument).
+    pub fn lit(v: Value) -> Oid {
+        Oid(Rc::new(OidKind::Lit(v)))
+    }
+
+    /// A skolem id `f(args)` bound to variable `var`.
+    pub fn skolem(func: impl Into<Name>, var: impl Into<Name>, args: Vec<Oid>) -> Oid {
+        Oid(Rc::new(OidKind::Skolem { func: func.into(), var: var.into(), args }))
+    }
+
+    /// Inspect the id's shape.
+    pub fn kind(&self) -> &OidKind {
+        &self.0
+    }
+
+    /// The skolem parts, if this is a constructed-element id.
+    pub fn as_skolem(&self) -> Option<(&Name, &Name, &[Oid])> {
+        match self.kind() {
+            OidKind::Skolem { func, var, args } => Some((func, var, args)),
+            _ => None,
+        }
+    }
+
+    /// Deterministic total order used by the XMAS `orderBy` operator,
+    /// which (per the paper) "orders only according to the id's of the
+    /// nodes".
+    pub fn total_cmp(&self, other: &Oid) -> std::cmp::Ordering {
+        fn rank(k: &OidKind) -> u8 {
+            match k {
+                OidKind::Root(_) => 0,
+                OidKind::Surrogate(_) => 1,
+                OidKind::Key(_) => 2,
+                OidKind::Lit(_) => 3,
+                OidKind::Skolem { .. } => 4,
+            }
+        }
+        use std::cmp::Ordering;
+        match (self.kind(), other.kind()) {
+            (OidKind::Root(a), OidKind::Root(b)) => a.cmp(b),
+            (OidKind::Surrogate(a), OidKind::Surrogate(b)) => a.cmp(b),
+            (OidKind::Key(a), OidKind::Key(b)) => a.cmp(b),
+            (OidKind::Lit(a), OidKind::Lit(b)) => a.total_cmp(b),
+            (
+                OidKind::Skolem { func: f1, var: v1, args: a1 },
+                OidKind::Skolem { func: f2, var: v2, args: a2 },
+            ) => f1.cmp(f2).then_with(|| v1.cmp(v2)).then_with(|| {
+                for (x, y) in a1.iter().zip(a2.iter()) {
+                    let o = x.total_cmp(y);
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                a1.len().cmp(&a2.len())
+            }),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            OidKind::Root(n) => write!(f, "&{n}"),
+            OidKind::Surrogate(n) => write!(f, "&_{n}"),
+            OidKind::Key(k) => write!(f, "&{k}"),
+            OidKind::Lit(v) => write!(f, "{v}"),
+            OidKind::Skolem { func, var, args } => {
+                write!(f, "&({},{}(", var.display_var(), func)?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "))")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Oid({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Oid::root("root1").to_string(), "&root1");
+        assert_eq!(Oid::key("XYZ123").to_string(), "&XYZ123");
+        let sk = Oid::skolem("f", "V", vec![Oid::key("XYZ123")]);
+        // Fig. 7 renders constructed CustRec ids as &($V,f(&XYZ123)).
+        assert_eq!(sk.to_string(), "&($V,f(&XYZ123))");
+    }
+
+    #[test]
+    fn skolem_equality_is_structural() {
+        let a = Oid::skolem("f", "V", vec![Oid::key("X")]);
+        let b = Oid::skolem("f", "V", vec![Oid::key("X")]);
+        let c = Oid::skolem("f", "V", vec![Oid::key("Y")]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn total_order_is_consistent() {
+        use std::cmp::Ordering::*;
+        let a = Oid::key("A");
+        let b = Oid::key("B");
+        assert_eq!(a.total_cmp(&b), Less);
+        assert_eq!(b.total_cmp(&a), Greater);
+        assert_eq!(a.total_cmp(&a), Equal);
+        assert_eq!(Oid::root("r").total_cmp(&a), Less);
+    }
+
+    #[test]
+    fn as_skolem_accessor() {
+        let sk = Oid::skolem("g", "P", vec![Oid::key("28904")]);
+        let (f, v, args) = sk.as_skolem().unwrap();
+        assert_eq!(f.as_str(), "g");
+        assert_eq!(v.as_str(), "P");
+        assert_eq!(args.len(), 1);
+        assert!(Oid::key("z").as_skolem().is_none());
+    }
+}

@@ -1,0 +1,336 @@
+//! A small XML text parser for file sources.
+//!
+//! MIX "accesses XML files and relational database sources". File
+//! sources need only the labeled-ordered-tree subset: elements and
+//! character content. Attributes are parsed and ignored (the paper's
+//! model "excludes attributes for simplicity"), with one exception: an
+//! `oid="…"` attribute becomes the node's [`Oid::key`], letting test
+//! fixtures pin semantic ids. Comments, processing instructions and the
+//! XML declaration are skipped; the five predefined entities are
+//! decoded.
+
+use crate::oid::Oid;
+use crate::tree::Document;
+use mix_common::{MixError, Name, Result, Value};
+
+/// Parse an XML document. `name` becomes the source/root id (`&name`).
+///
+/// The root element's label becomes the document root's label.
+pub fn parse_document(name: impl Into<Name>, text: &str) -> Result<Document> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_misc();
+    let (label, oid, selfclose) = p.parse_open_tag()?;
+    let mut doc = Document::new(name, label.clone());
+    if oid.is_some() {
+        // The root oid is always &name; a root oid attribute is ignored.
+    }
+    if !selfclose {
+        let root = doc.root_ref();
+        p.parse_content(&mut doc, root, &label)?;
+    }
+    p.skip_misc();
+    if p.pos < p.bytes.len() {
+        return Err(MixError::parse("xml", p.pos, "trailing content after root element"));
+    }
+    Ok(doc)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip whitespace, comments, PIs and the XML declaration.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                match find(self.bytes, self.pos + 4, "-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => {
+                        self.pos = self.bytes.len();
+                        return;
+                    }
+                }
+            } else if self.starts_with("<?") {
+                match find(self.bytes, self.pos + 2, "?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => {
+                        self.pos = self.bytes.len();
+                        return;
+                    }
+                }
+            } else if self.starts_with("<!DOCTYPE") {
+                while let Some(c) = self.peek() {
+                    self.pos += 1;
+                    if c == b'>' {
+                        break;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(MixError::parse("xml", start, "expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    /// Parse `<name attr="v" ...>` or `<name ... />`. Assumes the caller
+    /// positioned us at `<`. Returns (label, oid-attribute, self-closed).
+    fn parse_open_tag(&mut self) -> Result<(Name, Option<String>, bool)> {
+        if self.peek() != Some(b'<') {
+            return Err(MixError::parse("xml", self.pos, "expected '<'"));
+        }
+        self.pos += 1;
+        let label = self.parse_name()?;
+        let mut oid = None;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok((Name::new(label), oid, false));
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(MixError::parse("xml", self.pos, "expected '/>'"));
+                    }
+                    self.pos += 1;
+                    return Ok((Name::new(label), oid, true));
+                }
+                Some(_) => {
+                    let attr = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(MixError::parse("xml", self.pos, "expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = self.peek();
+                    if !matches!(quote, Some(b'"' | b'\'')) {
+                        return Err(MixError::parse("xml", self.pos, "expected quoted attribute"));
+                    }
+                    let q = quote.unwrap();
+                    self.pos += 1;
+                    let vstart = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == q {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(q) {
+                        return Err(MixError::parse("xml", vstart, "unterminated attribute"));
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[vstart..self.pos]).into_owned();
+                    self.pos += 1;
+                    if attr == "oid" {
+                        oid = Some(decode_entities(&raw));
+                    }
+                    // other attributes: parsed and ignored (model excludes them)
+                }
+                None => return Err(MixError::parse("xml", self.pos, "unterminated tag")),
+            }
+        }
+    }
+
+    /// Parse element content until the matching `</label>`.
+    fn parse_content(&mut self, doc: &mut Document, parent: crate::NodeRef, label: &Name) -> Result<()> {
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(MixError::parse("xml", self.pos, format!("unterminated <{label}>"))),
+                Some(b'<') => {
+                    flush_text(doc, parent, &mut text);
+                    if self.starts_with("</") {
+                        self.pos += 2;
+                        let close = self.parse_name()?;
+                        self.skip_ws();
+                        if self.peek() != Some(b'>') {
+                            return Err(MixError::parse("xml", self.pos, "expected '>'"));
+                        }
+                        self.pos += 1;
+                        if close != label.as_str() {
+                            return Err(MixError::parse(
+                                "xml",
+                                self.pos,
+                                format!("mismatched close tag: <{label}> vs </{close}>"),
+                            ));
+                        }
+                        return Ok(());
+                    } else if self.starts_with("<!--") || self.starts_with("<?") {
+                        self.skip_misc();
+                    } else {
+                        let (child_label, oid, selfclose) = self.parse_open_tag()?;
+                        let child = match oid {
+                            Some(k) => doc.add_elem_with_oid(parent, child_label.clone(), Oid::key(k)),
+                            None => doc.add_elem(parent, child_label.clone()),
+                        };
+                        if !selfclose {
+                            self.parse_content(doc, child, &child_label)?;
+                        }
+                    }
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'<' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    text.push_str(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
+                }
+            }
+        }
+    }
+}
+
+fn flush_text(doc: &mut Document, parent: crate::NodeRef, text: &mut String) {
+    let trimmed = text.trim();
+    if !trimmed.is_empty() {
+        let decoded = decode_entities(trimmed);
+        doc.add_text(parent, Value::parse_literal(&decoded));
+    }
+    text.clear();
+}
+
+fn find(bytes: &[u8], from: usize, needle: &str) -> Option<usize> {
+    let nb = needle.as_bytes();
+    (from..bytes.len().saturating_sub(nb.len() - 1)).find(|&i| &bytes[i..i + nb.len()] == nb)
+}
+
+fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let known = [("&amp;", '&'), ("&lt;", '<'), ("&gt;", '>'), ("&quot;", '"'), ("&apos;", '\'')];
+        if let Some((ent, ch)) = known.iter().find(|(e, _)| rest.starts_with(e)) {
+            out.push(*ch);
+            rest = &rest[ent.len()..];
+        } else {
+            out.push('&');
+            rest = &rest[1..];
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Encode the five predefined entities for serialization.
+pub(crate) fn encode_entities(s: &str) -> String {
+    if !s.contains(['&', '<', '>', '"']) {
+        return s.to_string();
+    }
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nav::NavDoc;
+
+    #[test]
+    fn parse_simple_document() {
+        let d = parse_document(
+            "root1",
+            r#"<list>
+                 <customer oid="XYZ123"><id>XYZ123</id><name>XYZInc.</name></customer>
+                 <customer oid="DEF345"><id>DEF345</id><name>DEFCorp.</name></customer>
+               </list>"#,
+        )
+        .unwrap();
+        let root = d.root_ref();
+        assert_eq!(d.label(root).unwrap().as_str(), "list");
+        let c1 = d.first_child(root).unwrap();
+        assert_eq!(d.oid(c1).to_string(), "&XYZ123");
+        let c2 = d.next_sibling(c1).unwrap();
+        assert_eq!(d.oid(c2).to_string(), "&DEF345");
+        assert!(d.next_sibling(c2).is_none());
+        let id = d.first_child(c1).unwrap();
+        assert_eq!(d.label(id).unwrap().as_str(), "id");
+        assert_eq!(d.value(d.first_child(id).unwrap()), Some(Value::str("XYZ123")));
+    }
+
+    #[test]
+    fn text_is_typed() {
+        let d = parse_document("r", "<o><v>2400</v><f>2.5</f><s>abc</s></o>").unwrap();
+        let vals: Vec<_> = d
+            .children(d.root_ref())
+            .map(|c| d.value(d.first_child(c).unwrap()).unwrap())
+            .collect();
+        assert_eq!(vals, vec![Value::Int(2400), Value::Float(2.5), Value::str("abc")]);
+    }
+
+    #[test]
+    fn skips_decl_comments_pis() {
+        let d = parse_document(
+            "r",
+            "<?xml version=\"1.0\"?><!-- hi --><root><!-- inner --><a/>text</root>",
+        )
+        .unwrap();
+        assert_eq!(d.label(d.root_ref()).unwrap().as_str(), "root");
+        assert_eq!(d.child_count(d.root_ref()), 2);
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let d = parse_document("r", "<x><s>a &amp; b &lt;c&gt;</s></x>").unwrap();
+        let s = d.first_child(d.root_ref()).unwrap();
+        assert_eq!(d.value(d.first_child(s).unwrap()), Some(Value::str("a & b <c>")));
+    }
+
+    #[test]
+    fn self_closing_and_attrs_ignored() {
+        let d = parse_document("r", r#"<x a="1"><e b="2"/><e/></x>"#).unwrap();
+        assert_eq!(d.child_count(d.root_ref()), 2);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_document("r", "<a><b></a>").is_err());
+        assert!(parse_document("r", "<a>").is_err());
+        assert!(parse_document("r", "<a></a><b></b>").is_err());
+        assert!(parse_document("r", "plain").is_err());
+    }
+
+    #[test]
+    fn mixed_content_whitespace_dropped() {
+        let d = parse_document("r", "<a>\n  <b>1</b>\n</a>").unwrap();
+        assert_eq!(d.child_count(d.root_ref()), 1);
+    }
+}

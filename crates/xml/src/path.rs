@@ -1,0 +1,296 @@
+//! `getD` path expressions.
+//!
+//! The paper's `getD_{$A.r→$X}` navigates from the node bound to `$A`
+//! along a path whose labels satisfy the regular expression `r`, where —
+//! unusually — "the path contains the labels of both the start and
+//! finish node". The XQuery subset of Fig. 4 only generates plain label
+//! sequences, so [`LabelPath`] supports label steps plus a `*` wildcard
+//! and a terminal `data()` step (binding the text leaf), which is how
+//! the translator compiles `$C/id/data()`.
+
+use crate::nav::{NavDoc, NodeRef};
+use mix_common::{MixError, Name, Result};
+use std::fmt;
+
+/// One step of a label path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Step {
+    /// Match a node labeled exactly this.
+    Label(Name),
+    /// Match any element node.
+    Wild,
+    /// Match a text leaf (the `data()` accessor).
+    Data,
+}
+
+impl Step {
+    fn matches<D: NavDoc + ?Sized>(&self, doc: &D, n: NodeRef) -> bool {
+        match self {
+            Step::Label(l) => doc.label(n).as_ref() == Some(l),
+            Step::Wild => doc.label(n).is_some(),
+            Step::Data => doc.value(n).is_some(),
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Step::Label(l) => write!(f, "{l}"),
+            Step::Wild => write!(f, "*"),
+            Step::Data => write!(f, "data()"),
+        }
+    }
+}
+
+/// A non-empty sequence of steps. The first step matches the *start
+/// node itself*; each later step matches a child of the previous match.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LabelPath {
+    steps: Vec<Step>,
+}
+
+impl LabelPath {
+    /// Build from steps. Errors on an empty sequence or a non-terminal
+    /// `data()` step.
+    pub fn new(steps: Vec<Step>) -> Result<LabelPath> {
+        if steps.is_empty() {
+            return Err(MixError::invalid("empty label path"));
+        }
+        if steps[..steps.len() - 1].iter().any(|s| matches!(s, Step::Data)) {
+            return Err(MixError::invalid("data() must be the final path step"));
+        }
+        Ok(LabelPath { steps })
+    }
+
+    /// Parse a dot- or slash-separated path: `customer.id.data()`,
+    /// `CustRec/customer/name`, `list.*`.
+    pub fn parse(text: &str) -> Result<LabelPath> {
+        let parts: Vec<&str> = text.split(['.', '/']).collect();
+        let mut steps = Vec::with_capacity(parts.len());
+        for (i, raw) in parts.iter().enumerate() {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                return Err(MixError::parse("path", i, format!("empty step in {text:?}")));
+            }
+            steps.push(match raw {
+                "*" => Step::Wild,
+                "data()" => Step::Data,
+                label => Step::Label(Name::new(label)),
+            });
+        }
+        LabelPath::new(steps)
+    }
+
+    /// A single-label path.
+    pub fn label(l: impl Into<Name>) -> LabelPath {
+        LabelPath { steps: vec![Step::Label(l.into())] }
+    }
+
+    /// The steps.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Always false (paths are non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The first step — `first(p)` in the rewrite rules of Table 2.
+    pub fn first(&self) -> &Step {
+        &self.steps[0]
+    }
+
+    /// The remainder `q = p / first(p)`; `None` when the path is a
+    /// single step (`q = ε`).
+    pub fn rest(&self) -> Option<LabelPath> {
+        if self.steps.len() <= 1 {
+            None
+        } else {
+            Some(LabelPath { steps: self.steps[1..].to_vec() })
+        }
+    }
+
+    /// A new path with `step` prepended (rule 1 builds `$W.list.q`).
+    pub fn prepend(&self, step: Step) -> LabelPath {
+        let mut steps = Vec::with_capacity(self.steps.len() + 1);
+        steps.push(step);
+        steps.extend(self.steps.iter().cloned());
+        LabelPath { steps }
+    }
+
+    /// Concatenate: `self` then `other` (used when merging `getD`
+    /// chains: the last node of `self` is the first of `other`, so
+    /// `other`'s first step is dropped after checking compatibility).
+    pub fn join(&self, other: &LabelPath) -> Option<LabelPath> {
+        let last = self.steps.last().expect("non-empty");
+        let compatible = match (last, other.first()) {
+            (a, b) if a == b => true,
+            (Step::Wild, Step::Label(_)) | (Step::Label(_), Step::Wild) => true,
+            _ => false,
+        };
+        if !compatible {
+            return None;
+        }
+        // Keep the more specific of the two overlapping steps.
+        let mut steps = self.steps.clone();
+        if matches!(last, Step::Wild) {
+            *steps.last_mut().unwrap() = other.first().clone();
+        }
+        steps.extend(other.steps[1..].iter().cloned());
+        Some(LabelPath { steps })
+    }
+
+    /// Could the first step match a node labeled `label`? (the
+    /// `r ∈ first(p)` test of rules 1–4.)
+    pub fn first_matches_label(&self, label: &Name) -> bool {
+        match self.first() {
+            Step::Label(l) => l == label,
+            Step::Wild => true,
+            Step::Data => false,
+        }
+    }
+
+    /// Evaluate the path from `start`, returning every matching node in
+    /// document order. The first step is checked against `start`
+    /// itself.
+    pub fn eval<D: NavDoc + ?Sized>(&self, doc: &D, start: NodeRef) -> Vec<NodeRef> {
+        if !self.steps[0].matches(doc, start) {
+            return Vec::new();
+        }
+        let mut frontier = vec![start];
+        for step in &self.steps[1..] {
+            let mut next = Vec::new();
+            for n in frontier {
+                let mut c = doc.first_child(n);
+                while let Some(ch) = c {
+                    if step.matches(doc, ch) {
+                        next.push(ch);
+                    }
+                    c = doc.next_sibling(ch);
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        frontier
+    }
+}
+
+impl fmt::Display for LabelPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Document;
+    use mix_common::Value;
+
+    fn db() -> Document {
+        let mut d = Document::new("root1", "list");
+        let root = d.root_ref();
+        for (key, id, name) in [("XYZ123", "XYZ123", "XYZInc."), ("DEF345", "DEF345", "DEFCorp.")] {
+            let c = d.add_elem_with_oid(root, "customer", crate::oid::Oid::key(key));
+            d.add_field(c, "id", Value::str(id));
+            d.add_field(c, "name", Value::str(name));
+        }
+        d
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let p = LabelPath::parse("customer.id.data()").unwrap();
+        assert_eq!(p.to_string(), "customer.id.data()");
+        assert_eq!(p.len(), 3);
+        let p = LabelPath::parse("CustRec/customer/name").unwrap();
+        assert_eq!(p.to_string(), "CustRec.customer.name");
+    }
+
+    #[test]
+    fn rejects_bad_paths() {
+        assert!(LabelPath::parse("").is_err());
+        assert!(LabelPath::parse("a..b").is_err());
+        assert!(LabelPath::new(vec![Step::Data, Step::Wild]).is_err());
+    }
+
+    #[test]
+    fn first_step_matches_start_node() {
+        let d = db();
+        let cust = d.first_child(d.root_ref()).unwrap();
+        // Path starts with the start node's own label, per the paper.
+        let p = LabelPath::parse("customer.id").unwrap();
+        assert_eq!(p.eval(&d, cust).len(), 1);
+        // A path whose first label differs matches nothing.
+        let p = LabelPath::parse("order.id").unwrap();
+        assert!(p.eval(&d, cust).is_empty());
+    }
+
+    #[test]
+    fn eval_from_root_finds_all_in_order(){
+        let d = db();
+        let p = LabelPath::parse("list.customer.name.data()").unwrap();
+        let hits = p.eval(&d, d.root_ref());
+        let vals: Vec<_> = hits.iter().map(|&n| d.value(n).unwrap()).collect();
+        assert_eq!(vals, vec![Value::str("XYZInc."), Value::str("DEFCorp.")]);
+    }
+
+    #[test]
+    fn wildcard_steps() {
+        let d = db();
+        let p = LabelPath::parse("list.*").unwrap();
+        assert_eq!(p.eval(&d, d.root_ref()).len(), 2);
+        let p = LabelPath::parse("list.customer.*").unwrap();
+        assert_eq!(p.eval(&d, d.root_ref()).len(), 4); // id+name per customer
+    }
+
+    #[test]
+    fn rest_and_prepend() {
+        let p = LabelPath::parse("custRec.orderInfo.order").unwrap();
+        assert_eq!(p.first(), &Step::Label(Name::new("custRec")));
+        let q = p.rest().unwrap();
+        assert_eq!(q.to_string(), "orderInfo.order");
+        let w = q.prepend(Step::Label(Name::new("list")));
+        assert_eq!(w.to_string(), "list.orderInfo.order");
+        assert!(LabelPath::parse("x").unwrap().rest().is_none());
+    }
+
+    #[test]
+    fn join_merges_chains() {
+        // getD($A.custRec,$R) then getD($R.custRec.orderInfo,$S)
+        // composes to getD($A.custRec.orderInfo,$S).
+        let a = LabelPath::parse("custRec").unwrap();
+        let b = LabelPath::parse("custRec.orderInfo").unwrap();
+        assert_eq!(a.join(&b).unwrap().to_string(), "custRec.orderInfo");
+        let c = LabelPath::parse("order.value").unwrap();
+        assert!(a.join(&c).is_none());
+        // wildcard overlap keeps the specific label
+        let w = LabelPath::parse("custRec.*").unwrap();
+        let d = LabelPath::parse("orderInfo.order").unwrap();
+        assert_eq!(w.join(&d).unwrap().to_string(), "custRec.orderInfo.order");
+    }
+
+    #[test]
+    fn first_matches_label_test() {
+        let p = LabelPath::parse("custRec.orderInfo").unwrap();
+        assert!(p.first_matches_label(&Name::new("custRec")));
+        assert!(!p.first_matches_label(&Name::new("orderInfo")));
+        assert!(LabelPath::parse("*.x").unwrap().first_matches_label(&Name::new("anything")));
+    }
+}

@@ -1,0 +1,176 @@
+//! Serialization and figure-style rendering.
+//!
+//! Two output forms:
+//!
+//! * [`to_xml`] — plain XML text (round-trips through the parser).
+//! * [`render_tree`] — the annotated tree layout the paper's figures
+//!   use (Fig. 2, Fig. 7): each line shows the vertex id and label,
+//!   indentation shows structure, leaves show `label = value`.
+
+use crate::nav::{NavDoc, NodeRef};
+use crate::parse::encode_entities;
+use std::fmt::Write as _;
+
+/// Serialize the subtree under `n` as XML text.
+pub fn to_xml<D: NavDoc + ?Sized>(doc: &D, n: NodeRef) -> String {
+    let mut out = String::new();
+    write_xml(doc, n, &mut out, 0, false);
+    out
+}
+
+/// Serialize with indentation (one element per line).
+pub fn to_xml_pretty<D: NavDoc + ?Sized>(doc: &D, n: NodeRef) -> String {
+    let mut out = String::new();
+    write_xml(doc, n, &mut out, 0, true);
+    out
+}
+
+fn write_xml<D: NavDoc + ?Sized>(doc: &D, n: NodeRef, out: &mut String, depth: usize, pretty: bool) {
+    let pad = if pretty { "  ".repeat(depth) } else { String::new() };
+    if let Some(v) = doc.value(n) {
+        let _ = write!(out, "{pad}{}", encode_entities(&v.to_string()));
+        if pretty {
+            out.push('\n');
+        }
+        return;
+    }
+    let label = doc.label(n).expect("element has a label");
+    let mut child = doc.first_child(n);
+    if child.is_none() {
+        let _ = write!(out, "{pad}<{label}/>");
+        if pretty {
+            out.push('\n');
+        }
+        return;
+    }
+    // Single text child renders inline: <id>XYZ123</id>.
+    let only_text = {
+        let c = child.unwrap();
+        doc.next_sibling(c).is_none() && doc.value(c).is_some()
+    };
+    if only_text {
+        let v = doc.value(child.unwrap()).unwrap();
+        let _ = write!(out, "{pad}<{label}>{}</{label}>", encode_entities(&v.to_string()));
+        if pretty {
+            out.push('\n');
+        }
+        return;
+    }
+    let _ = write!(out, "{pad}<{label}>");
+    if pretty {
+        out.push('\n');
+    }
+    while let Some(c) = child {
+        write_xml(doc, c, out, depth + 1, pretty);
+        child = doc.next_sibling(c);
+    }
+    let _ = write!(out, "{pad}</{label}>");
+    if pretty {
+        out.push('\n');
+    }
+}
+
+/// Render the subtree under `n` in the paper's figure style:
+///
+/// ```text
+/// &root1 list
+///   &XYZ123 customer
+///     &_0 id = XYZ123
+/// ```
+pub fn render_tree<D: NavDoc + ?Sized>(doc: &D, n: NodeRef) -> String {
+    let mut out = String::new();
+    render(doc, n, &mut out, 0);
+    out
+}
+
+fn render<D: NavDoc + ?Sized>(doc: &D, n: NodeRef, out: &mut String, depth: usize) {
+    let pad = "  ".repeat(depth);
+    let oid = doc.oid(n);
+    if let Some(v) = doc.value(n) {
+        let _ = writeln!(out, "{pad}{oid} = {v}");
+        return;
+    }
+    let label = doc.label(n).expect("element");
+    // Field shape `<id>XYZ123</id>` renders on one line, like the figures.
+    let first = doc.first_child(n);
+    if let Some(c) = first {
+        if doc.next_sibling(c).is_none() {
+            if let Some(v) = doc.value(c) {
+                let _ = writeln!(out, "{pad}{oid} {label} = {v}");
+                return;
+            }
+        }
+    }
+    let _ = writeln!(out, "{pad}{oid} {label}");
+    let mut child = first;
+    while let Some(c) = child {
+        render(doc, c, out, depth + 1);
+        child = doc.next_sibling(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oid::Oid;
+    use crate::parse::parse_document;
+    use crate::tree::Document;
+    use mix_common::Value;
+
+    fn sample() -> Document {
+        let mut d = Document::new("root1", "list");
+        let root = d.root_ref();
+        let c = d.add_elem_with_oid(root, "customer", Oid::key("XYZ123"));
+        d.add_field(c, "id", Value::str("XYZ123"));
+        d.add_field(c, "addr", Value::str("LosAngeles"));
+        d
+    }
+
+    #[test]
+    fn xml_round_trips() {
+        let d = sample();
+        let text = to_xml(&d, d.root_ref());
+        assert_eq!(
+            text,
+            "<list><customer><id>XYZ123</id><addr>LosAngeles</addr></customer></list>"
+        );
+        let back = parse_document("root1", &text).unwrap();
+        assert!(Document::deep_equal(&d, d.root_ref(), &back, back.root_ref()));
+    }
+
+    #[test]
+    fn pretty_xml_has_indentation() {
+        let d = sample();
+        let text = to_xml_pretty(&d, d.root_ref());
+        assert!(text.contains("\n  <customer>"));
+        assert!(text.contains("\n    <id>XYZ123</id>"));
+    }
+
+    #[test]
+    fn tree_rendering_shows_oids() {
+        let d = sample();
+        let text = render_tree(&d, d.root_ref());
+        assert!(text.starts_with("&root1 list\n"));
+        assert!(text.contains("  &XYZ123 customer\n"));
+        assert!(text.contains("    &_0 id = XYZ123\n"));
+    }
+
+    #[test]
+    fn entities_encoded_on_output() {
+        let mut d = Document::new("r", "x");
+        let root = d.root_ref();
+        d.add_field(root, "s", Value::str("a & b"));
+        let text = to_xml(&d, d.root_ref());
+        assert_eq!(text, "<x><s>a &amp; b</s></x>");
+        let back = parse_document("r", &text).unwrap();
+        assert!(Document::deep_equal(&d, d.root_ref(), &back, back.root_ref()));
+    }
+
+    #[test]
+    fn empty_element_serializes_self_closed() {
+        let mut d = Document::new("r", "x");
+        let root = d.root_ref();
+        d.add_elem(root, "e");
+        assert_eq!(to_xml(&d, d.root_ref()), "<x><e/></x>");
+    }
+}

@@ -1,0 +1,321 @@
+//! Arena-allocated labeled ordered trees.
+//!
+//! `T = (vertexId: O, label: D) | (vertexId: O, label: D, value: [T])` —
+//! the signature from Section 2. Inner vertices carry an element label;
+//! leaf vertices carry a value from `D`. Every vertex has an [`Oid`].
+
+use crate::nav::{NavDoc, NodeRef};
+use crate::oid::Oid;
+use mix_common::{Name, Value};
+use std::cell::Cell;
+
+/// What a vertex holds: an element label or a leaf value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeContent {
+    /// Inner (or empty) element with a label from `D`.
+    Elem(Name),
+    /// Leaf whose label is a value ("the labels of leaf nodes will also
+    /// be called values").
+    Text(Value),
+}
+
+impl NodeContent {
+    /// The element label, if any.
+    pub fn label(&self) -> Option<&Name> {
+        match self {
+            NodeContent::Elem(l) => Some(l),
+            NodeContent::Text(_) => None,
+        }
+    }
+
+    /// The leaf value, if any.
+    pub fn value(&self) -> Option<&Value> {
+        match self {
+            NodeContent::Elem(_) => None,
+            NodeContent::Text(v) => Some(v),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct XNode {
+    content: NodeContent,
+    oid: Oid,
+    parent: Option<NodeRef>,
+    first_child: Option<NodeRef>,
+    last_child: Option<NodeRef>,
+    next_sibling: Option<NodeRef>,
+}
+
+/// An in-memory labeled ordered tree (one XML document / source).
+///
+/// Nodes live in an arena and are addressed by [`NodeRef`]; appending a
+/// child is O(1). Documents only grow (no node removal) — the mediator
+/// never mutates source data.
+#[derive(Debug, Clone)]
+pub struct Document {
+    name: Name,
+    nodes: Vec<XNode>,
+    next_surrogate: Cell<u64>,
+}
+
+impl Document {
+    /// Create a document whose root is an element `label` with id
+    /// `&<name>` (the paper's `&root1`-style source roots).
+    pub fn new(name: impl Into<Name>, root_label: impl Into<Name>) -> Document {
+        let name = name.into();
+        let root = XNode {
+            content: NodeContent::Elem(root_label.into()),
+            oid: Oid::root(name.clone()),
+            parent: None,
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
+        };
+        Document { name, nodes: vec![root], next_surrogate: Cell::new(0) }
+    }
+
+    /// The source name this document was registered under.
+    pub fn name(&self) -> &Name {
+        &self.name
+    }
+
+    /// The root node.
+    pub fn root_ref(&self) -> NodeRef {
+        NodeRef(0)
+    }
+
+    /// Number of nodes in the arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the document has only its root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    fn fresh_surrogate(&self) -> Oid {
+        let n = self.next_surrogate.get();
+        self.next_surrogate.set(n + 1);
+        Oid::surrogate(n)
+    }
+
+    fn push_node(&mut self, parent: NodeRef, content: NodeContent, oid: Oid) -> NodeRef {
+        let idx = NodeRef(self.nodes.len() as u32);
+        self.nodes.push(XNode {
+            content,
+            oid,
+            parent: Some(parent),
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
+        });
+        let p = &mut self.nodes[parent.0 as usize];
+        match p.last_child {
+            None => {
+                p.first_child = Some(idx);
+                p.last_child = Some(idx);
+            }
+            Some(last) => {
+                p.last_child = Some(idx);
+                self.nodes[last.0 as usize].next_sibling = Some(idx);
+            }
+        }
+        idx
+    }
+
+    /// Append an element child with an explicit oid.
+    pub fn add_elem_with_oid(
+        &mut self,
+        parent: NodeRef,
+        label: impl Into<Name>,
+        oid: Oid,
+    ) -> NodeRef {
+        self.push_node(parent, NodeContent::Elem(label.into()), oid)
+    }
+
+    /// Append an element child with a fresh surrogate oid.
+    pub fn add_elem(&mut self, parent: NodeRef, label: impl Into<Name>) -> NodeRef {
+        let oid = self.fresh_surrogate();
+        self.add_elem_with_oid(parent, label, oid)
+    }
+
+    /// Append a text-leaf child with an explicit oid.
+    pub fn add_text_with_oid(&mut self, parent: NodeRef, value: Value, oid: Oid) -> NodeRef {
+        self.push_node(parent, NodeContent::Text(value), oid)
+    }
+
+    /// Append a text-leaf child with a fresh surrogate oid.
+    pub fn add_text(&mut self, parent: NodeRef, value: Value) -> NodeRef {
+        let oid = self.fresh_surrogate();
+        self.add_text_with_oid(parent, value, oid)
+    }
+
+    /// Convenience: append `<label>value</label>` (element wrapping one
+    /// text leaf), the shape wrapper columns take in Fig. 2.
+    pub fn add_field(&mut self, parent: NodeRef, label: impl Into<Name>, value: Value) -> NodeRef {
+        let e = self.add_elem(parent, label);
+        self.add_text(e, value);
+        e
+    }
+
+    /// The node's content (label or value).
+    pub fn content(&self, n: NodeRef) -> &NodeContent {
+        &self.nodes[n.0 as usize].content
+    }
+
+    /// The node's parent, if any.
+    pub fn parent(&self, n: NodeRef) -> Option<NodeRef> {
+        self.nodes[n.0 as usize].parent
+    }
+
+    /// Iterate the node's children in order.
+    pub fn children(&self, n: NodeRef) -> impl Iterator<Item = NodeRef> + '_ {
+        let mut cur = self.nodes[n.0 as usize].first_child;
+        std::iter::from_fn(move || {
+            let c = cur?;
+            cur = self.nodes[c.0 as usize].next_sibling;
+            Some(c)
+        })
+    }
+
+    /// Number of children of `n`.
+    pub fn child_count(&self, n: NodeRef) -> usize {
+        self.children(n).count()
+    }
+
+    /// Deep structural equality of two subtrees (labels and values;
+    /// oids are ignored — they are identity, not content).
+    pub fn deep_equal(a: &Document, an: NodeRef, b: &Document, bn: NodeRef) -> bool {
+        if a.content(an) != b.content(bn) {
+            return false;
+        }
+        let ac: Vec<_> = a.children(an).collect();
+        let bc: Vec<_> = b.children(bn).collect();
+        ac.len() == bc.len()
+            && ac.iter().zip(bc.iter()).all(|(&x, &y)| Document::deep_equal(a, x, b, y))
+    }
+
+    /// Deep-copy the subtree rooted at `src_node` in `src` as a new
+    /// child of `parent` in `self`, preserving oids.
+    pub fn copy_subtree(&mut self, parent: NodeRef, src: &Document, src_node: NodeRef) -> NodeRef {
+        let new = self.push_node(parent, src.content(src_node).clone(), src.oid(src_node));
+        let kids: Vec<_> = src.children(src_node).collect();
+        for k in kids {
+            self.copy_subtree(new, src, k);
+        }
+        new
+    }
+}
+
+impl NavDoc for Document {
+    fn doc_name(&self) -> &Name {
+        &self.name
+    }
+
+    fn root(&self) -> NodeRef {
+        self.root_ref()
+    }
+
+    fn first_child(&self, n: NodeRef) -> Option<NodeRef> {
+        self.nodes[n.0 as usize].first_child
+    }
+
+    fn next_sibling(&self, n: NodeRef) -> Option<NodeRef> {
+        self.nodes[n.0 as usize].next_sibling
+    }
+
+    fn label(&self, n: NodeRef) -> Option<Name> {
+        self.nodes[n.0 as usize].content.label().cloned()
+    }
+
+    fn value(&self, n: NodeRef) -> Option<Value> {
+        self.nodes[n.0 as usize].content.value().cloned()
+    }
+
+    fn oid(&self, n: NodeRef) -> Oid {
+        self.nodes[n.0 as usize].oid.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Document {
+        // <list>&root1; <customer &XYZ123> <id>XYZ123</id> <name>XYZInc.</name> </customer> </list>
+        let mut d = Document::new("root1", "list");
+        let root = d.root_ref();
+        let c = d.add_elem_with_oid(root, "customer", Oid::key("XYZ123"));
+        d.add_field(c, "id", Value::str("XYZ123"));
+        d.add_field(c, "name", Value::str("XYZInc."));
+        d
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let d = sample();
+        let root = d.root_ref();
+        assert_eq!(d.label(root).unwrap().as_str(), "list");
+        assert_eq!(d.oid(root).to_string(), "&root1");
+        let cust = d.first_child(root).unwrap();
+        assert_eq!(d.label(cust).unwrap().as_str(), "customer");
+        assert_eq!(d.oid(cust).to_string(), "&XYZ123");
+        let id = d.first_child(cust).unwrap();
+        let name = d.next_sibling(id).unwrap();
+        assert_eq!(d.label(name).unwrap().as_str(), "name");
+        assert!(d.next_sibling(name).is_none());
+        let idv = d.first_child(id).unwrap();
+        assert_eq!(d.value(idv), Some(Value::str("XYZ123")));
+        assert!(d.first_child(idv).is_none());
+    }
+
+    #[test]
+    fn children_order_preserved() {
+        let mut d = Document::new("r", "list");
+        let root = d.root_ref();
+        for i in 0..5 {
+            d.add_field(root, "item", Value::Int(i));
+        }
+        let vals: Vec<_> = d
+            .children(root)
+            .map(|c| d.value(d.first_child(c).unwrap()).unwrap())
+            .collect();
+        assert_eq!(vals, (0..5).map(Value::Int).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deep_equal_ignores_oids() {
+        let a = sample();
+        let mut b = Document::new("other", "list");
+        let root = b.root_ref();
+        let c = b.add_elem(root, "customer"); // surrogate oid, not key
+        b.add_field(c, "id", Value::str("XYZ123"));
+        b.add_field(c, "name", Value::str("XYZInc."));
+        assert!(Document::deep_equal(&a, a.root_ref(), &b, b.root_ref()));
+        b.add_field(c, "extra", Value::Int(1));
+        assert!(!Document::deep_equal(&a, a.root_ref(), &b, b.root_ref()));
+    }
+
+    #[test]
+    fn copy_subtree_preserves_structure_and_oids() {
+        let a = sample();
+        let mut b = Document::new("copy", "list");
+        let broot = b.root_ref();
+        let cust = a.first_child(a.root_ref()).unwrap();
+        let copied = b.copy_subtree(broot, &a, cust);
+        assert!(Document::deep_equal(&a, cust, &b, copied));
+        assert_eq!(b.oid(copied), a.oid(cust));
+    }
+
+    #[test]
+    fn parent_links() {
+        let d = sample();
+        let cust = d.first_child(d.root_ref()).unwrap();
+        let id = d.first_child(cust).unwrap();
+        assert_eq!(d.parent(id), Some(cust));
+        assert_eq!(d.parent(cust), Some(d.root_ref()));
+        assert_eq!(d.parent(d.root_ref()), None);
+    }
+}

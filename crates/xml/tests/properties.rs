@@ -1,0 +1,152 @@
+//! Property tests for the XML substrate: serializer/parser round
+//! trips, path evaluation laws, and oid ordering laws.
+
+use mix_common::{Name, Value};
+use mix_xml::{parse_document, print, Document, LabelPath, NavDoc, Oid, Step};
+use proptest::prelude::*;
+
+fn label() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,5}"
+}
+
+fn text_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(|n| Value::Int(n as i64)),
+        "[a-zA-Z][a-zA-Z ]{0,10}[a-zA-Z]".prop_map(Value::str),
+    ]
+}
+
+/// Recursive document shapes: (label, children) trees.
+#[derive(Debug, Clone)]
+enum Shape {
+    Text(Value),
+    Elem(String, Vec<Shape>),
+}
+
+fn shape() -> impl Strategy<Value = Shape> {
+    let leaf = prop_oneof![
+        text_value().prop_map(Shape::Text),
+        label().prop_map(|l| Shape::Elem(l, vec![])),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (label(), prop::collection::vec(inner, 0..4))
+            .prop_map(|(l, kids)| Shape::Elem(l, kids))
+    })
+}
+
+fn build(doc: &mut Document, parent: mix_xml::NodeRef, s: &Shape) {
+    match s {
+        Shape::Text(v) => {
+            doc.add_text(parent, v.clone());
+        }
+        Shape::Elem(l, kids) => {
+            let e = doc.add_elem(parent, l.clone());
+            for k in kids {
+                build(doc, e, k);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// to_xml ∘ parse preserves structure and content.
+    #[test]
+    fn xml_round_trip(kids in prop::collection::vec(shape(), 0..5)) {
+        let mut doc = Document::new("r", "list");
+        let root = doc.root_ref();
+        for k in &kids {
+            build(&mut doc, root, k);
+        }
+        // Adjacent text leaves merge in XML text, and merged numeric
+        // text may re-canonicalize (e.g. two ints concatenating into a
+        // float-sized number) — two normalization passes, then a
+        // fixpoint.
+        let text1 = print::to_xml(&doc, doc.root());
+        let doc1 = parse_document("r", &text1).unwrap();
+        let text2 = print::to_xml(&doc1, doc1.root());
+        let doc2 = parse_document("r", &text2).unwrap();
+        let text3 = print::to_xml(&doc2, doc2.root());
+        let doc3 = parse_document("r", &text3).unwrap();
+        prop_assert!(Document::deep_equal(&doc2, doc2.root(), &doc3, doc3.root()),
+            "\nsecond: {text2}\nthird:  {text3}");
+        prop_assert_eq!(text2, text3);
+    }
+
+    /// Path evaluation agrees with a naive recursive matcher.
+    #[test]
+    fn path_eval_matches_naive(
+        kids in prop::collection::vec(shape(), 1..4),
+        raw_steps in prop::collection::vec(label(), 1..3),
+        use_data in any::<bool>(),
+    ) {
+        let mut doc = Document::new("r", "list");
+        let root = doc.root_ref();
+        for k in &kids {
+            build(&mut doc, root, k);
+        }
+        let mut steps: Vec<Step> = Vec::new();
+        steps.push(Step::Label(Name::new("list")));
+        steps.extend(raw_steps.iter().map(|l| Step::Label(Name::new(l.clone()))));
+        if use_data {
+            steps.push(Step::Data);
+        }
+        let path = LabelPath::new(steps.clone()).unwrap();
+        let fast = path.eval(&doc, root);
+
+        // naive matcher
+        fn naive(doc: &Document, n: mix_xml::NodeRef, steps: &[Step]) -> Vec<mix_xml::NodeRef> {
+            let matches = match &steps[0] {
+                Step::Label(l) => doc.label(n).as_ref() == Some(l),
+                Step::Wild => doc.label(n).is_some(),
+                Step::Data => doc.value(n).is_some(),
+            };
+            if !matches {
+                return vec![];
+            }
+            if steps.len() == 1 {
+                return vec![n];
+            }
+            let mut out = Vec::new();
+            for c in doc.children(n) {
+                out.extend(naive(doc, c, &steps[1..]));
+            }
+            out
+        }
+        let slow = naive(&doc, root, &steps);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Oid total order: antisymmetric, transitive on a sample, and
+    /// consistent with equality.
+    #[test]
+    fn oid_total_order_laws(
+        a in oid_strategy(),
+        b in oid_strategy(),
+        c in oid_strategy(),
+    ) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        if a.total_cmp(&b) == Ordering::Less && b.total_cmp(&c) == Ordering::Less {
+            prop_assert_eq!(a.total_cmp(&c), Ordering::Less);
+        }
+        if a == b {
+            prop_assert_eq!(a.total_cmp(&b), Ordering::Equal);
+        }
+    }
+}
+
+fn oid_strategy() -> impl Strategy<Value = Oid> {
+    let leaf = prop_oneof![
+        any::<u64>().prop_map(Oid::surrogate),
+        "[A-Z]{1,4}[0-9]{0,3}".prop_map(Oid::key),
+        label().prop_map(Oid::root),
+        any::<i32>().prop_map(|n| Oid::lit(Value::Int(n as i64))),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        ("[fgh]", "[A-Z]", prop::collection::vec(inner, 0..3))
+            .prop_map(|(f, v, args)| Oid::skolem(f, v, args))
+    })
+}

@@ -1,0 +1,121 @@
+//! Abstract syntax for the XQuery subset.
+
+use mix_common::{CmpOp, Name, Value};
+use mix_xml::Step;
+
+/// A complete FOR/WHERE/RETURN query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The FOR clause: one binding per `Variable IN PathExpression`.
+    pub for_clause: Vec<ForBinding>,
+    /// The WHERE clause as a conjunction (empty = no WHERE).
+    pub where_clause: Vec<Condition>,
+    /// The RETURN clause.
+    pub ret: ReturnExpr,
+}
+
+/// Where a FOR-clause path starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathBase {
+    /// `document("root1")`, `document(&root1)`, `source(&root1)`,
+    /// `document(rootv)` — a named source or view.
+    Document(Name),
+    /// `document(root)` — the special root of a query-in-place: "the
+    /// query q uses a special root, which is lexically denoted as
+    /// `root`" (Section 2).
+    QueryRoot,
+    /// `$var/...` — a previously bound variable.
+    Var(Name),
+}
+
+/// One `Variable IN PathExpression` binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForBinding {
+    /// The bound variable.
+    pub var: Name,
+    /// The path's base.
+    pub base: PathBase,
+    /// The path steps *after* the base (possibly empty for `$v/` — not
+    /// produced by the grammar, but tolerated as the identity path).
+    pub steps: Vec<Step>,
+}
+
+/// One conjunct of the WHERE clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    pub lhs: Operand,
+    pub op: CmpOp,
+    pub rhs: Operand,
+}
+
+/// A comparison operand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// `$var/step/step/data()` (steps possibly empty: bare `$var`).
+    Path { var: Name, steps: Vec<Step> },
+    /// A constant literal.
+    Const(Value),
+}
+
+/// The RETURN clause body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReturnExpr {
+    /// `RETURN <Tag>…</Tag>{…}`.
+    Elem(Element),
+    /// `RETURN $v` (Q2, Q3 and Fig. 12 all return a bare variable).
+    Var(Name),
+}
+
+/// A constructed element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    /// Tag label.
+    pub label: Name,
+    /// Content items, in order.
+    pub children: Vec<Item>,
+    /// The group-by list `{$v, $w}`; empty when absent.
+    pub group_by: Vec<Name>,
+}
+
+/// One content item of an element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A nested constructed element.
+    Elem(Element),
+    /// A variable reference.
+    Var(Name),
+    /// A nested FOR/WHERE/RETURN subquery.
+    SubQuery(Box<Query>),
+}
+
+impl Query {
+    /// Every variable bound by the FOR clause, in order.
+    pub fn bound_vars(&self) -> Vec<Name> {
+        self.for_clause.iter().map(|b| b.var.clone()).collect()
+    }
+
+    /// Does this query's FOR clause reference the query-in-place root?
+    pub fn uses_query_root(&self) -> bool {
+        self.for_clause.iter().any(|b| b.base == PathBase::QueryRoot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_vars_in_order() {
+        let q = Query {
+            for_clause: vec![
+                ForBinding { var: Name::new("C"), base: PathBase::Document(Name::new("root1")), steps: vec![] },
+                ForBinding { var: Name::new("O"), base: PathBase::Var(Name::new("C")), steps: vec![] },
+            ],
+            where_clause: vec![],
+            ret: ReturnExpr::Var(Name::new("C")),
+        };
+        let vars: Vec<String> = q.bound_vars().iter().map(|v| v.to_string()).collect();
+        assert_eq!(vars, vec!["C", "O"]);
+        assert!(!q.uses_query_root());
+    }
+}

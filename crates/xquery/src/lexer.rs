@@ -1,0 +1,285 @@
+//! Tokenizer for the XQuery subset.
+//!
+//! One subtlety: `<` is both a comparison operator (WHERE) and the
+//! start of a tag (RETURN). The lexer stays context-free — it emits
+//! `Lt`, `Slash`, `Gt` and identifiers, and the parser assembles tags —
+//! taking care that `<=` still lexes as a single token.
+
+use mix_common::{MixError, Result, Value};
+
+/// Tokens of the XQuery subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// `$name`
+    Var(String),
+    /// A bare identifier or keyword (keywords resolved by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// `"..."` string literal.
+    Str(String),
+    /// Numeric literal.
+    Num(Value),
+    /// `&name` (source ids like `&root1`).
+    AmpName(String),
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqTok,
+    Ne,
+    Slash,
+    /// `*` (wildcard path step).
+    Star,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    /// `%` comments run to end of line and are skipped by the lexer
+    /// (the paper's figures annotate queries with `%` comments).
+    Eof,
+}
+
+/// A token plus its byte offset (for error reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub pos: usize,
+}
+
+/// Tokenize the whole input.
+pub fn lex(text: &str) -> Result<Vec<Spanned>> {
+    let b = text.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    macro_rules! push {
+        ($tok:expr, $pos:expr) => {
+            out.push(Spanned { tok: $tok, pos: $pos })
+        };
+    }
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'%' => {
+                // comment to end of line
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'$' => {
+                let start = i;
+                i += 1;
+                let s = ident_at(text, &mut i);
+                if s.is_empty() {
+                    return Err(MixError::parse("xquery", start, "expected name after '$'"));
+                }
+                push!(Tok::Var(s), start);
+            }
+            b'&' => {
+                let start = i;
+                i += 1;
+                let s = ident_at(text, &mut i);
+                if s.is_empty() {
+                    return Err(MixError::parse("xquery", start, "expected name after '&'"));
+                }
+                push!(Tok::AmpName(s), start);
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(i) {
+                        None => return Err(MixError::parse("xquery", start, "unterminated string")),
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch as char);
+                            i += 1;
+                        }
+                    }
+                }
+                push!(Tok::Str(s), start);
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Le, i);
+                    i += 2;
+                } else {
+                    push!(Tok::Lt, i);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Ge, i);
+                    i += 2;
+                } else {
+                    push!(Tok::Gt, i);
+                    i += 1;
+                }
+            }
+            b'=' => {
+                push!(Tok::EqTok, i);
+                i += 1;
+            }
+            b'!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Ne, i);
+                    i += 2;
+                } else {
+                    return Err(MixError::parse("xquery", i, "stray '!'"));
+                }
+            }
+            b'/' => {
+                push!(Tok::Slash, i);
+                i += 1;
+            }
+            b'*' => {
+                push!(Tok::Star, i);
+                i += 1;
+            }
+            b'(' => {
+                push!(Tok::LParen, i);
+                i += 1;
+            }
+            b')' => {
+                push!(Tok::RParen, i);
+                i += 1;
+            }
+            b'{' => {
+                push!(Tok::LBrace, i);
+                i += 1;
+            }
+            b'}' => {
+                push!(Tok::RBrace, i);
+                i += 1;
+            }
+            b',' => {
+                push!(Tok::Comma, i);
+                i += 1;
+            }
+            b'0'..=b'9' | b'-' => {
+                let start = i;
+                i += 1;
+                let mut is_float = false;
+                while i < b.len() && (b[i].is_ascii_digit() || (b[i] == b'.' && !is_float)) {
+                    if b[i] == b'.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let t = &text[start..i];
+                let v = if is_float {
+                    t.parse::<f64>().map(Value::Float).map_err(|_| MixError::parse("xquery", start, "bad number"))?
+                } else {
+                    t.parse::<i64>().map(Value::Int).map_err(|_| MixError::parse("xquery", start, "bad number"))?
+                };
+                push!(Tok::Num(v), start);
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                let s = ident_at(text, &mut i);
+                push!(Tok::Ident(s), start);
+            }
+            _ => {
+                return Err(MixError::parse(
+                    "xquery",
+                    i,
+                    format!("unexpected character {:?}", c as char),
+                ))
+            }
+        }
+    }
+    push!(Tok::Eof, text.len());
+    Ok(out)
+}
+
+fn ident_at(text: &str, i: &mut usize) -> String {
+    let b = text.as_bytes();
+    let start = *i;
+    while *i < b.len() && (b[*i].is_ascii_alphanumeric() || b[*i] == b'_') {
+        *i += 1;
+    }
+    text[start..*i].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(text: &str) -> Vec<Tok> {
+        lex(text).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_for_clause() {
+        let t = toks("FOR $C IN source(&root1)/customer");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("FOR".into()),
+                Tok::Var("C".into()),
+                Tok::Ident("IN".into()),
+                Tok::Ident("source".into()),
+                Tok::LParen,
+                Tok::AmpName("root1".into()),
+                Tok::RParen,
+                Tok::Slash,
+                Tok::Ident("customer".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lt_vs_le_vs_tag() {
+        assert_eq!(toks("< <= <CustRec>")[..5], [
+            Tok::Lt,
+            Tok::Le,
+            Tok::Lt,
+            Tok::Ident("CustRec".into()),
+            Tok::Gt
+        ]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = toks("FOR $C % bind customers\nIN");
+        assert_eq!(t, vec![Tok::Ident("FOR".into()), Tok::Var("C".into()), Tok::Ident("IN".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(toks("\"B\" 500 -2 2.5"), vec![
+            Tok::Str("B".into()),
+            Tok::Num(Value::Int(500)),
+            Tok::Num(Value::Int(-2)),
+            Tok::Num(Value::Float(2.5)),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn group_by_braces() {
+        assert_eq!(toks("{$O, $C}"), vec![
+            Tok::LBrace,
+            Tok::Var("O".into()),
+            Tok::Comma,
+            Tok::Var("C".into()),
+            Tok::RBrace,
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("$ ").is_err());
+        assert!(lex("\"open").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("#").is_err());
+    }
+}

@@ -1,0 +1,465 @@
+//! Recursive-descent parser for the Fig. 4 grammar.
+
+use crate::ast::*;
+use crate::lexer::{lex, Spanned, Tok};
+use mix_common::{CmpOp, MixError, Name, Result, Value};
+use mix_xml::Step;
+
+/// Parse a complete query.
+pub fn parse_query(text: &str) -> Result<Query> {
+    let toks = lex(text)?;
+    let mut p = P { toks: &toks, i: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct P<'a> {
+    toks: &'a [Spanned],
+    i: usize,
+}
+
+impl<'a> P<'a> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i.min(self.toks.len() - 1)].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.i + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn pos(&self) -> usize {
+        self.toks[self.i.min(self.toks.len() - 1)].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i.min(self.toks.len() - 1)].tok.clone();
+        if self.i < self.toks.len() - 1 {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.is_keyword(kw) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(MixError::parse("xquery", self.pos(), format!("expected {kw}")))
+        }
+    }
+
+    fn eat(&mut self, t: &Tok, what: &str) -> Result<()> {
+        if self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(MixError::parse(
+                "xquery",
+                self.pos(),
+                format!("expected {what}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn var(&mut self) -> Result<Name> {
+        match self.peek().clone() {
+            Tok::Var(v) => {
+                self.bump();
+                Ok(Name::new(v))
+            }
+            t => Err(MixError::parse("xquery", self.pos(), format!("expected variable, found {t:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            t => Err(MixError::parse("xquery", self.pos(), format!("expected identifier, found {t:?}"))),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), Tok::Eof) {
+            Ok(())
+        } else {
+            Err(MixError::parse(
+                "xquery",
+                self.pos(),
+                format!("unexpected trailing token {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.eat_keyword("FOR")?;
+        let mut for_clause = Vec::new();
+        loop {
+            let var = self.var()?;
+            self.eat_keyword("IN")?;
+            let (base, steps) = self.path_expression()?;
+            for_clause.push(ForBinding { var, base, steps });
+            // Continue on `, $v IN` or a bare `$v IN` (the Fig. 4 style).
+            match self.peek() {
+                Tok::Comma => {
+                    self.bump();
+                }
+                Tok::Var(_) => {}
+                _ => break,
+            }
+        }
+        let mut where_clause = Vec::new();
+        if self.is_keyword("WHERE") {
+            self.bump();
+            loop {
+                let lhs = self.operand()?;
+                let op = self.relop()?;
+                let rhs = self.operand()?;
+                where_clause.push(Condition { lhs, op, rhs });
+                if self.is_keyword("AND") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat_keyword("RETURN")?;
+        let ret = self.return_expr()?;
+        Ok(Query { for_clause, where_clause, ret })
+    }
+
+    /// `document("x")/a/b`, `source(&x)/a`, `document(root)/a`, `$v/a/b`.
+    fn path_expression(&mut self) -> Result<(PathBase, Vec<Step>)> {
+        let base = match self.peek().clone() {
+            Tok::Var(v) => {
+                self.bump();
+                PathBase::Var(Name::new(v))
+            }
+            Tok::Ident(f) if f.eq_ignore_ascii_case("document") || f.eq_ignore_ascii_case("source") => {
+                self.bump();
+                self.eat(&Tok::LParen, "'('")?;
+                let base = match self.bump() {
+                    Tok::Str(s) => PathBase::Document(Name::new(s)),
+                    Tok::AmpName(s) => PathBase::Document(Name::new(s)),
+                    Tok::Ident(s) if s.eq_ignore_ascii_case("root") => PathBase::QueryRoot,
+                    Tok::Ident(s) => PathBase::Document(Name::new(s)),
+                    t => {
+                        return Err(MixError::parse(
+                            "xquery",
+                            self.pos(),
+                            format!("expected source name, found {t:?}"),
+                        ))
+                    }
+                };
+                self.eat(&Tok::RParen, "')'")?;
+                base
+            }
+            t => {
+                return Err(MixError::parse(
+                    "xquery",
+                    self.pos(),
+                    format!("expected path expression, found {t:?}"),
+                ))
+            }
+        };
+        let steps = self.steps()?;
+        Ok((base, steps))
+    }
+
+    /// Zero or more `/step`s, where a step is a label, `*`, or `data()`.
+    fn steps(&mut self) -> Result<Vec<Step>> {
+        let mut steps = Vec::new();
+        while matches!(self.peek(), Tok::Slash) {
+            self.bump();
+            if matches!(self.peek(), Tok::Star) {
+                self.bump();
+                steps.push(Step::Wild);
+                continue;
+            }
+            let name = self.ident()?;
+            if name.eq_ignore_ascii_case("data") && matches!(self.peek(), Tok::LParen) {
+                self.bump();
+                self.eat(&Tok::RParen, "')'")?;
+                steps.push(Step::Data);
+                break; // data() is terminal
+            }
+            steps.push(Step::Label(Name::new(name)));
+        }
+        Ok(steps)
+    }
+
+    fn operand(&mut self) -> Result<Operand> {
+        match self.peek().clone() {
+            Tok::Var(v) => {
+                self.bump();
+                let steps = self.steps()?;
+                Ok(Operand::Path { var: Name::new(v), steps })
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Operand::Const(Value::str(s)))
+            }
+            Tok::Num(v) => {
+                self.bump();
+                Ok(Operand::Const(v))
+            }
+            t => Err(MixError::parse("xquery", self.pos(), format!("expected operand, found {t:?}"))),
+        }
+    }
+
+    fn relop(&mut self) -> Result<CmpOp> {
+        let op = match self.peek() {
+            Tok::EqTok => CmpOp::Eq,
+            Tok::Ne => CmpOp::Ne,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            t => {
+                return Err(MixError::parse(
+                    "xquery",
+                    self.pos(),
+                    format!("expected comparison operator, found {t:?}"),
+                ))
+            }
+        };
+        self.bump();
+        Ok(op)
+    }
+
+    fn return_expr(&mut self) -> Result<ReturnExpr> {
+        match self.peek() {
+            Tok::Var(_) => Ok(ReturnExpr::Var(self.var()?)),
+            Tok::Lt => Ok(ReturnExpr::Elem(self.element()?)),
+            t => Err(MixError::parse(
+                "xquery",
+                self.pos(),
+                format!("expected RETURN body (variable or element), found {t:?}"),
+            )),
+        }
+    }
+
+    /// `<Tag> items </Tag> {group-by}?`
+    fn element(&mut self) -> Result<Element> {
+        self.eat(&Tok::Lt, "'<'")?;
+        let label = Name::new(self.ident()?);
+        self.eat(&Tok::Gt, "'>'")?;
+        let mut children = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Lt if matches!(self.peek2(), Tok::Slash) => break,
+                Tok::Lt => children.push(Item::Elem(self.element()?)),
+                Tok::Var(_) => children.push(Item::Var(self.var()?)),
+                Tok::Ident(s) if s.eq_ignore_ascii_case("FOR") => {
+                    children.push(Item::SubQuery(Box::new(self.query()?)));
+                }
+                t => {
+                    return Err(MixError::parse(
+                        "xquery",
+                        self.pos(),
+                        format!("unexpected element content {t:?}"),
+                    ))
+                }
+            }
+        }
+        self.eat(&Tok::Lt, "'<'")?;
+        self.eat(&Tok::Slash, "'/'")?;
+        let close = Name::new(self.ident()?);
+        if close != label {
+            return Err(MixError::parse(
+                "xquery",
+                self.pos(),
+                format!("mismatched tags <{label}> … </{close}>"),
+            ));
+        }
+        self.eat(&Tok::Gt, "'>'")?;
+        let mut group_by = Vec::new();
+        if matches!(self.peek(), Tok::LBrace) {
+            self.bump();
+            loop {
+                group_by.push(self.var()?);
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.eat(&Tok::RBrace, "'}'")?;
+        }
+        Ok(Element { label, children, group_by })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example (Fig. 3), comments and all.
+    pub const Q1: &str = r#"
+        FOR $C IN source(&root1)/customer   % bind $C to the customer tuples
+            $O IN document(&root2)/order    % bind $O to order tuples
+        WHERE $C/id/data() = $O/cid/data()
+        RETURN
+          <CustRec>
+            $C
+            <OrderInfo>
+              $O
+            </OrderInfo> {$O}
+          </CustRec> {$C}
+    "#;
+
+    #[test]
+    fn parses_q1() {
+        let q = parse_query(Q1).unwrap();
+        assert_eq!(q.for_clause.len(), 2);
+        assert_eq!(q.for_clause[0].var.as_str(), "C");
+        assert_eq!(q.for_clause[0].base, PathBase::Document(Name::new("root1")));
+        assert_eq!(q.for_clause[0].steps, vec![Step::Label(Name::new("customer"))]);
+        assert_eq!(q.where_clause.len(), 1);
+        let c = &q.where_clause[0];
+        assert_eq!(c.op, CmpOp::Eq);
+        assert_eq!(
+            c.lhs,
+            Operand::Path {
+                var: Name::new("C"),
+                steps: vec![Step::Label(Name::new("id")), Step::Data]
+            }
+        );
+        let ReturnExpr::Elem(e) = &q.ret else { panic!("expected element") };
+        assert_eq!(e.label.as_str(), "CustRec");
+        assert_eq!(e.group_by, vec![Name::new("C")]);
+        assert_eq!(e.children.len(), 2);
+        assert_eq!(e.children[0], Item::Var(Name::new("C")));
+        let Item::Elem(oi) = &e.children[1] else { panic!("expected OrderInfo") };
+        assert_eq!(oi.label.as_str(), "OrderInfo");
+        assert_eq!(oi.group_by, vec![Name::new("O")]);
+    }
+
+    #[test]
+    fn parses_q2_with_query_root() {
+        // Q2 from Example 2.1.
+        let q = parse_query(
+            r#"FOR $P IN document(root)/CustRec
+               WHERE $P/customer/name < "B"
+               RETURN $P"#,
+        )
+        .unwrap();
+        assert_eq!(q.for_clause[0].base, PathBase::QueryRoot);
+        assert!(q.uses_query_root());
+        assert_eq!(q.ret, ReturnExpr::Var(Name::new("P")));
+        assert_eq!(q.where_clause[0].rhs, Operand::Const(Value::str("B")));
+    }
+
+    #[test]
+    fn parses_q3() {
+        let q = parse_query(
+            "FOR $O IN document(root)/OrderInfo \
+             WHERE $O/order/value < 500 RETURN $O",
+        )
+        .unwrap();
+        assert_eq!(q.where_clause[0].op, CmpOp::Lt);
+        assert_eq!(q.where_clause[0].rhs, Operand::Const(Value::Int(500)));
+    }
+
+    #[test]
+    fn parses_fig12_with_var_base_and_lowercase() {
+        let q = parse_query(
+            "FOR $R in document(rootv)/CustRec \
+                 $S in $R/OrderInfo \
+             WHERE $S/order/value > 20000 \
+             RETURN $R",
+        )
+        .unwrap();
+        assert_eq!(q.for_clause[1].base, PathBase::Var(Name::new("R")));
+        assert_eq!(q.for_clause[0].base, PathBase::Document(Name::new("rootv")));
+    }
+
+    #[test]
+    fn parses_nested_subquery() {
+        let q = parse_query(
+            r#"FOR $C IN document(root1)/customer
+               RETURN <rec> $C
+                 FOR $O IN document(root2)/order
+                 WHERE $O/cid/data() = $C/id/data()
+                 RETURN <o> $O </o> {$O}
+               </rec> {$C}"#,
+        )
+        .unwrap();
+        let ReturnExpr::Elem(e) = &q.ret else { panic!() };
+        assert!(matches!(e.children[1], Item::SubQuery(_)));
+    }
+
+    #[test]
+    fn comma_separated_for_clause_accepted() {
+        let q = parse_query(
+            "FOR $A IN document(r)/x, $B IN document(r)/y RETURN $A",
+        )
+        .unwrap();
+        assert_eq!(q.for_clause.len(), 2);
+    }
+
+    #[test]
+    fn multiple_where_conjuncts() {
+        let q = parse_query(
+            "FOR $L IN document(root)/lens \
+             WHERE $L/cost/data() < 200 AND $L/diameter/data() > 10 AND $L/region/data() = \"SoCal\" \
+             RETURN $L",
+        )
+        .unwrap();
+        assert_eq!(q.where_clause.len(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_query("RETURN $x").is_err());
+        assert!(parse_query("FOR $x IN RETURN $x").is_err());
+        assert!(parse_query("FOR $x IN document(r)/a WHERE RETURN $x").is_err());
+        assert!(parse_query("FOR $x IN document(r)/a RETURN <a> $x </b>").is_err());
+        assert!(parse_query("FOR $x IN document(r)/a RETURN <a> $x </a> trailing").is_err());
+        assert!(parse_query("FOR $x IN document(r)/a RETURN").is_err());
+    }
+
+    #[test]
+    fn group_by_multiple_vars() {
+        let q = parse_query(
+            "FOR $A IN document(r)/x $B IN $A/y RETURN <g> $B </g> {$A, $B}",
+        )
+        .unwrap();
+        let ReturnExpr::Elem(e) = &q.ret else { panic!() };
+        assert_eq!(e.group_by, vec![Name::new("A"), Name::new("B")]);
+    }
+}
+
+#[cfg(test)]
+mod wildcard_tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_steps_parse_and_print() {
+        let q = parse_query("FOR $X IN document(r)/a/*/b RETURN $X").unwrap();
+        assert_eq!(
+            q.for_clause[0].steps,
+            vec![
+                Step::Label(Name::new("a")),
+                Step::Wild,
+                Step::Label(Name::new("b"))
+            ]
+        );
+        let printed = crate::print::print_query(&q);
+        assert_eq!(parse_query(&printed).unwrap(), q);
+    }
+
+    #[test]
+    fn wildcard_in_where_operand() {
+        let q = parse_query("FOR $X IN document(r)/a WHERE $X/*/data() > 1 RETURN $X").unwrap();
+        let crate::ast::Operand::Path { steps, .. } = &q.where_clause[0].lhs else { panic!() };
+        assert_eq!(steps, &vec![Step::Wild, Step::Data]);
+    }
+}

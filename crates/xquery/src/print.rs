@@ -1,0 +1,159 @@
+//! Query pretty-printer (print/re-parse round-trips are property-tested).
+
+use crate::ast::*;
+use mix_common::Value;
+use mix_xml::Step;
+use std::fmt::Write;
+
+/// Render a query as parseable text.
+pub fn print_query(q: &Query) -> String {
+    let mut out = String::new();
+    write_query(q, &mut out, 0);
+    out
+}
+
+fn pad(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_query(q: &Query, out: &mut String, depth: usize) {
+    pad(out, depth);
+    out.push_str("FOR ");
+    for (i, b) in q.for_clause.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+            pad(out, depth);
+            out.push_str("    ");
+        }
+        let _ = write!(out, "{} IN ", b.var.display_var());
+        match &b.base {
+            PathBase::Document(d) => {
+                let _ = write!(out, "document(\"{d}\")");
+            }
+            PathBase::QueryRoot => out.push_str("document(root)"),
+            PathBase::Var(v) => out.push_str(&v.display_var()),
+        }
+        write_steps(&b.steps, out);
+    }
+    out.push('\n');
+    if !q.where_clause.is_empty() {
+        pad(out, depth);
+        out.push_str("WHERE ");
+        for (i, c) in q.where_clause.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" AND ");
+            }
+            write_operand(&c.lhs, out);
+            let _ = write!(out, " {} ", c.op);
+            write_operand(&c.rhs, out);
+        }
+        out.push('\n');
+    }
+    pad(out, depth);
+    out.push_str("RETURN ");
+    match &q.ret {
+        ReturnExpr::Var(v) => {
+            out.push_str(&v.display_var());
+            out.push('\n');
+        }
+        ReturnExpr::Elem(e) => {
+            out.push('\n');
+            write_element(e, out, depth + 1);
+        }
+    }
+}
+
+fn write_steps(steps: &[Step], out: &mut String) {
+    for s in steps {
+        match s {
+            Step::Label(l) => {
+                let _ = write!(out, "/{l}");
+            }
+            Step::Wild => out.push_str("/*"),
+            Step::Data => out.push_str("/data()"),
+        }
+    }
+}
+
+fn write_operand(o: &Operand, out: &mut String) {
+    match o {
+        Operand::Path { var, steps } => {
+            out.push_str(&var.display_var());
+            write_steps(steps, out);
+        }
+        Operand::Const(Value::Str(s)) => {
+            let _ = write!(out, "\"{s}\"");
+        }
+        Operand::Const(v) => {
+            let _ = write!(out, "{v}");
+        }
+    }
+}
+
+fn write_element(e: &Element, out: &mut String, depth: usize) {
+    pad(out, depth);
+    let _ = writeln!(out, "<{}>", e.label);
+    for item in &e.children {
+        match item {
+            Item::Var(v) => {
+                pad(out, depth + 1);
+                out.push_str(&v.display_var());
+                out.push('\n');
+            }
+            Item::Elem(inner) => write_element(inner, out, depth + 1),
+            Item::SubQuery(q) => write_query(q, out, depth + 1),
+        }
+    }
+    pad(out, depth);
+    let _ = write!(out, "</{}>", e.label);
+    if !e.group_by.is_empty() {
+        out.push_str(" {");
+        for (i, v) in e.group_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&v.display_var());
+        }
+        out.push('}');
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    const QUERIES: &[&str] = &[
+        "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
+         WHERE $C/id/data() = $O/cid/data() \
+         RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}",
+        "FOR $P IN document(root)/CustRec WHERE $P/customer/name < \"B\" RETURN $P",
+        "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 500 RETURN $O",
+        "FOR $R in document(rootv)/CustRec $S in $R/OrderInfo \
+         WHERE $S/order/value > 20000 RETURN $R",
+    ];
+
+    #[test]
+    fn print_reparse_fixpoint() {
+        for text in QUERIES {
+            let q = parse_query(text).unwrap();
+            let printed = print_query(&q);
+            let q2 = parse_query(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+            assert_eq!(q, q2, "round trip changed the query:\n{printed}");
+            // And printing is a fixpoint.
+            assert_eq!(printed, print_query(&q2));
+        }
+    }
+
+    #[test]
+    fn printed_q1_is_readable() {
+        let q = parse_query(QUERIES[0]).unwrap();
+        let p = print_query(&q);
+        assert!(p.contains("FOR $C IN document(\"root1\")/customer"));
+        assert!(p.contains("WHERE $C/id/data() = $O/cid/data()"));
+        assert!(p.contains("</CustRec> {$C}"));
+    }
+}

@@ -1,0 +1,86 @@
+//! The introduction's information-discovery session, replayed
+//! programmatically: "consider an electronic customer of the photo
+//! equipment section of an auction site…".
+//!
+//! ```sh
+//! cargo run --example auction_browse
+//! ```
+//!
+//! The user (1) queries cameras under $300, (2) browses a few results
+//! and realizes the query is too general, (3) refines by autofocus
+//! speed and magazine rating, (4) browses into one camera, and
+//! (5) queries that camera's matching lenses in place. The printed
+//! source counters show how little of the database the whole session
+//! actually pulled — the paper's navigation-driven-evaluation claim.
+
+use mix::prelude::*;
+use mix_repro::datagen::auction_db;
+
+fn main() -> Result<()> {
+    let (catalog, db) = auction_db(400, 12, 2026);
+    let stats = db.stats().clone();
+    stats.reset();
+    let mediator = Mediator::new(catalog);
+    let mut session = mediator.session();
+
+    // A joined camera/lens view: each Listing groups a camera with its
+    // matching lenses (the "matching lens" list of the introduction).
+    let p0 = session.query(
+        "FOR $C IN document(cameras)/camera $L IN document(lenses)/lens \
+         WHERE $C/id/data() = $L/camid/data() AND $C/price/data() < 300 \
+         RETURN <Listing> $C <Lens> $L </Lens> {$L} </Listing> {$C}",
+    )?;
+    println!("step 1: cameras under $300 (virtual result, nothing fetched yet)");
+    println!("  source tuples shipped: {}", stats.tuples_shipped());
+
+    // Browse the first three listings.
+    let mut cur = session.d(p0);
+    for i in 0..3 {
+        let Some(listing) = cur else { break };
+        let cam = session.d(listing).expect("camera child");
+        let model = session
+            .d(cam)
+            .and_then(|f| session.r(f)) // id, model
+            .and_then(|f| session.d(f))
+            .and_then(|v| session.fv(v));
+        println!("  listing {}: {} ({:?})", i + 1, session.oid(listing), model);
+        cur = session.r(listing);
+    }
+    println!("step 2: browsed 3 listings; shipped so far: {}", stats.tuples_shipped());
+
+    // "His query is too general": refine in place from the result root.
+    let p4 = session.q(
+        "FOR $P IN document(root)/Listing \
+         WHERE $P/camera/afspeed < 0.4 AND $P/camera/rating >= 1 \
+         RETURN $P",
+        p0,
+    )?;
+    println!("step 3: refined by autofocus speed < 0.4s and rating >= medium");
+    let refined = session.child_count(p4);
+    println!("  refined result has {refined} listings");
+
+    // Browse into the first refined listing and its lens list.
+    let listing = session.d(p4).expect("at least one refined listing");
+    let cam = session.d(listing).expect("camera");
+    println!("step 4: browsing into {} ({})", session.oid(listing), session.oid(cam));
+
+    // "There are too many lenses": query the lens list in place.
+    let p9 = session.q(
+        "FOR $L IN document(root)/Lens \
+         WHERE $L/lens/cost < 300 AND $L/lens/diameter > 10 \
+         RETURN $L",
+        listing,
+    )?;
+    println!(
+        "step 5: lenses of this camera under $300 with diameter > 10mm: {}",
+        session.child_count(p9)
+    );
+    println!("{}", session.render(p9));
+
+    let total: u64 = stats.tuples_shipped();
+    let db_size = 400 + 400 * 12;
+    println!(
+        "session shipped {total} source tuples out of {db_size} rows in the database"
+    );
+    Ok(())
+}

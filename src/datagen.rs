@@ -1,0 +1,132 @@
+//! Synthetic workload builders shared by examples, integration tests
+//! and benchmarks.
+
+use mix::prelude::*;
+use mix::relational::{Column, ColumnType};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The paper's customers/orders schema at an arbitrary scale, wrapped
+/// as sources `root1` (customer) and `root2` (order).
+pub fn customers_orders(n_customers: usize, orders_per_customer: usize, seed: u64) -> (Catalog, Database) {
+    let db = mix::relational::fixtures::gen_db(n_customers, orders_per_customer, seed);
+    let catalog = mix::wrapper::wrap_customers_orders(db.clone());
+    (catalog, db)
+}
+
+/// The introduction's auction scenario: photo equipment on an
+/// eBay-like site. Two relations, wrapped as sources `cameras` and
+/// `lenses`:
+///
+/// * `camera(id, model, price, afspeed, rating)` — `afspeed` is the
+///   "autofocus speed" attribute, `rating` the "Popular Photo Magazine
+///   Rating" (0 = low … 2 = high);
+/// * `lens(id, camid, cost, diameter, region)` — `camid` links a lens
+///   to its matching camera, `region` is the current owner's location.
+pub fn auction_db(n_cameras: usize, lenses_per_camera: usize, seed: u64) -> (Catalog, Database) {
+    let mut db = Database::new("auction");
+    db.create_table(
+        "camera",
+        Schema::new(
+            vec![
+                Column::new("id", ColumnType::Text),
+                Column::new("model", ColumnType::Text),
+                Column::new("price", ColumnType::Int),
+                Column::new("afspeed", ColumnType::Float),
+                Column::new("rating", ColumnType::Int),
+            ],
+            &["id"],
+        )
+        .expect("static schema"),
+    )
+    .expect("fresh table");
+    db.create_table(
+        "lens",
+        Schema::new(
+            vec![
+                Column::new("id", ColumnType::Text),
+                Column::new("camid", ColumnType::Text),
+                Column::new("cost", ColumnType::Int),
+                Column::new("diameter", ColumnType::Int),
+                Column::new("region", ColumnType::Text),
+            ],
+            &["id"],
+        )
+        .expect("static schema"),
+    )
+    .expect("fresh table");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let brands = ["Nikon", "Canon", "Pentax", "Olympus", "Leica"];
+    let regions = ["SoCal", "NorCal", "PNW", "East", "Midwest"];
+    let mut lens_id = 0usize;
+    for i in 0..n_cameras {
+        let id = format!("CAM{i:05}");
+        let model = format!("{}{}", brands[i % brands.len()], 100 + i);
+        let price = rng.random_range(50..2000);
+        let afspeed = (rng.random_range(1..20) as f64) / 10.0;
+        let rating = rng.random_range(0..3);
+        db.insert(
+            "camera",
+            vec![
+                Value::str(&id),
+                Value::str(model),
+                Value::Int(price),
+                Value::Float(afspeed),
+                Value::Int(rating),
+            ],
+        )
+        .expect("row fits schema");
+        for _ in 0..lenses_per_camera {
+            let lid = format!("LENS{lens_id:06}");
+            lens_id += 1;
+            db.insert(
+                "lens",
+                vec![
+                    Value::str(&lid),
+                    Value::str(&id),
+                    Value::Int(rng.random_range(20..800)),
+                    Value::Int(rng.random_range(5..30)),
+                    Value::str(regions[rng.random_range(0..regions.len())]),
+                ],
+            )
+            .expect("row fits schema");
+        }
+    }
+
+    let mut catalog = Catalog::new();
+    catalog.register_relation(RelationSource::new(db.clone(), "camera", "camera", "cameras"));
+    catalog.register_relation(RelationSource::new(db.clone(), "lens", "lens", "lenses"));
+    (catalog, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auction_db_is_deterministic_and_linked() {
+        let (cat, db) = auction_db(10, 4, 7);
+        assert_eq!(db.table("camera").unwrap().len(), 10);
+        assert_eq!(db.table("lens").unwrap().len(), 40);
+        let (_, db2) = auction_db(10, 4, 7);
+        assert_eq!(db.table("lens").unwrap().rows(), db2.table("lens").unwrap().rows());
+        // every lens links to an existing camera
+        let rows = db
+            .execute_sql(
+                "SELECT l.id FROM lens l, camera c WHERE l.camid = c.id",
+            )
+            .unwrap()
+            .collect_all();
+        assert_eq!(rows.len(), 40);
+        assert!(cat.relation_info("cameras").is_some());
+        assert!(cat.relation_info("lenses").is_some());
+    }
+
+    #[test]
+    fn customers_orders_wraps_gen_db() {
+        let (cat, db) = customers_orders(5, 2, 3);
+        assert_eq!(db.table("orders").unwrap().len(), 10);
+        assert!(cat.relation_info("root1").is_some());
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for queries-in-place: for random databases and
+//! random navigation targets, the decontextualized (optimized) query
+//! returns exactly what querying the materialized subtree returns.
+
+use mix::prelude::*;
+use proptest::prelude::*;
+
+const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
+     WHERE $C/id/data() = $O/cid/data() \
+     RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
+
+fn content_only(rendered: &str) -> String {
+    rendered
+        .lines()
+        .map(|l| {
+            let trimmed = l.trim_start();
+            let indent = &l[..l.len() - trimmed.len()];
+            let rest = match trimmed.strip_prefix('&') {
+                Some(r) => r.split_once(' ').map(|(_, rest)| rest).unwrap_or(""),
+                None => trimmed,
+            };
+            format!("{indent}{rest}")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// q(query, node) ≡ q_materialized(query, node) on random data,
+    /// random customers, random thresholds.
+    #[test]
+    fn decontext_equals_materialized_subtree(
+        n_customers in 2usize..15,
+        orders_per in 1usize..6,
+        seed in 0u64..300,
+        pick in 0usize..15,
+        threshold in 0i64..100_000,
+        below in any::<bool>(),
+    ) {
+        let (catalog, _db) = mix_repro::datagen::customers_orders(n_customers, orders_per, seed);
+        let m = Mediator::new(catalog);
+        let mut s = m.session();
+        let p0 = s.query(Q1).unwrap();
+        // Navigate to the pick-th CustRec (wrapping around).
+        let recs = s.children(p0);
+        prop_assume!(!recs.is_empty());
+        let target = recs[pick % recs.len()];
+        let op = if below { "<" } else { ">" };
+        let q = format!(
+            "FOR $O IN document(root)/OrderInfo WHERE $O/order/value {op} {threshold} RETURN $O"
+        );
+        let a = s.q(&q, target).unwrap();
+        let b = s.q_materialized(&q, target).unwrap();
+        prop_assert_eq!(content_only(&s.render(a)), content_only(&s.render(b)));
+    }
+
+    /// Composition from the root ≡ refiltering the materialized result.
+    #[test]
+    fn composition_equals_materialized_root(
+        n_customers in 2usize..12,
+        orders_per in 1usize..5,
+        seed in 0u64..300,
+        threshold in 0i64..100_000,
+    ) {
+        let (catalog, _db) = mix_repro::datagen::customers_orders(n_customers, orders_per, seed);
+        let m = Mediator::new(catalog);
+        let mut s = m.session();
+        let p0 = s.query(Q1).unwrap();
+        let q = format!(
+            "FOR $R IN document(root)/CustRec $S IN $R/OrderInfo \
+             WHERE $S/order/value > {threshold} RETURN $R"
+        );
+        let a = s.q(&q, p0).unwrap();
+        let b = s.q_materialized(&q, p0).unwrap();
+        prop_assert_eq!(content_only(&s.render(a)), content_only(&s.render(b)));
+    }
+}

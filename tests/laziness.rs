@@ -1,0 +1,204 @@
+//! The paper's performance claims as hard assertions on the work
+//! counters (the benchmark harness measures the same quantities over
+//! parameter sweeps; these tests pin the *shape* of each claim).
+
+use mix::prelude::*;
+use mix_repro::datagen::customers_orders;
+
+const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
+     WHERE $C/id/data() = $O/cid/data() \
+     RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
+
+fn mediator(catalog: Catalog, optimize: bool, access: AccessMode) -> Mediator {
+    Mediator::with_options(catalog, MediatorOptions { access, optimize, ..Default::default() })
+}
+
+/// E1: browsing k of N results ships ~k·(orders+1) tuples under lazy
+/// evaluation, but the whole database under eager evaluation.
+#[test]
+fn e1_lazy_browse_ships_prefix_only() {
+    let n = 300;
+    let per = 4;
+    let (catalog, db) = customers_orders(n, per, 11);
+    let stats = db.stats().clone();
+
+    // Lazy: browse 5 CustRecs shallowly.
+    let m = mediator(catalog.clone(), true, AccessMode::Lazy);
+    let mut s = m.session();
+    stats.reset();
+    let p0 = s.query(Q1).unwrap();
+    let mut cur = s.d(p0);
+    for _ in 0..4 {
+        cur = cur.and_then(|c| s.r(c));
+    }
+    let lazy_shipped = stats.tuples_shipped();
+
+    // Eager: the same query materializes everything up front.
+    let m = mediator(catalog, true, AccessMode::Eager);
+    let mut s = m.session();
+    stats.reset();
+    let _p0 = s.query(Q1).unwrap();
+    let eager_shipped = stats.tuples_shipped();
+
+    assert!(
+        lazy_shipped * 5 < eager_shipped,
+        "lazy={lazy_shipped} eager={eager_shipped}"
+    );
+    // Eager ships at least every joined row.
+    assert!(eager_shipped >= (n * per) as u64);
+}
+
+/// E2: time-to-first-result under lazy evaluation is O(1) in source
+/// tuples, independent of database size.
+#[test]
+fn e2_first_result_cost_independent_of_n() {
+    let mut first_costs = Vec::new();
+    for n in [50usize, 500, 2000] {
+        let (catalog, db) = customers_orders(n, 2, 3);
+        let stats = db.stats().clone();
+        let m = mediator(catalog, true, AccessMode::Lazy);
+        let mut s = m.session();
+        stats.reset();
+        let p0 = s.query(Q1).unwrap();
+        let _first = s.d(p0).unwrap();
+        first_costs.push(stats.tuples_shipped());
+    }
+    // Identical prefix cost at every scale.
+    assert_eq!(first_costs[0], first_costs[1], "{first_costs:?}");
+    assert_eq!(first_costs[1], first_costs[2], "{first_costs:?}");
+}
+
+/// E3: an in-place query via decontextualization ships far less than
+/// materializing the context subtree and querying the copy.
+#[test]
+fn e3_decontext_beats_materialize() {
+    let (catalog, db) = customers_orders(200, 30, 5);
+    let stats = db.stats().clone();
+    let m = mediator(catalog, true, AccessMode::Lazy);
+    let mut s = m.session();
+    let p0 = s.query(Q1).unwrap();
+    let p1 = s.d(p0).unwrap(); // first CustRec (30 orders below)
+    let q = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 99000 RETURN $O";
+
+    let med_stats = s.ctx().stats().clone();
+    stats.reset();
+    med_stats.reset();
+    let a = s.q(q, p1).unwrap();
+    let _ = s.child_count(a);
+    let decontext_shipped = stats.tuples_shipped();
+    let decontext_built = med_stats.nodes_built();
+
+    stats.reset();
+    med_stats.reset();
+    let b = s.q_materialized(q, p1).unwrap();
+    let _ = s.child_count(b);
+    let materialize_built = med_stats.nodes_built();
+
+    // The materializing baseline copies the full 30-order subtree to
+    // the mediator; decontextualization only touches the matching
+    // orders (high selectivity ⇒ almost none).
+    assert!(materialize_built > 30 * 4, "materialize_built={materialize_built}");
+    assert!(
+        decontext_built < materialize_built,
+        "decontext_built={decontext_built} materialize_built={materialize_built}"
+    );
+    // And the decontextualized SQL ships only the context's matching
+    // rows, not whole relations.
+    assert!(decontext_shipped < 30, "decontext_shipped={decontext_shipped}");
+}
+
+/// E4: composition optimization ships the most restrictive query — the
+/// naive composed plan ships entire relations.
+#[test]
+fn e4_pushdown_ships_less() {
+    let (catalog, db) = customers_orders(400, 6, 9);
+    let stats = db.stats().clone();
+    const VIEW: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
+         WHERE $C/id/data() = $O/cid/data() \
+         RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
+    let report = "FOR $R IN document(v)/CustRec $S IN $R/OrderInfo \
+         WHERE $S/order/value > 99500 RETURN $R";
+    let mut shipped = Vec::new();
+    for optimize in [true, false] {
+        let mut m = mediator(catalog.clone(), optimize, AccessMode::Lazy);
+        m.define_view("v", VIEW).unwrap();
+        let mut s = m.session();
+        stats.reset();
+        let p = s.query(report).unwrap();
+        let _ = s.child_count(p);
+        shipped.push(stats.tuples_shipped());
+    }
+    let (optimized, naive) = (shipped[0], shipped[1]);
+    assert!(optimized * 3 < naive, "optimized={optimized} naive={naive}");
+}
+
+/// E5: rewriting removes unnecessary element construction at the
+/// mediator (nodes built for objects the query discards).
+#[test]
+fn e5_mediator_builds_fewer_nodes() {
+    let (catalog, db) = customers_orders(300, 5, 13);
+    let stats = db.stats().clone();
+    const VIEW: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
+         WHERE $C/id/data() = $O/cid/data() \
+         RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
+    let report = "FOR $R IN document(v)/CustRec $S IN $R/OrderInfo \
+         WHERE $S/order/value > 99500 RETURN $R";
+    let _ = stats;
+    let mut built = Vec::new();
+    for optimize in [true, false] {
+        let mut m = mediator(catalog.clone(), optimize, AccessMode::Lazy);
+        m.define_view("v", VIEW).unwrap();
+        let mut s = m.session();
+        let med_stats = s.ctx().stats().clone();
+        med_stats.reset();
+        let p = s.query(report).unwrap();
+        let _ = s.child_count(p);
+        built.push(med_stats.nodes_built());
+    }
+    assert!(built[0] < built[1], "optimized={} naive={}", built[0], built[1]);
+}
+
+/// E6: a decontextualized in-place query's cost tracks the context, not
+/// the database: doubling unrelated customers leaves it unchanged.
+#[test]
+fn e6_in_place_query_cost_tracks_context() {
+    let mut costs = Vec::new();
+    for n in [100usize, 800] {
+        let (catalog, db) = customers_orders(n, 10, 21);
+        let stats = db.stats().clone();
+        let m = mediator(catalog, true, AccessMode::Lazy);
+        let mut s = m.session();
+        let p0 = s.query(Q1).unwrap();
+        let p1 = s.d(p0).unwrap();
+        stats.reset();
+        let a = s
+            .q("FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 50000 RETURN $O", p1)
+            .unwrap();
+        let _ = s.child_count(a);
+        costs.push(stats.tuples_shipped());
+    }
+    // Same context (customer C000000 with 10 orders) ⇒ same cost.
+    assert_eq!(costs[0], costs[1], "{costs:?}");
+}
+
+/// The memory claim: the lazy result's materialization high-watermark
+/// tracks how far navigation went.
+#[test]
+fn lazy_memory_watermark() {
+    let (catalog, _db) = customers_orders(500, 3, 17);
+    let m = mediator(catalog, true, AccessMode::Lazy);
+    let mut s = m.session();
+    let p0 = s.query(Q1).unwrap();
+    let shallow = {
+        let _ = s.d(p0);
+        s.ctx().stats().nodes_built()
+    };
+    // Walk everything.
+    let mut cur = s.d(p0);
+    while let Some(c) = cur {
+        let _ = s.render(c);
+        cur = s.r(c);
+    }
+    let deep = s.ctx().stats().nodes_built();
+    assert!(shallow * 10 < deep, "shallow={shallow} deep={deep}");
+}
