@@ -49,7 +49,10 @@ impl PlanBuilder {
     /// input).
     pub fn mksrc(mut self, source: &str, var: &str) -> PlanBuilder {
         assert!(self.op.is_none(), "mksrc starts a pipeline");
-        self.op = Some(Op::MkSrc { source: Name::new(source), var: Name::new(var) });
+        self.op = Some(Op::MkSrc {
+            source: Name::new(source),
+            var: Name::new(var),
+        });
         self
     }
 
@@ -57,7 +60,12 @@ impl PlanBuilder {
     pub fn get(self, from: &str, path: &str, to: &str) -> PlanBuilder {
         let path = LabelPath::parse(path).expect("valid getD path");
         let (from, to) = (Name::new(from), Name::new(to));
-        self.push(|input| Op::GetD { input, from, path, to })
+        self.push(|input| Op::GetD {
+            input,
+            from,
+            path,
+            to,
+        })
     }
 
     /// `select($var op const)`.
@@ -80,13 +88,22 @@ impl PlanBuilder {
     /// `join_θ(self, right)`; `cond = None` is a cartesian product.
     pub fn join(self, right: PlanBuilder, cond: Option<Cond>) -> PlanBuilder {
         let r = right.op.expect("right side has operators");
-        self.push(|left| Op::Join { left, right: Box::new(r), cond })
+        self.push(|left| Op::Join {
+            left,
+            right: Box::new(r),
+            cond,
+        })
     }
 
     /// Semijoin keeping this (left) side: `rightSemijoin`.
     pub fn semijoin_keep_self(self, other: PlanBuilder, cond: Option<Cond>) -> PlanBuilder {
         let r = other.op.expect("filter side has operators");
-        self.push(|left| Op::SemiJoin { left, right: Box::new(r), cond, keep: Side::Left })
+        self.push(|left| Op::SemiJoin {
+            left,
+            right: Box::new(r),
+            cond,
+            keep: Side::Left,
+        })
     }
 
     /// `crElt(label, skolem(group…), children → $out)`.
@@ -100,13 +117,25 @@ impl PlanBuilder {
     ) -> PlanBuilder {
         let (label, skolem, out) = (Name::new(label), Name::new(skolem), Name::new(out));
         let group = group.iter().map(Name::new).collect();
-        self.push(|input| Op::CrElt { input, label, skolem, group, children, out })
+        self.push(|input| Op::CrElt {
+            input,
+            label,
+            skolem,
+            group,
+            children,
+            out,
+        })
     }
 
     /// `cat(l, r → $out)`.
     pub fn cat(self, left: CatArg, right: CatArg, out: &str) -> PlanBuilder {
         let out = Name::new(out);
-        self.push(|input| Op::Cat { input, left, right, out })
+        self.push(|input| Op::Cat {
+            input,
+            left,
+            right,
+            out,
+        })
     }
 
     /// `gBy([group…] → $out)`.
@@ -126,7 +155,12 @@ impl PlanBuilder {
             root: None,
         };
         let out = Name::new(out);
-        self.push(|input| Op::Apply { input, plan: Box::new(plan), param: Some(part), out })
+        self.push(|input| Op::Apply {
+            input,
+            plan: Box::new(plan),
+            param: Some(part),
+            out,
+        })
     }
 
     /// `orderBy([$vars…])`.
@@ -158,21 +192,39 @@ mod tests {
 
     #[test]
     fn builds_the_fig6_shape() {
-        let customers = xmas()
-            .mksrc("root1", "K")
-            .get("K", "customer", "C")
-            .get("C", "customer.id.data()", "1");
-        let orders = xmas()
-            .mksrc("root2", "J")
-            .get("J", "order", "O")
-            .get("O", "order.cid.data()", "2");
+        let customers = xmas().mksrc("root1", "K").get("K", "customer", "C").get(
+            "C",
+            "customer.id.data()",
+            "1",
+        );
+        let orders =
+            xmas()
+                .mksrc("root2", "J")
+                .get("J", "order", "O")
+                .get("O", "order.cid.data()", "2");
         let plan = customers
             .join(orders, Some(Cond::cmp_vars("1", CmpOp::Eq, "2")))
-            .crelt("OrderInfo", "g", &["O"], ChildSpec::Single(Name::new("O")), "P")
+            .crelt(
+                "OrderInfo",
+                "g",
+                &["O"],
+                ChildSpec::Single(Name::new("O")),
+                "P",
+            )
             .group_by(&["C"], "X")
             .collect("X", "P", "Z")
-            .cat(CatArg::Single(Name::new("C")), CatArg::ListVar(Name::new("Z")), "W")
-            .crelt("CustRec", "f", &["C"], ChildSpec::ListVar(Name::new("W")), "V")
+            .cat(
+                CatArg::Single(Name::new("C")),
+                CatArg::ListVar(Name::new("Z")),
+                "W",
+            )
+            .crelt(
+                "CustRec",
+                "f",
+                &["C"],
+                ChildSpec::ListVar(Name::new("W")),
+                "V",
+            )
             .tuple_destroy("V", Some("rootv"))
             .unwrap();
         let text = plan.render();
@@ -207,6 +259,10 @@ mod tests {
             .project(&["C"])
             .tuple_destroy("C", Some("rootv"))
             .unwrap();
-        assert!(plan.render().contains("Rsemijoin($1 = $2)"), "{}", plan.render());
+        assert!(
+            plan.render().contains("Rsemijoin($1 = $2)"),
+            "{}",
+            plan.render()
+        );
     }
 }

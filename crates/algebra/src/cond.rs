@@ -46,27 +46,73 @@ pub enum Cond {
     /// keys/oids). Rule 9 introduces joins on group-by variables with
     /// this condition (the `join($C)` of Fig. 18).
     OidCmp { l: Name, r: Name },
+    /// A conjunction `θ₁ AND θ₂ AND …`. Produced when the optimizer
+    /// folds a spanning selection into a join predicate so the hash
+    /// kernels can extract every equi-conjunct at once.
+    And(Vec<Cond>),
 }
 
 impl Cond {
     /// `$v op c` shorthand.
     pub fn cmp_const(v: impl Into<Name>, op: CmpOp, c: impl Into<Value>) -> Cond {
-        Cond::Cmp { l: CondArg::Var(v.into()), op, r: CondArg::Const(c.into()) }
+        Cond::Cmp {
+            l: CondArg::Var(v.into()),
+            op,
+            r: CondArg::Const(c.into()),
+        }
     }
 
     /// `$v₁ op $v₂` shorthand.
     pub fn cmp_vars(l: impl Into<Name>, op: CmpOp, r: impl Into<Name>) -> Cond {
-        Cond::Cmp { l: CondArg::Var(l.into()), op, r: CondArg::Var(r.into()) }
+        Cond::Cmp {
+            l: CondArg::Var(l.into()),
+            op,
+            r: CondArg::Var(r.into()),
+        }
+    }
+
+    /// Conjoin two optional conditions, flattening nested `And`s.
+    pub fn and(a: Option<Cond>, b: Option<Cond>) -> Option<Cond> {
+        let mut parts = Vec::new();
+        for c in [a, b].into_iter().flatten() {
+            match c {
+                Cond::And(cs) => parts.extend(cs),
+                other => parts.push(other),
+            }
+        }
+        match parts.len() {
+            0 => None,
+            1 => Some(parts.pop().expect("one element")),
+            _ => Some(Cond::And(parts)),
+        }
+    }
+
+    /// The flattened conjunct list (a non-`And` condition is a
+    /// singleton conjunction).
+    pub fn conjuncts(&self) -> Vec<&Cond> {
+        match self {
+            Cond::And(cs) => cs.iter().flat_map(|c| c.conjuncts()).collect(),
+            other => vec![other],
+        }
     }
 
     /// The variables this condition reads.
     pub fn vars(&self) -> Vec<Name> {
         match self {
-            Cond::Cmp { l, r, .. } => {
-                l.var().into_iter().chain(r.var()).cloned().collect()
-            }
+            Cond::Cmp { l, r, .. } => l.var().into_iter().chain(r.var()).cloned().collect(),
             Cond::OidEq { var, .. } => vec![var.clone()],
             Cond::OidCmp { l, r } => vec![l.clone(), r.clone()],
+            Cond::And(cs) => {
+                let mut out = Vec::new();
+                for c in cs {
+                    for v in c.vars() {
+                        if !out.contains(&v) {
+                            out.push(v);
+                        }
+                    }
+                }
+                out
+            }
         }
     }
 
@@ -77,7 +123,11 @@ impl Cond {
             other => other.clone(),
         };
         match self {
-            Cond::Cmp { l, op, r } => Cond::Cmp { l: map(l), op: *op, r: map(r) },
+            Cond::Cmp { l, op, r } => Cond::Cmp {
+                l: map(l),
+                op: *op,
+                r: map(r),
+            },
             Cond::OidEq { var, oid } => Cond::OidEq {
                 var: if var == from { to.clone() } else { var.clone() },
                 oid: oid.clone(),
@@ -86,6 +136,7 @@ impl Cond {
                 l: if l == from { to.clone() } else { l.clone() },
                 r: if r == from { to.clone() } else { r.clone() },
             },
+            Cond::And(cs) => Cond::And(cs.iter().map(|c| c.rename(from, to)).collect()),
         }
     }
 }
@@ -96,6 +147,15 @@ impl fmt::Display for Cond {
             Cond::Cmp { l, op, r } => write!(f, "{l} {op} {r}"),
             Cond::OidEq { var, oid } => write!(f, "{} = {oid}", var.display_var()),
             Cond::OidCmp { l, r } => write!(f, "{} = {}", l.display_var(), r.display_var()),
+            Cond::And(cs) => {
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -110,7 +170,10 @@ mod tests {
         assert_eq!(c.to_string(), "$3 > 20000");
         let c = Cond::cmp_vars("1", CmpOp::Eq, "2");
         assert_eq!(c.to_string(), "$1 = $2");
-        let c = Cond::OidEq { var: Name::new("C"), oid: Oid::key("XYZ123") };
+        let c = Cond::OidEq {
+            var: Name::new("C"),
+            oid: Oid::key("XYZ123"),
+        };
         assert_eq!(c.to_string(), "$C = &XYZ123");
     }
 

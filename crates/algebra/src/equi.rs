@@ -1,0 +1,220 @@
+//! Conjunct extraction for the hash-kernel physical layer.
+//!
+//! A join/semi-join predicate is a conjunction of comparisons. The
+//! physical layer wants the *equality* conjuncts that relate one
+//! variable from each input — those become hash keys — separated from
+//! whatever is left over (the residual, evaluated per candidate pair).
+//! [`split_equi`] performs that split against the variable sets of the
+//! two inputs.
+//!
+//! Two kinds of equality qualify:
+//!
+//! * `$x = $y` on leaf *values* ([`Cond::Cmp`] with [`CmpOp::Eq`]):
+//!   the key is the scalar the engine's pathwalk projects out of the
+//!   bound node (its leaf value, or the value of its single text
+//!   child);
+//! * `$x ≐ $y` on *node identity* ([`Cond::OidCmp`]): the key is the
+//!   bound vertex's oid.
+//!
+//! Anything else — inequalities, constants, oid fixings — stays in the
+//! residual and the kernel falls back to nested loops when no pair at
+//! all is extractable.
+
+use crate::cond::Cond;
+use mix_common::{CmpOp, Name};
+
+/// How the key for one equi-conjunct is computed from a bound node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyKind {
+    /// The node's projected leaf value (`lval_scalar` — the pathwalk
+    /// result `$C/id/data()` style conditions compare).
+    Scalar,
+    /// The node's identity (oid / group key), the `≐` comparison rule 9
+    /// introduces.
+    Node,
+}
+
+/// One extracted equality: `left` is bound by the left input, `right`
+/// by the right input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquiPair {
+    /// Variable from the left input's schema.
+    pub left: Name,
+    /// Variable from the right input's schema.
+    pub right: Name,
+    /// How the key is computed.
+    pub kind: KeyKind,
+}
+
+/// The result of splitting a predicate: hashable pairs plus the
+/// residual conjunction (`None` when every conjunct became a pair).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiSplit {
+    /// Equality conjuncts relating the two inputs, in predicate order.
+    pub pairs: Vec<EquiPair>,
+    /// Conjuncts the hash index cannot cover.
+    pub residual: Option<Cond>,
+}
+
+impl EquiSplit {
+    /// True when at least one hash key was extracted.
+    pub fn hashable(&self) -> bool {
+        !self.pairs.is_empty()
+    }
+}
+
+/// Split `cond` into equi-key pairs and a residual, given the variables
+/// each join input binds. `None` means an unconditioned (cross) join —
+/// nothing to extract.
+pub fn split_equi(cond: Option<&Cond>, left_vars: &[Name], right_vars: &[Name]) -> EquiSplit {
+    let mut pairs = Vec::new();
+    let mut residual: Option<Cond> = None;
+    let Some(cond) = cond else {
+        return EquiSplit { pairs, residual };
+    };
+    for conj in cond.conjuncts() {
+        let pair = match conj {
+            Cond::Cmp {
+                l,
+                op: CmpOp::Eq,
+                r,
+            } => match (l.var(), r.var()) {
+                (Some(lv), Some(rv)) => orient(lv, rv, KeyKind::Scalar, left_vars, right_vars),
+                _ => None,
+            },
+            Cond::OidCmp { l, r } => orient(l, r, KeyKind::Node, left_vars, right_vars),
+            _ => None,
+        };
+        match pair {
+            Some(p) => pairs.push(p),
+            None => residual = Cond::and(residual.take(), Some(conj.clone())),
+        }
+    }
+    EquiSplit { pairs, residual }
+}
+
+/// Assign the two variables of an equality to the join sides; `None`
+/// when both land on the same side (a same-input filter, not a key).
+fn orient(
+    a: &Name,
+    b: &Name,
+    kind: KeyKind,
+    left_vars: &[Name],
+    right_vars: &[Name],
+) -> Option<EquiPair> {
+    if left_vars.contains(a) && right_vars.contains(b) {
+        Some(EquiPair {
+            left: a.clone(),
+            right: b.clone(),
+            kind,
+        })
+    } else if left_vars.contains(b) && right_vars.contains(a) {
+        Some(EquiPair {
+            left: b.clone(),
+            right: a.clone(),
+            kind,
+        })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::CondArg;
+    use mix_common::Value;
+
+    fn n(s: &str) -> Name {
+        Name::new(s)
+    }
+
+    #[test]
+    fn single_value_equality_becomes_a_pair() {
+        let cond = Cond::cmp_vars("a", CmpOp::Eq, "b");
+        let s = split_equi(Some(&cond), &[n("a")], &[n("b")]);
+        assert!(s.hashable());
+        assert_eq!(
+            s.pairs,
+            vec![EquiPair {
+                left: n("a"),
+                right: n("b"),
+                kind: KeyKind::Scalar
+            }]
+        );
+        assert!(s.residual.is_none());
+    }
+
+    #[test]
+    fn orientation_is_normalized() {
+        // `$b = $a` with `$a` on the left input still maps left→a.
+        let cond = Cond::cmp_vars("b", CmpOp::Eq, "a");
+        let s = split_equi(Some(&cond), &[n("a")], &[n("b")]);
+        assert_eq!(s.pairs[0].left, n("a"));
+        assert_eq!(s.pairs[0].right, n("b"));
+    }
+
+    #[test]
+    fn oid_comparison_is_a_node_pair() {
+        let cond = Cond::OidCmp {
+            l: n("x"),
+            r: n("y"),
+        };
+        let s = split_equi(Some(&cond), &[n("y")], &[n("x")]);
+        assert_eq!(
+            s.pairs,
+            vec![EquiPair {
+                left: n("y"),
+                right: n("x"),
+                kind: KeyKind::Node
+            }]
+        );
+    }
+
+    #[test]
+    fn non_equality_and_constants_stay_residual() {
+        for cond in [
+            Cond::cmp_vars("a", CmpOp::Lt, "b"),
+            Cond::Cmp {
+                l: CondArg::Var(n("a")),
+                op: CmpOp::Eq,
+                r: CondArg::Const(Value::Int(3)),
+            },
+        ] {
+            let s = split_equi(Some(&cond), &[n("a")], &[n("b")]);
+            assert!(!s.hashable(), "{cond}");
+            assert_eq!(s.residual, Some(cond));
+        }
+    }
+
+    #[test]
+    fn same_side_equality_is_not_a_key() {
+        let cond = Cond::cmp_vars("a", CmpOp::Eq, "a2");
+        let s = split_equi(Some(&cond), &[n("a"), n("a2")], &[n("b")]);
+        assert!(!s.hashable());
+    }
+
+    #[test]
+    fn conjunction_splits_into_pairs_and_residual() {
+        let cond = Cond::And(vec![
+            Cond::cmp_vars("a", CmpOp::Eq, "b"),
+            Cond::cmp_vars("a2", CmpOp::Lt, "b"),
+            Cond::OidCmp {
+                l: n("a"),
+                r: n("b2"),
+            },
+        ]);
+        let s = split_equi(Some(&cond), &[n("a"), n("a2")], &[n("b"), n("b2")]);
+        assert_eq!(s.pairs.len(), 2);
+        assert_eq!(s.pairs[0].kind, KeyKind::Scalar);
+        assert_eq!(s.pairs[1].kind, KeyKind::Node);
+        assert_eq!(s.residual, Some(Cond::cmp_vars("a2", CmpOp::Lt, "b")));
+    }
+
+    #[test]
+    fn cross_join_has_nothing_to_extract() {
+        let s = split_equi(None, &[n("a")], &[n("b")]);
+        assert!(!s.hashable());
+        assert!(s.residual.is_none());
+    }
+}

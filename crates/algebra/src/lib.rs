@@ -32,6 +32,7 @@
 
 pub mod builder;
 pub mod cond;
+pub mod equi;
 pub mod op;
 pub mod plan;
 pub mod translate;
@@ -39,6 +40,7 @@ pub mod validate;
 
 pub use builder::{xmas, PlanBuilder};
 pub use cond::{Cond, CondArg};
+pub use equi::{split_equi, EquiPair, EquiSplit, KeyKind};
 pub use op::{CatArg, ChildSpec, Op, RqBinding, RqKind, Side};
 pub use plan::Plan;
 pub use translate::{translate, translate_with_root};

@@ -53,7 +53,11 @@ pub type CatArg = ChildSpec;
 pub enum RqKind {
     /// Rebuild a wrapper tuple element: label `element`, one field per
     /// `(column name, result position)`, oid from the `key` positions.
-    Element { element: Name, cols: Vec<(Name, usize)>, key: Vec<usize> },
+    Element {
+        element: Name,
+        cols: Vec<(Name, usize)>,
+        key: Vec<usize>,
+    },
     /// Bind the leaf value at one result position.
     Value { col: usize },
 }
@@ -73,7 +77,12 @@ impl fmt::Display for RqBinding {
             RqKind::Element { cols, .. } => {
                 let positions: Vec<String> =
                     cols.iter().map(|(_, p)| (p + 1).to_string()).collect();
-                write!(f, "{} = {{{}}}", self.var.display_var(), positions.join(","))
+                write!(
+                    f,
+                    "{} = {{{}}}",
+                    self.var.display_var(),
+                    positions.join(",")
+                )
             }
             RqKind::Value { col } => {
                 write!(f, "{} = {{{}}}", self.var.display_var(), col + 1)
@@ -95,16 +104,30 @@ pub enum Op {
     MkSrcOver { input: Box<Op>, var: Name },
     /// `getD_{$A.r→$X}`: bind `$X` to every node reachable from `$A`'s
     /// node by `path` (whose first label matches the start node).
-    GetD { input: Box<Op>, from: Name, path: LabelPath, to: Name },
+    GetD {
+        input: Box<Op>,
+        from: Name,
+        path: LabelPath,
+        to: Name,
+    },
     /// `select_θ`.
     Select { input: Box<Op>, cond: Cond },
     /// `π̃_vars`: projection with duplicate elimination.
     Project { input: Box<Op>, vars: Vec<Name> },
     /// `join_θ`; `cond = None` is the cartesian product the translation
     /// uses to combine unconnected FOR expressions.
-    Join { left: Box<Op>, right: Box<Op>, cond: Option<Cond> },
+    Join {
+        left: Box<Op>,
+        right: Box<Op>,
+        cond: Option<Cond>,
+    },
     /// `rightSemijoin`/`leftSemijoin` (see [`Side`]).
-    SemiJoin { left: Box<Op>, right: Box<Op>, cond: Option<Cond>, keep: Side },
+    SemiJoin {
+        left: Box<Op>,
+        right: Box<Op>,
+        cond: Option<Cond>,
+        keep: Side,
+    },
     /// `crElt_{label, skolem(group), children→out}`: construct one
     /// element per tuple; its oid is the skolem term over the group
     /// variables' keys.
@@ -117,21 +140,43 @@ pub enum Op {
         out: Name,
     },
     /// `cat_{x,y→out}`: per-tuple list concatenation.
-    Cat { input: Box<Op>, left: CatArg, right: CatArg, out: Name },
+    Cat {
+        input: Box<Op>,
+        left: CatArg,
+        right: CatArg,
+        out: Name,
+    },
     /// `tD_{$A[,root_oid]}`: the final operator of every plan — export
     /// the `list[v₁,…,vₙ]` tree, hiding the tuple structure.
-    TupleDestroy { input: Box<Op>, var: Name, root: Option<Name> },
+    TupleDestroy {
+        input: Box<Op>,
+        var: Name,
+        root: Option<Name>,
+    },
     /// `groupBy_{group→out}`: partition by the group variables; `out`
     /// is bound to each partition (a set of binding lists).
-    GroupBy { input: Box<Op>, group: Vec<Name>, out: Name },
+    GroupBy {
+        input: Box<Op>,
+        group: Vec<Name>,
+        out: Name,
+    },
     /// `apply_{plan, param→out}`: run `plan` once per input tuple, with
     /// `nestedSrc` reading the tuple's `param` value; `param = None`
     /// runs the plan on independent input.
-    Apply { input: Box<Op>, plan: Box<Op>, param: Option<Name>, out: Name },
+    Apply {
+        input: Box<Op>,
+        plan: Box<Op>,
+        param: Option<Name>,
+        out: Name,
+    },
     /// `nestedSrc_{$x}`: placeholder leaf inside nested plans.
     NestedSrc { var: Name },
     /// `rQ_{s,q,m}`: source-access operator for relational databases.
-    RelQuery { server: Name, sql: SelectStmt, map: Vec<RqBinding> },
+    RelQuery {
+        server: Name,
+        sql: SelectStmt,
+        map: Vec<RqBinding>,
+    },
     /// `orderBy_{[$V…]}`: sort by the *ids* of the bound nodes (the
     /// paper's orderBy "orders only according to the id's of the
     /// nodes").
@@ -173,8 +218,12 @@ impl Op {
             Op::Select { .. } => "select",
             Op::Project { .. } => "project",
             Op::Join { .. } => "join",
-            Op::SemiJoin { keep: Side::Left, .. } => "Rsemijoin",
-            Op::SemiJoin { keep: Side::Right, .. } => "Lsemijoin",
+            Op::SemiJoin {
+                keep: Side::Left, ..
+            } => "Rsemijoin",
+            Op::SemiJoin {
+                keep: Side::Right, ..
+            } => "Lsemijoin",
             Op::CrElt { .. } => "crElt",
             Op::Cat { .. } => "cat",
             Op::TupleDestroy { .. } => "tD",
@@ -191,7 +240,10 @@ impl Op {
     /// `crElt(custRec, f($C), $W -> $V)`.
     pub fn head(&self) -> String {
         fn vars(vs: &[Name]) -> String {
-            vs.iter().map(|v| v.display_var()).collect::<Vec<_>>().join(",")
+            vs.iter()
+                .map(|v| v.display_var())
+                .collect::<Vec<_>>()
+                .join(",")
         }
         match self {
             Op::MkSrc { source, var } => format!("mksrc({source}, {})", var.display_var()),
@@ -206,18 +258,31 @@ impl Op {
                 None => "join(×)".to_string(),
             },
             Op::SemiJoin { cond, keep, .. } => {
-                let n = if *keep == Side::Right { "Lsemijoin" } else { "Rsemijoin" };
+                let n = if *keep == Side::Right {
+                    "Lsemijoin"
+                } else {
+                    "Rsemijoin"
+                };
                 match cond {
                     Some(c) => format!("{n}({c})"),
                     None => format!("{n}(×)"),
                 }
             }
-            Op::CrElt { label, skolem, group, children, out, .. } => format!(
+            Op::CrElt {
+                label,
+                skolem,
+                group,
+                children,
+                out,
+                ..
+            } => format!(
                 "crElt({label}, {skolem}({}), {children} -> {})",
                 vars(group),
                 out.display_var()
             ),
-            Op::Cat { left, right, out, .. } => {
+            Op::Cat {
+                left, right, out, ..
+            } => {
                 format!("cat({left}, {right} -> {})", out.display_var())
             }
             Op::TupleDestroy { var, root, .. } => match root {
@@ -249,7 +314,10 @@ mod tests {
 
     #[test]
     fn heads_render_paper_style() {
-        let mk = Op::MkSrc { source: Name::new("root1"), var: Name::new("K") };
+        let mk = Op::MkSrc {
+            source: Name::new("root1"),
+            var: Name::new("K"),
+        };
         assert_eq!(mk.head(), "mksrc(root1, $K)");
         let gd = Op::GetD {
             input: Box::new(mk.clone()),
@@ -279,9 +347,16 @@ mod tests {
 
     #[test]
     fn inputs_enumeration() {
-        let mk = Op::MkSrc { source: Name::new("r"), var: Name::new("X") };
+        let mk = Op::MkSrc {
+            source: Name::new("r"),
+            var: Name::new("X"),
+        };
         assert!(mk.inputs().is_empty());
-        let j = Op::Join { left: Box::new(mk.clone()), right: Box::new(mk.clone()), cond: None };
+        let j = Op::Join {
+            left: Box::new(mk.clone()),
+            right: Box::new(mk.clone()),
+            cond: None,
+        };
         assert_eq!(j.inputs().len(), 2);
     }
 

@@ -84,7 +84,9 @@ pub fn var_info(op: &Op, env: &HashMap<Name, Vec<Name>>) -> Result<VarInfo> {
             var_info(input, env)?;
             VarInfo::default().with_var(var.clone())
         }
-        Op::GetD { input, from, to, .. } => {
+        Op::GetD {
+            input, from, to, ..
+        } => {
             let info = var_info(input, env)?;
             if !info.vars.contains(from) {
                 return Err(MixError::invalid(format!(
@@ -153,7 +155,12 @@ pub fn var_info(op: &Op, env: &HashMap<Name, Vec<Name>>) -> Result<VarInfo> {
             partitions.extend(r.partitions);
             VarInfo { vars, partitions }
         }
-        Op::SemiJoin { left, right, cond, keep } => {
+        Op::SemiJoin {
+            left,
+            right,
+            cond,
+            keep,
+        } => {
             let l = var_info(left, env)?;
             let r = var_info(right, env)?;
             if let Some(c) = cond {
@@ -171,7 +178,13 @@ pub fn var_info(op: &Op, env: &HashMap<Name, Vec<Name>>) -> Result<VarInfo> {
                 crate::op::Side::Right => r,
             }
         }
-        Op::CrElt { input, group, children, out, .. } => {
+        Op::CrElt {
+            input,
+            group,
+            children,
+            out,
+            ..
+        } => {
             let info = var_info(input, env)?;
             for v in group.iter().chain(std::iter::once(children.var())) {
                 if !info.vars.contains(v) {
@@ -186,7 +199,12 @@ pub fn var_info(op: &Op, env: &HashMap<Name, Vec<Name>>) -> Result<VarInfo> {
             }
             info.with_var(out.clone())
         }
-        Op::Cat { input, left, right, out } => {
+        Op::Cat {
+            input,
+            left,
+            right,
+            out,
+        } => {
             let info = var_info(input, env)?;
             for v in [left.var(), right.var()] {
                 if !info.vars.contains(v) {
@@ -227,9 +245,17 @@ pub fn var_info(op: &Op, env: &HashMap<Name, Vec<Name>>) -> Result<VarInfo> {
             }
             let mut partitions = HashMap::new();
             partitions.insert(out.clone(), info.vars.clone());
-            VarInfo { vars: group.iter().cloned().chain([out.clone()]).collect(), partitions }
+            VarInfo {
+                vars: group.iter().cloned().chain([out.clone()]).collect(),
+                partitions,
+            }
         }
-        Op::Apply { input, plan, param, out } => {
+        Op::Apply {
+            input,
+            plan,
+            param,
+            out,
+        } => {
             let info = var_info(input, env)?;
             let mut nested_env = env.clone();
             if let Some(p) = param {
@@ -255,7 +281,10 @@ pub fn var_info(op: &Op, env: &HashMap<Name, Vec<Name>>) -> Result<VarInfo> {
                     var.display_var()
                 ))
             })?;
-            VarInfo { vars: inner.clone(), partitions: HashMap::new() }
+            VarInfo {
+                vars: inner.clone(),
+                partitions: HashMap::new(),
+            }
         }
         Op::RelQuery { map, .. } => {
             let mut info = VarInfo::default();
@@ -279,7 +308,10 @@ pub fn var_info(op: &Op, env: &HashMap<Name, Vec<Name>>) -> Result<VarInfo> {
             }
             info
         }
-        Op::Empty { vars } => VarInfo { vars: vars.clone(), partitions: HashMap::new() },
+        Op::Empty { vars } => VarInfo {
+            vars: vars.clone(),
+            partitions: HashMap::new(),
+        },
     })
 }
 
@@ -294,30 +326,57 @@ pub fn rename_var(op: &Op, from: &Name, to: &Name) -> Op {
         crate::op::ChildSpec::Single(v) => crate::op::ChildSpec::Single(r(v)),
     };
     match op {
-        Op::MkSrc { source, var } => Op::MkSrc { source: source.clone(), var: r(var) },
-        Op::MkSrcOver { input, var } => Op::MkSrcOver { input: rb(input), var: r(var) },
-        Op::GetD { input, from: f, path, to: t } => Op::GetD {
+        Op::MkSrc { source, var } => Op::MkSrc {
+            source: source.clone(),
+            var: r(var),
+        },
+        Op::MkSrcOver { input, var } => Op::MkSrcOver {
+            input: rb(input),
+            var: r(var),
+        },
+        Op::GetD {
+            input,
+            from: f,
+            path,
+            to: t,
+        } => Op::GetD {
             input: rb(input),
             from: r(f),
             path: path.clone(),
             to: r(t),
         },
-        Op::Select { input, cond } => {
-            Op::Select { input: rb(input), cond: cond.rename(from, to) }
-        }
-        Op::Project { input, vars } => Op::Project { input: rb(input), vars: rv(vars) },
+        Op::Select { input, cond } => Op::Select {
+            input: rb(input),
+            cond: cond.rename(from, to),
+        },
+        Op::Project { input, vars } => Op::Project {
+            input: rb(input),
+            vars: rv(vars),
+        },
         Op::Join { left, right, cond } => Op::Join {
             left: rb(left),
             right: rb(right),
             cond: cond.as_ref().map(|c| c.rename(from, to)),
         },
-        Op::SemiJoin { left, right, cond, keep } => Op::SemiJoin {
+        Op::SemiJoin {
+            left,
+            right,
+            cond,
+            keep,
+        } => Op::SemiJoin {
             left: rb(left),
             right: rb(right),
             cond: cond.as_ref().map(|c| c.rename(from, to)),
             keep: *keep,
         },
-        Op::CrElt { input, label, skolem, group, children, out } => Op::CrElt {
+        Op::CrElt {
+            input,
+            label,
+            skolem,
+            group,
+            children,
+            out,
+        } => Op::CrElt {
             input: rb(input),
             label: label.clone(),
             skolem: skolem.clone(),
@@ -325,7 +384,12 @@ pub fn rename_var(op: &Op, from: &Name, to: &Name) -> Op {
             children: rc(children),
             out: r(out),
         },
-        Op::Cat { input, left, right, out } => Op::Cat {
+        Op::Cat {
+            input,
+            left,
+            right,
+            out,
+        } => Op::Cat {
             input: rb(input),
             left: rc(left),
             right: rc(right),
@@ -341,7 +405,12 @@ pub fn rename_var(op: &Op, from: &Name, to: &Name) -> Op {
             group: rv(group),
             out: r(out),
         },
-        Op::Apply { input, plan, param, out } => Op::Apply {
+        Op::Apply {
+            input,
+            plan,
+            param,
+            out,
+        } => Op::Apply {
             input: rb(input),
             plan: rb(plan),
             param: param.as_ref().map(&r),
@@ -353,10 +422,16 @@ pub fn rename_var(op: &Op, from: &Name, to: &Name) -> Op {
             sql: sql.clone(),
             map: map
                 .iter()
-                .map(|b| crate::op::RqBinding { var: r(&b.var), kind: b.kind.clone() })
+                .map(|b| crate::op::RqBinding {
+                    var: r(&b.var),
+                    kind: b.kind.clone(),
+                })
                 .collect(),
         },
-        Op::OrderBy { input, vars } => Op::OrderBy { input: rb(input), vars: rv(vars) },
+        Op::OrderBy { input, vars } => Op::OrderBy {
+            input: rb(input),
+            vars: rv(vars),
+        },
         Op::Empty { vars } => Op::Empty { vars: rv(vars) },
     }
 }
@@ -388,12 +463,22 @@ fn collect_vars(op: &Op, out: &mut Vec<Name>) {
                 out.extend(c.vars());
             }
         }
-        Op::CrElt { group, children, out: o, .. } => {
+        Op::CrElt {
+            group,
+            children,
+            out: o,
+            ..
+        } => {
             out.extend(group.iter().cloned());
             out.push(children.var().clone());
             out.push(o.clone());
         }
-        Op::Cat { left, right, out: o, .. } => {
+        Op::Cat {
+            left,
+            right,
+            out: o,
+            ..
+        } => {
             out.push(left.var().clone());
             out.push(right.var().clone());
             out.push(o.clone());
@@ -439,7 +524,10 @@ mod tests {
     use mix_xml::LabelPath;
 
     fn mk(source: &str, var: &str) -> Op {
-        Op::MkSrc { source: Name::new(source), var: Name::new(var) }
+        Op::MkSrc {
+            source: Name::new(source),
+            var: Name::new(var),
+        }
     }
 
     #[test]
@@ -491,7 +579,9 @@ mod tests {
         let apply = Op::Apply {
             input: Box::new(grouped),
             plan: Box::new(Op::TupleDestroy {
-                input: Box::new(Op::NestedSrc { var: Name::new("P") }),
+                input: Box::new(Op::NestedSrc {
+                    var: Name::new("P"),
+                }),
                 var: Name::new("X"),
                 root: None,
             }),
@@ -505,7 +595,13 @@ mod tests {
     #[test]
     fn nested_src_outside_apply_is_rejected() {
         let env = HashMap::new();
-        assert!(var_info(&Op::NestedSrc { var: Name::new("P") }, &env).is_err());
+        assert!(var_info(
+            &Op::NestedSrc {
+                var: Name::new("P")
+            },
+            &env
+        )
+        .is_err());
     }
 
     #[test]
@@ -541,7 +637,9 @@ mod tests {
                 out: Name::new("P"),
             }),
             plan: Box::new(Op::TupleDestroy {
-                input: Box::new(Op::NestedSrc { var: Name::new("P") }),
+                input: Box::new(Op::NestedSrc {
+                    var: Name::new("P"),
+                }),
                 var: Name::new("X"),
                 root: None,
             }),

@@ -66,7 +66,11 @@ fn normalize(q: &Query) -> Query {
     q
 }
 
-fn unnest_element(e: &mut Element, extra_for: &mut Vec<ForBinding>, extra_where: &mut Vec<Condition>) {
+fn unnest_element(
+    e: &mut Element,
+    extra_for: &mut Vec<ForBinding>,
+    extra_where: &mut Vec<Condition>,
+) {
     for item in &mut e.children {
         match item {
             Item::Var(_) => {}
@@ -127,7 +131,11 @@ impl Translator {
                 }
             }
         }
-        Translator { taken, label_of: HashMap::new(), skolem_counter: 0 }
+        Translator {
+            taken,
+            label_of: HashMap::new(),
+            skolem_counter: 0,
+        }
     }
 
     fn fresh(&mut self, pool: &[&str], fallback: &str) -> Name {
@@ -193,7 +201,11 @@ impl Translator {
         for next in iter {
             current = Expr {
                 vars: current.vars.iter().chain(&next.vars).cloned().collect(),
-                op: Op::Join { left: Box::new(current.op), right: Box::new(next.op), cond: None },
+                op: Op::Join {
+                    left: Box::new(current.op),
+                    right: Box::new(next.op),
+                    cond: None,
+                },
             };
         }
 
@@ -234,14 +246,20 @@ impl Translator {
                     PathBase::Var(_) => unreachable!(),
                 };
                 let s = self.fresh(SRC_POOL, "s");
-                let mksrc = Op::MkSrc { source: src, var: s.clone() };
+                let mksrc = Op::MkSrc {
+                    source: src,
+                    var: s.clone(),
+                };
                 if b.steps.is_empty() {
                     // `document(r)` with no steps: the variable *is* the
                     // per-child binding.
                     self.label_of.insert(b.var.clone(), None);
                     // rename s -> var
                     let op = crate::plan::rename_var(&mksrc, &s, &b.var);
-                    exprs.push(Expr { op, vars: vec![b.var.clone()] });
+                    exprs.push(Expr {
+                        op,
+                        vars: vec![b.var.clone()],
+                    });
                 } else {
                     let path = LabelPath::new(b.steps.clone())?;
                     self.label_of.insert(b.var.clone(), last_label(&path));
@@ -271,10 +289,7 @@ impl Translator {
                 self.label_of.insert(b.var.clone(), last_label(&path));
                 let e = &mut exprs[idx];
                 e.op = Op::GetD {
-                    input: Box::new(std::mem::replace(
-                        &mut e.op,
-                        Op::Empty { vars: vec![] },
-                    )),
+                    input: Box::new(std::mem::replace(&mut e.op, Op::Empty { vars: vec![] })),
                     from: r.clone(),
                     path,
                     to: b.var.clone(),
@@ -311,12 +326,12 @@ impl Translator {
                 Ok(CondArg::Var(var.clone()))
             }
             Operand::Path { var, steps } => {
-                let idx = exprs.iter().position(|e| e.vars.contains(var)).ok_or_else(|| {
-                    MixError::invalid(format!(
-                        "WHERE references unbound {}",
-                        var.display_var()
-                    ))
-                })?;
+                let idx = exprs
+                    .iter()
+                    .position(|e| e.vars.contains(var))
+                    .ok_or_else(|| {
+                        MixError::invalid(format!("WHERE references unbound {}", var.display_var()))
+                    })?;
                 let path = self.relative_path(var, steps)?;
                 let c = self.fresh_numeric();
                 let e = &mut exprs[idx];
@@ -368,7 +383,9 @@ impl Translator {
                 );
                 Ok(())
             }
-            _ => Err(MixError::internal("binary condition touches >2 expressions")),
+            _ => Err(MixError::internal(
+                "binary condition touches >2 expressions",
+            )),
         }
     }
 
@@ -411,18 +428,23 @@ impl Translator {
                             v.display_var()
                         )));
                     }
-                    entries.push(Entry { arg: CatArg::Single(v.clone()), depends: vec![v.clone()] });
+                    entries.push(Entry {
+                        arg: CatArg::Single(v.clone()),
+                        depends: vec![v.clone()],
+                    });
                 }
                 Item::Elem(inner) => {
                     let inner_skolem = self.fresh_skolem();
                     // Inner elements are built per tuple (Fig. 6's
                     // crElt(OrderInfo, g($O), …) sits below the gBy).
                     let deps = content_vars(inner);
-                    let (new_op, out) =
-                        self.build_inner_element(inner, op, &vars, inner_skolem)?;
+                    let (new_op, out) = self.build_inner_element(inner, op, &vars, inner_skolem)?;
                     op = new_op;
                     vars.push(out.clone());
-                    entries.push(Entry { arg: CatArg::Single(out), depends: deps });
+                    entries.push(Entry {
+                        arg: CatArg::Single(out),
+                        depends: deps,
+                    });
                 }
                 Item::SubQuery(_) => {
                     return Err(MixError::internal(
@@ -502,7 +524,10 @@ impl Translator {
         skolem: Name,
     ) -> Result<(Op, Name)> {
         if e.children.is_empty() {
-            return Err(MixError::invalid(format!("element <{}> has no content", e.label)));
+            return Err(MixError::invalid(format!(
+                "element <{}> has no content",
+                e.label
+            )));
         }
         let mut args = Vec::new();
         let mut vars = in_vars.to_vec();
@@ -519,8 +544,7 @@ impl Translator {
                 }
                 Item::Elem(inner) => {
                     let inner_skolem = self.fresh_skolem();
-                    let (new_op, out) =
-                        self.build_inner_element(inner, op, &vars, inner_skolem)?;
+                    let (new_op, out) = self.build_inner_element(inner, op, &vars, inner_skolem)?;
                     op = new_op;
                     vars.push(out.clone());
                     args.push(CatArg::Single(out));
@@ -533,7 +557,11 @@ impl Translator {
         let children = self.cat_chain(&mut op, args.into_iter())?;
         // The skolem arguments: the element's group-by list when given
         // (Fig. 6's g($O) for OrderInfo{$O}), else its content vars.
-        let group = if e.group_by.is_empty() { content_vars(e) } else { e.group_by.clone() };
+        let group = if e.group_by.is_empty() {
+            content_vars(e)
+        } else {
+            e.group_by.clone()
+        };
         let out = self.fresh(INNER_ELT_POOL, "P");
         let op = Op::CrElt {
             input: Box::new(op),
@@ -630,7 +658,10 @@ mod tests {
         assert!(text.contains("|   nSrc($X)"), "{text}");
         assert!(text.contains("gBy([$C] -> $X)"), "{text}");
         // Per-tuple OrderInfo elements below the group-by.
-        assert!(text.contains("crElt(OrderInfo, g($O), list($O) -> $P)"), "{text}");
+        assert!(
+            text.contains("crElt(OrderInfo, g($O), list($O) -> $P)"),
+            "{text}"
+        );
         // The join over the two source branches with the condition vars.
         assert!(text.contains("join($1 = $2)"), "{text}");
         assert!(text.contains("getD($C.customer.id.data(), $1)"), "{text}");
@@ -652,7 +683,10 @@ mod tests {
         let text = plan.render();
         assert!(text.contains("mksrc(root, $K)"), "{text}");
         assert!(text.contains("getD($K.CustRec, $P)"), "{text}");
-        assert!(text.contains("getD($P.CustRec.customer.name, $1)"), "{text}");
+        assert!(
+            text.contains("getD($P.CustRec.customer.name, $1)"),
+            "{text}"
+        );
         assert!(text.contains("select($1 < \"B\")"), "{text}");
         assert!(text.starts_with("tD($P, rootv)"), "{text}");
         validate(&plan).unwrap();
@@ -671,7 +705,10 @@ mod tests {
         assert!(text.contains("getD($K.CustRec, $R)"), "{text}");
         // $S IN $R/OrderInfo gets $R's label prefixed (Fig. 11).
         assert!(text.contains("getD($R.CustRec.OrderInfo, $S)"), "{text}");
-        assert!(text.contains("getD($S.OrderInfo.order.value, $1)"), "{text}");
+        assert!(
+            text.contains("getD($S.OrderInfo.order.value, $1)"),
+            "{text}"
+        );
         assert!(text.contains("select($1 > 20000)"), "{text}");
         validate(&plan).unwrap();
     }
@@ -718,10 +755,8 @@ mod tests {
 
     #[test]
     fn bare_variable_condition_is_select() {
-        let q = parse_query(
-            "FOR $C IN document(r)/c/name/data() WHERE $C = \"Ann\" RETURN $C",
-        )
-        .unwrap();
+        let q = parse_query("FOR $C IN document(r)/c/name/data() WHERE $C = \"Ann\" RETURN $C")
+            .unwrap();
         let plan = translate(&q).unwrap();
         let text = plan.render();
         assert!(text.contains("select($C = \"Ann\")"), "{text}");

@@ -34,10 +34,16 @@ mod tests {
 
     #[test]
     fn root_must_be_td() {
-        let plan = Plan::new(Op::MkSrc { source: Name::new("r"), var: Name::new("X") });
+        let plan = Plan::new(Op::MkSrc {
+            source: Name::new("r"),
+            var: Name::new("X"),
+        });
         assert!(validate(&plan).is_err());
         let ok = Plan::new(Op::TupleDestroy {
-            input: Box::new(Op::MkSrc { source: Name::new("r"), var: Name::new("X") }),
+            input: Box::new(Op::MkSrc {
+                source: Name::new("r"),
+                var: Name::new("X"),
+            }),
             var: Name::new("X"),
             root: Some(Name::new("rootv")),
         });
@@ -47,7 +53,9 @@ mod tests {
 
     #[test]
     fn empty_plan_is_valid() {
-        let plan = Plan::new(Op::Empty { vars: vec![Name::new("X")] });
+        let plan = Plan::new(Op::Empty {
+            vars: vec![Name::new("X")],
+        });
         assert!(validate(&plan).is_ok());
     }
 }

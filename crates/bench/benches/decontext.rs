@@ -1,41 +1,68 @@
 //! E3: decontextualized queries-in-place vs. the materialize-the-
 //! subtree-then-query strawman.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mix::prelude::*;
+use mix_bench::harness::Harness;
 use mix_bench::{scaled_mediator, Q1};
 
-fn bench_decontext(c: &mut Criterion) {
-    let mut g = c.benchmark_group("in_place_query_fanout");
-    g.sample_size(10);
+const IN_PLACE: &str = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 99000 RETURN $O";
+
+fn main() {
+    let mut h = Harness::from_args("in_place_query_fanout");
     for fanout in [50usize, 300] {
-        g.bench_with_input(BenchmarkId::new("decontextualize", fanout), &fanout, |b, &f| {
-            b.iter(|| {
-                let (m, _stats) = scaled_mediator(50, f, 5, true, AccessMode::Lazy);
-                let mut s = m.session();
-                let p0 = s.query(Q1).unwrap();
-                let p1 = s.d(p0).unwrap();
-                let a = s
-                    .q("FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 99000 RETURN $O", p1)
-                    .unwrap();
-                s.child_count(a)
-            })
+        h.bench(&format!("decontextualize/{fanout}"), || {
+            let (m, _stats) = scaled_mediator(50, fanout, 5, true, AccessMode::Lazy);
+            let mut s = m.session();
+            let p0 = s.query(Q1).unwrap();
+            let p1 = s.d(p0).unwrap();
+            let a = s.q(IN_PLACE, p1).unwrap();
+            s.child_count(a)
         });
-        g.bench_with_input(BenchmarkId::new("materialize", fanout), &fanout, |b, &f| {
-            b.iter(|| {
-                let (m, _stats) = scaled_mediator(50, f, 5, true, AccessMode::Lazy);
-                let mut s = m.session();
-                let p0 = s.query(Q1).unwrap();
-                let p1 = s.d(p0).unwrap();
-                let a = s
-                    .q_materialized("FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 99000 RETURN $O", p1)
-                    .unwrap();
-                s.child_count(a)
-            })
+        h.bench(&format!("materialize/{fanout}"), || {
+            let (m, _stats) = scaled_mediator(50, fanout, 5, true, AccessMode::Lazy);
+            let mut s = m.session();
+            let p0 = s.query(Q1).unwrap();
+            let p1 = s.d(p0).unwrap();
+            let a = s.q_materialized(IN_PLACE, p1).unwrap();
+            s.child_count(a)
         });
     }
-    g.finish();
-}
 
-criterion_group!(benches, bench_decontext);
-criterion_main!(benches);
+    // Repeated queries-in-place from sibling nodes: with a warm plan
+    // cache each call reuses the compiled template (key substitution
+    // only); varying the query text defeats the cache and pays the
+    // full translate → splice → rewrite pipeline every time.
+    {
+        let (m, _stats) = scaled_mediator(64, 5, 7, true, AccessMode::Lazy);
+        let mut s = m.session();
+        let p0 = s.query(Q1).unwrap();
+        let sibs = s.children(p0);
+        let _warm = s.q(IN_PLACE, sibs[0]).unwrap();
+        let mut i = 0usize;
+        h.bench("repeat_query/cached", || {
+            i = (i + 1) % sibs.len();
+            let a = s.q(IN_PLACE, sibs[i]).unwrap();
+            s.child_count(a)
+        });
+    }
+    {
+        let (m, _stats) = scaled_mediator(64, 5, 7, true, AccessMode::Lazy);
+        let mut s = m.session();
+        let p0 = s.query(Q1).unwrap();
+        let sibs = s.children(p0);
+        let mut i = 0usize;
+        let mut k = 0u64;
+        h.bench("repeat_query/uncached", || {
+            i = (i + 1) % sibs.len();
+            k += 1;
+            // Distinct text every call ⇒ guaranteed plan-cache miss.
+            let q = format!(
+                "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > {} RETURN $O",
+                99000 + k
+            );
+            let a = s.q(&q, sibs[i]).unwrap();
+            s.child_count(a)
+        });
+    }
+    h.finish();
+}

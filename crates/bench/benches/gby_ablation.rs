@@ -1,34 +1,33 @@
 //! E7: the stateless presorted groupBy (Table 1) vs. the buffering
-//! stateful implementation.
+//! stateful implementation vs. the hash implementation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mix::prelude::*;
+use mix_bench::harness::Harness;
 use mix_bench::{drain, Q1};
 
-fn bench_gby(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gby_drain_q1");
-    g.sample_size(10);
+fn main() {
+    let mut h = Harness::from_args("gby_drain_q1");
     for n in [500usize, 2000] {
         for (label, mode) in [
             ("stateless", GByMode::StatelessPresorted),
             ("stateful", GByMode::Stateful),
+            ("hash", GByMode::Hash),
+            ("auto", GByMode::Auto),
         ] {
-            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
-                b.iter(|| {
-                    let (catalog, _db) = mix_repro::datagen::customers_orders(n, 5, 31);
-                    let m = Mediator::with_options(
-                        catalog,
-                        MediatorOptions { gby: mode, ..Default::default() },
-                    );
-                    let mut s = m.session();
-                    let p0 = s.query(Q1).unwrap();
-                    drain(&s, p0)
-                })
+            h.bench(&format!("{label}/{n}"), || {
+                let (catalog, _db) = mix_repro::datagen::customers_orders(n, 5, 31);
+                let m = Mediator::with_options(
+                    catalog,
+                    MediatorOptions {
+                        gby: mode,
+                        ..Default::default()
+                    },
+                );
+                let mut s = m.session();
+                let p0 = s.query(Q1).unwrap();
+                drain(&s, p0)
             });
         }
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_gby);
-criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Hash vs. nested-loop join kernels at the mediator: the Q1 join over
+//! N customers × M orders, evaluated *unoptimized* so the join runs in
+//! the mediator's physical layer rather than being pushed to SQL. The
+//! nested loop pays N·M probes; the hash kernel pays O(N + M + output).
+
+use mix::prelude::*;
+use mix_bench::harness::Harness;
+use mix_bench::Q1;
+
+fn main() {
+    let mut h = Harness::from_args("join_scaling");
+    for (n, per) in [(100usize, 1usize), (300, 3), (1000, 1)] {
+        let m_rows = n * per;
+        for (label, hash_joins) in [("hash", true), ("nl", false)] {
+            h.bench(&format!("{label}/{n}x{m_rows}"), || {
+                let (catalog, _db) = mix_repro::datagen::customers_orders(n, per, 31);
+                let m = Mediator::with_options(
+                    catalog,
+                    MediatorOptions {
+                        optimize: false,
+                        hash_joins,
+                        ..Default::default()
+                    },
+                );
+                let mut s = m.session();
+                let p0 = s.query(Q1).unwrap();
+                // Enumerating every CustRec drains the whole join.
+                s.child_count(p0)
+            });
+        }
+    }
+    h.finish();
+}

@@ -5,57 +5,41 @@
 //! overloads the mediator and the sources [and] reduces the response
 //! time as perceived by the client".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mix::prelude::*;
+use mix_bench::harness::Harness;
 use mix_bench::{browse_k, scaled_mediator, Q1};
 
-fn bench_browse(c: &mut Criterion) {
-    let mut g = c.benchmark_group("browse_5_of_N");
-    g.sample_size(20);
+fn main() {
+    let mut h = Harness::from_args("lazy_vs_eager");
     for n in [100usize, 1000, 4000] {
-        g.bench_with_input(BenchmarkId::new("lazy", n), &n, |b, &n| {
-            b.iter(|| {
-                let (m, _stats) = scaled_mediator(n, 4, 42, true, AccessMode::Lazy);
+        for access in [AccessMode::Lazy, AccessMode::Eager] {
+            let label = if access == AccessMode::Lazy {
+                "lazy"
+            } else {
+                "eager"
+            };
+            h.bench(&format!("browse_5_of_N/{label}/{n}"), || {
+                let (m, _stats) = scaled_mediator(n, 4, 42, true, access);
                 let mut s = m.session();
                 let p0 = s.query(Q1).unwrap();
                 browse_k(&s, p0, 5)
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("eager", n), &n, |b, &n| {
-            b.iter(|| {
-                let (m, _stats) = scaled_mediator(n, 4, 42, true, AccessMode::Eager);
-                let mut s = m.session();
-                let p0 = s.query(Q1).unwrap();
-                browse_k(&s, p0, 5)
-            })
-        });
+            });
+        }
     }
-    g.finish();
-}
-
-fn bench_first_result(c: &mut Criterion) {
-    let mut g = c.benchmark_group("first_result_of_N");
-    g.sample_size(10);
     for n in [500usize, 4000] {
-        g.bench_with_input(BenchmarkId::new("lazy", n), &n, |b, &n| {
-            b.iter(|| {
-                let (m, _stats) = scaled_mediator(n, 2, 3, true, AccessMode::Lazy);
+        for access in [AccessMode::Lazy, AccessMode::Eager] {
+            let label = if access == AccessMode::Lazy {
+                "lazy"
+            } else {
+                "eager"
+            };
+            h.bench(&format!("first_result_of_N/{label}/{n}"), || {
+                let (m, _stats) = scaled_mediator(n, 2, 3, true, access);
                 let mut s = m.session();
                 let p0 = s.query(Q1).unwrap();
                 s.d(p0).unwrap()
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("eager", n), &n, |b, &n| {
-            b.iter(|| {
-                let (m, _stats) = scaled_mediator(n, 2, 3, true, AccessMode::Eager);
-                let mut s = m.session();
-                let p0 = s.query(Q1).unwrap();
-                s.d(p0).unwrap()
-            })
-        });
+            });
+        }
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_browse, bench_first_result);
-criterion_main!(benches);

@@ -4,17 +4,16 @@
 //! and q2 and pushes to the sources the most restrictive queries, which
 //! results in the transfer of the minimum amount of data".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mix::prelude::*;
 use mix_bench::drain;
+use mix_bench::harness::Harness;
 
 const VIEW: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
      WHERE $C/id/data() = $O/cid/data() \
      RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
 
-fn bench_pushdown(c: &mut Criterion) {
-    let mut g = c.benchmark_group("composed_report_N200");
-    g.sample_size(10);
+fn main() {
+    let mut h = Harness::from_args("composed_report_N200");
     for threshold in [50_000i64, 99_000] {
         let report = format!(
             "FOR $R IN document(v)/CustRec $S IN $R/OrderInfo \
@@ -22,28 +21,21 @@ fn bench_pushdown(c: &mut Criterion) {
         );
         for optimize in [true, false] {
             let label = if optimize { "optimized" } else { "naive" };
-            g.bench_with_input(
-                BenchmarkId::new(label, threshold),
-                &report,
-                |b, report| {
-                    b.iter(|| {
-                        let (catalog, _db) =
-                            mix_repro::datagen::customers_orders(200, 6, 9);
-                        let mut m = Mediator::with_options(
-                            catalog,
-                            MediatorOptions { optimize, ..Default::default() },
-                        );
-                        m.define_view("v", VIEW).unwrap();
-                        let mut s = m.session();
-                        let p = s.query(report).unwrap();
-                        drain(&s, p)
-                    })
-                },
-            );
+            h.bench(&format!("{label}/{threshold}"), || {
+                let (catalog, _db) = mix_repro::datagen::customers_orders(200, 6, 9);
+                let mut m = Mediator::with_options(
+                    catalog,
+                    MediatorOptions {
+                        optimize,
+                        ..Default::default()
+                    },
+                );
+                m.define_view("v", VIEW).unwrap();
+                let mut s = m.session();
+                let p = s.query(&report).unwrap();
+                drain(&s, p)
+            });
         }
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_pushdown);
-criterion_main!(benches);

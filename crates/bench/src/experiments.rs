@@ -105,7 +105,10 @@ pub fn e2_first_result_latency() -> String {
 /// unacceptable … the tree rooted at x may be large").
 pub fn e3_decontext_vs_materialize() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "E3: in-place query from a CustRec with F orders (selective predicate)");
+    let _ = writeln!(
+        out,
+        "E3: in-place query from a CustRec with F orders (selective predicate)"
+    );
     let _ = writeln!(
         out,
         "{:>6} | {:>14} {:>12} {:>8} | {:>14} {:>12} {:>8}",
@@ -146,7 +149,10 @@ pub fn e3_decontext_vs_materialize() -> String {
 /// the source; sweep the selectivity of the composed query's predicate.
 pub fn e4_pushdown_selectivity() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "E4: composed query, threshold sweep (N=400, 6 orders each)");
+    let _ = writeln!(
+        out,
+        "E4: composed query, threshold sweep (N=400, 6 orders each)"
+    );
     let _ = writeln!(
         out,
         "{:>9} {:>6} | {:>12} {:>8} | {:>12} {:>8}",
@@ -164,7 +170,10 @@ pub fn e4_pushdown_selectivity() -> String {
             let stats = db.stats().clone();
             let mut m = Mediator::with_options(
                 catalog,
-                MediatorOptions { optimize, ..Default::default() },
+                MediatorOptions {
+                    optimize,
+                    ..Default::default()
+                },
             );
             m.define_view("v", VIEW).expect("view");
             let mut s = m.session();
@@ -187,7 +196,10 @@ pub fn e4_pushdown_selectivity() -> String {
 /// at the mediator (Section 6's first bullet).
 pub fn e5_mediator_work() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "E5: mediator work for the composed query (threshold = 99000)");
+    let _ = writeln!(
+        out,
+        "E5: mediator work for the composed query (threshold = 99000)"
+    );
     let _ = writeln!(
         out,
         "{:>6} | {:>10} {:>10} | {:>10} {:>10}",
@@ -201,7 +213,10 @@ pub fn e5_mediator_work() -> String {
             let (catalog, _db) = mix_repro::datagen::customers_orders(n, 5, 13);
             let mut m = Mediator::with_options(
                 catalog,
-                MediatorOptions { optimize, ..Default::default() },
+                MediatorOptions {
+                    optimize,
+                    ..Default::default()
+                },
             );
             m.define_view("v", VIEW).expect("view");
             let mut s = m.session();
@@ -224,7 +239,10 @@ pub fn e5_mediator_work() -> String {
 /// context's data, not the database size.
 pub fn e6_in_place_scaling() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "E6: in-place query from the first CustRec (10 orders), database sweep");
+    let _ = writeln!(
+        out,
+        "E6: in-place query from the first CustRec (10 orders), database sweep"
+    );
     let _ = writeln!(out, "{:>6} | {:>12} {:>8}", "N", "shipped", "ms");
     for n in [100usize, 400, 1600, 6400] {
         let (m, stats) = scaled_mediator(n, 10, 21, true, AccessMode::Lazy);
@@ -234,10 +252,18 @@ pub fn e6_in_place_scaling() -> String {
         stats.reset();
         let t = Instant::now();
         let a = s
-            .q("FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 50000 RETURN $O", p1)
+            .q(
+                "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 50000 RETURN $O",
+                p1,
+            )
             .expect("in-place");
         let _ = s.child_count(a);
-        let _ = writeln!(out, "{n:>6} | {:>12} {:>8.2}", stats.tuples_shipped(), ms(t));
+        let _ = writeln!(
+            out,
+            "{n:>6} | {:>12} {:>8.2}",
+            stats.tuples_shipped(),
+            ms(t)
+        );
     }
     out
 }
@@ -258,7 +284,10 @@ pub fn e7_gby_ablation() -> String {
             let (catalog, _db) = mix_repro::datagen::customers_orders(n, 5, 31);
             let m = Mediator::with_options(
                 catalog,
-                MediatorOptions { gby, ..Default::default() },
+                MediatorOptions {
+                    gby,
+                    ..Default::default()
+                },
             );
             let mut s = m.session();
             let t = Instant::now();
@@ -277,8 +306,15 @@ pub fn e8_rule_ablation() -> String {
     use mix::qdom::splice::compose;
     use mix::rewrite::{rewrite_with_disabled, split_plan};
     let mut out = String::new();
-    let _ = writeln!(out, "E8: composed query (threshold 99000, N=400), rule ablations");
-    let _ = writeln!(out, "{:>28} | {:>12} {:>6}", "disabled rule", "shipped", "#rQ");
+    let _ = writeln!(
+        out,
+        "E8: composed query (threshold 99000, N=400), rule ablations"
+    );
+    let _ = writeln!(
+        out,
+        "{:>28} | {:>12} {:>6}",
+        "disabled rule", "shipped", "#rQ"
+    );
     let report = "FOR $R IN document(rootv)/CustRec $S IN $R/OrderInfo \
          WHERE $S/order/value > 99000 RETURN $R";
     for disabled in [
@@ -305,8 +341,16 @@ pub fn e8_rule_ablation() -> String {
             n += 1;
             cur = v.next_sibling(c);
         }
-        let label = if disabled.is_empty() { "(none)".to_string() } else { disabled.join("+") };
-        let _ = writeln!(out, "{label:>28} | {:>12} {n_rq:>6}   ({n} results)", stats.tuples_shipped());
+        let label = if disabled.is_empty() {
+            "(none)".to_string()
+        } else {
+            disabled.join("+")
+        };
+        let _ = writeln!(
+            out,
+            "{label:>28} | {:>12} {n_rq:>6}   ({n} results)",
+            stats.tuples_shipped()
+        );
     }
     out
 }
@@ -324,7 +368,9 @@ pub fn run_all() -> String {
         ("E7", e7_gby_ablation),
         ("E8", e8_rule_ablation),
     ] {
-        out.push_str(&format!("\n==================== {name} ====================\n"));
+        out.push_str(&format!(
+            "\n==================== {name} ====================\n"
+        ));
         out.push_str(&f());
     }
     out

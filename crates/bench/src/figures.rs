@@ -6,7 +6,9 @@ use mix::prelude::*;
 use std::collections::HashMap;
 
 fn section(out: &mut String, title: &str) {
-    out.push_str(&format!("\n==================== {title} ====================\n"));
+    out.push_str(&format!(
+        "\n==================== {title} ====================\n"
+    ));
 }
 
 /// Render all paper artifacts, in figure order.
@@ -23,12 +25,18 @@ pub fn render_all() -> String {
     }
 
     // Fig. 3/4 — the example query under the grammar.
-    section(&mut out, "Fig. 3: the example query Q1 (parsed and re-printed)");
+    section(
+        &mut out,
+        "Fig. 3: the example query Q1 (parsed and re-printed)",
+    );
     let q1 = parse_query(Q1).expect("Q1 parses");
     out.push_str(&mix::xquery::print_query(&q1));
 
     // Fig. 5 — binding-list tree.
-    section(&mut out, "Fig. 5: tree representation of Q1's binding lists");
+    section(
+        &mut out,
+        "Fig. 5: tree representation of Q1's binding lists",
+    );
     let ctx = EvalContext::new(catalog.clone(), AccessMode::Eager);
     let plan = translate(&q1).expect("Q1 translates");
     if let mix::algebra::Op::TupleDestroy { input, .. } = &plan.root {
@@ -50,20 +58,44 @@ pub fn render_all() -> String {
     // Example 2.1 — the navigation session.
     section(&mut out, "Example 2.1: interleaved navigation and querying");
     let p1 = s.d(p0).expect("p1 = d(p0)");
-    out.push_str(&format!("p1 = d(p0)  -> {} {}\n", s.oid(p1), s.fl(p1).unwrap()));
+    out.push_str(&format!(
+        "p1 = d(p0)  -> {} {}\n",
+        s.oid(p1),
+        s.fl(p1).unwrap()
+    ));
     let p2 = s.r(p1).expect("p2 = r(p1)");
-    out.push_str(&format!("p2 = r(p1)  -> {} {}\n", s.oid(p2), s.fl(p2).unwrap()));
+    out.push_str(&format!(
+        "p2 = r(p1)  -> {} {}\n",
+        s.oid(p2),
+        s.fl(p2).unwrap()
+    ));
     let p3 = s.d(p1).expect("p3 = d(p1)");
-    out.push_str(&format!("p3 = d(p1)  -> {} {}\n", s.oid(p3), s.fl(p3).unwrap()));
+    out.push_str(&format!(
+        "p3 = d(p1)  -> {} {}\n",
+        s.oid(p3),
+        s.fl(p3).unwrap()
+    ));
     let p4 = s
-        .q("FOR $P IN document(root)/CustRec WHERE $P/customer/name < \"E\" RETURN $P", p0)
+        .q(
+            "FOR $P IN document(root)/CustRec WHERE $P/customer/name < \"E\" RETURN $P",
+            p0,
+        )
         .expect("p4 = q(Q2', p0)");
-    out.push_str(&format!("p4 = q(Q2', p0) — composition; result:\n{}", s.render(p4)));
+    out.push_str(&format!(
+        "p4 = q(Q2', p0) — composition; result:\n{}",
+        s.render(p4)
+    ));
     let p5 = s.d(p4).expect("p5 = d(p4)");
     let p9 = s
-        .q("FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O", p5)
+        .q(
+            "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O",
+            p5,
+        )
         .expect("p9 = q(Q3', p5)");
-    out.push_str(&format!("p9 = q(Q3', p5) — decontextualization; result:\n{}", s.render(p9)));
+    out.push_str(&format!(
+        "p9 = q(Q3', p5) — decontextualization; result:\n{}",
+        s.render(p9)
+    ));
 
     // Figs. 8–9 — in-place query plan.
     section(&mut out, "Figs. 8–9: the in-place query q1 and its plan");
@@ -73,11 +105,16 @@ pub fn render_all() -> String {
     out.push_str(&translate(&parse_query(q_fig8).unwrap()).unwrap().render());
 
     // Fig. 10 — decontextualized plan.
-    section(&mut out, "Fig. 10: the decontextualized plan (query from node y)");
+    section(
+        &mut out,
+        "Fig. 10: the decontextualized plan (query from node y)",
+    );
     let view = translate(&q1).unwrap();
-    let qp = translate(&parse_query(
-        "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 2000 RETURN $O",
-    ).unwrap()).unwrap();
+    let qp = translate(
+        &parse_query("FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 2000 RETURN $O")
+            .unwrap(),
+    )
+    .unwrap();
     let node_ctx = mix::engine::NodeContext {
         oid: Oid::skolem("f", "V", vec![Oid::key("XYZ123")]),
         ancestors: vec![],
@@ -86,7 +123,10 @@ pub fn render_all() -> String {
     out.push_str(&decon.render());
 
     // Figs. 12–13 — composition.
-    section(&mut out, "Figs. 12–13: naive composition of the Fig. 12 query with the Q1 view");
+    section(
+        &mut out,
+        "Figs. 12–13: naive composition of the Fig. 12 query with the Q1 view",
+    );
     let view_named = mix::algebra::translate_with_root(&q1, "rootv").unwrap();
     let q12 = translate(&parse_query(Q_FIG12).unwrap()).unwrap();
     let naive = mix::qdom::splice::compose(&q12, "rootv", &view_named);
@@ -103,7 +143,10 @@ pub fn render_all() -> String {
     out.push_str(&optimized.plan.render());
 
     // Table 1 — the stateless presorted gBy.
-    section(&mut out, "Table 1: stateless presorted gBy (observed behaviour)");
+    section(
+        &mut out,
+        "Table 1: stateless presorted gBy (observed behaviour)",
+    );
     out.push_str(&table1_narration());
 
     // Table 2 — the rewrite rules.
@@ -116,22 +159,70 @@ pub fn render_all() -> String {
 
 /// The implemented rule catalog (DESIGN.md's reconstruction of Table 2).
 pub const RULES: &[(&str, &str)] = &[
-    ("R1-getd-crelt-push", "push getD below crElt (list children), path becomes $W.list.q"),
-    ("R2-getd-crelt-exact", "getD exactly matches the constructed label: alias $X ≡ $Z"),
-    ("R3-getd-crelt-single", "push getD below crElt(list($W)): path becomes $W.q"),
-    ("R4-unsatisfiable", "path cannot match the constructed label: empty plan"),
-    ("R5-getd-cat-push", "push getD into the cat branch whose elements can match"),
-    ("R9-join-introduction", "join a fresh copy of the pre-grouping subplan on the group vars"),
-    ("R10-chain-merge", "merge getD chains over a dead intermediate variable"),
-    ("R11-td-mksrc", "eliminate the view's tD under the query's mksrc; alias vars"),
-    ("R12-semijoin-below-group", "push semijoins below gBy/apply/crElt toward the source"),
-    ("select-pushdown", "push selections below construction and into join branches"),
-    ("getd-pushdown", "push getD toward its start variable's producer"),
-    ("empty-propagation", "an operator over the empty plan is empty"),
-    ("dead-elimination", "live-variable analysis removes dead getD/crElt/cat/apply"),
-    ("join-to-semijoin", "a join whose one side is dead above becomes a semijoin"),
-    ("schema-prune", "source-schema rules: impossible wrapper paths become the empty plan"),
-    ("split-to-sql", "maximal relational fragments become rQ operators (SQL)"),
+    (
+        "R1-getd-crelt-push",
+        "push getD below crElt (list children), path becomes $W.list.q",
+    ),
+    (
+        "R2-getd-crelt-exact",
+        "getD exactly matches the constructed label: alias $X ≡ $Z",
+    ),
+    (
+        "R3-getd-crelt-single",
+        "push getD below crElt(list($W)): path becomes $W.q",
+    ),
+    (
+        "R4-unsatisfiable",
+        "path cannot match the constructed label: empty plan",
+    ),
+    (
+        "R5-getd-cat-push",
+        "push getD into the cat branch whose elements can match",
+    ),
+    (
+        "R9-join-introduction",
+        "join a fresh copy of the pre-grouping subplan on the group vars",
+    ),
+    (
+        "R10-chain-merge",
+        "merge getD chains over a dead intermediate variable",
+    ),
+    (
+        "R11-td-mksrc",
+        "eliminate the view's tD under the query's mksrc; alias vars",
+    ),
+    (
+        "R12-semijoin-below-group",
+        "push semijoins below gBy/apply/crElt toward the source",
+    ),
+    (
+        "select-pushdown",
+        "push selections below construction and into join branches",
+    ),
+    (
+        "getd-pushdown",
+        "push getD toward its start variable's producer",
+    ),
+    (
+        "empty-propagation",
+        "an operator over the empty plan is empty",
+    ),
+    (
+        "dead-elimination",
+        "live-variable analysis removes dead getD/crElt/cat/apply",
+    ),
+    (
+        "join-to-semijoin",
+        "a join whose one side is dead above becomes a semijoin",
+    ),
+    (
+        "schema-prune",
+        "source-schema rules: impossible wrapper paths become the empty plan",
+    ),
+    (
+        "split-to-sql",
+        "maximal relational fragments become rQ operators (SQL)",
+    ),
 ];
 
 fn table1_narration() -> String {
@@ -140,7 +231,9 @@ fn table1_narration() -> String {
     let (catalog, db) = mix::wrapper::fig2_catalog();
     let ctx = Rc::new(EvalContext::new(catalog, AccessMode::Lazy));
     let plan = translate(&parse_query(Q1).unwrap()).unwrap();
-    let mix::algebra::Op::TupleDestroy { input, .. } = plan.root else { unreachable!() };
+    let mix::algebra::Op::TupleDestroy { input, .. } = plan.root else {
+        unreachable!()
+    };
     let mut s = build_stream(&input, &ctx, &Rc::new(HashMap::new())).unwrap();
     let stats = db.stats().clone();
     let mut out = String::new();
@@ -164,7 +257,10 @@ fn table1_narration() -> String {
         stats.tuples_shipped()
     ));
     if let Some(mix::engine::LVal::Part(p)) = g2.get(&Name::new("X")) {
-        out.push_str(&format!("  second partition holds {} binding(s)\n", p.force().len()));
+        out.push_str(&format!(
+            "  second partition holds {} binding(s)\n",
+            p.force().len()
+        ));
     }
     out.push_str("r(binding): ⊥ (no further groups)\n");
     assert!(s.next().is_none());

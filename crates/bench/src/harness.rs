@@ -1,0 +1,140 @@
+//! Minimal wall-clock benchmark harness.
+//!
+//! The bench targets are `harness = false` binaries, so they only need
+//! a timing loop and reporting; this module provides both without any
+//! external dependency (offline builds stay green). Usage:
+//!
+//! ```ignore
+//! let mut h = Harness::from_args("my_group");
+//! h.bench("case_name", || expensive());
+//! h.finish();
+//! ```
+//!
+//! A positional command-line argument filters cases by substring, like
+//! criterion's filter. `finish()` prints a summary table and returns
+//! the measurements for machine consumption.
+
+use std::time::{Duration, Instant};
+
+/// One measured case: name plus per-iteration wall time.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Case name (`group/case`).
+    pub name: String,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Iterations measured (after warmup).
+    pub iters: u32,
+}
+
+/// Nanoseconds for a measurement, for JSON reporting.
+impl Measurement {
+    /// Median time in nanoseconds.
+    pub fn nanos(&self) -> u128 {
+        self.median.as_nanos()
+    }
+}
+
+/// A benchmark group: times closures and reports per-iteration costs.
+pub struct Harness {
+    group: String,
+    filter: Option<String>,
+    target: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// A harness reading a substring filter from the command line.
+    /// Flags (`--bench`, `--quiet` etc. that cargo passes) are ignored.
+    pub fn from_args(group: &str) -> Harness {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness {
+            group: group.to_string(),
+            filter,
+            target: Duration::from_millis(300),
+            results: Vec::new(),
+        }
+    }
+
+    /// Lower or raise the per-case measuring budget (default 300 ms).
+    pub fn measure_for(&mut self, target: Duration) {
+        self.target = target;
+    }
+
+    /// Time `f`, printing and recording the median per-iteration cost.
+    pub fn bench<T>(&mut self, case: &str, mut f: impl FnMut() -> T) {
+        let name = format!("{}/{}", self.group, case);
+        if let Some(flt) = &self.filter {
+            if !name.contains(flt.as_str()) {
+                return;
+            }
+        }
+        // Warmup + calibration run.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let first = t0.elapsed().max(Duration::from_nanos(1));
+        // Enough iterations to fill the budget, capped for slow cases.
+        let iters = (self.target.as_nanos() / first.as_nanos()).clamp(1, 1000) as u32;
+        let mut samples = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            samples.push(t.elapsed());
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        println!("{name:<44} {:>12} ({iters} iters)", fmt_duration(median));
+        self.results.push(Measurement {
+            name,
+            median,
+            iters,
+        });
+    }
+
+    /// Print a closing line and hand back the measurements.
+    pub fn finish(self) -> Vec<Measurement> {
+        println!("{}: {} case(s) measured", self.group, self.results.len());
+        self.results
+    }
+}
+
+/// Human-friendly duration rendering (ns/µs/ms/s).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_and_filters() {
+        let mut h = Harness {
+            group: "g".into(),
+            filter: Some("keep".into()),
+            target: Duration::from_millis(5),
+            results: Vec::new(),
+        };
+        h.bench("keep_this", || 1 + 1);
+        h.bench("skip_this", || panic!("filtered out"));
+        let r = h.finish();
+        assert_eq!(r.len(), 1);
+        assert!(r[0].name.contains("keep"));
+        assert!(r[0].iters >= 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

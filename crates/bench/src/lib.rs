@@ -1,14 +1,15 @@
-//! Shared harness for the experiment suite and the criterion benches.
+//! Shared harness for the experiment suite and the benches.
 //!
 //! The paper has no quantitative evaluation section; its evaluation is
 //! the worked example (Figures 2–22, Tables 1–2) and explicit
 //! performance claims. [`figures`] regenerates every figure/table;
 //! [`experiments`] measures every claim over parameter sweeps (the
 //! tables EXPERIMENTS.md records). `cargo bench` runs the same
-//! comparisons under criterion for wall-clock numbers.
+//! comparisons under the in-repo [`harness`] for wall-clock numbers.
 
 pub mod experiments;
 pub mod figures;
+pub mod harness;
 
 use mix::prelude::*;
 
@@ -33,7 +34,11 @@ pub fn scaled_mediator(
     let stats = db.stats().clone();
     let m = Mediator::with_options(
         catalog,
-        MediatorOptions { access, optimize, ..Default::default() },
+        MediatorOptions {
+            access,
+            optimize,
+            ..Default::default()
+        },
     );
     (m, stats)
 }

@@ -10,7 +10,11 @@ pub type Result<T> = std::result::Result<T, MixError>;
 pub enum MixError {
     /// A parser rejected its input (XQuery, SQL, or XML). Carries the
     /// offending position (byte offset or line) and a message.
-    Parse { what: &'static str, pos: usize, msg: String },
+    Parse {
+        what: &'static str,
+        pos: usize,
+        msg: String,
+    },
     /// A name (table, column, variable, source, view) is unknown.
     Unknown { what: &'static str, name: String },
     /// A query or plan is structurally invalid (variable scoping,
@@ -26,12 +30,19 @@ pub enum MixError {
 impl MixError {
     /// Shorthand for a parse error.
     pub fn parse(what: &'static str, pos: usize, msg: impl Into<String>) -> MixError {
-        MixError::Parse { what, pos, msg: msg.into() }
+        MixError::Parse {
+            what,
+            pos,
+            msg: msg.into(),
+        }
     }
 
     /// Shorthand for an unknown-name error.
     pub fn unknown(what: &'static str, name: impl Into<String>) -> MixError {
-        MixError::Unknown { what, name: name.into() }
+        MixError::Unknown {
+            what,
+            name: name.into(),
+        }
     }
 
     /// Shorthand for an invalid-structure error.

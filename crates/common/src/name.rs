@@ -82,7 +82,10 @@ mod tests {
         let a = Name::new("x");
         let b = a.clone();
         assert_eq!(a, b);
-        assert_eq!(Name::new("a").cmp(&Name::new("b")), std::cmp::Ordering::Less);
+        assert_eq!(
+            Name::new("a").cmp(&Name::new("b")),
+            std::cmp::Ordering::Less
+        );
     }
 
     #[test]

@@ -38,6 +38,21 @@ struct StatsInner {
     mediator_ops: Cell<u64>,
     /// Result-tree nodes materialized at the mediator.
     nodes_built: Cell<u64>,
+    /// Hash indexes built by the physical join/semi-join/groupBy
+    /// kernels (each is one full drain of the build side).
+    hash_builds: Cell<u64>,
+    /// Join predicate evaluations: every candidate pair a join or
+    /// semi-join examines. Nested loops pay |L|·|R|; the hash kernels
+    /// pay one per probe-side tuple plus bucket matches, i.e.
+    /// O(|L| + |R| + |output|).
+    join_probes: Cell<u64>,
+    /// Joins/semi-joins that fell back to the nested-loop kernel
+    /// because no equi-conjunct was extractable.
+    nl_fallbacks: Cell<u64>,
+    /// Decontextualized-plan cache hits in the QDOM session.
+    plan_cache_hits: Cell<u64>,
+    /// Decontextualized-plan cache misses (full translate + rewrite).
+    plan_cache_misses: Cell<u64>,
 }
 
 macro_rules! counter {
@@ -66,6 +81,11 @@ impl Stats {
     counter!(nav_commands, add_nav_command, nav_commands);
     counter!(mediator_ops, add_mediator_op, mediator_ops);
     counter!(nodes_built, add_nodes_built, nodes_built);
+    counter!(hash_builds, add_hash_build, hash_builds);
+    counter!(join_probes, add_join_probe, join_probes);
+    counter!(nl_fallbacks, add_nl_fallback, nl_fallbacks);
+    counter!(plan_cache_hits, add_plan_cache_hit, plan_cache_hits);
+    counter!(plan_cache_misses, add_plan_cache_miss, plan_cache_misses);
 
     /// Reset every counter to zero (between benchmark trials).
     pub fn reset(&self) {
@@ -75,6 +95,11 @@ impl Stats {
         self.inner.nav_commands.set(0);
         self.inner.mediator_ops.set(0);
         self.inner.nodes_built.set(0);
+        self.inner.hash_builds.set(0);
+        self.inner.join_probes.set(0);
+        self.inner.nl_fallbacks.set(0);
+        self.inner.plan_cache_hits.set(0);
+        self.inner.plan_cache_misses.set(0);
     }
 
     /// Capture the current counter values.
@@ -86,6 +111,11 @@ impl Stats {
             nav_commands: self.nav_commands(),
             mediator_ops: self.mediator_ops(),
             nodes_built: self.nodes_built(),
+            hash_builds: self.hash_builds(),
+            join_probes: self.join_probes(),
+            nl_fallbacks: self.nl_fallbacks(),
+            plan_cache_hits: self.plan_cache_hits(),
+            plan_cache_misses: self.plan_cache_misses(),
         }
     }
 }
@@ -99,6 +129,11 @@ pub struct StatsSnapshot {
     pub nav_commands: u64,
     pub mediator_ops: u64,
     pub nodes_built: u64,
+    pub hash_builds: u64,
+    pub join_probes: u64,
+    pub nl_fallbacks: u64,
+    pub plan_cache_hits: u64,
+    pub plan_cache_misses: u64,
 }
 
 impl StatsSnapshot {
@@ -111,6 +146,13 @@ impl StatsSnapshot {
             nav_commands: self.nav_commands.saturating_sub(earlier.nav_commands),
             mediator_ops: self.mediator_ops.saturating_sub(earlier.mediator_ops),
             nodes_built: self.nodes_built.saturating_sub(earlier.nodes_built),
+            hash_builds: self.hash_builds.saturating_sub(earlier.hash_builds),
+            join_probes: self.join_probes.saturating_sub(earlier.join_probes),
+            nl_fallbacks: self.nl_fallbacks.saturating_sub(earlier.nl_fallbacks),
+            plan_cache_hits: self.plan_cache_hits.saturating_sub(earlier.plan_cache_hits),
+            plan_cache_misses: self
+                .plan_cache_misses
+                .saturating_sub(earlier.plan_cache_misses),
         }
     }
 }
@@ -119,13 +161,19 @@ impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sql={} shipped={} scanned={} nav={} medops={} nodes={}",
+            "sql={} shipped={} scanned={} nav={} medops={} nodes={} \
+             hash={} probes={} nlfb={} pc={}+{}",
             self.sql_queries,
             self.tuples_shipped,
             self.rows_scanned,
             self.nav_commands,
             self.mediator_ops,
-            self.nodes_built
+            self.nodes_built,
+            self.hash_builds,
+            self.join_probes,
+            self.nl_fallbacks,
+            self.plan_cache_hits,
+            self.plan_cache_misses
         )
     }
 }

@@ -341,7 +341,14 @@ mod tests {
     fn op_flip_negate() {
         assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
         assert_eq!(CmpOp::Le.negate(), CmpOp::Gt);
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.flip().flip(), op);
             assert_eq!(op.negate().negate(), op);
         }

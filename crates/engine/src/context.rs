@@ -28,6 +28,14 @@ pub enum GByMode {
     StatelessPresorted,
     /// Buffering implementation: drains and hash-partitions its input.
     Stateful,
+    /// Hash implementation: correct on unsorted input like
+    /// [`GByMode::Stateful`], but spools lazily — the first group is
+    /// available after one input pull.
+    Hash,
+    /// Pick per `groupBy` node: presorted when the rewriter's
+    /// sortedness analysis proves the input key-contiguous
+    /// ([`mix_rewrite::key_contiguous`]), hash otherwise.
+    Auto,
 }
 
 /// Shared state for one plan evaluation (or one QDOM session).
@@ -35,6 +43,10 @@ pub struct EvalContext {
     catalog: Catalog,
     mode: AccessMode,
     pub gby_mode: GByMode,
+    /// Use the hash join/semi-join kernels when an equi-key is
+    /// extractable (`false` forces the nested-loop kernels — an
+    /// ablation/testing knob; both produce identical tuple sequences).
+    pub hash_joins: bool,
     stats: Stats,
     docs: RefCell<HashMap<Name, Rc<dyn NavDoc>>>,
 }
@@ -45,7 +57,8 @@ impl EvalContext {
         EvalContext {
             catalog,
             mode,
-            gby_mode: GByMode::StatelessPresorted,
+            gby_mode: GByMode::Auto,
+            hash_joins: true,
             stats: Stats::new(),
             docs: RefCell::new(HashMap::new()),
         }
@@ -134,7 +147,10 @@ impl EvalContext {
                 let mut out = Vec::new();
                 let mut c = d.first_child(*node);
                 while let Some(n) = c {
-                    out.push(LVal::Src { doc: doc.clone(), node: n });
+                    out.push(LVal::Src {
+                        doc: doc.clone(),
+                        node: n,
+                    });
                     c = d.next_sibling(n);
                 }
                 out
@@ -159,7 +175,10 @@ impl EvalContext {
                 let mut i = 0;
                 while let Some(n) = c {
                     if i == index {
-                        return Ok(Some(LVal::Src { doc: doc.clone(), node: n }));
+                        return Ok(Some(LVal::Src {
+                            doc: doc.clone(),
+                            node: n,
+                        }));
                     }
                     i += 1;
                     c = d.next_sibling(n);
@@ -238,7 +257,10 @@ mod tests {
     fn lval_navigation_over_sources() {
         let c = ctx(AccessMode::Eager);
         let d = c.doc(&Name::new("root1")).unwrap();
-        let root = LVal::Src { doc: Name::new("root1"), node: d.root() };
+        let root = LVal::Src {
+            doc: Name::new("root1"),
+            node: d.root(),
+        };
         assert_eq!(c.lval_label(&root).unwrap().as_str(), "list");
         let kids = c.lval_children(&root).unwrap();
         assert_eq!(kids.len(), 2);
@@ -246,8 +268,12 @@ mod tests {
         // scalar of the id field
         let id_field = &c.lval_children(&kids[0]).unwrap()[0];
         assert_eq!(c.lval_scalar(id_field), Some(Value::str("DEF345")));
-        assert_eq!(c.lval_child_at(&root, 1).unwrap().map(|v| c.lval_oid(&v).to_string()),
-                   Some("&XYZ123".to_string()));
+        assert_eq!(
+            c.lval_child_at(&root, 1)
+                .unwrap()
+                .map(|v| c.lval_oid(&v).to_string()),
+            Some("&XYZ123".to_string())
+        );
         assert!(c.lval_child_at(&root, 2).unwrap().is_none());
     }
 

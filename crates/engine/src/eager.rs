@@ -87,7 +87,9 @@ pub fn materialize_lval(
             n
         }
         LVal::Part(_) => {
-            return Err(MixError::invalid("cannot materialize a group partition directly"))
+            return Err(MixError::invalid(
+                "cannot materialize a group partition directly",
+            ))
         }
     })
 }
@@ -105,12 +107,18 @@ pub fn eval_table(
         Op::MkSrc { source, var } => {
             let d = ctx.doc(source)?;
             let vars = Rc::new(vec![var.clone()]);
-            let mut table = BindingTable { vars: Rc::clone(&vars), tuples: vec![] };
+            let mut table = BindingTable {
+                vars: Rc::clone(&vars),
+                tuples: vec![],
+            };
             let mut c = d.first_child(d.root());
             while let Some(n) = c {
                 table.tuples.push(LTuple::new(
                     Rc::clone(&vars),
-                    vec![LVal::Src { doc: source.clone(), node: n }],
+                    vec![LVal::Src {
+                        doc: source.clone(),
+                        node: n,
+                    }],
                 ));
                 c = d.next_sibling(n);
             }
@@ -119,12 +127,20 @@ pub fn eval_table(
         Op::MkSrcOver { input, var } => {
             // One binding per child of the inline view plan's result:
             // the tD variable's value of each inner tuple.
-            let Op::TupleDestroy { input: view_input, var: view_var, .. } = &**input else {
+            let Op::TupleDestroy {
+                input: view_input,
+                var: view_var,
+                ..
+            } = &**input
+            else {
                 return Ok(BindingTable::new(vec![var.clone()]));
             };
             let inner = eval_table(view_input, ctx, env)?;
             let vars = Rc::new(vec![var.clone()]);
-            let mut table = BindingTable { vars: Rc::clone(&vars), tuples: vec![] };
+            let mut table = BindingTable {
+                vars: Rc::clone(&vars),
+                tuples: vec![],
+            };
             for t in &inner.tuples {
                 let v = t
                     .get(view_var)
@@ -134,10 +150,18 @@ pub fn eval_table(
             }
             Ok(table)
         }
-        Op::GetD { input, from, path, to } => {
+        Op::GetD {
+            input,
+            from,
+            path,
+            to,
+        } => {
             let inp = eval_table(input, ctx, env)?;
             let vars = extend_vars(&inp.vars, to);
-            let mut out = BindingTable { vars: Rc::clone(&vars), tuples: vec![] };
+            let mut out = BindingTable {
+                vars: Rc::clone(&vars),
+                tuples: vec![],
+            };
             for t in &inp.tuples {
                 let base = t
                     .get(from)
@@ -157,7 +181,10 @@ pub fn eval_table(
                 .into_iter()
                 .filter(|t| cond_holds(ctx, cond, t))
                 .collect();
-            Ok(BindingTable { vars: inp.vars, tuples })
+            Ok(BindingTable {
+                vars: inp.vars,
+                tuples,
+            })
         }
         Op::Project { input, vars } => {
             let inp = eval_table(input, ctx, env)?;
@@ -178,44 +205,122 @@ pub fn eval_table(
             let mut vars = (*l.vars).clone();
             vars.extend(r.vars.iter().cloned());
             let vars = Rc::new(vars);
-            let mut out = BindingTable { vars: Rc::clone(&vars), tuples: vec![] };
-            for lt in &l.tuples {
+            let mut out = BindingTable {
+                vars: Rc::clone(&vars),
+                tuples: vec![],
+            };
+            let split = mix_algebra::split_equi(cond.as_ref(), &l.vars, &r.vars);
+            if ctx.hash_joins && split.hashable() {
+                // Hash kernel, mirroring the stream layer: bucket the
+                // right side by equi-key, re-verify the full condition
+                // per candidate. Buckets keep right-input order, so the
+                // output is the nested loop's left-major order exactly.
+                ctx.stats().add_hash_build(1);
+                let mut index: HashMap<Vec<crate::hashkey::KeyPart>, Vec<&LTuple>> = HashMap::new();
                 for rt in &r.tuples {
-                    let joined = lt.concat(rt);
-                    if cond.as_ref().is_none_or(|c| cond_holds(ctx, c, &joined)) {
-                        out.tuples.push(joined);
+                    if let Some(k) = crate::hashkey::tuple_key(ctx, rt, &split.pairs, Side::Right) {
+                        index.entry(k).or_default().push(rt);
+                    }
+                }
+                for lt in &l.tuples {
+                    let Some(key) = crate::hashkey::tuple_key(ctx, lt, &split.pairs, Side::Left)
+                    else {
+                        continue;
+                    };
+                    let Some(bucket) = index.get(&key) else {
+                        continue;
+                    };
+                    for rt in bucket {
+                        ctx.stats().add_join_probe(1);
+                        let joined = lt.concat(rt);
+                        if cond.as_ref().is_none_or(|c| cond_holds(ctx, c, &joined)) {
+                            out.tuples.push(joined);
+                        }
+                    }
+                }
+            } else {
+                ctx.stats().add_nl_fallback(1);
+                for lt in &l.tuples {
+                    for rt in &r.tuples {
+                        ctx.stats().add_join_probe(1);
+                        let joined = lt.concat(rt);
+                        if cond.as_ref().is_none_or(|c| cond_holds(ctx, c, &joined)) {
+                            out.tuples.push(joined);
+                        }
                     }
                 }
             }
             Ok(out)
         }
-        Op::SemiJoin { left, right, cond, keep } => {
+        Op::SemiJoin {
+            left,
+            right,
+            cond,
+            keep,
+        } => {
             let l = eval_table(left, ctx, env)?;
             let r = eval_table(right, ctx, env)?;
+            let split = mix_algebra::split_equi(cond.as_ref(), &l.vars, &r.vars);
             let (kept, other) = match keep {
                 Side::Left => (l, r),
                 Side::Right => (r, l),
             };
-            let tuples = kept
-                .tuples
-                .iter()
-                .filter(|kt| {
-                    other.tuples.iter().any(|ot| {
-                        let joined = match keep {
-                            Side::Left => kt.concat(ot),
-                            Side::Right => ot.concat(kt),
-                        };
-                        cond.as_ref().is_none_or(|c| cond_holds(ctx, c, &joined))
+            let (kept_side, other_side) = match keep {
+                Side::Left => (Side::Left, Side::Right),
+                Side::Right => (Side::Right, Side::Left),
+            };
+            let check = |kt: &LTuple, ot: &LTuple| {
+                ctx.stats().add_join_probe(1);
+                let joined = match keep {
+                    Side::Left => kt.concat(ot),
+                    Side::Right => ot.concat(kt),
+                };
+                cond.as_ref().is_none_or(|c| cond_holds(ctx, c, &joined))
+            };
+            let tuples = if ctx.hash_joins && split.hashable() {
+                ctx.stats().add_hash_build(1);
+                let mut index: HashMap<Vec<crate::hashkey::KeyPart>, Vec<&LTuple>> = HashMap::new();
+                for ot in &other.tuples {
+                    if let Some(k) = crate::hashkey::tuple_key(ctx, ot, &split.pairs, other_side) {
+                        index.entry(k).or_default().push(ot);
+                    }
+                }
+                kept.tuples
+                    .iter()
+                    .filter(|kt| {
+                        crate::hashkey::tuple_key(ctx, kt, &split.pairs, kept_side)
+                            .and_then(|k| index.get(&k))
+                            .is_some_and(|bucket| bucket.iter().any(|ot| check(kt, ot)))
                     })
-                })
-                .cloned()
-                .collect();
-            Ok(BindingTable { vars: kept.vars, tuples })
+                    .cloned()
+                    .collect()
+            } else {
+                ctx.stats().add_nl_fallback(1);
+                kept.tuples
+                    .iter()
+                    .filter(|kt| other.tuples.iter().any(|ot| check(kt, ot)))
+                    .cloned()
+                    .collect()
+            };
+            Ok(BindingTable {
+                vars: kept.vars,
+                tuples,
+            })
         }
-        Op::CrElt { input, label, skolem, group, children, out } => {
+        Op::CrElt {
+            input,
+            label,
+            skolem,
+            group,
+            children,
+            out,
+        } => {
             let inp = eval_table(input, ctx, env)?;
             let vars = extend_vars(&inp.vars, out);
-            let mut table = BindingTable { vars: Rc::clone(&vars), tuples: vec![] };
+            let mut table = BindingTable {
+                vars: Rc::clone(&vars),
+                tuples: vec![],
+            };
             for t in &inp.tuples {
                 let elem = build_element(ctx, t, label, skolem, group, children, out)?;
                 let mut vals = t.vals.clone();
@@ -224,10 +329,18 @@ pub fn eval_table(
             }
             Ok(table)
         }
-        Op::Cat { input, left, right, out } => {
+        Op::Cat {
+            input,
+            left,
+            right,
+            out,
+        } => {
             let inp = eval_table(input, ctx, env)?;
             let vars = extend_vars(&inp.vars, out);
-            let mut table = BindingTable { vars: Rc::clone(&vars), tuples: vec![] };
+            let mut table = BindingTable {
+                vars: Rc::clone(&vars),
+                tuples: vec![],
+            };
             for t in &inp.tuples {
                 let list = cat_value(t, left, right)?;
                 let mut vals = t.vals.clone();
@@ -256,7 +369,10 @@ pub fn eval_table(
             }
             let vars: Vec<Name> = group.iter().cloned().chain([out.clone()]).collect();
             let vars = Rc::new(vars);
-            let mut table = BindingTable { vars: Rc::clone(&vars), tuples: vec![] };
+            let mut table = BindingTable {
+                vars: Rc::clone(&vars),
+                tuples: vec![],
+            };
             for key in order {
                 let tuples = groups.remove(&key).unwrap();
                 let first = &tuples[0];
@@ -269,10 +385,18 @@ pub fn eval_table(
             }
             Ok(table)
         }
-        Op::Apply { input, plan, param, out } => {
+        Op::Apply {
+            input,
+            plan,
+            param,
+            out,
+        } => {
             let inp = eval_table(input, ctx, env)?;
             let vars = extend_vars(&inp.vars, out);
-            let mut table = BindingTable { vars: Rc::clone(&vars), tuples: vec![] };
+            let mut table = BindingTable {
+                vars: Rc::clone(&vars),
+                tuples: vec![],
+            };
             for t in &inp.tuples {
                 let mut env2 = env.clone();
                 if let Some(p) = param {
@@ -287,7 +411,10 @@ pub fn eval_table(
                     };
                     env2.insert(
                         p.clone(),
-                        BindingTable { vars: Rc::clone(&part.vars), tuples: part.force() },
+                        BindingTable {
+                            vars: Rc::clone(&part.vars),
+                            tuples: part.force(),
+                        },
                     );
                 }
                 let result = eval_nested(plan, ctx, &env2)?;
@@ -306,11 +433,15 @@ pub fn eval_table(
             let mut cur = db.execute(sql)?;
             let vars: Vec<Name> = map.iter().map(|b| b.var.clone()).collect();
             let vars = Rc::new(vars);
-            let mut table = BindingTable { vars: Rc::clone(&vars), tuples: vec![] };
+            let mut table = BindingTable {
+                vars: Rc::clone(&vars),
+                tuples: vec![],
+            };
             while let Some(row) = cur.next() {
-                table
-                    .tuples
-                    .push(LTuple::new(Rc::clone(&vars), rq_row_to_vals(ctx, map, &row)));
+                table.tuples.push(LTuple::new(
+                    Rc::clone(&vars),
+                    rq_row_to_vals(ctx, map, &row),
+                ));
             }
             Ok(table)
         }
@@ -402,7 +533,11 @@ pub fn build_element(
         },
     };
     ctx.stats().add_nodes_built(1);
-    Ok(LVal::Elem(Rc::new(LElem { label: label.clone(), oid, children: kids })))
+    Ok(LVal::Elem(Rc::new(LElem {
+        label: label.clone(),
+        oid,
+        children: kids,
+    })))
 }
 
 /// The `cat` value for one tuple (shared with the lazy engine).
@@ -420,7 +555,10 @@ pub fn cat_value(t: &LTuple, left: &ChildSpec, right: &ChildSpec) -> Result<LVal
             },
         })
     };
-    Ok(LVal::List(LList::from_parts(vec![part(left)?, part(right)?])))
+    Ok(LVal::List(LList::from_parts(vec![
+        part(left)?,
+        part(right)?,
+    ])))
 }
 
 /// Does a condition hold on a tuple? Incomparable ⇒ false (paper
@@ -439,14 +577,12 @@ pub fn cond_holds(ctx: &EvalContext, cond: &Cond, t: &LTuple) -> bool {
                 _ => false,
             }
         }
-        Cond::OidEq { var, oid } => t
-            .get(var)
-            .map(|v| ctx.lval_oid(v) == *oid)
-            .unwrap_or(false),
+        Cond::OidEq { var, oid } => t.get(var).map(|v| ctx.lval_oid(v) == *oid).unwrap_or(false),
         Cond::OidCmp { l, r } => match (t.get(l), t.get(r)) {
             (Some(a), Some(b)) => ctx.lval_key(a) == ctx.lval_key(b),
             _ => false,
         },
+        Cond::And(cs) => cs.iter().all(|c| cond_holds(ctx, c, t)),
     }
 }
 
@@ -475,7 +611,11 @@ fn tuple_key(ctx: &EvalContext, t: &LTuple) -> String {
     s
 }
 
-pub(crate) fn rq_row_to_vals(ctx: &EvalContext, map: &[mix_algebra::RqBinding], row: &[Value]) -> Vec<LVal> {
+pub(crate) fn rq_row_to_vals(
+    ctx: &EvalContext,
+    map: &[mix_algebra::RqBinding],
+    row: &[Value],
+) -> Vec<LVal> {
     map.iter()
         .map(|b| match &b.kind {
             RqKind::Value { col } => LVal::Leaf(row.get(*col).cloned().unwrap_or(Value::Null)),
@@ -563,10 +703,10 @@ fn render_lval(ctx: &EvalContext, v: &LVal, out: &mut String, depth: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mix_xml::NavDoc;
     use crate::context::AccessMode;
     use mix_algebra::{translate, Plan};
     use mix_wrapper::fig2_catalog;
+    use mix_xml::NavDoc;
     use mix_xquery::parse_query;
 
     pub const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
@@ -624,11 +764,16 @@ mod tests {
         let plan = translate(&parse_query("FOR $C IN source(&root1)/customer RETURN $C").unwrap())
             .unwrap();
         // Wrap the tD input with select($C = &XYZ123), like Fig. 10.
-        let Op::TupleDestroy { input, var, root } = plan.root else { panic!() };
+        let Op::TupleDestroy { input, var, root } = plan.root else {
+            panic!()
+        };
         let wrapped = Plan::new(Op::TupleDestroy {
             input: Box::new(Op::Select {
                 input,
-                cond: Cond::OidEq { var: Name::new("C"), oid: Oid::key("XYZ123") },
+                cond: Cond::OidEq {
+                    var: Name::new("C"),
+                    oid: Oid::key("XYZ123"),
+                },
             }),
             var,
             root,
@@ -643,7 +788,9 @@ mod tests {
     fn binding_table_renders_fig5_style() {
         let c = ctx();
         let plan = translate(&parse_query(Q1).unwrap()).unwrap();
-        let Op::TupleDestroy { input, .. } = &plan.root else { panic!() };
+        let Op::TupleDestroy { input, .. } = &plan.root else {
+            panic!()
+        };
         let table = eval_table(input, &c, &HashMap::new()).unwrap();
         let text = render_binding_table(&c, &table);
         assert!(text.starts_with("list\n"), "{text}");
@@ -659,9 +806,11 @@ mod tests {
         let c = ctx();
         let plan = Op::RelQuery {
             server: Name::new("db1"),
-            sql: parse_sql("SELECT c.id, c.name, o.orid, o.value FROM customer c, orders o \
-                            WHERE c.id = o.cid ORDER BY c.id, o.orid")
-                .unwrap(),
+            sql: parse_sql(
+                "SELECT c.id, c.name, o.orid, o.value FROM customer c, orders o \
+                            WHERE c.id = o.cid ORDER BY c.id, o.orid",
+            )
+            .unwrap(),
             map: vec![
                 RqBinding {
                     var: Name::new("C"),
@@ -671,7 +820,10 @@ mod tests {
                         key: vec![0],
                     },
                 },
-                RqBinding { var: Name::new("val"), kind: RqKind::Value { col: 3 } },
+                RqBinding {
+                    var: Name::new("val"),
+                    kind: RqKind::Value { col: 3 },
+                },
             ],
         };
         let table = eval_table(&plan, &c, &HashMap::new()).unwrap();
@@ -680,7 +832,10 @@ mod tests {
         let cust = t.get(&Name::new("C")).unwrap();
         assert_eq!(c.lval_label(cust).unwrap().as_str(), "customer");
         assert_eq!(c.lval_oid(cust).to_string(), "&DEF345");
-        assert_eq!(c.lval_value(t.get(&Name::new("val")).unwrap()), Some(Value::Int(500)));
+        assert_eq!(
+            c.lval_value(t.get(&Name::new("val")).unwrap()),
+            Some(Value::Int(500))
+        );
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Normalized hash keys for the equi-join/semi-join/groupBy kernels.
+//!
+//! The kernels bucket tuples by the values the extracted equi-conjuncts
+//! compare ([`mix_algebra::split_equi`]). Bucketing must be *complete*
+//! with respect to the condition semantics: whenever the predicate can
+//! hold for a pair, both sides must land in the same bucket. It need
+//! not be *exact* — every bucket candidate is re-verified against the
+//! full original condition, so a collision merely costs one extra
+//! probe.
+//!
+//! Completeness drives the normalization: [`Value::satisfies`] compares
+//! `Int` and `Float` numerically (`3 = 3.0`), so both normalize to the
+//! same f64 bit pattern (with `-0.0` folded into `0.0`). `Null` is
+//! never equal to anything — a `Null` (or absent) key means the tuple
+//! cannot match, so it gets no key at all and is dropped from the
+//! build side / skipped on the probe side.
+
+use crate::context::EvalContext;
+use crate::lval::LTuple;
+use mix_algebra::{EquiPair, KeyKind, Side};
+use mix_common::Value;
+use mix_xml::Oid;
+
+/// One normalized key component.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum KeyPart {
+    /// Numeric key: f64 bits after cross-type normalization.
+    Num(u64),
+    /// String key.
+    Str(String),
+    /// Boolean key.
+    Bool(bool),
+    /// Node-identity key (`≐` conjuncts): the grouping oid.
+    Node(Oid),
+}
+
+fn norm_bits(f: f64) -> u64 {
+    // -0.0 == 0.0 under satisfies; fold to one bit pattern. NaN never
+    // reaches here (Value::Float is NaN-free by construction).
+    if f == 0.0 {
+        0f64.to_bits()
+    } else {
+        f.to_bits()
+    }
+}
+
+/// Normalize a scalar into a key part; `None` for `Null` (which no
+/// equality can accept).
+pub(crate) fn scalar_part(v: &Value) -> Option<KeyPart> {
+    match v {
+        Value::Null => None,
+        Value::Bool(b) => Some(KeyPart::Bool(*b)),
+        Value::Int(i) => Some(KeyPart::Num(norm_bits(*i as f64))),
+        Value::Float(f) => Some(KeyPart::Num(norm_bits(*f))),
+        Value::Str(s) => Some(KeyPart::Str(s.clone())),
+    }
+}
+
+/// The hash key of `t` for its side of the extracted pairs. `None`
+/// means at least one component is `Null`/missing — the tuple cannot
+/// satisfy the equi-conjuncts, so it joins nothing.
+pub(crate) fn tuple_key(
+    ctx: &EvalContext,
+    t: &LTuple,
+    pairs: &[EquiPair],
+    side: Side,
+) -> Option<Vec<KeyPart>> {
+    pairs
+        .iter()
+        .map(|p| {
+            let var = match side {
+                Side::Left => &p.left,
+                Side::Right => &p.right,
+            };
+            let lv = t.get(var)?;
+            match p.kind {
+                KeyKind::Scalar => ctx.lval_scalar(lv).as_ref().and_then(scalar_part),
+                KeyKind::Node => Some(KeyPart::Node(ctx.lval_key(lv))),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_type_numeric_keys_collide() {
+        assert_eq!(scalar_part(&Value::Int(3)), scalar_part(&Value::Float(3.0)));
+        assert_eq!(
+            scalar_part(&Value::Float(-0.0)),
+            scalar_part(&Value::Int(0))
+        );
+    }
+
+    #[test]
+    fn incomparable_types_get_distinct_keys() {
+        // Int(3) and Str("3") are incomparable under satisfies — they
+        // must not share a bucket's *match*, though sharing a bucket
+        // would be harmless; here they don't even share one.
+        assert_ne!(scalar_part(&Value::Int(3)), scalar_part(&Value::str("3")));
+    }
+
+    #[test]
+    fn null_has_no_key() {
+        assert_eq!(scalar_part(&Value::Null), None);
+    }
+}

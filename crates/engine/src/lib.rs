@@ -26,6 +26,7 @@
 
 pub mod context;
 pub mod eager;
+pub(crate) mod hashkey;
 pub mod lval;
 pub mod pathwalk;
 pub mod stream;

@@ -57,22 +57,30 @@ pub struct LList {
 impl LList {
     /// The empty list.
     pub fn empty() -> LList {
-        LList { parts: Rc::new(Vec::new()) }
+        LList {
+            parts: Rc::new(Vec::new()),
+        }
     }
 
     /// A fully materialized list.
     pub fn fixed(vals: Vec<LVal>) -> LList {
-        LList { parts: Rc::new(vals.into_iter().map(ChildPart::One).collect()) }
+        LList {
+            parts: Rc::new(vals.into_iter().map(ChildPart::One).collect()),
+        }
     }
 
     /// A list backed by one lazy producer.
     pub fn lazy(producer: LazyList) -> LList {
-        LList { parts: Rc::new(vec![ChildPart::Lazy(producer)]) }
+        LList {
+            parts: Rc::new(vec![ChildPart::Lazy(producer)]),
+        }
     }
 
     /// A list from explicit parts.
     pub fn from_parts(parts: Vec<ChildPart>) -> LList {
-        LList { parts: Rc::new(parts) }
+        LList {
+            parts: Rc::new(parts),
+        }
     }
 
     /// Random access with lazy forcing up to `index` only.
@@ -146,7 +154,10 @@ impl LazyList {
     /// An already-exhausted lazy list over the given values.
     pub fn done(vals: Vec<LVal>) -> LazyList {
         LazyList {
-            inner: Rc::new(RefCell::new(LazyListState { produced: vals, producer: None })),
+            inner: Rc::new(RefCell::new(LazyListState {
+                produced: vals,
+                producer: None,
+            })),
         }
     }
 
@@ -216,7 +227,10 @@ impl Partition {
     pub fn done(vars: Rc<Vec<Name>>, tuples: Vec<LTuple>) -> Partition {
         Partition {
             vars,
-            inner: Rc::new(RefCell::new(PartitionState { tuples, producer: None })),
+            inner: Rc::new(RefCell::new(PartitionState {
+                tuples,
+                producer: None,
+            })),
         }
     }
 
@@ -264,7 +278,10 @@ impl LTuple {
 
     /// The value bound to `var`.
     pub fn get(&self, var: &Name) -> Option<&LVal> {
-        self.vars.iter().position(|v| v == var).map(|i| &self.vals[i])
+        self.vars
+            .iter()
+            .position(|v| v == var)
+            .map(|i| &self.vals[i])
     }
 
     /// Extend with one more binding (`bᵢ + ($v = w)` in the paper).
@@ -273,7 +290,10 @@ impl LTuple {
         let mut vals = self.vals.clone();
         vars.push(var);
         vals.push(val);
-        LTuple { vars: Rc::new(vars), vals }
+        LTuple {
+            vars: Rc::new(vars),
+            vals,
+        }
     }
 
     /// Concatenate two tuples (`bₖ = bᵢ + bⱼ`).
@@ -282,7 +302,10 @@ impl LTuple {
         vars.extend(other.vars.iter().cloned());
         let mut vals = self.vals.clone();
         vals.extend(other.vals.iter().cloned());
-        LTuple { vars: Rc::new(vars), vals }
+        LTuple {
+            vars: Rc::new(vars),
+            vals,
+        }
     }
 
     /// Keep only `keep` variables, in `keep` order.
@@ -291,7 +314,10 @@ impl LTuple {
             .iter()
             .map(|k| self.get(k).cloned().expect("projection var present"))
             .collect();
-        LTuple { vars: Rc::new(keep.to_vec()), vals }
+        LTuple {
+            vars: Rc::new(keep.to_vec()),
+            vals,
+        }
     }
 }
 
@@ -305,7 +331,10 @@ pub struct BindingTable {
 
 impl BindingTable {
     pub fn new(vars: Vec<Name>) -> BindingTable {
-        BindingTable { vars: Rc::new(vars), tuples: Vec::new() }
+        BindingTable {
+            vars: Rc::new(vars),
+            tuples: Vec::new(),
+        }
     }
 
     pub fn arity(&self) -> usize {

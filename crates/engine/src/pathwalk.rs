@@ -61,8 +61,16 @@ mod tests {
     fn walks_source_paths() {
         let c = ctx();
         let d = c.doc(&Name::new("root2")).unwrap();
-        let root = LVal::Src { doc: Name::new("root2"), node: d.root() };
-        let hits = eval_path(&c, &root, &LabelPath::parse("list.order.value.data()").unwrap()).unwrap();
+        let root = LVal::Src {
+            doc: Name::new("root2"),
+            node: d.root(),
+        };
+        let hits = eval_path(
+            &c,
+            &root,
+            &LabelPath::parse("list.order.value.data()").unwrap(),
+        )
+        .unwrap();
         assert_eq!(hits.len(), 3);
         assert_eq!(c.lval_value(&hits[0]), Some(Value::Int(2400)));
         // first-label mismatch ⇒ empty
@@ -75,14 +83,21 @@ mod tests {
         let c = ctx();
         let d = c.doc(&Name::new("root1")).unwrap();
         let cust = d.first_child(d.root()).unwrap();
-        let custv = LVal::Src { doc: Name::new("root1"), node: cust };
+        let custv = LVal::Src {
+            doc: Name::new("root1"),
+            node: cust,
+        };
         let elem = LVal::Elem(Rc::new(LElem {
             label: Name::new("CustRec"),
             oid: Oid::skolem("f", "V", vec![]),
             children: LList::fixed(vec![custv]),
         }));
-        let hits =
-            eval_path(&c, &elem, &LabelPath::parse("CustRec.customer.name").unwrap()).unwrap();
+        let hits = eval_path(
+            &c,
+            &elem,
+            &LabelPath::parse("CustRec.customer.name").unwrap(),
+        )
+        .unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(c.lval_scalar(&hits[0]), Some(Value::str("DEFCorp.")));
         // list values match the virtual `list` label
@@ -95,7 +110,10 @@ mod tests {
     fn wildcard_and_data_steps() {
         let c = ctx();
         let d = c.doc(&Name::new("root1")).unwrap();
-        let root = LVal::Src { doc: Name::new("root1"), node: d.root() };
+        let root = LVal::Src {
+            doc: Name::new("root1"),
+            node: d.root(),
+        };
         let hits = eval_path(&c, &root, &LabelPath::parse("list.customer.*").unwrap()).unwrap();
         assert_eq!(hits.len(), 6); // 3 fields × 2 customers
         let hits = eval_path(

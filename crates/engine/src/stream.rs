@@ -24,6 +24,7 @@
 
 use crate::context::{EvalContext, GByMode};
 use crate::eager::{build_element, cat_value, cond_holds, rq_row_to_vals};
+use crate::hashkey::{tuple_key, KeyPart};
 use crate::lval::{LList, LTuple, LVal, LazyList, Partition};
 use crate::pathwalk::eval_path;
 use mix_algebra::{Op, Side};
@@ -63,8 +64,15 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
             })
         }
         Op::MkSrcOver { input, var } => {
-            let Op::TupleDestroy { input: view_input, var: view_var, .. } = &**input else {
-                return Ok(Box::new(EmptyStream { vars: Rc::new(vec![var.clone()]) }));
+            let Op::TupleDestroy {
+                input: view_input,
+                var: view_var,
+                ..
+            } = &**input
+            else {
+                return Ok(Box::new(EmptyStream {
+                    vars: Rc::new(vec![var.clone()]),
+                }));
             };
             let inner = build_stream(view_input, ctx, env)?;
             Box::new(MkSrcOverStream {
@@ -73,7 +81,12 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
                 vars: Rc::new(vec![var.clone()]),
             })
         }
-        Op::GetD { input, from, path, to } => {
+        Op::GetD {
+            input,
+            from,
+            path,
+            to,
+        } => {
             let input = build_stream(input, ctx, env)?;
             let mut vars = (*input.vars()).clone();
             vars.push(to.clone());
@@ -88,45 +101,95 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
         }
         Op::Select { input, cond } => {
             let input = build_stream(input, ctx, env)?;
-            Box::new(SelectStream { ctx: Rc::clone(ctx), input, cond: cond.clone() })
+            Box::new(SelectStream {
+                ctx: Rc::clone(ctx),
+                input,
+                cond: cond.clone(),
+            })
         }
         Op::Project { input, vars } => {
             let input = build_stream(input, ctx, env)?;
-            Box::new(ProjectStream { input, keep: Rc::new(vars.clone()) })
+            Box::new(ProjectStream {
+                input,
+                keep: Rc::new(vars.clone()),
+            })
         }
         Op::Join { left, right, cond } => {
             let left = build_stream(left, ctx, env)?;
             let right = build_stream(right, ctx, env)?;
             let mut vars = (*left.vars()).clone();
             vars.extend(right.vars().iter().cloned());
-            Box::new(JoinStream {
-                ctx: Rc::clone(ctx),
-                left,
-                right: Some(right),
-                right_rows: Vec::new(),
-                cur_left: None,
-                idx: 0,
-                cond: cond.clone(),
-                vars: Rc::new(vars),
-            })
+            let split = mix_algebra::split_equi(cond.as_ref(), &left.vars(), &right.vars());
+            if ctx.hash_joins && split.hashable() {
+                Box::new(HashJoinStream {
+                    ctx: Rc::clone(ctx),
+                    left,
+                    right: Some(right),
+                    index: HashMap::new(),
+                    pairs: split.pairs,
+                    cur_left: None,
+                    cur_key: None,
+                    idx: 0,
+                    cond: cond.clone(),
+                    vars: Rc::new(vars),
+                })
+            } else {
+                ctx.stats().add_nl_fallback(1);
+                Box::new(JoinStream {
+                    ctx: Rc::clone(ctx),
+                    left,
+                    right: Some(right),
+                    right_rows: Vec::new(),
+                    cur_left: None,
+                    idx: 0,
+                    cond: cond.clone(),
+                    vars: Rc::new(vars),
+                })
+            }
         }
-        Op::SemiJoin { left, right, cond, keep } => {
+        Op::SemiJoin {
+            left,
+            right,
+            cond,
+            keep,
+        } => {
             let left = build_stream(left, ctx, env)?;
             let right = build_stream(right, ctx, env)?;
+            let split = mix_algebra::split_equi(cond.as_ref(), &left.vars(), &right.vars());
             let (kept, other) = match keep {
                 Side::Left => (left, right),
                 Side::Right => (right, left),
             };
-            Box::new(SemiJoinStream {
-                ctx: Rc::clone(ctx),
-                kept,
-                other: Some(other),
-                other_rows: Vec::new(),
-                cond: cond.clone(),
-                keep: *keep,
-            })
+            if ctx.hash_joins && split.hashable() {
+                Box::new(HashSemiJoinStream {
+                    ctx: Rc::clone(ctx),
+                    kept,
+                    other: Some(other),
+                    index: HashMap::new(),
+                    pairs: split.pairs,
+                    cond: cond.clone(),
+                    keep: *keep,
+                })
+            } else {
+                ctx.stats().add_nl_fallback(1);
+                Box::new(SemiJoinStream {
+                    ctx: Rc::clone(ctx),
+                    kept,
+                    other: Some(other),
+                    other_rows: Vec::new(),
+                    cond: cond.clone(),
+                    keep: *keep,
+                })
+            }
         }
-        Op::CrElt { input, label, skolem, group, children, out } => {
+        Op::CrElt {
+            input,
+            label,
+            skolem,
+            group,
+            children,
+            out,
+        } => {
             let input = build_stream(input, ctx, env)?;
             let mut vars = (*input.vars()).clone();
             vars.push(out.clone());
@@ -143,7 +206,12 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
                 },
             })
         }
-        Op::Cat { input, left, right, out } => {
+        Op::Cat {
+            input,
+            left,
+            right,
+            out,
+        } => {
             let input = build_stream(input, ctx, env)?;
             let mut vars = (*input.vars()).clone();
             vars.push(out.clone());
@@ -151,12 +219,29 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
                 ctx: Rc::clone(ctx),
                 input,
                 vars: Rc::new(vars),
-                f: MapKind::Cat { left: left.clone(), right: right.clone() },
+                f: MapKind::Cat {
+                    left: left.clone(),
+                    right: right.clone(),
+                },
             })
         }
-        Op::GroupBy { input, group, out } => {
-            let input = build_stream(input, ctx, env)?;
-            match ctx.gby_mode {
+        Op::GroupBy {
+            input: input_op,
+            group,
+            out,
+        } => {
+            let input = build_stream(input_op, ctx, env)?;
+            let mode = match ctx.gby_mode {
+                GByMode::Auto => {
+                    if mix_rewrite::key_contiguous(input_op, group) {
+                        GByMode::StatelessPresorted
+                    } else {
+                        GByMode::Hash
+                    }
+                }
+                m => m,
+            };
+            match mode {
                 GByMode::StatelessPresorted => Box::new(GByStream::new(
                     Rc::clone(ctx),
                     input,
@@ -169,9 +254,21 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
                     group.clone(),
                     out.clone(),
                 )),
+                GByMode::Hash => Box::new(GByHashStream::new(
+                    Rc::clone(ctx),
+                    input,
+                    group.clone(),
+                    out.clone(),
+                )),
+                GByMode::Auto => unreachable!("resolved above"),
             }
         }
-        Op::Apply { input, plan, param, out } => {
+        Op::Apply {
+            input,
+            plan,
+            param,
+            out,
+        } => {
             let input = build_stream(input, ctx, env)?;
             let mut vars = (*input.vars()).clone();
             vars.push(out.clone());
@@ -185,11 +282,14 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
             })
         }
         Op::NestedSrc { var } => {
-            let part = env
-                .get(var)
-                .cloned()
-                .ok_or_else(|| MixError::invalid(format!("nestedSrc({}) unbound", var.display_var())))?;
-            Box::new(NestedSrcStream { vars: Rc::clone(&part.vars), part, idx: 0 })
+            let part = env.get(var).cloned().ok_or_else(|| {
+                MixError::invalid(format!("nestedSrc({}) unbound", var.display_var()))
+            })?;
+            Box::new(NestedSrcStream {
+                vars: Rc::clone(&part.vars),
+                part,
+                idx: 0,
+            })
         }
         Op::RelQuery { server, sql, map } => {
             let db = ctx.catalog().database(server.as_str())?;
@@ -211,7 +311,9 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
                 idx: 0,
             })
         }
-        Op::Empty { vars } => Box::new(EmptyStream { vars: Rc::new(vars.clone()) }),
+        Op::Empty { vars } => Box::new(EmptyStream {
+            vars: Rc::new(vars.clone()),
+        }),
         Op::TupleDestroy { .. } => {
             return Err(MixError::invalid(
                 "tD is handled by the virtual-result layer, not as a stream",
@@ -245,7 +347,10 @@ impl TStream for MkSrcStream {
         let n = self.cur?;
         Some(LTuple::new(
             Rc::clone(&self.vars),
-            vec![LVal::Src { doc: self.source.clone(), node: n }],
+            vec![LVal::Src {
+                doc: self.source.clone(),
+                node: n,
+            }],
         ))
     }
 }
@@ -266,7 +371,10 @@ impl TStream for MkSrcOverStream {
 
     fn next(&mut self) -> Option<LTuple> {
         let t = self.inner.next()?;
-        let v = t.get(&self.view_var).expect("validated: view tD var bound").clone();
+        let v = t
+            .get(&self.view_var)
+            .expect("validated: view tD var bound")
+            .clone();
         Some(LTuple::new(Rc::clone(&self.vars), vec![v]))
     }
 }
@@ -291,13 +399,17 @@ impl TStream for GetDStream {
                 return Some(t);
             }
             let t = self.input.next()?;
-            let base = t.get(&self.from).expect("validated: getD source var bound").clone();
+            let base = t
+                .get(&self.from)
+                .expect("validated: getD source var bound")
+                .clone();
             let hits = eval_path(&self.ctx, &base, &self.path)
                 .expect("path evaluation on resolved sources");
             for hit in hits {
                 let mut vals = t.vals.clone();
                 vals.push(hit);
-                self.pending.push_back(LTuple::new(Rc::clone(&self.vars), vals));
+                self.pending
+                    .push_back(LTuple::new(Rc::clone(&self.vars), vals));
             }
         }
     }
@@ -344,7 +456,9 @@ impl TStream for ProjectStream {
 }
 
 /// Nested-loop join, lazy in its left (driver) input; the right input
-/// is drained on first pull, like the relational executor's build side.
+/// is drained when the first left tuple arrives, like the relational
+/// executor's build side — but *not* before: an empty driver does zero
+/// work on the inner input.
 struct JoinStream {
     ctx: Rc<EvalContext>,
     left: Box<dyn TStream>,
@@ -362,23 +476,98 @@ impl TStream for JoinStream {
     }
 
     fn next(&mut self) -> Option<LTuple> {
-        if let Some(mut right) = self.right.take() {
-            while let Some(t) = right.next() {
-                self.right_rows.push(t);
-            }
-        }
         loop {
             if self.cur_left.is_none() {
                 self.cur_left = Some(self.left.next()?);
                 self.idx = 0;
+                if let Some(mut right) = self.right.take() {
+                    while let Some(t) = right.next() {
+                        self.right_rows.push(t);
+                    }
+                }
             }
             let l = self.cur_left.as_ref().unwrap();
             while self.idx < self.right_rows.len() {
                 let r = &self.right_rows[self.idx];
                 self.idx += 1;
+                self.ctx.stats().add_join_probe(1);
                 let joined = l.concat(r);
-                if self.cond.as_ref().is_none_or(|c| cond_holds(&self.ctx, c, &joined)) {
+                if self
+                    .cond
+                    .as_ref()
+                    .is_none_or(|c| cond_holds(&self.ctx, c, &joined))
+                {
                     return Some(joined);
+                }
+            }
+            self.cur_left = None;
+        }
+    }
+}
+
+/// Hash equi-join: same contract as [`JoinStream`] (lazy driver,
+/// build side drained on first demand, output in left-major order with
+/// matches in right-input order), but candidate pairs come from a hash
+/// index over the extracted equi-keys instead of the full cross
+/// product. The full condition is still re-verified per candidate, so
+/// residual conjuncts and hash-normalization collisions are handled
+/// uniformly.
+struct HashJoinStream {
+    ctx: Rc<EvalContext>,
+    left: Box<dyn TStream>,
+    right: Option<Box<dyn TStream>>,
+    index: HashMap<Vec<KeyPart>, Vec<LTuple>>,
+    pairs: Vec<mix_algebra::EquiPair>,
+    cur_left: Option<LTuple>,
+    cur_key: Option<Vec<KeyPart>>,
+    idx: usize,
+    cond: Option<mix_algebra::Cond>,
+    vars: Rc<Vec<Name>>,
+}
+
+impl HashJoinStream {
+    fn build(&mut self) {
+        let Some(mut right) = self.right.take() else {
+            return;
+        };
+        self.ctx.stats().add_hash_build(1);
+        while let Some(t) = right.next() {
+            // A keyless (Null) tuple can never satisfy the equi-conjuncts.
+            if let Some(k) = tuple_key(&self.ctx, &t, &self.pairs, Side::Right) {
+                self.index.entry(k).or_default().push(t);
+            }
+        }
+    }
+}
+
+impl TStream for HashJoinStream {
+    fn vars(&self) -> Rc<Vec<Name>> {
+        Rc::clone(&self.vars)
+    }
+
+    fn next(&mut self) -> Option<LTuple> {
+        loop {
+            if self.cur_left.is_none() {
+                let l = self.left.next()?;
+                self.build();
+                self.cur_key = tuple_key(&self.ctx, &l, &self.pairs, Side::Left);
+                self.cur_left = Some(l);
+                self.idx = 0;
+            }
+            let l = self.cur_left.as_ref().unwrap();
+            if let Some(bucket) = self.cur_key.as_ref().and_then(|k| self.index.get(k)) {
+                while self.idx < bucket.len() {
+                    let r = &bucket[self.idx];
+                    self.idx += 1;
+                    self.ctx.stats().add_join_probe(1);
+                    let joined = l.concat(r);
+                    if self
+                        .cond
+                        .as_ref()
+                        .is_none_or(|c| cond_holds(&self.ctx, c, &joined))
+                    {
+                        return Some(joined);
+                    }
                 }
             }
             self.cur_left = None;
@@ -401,19 +590,98 @@ impl TStream for SemiJoinStream {
     }
 
     fn next(&mut self) -> Option<LTuple> {
-        if let Some(mut other) = self.other.take() {
-            while let Some(t) = other.next() {
-                self.other_rows.push(t);
-            }
-        }
         loop {
             let t = self.kept.next()?;
+            if let Some(mut other) = self.other.take() {
+                while let Some(o) = other.next() {
+                    self.other_rows.push(o);
+                }
+            }
+            let stats = self.ctx.stats();
             let matched = self.other_rows.iter().any(|o| {
+                stats.add_join_probe(1);
                 let joined = match self.keep {
                     Side::Left => t.concat(o),
                     Side::Right => o.concat(&t),
                 };
-                self.cond.as_ref().is_none_or(|c| cond_holds(&self.ctx, c, &joined))
+                self.cond
+                    .as_ref()
+                    .is_none_or(|c| cond_holds(&self.ctx, c, &joined))
+            });
+            if matched {
+                return Some(t);
+            }
+        }
+    }
+}
+
+/// Hash semi-join: the kept side streams through; the other side is
+/// hashed on first demand and each kept tuple is admitted iff its
+/// bucket holds a candidate satisfying the full condition.
+struct HashSemiJoinStream {
+    ctx: Rc<EvalContext>,
+    kept: Box<dyn TStream>,
+    other: Option<Box<dyn TStream>>,
+    index: HashMap<Vec<KeyPart>, Vec<LTuple>>,
+    pairs: Vec<mix_algebra::EquiPair>,
+    cond: Option<mix_algebra::Cond>,
+    keep: Side,
+}
+
+impl HashSemiJoinStream {
+    /// Join-side roles: the extracted pairs are oriented by the
+    /// *operator's* left/right inputs, while `kept`/`other` are chosen
+    /// by `keep`.
+    fn kept_side(&self) -> Side {
+        self.keep
+    }
+
+    fn other_side(&self) -> Side {
+        match self.keep {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+
+    fn build(&mut self) {
+        let Some(mut other) = self.other.take() else {
+            return;
+        };
+        self.ctx.stats().add_hash_build(1);
+        let side = self.other_side();
+        while let Some(t) = other.next() {
+            if let Some(k) = tuple_key(&self.ctx, &t, &self.pairs, side) {
+                self.index.entry(k).or_default().push(t);
+            }
+        }
+    }
+}
+
+impl TStream for HashSemiJoinStream {
+    fn vars(&self) -> Rc<Vec<Name>> {
+        self.kept.vars()
+    }
+
+    fn next(&mut self) -> Option<LTuple> {
+        loop {
+            let t = self.kept.next()?;
+            self.build();
+            let Some(key) = tuple_key(&self.ctx, &t, &self.pairs, self.kept_side()) else {
+                continue;
+            };
+            let Some(bucket) = self.index.get(&key) else {
+                continue;
+            };
+            let stats = self.ctx.stats();
+            let matched = bucket.iter().any(|o| {
+                stats.add_join_probe(1);
+                let joined = match self.keep {
+                    Side::Left => t.concat(o),
+                    Side::Right => o.concat(&t),
+                };
+                self.cond
+                    .as_ref()
+                    .is_none_or(|c| cond_holds(&self.ctx, c, &joined))
             });
             if matched {
                 return Some(t);
@@ -430,7 +698,10 @@ enum MapKind {
         children: mix_algebra::ChildSpec,
         out: Name,
     },
-    Cat { left: mix_algebra::ChildSpec, right: mix_algebra::ChildSpec },
+    Cat {
+        left: mix_algebra::ChildSpec,
+        right: mix_algebra::ChildSpec,
+    },
 }
 
 struct MapStream {
@@ -448,10 +719,14 @@ impl TStream for MapStream {
     fn next(&mut self) -> Option<LTuple> {
         let t = self.input.next()?;
         let val = match &self.f {
-            MapKind::CrElt { label, skolem, group, children, out } => {
-                build_element(&self.ctx, &t, label, skolem, group, children, out)
-                    .expect("validated: crElt vars bound")
-            }
+            MapKind::CrElt {
+                label,
+                skolem,
+                group,
+                children,
+                out,
+            } => build_element(&self.ctx, &t, label, skolem, group, children, out)
+                .expect("validated: crElt vars bound"),
             MapKind::Cat { left, right } => {
                 cat_value(&t, left, right).expect("validated: cat vars bound")
             }
@@ -503,12 +778,21 @@ struct GByStream {
 }
 
 impl GByStream {
-    fn new(ctx: Rc<EvalContext>, input: Box<dyn TStream>, group: Vec<Name>, out: Name) -> GByStream {
+    fn new(
+        ctx: Rc<EvalContext>,
+        input: Box<dyn TStream>,
+        group: Vec<Name>,
+        out: Name,
+    ) -> GByStream {
         let in_vars = input.vars();
         let vars: Vec<Name> = group.iter().cloned().chain([out]).collect();
         GByStream {
             ctx,
-            shared: Rc::new(RefCell::new(GByShared { input, lookahead: None, done: false })),
+            shared: Rc::new(RefCell::new(GByShared {
+                input,
+                lookahead: None,
+                done: false,
+            })),
             group,
             in_vars,
             vars: Rc::new(vars),
@@ -536,8 +820,11 @@ impl TStream for GByStream {
         }
         let seed = self.shared.borrow_mut().pull()?;
         let key = group_key(&self.ctx, &seed, &self.group);
-        let group_vals: Vec<LVal> =
-            self.group.iter().map(|g| seed.get(g).cloned().unwrap()).collect();
+        let group_vals: Vec<LVal> = self
+            .group
+            .iter()
+            .map(|g| seed.get(g).cloned().unwrap())
+            .collect();
         // The partition producer: first the seed, then shared tuples
         // while the key matches; a mismatching tuple is pushed back
         // into the lookahead slot.
@@ -612,12 +899,13 @@ impl TStream for GByStatefulStream {
             while let Some(t) = input.next() {
                 let key = group_key(&self.ctx, &t, &self.group);
                 let next_slot = self.groups.len();
-                let slot = *map.entry(key).or_insert_with(|| {
-                    next_slot
-                });
+                let slot = *map.entry(key).or_insert_with(|| next_slot);
                 if slot == self.groups.len() {
-                    let vals: Vec<LVal> =
-                        self.group.iter().map(|g| t.get(g).cloned().unwrap()).collect();
+                    let vals: Vec<LVal> = self
+                        .group
+                        .iter()
+                        .map(|g| t.get(g).cloned().unwrap())
+                        .collect();
                     self.groups.push((vals, Vec::new()));
                 }
                 self.groups[slot].1.push(t);
@@ -627,6 +915,124 @@ impl TStream for GByStatefulStream {
         self.idx += 1;
         let part = Partition::done(Rc::clone(&self.in_vars), tuples.clone());
         let mut vals = vals.clone();
+        vals.push(LVal::Part(part));
+        Some(LTuple::new(Rc::clone(&self.vars), vals))
+    }
+}
+
+/// The hash `gBy`: hash-partitions like [`GByStatefulStream`] (groups
+/// in first-seen order, correct on unsorted input) but spools its
+/// input *on demand*. Producing the n-th group tuple pulls only until
+/// the n-th distinct key appears; forcing a partition drains the rest
+/// of the input, since a later tuple may still belong to the group.
+/// On key-contiguous input the output is identical to the presorted
+/// stream's.
+struct GByHashShared {
+    ctx: Rc<EvalContext>,
+    input: Box<dyn TStream>,
+    done: bool,
+    group: Vec<Name>,
+    groups: Vec<(Vec<LVal>, Vec<LTuple>)>,
+    index: HashMap<Vec<Oid>, usize>,
+}
+
+impl GByHashShared {
+    /// Spool one more input tuple into its group; `false` on
+    /// exhaustion.
+    fn advance(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        let Some(t) = self.input.next() else {
+            self.done = true;
+            return false;
+        };
+        let key = group_key(&self.ctx, &t, &self.group);
+        let slot = match self.index.get(&key) {
+            Some(s) => *s,
+            None => {
+                let s = self.groups.len();
+                self.index.insert(key, s);
+                let vals: Vec<LVal> = self
+                    .group
+                    .iter()
+                    .map(|g| t.get(g).cloned().unwrap())
+                    .collect();
+                self.groups.push((vals, Vec::new()));
+                s
+            }
+        };
+        self.groups[slot].1.push(t);
+        true
+    }
+}
+
+struct GByHashStream {
+    shared: Rc<RefCell<GByHashShared>>,
+    in_vars: Rc<Vec<Name>>,
+    vars: Rc<Vec<Name>>,
+    next_group: usize,
+}
+
+impl GByHashStream {
+    fn new(
+        ctx: Rc<EvalContext>,
+        input: Box<dyn TStream>,
+        group: Vec<Name>,
+        out: Name,
+    ) -> GByHashStream {
+        ctx.stats().add_hash_build(1);
+        let in_vars = input.vars();
+        let vars: Vec<Name> = group.iter().cloned().chain([out]).collect();
+        GByHashStream {
+            shared: Rc::new(RefCell::new(GByHashShared {
+                ctx,
+                input,
+                done: false,
+                group,
+                groups: Vec::new(),
+                index: HashMap::new(),
+            })),
+            in_vars,
+            vars: Rc::new(vars),
+            next_group: 0,
+        }
+    }
+}
+
+impl TStream for GByHashStream {
+    fn vars(&self) -> Rc<Vec<Name>> {
+        Rc::clone(&self.vars)
+    }
+
+    fn next(&mut self) -> Option<LTuple> {
+        let g = self.next_group;
+        loop {
+            let mut sh = self.shared.borrow_mut();
+            if sh.groups.len() > g {
+                break;
+            }
+            if !sh.advance() {
+                return None;
+            }
+        }
+        self.next_group += 1;
+        let group_vals = self.shared.borrow().groups[g].0.clone();
+        let shared = Rc::clone(&self.shared);
+        let mut i = 0;
+        let producer = Box::new(move || loop {
+            let mut sh = shared.borrow_mut();
+            if i < sh.groups[g].1.len() {
+                let t = sh.groups[g].1[i].clone();
+                i += 1;
+                return Some(t);
+            }
+            if !sh.advance() {
+                return None;
+            }
+        });
+        let part = Partition::new(Rc::clone(&self.in_vars), producer);
+        let mut vals = group_vals;
         vals.push(LVal::Part(part));
         Some(LTuple::new(Rc::clone(&self.vars), vals))
     }
@@ -653,24 +1059,35 @@ impl TStream for ApplyStream {
         let mut env2 = (*self.env).clone();
         if let Some(p) = &self.param {
             let LVal::Part(part) = t.get(p).expect("validated: apply param bound").clone() else {
-                panic!("validated: apply parameter {} must be a partition", p.display_var());
+                panic!(
+                    "validated: apply parameter {} must be a partition",
+                    p.display_var()
+                );
             };
             env2.insert(p.clone(), part);
         }
         let env2 = Rc::new(env2);
         // The nested plan (tD over a subplan) becomes a lazy list: one
         // value per nested tuple, produced on demand.
-        let Op::TupleDestroy { input: nested_input, var: nested_var, .. } = &self.plan else {
+        let Op::TupleDestroy {
+            input: nested_input,
+            var: nested_var,
+            ..
+        } = &self.plan
+        else {
             panic!("validated: nested plans end in tD");
         };
-        let mut nested = build_stream(nested_input, &self.ctx, &env2)
-            .expect("validated: nested plan compiles");
+        let mut nested =
+            build_stream(nested_input, &self.ctx, &env2).expect("validated: nested plan compiles");
         let nvar = nested_var.clone();
         let dedup_ctx = Rc::clone(&self.ctx);
         let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
         let lazy = LazyList::new(Box::new(move || loop {
             let t = nested.next()?;
-            let v = t.get(&nvar).expect("validated: nested tD var bound").clone();
+            let v = t
+                .get(&nvar)
+                .expect("validated: nested tD var bound")
+                .clone();
             // Set semantics at the nested-tD boundary (see eager::dedup_key).
             if let Some(key) = crate::eager::dedup_key(&dedup_ctx, &v) {
                 if !seen.insert(key) {
@@ -717,7 +1134,10 @@ impl TStream for RelQueryStream {
 
     fn next(&mut self) -> Option<LTuple> {
         let row = self.cursor.next()?;
-        Some(LTuple::new(Rc::clone(&self.vars), rq_row_to_vals(&self.ctx, &self.map, &row)))
+        Some(LTuple::new(
+            Rc::clone(&self.vars),
+            rq_row_to_vals(&self.ctx, &self.map, &row),
+        ))
     }
 }
 
@@ -811,7 +1231,10 @@ mod tests {
     #[test]
     fn mksrc_pulls_one_tuple_per_next() {
         let ctx = lazy_ctx();
-        let op = Op::MkSrc { source: Name::new("root2"), var: Name::new("O") };
+        let op = Op::MkSrc {
+            source: Name::new("root2"),
+            var: Name::new("O"),
+        };
         let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
         let stats = ctx.catalog().database("db1").unwrap().stats().clone();
         assert_eq!(stats.tuples_shipped(), 0);
@@ -856,10 +1279,14 @@ mod tests {
         let op = plan_input(Q1);
         let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
         let a = s.next().unwrap();
-        let LVal::Part(pa) = a.get(&Name::new("X")).unwrap().clone() else { panic!() };
+        let LVal::Part(pa) = a.get(&Name::new("X")).unwrap().clone() else {
+            panic!()
+        };
         assert_eq!(pa.force().len(), 1); // DEF345 has one order
         let b = s.next().unwrap();
-        let LVal::Part(pb) = b.get(&Name::new("X")).unwrap().clone() else { panic!() };
+        let LVal::Part(pb) = b.get(&Name::new("X")).unwrap().clone() else {
+            panic!()
+        };
         assert_eq!(pb.force().len(), 2); // XYZ123 has two
     }
 
@@ -869,17 +1296,23 @@ mod tests {
         let mut db = mix_relational::fixtures::sample_db();
         // orid 90000 sorts after DEF345's 99111? No: 90000 < 99111, so
         // the orid order is 28904(XYZ), 87456(XYZ), 90000(DEF), 99111(XYZ).
-        db.insert("orders", vec![
-            mix_common::Value::Int(90000),
-            mix_common::Value::str("DEF345"),
-            mix_common::Value::Int(7),
-        ])
+        db.insert(
+            "orders",
+            vec![
+                mix_common::Value::Int(90000),
+                mix_common::Value::str("DEF345"),
+                mix_common::Value::Int(7),
+            ],
+        )
         .unwrap();
-        db.insert("orders", vec![
-            mix_common::Value::Int(99999),
-            mix_common::Value::str("XYZ123"),
-            mix_common::Value::Int(8),
-        ])
+        db.insert(
+            "orders",
+            vec![
+                mix_common::Value::Int(99999),
+                mix_common::Value::str("XYZ123"),
+                mix_common::Value::Int(8),
+            ],
+        )
         .unwrap();
         mix_wrapper::wrap_customers_orders(db)
     }
@@ -893,8 +1326,10 @@ mod tests {
         });
         // Group orders by the cid *value* (data() leaf): keys run
         // XYZ123, XYZ123, DEF345, XYZ123 — not presorted.
-        let op = plan_input("FOR $O IN document(root2)/order $B IN $O/cid/data() \
-                             RETURN <g> $O </g> {$B}");
+        let op = plan_input(
+            "FOR $O IN document(root2)/order $B IN $O/cid/data() \
+                             RETURN <g> $O </g> {$B}",
+        );
         let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
         let mut groups = 0;
         while s.next().is_some() {
@@ -907,10 +1342,18 @@ mod tests {
     fn stateless_gby_fragments_unsorted_input() {
         // The presorted stateless gBy on unsorted keys fragments groups
         // (Section 4: it *assumes* sorted input) — the documented
-        // trade-off the E7 ablation measures.
-        let ctx = Rc::new(EvalContext::new(interleaved_catalog(), AccessMode::Lazy));
-        let op = plan_input("FOR $O IN document(root2)/order $B IN $O/cid/data() \
-                             RETURN <g> $O </g> {$B}");
+        // trade-off the E7 ablation measures. Forced explicitly:
+        // `Auto` would refuse this plan (the group key comes from a
+        // data() path) and pick the hash implementation.
+        let ctx = Rc::new({
+            let mut c = EvalContext::new(interleaved_catalog(), AccessMode::Lazy);
+            c.gby_mode = GByMode::StatelessPresorted;
+            c
+        });
+        let op = plan_input(
+            "FOR $O IN document(root2)/order $B IN $O/cid/data() \
+                             RETURN <g> $O </g> {$B}",
+        );
         let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
         let mut groups = 0;
         while s.next().is_some() {
@@ -920,12 +1363,65 @@ mod tests {
     }
 
     #[test]
+    fn hash_gby_handles_unsorted_input() {
+        // Default mode is Auto; the group key comes from a data()
+        // path, so the analysis refuses presorted and picks hash —
+        // which groups the interleaved keys correctly.
+        let ctx = Rc::new(EvalContext::new(interleaved_catalog(), AccessMode::Lazy));
+        let op = plan_input(
+            "FOR $O IN document(root2)/order $B IN $O/cid/data() \
+                             RETURN <g> $O </g> {$B}",
+        );
+        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let a = s.next().unwrap();
+        let LVal::Part(pa) = a.get(&Name::new("X")).unwrap().clone() else {
+            panic!()
+        };
+        let b = s.next().unwrap();
+        let LVal::Part(pb) = b.get(&Name::new("X")).unwrap().clone() else {
+            panic!()
+        };
+        assert!(s.next().is_none());
+        // First-seen order: XYZ123 (28904, 87456, 99999), then
+        // DEF345 (90000, 99111).
+        assert_eq!(pa.force().len(), 3);
+        assert_eq!(pb.force().len(), 2);
+    }
+
+    #[test]
+    fn hash_gby_first_group_is_lazy() {
+        let ctx = Rc::new({
+            let mut c = EvalContext::new(interleaved_catalog(), AccessMode::Lazy);
+            c.gby_mode = GByMode::Hash;
+            c
+        });
+        let stats = ctx.catalog().database("db1").unwrap().stats().clone();
+        stats.reset();
+        let op = plan_input(
+            "FOR $O IN document(root2)/order $B IN $O/cid/data() \
+                             RETURN <g> $O </g> {$B}",
+        );
+        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let _first = s.next().unwrap();
+        let after_first = stats.tuples_shipped();
+        while s.next().is_some() {}
+        // The first group tuple must not drain the order source.
+        assert!(
+            stats.tuples_shipped() > after_first,
+            "first={after_first}, total={}",
+            stats.tuples_shipped()
+        );
+    }
+
+    #[test]
     fn apply_collection_is_lazy() {
         let ctx = lazy_ctx();
         let op = plan_input(Q1);
         let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
         let t = s.next().unwrap();
-        let LVal::List(l) = t.get(&Name::new("Z")).unwrap().clone() else { panic!() };
+        let LVal::List(l) = t.get(&Name::new("Z")).unwrap().clone() else {
+            panic!()
+        };
         let first = l.get(0).unwrap();
         assert_eq!(ctx.lval_label(&first).unwrap().as_str(), "OrderInfo");
         assert!(l.get(1).is_none()); // DEF345 has exactly one order
@@ -944,15 +1440,20 @@ mod tests {
         let after_first = stats.tuples_shipped();
         while s.next().is_some() {}
         // Draining the rest pulls at least one more customer tuple.
-        assert!(stats.tuples_shipped() > after_first,
-                "first={after_first}, total={}", stats.tuples_shipped());
+        assert!(
+            stats.tuples_shipped() > after_first,
+            "first={after_first}, total={}",
+            stats.tuples_shipped()
+        );
     }
 
     #[test]
     fn empty_and_project_streams() {
         let ctx = lazy_ctx();
         let mut s = build_stream(
-            &Op::Empty { vars: vec![Name::new("X")] },
+            &Op::Empty {
+                vars: vec![Name::new("X")],
+            },
             &ctx,
             &Rc::new(HashMap::new()),
         )
@@ -960,7 +1461,10 @@ mod tests {
         assert!(s.next().is_none());
 
         let op = Op::Project {
-            input: Box::new(Op::MkSrc { source: Name::new("root1"), var: Name::new("C") }),
+            input: Box::new(Op::MkSrc {
+                source: Name::new("root1"),
+                var: Name::new("C"),
+            }),
             vars: vec![Name::new("C")],
         };
         let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();

@@ -74,7 +74,11 @@ impl VirtualResult {
         let (stream, td_var, name) = match &plan.root {
             Op::TupleDestroy { input, var, root } => {
                 let s = build_stream(input, &ctx, &Rc::new(HashMap::new()))?;
-                (Some(s), var.clone(), root.clone().unwrap_or_else(|| Name::new("result")))
+                (
+                    Some(s),
+                    var.clone(),
+                    root.clone().unwrap_or_else(|| Name::new("result")),
+                )
             }
             Op::Empty { .. } => (None, Name::new("_"), Name::new("rootv")),
             other => {
@@ -84,7 +88,13 @@ impl VirtualResult {
                 )))
             }
         };
-        let root = VNode { parent: None, index: 0, kind: VKind::Root, kids: Vec::new(), kids_done: false };
+        let root = VNode {
+            parent: None,
+            index: 0,
+            kind: VKind::Root,
+            kids: Vec::new(),
+            kids_done: false,
+        };
         Ok(VirtualResult {
             ctx,
             name,
@@ -153,11 +163,19 @@ impl VirtualResult {
             LVal::List(l) => VKind::ListNode { list: l },
             LVal::Part(_) => {
                 // Partitions never survive tD in validated plans.
-                VKind::ListNode { list: LList::empty() }
+                VKind::ListNode {
+                    list: LList::empty(),
+                }
             }
         };
         let id = inner.nodes.len() as u32;
-        inner.nodes.push(VNode { parent: Some(parent), index, kind, kids: Vec::new(), kids_done: false });
+        inner.nodes.push(VNode {
+            parent: Some(parent),
+            index,
+            kind,
+            kids: Vec::new(),
+            kids_done: false,
+        });
         inner.nodes[parent as usize].kids.push(id);
         id
     }
@@ -188,10 +206,7 @@ impl VirtualResult {
                             inner.nodes[parent as usize].kids_done = true;
                         }
                         Some(t) => {
-                            let val = t
-                                .get(&td_var)
-                                .expect("validated: tD var bound")
-                                .clone();
+                            let val = t.get(&td_var).expect("validated: tD var bound").clone();
                             // tD set semantics: skip values whose
                             // vertex id was already exported.
                             if let Some(key) = crate::eager::dedup_key(&self.ctx, &val) {
@@ -228,7 +243,10 @@ impl VirtualResult {
                         Some(s) => {
                             let val = match d.value(s) {
                                 Some(v) => LVal::Leaf(v),
-                                None => LVal::Src { doc: doc_name, node: s },
+                                None => LVal::Src {
+                                    doc: doc_name,
+                                    node: s,
+                                },
                             };
                             self.wrap(&mut inner, val, parent, next_index);
                         }

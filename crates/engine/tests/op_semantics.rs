@@ -12,7 +12,10 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 fn mk(source: &str, var: &str) -> Op {
-    Op::MkSrc { source: Name::new(source), var: Name::new(var) }
+    Op::MkSrc {
+        source: Name::new(source),
+        var: Name::new(var),
+    }
 }
 
 fn getd(input: Op, from: &str, path: &str, to: &str) -> Op {
@@ -41,8 +44,10 @@ fn render_val(ctx: &EvalContext, v: &LVal) -> String {
             format!("{{{}}}", inner.join("; "))
         }
         LVal::List(l) => {
-            let inner: Vec<String> =
-                mix_engine::lval::force_list(l).iter().map(|e| render_val(ctx, e)).collect();
+            let inner: Vec<String> = mix_engine::lval::force_list(l)
+                .iter()
+                .map(|e| render_val(ctx, e))
+                .collect();
             format!("[{}]", inner.join(","))
         }
         other => ctx.lval_oid(other).to_string(),
@@ -92,7 +97,10 @@ fn select_const_and_var() {
 fn select_oid_eq() {
     let op = Op::Select {
         input: Box::new(getd(mk("root1", "K"), "K", "customer", "C")),
-        cond: Cond::OidEq { var: Name::new("C"), oid: mix_xml::Oid::key("XYZ123") },
+        cond: Cond::OidEq {
+            var: Name::new("C"),
+            oid: mix_xml::Oid::key("XYZ123"),
+        },
     };
     let rows = assert_engines_agree(&op);
     assert_eq!(rows.len(), 1);
@@ -119,7 +127,11 @@ fn join_with_condition_and_cartesian() {
         cond: Some(Cond::cmp_vars("1", CmpOp::Eq, "2")),
     };
     assert_eq!(assert_engines_agree(&join).len(), 3);
-    let cart = Op::Join { left: Box::new(customers), right: Box::new(orders), cond: None };
+    let cart = Op::Join {
+        left: Box::new(customers),
+        right: Box::new(orders),
+        cond: None,
+    };
     assert_eq!(assert_engines_agree(&cart).len(), 6);
 }
 
@@ -173,7 +185,10 @@ fn oid_cmp_join() {
     let join = Op::Join {
         left: Box::new(a),
         right: Box::new(b),
-        cond: Some(Cond::OidCmp { l: Name::new("C"), r: Name::new("C2") }),
+        cond: Some(Cond::OidCmp {
+            l: Name::new("C"),
+            r: Name::new("C2"),
+        }),
     };
     assert_eq!(assert_engines_agree(&join).len(), 2);
 }
@@ -238,7 +253,9 @@ fn group_by_and_apply() {
     let applied = Op::Apply {
         input: Box::new(grouped),
         plan: Box::new(Op::TupleDestroy {
-            input: Box::new(Op::NestedSrc { var: Name::new("X") }),
+            input: Box::new(Op::NestedSrc {
+                var: Name::new("X"),
+            }),
             var: Name::new("O"),
             root: None,
         }),
@@ -276,7 +293,10 @@ fn mksrc_over_inline_view() {
         root: Some(Name::new("v")),
     };
     let op = getd(
-        Op::MkSrcOver { input: Box::new(view), var: Name::new("A") },
+        Op::MkSrcOver {
+            input: Box::new(view),
+            var: Name::new("A"),
+        },
         "A",
         "customer.name.data()",
         "N",
@@ -288,7 +308,10 @@ fn mksrc_over_inline_view() {
 
 #[test]
 fn empty_plan_yields_nothing() {
-    assert!(assert_engines_agree(&Op::Empty { vars: vec![Name::new("X")] }).is_empty());
+    assert!(assert_engines_agree(&Op::Empty {
+        vars: vec![Name::new("X")]
+    })
+    .is_empty());
 }
 
 #[test]
@@ -314,7 +337,10 @@ fn rq_value_and_element_bindings() {
                     key: vec![0],
                 },
             },
-            RqBinding { var: Name::new("V"), kind: RqKind::Value { col: 2 } },
+            RqBinding {
+                var: Name::new("V"),
+                kind: RqKind::Value { col: 2 },
+            },
         ],
     };
     let rows = assert_engines_agree(&op);

@@ -21,7 +21,11 @@ fn td_of_list_valued_var_exports_list_nodes() {
     let plan = xmas()
         .mksrc("root1", "K")
         .get("K", "customer", "C")
-        .cat(CatArg::Single(Name::new("C")), CatArg::Single(Name::new("K")), "W")
+        .cat(
+            CatArg::Single(Name::new("C")),
+            CatArg::Single(Name::new("K")),
+            "W",
+        )
         .tuple_destroy("W", Some("rootv"))
         .unwrap();
     let v = vresult(&plan);
@@ -80,16 +84,21 @@ fn empty_result_root_navigates_cleanly() {
 fn dedup_at_root_collapses_repeated_objects() {
     // A join that repeats each customer once per order; tD($C) with set
     // semantics exports each customer once.
-    let customers = xmas()
-        .mksrc("root1", "K")
-        .get("K", "customer", "C")
-        .get("C", "customer.id.data()", "1");
-    let orders = xmas()
-        .mksrc("root2", "J")
-        .get("J", "order", "O")
-        .get("O", "order.cid.data()", "2");
+    let customers =
+        xmas()
+            .mksrc("root1", "K")
+            .get("K", "customer", "C")
+            .get("C", "customer.id.data()", "1");
+    let orders =
+        xmas()
+            .mksrc("root2", "J")
+            .get("J", "order", "O")
+            .get("O", "order.cid.data()", "2");
     let plan = customers
-        .join(orders, Some(mix_algebra::Cond::cmp_vars("1", CmpOp::Eq, "2")))
+        .join(
+            orders,
+            Some(mix_algebra::Cond::cmp_vars("1", CmpOp::Eq, "2")),
+        )
         .tuple_destroy("C", Some("rootv"))
         .unwrap();
     let v = vresult(&plan);

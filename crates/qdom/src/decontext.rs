@@ -70,33 +70,37 @@ pub fn decontextualize(query: &Plan, ctx: &NodeContext, view: &Plan) -> Result<P
     // variable — group variables bound below a `gBy` are not in scope
     // at the plan top.
     let mut fixed = body;
-    let fix_from_skolem = |plan: Op, f: &Name, args: &[Oid], mapped: &dyn Fn(&Name) -> Name| -> Result<Op> {
-        let Some(Op::CrElt { group, .. }) = find_crelt(&plan, &mapped(f)) else {
-            // An enclosing skolem from a different query generation —
-            // not in this view plan; ignore (its keys are implied by
-            // the node's own chain).
-            return Ok(plan);
+    let fix_from_skolem =
+        |plan: Op, f: &Name, args: &[Oid], mapped: &dyn Fn(&Name) -> Name| -> Result<Op> {
+            let Some(Op::CrElt { group, .. }) = find_crelt(&plan, &mapped(f)) else {
+                // An enclosing skolem from a different query generation —
+                // not in this view plan; ignore (its keys are implied by
+                // the node's own chain).
+                return Ok(plan);
+            };
+            let group = group.clone();
+            if group.len() != args.len() {
+                return Err(MixError::invalid(format!(
+                    "skolem {f} arity {} does not match group-by list {:?}",
+                    args.len(),
+                    group
+                )));
+            }
+            let mut out = plan;
+            for (g, key) in group.iter().zip(args) {
+                let cond = Cond::OidEq {
+                    var: mapped(g),
+                    oid: key.clone(),
+                };
+                out = wrap_producer(&out, &mapped(g), &cond).ok_or_else(|| {
+                    MixError::invalid(format!(
+                        "group variable {} has no producer in the view plan",
+                        g.display_var()
+                    ))
+                })?;
+            }
+            Ok(out)
         };
-        let group = group.clone();
-        if group.len() != args.len() {
-            return Err(MixError::invalid(format!(
-                "skolem {f} arity {} does not match group-by list {:?}",
-                args.len(),
-                group
-            )));
-        }
-        let mut out = plan;
-        for (g, key) in group.iter().zip(args) {
-            let cond = Cond::OidEq { var: mapped(g), oid: key.clone() };
-            out = wrap_producer(&out, &mapped(g), &cond).ok_or_else(|| {
-                MixError::invalid(format!(
-                    "group variable {} has no producer in the view plan",
-                    g.display_var()
-                ))
-            })?;
-        }
-        Ok(out)
-    };
     fixed = fix_from_skolem(fixed, func, args, &mapped)?;
     for anc in &ctx.ancestors {
         if let Some((af, _, aargs)) = anc.as_skolem() {
@@ -114,8 +118,8 @@ pub fn decontextualize(query: &Plan, ctx: &NodeContext, view: &Plan) -> Result<P
     // 5. Substitute into the query: `mksrc(root, $z)` becomes "the
     // children of the context node": getD($V.<label>.*, $z) over the
     // fixed view body.
-    let path = LabelPath::new(vec![Step::Label(label), Step::Wild])
-        .expect("two-step path is valid");
+    let path =
+        LabelPath::new(vec![Step::Label(label), Step::Wild]).expect("two-step path is valid");
     let root = replace_mksrc(&query.root, crate::session::QUERY_ROOT, &|z| Op::GetD {
         input: Box::new(fixed.clone()),
         from: bound_var.clone(),
@@ -158,14 +162,18 @@ fn wrap_producer(op: &Op, var: &Name, cond: &Cond) -> Option<Op> {
     let binds = match op {
         Op::MkSrc { var: v, .. } | Op::MkSrcOver { var: v, .. } => v == var,
         Op::GetD { to, .. } => to == var,
-        Op::CrElt { out, .. } | Op::Cat { out, .. } | Op::GroupBy { out, .. } | Op::Apply { out, .. } => {
-            out == var
-        }
+        Op::CrElt { out, .. }
+        | Op::Cat { out, .. }
+        | Op::GroupBy { out, .. }
+        | Op::Apply { out, .. } => out == var,
         Op::RelQuery { map, .. } => map.iter().any(|b| &b.var == var),
         _ => false,
     };
     if binds {
-        return Some(Op::Select { input: Box::new(op.clone()), cond: cond.clone() });
+        return Some(Op::Select {
+            input: Box::new(op.clone()),
+            cond: cond.clone(),
+        });
     }
     let kids = children_of(op);
     for (i, k) in kids.iter().enumerate() {
@@ -183,7 +191,9 @@ fn find_crelt<'a>(op: &'a Op, func: &Name) -> Option<&'a Op> {
             return Some(op);
         }
     }
-    children_of(op).into_iter().find_map(|c| find_crelt(c, func))
+    children_of(op)
+        .into_iter()
+        .find_map(|c| find_crelt(c, func))
 }
 
 #[cfg(test)]
@@ -200,9 +210,13 @@ mod tests {
     fn fig10_decontextualized_plan() {
         let view = translate(&parse_query(Q1).unwrap()).unwrap();
         // q1 (Fig. 8) issued from node y = the CustRec for XYZ123.
-        let q = translate(&parse_query(
-            "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 2000 RETURN $O",
-        ).unwrap()).unwrap();
+        let q = translate(
+            &parse_query(
+                "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 2000 RETURN $O",
+            )
+            .unwrap(),
+        )
+        .unwrap();
         let ctx = NodeContext {
             oid: Oid::skolem("f", "V", vec![Oid::key("XYZ123")]),
             ancestors: vec![],
@@ -221,9 +235,10 @@ mod tests {
     #[test]
     fn deeper_node_fixes_all_enclosing_groups() {
         let view = translate(&parse_query(Q1).unwrap()).unwrap();
-        let q = translate(&parse_query(
-            "FOR $X IN document(root)/order WHERE $X/value > 0 RETURN $X",
-        ).unwrap()).unwrap();
+        let q = translate(
+            &parse_query("FOR $X IN document(root)/order WHERE $X/value > 0 RETURN $X").unwrap(),
+        )
+        .unwrap();
         // From an OrderInfo node: own skolem g(&28904), enclosing f(&XYZ123).
         let ctx = NodeContext {
             oid: Oid::skolem("g", "P", vec![Oid::key("28904")]),
@@ -240,10 +255,11 @@ mod tests {
     #[test]
     fn non_skolem_node_is_rejected_with_guidance() {
         let view = translate(&parse_query(Q1).unwrap()).unwrap();
-        let q = translate(&parse_query(
-            "FOR $X IN document(root)/x RETURN $X",
-        ).unwrap()).unwrap();
-        let ctx = NodeContext { oid: Oid::key("XYZ123"), ancestors: vec![] };
+        let q = translate(&parse_query("FOR $X IN document(root)/x RETURN $X").unwrap()).unwrap();
+        let ctx = NodeContext {
+            oid: Oid::key("XYZ123"),
+            ancestors: vec![],
+        };
         let err = decontextualize(&q, &ctx, &view).unwrap_err();
         assert!(err.to_string().contains("constructed"), "{err}");
     }

@@ -23,6 +23,7 @@
 
 pub mod decontext;
 pub mod mediator;
+pub(crate) mod plancache;
 pub mod session;
 pub mod splice;
 

@@ -18,6 +18,9 @@ pub struct MediatorOptions {
     pub optimize: bool,
     /// Which `groupBy` implementation the lazy engine uses.
     pub gby: GByMode,
+    /// Use the hash join/semi-join kernels where possible (`false`
+    /// forces nested loops — the ablation baseline).
+    pub hash_joins: bool,
 }
 
 impl Default for MediatorOptions {
@@ -25,7 +28,8 @@ impl Default for MediatorOptions {
         MediatorOptions {
             access: AccessMode::Lazy,
             optimize: true,
-            gby: GByMode::StatelessPresorted,
+            gby: GByMode::Auto,
+            hash_joins: true,
         }
     }
 }
@@ -47,7 +51,11 @@ impl Mediator {
 
     /// A mediator with explicit evaluation options.
     pub fn with_options(catalog: Catalog, options: MediatorOptions) -> Mediator {
-        Mediator { catalog, views: HashMap::new(), options }
+        Mediator {
+            catalog,
+            views: HashMap::new(),
+            options,
+        }
     }
 
     /// The source catalog.
@@ -104,7 +112,8 @@ mod tests {
     fn views_are_validated_and_named() {
         let (cat, _) = fig2_catalog();
         let mut m = Mediator::new(cat);
-        m.define_view("custview", "FOR $C IN source(&root1)/customer RETURN $C").unwrap();
+        m.define_view("custview", "FOR $C IN source(&root1)/customer RETURN $C")
+            .unwrap();
         assert!(m.view("custview").is_some());
         assert_eq!(m.view_names().len(), 1);
         // Bad query text is rejected.

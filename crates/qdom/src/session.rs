@@ -2,6 +2,7 @@
 
 use crate::decontext::decontextualize;
 use crate::mediator::Mediator;
+use crate::plancache::{CacheKey, PlanCache};
 use crate::splice::{compose, references_source};
 use mix_algebra::{translate_with_root, Plan};
 use mix_common::{MixError, Name, Result, Value};
@@ -56,6 +57,7 @@ pub struct QdomSession<'m> {
     mediator: &'m Mediator,
     ctx: Rc<EvalContext>,
     results: Vec<ResultInfo>,
+    plan_cache: PlanCache,
 }
 
 impl<'m> QdomSession<'m> {
@@ -63,7 +65,13 @@ impl<'m> QdomSession<'m> {
         let opts = mediator.options();
         let mut ctx = EvalContext::new(mediator.catalog().clone(), opts.access);
         ctx.gby_mode = opts.gby;
-        QdomSession { mediator, ctx: Rc::new(ctx), results: Vec::new() }
+        ctx.hash_joins = opts.hash_joins;
+        QdomSession {
+            mediator,
+            ctx: Rc::new(ctx),
+            results: Vec::new(),
+            plan_cache: PlanCache::default(),
+        }
     }
 
     /// The shared evaluation context (stats, source views).
@@ -87,7 +95,10 @@ impl<'m> QdomSession<'m> {
         // Compose away references to defined views.
         for vname in self.mediator.view_names() {
             if references_source(&plan.root, vname.as_str()) {
-                let view = self.mediator.view(vname.as_str()).expect("listed view exists");
+                let view = self
+                    .mediator
+                    .view(vname.as_str())
+                    .expect("listed view exists");
                 plan = compose(&plan, vname.as_str(), view);
             }
         }
@@ -108,15 +119,40 @@ impl<'m> QdomSession<'m> {
         let result_name = format!("rootv{}", self.results.len());
         let qplan = translate_with_root(&q, &result_name)?;
         let entry = &self.results[p.result];
-        let plan = if p.node == entry.doc.nav().root() {
+        if p.node == entry.doc.nav().root() {
             // Composition with the producing plan.
-            compose(&qplan, QUERY_ROOT, &entry.logical_plan)
+            let plan = compose(&qplan, QUERY_ROOT, &entry.logical_plan);
+            return self.execute(plan);
+        }
+        // Decontextualization from the node's id. Sibling nodes share a
+        // plan shape differing only in key constants, so try the plan
+        // cache before running the translate → splice → rewrite
+        // pipeline.
+        let nctx = self.context(p);
+        let cache_key = CacheKey::new(text, p.result, &nctx);
+        if let Some((key, new_slots)) = &cache_key {
+            if let Some((exec, logical, trace)) =
+                self.plan_cache.lookup(key, new_slots, &result_name)
+            {
+                self.ctx.stats().add_plan_cache_hit(1);
+                return self.push_result(exec, logical, trace);
+            }
+            self.ctx.stats().add_plan_cache_miss(1);
+        }
+        let entry = &self.results[p.result];
+        let plan = decontextualize(&qplan, &nctx, &entry.logical_plan)?;
+        let (exec, logical, trace) = if self.mediator.options().optimize {
+            let out = optimize(&plan, self.mediator.catalog());
+            (out.plan, rewrite(&plan).plan, out.trace)
         } else {
-            // Decontextualization from the node's id.
-            let ctx = self.context(p);
-            decontextualize(&qplan, &ctx, &entry.logical_plan)?
+            (plan.clone(), plan, RewriteTrace::default())
         };
-        self.execute(plan)
+        if let Some((key, slots)) = cache_key {
+            let view = &self.results[p.result].logical_plan;
+            self.plan_cache
+                .insert(key, slots, &exec, &logical, &trace, &qplan, view);
+        }
+        self.push_result(exec, logical, trace)
     }
 
     /// The materialize-then-query strawman for queries-in-place: copy
@@ -157,19 +193,31 @@ impl<'m> QdomSession<'m> {
         self.push_result(plan, logical, RewriteTrace::default())
     }
 
-    fn push_result(&mut self, exec_plan: Plan, logical_plan: Plan, trace: RewriteTrace) -> Result<QNode> {
+    fn push_result(
+        &mut self,
+        exec_plan: Plan,
+        logical_plan: Plan,
+        trace: RewriteTrace,
+    ) -> Result<QNode> {
         mix_algebra::validate(&exec_plan)?;
         let doc = match self.ctx.mode() {
-            AccessMode::Lazy => {
-                ResultDoc::Lazy(Rc::new(VirtualResult::new(&exec_plan, Rc::clone(&self.ctx))?))
-            }
-            AccessMode::Eager => {
-                ResultDoc::Eager(Rc::new(eager::evaluate(&exec_plan, &self.ctx)?))
-            }
+            AccessMode::Lazy => ResultDoc::Lazy(Rc::new(VirtualResult::new(
+                &exec_plan,
+                Rc::clone(&self.ctx),
+            )?)),
+            AccessMode::Eager => ResultDoc::Eager(Rc::new(eager::evaluate(&exec_plan, &self.ctx)?)),
         };
         let root = doc.nav().root();
-        self.results.push(ResultInfo { exec_plan, logical_plan, trace, doc });
-        Ok(QNode { result: self.results.len() - 1, node: root })
+        self.results.push(ResultInfo {
+            exec_plan,
+            logical_plan,
+            trace,
+            doc,
+        });
+        Ok(QNode {
+            result: self.results.len() - 1,
+            node: root,
+        })
     }
 
     // ---- navigation (Section 2's command set) --------------------------
@@ -180,7 +228,10 @@ impl<'m> QdomSession<'m> {
             .doc
             .nav()
             .first_child(p.node)
-            .map(|n| QNode { result: p.result, node: n })
+            .map(|n| QNode {
+                result: p.result,
+                node: n,
+            })
     }
 
     /// `r(p)`: the right sibling, or `None`.
@@ -189,7 +240,10 @@ impl<'m> QdomSession<'m> {
             .doc
             .nav()
             .next_sibling(p.node)
-            .map(|n| QNode { result: p.result, node: n })
+            .map(|n| QNode {
+                result: p.result,
+                node: n,
+            })
     }
 
     /// `fl(p)`: the element label (`None` for a text leaf).
@@ -221,7 +275,10 @@ impl<'m> QdomSession<'m> {
                     ancestors.push(d.oid(a));
                     cur = d.parent(a);
                 }
-                NodeContext { oid: d.oid(p.node), ancestors }
+                NodeContext {
+                    oid: d.oid(p.node),
+                    ancestors,
+                }
             }
         }
     }
@@ -292,7 +349,6 @@ fn copy_subtree_children(
 mod tests {
     use super::*;
     use crate::mediator::MediatorOptions;
-    use mix_engine::GByMode;
     use mix_wrapper::fig2_catalog;
 
     const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
@@ -303,7 +359,11 @@ mod tests {
         let (cat, _) = fig2_catalog();
         Mediator::with_options(
             cat,
-            MediatorOptions { access, optimize, gby: GByMode::StatelessPresorted },
+            MediatorOptions {
+                access,
+                optimize,
+                ..Default::default()
+            },
         )
     }
 
@@ -332,7 +392,7 @@ mod tests {
         assert_eq!(s.fl(p5).unwrap().as_str(), "CustRec");
         assert!(s.render(p5).contains("DEFCorp."), "{}", s.render(p5));
         assert!(s.r(p5).is_none()); // XYZInc. filtered out
-        // p6..p8: navigate into customer and OrderInfo children.
+                                    // p6..p8: navigate into customer and OrderInfo children.
         let p6 = s.d(p5).unwrap();
         assert_eq!(s.fl(p6).unwrap().as_str(), "customer");
         let p7 = s.r(p6).unwrap();
@@ -374,7 +434,10 @@ mod tests {
         let p1 = s.d(p0).unwrap(); // CustRec for DEF345 (key order)
         assert_eq!(s.oid(p1).to_string(), "&($V,f(&DEF345))");
         let p9 = s
-            .q("FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O", p1)
+            .q(
+                "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O",
+                p1,
+            )
             .unwrap();
         let info = s.result_info(p9);
         let text = info.exec_plan.render();
@@ -466,10 +529,99 @@ mod tests {
     }
 
     #[test]
+    fn plan_cache_reuses_sibling_plans() {
+        let m = mediator(true, AccessMode::Lazy);
+        let mut s = m.session();
+        let p0 = s.query(Q1).unwrap();
+        let p1 = s.d(p0).unwrap(); // CustRec for DEF345
+        let p2 = s.r(p1).unwrap(); // CustRec for XYZ123
+        let q3 = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 100 RETURN $O";
+        let a = s.q(q3, p1).unwrap();
+        assert_eq!(s.ctx().stats().plan_cache_misses(), 1);
+        assert_eq!(s.ctx().stats().plan_cache_hits(), 0);
+        let b = s.q(q3, p2).unwrap();
+        assert_eq!(s.ctx().stats().plan_cache_hits(), 1);
+        // The instantiated plan carries the sibling's key, not the
+        // template's.
+        let text = s.result_info(b).exec_plan.render();
+        assert!(text.contains("'XYZ123'"), "{text}");
+        assert!(!text.contains("'DEF345'"), "{text}");
+        // DEF345 has one order over 100 (500); XYZ123 has two.
+        assert_eq!(s.child_count(a), 1);
+        assert_eq!(s.child_count(b), 2);
+        // The cached instantiation matches what a cold session computes.
+        let m2 = mediator(true, AccessMode::Lazy);
+        let mut s2 = m2.session();
+        let c0 = s2.query(Q1).unwrap();
+        let c2 = s2.r(s2.d(c0).unwrap()).unwrap();
+        let cold = s2.q(q3, c2).unwrap();
+        assert_eq!(content_only(&s.render(b)), content_only(&s2.render(cold)));
+    }
+
+    #[test]
+    fn plan_cache_hit_on_repeated_node() {
+        // The same node twice: identity substitution, same answer.
+        let m = mediator(true, AccessMode::Lazy);
+        let mut s = m.session();
+        let p0 = s.query(Q1).unwrap();
+        let p1 = s.d(p0).unwrap();
+        let q3 = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O";
+        let a = s.q(q3, p1).unwrap();
+        let b = s.q(q3, p1).unwrap();
+        assert_eq!(s.ctx().stats().plan_cache_hits(), 1);
+        assert_eq!(content_only(&s.render(a)), content_only(&s.render(b)));
+    }
+
+    #[test]
+    fn plan_cache_guard_refuses_key_constant_in_query() {
+        // The query's own WHERE clause mentions DEF345 — the template's
+        // slot marker would be ambiguous, so the plan must not be
+        // cached, and the sibling query must recompute (a substituting
+        // cache would wrongly rewrite the user's constant to XYZ123).
+        let m = mediator(true, AccessMode::Lazy);
+        let mut s = m.session();
+        let p0 = s.query(Q1).unwrap();
+        let p1 = s.d(p0).unwrap(); // DEF345
+        let p2 = s.r(p1).unwrap(); // XYZ123
+        let q = "FOR $O IN document(root)/OrderInfo \
+                 WHERE $O/order/cid/data() = \"DEF345\" RETURN $O";
+        let a = s.q(q, p1).unwrap();
+        assert_eq!(s.child_count(a), 1); // DEF345's own order
+        let b = s.q(q, p2).unwrap();
+        assert_eq!(s.ctx().stats().plan_cache_hits(), 0);
+        assert_eq!(s.ctx().stats().plan_cache_misses(), 2);
+        // XYZ123's orders have cid XYZ123, so the filter keeps nothing.
+        assert_eq!(s.child_count(b), 0);
+    }
+
+    #[test]
+    fn plan_cache_works_unoptimized_and_eager() {
+        for (optimize, access) in [
+            (false, AccessMode::Lazy),
+            (true, AccessMode::Eager),
+            (false, AccessMode::Eager),
+        ] {
+            let m = mediator(optimize, access);
+            let mut s = m.session();
+            let p0 = s.query(Q1).unwrap();
+            let p1 = s.d(p0).unwrap();
+            let p2 = s.r(p1).unwrap();
+            let q3 = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 100 RETURN $O";
+            let a = s.q(q3, p1).unwrap();
+            let b = s.q(q3, p2).unwrap();
+            assert_eq!(s.ctx().stats().plan_cache_hits(), 1, "optimize={optimize}");
+            assert_eq!(s.child_count(a), 1, "optimize={optimize} access={access:?}");
+            assert_eq!(s.child_count(b), 2, "optimize={optimize} access={access:?}");
+        }
+    }
+
+    #[test]
     fn fv_and_oid_commands() {
         let m = mediator(true, AccessMode::Lazy);
         let mut s = m.session();
-        let p0 = s.query("FOR $C IN source(&root1)/customer RETURN $C").unwrap();
+        let p0 = s
+            .query("FOR $C IN source(&root1)/customer RETURN $C")
+            .unwrap();
         let cust = s.d(p0).unwrap();
         assert_eq!(s.oid(cust).to_string(), "&DEF345");
         assert!(s.fv(cust).is_none());

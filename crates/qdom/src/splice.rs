@@ -45,7 +45,9 @@ pub fn replace_mksrc(op: &Op, source_name: &str, make: &dyn Fn(&Name) -> Op) -> 
 pub fn references_source(op: &Op, source_name: &str) -> bool {
     match op {
         Op::MkSrc { source, .. } => source.as_str() == source_name,
-        _ => children_of(op).iter().any(|c| references_source(c, source_name)),
+        _ => children_of(op)
+            .iter()
+            .any(|c| references_source(c, source_name)),
     }
 }
 
@@ -118,15 +120,22 @@ mod tests {
     #[test]
     fn compose_produces_fig13_shape() {
         let view = translate_with_root(&parse_query(Q1).unwrap(), "rootv").unwrap();
-        let q = translate(&parse_query(
-            "FOR $R in document(rootv)/CustRec $S in $R/OrderInfo \
+        let q = translate(
+            &parse_query(
+                "FOR $R in document(rootv)/CustRec $S in $R/OrderInfo \
              WHERE $S/order/value > 20000 RETURN $R",
-        ).unwrap()).unwrap();
+            )
+            .unwrap(),
+        )
+        .unwrap();
         let naive = compose(&q, "rootv", &view);
         validate(&naive).unwrap();
         let text = naive.render();
         assert!(text.contains("mksrc(<view>, $K)"), "{text}");
-        assert!(text.contains("tD($Vv0, rootv)") || text.contains("tD($V, rootv)"), "{text}");
+        assert!(
+            text.contains("tD($Vv0, rootv)") || text.contains("tD($V, rootv)"),
+            "{text}"
+        );
         assert!(!super::references_source(&naive.root, "rootv"), "{text}");
     }
 
@@ -138,9 +147,15 @@ mod tests {
         let vars = all_vars(&renamed);
         assert!(!vars.contains(&mix_common::Name::new("C")));
         assert!(!vars.contains(&mix_common::Name::new("V")));
-        assert_ne!(mapping[&mix_common::Name::new("C")], mix_common::Name::new("C"));
+        assert_ne!(
+            mapping[&mix_common::Name::new("C")],
+            mix_common::Name::new("C")
+        );
         // untouched vars map to themselves
-        assert_eq!(mapping[&mix_common::Name::new("O")], mix_common::Name::new("O"));
+        assert_eq!(
+            mapping[&mix_common::Name::new("O")],
+            mix_common::Name::new("O")
+        );
     }
 
     #[test]

@@ -26,12 +26,18 @@ pub struct ColRef {
 impl ColRef {
     /// A qualified reference `q.c`.
     pub fn qualified(q: impl Into<Name>, c: impl Into<Name>) -> ColRef {
-        ColRef { qualifier: Some(q.into()), column: c.into() }
+        ColRef {
+            qualifier: Some(q.into()),
+            column: c.into(),
+        }
     }
 
     /// An unqualified reference `c`.
     pub fn bare(c: impl Into<Name>) -> ColRef {
-        ColRef { qualifier: None, column: c.into() }
+        ColRef {
+            qualifier: None,
+            column: c.into(),
+        }
     }
 }
 
@@ -114,7 +120,10 @@ impl SelectStmt {
         SelectStmt {
             distinct: false,
             items: vec![],
-            from: vec![FromItem { table: table.into(), alias: None }],
+            from: vec![FromItem {
+                table: table.into(),
+                alias: None,
+            }],
             preds: vec![],
             order_by: vec![],
         }
@@ -181,12 +190,24 @@ mod tests {
         let q = SelectStmt {
             distinct: false,
             items: vec![
-                SelectItem { col: ColRef::qualified("c1", "id"), alias: None },
-                SelectItem { col: ColRef::qualified("o1", "value"), alias: None },
+                SelectItem {
+                    col: ColRef::qualified("c1", "id"),
+                    alias: None,
+                },
+                SelectItem {
+                    col: ColRef::qualified("o1", "value"),
+                    alias: None,
+                },
             ],
             from: vec![
-                FromItem { table: Name::new("customer"), alias: Some(Name::new("c1")) },
-                FromItem { table: Name::new("orders"), alias: Some(Name::new("o1")) },
+                FromItem {
+                    table: Name::new("customer"),
+                    alias: Some(Name::new("c1")),
+                },
+                FromItem {
+                    table: Name::new("orders"),
+                    alias: Some(Name::new("o1")),
+                },
             ],
             preds: vec![
                 Pred {
@@ -200,7 +221,10 @@ mod tests {
                     rhs: Operand::Const(Value::Int(20000)),
                 },
             ],
-            order_by: vec![ColRef::qualified("c1", "id"), ColRef::qualified("o1", "orid")],
+            order_by: vec![
+                ColRef::qualified("c1", "id"),
+                ColRef::qualified("o1", "orid"),
+            ],
         };
         assert_eq!(
             q.to_string(),
@@ -221,6 +245,9 @@ mod tests {
 
     #[test]
     fn scan_displays_star() {
-        assert_eq!(SelectStmt::scan("customer").to_string(), "SELECT * FROM customer");
+        assert_eq!(
+            SelectStmt::scan("customer").to_string(),
+            "SELECT * FROM customer"
+        );
     }
 }

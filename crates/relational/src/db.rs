@@ -22,7 +22,11 @@ impl Database {
     /// An empty database named `name` (the mediator's "server name" —
     /// the `s` parameter of the `rQ` operator).
     pub fn new(name: impl Into<Name>) -> Database {
-        Database { name: name.into(), tables: BTreeMap::new(), stats: Stats::new() }
+        Database {
+            name: name.into(),
+            tables: BTreeMap::new(),
+            stats: Stats::new(),
+        }
     }
 
     /// The server name.
@@ -127,8 +131,14 @@ mod tests {
     fn query_counts_in_stats() {
         let db = sample_db();
         db.stats().reset();
-        let _ = db.execute_sql("SELECT * FROM customer").unwrap().collect_all();
-        let _ = db.execute_sql("SELECT * FROM orders").unwrap().collect_all();
+        let _ = db
+            .execute_sql("SELECT * FROM customer")
+            .unwrap()
+            .collect_all();
+        let _ = db
+            .execute_sql("SELECT * FROM orders")
+            .unwrap()
+            .collect_all();
         assert_eq!(db.stats().sql_queries(), 2);
         assert_eq!(db.stats().tuples_shipped(), 2 + 3);
     }
@@ -137,7 +147,11 @@ mod tests {
     fn insert_after_share_uses_cow() {
         let mut db = sample_db();
         let before = db.table("orders").unwrap(); // hold an Rc
-        db.insert("orders", vec![Value::Int(5), Value::str("DEF345"), Value::Int(7)]).unwrap();
+        db.insert(
+            "orders",
+            vec![Value::Int(5), Value::str("DEF345"), Value::Int(7)],
+        )
+        .unwrap();
         assert_eq!(before.len(), 3); // old snapshot unchanged
         assert_eq!(db.table("orders").unwrap().len(), 4);
     }

@@ -31,7 +31,12 @@ pub struct Cursor {
 impl Cursor {
     pub(crate) fn new(plan: &PhysPlan, stats: Stats) -> Cursor {
         let arity = plan.arity();
-        Cursor { iter: compile(plan, &stats), stats, arity, delivered: 0 }
+        Cursor {
+            iter: compile(plan, &stats),
+            stats,
+            arity,
+            delivered: 0,
+        }
     }
 
     /// Fetch the next row, if any.
@@ -71,7 +76,13 @@ fn compile(plan: &PhysPlan, stats: &Stats) -> Box<dyn RowIter> {
             preds: preds.clone(),
             stats: stats.clone(),
         }),
-        PhysPlan::HashJoin { left, right, left_key, right_key, post } => Box::new(HashJoinIter {
+        PhysPlan::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            post,
+        } => Box::new(HashJoinIter {
             left: compile(left, stats),
             right: Some(compile(right, stats)),
             table: HashMap::new(),
@@ -94,10 +105,18 @@ fn compile(plan: &PhysPlan, stats: &Stats) -> Box<dyn RowIter> {
             sorted: Vec::new(),
             idx: 0,
         }),
-        PhysPlan::Project { input, cols, distinct } => Box::new(ProjectIter {
+        PhysPlan::Project {
+            input,
+            cols,
+            distinct,
+        } => Box::new(ProjectIter {
             input: compile(input, stats),
             cols: cols.clone(),
-            seen: if *distinct { Some(HashSet::new()) } else { None },
+            seen: if *distinct {
+                Some(HashSet::new())
+            } else {
+                None
+            },
         }),
     }
 }
@@ -277,14 +296,15 @@ mod tests {
 
     #[test]
     fn hash_join_matches_fig2_data() {
-        let rows = run(
-            "SELECT c.id, o.orid, o.value FROM customer c, orders o \
-             WHERE c.id = o.cid ORDER BY o.orid",
-        );
+        let rows = run("SELECT c.id, o.orid, o.value FROM customer c, orders o \
+             WHERE c.id = o.cid ORDER BY o.orid");
         // Fig. 2: orders 28904 (XYZ123, 2400) and 87456 (XYZ123, 200000);
         // order 99111 belongs to DEF345.
         assert_eq!(rows.len(), 3);
-        assert_eq!(rows[0], vec![Value::str("XYZ123"), Value::Int(28904), Value::Int(2400)]);
+        assert_eq!(
+            rows[0],
+            vec![Value::str("XYZ123"), Value::Int(28904), Value::Int(2400)]
+        );
     }
 
     #[test]
@@ -329,7 +349,10 @@ mod tests {
         db.create_table(
             "c",
             Schema::new(
-                vec![Column::new("id", ColumnType::Int), Column::new("budget", ColumnType::Int)],
+                vec![
+                    Column::new("id", ColumnType::Int),
+                    Column::new("budget", ColumnType::Int),
+                ],
                 &["id"],
             )
             .unwrap(),
@@ -348,15 +371,20 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        db.insert("c", vec![Value::Int(1), Value::Int(1000)]).unwrap();
-        db.insert("c", vec![Value::Int(2), Value::Int(99999)]).unwrap();
+        db.insert("c", vec![Value::Int(1), Value::Int(1000)])
+            .unwrap();
+        db.insert("c", vec![Value::Int(2), Value::Int(99999)])
+            .unwrap();
         for (oid, cid, v) in [(10, 1, 2400), (11, 1, 500), (12, 2, 500)] {
-            db.insert("o", vec![Value::Int(oid), Value::Int(cid), Value::Int(v)]).unwrap();
+            db.insert("o", vec![Value::Int(oid), Value::Int(cid), Value::Int(v)])
+                .unwrap();
         }
         // The col-vs-col non-equi predicate cannot be a hash key or a
         // scan filter; it must run as a post-join filter.
         let rows = db
-            .execute_sql("SELECT x.id, y.value FROM c x, o y WHERE x.id = y.cid AND y.value > x.budget")
+            .execute_sql(
+                "SELECT x.id, y.value FROM c x, o y WHERE x.id = y.cid AND y.value > x.budget",
+            )
             .unwrap()
             .collect_all();
         assert_eq!(rows, vec![vec![Value::Int(1), Value::Int(2400)]]);

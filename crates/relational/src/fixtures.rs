@@ -48,10 +48,22 @@ pub fn sample_db() -> Database {
         ("XYZ123", "LosAngeles", "XYZInc."),
         ("DEF345", "NewYork", "DEFCorp."),
     ] {
-        db.insert("customer", vec![Value::str(id), Value::str(addr), Value::str(name)]).unwrap();
+        db.insert(
+            "customer",
+            vec![Value::str(id), Value::str(addr), Value::str(name)],
+        )
+        .unwrap();
     }
-    for (orid, cid, value) in [(28904, "XYZ123", 2400), (87456, "XYZ123", 200000), (99111, "DEF345", 500)] {
-        db.insert("orders", vec![Value::Int(orid), Value::str(cid), Value::Int(value)]).unwrap();
+    for (orid, cid, value) in [
+        (28904, "XYZ123", 2400),
+        (87456, "XYZ123", 200000),
+        (99111, "DEF345", 500),
+    ] {
+        db.insert(
+            "orders",
+            vec![Value::Int(orid), Value::str(cid), Value::Int(value)],
+        )
+        .unwrap();
     }
     db
 }
@@ -65,7 +77,10 @@ impl Lcg {
     /// Next raw value.
     pub fn next_u64(&mut self) -> u64 {
         // Numerical Recipes LCG constants.
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.0
     }
 
@@ -93,11 +108,18 @@ pub fn gen_db(n_customers: usize, orders_per_customer: usize, seed: u64) -> Data
         let id = format!("C{i:06}");
         let name = format!("{}{}Co.", (b'A' + (i % 26) as u8) as char, i);
         let addr = ["LosAngeles", "NewYork", "SanDiego", "Austin"][(rng.below(4)) as usize];
-        db.insert("customer", vec![Value::str(&id), Value::str(addr), Value::str(name)]).unwrap();
+        db.insert(
+            "customer",
+            vec![Value::str(&id), Value::str(addr), Value::str(name)],
+        )
+        .unwrap();
         for _ in 0..orders_per_customer {
             let value = rng.below(100_000) as i64;
-            db.insert("orders", vec![Value::Int(orid), Value::str(&id), Value::Int(value)])
-                .unwrap();
+            db.insert(
+                "orders",
+                vec![Value::Int(orid), Value::str(&id), Value::Int(value)],
+            )
+            .unwrap();
             orid += 1;
         }
     }
@@ -153,9 +175,15 @@ mod tests {
         let a = gen_db(10, 3, 42);
         let b = gen_db(10, 3, 42);
         assert_eq!(a.table("orders").unwrap().len(), 30);
-        assert_eq!(a.table("orders").unwrap().rows(), b.table("orders").unwrap().rows());
+        assert_eq!(
+            a.table("orders").unwrap().rows(),
+            b.table("orders").unwrap().rows()
+        );
         let c = gen_db(10, 3, 43);
-        assert_ne!(a.table("orders").unwrap().rows(), c.table("orders").unwrap().rows());
+        assert_ne!(
+            a.table("orders").unwrap().rows(),
+            c.table("orders").unwrap().rows()
+        );
     }
 
     #[test]

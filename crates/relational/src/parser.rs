@@ -6,11 +6,18 @@ use mix_common::{CmpOp, MixError, Name, Result, Value};
 /// Parse one SELECT statement (optional trailing `;`).
 pub fn parse_sql(text: &str) -> Result<SelectStmt> {
     let tokens = lex(text)?;
-    let mut p = P { toks: &tokens, pos: 0 };
+    let mut p = P {
+        toks: &tokens,
+        pos: 0,
+    };
     let stmt = p.select()?;
     p.eat_opt(&Tok::Semi);
     if p.pos != p.toks.len() {
-        return Err(MixError::parse("sql", p.pos, format!("unexpected token {:?}", p.toks[p.pos])));
+        return Err(MixError::parse(
+            "sql",
+            p.pos,
+            format!("unexpected token {:?}", p.toks[p.pos]),
+        ));
     }
     Ok(stmt)
 }
@@ -143,7 +150,13 @@ fn lex(text: &str) -> Result<Vec<Tok>> {
                 }
                 out.push(Tok::Ident(text[start..i].to_string()));
             }
-            _ => return Err(MixError::parse("sql", i, format!("unexpected character {:?}", c as char))),
+            _ => {
+                return Err(MixError::parse(
+                    "sql",
+                    i,
+                    format!("unexpected character {:?}", c as char),
+                ))
+            }
         }
     }
     Ok(out)
@@ -188,7 +201,11 @@ impl<'a> P<'a> {
                 self.pos += 1;
                 Ok(n)
             }
-            t => Err(MixError::parse("sql", self.pos, format!("expected identifier, got {t:?}"))),
+            t => Err(MixError::parse(
+                "sql",
+                self.pos,
+                format!("expected identifier, got {t:?}"),
+            )),
         }
     }
 
@@ -196,9 +213,15 @@ impl<'a> P<'a> {
         let first = self.ident()?;
         if self.eat_opt(&Tok::Dot) {
             let col = self.ident()?;
-            Ok(ColRef { qualifier: Some(first), column: col })
+            Ok(ColRef {
+                qualifier: Some(first),
+                column: col,
+            })
         } else {
-            Ok(ColRef { qualifier: None, column: first })
+            Ok(ColRef {
+                qualifier: None,
+                column: first,
+            })
         }
     }
 
@@ -235,7 +258,9 @@ impl<'a> P<'a> {
             // optional alias: a bare identifier that is not a keyword
             let alias = match self.peek() {
                 Some(Tok::Ident(s))
-                    if !["WHERE", "ORDER", "AS"].iter().any(|k| s.eq_ignore_ascii_case(k)) =>
+                    if !["WHERE", "ORDER", "AS"]
+                        .iter()
+                        .any(|k| s.eq_ignore_ascii_case(k)) =>
                 {
                     Some(self.ident()?)
                 }
@@ -305,7 +330,13 @@ impl<'a> P<'a> {
                 }
             }
         }
-        Ok(SelectStmt { distinct, items, from, preds, order_by })
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            preds,
+            order_by,
+        })
     }
 }
 

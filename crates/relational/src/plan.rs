@@ -43,7 +43,11 @@ impl RPred {
 #[derive(Debug, Clone)]
 pub enum PhysPlan {
     /// Base-table scan with pushed-down predicates.
-    Scan { table: Rc<Table>, preds: Vec<RPred>, name: Name },
+    Scan {
+        table: Rc<Table>,
+        preds: Vec<RPred>,
+        name: Name,
+    },
     /// Hash join: stream `left`, build a hash table on `right` keyed by
     /// `right_key` (offset local to the right input), probing with
     /// `left_key` (offset into the left row). `post` filters the joined
@@ -56,11 +60,22 @@ pub enum PhysPlan {
         post: Vec<RPred>,
     },
     /// Nested-loop (cartesian) join with post-filter.
-    NlJoin { left: Box<PhysPlan>, right: Box<PhysPlan>, post: Vec<RPred> },
+    NlJoin {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+        post: Vec<RPred>,
+    },
     /// Blocking sort on the given offsets.
-    Sort { input: Box<PhysPlan>, keys: Vec<usize> },
+    Sort {
+        input: Box<PhysPlan>,
+        keys: Vec<usize>,
+    },
     /// Column projection (with optional duplicate elimination).
-    Project { input: Box<PhysPlan>, cols: Vec<usize>, distinct: bool },
+    Project {
+        input: Box<PhysPlan>,
+        cols: Vec<usize>,
+        distinct: bool,
+    },
 }
 
 impl PhysPlan {
@@ -91,8 +106,18 @@ impl PhysPlan {
             PhysPlan::Scan { name, preds, .. } => {
                 let _ = writeln!(out, "{pad}Scan({name}) preds={}", preds.len());
             }
-            PhysPlan::HashJoin { left, right, left_key, right_key, post } => {
-                let _ = writeln!(out, "{pad}HashJoin(l[{left_key}]=r[{right_key}]) post={}", post.len());
+            PhysPlan::HashJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+                post,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}HashJoin(l[{left_key}]=r[{right_key}]) post={}",
+                    post.len()
+                );
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
@@ -105,7 +130,11 @@ impl PhysPlan {
                 let _ = writeln!(out, "{pad}Sort{keys:?}");
                 input.explain_into(out, depth + 1);
             }
-            PhysPlan::Project { input, cols, distinct } => {
+            PhysPlan::Project {
+                input,
+                cols,
+                distinct,
+            } => {
                 let _ = writeln!(out, "{pad}Project{cols:?} distinct={distinct}");
                 input.explain_into(out, depth + 1);
             }
@@ -194,10 +223,19 @@ pub fn build_plan(db: &Database, stmt: &SelectStmt) -> Result<PhysPlan> {
             Operand::Const(v) => (ROperand::Const(v.clone()), resolver.binding_of(lhs)),
             Operand::Col(c) => {
                 let r = resolver.resolve(c, stmt.from.len())?;
-                (ROperand::Col(r), resolver.binding_of(lhs).max(resolver.binding_of(r)))
+                (
+                    ROperand::Col(r),
+                    resolver.binding_of(lhs).max(resolver.binding_of(r)),
+                )
             }
         };
-        preds.push(CPred { lhs, op: p.op, rhs, max_binding: max_b, used: false });
+        preds.push(CPred {
+            lhs,
+            op: p.op,
+            rhs,
+            max_binding: max_b,
+            used: false,
+        });
     }
 
     // Left-deep join build.
@@ -258,7 +296,11 @@ pub fn build_plan(db: &Database, stmt: &SelectStmt) -> Result<PhysPlan> {
                 // Remaining predicates now answerable become post-filters.
                 let mut post = Vec::new();
                 for p in preds.iter_mut().filter(|p| !p.used && p.max_binding == bi) {
-                    post.push(RPred { lhs: p.lhs, op: p.op, rhs: p.rhs.clone() });
+                    post.push(RPred {
+                        lhs: p.lhs,
+                        op: p.op,
+                        rhs: p.rhs.clone(),
+                    });
                     p.used = true;
                 }
                 match join_key {
@@ -269,7 +311,11 @@ pub fn build_plan(db: &Database, stmt: &SelectStmt) -> Result<PhysPlan> {
                         right_key: rk,
                         post,
                     },
-                    None => PhysPlan::NlJoin { left: Box::new(left), right: Box::new(scan), post },
+                    None => PhysPlan::NlJoin {
+                        left: Box::new(left),
+                        right: Box::new(scan),
+                        post,
+                    },
                 }
             }
         });
@@ -285,7 +331,10 @@ pub fn build_plan(db: &Database, stmt: &SelectStmt) -> Result<PhysPlan> {
             .iter()
             .map(|c| resolver.resolve(c, stmt.from.len()))
             .collect::<Result<Vec<_>>>()?;
-        plan = PhysPlan::Sort { input: Box::new(plan), keys };
+        plan = PhysPlan::Sort {
+            input: Box::new(plan),
+            keys,
+        };
     }
 
     // Projection (+ DISTINCT).
@@ -297,15 +346,19 @@ pub fn build_plan(db: &Database, stmt: &SelectStmt) -> Result<PhysPlan> {
             .map(|it| resolver.resolve(&it.col, stmt.from.len()))
             .collect::<Result<Vec<_>>>()?
     };
-    plan = PhysPlan::Project { input: Box::new(plan), cols, distinct: stmt.distinct };
+    plan = PhysPlan::Project {
+        input: Box::new(plan),
+        cols,
+        distinct: stmt.distinct,
+    };
     Ok(plan)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse_sql;
     use crate::fixtures::sample_db;
+    use crate::parser::parse_sql;
 
     #[test]
     fn single_table_preds_pushed_to_scan() {
@@ -339,14 +392,8 @@ mod tests {
     fn unknown_names_error() {
         let db = sample_db();
         assert!(build_plan(&db, &parse_sql("SELECT * FROM nope").unwrap()).is_err());
-        assert!(
-            build_plan(&db, &parse_sql("SELECT nope FROM customer").unwrap()).is_err()
-        );
-        assert!(build_plan(
-            &db,
-            &parse_sql("SELECT x.id FROM customer c").unwrap()
-        )
-        .is_err());
+        assert!(build_plan(&db, &parse_sql("SELECT nope FROM customer").unwrap()).is_err());
+        assert!(build_plan(&db, &parse_sql("SELECT x.id FROM customer c").unwrap()).is_err());
     }
 
     #[test]

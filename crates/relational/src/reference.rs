@@ -75,8 +75,11 @@ pub fn eval_reference(db: &Database, stmt: &SelectStmt) -> Result<Vec<Row>> {
     });
     // Sort.
     if !stmt.order_by.is_empty() {
-        let keys: Vec<usize> =
-            stmt.order_by.iter().map(&resolve).collect::<Result<Vec<_>>>()?;
+        let keys: Vec<usize> = stmt
+            .order_by
+            .iter()
+            .map(&resolve)
+            .collect::<Result<Vec<_>>>()?;
         rows.sort_by(|a, b| {
             for &k in &keys {
                 let o = a[k].total_cmp(&b[k]);
@@ -91,10 +94,15 @@ pub fn eval_reference(db: &Database, stmt: &SelectStmt) -> Result<Vec<Row>> {
     let cols: Vec<usize> = if stmt.items.is_empty() {
         (0..offset).collect()
     } else {
-        stmt.items.iter().map(|it| resolve(&it.col)).collect::<Result<Vec<_>>>()?
+        stmt.items
+            .iter()
+            .map(|it| resolve(&it.col))
+            .collect::<Result<Vec<_>>>()?
     };
-    let mut out: Vec<Row> =
-        rows.iter().map(|r| cols.iter().map(|&c| r[c].clone()).collect()).collect();
+    let mut out: Vec<Row> = rows
+        .iter()
+        .map(|r| cols.iter().map(|&c| r[c].clone()).collect())
+        .collect();
     // Distinct (stable, first occurrence wins).
     if stmt.distinct {
         let mut seen = std::collections::HashSet::new();

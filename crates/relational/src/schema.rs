@@ -49,7 +49,10 @@ pub struct Column {
 impl Column {
     /// Build a column.
     pub fn new(name: impl Into<Name>, ty: ColumnType) -> Column {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -88,7 +91,10 @@ impl Schema {
         if names.len() != columns.len() {
             return Err(MixError::invalid("duplicate column name"));
         }
-        Ok(Schema { columns, key: key_idx })
+        Ok(Schema {
+            columns,
+            key: key_idx,
+        })
     }
 
     /// The columns, in declaration order.
@@ -167,14 +173,21 @@ mod tests {
         assert_eq!(s.col_index("name"), Some(1));
         assert_eq!(s.col_index("nope"), None);
         assert_eq!(s.key(), &[0]);
-        let row = vec![Value::str("XYZ123"), Value::str("XYZInc."), Value::str("LA")];
+        let row = vec![
+            Value::str("XYZ123"),
+            Value::str("XYZInc."),
+            Value::str("LA"),
+        ];
         assert_eq!(s.key_text(&row), "XYZ123");
     }
 
     #[test]
     fn composite_key_text() {
         let s = Schema::new(
-            vec![Column::new("a", ColumnType::Int), Column::new("b", ColumnType::Text)],
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("b", ColumnType::Text),
+            ],
             &["a", "b"],
         )
         .unwrap();
@@ -184,11 +197,17 @@ mod tests {
     #[test]
     fn row_checking() {
         let s = customers();
-        assert!(s.check_row(&[Value::str("a"), Value::str("b"), Value::str("c")]).is_ok());
-        assert!(s.check_row(&[Value::Int(1), Value::str("b"), Value::str("c")]).is_err());
+        assert!(s
+            .check_row(&[Value::str("a"), Value::str("b"), Value::str("c")])
+            .is_ok());
+        assert!(s
+            .check_row(&[Value::Int(1), Value::str("b"), Value::str("c")])
+            .is_err());
         assert!(s.check_row(&[Value::str("a")]).is_err());
         // NULL fits anywhere
-        assert!(s.check_row(&[Value::str("a"), Value::Null, Value::Null]).is_ok());
+        assert!(s
+            .check_row(&[Value::str("a"), Value::Null, Value::Null])
+            .is_ok());
     }
 
     #[test]
@@ -197,7 +216,10 @@ mod tests {
         assert!(Schema::new(vec![Column::new("a", ColumnType::Int)], &["b"]).is_err());
         assert!(Schema::new(vec![Column::new("a", ColumnType::Int)], &[]).is_err());
         assert!(Schema::new(
-            vec![Column::new("a", ColumnType::Int), Column::new("a", ColumnType::Int)],
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("a", ColumnType::Int)
+            ],
             &["a"]
         )
         .is_err());

@@ -16,7 +16,10 @@ pub struct Table {
 impl Table {
     /// An empty table with the given schema.
     pub fn new(schema: Schema) -> Table {
-        Table { schema, rows: Vec::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// The schema.
@@ -91,7 +94,12 @@ mod tests {
     #[test]
     fn insert_and_read() {
         let mut t = orders();
-        t.insert(vec![Value::Int(28904), Value::str("XYZ123"), Value::Int(2400)]).unwrap();
+        t.insert(vec![
+            Value::Int(28904),
+            Value::str("XYZ123"),
+            Value::Int(2400),
+        ])
+        .unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.rows()[0][2], Value::Int(2400));
         assert!(t.insert(vec![Value::Int(1)]).is_err());
@@ -101,7 +109,8 @@ mod tests {
     fn sort_by_key_orders_rows() {
         let mut t = orders();
         for orid in [3, 1, 2] {
-            t.insert(vec![Value::Int(orid), Value::str("c"), Value::Int(0)]).unwrap();
+            t.insert(vec![Value::Int(orid), Value::str("c"), Value::Int(0)])
+                .unwrap();
         }
         t.sort_by_key();
         let ids: Vec<_> = t.rows().iter().map(|r| r[0].clone()).collect();

@@ -33,7 +33,12 @@ impl RewriteTrace {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (i, s) in self.steps.iter().enumerate() {
-            out.push_str(&format!("--- step {} ({}) ---\n{}\n", i + 1, s.rule, s.plan));
+            out.push_str(&format!(
+                "--- step {} ({}) ---\n{}\n",
+                i + 1,
+                s.rule,
+                s.plan
+            ));
         }
         out
     }
@@ -76,28 +81,37 @@ pub fn rewrite_with_disabled(plan: &Plan, disabled: &[&str]) -> RewriteOutcome {
         }
         let counts = use_counts(&plan.root);
         let vars = all_vars(&plan.root);
-        let ctx = RuleCtx { use_counts: &counts, all_vars: &vars, disabled };
+        let ctx = RuleCtx {
+            use_counts: &counts,
+            all_vars: &vars,
+            disabled,
+        };
         if let Some(applied) = rewrite_first(&plan.root, &ctx) {
             let mut root = applied.op;
             for (from, to) in &applied.renames {
                 root = rename_var(&root, from, to);
             }
             plan = Plan::new(root);
-            trace.steps.push(TraceStep { rule: applied.rule.to_string(), plan: plan.render() });
+            trace.steps.push(TraceStep {
+                rule: applied.rule.to_string(),
+                plan: plan.render(),
+            });
             continue;
         }
         if let Some(p2) = dead_elimination(&plan) {
             plan = p2;
-            trace
-                .steps
-                .push(TraceStep { rule: "dead-elimination".into(), plan: plan.render() });
+            trace.steps.push(TraceStep {
+                rule: "dead-elimination".into(),
+                plan: plan.render(),
+            });
             continue;
         }
         if let Some(p2) = join_to_semijoin(&plan) {
             plan = p2;
-            trace
-                .steps
-                .push(TraceStep { rule: "join-to-semijoin".into(), plan: plan.render() });
+            trace.steps.push(TraceStep {
+                rule: "join-to-semijoin".into(),
+                plan: plan.render(),
+            });
             continue;
         }
         break;
@@ -113,18 +127,20 @@ pub fn optimize(plan: &Plan, catalog: &Catalog) -> RewriteOutcome {
     // Schema-aware pruning (the paper's suggested source-schema rules):
     // may expose further simplification, so interleave with rewriting.
     while let Some(pruned) = crate::split::schema_prune(&out.plan, catalog) {
-        out.trace
-            .steps
-            .push(TraceStep { rule: "schema-prune".into(), plan: pruned.render() });
+        out.trace.steps.push(TraceStep {
+            rule: "schema-prune".into(),
+            plan: pruned.render(),
+        });
         let again = rewrite(&pruned);
         out.trace.steps.extend(again.trace.steps);
         out.plan = again.plan;
     }
     let split = crate::split::split_plan(&out.plan, catalog);
     if split != out.plan {
-        out.trace
-            .steps
-            .push(TraceStep { rule: "split-to-sql".into(), plan: split.render() });
+        out.trace.steps.push(TraceStep {
+            rule: "split-to-sql".into(),
+            plan: split.render(),
+        });
         out.plan = split;
     }
     out
@@ -208,9 +224,8 @@ mod tests {
         let naive = fig13_plan();
         validate(&naive).unwrap();
         let out = rewrite(&naive);
-        validate(&out.plan).unwrap_or_else(|e| {
-            panic!("rewritten plan invalid: {e}\n{}", out.plan.render())
-        });
+        validate(&out.plan)
+            .unwrap_or_else(|e| panic!("rewritten plan invalid: {e}\n{}", out.plan.render()));
         let rules = out.trace.rule_sequence();
         // The derivation exercises the headline rules of Table 2.
         for expected in [
@@ -235,8 +250,14 @@ mod tests {
         let text = out.plan.render();
         // Fig. 21 shape: semijoin pushed below the grouping, selection
         // down at the source branch.
-        assert!(text.contains("Lsemijoin") || text.contains("Rsemijoin"), "{text}");
-        assert!(text.contains("select($3 > 20000)") || text.contains("> 20000"), "{text}");
+        assert!(
+            text.contains("Lsemijoin") || text.contains("Rsemijoin"),
+            "{text}"
+        );
+        assert!(
+            text.contains("select($3 > 20000)") || text.contains("> 20000"),
+            "{text}"
+        );
         // The re-grouping machinery survives for the result shape.
         assert!(text.contains("gBy"), "{text}");
         assert!(text.contains("crElt(CustRec"), "{text}");
@@ -255,13 +276,12 @@ mod tests {
     fn unsatisfiable_composition_collapses() {
         let view = translate(&parse_query(Q1).unwrap()).unwrap();
         // Query a label the view never constructs.
-        let q = parse_query(
-            "FOR $R in document(rootv)/Nothing WHERE $R/x > 1 RETURN $R",
-        )
-        .unwrap();
+        let q = parse_query("FOR $R in document(rootv)/Nothing WHERE $R/x > 1 RETURN $R").unwrap();
         let qplan = translate(&q).unwrap();
         let naive = {
-            let Op::TupleDestroy { input, var, root } = qplan.root else { panic!() };
+            let Op::TupleDestroy { input, var, root } = qplan.root else {
+                panic!()
+            };
             // splice manually
             fn splice(op: &Op, view: &Plan) -> Op {
                 match op {

@@ -23,8 +23,12 @@
 pub mod driver;
 pub mod passes;
 pub mod rules;
+pub mod sortedness;
 pub mod split;
 pub mod util;
 
-pub use driver::{optimize, rewrite, rewrite_with_disabled, RewriteOutcome, RewriteTrace, TraceStep};
+pub use driver::{
+    optimize, rewrite, rewrite_with_disabled, RewriteOutcome, RewriteTrace, TraceStep,
+};
+pub use sortedness::key_contiguous;
 pub use split::{schema_prune, split_plan};

@@ -39,7 +39,9 @@ fn go(op: &Op, needed: &HashSet<Name>, changed: &mut bool) -> Op {
             *changed = true;
             return go(input, needed, changed);
         }
-        Op::CrElt { input, out, .. } | Op::Cat { input, out, .. } | Op::Apply { input, out, .. }
+        Op::CrElt { input, out, .. }
+        | Op::Cat { input, out, .. }
+        | Op::Apply { input, out, .. }
             if dead_out(out) =>
         {
             *changed = true;
@@ -179,7 +181,10 @@ mod tests {
     use mix_xml::LabelPath;
 
     fn mk(source: &str, var: &str) -> Op {
-        Op::MkSrc { source: mix_common::Name::new(source), var: mix_common::Name::new(var) }
+        Op::MkSrc {
+            source: mix_common::Name::new(source),
+            var: mix_common::Name::new(var),
+        }
     }
 
     fn getd(input: Op, from: &str, path: &str, to: &str) -> Op {

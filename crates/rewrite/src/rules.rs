@@ -47,14 +47,20 @@ pub fn try_rules(op: &Op, ctx: &RuleCtx) -> Option<Applied> {
 }
 
 fn applied(rule: &'static str, op: Op) -> Option<Applied> {
-    Some(Applied { rule, op, renames: vec![] })
+    Some(Applied {
+        rule,
+        op,
+        renames: vec![],
+    })
 }
 
 /// ⊥-propagation: an operator over the empty plan is empty (rule 4's
 /// aftermath).
 fn empty_propagation(op: &Op) -> Option<Applied> {
     let is_empty = |o: &Op| matches!(o, Op::Empty { .. });
-    let make_empty = |op: &Op| Op::Empty { vars: bound_vars(op) };
+    let make_empty = |op: &Op| Op::Empty {
+        vars: bound_vars(op),
+    };
     match op {
         Op::GetD { input, .. }
         | Op::Select { input, .. }
@@ -85,16 +91,24 @@ fn empty_propagation(op: &Op) -> Option<Applied> {
 /// merge the query's source variable with the view's result variable
 /// (Fig. 13→14).
 fn r11_td_mksrc(op: &Op) -> Option<Applied> {
-    let Op::MkSrcOver { input, var } = op else { return None };
+    let Op::MkSrcOver { input, var } = op else {
+        return None;
+    };
     match &**input {
-        Op::TupleDestroy { input: body, var: v1, .. } => Some(Applied {
+        Op::TupleDestroy {
+            input: body,
+            var: v1,
+            ..
+        } => Some(Applied {
             rule: "R11-td-mksrc",
             op: (**body).clone(),
             renames: vec![(var.clone(), v1.clone())],
         }),
         Op::Empty { .. } => Some(Applied {
             rule: "R11-td-mksrc",
-            op: Op::Empty { vars: vec![var.clone()] },
+            op: Op::Empty {
+                vars: vec![var.clone()],
+            },
             renames: vec![],
         }),
         _ => None,
@@ -104,8 +118,25 @@ fn r11_td_mksrc(op: &Op) -> Option<Applied> {
 /// Rules 1–4: `getD` whose start variable is produced by a `crElt`
 /// directly below.
 fn getd_over_crelt(op: &Op) -> Option<Applied> {
-    let Op::GetD { input, from, path, to } = op else { return None };
-    let Op::CrElt { input: celt_in, label, children, out, .. } = &**input else { return None };
+    let Op::GetD {
+        input,
+        from,
+        path,
+        to,
+    } = op
+    else {
+        return None;
+    };
+    let Op::CrElt {
+        input: celt_in,
+        label,
+        children,
+        out,
+        ..
+    } = &**input
+    else {
+        return None;
+    };
     if from != out {
         return None;
     }
@@ -113,7 +144,9 @@ fn getd_over_crelt(op: &Op) -> Option<Applied> {
     if !path.first_matches_label(label) {
         return Some(Applied {
             rule: "R4-unsatisfiable",
-            op: Op::Empty { vars: bound_vars(op) },
+            op: Op::Empty {
+                vars: bound_vars(op),
+            },
             renames: vec![],
         });
     }
@@ -153,8 +186,24 @@ fn getd_over_crelt(op: &Op) -> Option<Applied> {
 /// Rules 5–7: `getD` over a `cat` — push into the branch whose elements
 /// can match (label-directed), or collapse to ⊥ when neither can.
 fn getd_over_cat(op: &Op) -> Option<Applied> {
-    let Op::GetD { input, from, path, to } = op else { return None };
-    let Op::Cat { input: cat_in, left, right, out } = &**input else { return None };
+    let Op::GetD {
+        input,
+        from,
+        path,
+        to,
+    } = op
+    else {
+        return None;
+    };
+    let Op::Cat {
+        input: cat_in,
+        left,
+        right,
+        out,
+    } = &**input
+    else {
+        return None;
+    };
     if from != out {
         return None;
     }
@@ -165,7 +214,9 @@ fn getd_over_cat(op: &Op) -> Option<Applied> {
         _ => {
             return Some(Applied {
                 rule: "R4-unsatisfiable",
-                op: Op::Empty { vars: bound_vars(op) },
+                op: Op::Empty {
+                    vars: bound_vars(op),
+                },
                 renames: vec![],
             })
         }
@@ -184,8 +235,12 @@ fn getd_over_cat(op: &Op) -> Option<Applied> {
             ChildSpec::Single(v) => (v.clone(), q.clone()),
             ChildSpec::ListVar(v) => (v.clone(), q.prepend(Step::Label(Name::new("list")))),
         };
-        let new_getd =
-            Op::GetD { input: cat_in.clone(), from: new_from, path: new_path, to: to.clone() };
+        let new_getd = Op::GetD {
+            input: cat_in.clone(),
+            from: new_from,
+            path: new_path,
+            to: to.clone(),
+        };
         let mut cat = (**input).clone();
         if let Op::Cat { input: i, .. } = &mut cat {
             **i = new_getd;
@@ -195,7 +250,9 @@ fn getd_over_cat(op: &Op) -> Option<Applied> {
     match (ml, mr) {
         (Match3::No, Match3::No) => Some(Applied {
             rule: "R4-unsatisfiable",
-            op: Op::Empty { vars: bound_vars(op) },
+            op: Op::Empty {
+                vars: bound_vars(op),
+            },
             renames: vec![],
         }),
         (Match3::No, _) => applied("R5-getd-cat-push", push(right)),
@@ -208,15 +265,36 @@ fn getd_over_cat(op: &Op) -> Option<Applied> {
 /// Rule 10: merge `getD` chains over an intermediate variable nothing
 /// else references.
 fn r10_chain_merge(op: &Op, ctx: &RuleCtx) -> Option<Applied> {
-    let Op::GetD { input, from, path: q, to } = op else { return None };
-    let Op::GetD { input: inner_in, from: a, path: p, to: b } = &**input else { return None };
+    let Op::GetD {
+        input,
+        from,
+        path: q,
+        to,
+    } = op
+    else {
+        return None;
+    };
+    let Op::GetD {
+        input: inner_in,
+        from: a,
+        path: p,
+        to: b,
+    } = &**input
+    else {
+        return None;
+    };
     if from != b || ctx.use_counts.get(b).copied().unwrap_or(0) != 1 {
         return None;
     }
     let joined = p.join(q)?;
     applied(
         "R10-chain-merge",
-        Op::GetD { input: inner_in.clone(), from: a.clone(), path: joined, to: to.clone() },
+        Op::GetD {
+            input: inner_in.clone(),
+            from: a.clone(),
+            path: joined,
+            to: to.clone(),
+        },
     )
 }
 
@@ -226,16 +304,48 @@ fn r10_chain_merge(op: &Op, ctx: &RuleCtx) -> Option<Applied> {
 /// selections on it) can be evaluated per *tuple* without destroying
 /// the grouped result (Fig. 16→18).
 fn r9_join_introduction(op: &Op, ctx: &RuleCtx) -> Option<Applied> {
-    let Op::GetD { input, from, path, to } = op else { return None };
-    let Op::Apply { input: apply_in, plan, param, out } = &**input else { return None };
+    let Op::GetD {
+        input,
+        from,
+        path,
+        to,
+    } = op
+    else {
+        return None;
+    };
+    let Op::Apply {
+        input: apply_in,
+        plan,
+        param,
+        out,
+    } = &**input
+    else {
+        return None;
+    };
     if from != out {
         return None;
     }
-    let Op::GroupBy { input: p1, group, out: part } = &**apply_in else { return None };
+    let Op::GroupBy {
+        input: p1,
+        group,
+        out: part,
+    } = &**apply_in
+    else {
+        return None;
+    };
     // Only the pure-collection nested plan shape (what the translator
     // emits): tD($u) over nestedSrc(partition).
-    let Op::TupleDestroy { input: nsrc, var: u, .. } = &**plan else { return None };
-    let Op::NestedSrc { var: nvar } = &**nsrc else { return None };
+    let Op::TupleDestroy {
+        input: nsrc,
+        var: u,
+        ..
+    } = &**plan
+    else {
+        return None;
+    };
+    let Op::NestedSrc { var: nvar } = &**nsrc else {
+        return None;
+    };
     if param.as_ref() != Some(part) || nvar != part {
         return None;
     }
@@ -265,13 +375,21 @@ fn r9_join_introduction(op: &Op, ctx: &RuleCtx) -> Option<Applied> {
     }
     let u_copy = copy_of.get(u)?.clone();
     let g_copy = copy_of.get(g)?.clone();
-    let left = Op::GetD { input: Box::new(copy), from: u_copy, path: q, to: to.clone() };
+    let left = Op::GetD {
+        input: Box::new(copy),
+        from: u_copy,
+        path: q,
+        to: to.clone(),
+    };
     applied(
         "R9-join-introduction",
         Op::Join {
             left: Box::new(left),
             right: input.clone(),
-            cond: Some(Cond::OidCmp { l: g_copy, r: g.clone() }),
+            cond: Some(Cond::OidCmp {
+                l: g_copy,
+                r: g.clone(),
+            }),
         },
     )
 }
@@ -283,7 +401,15 @@ fn r9_join_introduction(op: &Op, ctx: &RuleCtx) -> Option<Applied> {
 /// ungrouped input when the condition only reads group variables, so
 /// the grouping machinery there is dropped.
 fn r12_semijoin_below(op: &Op) -> Option<Applied> {
-    let Op::SemiJoin { left, right, cond, keep } = op else { return None };
+    let Op::SemiJoin {
+        left,
+        right,
+        cond,
+        keep,
+    } = op
+    else {
+        return None;
+    };
     // Simplify the filter side first: apply/gBy layers contribute
     // nothing to an existence check on group variables.
     let cond_vars_all = cond.as_ref().map(|c| c.vars()).unwrap_or_default();
@@ -355,19 +481,29 @@ fn r12_semijoin_below(op: &Op) -> Option<Applied> {
         // Below groupBy: sound when the kept-side condition variables
         // are group variables (whole groups pass or fail together).
         Op::GroupBy { input, group, out } => {
-            let kept_ok = cond_vars.iter().all(|v| group.contains(v) || !bound_vars(target).contains(v));
+            let kept_ok = cond_vars
+                .iter()
+                .all(|v| group.contains(v) || !bound_vars(target).contains(v));
             if cond_vars.contains(out) || !kept_ok {
                 return None;
             }
-            applied("R12-semijoin-below-group", rebuild(mk_semijoin(input), target))
+            applied(
+                "R12-semijoin-below-group",
+                rebuild(mk_semijoin(input), target),
+            )
         }
         // Below per-tuple construction (crElt/cat) and below getD
         // (filtering before expansion): sound when the condition does
         // not reference the operator's output.
-        Op::CrElt { input, out, .. } | Op::Cat { input, out, .. } | Op::GetD { input, to: out, .. }
+        Op::CrElt { input, out, .. }
+        | Op::Cat { input, out, .. }
+        | Op::GetD { input, to: out, .. }
             if !cond_vars.contains(out) =>
         {
-            applied("R12-semijoin-below-group", rebuild(mk_semijoin(input), target))
+            applied(
+                "R12-semijoin-below-group",
+                rebuild(mk_semijoin(input), target),
+            )
         }
         _ => None,
     }
@@ -375,38 +511,65 @@ fn r12_semijoin_below(op: &Op) -> Option<Applied> {
 
 /// Selection pushdown (Section 6 prose: "pushing selections down").
 fn select_pushdown(op: &Op) -> Option<Applied> {
-    let Op::Select { input, cond } = op else { return None };
+    let Op::Select { input, cond } = op else {
+        return None;
+    };
     let cond_vars = cond.vars();
-    let push_into = |inner: &Op| Op::Select { input: Box::new(inner.clone()), cond: cond.clone() };
+    let push_into = |inner: &Op| Op::Select {
+        input: Box::new(inner.clone()),
+        cond: cond.clone(),
+    };
     match &**input {
-        Op::GetD { input: i, to, .. } if !cond_vars.contains(to) => {
-            applied("select-pushdown", crate::util::with_child(input, 0, push_into(i)))
-        }
-        Op::CrElt { input: i, out, .. } | Op::Cat { input: i, out, .. } | Op::Apply { input: i, out, .. }
+        Op::GetD { input: i, to, .. } if !cond_vars.contains(to) => applied(
+            "select-pushdown",
+            crate::util::with_child(input, 0, push_into(i)),
+        ),
+        Op::CrElt { input: i, out, .. }
+        | Op::Cat { input: i, out, .. }
+        | Op::Apply { input: i, out, .. }
             if !cond_vars.contains(out) =>
         {
-            applied("select-pushdown", crate::util::with_child(input, 0, push_into(i)))
+            applied(
+                "select-pushdown",
+                crate::util::with_child(input, 0, push_into(i)),
+            )
         }
-        Op::OrderBy { input: i, .. } => {
-            applied("select-pushdown", crate::util::with_child(input, 0, push_into(i)))
-        }
-        Op::GroupBy { input: i, group, out } => {
+        Op::OrderBy { input: i, .. } => applied(
+            "select-pushdown",
+            crate::util::with_child(input, 0, push_into(i)),
+        ),
+        Op::GroupBy {
+            input: i,
+            group,
+            out,
+        } => {
             if cond_vars.contains(out) || !cond_vars.iter().all(|v| group.contains(v)) {
                 return None;
             }
-            applied("select-pushdown", crate::util::with_child(input, 0, push_into(i)))
+            applied(
+                "select-pushdown",
+                crate::util::with_child(input, 0, push_into(i)),
+            )
         }
         Op::Join { left, right, .. } => {
             let (lb, rb) = (bound_vars(left), bound_vars(right));
             if cond_vars.iter().all(|v| lb.contains(v)) {
-                applied("select-pushdown", crate::util::with_child(input, 0, push_into(left)))
+                applied(
+                    "select-pushdown",
+                    crate::util::with_child(input, 0, push_into(left)),
+                )
             } else if cond_vars.iter().all(|v| rb.contains(v)) {
-                applied("select-pushdown", crate::util::with_child(input, 1, push_into(right)))
+                applied(
+                    "select-pushdown",
+                    crate::util::with_child(input, 1, push_into(right)),
+                )
             } else {
                 None
             }
         }
-        Op::SemiJoin { left, right, keep, .. } => {
+        Op::SemiJoin {
+            left, right, keep, ..
+        } => {
             let (kept_idx, kept): (usize, &Op) = match keep {
                 Side::Left => (0, left),
                 Side::Right => (1, right),
@@ -428,31 +591,59 @@ fn select_pushdown(op: &Op) -> Option<Applied> {
 /// branches, so path navigation lands next to the operators that bind
 /// its start variable.
 fn getd_pushdown(op: &Op) -> Option<Applied> {
-    let Op::GetD { input, from, path, to } = op else { return None };
-    let push_into =
-        |inner: &Op| Op::GetD { input: Box::new(inner.clone()), from: from.clone(), path: path.clone(), to: to.clone() };
+    let Op::GetD {
+        input,
+        from,
+        path,
+        to,
+    } = op
+    else {
+        return None;
+    };
+    let push_into = |inner: &Op| Op::GetD {
+        input: Box::new(inner.clone()),
+        from: from.clone(),
+        path: path.clone(),
+        to: to.clone(),
+    };
     match &**input {
-        Op::CrElt { input: i, out, .. } | Op::Cat { input: i, out, .. } | Op::Apply { input: i, out, .. }
+        Op::CrElt { input: i, out, .. }
+        | Op::Cat { input: i, out, .. }
+        | Op::Apply { input: i, out, .. }
             if from != out =>
         {
-            applied("getd-pushdown", crate::util::with_child(input, 0, push_into(i)))
+            applied(
+                "getd-pushdown",
+                crate::util::with_child(input, 0, push_into(i)),
+            )
         }
         Op::Join { left, right, .. } => {
             if bound_vars(left).contains(from) {
-                applied("getd-pushdown", crate::util::with_child(input, 0, push_into(left)))
+                applied(
+                    "getd-pushdown",
+                    crate::util::with_child(input, 0, push_into(left)),
+                )
             } else if bound_vars(right).contains(from) {
-                applied("getd-pushdown", crate::util::with_child(input, 1, push_into(right)))
+                applied(
+                    "getd-pushdown",
+                    crate::util::with_child(input, 1, push_into(right)),
+                )
             } else {
                 None
             }
         }
-        Op::SemiJoin { left, right, keep, .. } => {
+        Op::SemiJoin {
+            left, right, keep, ..
+        } => {
             let (kept_idx, kept): (usize, &Op) = match keep {
                 Side::Left => (0, left),
                 Side::Right => (1, right),
             };
             if bound_vars(kept).contains(from) {
-                applied("getd-pushdown", crate::util::with_child(input, kept_idx, push_into(kept)))
+                applied(
+                    "getd-pushdown",
+                    crate::util::with_child(input, kept_idx, push_into(kept)),
+                )
             } else {
                 None
             }
@@ -467,15 +658,19 @@ mod tests {
     use mix_algebra::Plan;
     use mix_xml::LabelPath;
 
-    fn ctx_for<'a>(
-        counts: &'a HashMap<Name, usize>,
-        vars: &'a [Name],
-    ) -> RuleCtx<'a> {
-        RuleCtx { use_counts: counts, all_vars: vars, disabled: &[] }
+    fn ctx_for<'a>(counts: &'a HashMap<Name, usize>, vars: &'a [Name]) -> RuleCtx<'a> {
+        RuleCtx {
+            use_counts: counts,
+            all_vars: vars,
+            disabled: &[],
+        }
     }
 
     fn mk(source: &str, var: &str) -> Op {
-        Op::MkSrc { source: Name::new(source), var: Name::new(var) }
+        Op::MkSrc {
+            source: Name::new(source),
+            var: Name::new(var),
+        }
     }
 
     fn getd(input: Op, from: &str, path: &str, to: &str) -> Op {
@@ -500,7 +695,13 @@ mod tests {
 
     #[test]
     fn rule2_exact_match_aliases() {
-        let base = crelt(mk("r", "A"), "rec", &["A"], ChildSpec::Single(Name::new("A")), "Z");
+        let base = crelt(
+            mk("r", "A"),
+            "rec",
+            &["A"],
+            ChildSpec::Single(Name::new("A")),
+            "Z",
+        );
         let plan = getd(base.clone(), "Z", "rec", "X");
         let counts = HashMap::new();
         let a = try_rules(&plan, &ctx_for(&counts, &[])).unwrap();
@@ -511,7 +712,13 @@ mod tests {
 
     #[test]
     fn rule1_pushes_below_crelt_list() {
-        let base = crelt(mk("r", "W"), "rec", &[], ChildSpec::ListVar(Name::new("W")), "Z");
+        let base = crelt(
+            mk("r", "W"),
+            "rec",
+            &[],
+            ChildSpec::ListVar(Name::new("W")),
+            "Z",
+        );
         let plan = getd(base, "Z", "rec.item.data()", "X");
         let counts = HashMap::new();
         let a = try_rules(&plan, &ctx_for(&counts, &[])).unwrap();
@@ -524,7 +731,13 @@ mod tests {
 
     #[test]
     fn rule3_pushes_below_crelt_single() {
-        let base = crelt(mk("r", "O"), "OrderInfo", &["O"], ChildSpec::Single(Name::new("O")), "P");
+        let base = crelt(
+            mk("r", "O"),
+            "OrderInfo",
+            &["O"],
+            ChildSpec::Single(Name::new("O")),
+            "P",
+        );
         let plan = getd(base, "P", "OrderInfo.order.value", "3");
         let counts = HashMap::new();
         let a = try_rules(&plan, &ctx_for(&counts, &[])).unwrap();
@@ -535,7 +748,13 @@ mod tests {
 
     #[test]
     fn rule4_unsatisfiable_path() {
-        let base = crelt(mk("r", "A"), "rec", &[], ChildSpec::Single(Name::new("A")), "Z");
+        let base = crelt(
+            mk("r", "A"),
+            "rec",
+            &[],
+            ChildSpec::Single(Name::new("A")),
+            "Z",
+        );
         let plan = getd(base, "Z", "other.x", "X");
         let counts = HashMap::new();
         let a = try_rules(&plan, &ctx_for(&counts, &[])).unwrap();
@@ -567,7 +786,10 @@ mod tests {
             var: Name::new("C"),
             root: Some(Name::new("rootv")),
         };
-        let plan = Op::MkSrcOver { input: Box::new(view), var: Name::new("A") };
+        let plan = Op::MkSrcOver {
+            input: Box::new(view),
+            var: Name::new("A"),
+        };
         let counts = HashMap::new();
         let a = try_rules(&plan, &ctx_for(&counts, &[])).unwrap();
         assert_eq!(a.rule, "R11-td-mksrc");
@@ -578,7 +800,9 @@ mod tests {
     #[test]
     fn empty_propagates() {
         let plan = Op::Select {
-            input: Box::new(Op::Empty { vars: vec![Name::new("X")] }),
+            input: Box::new(Op::Empty {
+                vars: vec![Name::new("X")],
+            }),
             cond: Cond::cmp_const("X", mix_common::CmpOp::Eq, 1),
         };
         let counts = HashMap::new();
@@ -595,12 +819,17 @@ mod tests {
             cond: None,
         };
         let celt = crelt(join, "rec", &[], ChildSpec::Single(Name::new("A")), "V");
-        let plan = Op::Select { input: Box::new(celt), cond: Cond::cmp_const("1", mix_common::CmpOp::Gt, 5) };
+        let plan = Op::Select {
+            input: Box::new(celt),
+            cond: Cond::cmp_const("1", mix_common::CmpOp::Gt, 5),
+        };
         let counts = HashMap::new();
         let a = try_rules(&plan, &ctx_for(&counts, &[])).unwrap();
         assert_eq!(a.rule, "select-pushdown");
         // One more application reaches the join's left branch.
-        let Op::CrElt { input, .. } = &a.op else { panic!() };
+        let Op::CrElt { input, .. } = &a.op else {
+            panic!()
+        };
         let b = try_rules(input, &ctx_for(&counts, &[])).unwrap();
         assert_eq!(b.rule, "select-pushdown");
         let text = Plan::new(b.op).render();

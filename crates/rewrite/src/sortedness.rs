@@ -1,0 +1,392 @@
+//! Key-contiguity (sortedness) analysis for `groupBy` inputs.
+//!
+//! Table 1's stateless presorted `gBy` is only correct when tuples
+//! with equal group keys arrive *contiguously*. The rewriter arranges
+//! that for pushed-down plans (the generated SQL gets an `ORDER BY` on
+//! the group variables' key columns), and navigation plans inherit it
+//! from the left-major join order — but neither is guaranteed for an
+//! arbitrary plan. [`key_contiguous`] is the conservative static proof
+//! the engine's `GByMode::Auto` consults: `true` means equal keys are
+//! provably adjacent and the stateless implementation is safe; `false`
+//! falls back to the hash implementation (always correct, buffers).
+//!
+//! The rules track how each operator transforms arrival order:
+//!
+//! * `mksrc` emits each source child once — distinct nodes, distinct
+//!   keys (children of a source root are element nodes, whose grouping
+//!   key is their oid);
+//! * `getD` fans out per input tuple, so contiguity survives for input
+//!   variables but never for the introduced one (path hits repeat
+//!   values arbitrarily);
+//! * `select` takes a subsequence (runs stay runs), `join` is
+//!   left-major (runs of left keys stay runs), semi-joins preserve the
+//!   kept side's order;
+//! * `crElt`'s output element is keyed by its skolem id — a function
+//!   of the operator's own group list, so grouping on the output is
+//!   grouping on those variables;
+//! * list-valued variables (`cat`, `apply` outputs, `gBy` partitions)
+//!   have a constant grouping key and never break contiguity;
+//! * `rQ` rows are contiguous on variables whose key columns form a
+//!   prefix of the statement's `ORDER BY`;
+//! * everything else (`orderBy`'s oid sort, `nestedSrc`, views) is not
+//!   proved — `Auto` buys correctness with a hash table there.
+
+use mix_algebra::{Op, RqBinding, RqKind, Side};
+use mix_common::Name;
+use mix_relational::{ColRef, SelectStmt};
+use mix_xml::{LabelPath, Step};
+
+/// Can the stateless presorted `gBy` safely group `op`'s output on
+/// `group`? Conservative: `false` whenever contiguity is not provable.
+pub fn key_contiguous(op: &Op, group: &[Name]) -> bool {
+    if group.is_empty() {
+        return true;
+    }
+    match op {
+        Op::Empty { .. } => true,
+        Op::MkSrc { var, .. } => group.iter().all(|g| g == var),
+        Op::GetD {
+            input,
+            from,
+            path,
+            to,
+        } => {
+            if !group.contains(to) {
+                return key_contiguous(input, group);
+            }
+            if data_tail(path) {
+                // data() hits are keyed by *value*; values repeat in
+                // arbitrary positions.
+                return false;
+            }
+            if path.len() == 1 {
+                // The single step matches the start node itself: the
+                // output is a subsequence of the input with `to` bound
+                // to the very node `from` is — same grouping key.
+                let mut g2 = without(group, to);
+                if !g2.contains(from) {
+                    g2.push(from.clone());
+                }
+                key_contiguous(input, &g2)
+            } else {
+                // Proper-descendant hits: distinct nodes within one
+                // expansion, and globally distinct when each start
+                // node is seen once (a tree node has one ancestor at
+                // each height). Globally distinct `to` keys make any
+                // grouping that includes `to` trivially contiguous.
+                distinct_on(input, from)
+            }
+        }
+        Op::Select { input, .. } => key_contiguous(input, group),
+        Op::Project { input, vars } => {
+            group.iter().all(|g| vars.contains(g)) && key_contiguous(input, group)
+        }
+        Op::Join { left, .. } => match out_vars(left) {
+            Some(lv) => group.iter().all(|g| lv.contains(g)) && key_contiguous(left, group),
+            None => false,
+        },
+        Op::SemiJoin {
+            left, right, keep, ..
+        } => {
+            let kept = match keep {
+                Side::Left => left,
+                Side::Right => right,
+            };
+            key_contiguous(kept, group)
+        }
+        Op::CrElt {
+            input,
+            group: skolem_group,
+            out,
+            ..
+        } => {
+            let mut g2: Vec<Name> = Vec::new();
+            for g in group {
+                if g == out {
+                    for s in skolem_group {
+                        if !g2.contains(s) {
+                            g2.push(s.clone());
+                        }
+                    }
+                } else if !g2.contains(g) {
+                    g2.push(g.clone());
+                }
+            }
+            key_contiguous(input, &g2)
+        }
+        Op::Cat { input, out, .. } | Op::Apply { input, out, .. } => {
+            key_contiguous(input, &without(group, out))
+        }
+        Op::GroupBy { group: g2, out, .. } => {
+            // One output tuple per distinct g2-key: any grouping that
+            // covers g2 sees every key at most once.
+            let g = without(group, out);
+            g2.iter().all(|v| g.contains(v))
+        }
+        Op::RelQuery { sql, map, .. } => relquery_contiguous(sql, map, group),
+        Op::MkSrcOver { .. }
+        | Op::OrderBy { .. }
+        | Op::NestedSrc { .. }
+        | Op::TupleDestroy { .. } => false,
+    }
+}
+
+fn without(group: &[Name], drop: &Name) -> Vec<Name> {
+    group.iter().filter(|g| *g != drop).cloned().collect()
+}
+
+fn data_tail(path: &LabelPath) -> bool {
+    matches!(path.steps().last(), Some(Step::Data))
+}
+
+/// Does every value of `var` appear at most once in `op`'s output?
+/// (Stronger than contiguity; used to prove path-introduced variables
+/// globally distinct.)
+fn distinct_on(op: &Op, var: &Name) -> bool {
+    match op {
+        Op::Empty { .. } => true,
+        Op::MkSrc { var: v, .. } => v == var,
+        Op::GetD {
+            input,
+            from,
+            path,
+            to,
+        } => {
+            if to == var {
+                // Element hits are distinct nodes per expansion and
+                // across expansions of distinct start nodes.
+                !data_tail(path) && distinct_on(input, from)
+            } else if path.len() == 1 && !data_tail(path) {
+                // Subsequence (the one step matches the start node).
+                distinct_on(input, var)
+            } else {
+                // Fan-out can repeat input variables.
+                false
+            }
+        }
+        Op::Select { input, .. } => distinct_on(input, var),
+        Op::Project { input, vars } => vars.contains(var) && distinct_on(input, var),
+        Op::SemiJoin {
+            left, right, keep, ..
+        } => {
+            let kept = match keep {
+                Side::Left => left,
+                Side::Right => right,
+            };
+            distinct_on(kept, var)
+        }
+        Op::CrElt { input, out, .. }
+        | Op::Cat { input, out, .. }
+        | Op::Apply { input, out, .. } => out != var && distinct_on(input, var),
+        Op::GroupBy { group, out, .. } => group.len() == 1 && &group[0] == var && out != var,
+        _ => false,
+    }
+}
+
+/// The variables `op` binds, `None` when not statically known
+/// (`nestedSrc` depends on the runtime partition).
+fn out_vars(op: &Op) -> Option<Vec<Name>> {
+    let append = |mut vs: Vec<Name>, v: &Name| {
+        vs.push(v.clone());
+        vs
+    };
+    Some(match op {
+        Op::MkSrc { var, .. } | Op::MkSrcOver { var, .. } => vec![var.clone()],
+        Op::GetD { input, to, .. } => append(out_vars(input)?, to),
+        Op::Select { input, .. } | Op::OrderBy { input, .. } => out_vars(input)?,
+        Op::Project { vars, .. } => vars.clone(),
+        Op::Join { left, right, .. } => {
+            let mut vs = out_vars(left)?;
+            vs.extend(out_vars(right)?);
+            vs
+        }
+        Op::SemiJoin {
+            left, right, keep, ..
+        } => out_vars(match keep {
+            Side::Left => left,
+            Side::Right => right,
+        })?,
+        Op::CrElt { input, out, .. }
+        | Op::Cat { input, out, .. }
+        | Op::Apply { input, out, .. } => append(out_vars(input)?, out),
+        Op::GroupBy { group, out, .. } => group.iter().cloned().chain([out.clone()]).collect(),
+        Op::RelQuery { map, .. } => map.iter().map(|b| b.var.clone()).collect(),
+        Op::Empty { vars } => vars.clone(),
+        Op::NestedSrc { .. } | Op::TupleDestroy { .. } => return None,
+    })
+}
+
+/// Rows sorted lexicographically by `ORDER BY c₁,…,cₘ` are contiguous
+/// on a variable set exactly when the set's key columns form a prefix
+/// of that list (as a set).
+fn relquery_contiguous(sql: &SelectStmt, map: &[RqBinding], group: &[Name]) -> bool {
+    if sql.items.is_empty() {
+        // SELECT *: column positions are not statically resolvable.
+        return false;
+    }
+    let mut wanted: Vec<ColRef> = Vec::new();
+    for g in group {
+        let Some(b) = map.iter().find(|b| &b.var == g) else {
+            return false;
+        };
+        let positions: Vec<usize> = match &b.kind {
+            RqKind::Element { key, .. } => {
+                if key.is_empty() {
+                    return false;
+                }
+                key.clone()
+            }
+            RqKind::Value { col } => vec![*col],
+        };
+        for p in positions {
+            let Some(item) = sql.items.get(p) else {
+                return false;
+            };
+            if !wanted.contains(&item.col) {
+                wanted.push(item.col.clone());
+            }
+        }
+    }
+    if sql.order_by.len() < wanted.len() {
+        return false;
+    }
+    let prefix = &sql.order_by[..wanted.len()];
+    wanted.iter().all(|c| prefix.contains(c)) && prefix.iter().all(|c| wanted.contains(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mix_algebra::{translate, validate};
+    use mix_xquery::parse_query;
+
+    fn n(s: &str) -> Name {
+        Name::new(s)
+    }
+
+    /// The groupBy nodes of a plan, with their inputs.
+    fn gbys(op: &Op) -> Vec<(&Op, &[Name])> {
+        let mut out = Vec::new();
+        if let Op::GroupBy { input, group, .. } = op {
+            out.push((&**input, &group[..]));
+        }
+        for c in crate::util::children(op) {
+            out.extend(gbys(c));
+        }
+        out
+    }
+
+    #[test]
+    fn q1_translation_gbys_are_provably_contiguous() {
+        let q = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
+                 WHERE $C/id/data() = $O/cid/data() \
+                 RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
+        let plan = translate(&parse_query(q).unwrap()).unwrap();
+        validate(&plan).unwrap();
+        let found = gbys(&plan.root);
+        assert!(!found.is_empty());
+        for (input, group) in found {
+            assert!(key_contiguous(input, group), "gBy on {group:?} not proved");
+        }
+    }
+
+    #[test]
+    fn q1_pushed_down_gbys_are_provably_contiguous() {
+        // After pushdown the gBy sits over rQ(... ORDER BY c1.id,
+        // o1.orid) — the generated sort is exactly what the prefix
+        // rule needs.
+        let q = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
+                 WHERE $C/id/data() = $O/cid/data() \
+                 RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
+        let plan = translate(&parse_query(q).unwrap()).unwrap();
+        let cat = mix_wrapper::fig2_catalog().0;
+        let out = crate::optimize(&plan, &cat);
+        let found = gbys(&out.plan.root);
+        assert!(!found.is_empty());
+        for (input, group) in found {
+            assert!(matches!(input, Op::RelQuery { .. } | Op::CrElt { .. }));
+            assert!(key_contiguous(input, group), "gBy on {group:?} not proved");
+        }
+    }
+
+    #[test]
+    fn getd_introduced_var_is_not_contiguous() {
+        let q = "FOR $O IN document(&root2)/order $B IN $O/cid/data() \
+                 RETURN <g> $O </g> {$B}";
+        let plan = translate(&parse_query(q).unwrap()).unwrap();
+        let found = gbys(&plan.root);
+        assert!(!found.is_empty());
+        // Grouping on the path-introduced $B must NOT be proved: cid
+        // values repeat non-adjacently in document order.
+        let proved = found
+            .iter()
+            .any(|(i, g)| g.contains(&n("B")) && key_contiguous(i, g));
+        assert!(!proved);
+    }
+
+    #[test]
+    fn select_and_join_preserve_left_contiguity() {
+        let left = Op::MkSrc {
+            source: n("r1"),
+            var: n("C"),
+        };
+        let right = Op::MkSrc {
+            source: n("r2"),
+            var: n("O"),
+        };
+        let join = Op::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            cond: None,
+        };
+        assert!(key_contiguous(&join, &[n("C")]));
+        assert!(!key_contiguous(&join, &[n("O")]));
+        let sel = Op::Select {
+            input: Box::new(join),
+            cond: mix_algebra::Cond::cmp_const("C", mix_common::CmpOp::Gt, 0),
+        };
+        assert!(key_contiguous(&sel, &[n("C")]));
+    }
+
+    #[test]
+    fn relquery_order_by_prefix_rule() {
+        use mix_relational::{FromItem, SelectItem};
+        let items = vec![
+            SelectItem {
+                col: ColRef::qualified("c1", "id"),
+                alias: None,
+            },
+            SelectItem {
+                col: ColRef::qualified("o1", "orid"),
+                alias: None,
+            },
+        ];
+        let sql = |order_by: Vec<ColRef>| SelectStmt {
+            distinct: false,
+            items: items.clone(),
+            from: vec![FromItem {
+                table: n("customer"),
+                alias: Some(n("c1")),
+            }],
+            preds: vec![],
+            order_by,
+        };
+        let map = vec![RqBinding {
+            var: n("C"),
+            kind: RqKind::Value { col: 0 },
+        }];
+        let sorted = sql(vec![
+            ColRef::qualified("c1", "id"),
+            ColRef::qualified("o1", "orid"),
+        ]);
+        assert!(relquery_contiguous(&sorted, &map, &[n("C")]));
+        // Key column not the sort prefix → unproved.
+        let wrong = sql(vec![
+            ColRef::qualified("o1", "orid"),
+            ColRef::qualified("c1", "id"),
+        ]);
+        assert!(!relquery_contiguous(&wrong, &map, &[n("C")]));
+        // No ORDER BY at all → unproved.
+        assert!(!relquery_contiguous(&sql(vec![]), &map, &[n("C")]));
+    }
+}

@@ -43,8 +43,14 @@ fn split_op(op: &Op, catalog: &Catalog, hint: &[Name]) -> Op {
             group: group.clone(),
             out: out.clone(),
         },
-        Op::GetD { .. } | Op::Select { .. } | Op::CrElt { .. } | Op::Cat { .. }
-        | Op::Apply { .. } | Op::OrderBy { .. } | Op::Project { .. } | Op::TupleDestroy { .. } => {
+        Op::GetD { .. }
+        | Op::Select { .. }
+        | Op::CrElt { .. }
+        | Op::Cat { .. }
+        | Op::Apply { .. }
+        | Op::OrderBy { .. }
+        | Op::Project { .. }
+        | Op::TupleDestroy { .. } => {
             // unary, order-preserving: keep the hint for the input; for
             // apply, the nested plan needs no splitting (pure
             // collection).
@@ -61,7 +67,12 @@ fn split_op(op: &Op, catalog: &Catalog, hint: &[Name]) -> Op {
             right: Box::new(split_op(right, catalog, &[])),
             cond: cond.clone(),
         },
-        Op::SemiJoin { left, right, cond, keep } => {
+        Op::SemiJoin {
+            left,
+            right,
+            cond,
+            keep,
+        } => {
             let (lh, rh): (&[Name], &[Name]) = match keep {
                 Side::Left => (hint, &[]),
                 Side::Right => (&[], hint),
@@ -166,7 +177,12 @@ fn convert(op: &Op, catalog: &Catalog) -> Option<Frag> {
                 order: vec![],
             })
         }
-        Op::GetD { input, from, path, to } => {
+        Op::GetD {
+            input,
+            from,
+            path,
+            to,
+        } => {
             let mut f = convert(input, catalog)?;
             let origin = f.origin_of(from)?.clone();
             let new_origin = resolve_path(&f, &origin, path.steps())?;
@@ -183,7 +199,12 @@ fn convert(op: &Op, catalog: &Catalog) -> Option<Frag> {
             let f = merge(convert(left, catalog)?, convert(right, catalog)?, None)?;
             attach_cond(f, cond.as_ref())
         }
-        Op::SemiJoin { left, right, cond, keep } => {
+        Op::SemiJoin {
+            left,
+            right,
+            cond,
+            keep,
+        } => {
             let fl = convert(left, catalog)?;
             let fr = convert(right, catalog)?;
             let kept: Vec<(Name, VOrigin)> = match keep {
@@ -312,8 +333,12 @@ fn convert_cond(f: &Frag, cond: &Cond) -> Option<Vec<FPred>> {
             Some(vec![FPred { lhs, op, rhs }])
         }
         Cond::OidEq { var, oid } => {
-            let VOrigin::Tuple(i) = f.origin_of(var)? else { return None };
-            let OidKind::Key(text) = oid.kind() else { return None };
+            let VOrigin::Tuple(i) = f.origin_of(var)? else {
+                return None;
+            };
+            let OidKind::Key(text) = oid.kind() else {
+                return None;
+            };
             let keys = f.from[*i].key_columns().ok()?;
             let parts: Vec<&str> = text.split('|').collect();
             if parts.len() != keys.len() {
@@ -331,8 +356,12 @@ fn convert_cond(f: &Frag, cond: &Cond) -> Option<Vec<FPred>> {
             )
         }
         Cond::OidCmp { l, r } => {
-            let VOrigin::Tuple(li) = f.origin_of(l)? else { return None };
-            let VOrigin::Tuple(ri) = f.origin_of(r)? else { return None };
+            let VOrigin::Tuple(li) = f.origin_of(l)? else {
+                return None;
+            };
+            let VOrigin::Tuple(ri) = f.origin_of(r)? else {
+                return None;
+            };
             let lk = f.from[*li].key_columns().ok()?;
             let rk = f.from[*ri].key_columns().ok()?;
             if lk.len() != rk.len() {
@@ -348,6 +377,14 @@ fn convert_cond(f: &Frag, cond: &Cond) -> Option<Vec<FPred>> {
                     })
                     .collect(),
             )
+        }
+        // A conjunction pushes only if every conjunct does.
+        Cond::And(cs) => {
+            let mut preds = Vec::new();
+            for c in cs {
+                preds.extend(convert_cond(f, c)?);
+            }
+            Some(preds)
         }
     }
 }
@@ -380,7 +417,10 @@ fn make_rq(frag: Frag, hint: &[Name]) -> Op {
             return p;
         }
         let p = items.len();
-        items.push(SelectItem { col: ColRef::qualified(aliases[i].clone(), col.clone()), alias: None });
+        items.push(SelectItem {
+            col: ColRef::qualified(aliases[i].clone(), col.clone()),
+            alias: None,
+        });
         col_pos.insert((i, col), p);
         p
     };
@@ -399,13 +439,20 @@ fn make_rq(frag: Frag, hint: &[Name]) -> Op {
                     .iter()
                     .filter_map(|k| positions.iter().find(|(c, _)| c == k).map(|(_, p)| *p))
                     .collect();
-                RqKind::Element { element: rel.element().clone(), cols: positions, key }
+                RqKind::Element {
+                    element: rel.element().clone(),
+                    cols: positions,
+                    key,
+                }
             }
-            VOrigin::Field(i, c) | VOrigin::FieldVal(i, c) => {
-                RqKind::Value { col: pos_of(&mut items, *i, c.clone()) }
-            }
+            VOrigin::Field(i, c) | VOrigin::FieldVal(i, c) => RqKind::Value {
+                col: pos_of(&mut items, *i, c.clone()),
+            },
         };
-        map.push(RqBinding { var: var.clone(), kind });
+        map.push(RqBinding {
+            var: var.clone(),
+            kind,
+        });
     }
 
     // WHERE clause.
@@ -417,7 +464,9 @@ fn make_rq(frag: Frag, hint: &[Name]) -> Op {
             op: p.op,
             rhs: match &p.rhs {
                 FOperand::Const(v) => Operand::Const(v.clone()),
-                FOperand::Col(i, c) => Operand::Col(ColRef::qualified(aliases[*i].clone(), c.clone())),
+                FOperand::Col(i, c) => {
+                    Operand::Col(ColRef::qualified(aliases[*i].clone(), c.clone()))
+                }
             },
         })
         .collect();
@@ -426,24 +475,22 @@ fn make_rq(frag: Frag, hint: &[Name]) -> Op {
     // the remaining exported tuple variables' keys (stable navigation
     // order), then explicit orderBy variables.
     let mut order_by: Vec<ColRef> = Vec::new();
-    let push_var_keys = |order_by: &mut Vec<ColRef>, var: &Name| {
-        match frag.origin_of(var) {
-            Some(VOrigin::Tuple(i)) => {
-                for k in frag.from[*i].key_columns().unwrap_or_default() {
-                    let c = ColRef::qualified(aliases[*i].clone(), k);
-                    if !order_by.contains(&c) {
-                        order_by.push(c);
-                    }
-                }
-            }
-            Some(VOrigin::Field(i, c)) | Some(VOrigin::FieldVal(i, c)) => {
-                let c = ColRef::qualified(aliases[*i].clone(), c.clone());
+    let push_var_keys = |order_by: &mut Vec<ColRef>, var: &Name| match frag.origin_of(var) {
+        Some(VOrigin::Tuple(i)) => {
+            for k in frag.from[*i].key_columns().unwrap_or_default() {
+                let c = ColRef::qualified(aliases[*i].clone(), k);
                 if !order_by.contains(&c) {
                     order_by.push(c);
                 }
             }
-            None => {}
         }
+        Some(VOrigin::Field(i, c)) | Some(VOrigin::FieldVal(i, c)) => {
+            let c = ColRef::qualified(aliases[*i].clone(), c.clone());
+            if !order_by.contains(&c) {
+                order_by.push(c);
+            }
+        }
+        None => {}
     };
     for h in hint {
         push_var_keys(&mut order_by, h);
@@ -464,12 +511,19 @@ fn make_rq(frag: Frag, hint: &[Name]) -> Op {
             .from
             .iter()
             .zip(&aliases)
-            .map(|(rel, a)| FromItem { table: rel.relation().clone(), alias: Some(a.clone()) })
+            .map(|(rel, a)| FromItem {
+                table: rel.relation().clone(),
+                alias: Some(a.clone()),
+            })
             .collect(),
         preds,
         order_by,
     };
-    Op::RelQuery { server: frag.server, sql, map }
+    Op::RelQuery {
+        server: frag.server,
+        sql,
+        map,
+    }
 }
 
 #[cfg(test)]
@@ -516,11 +570,16 @@ mod tests {
         let (cat, _db) = fig2_catalog();
         let q = "FOR $C IN source(&root1)/customer RETURN $C";
         let plan = translate(&parse_query(q).unwrap()).unwrap();
-        let Op::TupleDestroy { input, var, root } = plan.root else { panic!() };
+        let Op::TupleDestroy { input, var, root } = plan.root else {
+            panic!()
+        };
         let fixed = Plan::new(Op::TupleDestroy {
             input: Box::new(Op::Select {
                 input,
-                cond: Cond::OidEq { var: Name::new("C"), oid: Oid::key("XYZ123") },
+                cond: Cond::OidEq {
+                    var: Name::new("C"),
+                    oid: Oid::key("XYZ123"),
+                },
             }),
             var,
             root,
@@ -535,7 +594,10 @@ mod tests {
         let (cat, _db) = fig2_catalog();
         // Lsemijoin: customers (kept) having an order with value > 20000.
         let customers = Op::GetD {
-            input: Box::new(Op::MkSrc { source: Name::new("root1"), var: Name::new("K") }),
+            input: Box::new(Op::MkSrc {
+                source: Name::new("root1"),
+                var: Name::new("K"),
+            }),
             from: Name::new("K"),
             path: LabelPath::parse("customer").unwrap(),
             to: Name::new("C"),
@@ -543,7 +605,10 @@ mod tests {
         let big_orders = Op::Select {
             input: Box::new(Op::GetD {
                 input: Box::new(Op::GetD {
-                    input: Box::new(Op::MkSrc { source: Name::new("root2"), var: Name::new("J") }),
+                    input: Box::new(Op::MkSrc {
+                        source: Name::new("root2"),
+                        var: Name::new("J"),
+                    }),
                     from: Name::new("J"),
                     path: LabelPath::parse("order").unwrap(),
                     to: Name::new("O"),
@@ -594,7 +659,10 @@ mod tests {
         db2.create_table(
             "extra",
             mix_relational::Schema::new(
-                vec![mix_relational::Column::new("k", mix_relational::ColumnType::Int)],
+                vec![mix_relational::Column::new(
+                    "k",
+                    mix_relational::ColumnType::Int,
+                )],
                 &["k"],
             )
             .unwrap(),
@@ -613,7 +681,9 @@ mod tests {
     #[test]
     fn file_sources_stay_at_mediator() {
         let mut cat = Catalog::new();
-        cat.register_xml(mix_xml::parse_document("filesrc", "<list><a><x>1</x></a></list>").unwrap());
+        cat.register_xml(
+            mix_xml::parse_document("filesrc", "<list><a><x>1</x></a></list>").unwrap(),
+        );
         let q = "FOR $A IN document(filesrc)/a WHERE $A/x/data() > 0 RETURN $A";
         let plan = translate(&parse_query(q).unwrap()).unwrap();
         let text = split_plan(&plan, &cat).render();
@@ -647,11 +717,16 @@ pub fn schema_prune(plan: &Plan, catalog: &Catalog) -> Option<Plan> {
 }
 
 fn prune_op(op: &Op, catalog: &Catalog, changed: &mut bool) -> Op {
-    if let Op::GetD { input, from, path, .. } = op {
+    if let Op::GetD {
+        input, from, path, ..
+    } = op
+    {
         if let Some(origin) = wrapper_origin(input, from, catalog) {
             if definitely_unmatchable(&origin, path.steps()) {
                 *changed = true;
-                return Op::Empty { vars: crate::util::bound_vars(op) };
+                return Op::Empty {
+                    vars: crate::util::bound_vars(op),
+                };
             }
         }
     }
@@ -674,10 +749,13 @@ enum WOrigin {
 fn wrapper_origin(scope: &Op, var: &Name, catalog: &Catalog) -> Option<WOrigin> {
     let producer = crate::util::find_producer(scope, var)?;
     match producer {
-        Op::MkSrc { source, .. } => {
-            catalog.relation_info(source.as_str()).cloned().map(WOrigin::Tuple)
-        }
-        Op::GetD { input, from, path, .. } => {
+        Op::MkSrc { source, .. } => catalog
+            .relation_info(source.as_str())
+            .cloned()
+            .map(WOrigin::Tuple),
+        Op::GetD {
+            input, from, path, ..
+        } => {
             let base = wrapper_origin(input, from, catalog)?;
             follow(&base, path.steps())
         }
@@ -704,12 +782,8 @@ fn follow(origin: &WOrigin, steps: &[Step]) -> Option<WOrigin> {
     }
     for step in it {
         cur = match (&cur, step) {
-            (WOrigin::Tuple(r), Step::Label(l)) => {
-                if r.columns().ok()?.contains(l) {
-                    WOrigin::Field(r.clone(), l.clone())
-                } else {
-                    return None;
-                }
+            (WOrigin::Tuple(r), Step::Label(l)) if r.columns().ok()?.contains(l) => {
+                WOrigin::Field(r.clone(), l.clone())
             }
             (WOrigin::Field(_, _), Step::Data) => WOrigin::FieldVal,
             _ => return None,

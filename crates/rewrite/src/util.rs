@@ -84,7 +84,9 @@ pub fn referenced_vars(op: &Op) -> Vec<Name> {
         Op::Join { cond, .. } | Op::SemiJoin { cond, .. } => {
             cond.as_ref().map(|c| c.vars()).unwrap_or_default()
         }
-        Op::CrElt { group, children, .. } => {
+        Op::CrElt {
+            group, children, ..
+        } => {
             let mut v = group.clone();
             v.push(children.var().clone());
             v
@@ -150,7 +152,9 @@ pub fn find_producer<'a>(op: &'a Op, var: &Name) -> Option<&'a Op> {
 /// Guess the label of the node `var` is bound to, by inspecting its
 /// producer inside `scope`.
 pub fn var_label(scope: &Op, var: &Name) -> LabelGuess {
-    let Some(p) = find_producer(scope, var) else { return LabelGuess::Unknown };
+    let Some(p) = find_producer(scope, var) else {
+        return LabelGuess::Unknown;
+    };
     match p {
         Op::CrElt { label, .. } => LabelGuess::Known(label.clone()),
         Op::Cat { .. } | Op::Apply { .. } => LabelGuess::List,
@@ -173,9 +177,13 @@ pub fn var_label(scope: &Op, var: &Name) -> LabelGuess {
 
 /// Guess the label of the *elements* of the list `var` is bound to.
 pub fn list_elem_label(scope: &Op, var: &Name) -> LabelGuess {
-    let Some(p) = find_producer(scope, var) else { return LabelGuess::Unknown };
+    let Some(p) = find_producer(scope, var) else {
+        return LabelGuess::Unknown;
+    };
     match p {
-        Op::Cat { left, right, input, .. } => {
+        Op::Cat {
+            left, right, input, ..
+        } => {
             let l = cat_arg_elem_label(input, left);
             let r = cat_arg_elem_label(input, right);
             if l == r {
@@ -286,13 +294,25 @@ mod tests {
     #[test]
     fn label_guesses() {
         let body = q1_body();
-        assert_eq!(var_label(&body, &Name::new("V")), LabelGuess::Known(Name::new("CustRec")));
-        assert_eq!(var_label(&body, &Name::new("P")), LabelGuess::Known(Name::new("OrderInfo")));
+        assert_eq!(
+            var_label(&body, &Name::new("V")),
+            LabelGuess::Known(Name::new("CustRec"))
+        );
+        assert_eq!(
+            var_label(&body, &Name::new("P")),
+            LabelGuess::Known(Name::new("OrderInfo"))
+        );
         assert_eq!(var_label(&body, &Name::new("W")), LabelGuess::List);
         assert_eq!(var_label(&body, &Name::new("1")), LabelGuess::Leaf);
-        assert_eq!(var_label(&body, &Name::new("C")), LabelGuess::Known(Name::new("customer")));
+        assert_eq!(
+            var_label(&body, &Name::new("C")),
+            LabelGuess::Known(Name::new("customer"))
+        );
         // $Z collects OrderInfo elements via apply.
-        assert_eq!(list_elem_label(&body, &Name::new("Z")), LabelGuess::Known(Name::new("OrderInfo")));
+        assert_eq!(
+            list_elem_label(&body, &Name::new("Z")),
+            LabelGuess::Known(Name::new("OrderInfo"))
+        );
         // $W = cat(list($C), $Z): customer vs OrderInfo → unknown.
         assert_eq!(list_elem_label(&body, &Name::new("W")), LabelGuess::Unknown);
     }
@@ -301,12 +321,21 @@ mod tests {
     fn step_match_logic() {
         use Match3::*;
         let l = |s: &str| Step::Label(Name::new(s));
-        assert_eq!(step_matches_guess(&l("a"), &LabelGuess::Known(Name::new("a"))), Yes);
-        assert_eq!(step_matches_guess(&l("a"), &LabelGuess::Known(Name::new("b"))), No);
+        assert_eq!(
+            step_matches_guess(&l("a"), &LabelGuess::Known(Name::new("a"))),
+            Yes
+        );
+        assert_eq!(
+            step_matches_guess(&l("a"), &LabelGuess::Known(Name::new("b"))),
+            No
+        );
         assert_eq!(step_matches_guess(&l("list"), &LabelGuess::List), Yes);
         assert_eq!(step_matches_guess(&l("x"), &LabelGuess::List), No);
         assert_eq!(step_matches_guess(&Step::Data, &LabelGuess::Leaf), Yes);
-        assert_eq!(step_matches_guess(&Step::Wild, &LabelGuess::Known(Name::new("a"))), Yes);
+        assert_eq!(
+            step_matches_guess(&Step::Wild, &LabelGuess::Known(Name::new("a"))),
+            Yes
+        );
         assert_eq!(step_matches_guess(&l("a"), &LabelGuess::Unknown), Maybe);
     }
 }

@@ -44,7 +44,8 @@ impl Catalog {
 
     /// Register an XML document under its own name.
     pub fn register_xml(&mut self, doc: Document) {
-        self.sources.insert(doc.name().clone(), Source::Xml(Rc::new(doc)));
+        self.sources
+            .insert(doc.name().clone(), Source::Xml(Rc::new(doc)));
     }
 
     /// Register an arbitrary navigable view (e.g. another mediator's
@@ -58,13 +59,17 @@ impl Catalog {
     /// Register a wrapped relation under its root name; its database is
     /// also registered under the database's server name (for `rQ`).
     pub fn register_relation(&mut self, src: RelationSource) {
-        self.databases.insert(src.db().name().clone(), src.db().clone());
-        self.sources.insert(src.root().clone(), Source::Relation(src));
+        self.databases
+            .insert(src.db().name().clone(), src.db().clone());
+        self.sources
+            .insert(src.root().clone(), Source::Relation(src));
     }
 
     /// Look up a source.
     pub fn source(&self, name: &str) -> Result<&Source> {
-        self.sources.get(name).ok_or_else(|| MixError::unknown("source", name))
+        self.sources
+            .get(name)
+            .ok_or_else(|| MixError::unknown("source", name))
     }
 
     /// Registered source names (sorted, for deterministic output).
@@ -85,7 +90,9 @@ impl Catalog {
 
     /// A database server by name (the `s` parameter of `rQ`).
     pub fn database(&self, server: &str) -> Result<&Database> {
-        self.databases.get(server).ok_or_else(|| MixError::unknown("server", server))
+        self.databases
+            .get(server)
+            .ok_or_else(|| MixError::unknown("server", server))
     }
 
     /// A *materialized* navigable view of the source (the eager
@@ -124,12 +131,19 @@ impl Catalog {
     pub fn lazy_relational(&self, name: &str) -> Result<LazyRelationalDoc> {
         match self.source(name)? {
             Source::Relation(r) => Ok(r.lazy()),
-            _ => Err(MixError::invalid(format!("source {name} is not relational"))),
+            _ => Err(MixError::invalid(format!(
+                "source {name} is not relational"
+            ))),
         }
     }
 }
 
-fn copy_children(src: &dyn NavDoc, from: mix_xml::NodeRef, doc: &mut Document, to: mix_xml::NodeRef) {
+fn copy_children(
+    src: &dyn NavDoc,
+    from: mix_xml::NodeRef,
+    doc: &mut Document,
+    to: mix_xml::NodeRef,
+) {
     let mut cur = src.first_child(from);
     while let Some(c) = cur {
         if let Some(v) = src.value(c) {
@@ -188,7 +202,10 @@ mod tests {
     fn database_lookup_for_rq() {
         let cat = catalog();
         let db = cat.database("db1").unwrap();
-        let rows = db.execute_sql("SELECT * FROM orders").unwrap().collect_all();
+        let rows = db
+            .execute_sql("SELECT * FROM orders")
+            .unwrap()
+            .collect_all();
         assert_eq!(rows.len(), 3);
         assert!(cat.database("other").is_err());
     }

@@ -100,9 +100,11 @@ impl LazyRelationalDoc {
                     let tuple = st.doc.add_elem_with_oid(root, elem, Oid::key(key.clone()));
                     let columns = st.columns.clone();
                     for (c, v) in columns.iter().zip(row) {
-                        let field = st
-                            .doc
-                            .add_elem_with_oid(tuple, c.clone(), Oid::key(format!("{key}.{c}")));
+                        let field = st.doc.add_elem_with_oid(
+                            tuple,
+                            c.clone(),
+                            Oid::key(format!("{key}.{c}")),
+                        );
                         st.doc.add_text_with_oid(field, v.clone(), Oid::lit(v));
                     }
                     st.tuples.push(tuple);
@@ -229,7 +231,10 @@ mod tests {
         db.create_table(
             "empty",
             mix_relational::Schema::new(
-                vec![mix_relational::Column::new("k", mix_relational::ColumnType::Int)],
+                vec![mix_relational::Column::new(
+                    "k",
+                    mix_relational::ColumnType::Int,
+                )],
                 &["k"],
             )
             .unwrap(),

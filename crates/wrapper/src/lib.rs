@@ -46,7 +46,12 @@ use mix_relational::Database;
 pub fn fig2_catalog() -> (Catalog, Database) {
     let db = mix_relational::fixtures::sample_db();
     let mut cat = Catalog::new();
-    cat.register_relation(RelationSource::new(db.clone(), "customer", "customer", "root1"));
+    cat.register_relation(RelationSource::new(
+        db.clone(),
+        "customer",
+        "customer",
+        "root1",
+    ));
     cat.register_relation(RelationSource::new(db.clone(), "orders", "order", "root2"));
     (cat, db)
 }
@@ -56,7 +61,12 @@ pub fn fig2_catalog() -> (Catalog, Database) {
 /// [`fig2_catalog`].
 pub fn wrap_customers_orders(db: Database) -> Catalog {
     let mut cat = Catalog::new();
-    cat.register_relation(RelationSource::new(db.clone(), "customer", "customer", "root1"));
+    cat.register_relation(RelationSource::new(
+        db.clone(),
+        "customer",
+        "customer",
+        "root1",
+    ));
     cat.register_relation(RelationSource::new(db, "orders", "order", "root2"));
     cat
 }

@@ -91,7 +91,10 @@ impl RelationSource {
         Ok(SelectStmt {
             distinct: false,
             items: vec![],
-            from: vec![FromItem { table: self.relation.clone(), alias: None }],
+            from: vec![FromItem {
+                table: self.relation.clone(),
+                alias: None,
+            }],
             preds: vec![],
             order_by,
         })
@@ -103,7 +106,10 @@ impl RelationSource {
         Ok(self
             .columns()?
             .into_iter()
-            .map(|c| SelectItem { col: ColRef::qualified(alias.clone(), c), alias: None })
+            .map(|c| SelectItem {
+                col: ColRef::qualified(alias.clone(), c),
+                alias: None,
+            })
             .collect())
     }
 
@@ -161,8 +167,10 @@ mod tests {
     #[test]
     fn tuples_exported_in_key_order() {
         let doc = customers().materialize().unwrap();
-        let ids: Vec<String> =
-            doc.children(doc.root()).map(|c| doc.oid(c).to_string()).collect();
+        let ids: Vec<String> = doc
+            .children(doc.root())
+            .map(|c| doc.oid(c).to_string())
+            .collect();
         // DEF345 < XYZ123 lexicographically.
         assert_eq!(ids, vec!["&DEF345", "&XYZ123"]);
     }
@@ -185,10 +193,19 @@ mod tests {
     #[test]
     fn schema_accessors() {
         let src = customers();
-        let cols: Vec<String> = src.columns().unwrap().iter().map(|c| c.to_string()).collect();
+        let cols: Vec<String> = src
+            .columns()
+            .unwrap()
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
         assert_eq!(cols, vec!["id", "addr", "name"]);
-        let keys: Vec<String> =
-            src.key_columns().unwrap().iter().map(|c| c.to_string()).collect();
+        let keys: Vec<String> = src
+            .key_columns()
+            .unwrap()
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
         assert_eq!(keys, vec!["id"]);
         assert_eq!(
             src.scan_stmt().unwrap().to_string(),

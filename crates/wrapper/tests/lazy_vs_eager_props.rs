@@ -1,42 +1,41 @@
-//! Property test: the lazy wrapper view is indistinguishable from the
-//! materialized view (content, order, oids) on random databases, and
-//! its fetch count equals the navigation high-watermark.
+//! Deterministic property checks: the lazy wrapper view is
+//! indistinguishable from the materialized view (content, order, oids)
+//! on generated databases, and its fetch count equals the navigation
+//! high-watermark.
 
-use mix_relational::fixtures::gen_db;
+use mix_relational::fixtures::{gen_db, Lcg};
 use mix_wrapper::RelationSource;
 use mix_xml::{print, NavDoc};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn lazy_equals_materialized(
-        n in 0usize..30,
-        per in 0usize..4,
-        seed in 0u64..1000,
-        relation_pick in 0usize..2,
-    ) {
-        let db = gen_db(n, per, seed);
-        let (rel, elem) = if relation_pick == 0 {
+#[test]
+fn lazy_equals_materialized() {
+    let mut rng = Lcg(0xC0FFEE);
+    for case in 0..32u64 {
+        let n = rng.below(30) as usize;
+        let per = rng.below(4) as usize;
+        let seed = rng.below(1000);
+        let (rel, elem) = if case % 2 == 0 {
             ("customer", "customer")
         } else {
             ("orders", "order")
         };
+        let db = gen_db(n, per, seed);
         let src = RelationSource::new(db.clone(), rel, elem, "rootx");
         let eager = src.materialize().unwrap();
         let lazy = src.lazy();
         let lt = print::render_tree(&lazy, lazy.root());
         let et = print::render_tree(&eager, eager.root());
-        prop_assert_eq!(lt, et);
+        assert_eq!(lt, et, "case {case}: n={n} per={per} seed={seed} rel={rel}");
     }
+}
 
-    #[test]
-    fn fetch_count_tracks_navigation(
-        n in 1usize..40,
-        k in 1usize..40,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn fetch_count_tracks_navigation() {
+    let mut rng = Lcg(0xBEEF);
+    for case in 0..32u64 {
+        let n = 1 + rng.below(39) as usize;
+        let k = 1 + rng.below(39) as usize;
+        let seed = rng.below(1000);
         let db = gen_db(n, 0, seed);
         let src = RelationSource::new(db.clone(), "customer", "customer", "rootx");
         let stats = db.stats().clone();
@@ -52,7 +51,11 @@ proptest! {
             cur = lazy.next_sibling(node);
         }
         let expect = walked.min(n);
-        prop_assert_eq!(lazy.fetched(), expect);
-        prop_assert_eq!(stats.tuples_shipped(), expect as u64);
+        assert_eq!(
+            lazy.fetched(),
+            expect,
+            "case {case}: n={n} k={k} seed={seed}"
+        );
+        assert_eq!(stats.tuples_shipped(), expect as u64, "case {case}");
     }
 }

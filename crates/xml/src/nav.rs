@@ -8,7 +8,6 @@
 use crate::oid::Oid;
 use mix_common::{Name, Value};
 
-
 /// A document-local node handle. Only meaningful together with the
 /// document that issued it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -64,7 +63,10 @@ pub struct RenamedDoc {
 impl RenamedDoc {
     /// Wrap `inner`, exposing it as source `name`.
     pub fn new(inner: std::rc::Rc<dyn NavDoc>, name: impl Into<Name>) -> RenamedDoc {
-        RenamedDoc { inner, name: name.into() }
+        RenamedDoc {
+            inner,
+            name: name.into(),
+        }
     }
 }
 

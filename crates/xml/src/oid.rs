@@ -71,7 +71,11 @@ impl Oid {
 
     /// A skolem id `f(args)` bound to variable `var`.
     pub fn skolem(func: impl Into<Name>, var: impl Into<Name>, args: Vec<Oid>) -> Oid {
-        Oid(Rc::new(OidKind::Skolem { func: func.into(), var: var.into(), args }))
+        Oid(Rc::new(OidKind::Skolem {
+            func: func.into(),
+            var: var.into(),
+            args,
+        }))
     }
 
     /// Inspect the id's shape.
@@ -107,8 +111,16 @@ impl Oid {
             (OidKind::Key(a), OidKind::Key(b)) => a.cmp(b),
             (OidKind::Lit(a), OidKind::Lit(b)) => a.total_cmp(b),
             (
-                OidKind::Skolem { func: f1, var: v1, args: a1 },
-                OidKind::Skolem { func: f2, var: v2, args: a2 },
+                OidKind::Skolem {
+                    func: f1,
+                    var: v1,
+                    args: a1,
+                },
+                OidKind::Skolem {
+                    func: f2,
+                    var: v2,
+                    args: a2,
+                },
             ) => f1.cmp(f2).then_with(|| v1.cmp(v2)).then_with(|| {
                 for (x, y) in a1.iter().zip(a2.iter()) {
                     let o = x.total_cmp(y);

@@ -17,7 +17,10 @@ use mix_common::{MixError, Name, Result, Value};
 ///
 /// The root element's label becomes the document root's label.
 pub fn parse_document(name: impl Into<Name>, text: &str) -> Result<Document> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     p.skip_misc();
     let (label, oid, selfclose) = p.parse_open_tag()?;
     let mut doc = Document::new(name, label.clone());
@@ -30,7 +33,11 @@ pub fn parse_document(name: impl Into<Name>, text: &str) -> Result<Document> {
     }
     p.skip_misc();
     if p.pos < p.bytes.len() {
-        return Err(MixError::parse("xml", p.pos, "trailing content after root element"));
+        return Err(MixError::parse(
+            "xml",
+            p.pos,
+            "trailing content after root element",
+        ));
     }
     Ok(doc)
 }
@@ -131,13 +138,21 @@ impl<'a> Parser<'a> {
                     let attr = self.parse_name()?;
                     self.skip_ws();
                     if self.peek() != Some(b'=') {
-                        return Err(MixError::parse("xml", self.pos, "expected '=' in attribute"));
+                        return Err(MixError::parse(
+                            "xml",
+                            self.pos,
+                            "expected '=' in attribute",
+                        ));
                     }
                     self.pos += 1;
                     self.skip_ws();
                     let quote = self.peek();
                     if !matches!(quote, Some(b'"' | b'\'')) {
-                        return Err(MixError::parse("xml", self.pos, "expected quoted attribute"));
+                        return Err(MixError::parse(
+                            "xml",
+                            self.pos,
+                            "expected quoted attribute",
+                        ));
                     }
                     let q = quote.unwrap();
                     self.pos += 1;
@@ -164,11 +179,22 @@ impl<'a> Parser<'a> {
     }
 
     /// Parse element content until the matching `</label>`.
-    fn parse_content(&mut self, doc: &mut Document, parent: crate::NodeRef, label: &Name) -> Result<()> {
+    fn parse_content(
+        &mut self,
+        doc: &mut Document,
+        parent: crate::NodeRef,
+        label: &Name,
+    ) -> Result<()> {
         let mut text = String::new();
         loop {
             match self.peek() {
-                None => return Err(MixError::parse("xml", self.pos, format!("unterminated <{label}>"))),
+                None => {
+                    return Err(MixError::parse(
+                        "xml",
+                        self.pos,
+                        format!("unterminated <{label}>"),
+                    ))
+                }
                 Some(b'<') => {
                     flush_text(doc, parent, &mut text);
                     if self.starts_with("</") {
@@ -192,7 +218,9 @@ impl<'a> Parser<'a> {
                     } else {
                         let (child_label, oid, selfclose) = self.parse_open_tag()?;
                         let child = match oid {
-                            Some(k) => doc.add_elem_with_oid(parent, child_label.clone(), Oid::key(k)),
+                            Some(k) => {
+                                doc.add_elem_with_oid(parent, child_label.clone(), Oid::key(k))
+                            }
                             None => doc.add_elem(parent, child_label.clone()),
                         };
                         if !selfclose {
@@ -238,7 +266,13 @@ fn decode_entities(s: &str) -> String {
     while let Some(i) = rest.find('&') {
         out.push_str(&rest[..i]);
         rest = &rest[i..];
-        let known = [("&amp;", '&'), ("&lt;", '<'), ("&gt;", '>'), ("&quot;", '"'), ("&apos;", '\'')];
+        let known = [
+            ("&amp;", '&'),
+            ("&lt;", '<'),
+            ("&gt;", '>'),
+            ("&quot;", '"'),
+            ("&apos;", '\''),
+        ];
         if let Some((ent, ch)) = known.iter().find(|(e, _)| rest.starts_with(e)) {
             out.push(*ch);
             rest = &rest[ent.len()..];
@@ -256,7 +290,10 @@ pub(crate) fn encode_entities(s: &str) -> String {
     if !s.contains(['&', '<', '>', '"']) {
         return s.to_string();
     }
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 #[cfg(test)]
@@ -283,7 +320,10 @@ mod tests {
         assert!(d.next_sibling(c2).is_none());
         let id = d.first_child(c1).unwrap();
         assert_eq!(d.label(id).unwrap().as_str(), "id");
-        assert_eq!(d.value(d.first_child(id).unwrap()), Some(Value::str("XYZ123")));
+        assert_eq!(
+            d.value(d.first_child(id).unwrap()),
+            Some(Value::str("XYZ123"))
+        );
     }
 
     #[test]
@@ -293,7 +333,10 @@ mod tests {
             .children(d.root_ref())
             .map(|c| d.value(d.first_child(c).unwrap()).unwrap())
             .collect();
-        assert_eq!(vals, vec![Value::Int(2400), Value::Float(2.5), Value::str("abc")]);
+        assert_eq!(
+            vals,
+            vec![Value::Int(2400), Value::Float(2.5), Value::str("abc")]
+        );
     }
 
     #[test]
@@ -311,7 +354,10 @@ mod tests {
     fn entities_decoded() {
         let d = parse_document("r", "<x><s>a &amp; b &lt;c&gt;</s></x>").unwrap();
         let s = d.first_child(d.root_ref()).unwrap();
-        assert_eq!(d.value(d.first_child(s).unwrap()), Some(Value::str("a & b <c>")));
+        assert_eq!(
+            d.value(d.first_child(s).unwrap()),
+            Some(Value::str("a & b <c>"))
+        );
     }
 
     #[test]

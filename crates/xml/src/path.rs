@@ -57,7 +57,10 @@ impl LabelPath {
         if steps.is_empty() {
             return Err(MixError::invalid("empty label path"));
         }
-        if steps[..steps.len() - 1].iter().any(|s| matches!(s, Step::Data)) {
+        if steps[..steps.len() - 1]
+            .iter()
+            .any(|s| matches!(s, Step::Data))
+        {
             return Err(MixError::invalid("data() must be the final path step"));
         }
         Ok(LabelPath { steps })
@@ -71,7 +74,11 @@ impl LabelPath {
         for (i, raw) in parts.iter().enumerate() {
             let raw = raw.trim();
             if raw.is_empty() {
-                return Err(MixError::parse("path", i, format!("empty step in {text:?}")));
+                return Err(MixError::parse(
+                    "path",
+                    i,
+                    format!("empty step in {text:?}"),
+                ));
             }
             steps.push(match raw {
                 "*" => Step::Wild,
@@ -84,7 +91,9 @@ impl LabelPath {
 
     /// A single-label path.
     pub fn label(l: impl Into<Name>) -> LabelPath {
-        LabelPath { steps: vec![Step::Label(l.into())] }
+        LabelPath {
+            steps: vec![Step::Label(l.into())],
+        }
     }
 
     /// The steps.
@@ -113,7 +122,9 @@ impl LabelPath {
         if self.steps.len() <= 1 {
             None
         } else {
-            Some(LabelPath { steps: self.steps[1..].to_vec() })
+            Some(LabelPath {
+                steps: self.steps[1..].to_vec(),
+            })
         }
     }
 
@@ -206,7 +217,10 @@ mod tests {
     fn db() -> Document {
         let mut d = Document::new("root1", "list");
         let root = d.root_ref();
-        for (key, id, name) in [("XYZ123", "XYZ123", "XYZInc."), ("DEF345", "DEF345", "DEFCorp.")] {
+        for (key, id, name) in [
+            ("XYZ123", "XYZ123", "XYZInc."),
+            ("DEF345", "DEF345", "DEFCorp."),
+        ] {
             let c = d.add_elem_with_oid(root, "customer", crate::oid::Oid::key(key));
             d.add_field(c, "id", Value::str(id));
             d.add_field(c, "name", Value::str(name));
@@ -243,7 +257,7 @@ mod tests {
     }
 
     #[test]
-    fn eval_from_root_finds_all_in_order(){
+    fn eval_from_root_finds_all_in_order() {
         let d = db();
         let p = LabelPath::parse("list.customer.name.data()").unwrap();
         let hits = p.eval(&d, d.root_ref());
@@ -291,6 +305,8 @@ mod tests {
         let p = LabelPath::parse("custRec.orderInfo").unwrap();
         assert!(p.first_matches_label(&Name::new("custRec")));
         assert!(!p.first_matches_label(&Name::new("orderInfo")));
-        assert!(LabelPath::parse("*.x").unwrap().first_matches_label(&Name::new("anything")));
+        assert!(LabelPath::parse("*.x")
+            .unwrap()
+            .first_matches_label(&Name::new("anything")));
     }
 }

@@ -25,8 +25,18 @@ pub fn to_xml_pretty<D: NavDoc + ?Sized>(doc: &D, n: NodeRef) -> String {
     out
 }
 
-fn write_xml<D: NavDoc + ?Sized>(doc: &D, n: NodeRef, out: &mut String, depth: usize, pretty: bool) {
-    let pad = if pretty { "  ".repeat(depth) } else { String::new() };
+fn write_xml<D: NavDoc + ?Sized>(
+    doc: &D,
+    n: NodeRef,
+    out: &mut String,
+    depth: usize,
+    pretty: bool,
+) {
+    let pad = if pretty {
+        "  ".repeat(depth)
+    } else {
+        String::new()
+    };
     if let Some(v) = doc.value(n) {
         let _ = write!(out, "{pad}{}", encode_entities(&v.to_string()));
         if pretty {
@@ -50,7 +60,11 @@ fn write_xml<D: NavDoc + ?Sized>(doc: &D, n: NodeRef, out: &mut String, depth: u
     };
     if only_text {
         let v = doc.value(child.unwrap()).unwrap();
-        let _ = write!(out, "{pad}<{label}>{}</{label}>", encode_entities(&v.to_string()));
+        let _ = write!(
+            out,
+            "{pad}<{label}>{}</{label}>",
+            encode_entities(&v.to_string())
+        );
         if pretty {
             out.push('\n');
         }
@@ -135,7 +149,12 @@ mod tests {
             "<list><customer><id>XYZ123</id><addr>LosAngeles</addr></customer></list>"
         );
         let back = parse_document("root1", &text).unwrap();
-        assert!(Document::deep_equal(&d, d.root_ref(), &back, back.root_ref()));
+        assert!(Document::deep_equal(
+            &d,
+            d.root_ref(),
+            &back,
+            back.root_ref()
+        ));
     }
 
     #[test]
@@ -163,7 +182,12 @@ mod tests {
         let text = to_xml(&d, d.root_ref());
         assert_eq!(text, "<x><s>a &amp; b</s></x>");
         let back = parse_document("r", &text).unwrap();
-        assert!(Document::deep_equal(&d, d.root_ref(), &back, back.root_ref()));
+        assert!(Document::deep_equal(
+            &d,
+            d.root_ref(),
+            &back,
+            back.root_ref()
+        ));
     }
 
     #[test]

@@ -72,7 +72,11 @@ impl Document {
             last_child: None,
             next_sibling: None,
         };
-        Document { name, nodes: vec![root], next_surrogate: Cell::new(0) }
+        Document {
+            name,
+            nodes: vec![root],
+            next_surrogate: Cell::new(0),
+        }
     }
 
     /// The source name this document was registered under.
@@ -194,7 +198,10 @@ impl Document {
         let ac: Vec<_> = a.children(an).collect();
         let bc: Vec<_> = b.children(bn).collect();
         ac.len() == bc.len()
-            && ac.iter().zip(bc.iter()).all(|(&x, &y)| Document::deep_equal(a, x, b, y))
+            && ac
+                .iter()
+                .zip(bc.iter())
+                .all(|(&x, &y)| Document::deep_equal(a, x, b, y))
     }
 
     /// Deep-copy the subtree rooted at `src_node` in `src` as a new

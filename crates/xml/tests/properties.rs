@@ -1,19 +1,47 @@
-//! Property tests for the XML substrate: serializer/parser round
-//! trips, path evaluation laws, and oid ordering laws.
+//! Deterministic property checks for the XML substrate:
+//! serializer/parser round trips, path evaluation laws, and oid
+//! ordering laws, driven by an in-file seeded generator (no external
+//! randomness so offline builds stay green).
 
 use mix_common::{Name, Value};
 use mix_xml::{parse_document, print, Document, LabelPath, NavDoc, Oid, Step};
-use proptest::prelude::*;
 
-fn label() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9]{0,5}"
+/// Tiny LCG (Numerical Recipes constants) — enough to fuzz shapes
+/// deterministically.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+    fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
 }
 
-fn text_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        any::<i32>().prop_map(|n| Value::Int(n as i64)),
-        "[a-zA-Z][a-zA-Z ]{0,10}[a-zA-Z]".prop_map(Value::str),
-    ]
+fn label(rng: &mut Rng) -> String {
+    let alphabet = b"abcdefghij";
+    let len = 1 + rng.below(5) as usize;
+    (0..len)
+        .map(|_| alphabet[rng.below(10) as usize] as char)
+        .collect()
+}
+
+fn text_value(rng: &mut Rng) -> Value {
+    if rng.below(2) == 0 {
+        Value::Int(rng.next_u64() as i32 as i64)
+    } else {
+        let words = ["alpha", "Bravo Charlie", "x", "Mixed Case Text", "zz top"];
+        Value::str(words[rng.below(words.len() as u64) as usize])
+    }
 }
 
 /// Recursive document shapes: (label, children) trees.
@@ -23,15 +51,18 @@ enum Shape {
     Elem(String, Vec<Shape>),
 }
 
-fn shape() -> impl Strategy<Value = Shape> {
-    let leaf = prop_oneof![
-        text_value().prop_map(Shape::Text),
-        label().prop_map(|l| Shape::Elem(l, vec![])),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        (label(), prop::collection::vec(inner, 0..4))
-            .prop_map(|(l, kids)| Shape::Elem(l, kids))
-    })
+fn shape(rng: &mut Rng, depth: usize) -> Shape {
+    if depth == 0 || rng.below(3) == 0 {
+        if rng.below(2) == 0 {
+            Shape::Text(text_value(rng))
+        } else {
+            Shape::Elem(label(rng), vec![])
+        }
+    } else {
+        let n = rng.below(4) as usize;
+        let kids = (0..n).map(|_| shape(rng, depth - 1)).collect();
+        Shape::Elem(label(rng), kids)
+    }
 }
 
 fn build(doc: &mut Document, parent: mix_xml::NodeRef, s: &Shape) {
@@ -48,16 +79,16 @@ fn build(doc: &mut Document, parent: mix_xml::NodeRef, s: &Shape) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// to_xml ∘ parse preserves structure and content.
-    #[test]
-    fn xml_round_trip(kids in prop::collection::vec(shape(), 0..5)) {
+/// to_xml ∘ parse preserves structure and content.
+#[test]
+fn xml_round_trip() {
+    for seed in 0..96u64 {
+        let mut rng = Rng(seed.wrapping_mul(2654435761).wrapping_add(1));
         let mut doc = Document::new("r", "list");
         let root = doc.root_ref();
-        for k in &kids {
-            build(&mut doc, root, k);
+        for _ in 0..rng.below(5) {
+            let s = shape(&mut rng, 3);
+            build(&mut doc, root, &s);
         }
         // Adjacent text leaves merge in XML text, and merged numeric
         // text may re-canonicalize (e.g. two ints concatenating into a
@@ -69,27 +100,30 @@ proptest! {
         let doc2 = parse_document("r", &text2).unwrap();
         let text3 = print::to_xml(&doc2, doc2.root());
         let doc3 = parse_document("r", &text3).unwrap();
-        prop_assert!(Document::deep_equal(&doc2, doc2.root(), &doc3, doc3.root()),
-            "\nsecond: {text2}\nthird:  {text3}");
-        prop_assert_eq!(text2, text3);
+        assert!(
+            Document::deep_equal(&doc2, doc2.root(), &doc3, doc3.root()),
+            "seed {seed}\nsecond: {text2}\nthird:  {text3}"
+        );
+        assert_eq!(text2, text3, "seed {seed}");
     }
+}
 
-    /// Path evaluation agrees with a naive recursive matcher.
-    #[test]
-    fn path_eval_matches_naive(
-        kids in prop::collection::vec(shape(), 1..4),
-        raw_steps in prop::collection::vec(label(), 1..3),
-        use_data in any::<bool>(),
-    ) {
+/// Path evaluation agrees with a naive recursive matcher.
+#[test]
+fn path_eval_matches_naive() {
+    for seed in 0..96u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(3));
         let mut doc = Document::new("r", "list");
         let root = doc.root_ref();
-        for k in &kids {
-            build(&mut doc, root, k);
+        for _ in 0..1 + rng.below(3) {
+            let s = shape(&mut rng, 3);
+            build(&mut doc, root, &s);
         }
-        let mut steps: Vec<Step> = Vec::new();
-        steps.push(Step::Label(Name::new("list")));
-        steps.extend(raw_steps.iter().map(|l| Step::Label(Name::new(l.clone()))));
-        if use_data {
+        let mut steps: Vec<Step> = vec![Step::Label(Name::new("list"))];
+        for _ in 0..1 + rng.below(2) {
+            steps.push(Step::Label(Name::new(label(&mut rng))));
+        }
+        if rng.below(2) == 0 {
             steps.push(Step::Data);
         }
         let path = LabelPath::new(steps.clone()).unwrap();
@@ -115,38 +149,55 @@ proptest! {
             out
         }
         let slow = naive(&doc, root, &steps);
-        prop_assert_eq!(fast, slow);
-    }
-
-    /// Oid total order: antisymmetric, transitive on a sample, and
-    /// consistent with equality.
-    #[test]
-    fn oid_total_order_laws(
-        a in oid_strategy(),
-        b in oid_strategy(),
-        c in oid_strategy(),
-    ) {
-        use std::cmp::Ordering;
-        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
-        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
-        if a.total_cmp(&b) == Ordering::Less && b.total_cmp(&c) == Ordering::Less {
-            prop_assert_eq!(a.total_cmp(&c), Ordering::Less);
-        }
-        if a == b {
-            prop_assert_eq!(a.total_cmp(&b), Ordering::Equal);
-        }
+        assert_eq!(fast, slow, "seed {seed}");
     }
 }
 
-fn oid_strategy() -> impl Strategy<Value = Oid> {
-    let leaf = prop_oneof![
-        any::<u64>().prop_map(Oid::surrogate),
-        "[A-Z]{1,4}[0-9]{0,3}".prop_map(Oid::key),
-        label().prop_map(Oid::root),
-        any::<i32>().prop_map(|n| Oid::lit(Value::Int(n as i64))),
+fn oid_pool() -> Vec<Oid> {
+    let mut leaves = vec![
+        Oid::surrogate(0),
+        Oid::surrogate(7),
+        Oid::surrogate(u64::MAX),
+        Oid::key("A"),
+        Oid::key("XYZ123"),
+        Oid::root("doc"),
+        Oid::root("zzz"),
+        Oid::lit(Value::Int(-5)),
+        Oid::lit(Value::Int(5)),
     ];
-    leaf.prop_recursive(2, 8, 3, |inner| {
-        ("[fgh]", "[A-Z]", prop::collection::vec(inner, 0..3))
-            .prop_map(|(f, v, args)| Oid::skolem(f, v, args))
-    })
+    let skolems: Vec<Oid> = vec![
+        Oid::skolem("f", "V", vec![]),
+        Oid::skolem("f", "V", vec![leaves[3].clone()]),
+        Oid::skolem("f", "W", vec![leaves[3].clone()]),
+        Oid::skolem("g", "V", vec![leaves[4].clone(), leaves[7].clone()]),
+        Oid::skolem(
+            "g",
+            "V",
+            vec![Oid::skolem("f", "V", vec![leaves[0].clone()])],
+        ),
+    ];
+    leaves.extend(skolems);
+    leaves
+}
+
+/// Oid total order: reflexive-equal, antisymmetric, transitive, and
+/// consistent with equality — exhaustively over a pool of oid shapes.
+#[test]
+fn oid_total_order_laws() {
+    use std::cmp::Ordering;
+    let pool = oid_pool();
+    for a in &pool {
+        assert_eq!(a.total_cmp(a), Ordering::Equal, "{a}");
+        for b in &pool {
+            assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse(), "{a} {b}");
+            if a == b {
+                assert_eq!(a.total_cmp(b), Ordering::Equal, "{a} {b}");
+            }
+            for c in &pool {
+                if a.total_cmp(b) == Ordering::Less && b.total_cmp(c) == Ordering::Less {
+                    assert_eq!(a.total_cmp(c), Ordering::Less, "{a} {b} {c}");
+                }
+            }
+        }
+    }
 }

@@ -96,7 +96,9 @@ impl Query {
 
     /// Does this query's FOR clause reference the query-in-place root?
     pub fn uses_query_root(&self) -> bool {
-        self.for_clause.iter().any(|b| b.base == PathBase::QueryRoot)
+        self.for_clause
+            .iter()
+            .any(|b| b.base == PathBase::QueryRoot)
     }
 }
 
@@ -108,8 +110,16 @@ mod tests {
     fn bound_vars_in_order() {
         let q = Query {
             for_clause: vec![
-                ForBinding { var: Name::new("C"), base: PathBase::Document(Name::new("root1")), steps: vec![] },
-                ForBinding { var: Name::new("O"), base: PathBase::Var(Name::new("C")), steps: vec![] },
+                ForBinding {
+                    var: Name::new("C"),
+                    base: PathBase::Document(Name::new("root1")),
+                    steps: vec![],
+                },
+                ForBinding {
+                    var: Name::new("O"),
+                    base: PathBase::Var(Name::new("C")),
+                    steps: vec![],
+                },
             ],
             where_clause: vec![],
             ret: ReturnExpr::Var(Name::new("C")),

@@ -54,7 +54,10 @@ pub fn lex(text: &str) -> Result<Vec<Spanned>> {
     let mut out = Vec::new();
     macro_rules! push {
         ($tok:expr, $pos:expr) => {
-            out.push(Spanned { tok: $tok, pos: $pos })
+            out.push(Spanned {
+                tok: $tok,
+                pos: $pos,
+            })
         };
     }
     while i < b.len() {
@@ -91,7 +94,9 @@ pub fn lex(text: &str) -> Result<Vec<Spanned>> {
                 let mut s = String::new();
                 loop {
                     match b.get(i) {
-                        None => return Err(MixError::parse("xquery", start, "unterminated string")),
+                        None => {
+                            return Err(MixError::parse("xquery", start, "unterminated string"))
+                        }
                         Some(b'"') => {
                             i += 1;
                             break;
@@ -174,9 +179,13 @@ pub fn lex(text: &str) -> Result<Vec<Spanned>> {
                 }
                 let t = &text[start..i];
                 let v = if is_float {
-                    t.parse::<f64>().map(Value::Float).map_err(|_| MixError::parse("xquery", start, "bad number"))?
+                    t.parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|_| MixError::parse("xquery", start, "bad number"))?
                 } else {
-                    t.parse::<i64>().map(Value::Int).map_err(|_| MixError::parse("xquery", start, "bad number"))?
+                    t.parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|_| MixError::parse("xquery", start, "bad number"))?
                 };
                 push!(Tok::Num(v), start);
             }
@@ -237,42 +246,59 @@ mod tests {
 
     #[test]
     fn lt_vs_le_vs_tag() {
-        assert_eq!(toks("< <= <CustRec>")[..5], [
-            Tok::Lt,
-            Tok::Le,
-            Tok::Lt,
-            Tok::Ident("CustRec".into()),
-            Tok::Gt
-        ]);
+        assert_eq!(
+            toks("< <= <CustRec>")[..5],
+            [
+                Tok::Lt,
+                Tok::Le,
+                Tok::Lt,
+                Tok::Ident("CustRec".into()),
+                Tok::Gt
+            ]
+        );
     }
 
     #[test]
     fn comments_skipped() {
         let t = toks("FOR $C % bind customers\nIN");
-        assert_eq!(t, vec![Tok::Ident("FOR".into()), Tok::Var("C".into()), Tok::Ident("IN".into()), Tok::Eof]);
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("FOR".into()),
+                Tok::Var("C".into()),
+                Tok::Ident("IN".into()),
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]
     fn literals() {
-        assert_eq!(toks("\"B\" 500 -2 2.5"), vec![
-            Tok::Str("B".into()),
-            Tok::Num(Value::Int(500)),
-            Tok::Num(Value::Int(-2)),
-            Tok::Num(Value::Float(2.5)),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("\"B\" 500 -2 2.5"),
+            vec![
+                Tok::Str("B".into()),
+                Tok::Num(Value::Int(500)),
+                Tok::Num(Value::Int(-2)),
+                Tok::Num(Value::Float(2.5)),
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]
     fn group_by_braces() {
-        assert_eq!(toks("{$O, $C}"), vec![
-            Tok::LBrace,
-            Tok::Var("O".into()),
-            Tok::Comma,
-            Tok::Var("C".into()),
-            Tok::RBrace,
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("{$O, $C}"),
+            vec![
+                Tok::LBrace,
+                Tok::Var("O".into()),
+                Tok::Comma,
+                Tok::Var("C".into()),
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ impl<'a> P<'a> {
             self.bump();
             Ok(())
         } else {
-            Err(MixError::parse("xquery", self.pos(), format!("expected {kw}")))
+            Err(MixError::parse(
+                "xquery",
+                self.pos(),
+                format!("expected {kw}"),
+            ))
         }
     }
 
@@ -72,7 +76,11 @@ impl<'a> P<'a> {
                 self.bump();
                 Ok(Name::new(v))
             }
-            t => Err(MixError::parse("xquery", self.pos(), format!("expected variable, found {t:?}"))),
+            t => Err(MixError::parse(
+                "xquery",
+                self.pos(),
+                format!("expected variable, found {t:?}"),
+            )),
         }
     }
 
@@ -82,7 +90,11 @@ impl<'a> P<'a> {
                 self.bump();
                 Ok(s)
             }
-            t => Err(MixError::parse("xquery", self.pos(), format!("expected identifier, found {t:?}"))),
+            t => Err(MixError::parse(
+                "xquery",
+                self.pos(),
+                format!("expected identifier, found {t:?}"),
+            )),
         }
     }
 
@@ -132,7 +144,11 @@ impl<'a> P<'a> {
         }
         self.eat_keyword("RETURN")?;
         let ret = self.return_expr()?;
-        Ok(Query { for_clause, where_clause, ret })
+        Ok(Query {
+            for_clause,
+            where_clause,
+            ret,
+        })
     }
 
     /// `document("x")/a/b`, `source(&x)/a`, `document(root)/a`, `$v/a/b`.
@@ -142,7 +158,9 @@ impl<'a> P<'a> {
                 self.bump();
                 PathBase::Var(Name::new(v))
             }
-            Tok::Ident(f) if f.eq_ignore_ascii_case("document") || f.eq_ignore_ascii_case("source") => {
+            Tok::Ident(f)
+                if f.eq_ignore_ascii_case("document") || f.eq_ignore_ascii_case("source") =>
+            {
                 self.bump();
                 self.eat(&Tok::LParen, "'('")?;
                 let base = match self.bump() {
@@ -200,7 +218,10 @@ impl<'a> P<'a> {
             Tok::Var(v) => {
                 self.bump();
                 let steps = self.steps()?;
-                Ok(Operand::Path { var: Name::new(v), steps })
+                Ok(Operand::Path {
+                    var: Name::new(v),
+                    steps,
+                })
             }
             Tok::Str(s) => {
                 self.bump();
@@ -210,7 +231,11 @@ impl<'a> P<'a> {
                 self.bump();
                 Ok(Operand::Const(v))
             }
-            t => Err(MixError::parse("xquery", self.pos(), format!("expected operand, found {t:?}"))),
+            t => Err(MixError::parse(
+                "xquery",
+                self.pos(),
+                format!("expected operand, found {t:?}"),
+            )),
         }
     }
 
@@ -293,7 +318,11 @@ impl<'a> P<'a> {
             }
             self.eat(&Tok::RBrace, "'}'")?;
         }
-        Ok(Element { label, children, group_by })
+        Ok(Element {
+            label,
+            children,
+            group_by,
+        })
     }
 }
 
@@ -321,7 +350,10 @@ mod tests {
         assert_eq!(q.for_clause.len(), 2);
         assert_eq!(q.for_clause[0].var.as_str(), "C");
         assert_eq!(q.for_clause[0].base, PathBase::Document(Name::new("root1")));
-        assert_eq!(q.for_clause[0].steps, vec![Step::Label(Name::new("customer"))]);
+        assert_eq!(
+            q.for_clause[0].steps,
+            vec![Step::Label(Name::new("customer"))]
+        );
         assert_eq!(q.where_clause.len(), 1);
         let c = &q.where_clause[0];
         assert_eq!(c.op, CmpOp::Eq);
@@ -332,12 +364,16 @@ mod tests {
                 steps: vec![Step::Label(Name::new("id")), Step::Data]
             }
         );
-        let ReturnExpr::Elem(e) = &q.ret else { panic!("expected element") };
+        let ReturnExpr::Elem(e) = &q.ret else {
+            panic!("expected element")
+        };
         assert_eq!(e.label.as_str(), "CustRec");
         assert_eq!(e.group_by, vec![Name::new("C")]);
         assert_eq!(e.children.len(), 2);
         assert_eq!(e.children[0], Item::Var(Name::new("C")));
-        let Item::Elem(oi) = &e.children[1] else { panic!("expected OrderInfo") };
+        let Item::Elem(oi) = &e.children[1] else {
+            panic!("expected OrderInfo")
+        };
         assert_eq!(oi.label.as_str(), "OrderInfo");
         assert_eq!(oi.group_by, vec![Name::new("O")]);
     }
@@ -392,16 +428,15 @@ mod tests {
                </rec> {$C}"#,
         )
         .unwrap();
-        let ReturnExpr::Elem(e) = &q.ret else { panic!() };
+        let ReturnExpr::Elem(e) = &q.ret else {
+            panic!()
+        };
         assert!(matches!(e.children[1], Item::SubQuery(_)));
     }
 
     #[test]
     fn comma_separated_for_clause_accepted() {
-        let q = parse_query(
-            "FOR $A IN document(r)/x, $B IN document(r)/y RETURN $A",
-        )
-        .unwrap();
+        let q = parse_query("FOR $A IN document(r)/x, $B IN document(r)/y RETURN $A").unwrap();
         assert_eq!(q.for_clause.len(), 2);
     }
 
@@ -428,11 +463,11 @@ mod tests {
 
     #[test]
     fn group_by_multiple_vars() {
-        let q = parse_query(
-            "FOR $A IN document(r)/x $B IN $A/y RETURN <g> $B </g> {$A, $B}",
-        )
-        .unwrap();
-        let ReturnExpr::Elem(e) = &q.ret else { panic!() };
+        let q =
+            parse_query("FOR $A IN document(r)/x $B IN $A/y RETURN <g> $B </g> {$A, $B}").unwrap();
+        let ReturnExpr::Elem(e) = &q.ret else {
+            panic!()
+        };
         assert_eq!(e.group_by, vec![Name::new("A"), Name::new("B")]);
     }
 }
@@ -459,7 +494,9 @@ mod wildcard_tests {
     #[test]
     fn wildcard_in_where_operand() {
         let q = parse_query("FOR $X IN document(r)/a WHERE $X/*/data() > 1 RETURN $X").unwrap();
-        let crate::ast::Operand::Path { steps, .. } = &q.where_clause[0].lhs else { panic!() };
+        let crate::ast::Operand::Path { steps, .. } = &q.where_clause[0].lhs else {
+            panic!()
+        };
         assert_eq!(steps, &vec![Step::Wild, Step::Data]);
     }
 }

@@ -141,7 +141,8 @@ mod tests {
         for text in QUERIES {
             let q = parse_query(text).unwrap();
             let printed = print_query(&q);
-            let q2 = parse_query(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+            let q2 =
+                parse_query(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
             assert_eq!(q, q2, "round trip changed the query:\n{printed}");
             // And printing is a fixpoint.
             assert_eq!(printed, print_query(&q2));

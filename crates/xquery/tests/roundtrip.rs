@@ -1,113 +1,142 @@
-//! Property test: print ∘ parse is the identity on generated queries.
+//! Deterministic property check: print ∘ parse is the identity on
+//! generated queries (seeded in-file generator, no external
+//! randomness so offline builds stay green).
 
 use mix_common::Name;
-use mix_xquery::{parse_query, print_query, Condition, Element, ForBinding, Item, Operand, PathBase, Query, ReturnExpr};
 use mix_xml::Step;
-use proptest::prelude::*;
+use mix_xquery::{
+    parse_query, print_query, Condition, Element, ForBinding, Item, Operand, PathBase, Query,
+    ReturnExpr,
+};
 
-fn ident() -> impl Strategy<Value = String> {
-    "[A-Za-z][A-Za-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
-        !["FOR", "IN", "WHERE", "AND", "RETURN", "document", "source", "root", "data",
-          "for", "in", "where", "and", "return", "true", "false"]
-            .iter()
-            .any(|k| s.eq_ignore_ascii_case(k))
-    })
-}
+struct Rng(u64);
 
-fn steps() -> impl Strategy<Value = Vec<Step>> {
-    (prop::collection::vec(ident(), 1..4), any::<bool>()).prop_map(|(labels, data)| {
-        let mut v: Vec<Step> = labels.into_iter().map(|l| Step::Label(Name::new(l))).collect();
-        if data {
-            v.push(Step::Data);
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+    fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
         }
-        v
-    })
+    }
 }
 
-fn operand(vars: Vec<String>) -> impl Strategy<Value = Operand> {
-    let var = prop::sample::select(vars);
-    prop_oneof![
-        (var.clone(), steps()).prop_map(|(v, s)| Operand::Path { var: Name::new(v), steps: s }),
-        var.prop_map(|v| Operand::Path { var: Name::new(v), steps: vec![] }),
-        any::<i64>().prop_map(|n| Operand::Const(mix_common::Value::Int(n))),
-        "[a-zA-Z ]{0,8}".prop_map(|s| Operand::Const(mix_common::Value::str(s))),
-    ]
-}
-
-fn cmp_op() -> impl Strategy<Value = mix_common::CmpOp> {
-    use mix_common::CmpOp::*;
-    prop::sample::select(vec![Eq, Ne, Lt, Le, Gt, Ge])
-}
-
-fn query() -> impl Strategy<Value = Query> {
-    (
-        prop::collection::vec((ident(), ident(), steps()), 1..4),
-        prop::collection::vec((cmp_op(), any::<u8>()), 0..3),
-        any::<u8>(),
-        ident(),
-        ident(),
+/// Identifiers that are safely not grammar keywords.
+fn ident(rng: &mut Rng) -> String {
+    let stems = ["cust", "ord", "val", "x", "Rec", "itemTag", "q7", "Zed"];
+    format!(
+        "{}{}",
+        stems[rng.below(stems.len() as u64) as usize],
+        rng.below(100)
     )
-        .prop_flat_map(|(bindings, conds, ret_pick, label, src)| {
-            // Make variable names unique.
-            let mut for_clause = Vec::new();
-            let mut vars = Vec::new();
-            for (i, (v, _s2, s)) in bindings.into_iter().enumerate() {
-                let v = format!("{v}{i}");
-                vars.push(v.clone());
-                let base = if i == 0 {
-                    PathBase::Document(Name::new(src.clone()))
-                } else {
-                    PathBase::Var(Name::new(vars[i - 1].clone()))
-                };
-                for_clause.push(ForBinding { var: Name::new(v), base, steps: s });
-            }
-            let vars2 = vars.clone();
-            let where_strategy = conds
-                .into_iter()
-                .map(move |(op, pick)| {
-                    let vars3 = vars2.clone();
-                    let vars4 = vars2.clone();
-                    (operand(vars3.clone()), operand(vars3))
-                        .prop_map(move |(l, r)| {
-                            // LHS must be a path operand for the grammar.
-                            let lhs = match l {
-                                Operand::Const(_) => Operand::Path {
-                                    var: Name::new(vars4[pick as usize % vars4.len()].clone()),
-                                    steps: vec![],
-                                },
-                                p => p,
-                            };
-                            Condition { lhs, op, rhs: r }
-                        })
-                })
-                .collect::<Vec<_>>();
-            let ret_var = vars[ret_pick as usize % vars.len()].clone();
-            let all_vars = vars.clone();
-            where_strategy.prop_map(move |where_clause| {
-                let ret = if ret_pick % 2 == 0 {
-                    ReturnExpr::Var(Name::new(ret_var.clone()))
-                } else {
-                    ReturnExpr::Elem(Element {
-                        label: Name::new(label.clone()),
-                        children: all_vars.iter().map(|v| Item::Var(Name::new(v.clone()))).collect(),
-                        group_by: vec![Name::new(all_vars[0].clone())],
-                    })
-                };
-                Query { for_clause: for_clause.clone(), where_clause, ret }
-            })
-        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn steps(rng: &mut Rng) -> Vec<Step> {
+    let mut v: Vec<Step> = (0..1 + rng.below(3))
+        .map(|_| Step::Label(Name::new(ident(rng))))
+        .collect();
+    if rng.below(2) == 0 {
+        v.push(Step::Data);
+    }
+    v
+}
 
-    #[test]
-    fn print_parse_roundtrip(q in query()) {
+fn operand(rng: &mut Rng, vars: &[String]) -> Operand {
+    match rng.below(4) {
+        0 => Operand::Path {
+            var: Name::new(vars[rng.below(vars.len() as u64) as usize].clone()),
+            steps: steps(rng),
+        },
+        1 => Operand::Path {
+            var: Name::new(vars[rng.below(vars.len() as u64) as usize].clone()),
+            steps: vec![],
+        },
+        2 => Operand::Const(mix_common::Value::Int(rng.next_u64() as i64)),
+        _ => {
+            let words = ["", "a phrase", "XYZInc", "B"];
+            Operand::Const(mix_common::Value::str(words[rng.below(4) as usize]))
+        }
+    }
+}
+
+fn cmp_op(rng: &mut Rng) -> mix_common::CmpOp {
+    use mix_common::CmpOp::*;
+    [Eq, Ne, Lt, Le, Gt, Ge][rng.below(6) as usize]
+}
+
+fn query(rng: &mut Rng) -> Query {
+    let src = ident(rng);
+    let n_bindings = 1 + rng.below(3) as usize;
+    let mut for_clause = Vec::new();
+    let mut vars: Vec<String> = Vec::new();
+    for i in 0..n_bindings {
+        let v = format!("{}{}", ident(rng), i);
+        let base = if i == 0 {
+            PathBase::Document(Name::new(src.clone()))
+        } else {
+            PathBase::Var(Name::new(vars[i - 1].clone()))
+        };
+        for_clause.push(ForBinding {
+            var: Name::new(v.clone()),
+            base,
+            steps: steps(rng),
+        });
+        vars.push(v);
+    }
+    let mut where_clause = Vec::new();
+    for _ in 0..rng.below(3) {
+        // LHS must be a path operand for the grammar.
+        let lhs = match operand(rng, &vars) {
+            Operand::Const(_) => Operand::Path {
+                var: Name::new(vars[rng.below(vars.len() as u64) as usize].clone()),
+                steps: vec![],
+            },
+            p => p,
+        };
+        where_clause.push(Condition {
+            lhs,
+            op: cmp_op(rng),
+            rhs: operand(rng, &vars),
+        });
+    }
+    let ret = if rng.below(2) == 0 {
+        ReturnExpr::Var(Name::new(
+            vars[rng.below(vars.len() as u64) as usize].clone(),
+        ))
+    } else {
+        ReturnExpr::Elem(Element {
+            label: Name::new(ident(rng)),
+            children: vars
+                .iter()
+                .map(|v| Item::Var(Name::new(v.clone())))
+                .collect(),
+            group_by: vec![Name::new(vars[0].clone())],
+        })
+    };
+    Query {
+        for_clause,
+        where_clause,
+        ret,
+    }
+}
+
+#[test]
+fn print_parse_roundtrip() {
+    for seed in 0..128u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(11));
+        let q = query(&mut rng);
         let printed = print_query(&q);
-        let reparsed = parse_query(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
-        prop_assert_eq!(&reparsed, &q, "\nprinted:\n{}", printed);
+        let reparsed =
+            parse_query(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(reparsed, q, "seed {seed}\nprinted:\n{printed}");
         // printing is a fixpoint
-        prop_assert_eq!(print_query(&reparsed), printed);
+        assert_eq!(print_query(&reparsed), printed, "seed {seed}");
     }
 }

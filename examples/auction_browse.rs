@@ -43,10 +43,18 @@ fn main() -> Result<()> {
             .and_then(|f| session.r(f)) // id, model
             .and_then(|f| session.d(f))
             .and_then(|v| session.fv(v));
-        println!("  listing {}: {} ({:?})", i + 1, session.oid(listing), model);
+        println!(
+            "  listing {}: {} ({:?})",
+            i + 1,
+            session.oid(listing),
+            model
+        );
         cur = session.r(listing);
     }
-    println!("step 2: browsed 3 listings; shipped so far: {}", stats.tuples_shipped());
+    println!(
+        "step 2: browsed 3 listings; shipped so far: {}",
+        stats.tuples_shipped()
+    );
 
     // "His query is too general": refine in place from the result root.
     let p4 = session.q(
@@ -62,7 +70,11 @@ fn main() -> Result<()> {
     // Browse into the first refined listing and its lens list.
     let listing = session.d(p4).expect("at least one refined listing");
     let cam = session.d(listing).expect("camera");
-    println!("step 4: browsing into {} ({})", session.oid(listing), session.oid(cam));
+    println!(
+        "step 4: browsing into {} ({})",
+        session.oid(listing),
+        session.oid(cam)
+    );
 
     // "There are too many lenses": query the lens list in place.
     let p9 = session.q(
@@ -79,8 +91,6 @@ fn main() -> Result<()> {
 
     let total: u64 = stats.tuples_shipped();
     let db_size = 400 + 400 * 12;
-    println!(
-        "session shipped {total} source tuples out of {db_size} rows in the database"
-    );
+    println!("session shipped {total} source tuples out of {db_size} rows in the database");
     Ok(())
 }

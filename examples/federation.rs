@@ -32,7 +32,10 @@ fn main() -> Result<()> {
 
     // --- the upper mediator: the lower result is one of its sources --
     let mut upper_catalog = Catalog::new();
-    upper_catalog.register_nav("custview", lower_session.export_result(view_root, "custview"));
+    upper_catalog.register_nav(
+        "custview",
+        lower_session.export_result(view_root, "custview"),
+    );
     let upper = Mediator::new(upper_catalog);
     let mut upper_session = upper.session();
 

@@ -31,7 +31,10 @@ fn main() -> Result<()> {
     // Q1 (Fig. 3): customers with their orders, grouped.
     println!("== query Q1 ==\n{Q1}\n");
     let p0 = session.query(Q1)?;
-    println!("== optimized plan ==\n{}", session.result_info(p0).exec_plan.render());
+    println!(
+        "== optimized plan ==\n{}",
+        session.result_info(p0).exec_plan.render()
+    );
 
     // Navigate: the result is virtual; each step fetches only what it needs.
     let p1 = session.d(p0).expect("first CustRec");
@@ -45,15 +48,25 @@ fn main() -> Result<()> {
         db.stats().tuples_shipped()
     );
     let p2 = session.r(p1).expect("second CustRec");
-    println!("r(p1) -> {} (id {})", session.fl(p2).unwrap(), session.oid(p2));
+    println!(
+        "r(p1) -> {} (id {})",
+        session.fl(p2).unwrap(),
+        session.oid(p2)
+    );
 
     // Query in place from the first CustRec (decontextualization).
     let p9 = session.q(
         "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O",
         p1,
     )?;
-    println!("\n== in-place query result (orders < 600 of {}) ==", session.oid(p1));
+    println!(
+        "\n== in-place query result (orders < 600 of {}) ==",
+        session.oid(p1)
+    );
     println!("{}", session.render(p9));
-    println!("== its SQL ==\n{}", session.result_info(p9).exec_plan.render());
+    println!(
+        "== its SQL ==\n{}",
+        session.result_info(p9).exec_plan.render()
+    );
     Ok(())
 }

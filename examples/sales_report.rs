@@ -48,7 +48,10 @@ fn main() -> Result<()> {
     // --- naive run ------------------------------------------------------
     let mut naive_mediator = Mediator::with_options(
         catalog,
-        MediatorOptions { optimize: false, ..Default::default() },
+        MediatorOptions {
+            optimize: false,
+            ..Default::default()
+        },
     );
     naive_mediator.define_view("custorders", VIEW)?;
     let mut naive_session = naive_mediator.session();

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, build, and the full test suite.
+# Everything runs offline (no crates.io access needed).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "All checks passed."

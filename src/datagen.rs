@@ -2,13 +2,16 @@
 //! and benchmarks.
 
 use mix::prelude::*;
+use mix::relational::fixtures::Lcg;
 use mix::relational::{Column, ColumnType};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// The paper's customers/orders schema at an arbitrary scale, wrapped
 /// as sources `root1` (customer) and `root2` (order).
-pub fn customers_orders(n_customers: usize, orders_per_customer: usize, seed: u64) -> (Catalog, Database) {
+pub fn customers_orders(
+    n_customers: usize,
+    orders_per_customer: usize,
+    seed: u64,
+) -> (Catalog, Database) {
     let db = mix::relational::fixtures::gen_db(n_customers, orders_per_customer, seed);
     let catalog = mix::wrapper::wrap_customers_orders(db.clone());
     (catalog, db)
@@ -56,16 +59,16 @@ pub fn auction_db(n_cameras: usize, lenses_per_camera: usize, seed: u64) -> (Cat
     )
     .expect("fresh table");
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Lcg(seed);
     let brands = ["Nikon", "Canon", "Pentax", "Olympus", "Leica"];
     let regions = ["SoCal", "NorCal", "PNW", "East", "Midwest"];
     let mut lens_id = 0usize;
     for i in 0..n_cameras {
         let id = format!("CAM{i:05}");
         let model = format!("{}{}", brands[i % brands.len()], 100 + i);
-        let price = rng.random_range(50..2000);
-        let afspeed = (rng.random_range(1..20) as f64) / 10.0;
-        let rating = rng.random_range(0..3);
+        let price = 50 + rng.below(1950) as i64;
+        let afspeed = (1 + rng.below(19)) as f64 / 10.0;
+        let rating = rng.below(3) as i64;
         db.insert(
             "camera",
             vec![
@@ -85,9 +88,9 @@ pub fn auction_db(n_cameras: usize, lenses_per_camera: usize, seed: u64) -> (Cat
                 vec![
                     Value::str(&lid),
                     Value::str(&id),
-                    Value::Int(rng.random_range(20..800)),
-                    Value::Int(rng.random_range(5..30)),
-                    Value::str(regions[rng.random_range(0..regions.len())]),
+                    Value::Int(20 + rng.below(780) as i64),
+                    Value::Int(5 + rng.below(25) as i64),
+                    Value::str(regions[rng.below(regions.len() as u64) as usize]),
                 ],
             )
             .expect("row fits schema");
@@ -95,7 +98,12 @@ pub fn auction_db(n_cameras: usize, lenses_per_camera: usize, seed: u64) -> (Cat
     }
 
     let mut catalog = Catalog::new();
-    catalog.register_relation(RelationSource::new(db.clone(), "camera", "camera", "cameras"));
+    catalog.register_relation(RelationSource::new(
+        db.clone(),
+        "camera",
+        "camera",
+        "cameras",
+    ));
     catalog.register_relation(RelationSource::new(db.clone(), "lens", "lens", "lenses"));
     (catalog, db)
 }
@@ -110,12 +118,13 @@ mod tests {
         assert_eq!(db.table("camera").unwrap().len(), 10);
         assert_eq!(db.table("lens").unwrap().len(), 40);
         let (_, db2) = auction_db(10, 4, 7);
-        assert_eq!(db.table("lens").unwrap().rows(), db2.table("lens").unwrap().rows());
+        assert_eq!(
+            db.table("lens").unwrap().rows(),
+            db2.table("lens").unwrap().rows()
+        );
         // every lens links to an existing camera
         let rows = db
-            .execute_sql(
-                "SELECT l.id FROM lens l, camera c WHERE l.camid = c.id",
-            )
+            .execute_sql("SELECT l.id FROM lens l, camera c WHERE l.camid = c.id")
             .unwrap()
             .collect_all();
         assert_eq!(rows.len(), 40);

@@ -1,9 +1,10 @@
-//! Property tests for queries-in-place: for random databases and
-//! random navigation targets, the decontextualized (optimized) query
-//! returns exactly what querying the materialized subtree returns.
+//! Deterministic property checks for queries-in-place: for generated
+//! databases and navigation targets, the decontextualized (optimized)
+//! query returns exactly what querying the materialized subtree
+//! returns.
 
 use mix::prelude::*;
-use proptest::prelude::*;
+use mix::relational::fixtures::Lcg;
 
 const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
      WHERE $C/id/data() = $O/cid/data() \
@@ -25,45 +26,48 @@ fn content_only(rendered: &str) -> String {
         .join("\n")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// q(query, node) ≡ q_materialized(query, node) on random data,
-    /// random customers, random thresholds.
-    #[test]
-    fn decontext_equals_materialized_subtree(
-        n_customers in 2usize..15,
-        orders_per in 1usize..6,
-        seed in 0u64..300,
-        pick in 0usize..15,
-        threshold in 0i64..100_000,
-        below in any::<bool>(),
-    ) {
+/// q(query, node) ≡ q_materialized(query, node) on generated data,
+/// varying customers, thresholds and the navigation target.
+#[test]
+fn decontext_equals_materialized_subtree() {
+    let mut rng = Lcg(41);
+    for case in 0..16u64 {
+        let n_customers = 2 + rng.below(13) as usize;
+        let orders_per = 1 + rng.below(5) as usize;
+        let seed = rng.below(300);
+        let pick = rng.below(15) as usize;
+        let threshold = rng.below(100_000) as i64;
+        let op = if rng.below(2) == 0 { "<" } else { ">" };
         let (catalog, _db) = mix_repro::datagen::customers_orders(n_customers, orders_per, seed);
         let m = Mediator::new(catalog);
         let mut s = m.session();
         let p0 = s.query(Q1).unwrap();
         // Navigate to the pick-th CustRec (wrapping around).
         let recs = s.children(p0);
-        prop_assume!(!recs.is_empty());
+        assert!(!recs.is_empty());
         let target = recs[pick % recs.len()];
-        let op = if below { "<" } else { ">" };
         let q = format!(
             "FOR $O IN document(root)/OrderInfo WHERE $O/order/value {op} {threshold} RETURN $O"
         );
         let a = s.q(&q, target).unwrap();
         let b = s.q_materialized(&q, target).unwrap();
-        prop_assert_eq!(content_only(&s.render(a)), content_only(&s.render(b)));
+        assert_eq!(
+            content_only(&s.render(a)),
+            content_only(&s.render(b)),
+            "case {case}: n={n_customers} per={orders_per} seed={seed} {op} {threshold}"
+        );
     }
+}
 
-    /// Composition from the root ≡ refiltering the materialized result.
-    #[test]
-    fn composition_equals_materialized_root(
-        n_customers in 2usize..12,
-        orders_per in 1usize..5,
-        seed in 0u64..300,
-        threshold in 0i64..100_000,
-    ) {
+/// Composition from the root ≡ refiltering the materialized result.
+#[test]
+fn composition_equals_materialized_root() {
+    let mut rng = Lcg(43);
+    for case in 0..16u64 {
+        let n_customers = 2 + rng.below(10) as usize;
+        let orders_per = 1 + rng.below(4) as usize;
+        let seed = rng.below(300);
+        let threshold = rng.below(100_000) as i64;
         let (catalog, _db) = mix_repro::datagen::customers_orders(n_customers, orders_per, seed);
         let m = Mediator::new(catalog);
         let mut s = m.session();
@@ -74,6 +78,10 @@ proptest! {
         );
         let a = s.q(&q, p0).unwrap();
         let b = s.q_materialized(&q, p0).unwrap();
-        prop_assert_eq!(content_only(&s.render(a)), content_only(&s.render(b)));
+        assert_eq!(
+            content_only(&s.render(a)),
+            content_only(&s.render(b)),
+            "case {case}: n={n_customers} per={orders_per} seed={seed} thr={threshold}"
+        );
     }
 }

@@ -1,4 +1,5 @@
-//! Property tests: the implementation's load-bearing equivalences.
+//! Deterministic equivalence checks: the implementation's load-bearing
+//! equivalences, exercised over seeded generated databases.
 //!
 //! * lazy (navigation-driven) evaluation ≡ eager evaluation;
 //! * optimized (rewritten + SQL-pushed) plans ≡ naive plans;
@@ -6,7 +7,7 @@
 //! * rewriting is sound on composed plans.
 
 use mix::prelude::*;
-use proptest::prelude::*;
+use mix::relational::fixtures::Lcg;
 
 /// Query templates over the customers/orders schema, parameterized by
 /// an integer threshold.
@@ -49,59 +50,141 @@ fn content_only(rendered: &str) -> String {
         .join("\n")
 }
 
-fn run_with(
-    optimize: bool,
-    access: AccessMode,
-    catalog: &Catalog,
-    query: &str,
-) -> String {
-    let mediator = Mediator::with_options(
-        catalog.clone(),
-        MediatorOptions { access, optimize, ..Default::default() },
-    );
+fn run_with(options: MediatorOptions, catalog: &Catalog, query: &str) -> String {
+    let mediator = Mediator::with_options(catalog.clone(), options);
     let mut s = mediator.session();
     let p = s.query(query).expect("query runs");
     s.render(p)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn opts(optimize: bool, access: AccessMode) -> MediatorOptions {
+    MediatorOptions {
+        access,
+        optimize,
+        ..Default::default()
+    }
+}
 
-    /// Lazy ≡ eager and optimized ≡ naive on random databases.
-    #[test]
-    fn four_way_equivalence(
-        n_customers in 1usize..12,
-        orders_per in 0usize..5,
-        seed in 0u64..500,
-        template_idx in 0usize..TEMPLATES.len(),
-        threshold in 0i64..100_000,
-    ) {
+/// Lazy ≡ eager and optimized ≡ naive on generated databases.
+#[test]
+fn four_way_equivalence() {
+    let mut rng = Lcg(2002);
+    for case in 0..24u64 {
+        let n_customers = 1 + rng.below(11) as usize;
+        let orders_per = rng.below(5) as usize;
+        let seed = rng.below(500);
+        let template_idx = (case % TEMPLATES.len() as u64) as usize;
+        let threshold = rng.below(100_000) as i64;
         let (catalog, _db) = mix_repro::datagen::customers_orders(n_customers, orders_per, seed);
         let query = instantiate(TEMPLATES[template_idx], threshold);
-        let reference = content_only(&run_with(false, AccessMode::Eager, &catalog, &query));
+        let reference = content_only(&run_with(opts(false, AccessMode::Eager), &catalog, &query));
         for (optimize, access) in [
             (false, AccessMode::Lazy),
             (true, AccessMode::Eager),
             (true, AccessMode::Lazy),
         ] {
-            let got = content_only(&run_with(optimize, access, &catalog, &query));
-            prop_assert_eq!(
-                &got, &reference,
-                "optimize={} access={:?} query={}", optimize, access, query
+            let got = content_only(&run_with(opts(optimize, access), &catalog, &query));
+            assert_eq!(
+                got, reference,
+                "case {case}: optimize={optimize} access={access:?} query={query}"
             );
         }
     }
+}
 
-    /// The pipelined SQL executor agrees with the cartesian-product
-    /// reference evaluator.
-    #[test]
-    fn sql_executor_matches_reference(
-        n_customers in 1usize..15,
-        orders_per in 0usize..5,
-        seed in 0u64..500,
-        threshold in 0i64..100_000,
-        qidx in 0usize..5,
-    ) {
+/// The hash join/semi-join kernels produce the *identical tuple
+/// sequence* as the nested-loop kernels — same content, same oids, same
+/// order — across generated databases, both access modes, and both
+/// optimizer settings. (The hash kernels preserve left-major order by
+/// keeping buckets in build-input arrival order; this pins that claim.)
+#[test]
+fn hash_and_nested_loop_join_kernels_agree() {
+    let mut rng = Lcg(909);
+    for case in 0..20u64 {
+        let n_customers = 1 + rng.below(12) as usize;
+        let orders_per = rng.below(5) as usize;
+        let seed = rng.below(500);
+        let threshold = rng.below(100_000) as i64;
+        let template_idx = (case % TEMPLATES.len() as u64) as usize;
+        let (catalog, _db) = mix_repro::datagen::customers_orders(n_customers, orders_per, seed);
+        let query = instantiate(TEMPLATES[template_idx], threshold);
+        for optimize in [false, true] {
+            for access in [AccessMode::Lazy, AccessMode::Eager] {
+                let mut renders = Vec::new();
+                for hash_joins in [true, false] {
+                    let options = MediatorOptions {
+                        access,
+                        optimize,
+                        hash_joins,
+                        ..Default::default()
+                    };
+                    renders.push(run_with(options, &catalog, &query));
+                }
+                // Exact equality: oids and sibling order included.
+                assert_eq!(
+                    renders[0], renders[1],
+                    "case {case}: optimize={optimize} access={access:?} query={query}"
+                );
+            }
+        }
+    }
+}
+
+/// All four `groupBy` kernels (presorted stateless, stateful, hash,
+/// auto) produce identical results on key-contiguous inputs — the Q1
+/// shape, whose gBy inputs the sortedness analysis proves contiguous —
+/// and the order-insensitive kernels also agree with each other on
+/// arbitrary inputs.
+#[test]
+fn gby_kernels_agree() {
+    let mut rng = Lcg(424);
+    for case in 0..10u64 {
+        let n_customers = 1 + rng.below(9) as usize;
+        let orders_per = rng.below(4) as usize;
+        let seed = rng.below(300);
+        let (catalog, _db) = mix_repro::datagen::customers_orders(n_customers, orders_per, seed);
+        // The Q1 join+group shape (provably contiguous gBy inputs).
+        let query = instantiate(TEMPLATES[2], 0);
+        for optimize in [false, true] {
+            let reference = run_with(
+                MediatorOptions {
+                    optimize,
+                    gby: GByMode::StatelessPresorted,
+                    ..Default::default()
+                },
+                &catalog,
+                &query,
+            );
+            for gby in [GByMode::Stateful, GByMode::Hash, GByMode::Auto] {
+                let got = run_with(
+                    MediatorOptions {
+                        optimize,
+                        gby,
+                        ..Default::default()
+                    },
+                    &catalog,
+                    &query,
+                );
+                assert_eq!(
+                    got, reference,
+                    "case {case}: optimize={optimize} gby={gby:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The pipelined SQL executor agrees with the cartesian-product
+/// reference evaluator.
+#[test]
+fn sql_executor_matches_reference() {
+    let mut rng = Lcg(77);
+    for case in 0..25u64 {
+        let n_customers = 1 + rng.below(14) as usize;
+        let orders_per = rng.below(5) as usize;
+        let seed = rng.below(500);
+        let threshold = rng.below(100_000) as i64;
+        let qidx = (case % 5) as usize;
         let db = mix::relational::fixtures::gen_db(n_customers, orders_per, seed);
         let sqls = [
             format!("SELECT * FROM orders WHERE value > {threshold}"),
@@ -114,22 +197,29 @@ proptest! {
         let mut fast = db.execute(&stmt).unwrap().collect_all();
         let mut slow = mix::relational::reference::eval_reference(&db, &stmt).unwrap();
         if stmt.order_by.is_empty() {
-            let key = |r: &Vec<Value>| r.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\u{1}");
+            let key = |r: &Vec<Value>| {
+                r.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\u{1}")
+            };
             fast.sort_by_key(key);
             slow.sort_by_key(key);
         }
-        prop_assert_eq!(fast, slow);
+        assert_eq!(fast, slow, "case {case}: {}", sqls[qidx]);
     }
+}
 
-    /// Rewriting composed plans is sound: the optimized composed query
-    /// and the naive composed query produce the same content.
-    #[test]
-    fn composition_rewrite_soundness(
-        n_customers in 1usize..10,
-        orders_per in 1usize..4,
-        seed in 0u64..200,
-        threshold in 0i64..100_000,
-    ) {
+/// Rewriting composed plans is sound: the optimized composed query
+/// and the naive composed query produce the same content.
+#[test]
+fn composition_rewrite_soundness() {
+    let mut rng = Lcg(555);
+    for case in 0..12u64 {
+        let n_customers = 1 + rng.below(9) as usize;
+        let orders_per = 1 + rng.below(3) as usize;
+        let seed = rng.below(200);
+        let threshold = rng.below(100_000) as i64;
         let (catalog, _db) = mix_repro::datagen::customers_orders(n_customers, orders_per, seed);
         const VIEW: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
              WHERE $C/id/data() = $O/cid/data() \
@@ -140,15 +230,13 @@ proptest! {
         );
         let mut results = Vec::new();
         for optimize in [true, false] {
-            let mut mediator = Mediator::with_options(
-                catalog.clone(),
-                MediatorOptions { optimize, ..Default::default() },
-            );
+            let mut mediator =
+                Mediator::with_options(catalog.clone(), opts(optimize, AccessMode::Lazy));
             mediator.define_view("v", VIEW).unwrap();
             let mut s = mediator.session();
             let p = s.query(&report).unwrap();
             results.push(content_only(&s.render(p)));
         }
-        prop_assert_eq!(&results[0], &results[1]);
+        assert_eq!(results[0], results[1], "case {case}: thr={threshold}");
     }
 }

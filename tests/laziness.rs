@@ -10,7 +10,14 @@ const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order
      RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
 
 fn mediator(catalog: Catalog, optimize: bool, access: AccessMode) -> Mediator {
-    Mediator::with_options(catalog, MediatorOptions { access, optimize, ..Default::default() })
+    Mediator::with_options(
+        catalog,
+        MediatorOptions {
+            access,
+            optimize,
+            ..Default::default()
+        },
+    )
 }
 
 /// E1: browsing k of N results ships ~k·(orders+1) tuples under lazy
@@ -97,14 +104,20 @@ fn e3_decontext_beats_materialize() {
     // The materializing baseline copies the full 30-order subtree to
     // the mediator; decontextualization only touches the matching
     // orders (high selectivity ⇒ almost none).
-    assert!(materialize_built > 30 * 4, "materialize_built={materialize_built}");
+    assert!(
+        materialize_built > 30 * 4,
+        "materialize_built={materialize_built}"
+    );
     assert!(
         decontext_built < materialize_built,
         "decontext_built={decontext_built} materialize_built={materialize_built}"
     );
     // And the decontextualized SQL ships only the context's matching
     // rows, not whole relations.
-    assert!(decontext_shipped < 30, "decontext_shipped={decontext_shipped}");
+    assert!(
+        decontext_shipped < 30,
+        "decontext_shipped={decontext_shipped}"
+    );
 }
 
 /// E4: composition optimization ships the most restrictive query — the
@@ -155,7 +168,12 @@ fn e5_mediator_builds_fewer_nodes() {
         let _ = s.child_count(p);
         built.push(med_stats.nodes_built());
     }
-    assert!(built[0] < built[1], "optimized={} naive={}", built[0], built[1]);
+    assert!(
+        built[0] < built[1],
+        "optimized={} naive={}",
+        built[0],
+        built[1]
+    );
 }
 
 /// E6: a decontextualized in-place query's cost tracks the context, not
@@ -172,13 +190,143 @@ fn e6_in_place_query_cost_tracks_context() {
         let p1 = s.d(p0).unwrap();
         stats.reset();
         let a = s
-            .q("FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 50000 RETURN $O", p1)
+            .q(
+                "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 50000 RETURN $O",
+                p1,
+            )
             .unwrap();
         let _ = s.child_count(a);
         costs.push(stats.tuples_shipped());
     }
     // Same context (customer C000000 with 10 orders) ⇒ same cost.
     assert_eq!(costs[0], costs[1], "{costs:?}");
+}
+
+/// The hash join kernel does O(|L| + |R| + |output|) work where the
+/// nested loop pays |L|·|R| — checked on the probe counter for a naive
+/// (mediator-joined) Q1 plan.
+#[test]
+fn hash_join_probes_are_linear_not_quadratic() {
+    let n = 30;
+    let per = 3; // 30 customers × 90 orders
+    let (catalog, _db) = customers_orders(n, per, 19);
+    let mut probes = Vec::new();
+    let mut builds = Vec::new();
+    for hash_joins in [true, false] {
+        let m = Mediator::with_options(
+            catalog.clone(),
+            MediatorOptions {
+                access: AccessMode::Lazy,
+                optimize: false, // keep the join at the mediator
+                hash_joins,
+                ..Default::default()
+            },
+        );
+        let mut s = m.session();
+        let p0 = s.query(Q1).unwrap();
+        let _ = s.render(p0); // force the full result
+        probes.push(s.ctx().stats().join_probes());
+        builds.push(s.ctx().stats().hash_builds());
+    }
+    let (hash, nl) = (probes[0], probes[1]);
+    let (l, r) = ((n) as u64, (n * per) as u64);
+    // Hash: one probe per bucket candidate — here every order matches
+    // exactly one customer, so ≤ |L| + |R| + |output|.
+    assert!(hash <= l + 2 * r, "hash probes={hash}");
+    assert!(builds[0] >= 1, "hash kernel built an index");
+    // Nested loop: every pair.
+    assert!(nl >= l * r, "nl probes={nl}");
+    assert!(hash * 5 < nl, "hash={hash} nl={nl}");
+}
+
+/// The join kernels are lazy on their outer input: when the outer side
+/// is empty, the inner side is never pulled and no hash index is built.
+/// (A build-first hash join would drain the inner side before
+/// discovering the outer is empty.)
+#[test]
+fn empty_outer_join_pulls_zero_inner_tuples() {
+    use mix::algebra::{Cond, Op, Side};
+    use mix::xml::path::LabelPath;
+    use std::rc::Rc;
+
+    let n = 40;
+    let per = 25; // 1000 orders — pulling any would show in the counter
+    let (catalog, db) = customers_orders(n, per, 7);
+    let src_stats = db.stats().clone();
+
+    // σ($CID = "ZZZ") over the customers — provably empty on this data.
+    let left = Op::Select {
+        input: Box::new(Op::GetD {
+            input: Box::new(Op::GetD {
+                input: Box::new(Op::MkSrc {
+                    source: "root1".into(),
+                    var: "K".into(),
+                }),
+                from: "K".into(),
+                path: LabelPath::parse("customer").unwrap(),
+                to: "C".into(),
+            }),
+            from: "C".into(),
+            path: LabelPath::parse("customer.id.data()").unwrap(),
+            to: "CID".into(),
+        }),
+        cond: Cond::cmp_const("CID", CmpOp::Eq, "ZZZ"),
+    };
+    let right = Op::GetD {
+        input: Box::new(Op::GetD {
+            input: Box::new(Op::MkSrc {
+                source: "root2".into(),
+                var: "K2".into(),
+            }),
+            from: "K2".into(),
+            path: LabelPath::parse("order").unwrap(),
+            to: "O".into(),
+        }),
+        from: "O".into(),
+        path: LabelPath::parse("order.cid.data()").unwrap(),
+        to: "OCID".into(),
+    };
+    let equi = Cond::cmp_vars("CID", CmpOp::Eq, "OCID");
+
+    for semijoin in [false, true] {
+        let joined = if semijoin {
+            Op::SemiJoin {
+                left: Box::new(left.clone()),
+                right: Box::new(right.clone()),
+                cond: Some(equi.clone()),
+                keep: Side::Left,
+            }
+        } else {
+            Op::Join {
+                left: Box::new(left.clone()),
+                right: Box::new(right.clone()),
+                cond: Some(equi.clone()),
+            }
+        };
+        let out = if semijoin { "C" } else { "O" };
+        let plan = Plan::new(Op::TupleDestroy {
+            input: Box::new(joined),
+            var: out.into(),
+            root: Some("res".into()),
+        });
+        validate(&plan).unwrap();
+
+        let ctx = Rc::new(EvalContext::new(catalog.clone(), AccessMode::Lazy));
+        src_stats.reset();
+        let v = VirtualResult::new(&plan, Rc::clone(&ctx)).unwrap();
+        assert!(v.first_child(v.root()).is_none(), "semijoin={semijoin}");
+        // The outer side drained its n customers finding no survivor;
+        // none of the n·per orders crossed the wire.
+        assert!(
+            src_stats.tuples_shipped() <= n as u64,
+            "semijoin={semijoin} shipped={}",
+            src_stats.tuples_shipped()
+        );
+        // And the kernel did no inner-side work at all.
+        assert_eq!(ctx.stats().hash_builds(), 0, "semijoin={semijoin}");
+        assert_eq!(ctx.stats().join_probes(), 0, "semijoin={semijoin}");
+        assert_eq!(ctx.stats().nl_fallbacks(), 0, "semijoin={semijoin}");
+    }
 }
 
 /// The memory claim: the lazy result's materialization high-watermark

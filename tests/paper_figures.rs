@@ -4,8 +4,8 @@
 //! mix-bench --bin experiments -- figures`) prints the same artifacts
 //! for visual comparison. See DESIGN.md §5 and EXPERIMENTS.md.
 
-use mix::prelude::*;
 use mix::engine::eager;
+use mix::prelude::*;
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -56,7 +56,9 @@ fn fig5_binding_list_tree() {
     let (catalog, _) = mix::wrapper::fig2_catalog();
     let ctx = EvalContext::new(catalog, AccessMode::Eager);
     let plan = translate(&parse_query(Q1).unwrap()).unwrap();
-    let mix::algebra::Op::TupleDestroy { input, .. } = &plan.root else { panic!() };
+    let mix::algebra::Op::TupleDestroy { input, .. } = &plan.root else {
+        panic!()
+    };
     let table = eager::eval_table(input, &ctx, &HashMap::new()).unwrap();
     let text = eager::render_binding_table(&ctx, &table);
     // Root `list`, `binding` children, variable nodes, and a nested
@@ -127,7 +129,10 @@ fn example_2_1_session() {
     assert_eq!(s.fl(p3).unwrap().as_str(), "customer");
     // p4 = q(Q2, p0) — composition from the root.
     let p4 = s
-        .q("FOR $P IN document(root)/CustRec WHERE $P/customer/name < \"E\" RETURN $P", p0)
+        .q(
+            "FOR $P IN document(root)/CustRec WHERE $P/customer/name < \"E\" RETURN $P",
+            p0,
+        )
         .unwrap();
     let p5 = s.d(p4).unwrap();
     let p6 = s.d(p5).unwrap();
@@ -136,7 +141,10 @@ fn example_2_1_session() {
     assert_eq!(s.fl(p7).unwrap().as_str(), "OrderInfo");
     // p9 = q(Q3, p5) — decontextualized in-place query.
     let p9 = s
-        .q("FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O", p5)
+        .q(
+            "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O",
+            p5,
+        )
         .unwrap();
     assert_eq!(s.child_count(p9), 1);
 }
@@ -144,10 +152,8 @@ fn example_2_1_session() {
 /// Figs. 8–9: the in-place query and its plan.
 #[test]
 fn fig9_in_place_query_plan() {
-    let q = parse_query(
-        "FOR $O IN document(root)/orderInfo/order WHERE $O/value > 2000 RETURN $O",
-    )
-    .unwrap();
+    let q = parse_query("FOR $O IN document(root)/orderInfo/order WHERE $O/value > 2000 RETURN $O")
+        .unwrap();
     let plan = translate(&q).unwrap();
     validate(&plan).unwrap();
     let text = plan.render();
@@ -165,7 +171,10 @@ fn fig10_decontextualized_plan() {
     let p0 = s.query(Q1).unwrap();
     let p1 = s.d(p0).unwrap(); // CustRec f(&DEF345)
     let p9 = s
-        .q("FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 0 RETURN $O", p1)
+        .q(
+            "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 0 RETURN $O",
+            p1,
+        )
         .unwrap();
     // The fixing selection reached the SQL as a key predicate.
     let text = s.result_info(p9).exec_plan.render();
@@ -179,7 +188,11 @@ fn fig13_naive_composition() {
     let q = translate(&parse_query(Q_FIG12).unwrap()).unwrap();
     let naive = mix::qdom::splice::compose(&q, "rootv", &view);
     validate(&naive).unwrap();
-    assert!(naive.render().contains("mksrc(<view>, $K)"), "{}", naive.render());
+    assert!(
+        naive.render().contains("mksrc(<view>, $K)"),
+        "{}",
+        naive.render()
+    );
 }
 
 /// Figs. 14–21: the rewriting derivation applies the Table 2 rules.
@@ -192,14 +205,14 @@ fn fig14_to_21_rewrite_derivation() {
     validate(&out.plan).unwrap();
     let rules = out.trace.rule_sequence();
     for expected in [
-        "R11-td-mksrc",          // Fig. 13 → 14
-        "R2-getd-crelt-exact",   // alias $R ≡ $V
-        "R1-getd-crelt-push",    // Fig. 14 → 15
-        "R5-getd-cat-push",      // Fig. 15 → 16
-        "R9-join-introduction",  // Fig. 16 → 18
-        "R3-getd-crelt-single",  // Fig. 18 → 19 (path into OrderInfo)
-        "select-pushdown",       // Fig. 19
-        "join-to-semijoin",      // Fig. 19 → 20
+        "R11-td-mksrc",             // Fig. 13 → 14
+        "R2-getd-crelt-exact",      // alias $R ≡ $V
+        "R1-getd-crelt-push",       // Fig. 14 → 15
+        "R5-getd-cat-push",         // Fig. 15 → 16
+        "R9-join-introduction",     // Fig. 16 → 18
+        "R3-getd-crelt-single",     // Fig. 18 → 19 (path into OrderInfo)
+        "select-pushdown",          // Fig. 19
+        "join-to-semijoin",         // Fig. 19 → 20
         "R12-semijoin-below-group", // Fig. 20 → 21
         "dead-elimination",
     ] {
@@ -247,7 +260,9 @@ fn table1_stateless_gby_navigation() {
     let (catalog, db) = mix::wrapper::fig2_catalog();
     let ctx = Rc::new(EvalContext::new(catalog, AccessMode::Lazy));
     let plan = translate(&parse_query(Q1).unwrap()).unwrap();
-    let mix::algebra::Op::TupleDestroy { input, .. } = plan.root else { panic!() };
+    let mix::algebra::Op::TupleDestroy { input, .. } = plan.root else {
+        panic!()
+    };
     let mut s = build_stream(&input, &ctx, &Rc::new(HashMap::new())).unwrap();
     let stats = db.stats().clone();
     // getRoot/d: the first group appears after pulling only its first
@@ -277,7 +292,8 @@ fn table1_stateless_gby_navigation() {
 fn table2_rule_catalog() {
     let view = mix::algebra::translate_with_root(&parse_query(Q1).unwrap(), "rootv").unwrap();
     // Unsatisfiable composition exercises rule 4 + ⊥ propagation.
-    let q = translate(&parse_query("FOR $R IN document(rootv)/Nothing RETURN $R").unwrap()).unwrap();
+    let q =
+        translate(&parse_query("FOR $R IN document(rootv)/Nothing RETURN $R").unwrap()).unwrap();
     let naive = mix::qdom::splice::compose(&q, "rootv", &view);
     let out = rewrite(&naive);
     assert!(matches!(out.plan.root, mix::algebra::Op::Empty { .. }));

@@ -17,17 +17,26 @@ fn chained_queries_in_place() {
     let mut s = m.session();
     let p0 = s.query(Q1).unwrap();
     let p4 = s
-        .q("FOR $P IN document(root)/CustRec WHERE $P/customer/name < \"Z\" RETURN $P", p0)
+        .q(
+            "FOR $P IN document(root)/CustRec WHERE $P/customer/name < \"Z\" RETURN $P",
+            p0,
+        )
         .unwrap();
     assert_eq!(s.child_count(p4), 2);
     let p5 = s.d(p4).unwrap();
     let p9 = s
-        .q("FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 0 RETURN $O", p5)
+        .q(
+            "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 0 RETURN $O",
+            p5,
+        )
         .unwrap();
     assert_eq!(s.child_count(p9), 1); // DEF345 has one order
-    // Compose once more from the newest result's root.
+                                      // Compose once more from the newest result's root.
     let p10 = s
-        .q("FOR $X IN document(root)/OrderInfo WHERE $X/order/value < 1000 RETURN $X", p9)
+        .q(
+            "FOR $X IN document(root)/OrderInfo WHERE $X/order/value < 1000 RETURN $X",
+            p9,
+        )
         .unwrap();
     assert_eq!(s.child_count(p10), 1); // the 500 order again
 }
@@ -37,21 +46,29 @@ fn auction_session_multiple_refinements() {
     let (catalog, _) = auction_db(60, 5, 77);
     let m = Mediator::new(catalog);
     let mut s = m.session();
-    let p0 = s.query(
-        "FOR $C IN document(cameras)/camera $L IN document(lenses)/lens \
+    let p0 = s
+        .query(
+            "FOR $C IN document(cameras)/camera $L IN document(lenses)/lens \
          WHERE $C/id/data() = $L/camid/data() AND $C/price/data() < 500 \
          RETURN <Listing> $C <Lens> $L </Lens> {$L} </Listing> {$C}",
-    ).unwrap();
+        )
+        .unwrap();
     let all = s.child_count(p0);
     assert!(all > 0);
     let p1 = s
-        .q("FOR $P IN document(root)/Listing WHERE $P/camera/rating >= 2 RETURN $P", p0)
+        .q(
+            "FOR $P IN document(root)/Listing WHERE $P/camera/rating >= 2 RETURN $P",
+            p0,
+        )
         .unwrap();
     let rated = s.child_count(p1);
     assert!(rated <= all);
     if let Some(listing) = s.d(p1) {
         let lenses = s
-            .q("FOR $L IN document(root)/Lens WHERE $L/lens/cost < 800 RETURN $L", listing)
+            .q(
+                "FOR $L IN document(root)/Lens WHERE $L/lens/cost < 800 RETURN $L",
+                listing,
+            )
             .unwrap();
         assert_eq!(s.child_count(lenses), 5); // every lens qualifies
     }
@@ -84,7 +101,10 @@ fn xml_file_source_sessions() {
     // In-place query from a constructed node over a file source works
     // too — the whole plan just runs at the mediator.
     let refined = s
-        .q("FOR $B IN document(root)/book WHERE $B/year > 2001 RETURN $B", hit)
+        .q(
+            "FOR $B IN document(root)/book WHERE $B/year > 2001 RETURN $B",
+            hit,
+        )
         .unwrap();
     assert_eq!(s.child_count(refined), 0); // B2 is from 2000
 }
@@ -99,7 +119,9 @@ fn error_paths_are_reported() {
     // Syntax error.
     assert!(s.query("FOR bad syntax").is_err());
     // Unbound variable.
-    assert!(s.query("FOR $C IN source(&root1)/customer RETURN $D").is_err());
+    assert!(s
+        .query("FOR $C IN source(&root1)/customer RETURN $D")
+        .is_err());
     // document(root) outside q().
     assert!(s.query("FOR $X IN document(root)/a RETURN $X").is_err());
     // q() from a leaf (no skolem context).
@@ -147,13 +169,19 @@ fn eager_sessions_support_decontextualization_too() {
     let (catalog, _) = mix::wrapper::fig2_catalog();
     let m = Mediator::with_options(
         catalog,
-        MediatorOptions { access: AccessMode::Eager, ..Default::default() },
+        MediatorOptions {
+            access: AccessMode::Eager,
+            ..Default::default()
+        },
     );
     let mut s = m.session();
     let p0 = s.query(Q1).unwrap();
     let rec = s.d(p0).unwrap();
     let p = s
-        .q("FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 0 RETURN $O", rec)
+        .q(
+            "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 0 RETURN $O",
+            rec,
+        )
         .unwrap();
     assert_eq!(s.child_count(p), 1);
 }
@@ -180,7 +208,10 @@ fn federated_mediators_stay_lazy() {
     let a1 = us.d(p).unwrap();
     assert_eq!(us.fl(a1).unwrap().as_str(), "Account");
     let shipped_one = stats.tuples_shipped();
-    assert!(shipped_one <= 6, "one account ⇒ a handful of tuples, got {shipped_one}");
+    assert!(
+        shipped_one <= 6,
+        "one account ⇒ a handful of tuples, got {shipped_one}"
+    );
     // Draining everything ships the rest.
     let mut n = 1;
     let mut cur = us.r(a1);
@@ -208,9 +239,15 @@ fn schema_prune_avoids_sql_entirely() {
         .query("FOR $C IN source(&root1)/customer $X IN $C/bogus RETURN $X")
         .unwrap();
     assert_eq!(s.child_count(p), 0);
-    assert_eq!(stats.sql_queries(), 0, "no SQL for a schema-impossible query");
+    assert_eq!(
+        stats.sql_queries(),
+        0,
+        "no SQL for a schema-impossible query"
+    );
     // Sanity: a schema-valid query does issue SQL.
-    let p2 = s.query("FOR $C IN source(&root1)/customer $X IN $C/name RETURN $X").unwrap();
+    let p2 = s
+        .query("FOR $C IN source(&root1)/customer $X IN $C/name RETURN $X")
+        .unwrap();
     assert_eq!(s.child_count(p2), 2);
     assert!(stats.sql_queries() > 0);
 }
@@ -226,7 +263,10 @@ fn decontextualized_query_ships_single_sql() {
     let p0 = s.query(Q1).unwrap();
     let p1 = s.d(p0).unwrap();
     let p9 = s
-        .q("FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O", p1)
+        .q(
+            "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O",
+            p1,
+        )
         .unwrap();
     let text = s.result_info(p9).exec_plan.render();
     assert_eq!(text.matches("rQ(").count(), 1, "{text}");
