@@ -4,7 +4,7 @@
 //! tools and downstream users sometimes want to assemble plans
 //! directly (e.g. to use operators the surface language does not
 //! reach, like `orderBy` or explicit semijoins). The builder keeps
-//! that terse while staying honest: [`PlanBuilder::done`] validates the
+//! that terse while staying honest: [`PlanBuilder::tuple_destroy`] validates the
 //! result.
 //!
 //! ```

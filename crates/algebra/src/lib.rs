@@ -27,7 +27,7 @@
 //! unsatisfiable paths.
 //!
 //! The crate also provides the Section 3 translation from the XQuery
-//! subset into plans ([`translate`]), plan validation (variable scoping
+//! subset into plans ([`translate()`]), plan validation (variable scoping
 //! and join-disjointness), and the paper-figure-style pretty printer.
 
 pub mod builder;

@@ -16,13 +16,8 @@ fn main() {
         ] {
             h.bench(&format!("{label}/{n}"), || {
                 let (catalog, _db) = mix_repro::datagen::customers_orders(n, 5, 31);
-                let m = Mediator::with_options(
-                    catalog,
-                    MediatorOptions {
-                        gby: mode,
-                        ..Default::default()
-                    },
-                );
+                let m =
+                    Mediator::with_options(catalog, MediatorOptions::builder().gby(mode).build());
                 let mut s = m.session();
                 let p0 = s.query(Q1).unwrap();
                 drain(&s, p0)

@@ -16,11 +16,10 @@ fn main() {
                 let (catalog, _db) = mix_repro::datagen::customers_orders(n, per, 31);
                 let m = Mediator::with_options(
                     catalog,
-                    MediatorOptions {
-                        optimize: false,
-                        hash_joins,
-                        ..Default::default()
-                    },
+                    MediatorOptions::builder()
+                        .optimize(false)
+                        .hash_joins(hash_joins)
+                        .build(),
                 );
                 let mut s = m.session();
                 let p0 = s.query(Q1).unwrap();

@@ -25,10 +25,7 @@ fn main() {
                 let (catalog, _db) = mix_repro::datagen::customers_orders(200, 6, 9);
                 let mut m = Mediator::with_options(
                     catalog,
-                    MediatorOptions {
-                        optimize,
-                        ..Default::default()
-                    },
+                    MediatorOptions::builder().optimize(optimize).build(),
                 );
                 m.define_view("v", VIEW).unwrap();
                 let mut s = m.session();

@@ -45,7 +45,7 @@ pub fn e1_lazy_vs_eager() -> String {
             let p0 = s.query(Q1).expect("query");
             browse_k(&s, p0, k);
             let lazy_ms = ms(t);
-            let lazy_shipped = stats.tuples_shipped();
+            let lazy_shipped = stats.get(Counter::TuplesShipped);
             // eager
             let (m, stats) = scaled_mediator(n, 4, 42, true, AccessMode::Eager);
             let mut s = m.session();
@@ -54,7 +54,7 @@ pub fn e1_lazy_vs_eager() -> String {
             let p0 = s.query(Q1).expect("query");
             browse_k(&s, p0, k);
             let eager_ms = ms(t);
-            let eager_shipped = stats.tuples_shipped();
+            let eager_shipped = stats.get(Counter::TuplesShipped);
             let _ = writeln!(
                 out,
                 "{n:>6} {k:>5} | {lazy_shipped:>12} {lazy_ms:>10.2} | {eager_shipped:>12} {eager_ms:>10.2}"
@@ -82,7 +82,7 @@ pub fn e2_first_result_latency() -> String {
         let p0 = s.query(Q1).expect("query");
         let _ = s.d(p0).expect("first result");
         let lazy_ms = ms(t);
-        let lazy_shipped = stats.tuples_shipped();
+        let lazy_shipped = stats.get(Counter::TuplesShipped);
 
         let (m, stats) = scaled_mediator(n, 2, 3, true, AccessMode::Eager);
         let mut s = m.session();
@@ -91,7 +91,7 @@ pub fn e2_first_result_latency() -> String {
         let p0 = s.query(Q1).expect("query");
         let _ = s.d(p0).expect("first result");
         let eager_ms = ms(t);
-        let eager_shipped = stats.tuples_shipped();
+        let eager_shipped = stats.get(Counter::TuplesShipped);
         let _ = writeln!(
             out,
             "{n:>6} | {lazy_shipped:>12} {lazy_ms:>10.2} | {eager_shipped:>12} {eager_ms:>10.2}"
@@ -128,7 +128,10 @@ pub fn e3_decontext_vs_materialize() -> String {
         let a = s.q(q, p1).expect("decontext");
         let _ = s.child_count(a);
         let decon_ms = ms(t);
-        let (ds, dn) = (stats.tuples_shipped(), med.nodes_built());
+        let (ds, dn) = (
+            stats.get(Counter::TuplesShipped),
+            med.get(Counter::NodesBuilt),
+        );
 
         stats.reset();
         med.reset();
@@ -136,7 +139,10 @@ pub fn e3_decontext_vs_materialize() -> String {
         let b = s.q_materialized(q, p1).expect("materialize");
         let _ = s.child_count(b);
         let mat_ms = ms(t);
-        let (msd, mn) = (stats.tuples_shipped(), med.nodes_built());
+        let (msd, mn) = (
+            stats.get(Counter::TuplesShipped),
+            med.get(Counter::NodesBuilt),
+        );
         let _ = writeln!(
             out,
             "{fanout:>6} | {ds:>14} {dn:>12} {decon_ms:>8.2} | {msd:>14} {mn:>12} {mat_ms:>8.2}"
@@ -170,10 +176,7 @@ pub fn e4_pushdown_selectivity() -> String {
             let stats = db.stats().clone();
             let mut m = Mediator::with_options(
                 catalog,
-                MediatorOptions {
-                    optimize,
-                    ..Default::default()
-                },
+                MediatorOptions::builder().optimize(optimize).build(),
             );
             m.define_view("v", VIEW).expect("view");
             let mut s = m.session();
@@ -181,7 +184,7 @@ pub fn e4_pushdown_selectivity() -> String {
             let t = Instant::now();
             let p = s.query(&report).expect("report");
             hits = s.child_count(p);
-            row.push((stats.tuples_shipped(), ms(t)));
+            row.push((stats.get(Counter::TuplesShipped), ms(t)));
         }
         let _ = writeln!(
             out,
@@ -213,10 +216,7 @@ pub fn e5_mediator_work() -> String {
             let (catalog, _db) = mix_repro::datagen::customers_orders(n, 5, 13);
             let mut m = Mediator::with_options(
                 catalog,
-                MediatorOptions {
-                    optimize,
-                    ..Default::default()
-                },
+                MediatorOptions::builder().optimize(optimize).build(),
             );
             m.define_view("v", VIEW).expect("view");
             let mut s = m.session();
@@ -224,7 +224,7 @@ pub fn e5_mediator_work() -> String {
             med.reset();
             let p = s.query(report).expect("report");
             let _ = s.child_count(p);
-            cells.push((med.nodes_built(), med.mediator_ops()));
+            cells.push((med.get(Counter::NodesBuilt), med.get(Counter::MediatorOps)));
         }
         let _ = writeln!(
             out,
@@ -261,7 +261,7 @@ pub fn e6_in_place_scaling() -> String {
         let _ = writeln!(
             out,
             "{n:>6} | {:>12} {:>8.2}",
-            stats.tuples_shipped(),
+            stats.get(Counter::TuplesShipped),
             ms(t)
         );
     }
@@ -282,13 +282,7 @@ pub fn e7_gby_ablation() -> String {
         let mut cells = Vec::new();
         for gby in [GByMode::StatelessPresorted, GByMode::Stateful] {
             let (catalog, _db) = mix_repro::datagen::customers_orders(n, 5, 31);
-            let m = Mediator::with_options(
-                catalog,
-                MediatorOptions {
-                    gby,
-                    ..Default::default()
-                },
-            );
+            let m = Mediator::with_options(catalog, MediatorOptions::builder().gby(gby).build());
             let mut s = m.session();
             let t = Instant::now();
             let p0 = s.query(Q1).expect("query");
@@ -349,7 +343,7 @@ pub fn e8_rule_ablation() -> String {
         let _ = writeln!(
             out,
             "{label:>28} | {:>12} {n_rq:>6}   ({n} results)",
-            stats.tuples_shipped()
+            stats.get(Counter::TuplesShipped)
         );
     }
     out

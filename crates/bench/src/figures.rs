@@ -241,7 +241,7 @@ fn table1_narration() -> String {
     let g1 = s.next().expect("group 1");
     out.push_str(&format!(
         "d(root):   first group binding ({} source tuples pulled)\n",
-        stats.tuples_shipped()
+        stats.get(Counter::TuplesShipped)
     ));
     if let Some(mix::engine::LVal::Part(p)) = g1.get(&Name::new("X")) {
         out.push_str(&format!(
@@ -249,12 +249,12 @@ fn table1_narration() -> String {
             p.force().len()
         ));
     }
-    let before = stats.tuples_shipped();
+    let before = stats.get(Counter::TuplesShipped);
     let g2 = s.next().expect("group 2");
     out.push_str(&format!(
         "r(binding): next group; skipping drained the previous group underneath ({} -> {} tuples)\n",
         before,
-        stats.tuples_shipped()
+        stats.get(Counter::TuplesShipped)
     ));
     if let Some(mix::engine::LVal::Part(p)) = g2.get(&Name::new("X")) {
         out.push_str(&format!(

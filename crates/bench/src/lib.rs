@@ -34,11 +34,10 @@ pub fn scaled_mediator(
     let stats = db.stats().clone();
     let m = Mediator::with_options(
         catalog,
-        MediatorOptions {
-            access,
-            optimize,
-            ..Default::default()
-        },
+        MediatorOptions::builder()
+            .access(access)
+            .optimize(optimize)
+            .build(),
     );
     (m, stats)
 }

@@ -1,5 +1,6 @@
 //! The workspace-wide error type.
 
+use crate::name::Name;
 use std::fmt;
 
 /// Result alias used across the MIX workspace.
@@ -25,6 +26,11 @@ pub enum MixError {
     Navigation(String),
     /// The rewriter or engine hit an internal invariant violation.
     Internal(String),
+    /// An error attributable to one registered source (a wrapper or
+    /// relational server failure), so the mediator can say *which*
+    /// source failed instead of collapsing everything into
+    /// [`MixError::Internal`].
+    Source { source: Name, msg: String },
 }
 
 impl MixError {
@@ -54,6 +60,35 @@ impl MixError {
     pub fn internal(msg: impl Into<String>) -> MixError {
         MixError::Internal(msg.into())
     }
+
+    /// Shorthand for a source-attributed error.
+    pub fn source(source: impl Into<Name>, msg: impl Into<String>) -> MixError {
+        MixError::Source {
+            source: source.into(),
+            msg: msg.into(),
+        }
+    }
+}
+
+/// Attach source attribution to an error as it crosses the wrapper or
+/// engine boundary: `db.execute(sql).context(&server)?` turns any
+/// failure into [`MixError::Source`] naming the failing source.
+/// Errors that already carry attribution pass through unchanged.
+pub trait ResultContext<T> {
+    /// Wrap the error case in [`MixError::Source`] for `source`.
+    fn context(self, source: impl Into<Name>) -> Result<T>;
+}
+
+impl<T> ResultContext<T> for Result<T> {
+    fn context(self, source: impl Into<Name>) -> Result<T> {
+        self.map_err(|e| match e {
+            MixError::Source { .. } => e,
+            other => MixError::Source {
+                source: source.into(),
+                msg: other.to_string(),
+            },
+        })
+    }
 }
 
 impl fmt::Display for MixError {
@@ -66,6 +101,7 @@ impl fmt::Display for MixError {
             MixError::Invalid(m) => write!(f, "invalid query/plan: {m}"),
             MixError::Navigation(m) => write!(f, "navigation error: {m}"),
             MixError::Internal(m) => write!(f, "internal error: {m}"),
+            MixError::Source { source, msg } => write!(f, "source {source}: {msg}"),
         }
     }
 }
@@ -82,5 +118,17 @@ mod tests {
         assert_eq!(e.to_string(), "xquery parse error at 10: expected FOR");
         let e = MixError::unknown("table", "custs");
         assert_eq!(e.to_string(), "unknown table: custs");
+    }
+
+    #[test]
+    fn context_attributes_errors_to_a_source() {
+        let r: Result<()> = Err(MixError::unknown("table", "custs"));
+        let e = r.context("db1").unwrap_err();
+        assert_eq!(e.to_string(), "source db1: unknown table: custs");
+        // Already-attributed errors pass through unchanged.
+        let r: Result<()> = Err(e.clone());
+        assert_eq!(r.context("db2").unwrap_err(), e);
+        // The Ok case is untouched.
+        assert!(Ok::<_, MixError>(7).context("db1").is_ok());
     }
 }

@@ -11,17 +11,19 @@
 //!   Fig. 4 grammar.
 //! * [`Name`] — cheaply clonable identifiers for variables, labels,
 //!   table and column names.
-//! * [`MixError`] / [`Result`] — the workspace-wide error type.
-//! * [`Stats`] — per-source counters (queries issued, tuples shipped,
-//!   navigation commands served) that make the paper's performance
-//!   claims measurable.
+//! * [`MixError`] / [`Result`] — the workspace-wide error type, with
+//!   [`ResultContext`] for attributing failures to a source.
+//! * [`Stats`] — typed per-source counters (queries issued, tuples
+//!   shipped, navigation commands served) that make the paper's
+//!   performance claims measurable; re-exported from `mix-obs`
+//!   together with [`Counter`], [`Snapshot`] and [`Delta`].
 
 pub mod error;
 pub mod name;
 pub mod stats;
 pub mod value;
 
-pub use error::{MixError, Result};
+pub use error::{MixError, Result, ResultContext};
 pub use name::Name;
-pub use stats::{Stats, StatsSnapshot};
+pub use stats::{Counter, Delta, Snapshot, Stats};
 pub use value::{CmpOp, Value};

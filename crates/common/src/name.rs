@@ -60,6 +60,12 @@ impl From<String> for Name {
     }
 }
 
+impl From<&Name> for Name {
+    fn from(n: &Name) -> Self {
+        n.clone()
+    }
+}
+
 impl Borrow<str> for Name {
     fn borrow(&self) -> &str {
         &self.0

@@ -1,213 +1,10 @@
-//! Measurement counters.
+//! Work counters, re-exported from `mix-obs`.
 //!
-//! The paper's performance argument is about *work avoided*: lazy
-//! evaluation "produces the XML result tree as the user navigates into
-//! it", and the rewriter pushes "the most restrictive queries" to the
-//! sources so that "the minimum amount of data" is transferred. Those
-//! claims are only checkable if the substrate counts its work, so every
-//! source and the engine share a [`Stats`] handle.
-//!
-//! Counters use `Cell` (the engine is single-threaded by design — the
-//! QDOM protocol is a synchronous command loop) wrapped in `Rc` by the
-//! owners that share them.
+//! The counter substrate lives in the dedicated observability crate so
+//! layers below `mix-common` could use it too; this module keeps the
+//! historical `mix_common::Stats` path working. See [`Stats`] for the
+//! API: counters are addressed by the typed [`Counter`] enum
+//! (`stats.inc(Counter::SqlQueries)`, `stats.get(Counter::TuplesShipped)`)
+//! and read in bulk via [`Stats::snapshot`] / [`Delta::between`].
 
-use std::cell::Cell;
-use std::fmt;
-use std::rc::Rc;
-
-/// Shared mutable counter set. Clone to share (reference semantics).
-#[derive(Debug, Clone, Default)]
-pub struct Stats {
-    inner: Rc<StatsInner>,
-}
-
-#[derive(Debug, Default)]
-struct StatsInner {
-    /// SQL queries issued to a relational source.
-    sql_queries: Cell<u64>,
-    /// Tuples actually shipped from source cursors to the mediator
-    /// (the high-watermark of rows pulled; the paper's "partial result
-    /// evaluation" shows up as this staying far below the full result).
-    tuples_shipped: Cell<u64>,
-    /// Rows scanned inside the relational executor (internal work).
-    rows_scanned: Cell<u64>,
-    /// Navigation commands answered by the mediator (d/r/fl/fv/getRoot).
-    nav_commands: Cell<u64>,
-    /// XMAS operator invocations at the mediator (element creations,
-    /// group formations, …) — the "mediator work" metric of claim E5.
-    mediator_ops: Cell<u64>,
-    /// Result-tree nodes materialized at the mediator.
-    nodes_built: Cell<u64>,
-    /// Hash indexes built by the physical join/semi-join/groupBy
-    /// kernels (each is one full drain of the build side).
-    hash_builds: Cell<u64>,
-    /// Join predicate evaluations: every candidate pair a join or
-    /// semi-join examines. Nested loops pay |L|·|R|; the hash kernels
-    /// pay one per probe-side tuple plus bucket matches, i.e.
-    /// O(|L| + |R| + |output|).
-    join_probes: Cell<u64>,
-    /// Joins/semi-joins that fell back to the nested-loop kernel
-    /// because no equi-conjunct was extractable.
-    nl_fallbacks: Cell<u64>,
-    /// Decontextualized-plan cache hits in the QDOM session.
-    plan_cache_hits: Cell<u64>,
-    /// Decontextualized-plan cache misses (full translate + rewrite).
-    plan_cache_misses: Cell<u64>,
-}
-
-macro_rules! counter {
-    ($field:ident, $add:ident, $get:ident) => {
-        /// Increment this counter by `n`.
-        pub fn $add(&self, n: u64) {
-            let c = &self.inner.$field;
-            c.set(c.get() + n);
-        }
-        /// Read this counter.
-        pub fn $get(&self) -> u64 {
-            self.inner.$field.get()
-        }
-    };
-}
-
-impl Stats {
-    /// Fresh zeroed counters.
-    pub fn new() -> Stats {
-        Stats::default()
-    }
-
-    counter!(sql_queries, add_sql_query, sql_queries);
-    counter!(tuples_shipped, add_tuples_shipped, tuples_shipped);
-    counter!(rows_scanned, add_rows_scanned, rows_scanned);
-    counter!(nav_commands, add_nav_command, nav_commands);
-    counter!(mediator_ops, add_mediator_op, mediator_ops);
-    counter!(nodes_built, add_nodes_built, nodes_built);
-    counter!(hash_builds, add_hash_build, hash_builds);
-    counter!(join_probes, add_join_probe, join_probes);
-    counter!(nl_fallbacks, add_nl_fallback, nl_fallbacks);
-    counter!(plan_cache_hits, add_plan_cache_hit, plan_cache_hits);
-    counter!(plan_cache_misses, add_plan_cache_miss, plan_cache_misses);
-
-    /// Reset every counter to zero (between benchmark trials).
-    pub fn reset(&self) {
-        self.inner.sql_queries.set(0);
-        self.inner.tuples_shipped.set(0);
-        self.inner.rows_scanned.set(0);
-        self.inner.nav_commands.set(0);
-        self.inner.mediator_ops.set(0);
-        self.inner.nodes_built.set(0);
-        self.inner.hash_builds.set(0);
-        self.inner.join_probes.set(0);
-        self.inner.nl_fallbacks.set(0);
-        self.inner.plan_cache_hits.set(0);
-        self.inner.plan_cache_misses.set(0);
-    }
-
-    /// Capture the current counter values.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            sql_queries: self.sql_queries(),
-            tuples_shipped: self.tuples_shipped(),
-            rows_scanned: self.rows_scanned(),
-            nav_commands: self.nav_commands(),
-            mediator_ops: self.mediator_ops(),
-            nodes_built: self.nodes_built(),
-            hash_builds: self.hash_builds(),
-            join_probes: self.join_probes(),
-            nl_fallbacks: self.nl_fallbacks(),
-            plan_cache_hits: self.plan_cache_hits(),
-            plan_cache_misses: self.plan_cache_misses(),
-        }
-    }
-}
-
-/// An immutable point-in-time copy of [`Stats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StatsSnapshot {
-    pub sql_queries: u64,
-    pub tuples_shipped: u64,
-    pub rows_scanned: u64,
-    pub nav_commands: u64,
-    pub mediator_ops: u64,
-    pub nodes_built: u64,
-    pub hash_builds: u64,
-    pub join_probes: u64,
-    pub nl_fallbacks: u64,
-    pub plan_cache_hits: u64,
-    pub plan_cache_misses: u64,
-}
-
-impl StatsSnapshot {
-    /// Counter deltas `self - earlier` (saturating).
-    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
-        StatsSnapshot {
-            sql_queries: self.sql_queries.saturating_sub(earlier.sql_queries),
-            tuples_shipped: self.tuples_shipped.saturating_sub(earlier.tuples_shipped),
-            rows_scanned: self.rows_scanned.saturating_sub(earlier.rows_scanned),
-            nav_commands: self.nav_commands.saturating_sub(earlier.nav_commands),
-            mediator_ops: self.mediator_ops.saturating_sub(earlier.mediator_ops),
-            nodes_built: self.nodes_built.saturating_sub(earlier.nodes_built),
-            hash_builds: self.hash_builds.saturating_sub(earlier.hash_builds),
-            join_probes: self.join_probes.saturating_sub(earlier.join_probes),
-            nl_fallbacks: self.nl_fallbacks.saturating_sub(earlier.nl_fallbacks),
-            plan_cache_hits: self.plan_cache_hits.saturating_sub(earlier.plan_cache_hits),
-            plan_cache_misses: self
-                .plan_cache_misses
-                .saturating_sub(earlier.plan_cache_misses),
-        }
-    }
-}
-
-impl fmt::Display for StatsSnapshot {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "sql={} shipped={} scanned={} nav={} medops={} nodes={} \
-             hash={} probes={} nlfb={} pc={}+{}",
-            self.sql_queries,
-            self.tuples_shipped,
-            self.rows_scanned,
-            self.nav_commands,
-            self.mediator_ops,
-            self.nodes_built,
-            self.hash_builds,
-            self.join_probes,
-            self.nl_fallbacks,
-            self.plan_cache_hits,
-            self.plan_cache_misses
-        )
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn counters_shared_by_clone() {
-        let a = Stats::new();
-        let b = a.clone();
-        a.add_tuples_shipped(3);
-        b.add_tuples_shipped(2);
-        assert_eq!(a.tuples_shipped(), 5);
-    }
-
-    #[test]
-    fn snapshot_delta() {
-        let s = Stats::new();
-        s.add_sql_query(1);
-        let before = s.snapshot();
-        s.add_sql_query(2);
-        s.add_nav_command(7);
-        let d = s.snapshot().since(&before);
-        assert_eq!(d.sql_queries, 2);
-        assert_eq!(d.nav_commands, 7);
-    }
-
-    #[test]
-    fn reset_zeroes() {
-        let s = Stats::new();
-        s.add_rows_scanned(9);
-        s.reset();
-        assert_eq!(s.snapshot(), StatsSnapshot::default());
-    }
-}
+pub use mix_obs::{Counter, Delta, Snapshot, Stats};

@@ -51,6 +51,7 @@
 pub use mix_algebra as algebra;
 pub use mix_common as common;
 pub use mix_engine as engine;
+pub use mix_obs as obs;
 pub use mix_qdom as qdom;
 pub use mix_relational as relational;
 pub use mix_rewrite as rewrite;
@@ -61,9 +62,12 @@ pub use mix_xquery as xquery;
 /// The names most programs need.
 pub mod prelude {
     pub use mix_algebra::{translate, translate_with_root, validate, Plan};
-    pub use mix_common::{CmpOp, MixError, Name, Result, Stats, Value};
+    pub use mix_common::{
+        CmpOp, Counter, Delta, MixError, Name, Result, ResultContext, Snapshot, Stats, Value,
+    };
     pub use mix_engine::{AccessMode, EvalContext, GByMode, VirtualResult};
-    pub use mix_qdom::{Mediator, MediatorOptions, QNode, QdomSession};
+    pub use mix_obs::{CollectingTracer, LogTracer, Tracer, TracerHandle};
+    pub use mix_qdom::{Mediator, MediatorOptions, MediatorOptionsBuilder, QNode, QdomSession};
     pub use mix_relational::{Database, Schema};
     pub use mix_rewrite::{optimize, rewrite, split_plan};
     pub use mix_wrapper::{Catalog, RelationSource};

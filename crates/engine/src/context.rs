@@ -1,7 +1,8 @@
 //! Evaluation context: sources, counters, engine options.
 
 use crate::lval::{force_list, LList, LVal};
-use mix_common::{MixError, Name, Result, Stats, Value};
+use mix_common::{MixError, Name, Result, ResultContext, Stats, Value};
+use mix_obs::TracerHandle;
 use mix_wrapper::Catalog;
 use mix_xml::{NavDoc, Oid};
 use std::cell::RefCell;
@@ -47,6 +48,9 @@ pub struct EvalContext {
     /// extractable (`false` forces the nested-loop kernels — an
     /// ablation/testing knob; both produce identical tuple sequences).
     pub hash_joins: bool,
+    /// Where operator spans and source events go (defaults to the
+    /// disabled null tracer).
+    pub tracer: TracerHandle,
     stats: Stats,
     docs: RefCell<HashMap<Name, Rc<dyn NavDoc>>>,
 }
@@ -59,6 +63,7 @@ impl EvalContext {
             mode,
             gby_mode: GByMode::Auto,
             hash_joins: true,
+            tracer: TracerHandle::null(),
             stats: Stats::new(),
             docs: RefCell::new(HashMap::new()),
         }
@@ -87,8 +92,8 @@ impl EvalContext {
             return Ok(Rc::clone(d));
         }
         let d = match self.mode {
-            AccessMode::Lazy => self.catalog.lazy(name.as_str())?,
-            AccessMode::Eager => self.catalog.materialized(name.as_str())?,
+            AccessMode::Lazy => self.catalog.lazy(name.as_str()).context(name)?,
+            AccessMode::Eager => self.catalog.materialized(name.as_str()).context(name)?,
         };
         self.docs.borrow_mut().insert(name.clone(), Rc::clone(&d));
         Ok(d)

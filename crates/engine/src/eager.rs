@@ -11,10 +11,12 @@
 //! tables.
 
 use crate::context::EvalContext;
+use crate::explain::subtree_size;
 use crate::lval::{force_list, BindingTable, ChildPart, LElem, LList, LTuple, LVal, Partition};
 use crate::pathwalk::eval_path;
 use mix_algebra::{ChildSpec, Cond, CondArg, Op, RqKind, Side};
-use mix_common::{MixError, Name, Result, Value};
+use mix_common::{Counter, MixError, Name, Result, ResultContext, Value};
+use mix_obs::ExecProfile;
 use mix_xml::{Document, NodeRef, Oid};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -22,13 +24,26 @@ use std::rc::Rc;
 /// Evaluate a complete plan (rooted at `tD`) into a materialized
 /// result document.
 pub fn evaluate(plan: &mix_algebra::Plan, ctx: &EvalContext) -> Result<Document> {
+    evaluate_profiled(plan, ctx, None)
+}
+
+/// [`evaluate`] with per-node accounting, mirroring the lazy builder's
+/// pre-order numbering (the plan-root `tD` is node 0) so
+/// [`crate::explain::render_annotated`] works over eager runs too.
+pub fn evaluate_profiled(
+    plan: &mix_algebra::Plan,
+    ctx: &EvalContext,
+    profile: Option<&Rc<ExecProfile>>,
+) -> Result<Document> {
     match &plan.root {
         Op::TupleDestroy { input, var, root } => {
-            let table = eval_table(input, ctx, &HashMap::new())?;
+            let mut next = 1usize;
+            let table = eval_table_profiled(input, ctx, &HashMap::new(), profile, &mut next)?;
             let name = root.clone().unwrap_or_else(|| Name::new("result"));
             let mut doc = Document::new(name, "list");
             let parent = doc.root_ref();
             let mut seen = std::collections::HashSet::new();
+            let mut kept = 0u64;
             for t in &table.tuples {
                 let v = t
                     .get(var)
@@ -41,7 +56,12 @@ pub fn evaluate(plan: &mix_algebra::Plan, ctx: &EvalContext) -> Result<Document>
                         continue;
                     }
                 }
+                kept += 1;
                 materialize_lval(ctx, &mut doc, parent, v)?;
+            }
+            if let Some(p) = profile {
+                p.record_pull(0);
+                p.record_tuples(0, kept);
             }
             Ok(doc)
         }
@@ -62,7 +82,7 @@ pub fn materialize_lval(
     parent: NodeRef,
     v: &LVal,
 ) -> Result<NodeRef> {
-    ctx.stats().add_nodes_built(1);
+    ctx.stats().inc(Counter::NodesBuilt);
     Ok(match v {
         LVal::Leaf(x) => doc.add_text_with_oid(parent, x.clone(), Oid::lit(x.clone())),
         LVal::Src { .. } | LVal::Elem(_) => {
@@ -102,7 +122,58 @@ pub fn eval_table(
     ctx: &EvalContext,
     env: &HashMap<Name, BindingTable>,
 ) -> Result<BindingTable> {
-    ctx.stats().add_mediator_op(1);
+    let mut next = 1usize;
+    eval_table_profiled(op, ctx, env, None, &mut next)
+}
+
+/// [`eval_table`] with pre-order node numbering (see
+/// [`crate::stream::build_stream_profiled`] — the two engines number
+/// identically), per-node metrics, and one tracing span per operator.
+/// Eager evaluation is strictly nested, so spans use the RAII guard:
+/// each operator's span wraps its children's.
+fn eval_table_profiled(
+    op: &Op,
+    ctx: &EvalContext,
+    env: &HashMap<Name, BindingTable>,
+    profile: Option<&Rc<ExecProfile>>,
+    next: &mut usize,
+) -> Result<BindingTable> {
+    let id = *next;
+    *next += 1;
+    let mut guard =
+        (ctx.tracer.enabled()).then(|| ctx.tracer.span(op.name(), &[("node", id.to_string())]));
+    let mut extra: Vec<(&'static str, String)> = Vec::new();
+    let table = eval_table_inner(op, ctx, env, profile, next, &mut extra)?;
+    if let Some(g) = &mut guard {
+        for (k, v) in &extra {
+            g.set_attr(k, v.clone());
+        }
+        g.set_attr("tuples", table.tuples.len().to_string());
+    }
+    if let Some(p) = profile {
+        p.record_pull(id);
+        p.record_tuples(id, table.tuples.len() as u64);
+        if !extra.is_empty() {
+            let detail = extra
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            p.set_detail(id, detail);
+        }
+    }
+    Ok(table)
+}
+
+fn eval_table_inner(
+    op: &Op,
+    ctx: &EvalContext,
+    env: &HashMap<Name, BindingTable>,
+    profile: Option<&Rc<ExecProfile>>,
+    next: &mut usize,
+    extra: &mut Vec<(&'static str, String)>,
+) -> Result<BindingTable> {
+    ctx.stats().inc(Counter::MediatorOps);
     match op {
         Op::MkSrc { source, var } => {
             let d = ctx.doc(source)?;
@@ -133,9 +204,13 @@ pub fn eval_table(
                 ..
             } = &**input
             else {
+                // Keep ids aligned with the renderer's walk even though
+                // this subtree is never evaluated.
+                *next += subtree_size(input);
                 return Ok(BindingTable::new(vec![var.clone()]));
             };
-            let inner = eval_table(view_input, ctx, env)?;
+            *next += 1; // the view's tD node
+            let inner = eval_table_profiled(view_input, ctx, env, profile, next)?;
             let vars = Rc::new(vec![var.clone()]);
             let mut table = BindingTable {
                 vars: Rc::clone(&vars),
@@ -156,7 +231,7 @@ pub fn eval_table(
             path,
             to,
         } => {
-            let inp = eval_table(input, ctx, env)?;
+            let inp = eval_table_profiled(input, ctx, env, profile, next)?;
             let vars = extend_vars(&inp.vars, to);
             let mut out = BindingTable {
                 vars: Rc::clone(&vars),
@@ -175,7 +250,7 @@ pub fn eval_table(
             Ok(out)
         }
         Op::Select { input, cond } => {
-            let inp = eval_table(input, ctx, env)?;
+            let inp = eval_table_profiled(input, ctx, env, profile, next)?;
             let tuples = inp
                 .tuples
                 .into_iter()
@@ -187,7 +262,7 @@ pub fn eval_table(
             })
         }
         Op::Project { input, vars } => {
-            let inp = eval_table(input, ctx, env)?;
+            let inp = eval_table_profiled(input, ctx, env, profile, next)?;
             let mut out = BindingTable::new(vars.clone());
             let mut seen = std::collections::HashSet::new();
             for t in &inp.tuples {
@@ -200,8 +275,8 @@ pub fn eval_table(
             Ok(out)
         }
         Op::Join { left, right, cond } => {
-            let l = eval_table(left, ctx, env)?;
-            let r = eval_table(right, ctx, env)?;
+            let l = eval_table_profiled(left, ctx, env, profile, next)?;
+            let r = eval_table_profiled(right, ctx, env, profile, next)?;
             let mut vars = (*l.vars).clone();
             vars.extend(r.vars.iter().cloned());
             let vars = Rc::new(vars);
@@ -215,7 +290,8 @@ pub fn eval_table(
                 // right side by equi-key, re-verify the full condition
                 // per candidate. Buckets keep right-input order, so the
                 // output is the nested loop's left-major order exactly.
-                ctx.stats().add_hash_build(1);
+                ctx.stats().inc(Counter::HashBuilds);
+                extra.push(("kernel", "hash".to_string()));
                 let mut index: HashMap<Vec<crate::hashkey::KeyPart>, Vec<&LTuple>> = HashMap::new();
                 for rt in &r.tuples {
                     if let Some(k) = crate::hashkey::tuple_key(ctx, rt, &split.pairs, Side::Right) {
@@ -231,7 +307,7 @@ pub fn eval_table(
                         continue;
                     };
                     for rt in bucket {
-                        ctx.stats().add_join_probe(1);
+                        ctx.stats().inc(Counter::JoinProbes);
                         let joined = lt.concat(rt);
                         if cond.as_ref().is_none_or(|c| cond_holds(ctx, c, &joined)) {
                             out.tuples.push(joined);
@@ -239,10 +315,11 @@ pub fn eval_table(
                     }
                 }
             } else {
-                ctx.stats().add_nl_fallback(1);
+                ctx.stats().inc(Counter::NlFallbacks);
+                extra.push(("kernel", "nl".to_string()));
                 for lt in &l.tuples {
                     for rt in &r.tuples {
-                        ctx.stats().add_join_probe(1);
+                        ctx.stats().inc(Counter::JoinProbes);
                         let joined = lt.concat(rt);
                         if cond.as_ref().is_none_or(|c| cond_holds(ctx, c, &joined)) {
                             out.tuples.push(joined);
@@ -258,8 +335,8 @@ pub fn eval_table(
             cond,
             keep,
         } => {
-            let l = eval_table(left, ctx, env)?;
-            let r = eval_table(right, ctx, env)?;
+            let l = eval_table_profiled(left, ctx, env, profile, next)?;
+            let r = eval_table_profiled(right, ctx, env, profile, next)?;
             let split = mix_algebra::split_equi(cond.as_ref(), &l.vars, &r.vars);
             let (kept, other) = match keep {
                 Side::Left => (l, r),
@@ -270,7 +347,7 @@ pub fn eval_table(
                 Side::Right => (Side::Right, Side::Left),
             };
             let check = |kt: &LTuple, ot: &LTuple| {
-                ctx.stats().add_join_probe(1);
+                ctx.stats().inc(Counter::JoinProbes);
                 let joined = match keep {
                     Side::Left => kt.concat(ot),
                     Side::Right => ot.concat(kt),
@@ -278,7 +355,8 @@ pub fn eval_table(
                 cond.as_ref().is_none_or(|c| cond_holds(ctx, c, &joined))
             };
             let tuples = if ctx.hash_joins && split.hashable() {
-                ctx.stats().add_hash_build(1);
+                ctx.stats().inc(Counter::HashBuilds);
+                extra.push(("kernel", "hash".to_string()));
                 let mut index: HashMap<Vec<crate::hashkey::KeyPart>, Vec<&LTuple>> = HashMap::new();
                 for ot in &other.tuples {
                     if let Some(k) = crate::hashkey::tuple_key(ctx, ot, &split.pairs, other_side) {
@@ -295,7 +373,8 @@ pub fn eval_table(
                     .cloned()
                     .collect()
             } else {
-                ctx.stats().add_nl_fallback(1);
+                ctx.stats().inc(Counter::NlFallbacks);
+                extra.push(("kernel", "nl".to_string()));
                 kept.tuples
                     .iter()
                     .filter(|kt| other.tuples.iter().any(|ot| check(kt, ot)))
@@ -315,7 +394,7 @@ pub fn eval_table(
             children,
             out,
         } => {
-            let inp = eval_table(input, ctx, env)?;
+            let inp = eval_table_profiled(input, ctx, env, profile, next)?;
             let vars = extend_vars(&inp.vars, out);
             let mut table = BindingTable {
                 vars: Rc::clone(&vars),
@@ -335,7 +414,7 @@ pub fn eval_table(
             right,
             out,
         } => {
-            let inp = eval_table(input, ctx, env)?;
+            let inp = eval_table_profiled(input, ctx, env, profile, next)?;
             let vars = extend_vars(&inp.vars, out);
             let mut table = BindingTable {
                 vars: Rc::clone(&vars),
@@ -350,7 +429,7 @@ pub fn eval_table(
             Ok(table)
         }
         Op::GroupBy { input, group, out } => {
-            let inp = eval_table(input, ctx, env)?;
+            let inp = eval_table_profiled(input, ctx, env, profile, next)?;
             let mut order: Vec<Vec<Oid>> = Vec::new();
             let mut groups: HashMap<Vec<Oid>, Vec<LTuple>> = HashMap::new();
             for t in &inp.tuples {
@@ -391,7 +470,11 @@ pub fn eval_table(
             param,
             out,
         } => {
-            let inp = eval_table(input, ctx, env)?;
+            let inp = eval_table_profiled(input, ctx, env, profile, next)?;
+            // Reserve the nested plan's id range once; per-tuple
+            // evaluations aggregate onto the same nodes.
+            let nested_base = *next;
+            *next += subtree_size(plan);
             let vars = extend_vars(&inp.vars, out);
             let mut table = BindingTable {
                 vars: Rc::clone(&vars),
@@ -417,7 +500,7 @@ pub fn eval_table(
                         },
                     );
                 }
-                let result = eval_nested(plan, ctx, &env2)?;
+                let result = eval_nested(plan, ctx, &env2, profile, nested_base)?;
                 let mut vals = t.vals.clone();
                 vals.push(result);
                 table.tuples.push(LTuple::new(Rc::clone(&vars), vals));
@@ -429,8 +512,10 @@ pub fn eval_table(
             .cloned()
             .ok_or_else(|| MixError::invalid(format!("nestedSrc({}) unbound", var.display_var()))),
         Op::RelQuery { server, sql, map } => {
-            let db = ctx.catalog().database(server.as_str())?;
-            let mut cur = db.execute(sql)?;
+            extra.push(("server", server.to_string()));
+            extra.push(("sql", sql.to_string()));
+            let db = ctx.catalog().database(server.as_str()).context(server)?;
+            let mut cur = db.execute(sql).context(server)?;
             let vars: Vec<Name> = map.iter().map(|b| b.var.clone()).collect();
             let vars = Rc::new(vars);
             let mut table = BindingTable {
@@ -446,7 +531,7 @@ pub fn eval_table(
             Ok(table)
         }
         Op::OrderBy { input, vars } => {
-            let mut inp = eval_table(input, ctx, env)?;
+            let mut inp = eval_table_profiled(input, ctx, env, profile, next)?;
             let keys: Vec<Name> = vars.clone();
             inp.tuples.sort_by(|a, b| {
                 for k in &keys {
@@ -471,11 +556,20 @@ pub fn eval_table(
 }
 
 /// Evaluate a nested plan (rooted at `tD` without a root name) to the
-/// list value `apply` binds.
-fn eval_nested(plan: &Op, ctx: &EvalContext, env: &HashMap<Name, BindingTable>) -> Result<LVal> {
+/// list value `apply` binds. `nested_base` is the nested `tD`'s
+/// reserved node id; the subplan numbers from `nested_base + 1` (the
+/// nested `tD` itself stays unprofiled, matching the lazy engine).
+fn eval_nested(
+    plan: &Op,
+    ctx: &EvalContext,
+    env: &HashMap<Name, BindingTable>,
+    profile: Option<&Rc<ExecProfile>>,
+    nested_base: usize,
+) -> Result<LVal> {
     match plan {
         Op::TupleDestroy { input, var, .. } => {
-            let table = eval_table(input, ctx, env)?;
+            let mut nid = nested_base + 1;
+            let table = eval_table_profiled(input, ctx, env, profile, &mut nid)?;
             let mut vals = Vec::with_capacity(table.tuples.len());
             let mut seen = std::collections::HashSet::new();
             for t in &table.tuples {
@@ -532,7 +626,7 @@ pub fn build_element(
             None => return Err(MixError::internal(format!("crElt child var {v} missing"))),
         },
     };
-    ctx.stats().add_nodes_built(1);
+    ctx.stats().inc(Counter::NodesBuilt);
     Ok(LVal::Elem(Rc::new(LElem {
         label: label.clone(),
         oid,
@@ -629,7 +723,7 @@ pub(crate) fn rq_row_to_vals(
                     .iter()
                     .map(|(cname, pos)| {
                         let v = row.get(*pos).cloned().unwrap_or(Value::Null);
-                        ctx.stats().add_nodes_built(1);
+                        ctx.stats().inc(Counter::NodesBuilt);
                         LVal::Elem(Rc::new(LElem {
                             label: cname.clone(),
                             oid: Oid::key(format!("{key_text}.{cname}")),
@@ -637,7 +731,7 @@ pub(crate) fn rq_row_to_vals(
                         }))
                     })
                     .collect();
-                ctx.stats().add_nodes_built(1);
+                ctx.stats().inc(Counter::NodesBuilt);
                 LVal::Elem(Rc::new(LElem {
                     label: element.clone(),
                     oid: Oid::key(key_text),

@@ -26,6 +26,7 @@
 
 pub mod context;
 pub mod eager;
+pub mod explain;
 pub(crate) mod hashkey;
 pub mod lval;
 pub mod pathwalk;
@@ -33,6 +34,7 @@ pub mod stream;
 pub mod vdoc;
 
 pub use context::{AccessMode, EvalContext, GByMode};
-pub use eager::{eval_table, evaluate, render_binding_table};
+pub use eager::{eval_table, evaluate, evaluate_profiled, render_binding_table};
+pub use explain::render_annotated;
 pub use lval::{BindingTable, LTuple, LVal};
 pub use vdoc::{NodeContext, VirtualResult};

@@ -19,16 +19,18 @@
 //! * `rQ` holds a live SQL cursor and pulls one row per tuple.
 //!
 //! Plans must be validated before compilation
-//! ([`mix_algebra::validate`]); streams treat violated invariants as
+//! ([`mix_algebra::validate()`]); streams treat violated invariants as
 //! programming errors.
 
 use crate::context::{EvalContext, GByMode};
 use crate::eager::{build_element, cat_value, cond_holds, rq_row_to_vals};
+use crate::explain::subtree_size;
 use crate::hashkey::{tuple_key, KeyPart};
 use crate::lval::{LList, LTuple, LVal, LazyList, Partition};
 use crate::pathwalk::eval_path;
 use mix_algebra::{Op, Side};
-use mix_common::{MixError, Name, Result};
+use mix_common::{Counter, MixError, Name, Result, ResultContext};
+use mix_obs::{ExecProfile, SpanId, TracerHandle};
 use mix_relational::Cursor;
 use mix_xml::{NavDoc, NodeRef, Oid};
 use std::cell::RefCell;
@@ -51,9 +53,30 @@ pub type Env = Rc<HashMap<Name, Partition>>;
 /// Fails on unresolvable sources/servers; runtime invariants assume a
 /// validated plan.
 pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn TStream>> {
-    ctx.stats().add_mediator_op(1);
-    Ok(match op {
+    let mut next = 1;
+    build_stream_profiled(op, ctx, env, None, &mut next)
+}
+
+/// [`build_stream`] with per-node accounting: nodes get pre-order ids
+/// starting at `*next` (the session reserves id 0 for the plan-root
+/// `tD`), and — when `profile` is given or the context's tracer is
+/// enabled — each stream is wrapped to record pulls/tuples and emit an
+/// operator span ([`crate::explain::render_annotated`] joins the
+/// profile back onto the plan).
+pub(crate) fn build_stream_profiled(
+    op: &Op,
+    ctx: &Rc<EvalContext>,
+    env: &Env,
+    profile: Option<&Rc<ExecProfile>>,
+    next: &mut usize,
+) -> Result<Box<dyn TStream>> {
+    ctx.stats().inc(Counter::MediatorOps);
+    let id = *next;
+    *next += 1;
+    let mut extra: Vec<(&'static str, String)> = Vec::new();
+    let raw: Box<dyn TStream> = match op {
         Op::MkSrc { source, var } => {
+            extra.push(("src", source.to_string()));
             let doc = ctx.doc(source)?;
             Box::new(MkSrcStream {
                 doc,
@@ -70,11 +93,15 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
                 ..
             } = &**input
             else {
+                // Keep ids aligned with the renderer's walk even though
+                // this subtree is never compiled.
+                *next += subtree_size(input);
                 return Ok(Box::new(EmptyStream {
                     vars: Rc::new(vec![var.clone()]),
                 }));
             };
-            let inner = build_stream(view_input, ctx, env)?;
+            *next += 1; // the view's tD node
+            let inner = build_stream_profiled(view_input, ctx, env, profile, next)?;
             Box::new(MkSrcOverStream {
                 inner,
                 view_var: view_var.clone(),
@@ -87,7 +114,7 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
             path,
             to,
         } => {
-            let input = build_stream(input, ctx, env)?;
+            let input = build_stream_profiled(input, ctx, env, profile, next)?;
             let mut vars = (*input.vars()).clone();
             vars.push(to.clone());
             Box::new(GetDStream {
@@ -100,7 +127,7 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
             })
         }
         Op::Select { input, cond } => {
-            let input = build_stream(input, ctx, env)?;
+            let input = build_stream_profiled(input, ctx, env, profile, next)?;
             Box::new(SelectStream {
                 ctx: Rc::clone(ctx),
                 input,
@@ -108,19 +135,20 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
             })
         }
         Op::Project { input, vars } => {
-            let input = build_stream(input, ctx, env)?;
+            let input = build_stream_profiled(input, ctx, env, profile, next)?;
             Box::new(ProjectStream {
                 input,
                 keep: Rc::new(vars.clone()),
             })
         }
         Op::Join { left, right, cond } => {
-            let left = build_stream(left, ctx, env)?;
-            let right = build_stream(right, ctx, env)?;
+            let left = build_stream_profiled(left, ctx, env, profile, next)?;
+            let right = build_stream_profiled(right, ctx, env, profile, next)?;
             let mut vars = (*left.vars()).clone();
             vars.extend(right.vars().iter().cloned());
             let split = mix_algebra::split_equi(cond.as_ref(), &left.vars(), &right.vars());
             if ctx.hash_joins && split.hashable() {
+                extra.push(("kernel", "hash".to_string()));
                 Box::new(HashJoinStream {
                     ctx: Rc::clone(ctx),
                     left,
@@ -134,7 +162,8 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
                     vars: Rc::new(vars),
                 })
             } else {
-                ctx.stats().add_nl_fallback(1);
+                ctx.stats().inc(Counter::NlFallbacks);
+                extra.push(("kernel", "nl".to_string()));
                 Box::new(JoinStream {
                     ctx: Rc::clone(ctx),
                     left,
@@ -153,14 +182,15 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
             cond,
             keep,
         } => {
-            let left = build_stream(left, ctx, env)?;
-            let right = build_stream(right, ctx, env)?;
+            let left = build_stream_profiled(left, ctx, env, profile, next)?;
+            let right = build_stream_profiled(right, ctx, env, profile, next)?;
             let split = mix_algebra::split_equi(cond.as_ref(), &left.vars(), &right.vars());
             let (kept, other) = match keep {
                 Side::Left => (left, right),
                 Side::Right => (right, left),
             };
             if ctx.hash_joins && split.hashable() {
+                extra.push(("kernel", "hash".to_string()));
                 Box::new(HashSemiJoinStream {
                     ctx: Rc::clone(ctx),
                     kept,
@@ -171,7 +201,8 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
                     keep: *keep,
                 })
             } else {
-                ctx.stats().add_nl_fallback(1);
+                ctx.stats().inc(Counter::NlFallbacks);
+                extra.push(("kernel", "nl".to_string()));
                 Box::new(SemiJoinStream {
                     ctx: Rc::clone(ctx),
                     kept,
@@ -190,7 +221,7 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
             children,
             out,
         } => {
-            let input = build_stream(input, ctx, env)?;
+            let input = build_stream_profiled(input, ctx, env, profile, next)?;
             let mut vars = (*input.vars()).clone();
             vars.push(out.clone());
             Box::new(MapStream {
@@ -212,7 +243,7 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
             right,
             out,
         } => {
-            let input = build_stream(input, ctx, env)?;
+            let input = build_stream_profiled(input, ctx, env, profile, next)?;
             let mut vars = (*input.vars()).clone();
             vars.push(out.clone());
             Box::new(MapStream {
@@ -230,7 +261,7 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
             group,
             out,
         } => {
-            let input = build_stream(input_op, ctx, env)?;
+            let input = build_stream_profiled(input_op, ctx, env, profile, next)?;
             let mode = match ctx.gby_mode {
                 GByMode::Auto => {
                     if mix_rewrite::key_contiguous(input_op, group) {
@@ -241,6 +272,15 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
                 }
                 m => m,
             };
+            extra.push((
+                "mode",
+                match mode {
+                    GByMode::StatelessPresorted => "presorted",
+                    GByMode::Stateful => "stateful",
+                    GByMode::Hash | GByMode::Auto => "hash",
+                }
+                .to_string(),
+            ));
             match mode {
                 GByMode::StatelessPresorted => Box::new(GByStream::new(
                     Rc::clone(ctx),
@@ -269,9 +309,14 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
             param,
             out,
         } => {
-            let input = build_stream(input, ctx, env)?;
+            let input = build_stream_profiled(input, ctx, env, profile, next)?;
             let mut vars = (*input.vars()).clone();
             vars.push(out.clone());
+            // The nested plan is compiled per activation; reserve its id
+            // range now so the renderer's pre-order walk lines up and
+            // activations aggregate onto the same nodes.
+            let nested_base = *next;
+            *next += subtree_size(plan);
             Box::new(ApplyStream {
                 ctx: Rc::clone(ctx),
                 input,
@@ -279,6 +324,8 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
                 param: param.clone(),
                 env: Rc::clone(env),
                 vars: Rc::new(vars),
+                profile: profile.cloned(),
+                nested_base,
             })
         }
         Op::NestedSrc { var } => {
@@ -292,8 +339,10 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
             })
         }
         Op::RelQuery { server, sql, map } => {
-            let db = ctx.catalog().database(server.as_str())?;
-            let cursor = db.execute(sql)?;
+            extra.push(("server", server.to_string()));
+            extra.push(("sql", sql.to_string()));
+            let db = ctx.catalog().database(server.as_str()).context(server)?;
+            let cursor = db.execute(sql).context(server)?;
             Box::new(RelQueryStream {
                 ctx: Rc::clone(ctx),
                 cursor,
@@ -302,7 +351,7 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
             })
         }
         Op::OrderBy { input, vars } => {
-            let input = build_stream(input, ctx, env)?;
+            let input = build_stream_profiled(input, ctx, env, profile, next)?;
             Box::new(OrderByStream {
                 ctx: Rc::clone(ctx),
                 input: Some(input),
@@ -319,7 +368,118 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
                 "tD is handled by the virtual-result layer, not as a stream",
             ))
         }
+    };
+    Ok(instrument(raw, op.name(), extra, ctx, profile, id))
+}
+
+/// Wrap `inner` so pulls/tuples are counted into `profile` and an
+/// operator span is emitted on the context's tracer. On the default
+/// path (no profile, tracer disabled) the stream is returned untouched
+/// — observability costs nothing when off.
+fn instrument(
+    inner: Box<dyn TStream>,
+    kind: &'static str,
+    extra: Vec<(&'static str, String)>,
+    ctx: &Rc<EvalContext>,
+    profile: Option<&Rc<ExecProfile>>,
+    id: usize,
+) -> Box<dyn TStream> {
+    if let Some(p) = profile {
+        if !extra.is_empty() {
+            let detail = extra
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            p.set_detail(id, detail);
+        }
+    }
+    if profile.is_none() && !ctx.tracer.enabled() {
+        return inner;
+    }
+    Box::new(TracedStream {
+        inner,
+        tracer: ctx.tracer.clone(),
+        profile: profile.cloned(),
+        id,
+        kind,
+        extra,
+        span: None,
+        started: false,
+        pulls: 0,
+        tuples: 0,
     })
+}
+
+/// The wrapper [`instrument`] installs: opens a span at the first pull
+/// (so unnavigated operators leave no trace), counts pulls and tuples,
+/// and closes the span with the totals when the pipeline is dropped.
+/// During each pull the span is pushed as the tracer's current parent,
+/// so work demanded from operators below (and source `sql`/`row`
+/// events) nests under it.
+struct TracedStream {
+    inner: Box<dyn TStream>,
+    tracer: TracerHandle,
+    profile: Option<Rc<ExecProfile>>,
+    id: usize,
+    kind: &'static str,
+    extra: Vec<(&'static str, String)>,
+    span: Option<SpanId>,
+    started: bool,
+    pulls: u64,
+    tuples: u64,
+}
+
+impl TStream for TracedStream {
+    fn vars(&self) -> Rc<Vec<Name>> {
+        self.inner.vars()
+    }
+
+    fn next(&mut self) -> Option<LTuple> {
+        if !self.started {
+            self.started = true;
+            if self.tracer.enabled() {
+                let mut attrs: Vec<(&'static str, String)> = vec![
+                    ("node", self.id.to_string()),
+                    ("depth", self.tracer.depth().to_string()),
+                ];
+                attrs.extend(self.extra.iter().cloned());
+                self.span = self.tracer.start_span(self.kind, &attrs);
+            }
+        }
+        self.pulls += 1;
+        if let Some(p) = &self.profile {
+            p.record_pull(self.id);
+        }
+        if let Some(s) = self.span {
+            self.tracer.push(s);
+        }
+        let t = self.inner.next();
+        if self.span.is_some() {
+            self.tracer.pop();
+        }
+        if t.is_some() {
+            self.tuples += 1;
+            if let Some(p) = &self.profile {
+                p.record_tuples(self.id, 1);
+            }
+        }
+        t
+    }
+}
+
+impl Drop for TracedStream {
+    fn drop(&mut self) {
+        if let Some(s) = self.span.take() {
+            self.tracer.end_span(
+                s,
+                &[
+                    ("pulls", self.pulls.to_string()),
+                    ("tuples", self.tuples.to_string()),
+                ],
+            );
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -490,7 +650,7 @@ impl TStream for JoinStream {
             while self.idx < self.right_rows.len() {
                 let r = &self.right_rows[self.idx];
                 self.idx += 1;
-                self.ctx.stats().add_join_probe(1);
+                self.ctx.stats().inc(Counter::JoinProbes);
                 let joined = l.concat(r);
                 if self
                     .cond
@@ -530,7 +690,7 @@ impl HashJoinStream {
         let Some(mut right) = self.right.take() else {
             return;
         };
-        self.ctx.stats().add_hash_build(1);
+        self.ctx.stats().inc(Counter::HashBuilds);
         while let Some(t) = right.next() {
             // A keyless (Null) tuple can never satisfy the equi-conjuncts.
             if let Some(k) = tuple_key(&self.ctx, &t, &self.pairs, Side::Right) {
@@ -559,7 +719,7 @@ impl TStream for HashJoinStream {
                 while self.idx < bucket.len() {
                     let r = &bucket[self.idx];
                     self.idx += 1;
-                    self.ctx.stats().add_join_probe(1);
+                    self.ctx.stats().inc(Counter::JoinProbes);
                     let joined = l.concat(r);
                     if self
                         .cond
@@ -599,7 +759,7 @@ impl TStream for SemiJoinStream {
             }
             let stats = self.ctx.stats();
             let matched = self.other_rows.iter().any(|o| {
-                stats.add_join_probe(1);
+                stats.inc(Counter::JoinProbes);
                 let joined = match self.keep {
                     Side::Left => t.concat(o),
                     Side::Right => o.concat(&t),
@@ -647,7 +807,7 @@ impl HashSemiJoinStream {
         let Some(mut other) = self.other.take() else {
             return;
         };
-        self.ctx.stats().add_hash_build(1);
+        self.ctx.stats().inc(Counter::HashBuilds);
         let side = self.other_side();
         while let Some(t) = other.next() {
             if let Some(k) = tuple_key(&self.ctx, &t, &self.pairs, side) {
@@ -674,7 +834,7 @@ impl TStream for HashSemiJoinStream {
             };
             let stats = self.ctx.stats();
             let matched = bucket.iter().any(|o| {
-                stats.add_join_probe(1);
+                stats.inc(Counter::JoinProbes);
                 let joined = match self.keep {
                     Side::Left => t.concat(o),
                     Side::Right => o.concat(&t),
@@ -981,7 +1141,7 @@ impl GByHashStream {
         group: Vec<Name>,
         out: Name,
     ) -> GByHashStream {
-        ctx.stats().add_hash_build(1);
+        ctx.stats().inc(Counter::HashBuilds);
         let in_vars = input.vars();
         let vars: Vec<Name> = group.iter().cloned().chain([out]).collect();
         GByHashStream {
@@ -1047,6 +1207,11 @@ struct ApplyStream {
     param: Option<Name>,
     env: Env,
     vars: Rc<Vec<Name>>,
+    profile: Option<Rc<ExecProfile>>,
+    /// Pre-order id of the nested plan's `tD`; every activation numbers
+    /// its streams from `nested_base + 1`, so metrics aggregate across
+    /// activations.
+    nested_base: usize,
 }
 
 impl TStream for ApplyStream {
@@ -1077,8 +1242,17 @@ impl TStream for ApplyStream {
         else {
             panic!("validated: nested plans end in tD");
         };
-        let mut nested =
-            build_stream(nested_input, &self.ctx, &env2).expect("validated: nested plan compiles");
+        let mut nested = {
+            let mut nid = self.nested_base + 1;
+            build_stream_profiled(
+                nested_input,
+                &self.ctx,
+                &env2,
+                self.profile.as_ref(),
+                &mut nid,
+            )
+            .expect("validated: nested plan compiles")
+        };
         let nvar = nested_var.clone();
         let dedup_ctx = Rc::clone(&self.ctx);
         let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
@@ -1237,14 +1411,14 @@ mod tests {
         };
         let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
         let stats = ctx.catalog().database("db1").unwrap().stats().clone();
-        assert_eq!(stats.tuples_shipped(), 0);
+        assert_eq!(stats.get(Counter::TuplesShipped), 0);
         assert!(s.next().is_some());
-        assert_eq!(stats.tuples_shipped(), 1);
+        assert_eq!(stats.get(Counter::TuplesShipped), 1);
         assert!(s.next().is_some());
-        assert_eq!(stats.tuples_shipped(), 2);
+        assert_eq!(stats.get(Counter::TuplesShipped), 2);
         assert!(s.next().is_some());
         assert!(s.next().is_none());
-        assert_eq!(stats.tuples_shipped(), 3);
+        assert_eq!(stats.get(Counter::TuplesShipped), 3);
     }
 
     #[test]
@@ -1403,13 +1577,13 @@ mod tests {
         );
         let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
         let _first = s.next().unwrap();
-        let after_first = stats.tuples_shipped();
+        let after_first = stats.get(Counter::TuplesShipped);
         while s.next().is_some() {}
         // The first group tuple must not drain the order source.
         assert!(
-            stats.tuples_shipped() > after_first,
+            stats.get(Counter::TuplesShipped) > after_first,
             "first={after_first}, total={}",
-            stats.tuples_shipped()
+            stats.get(Counter::TuplesShipped)
         );
     }
 
@@ -1437,13 +1611,13 @@ mod tests {
         let op = plan_input(Q1);
         let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
         let _first = s.next().unwrap();
-        let after_first = stats.tuples_shipped();
+        let after_first = stats.get(Counter::TuplesShipped);
         while s.next().is_some() {}
         // Draining the rest pulls at least one more customer tuple.
         assert!(
-            stats.tuples_shipped() > after_first,
+            stats.get(Counter::TuplesShipped) > after_first,
             "first={after_first}, total={}",
-            stats.tuples_shipped()
+            stats.get(Counter::TuplesShipped)
         );
     }
 

@@ -21,9 +21,10 @@
 
 use crate::context::EvalContext;
 use crate::lval::{LList, LVal};
-use crate::stream::{build_stream, TStream};
+use crate::stream::{build_stream_profiled, TStream};
 use mix_algebra::Op;
-use mix_common::{MixError, Name, Result, Value};
+use mix_common::{Counter, MixError, Name, Result, Value};
+use mix_obs::ExecProfile;
 use mix_xml::{NavDoc, NodeRef, Oid};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -33,6 +34,7 @@ use std::rc::Rc;
 pub struct VirtualResult {
     ctx: Rc<EvalContext>,
     name: Name,
+    profile: Rc<ExecProfile>,
     inner: RefCell<Inner>,
 }
 
@@ -71,9 +73,19 @@ impl VirtualResult {
     /// Build the virtual result of `plan` (rooted at `tD`). No source
     /// work happens yet beyond compiling the streams.
     pub fn new(plan: &mix_algebra::Plan, ctx: Rc<EvalContext>) -> Result<VirtualResult> {
+        let profile = Rc::new(ExecProfile::new());
         let (stream, td_var, name) = match &plan.root {
             Op::TupleDestroy { input, var, root } => {
-                let s = build_stream(input, &ctx, &Rc::new(HashMap::new()))?;
+                // The plan-root tD is node 0; the stream tree numbers
+                // from 1 in the same pre-order as the EXPLAIN renderer.
+                let mut next = 1usize;
+                let s = build_stream_profiled(
+                    input,
+                    &ctx,
+                    &Rc::new(HashMap::new()),
+                    Some(&profile),
+                    &mut next,
+                )?;
                 (
                     Some(s),
                     var.clone(),
@@ -98,6 +110,7 @@ impl VirtualResult {
         Ok(VirtualResult {
             ctx,
             name,
+            profile,
             inner: RefCell::new(Inner {
                 nodes: vec![root],
                 stream,
@@ -110,6 +123,13 @@ impl VirtualResult {
     /// The evaluation context (shared stats, sources).
     pub fn ctx(&self) -> &Rc<EvalContext> {
         &self.ctx
+    }
+
+    /// Per-node execution metrics, accumulated as navigation drives the
+    /// plan ([`crate::explain::render_annotated`] joins them back onto
+    /// the plan tree).
+    pub fn profile(&self) -> &Rc<ExecProfile> {
+        &self.profile
     }
 
     /// Number of arena nodes materialized so far — the navigation
@@ -151,7 +171,7 @@ impl VirtualResult {
     }
 
     fn wrap(&self, inner: &mut Inner, val: LVal, parent: u32, index: usize) -> u32 {
-        self.ctx.stats().add_nodes_built(1);
+        self.ctx.stats().inc(Counter::NodesBuilt);
         let kind = match val {
             LVal::Src { doc, node } => VKind::Src { doc, node },
             LVal::Leaf(v) => VKind::Leaf { value: v },
@@ -200,6 +220,7 @@ impl VirtualResult {
                         inner.nodes[parent as usize].kids_done = true;
                         continue;
                     };
+                    self.profile.record_pull(0);
                     match stream.next() {
                         None => {
                             inner.stream = None;
@@ -214,6 +235,7 @@ impl VirtualResult {
                                     continue;
                                 }
                             }
+                            self.profile.record_tuples(0, 1);
                             self.wrap(&mut inner, val, parent, next_index);
                         }
                     }
@@ -279,12 +301,12 @@ impl NavDoc for VirtualResult {
     }
 
     fn first_child(&self, n: NodeRef) -> Option<NodeRef> {
-        self.ctx.stats().add_nav_command(1);
+        self.ctx.stats().inc(Counter::NavCommands);
         self.kid(n.0, 0)
     }
 
     fn next_sibling(&self, n: NodeRef) -> Option<NodeRef> {
-        self.ctx.stats().add_nav_command(1);
+        self.ctx.stats().inc(Counter::NavCommands);
         let (parent, index) = {
             let inner = self.inner.borrow();
             let node = &inner.nodes[n.0 as usize];
@@ -294,7 +316,7 @@ impl NavDoc for VirtualResult {
     }
 
     fn label(&self, n: NodeRef) -> Option<Name> {
-        self.ctx.stats().add_nav_command(1);
+        self.ctx.stats().inc(Counter::NavCommands);
         let inner = self.inner.borrow();
         match &inner.nodes[n.0 as usize].kind {
             VKind::Root => Some(Name::new("list")),
@@ -306,7 +328,7 @@ impl NavDoc for VirtualResult {
     }
 
     fn value(&self, n: NodeRef) -> Option<Value> {
-        self.ctx.stats().add_nav_command(1);
+        self.ctx.stats().inc(Counter::NavCommands);
         let inner = self.inner.borrow();
         match &inner.nodes[n.0 as usize].kind {
             VKind::Leaf { value } => Some(value.clone()),
@@ -369,19 +391,19 @@ mod tests {
         let plan = translate(&parse_query(Q1).unwrap()).unwrap();
         let v = VirtualResult::new(&plan, Rc::clone(&ctx)).unwrap();
         // Creating the virtual document issues no SQL.
-        assert_eq!(db_stats.sql_queries(), 0);
+        assert_eq!(db_stats.get(Counter::SqlQueries), 0);
         let _root = v.root();
-        assert_eq!(db_stats.sql_queries(), 0);
+        assert_eq!(db_stats.get(Counter::SqlQueries), 0);
         // The first descent starts pulling.
         let first = v.first_child(v.root()).unwrap();
-        assert!(db_stats.sql_queries() > 0);
-        let shipped_after_first = db_stats.tuples_shipped();
+        assert!(db_stats.get(Counter::SqlQueries) > 0);
+        let shipped_after_first = db_stats.get(Counter::TuplesShipped);
         // Walking the rest ships more.
         let mut cur = Some(first);
         while let Some(n) = cur {
             cur = v.next_sibling(n);
         }
-        assert!(db_stats.tuples_shipped() > shipped_after_first);
+        assert!(db_stats.get(Counter::TuplesShipped) > shipped_after_first);
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Typed work counters.
+//!
+//! Counters use `Cell` (the engine is single-threaded by design — the
+//! QDOM protocol is a synchronous command loop) wrapped in `Rc` by the
+//! owners that share them. The counter set is closed and typed: adding
+//! a counter means adding a [`Counter`] variant, and every read goes
+//! through [`Stats::get`] or the [`Snapshot`]/[`Delta`] API rather than
+//! per-counter getters.
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::Index;
+use std::rc::Rc;
+
+/// Number of counters (one per [`Counter`] variant).
+const N: usize = 11;
+
+/// One kind of work the substrate counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// SQL queries issued to a relational source.
+    SqlQueries,
+    /// Tuples actually shipped from source cursors to the mediator
+    /// (the high-watermark of rows pulled; the paper's "partial result
+    /// evaluation" shows up as this staying far below the full result).
+    TuplesShipped,
+    /// Rows scanned inside the relational executor (internal work).
+    RowsScanned,
+    /// Navigation commands answered by the mediator
+    /// (`d`/`r`/`fl`/`fv`/`getRoot`).
+    NavCommands,
+    /// XMAS operator invocations at the mediator (element creations,
+    /// group formations, …) — the "mediator work" metric of claim E5.
+    MediatorOps,
+    /// Result-tree nodes materialized at the mediator.
+    NodesBuilt,
+    /// Hash indexes built by the physical join/semi-join/groupBy
+    /// kernels (each is one full drain of the build side).
+    HashBuilds,
+    /// Join predicate evaluations: every candidate pair a join or
+    /// semi-join examines. Nested loops pay |L|·|R|; the hash kernels
+    /// pay one per probe-side tuple plus bucket matches, i.e.
+    /// O(|L| + |R| + |output|).
+    JoinProbes,
+    /// Joins/semi-joins that fell back to the nested-loop kernel
+    /// because no equi-conjunct was extractable.
+    NlFallbacks,
+    /// Decontextualized-plan cache hits in the QDOM session.
+    PlanCacheHits,
+    /// Decontextualized-plan cache misses (full translate + rewrite).
+    PlanCacheMisses,
+}
+
+impl Counter {
+    /// Every counter, in canonical (display) order.
+    pub const ALL: [Counter; N] = [
+        Counter::SqlQueries,
+        Counter::TuplesShipped,
+        Counter::RowsScanned,
+        Counter::NavCommands,
+        Counter::MediatorOps,
+        Counter::NodesBuilt,
+        Counter::HashBuilds,
+        Counter::JoinProbes,
+        Counter::NlFallbacks,
+        Counter::PlanCacheHits,
+        Counter::PlanCacheMisses,
+    ];
+
+    /// A stable snake_case label (table rendering, log output).
+    pub fn label(self) -> &'static str {
+        match self {
+            Counter::SqlQueries => "sql_queries",
+            Counter::TuplesShipped => "tuples_shipped",
+            Counter::RowsScanned => "rows_scanned",
+            Counter::NavCommands => "nav_commands",
+            Counter::MediatorOps => "mediator_ops",
+            Counter::NodesBuilt => "nodes_built",
+            Counter::HashBuilds => "hash_builds",
+            Counter::JoinProbes => "join_probes",
+            Counter::NlFallbacks => "nl_fallbacks",
+            Counter::PlanCacheHits => "plan_cache_hits",
+            Counter::PlanCacheMisses => "plan_cache_misses",
+        }
+    }
+
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Shared mutable counter set. Clone to share (reference semantics).
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    inner: Rc<StatsInner>,
+}
+
+#[derive(Debug)]
+struct StatsInner {
+    counts: [Cell<u64>; N],
+}
+
+impl Default for StatsInner {
+    fn default() -> StatsInner {
+        StatsInner {
+            counts: std::array::from_fn(|_| Cell::new(0)),
+        }
+    }
+}
+
+impl Stats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Increment `c` by `n`.
+    pub fn add(&self, c: Counter, n: u64) {
+        let cell = &self.inner.counts[c.idx()];
+        cell.set(cell.get() + n);
+    }
+
+    /// Increment `c` by one.
+    pub fn inc(&self, c: Counter) {
+        self.add(c, 1);
+    }
+
+    /// Read one counter.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.inner.counts[c.idx()].get()
+    }
+
+    /// Reset every counter to zero (between benchmark trials).
+    pub fn reset(&self) {
+        for cell in &self.inner.counts {
+            cell.set(0);
+        }
+    }
+
+    /// Capture the current counter values.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counts: std::array::from_fn(|i| self.inner.counts[i].get()),
+        }
+    }
+}
+
+/// An immutable point-in-time copy of [`Stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    counts: [u64; N],
+}
+
+impl Snapshot {
+    /// Read one counter.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counts[c.idx()]
+    }
+
+    /// The work done between `earlier` and `self`
+    /// (alias for [`Delta::between`] with the arguments swapped).
+    pub fn since(&self, earlier: &Snapshot) -> Delta {
+        Delta::between(earlier, self)
+    }
+}
+
+impl Index<Counter> for Snapshot {
+    type Output = u64;
+
+    fn index(&self, c: Counter) -> &u64 {
+        &self.counts[c.idx()]
+    }
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sql={} shipped={} scanned={} nav={} medops={} nodes={} \
+             hash={} probes={} nlfb={} pc={}+{}",
+            self.get(Counter::SqlQueries),
+            self.get(Counter::TuplesShipped),
+            self.get(Counter::RowsScanned),
+            self.get(Counter::NavCommands),
+            self.get(Counter::MediatorOps),
+            self.get(Counter::NodesBuilt),
+            self.get(Counter::HashBuilds),
+            self.get(Counter::JoinProbes),
+            self.get(Counter::NlFallbacks),
+            self.get(Counter::PlanCacheHits),
+            self.get(Counter::PlanCacheMisses),
+        )
+    }
+}
+
+/// Per-counter differences between two [`Snapshot`]s (saturating).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Delta {
+    counts: [u64; N],
+}
+
+impl Delta {
+    /// Counter increments from `before` to `after`.
+    pub fn between(before: &Snapshot, after: &Snapshot) -> Delta {
+        Delta {
+            counts: std::array::from_fn(|i| after.counts[i].saturating_sub(before.counts[i])),
+        }
+    }
+
+    /// Read one counter delta.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counts[c.idx()]
+    }
+
+    /// True when no counter moved.
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+}
+
+impl Index<Counter> for Delta {
+    type Output = u64;
+
+    fn index(&self, c: Counter) -> &u64 {
+        &self.counts[c.idx()]
+    }
+}
+
+impl fmt::Display for Delta {
+    /// An aligned two-column table, one row per counter that moved.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return writeln!(f, "  (no work counted)");
+        }
+        for c in Counter::ALL {
+            let v = self.get(c);
+            if v != 0 {
+                writeln!(f, "  {:<18} {v}", c.label())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_shared_by_clone() {
+        let a = Stats::new();
+        let b = a.clone();
+        a.add(Counter::TuplesShipped, 3);
+        b.add(Counter::TuplesShipped, 2);
+        assert_eq!(a.get(Counter::TuplesShipped), 5);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = Stats::new();
+        s.inc(Counter::SqlQueries);
+        let before = s.snapshot();
+        s.add(Counter::SqlQueries, 2);
+        s.add(Counter::NavCommands, 7);
+        let d = Delta::between(&before, &s.snapshot());
+        assert_eq!(d[Counter::SqlQueries], 2);
+        assert_eq!(d[Counter::NavCommands], 7);
+        assert_eq!(d[Counter::TuplesShipped], 0);
+        assert_eq!(s.snapshot().since(&before), d);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = Stats::new();
+        s.add(Counter::RowsScanned, 9);
+        s.reset();
+        assert_eq!(s.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn delta_renders_nonzero_rows() {
+        let s = Stats::new();
+        let before = s.snapshot();
+        s.add(Counter::TuplesShipped, 4);
+        let d = Delta::between(&before, &s.snapshot());
+        let text = d.to_string();
+        assert!(text.contains("tuples_shipped"), "{text}");
+        assert!(!text.contains("sql_queries"), "{text}");
+        assert!(Delta::default().is_zero());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Counter::PlanCacheMisses.to_string(), "plan_cache_misses");
+        assert_eq!(Counter::ALL.len(), 11);
+    }
+}

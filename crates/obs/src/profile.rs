@@ -1,0 +1,86 @@
+//! Per-plan-node execution profiles.
+//!
+//! An [`ExecProfile`] maps plan-node ids (assigned in pre-order by the
+//! engine's builders) to [`OpMetrics`]: how many times the node was
+//! pulled, how many tuples it produced, and a short physical detail
+//! string (kernel choice, groupBy mode, pushed SQL). The engine's
+//! `explain()` rendering joins these metrics back onto the plan tree —
+//! `EXPLAIN ANALYZE` for XMAS plans.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Runtime metrics for one plan node.
+#[derive(Debug, Default, Clone)]
+pub struct OpMetrics {
+    /// Times the node was asked for work: `next()` calls on a lazy
+    /// stream, or whole-table evaluations in the eager engine.
+    pub pulls: u64,
+    /// Tuples the node handed to its consumer.
+    pub tuples_out: u64,
+    /// Physical detail resolved at build/run time (`kernel=hash`,
+    /// `mode=presorted`, pushed SQL text).
+    pub detail: Option<String>,
+}
+
+/// Metrics for every executed node of one plan, keyed by the node's
+/// pre-order id. Shared via `Rc` between the executing streams and the
+/// session that renders the explain output.
+#[derive(Debug, Default)]
+pub struct ExecProfile {
+    nodes: RefCell<BTreeMap<usize, OpMetrics>>,
+}
+
+impl ExecProfile {
+    /// A fresh, empty profile.
+    pub fn new() -> ExecProfile {
+        ExecProfile::default()
+    }
+
+    /// Count one pull on node `id`.
+    pub fn record_pull(&self, id: usize) {
+        self.nodes.borrow_mut().entry(id).or_default().pulls += 1;
+    }
+
+    /// Count `n` output tuples on node `id`.
+    pub fn record_tuples(&self, id: usize, n: u64) {
+        self.nodes.borrow_mut().entry(id).or_default().tuples_out += n;
+    }
+
+    /// Attach (or replace) the physical detail string for node `id`.
+    pub fn set_detail(&self, id: usize, detail: impl Into<String>) {
+        self.nodes.borrow_mut().entry(id).or_default().detail = Some(detail.into());
+    }
+
+    /// Metrics for node `id`, if it was ever touched.
+    pub fn get(&self, id: usize) -> Option<OpMetrics> {
+        self.nodes.borrow().get(&id).cloned()
+    }
+
+    /// True when no node reported anything — the plan never ran
+    /// (or ran untraced).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let p = ExecProfile::new();
+        assert!(p.is_empty());
+        p.record_pull(3);
+        p.record_pull(3);
+        p.record_tuples(3, 5);
+        p.set_detail(3, "kernel=hash");
+        let m = p.get(3).unwrap();
+        assert_eq!(m.pulls, 2);
+        assert_eq!(m.tuples_out, 5);
+        assert_eq!(m.detail.as_deref(), Some("kernel=hash"));
+        assert!(p.get(0).is_none());
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,545 @@
+//! Tracing spans and events.
+//!
+//! A [`Tracer`] receives *spans* (named, attributed, nested intervals
+//! of work: one QDOM command, one operator's lifetime) and *events*
+//! (instantaneous points: one SQL statement issued, one row shipped).
+//! The engine talks to the tracer through a [`TracerHandle`], which
+//! adds the one piece of shared runtime state nesting needs: a stack of
+//! currently-active span ids. Strictly nested work (a session command,
+//! an eager operator evaluation) uses the RAII [`SpanGuard`]; the lazy
+//! engine's operator spans are *not* strictly nested (a span opens at
+//! the operator's first pull and closes when the stream is dropped), so
+//! streams manage their span explicitly and only push/pop around each
+//! `next()` call to parent the work they cause downstream.
+//!
+//! Three tracers are built in: [`NullTracer`] (the default — disabled,
+//! near-zero cost), [`CollectingTracer`] (in-memory span trees,
+//! assertable in tests), and [`LogTracer`] (human-readable output on
+//! stderr, gated on the `MIX_TRACE` environment variable).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Span attributes: static keys, rendered values.
+pub type Attrs<'a> = &'a [(&'static str, String)];
+
+/// Identifies one span within its tracer. Ids are tracer-assigned and
+/// only meaningful to the tracer that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+/// A consumer of spans and events.
+///
+/// Implementations are single-threaded and use interior mutability;
+/// the engine holds them behind `Rc<dyn Tracer>`.
+pub trait Tracer {
+    /// Whether this tracer wants any data at all. `false` lets callers
+    /// skip attribute formatting entirely (the [`NullTracer`] path).
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Open a span. `parent` is the innermost active span, if any.
+    fn span_start(&self, name: &str, parent: Option<SpanId>, attrs: Attrs<'_>) -> SpanId;
+
+    /// Close a span, appending final attributes (counters, kernel
+    /// choices resolved mid-flight).
+    fn span_end(&self, id: SpanId, attrs: Attrs<'_>);
+
+    /// Record an instantaneous event under `parent`.
+    fn event(&self, parent: Option<SpanId>, name: &str, attrs: Attrs<'_>);
+}
+
+// ---------------------------------------------------------------------
+
+struct HandleInner {
+    tracer: Rc<dyn Tracer>,
+    enabled: bool,
+    stack: RefCell<Vec<SpanId>>,
+}
+
+/// A cheaply clonable handle to a tracer plus the active-span stack.
+///
+/// All clones share the same stack, so spans opened by the session
+/// layer parent spans opened deep inside the relational executor.
+#[derive(Clone)]
+pub struct TracerHandle {
+    inner: Rc<HandleInner>,
+}
+
+impl Default for TracerHandle {
+    fn default() -> TracerHandle {
+        TracerHandle::null()
+    }
+}
+
+impl fmt::Debug for TracerHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TracerHandle")
+            .field("enabled", &self.inner.enabled)
+            .finish()
+    }
+}
+
+impl TracerHandle {
+    /// A handle on `tracer`. The tracer's [`Tracer::enabled`] flag is
+    /// sampled once here; tracers do not toggle mid-session.
+    pub fn new(tracer: Rc<dyn Tracer>) -> TracerHandle {
+        let enabled = tracer.enabled();
+        TracerHandle {
+            inner: Rc::new(HandleInner {
+                tracer,
+                enabled,
+                stack: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The disabled handle (a [`NullTracer`]).
+    pub fn null() -> TracerHandle {
+        TracerHandle::new(Rc::new(NullTracer))
+    }
+
+    /// Whether tracing is on. When `false`, every other method is a
+    /// no-op and callers may skip attribute formatting.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// The innermost active span.
+    pub fn current(&self) -> Option<SpanId> {
+        self.inner.stack.borrow().last().copied()
+    }
+
+    /// Current nesting depth (the lazy engine's "pull depth" attr).
+    pub fn depth(&self) -> usize {
+        self.inner.stack.borrow().len()
+    }
+
+    /// Open a strictly nested span: started now, active (on the stack)
+    /// until the returned guard drops.
+    pub fn span(&self, name: &str, attrs: Attrs<'_>) -> SpanGuard {
+        if !self.enabled() {
+            return SpanGuard {
+                handle: None,
+                id: SpanId(0),
+                end_attrs: Vec::new(),
+            };
+        }
+        let id = self.inner.tracer.span_start(name, self.current(), attrs);
+        self.push(id);
+        SpanGuard {
+            handle: Some(self.clone()),
+            id,
+            end_attrs: Vec::new(),
+        }
+    }
+
+    /// Open a span *without* activating it — for spans whose lifetime
+    /// is not a lexical scope (lazy operator streams). Pair with
+    /// [`TracerHandle::end_span`], and [`TracerHandle::push`]/
+    /// [`TracerHandle::pop`] around the work done on its behalf.
+    pub fn start_span(&self, name: &str, attrs: Attrs<'_>) -> Option<SpanId> {
+        if !self.enabled() {
+            return None;
+        }
+        Some(self.inner.tracer.span_start(name, self.current(), attrs))
+    }
+
+    /// Close a span opened with [`TracerHandle::start_span`].
+    pub fn end_span(&self, id: SpanId, attrs: Attrs<'_>) {
+        if self.enabled() {
+            self.inner.tracer.span_end(id, attrs);
+        }
+    }
+
+    /// Make `id` the innermost active span.
+    pub fn push(&self, id: SpanId) {
+        if self.enabled() {
+            self.inner.stack.borrow_mut().push(id);
+        }
+    }
+
+    /// Deactivate the innermost active span.
+    pub fn pop(&self) {
+        if self.enabled() {
+            self.inner.stack.borrow_mut().pop();
+        }
+    }
+
+    /// Record an event under the innermost active span.
+    pub fn event(&self, name: &str, attrs: Attrs<'_>) {
+        if self.enabled() {
+            self.inner.tracer.event(self.current(), name, attrs);
+        }
+    }
+}
+
+/// RAII guard for a strictly nested span (see [`TracerHandle::span`]).
+/// Dropping it deactivates and closes the span.
+pub struct SpanGuard {
+    handle: Option<TracerHandle>,
+    id: SpanId,
+    end_attrs: Vec<(&'static str, String)>,
+}
+
+impl SpanGuard {
+    /// Attach an attribute that is only known mid-span (a kernel choice
+    /// resolved after inputs were examined, a result count). Delivered
+    /// with the span's end.
+    pub fn set_attr(&mut self, key: &'static str, value: impl Into<String>) {
+        if self.handle.is_some() {
+            self.end_attrs.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(h) = &self.handle {
+            h.pop();
+            h.end_span(self.id, &self.end_attrs);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+
+/// The default tracer: drops everything, reports itself disabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn span_start(&self, _name: &str, _parent: Option<SpanId>, _attrs: Attrs<'_>) -> SpanId {
+        SpanId(0)
+    }
+
+    fn span_end(&self, _id: SpanId, _attrs: Attrs<'_>) {}
+
+    fn event(&self, _parent: Option<SpanId>, _name: &str, _attrs: Attrs<'_>) {}
+}
+
+// ---------------------------------------------------------------------
+
+struct SpanRec {
+    name: String,
+    attrs: Vec<(String, String)>,
+    /// Child spans and events, interleaved in arrival order.
+    children: Vec<Entry>,
+}
+
+enum Entry {
+    Span(usize),
+    Event(String, Vec<(String, String)>),
+}
+
+#[derive(Default)]
+struct Store {
+    spans: Vec<SpanRec>,
+    /// Root spans and parentless events, in arrival order.
+    roots: Vec<Entry>,
+}
+
+/// An in-memory tracer that records the full span tree for assertions
+/// ("the hash-join span is present; the unnavigated branch produced no
+/// operator spans").
+#[derive(Default)]
+pub struct CollectingTracer {
+    store: RefCell<Store>,
+}
+
+impl CollectingTracer {
+    /// A fresh, empty collector.
+    pub fn new() -> CollectingTracer {
+        CollectingTracer::default()
+    }
+
+    /// Number of spans recorded (open or closed) whose name is `name`.
+    pub fn count(&self, name: &str) -> usize {
+        self.store
+            .borrow()
+            .spans
+            .iter()
+            .filter(|s| s.name == name)
+            .count()
+    }
+
+    /// Whether any span named `name` was recorded.
+    pub fn has_span(&self, name: &str) -> bool {
+        self.count(name) > 0
+    }
+
+    /// All recorded span names, in start order.
+    pub fn span_names(&self) -> Vec<String> {
+        self.store
+            .borrow()
+            .spans
+            .iter()
+            .map(|s| s.name.clone())
+            .collect()
+    }
+
+    /// Drop everything recorded so far.
+    pub fn clear(&self) {
+        *self.store.borrow_mut() = Store::default();
+    }
+
+    /// Render the span forest as an indented tree: one line per span
+    /// (`name key=value …`, start attrs then end attrs), events as
+    /// `- name key=value` lines. Children appear in start order, which
+    /// for the lazy engine is *demand* order — the laziness claim made
+    /// visible.
+    pub fn render(&self) -> String {
+        let store = self.store.borrow();
+        let mut out = String::new();
+        for e in &store.roots {
+            render_entry(&store, e, 0, &mut out);
+        }
+        out
+    }
+
+    fn record(&self, parent: Option<SpanId>, entry: Entry) {
+        let mut store = self.store.borrow_mut();
+        match parent {
+            // A parent id may be stale after `clear()`; attach at the
+            // root rather than panicking (we may be mid-drop).
+            Some(SpanId(p)) => match store.spans.get_mut(p as usize - 1) {
+                Some(s) => s.children.push(entry),
+                None => store.roots.push(entry),
+            },
+            None => store.roots.push(entry),
+        }
+    }
+}
+
+fn render_entry(store: &Store, e: &Entry, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match e {
+        Entry::Span(i) => {
+            let s = &store.spans[*i];
+            out.push_str(&pad);
+            out.push_str(&s.name);
+            for (k, v) in &s.attrs {
+                out.push_str(&format!(" {k}={v}"));
+            }
+            out.push('\n');
+            for c in &s.children {
+                render_entry(store, c, depth + 1, out);
+            }
+        }
+        Entry::Event(name, attrs) => {
+            out.push_str(&pad);
+            out.push_str("- ");
+            out.push_str(name);
+            for (k, v) in attrs {
+                out.push_str(&format!(" {k}={v}"));
+            }
+            out.push('\n');
+        }
+    }
+}
+
+fn own_attrs(attrs: Attrs<'_>) -> Vec<(String, String)> {
+    attrs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect()
+}
+
+impl Tracer for CollectingTracer {
+    fn span_start(&self, name: &str, parent: Option<SpanId>, attrs: Attrs<'_>) -> SpanId {
+        let mut store = self.store.borrow_mut();
+        let idx = store.spans.len();
+        store.spans.push(SpanRec {
+            name: name.to_string(),
+            attrs: own_attrs(attrs),
+            children: Vec::new(),
+        });
+        let entry = Entry::Span(idx);
+        match parent {
+            Some(SpanId(p)) => match store.spans.get_mut(p as usize - 1) {
+                Some(s) => s.children.push(entry),
+                None => store.roots.push(entry),
+            },
+            None => store.roots.push(entry),
+        }
+        SpanId(idx as u64 + 1)
+    }
+
+    fn span_end(&self, id: SpanId, attrs: Attrs<'_>) {
+        let mut store = self.store.borrow_mut();
+        // Stale after `clear()` — ignore (we may be mid-drop).
+        if let Some(s) = store.spans.get_mut(id.0 as usize - 1) {
+            s.attrs.extend(own_attrs(attrs));
+        }
+    }
+
+    fn event(&self, parent: Option<SpanId>, name: &str, attrs: Attrs<'_>) {
+        self.record(parent, Entry::Event(name.to_string(), own_attrs(attrs)));
+    }
+}
+
+// ---------------------------------------------------------------------
+
+/// A human-readable tracer printing to stderr, one line per span start,
+/// span end, and event, indented by span depth.
+///
+/// `LogTracer::from_env()` is enabled only when the `MIX_TRACE`
+/// environment variable is set, so it can be wired in unconditionally.
+pub struct LogTracer {
+    enabled: bool,
+    /// id → (name, depth), for end lines and indentation.
+    open: RefCell<Vec<(String, usize)>>,
+}
+
+impl LogTracer {
+    /// An always-on log tracer.
+    pub fn new() -> LogTracer {
+        LogTracer {
+            enabled: true,
+            open: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Enabled iff the `MIX_TRACE` environment variable is set.
+    pub fn from_env() -> LogTracer {
+        LogTracer {
+            enabled: std::env::var_os("MIX_TRACE").is_some(),
+            open: RefCell::new(Vec::new()),
+        }
+    }
+
+    fn line(&self, depth: usize, marker: &str, name: &str, attrs: Attrs<'_>) {
+        let mut msg = format!("{}{marker} {name}", "  ".repeat(depth));
+        for (k, v) in attrs {
+            msg.push_str(&format!(" {k}={v}"));
+        }
+        eprintln!("[mix-trace] {msg}");
+    }
+}
+
+impl Default for LogTracer {
+    fn default() -> LogTracer {
+        LogTracer::new()
+    }
+}
+
+impl Tracer for LogTracer {
+    fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn span_start(&self, name: &str, parent: Option<SpanId>, attrs: Attrs<'_>) -> SpanId {
+        let mut open = self.open.borrow_mut();
+        let depth = match parent {
+            Some(SpanId(p)) => open[p as usize - 1].1 + 1,
+            None => 0,
+        };
+        open.push((name.to_string(), depth));
+        let id = SpanId(open.len() as u64);
+        drop(open);
+        self.line(depth, ">", name, attrs);
+        id
+    }
+
+    fn span_end(&self, id: SpanId, attrs: Attrs<'_>) {
+        let (name, depth) = self.open.borrow()[id.0 as usize - 1].clone();
+        self.line(depth, "<", &name, attrs);
+    }
+
+    fn event(&self, parent: Option<SpanId>, name: &str, attrs: Attrs<'_>) {
+        let depth = match parent {
+            Some(SpanId(p)) => self.open.borrow()[p as usize - 1].1 + 1,
+            None => 0,
+        };
+        self.line(depth, "·", name, attrs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collecting_handle() -> (Rc<CollectingTracer>, TracerHandle) {
+        let t = Rc::new(CollectingTracer::new());
+        let h = TracerHandle::new(Rc::clone(&t) as Rc<dyn Tracer>);
+        (t, h)
+    }
+
+    #[test]
+    fn guards_nest_and_unwind() {
+        let (t, h) = collecting_handle();
+        {
+            let _a = h.span("outer", &[("k", "v".to_string())]);
+            {
+                let mut b = h.span("inner", &[]);
+                b.set_attr("tuples", "3");
+                h.event("sql", &[("stmt", "SELECT 1".to_string())]);
+            }
+            h.event("after-inner", &[]);
+        }
+        assert_eq!(h.depth(), 0);
+        let text = t.render();
+        assert_eq!(
+            text,
+            "outer k=v\n  inner tuples=3\n    - sql stmt=SELECT 1\n  - after-inner\n"
+        );
+    }
+
+    #[test]
+    fn detached_spans_parent_by_stack() {
+        let (t, h) = collecting_handle();
+        let id = {
+            let _cmd = h.span("cmd", &[]);
+            let id = h.start_span("op", &[]).unwrap();
+            h.push(id);
+            h.event("row", &[]);
+            h.pop();
+            id
+        };
+        // The cmd guard is gone; the op span outlives it and ends later.
+        h.end_span(id, &[("pulls", "1".to_string())]);
+        assert_eq!(t.render(), "cmd\n  op pulls=1\n    - row\n");
+    }
+
+    #[test]
+    fn null_handle_is_inert() {
+        let h = TracerHandle::null();
+        assert!(!h.enabled());
+        let mut g = h.span("x", &[]);
+        g.set_attr("k", "v");
+        assert!(h.start_span("y", &[]).is_none());
+        h.event("e", &[]);
+        assert_eq!(h.depth(), 0);
+    }
+
+    #[test]
+    fn collector_queries() {
+        let (t, h) = collecting_handle();
+        let _a = h.span("join.hash", &[]);
+        let _b = h.span("mksrc", &[]);
+        assert!(t.has_span("join.hash"));
+        assert!(!t.has_span("join.nl"));
+        assert_eq!(t.count("mksrc"), 1);
+        assert_eq!(t.span_names(), vec!["join.hash", "mksrc"]);
+        t.clear();
+        assert_eq!(t.span_names(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn log_tracer_env_gate() {
+        // Not set in the test environment by default.
+        let t = LogTracer::from_env();
+        let _ = t.enabled; // constructed without panicking
+        let on = LogTracer::new();
+        assert!(Tracer::enabled(&on));
+        let id = on.span_start("x", None, &[]);
+        on.event(Some(id), "e", &[]);
+        on.span_end(id, &[]);
+    }
+}

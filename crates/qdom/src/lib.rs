@@ -27,5 +27,5 @@ pub(crate) mod plancache;
 pub mod session;
 pub mod splice;
 
-pub use mediator::{Mediator, MediatorOptions};
+pub use mediator::{Mediator, MediatorOptions, MediatorOptionsBuilder};
 pub use session::{QNode, QdomSession, ResultInfo};

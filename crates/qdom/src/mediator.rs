@@ -3,12 +3,24 @@
 use mix_algebra::{translate_with_root, Plan};
 use mix_common::{MixError, Name, Result};
 use mix_engine::{AccessMode, GByMode};
+use mix_obs::TracerHandle;
 use mix_wrapper::Catalog;
 use mix_xquery::parse_query;
 use std::collections::HashMap;
 
 /// Evaluation policy knobs (the benchmark axes).
-#[derive(Debug, Clone, Copy)]
+///
+/// Construct with [`MediatorOptions::builder`]; the struct is
+/// `#[non_exhaustive]`, so new knobs are not breaking changes:
+///
+/// ```ignore
+/// let opts = MediatorOptions::builder()
+///     .hash_joins(false)
+///     .tracer(TracerHandle::new(my_tracer))
+///     .build();
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct MediatorOptions {
     /// Navigation-driven lazy evaluation (the paper's mode) or the
     /// conventional full-materialization baseline.
@@ -21,6 +33,12 @@ pub struct MediatorOptions {
     /// Use the hash join/semi-join kernels where possible (`false`
     /// forces nested loops — the ablation baseline).
     pub hash_joins: bool,
+    /// Where spans and events go. Sessions thread this handle through
+    /// the engine and the relational sources. Defaults to a
+    /// [`mix_obs::LogTracer`] gated on the `MIX_TRACE` environment
+    /// variable — disabled (and zero-cost) unless the variable is set,
+    /// in which case spans stream to stderr.
+    pub tracer: TracerHandle,
 }
 
 impl Default for MediatorOptions {
@@ -30,7 +48,60 @@ impl Default for MediatorOptions {
             optimize: true,
             gby: GByMode::Auto,
             hash_joins: true,
+            tracer: TracerHandle::new(std::rc::Rc::new(mix_obs::LogTracer::from_env())),
         }
+    }
+}
+
+impl MediatorOptions {
+    /// Start building options from the defaults.
+    pub fn builder() -> MediatorOptionsBuilder {
+        MediatorOptionsBuilder {
+            opts: MediatorOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`MediatorOptions`] (see [`MediatorOptions::builder`]).
+#[derive(Debug, Clone)]
+pub struct MediatorOptionsBuilder {
+    opts: MediatorOptions,
+}
+
+impl MediatorOptionsBuilder {
+    /// Lazy (navigation-driven) or eager (full materialization).
+    pub fn access(mut self, access: AccessMode) -> Self {
+        self.opts.access = access;
+        self
+    }
+
+    /// Enable or disable the rewriting optimizer + SQL pushdown.
+    pub fn optimize(mut self, optimize: bool) -> Self {
+        self.opts.optimize = optimize;
+        self
+    }
+
+    /// Pick the lazy engine's `groupBy` implementation.
+    pub fn gby(mut self, gby: GByMode) -> Self {
+        self.opts.gby = gby;
+        self
+    }
+
+    /// Enable or disable the hash join/semi-join kernels.
+    pub fn hash_joins(mut self, hash_joins: bool) -> Self {
+        self.opts.hash_joins = hash_joins;
+        self
+    }
+
+    /// Send spans and events to `tracer`.
+    pub fn tracer(mut self, tracer: TracerHandle) -> Self {
+        self.opts.tracer = tracer;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> MediatorOptions {
+        self.opts
     }
 }
 
@@ -65,7 +136,7 @@ impl Mediator {
 
     /// The evaluation options.
     pub fn options(&self) -> MediatorOptions {
-        self.options
+        self.options.clone()
     }
 
     /// Define a named virtual view. Client queries may then use
@@ -95,6 +166,35 @@ impl Mediator {
         let mut v: Vec<Name> = self.views.keys().cloned().collect();
         v.sort();
         v
+    }
+
+    /// Render the plan stages for `query_text` *without executing it*:
+    /// the naive logical plan (views composed in), the optimized
+    /// pre-SQL-split plan, and the post-split physical plan with its
+    /// `rQ` pushdowns. For per-operator execution counts, run the query
+    /// in a session and use [`crate::session::QdomSession::explain`].
+    pub fn explain(&self, query_text: &str) -> Result<String> {
+        let q = parse_query(query_text)?;
+        let mut plan = translate_with_root(&q, "rootv")?;
+        for vname in self.view_names() {
+            if crate::splice::references_source(&plan.root, vname.as_str()) {
+                let view = self.views.get(&vname).expect("listed view exists");
+                plan = crate::splice::compose(&plan, vname.as_str(), view);
+            }
+        }
+        let (optimized, physical) = if self.options.optimize {
+            let out = mix_rewrite::optimize(&plan, &self.catalog);
+            (mix_rewrite::rewrite(&plan).plan, out.plan)
+        } else {
+            (plan.clone(), plan.clone())
+        };
+        mix_algebra::validate(&physical)?;
+        Ok(format!(
+            "== logical plan ==\n{}== optimized plan ==\n{}== physical plan ==\n{}",
+            plan.render(),
+            optimized.render(),
+            physical.render(),
+        ))
     }
 
     /// Open a QDOM client session.

@@ -83,6 +83,9 @@ impl CacheKey {
 struct CachedPlan {
     exec: Plan,
     logical: Plan,
+    /// The pre-optimization (spliced) plan — what `explain` shows as
+    /// the logical plan; re-instantiated like the other two.
+    naive: Plan,
     trace: RewriteTrace,
     slots: Vec<Oid>,
 }
@@ -102,7 +105,7 @@ impl PlanCache {
         key: &CacheKey,
         new_slots: &[Oid],
         result_name: &str,
-    ) -> Option<(Plan, Plan, RewriteTrace)> {
+    ) -> Option<(Plan, Plan, Plan, RewriteTrace)> {
         let pos = self.entries.iter().position(|(k, _)| k == key)?;
         let (omap, vmap) = substitution(&self.entries[pos].1.slots, new_slots)?;
         // LRU bump before substituting (a hit is a hit either way).
@@ -110,9 +113,10 @@ impl PlanCache {
         let cached = &entry.1;
         let exec = rename_root(&subst_plan(&cached.exec, &omap, &vmap), result_name);
         let logical = rename_root(&subst_plan(&cached.logical, &omap, &vmap), result_name);
+        let naive = rename_root(&subst_plan(&cached.naive, &omap, &vmap), result_name);
         let trace = cached.trace.clone();
         self.entries.insert(0, entry);
-        Some((exec, logical, trace))
+        Some((exec, logical, naive, trace))
     }
 
     /// Remember a freshly decontextualized plan pair as a template, if
@@ -124,6 +128,7 @@ impl PlanCache {
         slots: Vec<Oid>,
         exec: &Plan,
         logical: &Plan,
+        naive: &Plan,
         trace: &RewriteTrace,
         query_plan: &Plan,
         view_plan: &Plan,
@@ -139,6 +144,7 @@ impl PlanCache {
                 CachedPlan {
                     exec: exec.clone(),
                     logical: logical.clone(),
+                    naive: naive.clone(),
                     trace: trace.clone(),
                     slots,
                 },
@@ -389,6 +395,7 @@ mod tests {
             cache.insert(
                 key,
                 vec![key_slot("K")],
+                &empty_plan(),
                 &empty_plan(),
                 &empty_plan(),
                 &RewriteTrace::default(),

@@ -5,8 +5,9 @@ use crate::mediator::Mediator;
 use crate::plancache::{CacheKey, PlanCache};
 use crate::splice::{compose, references_source};
 use mix_algebra::{translate_with_root, Plan};
-use mix_common::{MixError, Name, Result, Value};
-use mix_engine::{eager, AccessMode, EvalContext, NodeContext, VirtualResult};
+use mix_common::{Counter, MixError, Name, Result, Value};
+use mix_engine::{eager, render_annotated, AccessMode, EvalContext, NodeContext, VirtualResult};
+use mix_obs::ExecProfile;
 use mix_rewrite::{optimize, rewrite, RewriteTrace};
 use mix_xml::{Document, NavDoc, NodeRef, Oid};
 use mix_xquery::parse_query;
@@ -33,8 +34,16 @@ pub struct ResultInfo {
     /// The logical (pre-SQL-split) plan — what composition and
     /// decontextualization splice from.
     pub logical_plan: Plan,
+    /// The naive plan straight out of translation/splicing, before any
+    /// rewriting — what [`QdomSession::explain`] shows as the logical
+    /// plan.
+    pub naive_plan: Plan,
     /// The rewrite derivation (empty when optimization is off).
     pub trace: RewriteTrace,
+    /// Per-operator execution metrics over `exec_plan` — filled up
+    /// front by an eager run, incrementally by navigation in a lazy
+    /// one.
+    pub profile: Rc<ExecProfile>,
     doc: ResultDoc,
 }
 
@@ -66,6 +75,13 @@ impl<'m> QdomSession<'m> {
         let mut ctx = EvalContext::new(mediator.catalog().clone(), opts.access);
         ctx.gby_mode = opts.gby;
         ctx.hash_joins = opts.hash_joins;
+        ctx.tracer = opts.tracer.clone();
+        // Sources share the session's tracer, so SQL issuance and row
+        // shipping show up as events under the operator that caused
+        // them.
+        for db in mediator.catalog().databases() {
+            db.set_tracer(opts.tracer.clone());
+        }
         QdomSession {
             mediator,
             ctx: Rc::new(ctx),
@@ -89,6 +105,7 @@ impl<'m> QdomSession<'m> {
     /// Issue a query against the mediator's sources and views; returns
     /// the root of the (virtual) answer document.
     pub fn query(&mut self, text: &str) -> Result<QNode> {
+        let _span = self.ctx.tracer.span("cmd:query", &[]);
         let q = parse_query(text)?;
         let result_name = format!("rootv{}", self.results.len());
         let mut plan = translate_with_root(&q, &result_name)?;
@@ -115,6 +132,7 @@ impl<'m> QdomSession<'m> {
     /// node it is decontextualization (Section 5). Inside the query,
     /// `document(root)` denotes `p`.
     pub fn q(&mut self, text: &str, p: QNode) -> Result<QNode> {
+        let _span = self.ctx.tracer.span("cmd:q", &[]);
         let q = parse_query(text)?;
         let result_name = format!("rootv{}", self.results.len());
         let qplan = translate_with_root(&q, &result_name)?;
@@ -131,16 +149,17 @@ impl<'m> QdomSession<'m> {
         let nctx = self.context(p);
         let cache_key = CacheKey::new(text, p.result, &nctx);
         if let Some((key, new_slots)) = &cache_key {
-            if let Some((exec, logical, trace)) =
+            if let Some((exec, logical, naive, trace)) =
                 self.plan_cache.lookup(key, new_slots, &result_name)
             {
-                self.ctx.stats().add_plan_cache_hit(1);
-                return self.push_result(exec, logical, trace);
+                self.ctx.stats().inc(Counter::PlanCacheHits);
+                return self.push_result(exec, logical, naive, trace);
             }
-            self.ctx.stats().add_plan_cache_miss(1);
+            self.ctx.stats().inc(Counter::PlanCacheMisses);
         }
         let entry = &self.results[p.result];
         let plan = decontextualize(&qplan, &nctx, &entry.logical_plan)?;
+        let naive = plan.clone();
         let (exec, logical, trace) = if self.mediator.options().optimize {
             let out = optimize(&plan, self.mediator.catalog());
             (out.plan, rewrite(&plan).plan, out.trace)
@@ -150,9 +169,9 @@ impl<'m> QdomSession<'m> {
         if let Some((key, slots)) = cache_key {
             let view = &self.results[p.result].logical_plan;
             self.plan_cache
-                .insert(key, slots, &exec, &logical, &trace, &qplan, view);
+                .insert(key, slots, &exec, &logical, &naive, &trace, &qplan, view);
         }
-        self.push_result(exec, logical, trace)
+        self.push_result(exec, logical, naive, trace)
     }
 
     /// The materialize-then-query strawman for queries-in-place: copy
@@ -160,6 +179,7 @@ impl<'m> QdomSession<'m> {
     /// query root, and evaluate against the copy. This is the baseline
     /// experiment E3 compares decontextualization against.
     pub fn q_materialized(&mut self, text: &str, p: QNode) -> Result<QNode> {
+        let _span = self.ctx.tracer.span("cmd:q", &[]);
         let q = parse_query(text)?;
         let result_name = format!("rootv{}", self.results.len());
         let plan = translate_with_root(&q, &result_name)?;
@@ -182,7 +202,8 @@ impl<'m> QdomSession<'m> {
             // The logical plan for later composition is the rewritten,
             // pre-split plan.
             let logical = rewrite(&plan).plan;
-            self.push_result(out.plan, logical, out.trace)
+            let naive = plan;
+            self.push_result(out.plan, logical, naive, out.trace)
         } else {
             self.execute_unoptimized(plan)
         }
@@ -190,28 +211,40 @@ impl<'m> QdomSession<'m> {
 
     fn execute_unoptimized(&mut self, plan: Plan) -> Result<QNode> {
         let logical = plan.clone();
-        self.push_result(plan, logical, RewriteTrace::default())
+        let naive = plan.clone();
+        self.push_result(plan, logical, naive, RewriteTrace::default())
     }
 
     fn push_result(
         &mut self,
         exec_plan: Plan,
         logical_plan: Plan,
+        naive_plan: Plan,
         trace: RewriteTrace,
     ) -> Result<QNode> {
         mix_algebra::validate(&exec_plan)?;
-        let doc = match self.ctx.mode() {
-            AccessMode::Lazy => ResultDoc::Lazy(Rc::new(VirtualResult::new(
-                &exec_plan,
-                Rc::clone(&self.ctx),
-            )?)),
-            AccessMode::Eager => ResultDoc::Eager(Rc::new(eager::evaluate(&exec_plan, &self.ctx)?)),
+        let (doc, profile) = match self.ctx.mode() {
+            AccessMode::Lazy => {
+                let v = Rc::new(VirtualResult::new(&exec_plan, Rc::clone(&self.ctx))?);
+                let profile = Rc::clone(v.profile());
+                (ResultDoc::Lazy(v), profile)
+            }
+            AccessMode::Eager => {
+                let profile = Rc::new(ExecProfile::new());
+                let d = eager::evaluate_profiled(&exec_plan, &self.ctx, Some(&profile))?;
+                (ResultDoc::Eager(Rc::new(d)), profile)
+            }
         };
+        // Handing the (virtual) result root to the client is the
+        // protocol's implicit getRoot — a navigation command like d/r.
+        self.ctx.stats().inc(Counter::NavCommands);
         let root = doc.nav().root();
         self.results.push(ResultInfo {
             exec_plan,
             logical_plan,
+            naive_plan,
             trace,
+            profile,
             doc,
         });
         Ok(QNode {
@@ -224,6 +257,7 @@ impl<'m> QdomSession<'m> {
 
     /// `d(p)`: the first child, or `None` for a leaf.
     pub fn d(&self, p: QNode) -> Option<QNode> {
+        let _span = self.ctx.tracer.span("cmd:d", &[]);
         self.results[p.result]
             .doc
             .nav()
@@ -236,6 +270,7 @@ impl<'m> QdomSession<'m> {
 
     /// `r(p)`: the right sibling, or `None`.
     pub fn r(&self, p: QNode) -> Option<QNode> {
+        let _span = self.ctx.tracer.span("cmd:r", &[]);
         self.results[p.result]
             .doc
             .nav()
@@ -248,11 +283,13 @@ impl<'m> QdomSession<'m> {
 
     /// `fl(p)`: the element label (`None` for a text leaf).
     pub fn fl(&self, p: QNode) -> Option<Name> {
+        let _span = self.ctx.tracer.span("cmd:fl", &[]);
         self.results[p.result].doc.nav().label(p.node)
     }
 
     /// `fv(p)`: the leaf value (`None` for an element).
     pub fn fv(&self, p: QNode) -> Option<Value> {
+        let _span = self.ctx.tracer.span("cmd:fv", &[]);
         self.results[p.result].doc.nav().value(p.node)
     }
 
@@ -302,6 +339,22 @@ impl<'m> QdomSession<'m> {
         mix_xml::print::render_tree(self.results[p.result].doc.nav(), p.node)
     }
 
+    /// EXPLAIN (ANALYZE) for the query that produced `p`'s result: the
+    /// naive logical plan, the optimized (pre-SQL-split) plan, and the
+    /// executed physical plan annotated with what each operator has
+    /// actually done so far — pulls, tuples, kernel choices, pushed
+    /// SQL. In a lazy session the counts grow as navigation proceeds;
+    /// un-demanded operators show `[never pulled]`.
+    pub fn explain(&self, p: QNode) -> String {
+        let info = &self.results[p.result];
+        format!(
+            "== logical plan ==\n{}== optimized plan ==\n{}== physical plan ==\n{}",
+            info.naive_plan.render(),
+            info.logical_plan.render(),
+            render_annotated(&info.exec_plan, &info.profile),
+        )
+    }
+
     /// Collect the children of `p` via `d`/`r` navigation (forces them).
     pub fn children(&self, p: QNode) -> Vec<QNode> {
         let mut out = Vec::new();
@@ -334,7 +387,7 @@ fn copy_subtree_children(
 ) {
     let mut cur = nav.first_child(from);
     while let Some(c) = cur {
-        ctx.stats().add_nodes_built(1);
+        ctx.stats().inc(Counter::NodesBuilt);
         if let Some(v) = nav.value(c) {
             doc.add_text_with_oid(to, v.clone(), Oid::lit(v));
         } else if let Some(label) = nav.label(c) {
@@ -359,11 +412,10 @@ mod tests {
         let (cat, _) = fig2_catalog();
         Mediator::with_options(
             cat,
-            MediatorOptions {
-                access,
-                optimize,
-                ..Default::default()
-            },
+            MediatorOptions::builder()
+                .access(access)
+                .optimize(optimize)
+                .build(),
         )
     }
 
@@ -537,10 +589,10 @@ mod tests {
         let p2 = s.r(p1).unwrap(); // CustRec for XYZ123
         let q3 = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 100 RETURN $O";
         let a = s.q(q3, p1).unwrap();
-        assert_eq!(s.ctx().stats().plan_cache_misses(), 1);
-        assert_eq!(s.ctx().stats().plan_cache_hits(), 0);
+        assert_eq!(s.ctx().stats().get(Counter::PlanCacheMisses), 1);
+        assert_eq!(s.ctx().stats().get(Counter::PlanCacheHits), 0);
         let b = s.q(q3, p2).unwrap();
-        assert_eq!(s.ctx().stats().plan_cache_hits(), 1);
+        assert_eq!(s.ctx().stats().get(Counter::PlanCacheHits), 1);
         // The instantiated plan carries the sibling's key, not the
         // template's.
         let text = s.result_info(b).exec_plan.render();
@@ -568,7 +620,7 @@ mod tests {
         let q3 = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O";
         let a = s.q(q3, p1).unwrap();
         let b = s.q(q3, p1).unwrap();
-        assert_eq!(s.ctx().stats().plan_cache_hits(), 1);
+        assert_eq!(s.ctx().stats().get(Counter::PlanCacheHits), 1);
         assert_eq!(content_only(&s.render(a)), content_only(&s.render(b)));
     }
 
@@ -588,8 +640,8 @@ mod tests {
         let a = s.q(q, p1).unwrap();
         assert_eq!(s.child_count(a), 1); // DEF345's own order
         let b = s.q(q, p2).unwrap();
-        assert_eq!(s.ctx().stats().plan_cache_hits(), 0);
-        assert_eq!(s.ctx().stats().plan_cache_misses(), 2);
+        assert_eq!(s.ctx().stats().get(Counter::PlanCacheHits), 0);
+        assert_eq!(s.ctx().stats().get(Counter::PlanCacheMisses), 2);
         // XYZ123's orders have cid XYZ123, so the filter keeps nothing.
         assert_eq!(s.child_count(b), 0);
     }
@@ -609,7 +661,11 @@ mod tests {
             let q3 = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 100 RETURN $O";
             let a = s.q(q3, p1).unwrap();
             let b = s.q(q3, p2).unwrap();
-            assert_eq!(s.ctx().stats().plan_cache_hits(), 1, "optimize={optimize}");
+            assert_eq!(
+                s.ctx().stats().get(Counter::PlanCacheHits),
+                1,
+                "optimize={optimize}"
+            );
             assert_eq!(s.child_count(a), 1, "optimize={optimize} access={access:?}");
             assert_eq!(s.child_count(b), 2, "optimize={optimize} access={access:?}");
         }

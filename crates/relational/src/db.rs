@@ -6,7 +6,9 @@ use crate::parser::parse_sql;
 use crate::plan::build_plan;
 use crate::schema::Schema;
 use crate::table::{Row, Table};
-use mix_common::{MixError, Name, Result, Stats};
+use mix_common::{Counter, MixError, Name, Result, Stats};
+use mix_obs::TracerHandle;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
@@ -16,6 +18,9 @@ pub struct Database {
     name: Name,
     tables: BTreeMap<Name, Rc<Table>>,
     stats: Stats,
+    /// Shared across clones (like `stats`), so a session can point an
+    /// already-wrapped database at its tracer.
+    tracer: Rc<RefCell<TracerHandle>>,
 }
 
 impl Database {
@@ -26,7 +31,14 @@ impl Database {
             name: name.into(),
             tables: BTreeMap::new(),
             stats: Stats::new(),
+            tracer: Rc::new(RefCell::new(TracerHandle::null())),
         }
+    }
+
+    /// Send this source's SQL/row events to `tracer`. Affects every
+    /// clone of this database (they share the handle, like `stats`).
+    pub fn set_tracer(&self, tracer: TracerHandle) {
+        *self.tracer.borrow_mut() = tracer;
     }
 
     /// The server name.
@@ -95,8 +107,18 @@ impl Database {
     /// Each call counts as one SQL query against this source.
     pub fn execute(&self, stmt: &SelectStmt) -> Result<Cursor> {
         let plan = build_plan(self, stmt)?;
-        self.stats.add_sql_query(1);
-        Ok(Cursor::new(&plan, self.stats.clone()))
+        self.stats.inc(Counter::SqlQueries);
+        let tracer = self.tracer.borrow().clone();
+        if tracer.enabled() {
+            tracer.event(
+                "sql",
+                &[
+                    ("server", self.name.to_string()),
+                    ("stmt", stmt.to_string()),
+                ],
+            );
+        }
+        Ok(Cursor::new(&plan, self.stats.clone(), tracer))
     }
 
     /// Parse and execute SQL text.
@@ -108,7 +130,7 @@ impl Database {
 #[cfg(test)]
 mod tests {
     use crate::fixtures::sample_db;
-    use mix_common::Value;
+    use mix_common::{Counter, Value};
 
     #[test]
     fn catalog_operations() {
@@ -139,8 +161,8 @@ mod tests {
             .execute_sql("SELECT * FROM orders")
             .unwrap()
             .collect_all();
-        assert_eq!(db.stats().sql_queries(), 2);
-        assert_eq!(db.stats().tuples_shipped(), 2 + 3);
+        assert_eq!(db.stats().get(Counter::SqlQueries), 2);
+        assert_eq!(db.stats().get(Counter::TuplesShipped), 2 + 3);
     }
 
     #[test]

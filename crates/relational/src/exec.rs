@@ -8,7 +8,8 @@
 
 use crate::plan::{PhysPlan, RPred};
 use crate::table::{Row, Table};
-use mix_common::{Stats, Value};
+use mix_common::{Counter, Stats, Value};
+use mix_obs::TracerHandle;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
@@ -24,16 +25,18 @@ trait RowIter {
 pub struct Cursor {
     iter: Box<dyn RowIter>,
     stats: Stats,
+    tracer: TracerHandle,
     arity: usize,
     delivered: u64,
 }
 
 impl Cursor {
-    pub(crate) fn new(plan: &PhysPlan, stats: Stats) -> Cursor {
+    pub(crate) fn new(plan: &PhysPlan, stats: Stats, tracer: TracerHandle) -> Cursor {
         let arity = plan.arity();
         Cursor {
             iter: compile(plan, &stats),
             stats,
+            tracer,
             arity,
             delivered: 0,
         }
@@ -44,7 +47,11 @@ impl Cursor {
     pub fn next(&mut self) -> Option<Row> {
         let row = self.iter.next_row()?;
         self.delivered += 1;
-        self.stats.add_tuples_shipped(1);
+        self.stats.inc(Counter::TuplesShipped);
+        if self.tracer.enabled() {
+            self.tracer
+                .event("row", &[("n", self.delivered.to_string())]);
+        }
         Some(row)
     }
 
@@ -133,7 +140,7 @@ impl RowIter for ScanIter {
         while self.idx < self.table.len() {
             let row = &self.table.rows()[self.idx];
             self.idx += 1;
-            self.stats.add_rows_scanned(1);
+            self.stats.inc(Counter::RowsScanned);
             if self.preds.iter().all(|p| p.eval(row)) {
                 return Some(row.clone());
             }
@@ -335,11 +342,11 @@ mod tests {
         stats.reset();
         let mut cur = db.execute_sql("SELECT * FROM orders").unwrap();
         assert!(cur.next().is_some());
-        assert_eq!(stats.tuples_shipped(), 1);
+        assert_eq!(stats.get(Counter::TuplesShipped), 1);
         // The scan may have looked at more rows internally, but only one
         // tuple crossed the source↔mediator boundary.
         drop(cur);
-        assert_eq!(stats.tuples_shipped(), 1);
+        assert_eq!(stats.get(Counter::TuplesShipped), 1);
     }
 
     #[test]

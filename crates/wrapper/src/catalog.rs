@@ -24,7 +24,7 @@ pub enum Source {
     Relation(RelationSource),
     /// Any navigable view — in particular another mediator's (virtual)
     /// query result: "a MIX mediator can be such a source to another
-    /// MIX mediator [and] client navigations are translated into r and
+    /// MIX mediator \[and\] client navigations are translated into r and
     /// d commands sent to the source" (Section 4).
     Nav(Rc<dyn NavDoc>),
 }
@@ -95,6 +95,12 @@ impl Catalog {
             .ok_or_else(|| MixError::unknown("server", server))
     }
 
+    /// All registered database servers — for wiring session-wide state
+    /// (tracers) into every source at once.
+    pub fn databases(&self) -> impl Iterator<Item = &Database> {
+        self.databases.values()
+    }
+
     /// A *materialized* navigable view of the source (the eager
     /// baseline; ships the entire relation).
     pub fn materialized(&self, name: &str) -> Result<Rc<dyn NavDoc>> {
@@ -159,7 +165,7 @@ fn copy_children(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mix_common::Value;
+    use mix_common::{Counter, Value};
     use mix_relational::fixtures::sample_db;
 
     fn catalog() -> Catalog {
@@ -217,11 +223,11 @@ mod tests {
         let cat = crate::wrap_customers_orders(db);
         stats.reset();
         let _ = cat.materialized("root2").unwrap();
-        assert_eq!(stats.tuples_shipped(), 3);
+        assert_eq!(stats.get(Counter::TuplesShipped), 3);
         stats.reset();
         let lazy = cat.lazy("root2").unwrap();
         let first = lazy.first_child(lazy.root()).unwrap();
-        assert_eq!(stats.tuples_shipped(), 1);
+        assert_eq!(stats.get(Counter::TuplesShipped), 1);
         // sanity: the tuple really is order 28904
         assert_eq!(lazy.oid(first).to_string(), "&28904");
         let _ = Value::Int(0);

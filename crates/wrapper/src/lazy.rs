@@ -162,6 +162,7 @@ impl NavDoc for LazyRelationalDoc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mix_common::Counter;
     use mix_relational::fixtures::{gen_db, sample_db};
     use mix_xml::nav::nav_children;
 
@@ -176,10 +177,10 @@ mod tests {
         let stats = src.db().stats().clone();
         let lazy = src.lazy();
         let _root = lazy.root();
-        assert_eq!(stats.sql_queries(), 0);
+        assert_eq!(stats.get(Counter::SqlQueries), 0);
         let _ = lazy.first_child(lazy.root());
-        assert_eq!(stats.sql_queries(), 1);
-        assert_eq!(stats.tuples_shipped(), 1);
+        assert_eq!(stats.get(Counter::SqlQueries), 1);
+        assert_eq!(stats.get(Counter::TuplesShipped), 1);
     }
 
     #[test]
@@ -188,17 +189,17 @@ mod tests {
         let stats = src.db().stats().clone();
         let lazy = src.lazy();
         let mut n = lazy.first_child(lazy.root()).unwrap();
-        assert_eq!(stats.tuples_shipped(), 1);
+        assert_eq!(stats.get(Counter::TuplesShipped), 1);
         for expect in 2..=10u64 {
             n = lazy.next_sibling(n).unwrap();
-            assert_eq!(stats.tuples_shipped(), expect);
+            assert_eq!(stats.get(Counter::TuplesShipped), expect);
         }
         assert_eq!(lazy.fetched(), 10);
         // Navigation inside a fetched tuple costs nothing.
         let field = lazy.first_child(n).unwrap();
         let _ = lazy.next_sibling(field);
         let _ = lazy.label(field);
-        assert_eq!(stats.tuples_shipped(), 10);
+        assert_eq!(stats.get(Counter::TuplesShipped), 10);
     }
 
     #[test]

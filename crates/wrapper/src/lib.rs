@@ -14,7 +14,7 @@
 //!
 //! Two access modes:
 //!
-//! * [`RelationSource::materialize`] — build the whole [`Document`]
+//! * [`RelationSource::materialize`] — build the whole [`mix_xml::Document`]
 //!   (what a conventional, non-lazy mediator would do);
 //! * [`RelationSource::lazy`] — a [`LazyRelationalDoc`] implementing
 //!   [`NavDoc`] that issues `SELECT * FROM r ORDER BY key` on first

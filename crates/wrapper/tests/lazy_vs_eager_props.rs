@@ -3,6 +3,7 @@
 //! on generated databases, and its fetch count equals the navigation
 //! high-watermark.
 
+use mix_common::Counter;
 use mix_relational::fixtures::{gen_db, Lcg};
 use mix_wrapper::RelationSource;
 use mix_xml::{print, NavDoc};
@@ -56,6 +57,10 @@ fn fetch_count_tracks_navigation() {
             expect,
             "case {case}: n={n} k={k} seed={seed}"
         );
-        assert_eq!(stats.tuples_shipped(), expect as u64, "case {case}");
+        assert_eq!(
+            stats.get(Counter::TuplesShipped),
+            expect as u64,
+            "case {case}"
+        );
     }
 }

@@ -16,7 +16,7 @@
 //! * [`LabelPath`] — the path expressions of `getD` (label sequences
 //!   that *include the start node's label*, plus `*` and `data()`).
 //! * an XML text [`parser`](parse::parse_document) and
-//!   [printers](print) used to load file sources and to regenerate the
+//!   [printers](mod@print) used to load file sources and to regenerate the
 //!   paper's figures.
 
 pub mod nav;

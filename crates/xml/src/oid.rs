@@ -10,7 +10,7 @@
 //! variables (Section 3, operator 7), and Section 5 relies on those ids
 //! encoding "the values of the group-by attributes associated with the
 //! nodes that enclose the given node, and the variable to which this
-//! node was bound" — that is exactly what [`Oid::Skolem`] stores.
+//! node was bound" — that is exactly what [`OidKind::Skolem`] stores.
 
 use mix_common::{Name, Value};
 use std::fmt;

@@ -18,7 +18,7 @@
 //! and `document(root)` bases (the `root` keyword names the node a
 //! query-in-place was issued from), constants in WHERE comparisons, and
 //! the `data()` accessor. The group-by lists `{$v}` follow the group-by
-//! extension the paper cites [8].
+//! extension the paper cites \[8\].
 
 pub mod ast;
 pub mod lexer;

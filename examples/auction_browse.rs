@@ -31,7 +31,10 @@ fn main() -> Result<()> {
          RETURN <Listing> $C <Lens> $L </Lens> {$L} </Listing> {$C}",
     )?;
     println!("step 1: cameras under $300 (virtual result, nothing fetched yet)");
-    println!("  source tuples shipped: {}", stats.tuples_shipped());
+    println!(
+        "  source tuples shipped: {}",
+        stats.get(Counter::TuplesShipped)
+    );
 
     // Browse the first three listings.
     let mut cur = session.d(p0);
@@ -53,7 +56,7 @@ fn main() -> Result<()> {
     }
     println!(
         "step 2: browsed 3 listings; shipped so far: {}",
-        stats.tuples_shipped()
+        stats.get(Counter::TuplesShipped)
     );
 
     // "His query is too general": refine in place from the result root.
@@ -89,7 +92,7 @@ fn main() -> Result<()> {
     );
     println!("{}", session.render(p9));
 
-    let total: u64 = stats.tuples_shipped();
+    let total: u64 = stats.get(Counter::TuplesShipped);
     let db_size = 400 + 400 * 12;
     println!("session shipped {total} source tuples out of {db_size} rows in the database");
     Ok(())

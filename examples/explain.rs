@@ -1,0 +1,45 @@
+//! EXPLAIN and EXPLAIN ANALYZE for mediated queries.
+//!
+//! Two levels:
+//!  * [`Mediator::explain`] renders the plan stages for a query
+//!    *without executing it* — naive logical plan, optimized plan, and
+//!    the post-split physical plan with its SQL pushdowns.
+//!  * [`QdomSession::explain`] annotates the physical plan of a live
+//!    result with per-operator pull/tuple counts, so you can watch the
+//!    lazy engine do exactly as much work as navigation demanded.
+//!
+//! Run with `cargo run --example explain`.
+
+use mix::prelude::*;
+
+const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
+     WHERE $C/id/data() = $O/cid/data() \
+     RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
+
+fn main() -> Result<()> {
+    let (catalog, _db) = mix::wrapper::fig2_catalog();
+    let mediator = Mediator::new(catalog);
+
+    // ---- EXPLAIN: plan stages, no execution -------------------------
+    println!("EXPLAIN (static — nothing executed)");
+    println!("{}", mediator.explain(Q1)?);
+
+    // ---- EXPLAIN ANALYZE: counts from a live lazy session -----------
+    let mut session = mediator.session();
+    let root = session.query(Q1)?;
+    let before = session.ctx().stats().snapshot();
+
+    println!("after `query` (virtual result, nothing pulled yet):");
+    println!("{}", session.explain(root));
+
+    // One navigation step: descend to the first CustRec and force its
+    // children. Only the operators on that path should show pulls.
+    let first = session.d(root).expect("result has children");
+    let kids = session.child_count(first);
+    println!("after `d` + counting {kids} children of the first CustRec:");
+    println!("{}", session.explain(root));
+
+    println!("work counted during navigation:");
+    print!("{}", session.ctx().stats().snapshot().since(&before));
+    Ok(())
+}

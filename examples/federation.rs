@@ -28,7 +28,10 @@ fn main() -> Result<()> {
     let mut lower_session = lower.session();
     let view_root = lower_session.query(Q1)?;
     println!("lower mediator: Q1 view created (virtual — nothing fetched)");
-    println!("  tuples shipped so far: {}", stats.tuples_shipped());
+    println!(
+        "  tuples shipped so far: {}",
+        stats.get(Counter::TuplesShipped)
+    );
 
     // --- the upper mediator: the lower result is one of its sources --
     let mut upper_catalog = Catalog::new();
@@ -45,7 +48,10 @@ fn main() -> Result<()> {
          RETURN <Account> $R </Account> {$R}",
     )?;
     println!("upper mediator: re-query issued (still virtual)");
-    println!("  tuples shipped so far: {}", stats.tuples_shipped());
+    println!(
+        "  tuples shipped so far: {}",
+        stats.get(Counter::TuplesShipped)
+    );
 
     // Browse three accounts at the top; d/r commands cascade through
     // BOTH mediators down to the relational cursor.
@@ -63,7 +69,7 @@ fn main() -> Result<()> {
     println!(
         "after browsing 3 of 1000 accounts through two mediators, the \
          relational source shipped only {} tuples",
-        stats.tuples_shipped()
+        stats.get(Counter::TuplesShipped)
     );
     Ok(())
 }

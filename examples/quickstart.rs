@@ -45,7 +45,7 @@ fn main() -> Result<()> {
     );
     println!(
         "after one step the sources shipped {} tuples",
-        db.stats().tuples_shipped()
+        db.stats().get(Counter::TuplesShipped)
     );
     let p2 = session.r(p1).expect("second CustRec");
     println!(

@@ -46,13 +46,8 @@ fn main() -> Result<()> {
     println!("optimized: {optimized}");
 
     // --- naive run ------------------------------------------------------
-    let mut naive_mediator = Mediator::with_options(
-        catalog,
-        MediatorOptions {
-            optimize: false,
-            ..Default::default()
-        },
-    );
+    let mut naive_mediator =
+        Mediator::with_options(catalog, MediatorOptions::builder().optimize(false).build());
     naive_mediator.define_view("custorders", VIEW)?;
     let mut naive_session = naive_mediator.session();
     stats.reset();
@@ -63,7 +58,8 @@ fn main() -> Result<()> {
     assert_eq!(big_spenders, naive_count);
     println!(
         "\npushdown shipped {:.1}x fewer tuples than naive composition",
-        naive.tuples_shipped.max(1) as f64 / optimized.tuples_shipped.max(1) as f64
+        naive[Counter::TuplesShipped].max(1) as f64
+            / optimized[Counter::TuplesShipped].max(1) as f64
     );
     Ok(())
 }

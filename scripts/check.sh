@@ -16,4 +16,10 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> examples/explain.rs smoke run"
+cargo run --quiet --release --example explain >/dev/null
+
 echo "All checks passed."

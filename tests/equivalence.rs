@@ -58,11 +58,10 @@ fn run_with(options: MediatorOptions, catalog: &Catalog, query: &str) -> String 
 }
 
 fn opts(optimize: bool, access: AccessMode) -> MediatorOptions {
-    MediatorOptions {
-        access,
-        optimize,
-        ..Default::default()
-    }
+    MediatorOptions::builder()
+        .access(access)
+        .optimize(optimize)
+        .build()
 }
 
 /// Lazy ≡ eager and optimized ≡ naive on generated databases.
@@ -112,12 +111,11 @@ fn hash_and_nested_loop_join_kernels_agree() {
             for access in [AccessMode::Lazy, AccessMode::Eager] {
                 let mut renders = Vec::new();
                 for hash_joins in [true, false] {
-                    let options = MediatorOptions {
-                        access,
-                        optimize,
-                        hash_joins,
-                        ..Default::default()
-                    };
+                    let options = MediatorOptions::builder()
+                        .access(access)
+                        .optimize(optimize)
+                        .hash_joins(hash_joins)
+                        .build();
                     renders.push(run_with(options, &catalog, &query));
                 }
                 // Exact equality: oids and sibling order included.
@@ -147,21 +145,19 @@ fn gby_kernels_agree() {
         let query = instantiate(TEMPLATES[2], 0);
         for optimize in [false, true] {
             let reference = run_with(
-                MediatorOptions {
-                    optimize,
-                    gby: GByMode::StatelessPresorted,
-                    ..Default::default()
-                },
+                MediatorOptions::builder()
+                    .optimize(optimize)
+                    .gby(GByMode::StatelessPresorted)
+                    .build(),
                 &catalog,
                 &query,
             );
             for gby in [GByMode::Stateful, GByMode::Hash, GByMode::Auto] {
                 let got = run_with(
-                    MediatorOptions {
-                        optimize,
-                        gby,
-                        ..Default::default()
-                    },
+                    MediatorOptions::builder()
+                        .optimize(optimize)
+                        .gby(gby)
+                        .build(),
                     &catalog,
                     &query,
                 );

@@ -12,11 +12,10 @@ const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order
 fn mediator(catalog: Catalog, optimize: bool, access: AccessMode) -> Mediator {
     Mediator::with_options(
         catalog,
-        MediatorOptions {
-            access,
-            optimize,
-            ..Default::default()
-        },
+        MediatorOptions::builder()
+            .access(access)
+            .optimize(optimize)
+            .build(),
     )
 }
 
@@ -38,14 +37,14 @@ fn e1_lazy_browse_ships_prefix_only() {
     for _ in 0..4 {
         cur = cur.and_then(|c| s.r(c));
     }
-    let lazy_shipped = stats.tuples_shipped();
+    let lazy_shipped = stats.get(Counter::TuplesShipped);
 
     // Eager: the same query materializes everything up front.
     let m = mediator(catalog, true, AccessMode::Eager);
     let mut s = m.session();
     stats.reset();
     let _p0 = s.query(Q1).unwrap();
-    let eager_shipped = stats.tuples_shipped();
+    let eager_shipped = stats.get(Counter::TuplesShipped);
 
     assert!(
         lazy_shipped * 5 < eager_shipped,
@@ -68,7 +67,7 @@ fn e2_first_result_cost_independent_of_n() {
         stats.reset();
         let p0 = s.query(Q1).unwrap();
         let _first = s.d(p0).unwrap();
-        first_costs.push(stats.tuples_shipped());
+        first_costs.push(stats.get(Counter::TuplesShipped));
     }
     // Identical prefix cost at every scale.
     assert_eq!(first_costs[0], first_costs[1], "{first_costs:?}");
@@ -92,14 +91,14 @@ fn e3_decontext_beats_materialize() {
     med_stats.reset();
     let a = s.q(q, p1).unwrap();
     let _ = s.child_count(a);
-    let decontext_shipped = stats.tuples_shipped();
-    let decontext_built = med_stats.nodes_built();
+    let decontext_shipped = stats.get(Counter::TuplesShipped);
+    let decontext_built = med_stats.get(Counter::NodesBuilt);
 
     stats.reset();
     med_stats.reset();
     let b = s.q_materialized(q, p1).unwrap();
     let _ = s.child_count(b);
-    let materialize_built = med_stats.nodes_built();
+    let materialize_built = med_stats.get(Counter::NodesBuilt);
 
     // The materializing baseline copies the full 30-order subtree to
     // the mediator; decontextualization only touches the matching
@@ -139,7 +138,7 @@ fn e4_pushdown_ships_less() {
         stats.reset();
         let p = s.query(report).unwrap();
         let _ = s.child_count(p);
-        shipped.push(stats.tuples_shipped());
+        shipped.push(stats.get(Counter::TuplesShipped));
     }
     let (optimized, naive) = (shipped[0], shipped[1]);
     assert!(optimized * 3 < naive, "optimized={optimized} naive={naive}");
@@ -166,7 +165,7 @@ fn e5_mediator_builds_fewer_nodes() {
         med_stats.reset();
         let p = s.query(report).unwrap();
         let _ = s.child_count(p);
-        built.push(med_stats.nodes_built());
+        built.push(med_stats.get(Counter::NodesBuilt));
     }
     assert!(
         built[0] < built[1],
@@ -196,7 +195,7 @@ fn e6_in_place_query_cost_tracks_context() {
             )
             .unwrap();
         let _ = s.child_count(a);
-        costs.push(stats.tuples_shipped());
+        costs.push(stats.get(Counter::TuplesShipped));
     }
     // Same context (customer C000000 with 10 orders) ⇒ same cost.
     assert_eq!(costs[0], costs[1], "{costs:?}");
@@ -215,18 +214,17 @@ fn hash_join_probes_are_linear_not_quadratic() {
     for hash_joins in [true, false] {
         let m = Mediator::with_options(
             catalog.clone(),
-            MediatorOptions {
-                access: AccessMode::Lazy,
-                optimize: false, // keep the join at the mediator
-                hash_joins,
-                ..Default::default()
-            },
+            MediatorOptions::builder()
+                .access(AccessMode::Lazy)
+                .optimize(false) // keep the join at the mediator
+                .hash_joins(hash_joins)
+                .build(),
         );
         let mut s = m.session();
         let p0 = s.query(Q1).unwrap();
         let _ = s.render(p0); // force the full result
-        probes.push(s.ctx().stats().join_probes());
-        builds.push(s.ctx().stats().hash_builds());
+        probes.push(s.ctx().stats().get(Counter::JoinProbes));
+        builds.push(s.ctx().stats().get(Counter::HashBuilds));
     }
     let (hash, nl) = (probes[0], probes[1]);
     let (l, r) = ((n) as u64, (n * per) as u64);
@@ -318,14 +316,26 @@ fn empty_outer_join_pulls_zero_inner_tuples() {
         // The outer side drained its n customers finding no survivor;
         // none of the n·per orders crossed the wire.
         assert!(
-            src_stats.tuples_shipped() <= n as u64,
+            src_stats.get(Counter::TuplesShipped) <= n as u64,
             "semijoin={semijoin} shipped={}",
-            src_stats.tuples_shipped()
+            src_stats.get(Counter::TuplesShipped)
         );
         // And the kernel did no inner-side work at all.
-        assert_eq!(ctx.stats().hash_builds(), 0, "semijoin={semijoin}");
-        assert_eq!(ctx.stats().join_probes(), 0, "semijoin={semijoin}");
-        assert_eq!(ctx.stats().nl_fallbacks(), 0, "semijoin={semijoin}");
+        assert_eq!(
+            ctx.stats().get(Counter::HashBuilds),
+            0,
+            "semijoin={semijoin}"
+        );
+        assert_eq!(
+            ctx.stats().get(Counter::JoinProbes),
+            0,
+            "semijoin={semijoin}"
+        );
+        assert_eq!(
+            ctx.stats().get(Counter::NlFallbacks),
+            0,
+            "semijoin={semijoin}"
+        );
     }
 }
 
@@ -339,7 +349,7 @@ fn lazy_memory_watermark() {
     let p0 = s.query(Q1).unwrap();
     let shallow = {
         let _ = s.d(p0);
-        s.ctx().stats().nodes_built()
+        s.ctx().stats().get(Counter::NodesBuilt)
     };
     // Walk everything.
     let mut cur = s.d(p0);
@@ -347,6 +357,6 @@ fn lazy_memory_watermark() {
         let _ = s.render(c);
         cur = s.r(c);
     }
-    let deep = s.ctx().stats().nodes_built();
+    let deep = s.ctx().stats().get(Counter::NodesBuilt);
     assert!(shallow * 10 < deep, "shallow={shallow} deep={deep}");
 }

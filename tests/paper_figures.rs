@@ -268,11 +268,11 @@ fn table1_stateless_gby_navigation() {
     // getRoot/d: the first group appears after pulling only its first
     // underlying tuple (plus the join's build side).
     let g1 = s.next().unwrap();
-    let after_first_group = stats.tuples_shipped();
+    let after_first_group = stats.get(Counter::TuplesShipped);
     // r: the second group tuple requires draining group 1 underneath
     // (Table 1's `repeat r(bs) until keys differ` loop).
     let g2 = s.next().unwrap();
-    assert!(stats.tuples_shipped() >= after_first_group);
+    assert!(stats.get(Counter::TuplesShipped) >= after_first_group);
     assert!(s.next().is_none());
     // Each group's partition holds that customer's orders.
     let ctx2 = &ctx;
