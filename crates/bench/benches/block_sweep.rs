@@ -1,0 +1,77 @@
+//! Block-at-a-time sweep: full Q1 drains under `Off` / `Fixed(n)` /
+//! `Auto` block policies. Two shapes are measured:
+//!
+//! * `q1_drain` — the optimized plan (join pushed to SQL), so the
+//!   sweep exercises batched cursor shipping plus the whole vectorized
+//!   operator spine (`rQ` → `crElt` → `gBy` → `apply` → `cat` →
+//!   `crElt`).
+//! * `join_drain` — the unoptimized plan, so the hash-join kernel runs
+//!   at the mediator and its vectorized probe is on the hot path.
+//!
+//! `Off` is the paper-faithful one-tuple-per-pull baseline; the gap to
+//! `Auto` is the headline number in `BENCH_block.json`. Pass `--smoke`
+//! for a seconds-scale CI run on a small database.
+
+use mix::prelude::*;
+use mix_bench::harness::Harness;
+use mix_bench::Q1;
+use std::time::Duration;
+
+fn policies() -> Vec<(&'static str, BlockPolicy)> {
+    vec![
+        ("off", BlockPolicy::Off),
+        ("fixed1", BlockPolicy::Fixed(1)),
+        ("fixed8", BlockPolicy::Fixed(8)),
+        ("fixed64", BlockPolicy::Fixed(64)),
+        ("fixed512", BlockPolicy::Fixed(512)),
+        ("auto", BlockPolicy::Auto),
+    ]
+}
+
+fn main() {
+    // The harness treats `-`-prefixed args as cargo flags, so the
+    // smoke switch needs explicit handling.
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut h = Harness::from_args("block_sweep");
+    let (n, per) = if smoke { (60usize, 2usize) } else { (2000, 2) };
+    if smoke {
+        h.measure_for(Duration::from_millis(30));
+    }
+    let rows = n * per;
+
+    // Data is generated once; each iteration opens a fresh session so
+    // every drain re-ships all rows from the source.
+    let (catalog, _db) = mix_repro::datagen::customers_orders(n, per, 31);
+
+    for (label, block) in policies() {
+        let catalog = catalog.clone();
+        h.bench(&format!("q1_drain/{label}/{n}x{rows}"), || {
+            let m = Mediator::with_options(
+                catalog.clone(),
+                MediatorOptions::builder().block(block).build(),
+            );
+            let mut s = m.session();
+            let p0 = s.query(Q1).unwrap();
+            // Enumerating every CustRec drains the pushed-down join.
+            s.child_count(p0)
+        });
+    }
+
+    for (label, block) in policies() {
+        let catalog = catalog.clone();
+        h.bench(&format!("join_drain/{label}/{n}x{rows}"), || {
+            let m = Mediator::with_options(
+                catalog.clone(),
+                MediatorOptions::builder()
+                    .optimize(false)
+                    .block(block)
+                    .build(),
+            );
+            let mut s = m.session();
+            let p0 = s.query(Q1).unwrap();
+            s.child_count(p0)
+        });
+    }
+
+    h.finish();
+}

@@ -1,0 +1,146 @@
+//! Block-at-a-time execution policy.
+//!
+//! The paper's lazy mediator ships **one tuple per navigation command**
+//! end-to-end, which is exactly right for partial result evaluation but
+//! makes every row of a full drain pay the whole per-call overhead of
+//! the cursor → wrapper → engine → QDOM stack. [`BlockPolicy`] controls
+//! how many rows each pull may fetch:
+//!
+//! * [`BlockPolicy::Off`] — the paper-faithful mode: every pull ships
+//!   exactly one tuple. All laziness counters match the paper's model
+//!   bit for bit.
+//! * [`BlockPolicy::Fixed`]`(n)` — every pull after the first fetches up
+//!   to `n` rows.
+//! * [`BlockPolicy::Auto`] (default) — adaptive ramp-up: 1, 2, 4, …
+//!   doubling up to [`MAX_AUTO_BLOCK`]. The first pull still ships
+//!   exactly one tuple, so a session that navigates to the first tuple
+//!   and stops is indistinguishable from `Off`; a drain converges to
+//!   full blocks and the total overfetch of an early stop is bounded by
+//!   the rows already consumed (< 2x).
+//!
+//! The ramp state lives in [`BlockRamp`], one per cursor-like consumer.
+
+/// How many rows a lazy consumer may fetch per pull.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockPolicy {
+    /// One tuple per pull (the paper's model).
+    Off,
+    /// Up to `n` rows per pull after the first (values are clamped to
+    /// at least 1; `Fixed(1)` is equivalent to `Off`).
+    Fixed(usize),
+    /// Adaptive ramp-up: 1, 2, 4, … up to [`MAX_AUTO_BLOCK`].
+    #[default]
+    Auto,
+}
+
+/// Ceiling for [`BlockPolicy::Auto`]'s ramp.
+pub const MAX_AUTO_BLOCK: usize = 512;
+
+impl BlockPolicy {
+    /// A fresh ramp for one cursor under this policy.
+    pub fn ramp(self) -> BlockRamp {
+        BlockRamp {
+            policy: self,
+            next: 1,
+        }
+    }
+
+    /// Short label for EXPLAIN output and span attributes.
+    pub fn label(self) -> String {
+        match self {
+            BlockPolicy::Off => "off".to_string(),
+            BlockPolicy::Fixed(n) => format!("fixed({})", n.max(1)),
+            BlockPolicy::Auto => "auto".to_string(),
+        }
+    }
+}
+
+/// Per-cursor adaptive block sizing (see [`BlockPolicy`]).
+///
+/// ```
+/// use mix_common::block::BlockPolicy;
+/// let mut ramp = BlockPolicy::Auto.ramp();
+/// assert_eq!(ramp.next_size(), 1); // first pull: exactly one tuple
+/// assert_eq!(ramp.next_size(), 2);
+/// assert_eq!(ramp.next_size(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockRamp {
+    policy: BlockPolicy,
+    next: usize,
+}
+
+impl BlockRamp {
+    /// The number of rows the next pull should fetch; advances the
+    /// ramp. Always ≥ 1, and always exactly 1 on the first call.
+    pub fn next_size(&mut self) -> usize {
+        match self.policy {
+            BlockPolicy::Off => 1,
+            BlockPolicy::Fixed(n) => {
+                let size = self.next.min(n.max(1));
+                self.next = n.max(1);
+                size
+            }
+            BlockPolicy::Auto => {
+                let size = self.next;
+                self.next = (self.next * 2).min(MAX_AUTO_BLOCK);
+                size
+            }
+        }
+    }
+
+    /// The policy this ramp follows.
+    pub fn policy(&self) -> BlockPolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_and_fixed_one_always_ship_one() {
+        let mut off = BlockPolicy::Off.ramp();
+        let mut one = BlockPolicy::Fixed(1).ramp();
+        for _ in 0..5 {
+            assert_eq!(off.next_size(), 1);
+            assert_eq!(one.next_size(), 1);
+        }
+    }
+
+    #[test]
+    fn auto_doubles_to_the_ceiling() {
+        let mut r = BlockPolicy::Auto.ramp();
+        let mut sizes = Vec::new();
+        for _ in 0..12 {
+            sizes.push(r.next_size());
+        }
+        assert_eq!(sizes[..4], [1, 2, 4, 8]);
+        assert_eq!(*sizes.last().unwrap(), MAX_AUTO_BLOCK);
+        assert!(sizes.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn fixed_ramps_from_one() {
+        // Fixed(n) still starts at 1 so the first d(root) ships exactly
+        // one tuple, then jumps straight to n.
+        let mut r = BlockPolicy::Fixed(8).ramp();
+        assert_eq!(r.next_size(), 1);
+        assert_eq!(r.next_size(), 8);
+        assert_eq!(r.next_size(), 8);
+        // Fixed(0) is clamped.
+        let mut z = BlockPolicy::Fixed(0).ramp();
+        assert_eq!(z.next_size(), 1);
+        assert_eq!(z.next_size(), 1);
+    }
+
+    #[test]
+    fn labels_for_explain() {
+        assert_eq!(BlockPolicy::Off.label(), "off");
+        assert_eq!(BlockPolicy::Fixed(64).label(), "fixed(64)");
+        assert_eq!(BlockPolicy::Fixed(0).label(), "fixed(1)");
+        assert_eq!(BlockPolicy::Auto.label(), "auto");
+        assert_eq!(BlockPolicy::default(), BlockPolicy::Auto);
+    }
+}

@@ -18,12 +18,14 @@
 //!   performance claims measurable; re-exported from `mix-obs`
 //!   together with [`Counter`], [`Snapshot`] and [`Delta`].
 
+pub mod block;
 pub mod error;
 pub mod name;
 pub mod stats;
 pub mod value;
 
+pub use block::{BlockPolicy, BlockRamp, MAX_AUTO_BLOCK};
 pub use error::{MixError, Result, ResultContext};
 pub use name::Name;
-pub use stats::{Counter, Delta, Snapshot, Stats};
+pub use stats::{BlockRows, Counter, Delta, Snapshot, Stats};
 pub use value::{CmpOp, Value};

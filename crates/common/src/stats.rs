@@ -7,4 +7,4 @@
 //! (`stats.inc(Counter::SqlQueries)`, `stats.get(Counter::TuplesShipped)`)
 //! and read in bulk via [`Stats::snapshot`] / [`Delta::between`].
 
-pub use mix_obs::{Counter, Delta, Snapshot, Stats};
+pub use mix_obs::{BlockRows, Counter, Delta, Snapshot, Stats};

@@ -63,7 +63,8 @@ pub use mix_xquery as xquery;
 pub mod prelude {
     pub use mix_algebra::{translate, translate_with_root, validate, Plan};
     pub use mix_common::{
-        CmpOp, Counter, Delta, MixError, Name, Result, ResultContext, Snapshot, Stats, Value,
+        BlockPolicy, BlockRows, CmpOp, Counter, Delta, MixError, Name, Result, ResultContext,
+        Snapshot, Stats, Value, MAX_AUTO_BLOCK,
     };
     pub use mix_engine::{AccessMode, EvalContext, GByMode, VirtualResult};
     pub use mix_obs::{CollectingTracer, LogTracer, Tracer, TracerHandle};

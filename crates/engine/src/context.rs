@@ -1,7 +1,7 @@
 //! Evaluation context: sources, counters, engine options.
 
 use crate::lval::{force_list, LList, LVal};
-use mix_common::{MixError, Name, Result, ResultContext, Stats, Value};
+use mix_common::{BlockPolicy, MixError, Name, Result, ResultContext, Stats, Value};
 use mix_obs::TracerHandle;
 use mix_wrapper::Catalog;
 use mix_xml::{NavDoc, Oid};
@@ -51,6 +51,10 @@ pub struct EvalContext {
     /// Where operator spans and source events go (defaults to the
     /// disabled null tracer).
     pub tracer: TracerHandle,
+    /// Block-at-a-time execution policy: how many tuples lazy cursors
+    /// and vectorized operators may fetch per pull
+    /// ([`BlockPolicy::Off`] = the paper's one-tuple-per-pull model).
+    pub block: BlockPolicy,
     stats: Stats,
     docs: RefCell<HashMap<Name, Rc<dyn NavDoc>>>,
 }
@@ -64,6 +68,7 @@ impl EvalContext {
             gby_mode: GByMode::Auto,
             hash_joins: true,
             tracer: TracerHandle::null(),
+            block: BlockPolicy::default(),
             stats: Stats::new(),
             docs: RefCell::new(HashMap::new()),
         }
@@ -92,7 +97,10 @@ impl EvalContext {
             return Ok(Rc::clone(d));
         }
         let d = match self.mode {
-            AccessMode::Lazy => self.catalog.lazy(name.as_str()).context(name)?,
+            AccessMode::Lazy => self
+                .catalog
+                .lazy_with_block(name.as_str(), self.block)
+                .context(name)?,
             AccessMode::Eager => self.catalog.materialized(name.as_str()).context(name)?,
         };
         self.docs.borrow_mut().insert(name.clone(), Rc::clone(&d));

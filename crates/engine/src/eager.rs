@@ -522,11 +522,13 @@ fn eval_table_inner(
                 vars: Rc::clone(&vars),
                 tuples: vec![],
             };
-            while let Some(row) = cur.next() {
-                table.tuples.push(LTuple::new(
-                    Rc::clone(&vars),
-                    rq_row_to_vals(ctx, map, &row),
-                ));
+            // Eager materialization fetches the whole result in blocks.
+            let mut rows = Vec::new();
+            cur.drain(&mut rows);
+            for row in &rows {
+                table
+                    .tuples
+                    .push(LTuple::new(Rc::clone(&vars), rq_row_to_vals(ctx, map, row)));
             }
             Ok(table)
         }

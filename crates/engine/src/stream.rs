@@ -26,10 +26,11 @@ use crate::context::{EvalContext, GByMode};
 use crate::eager::{build_element, cat_value, cond_holds, rq_row_to_vals};
 use crate::explain::subtree_size;
 use crate::hashkey::{tuple_key, KeyPart};
+use crate::lval::LElem;
 use crate::lval::{LList, LTuple, LVal, LazyList, Partition};
 use crate::pathwalk::eval_path;
 use mix_algebra::{Op, Side};
-use mix_common::{Counter, MixError, Name, Result, ResultContext};
+use mix_common::{Counter, MixError, Name, Result, ResultContext, Value};
 use mix_obs::{ExecProfile, SpanId, TracerHandle};
 use mix_relational::Cursor;
 use mix_xml::{NavDoc, NodeRef, Oid};
@@ -43,6 +44,80 @@ pub trait TStream {
     fn vars(&self) -> Rc<Vec<Name>>;
     /// Produce the next tuple, doing only the work it requires.
     fn next(&mut self) -> Option<LTuple>;
+
+    /// Append up to `n` tuples to `out`; returns how many were
+    /// produced. Fewer than `n` (in particular `0`) is returned only
+    /// on exhaustion — overrides must uphold this, it is what lets
+    /// drain loops skip the final empty pull. The default loops over
+    /// [`TStream::next`] (one virtual dispatch total — already cheaper
+    /// than `n` boxed calls from outside); hot operators override it to
+    /// pull blocks from their own inputs, so a block demanded at the
+    /// top propagates down the pipeline.
+    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> usize {
+        let mut k = 0;
+        while k < n {
+            match self.next() {
+                Some(t) => {
+                    out.push(t);
+                    k += 1;
+                }
+                None => break,
+            }
+        }
+        k
+    }
+}
+
+/// Drain `s` to exhaustion into `out`, block at a time (the shared
+/// barrier loop: join/semi-join build sides, sorts, stateful `gBy`).
+/// Relies on the [`TStream::pull_block`] contract — a short block
+/// means exhaustion — to avoid a final empty pull.
+pub(crate) fn drain_stream(s: &mut dyn TStream, out: &mut Vec<LTuple>) {
+    while s.pull_block(out, mix_common::MAX_AUTO_BLOCK) == mix_common::MAX_AUTO_BLOCK {}
+}
+
+/// A buffered adapter between a per-tuple consumer and a blockwise
+/// producer: refills from `pull_block` on the policy's ramp, handing
+/// out one tuple at a time. Under [`BlockPolicy::Off`] it degenerates
+/// to plain `next()` — the paper-faithful path stays untouched.
+struct BlockBuf {
+    buf: VecDeque<LTuple>,
+    ramp: mix_common::BlockRamp,
+    off: bool,
+    done: bool,
+    scratch: Vec<LTuple>,
+}
+
+impl BlockBuf {
+    fn new(policy: mix_common::BlockPolicy) -> BlockBuf {
+        BlockBuf {
+            buf: VecDeque::new(),
+            off: policy == mix_common::BlockPolicy::Off,
+            ramp: policy.ramp(),
+            done: false,
+            scratch: Vec::new(),
+        }
+    }
+
+    fn pull(&mut self, input: &mut dyn TStream) -> Option<LTuple> {
+        if let Some(t) = self.buf.pop_front() {
+            return Some(t);
+        }
+        if self.off {
+            return input.next();
+        }
+        if self.done {
+            return None;
+        }
+        let want = self.ramp.next_size();
+        self.scratch.clear();
+        if input.pull_block(&mut self.scratch, want) == 0 {
+            self.done = true;
+            return None;
+        }
+        self.buf.extend(self.scratch.drain(..));
+        self.buf.pop_front()
+    }
 }
 
 /// Nested-plan environment: partition bindings for `nestedSrc`.
@@ -132,6 +207,7 @@ pub(crate) fn build_stream_profiled(
                 ctx: Rc::clone(ctx),
                 input,
                 cond: cond.clone(),
+                buf: Vec::new(),
             })
         }
         Op::Project { input, vars } => {
@@ -139,6 +215,7 @@ pub(crate) fn build_stream_profiled(
             Box::new(ProjectStream {
                 input,
                 keep: Rc::new(vars.clone()),
+                buf: Vec::new(),
             })
         }
         Op::Join { left, right, cond } => {
@@ -317,10 +394,19 @@ pub(crate) fn build_stream_profiled(
             // activations aggregate onto the same nodes.
             let nested_base = *next;
             *next += subtree_size(plan);
+            let Op::TupleDestroy {
+                input: nested_input,
+                var: nested_var,
+                ..
+            } = &**plan
+            else {
+                return Err(MixError::invalid("validated: nested plans end in tD"));
+            };
             Box::new(ApplyStream {
                 ctx: Rc::clone(ctx),
                 input,
-                plan: (**plan).clone(),
+                nested_input: Rc::new((**nested_input).clone()),
+                nested_var: nested_var.clone(),
                 param: param.clone(),
                 env: Rc::clone(env),
                 vars: Rc::new(vars),
@@ -341,13 +427,22 @@ pub(crate) fn build_stream_profiled(
         Op::RelQuery { server, sql, map } => {
             extra.push(("server", server.to_string()));
             extra.push(("sql", sql.to_string()));
+            extra.push(("block", ctx.block.label()));
             let db = ctx.catalog().database(server.as_str()).context(server)?;
             let cursor = db.execute(sql).context(server)?;
+            let decoder = match ctx.block {
+                mix_common::BlockPolicy::Off => None,
+                _ => Some(RqDecoder::new(map)),
+            };
             Box::new(RelQueryStream {
                 ctx: Rc::clone(ctx),
                 cursor,
                 map: map.clone(),
                 vars: Rc::new(map.iter().map(|b| b.var.clone()).collect()),
+                pending: VecDeque::new(),
+                ramp: ctx.block.ramp(),
+                rbuf: Vec::new(),
+                decoder,
             })
         }
         Op::OrderBy { input, vars } => {
@@ -466,6 +561,38 @@ impl TStream for TracedStream {
         }
         t
     }
+
+    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> usize {
+        if self.tracer.enabled() {
+            // Spans and per-tuple events must nest exactly as in the
+            // tuple-at-a-time path: fall back to per-tuple pulls so
+            // traced output is independent of the block size.
+            let mut k = 0;
+            while k < n {
+                match self.next() {
+                    Some(t) => {
+                        out.push(t);
+                        k += 1;
+                    }
+                    None => break,
+                }
+            }
+            return k;
+        }
+        self.started = true;
+        self.pulls += 1;
+        if let Some(p) = &self.profile {
+            p.record_pull(self.id);
+        }
+        let k = self.inner.pull_block(out, n);
+        if k > 0 {
+            self.tuples += k as u64;
+            if let Some(p) = &self.profile {
+                p.record_tuples(self.id, k as u64);
+            }
+        }
+        k
+    }
 }
 
 impl Drop for TracedStream {
@@ -548,6 +675,24 @@ struct GetDStream {
     pending: VecDeque<LTuple>,
 }
 
+impl GetDStream {
+    /// Expand one input tuple into `pending` (0..m output tuples).
+    fn expand(&mut self, t: LTuple) {
+        let base = t
+            .get(&self.from)
+            .expect("validated: getD source var bound")
+            .clone();
+        let hits =
+            eval_path(&self.ctx, &base, &self.path).expect("path evaluation on resolved sources");
+        for hit in hits {
+            let mut vals = t.vals.clone();
+            vals.push(hit);
+            self.pending
+                .push_back(LTuple::new(Rc::clone(&self.vars), vals));
+        }
+    }
+}
+
 impl TStream for GetDStream {
     fn vars(&self) -> Rc<Vec<Name>> {
         Rc::clone(&self.vars)
@@ -559,17 +704,32 @@ impl TStream for GetDStream {
                 return Some(t);
             }
             let t = self.input.next()?;
-            let base = t
-                .get(&self.from)
-                .expect("validated: getD source var bound")
-                .clone();
-            let hits = eval_path(&self.ctx, &base, &self.path)
-                .expect("path evaluation on resolved sources");
-            for hit in hits {
-                let mut vals = t.vals.clone();
-                vals.push(hit);
-                self.pending
-                    .push_back(LTuple::new(Rc::clone(&self.vars), vals));
+            self.expand(t);
+        }
+    }
+
+    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> usize {
+        let mut k = 0;
+        let mut buf = Vec::new();
+        loop {
+            while k < n {
+                match self.pending.pop_front() {
+                    Some(t) => {
+                        out.push(t);
+                        k += 1;
+                    }
+                    None => break,
+                }
+            }
+            if k >= n {
+                return k;
+            }
+            buf.clear();
+            if self.input.pull_block(&mut buf, n - k) == 0 {
+                return k;
+            }
+            for t in buf.drain(..) {
+                self.expand(t);
             }
         }
     }
@@ -579,6 +739,7 @@ struct SelectStream {
     ctx: Rc<EvalContext>,
     input: Box<dyn TStream>,
     cond: mix_algebra::Cond,
+    buf: Vec<LTuple>,
 }
 
 impl TStream for SelectStream {
@@ -594,6 +755,23 @@ impl TStream for SelectStream {
             }
         }
     }
+
+    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> usize {
+        let mut k = 0;
+        while k < n {
+            self.buf.clear();
+            if self.input.pull_block(&mut self.buf, n - k) == 0 {
+                break;
+            }
+            for t in self.buf.drain(..) {
+                if cond_holds(&self.ctx, &self.cond, &t) {
+                    out.push(t);
+                    k += 1;
+                }
+            }
+        }
+        k
+    }
 }
 
 /// Projection. Note: unlike the eager π̃, the streaming projection does
@@ -602,6 +780,7 @@ impl TStream for SelectStream {
 struct ProjectStream {
     input: Box<dyn TStream>,
     keep: Rc<Vec<Name>>,
+    buf: Vec<LTuple>,
 }
 
 impl TStream for ProjectStream {
@@ -612,6 +791,16 @@ impl TStream for ProjectStream {
     fn next(&mut self) -> Option<LTuple> {
         let t = self.input.next()?;
         Some(t.project(&self.keep))
+    }
+
+    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> usize {
+        self.buf.clear();
+        let got = self.input.pull_block(&mut self.buf, n);
+        out.reserve(got);
+        for t in self.buf.drain(..) {
+            out.push(t.project(&self.keep));
+        }
+        got
     }
 }
 
@@ -641,9 +830,7 @@ impl TStream for JoinStream {
                 self.cur_left = Some(self.left.next()?);
                 self.idx = 0;
                 if let Some(mut right) = self.right.take() {
-                    while let Some(t) = right.next() {
-                        self.right_rows.push(t);
-                    }
+                    drain_stream(&mut *right, &mut self.right_rows);
                 }
             }
             let l = self.cur_left.as_ref().unwrap();
@@ -691,7 +878,9 @@ impl HashJoinStream {
             return;
         };
         self.ctx.stats().inc(Counter::HashBuilds);
-        while let Some(t) = right.next() {
+        let mut buf = Vec::new();
+        drain_stream(&mut *right, &mut buf);
+        for t in buf {
             // A keyless (Null) tuple can never satisfy the equi-conjuncts.
             if let Some(k) = tuple_key(&self.ctx, &t, &self.pairs, Side::Right) {
                 self.index.entry(k).or_default().push(t);
@@ -733,6 +922,48 @@ impl TStream for HashJoinStream {
             self.cur_left = None;
         }
     }
+
+    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> usize {
+        // Vectorized probe: emit every surviving match of the current
+        // left tuple before advancing, so left-major order (and the
+        // per-left match order) is preserved exactly.
+        let mut k = 0;
+        while k < n {
+            if self.cur_left.is_none() {
+                let Some(l) = self.left.next() else { break };
+                self.build();
+                self.cur_key = tuple_key(&self.ctx, &l, &self.pairs, Side::Left);
+                self.cur_left = Some(l);
+                self.idx = 0;
+            }
+            let l = self.cur_left.as_ref().unwrap();
+            let mut exhausted = true;
+            if let Some(bucket) = self.cur_key.as_ref().and_then(|key| self.index.get(key)) {
+                while self.idx < bucket.len() {
+                    if k >= n {
+                        exhausted = false;
+                        break;
+                    }
+                    let r = &bucket[self.idx];
+                    self.idx += 1;
+                    self.ctx.stats().inc(Counter::JoinProbes);
+                    let joined = l.concat(r);
+                    if self
+                        .cond
+                        .as_ref()
+                        .is_none_or(|c| cond_holds(&self.ctx, c, &joined))
+                    {
+                        out.push(joined);
+                        k += 1;
+                    }
+                }
+            }
+            if exhausted {
+                self.cur_left = None;
+            }
+        }
+        k
+    }
 }
 
 struct SemiJoinStream {
@@ -753,9 +984,7 @@ impl TStream for SemiJoinStream {
         loop {
             let t = self.kept.next()?;
             if let Some(mut other) = self.other.take() {
-                while let Some(o) = other.next() {
-                    self.other_rows.push(o);
-                }
+                drain_stream(&mut *other, &mut self.other_rows);
             }
             let stats = self.ctx.stats();
             let matched = self.other_rows.iter().any(|o| {
@@ -809,7 +1038,9 @@ impl HashSemiJoinStream {
         };
         self.ctx.stats().inc(Counter::HashBuilds);
         let side = self.other_side();
-        while let Some(t) = other.next() {
+        let mut buf = Vec::new();
+        drain_stream(&mut *other, &mut buf);
+        for t in buf {
             if let Some(k) = tuple_key(&self.ctx, &t, &self.pairs, side) {
                 self.index.entry(k).or_default().push(t);
             }
@@ -871,13 +1102,8 @@ struct MapStream {
     f: MapKind,
 }
 
-impl TStream for MapStream {
-    fn vars(&self) -> Rc<Vec<Name>> {
-        Rc::clone(&self.vars)
-    }
-
-    fn next(&mut self) -> Option<LTuple> {
-        let t = self.input.next()?;
+impl MapStream {
+    fn apply(&self, t: LTuple) -> LTuple {
         let val = match &self.f {
             MapKind::CrElt {
                 label,
@@ -893,7 +1119,27 @@ impl TStream for MapStream {
         };
         let mut vals = t.vals;
         vals.push(val);
-        Some(LTuple::new(Rc::clone(&self.vars), vals))
+        LTuple::new(Rc::clone(&self.vars), vals)
+    }
+}
+
+impl TStream for MapStream {
+    fn vars(&self) -> Rc<Vec<Name>> {
+        Rc::clone(&self.vars)
+    }
+
+    fn next(&mut self) -> Option<LTuple> {
+        let t = self.input.next()?;
+        Some(self.apply(t))
+    }
+
+    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> usize {
+        let mut buf = Vec::new();
+        let got = self.input.pull_block(&mut buf, n);
+        for t in buf {
+            out.push(self.apply(t));
+        }
+        got
     }
 }
 
@@ -903,6 +1149,7 @@ impl TStream for MapStream {
 
 struct GByShared {
     input: Box<dyn TStream>,
+    block: BlockBuf,
     lookahead: Option<LTuple>,
     done: bool,
 }
@@ -915,7 +1162,7 @@ impl GByShared {
         if self.done {
             return None;
         }
-        match self.input.next() {
+        match self.block.pull(&mut *self.input) {
             Some(t) => Some(t),
             None => {
                 self.done = true;
@@ -946,10 +1193,12 @@ impl GByStream {
     ) -> GByStream {
         let in_vars = input.vars();
         let vars: Vec<Name> = group.iter().cloned().chain([out]).collect();
+        let block = BlockBuf::new(ctx.block);
         GByStream {
             ctx,
             shared: Rc::new(RefCell::new(GByShared {
                 input,
+                block,
                 lookahead: None,
                 done: false,
             })),
@@ -1056,7 +1305,9 @@ impl TStream for GByStatefulStream {
     fn next(&mut self) -> Option<LTuple> {
         if let Some(mut input) = self.input.take() {
             let mut map: HashMap<Vec<Oid>, usize> = HashMap::new();
-            while let Some(t) = input.next() {
+            let mut buf = Vec::new();
+            drain_stream(&mut *input, &mut buf);
+            for t in buf {
                 let key = group_key(&self.ctx, &t, &self.group);
                 let next_slot = self.groups.len();
                 let slot = *map.entry(key).or_insert_with(|| next_slot);
@@ -1203,7 +1454,9 @@ impl TStream for GByHashStream {
 struct ApplyStream {
     ctx: Rc<EvalContext>,
     input: Box<dyn TStream>,
-    plan: Op,
+    /// The nested plan below its `tD` (destructured at build time).
+    nested_input: Rc<Op>,
+    nested_var: Name,
     param: Option<Name>,
     env: Env,
     vars: Rc<Vec<Name>>,
@@ -1214,6 +1467,71 @@ struct ApplyStream {
     nested_base: usize,
 }
 
+impl ApplyStream {
+    /// Attach the (lazy) collected list to one input tuple. The nested
+    /// plan is not compiled until the list is first forced, so
+    /// navigation that skips a group's list — counting result elements,
+    /// jumping over groups — never pays for the activation.
+    fn activate(&self, t: LTuple) -> LTuple {
+        let param = match &self.param {
+            Some(p) => {
+                let LVal::Part(part) = t.get(p).expect("validated: apply param bound").clone()
+                else {
+                    panic!(
+                        "validated: apply parameter {} must be a partition",
+                        p.display_var()
+                    );
+                };
+                Some((p.clone(), part))
+            }
+            None => None,
+        };
+        let ctx = Rc::clone(&self.ctx);
+        let env = Rc::clone(&self.env);
+        let nested_input = Rc::clone(&self.nested_input);
+        let nvar = self.nested_var.clone();
+        let profile = self.profile.clone();
+        let nested_base = self.nested_base;
+        let mut state: Option<(Box<dyn TStream>, std::collections::HashSet<String>)> = None;
+        let lazy = LazyList::new(Box::new(move || {
+            let (nested, seen) = state.get_or_insert_with(|| {
+                let mut env2 = (*env).clone();
+                if let Some((p, part)) = &param {
+                    env2.insert(p.clone(), part.clone());
+                }
+                let mut nid = nested_base + 1;
+                let s = build_stream_profiled(
+                    &nested_input,
+                    &ctx,
+                    &Rc::new(env2),
+                    profile.as_ref(),
+                    &mut nid,
+                )
+                .expect("validated: nested plan compiles");
+                (s, std::collections::HashSet::new())
+            });
+            loop {
+                let t = nested.next()?;
+                let v = t
+                    .get(&nvar)
+                    .expect("validated: nested tD var bound")
+                    .clone();
+                // Set semantics at the nested-tD boundary (see
+                // eager::dedup_key).
+                if let Some(key) = crate::eager::dedup_key(&ctx, &v) {
+                    if !seen.insert(key) {
+                        continue;
+                    }
+                }
+                return Some(v);
+            }
+        }));
+        let mut vals = t.vals;
+        vals.push(LVal::List(LList::lazy(lazy)));
+        LTuple::new(Rc::clone(&self.vars), vals)
+    }
+}
+
 impl TStream for ApplyStream {
     fn vars(&self) -> Rc<Vec<Name>> {
         Rc::clone(&self.vars)
@@ -1221,58 +1539,16 @@ impl TStream for ApplyStream {
 
     fn next(&mut self) -> Option<LTuple> {
         let t = self.input.next()?;
-        let mut env2 = (*self.env).clone();
-        if let Some(p) = &self.param {
-            let LVal::Part(part) = t.get(p).expect("validated: apply param bound").clone() else {
-                panic!(
-                    "validated: apply parameter {} must be a partition",
-                    p.display_var()
-                );
-            };
-            env2.insert(p.clone(), part);
+        Some(self.activate(t))
+    }
+
+    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> usize {
+        let mut buf = Vec::with_capacity(n.min(mix_common::MAX_AUTO_BLOCK));
+        let got = self.input.pull_block(&mut buf, n);
+        for t in buf {
+            out.push(self.activate(t));
         }
-        let env2 = Rc::new(env2);
-        // The nested plan (tD over a subplan) becomes a lazy list: one
-        // value per nested tuple, produced on demand.
-        let Op::TupleDestroy {
-            input: nested_input,
-            var: nested_var,
-            ..
-        } = &self.plan
-        else {
-            panic!("validated: nested plans end in tD");
-        };
-        let mut nested = {
-            let mut nid = self.nested_base + 1;
-            build_stream_profiled(
-                nested_input,
-                &self.ctx,
-                &env2,
-                self.profile.as_ref(),
-                &mut nid,
-            )
-            .expect("validated: nested plan compiles")
-        };
-        let nvar = nested_var.clone();
-        let dedup_ctx = Rc::clone(&self.ctx);
-        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
-        let lazy = LazyList::new(Box::new(move || loop {
-            let t = nested.next()?;
-            let v = t
-                .get(&nvar)
-                .expect("validated: nested tD var bound")
-                .clone();
-            // Set semantics at the nested-tD boundary (see eager::dedup_key).
-            if let Some(key) = crate::eager::dedup_key(&dedup_ctx, &v) {
-                if !seen.insert(key) {
-                    continue;
-                }
-            }
-            return Some(v);
-        }));
-        let mut vals = t.vals;
-        vals.push(LVal::List(LList::lazy(lazy)));
-        Some(LTuple::new(Rc::clone(&self.vars), vals))
+        got
     }
 }
 
@@ -1294,11 +1570,193 @@ impl TStream for NestedSrcStream {
     }
 }
 
+/// Per-binding decode state for the vectorized `rQ` path.
+///
+/// The tuple-at-a-time decoder ([`rq_row_to_vals`]) rebuilds every
+/// wrapper element eagerly, one row at a time. Decoding a whole block
+/// at once amortizes three costs the one-row protocol cannot:
+///
+/// * bindings that rebuild the *same* element from the same columns
+///   (`$K`/`$C` after a pushed-down join) share one allocation per row;
+/// * consecutive rows with an unchanged element key — runs produced by
+///   the pushed `ORDER BY`, e.g. one customer's orders — share the
+///   element across the whole run;
+/// * an element's child elements materialize on first navigation
+///   instead of at decode time, so a drain that never descends into the
+///   element allocates one node instead of `1 + cols`.
+///
+/// Counters are charged exactly as the per-tuple decoder would charge
+/// them, so `Off`/`Fixed`/`Auto` report identical totals.
+enum RqSlot {
+    /// Bind the leaf value at one column.
+    Value { col: usize },
+    /// Bit-identical to an earlier Element slot: share its value.
+    Dup { of: usize, nodes: u64 },
+    /// Rebuild a wrapper element, caching the last run.
+    Element {
+        element: Name,
+        cols: Rc<Vec<(Name, usize)>>,
+        key: Vec<usize>,
+        /// The `NodesBuilt` charge per row: the element plus its
+        /// (deferred) children, matching [`rq_row_to_vals`].
+        nodes: u64,
+        last_key: String,
+        last: Option<LVal>,
+    },
+}
+
+struct RqDecoder {
+    slots: Vec<RqSlot>,
+    /// Scratch for key rendering (reused across rows).
+    keybuf: String,
+}
+
+impl RqDecoder {
+    fn new(map: &[mix_algebra::RqBinding]) -> RqDecoder {
+        use mix_algebra::RqKind;
+        let mut slots: Vec<RqSlot> = Vec::with_capacity(map.len());
+        for (i, b) in map.iter().enumerate() {
+            let slot = match &b.kind {
+                RqKind::Value { col } => RqSlot::Value { col: *col },
+                RqKind::Element { element, cols, key } => {
+                    let dup = map[..i].iter().position(|e| e.kind == b.kind);
+                    let nodes = 1 + cols.len() as u64;
+                    match dup {
+                        Some(of) => RqSlot::Dup { of, nodes },
+                        None => RqSlot::Element {
+                            element: element.clone(),
+                            cols: Rc::new(cols.clone()),
+                            key: key.clone(),
+                            nodes,
+                            last_key: String::new(),
+                            last: None,
+                        },
+                    }
+                }
+            };
+            slots.push(slot);
+        }
+        RqDecoder {
+            slots,
+            keybuf: String::new(),
+        }
+    }
+
+    fn decode(&mut self, ctx: &EvalContext, row: &Rc<[Value]>) -> Vec<LVal> {
+        use std::fmt::Write as _;
+        let mut out: Vec<LVal> = Vec::with_capacity(self.slots.len());
+        for slot in &mut self.slots {
+            let v = match slot {
+                RqSlot::Value { col } => LVal::Leaf(row.get(*col).cloned().unwrap_or(Value::Null)),
+                RqSlot::Dup { of, nodes } => {
+                    ctx.stats().add(Counter::NodesBuilt, *nodes);
+                    out[*of].clone()
+                }
+                RqSlot::Element {
+                    element,
+                    cols,
+                    key,
+                    nodes,
+                    last_key,
+                    last,
+                } => {
+                    self.keybuf.clear();
+                    for (i, &k) in key.iter().enumerate() {
+                        if i > 0 {
+                            self.keybuf.push('|');
+                        }
+                        match row.get(k) {
+                            Some(v) => write!(self.keybuf, "{v}").expect("write to String"),
+                            None => {
+                                write!(self.keybuf, "{}", Value::Null).expect("write to String")
+                            }
+                        }
+                    }
+                    ctx.stats().add(Counter::NodesBuilt, *nodes);
+                    match last {
+                        Some(v) if *last_key == self.keybuf => v.clone(),
+                        _ => {
+                            let key_text = self.keybuf.clone();
+                            let kids = {
+                                let cols = Rc::clone(cols);
+                                let row = Rc::clone(row);
+                                let key_text = key_text.clone();
+                                let mut i = 0usize;
+                                LazyList::new(Box::new(move || {
+                                    let (cname, pos) = cols.get(i)?;
+                                    i += 1;
+                                    let v = row.get(*pos).cloned().unwrap_or(Value::Null);
+                                    Some(LVal::Elem(Rc::new(LElem {
+                                        label: cname.clone(),
+                                        oid: Oid::key(format!("{key_text}.{cname}")),
+                                        children: LList::fixed(vec![LVal::Leaf(v)]),
+                                    })))
+                                }))
+                            };
+                            let v = LVal::Elem(Rc::new(LElem {
+                                label: element.clone(),
+                                oid: Oid::key(key_text.clone()),
+                                children: LList::lazy(kids),
+                            }));
+                            *last_key = key_text;
+                            *last = Some(v.clone());
+                            v
+                        }
+                    }
+                }
+            };
+            out.push(v);
+        }
+        out
+    }
+}
+
 struct RelQueryStream {
     ctx: Rc<EvalContext>,
     cursor: Cursor,
     map: Vec<mix_algebra::RqBinding>,
     vars: Rc<Vec<Name>>,
+    /// Converted tuples fetched ahead of consumption (empty under
+    /// [`mix_common::BlockPolicy::Off`], where the ramp pins fetches
+    /// to one row).
+    pending: VecDeque<LTuple>,
+    ramp: mix_common::BlockRamp,
+    rbuf: Vec<mix_relational::Row>,
+    /// Vectorized decoder; `None` under `Off`, which keeps the
+    /// paper-faithful per-row decode path untouched.
+    decoder: Option<RqDecoder>,
+}
+
+impl RelQueryStream {
+    /// Fetch the next ramp-sized block from the server cursor and
+    /// convert it; `false` on exhaustion.
+    fn refill(&mut self) -> bool {
+        let want = self.ramp.next_size();
+        self.rbuf.clear();
+        if self.cursor.next_block(&mut self.rbuf, want) == 0 {
+            return false;
+        }
+        match &mut self.decoder {
+            Some(dec) => {
+                for row in self.rbuf.drain(..) {
+                    let row: Rc<[Value]> = Rc::from(row);
+                    self.pending.push_back(LTuple::new(
+                        Rc::clone(&self.vars),
+                        dec.decode(&self.ctx, &row),
+                    ));
+                }
+            }
+            None => {
+                for row in &self.rbuf {
+                    self.pending.push_back(LTuple::new(
+                        Rc::clone(&self.vars),
+                        rq_row_to_vals(&self.ctx, &self.map, row),
+                    ));
+                }
+            }
+        }
+        true
+    }
 }
 
 impl TStream for RelQueryStream {
@@ -1307,11 +1765,32 @@ impl TStream for RelQueryStream {
     }
 
     fn next(&mut self) -> Option<LTuple> {
-        let row = self.cursor.next()?;
-        Some(LTuple::new(
-            Rc::clone(&self.vars),
-            rq_row_to_vals(&self.ctx, &self.map, &row),
-        ))
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                return Some(t);
+            }
+            if !self.refill() {
+                return None;
+            }
+        }
+    }
+
+    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> usize {
+        let mut k = 0;
+        while k < n {
+            match self.pending.pop_front() {
+                Some(t) => {
+                    out.push(t);
+                    k += 1;
+                }
+                None => {
+                    if !self.refill() {
+                        break;
+                    }
+                }
+            }
+        }
+        k
     }
 }
 
@@ -1338,10 +1817,27 @@ impl TStream for OrderByStream {
     }
 
     fn next(&mut self) -> Option<LTuple> {
+        self.force();
+        let t = self.sorted.get(self.idx)?;
+        self.idx += 1;
+        Some(t.clone())
+    }
+
+    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> usize {
+        self.force();
+        let end = (self.idx + n).min(self.sorted.len());
+        let k = end - self.idx;
+        out.extend_from_slice(&self.sorted[self.idx..end]);
+        self.idx = end;
+        k
+    }
+}
+
+impl OrderByStream {
+    /// Drain and sort the input (once, in blocks).
+    fn force(&mut self) {
         if let Some(mut input) = self.input.take() {
-            while let Some(t) = input.next() {
-                self.sorted.push(t);
-            }
+            drain_stream(&mut *input, &mut self.sorted);
             let ctx = Rc::clone(&self.ctx);
             let keys = self.keys.clone();
             self.sorted.sort_by(|a, b| {
@@ -1358,9 +1854,6 @@ impl TStream for OrderByStream {
                 std::cmp::Ordering::Equal
             });
         }
-        let t = self.sorted.get(self.idx)?;
-        self.idx += 1;
-        Some(t.clone())
     }
 }
 
@@ -1404,7 +1897,11 @@ mod tests {
 
     #[test]
     fn mksrc_pulls_one_tuple_per_next() {
-        let ctx = lazy_ctx();
+        // Paper-faithful mode: the source ships exactly one tuple per
+        // navigation pull (Auto would prefetch ahead after the first).
+        let mut c = EvalContext::new(fig2_catalog().0, AccessMode::Lazy);
+        c.block = mix_common::BlockPolicy::Off;
+        let ctx = Rc::new(c);
         let op = Op::MkSrc {
             source: Name::new("root2"),
             var: Name::new("O"),

@@ -45,6 +45,10 @@ struct Inner {
     td_var: Name,
     /// Vertex ids already exported at the root (tD set semantics).
     seen_root: std::collections::HashSet<String>,
+    /// Tuples prefetched ahead of root navigation (adaptive block
+    /// fetching; empty under [`mix_common::BlockPolicy::Off`]).
+    pending: std::collections::VecDeque<crate::lval::LTuple>,
+    ramp: mix_common::BlockRamp,
 }
 
 struct VNode {
@@ -107,6 +111,7 @@ impl VirtualResult {
             kids: Vec::new(),
             kids_done: false,
         };
+        let ramp = ctx.block.ramp();
         Ok(VirtualResult {
             ctx,
             name,
@@ -116,6 +121,8 @@ impl VirtualResult {
                 stream,
                 td_var,
                 seen_root: std::collections::HashSet::new(),
+                pending: std::collections::VecDeque::new(),
+                ramp,
             }),
         })
     }
@@ -216,29 +223,41 @@ impl VirtualResult {
             match &node.kind {
                 VKind::Root => {
                     let td_var = inner.td_var.clone();
-                    let Some(stream) = inner.stream.as_mut() else {
-                        inner.nodes[parent as usize].kids_done = true;
-                        continue;
-                    };
-                    self.profile.record_pull(0);
-                    match stream.next() {
-                        None => {
+                    if inner.pending.is_empty() {
+                        if inner.stream.is_none() {
+                            inner.nodes[parent as usize].kids_done = true;
+                            continue;
+                        }
+                        // Prefetch a ramp-sized block of result tuples.
+                        // Traced sessions pull one tuple per step so
+                        // recorded span/event sequences stay identical
+                        // to the paper's one-tuple-per-pull model.
+                        let want = if self.ctx.tracer.enabled() {
+                            1
+                        } else {
+                            inner.ramp.next_size()
+                        };
+                        let stream = inner.stream.as_mut().expect("checked above");
+                        self.profile.record_pull(0);
+                        let mut buf = Vec::new();
+                        if stream.pull_block(&mut buf, want) == 0 {
                             inner.stream = None;
                             inner.nodes[parent as usize].kids_done = true;
+                            continue;
                         }
-                        Some(t) => {
-                            let val = t.get(&td_var).expect("validated: tD var bound").clone();
-                            // tD set semantics: skip values whose
-                            // vertex id was already exported.
-                            if let Some(key) = crate::eager::dedup_key(&self.ctx, &val) {
-                                if !inner.seen_root.insert(key) {
-                                    continue;
-                                }
-                            }
-                            self.profile.record_tuples(0, 1);
-                            self.wrap(&mut inner, val, parent, next_index);
+                        inner.pending.extend(buf);
+                    }
+                    let t = inner.pending.pop_front().expect("pending refilled above");
+                    let val = t.get(&td_var).expect("validated: tD var bound").clone();
+                    // tD set semantics: skip values whose vertex id was
+                    // already exported.
+                    if let Some(key) = crate::eager::dedup_key(&self.ctx, &val) {
+                        if !inner.seen_root.insert(key) {
+                            continue;
                         }
                     }
+                    self.profile.record_tuples(0, 1);
+                    self.wrap(&mut inner, val, parent, next_index);
                 }
                 VKind::Src { doc, node } => {
                     let d = match self.ctx.doc(doc) {

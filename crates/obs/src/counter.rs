@@ -13,7 +13,7 @@ use std::ops::Index;
 use std::rc::Rc;
 
 /// Number of counters (one per [`Counter`] variant).
-const N: usize = 11;
+const N: usize = 12;
 
 /// One kind of work the substrate counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,6 +49,11 @@ pub enum Counter {
     PlanCacheHits,
     /// Decontextualized-plan cache misses (full translate + rewrite).
     PlanCacheMisses,
+    /// Blocks of tuples shipped from source cursors (block-at-a-time
+    /// execution; `Off` mode ships one-row blocks, so this equals
+    /// `TuplesShipped` there). Use [`Stats::record_block`] so the
+    /// per-block row statistics stay consistent.
+    BlocksShipped,
 }
 
 impl Counter {
@@ -65,6 +70,7 @@ impl Counter {
         Counter::NlFallbacks,
         Counter::PlanCacheHits,
         Counter::PlanCacheMisses,
+        Counter::BlocksShipped,
     ];
 
     /// A stable snake_case label (table rendering, log output).
@@ -81,6 +87,7 @@ impl Counter {
             Counter::NlFallbacks => "nl_fallbacks",
             Counter::PlanCacheHits => "plan_cache_hits",
             Counter::PlanCacheMisses => "plan_cache_misses",
+            Counter::BlocksShipped => "blocks_shipped",
         }
     }
 
@@ -104,12 +111,42 @@ pub struct Stats {
 #[derive(Debug)]
 struct StatsInner {
     counts: [Cell<u64>; N],
+    // Per-block row counts, tracked outside the Snapshot/Delta arrays:
+    // they are aggregates (min/max/total), not monotone counters.
+    block_min: Cell<u64>,
+    block_max: Cell<u64>,
+    block_rows: Cell<u64>,
 }
 
 impl Default for StatsInner {
     fn default() -> StatsInner {
         StatsInner {
             counts: std::array::from_fn(|_| Cell::new(0)),
+            block_min: Cell::new(0),
+            block_max: Cell::new(0),
+            block_rows: Cell::new(0),
+        }
+    }
+}
+
+/// Aggregate per-block row counts (see [`Stats::record_block`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRows {
+    /// Smallest block shipped so far.
+    pub min: u64,
+    /// Largest block shipped so far.
+    pub max: u64,
+    /// Total rows shipped in blocks (`total / blocks` = average).
+    pub total: u64,
+}
+
+impl BlockRows {
+    /// Mean rows per block given the `BlocksShipped` count.
+    pub fn avg(&self, blocks: u64) -> f64 {
+        if blocks == 0 {
+            0.0
+        } else {
+            self.total as f64 / blocks as f64
         }
     }
 }
@@ -136,11 +173,46 @@ impl Stats {
         self.inner.counts[c.idx()].get()
     }
 
+    /// Record one shipped block of `rows` tuples: bumps
+    /// [`Counter::BlocksShipped`] and folds `rows` into the min/max/avg
+    /// aggregates readable via [`Stats::block_rows`]. Callers still
+    /// account the tuples themselves (e.g. `TuplesShipped`), since not
+    /// every counter that ships rows does so in blocks.
+    pub fn record_block(&self, rows: u64) {
+        self.inc(Counter::BlocksShipped);
+        let min = self.inner.block_min.get();
+        if min == 0 || rows < min {
+            self.inner.block_min.set(rows);
+        }
+        if rows > self.inner.block_max.get() {
+            self.inner.block_max.set(rows);
+        }
+        self.inner
+            .block_rows
+            .set(self.inner.block_rows.get() + rows);
+    }
+
+    /// Min/max/total rows per shipped block, or `None` before any block
+    /// was recorded.
+    pub fn block_rows(&self) -> Option<BlockRows> {
+        if self.get(Counter::BlocksShipped) == 0 {
+            return None;
+        }
+        Some(BlockRows {
+            min: self.inner.block_min.get(),
+            max: self.inner.block_max.get(),
+            total: self.inner.block_rows.get(),
+        })
+    }
+
     /// Reset every counter to zero (between benchmark trials).
     pub fn reset(&self) {
         for cell in &self.inner.counts {
             cell.set(0);
         }
+        self.inner.block_min.set(0);
+        self.inner.block_max.set(0);
+        self.inner.block_rows.set(0);
     }
 
     /// Capture the current counter values.
@@ -183,7 +255,7 @@ impl fmt::Display for Snapshot {
         write!(
             f,
             "sql={} shipped={} scanned={} nav={} medops={} nodes={} \
-             hash={} probes={} nlfb={} pc={}+{}",
+             hash={} probes={} nlfb={} pc={}+{} blocks={}",
             self.get(Counter::SqlQueries),
             self.get(Counter::TuplesShipped),
             self.get(Counter::RowsScanned),
@@ -195,6 +267,7 @@ impl fmt::Display for Snapshot {
             self.get(Counter::NlFallbacks),
             self.get(Counter::PlanCacheHits),
             self.get(Counter::PlanCacheMisses),
+            self.get(Counter::BlocksShipped),
         )
     }
 }
@@ -298,6 +371,22 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         assert_eq!(Counter::PlanCacheMisses.to_string(), "plan_cache_misses");
-        assert_eq!(Counter::ALL.len(), 11);
+        assert_eq!(Counter::BlocksShipped.to_string(), "blocks_shipped");
+        assert_eq!(Counter::ALL.len(), 12);
+    }
+
+    #[test]
+    fn block_rows_track_min_max_avg() {
+        let s = Stats::new();
+        assert!(s.block_rows().is_none());
+        s.record_block(1);
+        s.record_block(4);
+        s.record_block(7);
+        assert_eq!(s.get(Counter::BlocksShipped), 3);
+        let b = s.block_rows().unwrap();
+        assert_eq!((b.min, b.max, b.total), (1, 7, 12));
+        assert!((b.avg(3) - 4.0).abs() < 1e-9);
+        s.reset();
+        assert!(s.block_rows().is_none());
     }
 }

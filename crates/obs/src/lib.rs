@@ -29,6 +29,6 @@ mod counter;
 mod profile;
 mod trace;
 
-pub use counter::{Counter, Delta, Snapshot, Stats};
+pub use counter::{BlockRows, Counter, Delta, Snapshot, Stats};
 pub use profile::{ExecProfile, OpMetrics};
 pub use trace::{CollectingTracer, LogTracer, NullTracer, SpanGuard, SpanId, Tracer, TracerHandle};

@@ -1,7 +1,7 @@
 //! The MIX mediator: sources, views, and session factory.
 
 use mix_algebra::{translate_with_root, Plan};
-use mix_common::{MixError, Name, Result};
+use mix_common::{BlockPolicy, MixError, Name, Result};
 use mix_engine::{AccessMode, GByMode};
 use mix_obs::TracerHandle;
 use mix_wrapper::Catalog;
@@ -39,6 +39,13 @@ pub struct MediatorOptions {
     /// variable — disabled (and zero-cost) unless the variable is set,
     /// in which case spans stream to stderr.
     pub tracer: TracerHandle,
+    /// Block-at-a-time execution: how many tuples cursors and
+    /// vectorized operators may fetch per pull.
+    /// [`BlockPolicy::Off`] is the paper's one-tuple-per-pull model;
+    /// [`BlockPolicy::Auto`] (the default) ramps 1, 2, 4, … up to
+    /// [`mix_common::MAX_AUTO_BLOCK`], so navigate-and-stop sessions
+    /// still ship a single tuple while drains converge to full blocks.
+    pub block: BlockPolicy,
 }
 
 impl Default for MediatorOptions {
@@ -49,6 +56,7 @@ impl Default for MediatorOptions {
             gby: GByMode::Auto,
             hash_joins: true,
             tracer: TracerHandle::new(std::rc::Rc::new(mix_obs::LogTracer::from_env())),
+            block: BlockPolicy::default(),
         }
     }
 }
@@ -96,6 +104,12 @@ impl MediatorOptionsBuilder {
     /// Send spans and events to `tracer`.
     pub fn tracer(mut self, tracer: TracerHandle) -> Self {
         self.opts.tracer = tracer;
+        self
+    }
+
+    /// Pick the block-at-a-time execution policy.
+    pub fn block(mut self, block: BlockPolicy) -> Self {
+        self.opts.block = block;
         self
     }
 

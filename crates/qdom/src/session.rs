@@ -76,6 +76,7 @@ impl<'m> QdomSession<'m> {
         ctx.gby_mode = opts.gby;
         ctx.hash_joins = opts.hash_joins;
         ctx.tracer = opts.tracer.clone();
+        ctx.block = opts.block;
         // Sources share the session's tracer, so SQL issuance and row
         // shipping show up as events under the operator that caused
         // them.

@@ -16,6 +16,41 @@ use std::rc::Rc;
 /// A pipelined row iterator.
 trait RowIter {
     fn next_row(&mut self) -> Option<Row>;
+
+    /// Append up to `n` rows to `out`; returns how many were produced.
+    /// The default loops over [`RowIter::next_row`]; operators with a
+    /// cheaper bulk path (scan, project, sort) override it so a block
+    /// pull pays one virtual dispatch instead of `n`.
+    fn next_block(&mut self, out: &mut Vec<Row>, n: usize) -> usize {
+        let mut k = 0;
+        while k < n {
+            match self.next_row() {
+                Some(r) => {
+                    out.push(r);
+                    k += 1;
+                }
+                None => break,
+            }
+        }
+        k
+    }
+
+    /// `(lower, upper)` bounds on the rows still to come, like
+    /// [`Iterator::size_hint`].
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, None)
+    }
+}
+
+/// Block size for internal full drains (build sides, sorts, eager
+/// collection). One block of this size costs one virtual dispatch.
+const DRAIN_BLOCK: usize = mix_common::MAX_AUTO_BLOCK;
+
+/// Drain `src` to exhaustion into `out`, block at a time.
+fn drain_all(src: &mut dyn RowIter, out: &mut Vec<Row>) {
+    let (lo, _) = src.size_hint();
+    out.reserve(lo);
+    while src.next_block(out, DRAIN_BLOCK) > 0 {}
 }
 
 /// The cursor a source hands back for a query. Pull rows with
@@ -65,12 +100,57 @@ impl Cursor {
         self.delivered
     }
 
+    /// Fetch up to `n` rows into `out`, bumping `tuples_shipped` once
+    /// per block (and recording the block size — see
+    /// [`mix_obs::Stats::record_block`]). Returns the number of rows
+    /// appended; `0` means the cursor is exhausted.
+    pub fn next_block(&mut self, out: &mut Vec<Row>, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let k = self.iter.next_block(out, n);
+        if k == 0 {
+            return 0;
+        }
+        self.delivered += k as u64;
+        self.stats.add(Counter::TuplesShipped, k as u64);
+        self.stats.record_block(k as u64);
+        if self.tracer.enabled() {
+            // Same per-row events as the tuple-at-a-time path, so traced
+            // output is independent of the block size.
+            let base = self.delivered - k as u64;
+            for i in 1..=k as u64 {
+                self.tracer.event("row", &[("n", (base + i).to_string())]);
+            }
+        }
+        k
+    }
+
+    /// `(lower, upper)` bounds on the rows still to come.
+    pub fn size_hint(&self) -> (usize, Option<usize>) {
+        self.iter.size_hint()
+    }
+
+    /// Drain the remainder into `out` (block at a time); returns the
+    /// number of rows appended.
+    pub fn drain(&mut self, out: &mut Vec<Row>) -> usize {
+        let (lo, _) = self.size_hint();
+        out.reserve(lo);
+        let mut total = 0;
+        loop {
+            let k = self.next_block(out, DRAIN_BLOCK);
+            if k == 0 {
+                break;
+            }
+            total += k;
+        }
+        total
+    }
+
     /// Drain the remainder into a vector (the *eager* access pattern).
     pub fn collect_all(mut self) -> Vec<Row> {
         let mut out = Vec::new();
-        while let Some(r) = self.next() {
-            out.push(r);
-        }
+        self.drain(&mut out);
         out
     }
 }
@@ -124,6 +204,7 @@ fn compile(plan: &PhysPlan, stats: &Stats) -> Box<dyn RowIter> {
             } else {
                 None
             },
+            buf: Vec::new(),
         }),
     }
 }
@@ -147,6 +228,34 @@ impl RowIter for ScanIter {
         }
         None
     }
+
+    fn next_block(&mut self, out: &mut Vec<Row>, n: usize) -> usize {
+        let rows = self.table.rows();
+        let mut k = 0;
+        let mut scanned = 0;
+        while k < n && self.idx < rows.len() {
+            let row = &rows[self.idx];
+            self.idx += 1;
+            scanned += 1;
+            if self.preds.iter().all(|p| p.eval(row)) {
+                out.push(row.clone());
+                k += 1;
+            }
+        }
+        if scanned > 0 {
+            self.stats.add(Counter::RowsScanned, scanned);
+        }
+        k
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.table.len() - self.idx;
+        if self.preds.is_empty() {
+            (rem, Some(rem))
+        } else {
+            (0, Some(rem))
+        }
+    }
 }
 
 /// Streams the left input; builds a hash table over the (fully drained)
@@ -165,7 +274,9 @@ struct HashJoinIter {
 impl RowIter for HashJoinIter {
     fn next_row(&mut self) -> Option<Row> {
         if let Some(mut right) = self.right.take() {
-            while let Some(r) = right.next_row() {
+            let mut build = Vec::new();
+            drain_all(&mut *right, &mut build);
+            for r in build {
                 let k = r[self.right_key].clone();
                 if !k.is_null() {
                     self.table.entry(k).or_default().push(r);
@@ -202,9 +313,7 @@ struct NlJoinIter {
 impl RowIter for NlJoinIter {
     fn next_row(&mut self) -> Option<Row> {
         if let Some(mut src) = self.right_src.take() {
-            while let Some(r) = src.next_row() {
-                self.right_rows.push(r);
-            }
+            drain_all(&mut *src, &mut self.right_rows);
         }
         loop {
             if self.cur_left.is_none() {
@@ -234,12 +343,10 @@ struct SortIter {
     idx: usize,
 }
 
-impl RowIter for SortIter {
-    fn next_row(&mut self) -> Option<Row> {
+impl SortIter {
+    fn force(&mut self) {
         if let Some(mut input) = self.input.take() {
-            while let Some(r) = input.next_row() {
-                self.sorted.push(r);
-            }
+            drain_all(&mut *input, &mut self.sorted);
             let keys = self.keys.clone();
             self.sorted.sort_by(|a, b| {
                 for &k in &keys {
@@ -251,6 +358,12 @@ impl RowIter for SortIter {
                 std::cmp::Ordering::Equal
             });
         }
+    }
+}
+
+impl RowIter for SortIter {
+    fn next_row(&mut self) -> Option<Row> {
+        self.force();
         if self.idx < self.sorted.len() {
             let r = self.sorted[self.idx].clone();
             self.idx += 1;
@@ -259,12 +372,31 @@ impl RowIter for SortIter {
             None
         }
     }
+
+    fn next_block(&mut self, out: &mut Vec<Row>, n: usize) -> usize {
+        self.force();
+        let end = (self.idx + n).min(self.sorted.len());
+        out.extend_from_slice(&self.sorted[self.idx..end]);
+        let k = end - self.idx;
+        self.idx = end;
+        k
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.input.is_some() {
+            (0, None)
+        } else {
+            let rem = self.sorted.len() - self.idx;
+            (rem, Some(rem))
+        }
+    }
 }
 
 struct ProjectIter {
     input: Box<dyn RowIter>,
     cols: Vec<usize>,
     seen: Option<HashSet<Row>>,
+    buf: Vec<Row>,
 }
 
 impl RowIter for ProjectIter {
@@ -280,6 +412,40 @@ impl RowIter for ProjectIter {
                     }
                 }
             }
+        }
+    }
+
+    fn next_block(&mut self, out: &mut Vec<Row>, n: usize) -> usize {
+        if self.seen.is_some() {
+            // DISTINCT drops rows; fall back to the filtering loop so a
+            // short block does not under-fill when the input has more.
+            let mut k = 0;
+            while k < n {
+                match self.next_row() {
+                    Some(r) => {
+                        out.push(r);
+                        k += 1;
+                    }
+                    None => break,
+                }
+            }
+            return k;
+        }
+        self.buf.clear();
+        let got = self.input.next_block(&mut self.buf, n);
+        out.reserve(got);
+        for row in self.buf.drain(..) {
+            out.push(self.cols.iter().map(|&c| row[c].clone()).collect());
+        }
+        got
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let (lo, hi) = self.input.size_hint();
+        if self.seen.is_some() {
+            (0, hi)
+        } else {
+            (lo, hi)
         }
     }
 }
@@ -347,6 +513,45 @@ mod tests {
         // tuple crossed the source↔mediator boundary.
         drop(cur);
         assert_eq!(stats.get(Counter::TuplesShipped), 1);
+    }
+
+    #[test]
+    fn next_block_ships_once_per_block() {
+        let db = sample_db();
+        let stats = db.stats().clone();
+        stats.reset();
+        let mut cur = db.execute_sql("SELECT * FROM orders").unwrap();
+        assert_eq!(cur.size_hint(), (3, Some(3)));
+        let mut out = Vec::new();
+        assert_eq!(cur.next_block(&mut out, 2), 2);
+        assert_eq!(stats.get(Counter::TuplesShipped), 2);
+        assert_eq!(stats.get(Counter::BlocksShipped), 1);
+        // Exhaustion: partial block, then zero.
+        assert_eq!(cur.next_block(&mut out, 2), 1);
+        assert_eq!(cur.next_block(&mut out, 2), 0);
+        assert_eq!(out.len(), 3);
+        assert_eq!(stats.get(Counter::TuplesShipped), 3);
+        assert_eq!(stats.get(Counter::BlocksShipped), 2);
+        assert_eq!(cur.delivered(), 3);
+    }
+
+    #[test]
+    fn block_and_row_pulls_agree() {
+        let db = sample_db();
+        let sql = "SELECT c.id, o.orid FROM customer c, orders o \
+                   WHERE c.id = o.cid ORDER BY o.orid";
+        let by_rows = db.execute_sql(sql).unwrap().collect_all();
+        let mut by_blocks = Vec::new();
+        let mut cur = db.execute_sql(sql).unwrap();
+        while cur.next_block(&mut by_blocks, 2) > 0 {}
+        assert_eq!(by_rows, by_blocks);
+        // DISTINCT (filtering projection) agrees too.
+        let sql = "SELECT DISTINCT c.id FROM customer c, orders o WHERE c.id = o.cid";
+        let by_rows = db.execute_sql(sql).unwrap().collect_all();
+        let mut by_blocks = Vec::new();
+        let mut cur = db.execute_sql(sql).unwrap();
+        while cur.next_block(&mut by_blocks, 2) > 0 {}
+        assert_eq!(by_rows, by_blocks);
     }
 
     #[test]

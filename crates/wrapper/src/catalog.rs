@@ -125,9 +125,20 @@ impl Catalog {
     /// served from memory (per the paper, they are obtained in one
     /// step); relational sources fetch tuples on demand.
     pub fn lazy(&self, name: &str) -> Result<Rc<dyn NavDoc>> {
+        self.lazy_with_block(name, mix_common::BlockPolicy::default())
+    }
+
+    /// A lazy view with an explicit block-fetch policy (relational
+    /// sources only fetch ahead under `Fixed`/`Auto`; XML and nav
+    /// sources are unaffected).
+    pub fn lazy_with_block(
+        &self,
+        name: &str,
+        block: mix_common::BlockPolicy,
+    ) -> Result<Rc<dyn NavDoc>> {
         match self.source(name)? {
             Source::Xml(d) => Ok(Rc::clone(d) as Rc<dyn NavDoc>),
-            Source::Relation(r) => Ok(Rc::new(r.lazy()) as Rc<dyn NavDoc>),
+            Source::Relation(r) => Ok(Rc::new(r.lazy_with_block(block)) as Rc<dyn NavDoc>),
             Source::Nav(d) => Ok(Rc::clone(d) as Rc<dyn NavDoc>),
         }
     }

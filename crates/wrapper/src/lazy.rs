@@ -17,8 +17,8 @@
 //! measurable form.
 
 use crate::relsource::RelationSource;
-use mix_common::{Name, Value};
-use mix_relational::Cursor;
+use mix_common::{BlockPolicy, BlockRamp, Name, Value};
+use mix_relational::{Cursor, Row};
 use mix_xml::{Document, NavDoc, NodeRef, Oid};
 use std::cell::RefCell;
 
@@ -39,11 +39,27 @@ struct State {
     tuples: Vec<NodeRef>,
     /// Column names (cached at open).
     columns: Vec<Name>,
+    /// Adaptive block sizing for successive fetches: the first pull
+    /// ships exactly one tuple regardless of policy, so navigate-and-
+    /// stop sessions are indistinguishable from `BlockPolicy::Off`.
+    ramp: BlockRamp,
+    /// Scratch buffer reused across block fetches.
+    buf: Vec<Row>,
 }
 
 impl LazyRelationalDoc {
-    /// Wrap `source` lazily. No SQL is issued yet.
+    /// Wrap `source` lazily. No SQL is issued yet. Fetches follow the
+    /// default block policy ([`BlockPolicy::Auto`]); see
+    /// [`LazyRelationalDoc::with_block`].
     pub fn new(source: RelationSource) -> LazyRelationalDoc {
+        LazyRelationalDoc::with_block(source, BlockPolicy::default())
+    }
+
+    /// Wrap `source` lazily with an explicit block policy.
+    /// [`BlockPolicy::Off`] pulls one tuple per navigation step (the
+    /// paper's model); the others prefetch ahead of navigation in
+    /// blocks, bounded by the ramp.
+    pub fn with_block(source: RelationSource, block: BlockPolicy) -> LazyRelationalDoc {
         let doc = Document::new(source.root().clone(), "list");
         LazyRelationalDoc {
             source,
@@ -53,6 +69,8 @@ impl LazyRelationalDoc {
                 opened: false,
                 tuples: Vec::new(),
                 columns: Vec::new(),
+                ramp: block.ramp(),
+                buf: Vec::new(),
             }),
         }
     }
@@ -80,35 +98,39 @@ impl LazyRelationalDoc {
             }
         }
         while st.tuples.len() <= n {
+            let st = &mut *st;
             let Some(cur) = st.cursor.as_mut() else { break };
-            match cur.next() {
-                None => {
-                    st.cursor = None;
-                    break;
+            // Fetch a whole block per ramp step; the schema lookup is
+            // hoisted out of the per-row loop.
+            let want = st.ramp.next_size();
+            st.buf.clear();
+            if cur.next_block(&mut st.buf, want) == 0 {
+                st.cursor = None;
+                break;
+            }
+            let schema = self
+                .source
+                .db()
+                .table(self.source.relation().as_str())
+                .ok()
+                .map(|t| t.schema().clone());
+            let root = st.doc.root_ref();
+            let elem = self.source.element();
+            for row in st.buf.drain(..) {
+                let key = match &schema {
+                    Some(s) => s.key_text(&row),
+                    None => String::new(),
+                };
+                let tuple = st
+                    .doc
+                    .add_elem_with_oid(root, elem.clone(), Oid::key(key.clone()));
+                for (c, v) in st.columns.iter().zip(row) {
+                    let field =
+                        st.doc
+                            .add_elem_with_oid(tuple, c.clone(), Oid::key(format!("{key}.{c}")));
+                    st.doc.add_text_with_oid(field, v.clone(), Oid::lit(v));
                 }
-                Some(row) => {
-                    let key = {
-                        // key text needs the schema; recompute via source
-                        let table = self.source.db().table(self.source.relation().as_str());
-                        match table {
-                            Ok(t) => t.schema().key_text(&row),
-                            Err(_) => String::new(),
-                        }
-                    };
-                    let root = st.doc.root_ref();
-                    let elem = self.source.element().clone();
-                    let tuple = st.doc.add_elem_with_oid(root, elem, Oid::key(key.clone()));
-                    let columns = st.columns.clone();
-                    for (c, v) in columns.iter().zip(row) {
-                        let field = st.doc.add_elem_with_oid(
-                            tuple,
-                            c.clone(),
-                            Oid::key(format!("{key}.{c}")),
-                        );
-                        st.doc.add_text_with_oid(field, v.clone(), Oid::lit(v));
-                    }
-                    st.tuples.push(tuple);
-                }
+                st.tuples.push(tuple);
             }
         }
         st.tuples.get(n).copied()
@@ -162,7 +184,7 @@ impl NavDoc for LazyRelationalDoc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mix_common::Counter;
+    use mix_common::{BlockPolicy, Counter};
     use mix_relational::fixtures::{gen_db, sample_db};
     use mix_xml::nav::nav_children;
 
@@ -185,9 +207,10 @@ mod tests {
 
     #[test]
     fn tuples_fetch_one_per_sibling_step() {
+        // The paper-faithful mode: exactly one tuple per navigation step.
         let src = RelationSource::new(gen_db(50, 0, 1), "customer", "customer", "root1");
         let stats = src.db().stats().clone();
-        let lazy = src.lazy();
+        let lazy = src.lazy_with_block(BlockPolicy::Off);
         let mut n = lazy.first_child(lazy.root()).unwrap();
         assert_eq!(stats.get(Counter::TuplesShipped), 1);
         for expect in 2..=10u64 {
@@ -200,6 +223,42 @@ mod tests {
         let _ = lazy.next_sibling(field);
         let _ = lazy.label(field);
         assert_eq!(stats.get(Counter::TuplesShipped), 10);
+    }
+
+    #[test]
+    fn auto_ramp_ships_one_first_then_blocks() {
+        let src = RelationSource::new(gen_db(50, 0, 1), "customer", "customer", "root1");
+        let stats = src.db().stats().clone();
+        let lazy = src.lazy(); // default = Auto
+        let mut n = lazy.first_child(lazy.root()).unwrap();
+        // The first descent ships exactly one tuple — same as Off.
+        assert_eq!(stats.get(Counter::TuplesShipped), 1);
+        assert_eq!(lazy.fetched(), 1);
+        // Stepping to tuple 4 (index 3) fetches blocks 2 then 4:
+        // cumulative 1, 3, 7 — overfetch stays under 2x consumption.
+        for _ in 0..3 {
+            n = lazy.next_sibling(n).unwrap();
+        }
+        assert_eq!(stats.get(Counter::TuplesShipped), 7);
+        assert_eq!(lazy.fetched(), 7);
+        // Draining everything ships all 50 exactly once, in blocks.
+        let mut count = 4;
+        while let Some(next) = lazy.next_sibling(n) {
+            n = next;
+            count += 1;
+        }
+        assert_eq!(count, 50);
+        assert_eq!(stats.get(Counter::TuplesShipped), 50);
+        // 1+2+4+8+16 = 31, then a final partial block of 19.
+        assert_eq!(stats.get(Counter::BlocksShipped), 6);
+        // Fixed(n) also starts at one tuple, then jumps to n.
+        let src = RelationSource::new(gen_db(50, 0, 2), "customer", "customer", "root1");
+        let stats = src.db().stats().clone();
+        let lazy = src.lazy_with_block(BlockPolicy::Fixed(8));
+        let first = lazy.first_child(lazy.root()).unwrap();
+        assert_eq!(stats.get(Counter::TuplesShipped), 1);
+        let _ = lazy.next_sibling(first).unwrap();
+        assert_eq!(stats.get(Counter::TuplesShipped), 9);
     }
 
     #[test]

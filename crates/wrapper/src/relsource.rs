@@ -122,7 +122,9 @@ impl RelationSource {
         let schema = table.schema().clone();
         let cols = self.columns()?;
         let mut cur = self.db.execute(&self.scan_stmt()?)?;
-        while let Some(row) = cur.next() {
+        let mut rows = Vec::new();
+        cur.drain(&mut rows);
+        for row in rows {
             let key = schema.key_text(&row);
             let tuple = doc.add_elem_with_oid(root, self.element.clone(), Oid::key(key.clone()));
             for (c, v) in cols.iter().zip(row) {
@@ -135,9 +137,14 @@ impl RelationSource {
         Ok(doc)
     }
 
-    /// The lazy navigable view.
+    /// The lazy navigable view (default block policy).
     pub fn lazy(&self) -> LazyRelationalDoc {
         LazyRelationalDoc::new(self.clone())
+    }
+
+    /// The lazy navigable view with an explicit block-fetch policy.
+    pub fn lazy_with_block(&self, block: mix_common::BlockPolicy) -> LazyRelationalDoc {
+        LazyRelationalDoc::with_block(self.clone(), block)
     }
 }
 

@@ -3,7 +3,7 @@
 //! on generated databases, and its fetch count equals the navigation
 //! high-watermark.
 
-use mix_common::Counter;
+use mix_common::{BlockPolicy, Counter};
 use mix_relational::fixtures::{gen_db, Lcg};
 use mix_wrapper::RelationSource;
 use mix_xml::{print, NavDoc};
@@ -41,7 +41,9 @@ fn fetch_count_tracks_navigation() {
         let src = RelationSource::new(db.clone(), "customer", "customer", "rootx");
         let stats = db.stats().clone();
         stats.reset();
-        let lazy = src.lazy();
+        // The paper-faithful mode: fetch count is exactly the
+        // navigation high-watermark.
+        let lazy = src.lazy_with_block(BlockPolicy::Off);
         let mut cur = lazy.first_child(lazy.root());
         let mut walked = 0;
         while let Some(node) = cur {
@@ -61,6 +63,40 @@ fn fetch_count_tracks_navigation() {
             stats.get(Counter::TuplesShipped),
             expect as u64,
             "case {case}"
+        );
+    }
+}
+
+#[test]
+fn auto_overfetch_is_bounded() {
+    // Under the adaptive ramp the fetch count may run ahead of
+    // navigation, but never past the whole relation and never to 2x
+    // the rows the client actually consumed (and a client that stops
+    // at the first tuple still gets exactly one row).
+    let mut rng = Lcg(0xFEED);
+    for case in 0..32u64 {
+        let n = 1 + rng.below(200) as usize;
+        let k = 1 + rng.below(60) as usize;
+        let seed = rng.below(1000);
+        let db = gen_db(n, 0, seed);
+        let src = RelationSource::new(db.clone(), "customer", "customer", "rootx");
+        let lazy = src.lazy_with_block(BlockPolicy::Auto);
+        let mut cur = lazy.first_child(lazy.root());
+        assert_eq!(lazy.fetched(), 1, "first descent ships one tuple");
+        let mut walked = 0;
+        while let Some(node) = cur {
+            walked += 1;
+            if walked >= k {
+                break;
+            }
+            cur = lazy.next_sibling(node);
+        }
+        let walked = walked.min(n);
+        assert!(lazy.fetched() >= walked, "case {case}");
+        assert!(
+            lazy.fetched() <= n.min(2 * walked),
+            "case {case}: n={n} k={k} fetched={} walked={walked}",
+            lazy.fetched()
         );
     }
 }

@@ -41,5 +41,24 @@ fn main() -> Result<()> {
 
     println!("work counted during navigation:");
     print!("{}", session.ctx().stats().snapshot().since(&before));
+
+    // ---- the plan cache, made visible -------------------------------
+    // The same query-in-place issued from two sibling nodes: the first
+    // pays the full decontextualize -> rewrite pipeline, the second is
+    // a template hit with only skolem-key substitution. Printing each
+    // query's own counter *delta* (not cumulative totals) is what makes
+    // the `plan cache hits` line visible on the second one.
+    const QIP: &str = "FOR $O IN document(root)/OrderInfo RETURN $O";
+    let second = session.r(first).expect("result has a second CustRec");
+
+    let before_q1 = session.ctx().stats().snapshot();
+    session.q(QIP, first)?;
+    println!("first query-in-place (cache miss):");
+    print!("{}", session.ctx().stats().snapshot().since(&before_q1));
+
+    let before_q2 = session.ctx().stats().snapshot();
+    session.q(QIP, second)?;
+    println!("second query-in-place from a sibling (cache hit):");
+    print!("{}", session.ctx().stats().snapshot().since(&before_q2));
     Ok(())
 }

@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --all-targets -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy -p mix-bench -D warnings"
+cargo clippy -p mix-bench --all-targets -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -21,5 +24,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> examples/explain.rs smoke run"
 cargo run --quiet --release --example explain >/dev/null
+
+echo "==> block_sweep bench smoke run"
+cargo bench -p mix-bench --bench block_sweep -- --smoke >/dev/null
 
 echo "All checks passed."

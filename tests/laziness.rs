@@ -339,6 +339,90 @@ fn empty_outer_join_pulls_zero_inner_tuples() {
     }
 }
 
+/// Block-at-a-time prefetch must not cost navigate-and-stop sessions
+/// anything: every fetch ramp starts at one tuple, so descending to
+/// the first result ships exactly one source row under every policy —
+/// including the default `Auto`.
+#[test]
+fn block_auto_first_result_ships_one_row() {
+    let (catalog, db) = customers_orders(500, 3, 23);
+    let stats = db.stats().clone();
+    for block in [BlockPolicy::Off, BlockPolicy::Auto, BlockPolicy::Fixed(64)] {
+        let m = Mediator::with_options(
+            catalog.clone(),
+            MediatorOptions::builder().block(block).build(),
+        );
+        let mut s = m.session();
+        stats.reset();
+        let p0 = s.query(Q1).unwrap();
+        let _p1 = s.d(p0).unwrap();
+        assert_eq!(
+            stats.get(Counter::TuplesShipped),
+            1,
+            "{block:?}: first d() must ship one tuple"
+        );
+    }
+}
+
+/// `Off` is the paper's one-tuple-per-pull model and `Fixed(1)` clamps
+/// every block to one tuple: both must produce identical cumulative
+/// rows-shipped counts at *every* step of a browse session (and the
+/// adaptive policy may only ever run ahead, never behind).
+#[test]
+fn block_off_and_fixed_one_ship_identical_counts() {
+    let (catalog, db) = customers_orders(40, 2, 29);
+    let stats = db.stats().clone();
+    let mut traces: Vec<Vec<u64>> = Vec::new();
+    let mut totals: Vec<u64> = Vec::new();
+    for block in [BlockPolicy::Off, BlockPolicy::Fixed(1), BlockPolicy::Auto] {
+        let m = Mediator::with_options(
+            catalog.clone(),
+            MediatorOptions::builder().block(block).build(),
+        );
+        let mut s = m.session();
+        stats.reset();
+        let p0 = s.query(Q1).unwrap();
+        let mut trace = vec![stats.get(Counter::TuplesShipped)];
+        let mut cur = s.d(p0);
+        while let Some(c) = cur {
+            trace.push(stats.get(Counter::TuplesShipped));
+            cur = s.r(c);
+        }
+        traces.push(trace);
+        totals.push(stats.get(Counter::TuplesShipped));
+    }
+    assert_eq!(traces[0], traces[1], "Fixed(1) must match Off bit-for-bit");
+    assert_eq!(
+        traces[0].len(),
+        traces[2].len(),
+        "same result cardinality under every policy"
+    );
+    for (i, (off, auto)) in traces[0].iter().zip(&traces[2]).enumerate() {
+        assert!(auto >= off, "step {i}: auto={auto} ran behind off={off}");
+    }
+    // All policies ship each row exactly once on a full drain.
+    assert_eq!(totals[0], totals[1], "{totals:?}");
+    assert_eq!(totals[0], totals[2], "{totals:?}");
+}
+
+/// Every block policy produces the identical result document.
+#[test]
+fn block_policies_are_result_equivalent() {
+    let (catalog, _db) = customers_orders(25, 3, 31);
+    let mut rendered: Vec<String> = Vec::new();
+    for block in [BlockPolicy::Off, BlockPolicy::Fixed(8), BlockPolicy::Auto] {
+        let m = Mediator::with_options(
+            catalog.clone(),
+            MediatorOptions::builder().block(block).build(),
+        );
+        let mut s = m.session();
+        let p0 = s.query(Q1).unwrap();
+        rendered.push(s.render(p0));
+    }
+    assert_eq!(rendered[0], rendered[1]);
+    assert_eq!(rendered[0], rendered[2]);
+}
+
 /// The memory claim: the lazy result's materialization high-watermark
 /// tracks how far navigation went.
 #[test]
