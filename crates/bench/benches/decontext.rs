@@ -14,17 +14,17 @@ fn main() {
             let (m, _stats) = scaled_mediator(50, fanout, 5, true, AccessMode::Lazy);
             let mut s = m.session();
             let p0 = s.query(Q1).unwrap();
-            let p1 = s.d(p0).unwrap();
+            let p1 = s.d(p0).unwrap().unwrap();
             let a = s.q(IN_PLACE, p1).unwrap();
-            s.child_count(a)
+            s.child_count(a).unwrap()
         });
         h.bench(&format!("materialize/{fanout}"), || {
             let (m, _stats) = scaled_mediator(50, fanout, 5, true, AccessMode::Lazy);
             let mut s = m.session();
             let p0 = s.query(Q1).unwrap();
-            let p1 = s.d(p0).unwrap();
+            let p1 = s.d(p0).unwrap().unwrap();
             let a = s.q_materialized(IN_PLACE, p1).unwrap();
-            s.child_count(a)
+            s.child_count(a).unwrap()
         });
     }
 
@@ -36,20 +36,20 @@ fn main() {
         let (m, _stats) = scaled_mediator(64, 5, 7, true, AccessMode::Lazy);
         let mut s = m.session();
         let p0 = s.query(Q1).unwrap();
-        let sibs = s.children(p0);
+        let sibs = s.children(p0).unwrap();
         let _warm = s.q(IN_PLACE, sibs[0]).unwrap();
         let mut i = 0usize;
         h.bench("repeat_query/cached", || {
             i = (i + 1) % sibs.len();
             let a = s.q(IN_PLACE, sibs[i]).unwrap();
-            s.child_count(a)
+            s.child_count(a).unwrap()
         });
     }
     {
         let (m, _stats) = scaled_mediator(64, 5, 7, true, AccessMode::Lazy);
         let mut s = m.session();
         let p0 = s.query(Q1).unwrap();
-        let sibs = s.children(p0);
+        let sibs = s.children(p0).unwrap();
         let mut i = 0usize;
         let mut k = 0u64;
         h.bench("repeat_query/uncached", || {
@@ -61,7 +61,7 @@ fn main() {
                 99000 + k
             );
             let a = s.q(&q, sibs[i]).unwrap();
-            s.child_count(a)
+            s.child_count(a).unwrap()
         });
     }
     h.finish();

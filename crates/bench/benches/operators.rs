@@ -51,7 +51,7 @@ fn bench_relational(h: &mut Harness) {
                 .unwrap();
             let mut n = 0;
             while n < k {
-                if cur.next().is_none() {
+                if cur.next().unwrap().is_none() {
                     break;
                 }
                 n += 1;

@@ -118,7 +118,7 @@ pub fn e3_decontext_vs_materialize() -> String {
         let (m, stats) = scaled_mediator(50, fanout, 5, true, AccessMode::Lazy);
         let mut s = m.session();
         let p0 = s.query(Q1).expect("query");
-        let p1 = s.d(p0).expect("first CustRec");
+        let p1 = s.d(p0).expect("nav").expect("first CustRec");
         let med = s.ctx().stats().clone();
         let q = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 99000 RETURN $O";
 
@@ -183,7 +183,7 @@ pub fn e4_pushdown_selectivity() -> String {
             stats.reset();
             let t = Instant::now();
             let p = s.query(&report).expect("report");
-            hits = s.child_count(p);
+            hits = s.child_count(p).expect("count");
             row.push((stats.get(Counter::TuplesShipped), ms(t)));
         }
         let _ = writeln!(
@@ -248,7 +248,7 @@ pub fn e6_in_place_scaling() -> String {
         let (m, stats) = scaled_mediator(n, 10, 21, true, AccessMode::Lazy);
         let mut s = m.session();
         let p0 = s.query(Q1).expect("query");
-        let p1 = s.d(p0).expect("first CustRec");
+        let p1 = s.d(p0).expect("nav").expect("first CustRec");
         stats.reset();
         let t = Instant::now();
         let a = s

@@ -57,23 +57,23 @@ pub fn render_all() -> String {
 
     // Example 2.1 — the navigation session.
     section(&mut out, "Example 2.1: interleaved navigation and querying");
-    let p1 = s.d(p0).expect("p1 = d(p0)");
+    let p1 = s.d(p0).expect("nav ok").expect("p1 = d(p0)");
     out.push_str(&format!(
         "p1 = d(p0)  -> {} {}\n",
         s.oid(p1),
-        s.fl(p1).unwrap()
+        s.fl(p1).unwrap().unwrap()
     ));
-    let p2 = s.r(p1).expect("p2 = r(p1)");
+    let p2 = s.r(p1).expect("nav ok").expect("p2 = r(p1)");
     out.push_str(&format!(
         "p2 = r(p1)  -> {} {}\n",
         s.oid(p2),
-        s.fl(p2).unwrap()
+        s.fl(p2).unwrap().unwrap()
     ));
-    let p3 = s.d(p1).expect("p3 = d(p1)");
+    let p3 = s.d(p1).expect("nav ok").expect("p3 = d(p1)");
     out.push_str(&format!(
         "p3 = d(p1)  -> {} {}\n",
         s.oid(p3),
-        s.fl(p3).unwrap()
+        s.fl(p3).unwrap().unwrap()
     ));
     let p4 = s
         .q(
@@ -85,7 +85,7 @@ pub fn render_all() -> String {
         "p4 = q(Q2', p0) — composition; result:\n{}",
         s.render(p4)
     ));
-    let p5 = s.d(p4).expect("p5 = d(p4)");
+    let p5 = s.d(p4).expect("nav ok").expect("p5 = d(p4)");
     let p9 = s
         .q(
             "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O",
@@ -238,7 +238,7 @@ fn table1_narration() -> String {
     let stats = db.stats().clone();
     let mut out = String::new();
     out.push_str("getRoot(): compiled, no source tuples pulled\n");
-    let g1 = s.next().expect("group 1");
+    let g1 = s.next().expect("pull ok").expect("group 1");
     out.push_str(&format!(
         "d(root):   first group binding ({} source tuples pulled)\n",
         stats.get(Counter::TuplesShipped)
@@ -246,11 +246,11 @@ fn table1_narration() -> String {
     if let Some(mix::engine::LVal::Part(p)) = g1.get(&Name::new("X")) {
         out.push_str(&format!(
             "  d(group), r(...): partition holds {} binding(s) — discovered by r() on the input until the key changes\n",
-            p.force().len()
+            p.force().unwrap().len()
         ));
     }
     let before = stats.get(Counter::TuplesShipped);
-    let g2 = s.next().expect("group 2");
+    let g2 = s.next().expect("pull ok").expect("group 2");
     out.push_str(&format!(
         "r(binding): next group; skipping drained the previous group underneath ({} -> {} tuples)\n",
         before,
@@ -259,10 +259,10 @@ fn table1_narration() -> String {
     if let Some(mix::engine::LVal::Part(p)) = g2.get(&Name::new("X")) {
         out.push_str(&format!(
             "  second partition holds {} binding(s)\n",
-            p.force().len()
+            p.force().unwrap().len()
         ));
     }
     out.push_str("r(binding): ⊥ (no further groups)\n");
-    assert!(s.next().is_none());
+    assert!(s.next().unwrap().is_none());
     out
 }

@@ -45,13 +45,13 @@ pub fn scaled_mediator(
 /// Browse the first `k` children of a result shallowly.
 pub fn browse_k(s: &mix::qdom::QdomSession, p0: QNode, k: usize) -> usize {
     let mut seen = 0;
-    let mut cur = s.d(p0);
+    let mut cur = s.d(p0).expect("browse");
     while let Some(c) = cur {
         seen += 1;
         if seen >= k {
             break;
         }
-        cur = s.r(c);
+        cur = s.r(c).expect("browse");
     }
     seen
 }
@@ -60,10 +60,10 @@ pub fn browse_k(s: &mix::qdom::QdomSession, p0: QNode, k: usize) -> usize {
 pub fn drain(s: &mix::qdom::QdomSession, p: QNode) -> usize {
     fn walk(s: &mix::qdom::QdomSession, p: QNode, n: &mut usize) {
         *n += 1;
-        let mut cur = s.d(p);
+        let mut cur = s.d(p).expect("drain");
         while let Some(c) = cur {
             walk(s, c, n);
-            cur = s.r(c);
+            cur = s.r(c).expect("drain");
         }
     }
     let mut n = 0;

@@ -37,11 +37,22 @@ pub enum BlockPolicy {
 pub const MAX_AUTO_BLOCK: usize = 512;
 
 impl BlockPolicy {
-    /// A fresh ramp for one cursor under this policy.
+    /// A fresh ramp for one cursor under this policy. `Fixed(0)` is
+    /// normalized to `Fixed(1)` here, so no ramp can ever ask a cursor
+    /// for a zero-row block (which consumers would read as exhaustion).
     pub fn ramp(self) -> BlockRamp {
         BlockRamp {
-            policy: self,
+            policy: self.normalized(),
             next: 1,
+        }
+    }
+
+    /// The policy with degenerate parameters pinned: `Fixed(0)` →
+    /// `Fixed(1)`; everything else unchanged.
+    pub fn normalized(self) -> BlockPolicy {
+        match self {
+            BlockPolicy::Fixed(0) => BlockPolicy::Fixed(1),
+            other => other,
         }
     }
 
@@ -82,8 +93,10 @@ impl BlockRamp {
                 size
             }
             BlockPolicy::Auto => {
-                let size = self.next;
-                self.next = (self.next * 2).min(MAX_AUTO_BLOCK);
+                // Saturating: on an arbitrarily long drain the ramp
+                // pins at the ceiling instead of wrapping.
+                let size = self.next.min(MAX_AUTO_BLOCK);
+                self.next = self.next.saturating_mul(2).min(MAX_AUTO_BLOCK);
                 size
             }
         }
@@ -133,6 +146,24 @@ mod tests {
         let mut z = BlockPolicy::Fixed(0).ramp();
         assert_eq!(z.next_size(), 1);
         assert_eq!(z.next_size(), 1);
+    }
+
+    #[test]
+    fn ramp_is_pinned_at_the_boundaries() {
+        // A drain far longer than any relation never overflows and
+        // never exceeds the ceiling.
+        let mut r = BlockPolicy::Auto.ramp();
+        for _ in 0..10_000 {
+            let s = r.next_size();
+            assert!((1..=MAX_AUTO_BLOCK).contains(&s));
+        }
+        assert_eq!(r.next_size(), MAX_AUTO_BLOCK);
+        // Fixed(0) is normalized to Fixed(1) at ramp construction.
+        let z = BlockPolicy::Fixed(0).ramp();
+        assert_eq!(z.policy(), BlockPolicy::Fixed(1));
+        assert_eq!(BlockPolicy::Fixed(0).normalized(), BlockPolicy::Fixed(1));
+        assert_eq!(BlockPolicy::Auto.normalized(), BlockPolicy::Auto);
+        assert_eq!(BlockPolicy::Fixed(8).normalized(), BlockPolicy::Fixed(8));
     }
 
     #[test]

@@ -6,6 +6,42 @@ use std::fmt;
 /// Result alias used across the MIX workspace.
 pub type Result<T> = std::result::Result<T, MixError>;
 
+/// How a backend failure behaves under retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation may succeed if re-issued (network blip, overload).
+    Transient,
+    /// Re-issuing can never help (server gone, statement rejected).
+    Permanent,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Transient => write!(f, "transient"),
+            FaultKind::Permanent => write!(f, "permanent"),
+        }
+    }
+}
+
+/// A failure reported by (or injected into) a relational backend.
+///
+/// Carries enough structure for the layers above to make decisions:
+/// the failing server, whether a retry can help ([`FaultKind`]), and —
+/// once a retry loop has given up — how many retries were spent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendError {
+    /// The database server the failure is attributed to.
+    pub server: Name,
+    /// Transient (retryable) or permanent.
+    pub kind: FaultKind,
+    /// Human-readable description.
+    pub msg: String,
+    /// Retries attempted before the error was surfaced (0 when the
+    /// error is reported raw, before any retry loop saw it).
+    pub retries: u32,
+}
+
 /// Errors surfaced by the MIX mediator stack.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MixError {
@@ -31,6 +67,13 @@ pub enum MixError {
     /// source failed instead of collapsing everything into
     /// [`MixError::Internal`].
     Source { source: Name, msg: String },
+    /// A relational backend failed (for real or by fault injection)
+    /// and the failure could not be retried away. Surfaces at the
+    /// navigation command that needed the missing data.
+    Backend(BackendError),
+    /// A decontextualized/rewritten plan violated an engine invariant
+    /// ("validated:" conditions). Fails the query, not the process.
+    Plan(String),
 }
 
 impl MixError {
@@ -68,6 +111,32 @@ impl MixError {
             msg: msg.into(),
         }
     }
+
+    /// Shorthand for a backend failure (retries not yet spent).
+    pub fn backend(server: impl Into<Name>, kind: FaultKind, msg: impl Into<String>) -> MixError {
+        MixError::Backend(BackendError {
+            server: server.into(),
+            kind,
+            msg: msg.into(),
+            retries: 0,
+        })
+    }
+
+    /// Shorthand for a plan-invariant violation.
+    pub fn plan(msg: impl Into<String>) -> MixError {
+        MixError::Plan(msg.into())
+    }
+
+    /// Is this a backend failure a retry could fix?
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            MixError::Backend(BackendError {
+                kind: FaultKind::Transient,
+                ..
+            })
+        )
+    }
 }
 
 /// Attach source attribution to an error as it crosses the wrapper or
@@ -82,7 +151,10 @@ pub trait ResultContext<T> {
 impl<T> ResultContext<T> for Result<T> {
     fn context(self, source: impl Into<Name>) -> Result<T> {
         self.map_err(|e| match e {
-            MixError::Source { .. } => e,
+            // Backend errors already name their server; wrapping them in
+            // `Source` would erase the retryability the layers above
+            // dispatch on.
+            MixError::Source { .. } | MixError::Backend(_) => e,
             other => MixError::Source {
                 source: source.into(),
                 msg: other.to_string(),
@@ -102,6 +174,13 @@ impl fmt::Display for MixError {
             MixError::Navigation(m) => write!(f, "navigation error: {m}"),
             MixError::Internal(m) => write!(f, "internal error: {m}"),
             MixError::Source { source, msg } => write!(f, "source {source}: {msg}"),
+            MixError::Backend(BackendError {
+                server,
+                kind,
+                msg,
+                retries,
+            }) => write!(f, "backend {server} ({kind}, retries={retries}): {msg}"),
+            MixError::Plan(m) => write!(f, "plan invariant violated: {m}"),
         }
     }
 }
@@ -118,6 +197,27 @@ mod tests {
         assert_eq!(e.to_string(), "xquery parse error at 10: expected FOR");
         let e = MixError::unknown("table", "custs");
         assert_eq!(e.to_string(), "unknown table: custs");
+    }
+
+    #[test]
+    fn backend_errors_format_and_classify() {
+        let e = MixError::backend("db1", FaultKind::Transient, "connection reset");
+        assert_eq!(
+            e.to_string(),
+            "backend db1 (transient, retries=0): connection reset"
+        );
+        assert!(e.is_transient());
+        let e = MixError::backend("db1", FaultKind::Permanent, "server gone");
+        assert!(!e.is_transient());
+        // `context` never re-wraps backend errors.
+        let r: Result<()> = Err(e.clone());
+        assert_eq!(r.context("db2").unwrap_err(), e);
+        let p = MixError::plan("apply param must be a partition");
+        assert_eq!(
+            p.to_string(),
+            "plan invariant violated: apply param must be a partition"
+        );
+        assert!(!p.is_transient());
     }
 
     #[test]

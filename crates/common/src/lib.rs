@@ -21,11 +21,13 @@
 pub mod block;
 pub mod error;
 pub mod name;
+pub mod retry;
 pub mod stats;
 pub mod value;
 
 pub use block::{BlockPolicy, BlockRamp, MAX_AUTO_BLOCK};
-pub use error::{MixError, Result, ResultContext};
+pub use error::{BackendError, FaultKind, MixError, Result, ResultContext};
 pub use name::Name;
+pub use retry::RetryPolicy;
 pub use stats::{BlockRows, Counter, Delta, Snapshot, Stats};
 pub use value::{CmpOp, Value};

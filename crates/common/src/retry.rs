@@ -1,0 +1,125 @@
+//! Retry policy for fallible backends.
+//!
+//! Remote sources fail; the mediator's job is to keep a session alive
+//! through the failures a retry can fix. [`RetryPolicy`] bounds that
+//! effort along two axes: a retry-count budget and (optionally) a
+//! wall-clock deadline per command, with exponential backoff between
+//! attempts. Transient faults within budget are invisible to the
+//! layers above (the lazy cursor re-issues the same block pull, so the
+//! adaptive ramp is undisturbed); permanent faults and exhausted
+//! budgets surface as [`crate::MixError::Backend`].
+
+/// Bounded retry with exponential backoff and a per-command deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How many times a failed pull may be re-issued (0 disables
+    /// retrying entirely).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in milliseconds. Doubles per
+    /// attempt up to [`RetryPolicy::max_backoff_ms`]. The default is 0:
+    /// deterministic tests should not sleep.
+    pub base_backoff_ms: u64,
+    /// Ceiling for the exponential backoff.
+    pub max_backoff_ms: u64,
+    /// Total budget (milliseconds of backoff) a single command may
+    /// spend retrying; `None` means only `max_retries` bounds the loop.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff_ms: 0,
+            max_backoff_ms: 100,
+            deadline_ms: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retrying at all: every backend error surfaces immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+            deadline_ms: None,
+        }
+    }
+
+    /// The backoff to sleep before retry number `attempt` (1-based):
+    /// `base * 2^(attempt-1)`, capped at `max_backoff_ms`.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        if self.base_backoff_ms == 0 {
+            return 0;
+        }
+        let factor = 1u64 << attempt.saturating_sub(1).min(32);
+        self.base_backoff_ms
+            .saturating_mul(factor)
+            .min(self.max_backoff_ms)
+    }
+
+    /// Would retry `attempt` (1-based) exceed the budget, given the
+    /// backoff milliseconds already spent?
+    pub fn allows(&self, attempt: u32, spent_backoff_ms: u64) -> bool {
+        if attempt > self.max_retries {
+            return false;
+        }
+        match self.deadline_ms {
+            Some(budget) => spent_backoff_ms.saturating_add(self.backoff_ms(attempt)) <= budget,
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff_ms: 10,
+            max_backoff_ms: 50,
+            deadline_ms: None,
+        };
+        assert_eq!(p.backoff_ms(1), 10);
+        assert_eq!(p.backoff_ms(2), 20);
+        assert_eq!(p.backoff_ms(3), 40);
+        assert_eq!(p.backoff_ms(4), 50); // capped
+        assert_eq!(p.backoff_ms(60), 50); // huge attempts don't overflow
+    }
+
+    #[test]
+    fn zero_base_never_sleeps() {
+        let p = RetryPolicy::default();
+        for a in 1..10 {
+            assert_eq!(p.backoff_ms(a), 0);
+        }
+    }
+
+    #[test]
+    fn budget_bounds_the_loop() {
+        let p = RetryPolicy {
+            max_retries: 3,
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+            deadline_ms: None,
+        };
+        assert!(p.allows(1, 0));
+        assert!(p.allows(3, 0));
+        assert!(!p.allows(4, 0));
+        assert!(!RetryPolicy::none().allows(1, 0));
+        // Deadline: attempt 2 would sleep 20ms on top of 90ms spent.
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff_ms: 10,
+            max_backoff_ms: 100,
+            deadline_ms: Some(100),
+        };
+        assert!(p.allows(1, 0));
+        assert!(!p.allows(2, 90));
+    }
+}

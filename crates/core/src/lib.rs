@@ -23,15 +23,15 @@
 //! ).unwrap();
 //!
 //! // Navigate the virtual result: nothing is computed until now.
-//! let p1 = session.d(p0).unwrap();                 // first CustRec
-//! assert_eq!(session.fl(p1).unwrap().as_str(), "CustRec");
+//! let p1 = session.d(p0).unwrap().unwrap();                 // first CustRec
+//! assert_eq!(session.fl(p1).unwrap().unwrap().as_str(), "CustRec");
 //!
 //! // Query *in place* from the CustRec node (decontextualization).
 //! let p9 = session.q(
 //!     "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O",
 //!     p1,
 //! ).unwrap();
-//! assert_eq!(session.child_count(p9), 1);
+//! assert_eq!(session.child_count(p9).unwrap(), 1);
 //! ```
 //!
 //! ## Crate map
@@ -63,13 +63,13 @@ pub use mix_xquery as xquery;
 pub mod prelude {
     pub use mix_algebra::{translate, translate_with_root, validate, Plan};
     pub use mix_common::{
-        BlockPolicy, BlockRows, CmpOp, Counter, Delta, MixError, Name, Result, ResultContext,
-        Snapshot, Stats, Value, MAX_AUTO_BLOCK,
+        BackendError, BlockPolicy, BlockRows, CmpOp, Counter, Delta, FaultKind, MixError, Name,
+        Result, ResultContext, RetryPolicy, Snapshot, Stats, Value, MAX_AUTO_BLOCK,
     };
     pub use mix_engine::{AccessMode, EvalContext, GByMode, VirtualResult};
     pub use mix_obs::{CollectingTracer, LogTracer, Tracer, TracerHandle};
     pub use mix_qdom::{Mediator, MediatorOptions, MediatorOptionsBuilder, QNode, QdomSession};
-    pub use mix_relational::{Database, Schema};
+    pub use mix_relational::{Database, FaultPolicy, Schema};
     pub use mix_rewrite::{optimize, rewrite, split_plan};
     pub use mix_wrapper::{Catalog, RelationSource};
     pub use mix_xml::{Document, NavDoc, Oid};
@@ -88,6 +88,6 @@ mod tests {
         let p0 = session
             .query("FOR $C IN source(&root1)/customer RETURN $C")
             .unwrap();
-        assert_eq!(session.child_count(p0), 2);
+        assert_eq!(session.child_count(p0).unwrap(), 2);
     }
 }

@@ -1,7 +1,7 @@
 //! Evaluation context: sources, counters, engine options.
 
 use crate::lval::{force_list, LList, LVal};
-use mix_common::{BlockPolicy, MixError, Name, Result, ResultContext, Stats, Value};
+use mix_common::{BlockPolicy, MixError, Name, Result, ResultContext, RetryPolicy, Stats, Value};
 use mix_obs::TracerHandle;
 use mix_wrapper::Catalog;
 use mix_xml::{NavDoc, Oid};
@@ -55,6 +55,9 @@ pub struct EvalContext {
     /// and vectorized operators may fetch per pull
     /// ([`BlockPolicy::Off`] = the paper's one-tuple-per-pull model).
     pub block: BlockPolicy,
+    /// How transient backend faults are retried on every source fetch
+    /// (lazy cursors and `rQ` drains alike).
+    pub retry: RetryPolicy,
     stats: Stats,
     docs: RefCell<HashMap<Name, Rc<dyn NavDoc>>>,
 }
@@ -69,6 +72,7 @@ impl EvalContext {
             hash_joins: true,
             tracer: TracerHandle::null(),
             block: BlockPolicy::default(),
+            retry: RetryPolicy::default(),
             stats: Stats::new(),
             docs: RefCell::new(HashMap::new()),
         }
@@ -99,7 +103,7 @@ impl EvalContext {
         let d = match self.mode {
             AccessMode::Lazy => self
                 .catalog
-                .lazy_with_block(name.as_str(), self.block)
+                .lazy_with_opts(name.as_str(), self.block, self.retry)
                 .context(name)?,
             AccessMode::Eager => self.catalog.materialized(name.as_str()).context(name)?,
         };
@@ -158,19 +162,19 @@ impl EvalContext {
             LVal::Src { doc, node } => {
                 let d = self.doc(doc)?;
                 let mut out = Vec::new();
-                let mut c = d.first_child(*node);
+                let mut c = d.try_first_child(*node)?;
                 while let Some(n) = c {
                     out.push(LVal::Src {
                         doc: doc.clone(),
                         node: n,
                     });
-                    c = d.next_sibling(n);
+                    c = d.try_next_sibling(n)?;
                 }
                 out
             }
             LVal::Leaf(_) => Vec::new(),
-            LVal::Elem(e) => force_list(&e.children),
-            LVal::List(l) => force_list(l),
+            LVal::Elem(e) => force_list(&e.children)?,
+            LVal::List(l) => force_list(l)?,
             LVal::Part(_) => {
                 return Err(MixError::invalid(
                     "cannot navigate into a group partition with a path",
@@ -184,7 +188,7 @@ impl EvalContext {
         Ok(match v {
             LVal::Src { doc, node } => {
                 let d = self.doc(doc)?;
-                let mut c = d.first_child(*node);
+                let mut c = d.try_first_child(*node)?;
                 let mut i = 0;
                 while let Some(n) = c {
                     if i == index {
@@ -194,13 +198,13 @@ impl EvalContext {
                         }));
                     }
                     i += 1;
-                    c = d.next_sibling(n);
+                    c = d.try_next_sibling(n)?;
                 }
                 None
             }
             LVal::Leaf(_) => None,
-            LVal::Elem(e) => e.children.get(index),
-            LVal::List(l) => l.get(index),
+            LVal::Elem(e) => e.children.get(index)?,
+            LVal::List(l) => l.get(index)?,
             LVal::Part(_) => None,
         })
     }
@@ -218,8 +222,10 @@ impl EvalContext {
                 mix_xml::node_scalar(&*d, *node)
             }
             LVal::Elem(e) => {
-                let first = e.children.get(0)?;
-                if e.children.get(1).is_some() {
+                // Forcing failures degrade to "no scalar" (⇒ condition
+                // false) here; the navigation path reports them.
+                let first = e.children.get(0).ok().flatten()?;
+                if e.children.get(1).ok().flatten().is_some() {
                     return None;
                 }
                 self.lval_value(&first)

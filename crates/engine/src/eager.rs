@@ -101,7 +101,7 @@ pub fn materialize_lval(
         }
         LVal::List(l) => {
             let n = doc.add_elem_with_oid(parent, "list", Oid::surrogate(doc.len() as u64));
-            for c in force_list(l) {
+            for c in force_list(l)? {
                 materialize_lval(ctx, doc, n, &c)?;
             }
             n
@@ -182,7 +182,7 @@ fn eval_table_inner(
                 vars: Rc::clone(&vars),
                 tuples: vec![],
             };
-            let mut c = d.first_child(d.root());
+            let mut c = d.try_first_child(d.root())?;
             while let Some(n) = c {
                 table.tuples.push(LTuple::new(
                     Rc::clone(&vars),
@@ -191,7 +191,7 @@ fn eval_table_inner(
                         node: n,
                     }],
                 ));
-                c = d.next_sibling(n);
+                c = d.try_next_sibling(n)?;
             }
             Ok(table)
         }
@@ -266,7 +266,7 @@ fn eval_table_inner(
             let mut out = BindingTable::new(vars.clone());
             let mut seen = std::collections::HashSet::new();
             for t in &inp.tuples {
-                let p = t.project(vars);
+                let p = t.project(vars)?;
                 let key = tuple_key(ctx, &p);
                 if seen.insert(key) {
                     out.tuples.push(p);
@@ -457,8 +457,13 @@ fn eval_table_inner(
                 let first = &tuples[0];
                 let mut vals: Vec<LVal> = group
                     .iter()
-                    .map(|g| first.get(g).cloned().unwrap())
-                    .collect();
+                    .map(|g| {
+                        first
+                            .get(g)
+                            .cloned()
+                            .ok_or_else(|| MixError::plan("gBy var unbound"))
+                    })
+                    .collect::<Result<_>>()?;
                 vals.push(LVal::Part(Partition::done(Rc::clone(&inp.vars), tuples)));
                 table.tuples.push(LTuple::new(Rc::clone(&vars), vals));
             }
@@ -496,7 +501,7 @@ fn eval_table_inner(
                         p.clone(),
                         BindingTable {
                             vars: Rc::clone(&part.vars),
-                            tuples: part.force(),
+                            tuples: part.force()?,
                         },
                     );
                 }
@@ -522,9 +527,11 @@ fn eval_table_inner(
                 vars: Rc::clone(&vars),
                 tuples: vec![],
             };
-            // Eager materialization fetches the whole result in blocks.
+            // Eager materialization fetches the whole result in blocks,
+            // retrying transient backend faults under the context's
+            // policy.
             let mut rows = Vec::new();
-            cur.drain(&mut rows);
+            cur.drain_retrying(&mut rows, &ctx.retry).context(server)?;
             for row in &rows {
                 table
                     .tuples
@@ -770,7 +777,7 @@ fn render_lval(ctx: &EvalContext, v: &LVal, out: &mut String, depth: usize) {
         LVal::Part(p) => {
             out.push_str(&pad);
             out.push_str("set\n");
-            for (i, t) in p.force().iter().enumerate() {
+            for (i, t) in p.force().unwrap_or_default().iter().enumerate() {
                 out.push_str(&"  ".repeat(depth + 1));
                 out.push_str(&format!("binding &n{i}\n"));
                 render_tuple(ctx, t, out, depth + 2);
@@ -779,7 +786,7 @@ fn render_lval(ctx: &EvalContext, v: &LVal, out: &mut String, depth: usize) {
         LVal::List(l) => {
             out.push_str(&pad);
             out.push_str("list\n");
-            for e in force_list(l) {
+            for e in force_list(l).unwrap_or_default() {
                 render_lval(ctx, &e, out, depth + 1);
             }
         }

@@ -58,7 +58,11 @@ fn render_node(op: &Op, profile: &ExecProfile, depth: usize, next: &mut usize, o
     out.push_str(&op.head());
     match profile.get(id) {
         Some(m) => {
-            out.push_str(&format!("  [pulls={} tuples={}]", m.pulls, m.tuples_out));
+            out.push_str(&format!("  [pulls={} tuples={}", m.pulls, m.tuples_out));
+            if m.retries > 0 {
+                out.push_str(&format!(" retries={}", m.retries));
+            }
+            out.push(']');
             if let Some(d) = &m.detail {
                 out.push_str(&format!(" {{{d}}}"));
             }

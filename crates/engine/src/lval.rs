@@ -7,7 +7,7 @@
 //! `rQ` column bindings) and *lazy* lists/partitions, which is where
 //! navigation-driven evaluation lives.
 
-use mix_common::{Name, Value};
+use mix_common::{MixError, Name, Result, Value};
 use mix_xml::{NodeRef, Oid};
 use std::cell::RefCell;
 use std::fmt;
@@ -83,49 +83,50 @@ impl LList {
         }
     }
 
-    /// Random access with lazy forcing up to `index` only.
-    pub fn get(&self, index: usize) -> Option<LVal> {
+    /// Random access with lazy forcing up to `index` only. `Err` when a
+    /// lazy part's producer hit a backend failure while forcing.
+    pub fn get(&self, index: usize) -> Result<Option<LVal>> {
         let mut remaining = index;
         for part in self.parts.iter() {
             match part {
                 ChildPart::One(v) => {
                     if remaining == 0 {
-                        return Some(v.clone());
+                        return Ok(Some(v.clone()));
                     }
                     remaining -= 1;
                 }
-                ChildPart::Splice(sub) => match sub.get(remaining) {
-                    Some(v) => return Some(v),
-                    None => remaining -= sub.len_forced(),
+                ChildPart::Splice(sub) => match sub.get(remaining)? {
+                    Some(v) => return Ok(Some(v)),
+                    None => remaining -= sub.len_forced()?,
                 },
-                ChildPart::Lazy(ll) => match ll.get(remaining) {
-                    Some(v) => return Some(v),
+                ChildPart::Lazy(ll) => match ll.get(remaining)? {
+                    Some(v) => return Ok(Some(v)),
                     None => remaining -= ll.produced_len(),
                 },
             }
         }
-        None
+        Ok(None)
     }
 
     /// Length, forcing everything.
-    pub fn len_forced(&self) -> usize {
+    pub fn len_forced(&self) -> Result<usize> {
         let mut n = 0;
-        while self.get(n).is_some() {
+        while self.get(n)?.is_some() {
             n += 1;
         }
-        n
+        Ok(n)
     }
 }
 
 /// Flatten a list into a vector (forces lazy parts).
-pub fn force_list(list: &LList) -> Vec<LVal> {
+pub fn force_list(list: &LList) -> Result<Vec<LVal>> {
     let mut out = Vec::new();
     let mut i = 0;
-    while let Some(v) = list.get(i) {
+    while let Some(v) = list.get(i)? {
         out.push(v);
         i += 1;
     }
-    out
+    Ok(out)
 }
 
 /// A lazily produced sequence of values: a cache of what has been
@@ -137,16 +138,20 @@ pub struct LazyList {
 
 struct LazyListState {
     produced: Vec<LVal>,
-    producer: Option<Box<dyn FnMut() -> Option<LVal>>>,
+    producer: Option<Box<dyn FnMut() -> Result<Option<LVal>>>>,
+    /// A producer failure, latched: the produced prefix stays
+    /// readable, asking for more re-reports the error.
+    error: Option<MixError>,
 }
 
 impl LazyList {
-    /// Wrap a producer closure (`None` = exhausted).
-    pub fn new(producer: Box<dyn FnMut() -> Option<LVal>>) -> LazyList {
+    /// Wrap a producer closure (`Ok(None)` = exhausted; `Err` latches).
+    pub fn new(producer: Box<dyn FnMut() -> Result<Option<LVal>>>) -> LazyList {
         LazyList {
             inner: Rc::new(RefCell::new(LazyListState {
                 produced: Vec::new(),
                 producer: Some(producer),
+                error: None,
             })),
         }
     }
@@ -157,35 +162,44 @@ impl LazyList {
             inner: Rc::new(RefCell::new(LazyListState {
                 produced: vals,
                 producer: None,
+                error: None,
             })),
         }
     }
 
     /// The value at `index`, producing up to it on demand.
-    pub fn get(&self, index: usize) -> Option<LVal> {
+    pub fn get(&self, index: usize) -> Result<Option<LVal>> {
         let mut st = self.inner.borrow_mut();
         while st.produced.len() <= index {
+            if let Some(e) = &st.error {
+                return Err(e.clone());
+            }
             let Some(p) = st.producer.as_mut() else { break };
             match p() {
-                Some(v) => st.produced.push(v),
-                None => {
+                Ok(Some(v)) => st.produced.push(v),
+                Ok(None) => {
                     st.producer = None;
                     break;
                 }
+                Err(e) => {
+                    st.producer = None;
+                    st.error = Some(e.clone());
+                    return Err(e);
+                }
             }
         }
-        st.produced.get(index).cloned()
+        Ok(st.produced.get(index).cloned())
     }
 
     /// Force the entire list.
-    pub fn force(&self) -> Vec<LVal> {
+    pub fn force(&self) -> Result<Vec<LVal>> {
         let mut out = Vec::new();
         let mut i = 0;
-        while let Some(v) = self.get(i) {
+        while let Some(v) = self.get(i)? {
             out.push(v);
             i += 1;
         }
-        out
+        Ok(out)
     }
 
     /// How many values have been produced so far (laziness metric).
@@ -210,16 +224,22 @@ struct PartitionState {
     tuples: Vec<LTuple>,
     /// Pulls the next tuple of this group from the shared stream;
     /// `None` once the group is complete.
-    producer: Option<Box<dyn FnMut() -> Option<LTuple>>>,
+    producer: Option<Box<dyn FnMut() -> Result<Option<LTuple>>>>,
+    /// A producer failure, latched (see [`LazyList`]).
+    error: Option<MixError>,
 }
 
 impl Partition {
-    pub fn new(vars: Rc<Vec<Name>>, producer: Box<dyn FnMut() -> Option<LTuple>>) -> Partition {
+    pub fn new(
+        vars: Rc<Vec<Name>>,
+        producer: Box<dyn FnMut() -> Result<Option<LTuple>>>,
+    ) -> Partition {
         Partition {
             vars,
             inner: Rc::new(RefCell::new(PartitionState {
                 tuples: Vec::new(),
                 producer: Some(producer),
+                error: None,
             })),
         }
     }
@@ -230,35 +250,44 @@ impl Partition {
             inner: Rc::new(RefCell::new(PartitionState {
                 tuples,
                 producer: None,
+                error: None,
             })),
         }
     }
 
     /// Tuple at `index`, pulling from the shared stream on demand.
-    pub fn get(&self, index: usize) -> Option<LTuple> {
+    pub fn get(&self, index: usize) -> Result<Option<LTuple>> {
         let mut st = self.inner.borrow_mut();
         while st.tuples.len() <= index {
+            if let Some(e) = &st.error {
+                return Err(e.clone());
+            }
             let Some(p) = st.producer.as_mut() else { break };
             match p() {
-                Some(t) => st.tuples.push(t),
-                None => {
+                Ok(Some(t)) => st.tuples.push(t),
+                Ok(None) => {
                     st.producer = None;
                     break;
                 }
+                Err(e) => {
+                    st.producer = None;
+                    st.error = Some(e.clone());
+                    return Err(e);
+                }
             }
         }
-        st.tuples.get(index).cloned()
+        Ok(st.tuples.get(index).cloned())
     }
 
     /// Force the whole partition.
-    pub fn force(&self) -> Vec<LTuple> {
+    pub fn force(&self) -> Result<Vec<LTuple>> {
         let mut out = Vec::new();
         let mut i = 0;
-        while let Some(t) = self.get(i) {
+        while let Some(t) = self.get(i)? {
             out.push(t);
             i += 1;
         }
-        out
+        Ok(out)
     }
 }
 
@@ -308,16 +337,23 @@ impl LTuple {
         }
     }
 
-    /// Keep only `keep` variables, in `keep` order.
-    pub fn project(&self, keep: &[Name]) -> LTuple {
+    /// Keep only `keep` variables, in `keep` order. A variable missing
+    /// from the tuple is a plan-invariant violation (the rewriter
+    /// validated the projection list), reported as an error rather than
+    /// a panic.
+    pub fn project(&self, keep: &[Name]) -> Result<LTuple> {
         let vals = keep
             .iter()
-            .map(|k| self.get(k).cloned().expect("projection var present"))
-            .collect();
-        LTuple {
+            .map(|k| {
+                self.get(k)
+                    .cloned()
+                    .ok_or_else(|| MixError::plan(format!("projection var {k} not bound")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(LTuple {
             vars: Rc::new(keep.to_vec()),
             vals,
-        }
+        })
     }
 }
 
@@ -383,16 +419,35 @@ mod tests {
         let ll = LazyList::new(Box::new(move || {
             if n < 3 {
                 n += 1;
-                Some(leaf(n))
+                Ok(Some(leaf(n)))
             } else {
-                None
+                Ok(None)
             }
         }));
         assert_eq!(ll.produced_len(), 0);
-        assert_eq!(as_int(&ll.get(1).unwrap()), 2);
+        assert_eq!(as_int(&ll.get(1).unwrap().unwrap()), 2);
         assert_eq!(ll.produced_len(), 2);
-        assert!(ll.get(5).is_none());
-        assert_eq!(ll.force().len(), 3);
+        assert!(ll.get(5).unwrap().is_none());
+        assert_eq!(ll.force().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn lazy_list_latches_producer_errors() {
+        let mut n = 0;
+        let ll = LazyList::new(Box::new(move || {
+            if n < 2 {
+                n += 1;
+                Ok(Some(leaf(n)))
+            } else {
+                Err(MixError::internal("backing store died"))
+            }
+        }));
+        assert_eq!(as_int(&ll.get(1).unwrap().unwrap()), 2);
+        // Asking past the failure reports the error...
+        assert!(ll.get(2).is_err());
+        assert!(ll.get(2).is_err());
+        // ...but the produced prefix stays readable.
+        assert_eq!(as_int(&ll.get(0).unwrap().unwrap()), 1);
     }
 
     #[test]
@@ -402,9 +457,9 @@ mod tests {
         let lazy = LazyList::new(Box::new(move || {
             if n < 2 {
                 n += 1;
-                Some(leaf(4 + n - 1))
+                Ok(Some(leaf(4 + n - 1)))
             } else {
-                None
+                Ok(None)
             }
         }));
         let list = LList::from_parts(vec![
@@ -413,17 +468,17 @@ mod tests {
             ChildPart::Lazy(lazy),
             ChildPart::One(leaf(6)),
         ]);
-        let vals: Vec<i64> = force_list(&list).iter().map(as_int).collect();
+        let vals: Vec<i64> = force_list(&list).unwrap().iter().map(as_int).collect();
         assert_eq!(vals, vec![1, 2, 3, 4, 5, 6]);
-        assert_eq!(as_int(&list.get(3).unwrap()), 4);
-        assert!(list.get(6).is_none());
-        assert_eq!(list.len_forced(), 6);
+        assert_eq!(as_int(&list.get(3).unwrap().unwrap()), 4);
+        assert!(list.get(6).unwrap().is_none());
+        assert_eq!(list.len_forced().unwrap(), 6);
     }
 
     #[test]
     fn empty_list() {
-        assert!(LList::empty().get(0).is_none());
-        assert_eq!(LList::empty().len_forced(), 0);
+        assert!(LList::empty().get(0).unwrap().is_none());
+        assert_eq!(LList::empty().len_forced().unwrap(), 0);
     }
 
     #[test]
@@ -433,9 +488,14 @@ mod tests {
         assert_eq!(as_int(t.get(&Name::new("B")).unwrap()), 2);
         let t2 = t.extended(Name::new("C"), leaf(3));
         assert_eq!(t2.vars.len(), 3);
-        let p = t2.project(&[Name::new("C"), Name::new("A")]);
+        let p = t2.project(&[Name::new("C"), Name::new("A")]).unwrap();
         assert_eq!(p.vars.as_slice(), &[Name::new("C"), Name::new("A")]);
         assert_eq!(as_int(&p.vals[0]), 3);
+        // A missing projection var is a plan error, not a panic.
+        let Err(e) = t2.project(&[Name::new("Z")]) else {
+            panic!("projection of unbound var must fail");
+        };
+        assert!(matches!(e, MixError::Plan(_)), "{e}");
         let u = t.concat(&LTuple::new(Rc::new(vec![Name::new("D")]), vec![leaf(9)]));
         assert_eq!(u.vars.len(), 3);
     }
@@ -450,15 +510,15 @@ mod tests {
             Box::new(move || {
                 if n < 2 {
                     n += 1;
-                    Some(LTuple::new(Rc::clone(&vclone), vec![leaf(n)]))
+                    Ok(Some(LTuple::new(Rc::clone(&vclone), vec![leaf(n)])))
                 } else {
-                    None
+                    Ok(None)
                 }
             }),
         );
-        assert!(p.get(0).is_some());
-        assert!(p.get(1).is_some());
-        assert!(p.get(2).is_none());
-        assert_eq!(p.force().len(), 2);
+        assert!(p.get(0).unwrap().is_some());
+        assert!(p.get(1).unwrap().is_some());
+        assert!(p.get(2).unwrap().is_none());
+        assert_eq!(p.force().unwrap().len(), 2);
     }
 }

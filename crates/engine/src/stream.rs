@@ -19,8 +19,12 @@
 //! * `rQ` holds a live SQL cursor and pulls one row per tuple.
 //!
 //! Plans must be validated before compilation
-//! ([`mix_algebra::validate()`]); streams treat violated invariants as
-//! programming errors.
+//! ([`mix_algebra::validate()`]); streams report violated invariants as
+//! [`MixError::Plan`] errors (a bad plan fails the query, never the
+//! process). Backend failures propagate through every operator as
+//! `Err`: the navigation command that needed the missing data sees the
+//! typed [`MixError::Backend`], while tuples produced before the
+//! failure remain valid.
 
 use crate::context::{EvalContext, GByMode};
 use crate::eager::{build_element, cat_value, cond_holds, rq_row_to_vals};
@@ -43,7 +47,9 @@ pub trait TStream {
     /// The variable schema of produced tuples.
     fn vars(&self) -> Rc<Vec<Name>>;
     /// Produce the next tuple, doing only the work it requires.
-    fn next(&mut self) -> Option<LTuple>;
+    /// `Ok(None)` is exhaustion; `Err` is a source/backend failure at
+    /// exactly the pull that needed the missing data.
+    fn next(&mut self) -> Result<Option<LTuple>>;
 
     /// Append up to `n` tuples to `out`; returns how many were
     /// produced. Fewer than `n` (in particular `0`) is returned only
@@ -53,10 +59,10 @@ pub trait TStream {
     /// than `n` boxed calls from outside); hot operators override it to
     /// pull blocks from their own inputs, so a block demanded at the
     /// top propagates down the pipeline.
-    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> usize {
+    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> Result<usize> {
         let mut k = 0;
         while k < n {
-            match self.next() {
+            match self.next()? {
                 Some(t) => {
                     out.push(t);
                     k += 1;
@@ -64,7 +70,7 @@ pub trait TStream {
                 None => break,
             }
         }
-        k
+        Ok(k)
     }
 }
 
@@ -72,8 +78,9 @@ pub trait TStream {
 /// barrier loop: join/semi-join build sides, sorts, stateful `gBy`).
 /// Relies on the [`TStream::pull_block`] contract — a short block
 /// means exhaustion — to avoid a final empty pull.
-pub(crate) fn drain_stream(s: &mut dyn TStream, out: &mut Vec<LTuple>) {
-    while s.pull_block(out, mix_common::MAX_AUTO_BLOCK) == mix_common::MAX_AUTO_BLOCK {}
+pub(crate) fn drain_stream(s: &mut dyn TStream, out: &mut Vec<LTuple>) -> Result<()> {
+    while s.pull_block(out, mix_common::MAX_AUTO_BLOCK)? == mix_common::MAX_AUTO_BLOCK {}
+    Ok(())
 }
 
 /// A buffered adapter between a per-tuple consumer and a blockwise
@@ -99,24 +106,24 @@ impl BlockBuf {
         }
     }
 
-    fn pull(&mut self, input: &mut dyn TStream) -> Option<LTuple> {
+    fn pull(&mut self, input: &mut dyn TStream) -> Result<Option<LTuple>> {
         if let Some(t) = self.buf.pop_front() {
-            return Some(t);
+            return Ok(Some(t));
         }
         if self.off {
             return input.next();
         }
         if self.done {
-            return None;
+            return Ok(None);
         }
         let want = self.ramp.next_size();
         self.scratch.clear();
-        if input.pull_block(&mut self.scratch, want) == 0 {
+        if input.pull_block(&mut self.scratch, want)? == 0 {
             self.done = true;
-            return None;
+            return Ok(None);
         }
         self.buf.extend(self.scratch.drain(..));
-        self.buf.pop_front()
+        Ok(self.buf.pop_front())
     }
 }
 
@@ -400,7 +407,7 @@ pub(crate) fn build_stream_profiled(
                 ..
             } = &**plan
             else {
-                return Err(MixError::invalid("validated: nested plans end in tD"));
+                return Err(MixError::plan("nested plans must end in tD"));
             };
             Box::new(ApplyStream {
                 ctx: Rc::clone(ctx),
@@ -443,6 +450,9 @@ pub(crate) fn build_stream_profiled(
                 ramp: ctx.block.ramp(),
                 rbuf: Vec::new(),
                 decoder,
+                profile: profile.cloned(),
+                id,
+                counted_retries: 0,
             })
         }
         Op::OrderBy { input, vars } => {
@@ -530,7 +540,7 @@ impl TStream for TracedStream {
         self.inner.vars()
     }
 
-    fn next(&mut self) -> Option<LTuple> {
+    fn next(&mut self) -> Result<Option<LTuple>> {
         if !self.started {
             self.started = true;
             if self.tracer.enabled() {
@@ -553,7 +563,7 @@ impl TStream for TracedStream {
         if self.span.is_some() {
             self.tracer.pop();
         }
-        if t.is_some() {
+        if let Ok(Some(_)) = &t {
             self.tuples += 1;
             if let Some(p) = &self.profile {
                 p.record_tuples(self.id, 1);
@@ -562,14 +572,14 @@ impl TStream for TracedStream {
         t
     }
 
-    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> usize {
+    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> Result<usize> {
         if self.tracer.enabled() {
             // Spans and per-tuple events must nest exactly as in the
             // tuple-at-a-time path: fall back to per-tuple pulls so
             // traced output is independent of the block size.
             let mut k = 0;
             while k < n {
-                match self.next() {
+                match self.next()? {
                     Some(t) => {
                         out.push(t);
                         k += 1;
@@ -577,21 +587,21 @@ impl TStream for TracedStream {
                     None => break,
                 }
             }
-            return k;
+            return Ok(k);
         }
         self.started = true;
         self.pulls += 1;
         if let Some(p) = &self.profile {
             p.record_pull(self.id);
         }
-        let k = self.inner.pull_block(out, n);
+        let k = self.inner.pull_block(out, n)?;
         if k > 0 {
             self.tuples += k as u64;
             if let Some(p) = &self.profile {
                 p.record_tuples(self.id, k as u64);
             }
         }
-        k
+        Ok(k)
     }
 }
 
@@ -624,21 +634,26 @@ impl TStream for MkSrcStream {
         Rc::clone(&self.vars)
     }
 
-    fn next(&mut self) -> Option<LTuple> {
+    fn next(&mut self) -> Result<Option<LTuple>> {
         self.cur = if !self.started {
             self.started = true;
-            self.doc.first_child(self.doc.root())
+            self.doc.try_first_child(self.doc.root())?
         } else {
-            self.doc.next_sibling(self.cur?)
+            match self.cur {
+                Some(c) => self.doc.try_next_sibling(c)?,
+                None => None,
+            }
         };
-        let n = self.cur?;
-        Some(LTuple::new(
+        let Some(n) = self.cur else {
+            return Ok(None);
+        };
+        Ok(Some(LTuple::new(
             Rc::clone(&self.vars),
             vec![LVal::Src {
                 doc: self.source.clone(),
                 node: n,
             }],
-        ))
+        )))
     }
 }
 
@@ -656,13 +671,15 @@ impl TStream for MkSrcOverStream {
         Rc::clone(&self.vars)
     }
 
-    fn next(&mut self) -> Option<LTuple> {
-        let t = self.inner.next()?;
+    fn next(&mut self) -> Result<Option<LTuple>> {
+        let Some(t) = self.inner.next()? else {
+            return Ok(None);
+        };
         let v = t
             .get(&self.view_var)
-            .expect("validated: view tD var bound")
+            .ok_or_else(|| MixError::plan("view tD var unbound in mksrcOver"))?
             .clone();
-        Some(LTuple::new(Rc::clone(&self.vars), vec![v]))
+        Ok(Some(LTuple::new(Rc::clone(&self.vars), vec![v])))
     }
 }
 
@@ -677,19 +694,19 @@ struct GetDStream {
 
 impl GetDStream {
     /// Expand one input tuple into `pending` (0..m output tuples).
-    fn expand(&mut self, t: LTuple) {
+    fn expand(&mut self, t: LTuple) -> Result<()> {
         let base = t
             .get(&self.from)
-            .expect("validated: getD source var bound")
+            .ok_or_else(|| MixError::plan("getD source var unbound"))?
             .clone();
-        let hits =
-            eval_path(&self.ctx, &base, &self.path).expect("path evaluation on resolved sources");
+        let hits = eval_path(&self.ctx, &base, &self.path)?;
         for hit in hits {
             let mut vals = t.vals.clone();
             vals.push(hit);
             self.pending
                 .push_back(LTuple::new(Rc::clone(&self.vars), vals));
         }
+        Ok(())
     }
 }
 
@@ -698,17 +715,19 @@ impl TStream for GetDStream {
         Rc::clone(&self.vars)
     }
 
-    fn next(&mut self) -> Option<LTuple> {
+    fn next(&mut self) -> Result<Option<LTuple>> {
         loop {
             if let Some(t) = self.pending.pop_front() {
-                return Some(t);
+                return Ok(Some(t));
             }
-            let t = self.input.next()?;
-            self.expand(t);
+            let Some(t) = self.input.next()? else {
+                return Ok(None);
+            };
+            self.expand(t)?;
         }
     }
 
-    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> usize {
+    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> Result<usize> {
         let mut k = 0;
         let mut buf = Vec::new();
         loop {
@@ -722,14 +741,14 @@ impl TStream for GetDStream {
                 }
             }
             if k >= n {
-                return k;
+                return Ok(k);
             }
             buf.clear();
-            if self.input.pull_block(&mut buf, n - k) == 0 {
-                return k;
+            if self.input.pull_block(&mut buf, n - k)? == 0 {
+                return Ok(k);
             }
             for t in buf.drain(..) {
-                self.expand(t);
+                self.expand(t)?;
             }
         }
     }
@@ -747,20 +766,22 @@ impl TStream for SelectStream {
         self.input.vars()
     }
 
-    fn next(&mut self) -> Option<LTuple> {
+    fn next(&mut self) -> Result<Option<LTuple>> {
         loop {
-            let t = self.input.next()?;
+            let Some(t) = self.input.next()? else {
+                return Ok(None);
+            };
             if cond_holds(&self.ctx, &self.cond, &t) {
-                return Some(t);
+                return Ok(Some(t));
             }
         }
     }
 
-    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> usize {
+    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> Result<usize> {
         let mut k = 0;
         while k < n {
             self.buf.clear();
-            if self.input.pull_block(&mut self.buf, n - k) == 0 {
+            if self.input.pull_block(&mut self.buf, n - k)? == 0 {
                 break;
             }
             for t in self.buf.drain(..) {
@@ -770,7 +791,7 @@ impl TStream for SelectStream {
                 }
             }
         }
-        k
+        Ok(k)
     }
 }
 
@@ -788,19 +809,21 @@ impl TStream for ProjectStream {
         Rc::clone(&self.keep)
     }
 
-    fn next(&mut self) -> Option<LTuple> {
-        let t = self.input.next()?;
-        Some(t.project(&self.keep))
+    fn next(&mut self) -> Result<Option<LTuple>> {
+        let Some(t) = self.input.next()? else {
+            return Ok(None);
+        };
+        Ok(Some(t.project(&self.keep)?))
     }
 
-    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> usize {
+    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> Result<usize> {
         self.buf.clear();
-        let got = self.input.pull_block(&mut self.buf, n);
+        let got = self.input.pull_block(&mut self.buf, n)?;
         out.reserve(got);
         for t in self.buf.drain(..) {
-            out.push(t.project(&self.keep));
+            out.push(t.project(&self.keep)?);
         }
-        got
+        Ok(got)
     }
 }
 
@@ -824,13 +847,16 @@ impl TStream for JoinStream {
         Rc::clone(&self.vars)
     }
 
-    fn next(&mut self) -> Option<LTuple> {
+    fn next(&mut self) -> Result<Option<LTuple>> {
         loop {
             if self.cur_left.is_none() {
-                self.cur_left = Some(self.left.next()?);
+                let Some(l) = self.left.next()? else {
+                    return Ok(None);
+                };
+                self.cur_left = Some(l);
                 self.idx = 0;
                 if let Some(mut right) = self.right.take() {
-                    drain_stream(&mut *right, &mut self.right_rows);
+                    drain_stream(&mut *right, &mut self.right_rows)?;
                 }
             }
             let l = self.cur_left.as_ref().unwrap();
@@ -844,7 +870,7 @@ impl TStream for JoinStream {
                     .as_ref()
                     .is_none_or(|c| cond_holds(&self.ctx, c, &joined))
                 {
-                    return Some(joined);
+                    return Ok(Some(joined));
                 }
             }
             self.cur_left = None;
@@ -873,19 +899,20 @@ struct HashJoinStream {
 }
 
 impl HashJoinStream {
-    fn build(&mut self) {
+    fn build(&mut self) -> Result<()> {
         let Some(mut right) = self.right.take() else {
-            return;
+            return Ok(());
         };
         self.ctx.stats().inc(Counter::HashBuilds);
         let mut buf = Vec::new();
-        drain_stream(&mut *right, &mut buf);
+        drain_stream(&mut *right, &mut buf)?;
         for t in buf {
             // A keyless (Null) tuple can never satisfy the equi-conjuncts.
             if let Some(k) = tuple_key(&self.ctx, &t, &self.pairs, Side::Right) {
                 self.index.entry(k).or_default().push(t);
             }
         }
+        Ok(())
     }
 }
 
@@ -894,11 +921,13 @@ impl TStream for HashJoinStream {
         Rc::clone(&self.vars)
     }
 
-    fn next(&mut self) -> Option<LTuple> {
+    fn next(&mut self) -> Result<Option<LTuple>> {
         loop {
             if self.cur_left.is_none() {
-                let l = self.left.next()?;
-                self.build();
+                let Some(l) = self.left.next()? else {
+                    return Ok(None);
+                };
+                self.build()?;
                 self.cur_key = tuple_key(&self.ctx, &l, &self.pairs, Side::Left);
                 self.cur_left = Some(l);
                 self.idx = 0;
@@ -915,7 +944,7 @@ impl TStream for HashJoinStream {
                         .as_ref()
                         .is_none_or(|c| cond_holds(&self.ctx, c, &joined))
                     {
-                        return Some(joined);
+                        return Ok(Some(joined));
                     }
                 }
             }
@@ -923,15 +952,15 @@ impl TStream for HashJoinStream {
         }
     }
 
-    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> usize {
+    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> Result<usize> {
         // Vectorized probe: emit every surviving match of the current
         // left tuple before advancing, so left-major order (and the
         // per-left match order) is preserved exactly.
         let mut k = 0;
         while k < n {
             if self.cur_left.is_none() {
-                let Some(l) = self.left.next() else { break };
-                self.build();
+                let Some(l) = self.left.next()? else { break };
+                self.build()?;
                 self.cur_key = tuple_key(&self.ctx, &l, &self.pairs, Side::Left);
                 self.cur_left = Some(l);
                 self.idx = 0;
@@ -962,7 +991,7 @@ impl TStream for HashJoinStream {
                 self.cur_left = None;
             }
         }
-        k
+        Ok(k)
     }
 }
 
@@ -980,11 +1009,13 @@ impl TStream for SemiJoinStream {
         self.kept.vars()
     }
 
-    fn next(&mut self) -> Option<LTuple> {
+    fn next(&mut self) -> Result<Option<LTuple>> {
         loop {
-            let t = self.kept.next()?;
+            let Some(t) = self.kept.next()? else {
+                return Ok(None);
+            };
             if let Some(mut other) = self.other.take() {
-                drain_stream(&mut *other, &mut self.other_rows);
+                drain_stream(&mut *other, &mut self.other_rows)?;
             }
             let stats = self.ctx.stats();
             let matched = self.other_rows.iter().any(|o| {
@@ -998,7 +1029,7 @@ impl TStream for SemiJoinStream {
                     .is_none_or(|c| cond_holds(&self.ctx, c, &joined))
             });
             if matched {
-                return Some(t);
+                return Ok(Some(t));
             }
         }
     }
@@ -1032,19 +1063,20 @@ impl HashSemiJoinStream {
         }
     }
 
-    fn build(&mut self) {
+    fn build(&mut self) -> Result<()> {
         let Some(mut other) = self.other.take() else {
-            return;
+            return Ok(());
         };
         self.ctx.stats().inc(Counter::HashBuilds);
         let side = self.other_side();
         let mut buf = Vec::new();
-        drain_stream(&mut *other, &mut buf);
+        drain_stream(&mut *other, &mut buf)?;
         for t in buf {
             if let Some(k) = tuple_key(&self.ctx, &t, &self.pairs, side) {
                 self.index.entry(k).or_default().push(t);
             }
         }
+        Ok(())
     }
 }
 
@@ -1053,10 +1085,12 @@ impl TStream for HashSemiJoinStream {
         self.kept.vars()
     }
 
-    fn next(&mut self) -> Option<LTuple> {
+    fn next(&mut self) -> Result<Option<LTuple>> {
         loop {
-            let t = self.kept.next()?;
-            self.build();
+            let Some(t) = self.kept.next()? else {
+                return Ok(None);
+            };
+            self.build()?;
             let Some(key) = tuple_key(&self.ctx, &t, &self.pairs, self.kept_side()) else {
                 continue;
             };
@@ -1075,7 +1109,7 @@ impl TStream for HashSemiJoinStream {
                     .is_none_or(|c| cond_holds(&self.ctx, c, &joined))
             });
             if matched {
-                return Some(t);
+                return Ok(Some(t));
             }
         }
     }
@@ -1103,7 +1137,7 @@ struct MapStream {
 }
 
 impl MapStream {
-    fn apply(&self, t: LTuple) -> LTuple {
+    fn apply(&self, t: LTuple) -> Result<LTuple> {
         let val = match &self.f {
             MapKind::CrElt {
                 label,
@@ -1111,15 +1145,12 @@ impl MapStream {
                 group,
                 children,
                 out,
-            } => build_element(&self.ctx, &t, label, skolem, group, children, out)
-                .expect("validated: crElt vars bound"),
-            MapKind::Cat { left, right } => {
-                cat_value(&t, left, right).expect("validated: cat vars bound")
-            }
+            } => build_element(&self.ctx, &t, label, skolem, group, children, out)?,
+            MapKind::Cat { left, right } => cat_value(&t, left, right)?,
         };
         let mut vals = t.vals;
         vals.push(val);
-        LTuple::new(Rc::clone(&self.vars), vals)
+        Ok(LTuple::new(Rc::clone(&self.vars), vals))
     }
 }
 
@@ -1128,18 +1159,20 @@ impl TStream for MapStream {
         Rc::clone(&self.vars)
     }
 
-    fn next(&mut self) -> Option<LTuple> {
-        let t = self.input.next()?;
-        Some(self.apply(t))
+    fn next(&mut self) -> Result<Option<LTuple>> {
+        let Some(t) = self.input.next()? else {
+            return Ok(None);
+        };
+        Ok(Some(self.apply(t)?))
     }
 
-    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> usize {
+    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> Result<usize> {
         let mut buf = Vec::new();
-        let got = self.input.pull_block(&mut buf, n);
+        let got = self.input.pull_block(&mut buf, n)?;
         for t in buf {
-            out.push(self.apply(t));
+            out.push(self.apply(t)?);
         }
-        got
+        Ok(got)
     }
 }
 
@@ -1155,18 +1188,18 @@ struct GByShared {
 }
 
 impl GByShared {
-    fn pull(&mut self) -> Option<LTuple> {
+    fn pull(&mut self) -> Result<Option<LTuple>> {
         if let Some(t) = self.lookahead.take() {
-            return Some(t);
+            return Ok(Some(t));
         }
         if self.done {
-            return None;
+            return Ok(None);
         }
-        match self.block.pull(&mut *self.input) {
-            Some(t) => Some(t),
+        match self.block.pull(&mut *self.input)? {
+            Some(t) => Ok(Some(t)),
             None => {
                 self.done = true;
-                None
+                Ok(None)
             }
         }
     }
@@ -1210,10 +1243,14 @@ impl GByStream {
     }
 }
 
-fn group_key(ctx: &EvalContext, t: &LTuple, group: &[Name]) -> Vec<Oid> {
+fn group_key(ctx: &EvalContext, t: &LTuple, group: &[Name]) -> Result<Vec<Oid>> {
     group
         .iter()
-        .map(|g| ctx.lval_key(t.get(g).expect("validated: group var bound")))
+        .map(|g| {
+            t.get(g)
+                .map(|v| ctx.lval_key(v))
+                .ok_or_else(|| MixError::plan(format!("group var {} unbound", g.display_var())))
+        })
         .collect()
 }
 
@@ -1222,18 +1259,24 @@ impl TStream for GByStream {
         Rc::clone(&self.vars)
     }
 
-    fn next(&mut self) -> Option<LTuple> {
+    fn next(&mut self) -> Result<Option<LTuple>> {
         // Finish the previous group first (skipping forward drains it).
         if let Some(prev) = self.current.take() {
-            prev.force();
+            prev.force()?;
         }
-        let seed = self.shared.borrow_mut().pull()?;
-        let key = group_key(&self.ctx, &seed, &self.group);
+        let Some(seed) = self.shared.borrow_mut().pull()? else {
+            return Ok(None);
+        };
+        let key = group_key(&self.ctx, &seed, &self.group)?;
         let group_vals: Vec<LVal> = self
             .group
             .iter()
-            .map(|g| seed.get(g).cloned().unwrap())
-            .collect();
+            .map(|g| {
+                seed.get(g)
+                    .cloned()
+                    .ok_or_else(|| MixError::plan("group var unbound"))
+            })
+            .collect::<Result<_>>()?;
         // The partition producer: first the seed, then shared tuples
         // while the key matches; a mismatching tuple is pushed back
         // into the lookahead slot.
@@ -1244,22 +1287,24 @@ impl TStream for GByStream {
         let mut seed = Some(seed);
         let producer = Box::new(move || {
             if let Some(s) = seed.take() {
-                return Some(s);
+                return Ok(Some(s));
             }
             let mut sh = shared.borrow_mut();
-            let t = sh.pull()?;
-            if group_key(&ctx, &t, &group) == my_key {
-                Some(t)
+            let Some(t) = sh.pull()? else {
+                return Ok(None);
+            };
+            if group_key(&ctx, &t, &group)? == my_key {
+                Ok(Some(t))
             } else {
                 sh.lookahead = Some(t);
-                None
+                Ok(None)
             }
         });
         let part = Partition::new(Rc::clone(&self.in_vars), producer);
         self.current = Some(part.clone());
         let mut vals = group_vals;
         vals.push(LVal::Part(part));
-        Some(LTuple::new(Rc::clone(&self.vars), vals))
+        Ok(Some(LTuple::new(Rc::clone(&self.vars), vals)))
     }
 }
 
@@ -1302,32 +1347,38 @@ impl TStream for GByStatefulStream {
         Rc::clone(&self.vars)
     }
 
-    fn next(&mut self) -> Option<LTuple> {
+    fn next(&mut self) -> Result<Option<LTuple>> {
         if let Some(mut input) = self.input.take() {
             let mut map: HashMap<Vec<Oid>, usize> = HashMap::new();
             let mut buf = Vec::new();
-            drain_stream(&mut *input, &mut buf);
+            drain_stream(&mut *input, &mut buf)?;
             for t in buf {
-                let key = group_key(&self.ctx, &t, &self.group);
+                let key = group_key(&self.ctx, &t, &self.group)?;
                 let next_slot = self.groups.len();
                 let slot = *map.entry(key).or_insert_with(|| next_slot);
                 if slot == self.groups.len() {
                     let vals: Vec<LVal> = self
                         .group
                         .iter()
-                        .map(|g| t.get(g).cloned().unwrap())
-                        .collect();
+                        .map(|g| {
+                            t.get(g)
+                                .cloned()
+                                .ok_or_else(|| MixError::plan("group var unbound"))
+                        })
+                        .collect::<Result<_>>()?;
                     self.groups.push((vals, Vec::new()));
                 }
                 self.groups[slot].1.push(t);
             }
         }
-        let (vals, tuples) = self.groups.get(self.idx)?;
+        let Some((vals, tuples)) = self.groups.get(self.idx) else {
+            return Ok(None);
+        };
         self.idx += 1;
         let part = Partition::done(Rc::clone(&self.in_vars), tuples.clone());
         let mut vals = vals.clone();
         vals.push(LVal::Part(part));
-        Some(LTuple::new(Rc::clone(&self.vars), vals))
+        Ok(Some(LTuple::new(Rc::clone(&self.vars), vals)))
     }
 }
 
@@ -1350,15 +1401,15 @@ struct GByHashShared {
 impl GByHashShared {
     /// Spool one more input tuple into its group; `false` on
     /// exhaustion.
-    fn advance(&mut self) -> bool {
+    fn advance(&mut self) -> Result<bool> {
         if self.done {
-            return false;
+            return Ok(false);
         }
-        let Some(t) = self.input.next() else {
+        let Some(t) = self.input.next()? else {
             self.done = true;
-            return false;
+            return Ok(false);
         };
-        let key = group_key(&self.ctx, &t, &self.group);
+        let key = group_key(&self.ctx, &t, &self.group)?;
         let slot = match self.index.get(&key) {
             Some(s) => *s,
             None => {
@@ -1367,14 +1418,18 @@ impl GByHashShared {
                 let vals: Vec<LVal> = self
                     .group
                     .iter()
-                    .map(|g| t.get(g).cloned().unwrap())
-                    .collect();
+                    .map(|g| {
+                        t.get(g)
+                            .cloned()
+                            .ok_or_else(|| MixError::plan("group var unbound"))
+                    })
+                    .collect::<Result<_>>()?;
                 self.groups.push((vals, Vec::new()));
                 s
             }
         };
         self.groups[slot].1.push(t);
-        true
+        Ok(true)
     }
 }
 
@@ -1416,15 +1471,15 @@ impl TStream for GByHashStream {
         Rc::clone(&self.vars)
     }
 
-    fn next(&mut self) -> Option<LTuple> {
+    fn next(&mut self) -> Result<Option<LTuple>> {
         let g = self.next_group;
         loop {
             let mut sh = self.shared.borrow_mut();
             if sh.groups.len() > g {
                 break;
             }
-            if !sh.advance() {
-                return None;
+            if !sh.advance()? {
+                return Ok(None);
             }
         }
         self.next_group += 1;
@@ -1436,16 +1491,16 @@ impl TStream for GByHashStream {
             if i < sh.groups[g].1.len() {
                 let t = sh.groups[g].1[i].clone();
                 i += 1;
-                return Some(t);
+                return Ok(Some(t));
             }
-            if !sh.advance() {
-                return None;
+            if !sh.advance()? {
+                return Ok(None);
             }
         });
         let part = Partition::new(Rc::clone(&self.in_vars), producer);
         let mut vals = group_vals;
         vals.push(LVal::Part(part));
-        Some(LTuple::new(Rc::clone(&self.vars), vals))
+        Ok(Some(LTuple::new(Rc::clone(&self.vars), vals)))
     }
 }
 
@@ -1472,15 +1527,18 @@ impl ApplyStream {
     /// plan is not compiled until the list is first forced, so
     /// navigation that skips a group's list — counting result elements,
     /// jumping over groups — never pays for the activation.
-    fn activate(&self, t: LTuple) -> LTuple {
+    fn activate(&self, t: LTuple) -> Result<LTuple> {
         let param = match &self.param {
             Some(p) => {
-                let LVal::Part(part) = t.get(p).expect("validated: apply param bound").clone()
-                else {
-                    panic!(
-                        "validated: apply parameter {} must be a partition",
+                let v = t
+                    .get(p)
+                    .ok_or_else(|| MixError::plan("apply param unbound"))?
+                    .clone();
+                let LVal::Part(part) = v else {
+                    return Err(MixError::plan(format!(
+                        "apply parameter {} must be a partition",
                         p.display_var()
-                    );
+                    )));
                 };
                 Some((p.clone(), part))
             }
@@ -1494,7 +1552,9 @@ impl ApplyStream {
         let nested_base = self.nested_base;
         let mut state: Option<(Box<dyn TStream>, std::collections::HashSet<String>)> = None;
         let lazy = LazyList::new(Box::new(move || {
-            let (nested, seen) = state.get_or_insert_with(|| {
+            // Compile on first demand; a compile failure surfaces as the
+            // list's error (get_or_insert_with cannot propagate it).
+            if state.is_none() {
                 let mut env2 = (*env).clone();
                 if let Some((p, part)) = &param {
                     env2.insert(p.clone(), part.clone());
@@ -1506,15 +1566,17 @@ impl ApplyStream {
                     &Rc::new(env2),
                     profile.as_ref(),
                     &mut nid,
-                )
-                .expect("validated: nested plan compiles");
-                (s, std::collections::HashSet::new())
-            });
+                )?;
+                state = Some((s, std::collections::HashSet::new()));
+            }
+            let (nested, seen) = state.as_mut().expect("just initialized");
             loop {
-                let t = nested.next()?;
+                let Some(t) = nested.next()? else {
+                    return Ok(None);
+                };
                 let v = t
                     .get(&nvar)
-                    .expect("validated: nested tD var bound")
+                    .ok_or_else(|| MixError::plan("nested tD var unbound"))?
                     .clone();
                 // Set semantics at the nested-tD boundary (see
                 // eager::dedup_key).
@@ -1523,12 +1585,12 @@ impl ApplyStream {
                         continue;
                     }
                 }
-                return Some(v);
+                return Ok(Some(v));
             }
         }));
         let mut vals = t.vals;
         vals.push(LVal::List(LList::lazy(lazy)));
-        LTuple::new(Rc::clone(&self.vars), vals)
+        Ok(LTuple::new(Rc::clone(&self.vars), vals))
     }
 }
 
@@ -1537,18 +1599,20 @@ impl TStream for ApplyStream {
         Rc::clone(&self.vars)
     }
 
-    fn next(&mut self) -> Option<LTuple> {
-        let t = self.input.next()?;
-        Some(self.activate(t))
+    fn next(&mut self) -> Result<Option<LTuple>> {
+        let Some(t) = self.input.next()? else {
+            return Ok(None);
+        };
+        Ok(Some(self.activate(t)?))
     }
 
-    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> usize {
+    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> Result<usize> {
         let mut buf = Vec::with_capacity(n.min(mix_common::MAX_AUTO_BLOCK));
-        let got = self.input.pull_block(&mut buf, n);
+        let got = self.input.pull_block(&mut buf, n)?;
         for t in buf {
-            out.push(self.activate(t));
+            out.push(self.activate(t)?);
         }
-        got
+        Ok(got)
     }
 }
 
@@ -1563,10 +1627,12 @@ impl TStream for NestedSrcStream {
         Rc::clone(&self.vars)
     }
 
-    fn next(&mut self) -> Option<LTuple> {
-        let t = self.part.get(self.idx)?;
+    fn next(&mut self) -> Result<Option<LTuple>> {
+        let Some(t) = self.part.get(self.idx)? else {
+            return Ok(None);
+        };
         self.idx += 1;
-        Some(t)
+        Ok(Some(t))
     }
 }
 
@@ -1683,14 +1749,16 @@ impl RqDecoder {
                                 let key_text = key_text.clone();
                                 let mut i = 0usize;
                                 LazyList::new(Box::new(move || {
-                                    let (cname, pos) = cols.get(i)?;
+                                    let Some((cname, pos)) = cols.get(i) else {
+                                        return Ok(None);
+                                    };
                                     i += 1;
                                     let v = row.get(*pos).cloned().unwrap_or(Value::Null);
-                                    Some(LVal::Elem(Rc::new(LElem {
+                                    Ok(Some(LVal::Elem(Rc::new(LElem {
                                         label: cname.clone(),
                                         oid: Oid::key(format!("{key_text}.{cname}")),
                                         children: LList::fixed(vec![LVal::Leaf(v)]),
-                                    })))
+                                    }))))
                                 }))
                             };
                             let v = LVal::Elem(Rc::new(LElem {
@@ -1725,16 +1793,34 @@ struct RelQueryStream {
     /// Vectorized decoder; `None` under `Off`, which keeps the
     /// paper-faithful per-row decode path untouched.
     decoder: Option<RqDecoder>,
+    /// Profile + node id so retry attempts are attributed to this `rQ`
+    /// node in EXPLAIN ANALYZE output.
+    profile: Option<Rc<ExecProfile>>,
+    id: usize,
+    /// Cursor retries already recorded into the profile.
+    counted_retries: u64,
 }
 
 impl RelQueryStream {
     /// Fetch the next ramp-sized block from the server cursor and
-    /// convert it; `false` on exhaustion.
-    fn refill(&mut self) -> bool {
+    /// convert it; `false` on exhaustion. Transient backend faults are
+    /// retried under the context's [`mix_common::RetryPolicy`] —
+    /// re-requesting the same block, so the ramp is undisturbed.
+    fn refill(&mut self) -> Result<bool> {
         let want = self.ramp.next_size();
         self.rbuf.clear();
-        if self.cursor.next_block(&mut self.rbuf, want) == 0 {
-            return false;
+        let got = self
+            .cursor
+            .next_block_retrying(&mut self.rbuf, want, &self.ctx.retry);
+        if let Some(p) = &self.profile {
+            let total = self.cursor.retries();
+            if total > self.counted_retries {
+                p.record_retries(self.id, total - self.counted_retries);
+                self.counted_retries = total;
+            }
+        }
+        if got? == 0 {
+            return Ok(false);
         }
         match &mut self.decoder {
             Some(dec) => {
@@ -1755,7 +1841,7 @@ impl RelQueryStream {
                 }
             }
         }
-        true
+        Ok(true)
     }
 }
 
@@ -1764,18 +1850,18 @@ impl TStream for RelQueryStream {
         Rc::clone(&self.vars)
     }
 
-    fn next(&mut self) -> Option<LTuple> {
+    fn next(&mut self) -> Result<Option<LTuple>> {
         loop {
             if let Some(t) = self.pending.pop_front() {
-                return Some(t);
+                return Ok(Some(t));
             }
-            if !self.refill() {
-                return None;
+            if !self.refill()? {
+                return Ok(None);
             }
         }
     }
 
-    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> usize {
+    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> Result<usize> {
         let mut k = 0;
         while k < n {
             match self.pending.pop_front() {
@@ -1784,13 +1870,13 @@ impl TStream for RelQueryStream {
                     k += 1;
                 }
                 None => {
-                    if !self.refill() {
+                    if !self.refill()? {
                         break;
                     }
                 }
             }
         }
-        k
+        Ok(k)
     }
 }
 
@@ -1816,28 +1902,30 @@ impl TStream for OrderByStream {
         }
     }
 
-    fn next(&mut self) -> Option<LTuple> {
-        self.force();
-        let t = self.sorted.get(self.idx)?;
+    fn next(&mut self) -> Result<Option<LTuple>> {
+        self.force()?;
+        let Some(t) = self.sorted.get(self.idx) else {
+            return Ok(None);
+        };
         self.idx += 1;
-        Some(t.clone())
+        Ok(Some(t.clone()))
     }
 
-    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> usize {
-        self.force();
+    fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> Result<usize> {
+        self.force()?;
         let end = (self.idx + n).min(self.sorted.len());
         let k = end - self.idx;
         out.extend_from_slice(&self.sorted[self.idx..end]);
         self.idx = end;
-        k
+        Ok(k)
     }
 }
 
 impl OrderByStream {
     /// Drain and sort the input (once, in blocks).
-    fn force(&mut self) {
+    fn force(&mut self) -> Result<()> {
         if let Some(mut input) = self.input.take() {
-            drain_stream(&mut *input, &mut self.sorted);
+            drain_stream(&mut *input, &mut self.sorted)?;
             let ctx = Rc::clone(&self.ctx);
             let keys = self.keys.clone();
             self.sorted.sort_by(|a, b| {
@@ -1854,6 +1942,7 @@ impl OrderByStream {
                 std::cmp::Ordering::Equal
             });
         }
+        Ok(())
     }
 }
 
@@ -1866,8 +1955,8 @@ impl TStream for EmptyStream {
         Rc::clone(&self.vars)
     }
 
-    fn next(&mut self) -> Option<LTuple> {
-        None
+    fn next(&mut self) -> Result<Option<LTuple>> {
+        Ok(None)
     }
 }
 
@@ -1909,12 +1998,12 @@ mod tests {
         let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
         let stats = ctx.catalog().database("db1").unwrap().stats().clone();
         assert_eq!(stats.get(Counter::TuplesShipped), 0);
-        assert!(s.next().is_some());
+        assert!(s.next().unwrap().is_some());
         assert_eq!(stats.get(Counter::TuplesShipped), 1);
-        assert!(s.next().is_some());
+        assert!(s.next().unwrap().is_some());
         assert_eq!(stats.get(Counter::TuplesShipped), 2);
-        assert!(s.next().is_some());
-        assert!(s.next().is_none());
+        assert!(s.next().unwrap().is_some());
+        assert!(s.next().unwrap().is_none());
         assert_eq!(stats.get(Counter::TuplesShipped), 3);
     }
 
@@ -1924,7 +2013,7 @@ mod tests {
         let op = plan_input("FOR $O IN document(root2)/order WHERE $O/value > 2000 RETURN $O");
         let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
         let mut n = 0;
-        while s.next().is_some() {
+        while s.next().unwrap().is_some() {
             n += 1;
         }
         assert_eq!(n, 2);
@@ -1935,13 +2024,13 @@ mod tests {
         let ctx = lazy_ctx();
         let op = plan_input(Q1);
         let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
-        let t1 = s.next().unwrap();
+        let t1 = s.next().unwrap().unwrap();
         let v1 = t1.get(&Name::new("V")).unwrap();
         assert_eq!(ctx.lval_oid(v1).to_string(), "&($V,f(&DEF345))");
-        let t2 = s.next().unwrap();
+        let t2 = s.next().unwrap().unwrap();
         let v2 = t2.get(&Name::new("V")).unwrap();
         assert_eq!(ctx.lval_oid(v2).to_string(), "&($V,f(&XYZ123))");
-        assert!(s.next().is_none());
+        assert!(s.next().unwrap().is_none());
     }
 
     #[test]
@@ -1949,16 +2038,16 @@ mod tests {
         let ctx = lazy_ctx();
         let op = plan_input(Q1);
         let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
-        let a = s.next().unwrap();
+        let a = s.next().unwrap().unwrap();
         let LVal::Part(pa) = a.get(&Name::new("X")).unwrap().clone() else {
             panic!()
         };
-        assert_eq!(pa.force().len(), 1); // DEF345 has one order
-        let b = s.next().unwrap();
+        assert_eq!(pa.force().unwrap().len(), 1); // DEF345 has one order
+        let b = s.next().unwrap().unwrap();
         let LVal::Part(pb) = b.get(&Name::new("X")).unwrap().clone() else {
             panic!()
         };
-        assert_eq!(pb.force().len(), 2); // XYZ123 has two
+        assert_eq!(pb.force().unwrap().len(), 2); // XYZ123 has two
     }
 
     /// A catalog whose order stream interleaves customer ids
@@ -2003,7 +2092,7 @@ mod tests {
         );
         let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
         let mut groups = 0;
-        while s.next().is_some() {
+        while s.next().unwrap().is_some() {
             groups += 1;
         }
         assert_eq!(groups, 2);
@@ -2027,7 +2116,7 @@ mod tests {
         );
         let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
         let mut groups = 0;
-        while s.next().is_some() {
+        while s.next().unwrap().is_some() {
             groups += 1;
         }
         assert_eq!(groups, 3);
@@ -2044,19 +2133,19 @@ mod tests {
                              RETURN <g> $O </g> {$B}",
         );
         let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
-        let a = s.next().unwrap();
+        let a = s.next().unwrap().unwrap();
         let LVal::Part(pa) = a.get(&Name::new("X")).unwrap().clone() else {
             panic!()
         };
-        let b = s.next().unwrap();
+        let b = s.next().unwrap().unwrap();
         let LVal::Part(pb) = b.get(&Name::new("X")).unwrap().clone() else {
             panic!()
         };
-        assert!(s.next().is_none());
+        assert!(s.next().unwrap().is_none());
         // First-seen order: XYZ123 (28904, 87456, 99999), then
         // DEF345 (90000, 99111).
-        assert_eq!(pa.force().len(), 3);
-        assert_eq!(pb.force().len(), 2);
+        assert_eq!(pa.force().unwrap().len(), 3);
+        assert_eq!(pb.force().unwrap().len(), 2);
     }
 
     #[test]
@@ -2073,9 +2162,9 @@ mod tests {
                              RETURN <g> $O </g> {$B}",
         );
         let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
-        let _first = s.next().unwrap();
+        let _first = s.next().unwrap().unwrap();
         let after_first = stats.get(Counter::TuplesShipped);
-        while s.next().is_some() {}
+        while s.next().unwrap().is_some() {}
         // The first group tuple must not drain the order source.
         assert!(
             stats.get(Counter::TuplesShipped) > after_first,
@@ -2089,13 +2178,13 @@ mod tests {
         let ctx = lazy_ctx();
         let op = plan_input(Q1);
         let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
-        let t = s.next().unwrap();
+        let t = s.next().unwrap().unwrap();
         let LVal::List(l) = t.get(&Name::new("Z")).unwrap().clone() else {
             panic!()
         };
-        let first = l.get(0).unwrap();
+        let first = l.get(0).unwrap().unwrap();
         assert_eq!(ctx.lval_label(&first).unwrap().as_str(), "OrderInfo");
-        assert!(l.get(1).is_none()); // DEF345 has exactly one order
+        assert!(l.get(1).unwrap().is_none()); // DEF345 has exactly one order
     }
 
     #[test]
@@ -2107,9 +2196,9 @@ mod tests {
         stats.reset();
         let op = plan_input(Q1);
         let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
-        let _first = s.next().unwrap();
+        let _first = s.next().unwrap().unwrap();
         let after_first = stats.get(Counter::TuplesShipped);
-        while s.next().is_some() {}
+        while s.next().unwrap().is_some() {}
         // Draining the rest pulls at least one more customer tuple.
         assert!(
             stats.get(Counter::TuplesShipped) > after_first,
@@ -2129,7 +2218,7 @@ mod tests {
             &Rc::new(HashMap::new()),
         )
         .unwrap();
-        assert!(s.next().is_none());
+        assert!(s.next().unwrap().is_none());
 
         let op = Op::Project {
             input: Box::new(Op::MkSrc {
@@ -2139,7 +2228,7 @@ mod tests {
             vars: vec![Name::new("C")],
         };
         let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
-        let t = s.next().unwrap();
+        let t = s.next().unwrap().unwrap();
         assert_eq!(t.vars.len(), 1);
     }
 }

@@ -49,6 +49,10 @@ struct Inner {
     /// fetching; empty under [`mix_common::BlockPolicy::Off`]).
     pending: std::collections::VecDeque<crate::lval::LTuple>,
     ramp: mix_common::BlockRamp,
+    /// A backend/plan failure that stopped expansion. Nodes
+    /// materialized before it stay navigable; asking for more past the
+    /// failure point re-reports it.
+    error: Option<MixError>,
 }
 
 struct VNode {
@@ -123,6 +127,7 @@ impl VirtualResult {
                 seen_root: std::collections::HashSet::new(),
                 pending: std::collections::VecDeque::new(),
                 ramp,
+                error: None,
             }),
         })
     }
@@ -143,6 +148,12 @@ impl VirtualResult {
     /// high-watermark.
     pub fn nodes_materialized(&self) -> usize {
         self.inner.borrow().nodes.len()
+    }
+
+    /// The failure that stopped result expansion, if one occurred.
+    /// Already-materialized nodes remain navigable regardless.
+    pub fn last_error(&self) -> Option<MixError> {
+        self.inner.borrow().error.clone()
     }
 
     /// The decontextualization payload for a node: its oid plus the
@@ -207,16 +218,20 @@ impl VirtualResult {
         id
     }
 
-    /// Produce (and cache) the parent's `i`-th child.
-    fn kid(&self, parent: u32, i: usize) -> Option<NodeRef> {
+    /// Produce (and cache) the parent's `i`-th child. A backend
+    /// failure is latched by the producer that hit it: cached children
+    /// stay reachable, subtrees whose producers are unaffected keep
+    /// expanding, and only asking past the failed producer's
+    /// materialized prefix re-reports the error.
+    fn kid(&self, parent: u32, i: usize) -> Result<Option<NodeRef>> {
         let mut inner = self.inner.borrow_mut();
         loop {
             let node = &inner.nodes[parent as usize];
             if let Some(&k) = node.kids.get(i) {
-                return Some(NodeRef(k));
+                return Ok(Some(NodeRef(k)));
             }
             if node.kids_done {
-                return None;
+                return Ok(None);
             }
             let next_index = node.kids.len();
             // Produce one more child, depending on the node's kind.
@@ -225,6 +240,11 @@ impl VirtualResult {
                     let td_var = inner.td_var.clone();
                     if inner.pending.is_empty() {
                         if inner.stream.is_none() {
+                            // A stream torn down by a backend failure
+                            // re-reports it; a drained stream is done.
+                            if let Some(e) = &inner.error {
+                                return Err(e.clone());
+                            }
                             inner.nodes[parent as usize].kids_done = true;
                             continue;
                         }
@@ -240,7 +260,15 @@ impl VirtualResult {
                         let stream = inner.stream.as_mut().expect("checked above");
                         self.profile.record_pull(0);
                         let mut buf = Vec::new();
-                        if stream.pull_block(&mut buf, want) == 0 {
+                        let got = match stream.pull_block(&mut buf, want) {
+                            Ok(g) => g,
+                            Err(e) => {
+                                inner.stream = None;
+                                inner.error = Some(e.clone());
+                                return Err(e);
+                            }
+                        };
+                        if got == 0 {
                             inner.stream = None;
                             inner.nodes[parent as usize].kids_done = true;
                             continue;
@@ -248,7 +276,10 @@ impl VirtualResult {
                         inner.pending.extend(buf);
                     }
                     let t = inner.pending.pop_front().expect("pending refilled above");
-                    let val = t.get(&td_var).expect("validated: tD var bound").clone();
+                    let val = t
+                        .get(&td_var)
+                        .ok_or_else(|| MixError::plan("tD var unbound"))?
+                        .clone();
                     // tD set semantics: skip values whose vertex id was
                     // already exported.
                     if let Some(key) = crate::eager::dedup_key(&self.ctx, &val) {
@@ -260,23 +291,24 @@ impl VirtualResult {
                     self.wrap(&mut inner, val, parent, next_index);
                 }
                 VKind::Src { doc, node } => {
-                    let d = match self.ctx.doc(doc) {
-                        Ok(d) => d,
-                        Err(_) => {
-                            inner.nodes[parent as usize].kids_done = true;
-                            continue;
-                        }
-                    };
+                    let d = self.ctx.doc(doc)?;
                     let doc_name = doc.clone();
                     // The next source child: sibling of the last kid's
                     // source node, or the first child.
                     let next_src = if next_index == 0 {
-                        d.first_child(*node)
+                        d.try_first_child(*node)
                     } else {
                         let last = inner.nodes[parent as usize].kids[next_index - 1];
                         match &inner.nodes[last as usize].kind {
-                            VKind::Src { node, .. } => d.next_sibling(*node),
-                            _ => None,
+                            VKind::Src { node, .. } => d.try_next_sibling(*node),
+                            _ => Ok(None),
+                        }
+                    };
+                    let next_src = match next_src {
+                        Ok(s) => s,
+                        Err(e) => {
+                            inner.error = Some(e.clone());
+                            return Err(e);
                         }
                     };
                     match next_src {
@@ -296,9 +328,13 @@ impl VirtualResult {
                 VKind::Built { list, .. } | VKind::ListNode { list } => {
                     let list = list.clone();
                     match list.get(next_index) {
-                        None => inner.nodes[parent as usize].kids_done = true,
-                        Some(v) => {
+                        Ok(None) => inner.nodes[parent as usize].kids_done = true,
+                        Ok(Some(v)) => {
                             self.wrap(&mut inner, v, parent, next_index);
+                        }
+                        Err(e) => {
+                            inner.error = Some(e.clone());
+                            return Err(e);
                         }
                     }
                 }
@@ -320,16 +356,27 @@ impl NavDoc for VirtualResult {
     }
 
     fn first_child(&self, n: NodeRef) -> Option<NodeRef> {
+        self.try_first_child(n).unwrap_or(None)
+    }
+
+    fn next_sibling(&self, n: NodeRef) -> Option<NodeRef> {
+        self.try_next_sibling(n).unwrap_or(None)
+    }
+
+    fn try_first_child(&self, n: NodeRef) -> Result<Option<NodeRef>> {
         self.ctx.stats().inc(Counter::NavCommands);
         self.kid(n.0, 0)
     }
 
-    fn next_sibling(&self, n: NodeRef) -> Option<NodeRef> {
+    fn try_next_sibling(&self, n: NodeRef) -> Result<Option<NodeRef>> {
         self.ctx.stats().inc(Counter::NavCommands);
         let (parent, index) = {
             let inner = self.inner.borrow();
             let node = &inner.nodes[n.0 as usize];
-            (node.parent?, node.index)
+            match node.parent {
+                Some(p) => (p, node.index),
+                None => return Ok(None),
+            }
         };
         self.kid(parent, index + 1)
     }

@@ -40,11 +40,17 @@ fn tuple_key(ctx: &EvalContext, t: &LTuple) -> String {
 fn render_val(ctx: &EvalContext, v: &LVal) -> String {
     match v {
         LVal::Part(p) => {
-            let inner: Vec<String> = p.force().iter().map(|t| tuple_key(ctx, t)).collect();
+            let inner: Vec<String> = p
+                .force()
+                .unwrap()
+                .iter()
+                .map(|t| tuple_key(ctx, t))
+                .collect();
             format!("{{{}}}", inner.join("; "))
         }
         LVal::List(l) => {
             let inner: Vec<String> = mix_engine::lval::force_list(l)
+                .unwrap()
                 .iter()
                 .map(|e| render_val(ctx, e))
                 .collect();
@@ -65,7 +71,7 @@ fn assert_engines_agree(op: &Op) -> Vec<String> {
     let lctx = Rc::new(EvalContext::new(catalog, AccessMode::Lazy));
     let mut stream = build_stream(op, &lctx, &Rc::new(HashMap::new())).unwrap();
     let mut lazy_rows = Vec::new();
-    while let Some(t) = stream.next() {
+    while let Some(t) = stream.next().unwrap() {
         lazy_rows.push(tuple_key(&lctx, &t));
     }
     assert_eq!(eager_rows, lazy_rows, "engines disagree for {}", op.head());

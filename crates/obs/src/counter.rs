@@ -13,7 +13,7 @@ use std::ops::Index;
 use std::rc::Rc;
 
 /// Number of counters (one per [`Counter`] variant).
-const N: usize = 12;
+const N: usize = 16;
 
 /// One kind of work the substrate counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,6 +54,17 @@ pub enum Counter {
     /// `TuplesShipped` there). Use [`Stats::record_block`] so the
     /// per-block row statistics stay consistent.
     BlocksShipped,
+    /// Retries of a failed cursor pull (each re-issue of the same
+    /// block after a transient backend fault counts once).
+    RetriesAttempted,
+    /// Faults the chaos backend injected (transient and permanent).
+    FaultsInjected,
+    /// Backend errors that *escaped* the retry loop — permanent faults
+    /// and exhausted retry budgets surfacing to the layers above.
+    BackendErrors,
+    /// Total milliseconds of retry backoff scheduled (0 under the
+    /// deterministic test policy, whose base backoff is zero).
+    RetryBackoffMs,
 }
 
 impl Counter {
@@ -71,6 +82,10 @@ impl Counter {
         Counter::PlanCacheHits,
         Counter::PlanCacheMisses,
         Counter::BlocksShipped,
+        Counter::RetriesAttempted,
+        Counter::FaultsInjected,
+        Counter::BackendErrors,
+        Counter::RetryBackoffMs,
     ];
 
     /// A stable snake_case label (table rendering, log output).
@@ -88,6 +103,10 @@ impl Counter {
             Counter::PlanCacheHits => "plan_cache_hits",
             Counter::PlanCacheMisses => "plan_cache_misses",
             Counter::BlocksShipped => "blocks_shipped",
+            Counter::RetriesAttempted => "retries_attempted",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::BackendErrors => "backend_errors",
+            Counter::RetryBackoffMs => "retry_backoff_ms",
         }
     }
 
@@ -255,7 +274,8 @@ impl fmt::Display for Snapshot {
         write!(
             f,
             "sql={} shipped={} scanned={} nav={} medops={} nodes={} \
-             hash={} probes={} nlfb={} pc={}+{} blocks={}",
+             hash={} probes={} nlfb={} pc={}+{} blocks={} retries={} \
+             faults={} backend_errs={} backoff_ms={}",
             self.get(Counter::SqlQueries),
             self.get(Counter::TuplesShipped),
             self.get(Counter::RowsScanned),
@@ -268,6 +288,10 @@ impl fmt::Display for Snapshot {
             self.get(Counter::PlanCacheHits),
             self.get(Counter::PlanCacheMisses),
             self.get(Counter::BlocksShipped),
+            self.get(Counter::RetriesAttempted),
+            self.get(Counter::FaultsInjected),
+            self.get(Counter::BackendErrors),
+            self.get(Counter::RetryBackoffMs),
         )
     }
 }
@@ -372,7 +396,11 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(Counter::PlanCacheMisses.to_string(), "plan_cache_misses");
         assert_eq!(Counter::BlocksShipped.to_string(), "blocks_shipped");
-        assert_eq!(Counter::ALL.len(), 12);
+        assert_eq!(Counter::RetriesAttempted.to_string(), "retries_attempted");
+        assert_eq!(Counter::FaultsInjected.to_string(), "faults_injected");
+        assert_eq!(Counter::BackendErrors.to_string(), "backend_errors");
+        assert_eq!(Counter::RetryBackoffMs.to_string(), "retry_backoff_ms");
+        assert_eq!(Counter::ALL.len(), 16);
     }
 
     #[test]

@@ -18,6 +18,9 @@ pub struct OpMetrics {
     pub pulls: u64,
     /// Tuples the node handed to its consumer.
     pub tuples_out: u64,
+    /// Backend retries spent on this node's behalf (nonzero only for
+    /// `rQ` nodes pulling from a faulty source).
+    pub retries: u64,
     /// Physical detail resolved at build/run time (`kernel=hash`,
     /// `mode=presorted`, pushed SQL text).
     pub detail: Option<String>,
@@ -45,6 +48,11 @@ impl ExecProfile {
     /// Count `n` output tuples on node `id`.
     pub fn record_tuples(&self, id: usize, n: u64) {
         self.nodes.borrow_mut().entry(id).or_default().tuples_out += n;
+    }
+
+    /// Count `n` backend retries spent on node `id`.
+    pub fn record_retries(&self, id: usize, n: u64) {
+        self.nodes.borrow_mut().entry(id).or_default().retries += n;
     }
 
     /// Attach (or replace) the physical detail string for node `id`.
@@ -75,10 +83,12 @@ mod tests {
         p.record_pull(3);
         p.record_pull(3);
         p.record_tuples(3, 5);
+        p.record_retries(3, 2);
         p.set_detail(3, "kernel=hash");
         let m = p.get(3).unwrap();
         assert_eq!(m.pulls, 2);
         assert_eq!(m.tuples_out, 5);
+        assert_eq!(m.retries, 2);
         assert_eq!(m.detail.as_deref(), Some("kernel=hash"));
         assert!(p.get(0).is_none());
         assert!(!p.is_empty());

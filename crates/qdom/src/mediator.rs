@@ -1,7 +1,7 @@
 //! The MIX mediator: sources, views, and session factory.
 
 use mix_algebra::{translate_with_root, Plan};
-use mix_common::{BlockPolicy, MixError, Name, Result};
+use mix_common::{BlockPolicy, MixError, Name, Result, RetryPolicy};
 use mix_engine::{AccessMode, GByMode};
 use mix_obs::TracerHandle;
 use mix_wrapper::Catalog;
@@ -46,6 +46,11 @@ pub struct MediatorOptions {
     /// [`mix_common::MAX_AUTO_BLOCK`], so navigate-and-stop sessions
     /// still ship a single tuple while drains converge to full blocks.
     pub block: BlockPolicy,
+    /// How transient backend faults are retried (bounded exponential
+    /// backoff, optional per-command deadline). The default retries 4
+    /// times with no sleep; [`RetryPolicy::none`] surfaces every fault
+    /// immediately.
+    pub retry: RetryPolicy,
 }
 
 impl Default for MediatorOptions {
@@ -57,6 +62,7 @@ impl Default for MediatorOptions {
             hash_joins: true,
             tracer: TracerHandle::new(std::rc::Rc::new(mix_obs::LogTracer::from_env())),
             block: BlockPolicy::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -110,6 +116,12 @@ impl MediatorOptionsBuilder {
     /// Pick the block-at-a-time execution policy.
     pub fn block(mut self, block: BlockPolicy) -> Self {
         self.opts.block = block;
+        self
+    }
+
+    /// Pick the backend retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.opts.retry = retry;
         self
     }
 

@@ -21,7 +21,7 @@
 //! back to the ordinary (correct, slower) pipeline.
 
 use mix_algebra::{Cond, CondArg, Op, Plan};
-use mix_common::{Name, Value};
+use mix_common::{BlockPolicy, Name, Value};
 use mix_engine::NodeContext;
 use mix_relational::Operand;
 use mix_rewrite::RewriteTrace;
@@ -39,22 +39,31 @@ const PLAN_CACHE_CAP: usize = 16;
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct SkolemShape(Vec<(String, String, usize)>);
 
-/// Cache key: one query text issued from one result at one shape.
+/// Cache key: one query text issued from one result at one shape,
+/// compiled under one set of plan-shaping knobs. The knobs matter: a
+/// cached physical plan bakes in kernel choices (`hash_joins`) and the
+/// block policy captured at build time, so an entry compiled under one
+/// knob setting must never be replayed under another.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct CacheKey {
     query: String,
     result: usize,
     shape: SkolemShape,
+    hash_joins: bool,
+    block: BlockPolicy,
 }
 
 impl CacheKey {
     /// The key and slot oids for issuing `query` from a node with
-    /// context `ctx` in result `result`. `None` when the node's id is
-    /// not a skolem term (decontextualization will fail anyway).
+    /// context `ctx` in result `result`, compiled with the given
+    /// plan-shape knobs. `None` when the node's id is not a skolem term
+    /// (decontextualization will fail anyway).
     pub(crate) fn new(
         query: &str,
         result: usize,
         ctx: &NodeContext,
+        hash_joins: bool,
+        block: BlockPolicy,
     ) -> Option<(CacheKey, Vec<Oid>)> {
         let (func, var, args) = ctx.oid.as_skolem()?;
         let mut shape = vec![(func.to_string(), var.to_string(), args.len())];
@@ -75,6 +84,9 @@ impl CacheKey {
             query: query.to_string(),
             result,
             shape: SkolemShape(shape),
+            hash_joins,
+            // Fixed(0) and Fixed(1) compile to the same plans.
+            block: block.normalized(),
         };
         Some((key, slots))
     }
@@ -391,6 +403,8 @@ mod tests {
                 query: format!("q{i}"),
                 result: 0,
                 shape: shape.clone(),
+                hash_joins: true,
+                block: BlockPolicy::Auto,
             };
             cache.insert(
                 key,
@@ -409,7 +423,45 @@ mod tests {
             query: "q0".into(),
             result: 0,
             shape,
+            hash_joins: true,
+            block: BlockPolicy::Auto,
         };
         assert!(cache.lookup(&key0, &[key_slot("K")], "rootv0").is_none());
+    }
+
+    #[test]
+    fn plan_shape_knobs_partition_the_key() {
+        // A template cached under one (hash_joins, block) setting must
+        // not be replayed under another — toggling an ablation knob
+        // changes the physical plan the cache would hand back.
+        let mut cache = PlanCache::default();
+        let ctx = NodeContext {
+            oid: Oid::skolem("f", "V", vec![key_slot("DEF345")]),
+            ancestors: vec![],
+        };
+        let (key, slots) =
+            CacheKey::new("q", 0, &ctx, true, BlockPolicy::Auto).expect("skolem oid");
+        cache.insert(
+            key,
+            slots.clone(),
+            &empty_plan(),
+            &empty_plan(),
+            &empty_plan(),
+            &RewriteTrace::default(),
+            &empty_plan(),
+            &empty_plan(),
+        );
+        // Same query/node, different knobs: structural misses.
+        let (nl_key, _) = CacheKey::new("q", 0, &ctx, false, BlockPolicy::Auto).unwrap();
+        assert!(cache.lookup(&nl_key, &slots, "rootv1").is_none());
+        let (off_key, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Off).unwrap();
+        assert!(cache.lookup(&off_key, &slots, "rootv1").is_none());
+        // The original knobs still hit, and Fixed(0) normalizes to
+        // Fixed(1) rather than minting a third key for the same plans.
+        let (same, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Auto).unwrap();
+        assert!(cache.lookup(&same, &slots, "rootv1").is_some());
+        let (f0, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Fixed(0)).unwrap();
+        let (f1, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Fixed(1)).unwrap();
+        assert_eq!(f0, f1);
     }
 }

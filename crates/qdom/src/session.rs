@@ -77,6 +77,7 @@ impl<'m> QdomSession<'m> {
         ctx.hash_joins = opts.hash_joins;
         ctx.tracer = opts.tracer.clone();
         ctx.block = opts.block;
+        ctx.retry = opts.retry;
         // Sources share the session's tracer, so SQL issuance and row
         // shipping show up as events under the operator that caused
         // them.
@@ -148,7 +149,7 @@ impl<'m> QdomSession<'m> {
         // cache before running the translate → splice → rewrite
         // pipeline.
         let nctx = self.context(p);
-        let cache_key = CacheKey::new(text, p.result, &nctx);
+        let cache_key = CacheKey::new(text, p.result, &nctx, self.ctx.hash_joins, self.ctx.block);
         if let Some((key, new_slots)) = &cache_key {
             if let Some((exec, logical, naive, trace)) =
                 self.plan_cache.lookup(key, new_slots, &result_name)
@@ -187,10 +188,10 @@ impl<'m> QdomSession<'m> {
         // Materialize the subtree under p as the `root` document.
         let entry = &self.results[p.result];
         let nav = entry.doc.nav();
-        let label = nav.label(p.node).unwrap_or_else(|| Name::new("list"));
+        let label = nav.try_label(p.node)?.unwrap_or_else(|| Name::new("list"));
         let mut doc = Document::new(QUERY_ROOT, label);
         let root = doc.root_ref();
-        copy_subtree_children(nav, p.node, &mut doc, root, &self.ctx);
+        copy_subtree_children(nav, p.node, &mut doc, root, &self.ctx)?;
         self.ctx.register_doc(Rc::new(doc));
         // No composition: the plan's mksrc(root) now resolves to the
         // materialized copy.
@@ -256,42 +257,47 @@ impl<'m> QdomSession<'m> {
 
     // ---- navigation (Section 2's command set) --------------------------
 
-    /// `d(p)`: the first child, or `None` for a leaf.
-    pub fn d(&self, p: QNode) -> Option<QNode> {
+    /// `d(p)`: the first child, or `Ok(None)` for a leaf. In a lazy
+    /// session this is the command that pulls from the sources, so a
+    /// backend failure that retries could not fix surfaces *here* as
+    /// [`MixError::Backend`] — already-materialized siblings stay
+    /// readable.
+    pub fn d(&self, p: QNode) -> Result<Option<QNode>> {
         let _span = self.ctx.tracer.span("cmd:d", &[]);
-        self.results[p.result]
+        Ok(self.results[p.result]
             .doc
             .nav()
-            .first_child(p.node)
+            .try_first_child(p.node)?
             .map(|n| QNode {
                 result: p.result,
                 node: n,
-            })
+            }))
     }
 
-    /// `r(p)`: the right sibling, or `None`.
-    pub fn r(&self, p: QNode) -> Option<QNode> {
+    /// `r(p)`: the right sibling, or `Ok(None)`. Fallible for the same
+    /// reason as [`QdomSession::d`].
+    pub fn r(&self, p: QNode) -> Result<Option<QNode>> {
         let _span = self.ctx.tracer.span("cmd:r", &[]);
-        self.results[p.result]
+        Ok(self.results[p.result]
             .doc
             .nav()
-            .next_sibling(p.node)
+            .try_next_sibling(p.node)?
             .map(|n| QNode {
                 result: p.result,
                 node: n,
-            })
+            }))
     }
 
-    /// `fl(p)`: the element label (`None` for a text leaf).
-    pub fn fl(&self, p: QNode) -> Option<Name> {
+    /// `fl(p)`: the element label (`Ok(None)` for a text leaf).
+    pub fn fl(&self, p: QNode) -> Result<Option<Name>> {
         let _span = self.ctx.tracer.span("cmd:fl", &[]);
-        self.results[p.result].doc.nav().label(p.node)
+        self.results[p.result].doc.nav().try_label(p.node)
     }
 
-    /// `fv(p)`: the leaf value (`None` for an element).
-    pub fn fv(&self, p: QNode) -> Option<Value> {
+    /// `fv(p)`: the leaf value (`Ok(None)` for an element).
+    pub fn fv(&self, p: QNode) -> Result<Option<Value>> {
         let _span = self.ctx.tracer.span("cmd:fv", &[]);
-        self.results[p.result].doc.nav().value(p.node)
+        self.results[p.result].doc.nav().try_value(p.node)
     }
 
     /// The node's vertex id.
@@ -357,25 +363,25 @@ impl<'m> QdomSession<'m> {
     }
 
     /// Collect the children of `p` via `d`/`r` navigation (forces them).
-    pub fn children(&self, p: QNode) -> Vec<QNode> {
+    pub fn children(&self, p: QNode) -> Result<Vec<QNode>> {
         let mut out = Vec::new();
-        let mut cur = self.d(p);
+        let mut cur = self.d(p)?;
         while let Some(c) = cur {
             out.push(c);
-            cur = self.r(c);
+            cur = self.r(c)?;
         }
-        out
+        Ok(out)
     }
 
     /// Count the children of `p` via `d`/`r` navigation.
-    pub fn child_count(&self, p: QNode) -> usize {
+    pub fn child_count(&self, p: QNode) -> Result<usize> {
         let mut n = 0;
-        let mut cur = self.d(p);
+        let mut cur = self.d(p)?;
         while let Some(c) = cur {
             n += 1;
-            cur = self.r(c);
+            cur = self.r(c)?;
         }
-        n
+        Ok(n)
     }
 }
 
@@ -385,18 +391,19 @@ fn copy_subtree_children(
     doc: &mut Document,
     to: NodeRef,
     ctx: &EvalContext,
-) {
-    let mut cur = nav.first_child(from);
+) -> Result<()> {
+    let mut cur = nav.try_first_child(from)?;
     while let Some(c) = cur {
         ctx.stats().inc(Counter::NodesBuilt);
-        if let Some(v) = nav.value(c) {
+        if let Some(v) = nav.try_value(c)? {
             doc.add_text_with_oid(to, v.clone(), Oid::lit(v));
-        } else if let Some(label) = nav.label(c) {
+        } else if let Some(label) = nav.try_label(c)? {
             let new = doc.add_elem_with_oid(to, label, nav.oid(c));
-            copy_subtree_children(nav, c, doc, new, ctx);
+            copy_subtree_children(nav, c, doc, new, ctx)?;
         }
-        cur = nav.next_sibling(c);
+        cur = nav.try_next_sibling(c)?;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -426,12 +433,12 @@ mod tests {
         let m = mediator(true, AccessMode::Lazy);
         let mut s = m.session();
         let p0 = s.query(Q1).unwrap();
-        let p1 = s.d(p0).unwrap();
-        assert_eq!(s.fl(p1).unwrap().as_str(), "CustRec");
-        let p2 = s.r(p1).unwrap();
-        assert_eq!(s.fl(p2).unwrap().as_str(), "CustRec");
-        let p3 = s.d(p1).unwrap();
-        assert_eq!(s.fl(p3).unwrap().as_str(), "customer");
+        let p1 = s.d(p0).unwrap().unwrap();
+        assert_eq!(s.fl(p1).unwrap().unwrap().as_str(), "CustRec");
+        let p2 = s.r(p1).unwrap().unwrap();
+        assert_eq!(s.fl(p2).unwrap().unwrap().as_str(), "CustRec");
+        let p3 = s.d(p1).unwrap().unwrap();
+        assert_eq!(s.fl(p3).unwrap().unwrap().as_str(), "customer");
         // p4 = q(Q2, p0): refine from the root (composition). The
         // paper's Q2 wants names starting with "A"; our Fig. 2 data has
         // DEFCorp./XYZInc., so filter below "E" to keep DEF345.
@@ -441,15 +448,15 @@ mod tests {
                 p0,
             )
             .unwrap();
-        let p5 = s.d(p4).unwrap();
-        assert_eq!(s.fl(p5).unwrap().as_str(), "CustRec");
+        let p5 = s.d(p4).unwrap().unwrap();
+        assert_eq!(s.fl(p5).unwrap().unwrap().as_str(), "CustRec");
         assert!(s.render(p5).contains("DEFCorp."), "{}", s.render(p5));
-        assert!(s.r(p5).is_none()); // XYZInc. filtered out
-                                    // p6..p8: navigate into customer and OrderInfo children.
-        let p6 = s.d(p5).unwrap();
-        assert_eq!(s.fl(p6).unwrap().as_str(), "customer");
-        let p7 = s.r(p6).unwrap();
-        assert_eq!(s.fl(p7).unwrap().as_str(), "OrderInfo");
+        assert!(s.r(p5).unwrap().is_none()); // XYZInc. filtered out
+                                             // p6..p8: navigate into customer and OrderInfo children.
+        let p6 = s.d(p5).unwrap().unwrap();
+        assert_eq!(s.fl(p6).unwrap().unwrap().as_str(), "customer");
+        let p7 = s.r(p6).unwrap().unwrap();
+        assert_eq!(s.fl(p7).unwrap().unwrap().as_str(), "OrderInfo");
         // p9 = q(Q3, p5): in-place query from the CustRec node
         // (decontextualization). DEF345's only order has value 500.
         let p9 = s
@@ -458,9 +465,9 @@ mod tests {
                 p5,
             )
             .unwrap();
-        assert_eq!(s.child_count(p9), 1);
-        let oi = s.d(p9).unwrap();
-        assert_eq!(s.fl(oi).unwrap().as_str(), "OrderInfo");
+        assert_eq!(s.child_count(p9).unwrap(), 1);
+        let oi = s.d(p9).unwrap().unwrap();
+        assert_eq!(s.fl(oi).unwrap().unwrap().as_str(), "OrderInfo");
         assert!(s.render(oi).contains("value = 500"), "{}", s.render(oi));
     }
 
@@ -476,7 +483,7 @@ mod tests {
                 p0,
             )
             .unwrap();
-        assert!(s.d(p4).is_none());
+        assert!(s.d(p4).unwrap().is_none());
     }
 
     #[test]
@@ -484,7 +491,7 @@ mod tests {
         let m = mediator(true, AccessMode::Lazy);
         let mut s = m.session();
         let p0 = s.query(Q1).unwrap();
-        let p1 = s.d(p0).unwrap(); // CustRec for DEF345 (key order)
+        let p1 = s.d(p0).unwrap().unwrap(); // CustRec for DEF345 (key order)
         assert_eq!(s.oid(p1).to_string(), "&($V,f(&DEF345))");
         let p9 = s
             .q(
@@ -496,7 +503,7 @@ mod tests {
         let text = info.exec_plan.render();
         assert!(text.contains("'DEF345'"), "{text}");
         assert!(text.contains("rQ("), "{text}");
-        assert_eq!(s.child_count(p9), 1);
+        assert_eq!(s.child_count(p9).unwrap(), 1);
     }
 
     #[test]
@@ -541,8 +548,8 @@ mod tests {
             )
             .unwrap();
         // Only XYZ123 has an order above 20000.
-        assert_eq!(s.child_count(p), 1);
-        let rec = s.d(p).unwrap();
+        assert_eq!(s.child_count(p).unwrap(), 1);
+        let rec = s.d(p).unwrap().unwrap();
         assert!(s.render(rec).contains("XYZInc."), "{}", s.render(rec));
         // The optimized plan pushed a single SQL self-join.
         let text = s.result_info(p).exec_plan.render();
@@ -574,7 +581,7 @@ mod tests {
         let m = mediator(true, AccessMode::Lazy);
         let mut s = m.session();
         let p0 = s.query(Q1).unwrap();
-        let p1 = s.d(p0).unwrap();
+        let p1 = s.d(p0).unwrap().unwrap();
         let q3 = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O";
         let a = s.q(q3, p1).unwrap();
         let b = s.q_materialized(q3, p1).unwrap();
@@ -586,8 +593,8 @@ mod tests {
         let m = mediator(true, AccessMode::Lazy);
         let mut s = m.session();
         let p0 = s.query(Q1).unwrap();
-        let p1 = s.d(p0).unwrap(); // CustRec for DEF345
-        let p2 = s.r(p1).unwrap(); // CustRec for XYZ123
+        let p1 = s.d(p0).unwrap().unwrap(); // CustRec for DEF345
+        let p2 = s.r(p1).unwrap().unwrap(); // CustRec for XYZ123
         let q3 = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 100 RETURN $O";
         let a = s.q(q3, p1).unwrap();
         assert_eq!(s.ctx().stats().get(Counter::PlanCacheMisses), 1);
@@ -600,13 +607,13 @@ mod tests {
         assert!(text.contains("'XYZ123'"), "{text}");
         assert!(!text.contains("'DEF345'"), "{text}");
         // DEF345 has one order over 100 (500); XYZ123 has two.
-        assert_eq!(s.child_count(a), 1);
-        assert_eq!(s.child_count(b), 2);
+        assert_eq!(s.child_count(a).unwrap(), 1);
+        assert_eq!(s.child_count(b).unwrap(), 2);
         // The cached instantiation matches what a cold session computes.
         let m2 = mediator(true, AccessMode::Lazy);
         let mut s2 = m2.session();
         let c0 = s2.query(Q1).unwrap();
-        let c2 = s2.r(s2.d(c0).unwrap()).unwrap();
+        let c2 = s2.r(s2.d(c0).unwrap().unwrap()).unwrap().unwrap();
         let cold = s2.q(q3, c2).unwrap();
         assert_eq!(content_only(&s.render(b)), content_only(&s2.render(cold)));
     }
@@ -617,7 +624,7 @@ mod tests {
         let m = mediator(true, AccessMode::Lazy);
         let mut s = m.session();
         let p0 = s.query(Q1).unwrap();
-        let p1 = s.d(p0).unwrap();
+        let p1 = s.d(p0).unwrap().unwrap();
         let q3 = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O";
         let a = s.q(q3, p1).unwrap();
         let b = s.q(q3, p1).unwrap();
@@ -634,17 +641,17 @@ mod tests {
         let m = mediator(true, AccessMode::Lazy);
         let mut s = m.session();
         let p0 = s.query(Q1).unwrap();
-        let p1 = s.d(p0).unwrap(); // DEF345
-        let p2 = s.r(p1).unwrap(); // XYZ123
+        let p1 = s.d(p0).unwrap().unwrap(); // DEF345
+        let p2 = s.r(p1).unwrap().unwrap(); // XYZ123
         let q = "FOR $O IN document(root)/OrderInfo \
                  WHERE $O/order/cid/data() = \"DEF345\" RETURN $O";
         let a = s.q(q, p1).unwrap();
-        assert_eq!(s.child_count(a), 1); // DEF345's own order
+        assert_eq!(s.child_count(a).unwrap(), 1); // DEF345's own order
         let b = s.q(q, p2).unwrap();
         assert_eq!(s.ctx().stats().get(Counter::PlanCacheHits), 0);
         assert_eq!(s.ctx().stats().get(Counter::PlanCacheMisses), 2);
         // XYZ123's orders have cid XYZ123, so the filter keeps nothing.
-        assert_eq!(s.child_count(b), 0);
+        assert_eq!(s.child_count(b).unwrap(), 0);
     }
 
     #[test]
@@ -657,8 +664,8 @@ mod tests {
             let m = mediator(optimize, access);
             let mut s = m.session();
             let p0 = s.query(Q1).unwrap();
-            let p1 = s.d(p0).unwrap();
-            let p2 = s.r(p1).unwrap();
+            let p1 = s.d(p0).unwrap().unwrap();
+            let p2 = s.r(p1).unwrap().unwrap();
             let q3 = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 100 RETURN $O";
             let a = s.q(q3, p1).unwrap();
             let b = s.q(q3, p2).unwrap();
@@ -667,8 +674,16 @@ mod tests {
                 1,
                 "optimize={optimize}"
             );
-            assert_eq!(s.child_count(a), 1, "optimize={optimize} access={access:?}");
-            assert_eq!(s.child_count(b), 2, "optimize={optimize} access={access:?}");
+            assert_eq!(
+                s.child_count(a).unwrap(),
+                1,
+                "optimize={optimize} access={access:?}"
+            );
+            assert_eq!(
+                s.child_count(b).unwrap(),
+                2,
+                "optimize={optimize} access={access:?}"
+            );
         }
     }
 
@@ -679,13 +694,13 @@ mod tests {
         let p0 = s
             .query("FOR $C IN source(&root1)/customer RETURN $C")
             .unwrap();
-        let cust = s.d(p0).unwrap();
+        let cust = s.d(p0).unwrap().unwrap();
         assert_eq!(s.oid(cust).to_string(), "&DEF345");
-        assert!(s.fv(cust).is_none());
-        let id_field = s.d(cust).unwrap();
-        let leaf = s.d(id_field).unwrap();
-        assert_eq!(s.fv(leaf), Some(Value::str("DEF345")));
-        assert!(s.d(leaf).is_none());
+        assert!(s.fv(cust).unwrap().is_none());
+        let id_field = s.d(cust).unwrap().unwrap();
+        let leaf = s.d(id_field).unwrap().unwrap();
+        assert_eq!(s.fv(leaf).unwrap(), Some(Value::str("DEF345")));
+        assert!(s.d(leaf).unwrap().is_none());
     }
 
     #[test]

@@ -2,13 +2,14 @@
 
 use crate::ast::SelectStmt;
 use crate::exec::Cursor;
+use crate::fault::{ChaosState, FaultPolicy};
 use crate::parser::parse_sql;
 use crate::plan::build_plan;
 use crate::schema::Schema;
 use crate::table::{Row, Table};
 use mix_common::{Counter, MixError, Name, Result, Stats};
 use mix_obs::TracerHandle;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
@@ -21,6 +22,13 @@ pub struct Database {
     /// Shared across clones (like `stats`), so a session can point an
     /// already-wrapped database at its tracer.
     tracer: Rc<RefCell<TracerHandle>>,
+    /// Fault-injection policy for the chaos backend; shared across
+    /// clones so tests can flip faults on a database the mediator
+    /// already holds.
+    fault: Rc<Cell<Option<FaultPolicy>>>,
+    /// Statement sequence number — salts the per-statement fault RNG so
+    /// each statement gets an independent, reproducible schedule.
+    stmt_seq: Rc<Cell<u64>>,
 }
 
 impl Database {
@@ -32,6 +40,8 @@ impl Database {
             tables: BTreeMap::new(),
             stats: Stats::new(),
             tracer: Rc::new(RefCell::new(TracerHandle::null())),
+            fault: Rc::new(Cell::new(None)),
+            stmt_seq: Rc::new(Cell::new(0)),
         }
     }
 
@@ -39,6 +49,18 @@ impl Database {
     /// clone of this database (they share the handle, like `stats`).
     pub fn set_tracer(&self, tracer: TracerHandle) {
         *self.tracer.borrow_mut() = tracer;
+    }
+
+    /// Install (or clear, with `None`) a fault-injection policy. Every
+    /// statement executed afterwards — on any clone of this database —
+    /// runs behind a chaos wrapper that injects the policy's faults.
+    pub fn set_fault_policy(&self, policy: Option<FaultPolicy>) {
+        self.fault.set(policy.filter(|p| p.active()));
+    }
+
+    /// The currently installed fault policy, if any.
+    pub fn fault_policy(&self) -> Option<FaultPolicy> {
+        self.fault.get()
     }
 
     /// The server name.
@@ -118,7 +140,12 @@ impl Database {
                 ],
             );
         }
-        Ok(Cursor::new(&plan, self.stats.clone(), tracer))
+        let chaos = self.fault.get().map(|policy| {
+            let seq = self.stmt_seq.get();
+            self.stmt_seq.set(seq + 1);
+            ChaosState::new(policy, self.name.clone(), seq, self.stats.clone())
+        });
+        Ok(Cursor::new(&plan, self.stats.clone(), tracer, chaos))
     }
 
     /// Parse and execute SQL text.
@@ -156,11 +183,13 @@ mod tests {
         let _ = db
             .execute_sql("SELECT * FROM customer")
             .unwrap()
-            .collect_all();
+            .collect_all()
+            .unwrap();
         let _ = db
             .execute_sql("SELECT * FROM orders")
             .unwrap()
-            .collect_all();
+            .collect_all()
+            .unwrap();
         assert_eq!(db.stats().get(Counter::SqlQueries), 2);
         assert_eq!(db.stats().get(Counter::TuplesShipped), 2 + 3);
     }

@@ -5,26 +5,36 @@
 //! (Section 1). The shared [`Stats`] counts rows scanned internally and
 //! tuples shipped through the cursor, so benchmarks can observe how much
 //! of a query the mediator actually pulled.
+//!
+//! Every pull is fallible: a remote backend (or the chaos wrapper,
+//! [`crate::FaultPolicy`]) can fail any block, so `next`/`next_block`/
+//! `drain` return `Result` and a failed pull delivers *no* rows —
+//! re-issuing the same pull after a transient fault returns exactly
+//! what the failed one would have ([`Cursor::next_block_retrying`]).
 
+use crate::fault::ChaosState;
 use crate::plan::{PhysPlan, RPred};
 use crate::table::{Row, Table};
-use mix_common::{Counter, Stats, Value};
+use mix_common::{Counter, MixError, Result, RetryPolicy, Stats, Value};
 use mix_obs::TracerHandle;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
-/// A pipelined row iterator.
+/// A pipelined row iterator. Fallible: only the chaos wrapper fails
+/// today, but the `Result` contract is what lets real remote backends
+/// slot in behind the same cursor.
 trait RowIter {
-    fn next_row(&mut self) -> Option<Row>;
+    fn next_row(&mut self) -> Result<Option<Row>>;
 
     /// Append up to `n` rows to `out`; returns how many were produced.
     /// The default loops over [`RowIter::next_row`]; operators with a
     /// cheaper bulk path (scan, project, sort) override it so a block
-    /// pull pays one virtual dispatch instead of `n`.
-    fn next_block(&mut self, out: &mut Vec<Row>, n: usize) -> usize {
+    /// pull pays one virtual dispatch instead of `n`. On `Err`, no row
+    /// was appended.
+    fn next_block(&mut self, out: &mut Vec<Row>, n: usize) -> Result<usize> {
         let mut k = 0;
         while k < n {
-            match self.next_row() {
+            match self.next_row()? {
                 Some(r) => {
                     out.push(r);
                     k += 1;
@@ -32,7 +42,7 @@ trait RowIter {
                 None => break,
             }
         }
-        k
+        Ok(k)
     }
 
     /// `(lower, upper)` bounds on the rows still to come, like
@@ -47,10 +57,46 @@ trait RowIter {
 const DRAIN_BLOCK: usize = mix_common::MAX_AUTO_BLOCK;
 
 /// Drain `src` to exhaustion into `out`, block at a time.
-fn drain_all(src: &mut dyn RowIter, out: &mut Vec<Row>) {
+fn drain_all(src: &mut dyn RowIter, out: &mut Vec<Row>) -> Result<()> {
     let (lo, _) = src.size_hint();
     out.reserve(lo);
-    while src.next_block(out, DRAIN_BLOCK) > 0 {}
+    while src.next_block(out, DRAIN_BLOCK)? > 0 {}
+    Ok(())
+}
+
+/// The chaos backend: gates every pull of the statement's root iterator
+/// through the database's [`crate::FaultPolicy`] (see [`crate::fault`]).
+/// Faults fire *before* rows are produced, so a failed pull is
+/// side-effect-free and retryable.
+struct ChaosIter {
+    inner: Box<dyn RowIter>,
+    state: ChaosState,
+}
+
+impl RowIter for ChaosIter {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        self.state.admit(1)?;
+        let r = self.inner.next_row()?;
+        if r.is_some() {
+            self.state.delivered(1);
+        }
+        Ok(r)
+    }
+
+    fn next_block(&mut self, out: &mut Vec<Row>, n: usize) -> Result<usize> {
+        let allowed = self.state.admit(n)?;
+        let k = self.inner.next_block(out, allowed)?;
+        self.state.delivered(k as u64);
+        Ok(k)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let (lo, hi) = self.inner.size_hint();
+        match self.state.remaining_allowance() {
+            Some(cap) => (lo.min(cap), Some(hi.map_or(cap, |h| h.min(cap)))),
+            None => (lo, hi),
+        }
+    }
 }
 
 /// The cursor a source hands back for a query. Pull rows with
@@ -63,31 +109,44 @@ pub struct Cursor {
     tracer: TracerHandle,
     arity: usize,
     delivered: u64,
+    retries: u64,
 }
 
 impl Cursor {
-    pub(crate) fn new(plan: &PhysPlan, stats: Stats, tracer: TracerHandle) -> Cursor {
+    pub(crate) fn new(
+        plan: &PhysPlan,
+        stats: Stats,
+        tracer: TracerHandle,
+        chaos: Option<ChaosState>,
+    ) -> Cursor {
         let arity = plan.arity();
+        let mut iter = compile(plan, &stats);
+        if let Some(state) = chaos {
+            iter = Box::new(ChaosIter { inner: iter, state });
+        }
         Cursor {
-            iter: compile(plan, &stats),
+            iter,
             stats,
             tracer,
             arity,
             delivered: 0,
+            retries: 0,
         }
     }
 
     /// Fetch the next row, if any.
     #[allow(clippy::should_implement_trait)]
-    pub fn next(&mut self) -> Option<Row> {
-        let row = self.iter.next_row()?;
+    pub fn next(&mut self) -> Result<Option<Row>> {
+        let Some(row) = self.iter.next_row()? else {
+            return Ok(None);
+        };
         self.delivered += 1;
         self.stats.inc(Counter::TuplesShipped);
         if self.tracer.enabled() {
             self.tracer
                 .event("row", &[("n", self.delivered.to_string())]);
         }
-        Some(row)
+        Ok(Some(row))
     }
 
     /// Number of columns each row carries.
@@ -100,17 +159,26 @@ impl Cursor {
         self.delivered
     }
 
+    /// Retries spent by this cursor so far (across all
+    /// [`Cursor::next_block_retrying`] calls) — `EXPLAIN ANALYZE`
+    /// attributes these to the `rQ` node holding the cursor.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
     /// Fetch up to `n` rows into `out`, bumping `tuples_shipped` once
     /// per block (and recording the block size — see
     /// [`mix_obs::Stats::record_block`]). Returns the number of rows
-    /// appended; `0` means the cursor is exhausted.
-    pub fn next_block(&mut self, out: &mut Vec<Row>, n: usize) -> usize {
+    /// appended; `0` means the cursor is exhausted. On `Err`, nothing
+    /// was appended and nothing was counted — a failed pull is
+    /// side-effect-free, so a retried block is accounted exactly once.
+    pub fn next_block(&mut self, out: &mut Vec<Row>, n: usize) -> Result<usize> {
         if n == 0 {
-            return 0;
+            return Ok(0);
         }
-        let k = self.iter.next_block(out, n);
+        let k = self.iter.next_block(out, n)?;
         if k == 0 {
-            return 0;
+            return Ok(0);
         }
         self.delivered += k as u64;
         self.stats.add(Counter::TuplesShipped, k as u64);
@@ -123,7 +191,70 @@ impl Cursor {
                 self.tracer.event("row", &[("n", (base + i).to_string())]);
             }
         }
-        k
+        Ok(k)
+    }
+
+    /// [`Cursor::next_block`] with transient faults retried under
+    /// `retry`: bounded attempts, exponential backoff, optional
+    /// wall-clock deadline. Because a failed pull delivers nothing, the
+    /// re-issued pull returns exactly the rows the failed one would
+    /// have — retries are invisible to the consumer and to the
+    /// block-size ramp. Counts each retry ([`Counter::RetriesAttempted`],
+    /// [`Counter::RetryBackoffMs`]) and every error that escapes
+    /// ([`Counter::BackendErrors`]); the escaped error's `retries` field
+    /// records the spent budget. Traced sessions see a `fault` event per
+    /// observed failure and a `retry` event per re-issue.
+    pub fn next_block_retrying(
+        &mut self,
+        out: &mut Vec<Row>,
+        n: usize,
+        retry: &RetryPolicy,
+    ) -> Result<usize> {
+        let mut attempt = 0u32;
+        let mut spent_backoff = 0u64;
+        loop {
+            let e = match self.next_block(out, n) {
+                Ok(k) => return Ok(k),
+                Err(e) => e,
+            };
+            if self.tracer.enabled() {
+                let kind = if e.is_transient() {
+                    "transient"
+                } else {
+                    "permanent"
+                };
+                self.tracer.event("fault", &[("kind", kind.to_string())]);
+            }
+            if e.is_transient() && retry.allows(attempt + 1, spent_backoff) {
+                attempt += 1;
+                let backoff = retry.backoff_ms(attempt);
+                spent_backoff += backoff;
+                self.retries += 1;
+                self.stats.inc(Counter::RetriesAttempted);
+                self.stats.add(Counter::RetryBackoffMs, backoff);
+                if self.tracer.enabled() {
+                    self.tracer.event(
+                        "retry",
+                        &[
+                            ("attempt", attempt.to_string()),
+                            ("backoff_ms", backoff.to_string()),
+                        ],
+                    );
+                }
+                if backoff > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(backoff));
+                }
+            } else {
+                self.stats.inc(Counter::BackendErrors);
+                return Err(match e {
+                    MixError::Backend(mut be) => {
+                        be.retries = attempt;
+                        MixError::Backend(be)
+                    }
+                    other => other,
+                });
+            }
+        }
     }
 
     /// `(lower, upper)` bounds on the rows still to come.
@@ -133,25 +264,30 @@ impl Cursor {
 
     /// Drain the remainder into `out` (block at a time); returns the
     /// number of rows appended.
-    pub fn drain(&mut self, out: &mut Vec<Row>) -> usize {
+    pub fn drain(&mut self, out: &mut Vec<Row>) -> Result<usize> {
+        self.drain_retrying(out, &RetryPolicy::none())
+    }
+
+    /// [`Cursor::drain`] with transient faults retried under `retry`.
+    pub fn drain_retrying(&mut self, out: &mut Vec<Row>, retry: &RetryPolicy) -> Result<usize> {
         let (lo, _) = self.size_hint();
         out.reserve(lo);
         let mut total = 0;
         loop {
-            let k = self.next_block(out, DRAIN_BLOCK);
+            let k = self.next_block_retrying(out, DRAIN_BLOCK, retry)?;
             if k == 0 {
                 break;
             }
             total += k;
         }
-        total
+        Ok(total)
     }
 
     /// Drain the remainder into a vector (the *eager* access pattern).
-    pub fn collect_all(mut self) -> Vec<Row> {
+    pub fn collect_all(mut self) -> Result<Vec<Row>> {
         let mut out = Vec::new();
-        self.drain(&mut out);
-        out
+        self.drain(&mut out)?;
+        Ok(out)
     }
 }
 
@@ -217,19 +353,19 @@ struct ScanIter {
 }
 
 impl RowIter for ScanIter {
-    fn next_row(&mut self) -> Option<Row> {
+    fn next_row(&mut self) -> Result<Option<Row>> {
         while self.idx < self.table.len() {
             let row = &self.table.rows()[self.idx];
             self.idx += 1;
             self.stats.inc(Counter::RowsScanned);
             if self.preds.iter().all(|p| p.eval(row)) {
-                return Some(row.clone());
+                return Ok(Some(row.clone()));
             }
         }
-        None
+        Ok(None)
     }
 
-    fn next_block(&mut self, out: &mut Vec<Row>, n: usize) -> usize {
+    fn next_block(&mut self, out: &mut Vec<Row>, n: usize) -> Result<usize> {
         let rows = self.table.rows();
         let mut k = 0;
         let mut scanned = 0;
@@ -245,7 +381,7 @@ impl RowIter for ScanIter {
         if scanned > 0 {
             self.stats.add(Counter::RowsScanned, scanned);
         }
-        k
+        Ok(k)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -272,10 +408,10 @@ struct HashJoinIter {
 }
 
 impl RowIter for HashJoinIter {
-    fn next_row(&mut self) -> Option<Row> {
+    fn next_row(&mut self) -> Result<Option<Row>> {
         if let Some(mut right) = self.right.take() {
             let mut build = Vec::new();
-            drain_all(&mut *right, &mut build);
+            drain_all(&mut *right, &mut build)?;
             for r in build {
                 let k = r[self.right_key].clone();
                 if !k.is_null() {
@@ -285,9 +421,11 @@ impl RowIter for HashJoinIter {
         }
         loop {
             if let Some(row) = self.pending.pop() {
-                return Some(row);
+                return Ok(Some(row));
             }
-            let l = self.left.next_row()?;
+            let Some(l) = self.left.next_row()? else {
+                return Ok(None);
+            };
             if let Some(matches) = self.table.get(&l[self.left_key]) {
                 for m in matches.iter().rev() {
                     let mut row = l.clone();
@@ -311,13 +449,16 @@ struct NlJoinIter {
 }
 
 impl RowIter for NlJoinIter {
-    fn next_row(&mut self) -> Option<Row> {
+    fn next_row(&mut self) -> Result<Option<Row>> {
         if let Some(mut src) = self.right_src.take() {
-            drain_all(&mut *src, &mut self.right_rows);
+            drain_all(&mut *src, &mut self.right_rows)?;
         }
         loop {
             if self.cur_left.is_none() {
-                self.cur_left = Some(self.left.next_row()?);
+                let Some(l) = self.left.next_row()? else {
+                    return Ok(None);
+                };
+                self.cur_left = Some(l);
                 self.right_idx = 0;
             }
             let l = self.cur_left.as_ref().unwrap();
@@ -327,7 +468,7 @@ impl RowIter for NlJoinIter {
                 let mut row = l.clone();
                 row.extend(r.iter().cloned());
                 if self.post.iter().all(|p| p.eval(&row)) {
-                    return Some(row);
+                    return Ok(Some(row));
                 }
             }
             self.cur_left = None;
@@ -344,9 +485,9 @@ struct SortIter {
 }
 
 impl SortIter {
-    fn force(&mut self) {
+    fn force(&mut self) -> Result<()> {
         if let Some(mut input) = self.input.take() {
-            drain_all(&mut *input, &mut self.sorted);
+            drain_all(&mut *input, &mut self.sorted)?;
             let keys = self.keys.clone();
             self.sorted.sort_by(|a, b| {
                 for &k in &keys {
@@ -358,28 +499,29 @@ impl SortIter {
                 std::cmp::Ordering::Equal
             });
         }
+        Ok(())
     }
 }
 
 impl RowIter for SortIter {
-    fn next_row(&mut self) -> Option<Row> {
-        self.force();
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        self.force()?;
         if self.idx < self.sorted.len() {
             let r = self.sorted[self.idx].clone();
             self.idx += 1;
-            Some(r)
+            Ok(Some(r))
         } else {
-            None
+            Ok(None)
         }
     }
 
-    fn next_block(&mut self, out: &mut Vec<Row>, n: usize) -> usize {
-        self.force();
+    fn next_block(&mut self, out: &mut Vec<Row>, n: usize) -> Result<usize> {
+        self.force()?;
         let end = (self.idx + n).min(self.sorted.len());
         out.extend_from_slice(&self.sorted[self.idx..end]);
         let k = end - self.idx;
         self.idx = end;
-        k
+        Ok(k)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -400,28 +542,30 @@ struct ProjectIter {
 }
 
 impl RowIter for ProjectIter {
-    fn next_row(&mut self) -> Option<Row> {
+    fn next_row(&mut self) -> Result<Option<Row>> {
         loop {
-            let row = self.input.next_row()?;
+            let Some(row) = self.input.next_row()? else {
+                return Ok(None);
+            };
             let out: Row = self.cols.iter().map(|&c| row[c].clone()).collect();
             match &mut self.seen {
-                None => return Some(out),
+                None => return Ok(Some(out)),
                 Some(seen) => {
                     if seen.insert(out.clone()) {
-                        return Some(out);
+                        return Ok(Some(out));
                     }
                 }
             }
         }
     }
 
-    fn next_block(&mut self, out: &mut Vec<Row>, n: usize) -> usize {
+    fn next_block(&mut self, out: &mut Vec<Row>, n: usize) -> Result<usize> {
         if self.seen.is_some() {
             // DISTINCT drops rows; fall back to the filtering loop so a
             // short block does not under-fill when the input has more.
             let mut k = 0;
             while k < n {
-                match self.next_row() {
+                match self.next_row()? {
                     Some(r) => {
                         out.push(r);
                         k += 1;
@@ -429,15 +573,15 @@ impl RowIter for ProjectIter {
                     None => break,
                 }
             }
-            return k;
+            return Ok(k);
         }
         self.buf.clear();
-        let got = self.input.next_block(&mut self.buf, n);
+        let got = self.input.next_block(&mut self.buf, n)?;
         out.reserve(got);
         for row in self.buf.drain(..) {
             out.push(self.cols.iter().map(|&c| row[c].clone()).collect());
         }
-        got
+        Ok(got)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -457,7 +601,7 @@ mod tests {
 
     fn run(sql: &str) -> Vec<Row> {
         let db = sample_db();
-        db.execute_sql(sql).unwrap().collect_all()
+        db.execute_sql(sql).unwrap().collect_all().unwrap()
     }
 
     #[test]
@@ -507,7 +651,7 @@ mod tests {
         let stats = db.stats().clone();
         stats.reset();
         let mut cur = db.execute_sql("SELECT * FROM orders").unwrap();
-        assert!(cur.next().is_some());
+        assert!(cur.next().unwrap().is_some());
         assert_eq!(stats.get(Counter::TuplesShipped), 1);
         // The scan may have looked at more rows internally, but only one
         // tuple crossed the source↔mediator boundary.
@@ -523,12 +667,12 @@ mod tests {
         let mut cur = db.execute_sql("SELECT * FROM orders").unwrap();
         assert_eq!(cur.size_hint(), (3, Some(3)));
         let mut out = Vec::new();
-        assert_eq!(cur.next_block(&mut out, 2), 2);
+        assert_eq!(cur.next_block(&mut out, 2).unwrap(), 2);
         assert_eq!(stats.get(Counter::TuplesShipped), 2);
         assert_eq!(stats.get(Counter::BlocksShipped), 1);
         // Exhaustion: partial block, then zero.
-        assert_eq!(cur.next_block(&mut out, 2), 1);
-        assert_eq!(cur.next_block(&mut out, 2), 0);
+        assert_eq!(cur.next_block(&mut out, 2).unwrap(), 1);
+        assert_eq!(cur.next_block(&mut out, 2).unwrap(), 0);
         assert_eq!(out.len(), 3);
         assert_eq!(stats.get(Counter::TuplesShipped), 3);
         assert_eq!(stats.get(Counter::BlocksShipped), 2);
@@ -540,17 +684,17 @@ mod tests {
         let db = sample_db();
         let sql = "SELECT c.id, o.orid FROM customer c, orders o \
                    WHERE c.id = o.cid ORDER BY o.orid";
-        let by_rows = db.execute_sql(sql).unwrap().collect_all();
+        let by_rows = db.execute_sql(sql).unwrap().collect_all().unwrap();
         let mut by_blocks = Vec::new();
         let mut cur = db.execute_sql(sql).unwrap();
-        while cur.next_block(&mut by_blocks, 2) > 0 {}
+        while cur.next_block(&mut by_blocks, 2).unwrap() > 0 {}
         assert_eq!(by_rows, by_blocks);
         // DISTINCT (filtering projection) agrees too.
         let sql = "SELECT DISTINCT c.id FROM customer c, orders o WHERE c.id = o.cid";
-        let by_rows = db.execute_sql(sql).unwrap().collect_all();
+        let by_rows = db.execute_sql(sql).unwrap().collect_all().unwrap();
         let mut by_blocks = Vec::new();
         let mut cur = db.execute_sql(sql).unwrap();
-        while cur.next_block(&mut by_blocks, 2) > 0 {}
+        while cur.next_block(&mut by_blocks, 2).unwrap() > 0 {}
         assert_eq!(by_rows, by_blocks);
     }
 
@@ -598,7 +742,8 @@ mod tests {
                 "SELECT x.id, y.value FROM c x, o y WHERE x.id = y.cid AND y.value > x.budget",
             )
             .unwrap()
-            .collect_all();
+            .collect_all()
+            .unwrap();
         assert_eq!(rows, vec![vec![Value::Int(1), Value::Int(2400)]]);
     }
 
@@ -623,7 +768,8 @@ mod tests {
         let rows = db
             .execute_sql("SELECT * FROM l x, r y WHERE x.k = y.k")
             .unwrap()
-            .collect_all();
+            .collect_all()
+            .unwrap();
         assert_eq!(rows.len(), 1);
     }
 }

@@ -1,0 +1,255 @@
+//! Deterministic fault injection — the chaos backend.
+//!
+//! A [`FaultPolicy`] installed on a [`crate::Database`] wraps every
+//! statement's root iterator in a chaos wrapper that injects failures
+//! and latency *between* the executor and the cursor:
+//!
+//! * **transient faults** — scheduled from a seeded RNG rolled on each
+//!   successful pull, and injected *before* any row of the faulted
+//!   block is produced. A failed pull therefore loses nothing: the
+//!   retried pull returns exactly the rows the failed one would have,
+//!   which is what makes "retries succeed ⇒ bit-for-bit identical
+//!   results" provable rather than probabilistic. Each fault fails
+//!   `transient_burst` consecutive pulls and then the data flows
+//!   again, so a retry budget `≥ burst` always gets through — even at
+//!   rate 1000, where every successful pull schedules the next burst.
+//! * **permanent faults** — the statement fails every pull once
+//!   `fail_after_rows` rows have been delivered. Rows before the
+//!   horizon ship normally (the graceful-degradation test bed: a
+//!   navigated prefix stays valid, everything past row *k* errors).
+//! * **latency** — an optional per-block sleep, for deadline-budget
+//!   tests.
+//!
+//! Determinism: the per-statement RNG is seeded with
+//! `seed ^ statement-sequence-number`, so a fixed seed reproduces the
+//! exact fault schedule regardless of wall clock, and injection
+//! consumes no randomness that could perturb row contents.
+
+use mix_common::{Counter, FaultKind, MixError, Name, Result, Stats};
+
+/// What the chaos backend injects, and how often. The default injects
+/// nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPolicy {
+    /// Seed for the fault schedule (same seed ⇒ same schedule).
+    pub seed: u64,
+    /// Probability, in permille (0–1000), that a block pull hits a
+    /// transient fault. 100 = the 10%-per-block chaos-sweep rate.
+    pub transient_per_mille: u16,
+    /// How many consecutive pulls each transient fault fails before the
+    /// data flows again. Retry budgets `≥` this always succeed.
+    pub transient_burst: u32,
+    /// Fail the statement permanently once this many rows have been
+    /// delivered through it.
+    pub fail_after_rows: Option<u64>,
+    /// Artificial latency per successful block pull, in milliseconds.
+    pub latency_ms: u64,
+}
+
+impl FaultPolicy {
+    /// Transient faults at `per_mille`/1000 per block, burst 1.
+    pub fn transient(seed: u64, per_mille: u16) -> FaultPolicy {
+        FaultPolicy {
+            seed,
+            transient_per_mille: per_mille,
+            transient_burst: 1,
+            ..FaultPolicy::default()
+        }
+    }
+
+    /// Fail every pull with this many consecutive transient faults
+    /// (`burst` larger than the retry budget exhausts it).
+    pub fn with_burst(mut self, burst: u32) -> FaultPolicy {
+        self.transient_burst = burst;
+        self
+    }
+
+    /// Permanent failure after `rows` delivered rows.
+    pub fn fail_after(seed: u64, rows: u64) -> FaultPolicy {
+        FaultPolicy {
+            seed,
+            fail_after_rows: Some(rows),
+            ..FaultPolicy::default()
+        }
+    }
+
+    /// Add per-block latency.
+    pub fn with_latency_ms(mut self, ms: u64) -> FaultPolicy {
+        self.latency_ms = ms;
+        self
+    }
+
+    /// Does this policy inject anything at all?
+    pub fn active(&self) -> bool {
+        *self != FaultPolicy::default() || self.seed != 0
+    }
+}
+
+/// SplitMix64 — tiny, seedable, and good enough for fault schedules.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..1000`.
+    fn per_mille(&mut self) -> u16 {
+        (self.next() % 1000) as u16
+    }
+}
+
+/// Per-statement chaos state: wraps the root [`super::exec`] iterator.
+pub(crate) struct ChaosState {
+    policy: FaultPolicy,
+    rng: SplitMix64,
+    server: Name,
+    stmt: u64,
+    stats: Stats,
+    /// Remaining consecutive failures of the current transient fault.
+    burst_left: u32,
+    /// Rows this statement has delivered (the permanent-fault horizon).
+    produced: u64,
+}
+
+impl ChaosState {
+    pub(crate) fn new(policy: FaultPolicy, server: Name, stmt: u64, stats: Stats) -> ChaosState {
+        ChaosState {
+            rng: SplitMix64::new(policy.seed ^ stmt.wrapping_mul(0x5851f42d4c957f2d)),
+            policy,
+            server,
+            stmt,
+            stats,
+            burst_left: 0,
+            produced: 0,
+        }
+    }
+
+    fn inject(&self, kind: FaultKind, msg: String) -> MixError {
+        self.stats.inc(Counter::FaultsInjected);
+        MixError::backend(self.server.clone(), kind, msg)
+    }
+
+    /// Gate one pull: `Err` injects a fault *before* any row is
+    /// produced, `Ok(allowed)` caps how many rows the pull may deliver
+    /// (so a permanent horizon at row `k` never ships row `k + 1`).
+    ///
+    /// The transient schedule is rolled on each *successful* pull, for
+    /// the pulls that follow it: a scheduled fault then fails exactly
+    /// `transient_burst` consecutive pulls before data flows again.
+    /// Failing runs are therefore never longer than the burst — even at
+    /// rate 1000 — which is what makes the retry contract ("a budget
+    /// `≥ burst` always gets through") a guarantee, not a probability.
+    pub(crate) fn admit(&mut self, want: usize) -> Result<usize> {
+        if self.burst_left > 0 {
+            self.burst_left -= 1;
+            return Err(self.inject(
+                FaultKind::Transient,
+                format!("injected transient fault (stmt {})", self.stmt),
+            ));
+        }
+        if let Some(k) = self.policy.fail_after_rows {
+            if self.produced >= k {
+                return Err(self.inject(
+                    FaultKind::Permanent,
+                    format!(
+                        "injected permanent fault after row {k} (stmt {})",
+                        self.stmt
+                    ),
+                ));
+            }
+        }
+        if self.policy.transient_per_mille > 0
+            && self.rng.per_mille() < self.policy.transient_per_mille
+        {
+            self.burst_left = self.policy.transient_burst;
+        }
+        if self.policy.latency_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(self.policy.latency_ms));
+        }
+        let allowed = match self.policy.fail_after_rows {
+            Some(k) => want.min((k - self.produced) as usize),
+            None => want,
+        };
+        Ok(allowed.max(1).min(want))
+    }
+
+    /// Record rows the gated pull actually delivered.
+    pub(crate) fn delivered(&mut self, rows: u64) {
+        self.produced += rows;
+    }
+
+    /// Rows this statement can still deliver before the permanent
+    /// horizon (if any) — caps `size_hint` so it never promises rows
+    /// the fault schedule will refuse to ship.
+    pub(crate) fn remaining_allowance(&self) -> Option<usize> {
+        self.policy
+            .fail_after_rows
+            .map(|k| k.saturating_sub(self.produced) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(a.next(), c.next());
+    }
+
+    #[test]
+    fn default_policy_is_inactive() {
+        assert!(!FaultPolicy::default().active());
+        assert!(FaultPolicy::transient(1, 100).active());
+        assert!(FaultPolicy::fail_after(1, 3).active());
+    }
+
+    #[test]
+    fn burst_fails_consecutive_pulls_then_recovers() {
+        let stats = Stats::new();
+        let policy = FaultPolicy::transient(7, 1000).with_burst(3); // always fault
+        let mut st = ChaosState::new(policy, Name::new("db1"), 0, stats.clone());
+        // A successful pull schedules the burst; the next three burn it.
+        assert!(st.admit(8).is_ok());
+        for _ in 0..3 {
+            let e = st.admit(8).unwrap_err();
+            assert!(e.is_transient(), "{e}");
+        }
+        // Burst spent — the next pull succeeds even at rate 1000, so a
+        // retry budget >= burst is guaranteed to get through.
+        assert!(st.admit(8).is_ok());
+        assert_eq!(stats.get(Counter::FaultsInjected), 3);
+    }
+
+    #[test]
+    fn permanent_horizon_caps_and_then_fails() {
+        let stats = Stats::new();
+        let mut st = ChaosState::new(
+            FaultPolicy::fail_after(7, 3),
+            Name::new("db1"),
+            0,
+            stats.clone(),
+        );
+        assert_eq!(st.admit(8).unwrap(), 3); // capped at the horizon
+        st.delivered(3);
+        let e = st.admit(8).unwrap_err();
+        assert!(!e.is_transient(), "{e}");
+        assert!(matches!(e, MixError::Backend(_)));
+    }
+}

@@ -24,6 +24,7 @@
 pub mod ast;
 pub mod db;
 pub mod exec;
+pub mod fault;
 pub mod fixtures;
 pub mod parser;
 pub mod plan;
@@ -34,6 +35,7 @@ pub mod table;
 pub use ast::{ColRef, FromItem, Operand, Pred, SelectItem, SelectStmt};
 pub use db::Database;
 pub use exec::Cursor;
+pub use fault::FaultPolicy;
 pub use parser::parse_sql;
 pub use schema::{Column, ColumnType, Schema};
 pub use table::{Row, Table};

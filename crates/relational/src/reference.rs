@@ -147,7 +147,7 @@ mod tests {
         for db in &dbs {
             for q in &queries {
                 let stmt = parse_sql(q).unwrap();
-                let fast = db.execute(&stmt).unwrap().collect_all();
+                let fast = db.execute(&stmt).unwrap().collect_all().unwrap();
                 let slow = eval_reference(db, &stmt).unwrap();
                 if stmt.order_by.is_empty() {
                     assert_eq!(canon(fast), canon(slow), "query: {q}");

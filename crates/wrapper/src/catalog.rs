@@ -136,9 +136,21 @@ impl Catalog {
         name: &str,
         block: mix_common::BlockPolicy,
     ) -> Result<Rc<dyn NavDoc>> {
+        self.lazy_with_opts(name, block, mix_common::RetryPolicy::default())
+    }
+
+    /// A lazy view with explicit block-fetch and retry policies.
+    /// Relational sources retry transient backend faults under `retry`;
+    /// XML and nav sources never fail and ignore it.
+    pub fn lazy_with_opts(
+        &self,
+        name: &str,
+        block: mix_common::BlockPolicy,
+        retry: mix_common::RetryPolicy,
+    ) -> Result<Rc<dyn NavDoc>> {
         match self.source(name)? {
             Source::Xml(d) => Ok(Rc::clone(d) as Rc<dyn NavDoc>),
-            Source::Relation(r) => Ok(Rc::new(r.lazy_with_block(block)) as Rc<dyn NavDoc>),
+            Source::Relation(r) => Ok(Rc::new(r.lazy_with_opts(block, retry)) as Rc<dyn NavDoc>),
             Source::Nav(d) => Ok(Rc::clone(d) as Rc<dyn NavDoc>),
         }
     }
@@ -222,7 +234,8 @@ mod tests {
         let rows = db
             .execute_sql("SELECT * FROM orders")
             .unwrap()
-            .collect_all();
+            .collect_all()
+            .unwrap();
         assert_eq!(rows.len(), 3);
         assert!(cat.database("other").is_err());
     }

@@ -17,7 +17,7 @@
 //! measurable form.
 
 use crate::relsource::RelationSource;
-use mix_common::{BlockPolicy, BlockRamp, Name, Value};
+use mix_common::{BlockPolicy, BlockRamp, MixError, Name, Result, RetryPolicy, Value};
 use mix_relational::{Cursor, Row};
 use mix_xml::{Document, NavDoc, NodeRef, Oid};
 use std::cell::RefCell;
@@ -25,6 +25,7 @@ use std::cell::RefCell;
 /// A virtual document over one relation, fetching tuples on demand.
 pub struct LazyRelationalDoc {
     source: RelationSource,
+    retry: RetryPolicy,
     state: RefCell<State>,
 }
 
@@ -35,6 +36,10 @@ struct State {
     cursor: Option<Cursor>,
     /// Whether the cursor has been opened at least once.
     opened: bool,
+    /// A backend error the retry policy could not absorb. Latched: the
+    /// already-fetched prefix stays navigable, but every navigation
+    /// step that needs *more* data reports this error again.
+    error: Option<MixError>,
     /// Tuple element nodes, in fetch order.
     tuples: Vec<NodeRef>,
     /// Column names (cached at open).
@@ -49,8 +54,8 @@ struct State {
 
 impl LazyRelationalDoc {
     /// Wrap `source` lazily. No SQL is issued yet. Fetches follow the
-    /// default block policy ([`BlockPolicy::Auto`]); see
-    /// [`LazyRelationalDoc::with_block`].
+    /// default block policy ([`BlockPolicy::Auto`]) and retry policy;
+    /// see [`LazyRelationalDoc::with_opts`].
     pub fn new(source: RelationSource) -> LazyRelationalDoc {
         LazyRelationalDoc::with_block(source, BlockPolicy::default())
     }
@@ -60,13 +65,28 @@ impl LazyRelationalDoc {
     /// paper's model); the others prefetch ahead of navigation in
     /// blocks, bounded by the ramp.
     pub fn with_block(source: RelationSource, block: BlockPolicy) -> LazyRelationalDoc {
+        LazyRelationalDoc::with_opts(source, block, RetryPolicy::default())
+    }
+
+    /// Wrap `source` lazily with explicit block and retry policies.
+    /// Transient backend faults are retried inside the fetch (invisible
+    /// to the caller and to the block ramp); what `retry` cannot absorb
+    /// surfaces as an error from the navigation step that needed the
+    /// data.
+    pub fn with_opts(
+        source: RelationSource,
+        block: BlockPolicy,
+        retry: RetryPolicy,
+    ) -> LazyRelationalDoc {
         let doc = Document::new(source.root().clone(), "list");
         LazyRelationalDoc {
             source,
+            retry,
             state: RefCell::new(State {
                 doc,
                 cursor: None,
                 opened: false,
+                error: None,
                 tuples: Vec::new(),
                 columns: Vec::new(),
                 ramp: block.ramp(),
@@ -80,31 +100,49 @@ impl LazyRelationalDoc {
         self.state.borrow().tuples.len()
     }
 
+    /// The latched backend error, if fetching has failed permanently.
+    pub fn last_error(&self) -> Option<MixError> {
+        self.state.borrow().error.clone()
+    }
+
     /// Ensure at least `n + 1` tuples are fetched (so index `n` exists),
     /// stopping early if the cursor runs dry. Returns the tuple node at
-    /// index `n` if it exists.
-    fn fetch_to(&self, n: usize) -> Option<NodeRef> {
+    /// index `n` if it exists; a backend failure the retry policy could
+    /// not absorb is latched and re-reported on every further call.
+    fn fetch_to(&self, n: usize) -> Result<Option<NodeRef>> {
         let mut st = self.state.borrow_mut();
+        // Already-materialized tuples are served even after a failure —
+        // the latched error only gates *new* fetches.
+        if let Some(&t) = st.tuples.get(n) {
+            return Ok(Some(t));
+        }
+        if let Some(e) = &st.error {
+            return Err(e.clone());
+        }
         if !st.opened {
             st.opened = true;
-            // A wrapper misconfiguration (missing relation) surfaces as
-            // an empty view rather than a panic; the mediator validates
-            // sources at registration time.
-            if let Ok(stmt) = self.source.scan_stmt() {
-                if let Ok(cur) = self.source.db().execute(&stmt) {
-                    st.cursor = Some(cur);
-                    st.columns = self.source.columns().unwrap_or_default();
-                }
-            }
+            let stmt = self.source.scan_stmt()?;
+            st.cursor = Some(self.source.db().execute(&stmt)?);
+            st.columns = self.source.columns()?;
         }
         while st.tuples.len() <= n {
             let st = &mut *st;
             let Some(cur) = st.cursor.as_mut() else { break };
             // Fetch a whole block per ramp step; the schema lookup is
-            // hoisted out of the per-row loop.
+            // hoisted out of the per-row loop. Transient faults are
+            // retried inside `next_block_retrying`, re-requesting the
+            // same block size so the ramp is undisturbed.
             let want = st.ramp.next_size();
             st.buf.clear();
-            if cur.next_block(&mut st.buf, want) == 0 {
+            let got = match cur.next_block_retrying(&mut st.buf, want, &self.retry) {
+                Ok(got) => got,
+                Err(e) => {
+                    st.cursor = None;
+                    st.error = Some(e.clone());
+                    return Err(e);
+                }
+            };
+            if got == 0 {
                 st.cursor = None;
                 break;
             }
@@ -133,7 +171,7 @@ impl LazyRelationalDoc {
                 st.tuples.push(tuple);
             }
         }
-        st.tuples.get(n).copied()
+        Ok(st.tuples.get(n).copied())
     }
 }
 
@@ -146,22 +184,33 @@ impl NavDoc for LazyRelationalDoc {
         self.state.borrow().doc.root_ref()
     }
 
+    /// Infallible view of [`NavDoc::try_first_child`]: a backend
+    /// failure degrades to "no child" (legacy callers; the engine's
+    /// navigation path uses the `try_` form and sees the error).
     fn first_child(&self, n: NodeRef) -> Option<NodeRef> {
-        if n == self.root() {
-            return self.fetch_to(0);
-        }
-        self.state.borrow().doc.first_child(n)
+        self.try_first_child(n).unwrap_or(None)
     }
 
     fn next_sibling(&self, n: NodeRef) -> Option<NodeRef> {
+        self.try_next_sibling(n).unwrap_or(None)
+    }
+
+    fn try_first_child(&self, n: NodeRef) -> Result<Option<NodeRef>> {
+        if n == self.root() {
+            return self.fetch_to(0);
+        }
+        Ok(self.state.borrow().doc.first_child(n))
+    }
+
+    fn try_next_sibling(&self, n: NodeRef) -> Result<Option<NodeRef>> {
         {
             let st = self.state.borrow();
             if let Some(s) = st.doc.next_sibling(n) {
-                return Some(s);
+                return Ok(Some(s));
             }
             // Not the last fetched tuple ⇒ genuinely no sibling.
             if st.tuples.last() != Some(&n) {
-                return None;
+                return Ok(None);
             }
         }
         let idx = self.state.borrow().tuples.len();

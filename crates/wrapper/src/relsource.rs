@@ -1,7 +1,7 @@
 //! One wrapped relation: configuration + eager materialization.
 
 use crate::lazy::LazyRelationalDoc;
-use mix_common::{Name, Result};
+use mix_common::{Name, Result, RetryPolicy};
 use mix_relational::{ColRef, Database, FromItem, SelectItem, SelectStmt};
 use mix_xml::{Document, Oid};
 
@@ -115,7 +115,14 @@ impl RelationSource {
 
     /// Eagerly materialize the full XML view (the conventional-mediator
     /// baseline). Every tuple ships through the cursor and is counted.
+    /// Transient backend faults are retried under the default
+    /// [`RetryPolicy`]; see [`RelationSource::materialize_with_retry`].
     pub fn materialize(&self) -> Result<Document> {
+        self.materialize_with_retry(&RetryPolicy::default())
+    }
+
+    /// Eagerly materialize with an explicit retry policy for the drain.
+    pub fn materialize_with_retry(&self, retry: &RetryPolicy) -> Result<Document> {
         let mut doc = Document::new(self.root.clone(), "list");
         let root = doc.root_ref();
         let table = self.db.table(self.relation.as_str())?;
@@ -123,7 +130,7 @@ impl RelationSource {
         let cols = self.columns()?;
         let mut cur = self.db.execute(&self.scan_stmt()?)?;
         let mut rows = Vec::new();
-        cur.drain(&mut rows);
+        cur.drain_retrying(&mut rows, retry)?;
         for row in rows {
             let key = schema.key_text(&row);
             let tuple = doc.add_elem_with_oid(root, self.element.clone(), Oid::key(key.clone()));
@@ -145,6 +152,15 @@ impl RelationSource {
     /// The lazy navigable view with an explicit block-fetch policy.
     pub fn lazy_with_block(&self, block: mix_common::BlockPolicy) -> LazyRelationalDoc {
         LazyRelationalDoc::with_block(self.clone(), block)
+    }
+
+    /// The lazy navigable view with explicit block and retry policies.
+    pub fn lazy_with_opts(
+        &self,
+        block: mix_common::BlockPolicy,
+        retry: RetryPolicy,
+    ) -> LazyRelationalDoc {
+        LazyRelationalDoc::with_opts(self.clone(), block, retry)
     }
 }
 

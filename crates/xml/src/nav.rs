@@ -6,7 +6,7 @@
 //! fetching tuples on demand. [`NavDoc`] is that common interface.
 
 use crate::oid::Oid;
-use mix_common::{Name, Value};
+use mix_common::{Name, Result, Value};
 
 /// A document-local node handle. Only meaningful together with the
 /// document that issued it.
@@ -30,6 +30,26 @@ pub trait NavDoc {
     fn value(&self, n: NodeRef) -> Option<Value>;
     /// The vertex id of `n`.
     fn oid(&self, n: NodeRef) -> Oid;
+
+    /// Fallible `d(p)`: like [`NavDoc::first_child`], but a source
+    /// whose backing store can fail (the lazy relational wrapper)
+    /// reports the failure instead of silently truncating the tree.
+    /// In-memory documents never fail; the default just wraps.
+    fn try_first_child(&self, n: NodeRef) -> Result<Option<NodeRef>> {
+        Ok(self.first_child(n))
+    }
+    /// Fallible `r(p)` — see [`NavDoc::try_first_child`].
+    fn try_next_sibling(&self, n: NodeRef) -> Result<Option<NodeRef>> {
+        Ok(self.next_sibling(n))
+    }
+    /// Fallible `fl(p)` — see [`NavDoc::try_first_child`].
+    fn try_label(&self, n: NodeRef) -> Result<Option<Name>> {
+        Ok(self.label(n))
+    }
+    /// Fallible `fv(p)` — see [`NavDoc::try_first_child`].
+    fn try_value(&self, n: NodeRef) -> Result<Option<Value>> {
+        Ok(self.value(n))
+    }
 }
 
 /// The scalar content of a node for condition evaluation: the value of
@@ -91,6 +111,18 @@ impl NavDoc for RenamedDoc {
     }
     fn oid(&self, n: NodeRef) -> Oid {
         self.inner.oid(n)
+    }
+    fn try_first_child(&self, n: NodeRef) -> Result<Option<NodeRef>> {
+        self.inner.try_first_child(n)
+    }
+    fn try_next_sibling(&self, n: NodeRef) -> Result<Option<NodeRef>> {
+        self.inner.try_next_sibling(n)
+    }
+    fn try_label(&self, n: NodeRef) -> Result<Option<Name>> {
+        self.inner.try_label(n)
+    }
+    fn try_value(&self, n: NodeRef) -> Result<Option<Value>> {
+        self.inner.try_value(n)
     }
 }
 

@@ -37,22 +37,23 @@ fn main() -> Result<()> {
     );
 
     // Browse the first three listings.
-    let mut cur = session.d(p0);
+    let mut cur = session.d(p0).unwrap();
     for i in 0..3 {
         let Some(listing) = cur else { break };
-        let cam = session.d(listing).expect("camera child");
+        let cam = session.d(listing).unwrap().expect("camera child");
         let model = session
             .d(cam)
-            .and_then(|f| session.r(f)) // id, model
-            .and_then(|f| session.d(f))
-            .and_then(|v| session.fv(v));
+            .unwrap()
+            .and_then(|f| session.r(f).unwrap()) // id, model
+            .and_then(|f| session.d(f).unwrap())
+            .and_then(|v| session.fv(v).unwrap());
         println!(
             "  listing {}: {} ({:?})",
             i + 1,
             session.oid(listing),
             model
         );
-        cur = session.r(listing);
+        cur = session.r(listing).unwrap();
     }
     println!(
         "step 2: browsed 3 listings; shipped so far: {}",
@@ -67,12 +68,15 @@ fn main() -> Result<()> {
         p0,
     )?;
     println!("step 3: refined by autofocus speed < 0.4s and rating >= medium");
-    let refined = session.child_count(p4);
+    let refined = session.child_count(p4).unwrap();
     println!("  refined result has {refined} listings");
 
     // Browse into the first refined listing and its lens list.
-    let listing = session.d(p4).expect("at least one refined listing");
-    let cam = session.d(listing).expect("camera");
+    let listing = session
+        .d(p4)
+        .unwrap()
+        .expect("at least one refined listing");
+    let cam = session.d(listing).unwrap().expect("camera");
     println!(
         "step 4: browsing into {} ({})",
         session.oid(listing),
@@ -88,7 +92,7 @@ fn main() -> Result<()> {
     )?;
     println!(
         "step 5: lenses of this camera under $300 with diameter > 10mm: {}",
-        session.child_count(p9)
+        session.child_count(p9).unwrap()
     );
     println!("{}", session.render(p9));
 

@@ -34,8 +34,8 @@ fn main() -> Result<()> {
 
     // One navigation step: descend to the first CustRec and force its
     // children. Only the operators on that path should show pulls.
-    let first = session.d(root).expect("result has children");
-    let kids = session.child_count(first);
+    let first = session.d(root).unwrap().expect("result has children");
+    let kids = session.child_count(first).unwrap();
     println!("after `d` + counting {kids} children of the first CustRec:");
     println!("{}", session.explain(root));
 
@@ -49,7 +49,10 @@ fn main() -> Result<()> {
     // query's own counter *delta* (not cumulative totals) is what makes
     // the `plan cache hits` line visible on the second one.
     const QIP: &str = "FOR $O IN document(root)/OrderInfo RETURN $O";
-    let second = session.r(first).expect("result has a second CustRec");
+    let second = session
+        .r(first)
+        .unwrap()
+        .expect("result has a second CustRec");
 
     let before_q1 = session.ctx().stats().snapshot();
     session.q(QIP, first)?;

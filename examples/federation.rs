@@ -55,16 +55,16 @@ fn main() -> Result<()> {
 
     // Browse three accounts at the top; d/r commands cascade through
     // BOTH mediators down to the relational cursor.
-    let mut cur = upper_session.d(p);
+    let mut cur = upper_session.d(p).unwrap();
     for i in 0..3 {
         let Some(acct) = cur else { break };
         println!(
             "  account {}: {} / inner {}",
             i + 1,
-            upper_session.fl(acct).unwrap(),
-            upper_session.oid(upper_session.d(acct).unwrap())
+            upper_session.fl(acct).unwrap().unwrap(),
+            upper_session.oid(upper_session.d(acct).unwrap().unwrap())
         );
-        cur = upper_session.r(acct);
+        cur = upper_session.r(acct).unwrap();
     }
     println!(
         "after browsing 3 of 1000 accounts through two mediators, the \

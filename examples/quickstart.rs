@@ -37,20 +37,20 @@ fn main() -> Result<()> {
     );
 
     // Navigate: the result is virtual; each step fetches only what it needs.
-    let p1 = session.d(p0).expect("first CustRec");
+    let p1 = session.d(p0).unwrap().expect("first CustRec");
     println!(
         "d(p0) -> {} (id {})",
-        session.fl(p1).unwrap(),
+        session.fl(p1).unwrap().unwrap(),
         session.oid(p1)
     );
     println!(
         "after one step the sources shipped {} tuples",
         db.stats().get(Counter::TuplesShipped)
     );
-    let p2 = session.r(p1).expect("second CustRec");
+    let p2 = session.r(p1).unwrap().expect("second CustRec");
     println!(
         "r(p1) -> {} (id {})",
-        session.fl(p2).unwrap(),
+        session.fl(p2).unwrap().unwrap(),
         session.oid(p2)
     );
 

@@ -40,7 +40,7 @@ fn main() -> Result<()> {
     }
     println!("\n== final plan ==\n{}", info.exec_plan.render());
 
-    let big_spenders = session.child_count(p);
+    let big_spenders = session.child_count(p).unwrap();
     let optimized = stats.snapshot();
     println!("customers with an order above 99000: {big_spenders}");
     println!("optimized: {optimized}");
@@ -52,7 +52,7 @@ fn main() -> Result<()> {
     let mut naive_session = naive_mediator.session();
     stats.reset();
     let pn = naive_session.query(REPORT)?;
-    let naive_count = naive_session.child_count(pn);
+    let naive_count = naive_session.child_count(pn).unwrap();
     let naive = stats.snapshot();
     println!("naive:     {naive}");
     assert_eq!(big_spenders, naive_count);

@@ -14,10 +14,23 @@ echo "==> cargo clippy -p mix-bench -D warnings"
 cargo clippy -p mix-bench --all-targets -- -D warnings
 
 echo "==> cargo build --release"
-cargo build --release
+cargo build --release --workspace
 
 echo "==> cargo test"
 cargo test -q
+
+echo "==> chaos suite (fault injection, fixed seed 0xC0FFEE)"
+cargo test -q --test chaos
+
+echo "==> no 'validated:' panics in non-test code or release builds"
+if grep -rnE '(panic!|expect|unreachable!)\("validated' crates/*/src src; then
+  echo "error: 'validated:' plan invariants must return MixError::Plan, not panic" >&2
+  exit 1
+fi
+if grep -aq 'validated: ' target/release/experiments; then
+  echo "error: release binary embeds a 'validated:' panic message" >&2
+  exit 1
+fi
 
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

@@ -126,7 +126,8 @@ mod tests {
         let rows = db
             .execute_sql("SELECT l.id FROM lens l, camera c WHERE l.camid = c.id")
             .unwrap()
-            .collect_all();
+            .collect_all()
+            .unwrap();
         assert_eq!(rows.len(), 40);
         assert!(cat.relation_info("cameras").is_some());
         assert!(cat.relation_info("lenses").is_some());

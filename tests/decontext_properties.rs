@@ -43,7 +43,7 @@ fn decontext_equals_materialized_subtree() {
         let mut s = m.session();
         let p0 = s.query(Q1).unwrap();
         // Navigate to the pick-th CustRec (wrapping around).
-        let recs = s.children(p0);
+        let recs = s.children(p0).unwrap();
         assert!(!recs.is_empty());
         let target = recs[pick % recs.len()];
         let q = format!(

@@ -190,7 +190,7 @@ fn sql_executor_matches_reference() {
             format!("SELECT o.orid, o.value FROM orders o WHERE o.value <= {threshold} ORDER BY o.orid"),
         ];
         let stmt = mix::relational::parse_sql(&sqls[qidx]).unwrap();
-        let mut fast = db.execute(&stmt).unwrap().collect_all();
+        let mut fast = db.execute(&stmt).unwrap().collect_all().unwrap();
         let mut slow = mix::relational::reference::eval_reference(&db, &stmt).unwrap();
         if stmt.order_by.is_empty() {
             let key = |r: &Vec<Value>| {

@@ -33,9 +33,9 @@ fn e1_lazy_browse_ships_prefix_only() {
     let mut s = m.session();
     stats.reset();
     let p0 = s.query(Q1).unwrap();
-    let mut cur = s.d(p0);
+    let mut cur = s.d(p0).unwrap();
     for _ in 0..4 {
-        cur = cur.and_then(|c| s.r(c));
+        cur = cur.and_then(|c| s.r(c).unwrap());
     }
     let lazy_shipped = stats.get(Counter::TuplesShipped);
 
@@ -66,7 +66,7 @@ fn e2_first_result_cost_independent_of_n() {
         let mut s = m.session();
         stats.reset();
         let p0 = s.query(Q1).unwrap();
-        let _first = s.d(p0).unwrap();
+        let _first = s.d(p0).unwrap().unwrap();
         first_costs.push(stats.get(Counter::TuplesShipped));
     }
     // Identical prefix cost at every scale.
@@ -83,21 +83,21 @@ fn e3_decontext_beats_materialize() {
     let m = mediator(catalog, true, AccessMode::Lazy);
     let mut s = m.session();
     let p0 = s.query(Q1).unwrap();
-    let p1 = s.d(p0).unwrap(); // first CustRec (30 orders below)
+    let p1 = s.d(p0).unwrap().unwrap(); // first CustRec (30 orders below)
     let q = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 99000 RETURN $O";
 
     let med_stats = s.ctx().stats().clone();
     stats.reset();
     med_stats.reset();
     let a = s.q(q, p1).unwrap();
-    let _ = s.child_count(a);
+    let _ = s.child_count(a).unwrap();
     let decontext_shipped = stats.get(Counter::TuplesShipped);
     let decontext_built = med_stats.get(Counter::NodesBuilt);
 
     stats.reset();
     med_stats.reset();
     let b = s.q_materialized(q, p1).unwrap();
-    let _ = s.child_count(b);
+    let _ = s.child_count(b).unwrap();
     let materialize_built = med_stats.get(Counter::NodesBuilt);
 
     // The materializing baseline copies the full 30-order subtree to
@@ -137,7 +137,7 @@ fn e4_pushdown_ships_less() {
         let mut s = m.session();
         stats.reset();
         let p = s.query(report).unwrap();
-        let _ = s.child_count(p);
+        let _ = s.child_count(p).unwrap();
         shipped.push(stats.get(Counter::TuplesShipped));
     }
     let (optimized, naive) = (shipped[0], shipped[1]);
@@ -164,7 +164,7 @@ fn e5_mediator_builds_fewer_nodes() {
         let med_stats = s.ctx().stats().clone();
         med_stats.reset();
         let p = s.query(report).unwrap();
-        let _ = s.child_count(p);
+        let _ = s.child_count(p).unwrap();
         built.push(med_stats.get(Counter::NodesBuilt));
     }
     assert!(
@@ -186,7 +186,7 @@ fn e6_in_place_query_cost_tracks_context() {
         let m = mediator(catalog, true, AccessMode::Lazy);
         let mut s = m.session();
         let p0 = s.query(Q1).unwrap();
-        let p1 = s.d(p0).unwrap();
+        let p1 = s.d(p0).unwrap().unwrap();
         stats.reset();
         let a = s
             .q(
@@ -194,7 +194,7 @@ fn e6_in_place_query_cost_tracks_context() {
                 p1,
             )
             .unwrap();
-        let _ = s.child_count(a);
+        let _ = s.child_count(a).unwrap();
         costs.push(stats.get(Counter::TuplesShipped));
     }
     // Same context (customer C000000 with 10 orders) ⇒ same cost.
@@ -355,7 +355,7 @@ fn block_auto_first_result_ships_one_row() {
         let mut s = m.session();
         stats.reset();
         let p0 = s.query(Q1).unwrap();
-        let _p1 = s.d(p0).unwrap();
+        let _p1 = s.d(p0).unwrap().unwrap();
         assert_eq!(
             stats.get(Counter::TuplesShipped),
             1,
@@ -383,10 +383,10 @@ fn block_off_and_fixed_one_ship_identical_counts() {
         stats.reset();
         let p0 = s.query(Q1).unwrap();
         let mut trace = vec![stats.get(Counter::TuplesShipped)];
-        let mut cur = s.d(p0);
+        let mut cur = s.d(p0).unwrap();
         while let Some(c) = cur {
             trace.push(stats.get(Counter::TuplesShipped));
-            cur = s.r(c);
+            cur = s.r(c).unwrap();
         }
         traces.push(trace);
         totals.push(stats.get(Counter::TuplesShipped));
@@ -436,10 +436,10 @@ fn lazy_memory_watermark() {
         s.ctx().stats().get(Counter::NodesBuilt)
     };
     // Walk everything.
-    let mut cur = s.d(p0);
+    let mut cur = s.d(p0).unwrap();
     while let Some(c) = cur {
         let _ = s.render(c);
-        cur = s.r(c);
+        cur = s.r(c).unwrap();
     }
     let deep = s.ctx().stats().get(Counter::NodesBuilt);
     assert!(shallow * 10 < deep, "shallow={shallow} deep={deep}");

@@ -49,8 +49,8 @@ fn lazy_span_tree_for_one_navigation_step() {
     {
         let mut s = m.session();
         let p0 = s.query(QJ).unwrap();
-        let p1 = s.d(p0).unwrap();
-        assert_eq!(s.fl(p1).unwrap().as_str(), "R");
+        let p1 = s.d(p0).unwrap().unwrap();
+        assert_eq!(s.fl(p1).unwrap().unwrap().as_str(), "R");
     }
     // Operator spans open at first pull — inside cmd:d, not cmd:query —
     // in demand order (top of the plan first), and close with their
@@ -90,8 +90,8 @@ fn eager_span_tree_is_strictly_nested_under_the_query() {
     {
         let mut s = m.session();
         let p0 = s.query(QJ).unwrap();
-        let p1 = s.d(p0).unwrap();
-        assert_eq!(s.fl(p1).unwrap().as_str(), "R");
+        let p1 = s.d(p0).unwrap().unwrap();
+        assert_eq!(s.fl(p1).unwrap().unwrap().as_str(), "R");
     }
     // Eager evaluation does all the work inside cmd:query; the later
     // cmd:d/cmd:fl navigate an already-materialized document.
@@ -128,7 +128,7 @@ fn nl_fallback_is_visible_in_spans() {
     {
         let mut s = m.session();
         let p0 = s.query(QJ).unwrap();
-        let _ = s.d(p0).unwrap();
+        let _ = s.d(p0).unwrap().unwrap();
     }
     let text = t.render();
     assert!(text.contains("kernel=nl"), "{text}");
@@ -143,7 +143,7 @@ fn sql_and_row_events_nest_under_the_demanding_command() {
     {
         let mut s = m.session();
         let p0 = s.query(QJ).unwrap();
-        let _ = s.d(p0).unwrap();
+        let _ = s.d(p0).unwrap().unwrap();
     }
     let text = t.render();
     assert!(text.contains("- sql server=db1"), "{text}");
@@ -161,7 +161,7 @@ fn explain_renders_three_plans_with_counts() {
     assert!(before.contains("== physical plan =="), "{before}");
     // Nothing navigated yet: every operator is unpulled.
     assert!(before.contains("[never pulled]"), "{before}");
-    let _ = s.d(p0).unwrap();
+    let _ = s.d(p0).unwrap().unwrap();
     let after = s.explain(p0);
     assert!(after.contains("[pulls=1 tuples=1]"), "{after}");
 }

@@ -121,12 +121,12 @@ fn example_2_1_session() {
     let m = fig2_mediator();
     let mut s = m.session();
     let p0 = s.query(Q1).unwrap();
-    let p1 = s.d(p0).unwrap();
-    let p2 = s.r(p1).unwrap();
-    let p3 = s.d(p1).unwrap();
-    assert_eq!(s.fl(p1).unwrap().as_str(), "CustRec");
-    assert_eq!(s.fl(p2).unwrap().as_str(), "CustRec");
-    assert_eq!(s.fl(p3).unwrap().as_str(), "customer");
+    let p1 = s.d(p0).unwrap().unwrap();
+    let p2 = s.r(p1).unwrap().unwrap();
+    let p3 = s.d(p1).unwrap().unwrap();
+    assert_eq!(s.fl(p1).unwrap().unwrap().as_str(), "CustRec");
+    assert_eq!(s.fl(p2).unwrap().unwrap().as_str(), "CustRec");
+    assert_eq!(s.fl(p3).unwrap().unwrap().as_str(), "customer");
     // p4 = q(Q2, p0) — composition from the root.
     let p4 = s
         .q(
@@ -134,11 +134,11 @@ fn example_2_1_session() {
             p0,
         )
         .unwrap();
-    let p5 = s.d(p4).unwrap();
-    let p6 = s.d(p5).unwrap();
-    let p7 = s.r(p6).unwrap();
-    assert_eq!(s.fl(p6).unwrap().as_str(), "customer");
-    assert_eq!(s.fl(p7).unwrap().as_str(), "OrderInfo");
+    let p5 = s.d(p4).unwrap().unwrap();
+    let p6 = s.d(p5).unwrap().unwrap();
+    let p7 = s.r(p6).unwrap().unwrap();
+    assert_eq!(s.fl(p6).unwrap().unwrap().as_str(), "customer");
+    assert_eq!(s.fl(p7).unwrap().unwrap().as_str(), "OrderInfo");
     // p9 = q(Q3, p5) — decontextualized in-place query.
     let p9 = s
         .q(
@@ -146,7 +146,7 @@ fn example_2_1_session() {
             p5,
         )
         .unwrap();
-    assert_eq!(s.child_count(p9), 1);
+    assert_eq!(s.child_count(p9).unwrap(), 1);
 }
 
 /// Figs. 8–9: the in-place query and its plan.
@@ -169,7 +169,7 @@ fn fig10_decontextualized_plan() {
     let m = fig2_mediator();
     let mut s = m.session();
     let p0 = s.query(Q1).unwrap();
-    let p1 = s.d(p0).unwrap(); // CustRec f(&DEF345)
+    let p1 = s.d(p0).unwrap().unwrap(); // CustRec f(&DEF345)
     let p9 = s
         .q(
             "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 0 RETURN $O",
@@ -247,8 +247,8 @@ fn fig22_final_sql() {
     };
     let mut s = m.session();
     let p = s.query(Q_FIG12).unwrap();
-    assert_eq!(s.child_count(p), 1);
-    let rec = s.d(p).unwrap();
+    assert_eq!(s.child_count(p).unwrap(), 1);
+    let rec = s.d(p).unwrap().unwrap();
     assert_eq!(s.oid(rec).to_string(), "&($V,f(&XYZ123))");
 }
 
@@ -267,21 +267,21 @@ fn table1_stateless_gby_navigation() {
     let stats = db.stats().clone();
     // getRoot/d: the first group appears after pulling only its first
     // underlying tuple (plus the join's build side).
-    let g1 = s.next().unwrap();
+    let g1 = s.next().unwrap().unwrap();
     let after_first_group = stats.get(Counter::TuplesShipped);
     // r: the second group tuple requires draining group 1 underneath
     // (Table 1's `repeat r(bs) until keys differ` loop).
-    let g2 = s.next().unwrap();
+    let g2 = s.next().unwrap().unwrap();
     assert!(stats.get(Counter::TuplesShipped) >= after_first_group);
-    assert!(s.next().is_none());
+    assert!(s.next().unwrap().is_none());
     // Each group's partition holds that customer's orders.
     let ctx2 = &ctx;
     let part_of = |t: &mix::engine::LTuple| match t.get(&Name::new("X")) {
         Some(mix::engine::LVal::Part(p)) => p.clone(),
         _ => panic!("gBy output carries a partition"),
     };
-    assert_eq!(part_of(&g1).force().len(), 1); // DEF345
-    assert_eq!(part_of(&g2).force().len(), 2); // XYZ123
+    assert_eq!(part_of(&g1).force().unwrap().len(), 1); // DEF345
+    assert_eq!(part_of(&g2).force().unwrap().len(), 2); // XYZ123
     let _ = ctx2;
 }
 

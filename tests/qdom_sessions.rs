@@ -22,23 +22,23 @@ fn chained_queries_in_place() {
             p0,
         )
         .unwrap();
-    assert_eq!(s.child_count(p4), 2);
-    let p5 = s.d(p4).unwrap();
+    assert_eq!(s.child_count(p4).unwrap(), 2);
+    let p5 = s.d(p4).unwrap().unwrap();
     let p9 = s
         .q(
             "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 0 RETURN $O",
             p5,
         )
         .unwrap();
-    assert_eq!(s.child_count(p9), 1); // DEF345 has one order
-                                      // Compose once more from the newest result's root.
+    assert_eq!(s.child_count(p9).unwrap(), 1); // DEF345 has one order
+                                               // Compose once more from the newest result's root.
     let p10 = s
         .q(
             "FOR $X IN document(root)/OrderInfo WHERE $X/order/value < 1000 RETURN $X",
             p9,
         )
         .unwrap();
-    assert_eq!(s.child_count(p10), 1); // the 500 order again
+    assert_eq!(s.child_count(p10).unwrap(), 1); // the 500 order again
 }
 
 #[test]
@@ -53,7 +53,7 @@ fn auction_session_multiple_refinements() {
          RETURN <Listing> $C <Lens> $L </Lens> {$L} </Listing> {$C}",
         )
         .unwrap();
-    let all = s.child_count(p0);
+    let all = s.child_count(p0).unwrap();
     assert!(all > 0);
     let p1 = s
         .q(
@@ -61,16 +61,16 @@ fn auction_session_multiple_refinements() {
             p0,
         )
         .unwrap();
-    let rated = s.child_count(p1);
+    let rated = s.child_count(p1).unwrap();
     assert!(rated <= all);
-    if let Some(listing) = s.d(p1) {
+    if let Some(listing) = s.d(p1).unwrap() {
         let lenses = s
             .q(
                 "FOR $L IN document(root)/Lens WHERE $L/lens/cost < 800 RETURN $L",
                 listing,
             )
             .unwrap();
-        assert_eq!(s.child_count(lenses), 5); // every lens qualifies
+        assert_eq!(s.child_count(lenses).unwrap(), 5); // every lens qualifies
     }
 }
 
@@ -93,10 +93,10 @@ fn xml_file_source_sessions() {
     let p = s
         .query("FOR $B IN document(books)/book WHERE $B/year > 1999 RETURN <hit> $B </hit> {$B}")
         .unwrap();
-    assert_eq!(s.child_count(p), 2);
-    let hit = s.d(p).unwrap();
-    assert_eq!(s.fl(hit).unwrap().as_str(), "hit");
-    let book = s.d(hit).unwrap();
+    assert_eq!(s.child_count(p).unwrap(), 2);
+    let hit = s.d(p).unwrap().unwrap();
+    assert_eq!(s.fl(hit).unwrap().unwrap().as_str(), "hit");
+    let book = s.d(hit).unwrap().unwrap();
     assert_eq!(s.oid(book).to_string(), "&B2");
     // In-place query from a constructed node over a file source works
     // too — the whole plan just runs at the mediator.
@@ -106,7 +106,7 @@ fn xml_file_source_sessions() {
             hit,
         )
         .unwrap();
-    assert_eq!(s.child_count(refined), 0); // B2 is from 2000
+    assert_eq!(s.child_count(refined).unwrap(), 0); // B2 is from 2000
 }
 
 #[test]
@@ -126,8 +126,8 @@ fn error_paths_are_reported() {
     assert!(s.query("FOR $X IN document(root)/a RETURN $X").is_err());
     // q() from a leaf (no skolem context).
     let p0 = s.query(Q1).unwrap();
-    let rec = s.d(p0).unwrap();
-    let cust = s.d(rec).unwrap(); // a source-copied customer node
+    let rec = s.d(p0).unwrap().unwrap();
+    let cust = s.d(rec).unwrap().unwrap(); // a source-copied customer node
     let err = s
         .q("FOR $X IN document(root)/id RETURN $X", cust)
         .unwrap_err();
@@ -140,14 +140,14 @@ fn navigation_is_stable_and_repeatable() {
     let m = Mediator::new(catalog);
     let mut s = m.session();
     let p0 = s.query(Q1).unwrap();
-    let a1 = s.d(p0).unwrap();
-    let a2 = s.d(p0).unwrap();
+    let a1 = s.d(p0).unwrap().unwrap();
+    let a2 = s.d(p0).unwrap().unwrap();
     assert_eq!(a1, a2);
     assert_eq!(s.oid(a1), s.oid(a2));
     // Deep revisits produce identical handles.
-    let b1 = s.d(a1).unwrap();
+    let b1 = s.d(a1).unwrap().unwrap();
     let _ = s.r(b1);
-    let b2 = s.d(a1).unwrap();
+    let b2 = s.d(a1).unwrap().unwrap();
     assert_eq!(b1, b2);
 }
 
@@ -160,8 +160,8 @@ fn unsatisfiable_in_place_query_yields_empty_result() {
     let p = s
         .q("FOR $X IN document(root)/NoSuchThing RETURN $X", p0)
         .unwrap();
-    assert_eq!(s.child_count(p), 0);
-    assert!(s.fl(p).is_some());
+    assert_eq!(s.child_count(p).unwrap(), 0);
+    assert!(s.fl(p).unwrap().is_some());
 }
 
 #[test]
@@ -173,14 +173,14 @@ fn eager_sessions_support_decontextualization_too() {
     );
     let mut s = m.session();
     let p0 = s.query(Q1).unwrap();
-    let rec = s.d(p0).unwrap();
+    let rec = s.d(p0).unwrap().unwrap();
     let p = s
         .q(
             "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 0 RETURN $O",
             rec,
         )
         .unwrap();
-    assert_eq!(s.child_count(p), 1);
+    assert_eq!(s.child_count(p).unwrap(), 1);
 }
 
 #[test]
@@ -206,8 +206,8 @@ fn federated_mediators_stay_lazy() {
         0,
         "still virtual after two queries"
     );
-    let a1 = us.d(p).unwrap();
-    assert_eq!(us.fl(a1).unwrap().as_str(), "Account");
+    let a1 = us.d(p).unwrap().unwrap();
+    assert_eq!(us.fl(a1).unwrap().unwrap().as_str(), "Account");
     let shipped_one = stats.get(Counter::TuplesShipped);
     assert!(
         shipped_one <= 6,
@@ -215,16 +215,16 @@ fn federated_mediators_stay_lazy() {
     );
     // Draining everything ships the rest.
     let mut n = 1;
-    let mut cur = us.r(a1);
+    let mut cur = us.r(a1).unwrap();
     while let Some(c) = cur {
         n += 1;
-        cur = us.r(c);
+        cur = us.r(c).unwrap();
     }
     assert_eq!(n, 500);
     assert!(stats.get(Counter::TuplesShipped) >= 1000);
     // The federated content matches the lower view's content.
-    let inner = us.d(a1).unwrap();
-    assert_eq!(us.fl(inner).unwrap().as_str(), "CustRec");
+    let inner = us.d(a1).unwrap().unwrap();
+    assert_eq!(us.fl(inner).unwrap().unwrap().as_str(), "CustRec");
 }
 
 #[test]
@@ -239,7 +239,7 @@ fn schema_prune_avoids_sql_entirely() {
     let p = s
         .query("FOR $C IN source(&root1)/customer $X IN $C/bogus RETURN $X")
         .unwrap();
-    assert_eq!(s.child_count(p), 0);
+    assert_eq!(s.child_count(p).unwrap(), 0);
     assert_eq!(
         stats.get(Counter::SqlQueries),
         0,
@@ -249,7 +249,7 @@ fn schema_prune_avoids_sql_entirely() {
     let p2 = s
         .query("FOR $C IN source(&root1)/customer $X IN $C/name RETURN $X")
         .unwrap();
-    assert_eq!(s.child_count(p2), 2);
+    assert_eq!(s.child_count(p2).unwrap(), 2);
     assert!(stats.get(Counter::SqlQueries) > 0);
 }
 
@@ -262,7 +262,7 @@ fn decontextualized_query_ships_single_sql() {
     let m = Mediator::new(catalog);
     let mut s = m.session();
     let p0 = s.query(Q1).unwrap();
-    let p1 = s.d(p0).unwrap();
+    let p1 = s.d(p0).unwrap().unwrap();
     let p9 = s
         .q(
             "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O",
@@ -273,5 +273,5 @@ fn decontextualized_query_ships_single_sql() {
     assert_eq!(text.matches("rQ(").count(), 1, "{text}");
     assert!(text.contains("'DEF345'"), "{text}");
     assert!(text.contains("< 600"), "{text}");
-    assert_eq!(s.child_count(p9), 1);
+    assert_eq!(s.child_count(p9).unwrap(), 1);
 }
