@@ -73,5 +73,26 @@ fn main() {
         });
     }
 
+    // Regression pin for the small-block re-ramp: join_drain restarts a
+    // fresh `Auto` ramp for every cursor, so the mediator-side join used
+    // to re-pay 1-, 2-, 4-row pulls on each drain. One session with
+    // repeated drains exercises the session ramp floor: after the first
+    // drain, later cursors restart at the learned block size (the
+    // median iteration here is a *warm* drain).
+    for (label, block) in [("off", BlockPolicy::Off), ("auto", BlockPolicy::Auto)] {
+        let m = Mediator::with_options(
+            catalog.clone(),
+            MediatorOptions::builder()
+                .optimize(false)
+                .block(block)
+                .build(),
+        );
+        let mut s = m.session();
+        h.bench(&format!("join_drain_warm/{label}/{n}x{rows}"), || {
+            let p0 = s.query(Q1).unwrap();
+            s.child_count(p0)
+        });
+    }
+
     h.finish();
 }

@@ -1,0 +1,108 @@
+//! Pipelined-prefetch sweep: full Q1 drains at modelled backend RTTs of
+//! 0/1/5 ms, `Prefetch::Off` vs `Prefetch::Auto`.
+//!
+//! The synchronous path pays one full RTT per block, serially; the
+//! prefetcher issues pulls back-to-back (bounded by the channel depth)
+//! so consecutive RTTs overlap each other *and* the mediator-side work
+//! of decoding, tagging, and assembling the virtual view. Three shapes:
+//!
+//! * `q1_drain` — fresh mediator per iteration, optimized plan: the
+//!   per-query cost a cold client pays, dominated by RTTs once latency
+//!   is nonzero.
+//! * `q1_repeat` — one session, query re-issued per iteration: the
+//!   plan cache absorbs compile/optimize, so the residual is pure
+//!   execution — the steady-state cost an interactive client pays.
+//! * a counter run per case, recording `BlocksShipped` (must be
+//!   *identical* across prefetch policies — the ramp is replayed, not
+//!   renegotiated) plus `PrefetchHitBlocks`/`PrefetchStallNs`, the
+//!   "overlap is real" evidence for `BENCH_prefetch.json`.
+//!
+//! Pass `--smoke` for a seconds-scale CI run on a small database.
+
+use mix::prelude::*;
+use mix_bench::harness::Harness;
+use mix_bench::Q1;
+use std::time::Duration;
+
+fn policies() -> Vec<(&'static str, PrefetchPolicy)> {
+    vec![("off", PrefetchPolicy::Off), ("auto", PrefetchPolicy::Auto)]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut h = Harness::from_args("prefetch_overlap");
+    let (n, per) = if smoke { (60usize, 2usize) } else { (400, 2) };
+    if smoke {
+        h.measure_for(Duration::from_millis(30));
+    }
+    let rows = n * per;
+    let (catalog, db) = mix_repro::datagen::customers_orders(n, per, 31);
+    let stats = db.stats().clone();
+
+    for latency in [0u64, 1, 5] {
+        db.set_latency_ms(if latency == 0 { None } else { Some(latency) });
+
+        // Cold: a fresh mediator per iteration (compile + execute).
+        for (label, prefetch) in policies() {
+            let catalog = catalog.clone();
+            h.bench(&format!("q1_drain/{latency}ms/{label}/{n}x{rows}"), || {
+                let m = Mediator::with_options(
+                    catalog.clone(),
+                    MediatorOptions::builder().prefetch(prefetch).build(),
+                );
+                let mut s = m.session();
+                let p0 = s.query(Q1).unwrap();
+                s.child_count(p0)
+            });
+        }
+
+        // Warm: one session drains the same query five times. Runs 2–5
+        // hit the plan cache (and the session ramp floor), so the case
+        // approximates the steady-state cost an interactive client
+        // pays. A fresh session per iteration keeps the accumulated
+        // result state — and with it the median — bounded.
+        for (label, prefetch) in policies() {
+            let catalog = catalog.clone();
+            h.bench(
+                &format!("q1_repeat5/{latency}ms/{label}/{n}x{rows}"),
+                || {
+                    let m = Mediator::with_options(
+                        catalog.clone(),
+                        MediatorOptions::builder().prefetch(prefetch).build(),
+                    );
+                    let mut s = m.session();
+                    let mut total = 0usize;
+                    for _ in 0..5 {
+                        let p0 = s.query(Q1).unwrap();
+                        total += s.child_count(p0).unwrap();
+                    }
+                    total
+                },
+            );
+        }
+
+        // One instrumented drain per policy: the accounting evidence.
+        for (label, prefetch) in policies() {
+            stats.reset();
+            let m = Mediator::with_options(
+                catalog.clone(),
+                MediatorOptions::builder().prefetch(prefetch).build(),
+            );
+            let mut s = m.session();
+            let p0 = s.query(Q1).unwrap();
+            let _ = s.child_count(p0);
+            println!(
+                "counters/{latency}ms/{label}: tuples_shipped={} blocks_shipped={} \
+                 prefetch_hit_blocks={} prefetch_stall_ms={:.2} prefetch_aborted={}",
+                stats.get(Counter::TuplesShipped),
+                stats.get(Counter::BlocksShipped),
+                stats.get(Counter::PrefetchHitBlocks),
+                stats.get(Counter::PrefetchStallNs) as f64 / 1.0e6,
+                stats.get(Counter::PrefetchAborted),
+            );
+        }
+    }
+    db.set_latency_ms(None);
+
+    h.finish();
+}

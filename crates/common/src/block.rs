@@ -82,6 +82,24 @@ pub struct BlockRamp {
 }
 
 impl BlockRamp {
+    /// Floor the ramp's restart point: the next `Auto` pull starts at
+    /// `floor` (capped at [`MAX_AUTO_BLOCK`]) instead of 1 and doubles
+    /// from there. `Off` and `Fixed` ramps are unchanged — their sizes
+    /// are the policy, not an adaptation.
+    ///
+    /// This is the fix for the small-block re-ramp regression: when a
+    /// session has already demonstrated block-sized appetite (a join
+    /// drain, say), restarting every subsequent cursor at 1-row blocks
+    /// just re-pays per-pull overhead the ramp already learned to
+    /// amortize. The *first* cursor of a session still starts at 1, so
+    /// first-`d()`-ships-one-row laziness is untouched.
+    pub fn with_floor(mut self, floor: usize) -> BlockRamp {
+        if matches!(self.policy, BlockPolicy::Auto) {
+            self.next = self.next.max(floor.clamp(1, MAX_AUTO_BLOCK));
+        }
+        self
+    }
+
     /// The number of rows the next pull should fetch; advances the
     /// ramp. Always ≥ 1, and always exactly 1 on the first call.
     pub fn next_size(&mut self) -> usize {
@@ -164,6 +182,29 @@ mod tests {
         assert_eq!(BlockPolicy::Fixed(0).normalized(), BlockPolicy::Fixed(1));
         assert_eq!(BlockPolicy::Auto.normalized(), BlockPolicy::Auto);
         assert_eq!(BlockPolicy::Fixed(8).normalized(), BlockPolicy::Fixed(8));
+    }
+
+    #[test]
+    fn floor_lifts_auto_restart_only() {
+        // Auto: the ramp restarts at the floor and doubles from there.
+        let mut r = BlockPolicy::Auto.ramp().with_floor(16);
+        assert_eq!(r.next_size(), 16);
+        assert_eq!(r.next_size(), 32);
+        // The floor never exceeds the ceiling and never lowers a ramp
+        // that is already past it.
+        let mut hi = BlockPolicy::Auto.ramp().with_floor(10_000);
+        assert_eq!(hi.next_size(), MAX_AUTO_BLOCK);
+        let mut warm = BlockPolicy::Auto.ramp();
+        warm.next_size(); // 1
+        warm.next_size(); // 2
+        let mut warm = warm.with_floor(2);
+        assert_eq!(warm.next_size(), 4);
+        // Off and Fixed are policies, not adaptations: unchanged.
+        let mut off = BlockPolicy::Off.ramp().with_floor(64);
+        assert_eq!(off.next_size(), 1);
+        let mut fixed = BlockPolicy::Fixed(8).ramp().with_floor(64);
+        assert_eq!(fixed.next_size(), 1);
+        assert_eq!(fixed.next_size(), 8);
     }
 
     #[test]

@@ -21,13 +21,16 @@
 pub mod block;
 pub mod error;
 pub mod name;
+pub mod prefetch;
 pub mod retry;
+pub mod ring;
 pub mod stats;
 pub mod value;
 
 pub use block::{BlockPolicy, BlockRamp, MAX_AUTO_BLOCK};
 pub use error::{BackendError, FaultKind, MixError, Result, ResultContext};
 pub use name::Name;
+pub use prefetch::{PrefetchPolicy, AUTO_PREFETCH_DEPTH};
 pub use retry::RetryPolicy;
 pub use stats::{BlockRows, Counter, Delta, Snapshot, Stats};
 pub use value::{CmpOp, Value};

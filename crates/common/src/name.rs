@@ -2,19 +2,21 @@
 //!
 //! Variables (`$C`), element labels (`CustRec`), table and column names
 //! are copied around constantly by the translator, rewriter and engine.
-//! [`Name`] wraps `Rc<str>` so clones are reference-count bumps, while
-//! still comparing and hashing by string content.
+//! [`Name`] wraps `Arc<str>` so clones are reference-count bumps, while
+//! still comparing and hashing by string content. The atomic count (vs
+//! `Rc`) is what lets rows crossing the prefetch thread boundary carry
+//! their names along: `Name` is `Send + Sync`.
 
 use std::borrow::Borrow;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An interned-style identifier: variable, label, table or column name.
 ///
 /// Variables are stored *without* the `$` sigil; [`Name::display_var`]
 /// renders them with it.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Name(Rc<str>);
+pub struct Name(Arc<str>);
 
 impl Name {
     /// Create a name from any string-ish input, stripping one leading
@@ -22,7 +24,7 @@ impl Name {
     pub fn new(s: impl AsRef<str>) -> Name {
         let s = s.as_ref();
         let s = s.strip_prefix('$').unwrap_or(s);
-        Name(Rc::from(s))
+        Name(Arc::from(s))
     }
 
     /// The raw text (no sigil).

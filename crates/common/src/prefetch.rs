@@ -1,0 +1,108 @@
+//! Pipelined-prefetch policy.
+//!
+//! The paper's mediator pulls from a backend cursor *synchronously*:
+//! every block pull stalls the whole mediator for one backend round
+//! trip. [`PrefetchPolicy`] controls whether a cursor, once its first
+//! block has been demanded, hands the remaining pulls to a background
+//! prefetcher thread that keeps up to `depth` blocks in flight over a
+//! bounded channel — overlapping backend latency with mediator-side
+//! operator work.
+//!
+//! Laziness is preserved by construction: the prefetcher is armed only
+//! *after* the first demanded pull (which is served synchronously, so
+//! the first `d()` still ships exactly one row), and it follows the
+//! same [`crate::BlockRamp`] schedule the synchronous path would, so
+//! `BlocksShipped`/`BlockRows` accounting — and the chaos backend's
+//! fault schedule, which keys off the pull-size sequence — are
+//! bit-for-bit identical.
+
+/// How many blocks a cursor may speculatively keep in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PrefetchPolicy {
+    /// No speculation — every pull is a synchronous backend round trip
+    /// (the paper's model).
+    #[default]
+    Off,
+    /// Keep up to `n` blocks in flight (values are clamped to at least
+    /// 1; `Depth(0)` is normalized to `Depth(1)`).
+    Depth(usize),
+    /// Speculate only when it can pay: on statements whose backend
+    /// models a nonzero round-trip time, keep [`AUTO_PREFETCH_DEPTH`]
+    /// blocks in flight; on zero-RTT (local) backends stay synchronous,
+    /// since there is no latency to overlap and the thread + channel
+    /// would be pure overhead.
+    Auto,
+}
+
+/// Channel capacity used by [`PrefetchPolicy::Auto`]. Four in-flight
+/// blocks is enough to hide one block of backend round-trip time behind
+/// mediator work at every ramp stage while bounding readahead to a
+/// small constant multiple of what the consumer already demanded.
+pub const AUTO_PREFETCH_DEPTH: usize = 4;
+
+impl PrefetchPolicy {
+    /// Is any speculation enabled at all?
+    pub fn enabled(self) -> bool {
+        !matches!(self, PrefetchPolicy::Off)
+    }
+
+    /// The channel depth this policy wants, or `None` for `Off`.
+    pub fn depth(self) -> Option<usize> {
+        match self {
+            PrefetchPolicy::Off => None,
+            PrefetchPolicy::Depth(n) => Some(n.max(1)),
+            PrefetchPolicy::Auto => Some(AUTO_PREFETCH_DEPTH),
+        }
+    }
+
+    /// The policy with degenerate parameters pinned: `Depth(0)` →
+    /// `Depth(1)`; everything else unchanged. Plan-cache keys use this
+    /// so equivalent knob settings share cache entries.
+    pub fn normalized(self) -> PrefetchPolicy {
+        match self {
+            PrefetchPolicy::Depth(0) => PrefetchPolicy::Depth(1),
+            other => other,
+        }
+    }
+
+    /// Short label for EXPLAIN output and span attributes.
+    pub fn label(self) -> String {
+        match self {
+            PrefetchPolicy::Off => "off".to_string(),
+            PrefetchPolicy::Depth(n) => format!("depth({})", n.max(1)),
+            PrefetchPolicy::Auto => "auto".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_the_default_and_disables_depth() {
+        assert_eq!(PrefetchPolicy::default(), PrefetchPolicy::Off);
+        assert!(!PrefetchPolicy::Off.enabled());
+        assert_eq!(PrefetchPolicy::Off.depth(), None);
+    }
+
+    #[test]
+    fn depth_is_clamped_and_normalized() {
+        assert_eq!(PrefetchPolicy::Depth(0).depth(), Some(1));
+        assert_eq!(PrefetchPolicy::Depth(3).depth(), Some(3));
+        assert_eq!(
+            PrefetchPolicy::Depth(0).normalized(),
+            PrefetchPolicy::Depth(1)
+        );
+        assert_eq!(PrefetchPolicy::Auto.normalized(), PrefetchPolicy::Auto);
+        assert_eq!(PrefetchPolicy::Auto.depth(), Some(AUTO_PREFETCH_DEPTH));
+    }
+
+    #[test]
+    fn labels_for_explain() {
+        assert_eq!(PrefetchPolicy::Off.label(), "off");
+        assert_eq!(PrefetchPolicy::Depth(0).label(), "depth(1)");
+        assert_eq!(PrefetchPolicy::Depth(4).label(), "depth(4)");
+        assert_eq!(PrefetchPolicy::Auto.label(), "auto");
+    }
+}

@@ -1,0 +1,203 @@
+//! A bounded SPSC channel for the prefetch pipeline.
+//!
+//! `std::sync::mpsc` has no bounded non-blocking/blocking hybrid with
+//! the close semantics the prefetcher needs, and the workspace takes no
+//! external dependencies — so this is a small `Mutex` + `Condvar` ring:
+//!
+//! * [`Sender::send`] blocks while the ring is full (this is the
+//!   back-pressure that bounds readahead to the channel capacity) and
+//!   returns `Err` once the receiver is gone, which is how a dropped
+//!   cursor cancels a producer blocked mid-`send`.
+//! * [`Receiver::recv`] blocks while the ring is empty and returns
+//!   `None` once the sender is gone *and* the ring is drained — channel
+//!   close is how the producer signals exhaustion.
+//! * [`Receiver::try_recv`] never blocks; the prefetching cursor uses
+//!   it to distinguish "block was already waiting" (a prefetch hit)
+//!   from "must stall" (counted in `PrefetchStallNs`).
+//!
+//! Capacity is fixed at construction. One producer, one consumer; the
+//! handles are `Send` but not `Clone`.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Shared<T> {
+    q: Mutex<Ring<T>>,
+    /// Producer waits on this when full; consumer when empty. One
+    /// condvar is enough for SPSC: at most one thread waits per side.
+    cv: Condvar,
+}
+
+struct Ring<T> {
+    buf: VecDeque<T>,
+    cap: usize,
+    sender_alive: bool,
+    receiver_alive: bool,
+}
+
+/// Producer half of a [`channel`].
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Consumer half of a [`channel`].
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Result of a non-blocking [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecv<T> {
+    /// An item was waiting.
+    Item(T),
+    /// Nothing buffered, but the producer is still running.
+    Empty,
+    /// Producer gone and the ring drained: the stream is exhausted.
+    Closed,
+}
+
+/// A bounded channel of capacity `cap` (clamped to at least 1).
+pub fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        q: Mutex::new(Ring {
+            buf: VecDeque::with_capacity(cap.max(1)),
+            cap: cap.max(1),
+            sender_alive: true,
+            receiver_alive: true,
+        }),
+        cv: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Block until there is room, then enqueue `item`. Returns
+    /// `Err(item)` if the receiver is gone — the producer should treat
+    /// that as cancellation and wind down.
+    pub fn send(&self, item: T) -> Result<(), T> {
+        let mut q = self.shared.q.lock().unwrap();
+        loop {
+            if !q.receiver_alive {
+                return Err(item);
+            }
+            if q.buf.len() < q.cap {
+                q.buf.push_back(item);
+                self.shared.cv.notify_all();
+                return Ok(());
+            }
+            q = self.shared.cv.wait(q).unwrap();
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut q = self.shared.q.lock().unwrap();
+        q.sender_alive = false;
+        self.shared.cv.notify_all();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until an item arrives; `None` once the channel is closed
+    /// and drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut q = self.shared.q.lock().unwrap();
+        loop {
+            if let Some(item) = q.buf.pop_front() {
+                self.shared.cv.notify_all();
+                return Some(item);
+            }
+            if !q.sender_alive {
+                return None;
+            }
+            q = self.shared.cv.wait(q).unwrap();
+        }
+    }
+
+    /// Non-blocking poll.
+    pub fn try_recv(&self) -> TryRecv<T> {
+        let mut q = self.shared.q.lock().unwrap();
+        if let Some(item) = q.buf.pop_front() {
+            self.shared.cv.notify_all();
+            return TryRecv::Item(item);
+        }
+        if !q.sender_alive {
+            return TryRecv::Closed;
+        }
+        TryRecv::Empty
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut q = self.shared.q.lock().unwrap();
+        q.receiver_alive = false;
+        // Unbuffered items are dropped with the shared ring; what
+        // matters is waking a producer blocked in `send` so it can see
+        // the cancellation.
+        self.shared.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ships_in_order_and_closes_on_sender_drop() {
+        let (tx, rx) = channel(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.try_recv(), TryRecv::Item(2));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.try_recv(), TryRecv::<i32>::Closed);
+    }
+
+    #[test]
+    fn empty_try_recv_does_not_block() {
+        let (tx, rx) = channel::<i32>(1);
+        assert_eq!(rx.try_recv(), TryRecv::Empty);
+        drop(tx);
+        assert_eq!(rx.try_recv(), TryRecv::<i32>::Closed);
+    }
+
+    #[test]
+    fn full_channel_blocks_until_consumed() {
+        let (tx, rx) = channel(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || {
+            // Blocks until the consumer makes room; succeeds after.
+            tx.send(2).unwrap();
+        });
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn receiver_drop_unblocks_and_cancels_sender() {
+        let (tx, rx) = channel(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2));
+        // Give the producer a moment to block on the full ring, then
+        // drop the consumer: the blocked send must return Err(2).
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(rx);
+        assert_eq!(t.join().unwrap(), Err(2));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let (tx, rx) = channel(0);
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv(), Some(7));
+    }
+}

@@ -64,12 +64,12 @@ pub mod prelude {
     pub use mix_algebra::{translate, translate_with_root, validate, Plan};
     pub use mix_common::{
         BackendError, BlockPolicy, BlockRows, CmpOp, Counter, Delta, FaultKind, MixError, Name,
-        Result, ResultContext, RetryPolicy, Snapshot, Stats, Value, MAX_AUTO_BLOCK,
+        PrefetchPolicy, Result, ResultContext, RetryPolicy, Snapshot, Stats, Value, MAX_AUTO_BLOCK,
     };
     pub use mix_engine::{AccessMode, EvalContext, GByMode, VirtualResult};
     pub use mix_obs::{CollectingTracer, LogTracer, Tracer, TracerHandle};
     pub use mix_qdom::{Mediator, MediatorOptions, MediatorOptionsBuilder, QNode, QdomSession};
-    pub use mix_relational::{Database, FaultPolicy, Schema};
+    pub use mix_relational::{active_prefetchers, Database, FaultPolicy, Schema};
     pub use mix_rewrite::{optimize, rewrite, split_plan};
     pub use mix_wrapper::{Catalog, RelationSource};
     pub use mix_xml::{Document, NavDoc, Oid};

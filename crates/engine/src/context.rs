@@ -1,11 +1,14 @@
 //! Evaluation context: sources, counters, engine options.
 
 use crate::lval::{force_list, LList, LVal};
-use mix_common::{BlockPolicy, MixError, Name, Result, ResultContext, RetryPolicy, Stats, Value};
+use mix_common::{
+    BlockPolicy, BlockRamp, MixError, Name, PrefetchPolicy, Result, ResultContext, RetryPolicy,
+    Stats, Value, MAX_AUTO_BLOCK,
+};
 use mix_obs::TracerHandle;
 use mix_wrapper::Catalog;
 use mix_xml::{NavDoc, Oid};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -58,6 +61,16 @@ pub struct EvalContext {
     /// How transient backend faults are retried on every source fetch
     /// (lazy cursors and `rQ` drains alike).
     pub retry: RetryPolicy,
+    /// Pipelined prefetch at the backend cursor boundary
+    /// ([`PrefetchPolicy::Off`] = the paper's strictly demand-driven
+    /// model; `Depth(n)`/`Auto` overlap backend latency with mediator
+    /// work once a cursor's first block has been demanded).
+    pub prefetch: PrefetchPolicy,
+    /// Session high-water mark for `BlockPolicy::Auto` restarts: once a
+    /// drain in this session has ramped up, later cursors skip the
+    /// small-block warm-up below this floor (see
+    /// [`EvalContext::block_ramp`]).
+    ramp_floor: Cell<usize>,
     stats: Stats,
     docs: RefCell<HashMap<Name, Rc<dyn NavDoc>>>,
 }
@@ -73,8 +86,29 @@ impl EvalContext {
             tracer: TracerHandle::null(),
             block: BlockPolicy::default(),
             retry: RetryPolicy::default(),
+            prefetch: PrefetchPolicy::default(),
+            ramp_floor: Cell::new(1),
             stats: Stats::new(),
             docs: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// A fresh block ramp for one cursor, floored at the session's
+    /// high-water mark (affects `BlockPolicy::Auto` only — `Off` and
+    /// `Fixed` ramps are returned unchanged). A repeated drain in the
+    /// same session thus skips the 1→2→4… warm-up that made small
+    /// fixed blocks beat `Auto` on short re-drains.
+    pub fn block_ramp(&self) -> BlockRamp {
+        self.block.ramp().with_floor(self.ramp_floor.get())
+    }
+
+    /// Record an observed block size, lifting the session ramp floor.
+    /// Blocks below 8 rows are ignored: warm-up steps and final partial
+    /// blocks must not drag the floor around, and tiny floors save
+    /// nothing anyway.
+    pub fn note_block(&self, rows: usize) {
+        if rows >= 8 && rows > self.ramp_floor.get() {
+            self.ramp_floor.set(rows.min(MAX_AUTO_BLOCK));
         }
     }
 
@@ -103,7 +137,7 @@ impl EvalContext {
         let d = match self.mode {
             AccessMode::Lazy => self
                 .catalog
-                .lazy_with_opts(name.as_str(), self.block, self.retry)
+                .lazy_with_policies(name.as_str(), self.block, self.retry, self.prefetch)
                 .context(name)?,
             AccessMode::Eager => self.catalog.materialized(name.as_str()).context(name)?,
         };

@@ -72,6 +72,13 @@ pub trait TStream {
         }
         Ok(k)
     }
+
+    /// Hint that this stream is about to be drained to exhaustion: an
+    /// `rQ` stream starts its armed prefetcher now (laziness is moot
+    /// for a consumer committed to a full drain), overlapping its
+    /// backend fetch with whatever the caller does first. Default
+    /// no-op; pass-through operators forward to their input.
+    fn prime(&mut self) {}
 }
 
 /// Drain `s` to exhaustion into `out`, block at a time (the shared
@@ -96,11 +103,13 @@ struct BlockBuf {
 }
 
 impl BlockBuf {
-    fn new(policy: mix_common::BlockPolicy) -> BlockBuf {
+    /// `ramp` is the context's (session-floored) ramp for the policy —
+    /// see [`EvalContext::block_ramp`].
+    fn new(policy: mix_common::BlockPolicy, ramp: mix_common::BlockRamp) -> BlockBuf {
         BlockBuf {
             buf: VecDeque::new(),
             off: policy == mix_common::BlockPolicy::Off,
-            ramp: policy.ramp(),
+            ramp,
             done: false,
             scratch: Vec::new(),
         }
@@ -435,8 +444,21 @@ pub(crate) fn build_stream_profiled(
             extra.push(("server", server.to_string()));
             extra.push(("sql", sql.to_string()));
             extra.push(("block", ctx.block.label()));
+            if ctx.prefetch.enabled() {
+                // Only when on, so pinned span/EXPLAIN trees for the
+                // default configuration stay byte-identical.
+                extra.push(("prefetch", ctx.prefetch.label()));
+            }
             let db = ctx.catalog().database(server.as_str()).context(server)?;
-            let cursor = db.execute(sql).context(server)?;
+            let mut cursor = db.execute(sql).context(server)?;
+            let ramp = ctx.block_ramp();
+            if ctx.prefetch.enabled() {
+                // The clone predates every next_size() call on `ramp`,
+                // so the prefetcher replays this stream's exact pull
+                // schedule (the cursor advances the mirror past the one
+                // pull it serves synchronously).
+                cursor.enable_prefetch(ctx.prefetch, ramp.clone(), ctx.retry);
+            }
             let decoder = match ctx.block {
                 mix_common::BlockPolicy::Off => None,
                 _ => Some(RqDecoder::new(map)),
@@ -447,7 +469,7 @@ pub(crate) fn build_stream_profiled(
                 map: map.clone(),
                 vars: Rc::new(map.iter().map(|b| b.var.clone()).collect()),
                 pending: VecDeque::new(),
-                ramp: ctx.block.ramp(),
+                ramp,
                 rbuf: Vec::new(),
                 decoder,
                 profile: profile.cloned(),
@@ -603,6 +625,10 @@ impl TStream for TracedStream {
         }
         Ok(k)
     }
+
+    fn prime(&mut self) {
+        self.inner.prime();
+    }
 }
 
 impl Drop for TracedStream {
@@ -752,6 +778,10 @@ impl TStream for GetDStream {
             }
         }
     }
+
+    fn prime(&mut self) {
+        self.input.prime();
+    }
 }
 
 struct SelectStream {
@@ -793,6 +823,10 @@ impl TStream for SelectStream {
         }
         Ok(k)
     }
+
+    fn prime(&mut self) {
+        self.input.prime();
+    }
 }
 
 /// Projection. Note: unlike the eager π̃, the streaming projection does
@@ -825,6 +859,10 @@ impl TStream for ProjectStream {
         }
         Ok(got)
     }
+
+    fn prime(&mut self) {
+        self.input.prime();
+    }
 }
 
 /// Nested-loop join, lazy in its left (driver) input; the right input
@@ -850,6 +888,13 @@ impl TStream for JoinStream {
     fn next(&mut self) -> Result<Option<LTuple>> {
         loop {
             if self.cur_left.is_none() {
+                if let Some(r) = self.right.as_mut() {
+                    // The build side will be drained as soon as a left
+                    // tuple arrives; let its prefetcher fetch while the
+                    // left pull does mediator work. An empty driver
+                    // still never *drains* the inner input.
+                    r.prime();
+                }
                 let Some(l) = self.left.next()? else {
                     return Ok(None);
                 };
@@ -924,6 +969,9 @@ impl TStream for HashJoinStream {
     fn next(&mut self) -> Result<Option<LTuple>> {
         loop {
             if self.cur_left.is_none() {
+                if let Some(r) = self.right.as_mut() {
+                    r.prime();
+                }
                 let Some(l) = self.left.next()? else {
                     return Ok(None);
                 };
@@ -959,6 +1007,9 @@ impl TStream for HashJoinStream {
         let mut k = 0;
         while k < n {
             if self.cur_left.is_none() {
+                if let Some(r) = self.right.as_mut() {
+                    r.prime();
+                }
                 let Some(l) = self.left.next()? else { break };
                 self.build()?;
                 self.cur_key = tuple_key(&self.ctx, &l, &self.pairs, Side::Left);
@@ -1011,6 +1062,9 @@ impl TStream for SemiJoinStream {
 
     fn next(&mut self) -> Result<Option<LTuple>> {
         loop {
+            if let Some(o) = self.other.as_mut() {
+                o.prime();
+            }
             let Some(t) = self.kept.next()? else {
                 return Ok(None);
             };
@@ -1087,6 +1141,9 @@ impl TStream for HashSemiJoinStream {
 
     fn next(&mut self) -> Result<Option<LTuple>> {
         loop {
+            if let Some(o) = self.other.as_mut() {
+                o.prime();
+            }
             let Some(t) = self.kept.next()? else {
                 return Ok(None);
             };
@@ -1174,6 +1231,10 @@ impl TStream for MapStream {
         }
         Ok(got)
     }
+
+    fn prime(&mut self) {
+        self.input.prime();
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1226,7 +1287,7 @@ impl GByStream {
     ) -> GByStream {
         let in_vars = input.vars();
         let vars: Vec<Name> = group.iter().cloned().chain([out]).collect();
-        let block = BlockBuf::new(ctx.block);
+        let block = BlockBuf::new(ctx.block, ctx.block_ramp());
         GByStream {
             ctx,
             shared: Rc::new(RefCell::new(GByShared {
@@ -1819,9 +1880,13 @@ impl RelQueryStream {
                 self.counted_retries = total;
             }
         }
-        if got? == 0 {
+        let got = got?;
+        if got == 0 {
             return Ok(false);
         }
+        // Lift the session's Auto-ramp floor: a later cursor in this
+        // session skips the warm-up this drain already paid for.
+        self.ctx.note_block(got);
         match &mut self.decoder {
             Some(dec) => {
                 for row in self.rbuf.drain(..) {
@@ -1877,6 +1942,10 @@ impl TStream for RelQueryStream {
             }
         }
         Ok(k)
+    }
+
+    fn prime(&mut self) {
+        self.cursor.prime_prefetch();
     }
 }
 

@@ -115,7 +115,7 @@ impl VirtualResult {
             kids: Vec::new(),
             kids_done: false,
         };
-        let ramp = ctx.block.ramp();
+        let ramp = ctx.block_ramp();
         Ok(VirtualResult {
             ctx,
             name,

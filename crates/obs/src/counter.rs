@@ -1,19 +1,23 @@
 //! Typed work counters.
 //!
-//! Counters use `Cell` (the engine is single-threaded by design — the
-//! QDOM protocol is a synchronous command loop) wrapped in `Rc` by the
-//! owners that share them. The counter set is closed and typed: adding
-//! a counter means adding a [`Counter`] variant, and every read goes
-//! through [`Stats::get`] or the [`Snapshot`]/[`Delta`] API rather than
-//! per-counter getters.
+//! Counters use relaxed atomics wrapped in `Arc` by the owners that
+//! share them. The engine proper is single-threaded by design (the
+//! QDOM protocol is a synchronous command loop), but the pipelined
+//! prefetcher runs its retry loop on a background thread and must
+//! account `RetriesAttempted`/`FaultsInjected`/backoff there — so the
+//! counter cells are `AtomicU64` rather than `Cell`. All accesses are
+//! `Relaxed`: counters are statistics, not synchronization. The counter
+//! set is closed and typed: adding a counter means adding a [`Counter`]
+//! variant, and every read goes through [`Stats::get`] or the
+//! [`Snapshot`]/[`Delta`] API rather than per-counter getters.
 
-use std::cell::Cell;
 use std::fmt;
 use std::ops::Index;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Number of counters (one per [`Counter`] variant).
-const N: usize = 16;
+const N: usize = 19;
 
 /// One kind of work the substrate counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,6 +69,17 @@ pub enum Counter {
     /// Total milliseconds of retry backoff scheduled (0 under the
     /// deterministic test policy, whose base backoff is zero).
     RetryBackoffMs,
+    /// Blocks the consumer found already waiting in the prefetch
+    /// channel (no stall): the pipelined prefetcher hid the backend
+    /// round trip for these.
+    PrefetchHitBlocks,
+    /// Nanoseconds the consumer spent blocked waiting on the prefetch
+    /// channel. `PrefetchStallNs` near zero with many
+    /// `PrefetchHitBlocks` is what "the overlap is real" looks like.
+    PrefetchStallNs,
+    /// Prefetcher threads cancelled before they drained their cursor
+    /// (session dropped mid-drain, error latched above, …).
+    PrefetchAborted,
 }
 
 impl Counter {
@@ -86,6 +101,9 @@ impl Counter {
         Counter::FaultsInjected,
         Counter::BackendErrors,
         Counter::RetryBackoffMs,
+        Counter::PrefetchHitBlocks,
+        Counter::PrefetchStallNs,
+        Counter::PrefetchAborted,
     ];
 
     /// A stable snake_case label (table rendering, log output).
@@ -107,6 +125,9 @@ impl Counter {
             Counter::FaultsInjected => "faults_injected",
             Counter::BackendErrors => "backend_errors",
             Counter::RetryBackoffMs => "retry_backoff_ms",
+            Counter::PrefetchHitBlocks => "prefetch_hit_blocks",
+            Counter::PrefetchStallNs => "prefetch_stall_ns",
+            Counter::PrefetchAborted => "prefetch_aborted",
         }
     }
 
@@ -122,28 +143,30 @@ impl fmt::Display for Counter {
 }
 
 /// Shared mutable counter set. Clone to share (reference semantics).
+/// `Send + Sync`: the prefetcher thread bumps retry/fault counters
+/// directly.
 #[derive(Debug, Clone, Default)]
 pub struct Stats {
-    inner: Rc<StatsInner>,
+    inner: Arc<StatsInner>,
 }
 
 #[derive(Debug)]
 struct StatsInner {
-    counts: [Cell<u64>; N],
+    counts: [AtomicU64; N],
     // Per-block row counts, tracked outside the Snapshot/Delta arrays:
     // they are aggregates (min/max/total), not monotone counters.
-    block_min: Cell<u64>,
-    block_max: Cell<u64>,
-    block_rows: Cell<u64>,
+    block_min: AtomicU64,
+    block_max: AtomicU64,
+    block_rows: AtomicU64,
 }
 
 impl Default for StatsInner {
     fn default() -> StatsInner {
         StatsInner {
-            counts: std::array::from_fn(|_| Cell::new(0)),
-            block_min: Cell::new(0),
-            block_max: Cell::new(0),
-            block_rows: Cell::new(0),
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            block_min: AtomicU64::new(0),
+            block_max: AtomicU64::new(0),
+            block_rows: AtomicU64::new(0),
         }
     }
 }
@@ -178,8 +201,7 @@ impl Stats {
 
     /// Increment `c` by `n`.
     pub fn add(&self, c: Counter, n: u64) {
-        let cell = &self.inner.counts[c.idx()];
-        cell.set(cell.get() + n);
+        self.inner.counts[c.idx()].fetch_add(n, Ordering::Relaxed);
     }
 
     /// Increment `c` by one.
@@ -189,7 +211,7 @@ impl Stats {
 
     /// Read one counter.
     pub fn get(&self, c: Counter) -> u64 {
-        self.inner.counts[c.idx()].get()
+        self.inner.counts[c.idx()].load(Ordering::Relaxed)
     }
 
     /// Record one shipped block of `rows` tuples: bumps
@@ -199,16 +221,20 @@ impl Stats {
     /// every counter that ships rows does so in blocks.
     pub fn record_block(&self, rows: u64) {
         self.inc(Counter::BlocksShipped);
-        let min = self.inner.block_min.get();
-        if min == 0 || rows < min {
-            self.inner.block_min.set(rows);
-        }
-        if rows > self.inner.block_max.get() {
-            self.inner.block_max.set(rows);
-        }
-        self.inner
-            .block_rows
-            .set(self.inner.block_rows.get() + rows);
+        // 0 is the "unset" sentinel for the minimum; blocks are ≥ 1.
+        let _ = self
+            .inner
+            .block_min
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |min| {
+                (min == 0 || rows < min).then_some(rows)
+            });
+        let _ = self
+            .inner
+            .block_max
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |max| {
+                (rows > max).then_some(rows)
+            });
+        self.inner.block_rows.fetch_add(rows, Ordering::Relaxed);
     }
 
     /// Min/max/total rows per shipped block, or `None` before any block
@@ -218,26 +244,26 @@ impl Stats {
             return None;
         }
         Some(BlockRows {
-            min: self.inner.block_min.get(),
-            max: self.inner.block_max.get(),
-            total: self.inner.block_rows.get(),
+            min: self.inner.block_min.load(Ordering::Relaxed),
+            max: self.inner.block_max.load(Ordering::Relaxed),
+            total: self.inner.block_rows.load(Ordering::Relaxed),
         })
     }
 
     /// Reset every counter to zero (between benchmark trials).
     pub fn reset(&self) {
         for cell in &self.inner.counts {
-            cell.set(0);
+            cell.store(0, Ordering::Relaxed);
         }
-        self.inner.block_min.set(0);
-        self.inner.block_max.set(0);
-        self.inner.block_rows.set(0);
+        self.inner.block_min.store(0, Ordering::Relaxed);
+        self.inner.block_max.store(0, Ordering::Relaxed);
+        self.inner.block_rows.store(0, Ordering::Relaxed);
     }
 
     /// Capture the current counter values.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
-            counts: std::array::from_fn(|i| self.inner.counts[i].get()),
+            counts: std::array::from_fn(|i| self.inner.counts[i].load(Ordering::Relaxed)),
         }
     }
 }
@@ -275,7 +301,8 @@ impl fmt::Display for Snapshot {
             f,
             "sql={} shipped={} scanned={} nav={} medops={} nodes={} \
              hash={} probes={} nlfb={} pc={}+{} blocks={} retries={} \
-             faults={} backend_errs={} backoff_ms={}",
+             faults={} backend_errs={} backoff_ms={} pf_hit={} \
+             pf_stall_ns={} pf_aborted={}",
             self.get(Counter::SqlQueries),
             self.get(Counter::TuplesShipped),
             self.get(Counter::RowsScanned),
@@ -292,6 +319,9 @@ impl fmt::Display for Snapshot {
             self.get(Counter::FaultsInjected),
             self.get(Counter::BackendErrors),
             self.get(Counter::RetryBackoffMs),
+            self.get(Counter::PrefetchHitBlocks),
+            self.get(Counter::PrefetchStallNs),
+            self.get(Counter::PrefetchAborted),
         )
     }
 }
@@ -338,7 +368,7 @@ impl fmt::Display for Delta {
         for c in Counter::ALL {
             let v = self.get(c);
             if v != 0 {
-                writeln!(f, "  {:<18} {v}", c.label())?;
+                writeln!(f, "  {:<19} {v}", c.label())?;
             }
         }
         Ok(())
@@ -356,6 +386,22 @@ mod tests {
         a.add(Counter::TuplesShipped, 3);
         b.add(Counter::TuplesShipped, 2);
         assert_eq!(a.get(Counter::TuplesShipped), 5);
+    }
+
+    #[test]
+    fn counters_shared_across_threads() {
+        let a = Stats::new();
+        let b = a.clone();
+        let t = std::thread::spawn(move || {
+            for _ in 0..100 {
+                b.inc(Counter::RetriesAttempted);
+            }
+        });
+        for _ in 0..100 {
+            a.inc(Counter::RetriesAttempted);
+        }
+        t.join().unwrap();
+        assert_eq!(a.get(Counter::RetriesAttempted), 200);
     }
 
     #[test]
@@ -400,7 +446,13 @@ mod tests {
         assert_eq!(Counter::FaultsInjected.to_string(), "faults_injected");
         assert_eq!(Counter::BackendErrors.to_string(), "backend_errors");
         assert_eq!(Counter::RetryBackoffMs.to_string(), "retry_backoff_ms");
-        assert_eq!(Counter::ALL.len(), 16);
+        assert_eq!(
+            Counter::PrefetchHitBlocks.to_string(),
+            "prefetch_hit_blocks"
+        );
+        assert_eq!(Counter::PrefetchStallNs.to_string(), "prefetch_stall_ns");
+        assert_eq!(Counter::PrefetchAborted.to_string(), "prefetch_aborted");
+        assert_eq!(Counter::ALL.len(), 19);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The MIX mediator: sources, views, and session factory.
 
 use mix_algebra::{translate_with_root, Plan};
-use mix_common::{BlockPolicy, MixError, Name, Result, RetryPolicy};
+use mix_common::{BlockPolicy, MixError, Name, PrefetchPolicy, Result, RetryPolicy};
 use mix_engine::{AccessMode, GByMode};
 use mix_obs::TracerHandle;
 use mix_wrapper::Catalog;
@@ -51,6 +51,16 @@ pub struct MediatorOptions {
     /// times with no sleep; [`RetryPolicy::none`] surfaces every fault
     /// immediately.
     pub retry: RetryPolicy,
+    /// Pipelined prefetch at the backend cursor boundary.
+    /// [`PrefetchPolicy::Off`] (the default) is the paper's strictly
+    /// demand-driven protocol; `Depth(n)`/`Auto` let a per-cursor
+    /// background thread keep up to n blocks in flight *after* the
+    /// first block has been demanded, overlapping backend round trips
+    /// with mediator work (`Auto` additionally stays synchronous on
+    /// zero-RTT backends, where there is nothing to overlap). Laziness,
+    /// shipped-tuple accounting and the fault/retry schedule are
+    /// unchanged (the prefetcher replays the consumer's block ramp).
+    pub prefetch: PrefetchPolicy,
 }
 
 impl Default for MediatorOptions {
@@ -63,6 +73,7 @@ impl Default for MediatorOptions {
             tracer: TracerHandle::new(std::rc::Rc::new(mix_obs::LogTracer::from_env())),
             block: BlockPolicy::default(),
             retry: RetryPolicy::default(),
+            prefetch: PrefetchPolicy::default(),
         }
     }
 }
@@ -122,6 +133,12 @@ impl MediatorOptionsBuilder {
     /// Pick the backend retry policy.
     pub fn retry(mut self, retry: RetryPolicy) -> Self {
         self.opts.retry = retry;
+        self
+    }
+
+    /// Pick the pipelined-prefetch policy for backend cursors.
+    pub fn prefetch(mut self, prefetch: PrefetchPolicy) -> Self {
+        self.opts.prefetch = prefetch;
         self
     }
 

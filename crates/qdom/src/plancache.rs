@@ -21,7 +21,7 @@
 //! back to the ordinary (correct, slower) pipeline.
 
 use mix_algebra::{Cond, CondArg, Op, Plan};
-use mix_common::{BlockPolicy, Name, Value};
+use mix_common::{BlockPolicy, Name, PrefetchPolicy, Value};
 use mix_engine::NodeContext;
 use mix_relational::Operand;
 use mix_rewrite::RewriteTrace;
@@ -51,6 +51,7 @@ pub(crate) struct CacheKey {
     shape: SkolemShape,
     hash_joins: bool,
     block: BlockPolicy,
+    prefetch: PrefetchPolicy,
 }
 
 impl CacheKey {
@@ -64,6 +65,7 @@ impl CacheKey {
         ctx: &NodeContext,
         hash_joins: bool,
         block: BlockPolicy,
+        prefetch: PrefetchPolicy,
     ) -> Option<(CacheKey, Vec<Oid>)> {
         let (func, var, args) = ctx.oid.as_skolem()?;
         let mut shape = vec![(func.to_string(), var.to_string(), args.len())];
@@ -87,6 +89,8 @@ impl CacheKey {
             hash_joins,
             // Fixed(0) and Fixed(1) compile to the same plans.
             block: block.normalized(),
+            // Depth(0) clamps to Depth(1) at the cursor; same plans.
+            prefetch: prefetch.normalized(),
         };
         Some((key, slots))
     }
@@ -405,6 +409,7 @@ mod tests {
                 shape: shape.clone(),
                 hash_joins: true,
                 block: BlockPolicy::Auto,
+                prefetch: PrefetchPolicy::Off,
             };
             cache.insert(
                 key,
@@ -425,6 +430,7 @@ mod tests {
             shape,
             hash_joins: true,
             block: BlockPolicy::Auto,
+            prefetch: PrefetchPolicy::Off,
         };
         assert!(cache.lookup(&key0, &[key_slot("K")], "rootv0").is_none());
     }
@@ -439,8 +445,9 @@ mod tests {
             oid: Oid::skolem("f", "V", vec![key_slot("DEF345")]),
             ancestors: vec![],
         };
+        let pf = PrefetchPolicy::Off;
         let (key, slots) =
-            CacheKey::new("q", 0, &ctx, true, BlockPolicy::Auto).expect("skolem oid");
+            CacheKey::new("q", 0, &ctx, true, BlockPolicy::Auto, pf).expect("skolem oid");
         cache.insert(
             key,
             slots.clone(),
@@ -452,16 +459,39 @@ mod tests {
             &empty_plan(),
         );
         // Same query/node, different knobs: structural misses.
-        let (nl_key, _) = CacheKey::new("q", 0, &ctx, false, BlockPolicy::Auto).unwrap();
+        let (nl_key, _) = CacheKey::new("q", 0, &ctx, false, BlockPolicy::Auto, pf).unwrap();
         assert!(cache.lookup(&nl_key, &slots, "rootv1").is_none());
-        let (off_key, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Off).unwrap();
+        let (off_key, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Off, pf).unwrap();
         assert!(cache.lookup(&off_key, &slots, "rootv1").is_none());
+        let (pf_key, _) =
+            CacheKey::new("q", 0, &ctx, true, BlockPolicy::Auto, PrefetchPolicy::Auto).unwrap();
+        assert!(cache.lookup(&pf_key, &slots, "rootv1").is_none());
         // The original knobs still hit, and Fixed(0) normalizes to
         // Fixed(1) rather than minting a third key for the same plans.
-        let (same, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Auto).unwrap();
+        let (same, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Auto, pf).unwrap();
         assert!(cache.lookup(&same, &slots, "rootv1").is_some());
-        let (f0, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Fixed(0)).unwrap();
-        let (f1, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Fixed(1)).unwrap();
+        let (f0, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Fixed(0), pf).unwrap();
+        let (f1, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Fixed(1), pf).unwrap();
         assert_eq!(f0, f1);
+        // Depth(0) normalizes to Depth(1) likewise.
+        let (d0, _) = CacheKey::new(
+            "q",
+            0,
+            &ctx,
+            true,
+            BlockPolicy::Auto,
+            PrefetchPolicy::Depth(0),
+        )
+        .unwrap();
+        let (d1, _) = CacheKey::new(
+            "q",
+            0,
+            &ctx,
+            true,
+            BlockPolicy::Auto,
+            PrefetchPolicy::Depth(1),
+        )
+        .unwrap();
+        assert_eq!(d0, d1);
     }
 }

@@ -78,6 +78,7 @@ impl<'m> QdomSession<'m> {
         ctx.tracer = opts.tracer.clone();
         ctx.block = opts.block;
         ctx.retry = opts.retry;
+        ctx.prefetch = opts.prefetch;
         // Sources share the session's tracer, so SQL issuance and row
         // shipping show up as events under the operator that caused
         // them.
@@ -149,7 +150,14 @@ impl<'m> QdomSession<'m> {
         // cache before running the translate → splice → rewrite
         // pipeline.
         let nctx = self.context(p);
-        let cache_key = CacheKey::new(text, p.result, &nctx, self.ctx.hash_joins, self.ctx.block);
+        let cache_key = CacheKey::new(
+            text,
+            p.result,
+            &nctx,
+            self.ctx.hash_joins,
+            self.ctx.block,
+            self.ctx.prefetch,
+        );
         if let Some((key, new_slots)) = &cache_key {
             if let Some((exec, logical, naive, trace)) =
                 self.plan_cache.lookup(key, new_slots, &result_name)

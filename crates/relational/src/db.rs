@@ -12,12 +12,13 @@ use mix_obs::TracerHandle;
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// An in-memory relational database acting as one MIX source server.
 #[derive(Debug, Clone)]
 pub struct Database {
     name: Name,
-    tables: BTreeMap<Name, Rc<Table>>,
+    tables: BTreeMap<Name, Arc<Table>>,
     stats: Stats,
     /// Shared across clones (like `stats`), so a session can point an
     /// already-wrapped database at its tracer.
@@ -26,6 +27,11 @@ pub struct Database {
     /// clones so tests can flip faults on a database the mediator
     /// already holds.
     fault: Rc<Cell<Option<FaultPolicy>>>,
+    /// Modelled backend RTT in milliseconds, resolved per statement at
+    /// execute time (see [`Database::set_latency_ms`]); overrides the
+    /// fault policy's `latency_ms` and applies even with no faults
+    /// installed. Shared across clones like `fault`.
+    latency_ms: Rc<Cell<Option<u64>>>,
     /// Statement sequence number — salts the per-statement fault RNG so
     /// each statement gets an independent, reproducible schedule.
     stmt_seq: Rc<Cell<u64>>,
@@ -41,6 +47,7 @@ impl Database {
             stats: Stats::new(),
             tracer: Rc::new(RefCell::new(TracerHandle::null())),
             fault: Rc::new(Cell::new(None)),
+            latency_ms: Rc::new(Cell::new(None)),
             stmt_seq: Rc::new(Cell::new(0)),
         }
     }
@@ -63,6 +70,24 @@ impl Database {
         self.fault.get()
     }
 
+    /// Model this backend's round-trip time: every block pull of a
+    /// statement executed *after* this call costs `ms` milliseconds of
+    /// wall clock (`None` clears it). Resolved per statement at
+    /// [`Database::execute`] time — change it between statements to
+    /// give each its own RTT — and independent of fault injection, so a
+    /// benchmark can sweep 0/1/5 ms without touching the fault
+    /// schedule. The synchronous cursor path pays the RTT inline per
+    /// pull (an unpipelined connection); the pipelined prefetcher
+    /// overlaps consecutive RTTs (see [`crate::fault`]).
+    pub fn set_latency_ms(&self, ms: Option<u64>) {
+        self.latency_ms.set(ms.filter(|&ms| ms > 0));
+    }
+
+    /// The per-statement RTT override, if any.
+    pub fn latency_ms(&self) -> Option<u64> {
+        self.latency_ms.get()
+    }
+
     /// The server name.
     pub fn name(&self) -> &Name {
         &self.name
@@ -79,7 +104,7 @@ impl Database {
         if self.tables.contains_key(&name) {
             return Err(MixError::invalid(format!("table {name} already exists")));
         }
-        self.tables.insert(name, Rc::new(Table::new(schema)));
+        self.tables.insert(name, Arc::new(Table::new(schema)));
         Ok(())
     }
 
@@ -89,7 +114,7 @@ impl Database {
             .tables
             .get_mut(table)
             .ok_or_else(|| MixError::unknown("table", table))?;
-        Rc::make_mut(t).insert(row)
+        Arc::make_mut(t).insert(row)
     }
 
     /// Insert many rows.
@@ -98,7 +123,7 @@ impl Database {
             .tables
             .get_mut(table)
             .ok_or_else(|| MixError::unknown("table", table))?;
-        Rc::make_mut(t).insert_all(rows)
+        Arc::make_mut(t).insert_all(rows)
     }
 
     /// Sort a table by its primary key (deterministic wrapper exports).
@@ -107,12 +132,12 @@ impl Database {
             .tables
             .get_mut(table)
             .ok_or_else(|| MixError::unknown("table", table))?;
-        Rc::make_mut(t).sort_by_key();
+        Arc::make_mut(t).sort_by_key();
         Ok(())
     }
 
     /// Look up a table.
-    pub fn table(&self, name: &str) -> Result<Rc<Table>> {
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
         self.tables
             .get(name)
             .cloned()
@@ -140,11 +165,28 @@ impl Database {
                 ],
             );
         }
-        let chaos = self.fault.get().map(|policy| {
-            let seq = self.stmt_seq.get();
-            self.stmt_seq.set(seq + 1);
-            ChaosState::new(policy, self.name.clone(), seq, self.stats.clone())
-        });
+        // The chaos gate carries both faults and the modelled RTT; a
+        // latency override alone still routes the statement through it
+        // (with an otherwise-empty fault schedule).
+        let fault = self.fault.get();
+        let latency = self.latency_ms.get();
+        let chaos = match (fault, latency) {
+            (None, None) => None,
+            (policy, latency) => {
+                let mut policy = policy.unwrap_or_default();
+                if let Some(ms) = latency {
+                    policy.latency_ms = ms;
+                }
+                let seq = self.stmt_seq.get();
+                self.stmt_seq.set(seq + 1);
+                Some(ChaosState::new(
+                    policy,
+                    self.name.clone(),
+                    seq,
+                    self.stats.clone(),
+                ))
+            }
+        };
         Ok(Cursor::new(&plan, self.stats.clone(), tracer, chaos))
     }
 

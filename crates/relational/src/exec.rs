@@ -14,16 +14,21 @@
 
 use crate::fault::ChaosState;
 use crate::plan::{PhysPlan, RPred};
+use crate::prefetch::{self, FetchedBlock, PrefetchHandle, PrefetchMsg};
 use crate::table::{Row, Table};
-use mix_common::{Counter, MixError, Result, RetryPolicy, Stats, Value};
+use mix_common::ring::TryRecv;
+use mix_common::{BlockRamp, Counter, MixError, PrefetchPolicy, Result, RetryPolicy, Stats, Value};
 use mix_obs::TracerHandle;
-use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A pipelined row iterator. Fallible: only the chaos wrapper fails
 /// today, but the `Result` contract is what lets real remote backends
-/// slot in behind the same cursor.
-trait RowIter {
+/// slot in behind the same cursor. `Send` because rows are plain
+/// [`Value`] data: the pipelined prefetcher can move a compiled plan to
+/// its thread without touching anything above the [`Cursor`] seam.
+pub(crate) trait RowIter: Send {
     fn next_row(&mut self) -> Result<Option<Row>>;
 
     /// Append up to `n` rows to `out`; returns how many were produced.
@@ -64,39 +69,62 @@ fn drain_all(src: &mut dyn RowIter, out: &mut Vec<Row>) -> Result<()> {
     Ok(())
 }
 
-/// The chaos backend: gates every pull of the statement's root iterator
-/// through the database's [`crate::FaultPolicy`] (see [`crate::fault`]).
-/// Faults fire *before* rows are produced, so a failed pull is
-/// side-effect-free and retryable.
-struct ChaosIter {
-    inner: Box<dyn RowIter>,
-    state: ChaosState,
+/// Run one chaos-gated pull against the compiled plan: the fault gate
+/// fires *before* any row is produced (so a failed pull is
+/// side-effect-free and retryable), and the modelled backend RTT is
+/// *returned*, not paid — the synchronous path sleeps it inline, the
+/// prefetcher defers delivery to the block's arrival time. Shared by
+/// [`Cursor`] and the prefetcher thread so both paths run the exact
+/// same admit sequence.
+pub(crate) fn gated_pull(
+    iter: &mut dyn RowIter,
+    chaos: &mut Option<ChaosState>,
+    out: &mut Vec<Row>,
+    n: usize,
+) -> Result<(usize, u64)> {
+    match chaos {
+        None => Ok((iter.next_block(out, n)?, 0)),
+        Some(state) => {
+            let (allowed, latency_ms) = state.admit(n)?;
+            let k = iter.next_block(out, allowed)?;
+            state.delivered(k as u64);
+            Ok((k, latency_ms))
+        }
+    }
 }
 
-impl RowIter for ChaosIter {
-    fn next_row(&mut self) -> Result<Option<Row>> {
-        self.state.admit(1)?;
-        let r = self.inner.next_row()?;
-        if r.is_some() {
-            self.state.delivered(1);
-        }
-        Ok(r)
+fn sleep_ms(ms: u64) {
+    if ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
     }
+}
 
-    fn next_block(&mut self, out: &mut Vec<Row>, n: usize) -> Result<usize> {
-        let allowed = self.state.admit(n)?;
-        let k = self.inner.next_block(out, allowed)?;
-        self.state.delivered(k as u64);
-        Ok(k)
-    }
+/// Where a cursor's rows come from.
+enum Backing {
+    /// Synchronous pulls straight from the compiled plan, gated by the
+    /// chaos backend. The starting state of every cursor.
+    Sync {
+        iter: Box<dyn RowIter>,
+        chaos: Option<ChaosState>,
+    },
+    /// A background prefetcher owns the plan; blocks arrive over its
+    /// bounded channel.
+    Live(PrefetchHandle),
+    /// The prefetcher surfaced a terminal error; every further pull
+    /// re-reports it (matching the latched-error semantics consumers
+    /// already implement for the synchronous path).
+    Latched(MixError),
+    /// Exhausted: the prefetcher drained the plan and was joined.
+    Done,
+}
 
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        let (lo, hi) = self.inner.size_hint();
-        match self.state.remaining_allowance() {
-            Some(cap) => (lo.min(cap), Some(hi.map_or(cap, |h| h.min(cap)))),
-            None => (lo, hi),
-        }
-    }
+/// Prefetch configuration armed on a cursor but not yet started (the
+/// thread spawns only after the first demanded pull — see
+/// [`Cursor::enable_prefetch`]).
+struct ArmedPrefetch {
+    depth: usize,
+    ramp: BlockRamp,
+    retry: RetryPolicy,
 }
 
 /// The cursor a source hands back for a query. Pull rows with
@@ -104,7 +132,12 @@ impl RowIter for ChaosIter {
 /// `tuples_shipped` counter (a row never pulled is never counted — the
 /// measurable benefit of navigation-driven evaluation).
 pub struct Cursor {
-    iter: Box<dyn RowIter>,
+    backing: Backing,
+    armed: Option<ArmedPrefetch>,
+    /// Rows already received from the prefetcher but not yet handed
+    /// out — only populated when [`Cursor::next`] is used on a cursor
+    /// whose prefetcher delivers whole blocks.
+    stash: VecDeque<Row>,
     stats: Stats,
     tracer: TracerHandle,
     arity: usize,
@@ -120,12 +153,11 @@ impl Cursor {
         chaos: Option<ChaosState>,
     ) -> Cursor {
         let arity = plan.arity();
-        let mut iter = compile(plan, &stats);
-        if let Some(state) = chaos {
-            iter = Box::new(ChaosIter { inner: iter, state });
-        }
+        let iter = compile(plan, &stats);
         Cursor {
-            iter,
+            backing: Backing::Sync { iter, chaos },
+            armed: None,
+            stash: VecDeque::new(),
             stats,
             tracer,
             arity,
@@ -134,10 +166,110 @@ impl Cursor {
         }
     }
 
+    /// Arm pipelined prefetch on this cursor: once the first block has
+    /// been demanded (served synchronously, so the first `d()` still
+    /// ships exactly one row), a background thread keeps up to
+    /// `policy.depth()` blocks in flight over a bounded channel,
+    /// following `ramp` — the consumer's own block schedule — so the
+    /// admit sequence, and with it the chaos backend's fault schedule
+    /// and all `BlocksShipped` accounting, is bit-for-bit the one the
+    /// synchronous path would produce. Transient faults are retried
+    /// in-thread under `retry`; errors that escape arrive over the
+    /// channel and latch. `PrefetchPolicy::Off` is a no-op.
+    ///
+    /// `ramp` must be a fresh clone of the ramp the consumer will pull
+    /// with, taken before its first `next_size()` call.
+    ///
+    /// [`PrefetchPolicy::Auto`] additionally gates on the statement's
+    /// modelled backend RTT: with nothing to overlap (a zero-latency
+    /// local backend), speculation is pure thread-and-channel overhead,
+    /// so `Auto` stays synchronous. `Depth(n)` is unconditional.
+    pub fn enable_prefetch(&mut self, policy: PrefetchPolicy, ramp: BlockRamp, retry: RetryPolicy) {
+        if matches!(policy, PrefetchPolicy::Auto) && self.backend_latency_ms() == 0 {
+            return;
+        }
+        if let Some(depth) = policy.depth() {
+            self.armed = Some(ArmedPrefetch { depth, ramp, retry });
+        }
+    }
+
+    /// The per-pull RTT the chaos gate models for this statement (0
+    /// when unconfigured or the cursor already left its sync state).
+    fn backend_latency_ms(&self) -> u64 {
+        match &self.backing {
+            Backing::Sync { chaos, .. } => chaos.as_ref().map_or(0, |c| c.latency_ms()),
+            _ => 0,
+        }
+    }
+
+    /// Start an armed prefetcher *now*, without waiting for the first
+    /// demanded pull. For consumers that are about to drain this cursor
+    /// anyway (a hash-join build side): laziness is not at stake, and
+    /// starting early overlaps the build-side fetch with whatever the
+    /// caller does before draining. No-op if prefetch is not armed or
+    /// the cursor already started.
+    pub fn prime_prefetch(&mut self) {
+        if let Some(armed) = self.armed.take() {
+            self.start_prefetch(armed);
+        }
+    }
+
+    fn start_prefetch(&mut self, armed: ArmedPrefetch) {
+        if matches!(self.backing, Backing::Sync { .. }) {
+            let Backing::Sync { iter, chaos } = std::mem::replace(&mut self.backing, Backing::Done)
+            else {
+                unreachable!()
+            };
+            let handle = prefetch::spawn(
+                iter,
+                chaos,
+                armed.ramp,
+                armed.retry,
+                self.stats.clone(),
+                armed.depth,
+            );
+            self.backing = Backing::Live(handle);
+        }
+    }
+
     /// Fetch the next row, if any.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<Row>> {
-        let Some(row) = self.iter.next_row()? else {
+        if let Some(row) = self.stash.pop_front() {
+            // Accounted already, when its block was received.
+            return Ok(Some(row));
+        }
+        if let Backing::Latched(e) = &self.backing {
+            return Err(e.clone());
+        }
+        if matches!(self.backing, Backing::Live(_)) {
+            let mut buf = Vec::new();
+            if self.recv_block(&mut buf)? == 0 {
+                return Ok(None);
+            }
+            self.stash.extend(buf);
+            return Ok(self.stash.pop_front());
+        }
+        // Row-at-a-time consumers do not follow a block ramp; dropping
+        // an armed (but unstarted) prefetcher keeps them synchronous
+        // rather than replaying a schedule they will not follow.
+        self.armed = None;
+        let Backing::Sync { iter, chaos } = &mut self.backing else {
+            return Ok(None); // Done
+        };
+        let row = match chaos {
+            None => iter.next_row()?,
+            Some(state) => {
+                let (_, latency_ms) = state.admit(1)?;
+                let r = iter.next_row()?;
+                if r.is_some() {
+                    state.delivered(1);
+                }
+                sleep_ms(latency_ms);
+                r
+            }
+        };
+        let Some(row) = row else {
             return Ok(None);
         };
         self.delivered += 1;
@@ -172,12 +304,35 @@ impl Cursor {
     /// appended; `0` means the cursor is exhausted. On `Err`, nothing
     /// was appended and nothing was counted — a failed pull is
     /// side-effect-free, so a retried block is accounted exactly once.
+    ///
+    /// On a prefetching cursor the blocks arrive pre-sized by the ramp
+    /// the prefetcher replays; `n` is then advisory (a consumer that
+    /// follows the ramp it registered sees identical sizes either way).
     pub fn next_block(&mut self, out: &mut Vec<Row>, n: usize) -> Result<usize> {
         if n == 0 {
             return Ok(0);
         }
-        let k = self.iter.next_block(out, n)?;
+        if !self.stash.is_empty() {
+            let k = n.min(self.stash.len());
+            out.extend(self.stash.drain(..k));
+            return Ok(k);
+        }
+        if let Backing::Latched(e) = &self.backing {
+            return Err(e.clone());
+        }
+        if matches!(self.backing, Backing::Done) {
+            return Ok(0);
+        }
+        if matches!(self.backing, Backing::Live(_)) {
+            return self.recv_block(out);
+        }
+        let Backing::Sync { iter, chaos } = &mut self.backing else {
+            unreachable!()
+        };
+        let (k, latency_ms) = gated_pull(&mut **iter, chaos, out, n)?;
+        sleep_ms(latency_ms);
         if k == 0 {
+            self.armed = None; // exhausted: nothing to speculate on
             return Ok(0);
         }
         self.delivered += k as u64;
@@ -191,7 +346,115 @@ impl Cursor {
                 self.tracer.event("row", &[("n", (base + i).to_string())]);
             }
         }
+        // The first demanded pull just completed synchronously; if
+        // prefetch is armed, speculation may begin now. The armed ramp
+        // mirrors the consumer's, so advance it past the size this pull
+        // consumed before handing it to the thread.
+        if let Some(mut armed) = self.armed.take() {
+            armed.ramp.next_size();
+            self.start_prefetch(armed);
+        }
         Ok(k)
+    }
+
+    /// Receive one block from the live prefetcher, accounting hits and
+    /// stalls, replaying the thread's fault/retry trace, and deferring
+    /// delivery to the block's modelled arrival time.
+    fn recv_block(&mut self, out: &mut Vec<Row>) -> Result<usize> {
+        let (msg, hit) = {
+            let Backing::Live(handle) = &mut self.backing else {
+                unreachable!()
+            };
+            match handle.try_recv() {
+                TryRecv::Item(m) => (Some(m), true),
+                TryRecv::Closed => (None, true),
+                TryRecv::Empty => {
+                    let t0 = Instant::now();
+                    let m = handle.recv();
+                    self.stats
+                        .add(Counter::PrefetchStallNs, t0.elapsed().as_nanos() as u64);
+                    (m, false)
+                }
+            }
+        };
+        match msg {
+            None => {
+                // The producer drained the plan and exited; dropping
+                // the handle joins it.
+                self.backing = Backing::Done;
+                Ok(0)
+            }
+            Some(PrefetchMsg::Block(FetchedBlock {
+                rows,
+                retry_backoff_ms,
+                arrival,
+            })) => {
+                if hit {
+                    self.stats.inc(Counter::PrefetchHitBlocks);
+                }
+                // A pipelined connection still delivers each response
+                // one RTT after its request was issued; blocks may not
+                // be consumed before they "arrive".
+                let now = Instant::now();
+                if arrival > now {
+                    let wait = arrival - now;
+                    std::thread::sleep(wait);
+                    self.stats
+                        .add(Counter::PrefetchStallNs, wait.as_nanos() as u64);
+                }
+                self.replay_retries(&retry_backoff_ms);
+                let k = rows.len();
+                out.extend(rows);
+                self.delivered += k as u64;
+                self.stats.add(Counter::TuplesShipped, k as u64);
+                self.stats.record_block(k as u64);
+                if self.tracer.enabled() {
+                    let base = self.delivered - k as u64;
+                    for i in 1..=k as u64 {
+                        self.tracer.event("row", &[("n", (base + i).to_string())]);
+                    }
+                }
+                Ok(k)
+            }
+            Some(PrefetchMsg::Failed {
+                error,
+                retry_backoff_ms,
+            }) => {
+                self.replay_retries(&retry_backoff_ms);
+                if self.tracer.enabled() {
+                    let kind = if error.is_transient() {
+                        "transient"
+                    } else {
+                        "permanent"
+                    };
+                    self.tracer.event("fault", &[("kind", kind.to_string())]);
+                }
+                self.backing = Backing::Latched(error.clone());
+                Err(error)
+            }
+        }
+    }
+
+    /// Replay the prefetcher's per-block retry history into this
+    /// cursor's trace and EXPLAIN counter. Each in-thread retry was
+    /// preceded by an observed transient fault, so traced sessions see
+    /// the same `fault`/`retry` event pairs the synchronous path emits;
+    /// the `Stats` counters were already bumped by the thread.
+    fn replay_retries(&mut self, backoff_ms: &[u64]) {
+        for (i, backoff) in backoff_ms.iter().enumerate() {
+            self.retries += 1;
+            if self.tracer.enabled() {
+                self.tracer
+                    .event("fault", &[("kind", "transient".to_string())]);
+                self.tracer.event(
+                    "retry",
+                    &[
+                        ("attempt", (i as u64 + 1).to_string()),
+                        ("backoff_ms", backoff.to_string()),
+                    ],
+                );
+            }
+        }
     }
 
     /// [`Cursor::next_block`] with transient faults retried under
@@ -210,6 +473,12 @@ impl Cursor {
         n: usize,
         retry: &RetryPolicy,
     ) -> Result<usize> {
+        if !matches!(self.backing, Backing::Sync { .. }) {
+            // Prefetched blocks arrive pre-retried (the thread runs
+            // this same loop); an error surfacing here already spent
+            // its budget and is terminal.
+            return self.next_block(out, n);
+        }
         let mut attempt = 0u32;
         let mut spent_backoff = 0u64;
         loop {
@@ -259,7 +528,19 @@ impl Cursor {
 
     /// `(lower, upper)` bounds on the rows still to come.
     pub fn size_hint(&self) -> (usize, Option<usize>) {
-        self.iter.size_hint()
+        let stashed = self.stash.len();
+        match &self.backing {
+            Backing::Sync { iter, chaos } => {
+                let (lo, hi) = iter.size_hint();
+                // The permanent-fault horizon caps what will ever ship.
+                match chaos.as_ref().and_then(|st| st.remaining_allowance()) {
+                    Some(cap) => (lo.min(cap), Some(hi.map_or(cap, |h| h.min(cap)))),
+                    None => (lo, hi),
+                }
+            }
+            Backing::Live(_) => (stashed, None),
+            Backing::Latched(_) | Backing::Done => (stashed, Some(stashed)),
+        }
     }
 
     /// Drain the remainder into `out` (block at a time); returns the
@@ -294,7 +575,7 @@ impl Cursor {
 fn compile(plan: &PhysPlan, stats: &Stats) -> Box<dyn RowIter> {
     match plan {
         PhysPlan::Scan { table, preds, .. } => Box::new(ScanIter {
-            table: Rc::clone(table),
+            table: Arc::clone(table),
             idx: 0,
             preds: preds.clone(),
             stats: stats.clone(),
@@ -346,7 +627,7 @@ fn compile(plan: &PhysPlan, stats: &Stats) -> Box<dyn RowIter> {
 }
 
 struct ScanIter {
-    table: Rc<Table>,
+    table: Arc<Table>,
     idx: usize,
     preds: Vec<RPred>,
     stats: Stats,

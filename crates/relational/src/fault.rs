@@ -17,8 +17,19 @@
 //!   `fail_after_rows` rows have been delivered. Rows before the
 //!   horizon ship normally (the graceful-degradation test bed: a
 //!   navigated prefix stays valid, everything past row *k* errors).
-//! * **latency** — an optional per-block sleep, for deadline-budget
-//!   tests.
+//! * **latency** — an optional per-block-pull delay modelling the
+//!   backend's round-trip time (RTT): the wall-clock cost of shipping
+//!   one block request to the source and its rows back. `ChaosState`
+//!   does not sleep itself — `ChaosState::admit` *returns* the
+//!   latency and the caller decides how to pay it. The synchronous
+//!   cursor path sleeps inline (an unpipelined connection: each request
+//!   waits for the previous response), while the pipelined prefetcher
+//!   keeps several requests in flight and defers each block's delivery
+//!   to its own arrival time, so consecutive RTTs overlap. Latency is
+//!   configured per *statement*: [`crate::Database::set_latency_ms`]
+//!   applies to statements executed afterwards, independent of any
+//!   fault schedule, which is what lets a bench sweep 0/1/5 ms RTT
+//!   cleanly.
 //!
 //! Determinism: the per-statement RNG is seeded with
 //! `seed ^ statement-sequence-number`, so a fixed seed reproduces the
@@ -42,7 +53,9 @@ pub struct FaultPolicy {
     /// Fail the statement permanently once this many rows have been
     /// delivered through it.
     pub fail_after_rows: Option<u64>,
-    /// Artificial latency per successful block pull, in milliseconds.
+    /// Modelled backend round-trip time per successful block pull, in
+    /// milliseconds (see the module docs: returned from
+    /// `ChaosState::admit`, paid by the caller).
     pub latency_ms: u64,
 }
 
@@ -140,8 +153,13 @@ impl ChaosState {
     }
 
     /// Gate one pull: `Err` injects a fault *before* any row is
-    /// produced, `Ok(allowed)` caps how many rows the pull may deliver
-    /// (so a permanent horizon at row `k` never ships row `k + 1`).
+    /// produced, `Ok((allowed, latency_ms))` caps how many rows the
+    /// pull may deliver (so a permanent horizon at row `k` never ships
+    /// row `k + 1`) and reports the modelled backend RTT for this pull.
+    /// The caller pays the latency: the synchronous path sleeps inline,
+    /// the prefetcher defers delivery to the block's arrival time so
+    /// pipelined requests overlap their RTTs. Failed pulls pay nothing
+    /// (the fault fires before the round trip completes).
     ///
     /// The transient schedule is rolled on each *successful* pull, for
     /// the pulls that follow it: a scheduled fault then fails exactly
@@ -149,7 +167,11 @@ impl ChaosState {
     /// Failing runs are therefore never longer than the burst — even at
     /// rate 1000 — which is what makes the retry contract ("a budget
     /// `≥ burst` always gets through") a guarantee, not a probability.
-    pub(crate) fn admit(&mut self, want: usize) -> Result<usize> {
+    /// Determinism: the schedule depends only on the sequence of admit
+    /// calls and their seed, never on the wall clock — which is why a
+    /// prefetcher replaying the same pull-size sequence sees the exact
+    /// same faults as the synchronous path.
+    pub(crate) fn admit(&mut self, want: usize) -> Result<(usize, u64)> {
         if self.burst_left > 0 {
             self.burst_left -= 1;
             return Err(self.inject(
@@ -173,19 +195,23 @@ impl ChaosState {
         {
             self.burst_left = self.policy.transient_burst;
         }
-        if self.policy.latency_ms > 0 {
-            std::thread::sleep(std::time::Duration::from_millis(self.policy.latency_ms));
-        }
         let allowed = match self.policy.fail_after_rows {
             Some(k) => want.min((k - self.produced) as usize),
             None => want,
         };
-        Ok(allowed.max(1).min(want))
+        Ok((allowed.max(1).min(want), self.policy.latency_ms))
     }
 
     /// Record rows the gated pull actually delivered.
     pub(crate) fn delivered(&mut self, rows: u64) {
         self.produced += rows;
+    }
+
+    /// The modelled backend RTT this statement pays per pull —
+    /// [`mix_common::PrefetchPolicy::Auto`] only engages when this is
+    /// nonzero (there is nothing to overlap on a zero-RTT backend).
+    pub(crate) fn latency_ms(&self) -> u64 {
+        self.policy.latency_ms
     }
 
     /// Rows this statement can still deliver before the permanent
@@ -246,10 +272,22 @@ mod tests {
             0,
             stats.clone(),
         );
-        assert_eq!(st.admit(8).unwrap(), 3); // capped at the horizon
+        assert_eq!(st.admit(8).unwrap(), (3, 0)); // capped at the horizon
         st.delivered(3);
         let e = st.admit(8).unwrap_err();
         assert!(!e.is_transient(), "{e}");
         assert!(matches!(e, MixError::Backend(_)));
+    }
+
+    #[test]
+    fn latency_is_reported_not_slept() {
+        let stats = Stats::new();
+        let policy = FaultPolicy::default().with_latency_ms(250);
+        assert!(policy.active());
+        let mut st = ChaosState::new(policy, Name::new("db1"), 0, stats);
+        let t0 = std::time::Instant::now();
+        assert_eq!(st.admit(8).unwrap(), (8, 250));
+        // admit models the RTT, it does not pay it.
+        assert!(t0.elapsed() < std::time::Duration::from_millis(200));
     }
 }

@@ -28,6 +28,7 @@ pub mod fault;
 pub mod fixtures;
 pub mod parser;
 pub mod plan;
+pub mod prefetch;
 pub mod reference;
 pub mod schema;
 pub mod table;
@@ -37,5 +38,6 @@ pub use db::Database;
 pub use exec::Cursor;
 pub use fault::FaultPolicy;
 pub use parser::parse_sql;
+pub use prefetch::active_prefetchers;
 pub use schema::{Column, ColumnType, Schema};
 pub use table::{Row, Table};

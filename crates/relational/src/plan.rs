@@ -10,7 +10,7 @@ use crate::ast::{ColRef, Operand, SelectStmt};
 use crate::db::Database;
 use crate::table::Table;
 use mix_common::{CmpOp, MixError, Name, Result, Value};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A predicate with column references resolved to offsets in the
 /// concatenated row of the subplan it is attached to.
@@ -44,7 +44,7 @@ impl RPred {
 pub enum PhysPlan {
     /// Base-table scan with pushed-down predicates.
     Scan {
-        table: Rc<Table>,
+        table: Arc<Table>,
         preds: Vec<RPred>,
         name: Name,
     },
@@ -266,7 +266,7 @@ pub fn build_plan(db: &Database, stmt: &SelectStmt) -> Result<PhysPlan> {
             }
         }
         let scan = PhysPlan::Scan {
-            table: Rc::clone(t),
+            table: Arc::clone(t),
             preds: local,
             name: stmt.from[bi].binding().clone(),
         };

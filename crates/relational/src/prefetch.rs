@@ -1,0 +1,231 @@
+//! The pipelined prefetcher: a per-cursor background thread.
+//!
+//! The thread boundary sits exactly at the cursor seam: the thread owns
+//! the compiled plan (a `RowIter`, plain `Send` data) and its chaos
+//! gate; everything above — wrapper, engine, QDOM — stays the
+//! single-threaded `Rc`/`RefCell` world it was. Rows cross over a
+//! bounded [`mix_common::ring`] channel whose capacity is the prefetch
+//! depth, so readahead is bounded by back-pressure, not discipline.
+//!
+//! Three invariants make the prefetcher *observationally* identical to
+//! the synchronous path (the chaos suite pins this bit-for-bit):
+//!
+//! 1. **Schedule replay.** The thread pulls with the same
+//!    [`BlockRamp`] the consumer registered, so the sequence of admit
+//!    sizes — which is all the deterministic fault schedule keys off —
+//!    matches the synchronous run exactly.
+//! 2. **In-thread retries.** Transient faults are retried here, with
+//!    the same [`RetryPolicy`] loop the synchronous cursor runs;
+//!    counters go to the shared atomic [`Stats`], and each block
+//!    carries its retry history so the consumer can replay
+//!    `fault`/`retry` trace events in order. An error that escapes the
+//!    budget is shipped over the channel and latches the cursor.
+//! 3. **Deferred RTT.** The chaos gate's `latency_ms` models the
+//!    backend round trip. A pipelined connection still delivers each
+//!    response one RTT after its request went out — so each block
+//!    carries an `arrival` deadline (issue time + RTT) the consumer
+//!    waits for. Consecutive requests overlap their RTTs (up to the
+//!    channel depth), which is precisely the overlap the synchronous
+//!    path cannot have: it pays one full RTT per block, serially.
+//!
+//! Cancellation: dropping the `PrefetchHandle` sets the stop flag,
+//! drops the receiver (waking a producer blocked on a full ring) and
+//! joins the thread — a dropped cursor or abandoned session never
+//! leaks a thread ([`active_prefetchers`] is the test hook) and never
+//! reads ahead unboundedly.
+
+use crate::exec::{gated_pull, RowIter};
+use crate::fault::ChaosState;
+use crate::table::Row;
+use mix_common::ring::{self, Receiver, TryRecv};
+use mix_common::{BlockRamp, Counter, MixError, RetryPolicy, Stats};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of prefetcher threads currently alive, process-wide. The
+/// no-leaked-threads guarantee is testable: after dropping a session
+/// this returns to its prior value (handle drop joins the thread).
+pub fn active_prefetchers() -> usize {
+    ACTIVE.load(Ordering::SeqCst)
+}
+
+/// One successfully fetched block.
+pub(crate) struct FetchedBlock {
+    pub(crate) rows: Vec<Row>,
+    /// Backoff milliseconds of each in-thread retry this block needed,
+    /// in order (empty for a clean pull) — the consumer replays these
+    /// as `fault`/`retry` trace events.
+    pub(crate) retry_backoff_ms: Vec<u64>,
+    /// Earliest moment the block may be delivered: the issue time of
+    /// its (successful) pull plus the modelled backend RTT.
+    pub(crate) arrival: Instant,
+}
+
+/// What the prefetcher ships: blocks, or the one terminal error.
+pub(crate) enum PrefetchMsg {
+    Block(FetchedBlock),
+    Failed {
+        error: MixError,
+        retry_backoff_ms: Vec<u64>,
+    },
+}
+
+/// Consumer-side handle: receiver + stop flag + join handle. Dropping
+/// it cancels and joins the thread.
+pub(crate) struct PrefetchHandle {
+    rx: Option<Receiver<PrefetchMsg>>,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl PrefetchHandle {
+    pub(crate) fn try_recv(&mut self) -> TryRecv<PrefetchMsg> {
+        self.rx.as_mut().expect("receiver alive").try_recv()
+    }
+
+    pub(crate) fn recv(&mut self) -> Option<PrefetchMsg> {
+        self.rx.as_mut().expect("receiver alive").recv()
+    }
+}
+
+impl Drop for PrefetchHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Dropping the receiver wakes a producer blocked on a full
+        // ring; it observes the cancellation and winds down.
+        self.rx.take();
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Panic-safe gauge bump for [`active_prefetchers`].
+struct ActiveGuard;
+
+impl ActiveGuard {
+    fn acquire() -> ActiveGuard {
+        ACTIVE.fetch_add(1, Ordering::SeqCst);
+        ActiveGuard
+    }
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        ACTIVE.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Spawn the prefetcher for one cursor. `ramp` must already be
+/// advanced past every pull the cursor served synchronously.
+pub(crate) fn spawn(
+    iter: Box<dyn RowIter>,
+    chaos: Option<ChaosState>,
+    ramp: BlockRamp,
+    retry: RetryPolicy,
+    stats: Stats,
+    depth: usize,
+) -> PrefetchHandle {
+    let (tx, rx) = ring::channel(depth);
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_t = Arc::clone(&stop);
+    // Acquired *before* the thread starts, so the gauge never dips
+    // between spawn and thread startup.
+    let guard = ActiveGuard::acquire();
+    let join = std::thread::Builder::new()
+        .name("mix-prefetch".into())
+        .spawn(move || {
+            let _guard = guard;
+            run(iter, chaos, ramp, retry, stats, stop_t, tx);
+        })
+        .expect("spawn prefetcher thread");
+    PrefetchHandle {
+        rx: Some(rx),
+        stop,
+        join: Some(join),
+    }
+}
+
+fn run(
+    mut iter: Box<dyn RowIter>,
+    mut chaos: Option<ChaosState>,
+    mut ramp: BlockRamp,
+    retry: RetryPolicy,
+    stats: Stats,
+    stop: Arc<AtomicBool>,
+    tx: ring::Sender<PrefetchMsg>,
+) {
+    let mut aborted = false;
+    'produce: loop {
+        if stop.load(Ordering::SeqCst) {
+            aborted = true;
+            break;
+        }
+        let want = ramp.next_size();
+        let mut rows = Vec::with_capacity(want);
+        let mut retry_backoff_ms = Vec::new();
+        let mut attempt = 0u32;
+        let mut spent_backoff = 0u64;
+        // The same retry loop Cursor::next_block_retrying runs, moved
+        // in-thread: identical admit sequence (a failed pull appends
+        // nothing, so the re-issued pull is exact), identical counters.
+        let (k, arrival) = loop {
+            let issue = Instant::now();
+            match gated_pull(&mut *iter, &mut chaos, &mut rows, want) {
+                Ok((k, latency_ms)) => break (k, issue + Duration::from_millis(latency_ms)),
+                Err(e) => {
+                    if e.is_transient() && retry.allows(attempt + 1, spent_backoff) {
+                        attempt += 1;
+                        let backoff = retry.backoff_ms(attempt);
+                        spent_backoff += backoff;
+                        stats.inc(Counter::RetriesAttempted);
+                        stats.add(Counter::RetryBackoffMs, backoff);
+                        retry_backoff_ms.push(backoff);
+                        if stop.load(Ordering::SeqCst) {
+                            aborted = true;
+                            break 'produce;
+                        }
+                        if backoff > 0 {
+                            std::thread::sleep(Duration::from_millis(backoff));
+                        }
+                    } else {
+                        stats.inc(Counter::BackendErrors);
+                        let error = match e {
+                            MixError::Backend(mut be) => {
+                                be.retries = attempt;
+                                MixError::Backend(be)
+                            }
+                            other => other,
+                        };
+                        let _ = tx.send(PrefetchMsg::Failed {
+                            error,
+                            retry_backoff_ms,
+                        });
+                        break 'produce;
+                    }
+                }
+            }
+        };
+        if k == 0 {
+            // Exhausted; dropping the sender closes the channel, which
+            // the consumer reads as clean end-of-stream.
+            break;
+        }
+        let block = FetchedBlock {
+            rows,
+            retry_backoff_ms,
+            arrival,
+        };
+        if tx.send(PrefetchMsg::Block(block)).is_err() {
+            aborted = true;
+            break;
+        }
+    }
+    if aborted {
+        stats.inc(Counter::PrefetchAborted);
+    }
+}

@@ -148,9 +148,24 @@ impl Catalog {
         block: mix_common::BlockPolicy,
         retry: mix_common::RetryPolicy,
     ) -> Result<Rc<dyn NavDoc>> {
+        self.lazy_with_policies(name, block, retry, mix_common::PrefetchPolicy::Off)
+    }
+
+    /// A lazy view with explicit block, retry and prefetch policies.
+    /// Prefetch applies only to relational sources (it pipelines the
+    /// backend cursor); XML and nav sources are served as-is.
+    pub fn lazy_with_policies(
+        &self,
+        name: &str,
+        block: mix_common::BlockPolicy,
+        retry: mix_common::RetryPolicy,
+        prefetch: mix_common::PrefetchPolicy,
+    ) -> Result<Rc<dyn NavDoc>> {
         match self.source(name)? {
             Source::Xml(d) => Ok(Rc::clone(d) as Rc<dyn NavDoc>),
-            Source::Relation(r) => Ok(Rc::new(r.lazy_with_opts(block, retry)) as Rc<dyn NavDoc>),
+            Source::Relation(r) => {
+                Ok(Rc::new(r.lazy_with_policies(block, retry, prefetch)) as Rc<dyn NavDoc>)
+            }
             Source::Nav(d) => Ok(Rc::clone(d) as Rc<dyn NavDoc>),
         }
     }

@@ -17,7 +17,9 @@
 //! measurable form.
 
 use crate::relsource::RelationSource;
-use mix_common::{BlockPolicy, BlockRamp, MixError, Name, Result, RetryPolicy, Value};
+use mix_common::{
+    BlockPolicy, BlockRamp, MixError, Name, PrefetchPolicy, Result, RetryPolicy, Value,
+};
 use mix_relational::{Cursor, Row};
 use mix_xml::{Document, NavDoc, NodeRef, Oid};
 use std::cell::RefCell;
@@ -26,6 +28,7 @@ use std::cell::RefCell;
 pub struct LazyRelationalDoc {
     source: RelationSource,
     retry: RetryPolicy,
+    prefetch: PrefetchPolicy,
     state: RefCell<State>,
 }
 
@@ -78,10 +81,26 @@ impl LazyRelationalDoc {
         block: BlockPolicy,
         retry: RetryPolicy,
     ) -> LazyRelationalDoc {
+        LazyRelationalDoc::with_policies(source, block, retry, PrefetchPolicy::Off)
+    }
+
+    /// Wrap `source` lazily with explicit block, retry and prefetch
+    /// policies. With prefetch enabled, a background thread keeps up to
+    /// `depth` blocks in flight *after* the first navigation step has
+    /// demanded data — laziness before the first demand and all
+    /// shipped-tuple accounting are unchanged (the thread replays the
+    /// same block ramp the synchronous path would have run).
+    pub fn with_policies(
+        source: RelationSource,
+        block: BlockPolicy,
+        retry: RetryPolicy,
+        prefetch: PrefetchPolicy,
+    ) -> LazyRelationalDoc {
         let doc = Document::new(source.root().clone(), "list");
         LazyRelationalDoc {
             source,
             retry,
+            prefetch,
             state: RefCell::new(State {
                 doc,
                 cursor: None,
@@ -122,7 +141,14 @@ impl LazyRelationalDoc {
         if !st.opened {
             st.opened = true;
             let stmt = self.source.scan_stmt()?;
-            st.cursor = Some(self.source.db().execute(&stmt)?);
+            let mut cursor = self.source.db().execute(&stmt)?;
+            if self.prefetch.enabled() {
+                // The ramp clone must predate the consumer's first
+                // `next_size` call: the cursor mirrors one step per
+                // synchronous pull before handing it to the thread.
+                cursor.enable_prefetch(self.prefetch, st.ramp.clone(), self.retry);
+            }
+            st.cursor = Some(cursor);
             st.columns = self.source.columns()?;
         }
         while st.tuples.len() <= n {

@@ -162,6 +162,17 @@ impl RelationSource {
     ) -> LazyRelationalDoc {
         LazyRelationalDoc::with_opts(self.clone(), block, retry)
     }
+
+    /// The lazy navigable view with explicit block, retry and prefetch
+    /// policies (see [`LazyRelationalDoc::with_policies`]).
+    pub fn lazy_with_policies(
+        &self,
+        block: mix_common::BlockPolicy,
+        retry: RetryPolicy,
+        prefetch: mix_common::PrefetchPolicy,
+    ) -> LazyRelationalDoc {
+        LazyRelationalDoc::with_policies(self.clone(), block, retry, prefetch)
+    }
 }
 
 #[cfg(test)]

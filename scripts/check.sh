@@ -22,6 +22,12 @@ cargo test -q
 echo "==> chaos suite (fault injection, fixed seed 0xC0FFEE)"
 cargo test -q --test chaos
 
+# No loom/miri in-tree (offline builds): prefetcher concurrency is
+# covered by deterministic schedule replay (equivalence sweeps under
+# chaos faults) plus gauge-based thread-leak/drop tests instead.
+echo "==> prefetch suite (sync equivalence, laziness, thread leaks)"
+cargo test -q --test prefetch
+
 echo "==> no 'validated:' panics in non-test code or release builds"
 if grep -rnE '(panic!|expect|unreachable!)\("validated' crates/*/src src; then
   echo "error: 'validated:' plan invariants must return MixError::Plan, not panic" >&2
@@ -40,5 +46,8 @@ cargo run --quiet --release --example explain >/dev/null
 
 echo "==> block_sweep bench smoke run"
 cargo bench -p mix-bench --bench block_sweep -- --smoke >/dev/null
+
+echo "==> prefetch_overlap bench smoke run"
+cargo bench -p mix-bench --bench prefetch_overlap -- --smoke >/dev/null
 
 echo "All checks passed."

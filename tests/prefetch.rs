@@ -1,0 +1,276 @@
+//! Pipelined prefetch: equivalence, laziness, and thread lifecycle.
+//!
+//! The prefetcher moves backend pulls onto a per-cursor background
+//! thread, but it must be *observationally* invisible: the same rows in
+//! the same order, the same shipped-tuple/shipped-block accounting, the
+//! same fault/retry schedule (the chaos backend's schedule keys off the
+//! admit-size sequence, which the thread replays from the consumer's
+//! own block ramp). These tests pin that equivalence bit-for-bit, then
+//! pin the two properties prefetch must *not* buy at the paper's
+//! expense: laziness (no speculation before the first demanded pull)
+//! and bounded lifetime (no thread outlives its session).
+
+use mix::prelude::*;
+use mix_repro::datagen::customers_orders;
+
+const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
+     WHERE $C/id/data() = $O/cid/data() \
+     RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
+const Q2: &str = "FOR $P IN document(root)/CustRec WHERE $P/customer/name < \"E\" RETURN $P";
+const Q3: &str = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 60000 RETURN $O";
+const SCAN: &str = "FOR $C IN source(&root1)/customer RETURN $C";
+
+const SEED: u64 = 0xC0FFEE;
+
+/// Walk the whole subtree with the fallible navigation commands,
+/// recording identity, label, and value of every node.
+fn drain_tree(s: &QdomSession<'_>, p: QNode, out: &mut String) -> Result<()> {
+    out.push_str(&format!("{} {:?} {:?}\n", s.oid(p), s.fl(p)?, s.fv(p)?));
+    let mut cur = s.d(p)?;
+    while let Some(c) = cur {
+        drain_tree(s, c, out)?;
+        cur = s.r(c)?;
+    }
+    Ok(())
+}
+
+/// The counters a prefetcher is not allowed to perturb. (The prefetch
+/// counters themselves — hits, stalls, aborts — of course differ.)
+fn pinned_counters(stats: &Stats) -> Vec<(Counter, u64)> {
+    [
+        Counter::TuplesShipped,
+        Counter::BlocksShipped,
+        Counter::RowsScanned,
+        Counter::FaultsInjected,
+        Counter::RetriesAttempted,
+        Counter::BackendErrors,
+    ]
+    .into_iter()
+    .map(|c| (c, stats.get(c)))
+    .collect()
+}
+
+/// Run the paper's Q1/Q2/Q3 session under the given policies and drain
+/// every result completely. Returns the transcript plus the pinned
+/// source-side counters.
+fn q123_transcript(
+    block: BlockPolicy,
+    prefetch: PrefetchPolicy,
+    fault: Option<FaultPolicy>,
+) -> (String, Vec<(Counter, u64)>) {
+    let (catalog, db) = customers_orders(12, 3, 17);
+    let stats = db.stats().clone();
+    db.set_fault_policy(fault);
+    let m = Mediator::with_options(
+        catalog,
+        MediatorOptions::builder()
+            .block(block)
+            .prefetch(prefetch)
+            .build(),
+    );
+    let mut s = m.session();
+    let mut out = String::new();
+    let p0 = s.query(Q1).expect("Q1");
+    drain_tree(&s, p0, &mut out).expect("drain Q1");
+    let p4 = s.q(Q2, p0).expect("Q2");
+    drain_tree(&s, p4, &mut out).expect("drain Q2");
+    let p1 = s.d(p0).expect("d").expect("Q1 has results");
+    let p9 = s.q(Q3, p1).expect("Q3");
+    drain_tree(&s, p9, &mut out).expect("drain Q3");
+    drop(s);
+    (out, pinned_counters(&stats))
+}
+
+/// The headline equivalence: every prefetch policy, crossed with every
+/// block policy, crossed with 10%-per-block transient chaos faults,
+/// produces bit-for-bit the transcript and counters of the synchronous
+/// (prefetch-off) run. This is the contract that makes the prefetcher
+/// safe to enable: it can only move *when* a pull happens, never *what*
+/// it returns or how it is accounted.
+#[test]
+fn prefetch_is_bit_for_bit_equivalent_under_chaos() {
+    let mut total_faults = 0;
+    for block in [BlockPolicy::Off, BlockPolicy::Auto] {
+        for fault in [None, Some(FaultPolicy::transient(SEED, 100))] {
+            let (base_out, base_counters) = q123_transcript(block, PrefetchPolicy::Off, fault);
+            for prefetch in [
+                PrefetchPolicy::Depth(1),
+                PrefetchPolicy::Depth(4),
+                PrefetchPolicy::Auto,
+            ] {
+                let (out, counters) = q123_transcript(block, prefetch, fault);
+                assert_eq!(
+                    base_out,
+                    out,
+                    "transcript divergence under {block:?}/{prefetch:?} (chaos: {})",
+                    fault.is_some()
+                );
+                assert_eq!(
+                    base_counters,
+                    counters,
+                    "counter divergence under {block:?}/{prefetch:?} (chaos: {})",
+                    fault.is_some()
+                );
+            }
+            if fault.is_some() {
+                let faults = base_counters
+                    .iter()
+                    .find(|(c, _)| *c == Counter::FaultsInjected)
+                    .unwrap()
+                    .1;
+                total_faults += faults;
+            }
+        }
+    }
+    // The sweep actually exercised the fault path.
+    assert!(total_faults > 0, "seed {SEED:#x} injected no faults");
+}
+
+/// Modelled backend latency is deferred, not skipped: results at a 1ms
+/// RTT are identical to results at zero latency, under both the
+/// synchronous path (which sleeps the RTT inline) and the pipelined
+/// path (which waits for each block's arrival deadline).
+#[test]
+fn latency_is_invisible_to_results() {
+    let run = |latency: Option<u64>, prefetch: PrefetchPolicy| {
+        let (catalog, db) = customers_orders(6, 2, 17);
+        db.set_latency_ms(latency);
+        let m = Mediator::with_options(
+            catalog,
+            MediatorOptions::builder().prefetch(prefetch).build(),
+        );
+        let mut s = m.session();
+        let mut out = String::new();
+        let p0 = s.query(Q1).expect("Q1");
+        drain_tree(&s, p0, &mut out).expect("drain");
+        out
+    };
+    let base = run(None, PrefetchPolicy::Off);
+    assert_eq!(base, run(Some(1), PrefetchPolicy::Off));
+    assert_eq!(base, run(Some(1), PrefetchPolicy::Auto));
+}
+
+/// Laziness is untouched by an armed prefetcher: compiling a query
+/// ships nothing, the first `d()` ships exactly one tuple (served
+/// synchronously — speculation may only begin *after* it), and an
+/// abandoned session never drains the rest.
+#[test]
+fn armed_prefetch_preserves_first_pull_laziness() {
+    for prefetch in [
+        PrefetchPolicy::Off,
+        PrefetchPolicy::Depth(4),
+        PrefetchPolicy::Auto,
+    ] {
+        let (catalog, db) = customers_orders(40, 2, 17);
+        let stats = db.stats().clone();
+        let m = Mediator::with_options(
+            catalog,
+            MediatorOptions::builder().prefetch(prefetch).build(),
+        );
+        let mut s = m.session();
+        let p0 = s.query(SCAN).expect("compile");
+        assert_eq!(
+            stats.get(Counter::TuplesShipped),
+            0,
+            "query compilation pulled rows under {prefetch:?}"
+        );
+        let _p1 = s.d(p0).expect("first child").expect("non-empty");
+        assert_eq!(
+            stats.get(Counter::TuplesShipped),
+            1,
+            "first d() must ship exactly one tuple under {prefetch:?}"
+        );
+        // Tuples are only *accounted* when the consumer receives them,
+        // so the counter cannot creep even while the (now running)
+        // prefetcher speculates into its bounded channel.
+        drop(s);
+        assert_eq!(
+            stats.get(Counter::TuplesShipped),
+            1,
+            "abandoning the session shipped more rows under {prefetch:?}"
+        );
+    }
+}
+
+/// No prefetcher thread outlives its session: abandoning a session
+/// mid-drain (with the prefetcher parked on a full channel) cancels and
+/// joins the thread, and the abort is counted.
+#[test]
+fn abandoned_session_reaps_prefetcher_threads() {
+    let (catalog, db) = customers_orders(200, 1, 17);
+    let stats = db.stats().clone();
+    let m = Mediator::with_options(
+        catalog,
+        MediatorOptions::builder()
+            // One-row blocks + depth 2: the thread outpaces a navigating
+            // consumer immediately and parks on the bounded channel.
+            .block(BlockPolicy::Off)
+            .prefetch(PrefetchPolicy::Depth(2))
+            .build(),
+    );
+    let mut s = m.session();
+    let p0 = s.query(SCAN).expect("compile");
+    // Demand the first block: this is what starts the prefetcher.
+    let p1 = s.d(p0).expect("d").expect("non-empty");
+    let _ = s.r(p1).expect("r");
+    // Abandon the session mid-drain. Dropping it must stop the
+    // prefetcher (readahead is bounded: 200 rows were never pulled),
+    // join the thread, and count the abort.
+    drop(s);
+    // Our thread is joined synchronously on drop; concurrently running
+    // tests may hold their own prefetchers, so poll the global gauge
+    // down to zero instead of snapshotting it.
+    let t0 = std::time::Instant::now();
+    while active_prefetchers() > 0 {
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "prefetcher thread leaked: {} still alive",
+            active_prefetchers()
+        );
+        std::thread::yield_now();
+    }
+    assert!(
+        stats.get(Counter::PrefetchAborted) >= 1,
+        "cancelled prefetcher never recorded its abort"
+    );
+    // Bounded readahead: depth 2 + the stash means only a handful of
+    // the 200 rows ever shipped.
+    assert!(
+        stats.get(Counter::TuplesShipped) < 20,
+        "abandoned drain shipped {} of 200 rows",
+        stats.get(Counter::TuplesShipped)
+    );
+}
+
+/// The session block-ramp floor (the `join_drain` small-block fix): once
+/// a drain has demonstrated block-sized appetite, later cursors in the
+/// same session restart their `Auto` ramp at the learned floor instead
+/// of 1, so a second identical drain ships the same rows in fewer
+/// blocks. Fresh sessions still start at 1 (first-d() laziness).
+#[test]
+fn auto_ramp_restarts_floored_within_a_session() {
+    let (catalog, db) = customers_orders(200, 1, 17);
+    let stats = db.stats().clone();
+    let m = Mediator::new(catalog); // Block::Auto, Prefetch::Off defaults
+    let mut s = m.session();
+    let mut out1 = String::new();
+    let p0 = s.query(SCAN).expect("q");
+    drain_tree(&s, p0, &mut out1).expect("drain 1");
+    let tuples1 = stats.get(Counter::TuplesShipped);
+    let blocks1 = stats.get(Counter::BlocksShipped);
+    let mut out2 = String::new();
+    let p0b = s.query(SCAN).expect("q again");
+    drain_tree(&s, p0b, &mut out2).expect("drain 2");
+    let tuples2 = stats.get(Counter::TuplesShipped) - tuples1;
+    let blocks2 = stats.get(Counter::BlocksShipped) - blocks1;
+    assert_eq!(tuples1, tuples2, "same drain, same rows");
+    assert!(
+        blocks2 < blocks1,
+        "floored ramp must re-ship {tuples2} rows in fewer blocks ({blocks2} vs {blocks1})"
+    );
+    // The cold ramp (1,2,4,…) takes ⌈log2⌉-ish pulls; the warm one
+    // starts at the learned floor. 200 rows: cold = 1+2+4+…+128 → 9
+    // blocks; warm floor 128 → 2 blocks.
+    assert!(blocks1 >= 8, "cold ramp took {blocks1} blocks");
+    assert!(blocks2 <= 3, "warm ramp took {blocks2} blocks");
+}
