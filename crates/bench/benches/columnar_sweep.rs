@@ -1,0 +1,87 @@
+//! Columnar-representation sweep: full Q1 drains with blocks shipped as
+//! typed column vectors (the default) versus the boxed per-row
+//! representation (`MediatorOptions::columnar(false)`, the ablation
+//! baseline — the hot path as it stood before the columnar refactor).
+//!
+//! Two shapes are measured, both under `BlockPolicy::Auto`:
+//!
+//! * `q1_drain` — the optimized plan (join pushed to SQL): the columnar
+//!   path covers the whole shipping spine — typed `ColumnBlock` pulls
+//!   at the cursor, the vectorized scan, and the run-detecting block
+//!   decoder in `rQ` — so this is the headline number.
+//! * `join_drain` — the unoptimized plan: two scans feed the mediator
+//!   hash join, so cursor shipping plus key extraction dominate.
+//!
+//! Both representations ship identical tuples with identical
+//! `BlocksShipped`; the bench asserts that before timing, so the gap is
+//! representation cost and nothing else. Pass `--smoke` for a
+//! seconds-scale CI run on a small database.
+
+use mix::prelude::*;
+use mix_bench::harness::Harness;
+use mix_bench::Q1;
+use std::time::Duration;
+
+fn reprs() -> [(&'static str, bool); 2] {
+    [("row", false), ("col", true)]
+}
+
+/// One full Q1 drain; returns (result tuples, blocks shipped).
+fn drain(catalog: &Catalog, optimize: bool, columnar: bool) -> (usize, u64) {
+    let m = Mediator::with_options(
+        catalog.clone(),
+        MediatorOptions::builder()
+            .optimize(optimize)
+            .block(BlockPolicy::Auto)
+            .columnar(columnar)
+            .build(),
+    );
+    let mut s = m.session();
+    let before = s.ctx().stats().get(Counter::BlocksShipped);
+    let p0 = s.query(Q1).unwrap();
+    let n = s.child_count(p0).expect("Q1 drain");
+    (n, s.ctx().stats().get(Counter::BlocksShipped) - before)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut h = Harness::from_args("columnar_sweep");
+    let (n, per) = if smoke { (60usize, 2usize) } else { (2000, 2) };
+    if smoke {
+        h.measure_for(Duration::from_millis(30));
+    }
+    let rows = n * per;
+    let (catalog, _db) = mix_repro::datagen::customers_orders(n, per, 31);
+
+    // The equal-work precondition: representation must not change what
+    // ships. (The equivalence suite pins content; this pins the bench's
+    // own workload.)
+    for optimize in [true, false] {
+        let (row_n, row_blocks) = drain(&catalog, optimize, false);
+        let (col_n, col_blocks) = drain(&catalog, optimize, true);
+        assert_eq!(
+            row_n, col_n,
+            "result cardinality differs (optimize={optimize})"
+        );
+        assert_eq!(
+            row_blocks, col_blocks,
+            "BlocksShipped differs (optimize={optimize})"
+        );
+    }
+
+    for (label, columnar) in reprs() {
+        let catalog = catalog.clone();
+        h.bench(&format!("q1_drain/{label}/{n}x{rows}"), || {
+            drain(&catalog, true, columnar)
+        });
+    }
+
+    for (label, columnar) in reprs() {
+        let catalog = catalog.clone();
+        h.bench(&format!("join_drain/{label}/{n}x{rows}"), || {
+            drain(&catalog, false, columnar)
+        });
+    }
+
+    h.finish();
+}

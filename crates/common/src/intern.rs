@@ -1,0 +1,113 @@
+//! String interning for the value domain.
+//!
+//! [`Name`](crate::Name) already gives labels and variable names a
+//! cheaply clonable `Arc<str>` representation, but each *value* cell
+//! used to carry its own `String` allocation — and relational sources
+//! repeat themselves constantly (the same city, the same status code,
+//! the same rendered id in every row). This module extends the interning
+//! idea to the value domain: [`intern`] returns a pooled `Arc<str>` so
+//! repeated character content shares one allocation, and cloning a cell
+//! is a reference-count bump.
+//!
+//! Lifetime: the pool is process-global and append-only up to
+//! [`MAX_POOL_ENTRIES`] distinct strings. Strings longer than
+//! [`MAX_INTERN_LEN`] bytes are never pooled (large character content
+//! would pin memory forever for little sharing benefit) — they still get
+//! an `Arc<str>`, just an unshared one. When the pool is full, new
+//! distinct strings also bypass it. This keeps the pool a bounded cache,
+//! not a leak: worst case is `MAX_POOL_ENTRIES × MAX_INTERN_LEN` bytes.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Longest string (in bytes) the pool will retain.
+pub const MAX_INTERN_LEN: usize = 128;
+
+/// Most distinct strings the pool will retain.
+pub const MAX_POOL_ENTRIES: usize = 1 << 16;
+
+struct Pool {
+    set: Mutex<HashSet<Arc<str>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        set: Mutex::new(HashSet::new()),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    })
+}
+
+/// An `Arc<str>` for `s`, shared with every previous and future caller
+/// that interned the same text (within the pool bounds documented at
+/// the module level).
+pub fn intern(s: &str) -> Arc<str> {
+    if s.len() > MAX_INTERN_LEN {
+        return Arc::from(s);
+    }
+    let p = pool();
+    let mut set = p.set.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(existing) = set.get(s) {
+        p.hits.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(existing);
+    }
+    p.misses.fetch_add(1, Ordering::Relaxed);
+    let arc: Arc<str> = Arc::from(s);
+    if set.len() < MAX_POOL_ENTRIES {
+        set.insert(Arc::clone(&arc));
+    }
+    arc
+}
+
+/// Pool statistics `(hits, misses)` since process start; a hit means
+/// the returned `Arc` shares an existing allocation.
+pub fn intern_stats() -> (u64, u64) {
+    let p = pool();
+    (
+        p.hits.load(Ordering::Relaxed),
+        p.misses.load(Ordering::Relaxed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interned_strings_share_one_allocation() {
+        let a = intern("mix-intern-test-alpha");
+        let b = intern("mix-intern-test-alpha");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(Arc::strong_count(&a) >= 3); // a, b, and the pool entry
+    }
+
+    #[test]
+    fn distinct_strings_do_not_alias() {
+        let a = intern("mix-intern-test-beta");
+        let b = intern("mix-intern-test-gamma");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(&*a, "mix-intern-test-beta");
+    }
+
+    #[test]
+    fn oversized_strings_bypass_the_pool() {
+        let big = "x".repeat(MAX_INTERN_LEN + 1);
+        let a = intern(&big);
+        let b = intern(&big);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(Arc::strong_count(&a), 1);
+    }
+
+    #[test]
+    fn hit_counter_advances_on_reuse() {
+        let (h0, _) = intern_stats();
+        let _a = intern("mix-intern-test-delta");
+        let _b = intern("mix-intern-test-delta");
+        let (h1, _) = intern_stats();
+        assert!(h1 > h0);
+    }
+}

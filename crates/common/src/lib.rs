@@ -19,7 +19,9 @@
 //!   together with [`Counter`], [`Snapshot`] and [`Delta`].
 
 pub mod block;
+pub mod column;
 pub mod error;
+pub mod intern;
 pub mod name;
 pub mod prefetch;
 pub mod retry;
@@ -28,7 +30,9 @@ pub mod stats;
 pub mod value;
 
 pub use block::{BlockPolicy, BlockRamp, MAX_AUTO_BLOCK};
+pub use column::{ColData, ColumnBlock};
 pub use error::{BackendError, FaultKind, MixError, Result, ResultContext};
+pub use intern::intern;
 pub use name::Name;
 pub use prefetch::{PrefetchPolicy, AUTO_PREFETCH_DEPTH};
 pub use retry::RetryPolicy;

@@ -8,8 +8,10 @@
 //! follow SQL-ish rules (numeric cross-type comparison, lexicographic
 //! strings, `Null` incomparable).
 
+use crate::intern::intern;
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 /// A scalar constant: the domain `D` of the labeled-ordered-tree model,
 /// plus the typed values relational sources produce.
@@ -26,8 +28,11 @@ pub enum Value {
     /// 64-bit float. NaN is normalized to `Null` at construction sites;
     /// `Float` payloads are expected to be non-NaN.
     Float(f64),
-    /// String / character content.
-    Str(String),
+    /// String / character content. The payload is a shared `Arc<str>`
+    /// (see [`mod@crate::intern`]): cloning a string cell is a
+    /// reference-count bump, and repeated parsed literals share one
+    /// allocation.
+    Str(Arc<str>),
 }
 
 impl Eq for Value {}
@@ -47,7 +52,7 @@ impl std::hash::Hash for Value {
 
 impl Value {
     /// Build a string value.
-    pub fn str(s: impl Into<String>) -> Value {
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
         Value::Str(s.into())
     }
 
@@ -82,22 +87,34 @@ impl Value {
     }
 
     /// Parse a textual token into the most specific value type:
-    /// integer, then float, then bool, falling back to a string.
+    /// integer, then float, then bool, falling back to an interned
+    /// string.
     ///
     /// This is how the XML parser and the wrapper type leaf content.
+    /// A numeric parse is accepted only when re-rendering the parsed
+    /// value reproduces the input exactly, so `parse_literal` is a
+    /// left inverse of [`Display`](fmt::Display) and canonicalization
+    /// can never change observable output: `"007"`, `"1e3"` or `"+5"`
+    /// stay strings instead of collapsing to `7`, `1000.0` or `5`.
     pub fn parse_literal(s: &str) -> Value {
         if let Ok(i) = s.parse::<i64>() {
-            return Value::Int(i);
+            let v = Value::Int(i);
+            if v.to_string() == s {
+                return v;
+            }
         }
         if let Ok(f) = s.parse::<f64>() {
             if f.is_finite() {
-                return Value::Float(f);
+                let v = Value::Float(f);
+                if v.to_string() == s {
+                    return v;
+                }
             }
         }
         match s {
             "true" => Value::Bool(true),
             "false" => Value::Bool(false),
-            _ => Value::Str(s.to_string()),
+            _ => Value::Str(intern(s)),
         }
     }
 
@@ -160,8 +177,11 @@ impl fmt::Display for Value {
             Value::Null => write!(f, "null"),
             Value::Bool(b) => write!(f, "{b}"),
             Value::Int(i) => write!(f, "{i}"),
+            // Integral floats always render with a `.0` suffix — even at
+            // and above 1e15, where they previously printed like plain
+            // integers and broke the `parse_literal` round trip.
             Value::Float(x) => {
-                if x.fract() == 0.0 && x.abs() < 1e15 {
+                if x.fract() == 0.0 && x.is_finite() {
                     write!(f, "{x:.1}")
                 } else {
                     write!(f, "{x}")
@@ -198,11 +218,16 @@ impl From<bool> for Value {
 }
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_string())
+        Value::Str(Arc::from(v))
     }
 }
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
         Value::Str(v)
     }
 }
@@ -358,6 +383,41 @@ mod tests {
     fn display_round_trip() {
         for v in [Value::Int(5), Value::str("x"), Value::Bool(true)] {
             assert_eq!(Value::parse_literal(&v.to_string()), v);
+        }
+    }
+
+    #[test]
+    fn display_round_trip_large_integral_floats() {
+        // ≥ 1e15 with zero fraction used to print like an integer and
+        // come back as Value::Int.
+        for x in [1e15, 1e16, 2.0f64.powi(60), 1e300, -1e15] {
+            let v = Value::Float(x);
+            assert_eq!(Value::parse_literal(&v.to_string()), v, "x={x}");
+        }
+    }
+
+    #[test]
+    fn numeric_looking_strings_stay_strings() {
+        // Non-canonical numeric spellings must not collapse: rendering
+        // would change the observable text.
+        for s in ["007", "+5", "1e3", "0x10", " 42", "2.50", "1_000", "-0"] {
+            let v = Value::parse_literal(s);
+            assert_eq!(v, Value::str(s), "literal {s:?}");
+            assert_eq!(v.to_string(), s, "round trip {s:?}");
+        }
+        // Canonical spellings still parse to their typed values.
+        assert_eq!(Value::parse_literal("-7"), Value::Int(-7));
+        assert_eq!(Value::parse_literal("2.5"), Value::Float(2.5));
+        assert_eq!(Value::parse_literal("-0.0"), Value::Float(-0.0));
+    }
+
+    #[test]
+    fn parsed_string_literals_are_interned() {
+        let a = Value::parse_literal("not-a-number-at-all");
+        let b = Value::parse_literal("not-a-number-at-all");
+        match (&a, &b) {
+            (Value::Str(x), Value::Str(y)) => assert!(std::sync::Arc::ptr_eq(x, y)),
+            _ => panic!("expected strings, got {a:?} / {b:?}"),
         }
     }
 }

@@ -63,8 +63,9 @@ pub use mix_xquery as xquery;
 pub mod prelude {
     pub use mix_algebra::{translate, translate_with_root, validate, Plan};
     pub use mix_common::{
-        BackendError, BlockPolicy, BlockRows, CmpOp, Counter, Delta, FaultKind, MixError, Name,
-        PrefetchPolicy, Result, ResultContext, RetryPolicy, Snapshot, Stats, Value, MAX_AUTO_BLOCK,
+        intern, BackendError, BlockPolicy, BlockRows, CmpOp, ColumnBlock, Counter, Delta,
+        FaultKind, MixError, Name, PrefetchPolicy, Result, ResultContext, RetryPolicy, Snapshot,
+        Stats, Value, MAX_AUTO_BLOCK,
     };
     pub use mix_engine::{AccessMode, EvalContext, GByMode, VirtualResult};
     pub use mix_obs::{CollectingTracer, LogTracer, Tracer, TracerHandle};

@@ -66,6 +66,12 @@ pub struct EvalContext {
     /// model; `Depth(n)`/`Auto` overlap backend latency with mediator
     /// work once a cursor's first block has been demanded).
     pub prefetch: PrefetchPolicy,
+    /// Ship source blocks as typed column vectors (`false` keeps the
+    /// boxed row representation — an ablation knob; both produce
+    /// identical tuples and identical `TuplesShipped`/`BlocksShipped`).
+    /// Only block pulls are affected: under [`BlockPolicy::Off`] the
+    /// per-row protocol runs regardless.
+    pub columnar: bool,
     /// Session high-water mark for `BlockPolicy::Auto` restarts: once a
     /// drain in this session has ramped up, later cursors skip the
     /// small-block warm-up below this floor (see
@@ -87,6 +93,7 @@ impl EvalContext {
             block: BlockPolicy::default(),
             retry: RetryPolicy::default(),
             prefetch: PrefetchPolicy::default(),
+            columnar: true,
             ramp_floor: Cell::new(1),
             stats: Stats::new(),
             docs: RefCell::new(HashMap::new()),

@@ -627,11 +627,11 @@ pub fn build_element(
                 .get(v)
                 .cloned()
                 .ok_or_else(|| MixError::internal(format!("crElt child var {v} missing")))?;
-            LList::fixed(vec![val])
+            LList::one(val)
         }
         ChildSpec::ListVar(v) => match t.get(v) {
             Some(LVal::List(l)) => l.clone(),
-            Some(other) => LList::fixed(vec![other.clone()]),
+            Some(other) => LList::one(other.clone()),
             None => return Err(MixError::internal(format!("crElt child var {v} missing"))),
         },
     };
@@ -658,10 +658,7 @@ pub fn cat_value(t: &LTuple, left: &ChildSpec, right: &ChildSpec) -> Result<LVal
             },
         })
     };
-    Ok(LVal::List(LList::from_parts(vec![
-        part(left)?,
-        part(right)?,
-    ])))
+    Ok(LVal::List(LList::two(part(left)?, part(right)?)))
 }
 
 /// Does a condition hold on a tuple? Incomparable ⇒ false (paper
@@ -691,10 +688,10 @@ pub fn cond_holds(ctx: &EvalContext, cond: &Cond, t: &LTuple) -> bool {
 
 /// The identity key a `tD` deduplicates on: the vertex id for nodes
 /// and leaves; lists/partitions have no identity and are always kept.
-pub(crate) fn dedup_key(ctx: &EvalContext, v: &LVal) -> Option<String> {
+pub(crate) fn dedup_key(ctx: &EvalContext, v: &LVal) -> Option<Oid> {
     match v {
         LVal::List(_) | LVal::Part(_) => None,
-        _ => Some(ctx.lval_oid(v).to_string()),
+        _ => Some(ctx.lval_oid(v)),
     }
 }
 
@@ -736,7 +733,7 @@ pub(crate) fn rq_row_to_vals(
                         LVal::Elem(Rc::new(LElem {
                             label: cname.clone(),
                             oid: Oid::key(format!("{key_text}.{cname}")),
-                            children: LList::fixed(vec![LVal::Leaf(v)]),
+                            children: LList::one(LVal::Leaf(v)),
                         }))
                     })
                     .collect();

@@ -18,16 +18,18 @@
 use crate::context::EvalContext;
 use crate::lval::LTuple;
 use mix_algebra::{EquiPair, KeyKind, Side};
-use mix_common::Value;
+use mix_common::{Name, Value};
 use mix_xml::Oid;
+use std::rc::Rc;
 
 /// One normalized key component.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) enum KeyPart {
     /// Numeric key: f64 bits after cross-type normalization.
     Num(u64),
-    /// String key.
-    Str(String),
+    /// String key: shares the cell's allocation (refcount bump, no
+    /// copy; `Arc<str>` hashes and compares by content).
+    Str(std::sync::Arc<str>),
     /// Boolean key.
     Bool(bool),
     /// Node-identity key (`≐` conjuncts): the grouping oid.
@@ -79,6 +81,68 @@ pub(crate) fn tuple_key(
             }
         })
         .collect()
+}
+
+/// Cached variable→position resolution for one side of an equi-key.
+///
+/// [`tuple_key`] resolves each pair's variable by a linear name search
+/// in the tuple's schema — fine for one tuple, loop-invariant work for
+/// a *stream*: every tuple a stream produces shares one
+/// `Rc<Vec<Name>>`. The cache keys on that `Rc`'s identity and
+/// re-resolves only when the schema pointer actually changes (in
+/// practice: once per build/probe side), so the per-tuple cost is an
+/// indexed load instead of `pairs × vars` name comparisons.
+pub(crate) struct KeyCache {
+    side: Side,
+    vars: Option<Rc<Vec<Name>>>,
+    pos: Vec<Option<usize>>,
+}
+
+impl KeyCache {
+    pub(crate) fn new(side: Side) -> KeyCache {
+        KeyCache {
+            side,
+            vars: None,
+            pos: Vec::new(),
+        }
+    }
+
+    /// Which join side this cache extracts keys for.
+    pub(crate) fn side(&self) -> Side {
+        self.side
+    }
+
+    /// The hash key of `t` — same result as [`tuple_key`] for this
+    /// cache's side, with the name resolution amortized.
+    pub(crate) fn key(
+        &mut self,
+        ctx: &EvalContext,
+        t: &LTuple,
+        pairs: &[EquiPair],
+    ) -> Option<Vec<KeyPart>> {
+        if !self.vars.as_ref().is_some_and(|v| Rc::ptr_eq(v, &t.vars)) {
+            self.pos.clear();
+            self.pos.extend(pairs.iter().map(|p| {
+                let var = match self.side {
+                    Side::Left => &p.left,
+                    Side::Right => &p.right,
+                };
+                t.vars.iter().position(|n| n == var)
+            }));
+            self.vars = Some(Rc::clone(&t.vars));
+        }
+        pairs
+            .iter()
+            .zip(&self.pos)
+            .map(|(p, pos)| {
+                let lv = t.vals.get((*pos)?)?;
+                match p.kind {
+                    KeyKind::Scalar => ctx.lval_scalar(lv).as_ref().and_then(scalar_part),
+                    KeyKind::Node => Some(KeyPart::Node(ctx.lval_key(lv))),
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -46,40 +46,85 @@ pub enum ChildPart {
     Splice(LList),
     /// A lazily produced run of values.
     Lazy(LazyList),
+    /// A fixed-arity run built on demand by a shared, stateless
+    /// generator — the children of an `rQ`-reconstructed element,
+    /// backed by the block (or row) it was decoded from. One generator
+    /// is shared by every element of the same block, so a deferred
+    /// child list costs no per-element producer state; rebuilding on
+    /// re-access is sound because the generated elements are
+    /// identified structurally (derived key oids).
+    Gen {
+        gen: Rc<dyn KidGen>,
+        row: u32,
+        parent: Oid,
+    },
+}
+
+/// A stateless child generator (see [`ChildPart::Gen`]).
+pub trait KidGen {
+    /// Children per element (every element of one generator has the
+    /// same arity).
+    fn count(&self) -> usize;
+    /// Build child `i` of the element decoded from `row`, whose id is
+    /// `parent`.
+    fn kid(&self, row: usize, i: usize, parent: &Oid) -> LVal;
 }
 
 /// A list value: an ordered sequence of parts.
+///
+/// The parts live in a shared slice (`Rc<[ChildPart]>`): one
+/// allocation per list, and the single-part constructors below build
+/// it directly without an intermediate `Vec`.
 #[derive(Clone)]
 pub struct LList {
-    pub parts: Rc<Vec<ChildPart>>,
+    pub parts: Rc<[ChildPart]>,
 }
 
 impl LList {
     /// The empty list.
     pub fn empty() -> LList {
-        LList {
-            parts: Rc::new(Vec::new()),
-        }
+        LList { parts: Rc::new([]) }
     }
 
     /// A fully materialized list.
     pub fn fixed(vals: Vec<LVal>) -> LList {
         LList {
-            parts: Rc::new(vals.into_iter().map(ChildPart::One).collect()),
+            parts: vals.into_iter().map(ChildPart::One).collect(),
+        }
+    }
+
+    /// A one-value list, built without an intermediate `Vec<LVal>`.
+    pub fn one(val: LVal) -> LList {
+        LList {
+            parts: Rc::new([ChildPart::One(val)]),
+        }
+    }
+
+    /// A two-part list (the `cat` shape), one allocation.
+    pub fn two(a: ChildPart, b: ChildPart) -> LList {
+        LList {
+            parts: Rc::new([a, b]),
+        }
+    }
+
+    /// A list backed by one shared stateless generator run.
+    pub fn generated(gen: Rc<dyn KidGen>, row: u32, parent: Oid) -> LList {
+        LList {
+            parts: Rc::new([ChildPart::Gen { gen, row, parent }]),
         }
     }
 
     /// A list backed by one lazy producer.
     pub fn lazy(producer: LazyList) -> LList {
         LList {
-            parts: Rc::new(vec![ChildPart::Lazy(producer)]),
+            parts: Rc::new([ChildPart::Lazy(producer)]),
         }
     }
 
     /// A list from explicit parts.
     pub fn from_parts(parts: Vec<ChildPart>) -> LList {
         LList {
-            parts: Rc::new(parts),
+            parts: parts.into(),
         }
     }
 
@@ -103,6 +148,13 @@ impl LList {
                     Some(v) => return Ok(Some(v)),
                     None => remaining -= ll.produced_len(),
                 },
+                ChildPart::Gen { gen, row, parent } => {
+                    let n = gen.count();
+                    if remaining < n {
+                        return Ok(Some(gen.kid(*row as usize, remaining, parent)));
+                    }
+                    remaining -= n;
+                }
             }
         }
         Ok(None)

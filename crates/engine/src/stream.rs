@@ -29,12 +29,12 @@
 use crate::context::{EvalContext, GByMode};
 use crate::eager::{build_element, cat_value, cond_holds, rq_row_to_vals};
 use crate::explain::subtree_size;
-use crate::hashkey::{tuple_key, KeyPart};
+use crate::hashkey::{KeyCache, KeyPart};
 use crate::lval::LElem;
-use crate::lval::{LList, LTuple, LVal, LazyList, Partition};
+use crate::lval::{KidGen, LList, LTuple, LVal, LazyList, Partition};
 use crate::pathwalk::eval_path;
 use mix_algebra::{Op, Side};
-use mix_common::{Counter, MixError, Name, Result, ResultContext, Value};
+use mix_common::{ColumnBlock, Counter, MixError, Name, Result, ResultContext, Value};
 use mix_obs::{ExecProfile, SpanId, TracerHandle};
 use mix_relational::Cursor;
 use mix_xml::{NavDoc, NodeRef, Oid};
@@ -253,6 +253,8 @@ pub(crate) fn build_stream_profiled(
                     idx: 0,
                     cond: cond.clone(),
                     vars: Rc::new(vars),
+                    lkeys: KeyCache::new(Side::Left),
+                    rkeys: KeyCache::new(Side::Right),
                 })
             } else {
                 ctx.stats().inc(Counter::NlFallbacks);
@@ -292,6 +294,11 @@ pub(crate) fn build_stream_profiled(
                     pairs: split.pairs,
                     cond: cond.clone(),
                     keep: *keep,
+                    kept_keys: KeyCache::new(*keep),
+                    other_keys: KeyCache::new(match keep {
+                        Side::Left => Side::Right,
+                        Side::Right => Side::Left,
+                    }),
                 })
             } else {
                 ctx.stats().inc(Counter::NlFallbacks);
@@ -321,6 +328,7 @@ pub(crate) fn build_stream_profiled(
                 ctx: Rc::clone(ctx),
                 input,
                 vars: Rc::new(vars),
+                buf: Vec::new(),
                 f: MapKind::CrElt {
                     label: label.clone(),
                     skolem: skolem.clone(),
@@ -343,6 +351,7 @@ pub(crate) fn build_stream_profiled(
                 ctx: Rc::clone(ctx),
                 input,
                 vars: Rc::new(vars),
+                buf: Vec::new(),
                 f: MapKind::Cat {
                     left: left.clone(),
                     right: right.clone(),
@@ -463,6 +472,10 @@ pub(crate) fn build_stream_profiled(
                 mix_common::BlockPolicy::Off => None,
                 _ => Some(RqDecoder::new(map)),
             };
+            // Typed column vectors only make sense for block pulls; the
+            // per-row protocol under `Off` keeps the row representation.
+            let columnar = decoder.is_some() && ctx.columnar;
+            extra.push(("repr", if columnar { "col" } else { "row" }.to_string()));
             Box::new(RelQueryStream {
                 ctx: Rc::clone(ctx),
                 cursor,
@@ -472,6 +485,7 @@ pub(crate) fn build_stream_profiled(
                 ramp,
                 rbuf: Vec::new(),
                 decoder,
+                columnar,
                 profile: profile.cloned(),
                 id,
                 counted_retries: 0,
@@ -941,6 +955,10 @@ struct HashJoinStream {
     idx: usize,
     cond: Option<mix_algebra::Cond>,
     vars: Rc<Vec<Name>>,
+    /// Per-side variable→position caches: key extraction is an indexed
+    /// load per tuple, not a name search ([`KeyCache`]).
+    lkeys: KeyCache,
+    rkeys: KeyCache,
 }
 
 impl HashJoinStream {
@@ -953,7 +971,7 @@ impl HashJoinStream {
         drain_stream(&mut *right, &mut buf)?;
         for t in buf {
             // A keyless (Null) tuple can never satisfy the equi-conjuncts.
-            if let Some(k) = tuple_key(&self.ctx, &t, &self.pairs, Side::Right) {
+            if let Some(k) = self.rkeys.key(&self.ctx, &t, &self.pairs) {
                 self.index.entry(k).or_default().push(t);
             }
         }
@@ -976,7 +994,7 @@ impl TStream for HashJoinStream {
                     return Ok(None);
                 };
                 self.build()?;
-                self.cur_key = tuple_key(&self.ctx, &l, &self.pairs, Side::Left);
+                self.cur_key = self.lkeys.key(&self.ctx, &l, &self.pairs);
                 self.cur_left = Some(l);
                 self.idx = 0;
             }
@@ -1012,7 +1030,7 @@ impl TStream for HashJoinStream {
                 }
                 let Some(l) = self.left.next()? else { break };
                 self.build()?;
-                self.cur_key = tuple_key(&self.ctx, &l, &self.pairs, Side::Left);
+                self.cur_key = self.lkeys.key(&self.ctx, &l, &self.pairs);
                 self.cur_left = Some(l);
                 self.idx = 0;
             }
@@ -1100,6 +1118,8 @@ struct HashSemiJoinStream {
     pairs: Vec<mix_algebra::EquiPair>,
     cond: Option<mix_algebra::Cond>,
     keep: Side,
+    kept_keys: KeyCache,
+    other_keys: KeyCache,
 }
 
 impl HashSemiJoinStream {
@@ -1122,11 +1142,11 @@ impl HashSemiJoinStream {
             return Ok(());
         };
         self.ctx.stats().inc(Counter::HashBuilds);
-        let side = self.other_side();
+        debug_assert_eq!(self.other_keys.side(), self.other_side());
         let mut buf = Vec::new();
         drain_stream(&mut *other, &mut buf)?;
         for t in buf {
-            if let Some(k) = tuple_key(&self.ctx, &t, &self.pairs, side) {
+            if let Some(k) = self.other_keys.key(&self.ctx, &t, &self.pairs) {
                 self.index.entry(k).or_default().push(t);
             }
         }
@@ -1148,7 +1168,8 @@ impl TStream for HashSemiJoinStream {
                 return Ok(None);
             };
             self.build()?;
-            let Some(key) = tuple_key(&self.ctx, &t, &self.pairs, self.kept_side()) else {
+            debug_assert_eq!(self.kept_keys.side(), self.kept_side());
+            let Some(key) = self.kept_keys.key(&self.ctx, &t, &self.pairs) else {
                 continue;
             };
             let Some(bucket) = self.index.get(&key) else {
@@ -1191,6 +1212,8 @@ struct MapStream {
     input: Box<dyn TStream>,
     vars: Rc<Vec<Name>>,
     f: MapKind,
+    /// Scratch for [`TStream::pull_block`], reused across pulls.
+    buf: Vec<LTuple>,
 }
 
 impl MapStream {
@@ -1224,11 +1247,14 @@ impl TStream for MapStream {
     }
 
     fn pull_block(&mut self, out: &mut Vec<LTuple>, n: usize) -> Result<usize> {
-        let mut buf = Vec::new();
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.clear();
         let got = self.input.pull_block(&mut buf, n)?;
-        for t in buf {
+        out.reserve(got);
+        for t in buf.drain(..) {
             out.push(self.apply(t)?);
         }
+        self.buf = buf;
         Ok(got)
     }
 
@@ -1270,6 +1296,13 @@ struct GByStream {
     ctx: Rc<EvalContext>,
     shared: Rc<RefCell<GByShared>>,
     group: Vec<Name>,
+    /// `group[i]`'s slot in the input tuple layout, resolved once —
+    /// the per-tuple key checks index `vals` directly instead of
+    /// searching the name list for every tuple.
+    positions: Vec<Option<usize>>,
+    /// `positions` fully resolved and shared: every group's producer
+    /// closure clones the `Rc` instead of collecting its own vector.
+    pos: Option<Rc<[usize]>>,
     in_vars: Rc<Vec<Name>>,
     vars: Rc<Vec<Name>>,
     /// The group currently being (lazily) exposed; drained before the
@@ -1287,6 +1320,10 @@ impl GByStream {
     ) -> GByStream {
         let in_vars = input.vars();
         let vars: Vec<Name> = group.iter().cloned().chain([out]).collect();
+        let positions = group
+            .iter()
+            .map(|g| in_vars.iter().position(|v| v == g))
+            .collect();
         let block = BlockBuf::new(ctx.block, ctx.block_ramp());
         GByStream {
             ctx,
@@ -1297,6 +1334,8 @@ impl GByStream {
                 done: false,
             })),
             group,
+            positions,
+            pos: None,
             in_vars,
             vars: Rc::new(vars),
             current: None,
@@ -1328,22 +1367,37 @@ impl TStream for GByStream {
         let Some(seed) = self.shared.borrow_mut().pull()? else {
             return Ok(None);
         };
-        let key = group_key(&self.ctx, &seed, &self.group)?;
-        let group_vals: Vec<LVal> = self
-            .group
+        let pos: Rc<[usize]> = match &self.pos {
+            Some(p) => Rc::clone(p),
+            None => {
+                let resolved: Vec<usize> = self
+                    .positions
+                    .iter()
+                    .zip(&self.group)
+                    .map(|(p, g)| {
+                        p.ok_or_else(|| {
+                            MixError::plan(format!("group var {} unbound", g.display_var()))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let p: Rc<[usize]> = Rc::from(resolved);
+                self.pos = Some(Rc::clone(&p));
+                p
+            }
+        };
+        let key: Vec<Oid> = pos
             .iter()
-            .map(|g| {
-                seed.get(g)
-                    .cloned()
-                    .ok_or_else(|| MixError::plan("group var unbound"))
-            })
-            .collect::<Result<_>>()?;
+            .map(|&i| self.ctx.lval_key(&seed.vals[i]))
+            .collect();
+        // Room for the trailing partition binding pushed below.
+        let mut group_vals: Vec<LVal> = Vec::with_capacity(pos.len() + 1);
+        group_vals.extend(pos.iter().map(|&i| seed.vals[i].clone()));
         // The partition producer: first the seed, then shared tuples
-        // while the key matches; a mismatching tuple is pushed back
-        // into the lookahead slot.
+        // while the key matches (compared slot-wise, no per-tuple key
+        // vector); a mismatching tuple is pushed back into the
+        // lookahead slot.
         let shared = Rc::clone(&self.shared);
         let ctx = Rc::clone(&self.ctx);
-        let group = self.group.clone();
         let my_key = key;
         let mut seed = Some(seed);
         let producer = Box::new(move || {
@@ -1354,7 +1408,11 @@ impl TStream for GByStream {
             let Some(t) = sh.pull()? else {
                 return Ok(None);
             };
-            if group_key(&ctx, &t, &group)? == my_key {
+            let same = pos
+                .iter()
+                .zip(&my_key)
+                .all(|(&i, k)| ctx.lval_key(&t.vals[i]) == *k);
+            if same {
                 Ok(Some(t))
             } else {
                 sh.lookahead = Some(t);
@@ -1611,7 +1669,7 @@ impl ApplyStream {
         let nvar = self.nested_var.clone();
         let profile = self.profile.clone();
         let nested_base = self.nested_base;
-        let mut state: Option<(Box<dyn TStream>, std::collections::HashSet<String>)> = None;
+        let mut state: Option<(Box<dyn TStream>, std::collections::HashSet<mix_xml::Oid>)> = None;
         let lazy = LazyList::new(Box::new(move || {
             // Compile on first demand; a compile failure surfaces as the
             // list's error (get_or_insert_with cannot propagate it).
@@ -1732,6 +1790,61 @@ enum RqSlot {
     },
 }
 
+/// Stateless child generator for elements decoded from one column
+/// block, shared by every fresh element the block yields — a deferred
+/// child list carries no per-element producer state (see
+/// [`ChildPart::Gen`]).
+///
+/// [`ChildPart::Gen`]: crate::lval::ChildPart::Gen
+struct BlockKids {
+    block: Rc<ColumnBlock>,
+    cols: Rc<Vec<(Name, usize)>>,
+}
+
+impl KidGen for BlockKids {
+    fn count(&self) -> usize {
+        self.cols.len()
+    }
+
+    fn kid(&self, row: usize, i: usize, parent: &Oid) -> LVal {
+        let (cname, pos) = &self.cols[i];
+        let v = if *pos < self.block.arity() {
+            self.block.value_at(row, *pos)
+        } else {
+            Value::Null
+        };
+        let key_text = parent.as_key().unwrap_or("");
+        LVal::Elem(Rc::new(LElem {
+            label: cname.clone(),
+            oid: Oid::key(format!("{key_text}.{cname}")),
+            children: LList::one(LVal::Leaf(v)),
+        }))
+    }
+}
+
+/// Row-shaped twin of [`BlockKids`] for the per-row decode path.
+struct RowKids {
+    row: Rc<[Value]>,
+    cols: Rc<Vec<(Name, usize)>>,
+}
+
+impl KidGen for RowKids {
+    fn count(&self) -> usize {
+        self.cols.len()
+    }
+
+    fn kid(&self, _row: usize, i: usize, parent: &Oid) -> LVal {
+        let (cname, pos) = &self.cols[i];
+        let v = self.row.get(*pos).cloned().unwrap_or(Value::Null);
+        let key_text = parent.as_key().unwrap_or("");
+        LVal::Elem(Rc::new(LElem {
+            label: cname.clone(),
+            oid: Oid::key(format!("{key_text}.{cname}")),
+            children: LList::one(LVal::Leaf(v)),
+        }))
+    }
+}
+
 struct RqDecoder {
     slots: Vec<RqSlot>,
     /// Scratch for key rendering (reused across rows).
@@ -1771,7 +1884,10 @@ impl RqDecoder {
 
     fn decode(&mut self, ctx: &EvalContext, row: &Rc<[Value]>) -> Vec<LVal> {
         use std::fmt::Write as _;
-        let mut out: Vec<LVal> = Vec::with_capacity(self.slots.len());
+        // Headroom: downstream `crElt`/`cat` stages extend the binding
+        // list in place (one push per stage), so an exact-capacity Vec
+        // is guaranteed one realloc per tuple.
+        let mut out: Vec<LVal> = Vec::with_capacity(self.slots.len() + 2);
         for slot in &mut self.slots {
             let v = match slot {
                 RqSlot::Value { col } => LVal::Leaf(row.get(*col).cloned().unwrap_or(Value::Null)),
@@ -1803,31 +1919,22 @@ impl RqDecoder {
                     match last {
                         Some(v) if *last_key == self.keybuf => v.clone(),
                         _ => {
-                            let key_text = self.keybuf.clone();
-                            let kids = {
-                                let cols = Rc::clone(cols);
-                                let row = Rc::clone(row);
-                                let key_text = key_text.clone();
-                                let mut i = 0usize;
-                                LazyList::new(Box::new(move || {
-                                    let Some((cname, pos)) = cols.get(i) else {
-                                        return Ok(None);
-                                    };
-                                    i += 1;
-                                    let v = row.get(*pos).cloned().unwrap_or(Value::Null);
-                                    Ok(Some(LVal::Elem(Rc::new(LElem {
-                                        label: cname.clone(),
-                                        oid: Oid::key(format!("{key_text}.{cname}")),
-                                        children: LList::fixed(vec![LVal::Leaf(v)]),
-                                    }))))
-                                }))
-                            };
+                            // One key-string allocation per fresh
+                            // element: the oid owns it, and the child
+                            // generator reads it back through the
+                            // shared parent oid; the run cache takes
+                            // the scratch buffer by swap.
+                            let oid = Oid::key(self.keybuf.clone());
+                            let kids: Rc<dyn KidGen> = Rc::new(RowKids {
+                                row: Rc::clone(row),
+                                cols: Rc::clone(cols),
+                            });
                             let v = LVal::Elem(Rc::new(LElem {
                                 label: element.clone(),
-                                oid: Oid::key(key_text.clone()),
-                                children: LList::lazy(kids),
+                                oid: oid.clone(),
+                                children: LList::generated(kids, 0, oid),
                             }));
-                            *last_key = key_text;
+                            std::mem::swap(last_key, &mut self.keybuf);
                             *last = Some(v.clone());
                             v
                         }
@@ -1837,6 +1944,112 @@ impl RqDecoder {
             out.push(v);
         }
         out
+    }
+
+    /// Decode a whole typed column block without materializing rows.
+    ///
+    /// Identical output and counter charges to calling [`Self::decode`]
+    /// on each row, plus two batch-only savings: element run detection
+    /// compares adjacent key *cells* ([`ColumnBlock::cell_eq`], no
+    /// `Display` rendering on the fast path), and each element's lazy
+    /// children borrow the shared block (`Rc<ColumnBlock>`) instead of
+    /// a per-row `Rc<[Value]>` — one skolem oid minted per run, one
+    /// block allocation per `cols.len()` children closures.
+    ///
+    /// Cell equality is stricter than rendered-key equality, so a false
+    /// negative only builds a fresh element with the same oid, label
+    /// and children — observationally identical, just unshared.
+    fn decode_block(
+        &mut self,
+        ctx: &EvalContext,
+        block: &Rc<ColumnBlock>,
+        vars: &Rc<Vec<Name>>,
+        out: &mut VecDeque<LTuple>,
+    ) {
+        use std::fmt::Write as _;
+        let arity = block.arity();
+        // One shared child generator per `Element` slot for this whole
+        // block: every fresh element clones the `Rc` instead of
+        // carrying its own producer.
+        let mut gens: Vec<Option<Rc<dyn KidGen>>> = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            gens.push(match slot {
+                RqSlot::Element { cols, .. } => Some(Rc::new(BlockKids {
+                    block: Rc::clone(block),
+                    cols: Rc::clone(cols),
+                })),
+                _ => None,
+            });
+        }
+        for r in 0..block.len() {
+            // Same extension headroom as `decode`.
+            let mut vals: Vec<LVal> = Vec::with_capacity(self.slots.len() + 2);
+            for (s, slot) in self.slots.iter_mut().enumerate() {
+                let v = match slot {
+                    RqSlot::Value { col } => LVal::Leaf(if *col < arity {
+                        block.value_at(r, *col)
+                    } else {
+                        Value::Null
+                    }),
+                    RqSlot::Dup { of, nodes } => {
+                        ctx.stats().add(Counter::NodesBuilt, *nodes);
+                        vals[*of].clone()
+                    }
+                    RqSlot::Element {
+                        element,
+                        cols: _,
+                        key,
+                        nodes,
+                        last_key,
+                        last,
+                    } => {
+                        ctx.stats().add(Counter::NodesBuilt, *nodes);
+                        let run = r > 0
+                            && last.is_some()
+                            && key.iter().all(|&k| k < arity && block.cell_eq(r - 1, r, k));
+                        if run {
+                            last.clone().expect("cached run element")
+                        } else {
+                            self.keybuf.clear();
+                            for (i, &k) in key.iter().enumerate() {
+                                if i > 0 {
+                                    self.keybuf.push('|');
+                                }
+                                let kv = if k < arity {
+                                    block.value_at(r, k)
+                                } else {
+                                    Value::Null
+                                };
+                                write!(self.keybuf, "{kv}").expect("write to String");
+                            }
+                            match last {
+                                // Run continues across a block seam:
+                                // the cached key text still matches.
+                                Some(v) if *last_key == self.keybuf => v.clone(),
+                                _ => {
+                                    // Single key-string allocation per
+                                    // fresh element, as in `decode`.
+                                    let oid = Oid::key(self.keybuf.clone());
+                                    let gen = Rc::clone(
+                                        gens[s].as_ref().expect("element slot generator"),
+                                    );
+                                    let v = LVal::Elem(Rc::new(LElem {
+                                        label: element.clone(),
+                                        oid: oid.clone(),
+                                        children: LList::generated(gen, r as u32, oid),
+                                    }));
+                                    std::mem::swap(last_key, &mut self.keybuf);
+                                    *last = Some(v.clone());
+                                    v
+                                }
+                            }
+                        }
+                    }
+                };
+                vals.push(v);
+            }
+            out.push_back(LTuple::new(Rc::clone(vars), vals));
+        }
     }
 }
 
@@ -1854,6 +2067,9 @@ struct RelQueryStream {
     /// Vectorized decoder; `None` under `Off`, which keeps the
     /// paper-faithful per-row decode path untouched.
     decoder: Option<RqDecoder>,
+    /// Pull typed column blocks from the cursor and decode them
+    /// column-aware (`false` = boxed-row ablation; implies a decoder).
+    columnar: bool,
     /// Profile + node id so retry attempts are attributed to this `rQ`
     /// node in EXPLAIN ANALYZE output.
     profile: Option<Rc<ExecProfile>>,
@@ -1869,17 +2085,45 @@ impl RelQueryStream {
     /// re-requesting the same block, so the ramp is undisturbed.
     fn refill(&mut self) -> Result<bool> {
         let want = self.ramp.next_size();
+        // The cursor knows how many rows can still come; cap the
+        // preallocation so a nearly-drained cursor doesn't reserve a
+        // full ramp block it will never fill.
+        let (_, hi) = self.cursor.size_hint();
+        let cap = hi.map_or(want, |h| want.min(h.max(1)));
+        if self.columnar {
+            let mut block = ColumnBlock::new(self.cursor.arity());
+            block.reserve(cap);
+            let got = self
+                .cursor
+                .next_cblock_retrying(&mut block, want, &self.ctx.retry);
+            self.note_retries();
+            let got = got?;
+            if got == 0 {
+                return Ok(false);
+            }
+            self.ctx.note_block(got);
+            self.ctx
+                .stats()
+                .add(Counter::CellsDecoded, (got * block.arity()) as u64);
+            if let Some(p) = &self.profile {
+                p.record_alloc(self.id, block.byte_size());
+            }
+            self.pending.reserve(got);
+            // The block is shared with every element's lazy children,
+            // so each refill adopts a fresh one — no buffer reuse.
+            let block = Rc::new(block);
+            self.decoder
+                .as_mut()
+                .expect("columnar rQ implies a block decoder")
+                .decode_block(&self.ctx, &block, &self.vars, &mut self.pending);
+            return Ok(true);
+        }
         self.rbuf.clear();
+        self.rbuf.reserve(cap);
         let got = self
             .cursor
             .next_block_retrying(&mut self.rbuf, want, &self.ctx.retry);
-        if let Some(p) = &self.profile {
-            let total = self.cursor.retries();
-            if total > self.counted_retries {
-                p.record_retries(self.id, total - self.counted_retries);
-                self.counted_retries = total;
-            }
-        }
+        self.note_retries();
         let got = got?;
         if got == 0 {
             return Ok(false);
@@ -1887,6 +2131,12 @@ impl RelQueryStream {
         // Lift the session's Auto-ramp floor: a later cursor in this
         // session skips the warm-up this drain already paid for.
         self.ctx.note_block(got);
+        // Cell accounting is representation-independent: both paths
+        // charge one cell per column per decoded row.
+        self.ctx
+            .stats()
+            .add(Counter::CellsDecoded, (got * self.cursor.arity()) as u64);
+        self.pending.reserve(got);
         match &mut self.decoder {
             Some(dec) => {
                 for row in self.rbuf.drain(..) {
@@ -1907,6 +2157,17 @@ impl RelQueryStream {
             }
         }
         Ok(true)
+    }
+
+    /// Record newly observed cursor retries into the profile, once.
+    fn note_retries(&mut self) {
+        if let Some(p) = &self.profile {
+            let total = self.cursor.retries();
+            if total > self.counted_retries {
+                p.record_retries(self.id, total - self.counted_retries);
+                self.counted_retries = total;
+            }
+        }
     }
 }
 

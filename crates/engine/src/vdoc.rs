@@ -44,7 +44,7 @@ struct Inner {
     stream: Option<Box<dyn TStream>>,
     td_var: Name,
     /// Vertex ids already exported at the root (tD set semantics).
-    seen_root: std::collections::HashSet<String>,
+    seen_root: std::collections::HashSet<mix_xml::Oid>,
     /// Tuples prefetched ahead of root navigation (adaptive block
     /// fetching; empty under [`mix_common::BlockPolicy::Off`]).
     pending: std::collections::VecDeque<crate::lval::LTuple>,

@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Number of counters (one per [`Counter`] variant).
-const N: usize = 19;
+const N: usize = 22;
 
 /// One kind of work the substrate counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -80,6 +80,17 @@ pub enum Counter {
     /// Prefetcher threads cancelled before they drained their cursor
     /// (session dropped mid-drain, error latched above, …).
     PrefetchAborted,
+    /// Approximate heap bytes of shipped columnar blocks (typed column
+    /// vectors + validity masks; shared string cells charge only their
+    /// handle — see `ColumnBlock::byte_size` in `mix-common`).
+    BlockBytes,
+    /// Cells (rows × arity) decoded from shipped blocks into result
+    /// values — the denominator of the per-cell decode cost.
+    CellsDecoded,
+    /// String cells in shipped columnar blocks whose allocation was
+    /// shared (interned or otherwise multiply-owned) rather than
+    /// copied.
+    InternHits,
 }
 
 impl Counter {
@@ -104,6 +115,9 @@ impl Counter {
         Counter::PrefetchHitBlocks,
         Counter::PrefetchStallNs,
         Counter::PrefetchAborted,
+        Counter::BlockBytes,
+        Counter::CellsDecoded,
+        Counter::InternHits,
     ];
 
     /// A stable snake_case label (table rendering, log output).
@@ -128,6 +142,9 @@ impl Counter {
             Counter::PrefetchHitBlocks => "prefetch_hit_blocks",
             Counter::PrefetchStallNs => "prefetch_stall_ns",
             Counter::PrefetchAborted => "prefetch_aborted",
+            Counter::BlockBytes => "block_bytes",
+            Counter::CellsDecoded => "cells_decoded",
+            Counter::InternHits => "intern_hits",
         }
     }
 
@@ -302,7 +319,8 @@ impl fmt::Display for Snapshot {
             "sql={} shipped={} scanned={} nav={} medops={} nodes={} \
              hash={} probes={} nlfb={} pc={}+{} blocks={} retries={} \
              faults={} backend_errs={} backoff_ms={} pf_hit={} \
-             pf_stall_ns={} pf_aborted={}",
+             pf_stall_ns={} pf_aborted={} blk_bytes={} cells={} \
+             intern_hits={}",
             self.get(Counter::SqlQueries),
             self.get(Counter::TuplesShipped),
             self.get(Counter::RowsScanned),
@@ -322,6 +340,9 @@ impl fmt::Display for Snapshot {
             self.get(Counter::PrefetchHitBlocks),
             self.get(Counter::PrefetchStallNs),
             self.get(Counter::PrefetchAborted),
+            self.get(Counter::BlockBytes),
+            self.get(Counter::CellsDecoded),
+            self.get(Counter::InternHits),
         )
     }
 }
@@ -452,7 +473,10 @@ mod tests {
         );
         assert_eq!(Counter::PrefetchStallNs.to_string(), "prefetch_stall_ns");
         assert_eq!(Counter::PrefetchAborted.to_string(), "prefetch_aborted");
-        assert_eq!(Counter::ALL.len(), 19);
+        assert_eq!(Counter::BlockBytes.to_string(), "block_bytes");
+        assert_eq!(Counter::CellsDecoded.to_string(), "cells_decoded");
+        assert_eq!(Counter::InternHits.to_string(), "intern_hits");
+        assert_eq!(Counter::ALL.len(), 22);
     }
 
     #[test]

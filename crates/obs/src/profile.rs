@@ -21,6 +21,10 @@ pub struct OpMetrics {
     /// Backend retries spent on this node's behalf (nonzero only for
     /// `rQ` nodes pulling from a faulty source).
     pub retries: u64,
+    /// Approximate bytes of block storage this node materialized
+    /// (columnar block footprints for `rQ`; rendered as `alloc≈` in
+    /// EXPLAIN ANALYZE).
+    pub alloc_bytes: u64,
     /// Physical detail resolved at build/run time (`kernel=hash`,
     /// `mode=presorted`, pushed SQL text).
     pub detail: Option<String>,
@@ -55,6 +59,11 @@ impl ExecProfile {
         self.nodes.borrow_mut().entry(id).or_default().retries += n;
     }
 
+    /// Count `n` approximate allocated bytes on node `id`.
+    pub fn record_alloc(&self, id: usize, n: u64) {
+        self.nodes.borrow_mut().entry(id).or_default().alloc_bytes += n;
+    }
+
     /// Attach (or replace) the physical detail string for node `id`.
     pub fn set_detail(&self, id: usize, detail: impl Into<String>) {
         self.nodes.borrow_mut().entry(id).or_default().detail = Some(detail.into());
@@ -84,11 +93,14 @@ mod tests {
         p.record_pull(3);
         p.record_tuples(3, 5);
         p.record_retries(3, 2);
+        p.record_alloc(3, 128);
+        p.record_alloc(3, 64);
         p.set_detail(3, "kernel=hash");
         let m = p.get(3).unwrap();
         assert_eq!(m.pulls, 2);
         assert_eq!(m.tuples_out, 5);
         assert_eq!(m.retries, 2);
+        assert_eq!(m.alloc_bytes, 192);
         assert_eq!(m.detail.as_deref(), Some("kernel=hash"));
         assert!(p.get(0).is_none());
         assert!(!p.is_empty());

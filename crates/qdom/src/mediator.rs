@@ -61,6 +61,13 @@ pub struct MediatorOptions {
     /// shipped-tuple accounting and the fault/retry schedule are
     /// unchanged (the prefetcher replays the consumer's block ramp).
     pub prefetch: PrefetchPolicy,
+    /// Ship source blocks as typed column vectors (the default).
+    /// `false` keeps the boxed per-row representation — the ablation
+    /// baseline for the columnar hot path. Representation only: tuples,
+    /// laziness and every shipped-data counter are identical either
+    /// way. Irrelevant under [`BlockPolicy::Off`], where cursors ship
+    /// one row per pull regardless.
+    pub columnar: bool,
 }
 
 impl Default for MediatorOptions {
@@ -74,6 +81,7 @@ impl Default for MediatorOptions {
             block: BlockPolicy::default(),
             retry: RetryPolicy::default(),
             prefetch: PrefetchPolicy::default(),
+            columnar: true,
         }
     }
 }
@@ -139,6 +147,13 @@ impl MediatorOptionsBuilder {
     /// Pick the pipelined-prefetch policy for backend cursors.
     pub fn prefetch(mut self, prefetch: PrefetchPolicy) -> Self {
         self.opts.prefetch = prefetch;
+        self
+    }
+
+    /// Ship source blocks as typed column vectors (`false` = boxed-row
+    /// ablation baseline).
+    pub fn columnar(mut self, columnar: bool) -> Self {
+        self.opts.columnar = columnar;
         self
     }
 

@@ -52,6 +52,7 @@ pub(crate) struct CacheKey {
     hash_joins: bool,
     block: BlockPolicy,
     prefetch: PrefetchPolicy,
+    columnar: bool,
 }
 
 impl CacheKey {
@@ -66,6 +67,7 @@ impl CacheKey {
         hash_joins: bool,
         block: BlockPolicy,
         prefetch: PrefetchPolicy,
+        columnar: bool,
     ) -> Option<(CacheKey, Vec<Oid>)> {
         let (func, var, args) = ctx.oid.as_skolem()?;
         let mut shape = vec![(func.to_string(), var.to_string(), args.len())];
@@ -91,6 +93,9 @@ impl CacheKey {
             block: block.normalized(),
             // Depth(0) clamps to Depth(1) at the cursor; same plans.
             prefetch: prefetch.normalized(),
+            // The block representation is a session knob too: a replayed
+            // plan must decode the way its EXPLAIN (`repr=`) promised.
+            columnar,
         };
         Some((key, slots))
     }
@@ -410,6 +415,7 @@ mod tests {
                 hash_joins: true,
                 block: BlockPolicy::Auto,
                 prefetch: PrefetchPolicy::Off,
+                columnar: true,
             };
             cache.insert(
                 key,
@@ -431,6 +437,7 @@ mod tests {
             hash_joins: true,
             block: BlockPolicy::Auto,
             prefetch: PrefetchPolicy::Off,
+            columnar: true,
         };
         assert!(cache.lookup(&key0, &[key_slot("K")], "rootv0").is_none());
     }
@@ -447,7 +454,7 @@ mod tests {
         };
         let pf = PrefetchPolicy::Off;
         let (key, slots) =
-            CacheKey::new("q", 0, &ctx, true, BlockPolicy::Auto, pf).expect("skolem oid");
+            CacheKey::new("q", 0, &ctx, true, BlockPolicy::Auto, pf, true).expect("skolem oid");
         cache.insert(
             key,
             slots.clone(),
@@ -459,19 +466,29 @@ mod tests {
             &empty_plan(),
         );
         // Same query/node, different knobs: structural misses.
-        let (nl_key, _) = CacheKey::new("q", 0, &ctx, false, BlockPolicy::Auto, pf).unwrap();
+        let (nl_key, _) = CacheKey::new("q", 0, &ctx, false, BlockPolicy::Auto, pf, true).unwrap();
         assert!(cache.lookup(&nl_key, &slots, "rootv1").is_none());
-        let (off_key, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Off, pf).unwrap();
+        let (off_key, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Off, pf, true).unwrap();
         assert!(cache.lookup(&off_key, &slots, "rootv1").is_none());
-        let (pf_key, _) =
-            CacheKey::new("q", 0, &ctx, true, BlockPolicy::Auto, PrefetchPolicy::Auto).unwrap();
+        let (pf_key, _) = CacheKey::new(
+            "q",
+            0,
+            &ctx,
+            true,
+            BlockPolicy::Auto,
+            PrefetchPolicy::Auto,
+            true,
+        )
+        .unwrap();
         assert!(cache.lookup(&pf_key, &slots, "rootv1").is_none());
+        let (row_key, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Auto, pf, false).unwrap();
+        assert!(cache.lookup(&row_key, &slots, "rootv1").is_none());
         // The original knobs still hit, and Fixed(0) normalizes to
         // Fixed(1) rather than minting a third key for the same plans.
-        let (same, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Auto, pf).unwrap();
+        let (same, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Auto, pf, true).unwrap();
         assert!(cache.lookup(&same, &slots, "rootv1").is_some());
-        let (f0, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Fixed(0), pf).unwrap();
-        let (f1, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Fixed(1), pf).unwrap();
+        let (f0, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Fixed(0), pf, true).unwrap();
+        let (f1, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Fixed(1), pf, true).unwrap();
         assert_eq!(f0, f1);
         // Depth(0) normalizes to Depth(1) likewise.
         let (d0, _) = CacheKey::new(
@@ -481,6 +498,7 @@ mod tests {
             true,
             BlockPolicy::Auto,
             PrefetchPolicy::Depth(0),
+            true,
         )
         .unwrap();
         let (d1, _) = CacheKey::new(
@@ -490,6 +508,7 @@ mod tests {
             true,
             BlockPolicy::Auto,
             PrefetchPolicy::Depth(1),
+            true,
         )
         .unwrap();
         assert_eq!(d0, d1);

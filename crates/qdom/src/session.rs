@@ -79,6 +79,7 @@ impl<'m> QdomSession<'m> {
         ctx.block = opts.block;
         ctx.retry = opts.retry;
         ctx.prefetch = opts.prefetch;
+        ctx.columnar = opts.columnar;
         // Sources share the session's tracer, so SQL issuance and row
         // shipping show up as events under the operator that caused
         // them.
@@ -157,6 +158,7 @@ impl<'m> QdomSession<'m> {
             self.ctx.hash_joins,
             self.ctx.block,
             self.ctx.prefetch,
+            self.ctx.columnar,
         );
         if let Some((key, new_slots)) = &cache_key {
             if let Some((exec, logical, naive, trace)) =

@@ -13,11 +13,13 @@
 //! what the failed one would have ([`Cursor::next_block_retrying`]).
 
 use crate::fault::ChaosState;
-use crate::plan::{PhysPlan, RPred};
+use crate::plan::{PhysPlan, ROperand, RPred};
 use crate::prefetch::{self, FetchedBlock, PrefetchHandle, PrefetchMsg};
 use crate::table::{Row, Table};
 use mix_common::ring::TryRecv;
-use mix_common::{BlockRamp, Counter, MixError, PrefetchPolicy, Result, RetryPolicy, Stats, Value};
+use mix_common::{
+    BlockRamp, ColumnBlock, Counter, MixError, PrefetchPolicy, Result, RetryPolicy, Stats, Value,
+};
 use mix_obs::TracerHandle;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -46,6 +48,27 @@ pub(crate) trait RowIter: Send {
                 }
                 None => break,
             }
+        }
+        Ok(k)
+    }
+
+    /// Append up to `n` rows to the columnar block `out`; returns how
+    /// many were produced. The default routes through
+    /// [`RowIter::next_block`] via `scratch` (cleared here first);
+    /// sources with native columnar storage (the table scan) override
+    /// it to copy column-at-a-time without materializing rows. On
+    /// `Err`, nothing was appended.
+    fn next_cblock(
+        &mut self,
+        out: &mut ColumnBlock,
+        n: usize,
+        scratch: &mut Vec<Row>,
+    ) -> Result<usize> {
+        scratch.clear();
+        let k = self.next_block(scratch, n)?;
+        out.reserve(k);
+        for r in scratch.drain(..) {
+            out.push_row(r);
         }
         Ok(k)
     }
@@ -87,6 +110,28 @@ pub(crate) fn gated_pull(
         Some(state) => {
             let (allowed, latency_ms) = state.admit(n)?;
             let k = iter.next_block(out, allowed)?;
+            state.delivered(k as u64);
+            Ok((k, latency_ms))
+        }
+    }
+}
+
+/// [`gated_pull`] for the columnar path. Runs the *identical* admit
+/// sequence (the fault gate sees only block sizes, never the block
+/// representation), so a row run and a columnar run of the same query
+/// draw the same fault schedule.
+pub(crate) fn gated_cpull(
+    iter: &mut dyn RowIter,
+    chaos: &mut Option<ChaosState>,
+    out: &mut ColumnBlock,
+    n: usize,
+    scratch: &mut Vec<Row>,
+) -> Result<(usize, u64)> {
+    match chaos {
+        None => Ok((iter.next_cblock(out, n, scratch)?, 0)),
+        Some(state) => {
+            let (allowed, latency_ms) = state.admit(n)?;
+            let k = iter.next_cblock(out, allowed, scratch)?;
             state.delivered(k as u64);
             Ok((k, latency_ms))
         }
@@ -138,6 +183,10 @@ pub struct Cursor {
     /// out — only populated when [`Cursor::next`] is used on a cursor
     /// whose prefetcher delivers whole blocks.
     stash: VecDeque<Row>,
+    /// Row buffer for operators without a native columnar path (the
+    /// default [`RowIter::next_cblock`] routes through it); reused
+    /// across pulls so the fallback costs no per-block allocation.
+    scratch: Vec<Row>,
     stats: Stats,
     tracer: TracerHandle,
     arity: usize,
@@ -158,6 +207,7 @@ impl Cursor {
             backing: Backing::Sync { iter, chaos },
             armed: None,
             stash: VecDeque::new(),
+            scratch: Vec::new(),
             stats,
             tracer,
             arity,
@@ -227,6 +277,7 @@ impl Cursor {
                 armed.retry,
                 self.stats.clone(),
                 armed.depth,
+                self.arity,
             );
             self.backing = Backing::Live(handle);
         }
@@ -335,17 +386,7 @@ impl Cursor {
             self.armed = None; // exhausted: nothing to speculate on
             return Ok(0);
         }
-        self.delivered += k as u64;
-        self.stats.add(Counter::TuplesShipped, k as u64);
-        self.stats.record_block(k as u64);
-        if self.tracer.enabled() {
-            // Same per-row events as the tuple-at-a-time path, so traced
-            // output is independent of the block size.
-            let base = self.delivered - k as u64;
-            for i in 1..=k as u64 {
-                self.tracer.event("row", &[("n", (base + i).to_string())]);
-            }
-        }
+        self.account_block(k, 0, 0);
         // The first demanded pull just completed synchronously; if
         // prefetch is armed, speculation may begin now. The armed ramp
         // mirrors the consumer's, so advance it past the size this pull
@@ -357,10 +398,89 @@ impl Cursor {
         Ok(k)
     }
 
+    /// [`Cursor::next_block`], columnar: fetch up to `n` rows appended
+    /// to the column vectors of `out`. All accounting — `TuplesShipped`,
+    /// `BlocksShipped`, per-row trace events, the prefetch arm/ramp
+    /// handshake — is bit-for-bit the row path's; additionally
+    /// [`Counter::BlockBytes`] and [`Counter::InternHits`] size what
+    /// crossed the seam. The hot drain path therefore never boxes a
+    /// cell: scans copy straight from the table's columnar mirror.
+    pub fn next_cblock(&mut self, out: &mut ColumnBlock, n: usize) -> Result<usize> {
+        if n == 0 {
+            return Ok(0);
+        }
+        if !self.stash.is_empty() {
+            let k = n.min(self.stash.len());
+            out.reserve(k);
+            for row in self.stash.drain(..k) {
+                out.push_row(row);
+            }
+            return Ok(k);
+        }
+        if let Backing::Latched(e) = &self.backing {
+            return Err(e.clone());
+        }
+        if matches!(self.backing, Backing::Done) {
+            return Ok(0);
+        }
+        if matches!(self.backing, Backing::Live(_)) {
+            return self.recv_cblock(out);
+        }
+        let Backing::Sync { iter, chaos } = &mut self.backing else {
+            unreachable!()
+        };
+        // `out` may carry earlier rows; meter only this pull's delta.
+        let (pre_bytes, pre_shared) = if out.is_empty() {
+            (0, 0)
+        } else {
+            (out.byte_size(), out.shared_str_cells())
+        };
+        let (k, latency_ms) = gated_cpull(&mut **iter, chaos, out, n, &mut self.scratch)?;
+        sleep_ms(latency_ms);
+        if k == 0 {
+            self.armed = None;
+            return Ok(0);
+        }
+        self.account_block(
+            k,
+            out.byte_size().saturating_sub(pre_bytes),
+            out.shared_str_cells().saturating_sub(pre_shared),
+        );
+        if let Some(mut armed) = self.armed.take() {
+            armed.ramp.next_size();
+            self.start_prefetch(armed);
+        }
+        Ok(k)
+    }
+
+    /// Per-block delivery accounting, shared by every pull path:
+    /// `delivered`, `TuplesShipped`, `BlocksShipped` (+ block-size
+    /// histogram), columnar footprint counters, and the same per-row
+    /// trace events as the tuple-at-a-time path (so traced output is
+    /// independent of block size *and* representation).
+    fn account_block(&mut self, k: usize, block_bytes: u64, shared_strs: u64) {
+        self.delivered += k as u64;
+        self.stats.add(Counter::TuplesShipped, k as u64);
+        self.stats.record_block(k as u64);
+        if block_bytes > 0 {
+            self.stats.add(Counter::BlockBytes, block_bytes);
+        }
+        if shared_strs > 0 {
+            self.stats.add(Counter::InternHits, shared_strs);
+        }
+        if self.tracer.enabled() {
+            let base = self.delivered - k as u64;
+            for i in 1..=k as u64 {
+                self.tracer.event("row", &[("n", (base + i).to_string())]);
+            }
+        }
+    }
+
     /// Receive one block from the live prefetcher, accounting hits and
     /// stalls, replaying the thread's fault/retry trace, and deferring
-    /// delivery to the block's modelled arrival time.
-    fn recv_block(&mut self, out: &mut Vec<Row>) -> Result<usize> {
+    /// delivery to the block's modelled arrival time. `Ok(None)` is
+    /// clean end-of-stream (the cursor is now `Done`).
+    fn recv_fetched(&mut self) -> Result<Option<FetchedBlock>> {
         let (msg, hit) = {
             let Backing::Live(handle) = &mut self.backing else {
                 unreachable!()
@@ -382,13 +502,9 @@ impl Cursor {
                 // The producer drained the plan and exited; dropping
                 // the handle joins it.
                 self.backing = Backing::Done;
-                Ok(0)
+                Ok(None)
             }
-            Some(PrefetchMsg::Block(FetchedBlock {
-                rows,
-                retry_backoff_ms,
-                arrival,
-            })) => {
+            Some(PrefetchMsg::Block(block)) => {
                 if hit {
                     self.stats.inc(Counter::PrefetchHitBlocks);
                 }
@@ -396,25 +512,14 @@ impl Cursor {
                 // one RTT after its request was issued; blocks may not
                 // be consumed before they "arrive".
                 let now = Instant::now();
-                if arrival > now {
-                    let wait = arrival - now;
+                if block.arrival > now {
+                    let wait = block.arrival - now;
                     std::thread::sleep(wait);
                     self.stats
                         .add(Counter::PrefetchStallNs, wait.as_nanos() as u64);
                 }
-                self.replay_retries(&retry_backoff_ms);
-                let k = rows.len();
-                out.extend(rows);
-                self.delivered += k as u64;
-                self.stats.add(Counter::TuplesShipped, k as u64);
-                self.stats.record_block(k as u64);
-                if self.tracer.enabled() {
-                    let base = self.delivered - k as u64;
-                    for i in 1..=k as u64 {
-                        self.tracer.event("row", &[("n", (base + i).to_string())]);
-                    }
-                }
-                Ok(k)
+                self.replay_retries(&block.retry_backoff_ms);
+                Ok(Some(block))
             }
             Some(PrefetchMsg::Failed {
                 error,
@@ -433,6 +538,34 @@ impl Cursor {
                 Err(error)
             }
         }
+    }
+
+    /// Row-compat view over the prefetcher's columnar blocks.
+    fn recv_block(&mut self, out: &mut Vec<Row>) -> Result<usize> {
+        let Some(block) = self.recv_fetched()? else {
+            return Ok(0);
+        };
+        let k = block.cols.len();
+        self.account_block(k, block.cols.byte_size(), block.cols.shared_str_cells());
+        block.cols.append_rows_to(out);
+        Ok(k)
+    }
+
+    /// Columnar receive: an empty `out` adopts the shipped block
+    /// wholesale (a move, no copy); otherwise the block is appended
+    /// column-at-a-time.
+    fn recv_cblock(&mut self, out: &mut ColumnBlock) -> Result<usize> {
+        let Some(block) = self.recv_fetched()? else {
+            return Ok(0);
+        };
+        let k = block.cols.len();
+        self.account_block(k, block.cols.byte_size(), block.cols.shared_str_cells());
+        if out.is_empty() {
+            *out = block.cols;
+        } else {
+            block.cols.append_range(0, k, out);
+        }
+        Ok(k)
     }
 
     /// Replay the prefetcher's per-block retry history into this
@@ -479,10 +612,38 @@ impl Cursor {
             // its budget and is terminal.
             return self.next_block(out, n);
         }
+        self.retry_loop(retry, |c| c.next_block(out, n))
+    }
+
+    /// [`Cursor::next_cblock`] with transient faults retried under
+    /// `retry` — the columnar twin of [`Cursor::next_block_retrying`],
+    /// running the identical retry loop (and so the identical counters
+    /// and trace events).
+    pub fn next_cblock_retrying(
+        &mut self,
+        out: &mut ColumnBlock,
+        n: usize,
+        retry: &RetryPolicy,
+    ) -> Result<usize> {
+        if !matches!(self.backing, Backing::Sync { .. }) {
+            return self.next_cblock(out, n);
+        }
+        self.retry_loop(retry, |c| c.next_cblock(out, n))
+    }
+
+    /// The one retry loop both block representations share: bounded
+    /// attempts, exponential backoff, optional wall-clock deadline,
+    /// `fault`/`retry` trace events, and the escaped error's `retries`
+    /// field recording the spent budget.
+    fn retry_loop(
+        &mut self,
+        retry: &RetryPolicy,
+        mut pull: impl FnMut(&mut Cursor) -> Result<usize>,
+    ) -> Result<usize> {
         let mut attempt = 0u32;
         let mut spent_backoff = 0u64;
         loop {
-            let e = match self.next_block(out, n) {
+            let e = match pull(self) {
                 Ok(k) => return Ok(k),
                 Err(e) => e,
             };
@@ -579,6 +740,9 @@ fn compile(plan: &PhysPlan, stats: &Stats) -> Box<dyn RowIter> {
             idx: 0,
             preds: preds.clone(),
             stats: stats.clone(),
+            mask: Vec::new(),
+            mask_tmp: Vec::new(),
+            sel: Vec::new(),
         }),
         PhysPlan::HashJoin {
             left,
@@ -587,9 +751,15 @@ fn compile(plan: &PhysPlan, stats: &Stats) -> Box<dyn RowIter> {
             right_key,
             post,
         } => Box::new(HashJoinIter {
+            lbuf: ColumnBlock::new(left.arity()),
+            right_arity: right.arity(),
             left: compile(left, stats),
             right: Some(compile(right, stats)),
             table: HashMap::new(),
+            cbuild: None,
+            ctable: HashMap::new(),
+            lidx: Vec::new(),
+            ridx: Vec::new(),
             left_key: *left_key,
             right_key: *right_key,
             post: post.clone(),
@@ -604,9 +774,12 @@ fn compile(plan: &PhysPlan, stats: &Stats) -> Box<dyn RowIter> {
             post: post.clone(),
         }),
         PhysPlan::Sort { input, keys } => Box::new(SortIter {
+            arity: input.arity(),
             input: Some(compile(input, stats)),
             keys: keys.clone(),
             sorted: Vec::new(),
+            cols: None,
+            perm: Vec::new(),
             idx: 0,
         }),
         PhysPlan::Project {
@@ -614,6 +787,7 @@ fn compile(plan: &PhysPlan, stats: &Stats) -> Box<dyn RowIter> {
             cols,
             distinct,
         } => Box::new(ProjectIter {
+            cbuf: ColumnBlock::new(input.arity()),
             input: compile(input, stats),
             cols: cols.clone(),
             seen: if *distinct {
@@ -631,6 +805,39 @@ struct ScanIter {
     idx: usize,
     preds: Vec<RPred>,
     stats: Stats,
+    /// Scratch for the vectorized predicate path, reused across pulls.
+    mask: Vec<bool>,
+    mask_tmp: Vec<bool>,
+    sel: Vec<usize>,
+}
+
+/// Rows a vectorized scan evaluates per predicate kernel invocation.
+/// Small enough that a selective early-exit wastes little work past
+/// the n-th match, large enough to amortize the per-chunk dispatch.
+const SCAN_CHUNK: usize = 256;
+
+/// Conjunction of `preds` over rows `start..end` of `cols`, one
+/// vectorized kernel per predicate, AND-folded into `mask`.
+fn pred_mask(
+    cols: &ColumnBlock,
+    preds: &[RPred],
+    start: usize,
+    end: usize,
+    mask: &mut Vec<bool>,
+    tmp: &mut Vec<bool>,
+) {
+    for (i, p) in preds.iter().enumerate() {
+        let out = if i == 0 { &mut *mask } else { &mut *tmp };
+        match &p.rhs {
+            ROperand::Const(v) => cols.cmp_const_mask(p.lhs, p.op, v, start, end, out),
+            ROperand::Col(c) => cols.cmp_cols_mask(p.lhs, p.op, *c, start, end, out),
+        }
+        if i > 0 {
+            for (m, t) in mask.iter_mut().zip(tmp.iter()) {
+                *m &= t;
+            }
+        }
+    }
 }
 
 impl RowIter for ScanIter {
@@ -665,6 +872,65 @@ impl RowIter for ScanIter {
         Ok(k)
     }
 
+    /// The native columnar scan: bulk column-slice copies from the
+    /// table's mirror when unfiltered; otherwise chunked vectorized
+    /// predicate masks with a gather of the selected rows. `RowsScanned`
+    /// counts exactly the rows *consumed* — up to and including the
+    /// n-th match, as the row path does — even though a kernel may have
+    /// evaluated a few cells past it within the final chunk.
+    fn next_cblock(
+        &mut self,
+        out: &mut ColumnBlock,
+        n: usize,
+        _scratch: &mut Vec<Row>,
+    ) -> Result<usize> {
+        let cols = self.table.columnar();
+        let total = cols.len();
+        if n == 0 || self.idx >= total {
+            return Ok(0);
+        }
+        if self.preds.is_empty() {
+            let end = (self.idx + n).min(total);
+            let k = end - self.idx;
+            cols.append_range(self.idx, end, out);
+            self.idx = end;
+            self.stats.add(Counter::RowsScanned, k as u64);
+            return Ok(k);
+        }
+        let mut k = 0usize;
+        let mut scanned = 0u64;
+        while k < n && self.idx < total {
+            let chunk_end = (self.idx + SCAN_CHUNK).min(total);
+            pred_mask(
+                cols,
+                &self.preds,
+                self.idx,
+                chunk_end,
+                &mut self.mask,
+                &mut self.mask_tmp,
+            );
+            self.sel.clear();
+            let mut consumed = chunk_end;
+            for (off, &m) in self.mask.iter().enumerate() {
+                if m {
+                    self.sel.push(self.idx + off);
+                    if k + self.sel.len() == n {
+                        consumed = self.idx + off + 1;
+                        break;
+                    }
+                }
+            }
+            scanned += (consumed - self.idx) as u64;
+            cols.gather_rows(&self.sel, out);
+            k += self.sel.len();
+            self.idx = consumed;
+        }
+        if scanned > 0 {
+            self.stats.add(Counter::RowsScanned, scanned);
+        }
+        Ok(k)
+    }
+
     fn size_hint(&self) -> (usize, Option<usize>) {
         let rem = self.table.len() - self.idx;
         if self.preds.is_empty() {
@@ -682,6 +948,18 @@ struct HashJoinIter {
     left: Box<dyn RowIter>,
     right: Option<Box<dyn RowIter>>,
     table: HashMap<Value, Vec<Row>>,
+    /// Columnar build side: the right input as one block plus bucket
+    /// row indices. Built instead of `table` when the *first* pull is
+    /// columnar; probe output is then a pure column gather
+    /// ([`ColumnBlock::append_join`]) — no per-row tuple is built.
+    cbuild: Option<ColumnBlock>,
+    ctable: HashMap<Value, Vec<usize>>,
+    right_arity: usize,
+    /// Left probe staging block plus the match selection vectors
+    /// (`lidx[k]`/`ridx[k]` = the k-th output row's sources).
+    lbuf: ColumnBlock,
+    lidx: Vec<usize>,
+    ridx: Vec<usize>,
     left_key: usize,
     right_key: usize,
     post: Vec<RPred>,
@@ -707,7 +985,21 @@ impl RowIter for HashJoinIter {
             let Some(l) = self.left.next_row()? else {
                 return Ok(None);
             };
-            if let Some(matches) = self.table.get(&l[self.left_key]) {
+            // Matches are staged in reverse so `pending.pop` replays
+            // them in build-arrival order.
+            if let Some(build) = &self.cbuild {
+                // The build side was materialized columnar first; read
+                // build rows out of the block.
+                if let Some(matches) = self.ctable.get(&l[self.left_key]) {
+                    for &m in matches.iter().rev() {
+                        let mut row = l.clone();
+                        row.extend((0..build.arity()).map(|c| build.value_at(m, c)));
+                        if self.post.iter().all(|p| p.eval(&row)) {
+                            self.pending.push(row);
+                        }
+                    }
+                }
+            } else if let Some(matches) = self.table.get(&l[self.left_key]) {
                 for m in matches.iter().rev() {
                     let mut row = l.clone();
                     row.extend(m.iter().cloned());
@@ -716,6 +1008,66 @@ impl RowIter for HashJoinIter {
                     }
                 }
             }
+        }
+    }
+
+    fn next_cblock(
+        &mut self,
+        out: &mut ColumnBlock,
+        n: usize,
+        scratch: &mut Vec<Row>,
+    ) -> Result<usize> {
+        // Post predicates evaluate row-wise; and once the build side is
+        // row-shaped (a row pull came first), stay on the row route.
+        if !self.post.is_empty() || (self.cbuild.is_none() && self.right.is_none()) {
+            scratch.clear();
+            let k = self.next_block(scratch, n)?;
+            out.reserve(k);
+            for r in scratch.drain(..) {
+                out.push_row(r);
+            }
+            return Ok(k);
+        }
+        if self.cbuild.is_none() {
+            let mut right = self
+                .right
+                .take()
+                .expect("row route taken when right is gone");
+            let mut build = ColumnBlock::new(self.right_arity);
+            let (lo, _) = right.size_hint();
+            build.reserve(lo);
+            while right.next_cblock(&mut build, DRAIN_BLOCK, scratch)? > 0 {}
+            for r in 0..build.len() {
+                let k = build.value_at(r, self.right_key);
+                if !k.is_null() {
+                    self.ctable.entry(k).or_default().push(r);
+                }
+            }
+            self.cbuild = Some(build);
+        }
+        loop {
+            self.lbuf.clear();
+            let got = self.left.next_cblock(&mut self.lbuf, n, scratch)?;
+            if got == 0 {
+                return Ok(0);
+            }
+            self.lidx.clear();
+            self.ridx.clear();
+            for i in 0..got {
+                if let Some(matches) = self.ctable.get(&self.lbuf.value_at(i, self.left_key)) {
+                    for &m in matches {
+                        self.lidx.push(i);
+                        self.ridx.push(m);
+                    }
+                }
+            }
+            if self.lidx.is_empty() {
+                continue; // no match in this probe block; keep pulling
+            }
+            out.reserve(self.lidx.len());
+            let build = self.cbuild.as_ref().expect("built above");
+            self.lbuf.append_join(&self.lidx, build, &self.ridx, out);
+            return Ok(self.lidx.len());
         }
     }
 }
@@ -758,15 +1110,28 @@ impl RowIter for NlJoinIter {
 }
 
 /// Blocking sort (the one non-pipelined node; `ORDER BY` requires it).
+///
+/// The *first* pull picks the materialization: a row pull drains the
+/// input into `sorted` and sorts the rows (the pre-columnar path,
+/// byte-for-byte); a columnar pull drains the input into a
+/// [`ColumnBlock`] and stable-sorts a row *permutation* instead — no
+/// row tuple is ever allocated. Either storage serves both pull shapes
+/// afterwards, so mixed consumers stay coherent.
 struct SortIter {
     input: Option<Box<dyn RowIter>>,
     keys: Vec<usize>,
+    arity: usize,
     sorted: Vec<Row>,
+    cols: Option<ColumnBlock>,
+    /// Sorted row order of `cols` (identity when `cols` was transposed
+    /// from the already-sorted `sorted`).
+    perm: Vec<usize>,
     idx: usize,
 }
 
 impl SortIter {
-    fn force(&mut self) -> Result<()> {
+    /// Row-mode materialization: drain and sort rows.
+    fn force_rows(&mut self) -> Result<()> {
         if let Some(mut input) = self.input.take() {
             drain_all(&mut *input, &mut self.sorted)?;
             let keys = self.keys.clone();
@@ -782,26 +1147,102 @@ impl SortIter {
         }
         Ok(())
     }
+
+    /// Columnar materialization: drain into a block, sort a
+    /// permutation. The stable index sort over key cells yields exactly
+    /// the row-mode stable sort order.
+    fn force_cols(&mut self, scratch: &mut Vec<Row>) -> Result<()> {
+        if let Some(mut input) = self.input.take() {
+            let mut block = ColumnBlock::new(self.arity);
+            let (lo, _) = input.size_hint();
+            block.reserve(lo);
+            while input.next_cblock(&mut block, DRAIN_BLOCK, scratch)? > 0 {}
+            let mut perm: Vec<usize> = (0..block.len()).collect();
+            perm.sort_by(|&a, &b| {
+                for &k in &self.keys {
+                    let o = block.value_at(a, k).total_cmp(&block.value_at(b, k));
+                    if o != std::cmp::Ordering::Equal {
+                        return o;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            self.perm = perm;
+            self.cols = Some(block);
+        }
+        Ok(())
+    }
+
+    /// Transpose row-mode storage into the columnar form (mixed-mode
+    /// seam; `sorted` is already in output order, so the permutation is
+    /// the identity).
+    fn transpose_sorted(&mut self) {
+        if self.cols.is_none() {
+            let mut block = ColumnBlock::new(self.arity);
+            block.reserve(self.sorted.len());
+            self.perm = (0..self.sorted.len()).collect();
+            for r in self.sorted.drain(..) {
+                block.push_row(r);
+            }
+            self.cols = Some(block);
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.cols
+            .as_ref()
+            .map_or(self.sorted.len(), ColumnBlock::len)
+            - self.idx
+    }
 }
 
 impl RowIter for SortIter {
     fn next_row(&mut self) -> Result<Option<Row>> {
-        self.force()?;
-        if self.idx < self.sorted.len() {
-            let r = self.sorted[self.idx].clone();
-            self.idx += 1;
-            Ok(Some(r))
-        } else {
-            Ok(None)
+        self.force_rows()?;
+        if self.remaining() == 0 {
+            return Ok(None);
         }
+        let r = match &self.cols {
+            Some(cols) => cols.row(self.perm[self.idx]),
+            None => self.sorted[self.idx].clone(),
+        };
+        self.idx += 1;
+        Ok(Some(r))
     }
 
     fn next_block(&mut self, out: &mut Vec<Row>, n: usize) -> Result<usize> {
-        self.force()?;
-        let end = (self.idx + n).min(self.sorted.len());
-        out.extend_from_slice(&self.sorted[self.idx..end]);
-        let k = end - self.idx;
+        self.force_rows()?;
+        let k = self.remaining().min(n);
+        let end = self.idx + k;
+        match &self.cols {
+            Some(cols) => {
+                out.reserve(k);
+                out.extend(self.perm[self.idx..end].iter().map(|&r| cols.row(r)));
+            }
+            None => out.extend_from_slice(&self.sorted[self.idx..end]),
+        }
         self.idx = end;
+        Ok(k)
+    }
+
+    fn next_cblock(
+        &mut self,
+        out: &mut ColumnBlock,
+        n: usize,
+        scratch: &mut Vec<Row>,
+    ) -> Result<usize> {
+        if self.input.is_some() {
+            self.force_cols(scratch)?;
+        } else {
+            self.transpose_sorted();
+        }
+        let k = self.remaining().min(n);
+        if k > 0 {
+            let end = self.idx + k;
+            let cols = self.cols.as_ref().expect("columnar storage forced above");
+            cols.gather_rows(&self.perm[self.idx..end], out);
+            self.idx = end;
+        }
         Ok(k)
     }
 
@@ -809,7 +1250,7 @@ impl RowIter for SortIter {
         if self.input.is_some() {
             (0, None)
         } else {
-            let rem = self.sorted.len() - self.idx;
+            let rem = self.remaining();
             (rem, Some(rem))
         }
     }
@@ -820,6 +1261,10 @@ struct ProjectIter {
     cols: Vec<usize>,
     seen: Option<HashSet<Row>>,
     buf: Vec<Row>,
+    /// Columnar staging block at the *input's* arity: a columnar pull
+    /// lands the input block here, then projection is one bulk column
+    /// copy per output column.
+    cbuf: ColumnBlock,
 }
 
 impl RowIter for ProjectIter {
@@ -861,6 +1306,31 @@ impl RowIter for ProjectIter {
         out.reserve(got);
         for row in self.buf.drain(..) {
             out.push(self.cols.iter().map(|&c| row[c].clone()).collect());
+        }
+        Ok(got)
+    }
+
+    fn next_cblock(
+        &mut self,
+        out: &mut ColumnBlock,
+        n: usize,
+        scratch: &mut Vec<Row>,
+    ) -> Result<usize> {
+        if self.seen.is_some() {
+            // DISTINCT needs per-row dedup state; route through rows.
+            scratch.clear();
+            let k = self.next_block(scratch, n)?;
+            out.reserve(k);
+            for r in scratch.drain(..) {
+                out.push_row(r);
+            }
+            return Ok(k);
+        }
+        self.cbuf.clear();
+        let got = self.input.next_cblock(&mut self.cbuf, n, scratch)?;
+        if got > 0 {
+            out.reserve(got);
+            self.cbuf.append_projected(&self.cols, 0, got, out);
         }
         Ok(got)
     }
@@ -977,6 +1447,71 @@ mod tests {
         let mut cur = db.execute_sql(sql).unwrap();
         while cur.next_block(&mut by_blocks, 2).unwrap() > 0 {}
         assert_eq!(by_rows, by_blocks);
+    }
+
+    #[test]
+    fn columnar_and_row_pulls_agree_exactly() {
+        let db = sample_db();
+        for sql in [
+            "SELECT * FROM orders",
+            "SELECT * FROM orders WHERE value > 2000",
+            "SELECT c.id, o.orid, o.value FROM customer c, orders o \
+             WHERE c.id = o.cid ORDER BY o.orid",
+            "SELECT DISTINCT c.id FROM customer c, orders o WHERE c.id = o.cid",
+        ] {
+            let stats = db.stats().clone();
+            stats.reset();
+            let by_rows = db.execute_sql(sql).unwrap().collect_all().unwrap();
+            let row_scanned = stats.get(Counter::RowsScanned);
+            let row_shipped = stats.get(Counter::TuplesShipped);
+
+            stats.reset();
+            let mut cur = db.execute_sql(sql).unwrap();
+            let mut block = ColumnBlock::new(cur.arity());
+            let mut by_cols = Vec::new();
+            let mut blocks = 0;
+            loop {
+                block.clear();
+                if cur.next_cblock(&mut block, 2).unwrap() == 0 {
+                    break;
+                }
+                blocks += 1;
+                block.append_rows_to(&mut by_cols);
+            }
+            assert_eq!(by_rows, by_cols, "{sql}");
+            // The internal scan work and the shipped-tuple accounting
+            // are representation-independent.
+            assert_eq!(stats.get(Counter::RowsScanned), row_scanned, "{sql}");
+            assert_eq!(stats.get(Counter::TuplesShipped), row_shipped, "{sql}");
+            assert_eq!(stats.get(Counter::BlocksShipped), blocks, "{sql}");
+            if !by_rows.is_empty() {
+                assert!(stats.get(Counter::BlockBytes) > 0, "{sql}");
+            }
+        }
+    }
+
+    #[test]
+    fn vectorized_scan_stops_scanning_at_nth_match() {
+        // 2 matching rows among 3; asking for exactly 1 must consume
+        // rows only up to the first match, like the row path.
+        let db = sample_db();
+        let stats = db.stats().clone();
+        stats.reset();
+        let mut cur = db
+            .execute_sql("SELECT * FROM orders WHERE value > 2000")
+            .unwrap();
+        let mut block = ColumnBlock::new(cur.arity());
+        assert_eq!(cur.next_cblock(&mut block, 1).unwrap(), 1);
+        let cols_scanned = stats.get(Counter::RowsScanned);
+
+        stats.reset();
+        let mut cur = db
+            .execute_sql("SELECT * FROM orders WHERE value > 2000")
+            .unwrap();
+        let mut out = Vec::new();
+        assert_eq!(cur.next_block(&mut out, 1).unwrap(), 1);
+        assert_eq!(stats.get(Counter::RowsScanned), cols_scanned);
+        assert_eq!(out[0], block.row(0));
     }
 
     #[test]

@@ -105,19 +105,21 @@ pub fn gen_db(n_customers: usize, orders_per_customer: usize, seed: u64) -> Data
     let mut rng = Lcg(seed);
     let mut orid = 1i64;
     for i in 0..n_customers {
-        let id = format!("C{i:06}");
+        // Intern the id: it recurs as `cid` in every one of the
+        // customer's orders, so the cells share one allocation.
+        let id = mix_common::intern(&format!("C{i:06}"));
         let name = format!("{}{}Co.", (b'A' + (i % 26) as u8) as char, i);
         let addr = ["LosAngeles", "NewYork", "SanDiego", "Austin"][(rng.below(4)) as usize];
         db.insert(
             "customer",
-            vec![Value::str(&id), Value::str(addr), Value::str(name)],
+            vec![Value::Str(id.clone()), Value::str(addr), Value::str(name)],
         )
         .unwrap();
         for _ in 0..orders_per_customer {
             let value = rng.below(100_000) as i64;
             db.insert(
                 "orders",
-                vec![Value::Int(orid), Value::str(&id), Value::Int(value)],
+                vec![Value::Int(orid), Value::Str(id.clone()), Value::Int(value)],
             )
             .unwrap();
             orid += 1;

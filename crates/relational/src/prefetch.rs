@@ -34,11 +34,11 @@
 //! leaks a thread ([`active_prefetchers`] is the test hook) and never
 //! reads ahead unboundedly.
 
-use crate::exec::{gated_pull, RowIter};
+use crate::exec::{gated_cpull, RowIter};
 use crate::fault::ChaosState;
 use crate::table::Row;
 use mix_common::ring::{self, Receiver, TryRecv};
-use mix_common::{BlockRamp, Counter, MixError, RetryPolicy, Stats};
+use mix_common::{BlockRamp, ColumnBlock, Counter, MixError, RetryPolicy, Stats};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -53,9 +53,11 @@ pub fn active_prefetchers() -> usize {
     ACTIVE.load(Ordering::SeqCst)
 }
 
-/// One successfully fetched block.
+/// One successfully fetched block, shipped columnar: the thread builds
+/// the typed vectors, so a columnar consumer adopts them by move and a
+/// row consumer pays one materialization — never the reverse.
 pub(crate) struct FetchedBlock {
-    pub(crate) rows: Vec<Row>,
+    pub(crate) cols: ColumnBlock,
     /// Backoff milliseconds of each in-thread retry this block needed,
     /// in order (empty for a clean pull) — the consumer replays these
     /// as `fault`/`retry` trace events.
@@ -129,6 +131,7 @@ pub(crate) fn spawn(
     retry: RetryPolicy,
     stats: Stats,
     depth: usize,
+    arity: usize,
 ) -> PrefetchHandle {
     let (tx, rx) = ring::channel(depth);
     let stop = Arc::new(AtomicBool::new(false));
@@ -140,7 +143,7 @@ pub(crate) fn spawn(
         .name("mix-prefetch".into())
         .spawn(move || {
             let _guard = guard;
-            run(iter, chaos, ramp, retry, stats, stop_t, tx);
+            run(iter, chaos, ramp, retry, stats, stop_t, tx, arity);
         })
         .expect("spawn prefetcher thread");
     PrefetchHandle {
@@ -150,6 +153,7 @@ pub(crate) fn spawn(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run(
     mut iter: Box<dyn RowIter>,
     mut chaos: Option<ChaosState>,
@@ -158,15 +162,20 @@ fn run(
     stats: Stats,
     stop: Arc<AtomicBool>,
     tx: ring::Sender<PrefetchMsg>,
+    arity: usize,
 ) {
     let mut aborted = false;
+    // Row buffer for operators without a native columnar path, reused
+    // across blocks (shipped blocks move their column vectors out).
+    let mut scratch: Vec<Row> = Vec::new();
     'produce: loop {
         if stop.load(Ordering::SeqCst) {
             aborted = true;
             break;
         }
         let want = ramp.next_size();
-        let mut rows = Vec::with_capacity(want);
+        let mut cols = ColumnBlock::new(arity);
+        cols.reserve(want);
         let mut retry_backoff_ms = Vec::new();
         let mut attempt = 0u32;
         let mut spent_backoff = 0u64;
@@ -175,7 +184,7 @@ fn run(
         // nothing, so the re-issued pull is exact), identical counters.
         let (k, arrival) = loop {
             let issue = Instant::now();
-            match gated_pull(&mut *iter, &mut chaos, &mut rows, want) {
+            match gated_cpull(&mut *iter, &mut chaos, &mut cols, want, &mut scratch) {
                 Ok((k, latency_ms)) => break (k, issue + Duration::from_millis(latency_ms)),
                 Err(e) => {
                     if e.is_transient() && retry.allows(attempt + 1, spent_backoff) {
@@ -216,7 +225,7 @@ fn run(
             break;
         }
         let block = FetchedBlock {
-            rows,
+            cols,
             retry_backoff_ms,
             arrival,
         };

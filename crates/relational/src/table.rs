@@ -1,16 +1,33 @@
 //! Row storage.
 
 use crate::schema::Schema;
-use mix_common::{Result, Value};
+use mix_common::{ColumnBlock, Result, Value};
+use std::sync::OnceLock;
 
 /// One tuple.
 pub type Row = Vec<Value>;
 
-/// An in-memory table: a schema plus rows in insertion order.
-#[derive(Debug, Clone)]
+/// An in-memory table: a schema plus rows in insertion order, with a
+/// lazily built columnar mirror for the vectorized scan path.
+#[derive(Debug)]
 pub struct Table {
     schema: Schema,
     rows: Vec<Row>,
+    /// Columnar mirror of `rows`, built on first [`Table::columnar`]
+    /// call and discarded by any mutation. `OnceLock` so concurrent
+    /// scans through `Arc<Table>` share one build.
+    cols: OnceLock<ColumnBlock>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Table {
+        // The mirror is a cache: the clone rebuilds it on demand.
+        Table {
+            schema: self.schema.clone(),
+            rows: self.rows.clone(),
+            cols: OnceLock::new(),
+        }
+    }
 }
 
 impl Table {
@@ -19,6 +36,7 @@ impl Table {
         Table {
             schema,
             rows: Vec::new(),
+            cols: OnceLock::new(),
         }
     }
 
@@ -30,6 +48,7 @@ impl Table {
     /// Append a row after schema checking.
     pub fn insert(&mut self, row: Row) -> Result<()> {
         self.schema.check_row(&row)?;
+        self.cols.take();
         self.rows.push(row);
         Ok(())
     }
@@ -57,10 +76,26 @@ impl Table {
         self.rows.is_empty()
     }
 
+    /// The columnar mirror of the table, built on first use. Cell
+    /// values are shared with the row storage (`Arc` string handles are
+    /// cloned, not re-interned), so the mirror costs one refcount bump
+    /// per string cell plus the typed vectors themselves.
+    pub fn columnar(&self) -> &ColumnBlock {
+        self.cols.get_or_init(|| {
+            let mut b = ColumnBlock::new(self.schema.arity());
+            b.reserve(self.rows.len());
+            for r in &self.rows {
+                b.push_row(r.clone());
+            }
+            b
+        })
+    }
+
     /// Sort rows by the primary key (the wrapper exports tuples in key
     /// order so repeated scans are deterministic).
     pub fn sort_by_key(&mut self) {
         let key: Vec<usize> = self.schema.key().to_vec();
+        self.cols.take();
         self.rows.sort_by(|a, b| {
             for &k in &key {
                 let o = a[k].total_cmp(&b[k]);
@@ -103,6 +138,25 @@ mod tests {
         assert_eq!(t.len(), 1);
         assert_eq!(t.rows()[0][2], Value::Int(2400));
         assert!(t.insert(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn columnar_mirror_tracks_mutations() {
+        let mut t = orders();
+        t.insert(vec![Value::Int(2), Value::str("b"), Value::Int(20)])
+            .unwrap();
+        let c = t.columnar();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.value_at(0, 2), Value::Int(20));
+        // Mutation discards the mirror; the next call rebuilds it.
+        t.insert(vec![Value::Int(1), Value::str("a"), Value::Int(10)])
+            .unwrap();
+        assert_eq!(t.columnar().len(), 2);
+        t.sort_by_key();
+        assert_eq!(t.columnar().value_at(0, 0), Value::Int(1));
+        // Clones rebuild their own mirror.
+        let u = t.clone();
+        assert_eq!(u.columnar().len(), 2);
     }
 
     #[test]

@@ -83,6 +83,16 @@ impl Oid {
         &self.0
     }
 
+    /// The key text, if this is a semantic-key id. Lets derived ids
+    /// (`&KEY.child`) be rendered from a shared parent oid instead of
+    /// each holder keeping its own copy of the key string.
+    pub fn as_key(&self) -> Option<&str> {
+        match self.kind() {
+            OidKind::Key(k) => Some(k),
+            _ => None,
+        }
+    }
+
     /// The skolem parts, if this is a constructed-element id.
     pub fn as_skolem(&self) -> Option<(&Name, &Name, &[Oid])> {
         match self.kind() {

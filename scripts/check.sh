@@ -50,4 +50,7 @@ cargo bench -p mix-bench --bench block_sweep -- --smoke >/dev/null
 echo "==> prefetch_overlap bench smoke run"
 cargo bench -p mix-bench --bench prefetch_overlap -- --smoke >/dev/null
 
+echo "==> columnar_sweep bench smoke run"
+cargo bench -p mix-bench --bench columnar_sweep -- --smoke >/dev/null
+
 echo "All checks passed."

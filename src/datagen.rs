@@ -64,7 +64,9 @@ pub fn auction_db(n_cameras: usize, lenses_per_camera: usize, seed: u64) -> (Cat
     let regions = ["SoCal", "NorCal", "PNW", "East", "Midwest"];
     let mut lens_id = 0usize;
     for i in 0..n_cameras {
-        let id = format!("CAM{i:05}");
+        // Interned: the camera id recurs as the foreign key of every
+        // one of its lenses.
+        let id = intern(&format!("CAM{i:05}"));
         let model = format!("{}{}", brands[i % brands.len()], 100 + i);
         let price = 50 + rng.below(1950) as i64;
         let afspeed = (1 + rng.below(19)) as f64 / 10.0;
@@ -72,7 +74,7 @@ pub fn auction_db(n_cameras: usize, lenses_per_camera: usize, seed: u64) -> (Cat
         db.insert(
             "camera",
             vec![
-                Value::str(&id),
+                Value::Str(id.clone()),
                 Value::str(model),
                 Value::Int(price),
                 Value::Float(afspeed),
@@ -86,8 +88,8 @@ pub fn auction_db(n_cameras: usize, lenses_per_camera: usize, seed: u64) -> (Cat
             db.insert(
                 "lens",
                 vec![
-                    Value::str(&lid),
-                    Value::str(&id),
+                    Value::str(lid),
+                    Value::Str(id.clone()),
                     Value::Int(20 + rng.below(780) as i64),
                     Value::Int(5 + rng.below(25) as i64),
                     Value::str(regions[rng.below(regions.len() as u64) as usize]),
