@@ -20,7 +20,7 @@ fn main() {
                     Mediator::with_options(catalog, MediatorOptions::builder().gby(mode).build());
                 let mut s = m.session();
                 let p0 = s.query(Q1).unwrap();
-                drain(&s, p0)
+                drain(&mut s, p0)
             });
         }
     }

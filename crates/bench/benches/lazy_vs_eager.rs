@@ -22,7 +22,7 @@ fn main() {
                 let (m, _stats) = scaled_mediator(n, 4, 42, true, access);
                 let mut s = m.session();
                 let p0 = s.query(Q1).unwrap();
-                browse_k(&s, p0, 5)
+                browse_k(&mut s, p0, 5)
             });
         }
     }

@@ -30,7 +30,7 @@ fn main() {
                 m.define_view("v", VIEW).unwrap();
                 let mut s = m.session();
                 let p = s.query(&report).unwrap();
-                drain(&s, p)
+                drain(&mut s, p)
             });
         }
     }

@@ -1,0 +1,206 @@
+//! Served-mode benchmark: N concurrent wire sessions against one
+//! `mix-serve` server over loopback, measuring per-command round-trip
+//! latency (p50/p95/p99 by command class) and aggregate command
+//! throughput.
+//!
+//! Each session is the same navigation-heavy script: one Q1 query,
+//! then a sibling walk over the first children (`d`/`r` + `fl` each),
+//! one bulk `export`, one `stats`. The script matches what the
+//! equivalence suite pins against an in-process session, and the bench
+//! re-asserts one render against an in-process run before timing, so
+//! the numbers describe the wire overhead on *correct* traffic.
+//!
+//! Pass `--smoke` for a seconds-scale CI run (8 sessions, small
+//! database, no JSON). The full run drives 64 concurrent sessions and
+//! rewrites `BENCH_serve.json` at the repo root.
+
+use mix::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const BROWSE: usize = 50;
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+#[derive(Default)]
+struct Lats {
+    query: Vec<u128>,
+    nav: Vec<u128>,
+    export: Vec<u128>,
+}
+
+impl Lats {
+    fn absorb(&mut self, other: Lats) {
+        self.query.extend(other.query);
+        self.nav.extend(other.nav);
+        self.export.extend(other.export);
+    }
+    fn total(&self) -> usize {
+        self.query.len() + self.nav.len() + self.export.len()
+    }
+}
+
+/// One session's script; returns per-command latencies by class.
+fn session_script(addr: std::net::SocketAddr) -> Lats {
+    let mut lats = Lats::default();
+    let mut client = WireClient::connect(addr).expect("connect");
+    let timed = |lat: &mut Vec<u128>, f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        f();
+        lat.push(t.elapsed().as_nanos());
+    };
+    let mut p0 = None;
+    timed(&mut lats.query, &mut || {
+        p0 = Some(client.query(mix_bench::Q1).expect("query"));
+    });
+    let p0 = p0.unwrap();
+    // Sibling walk: d once, then (fl, r) per child.
+    let mut cur = None;
+    timed(&mut lats.nav, &mut || {
+        cur = client.d(p0).expect("d");
+    });
+    let mut seen = 0;
+    while let Some(c) = cur {
+        seen += 1;
+        timed(&mut lats.nav, &mut || {
+            client.fl(c).expect("fl");
+        });
+        if seen >= BROWSE {
+            break;
+        }
+        timed(&mut lats.nav, &mut || {
+            cur = client.r(c).expect("r");
+        });
+    }
+    timed(&mut lats.export, &mut || {
+        client.export(p0, BROWSE as u32).expect("export");
+    });
+    client.stats().expect("stats");
+    client.close().expect("close");
+    lats
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sessions, n_customers) = if smoke { (8, 60) } else { (64, 500) };
+    let orders_per = 2;
+
+    let factory: Arc<dyn Fn() -> Mediator + Send + Sync> = Arc::new(move || {
+        let (catalog, _db) = mix_repro::datagen::customers_orders(n_customers, orders_per, 31);
+        Mediator::with_options(
+            catalog,
+            MediatorOptions::builder()
+                .access(AccessMode::Lazy)
+                .optimize(true)
+                .build(),
+        )
+    });
+
+    // Correctness pin before timing: one wire render equals the
+    // in-process render of the same node.
+    {
+        let mut server =
+            Server::start("127.0.0.1:0", ServerConfig::default(), Arc::clone(&factory))
+                .expect("bind");
+        let mut client = WireClient::connect(server.addr()).expect("connect");
+        let w0 = client.query(mix_bench::Q1).expect("query");
+        let w1 = client.d(w0).expect("d").expect("nonempty");
+        let wire_render = client.render(w1).expect("render");
+        client.close().expect("close");
+        server.shutdown();
+        let m = factory();
+        let mut s = m.session();
+        let p0 = s.query(mix_bench::Q1).expect("query");
+        let p1 = s.d(p0).expect("d").expect("nonempty");
+        assert_eq!(wire_render, s.render(p1), "wire and in-process diverge");
+    }
+
+    let mut server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: sessions * 2,
+            ..ServerConfig::default()
+        },
+        Arc::clone(&factory),
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..sessions)
+        .map(|_| std::thread::spawn(move || session_script(addr)))
+        .collect();
+    let mut lats = Lats::default();
+    for h in handles {
+        lats.absorb(h.join().expect("session thread"));
+    }
+    let wall = t0.elapsed();
+    let opened = server.stats().get(Counter::SessionsOpened);
+    server.shutdown();
+    assert_eq!(opened as usize, sessions, "admission failed under load");
+    assert_eq!(active_prefetchers(), 0, "leaked prefetcher threads");
+
+    let total = lats.total();
+    let throughput = total as f64 / wall.as_secs_f64();
+    println!(
+        "serve_bench: {sessions} concurrent sessions, {total} commands in {:?} \
+         ({throughput:.0} cmd/s)",
+        wall
+    );
+    let mut classes: Vec<(&str, Vec<u128>)> = vec![
+        ("query", lats.query),
+        ("nav", lats.nav),
+        ("export", lats.export),
+    ];
+    let mut case_lines = Vec::new();
+    for (name, lat) in classes.iter_mut() {
+        lat.sort();
+        let (p50, p95, p99) = (
+            percentile(lat, 0.50),
+            percentile(lat, 0.95),
+            percentile(lat, 0.99),
+        );
+        println!(
+            "  {name:<8} n={:<6} p50={} p95={} p99={}",
+            lat.len(),
+            fmt_ns(p50),
+            fmt_ns(p95),
+            fmt_ns(p99),
+        );
+        case_lines.push(format!(
+            "    {{ \"case\": \"{name}\", \"count\": {}, \"p50_ns\": {p50}, \"p95_ns\": {p95}, \"p99_ns\": {p99} }}",
+            lat.len()
+        ));
+    }
+
+    if !smoke {
+        let json = format!(
+            "{{\n  \"description\": \"Served-mode wire benchmark: {sessions} concurrent loopback \
+             sessions against one mix-serve server, each a fresh mediator over a \
+             {n_customers}x{orders_per} customers/orders database on its own worker thread. Each \
+             session runs one Q1 query, a {BROWSE}-sibling d/r+fl walk, one bulk export and a \
+             stats snapshot; latencies are client-observed round trips per command class. Wire \
+             output is pinned bit-identical to an in-process session by the equivalence suite \
+             (crates/serve/tests/serve.rs) and re-asserted by this bench before timing. \
+             Regenerate with `cargo bench -p mix-bench --bench serve_bench`.\",\n  \
+             \"sessions\": {sessions},\n  \"commands_total\": {total},\n  \
+             \"wall_ms\": {},\n  \"throughput_cmds_per_s\": {:.0},\n  \"latency\": [\n{}\n  ]\n}}\n",
+            wall.as_millis(),
+            throughput,
+            case_lines.join(",\n"),
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+        std::fs::write(path, json).expect("write BENCH_serve.json");
+        println!("wrote {path}");
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    mix_bench::harness::fmt_duration(Duration::from_nanos(ns as u64))
+}

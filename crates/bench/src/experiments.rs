@@ -43,7 +43,7 @@ pub fn e1_lazy_vs_eager() -> String {
             stats.reset();
             let t = Instant::now();
             let p0 = s.query(Q1).expect("query");
-            browse_k(&s, p0, k);
+            browse_k(&mut s, p0, k);
             let lazy_ms = ms(t);
             let lazy_shipped = stats.get(Counter::TuplesShipped);
             // eager
@@ -52,7 +52,7 @@ pub fn e1_lazy_vs_eager() -> String {
             stats.reset();
             let t = Instant::now();
             let p0 = s.query(Q1).expect("query");
-            browse_k(&s, p0, k);
+            browse_k(&mut s, p0, k);
             let eager_ms = ms(t);
             let eager_shipped = stats.get(Counter::TuplesShipped);
             let _ = writeln!(
@@ -286,7 +286,7 @@ pub fn e7_gby_ablation() -> String {
             let mut s = m.session();
             let t = Instant::now();
             let p0 = s.query(Q1).expect("query");
-            let _ = drain(&s, p0);
+            let _ = drain(&mut s, p0);
             cells.push(ms(t));
         }
         let _ = writeln!(out, "{n:>7} | {:>13.2} | {:>12.2}", cells[0], cells[1]);

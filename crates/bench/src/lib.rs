@@ -43,7 +43,7 @@ pub fn scaled_mediator(
 }
 
 /// Browse the first `k` children of a result shallowly.
-pub fn browse_k(s: &mix::qdom::QdomSession, p0: QNode, k: usize) -> usize {
+pub fn browse_k(s: &mut mix::qdom::QdomSession, p0: QNode, k: usize) -> usize {
     let mut seen = 0;
     let mut cur = s.d(p0).expect("browse");
     while let Some(c) = cur {
@@ -57,8 +57,8 @@ pub fn browse_k(s: &mix::qdom::QdomSession, p0: QNode, k: usize) -> usize {
 }
 
 /// Walk an entire result (every node).
-pub fn drain(s: &mix::qdom::QdomSession, p: QNode) -> usize {
-    fn walk(s: &mix::qdom::QdomSession, p: QNode, n: &mut usize) {
+pub fn drain(s: &mut mix::qdom::QdomSession, p: QNode) -> usize {
+    fn walk(s: &mut mix::qdom::QdomSession, p: QNode, n: &mut usize) {
         *n += 1;
         let mut cur = s.d(p).expect("drain");
         while let Some(c) = cur {
@@ -80,8 +80,8 @@ mod tests {
         let (m, _stats) = scaled_mediator(10, 2, 1, true, AccessMode::Lazy);
         let mut s = m.session();
         let p0 = s.query(Q1).unwrap();
-        assert_eq!(browse_k(&s, p0, 3), 3);
-        let nodes = drain(&s, p0);
+        assert_eq!(browse_k(&mut s, p0, 3), 3);
+        let nodes = drain(&mut s, p0);
         // 10 CustRecs, each: customer(+3 fields ×2 nodes) + 2 OrderInfo(order + 3 fields ×2)
         assert!(nodes > 10 * 8, "{nodes}");
     }

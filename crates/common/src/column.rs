@@ -36,7 +36,7 @@ fn empty_str() -> Arc<str> {
 }
 
 /// Typed storage for one column of a block.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ColData {
     /// Every cell seen so far is null: no storage.
     Null,
@@ -53,7 +53,7 @@ pub enum ColData {
 }
 
 /// One column: typed data plus an optional validity mask.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Column {
     data: ColData,
     /// `None` = all cells valid. `Some(mask)` runs parallel to the
@@ -74,6 +74,53 @@ impl Column {
     /// The typed data vector (exposed for column-at-a-time kernels).
     pub fn data(&self) -> &ColData {
         &self.data
+    }
+
+    /// The validity mask, if one is materialized (`None` = every cell
+    /// valid; [`ColData::Null`] is implicitly all-null and carries no
+    /// mask). Exposed so serializers can write the column verbatim.
+    pub fn validity(&self) -> Option<&[bool]> {
+        self.valid.as_deref()
+    }
+
+    /// Rebuild a column from its parts (the wire-decode constructor).
+    /// `len` is the row count of the enclosing block. Fails — instead
+    /// of panicking later — when the data vector or mask disagrees with
+    /// `len`, or when a mask is attached to a representation that never
+    /// carries one ([`ColData::Null`] and [`ColData::Mixed`] encode
+    /// nullness in the data itself).
+    pub fn from_parts(
+        data: ColData,
+        valid: Option<Vec<bool>>,
+        len: usize,
+    ) -> crate::Result<Column> {
+        let data_len = match &data {
+            ColData::Null => len,
+            ColData::Int(xs) => xs.len(),
+            ColData::Float(xs) => xs.len(),
+            ColData::Bool(xs) => xs.len(),
+            ColData::Str(xs) => xs.len(),
+            ColData::Mixed(xs) => xs.len(),
+        };
+        if data_len != len {
+            return Err(crate::MixError::invalid(format!(
+                "column data holds {data_len} rows, block claims {len}"
+            )));
+        }
+        if let Some(mask) = &valid {
+            if matches!(data, ColData::Null | ColData::Mixed(_)) {
+                return Err(crate::MixError::invalid(
+                    "null/mixed columns never carry a validity mask",
+                ));
+            }
+            if mask.len() != len {
+                return Err(crate::MixError::invalid(format!(
+                    "validity mask holds {} rows, block claims {len}",
+                    mask.len()
+                )));
+            }
+        }
+        Ok(Column { data, valid })
     }
 
     /// Is cell `r` valid (non-null)?
@@ -308,7 +355,7 @@ impl Pick<'_> {
 }
 
 /// A block of tuples stored column-major in typed vectors.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnBlock {
     cols: Vec<Column>,
     len: usize,
@@ -387,6 +434,21 @@ impl ColumnBlock {
             c.push(v, self.len);
         }
         self.len += 1;
+    }
+
+    /// Rebuild a block from decoded columns (the wire constructor —
+    /// the inverse of walking [`ColumnBlock::columns`]). Every column
+    /// must hold exactly `len` rows; see [`Column::from_parts`].
+    pub fn from_columns(cols: Vec<Column>, len: usize) -> ColumnBlock {
+        debug_assert!(cols.iter().all(|c| match c.data() {
+            ColData::Null => true,
+            ColData::Int(xs) => xs.len() == len,
+            ColData::Float(xs) => xs.len() == len,
+            ColData::Bool(xs) => xs.len() == len,
+            ColData::Str(xs) => xs.len() == len,
+            ColData::Mixed(xs) => xs.len() == len,
+        }));
+        ColumnBlock { cols, len }
     }
 
     /// Build a block from row-major tuples (arity taken from the first

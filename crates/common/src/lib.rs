@@ -30,7 +30,7 @@ pub mod stats;
 pub mod value;
 
 pub use block::{BlockPolicy, BlockRamp, MAX_AUTO_BLOCK};
-pub use column::{ColData, ColumnBlock};
+pub use column::{ColData, Column, ColumnBlock};
 pub use error::{BackendError, FaultKind, MixError, Result, ResultContext};
 pub use intern::intern;
 pub use name::Name;

@@ -47,14 +47,18 @@
 //! | [`engine`] | `mix-engine` | §4 navigation-driven lazy evaluation |
 //! | [`rewrite`] | `mix-rewrite` | §6 rewriting optimizer, Table 2, Fig. 22 SQL |
 //! | [`qdom`] | `mix-qdom` | §2 QDOM API, §5 decontextualization |
+//! | [`proto`] | `mix-proto` | the framed QDOM wire protocol |
+//! | [`serve`] | `mix-serve` | multi-session server front-end |
 
 pub use mix_algebra as algebra;
 pub use mix_common as common;
 pub use mix_engine as engine;
 pub use mix_obs as obs;
+pub use mix_proto as proto;
 pub use mix_qdom as qdom;
 pub use mix_relational as relational;
 pub use mix_rewrite as rewrite;
+pub use mix_serve as serve;
 pub use mix_wrapper as wrapper;
 pub use mix_xml as xml;
 pub use mix_xquery as xquery;
@@ -69,9 +73,11 @@ pub mod prelude {
     };
     pub use mix_engine::{AccessMode, EvalContext, GByMode, VirtualResult};
     pub use mix_obs::{CollectingTracer, LogTracer, Tracer, TracerHandle};
+    pub use mix_proto::{Command, Frame, Reply, WireNode, PROTO_VERSION};
     pub use mix_qdom::{Mediator, MediatorOptions, MediatorOptionsBuilder, QNode, QdomSession};
     pub use mix_relational::{active_prefetchers, Database, FaultPolicy, Schema};
     pub use mix_rewrite::{optimize, rewrite, split_plan};
+    pub use mix_serve::{Server, ServerConfig, WireClient, WireError};
     pub use mix_wrapper::{Catalog, RelationSource};
     pub use mix_xml::{Document, NavDoc, Oid};
     pub use mix_xquery::parse_query;

@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Number of counters (one per [`Counter`] variant).
-const N: usize = 22;
+const N: usize = 28;
 
 /// One kind of work the substrate counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,6 +91,25 @@ pub enum Counter {
     /// shared (interned or otherwise multiply-owned) rather than
     /// copied.
     InternHits,
+    /// Wire sessions the server accepted (handshake completed and a
+    /// worker session started).
+    SessionsOpened,
+    /// Wire sessions that ended (client close, idle timeout, protocol
+    /// error, or server shutdown). `SessionsOpened - SessionsClosed`
+    /// is the live-session gauge.
+    SessionsClosed,
+    /// Connections refused by admission control (max-sessions reached
+    /// or version mismatch) — the client got a clean rejection frame,
+    /// not a dropped socket.
+    SessionsRejected,
+    /// QDOM commands dispatched on behalf of wire clients (the served
+    /// counterpart of `NavCommands`, counted per framed command).
+    WireCommands,
+    /// Bytes read off the wire by the server (frame headers included).
+    WireBytesIn,
+    /// Bytes written to the wire by the server (frame headers
+    /// included).
+    WireBytesOut,
 }
 
 impl Counter {
@@ -118,6 +137,12 @@ impl Counter {
         Counter::BlockBytes,
         Counter::CellsDecoded,
         Counter::InternHits,
+        Counter::SessionsOpened,
+        Counter::SessionsClosed,
+        Counter::SessionsRejected,
+        Counter::WireCommands,
+        Counter::WireBytesIn,
+        Counter::WireBytesOut,
     ];
 
     /// A stable snake_case label (table rendering, log output).
@@ -145,6 +170,12 @@ impl Counter {
             Counter::BlockBytes => "block_bytes",
             Counter::CellsDecoded => "cells_decoded",
             Counter::InternHits => "intern_hits",
+            Counter::SessionsOpened => "sessions_opened",
+            Counter::SessionsClosed => "sessions_closed",
+            Counter::SessionsRejected => "sessions_rejected",
+            Counter::WireCommands => "wire_commands",
+            Counter::WireBytesIn => "wire_bytes_in",
+            Counter::WireBytesOut => "wire_bytes_out",
         }
     }
 
@@ -320,7 +351,8 @@ impl fmt::Display for Snapshot {
              hash={} probes={} nlfb={} pc={}+{} blocks={} retries={} \
              faults={} backend_errs={} backoff_ms={} pf_hit={} \
              pf_stall_ns={} pf_aborted={} blk_bytes={} cells={} \
-             intern_hits={}",
+             intern_hits={} sess={}-{}/rej{} wire_cmds={} wire_in={} \
+             wire_out={}",
             self.get(Counter::SqlQueries),
             self.get(Counter::TuplesShipped),
             self.get(Counter::RowsScanned),
@@ -343,6 +375,12 @@ impl fmt::Display for Snapshot {
             self.get(Counter::BlockBytes),
             self.get(Counter::CellsDecoded),
             self.get(Counter::InternHits),
+            self.get(Counter::SessionsOpened),
+            self.get(Counter::SessionsClosed),
+            self.get(Counter::SessionsRejected),
+            self.get(Counter::WireCommands),
+            self.get(Counter::WireBytesIn),
+            self.get(Counter::WireBytesOut),
         )
     }
 }
@@ -476,7 +514,13 @@ mod tests {
         assert_eq!(Counter::BlockBytes.to_string(), "block_bytes");
         assert_eq!(Counter::CellsDecoded.to_string(), "cells_decoded");
         assert_eq!(Counter::InternHits.to_string(), "intern_hits");
-        assert_eq!(Counter::ALL.len(), 22);
+        assert_eq!(Counter::SessionsOpened.to_string(), "sessions_opened");
+        assert_eq!(Counter::SessionsClosed.to_string(), "sessions_closed");
+        assert_eq!(Counter::SessionsRejected.to_string(), "sessions_rejected");
+        assert_eq!(Counter::WireCommands.to_string(), "wire_commands");
+        assert_eq!(Counter::WireBytesIn.to_string(), "wire_bytes_in");
+        assert_eq!(Counter::WireBytesOut.to_string(), "wire_bytes_out");
+        assert_eq!(Counter::ALL.len(), 28);
     }
 
     #[test]

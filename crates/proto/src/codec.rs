@@ -1,0 +1,887 @@
+//! The binary codec: canonical encode/decode for every frame.
+//!
+//! All scalars are little-endian fixed width; strings and sequences are
+//! `u32` count-prefixed. Floats travel as raw bit patterns
+//! (`f64::to_bits`), so `-0.0`, `0.0` and any NaN payload survive
+//! exactly. Booleans must be `0`/`1` on the wire — anything else is a
+//! decode error — which together with the fixed layouts makes the
+//! encoding *canonical*: re-encoding a decoded frame reproduces the
+//! input bytes bit for bit.
+
+use crate::message::{Command, Frame, Reply, WireNode};
+use crate::PROTO_VERSION;
+use mix_common::{BackendError, ColData, Column, ColumnBlock, FaultKind, MixError, Name, Value};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+/// Upper bound on one frame's payload, checked before any allocation.
+/// Large enough for any realistic block reply, small enough that a
+/// corrupt length prefix cannot OOM the peer.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// A malformed frame: where in the payload decoding failed, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset within the frame payload.
+    pub pos: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire decode error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<DecodeError> for MixError {
+    fn from(e: DecodeError) -> MixError {
+        MixError::parse("wire", e.pos, e.msg)
+    }
+}
+
+impl From<DecodeError> for io::Error {
+    fn from(e: DecodeError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+// ---- encoding --------------------------------------------------------
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn node(&mut self, n: WireNode) {
+        self.u32(n.result);
+        self.u32(n.node);
+    }
+    fn value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.u8(0),
+            Value::Bool(b) => {
+                self.u8(1);
+                self.bool(*b);
+            }
+            Value::Int(i) => {
+                self.u8(2);
+                self.i64(*i);
+            }
+            Value::Float(f) => {
+                self.u8(3);
+                self.f64(*f);
+            }
+            Value::Str(s) => {
+                self.u8(4);
+                self.str(s);
+            }
+        }
+    }
+    fn block(&mut self, b: &ColumnBlock) {
+        self.u32(b.len() as u32);
+        self.u32(b.arity() as u32);
+        for col in b.columns() {
+            match col.data() {
+                ColData::Null => self.u8(0),
+                ColData::Int(xs) => {
+                    self.u8(1);
+                    for x in xs {
+                        self.i64(*x);
+                    }
+                }
+                ColData::Float(xs) => {
+                    self.u8(2);
+                    for x in xs {
+                        self.f64(*x);
+                    }
+                }
+                ColData::Bool(xs) => {
+                    self.u8(3);
+                    for x in xs {
+                        self.bool(*x);
+                    }
+                }
+                ColData::Str(xs) => {
+                    self.u8(4);
+                    for x in xs {
+                        self.str(x);
+                    }
+                }
+                ColData::Mixed(xs) => {
+                    self.u8(5);
+                    for x in xs {
+                        self.value(x);
+                    }
+                }
+            }
+            match col.validity() {
+                None => self.u8(0),
+                Some(mask) => {
+                    self.u8(1);
+                    for v in mask {
+                        self.bool(*v);
+                    }
+                }
+            }
+        }
+    }
+    fn error(&mut self, e: &MixError) {
+        match e {
+            MixError::Parse { what, pos, msg } => {
+                self.u8(0);
+                self.str(what);
+                self.u64(*pos as u64);
+                self.str(msg);
+            }
+            MixError::Unknown { what, name } => {
+                self.u8(1);
+                self.str(what);
+                self.str(name);
+            }
+            MixError::Invalid(m) => {
+                self.u8(2);
+                self.str(m);
+            }
+            MixError::Navigation(m) => {
+                self.u8(3);
+                self.str(m);
+            }
+            MixError::Internal(m) => {
+                self.u8(4);
+                self.str(m);
+            }
+            MixError::Source { source, msg } => {
+                self.u8(5);
+                self.str(source.as_str());
+                self.str(msg);
+            }
+            MixError::Backend(BackendError {
+                server,
+                kind,
+                msg,
+                retries,
+            }) => {
+                self.u8(6);
+                self.str(server.as_str());
+                self.u8(match kind {
+                    FaultKind::Transient => 0,
+                    FaultKind::Permanent => 1,
+                });
+                self.str(msg);
+                self.u32(*retries);
+            }
+            MixError::Plan(m) => {
+                self.u8(7);
+                self.str(m);
+            }
+        }
+    }
+    fn command(&mut self, c: &Command) {
+        match c {
+            Command::Query { text } => {
+                self.u8(0);
+                self.str(text);
+            }
+            Command::Q { text, from } => {
+                self.u8(1);
+                self.str(text);
+                self.node(*from);
+            }
+            Command::D { p } => {
+                self.u8(2);
+                self.node(*p);
+            }
+            Command::R { p } => {
+                self.u8(3);
+                self.node(*p);
+            }
+            Command::Fl { p } => {
+                self.u8(4);
+                self.node(*p);
+            }
+            Command::Fv { p } => {
+                self.u8(5);
+                self.node(*p);
+            }
+            Command::Children { p } => {
+                self.u8(6);
+                self.node(*p);
+            }
+            Command::ChildCount { p } => {
+                self.u8(7);
+                self.node(*p);
+            }
+            Command::Render { p } => {
+                self.u8(8);
+                self.node(*p);
+            }
+            Command::Explain { p } => {
+                self.u8(9);
+                self.node(*p);
+            }
+            Command::Export { p, max_rows } => {
+                self.u8(10);
+                self.node(*p);
+                self.u32(*max_rows);
+            }
+            Command::Stats => self.u8(11),
+        }
+    }
+    fn reply(&mut self, r: &Reply) {
+        match r {
+            Reply::Node(n) => {
+                self.u8(0);
+                self.node(*n);
+            }
+            Reply::Step(opt) => {
+                self.u8(1);
+                match opt {
+                    None => self.u8(0),
+                    Some(n) => {
+                        self.u8(1);
+                        self.node(*n);
+                    }
+                }
+            }
+            Reply::Label(opt) => {
+                self.u8(2);
+                match opt {
+                    None => self.u8(0),
+                    Some(n) => {
+                        self.u8(1);
+                        self.str(n.as_str());
+                    }
+                }
+            }
+            Reply::Value(opt) => {
+                self.u8(3);
+                match opt {
+                    None => self.u8(0),
+                    Some(v) => {
+                        self.u8(1);
+                        self.value(v);
+                    }
+                }
+            }
+            Reply::Nodes(nodes) => {
+                self.u8(4);
+                self.u32(nodes.len() as u32);
+                for n in nodes {
+                    self.node(*n);
+                }
+            }
+            Reply::Count(c) => {
+                self.u8(5);
+                self.u64(*c);
+            }
+            Reply::Text(t) => {
+                self.u8(6);
+                self.str(t);
+            }
+            Reply::Block(b) => {
+                self.u8(7);
+                self.block(b);
+            }
+            Reply::Stats(counters) => {
+                self.u8(8);
+                self.u32(counters.len() as u32);
+                for (label, v) in counters {
+                    self.str(label);
+                    self.u64(*v);
+                }
+            }
+            Reply::Err(e) => {
+                self.u8(9);
+                self.error(e);
+            }
+        }
+    }
+    fn frame(&mut self, f: &Frame) {
+        match f {
+            Frame::Hello { version } => {
+                self.u8(0);
+                self.u8(*version);
+            }
+            Frame::Welcome { version, session } => {
+                self.u8(1);
+                self.u8(*version);
+                self.u64(*session);
+            }
+            Frame::Reject { reason } => {
+                self.u8(2);
+                self.str(reason);
+            }
+            Frame::Cmd(c) => {
+                self.u8(3);
+                self.command(c);
+            }
+            Frame::Rep(r) => {
+                self.u8(4);
+                self.reply(r);
+            }
+            Frame::Bye => self.u8(5),
+        }
+    }
+}
+
+// ---- decoding --------------------------------------------------------
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+type DResult<T> = Result<T, DecodeError>;
+
+impl<'a> Dec<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> DResult<T> {
+        Err(DecodeError {
+            pos: self.pos,
+            msg: msg.into(),
+        })
+    }
+    fn take(&mut self, n: usize) -> DResult<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return self.err(format!(
+                "truncated frame: need {n} bytes, have {}",
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> DResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn bool(&mut self) -> DResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => self.err(format!("bool byte must be 0/1, got {b}")),
+        }
+    }
+    fn u32(&mut self) -> DResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> DResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> DResult<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> DResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    /// A count prefix that still has to fit in the remaining payload:
+    /// `min_elem` is the smallest possible encoding of one element, so
+    /// a corrupt count fails here instead of in an allocation.
+    fn count(&mut self, min_elem: usize) -> DResult<usize> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem) > self.buf.len() - self.pos {
+            return self.err(format!("count {n} exceeds remaining payload"));
+        }
+        Ok(n)
+    }
+    fn str(&mut self) -> DResult<String> {
+        let n = self.count(1)?;
+        let bytes = self.take(n)?;
+        match std::str::from_utf8(bytes) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => self.err("string is not valid UTF-8"),
+        }
+    }
+    fn node(&mut self) -> DResult<WireNode> {
+        Ok(WireNode {
+            result: self.u32()?,
+            node: self.u32()?,
+        })
+    }
+    fn value(&mut self) -> DResult<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(self.bool()?),
+            2 => Value::Int(self.i64()?),
+            3 => Value::Float(self.f64()?),
+            4 => Value::Str(Arc::from(self.str()?)),
+            t => return self.err(format!("unknown value tag {t}")),
+        })
+    }
+    fn block(&mut self) -> DResult<ColumnBlock> {
+        let rows = self.count(0)?;
+        // Each column costs at least the type tag + the validity tag.
+        let arity = self.count(2)?;
+        // A zero-row block still shouldn't claim absurd width.
+        if rows.saturating_mul(arity) > MAX_FRAME_LEN as usize {
+            return self.err(format!("block {rows}x{arity} exceeds frame bound"));
+        }
+        let mut cols = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let data = match self.u8()? {
+                0 => ColData::Null,
+                1 => {
+                    let mut xs = Vec::with_capacity(rows);
+                    for _ in 0..rows {
+                        xs.push(self.i64()?);
+                    }
+                    ColData::Int(xs)
+                }
+                2 => {
+                    let mut xs = Vec::with_capacity(rows);
+                    for _ in 0..rows {
+                        xs.push(self.f64()?);
+                    }
+                    ColData::Float(xs)
+                }
+                3 => {
+                    let mut xs = Vec::with_capacity(rows);
+                    for _ in 0..rows {
+                        xs.push(self.bool()?);
+                    }
+                    ColData::Bool(xs)
+                }
+                4 => {
+                    let mut xs = Vec::with_capacity(rows);
+                    for _ in 0..rows {
+                        xs.push(Arc::from(self.str()?));
+                    }
+                    ColData::Str(xs)
+                }
+                5 => {
+                    let mut xs = Vec::with_capacity(rows);
+                    for _ in 0..rows {
+                        xs.push(self.value()?);
+                    }
+                    ColData::Mixed(xs)
+                }
+                t => return self.err(format!("unknown column tag {t}")),
+            };
+            let valid = match self.u8()? {
+                0 => None,
+                1 => {
+                    let mut mask = Vec::with_capacity(rows);
+                    for _ in 0..rows {
+                        mask.push(self.bool()?);
+                    }
+                    Some(mask)
+                }
+                t => return self.err(format!("validity tag must be 0/1, got {t}")),
+            };
+            match Column::from_parts(data, valid, rows) {
+                Ok(c) => cols.push(c),
+                Err(e) => return self.err(e.to_string()),
+            }
+        }
+        Ok(ColumnBlock::from_columns(cols, rows))
+    }
+    fn error(&mut self) -> DResult<MixError> {
+        Ok(match self.u8()? {
+            0 => {
+                let what = static_what(&self.str()?);
+                let pos = self.u64()? as usize;
+                MixError::parse(what, pos, self.str()?)
+            }
+            1 => {
+                let what = static_what(&self.str()?);
+                MixError::unknown(what, self.str()?)
+            }
+            2 => MixError::Invalid(self.str()?),
+            3 => MixError::Navigation(self.str()?),
+            4 => MixError::Internal(self.str()?),
+            5 => MixError::Source {
+                source: Name::new(self.str()?),
+                msg: self.str()?,
+            },
+            6 => {
+                let server = Name::new(self.str()?);
+                let kind = match self.u8()? {
+                    0 => FaultKind::Transient,
+                    1 => FaultKind::Permanent,
+                    t => return self.err(format!("unknown fault kind {t}")),
+                };
+                let msg = self.str()?;
+                let retries = self.u32()?;
+                MixError::Backend(BackendError {
+                    server,
+                    kind,
+                    msg,
+                    retries,
+                })
+            }
+            7 => MixError::Plan(self.str()?),
+            t => return self.err(format!("unknown error tag {t}")),
+        })
+    }
+    fn command(&mut self) -> DResult<Command> {
+        Ok(match self.u8()? {
+            0 => Command::Query { text: self.str()? },
+            1 => Command::Q {
+                text: self.str()?,
+                from: self.node()?,
+            },
+            2 => Command::D { p: self.node()? },
+            3 => Command::R { p: self.node()? },
+            4 => Command::Fl { p: self.node()? },
+            5 => Command::Fv { p: self.node()? },
+            6 => Command::Children { p: self.node()? },
+            7 => Command::ChildCount { p: self.node()? },
+            8 => Command::Render { p: self.node()? },
+            9 => Command::Explain { p: self.node()? },
+            10 => Command::Export {
+                p: self.node()?,
+                max_rows: self.u32()?,
+            },
+            11 => Command::Stats,
+            t => return self.err(format!("unknown command tag {t}")),
+        })
+    }
+    fn reply(&mut self) -> DResult<Reply> {
+        Ok(match self.u8()? {
+            0 => Reply::Node(self.node()?),
+            1 => Reply::Step(match self.u8()? {
+                0 => None,
+                1 => Some(self.node()?),
+                t => return self.err(format!("option tag must be 0/1, got {t}")),
+            }),
+            2 => Reply::Label(match self.u8()? {
+                0 => None,
+                1 => Some(Name::new(self.str()?)),
+                t => return self.err(format!("option tag must be 0/1, got {t}")),
+            }),
+            3 => Reply::Value(match self.u8()? {
+                0 => None,
+                1 => Some(self.value()?),
+                t => return self.err(format!("option tag must be 0/1, got {t}")),
+            }),
+            4 => {
+                let n = self.count(8)?;
+                let mut nodes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    nodes.push(self.node()?);
+                }
+                Reply::Nodes(nodes)
+            }
+            5 => Reply::Count(self.u64()?),
+            6 => Reply::Text(self.str()?),
+            7 => Reply::Block(self.block()?),
+            8 => {
+                let n = self.count(12)?;
+                let mut counters = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let label = self.str()?;
+                    counters.push((label, self.u64()?));
+                }
+                Reply::Stats(counters)
+            }
+            9 => Reply::Err(self.error()?),
+            t => return self.err(format!("unknown reply tag {t}")),
+        })
+    }
+    fn frame(&mut self) -> DResult<Frame> {
+        let f = match self.u8()? {
+            0 => Frame::Hello {
+                version: self.u8()?,
+            },
+            1 => Frame::Welcome {
+                version: self.u8()?,
+                session: self.u64()?,
+            },
+            2 => Frame::Reject {
+                reason: self.str()?,
+            },
+            3 => Frame::Cmd(self.command()?),
+            4 => Frame::Rep(self.reply()?),
+            5 => Frame::Bye,
+            t => return self.err(format!("unknown frame tag {t}")),
+        };
+        if self.pos != self.buf.len() {
+            return self.err(format!(
+                "{} trailing bytes after frame body",
+                self.buf.len() - self.pos
+            ));
+        }
+        Ok(f)
+    }
+}
+
+/// `MixError::Parse`/`Unknown` carry `&'static str` category tags; the
+/// wire ships them as text, so decoding maps each back to the known
+/// static. Unrecognized categories collapse to `"input"` — the message
+/// text (which is what users see) is preserved exactly either way.
+fn static_what(s: &str) -> &'static str {
+    match s {
+        "sql" => "sql",
+        "xml" => "xml",
+        "xquery" => "xquery",
+        "wire" => "wire",
+        "column" => "column",
+        "key column" => "key column",
+        "server" => "server",
+        "source" => "source",
+        "table" => "table",
+        "view" => "view",
+        "variable" => "variable",
+        _ => "input",
+    }
+}
+
+impl Frame {
+    /// Encode the whole frame — length prefix, version byte, tag, body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc {
+            buf: vec![0u8; 4], // length prefix patched below
+        };
+        e.u8(PROTO_VERSION);
+        e.frame(self);
+        let len = (e.buf.len() - 4) as u32;
+        debug_assert!(len <= MAX_FRAME_LEN, "frame exceeds MAX_FRAME_LEN");
+        e.buf[..4].copy_from_slice(&len.to_le_bytes());
+        e.buf
+    }
+
+    /// Decode one frame payload (everything after the length prefix:
+    /// version byte, tag, body).
+    pub fn decode_payload(payload: &[u8]) -> Result<Frame, DecodeError> {
+        let mut d = Dec {
+            buf: payload,
+            pos: 0,
+        };
+        let version = d.u8()?;
+        if version != PROTO_VERSION {
+            return d.err(format!(
+                "protocol version mismatch: peer speaks v{version}, this build v{PROTO_VERSION}"
+            ));
+        }
+        d.frame()
+    }
+}
+
+/// Write one frame; returns the bytes put on the wire (header
+/// included), for byte accounting.
+pub fn write_frame<W: Write>(w: &mut W, f: &Frame) -> io::Result<usize> {
+    let bytes = f.encode();
+    w.write_all(&bytes)?;
+    Ok(bytes.len())
+}
+
+/// Read one frame. `Ok(None)` means the peer closed cleanly at a frame
+/// boundary; a mid-frame close is `UnexpectedEof` and a malformed
+/// payload is `InvalidData`. On success, also returns the bytes
+/// consumed (header included).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<(Frame, usize)>> {
+    let mut lenbuf = [0u8; 4];
+    // A clean close before any header byte is end-of-stream, not error.
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut lenbuf[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a frame header",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(lenbuf);
+    if !(1..=MAX_FRAME_LEN).contains(&len) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} outside [1, {MAX_FRAME_LEN}]"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let frame = Frame::decode_payload(&payload)?;
+    Ok(Some((frame, 4 + payload.len())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(f: &Frame) {
+        let bytes = f.encode();
+        let (back, n) = read_frame(&mut &bytes[..]).unwrap().unwrap();
+        assert_eq!(&back, f);
+        assert_eq!(n, bytes.len());
+        // Canonical: re-encoding reproduces the input bit for bit.
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn scalar_frames_round_trip() {
+        round_trip(&Frame::Hello {
+            version: PROTO_VERSION,
+        });
+        round_trip(&Frame::Welcome {
+            version: PROTO_VERSION,
+            session: 42,
+        });
+        round_trip(&Frame::Reject {
+            reason: "session limit reached".into(),
+        });
+        round_trip(&Frame::Bye);
+    }
+
+    #[test]
+    fn commands_round_trip() {
+        let p = WireNode { result: 3, node: 9 };
+        for cmd in [
+            Command::Query {
+                text: "FOR $C IN source(&root1)/customer RETURN $C".into(),
+            },
+            Command::Q {
+                text: "FOR $O IN document(root)/x RETURN $O".into(),
+                from: p,
+            },
+            Command::D { p },
+            Command::R { p },
+            Command::Fl { p },
+            Command::Fv { p },
+            Command::Children { p },
+            Command::ChildCount { p },
+            Command::Render { p },
+            Command::Explain { p },
+            Command::Export { p, max_rows: 128 },
+            Command::Stats,
+        ] {
+            round_trip(&Frame::Cmd(cmd));
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let p = WireNode {
+            result: 0,
+            node: 17,
+        };
+        let block = ColumnBlock::from_rows(vec![
+            vec![Value::Int(1), Value::str("a"), Value::Null],
+            vec![Value::Int(2), Value::Null, Value::Bool(true)],
+            vec![Value::Int(3), Value::str("c"), Value::Float(-0.0)],
+        ]);
+        for rep in [
+            Reply::Node(p),
+            Reply::Step(None),
+            Reply::Step(Some(p)),
+            Reply::Label(None),
+            Reply::Label(Some(Name::new("CustRec"))),
+            Reply::Value(Some(Value::Float(2.5))),
+            Reply::Value(None),
+            Reply::Nodes(vec![p, WireNode { result: 1, node: 2 }]),
+            Reply::Count(7),
+            Reply::Text("== plan ==".into()),
+            Reply::Block(block),
+            Reply::Stats(vec![
+                ("tuples_shipped".into(), 12),
+                ("sql_queries".into(), 1),
+            ]),
+            Reply::Err(MixError::plan("stale result handle 9")),
+        ] {
+            round_trip(&Frame::Rep(rep));
+        }
+    }
+
+    #[test]
+    fn errors_round_trip() {
+        for e in [
+            MixError::parse("xquery", 10, "expected FOR"),
+            MixError::unknown("table", "custs"),
+            MixError::invalid("bad plan"),
+            MixError::Navigation("fv on element".into()),
+            MixError::internal("oops"),
+            MixError::source("db1", "gone"),
+            MixError::backend("db2", FaultKind::Transient, "reset"),
+            MixError::backend("db3", FaultKind::Permanent, "dead"),
+            MixError::plan("apply param must be a partition"),
+        ] {
+            round_trip(&Frame::Rep(Reply::Err(e)));
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut bytes = Frame::Bye.encode();
+        bytes[4] = PROTO_VERSION + 1; // corrupt the version byte
+        let err = read_frame(&mut &bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version mismatch"), "{err}");
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_errors_not_panics() {
+        let bytes = Frame::Cmd(Command::Query {
+            text: "FOR $C IN source(&root1)/c RETURN $C".into(),
+        })
+        .encode();
+        // Every prefix either cleanly reports EOF-at-boundary or fails.
+        for cut in 0..bytes.len() {
+            let r = read_frame(&mut &bytes[..cut]);
+            match r {
+                Ok(None) => assert_eq!(cut, 0, "only an empty stream is a clean close"),
+                Ok(Some(_)) => panic!("truncated frame decoded at cut {cut}"),
+                Err(_) => {}
+            }
+        }
+        // Absurd length prefix is bounded before allocation.
+        let mut huge = bytes.clone();
+        huge[..4].copy_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        assert!(read_frame(&mut &huge[..]).is_err());
+        // Trailing garbage after a valid body is rejected.
+        let mut padded = Frame::Bye.encode();
+        padded.push(0xAA);
+        let len = (padded.len() - 4) as u32;
+        padded[..4].copy_from_slice(&len.to_le_bytes());
+        assert!(read_frame(&mut &padded[..]).is_err());
+    }
+
+    #[test]
+    fn non_canonical_bool_is_rejected() {
+        let mut bytes = Frame::Rep(Reply::Value(Some(Value::Bool(true)))).encode();
+        *bytes.last_mut().unwrap() = 2;
+        assert!(read_frame(&mut &bytes[..]).is_err());
+    }
+
+    #[test]
+    fn decode_error_maps_into_mix_and_io_errors() {
+        let e = DecodeError {
+            pos: 5,
+            msg: "boom".into(),
+        };
+        assert_eq!(
+            MixError::from(e.clone()).to_string(),
+            "wire parse error at 5: boom"
+        );
+        assert_eq!(io::Error::from(e).kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,196 @@
+//! The typed session surface: commands, replies, frames.
+
+use mix_common::{ColumnBlock, MixError, Name, Value};
+
+/// A client-side node handle (the paper's `p₀, p₁, …`): the index of a
+/// query result within the session plus a node id within that result.
+/// Cheap to copy and meaningful only to the session that issued it —
+/// the server validates both halves on every arriving command and
+/// answers stale or out-of-range handles with `MixError::Plan`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WireNode {
+    /// Which result of the session the node lives in (0-based, in
+    /// query-issue order).
+    pub result: u32,
+    /// The node id within that result's (virtual) document arena.
+    pub node: u32,
+}
+
+/// One QDOM session command. This is the *entire* session surface: the
+/// in-process named methods (`session.d(p)`, `session.query(text)`, …)
+/// are thin wrappers that build the same `Command` and unwrap the
+/// [`Reply`], so wire clients and in-process callers demonstrably run
+/// one API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Issue a query against the mediator's sources and views; replies
+    /// [`Reply::Node`] with the root of the (virtual) answer document.
+    Query {
+        /// XQuery text (the Fig. 4 subset).
+        text: String,
+    },
+    /// `q(query, p)`: query *in place* from node `from` — composition
+    /// from a result root, decontextualization from an interior node.
+    Q {
+        /// XQuery text; `document(root)` denotes `from`.
+        text: String,
+        /// The node the query is issued from.
+        from: WireNode,
+    },
+    /// `d(p)`: first child. Replies [`Reply::Step`].
+    D {
+        /// The node to navigate from.
+        p: WireNode,
+    },
+    /// `r(p)`: right sibling. Replies [`Reply::Step`].
+    R {
+        /// The node to navigate from.
+        p: WireNode,
+    },
+    /// `fl(p)`: element label. Replies [`Reply::Label`].
+    Fl {
+        /// The node to inspect.
+        p: WireNode,
+    },
+    /// `fv(p)`: leaf value. Replies [`Reply::Value`].
+    Fv {
+        /// The node to inspect.
+        p: WireNode,
+    },
+    /// Collect the children of `p` (forces them). Replies
+    /// [`Reply::Nodes`].
+    Children {
+        /// The parent node.
+        p: WireNode,
+    },
+    /// Count the children of `p` (forces them). Replies
+    /// [`Reply::Count`].
+    ChildCount {
+        /// The parent node.
+        p: WireNode,
+    },
+    /// Render the subtree under `p` (paper-figure tree style; forces
+    /// the subtree). Replies [`Reply::Text`].
+    Render {
+        /// The subtree root.
+        p: WireNode,
+    },
+    /// EXPLAIN (ANALYZE) for the result containing `p`. Replies
+    /// [`Reply::Text`].
+    Explain {
+        /// Any node of the result to explain.
+        p: WireNode,
+    },
+    /// Bulk navigation: export up to `max_rows` children of `p` as one
+    /// columnar block — `(handle, label, value)` per child — so a wire
+    /// client walks a wide sibling list in one round trip instead of
+    /// 3·n. Replies [`Reply::Block`].
+    Export {
+        /// The parent node.
+        p: WireNode,
+        /// Row cap (0 = no cap).
+        max_rows: u32,
+    },
+    /// Snapshot the session's work counters (label → value). Replies
+    /// [`Reply::Stats`]; the wire-vs-in-process equivalence suite pins
+    /// its output against a local session's.
+    Stats,
+}
+
+impl Command {
+    /// Short command name for spans and logs (the paper's spelling for
+    /// the navigation set).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::Query { .. } => "query",
+            Command::Q { .. } => "q",
+            Command::D { .. } => "d",
+            Command::R { .. } => "r",
+            Command::Fl { .. } => "fl",
+            Command::Fv { .. } => "fv",
+            Command::Children { .. } => "children",
+            Command::ChildCount { .. } => "child_count",
+            Command::Render { .. } => "render",
+            Command::Explain { .. } => "explain",
+            Command::Export { .. } => "export",
+            Command::Stats => "stats",
+        }
+    }
+
+    /// Does this command create a new result (and therefore consume
+    /// session node budget up front)?
+    pub fn creates_result(&self) -> bool {
+        matches!(self, Command::Query { .. } | Command::Q { .. })
+    }
+}
+
+/// The answer to one [`Command`]. Every command maps to exactly one
+/// success variant (documented on the command) or [`Reply::Err`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// A fresh result root (from `Query`/`Q`).
+    Node(WireNode),
+    /// A navigation step: the reached node, or `None` past the end
+    /// (from `D`/`R`).
+    Step(Option<WireNode>),
+    /// An element label, `None` for a text leaf (from `Fl`).
+    Label(Option<Name>),
+    /// A leaf value, `None` for an element (from `Fv`).
+    Value(Option<Value>),
+    /// A node list (from `Children`).
+    Nodes(Vec<WireNode>),
+    /// A count (from `ChildCount`).
+    Count(u64),
+    /// Rendered text (from `Render`/`Explain`).
+    Text(String),
+    /// A columnar block of `(handle, label, value)` rows (from
+    /// `Export`).
+    Block(ColumnBlock),
+    /// Counter labels and values (from `Stats`).
+    Stats(Vec<(String, u64)>),
+    /// The command failed; the session stays usable.
+    Err(MixError),
+}
+
+impl Reply {
+    /// Convert an error reply back into a `Result`, for clients that
+    /// want `?`-style handling.
+    pub fn into_result(self) -> Result<Reply, MixError> {
+        match self {
+            Reply::Err(e) => Err(e),
+            ok => Ok(ok),
+        }
+    }
+}
+
+/// A connection-level frame: the handshake, command/reply carriage,
+/// and clean close.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server, first frame on the connection: the client's
+    /// protocol version.
+    Hello {
+        /// The client's [`crate::PROTO_VERSION`].
+        version: u8,
+    },
+    /// Server → client: handshake accepted; the session is live.
+    Welcome {
+        /// The server's protocol version.
+        version: u8,
+        /// Server-assigned session id (diagnostics / log correlation).
+        session: u64,
+    },
+    /// Server → client: handshake refused (admission control or
+    /// version mismatch). The server closes after sending this.
+    Reject {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+    /// Client → server: one session command.
+    Cmd(Command),
+    /// Server → client: the answer to the previous command.
+    Rep(Reply),
+    /// Either direction: clean close (client done, or server idle
+    /// timeout / graceful shutdown).
+    Bye,
+}

@@ -5,9 +5,11 @@ use crate::mediator::Mediator;
 use crate::plancache::{CacheKey, PlanCache};
 use crate::splice::{compose, references_source};
 use mix_algebra::{translate_with_root, Plan};
+use mix_common::ColumnBlock;
 use mix_common::{Counter, MixError, Name, Result, Value};
 use mix_engine::{eager, render_annotated, AccessMode, EvalContext, NodeContext, VirtualResult};
 use mix_obs::ExecProfile;
+use mix_proto::{Command, Reply, WireNode};
 use mix_rewrite::{optimize, rewrite, RewriteTrace};
 use mix_xml::{Document, NavDoc, NodeRef, Oid};
 use mix_xquery::parse_query;
@@ -59,6 +61,44 @@ impl ResultDoc {
             ResultDoc::Eager(d) => d.as_ref(),
         }
     }
+
+    /// One past the largest node id a client can legitimately hold for
+    /// this result. Lazy results only hand out ids they have
+    /// materialized, so the bound grows as navigation proceeds.
+    fn node_bound(&self) -> usize {
+        match self {
+            ResultDoc::Lazy(v) => v.nodes_materialized(),
+            ResultDoc::Eager(d) => d.len(),
+        }
+    }
+}
+
+/// `QNode` → wire handle (a fresh handle the session just minted).
+fn wire(p: QNode) -> WireNode {
+    WireNode {
+        result: p.result as u32,
+        node: p.node.0,
+    }
+}
+
+/// Wire handle → `QNode` *without* validation — only for handles the
+/// session itself produced. Arriving handles go through
+/// [`QdomSession::resolve`] instead.
+fn unwire(w: WireNode) -> QNode {
+    QNode {
+        result: w.result as usize,
+        node: NodeRef(w.node),
+    }
+}
+
+/// Unwrap the error out of an unexpected reply (wrapper plumbing: a
+/// command answered with a variant it never produces is an internal
+/// bug, not a user error).
+fn reply_err(r: Reply, cmd: &str) -> MixError {
+    match r {
+        Reply::Err(e) => e,
+        other => MixError::internal(format!("{cmd}: unexpected reply variant {other:?}")),
+    }
 }
 
 /// An interactive QDOM session over a [`Mediator`].
@@ -104,11 +144,104 @@ impl<'m> QdomSession<'m> {
         &self.results[p.result]
     }
 
+    // ---- the command surface --------------------------------------------
+
+    /// Execute one [`Command`] — the *single* entry point to the
+    /// session. The named methods (`query`, `d`, `r`, `fl`, `fv`, …)
+    /// are thin wrappers that build a `Command` and unwrap the
+    /// [`Reply`], so a wire client and an in-process caller
+    /// demonstrably exercise one API.
+    ///
+    /// Commands never panic on bad input: a stale or out-of-range
+    /// handle answers [`Reply::Err`]`(MixError::Plan)` and the session
+    /// stays usable.
+    pub fn dispatch(&mut self, cmd: Command) -> Reply {
+        self.try_dispatch(cmd).unwrap_or_else(Reply::Err)
+    }
+
+    fn try_dispatch(&mut self, cmd: Command) -> Result<Reply> {
+        Ok(match cmd {
+            Command::Query { text } => Reply::Node(wire(self.query_impl(&text)?)),
+            Command::Q { text, from } => {
+                let from = self.resolve(from)?;
+                Reply::Node(wire(self.q_impl(&text, from)?))
+            }
+            Command::D { p } => Reply::Step(self.d_impl(self.resolve(p)?)?.map(wire)),
+            Command::R { p } => Reply::Step(self.r_impl(self.resolve(p)?)?.map(wire)),
+            Command::Fl { p } => Reply::Label(self.fl_impl(self.resolve(p)?)?),
+            Command::Fv { p } => Reply::Value(self.fv_impl(self.resolve(p)?)?),
+            Command::Children { p } => Reply::Nodes(
+                self.children_impl(self.resolve(p)?)?
+                    .into_iter()
+                    .map(wire)
+                    .collect(),
+            ),
+            Command::ChildCount { p } => {
+                Reply::Count(self.child_count_impl(self.resolve(p)?)? as u64)
+            }
+            Command::Render { p } => Reply::Text(self.render_impl(self.resolve(p)?)),
+            Command::Explain { p } => Reply::Text(self.explain_impl(self.resolve(p)?)),
+            Command::Export { p, max_rows } => {
+                Reply::Block(self.export_impl(self.resolve(p)?, max_rows)?)
+            }
+            Command::Stats => Reply::Stats(self.stats_impl()),
+        })
+    }
+
+    /// The wire handle for an in-process node — the same value
+    /// [`Reply::Node`]/[`Reply::Step`] carry, for callers mixing the
+    /// named surface with [`QdomSession::dispatch`].
+    pub fn handle(&self, p: QNode) -> WireNode {
+        wire(p)
+    }
+
+    /// Validate a wire handle into a [`QNode`] (for the non-protocol
+    /// helpers: [`QdomSession::oid`], [`QdomSession::result_info`],
+    /// …). Stale or out-of-range handles answer `MixError::Plan`.
+    pub fn resolve_handle(&self, w: WireNode) -> Result<QNode> {
+        self.resolve(w)
+    }
+
+    /// Validate an arriving wire handle. Both halves are checked: the
+    /// result index against the results this session has produced, and
+    /// the node id against that result's materialization bound — lazy
+    /// results only ever hand out ids they have materialized, so
+    /// anything past the bound was never a handle the client received.
+    fn resolve(&self, w: WireNode) -> Result<QNode> {
+        let result = w.result as usize;
+        let info = self.results.get(result).ok_or_else(|| {
+            MixError::plan(format!(
+                "stale result handle: result {} of a session with {} result(s)",
+                w.result,
+                self.results.len()
+            ))
+        })?;
+        let bound = info.doc.node_bound();
+        if w.node as usize >= bound {
+            return Err(MixError::plan(format!(
+                "stale node handle: node {} is outside result {result} (bound {bound})",
+                w.node
+            )));
+        }
+        Ok(QNode {
+            result,
+            node: NodeRef(w.node),
+        })
+    }
+
     // ---- queries ------------------------------------------------------
 
     /// Issue a query against the mediator's sources and views; returns
-    /// the root of the (virtual) answer document.
+    /// the root of the (virtual) answer document. Wrapper over
+    /// [`Command::Query`].
     pub fn query(&mut self, text: &str) -> Result<QNode> {
+        match self.dispatch(Command::Query { text: text.into() }) {
+            Reply::Node(w) => Ok(unwire(w)),
+            other => Err(reply_err(other, "query")),
+        }
+    }
+
+    fn query_impl(&mut self, text: &str) -> Result<QNode> {
         let _span = self.ctx.tracer.span("cmd:query", &[]);
         let q = parse_query(text)?;
         let result_name = format!("rootv{}", self.results.len());
@@ -134,8 +267,18 @@ impl<'m> QdomSession<'m> {
     /// `q(query, p)`: issue a query *from node `p`* (Section 2). From a
     /// result root this is composition (Section 6); from an interior
     /// node it is decontextualization (Section 5). Inside the query,
-    /// `document(root)` denotes `p`.
+    /// `document(root)` denotes `p`. Wrapper over [`Command::Q`].
     pub fn q(&mut self, text: &str, p: QNode) -> Result<QNode> {
+        match self.dispatch(Command::Q {
+            text: text.into(),
+            from: wire(p),
+        }) {
+            Reply::Node(w) => Ok(unwire(w)),
+            other => Err(reply_err(other, "q")),
+        }
+    }
+
+    fn q_impl(&mut self, text: &str, p: QNode) -> Result<QNode> {
         let _span = self.ctx.tracer.span("cmd:q", &[]);
         let q = parse_query(text)?;
         let result_name = format!("rootv{}", self.results.len());
@@ -271,8 +414,15 @@ impl<'m> QdomSession<'m> {
     /// session this is the command that pulls from the sources, so a
     /// backend failure that retries could not fix surfaces *here* as
     /// [`MixError::Backend`] — already-materialized siblings stay
-    /// readable.
-    pub fn d(&self, p: QNode) -> Result<Option<QNode>> {
+    /// readable. Wrapper over [`Command::D`].
+    pub fn d(&mut self, p: QNode) -> Result<Option<QNode>> {
+        match self.dispatch(Command::D { p: wire(p) }) {
+            Reply::Step(n) => Ok(n.map(unwire)),
+            other => Err(reply_err(other, "d")),
+        }
+    }
+
+    fn d_impl(&self, p: QNode) -> Result<Option<QNode>> {
         let _span = self.ctx.tracer.span("cmd:d", &[]);
         Ok(self.results[p.result]
             .doc
@@ -285,8 +435,15 @@ impl<'m> QdomSession<'m> {
     }
 
     /// `r(p)`: the right sibling, or `Ok(None)`. Fallible for the same
-    /// reason as [`QdomSession::d`].
-    pub fn r(&self, p: QNode) -> Result<Option<QNode>> {
+    /// reason as [`QdomSession::d`]. Wrapper over [`Command::R`].
+    pub fn r(&mut self, p: QNode) -> Result<Option<QNode>> {
+        match self.dispatch(Command::R { p: wire(p) }) {
+            Reply::Step(n) => Ok(n.map(unwire)),
+            other => Err(reply_err(other, "r")),
+        }
+    }
+
+    fn r_impl(&self, p: QNode) -> Result<Option<QNode>> {
         let _span = self.ctx.tracer.span("cmd:r", &[]);
         Ok(self.results[p.result]
             .doc
@@ -299,13 +456,29 @@ impl<'m> QdomSession<'m> {
     }
 
     /// `fl(p)`: the element label (`Ok(None)` for a text leaf).
-    pub fn fl(&self, p: QNode) -> Result<Option<Name>> {
+    /// Wrapper over [`Command::Fl`].
+    pub fn fl(&mut self, p: QNode) -> Result<Option<Name>> {
+        match self.dispatch(Command::Fl { p: wire(p) }) {
+            Reply::Label(l) => Ok(l),
+            other => Err(reply_err(other, "fl")),
+        }
+    }
+
+    fn fl_impl(&self, p: QNode) -> Result<Option<Name>> {
         let _span = self.ctx.tracer.span("cmd:fl", &[]);
         self.results[p.result].doc.nav().try_label(p.node)
     }
 
-    /// `fv(p)`: the leaf value (`Ok(None)` for an element).
-    pub fn fv(&self, p: QNode) -> Result<Option<Value>> {
+    /// `fv(p)`: the leaf value (`Ok(None)` for an element). Wrapper
+    /// over [`Command::Fv`].
+    pub fn fv(&mut self, p: QNode) -> Result<Option<Value>> {
+        match self.dispatch(Command::Fv { p: wire(p) }) {
+            Reply::Value(v) => Ok(v),
+            other => Err(reply_err(other, "fv")),
+        }
+    }
+
+    fn fv_impl(&self, p: QNode) -> Result<Option<Value>> {
         let _span = self.ctx.tracer.span("cmd:fv", &[]);
         self.results[p.result].doc.nav().try_value(p.node)
     }
@@ -351,8 +524,17 @@ impl<'m> QdomSession<'m> {
 
     /// Render the subtree under `p` (paper-figure tree style). Forces
     /// the subtree — a debugging/verification helper, not part of the
-    /// QDOM protocol.
-    pub fn render(&self, p: QNode) -> String {
+    /// QDOM protocol. Wrapper over [`Command::Render`]; panics on a
+    /// stale handle (in-process callers only hold handles this session
+    /// minted).
+    pub fn render(&mut self, p: QNode) -> String {
+        match self.dispatch(Command::Render { p: wire(p) }) {
+            Reply::Text(t) => t,
+            other => panic!("{}", reply_err(other, "render")),
+        }
+    }
+
+    fn render_impl(&self, p: QNode) -> String {
         mix_xml::print::render_tree(self.results[p.result].doc.nav(), p.node)
     }
 
@@ -361,8 +543,16 @@ impl<'m> QdomSession<'m> {
     /// executed physical plan annotated with what each operator has
     /// actually done so far — pulls, tuples, kernel choices, pushed
     /// SQL. In a lazy session the counts grow as navigation proceeds;
-    /// un-demanded operators show `[never pulled]`.
-    pub fn explain(&self, p: QNode) -> String {
+    /// un-demanded operators show `[never pulled]`. Wrapper over
+    /// [`Command::Explain`]; panics on a stale handle.
+    pub fn explain(&mut self, p: QNode) -> String {
+        match self.dispatch(Command::Explain { p: wire(p) }) {
+            Reply::Text(t) => t,
+            other => panic!("{}", reply_err(other, "explain")),
+        }
+    }
+
+    fn explain_impl(&self, p: QNode) -> String {
         let info = &self.results[p.result];
         format!(
             "== logical plan ==\n{}== optimized plan ==\n{}== physical plan ==\n{}",
@@ -372,26 +562,93 @@ impl<'m> QdomSession<'m> {
         )
     }
 
-    /// Collect the children of `p` via `d`/`r` navigation (forces them).
-    pub fn children(&self, p: QNode) -> Result<Vec<QNode>> {
+    /// Collect the children of `p` via `d`/`r` navigation (forces
+    /// them). Wrapper over [`Command::Children`].
+    pub fn children(&mut self, p: QNode) -> Result<Vec<QNode>> {
+        match self.dispatch(Command::Children { p: wire(p) }) {
+            Reply::Nodes(ns) => Ok(ns.into_iter().map(unwire).collect()),
+            other => Err(reply_err(other, "children")),
+        }
+    }
+
+    fn children_impl(&self, p: QNode) -> Result<Vec<QNode>> {
         let mut out = Vec::new();
-        let mut cur = self.d(p)?;
+        let mut cur = self.d_impl(p)?;
         while let Some(c) = cur {
             out.push(c);
-            cur = self.r(c)?;
+            cur = self.r_impl(c)?;
         }
         Ok(out)
     }
 
-    /// Count the children of `p` via `d`/`r` navigation.
-    pub fn child_count(&self, p: QNode) -> Result<usize> {
+    /// Count the children of `p` via `d`/`r` navigation. Wrapper over
+    /// [`Command::ChildCount`].
+    pub fn child_count(&mut self, p: QNode) -> Result<usize> {
+        match self.dispatch(Command::ChildCount { p: wire(p) }) {
+            Reply::Count(n) => Ok(n as usize),
+            other => Err(reply_err(other, "child_count")),
+        }
+    }
+
+    fn child_count_impl(&self, p: QNode) -> Result<usize> {
         let mut n = 0;
-        let mut cur = self.d(p)?;
+        let mut cur = self.d_impl(p)?;
         while let Some(c) = cur {
             n += 1;
-            cur = self.r(c)?;
+            cur = self.r_impl(c)?;
         }
         Ok(n)
+    }
+
+    /// Bulk navigation: up to `max_rows` children of `p` (0 = no cap)
+    /// as one columnar block of `(node, label, value)` rows, so a wire
+    /// client walks a wide sibling list in one round trip instead of
+    /// `3·n`. Wrapper over [`Command::Export`].
+    pub fn export(&mut self, p: QNode, max_rows: u32) -> Result<ColumnBlock> {
+        match self.dispatch(Command::Export {
+            p: wire(p),
+            max_rows,
+        }) {
+            Reply::Block(b) => Ok(b),
+            other => Err(reply_err(other, "export")),
+        }
+    }
+
+    fn export_impl(&self, p: QNode, max_rows: u32) -> Result<ColumnBlock> {
+        let _span = self.ctx.tracer.span("cmd:export", &[]);
+        let nav = self.results[p.result].doc.nav();
+        let mut block = ColumnBlock::new(3);
+        let mut cur = nav.try_first_child(p.node)?;
+        while let Some(c) = cur {
+            if max_rows != 0 && block.len() >= max_rows as usize {
+                break;
+            }
+            let label = nav
+                .try_label(c)?
+                .map(|n| Value::str(n.as_str()))
+                .unwrap_or(Value::Null);
+            let value = nav.try_value(c)?.unwrap_or(Value::Null);
+            block.push_row(vec![Value::Int(c.0 as i64), label, value]);
+            cur = nav.try_next_sibling(c)?;
+        }
+        Ok(block)
+    }
+
+    /// Snapshot the session's work counters as `(label, value)` pairs.
+    /// Wrapper over [`Command::Stats`].
+    pub fn stats(&mut self) -> Vec<(String, u64)> {
+        match self.dispatch(Command::Stats) {
+            Reply::Stats(s) => s,
+            other => panic!("{}", reply_err(other, "stats")),
+        }
+    }
+
+    fn stats_impl(&self) -> Vec<(String, u64)> {
+        let snap = self.ctx.stats().snapshot();
+        Counter::ALL
+            .iter()
+            .map(|&c| (c.label().to_string(), snap.get(c)))
+            .collect()
     }
 }
 
@@ -623,7 +880,8 @@ mod tests {
         let m2 = mediator(true, AccessMode::Lazy);
         let mut s2 = m2.session();
         let c0 = s2.query(Q1).unwrap();
-        let c2 = s2.r(s2.d(c0).unwrap().unwrap()).unwrap().unwrap();
+        let c1 = s2.d(c0).unwrap().unwrap();
+        let c2 = s2.r(c1).unwrap().unwrap();
         let cold = s2.q(q3, c2).unwrap();
         assert_eq!(content_only(&s.render(b)), content_only(&s2.render(cold)));
     }
@@ -711,6 +969,115 @@ mod tests {
         let leaf = s.d(id_field).unwrap().unwrap();
         assert_eq!(s.fv(leaf).unwrap(), Some(Value::str("DEF345")));
         assert!(s.d(leaf).unwrap().is_none());
+    }
+
+    #[test]
+    fn stale_handles_error_instead_of_panicking() {
+        let m = mediator(true, AccessMode::Lazy);
+        let mut s = m.session();
+        // Before any query, every handle is stale.
+        let bogus = WireNode { result: 0, node: 0 };
+        for cmd in [
+            Command::D { p: bogus },
+            Command::R { p: bogus },
+            Command::Fl { p: bogus },
+            Command::Fv { p: bogus },
+            Command::Children { p: bogus },
+            Command::ChildCount { p: bogus },
+            Command::Render { p: bogus },
+            Command::Explain { p: bogus },
+            Command::Export {
+                p: bogus,
+                max_rows: 0,
+            },
+            Command::Q {
+                text: "FOR $X IN document(root)/a RETURN $X".into(),
+                from: bogus,
+            },
+        ] {
+            let name = cmd.name();
+            match s.dispatch(cmd) {
+                Reply::Err(MixError::Plan(_)) => {}
+                other => panic!("{name} on a stale handle answered {other:?}"),
+            }
+        }
+        let p0 = s.query(Q1).unwrap();
+        // A node id past the materialization bound was never handed out.
+        let forged_node = WireNode {
+            result: 0,
+            node: 999_999,
+        };
+        match s.dispatch(Command::Fl { p: forged_node }) {
+            Reply::Err(MixError::Plan(msg)) => assert!(msg.contains("node"), "{msg}"),
+            other => panic!("forged node answered {other:?}"),
+        }
+        // A result index the session never produced.
+        let forged_result = WireNode { result: 7, node: 0 };
+        match s.dispatch(Command::D { p: forged_result }) {
+            Reply::Err(MixError::Plan(msg)) => assert!(msg.contains("result"), "{msg}"),
+            other => panic!("forged result answered {other:?}"),
+        }
+        // The session stays fully usable after rejected commands.
+        assert!(s.d(p0).unwrap().is_some());
+        // The in-process named methods share the validation: a QNode
+        // from a different session errors rather than panicking.
+        let foreign = QNode {
+            result: 9,
+            node: NodeRef(0),
+        };
+        assert!(matches!(s.fl(foreign), Err(MixError::Plan(_))));
+        assert!(matches!(
+            s.q("FOR $X IN document(root)/a RETURN $X", foreign),
+            Err(MixError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn export_ships_children_as_one_block() {
+        let m = mediator(true, AccessMode::Lazy);
+        let mut s = m.session();
+        let p0 = s
+            .query("FOR $C IN source(&root1)/customer RETURN $C")
+            .unwrap();
+        let cust = s.d(p0).unwrap().unwrap();
+        // The fields of one customer: elements with labels, no values.
+        let block = s.export(cust, 0).unwrap();
+        let kids = s.children(cust).unwrap();
+        assert_eq!(block.len(), kids.len());
+        assert_eq!(block.arity(), 3);
+        for (i, k) in kids.iter().enumerate() {
+            assert_eq!(block.value_at(i, 0), Value::Int(k.node.0 as i64));
+            let label = s.fl(*k).unwrap().map(|n| Value::str(n.as_str()));
+            assert_eq!(block.value_at(i, 1), label.unwrap_or(Value::Null));
+        }
+        // The row cap applies.
+        let capped = s.export(cust, 1).unwrap();
+        assert_eq!(capped.len(), 1);
+        // Leaves under a field carry values in column 2.
+        let id_field = s.d(cust).unwrap().unwrap();
+        let leaves = s.export(id_field, 0).unwrap();
+        assert_eq!(leaves.len(), 1);
+        assert_eq!(leaves.value_at(0, 1), Value::Null); // text leaf: no label
+        assert_eq!(leaves.value_at(0, 2), Value::str("DEF345"));
+    }
+
+    #[test]
+    fn stats_command_snapshots_counters() {
+        let m = mediator(true, AccessMode::Lazy);
+        let mut s = m.session();
+        let p0 = s.query(Q1).unwrap();
+        let _ = s.child_count(p0).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.len(), Counter::ALL.len());
+        let get = |label: &str| {
+            stats
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert!(get("nav_commands") >= 1, "{stats:?}");
+        assert!(get("nodes_built") >= 1, "{stats:?}");
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! The MIX server front-end: many concurrent QDOM sessions over the
+//! framed wire protocol.
+//!
+//! The paper's architecture puts a thin navigation client on one side
+//! of a network boundary and the mediator on the other. `mix-serve`
+//! implements the mediator side of that boundary over `mix-proto`'s
+//! framed protocol:
+//!
+//! * [`Server`] — a TCP listener that gives every accepted connection
+//!   its own QDOM session on a **dedicated blocking worker thread**.
+//!   The engine is deliberately single-threaded (`Rc`-based virtual
+//!   results); the server therefore builds a *fresh mediator per
+//!   session* from a caller-supplied factory, and sessions share
+//!   nothing but the process. The workspace carries no async runtime —
+//!   the listener is plain `std::net` with short read timeouts, which
+//!   keeps the whole stack dependency-free.
+//! * Session lifecycle — a `Hello`/`Welcome` handshake (version
+//!   checked), an idle timeout that closes silent sessions, and a
+//!   clean `Bye` in both directions.
+//! * Admission control — a `max_sessions` cap answered with
+//!   `Frame::Reject` at handshake, and a per-session node budget
+//!   answered with `Reply::Err` at query admission, so an overloaded
+//!   server degrades with clean errors instead of collapsing.
+//! * Graceful shutdown — [`Server::shutdown`] stops accepting, lets
+//!   every in-flight command finish, sends `Bye`, joins every worker,
+//!   and drops every session (which joins its prefetcher threads:
+//!   `active_prefetchers()` returns to zero).
+//! * [`WireClient`] — the thin client: connects, speaks the handshake,
+//!   and exposes the same named methods as the in-process
+//!   `QdomSession`, returning the same `MixError`s.
+
+#![deny(missing_docs)]
+
+mod client;
+mod server;
+
+pub use client::{WireClient, WireError};
+pub use server::{MediatorFactory, Server, ServerConfig};

@@ -1,0 +1,371 @@
+//! The listener and the per-session worker loop.
+
+use mix_common::MixError;
+use mix_obs::{Counter, Stats};
+use mix_proto::{read_frame, write_frame, Frame, Reply, PROTO_VERSION};
+use mix_qdom::{Mediator, QdomSession};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How often idle workers and the acceptor re-check the shutdown flag.
+/// This bounds shutdown latency; it does not throttle busy sessions,
+/// which only hit the poll when waiting for the next command.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Once a frame has started arriving, how long the rest may take.
+const FRAME_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Server policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent-session cap; connection attempts past it are answered
+    /// with `Frame::Reject` at handshake. `0` = unlimited.
+    pub max_sessions: usize,
+    /// Per-session cap on materialized result nodes; once a session's
+    /// `NodesBuilt` counter reaches it, further *result-creating*
+    /// commands (`Query`/`Q`) answer `Reply::Err(MixError::Plan)`.
+    /// Navigation of existing results stays allowed so the client can
+    /// still read (and render) what it already paid for. `0` =
+    /// unlimited.
+    pub node_budget: u64,
+    /// A session that sends nothing for this long is closed with a
+    /// `Bye`.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_sessions: 256,
+            node_budget: 0,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Builds one mediator per accepted session. The engine is
+/// single-threaded by design (`Rc`-based lazy results), so sessions
+/// never share an engine — only the factory crosses threads.
+pub type MediatorFactory = dyn Fn() -> Mediator + Send + Sync;
+
+/// A running MIX server: a listener plus one blocking worker thread
+/// per live session.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    live: Arc<AtomicUsize>,
+    stats: Stats,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start accepting
+    /// sessions, each served by a fresh `factory()` mediator on its
+    /// own thread.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        factory: Arc<MediatorFactory>,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let live = Arc::new(AtomicUsize::new(0));
+        let stats = Stats::new();
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let workers = Arc::clone(&workers);
+            let live = Arc::clone(&live);
+            let stats = stats.clone();
+            thread::spawn(move || {
+                accept_loop(listener, config, factory, shutdown, workers, live, stats)
+            })
+        };
+        Ok(Server {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            workers,
+            live,
+            stats,
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Server-level counters: `SessionsOpened`/`Closed`/`Rejected`,
+    /// `WireCommands`, `WireBytesIn`/`Out`. Session *work* counters
+    /// (SQL, tuples, nodes) live on each session's own stats and are
+    /// readable over the wire via `Command::Stats`.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Sessions currently live (admitted and not yet closed).
+    pub fn live_sessions(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop accepting, let every in-flight command
+    /// finish, send `Bye` to every session, join every worker. When
+    /// this returns, all sessions are dropped — including their
+    /// prefetcher threads, so `active_prefetchers()` is back to what
+    /// it was before the server started.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = {
+            let mut guard = self.workers.lock().unwrap();
+            guard.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: TcpListener,
+    config: ServerConfig,
+    factory: Arc<MediatorFactory>,
+    shutdown: Arc<AtomicBool>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    live: Arc<AtomicUsize>,
+    stats: Stats,
+) {
+    let mut next_id: u64 = 1;
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let id = next_id;
+                next_id += 1;
+                let config = config.clone();
+                let factory = Arc::clone(&factory);
+                let shutdown = Arc::clone(&shutdown);
+                let live = Arc::clone(&live);
+                let stats = stats.clone();
+                let handle = thread::spawn(move || {
+                    worker(stream, id, config, factory, shutdown, live, stats)
+                });
+                workers.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+}
+
+/// What one wait for the next frame produced.
+enum Waited {
+    Frame(Frame, usize),
+    Closed,
+    Idle,
+    Shutdown,
+    Failed,
+}
+
+/// Wait for one frame, polling the shutdown flag and the idle
+/// deadline. The stream's read timeout is `POLL` while waiting; once
+/// the first byte of a frame is visible the whole frame is read with a
+/// generous timeout, so a slow-writing client cannot split a frame
+/// across idle checks.
+fn wait_frame(stream: &mut TcpStream, shutdown: &AtomicBool, idle: Duration) -> Waited {
+    let deadline = Instant::now() + idle;
+    let mut probe = [0u8; 1];
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return Waited::Shutdown;
+        }
+        match stream.peek(&mut probe) {
+            Ok(0) => return Waited::Closed,
+            Ok(_) => {
+                let _ = stream.set_read_timeout(Some(FRAME_READ_TIMEOUT));
+                let r = read_frame(stream);
+                let _ = stream.set_read_timeout(Some(POLL));
+                return match r {
+                    Ok(Some((f, n))) => Waited::Frame(f, n),
+                    Ok(None) => Waited::Closed,
+                    Err(_) => Waited::Failed,
+                };
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if Instant::now() >= deadline {
+                    return Waited::Idle;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Waited::Failed,
+        }
+    }
+}
+
+/// Take one session slot, or refuse if the server is full.
+fn acquire_slot(live: &AtomicUsize, max: usize) -> bool {
+    let mut cur = live.load(Ordering::Relaxed);
+    loop {
+        if max != 0 && cur >= max {
+            return false;
+        }
+        match live.compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+fn budget_exhausted(session: &QdomSession<'_>, budget: u64) -> bool {
+    budget != 0 && session.ctx().stats().get(Counter::NodesBuilt) >= budget
+}
+
+fn worker(
+    mut stream: TcpStream,
+    id: u64,
+    config: ServerConfig,
+    factory: Arc<MediatorFactory>,
+    shutdown: Arc<AtomicBool>,
+    live: Arc<AtomicUsize>,
+    stats: Stats,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL));
+
+    // ---- handshake ----------------------------------------------------
+    let hello_version = match wait_frame(&mut stream, &shutdown, config.idle_timeout) {
+        Waited::Frame(Frame::Hello { version }, n) => {
+            stats.add(Counter::WireBytesIn, n as u64);
+            version
+        }
+        // Anything else before Hello — including silence until the
+        // idle deadline — just drops the connection.
+        _ => return,
+    };
+    if hello_version != PROTO_VERSION {
+        stats.inc(Counter::SessionsRejected);
+        send(
+            &mut stream,
+            &stats,
+            &Frame::Reject {
+                reason: format!(
+                    "protocol version mismatch: client v{hello_version}, server v{PROTO_VERSION}"
+                ),
+            },
+        );
+        return;
+    }
+    if !acquire_slot(&live, config.max_sessions) {
+        stats.inc(Counter::SessionsRejected);
+        send(
+            &mut stream,
+            &stats,
+            &Frame::Reject {
+                reason: format!("session limit reached ({} live)", config.max_sessions),
+            },
+        );
+        return;
+    }
+    // The slot is held: every exit path below must release it.
+    stats.inc(Counter::SessionsOpened);
+    if !send(
+        &mut stream,
+        &stats,
+        &Frame::Welcome {
+            version: PROTO_VERSION,
+            session: id,
+        },
+    ) {
+        live.fetch_sub(1, Ordering::AcqRel);
+        stats.inc(Counter::SessionsClosed);
+        return;
+    }
+
+    // ---- the session ----------------------------------------------------
+    let mediator = factory();
+    let mut session = mediator.session();
+    loop {
+        match wait_frame(&mut stream, &shutdown, config.idle_timeout) {
+            Waited::Frame(Frame::Cmd(cmd), n) => {
+                stats.add(Counter::WireBytesIn, n as u64);
+                stats.inc(Counter::WireCommands);
+                let reply =
+                    if cmd.creates_result() && budget_exhausted(&session, config.node_budget) {
+                        Reply::Err(MixError::plan(format!(
+                            "session node budget exhausted ({} nodes); navigation of existing \
+                         results is still allowed",
+                            config.node_budget
+                        )))
+                    } else {
+                        session.dispatch(cmd)
+                    };
+                if !send(&mut stream, &stats, &Frame::Rep(reply)) {
+                    break;
+                }
+            }
+            Waited::Frame(Frame::Bye, n) => {
+                stats.add(Counter::WireBytesIn, n as u64);
+                send(&mut stream, &stats, &Frame::Bye);
+                break;
+            }
+            Waited::Frame(_, n) => {
+                // A handshake frame mid-session is a protocol violation;
+                // answer once and close.
+                stats.add(Counter::WireBytesIn, n as u64);
+                send(
+                    &mut stream,
+                    &stats,
+                    &Frame::Rep(Reply::Err(MixError::invalid(
+                        "unexpected frame: only Cmd and Bye are valid after the handshake",
+                    ))),
+                );
+                break;
+            }
+            Waited::Idle | Waited::Shutdown => {
+                // Idle timeout or graceful shutdown: the in-flight
+                // command (if any) already completed above; say Bye.
+                send(&mut stream, &stats, &Frame::Bye);
+                break;
+            }
+            Waited::Closed | Waited::Failed => break,
+        }
+    }
+    // Dropping the session and its mediator joins any prefetcher
+    // threads the session's lazy results started.
+    drop(session);
+    drop(mediator);
+    live.fetch_sub(1, Ordering::AcqRel);
+    stats.inc(Counter::SessionsClosed);
+}
+
+/// Write one frame, counting bytes; `false` means the peer is gone.
+fn send(stream: &mut TcpStream, stats: &Stats, frame: &Frame) -> bool {
+    match write_frame(stream, frame) {
+        Ok(n) => {
+            stats.add(Counter::WireBytesOut, n as u64);
+            true
+        }
+        Err(_) => false,
+    }
+}

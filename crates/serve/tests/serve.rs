@@ -1,0 +1,337 @@
+//! The serve suite: lifecycle, admission control, budget, stale
+//! handles, idle timeout, graceful shutdown, and the wire-vs-in-process
+//! equivalence pin.
+
+use mix_common::{MixError, PrefetchPolicy, Value};
+use mix_engine::AccessMode;
+use mix_proto::{read_frame, write_frame, Command, Frame, Reply, WireNode, PROTO_VERSION};
+use mix_qdom::{Mediator, MediatorOptions};
+use mix_relational::active_prefetchers;
+use mix_serve::{Server, ServerConfig, WireClient, WireError};
+use mix_wrapper::fig2_catalog;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
+     WHERE $C/id/data() = $O/cid/data() \
+     RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
+
+const Q2: &str = "FOR $P IN document(root)/CustRec WHERE $P/customer/name < \"E\" RETURN $P";
+
+const Q3: &str = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O";
+
+fn fig2_factory(prefetch: PrefetchPolicy) -> Arc<dyn Fn() -> Mediator + Send + Sync> {
+    Arc::new(move || {
+        let (cat, _db) = fig2_catalog();
+        Mediator::with_options(
+            cat,
+            MediatorOptions::builder()
+                .access(AccessMode::Lazy)
+                .optimize(true)
+                .prefetch(prefetch)
+                .build(),
+        )
+    })
+}
+
+fn start(config: ServerConfig) -> Server {
+    Server::start("127.0.0.1:0", config, fig2_factory(PrefetchPolicy::Off)).expect("bind")
+}
+
+/// The paper's Example 2.1 as a wire script; returns every observable
+/// (labels, renders, counters) for comparison.
+fn run_script_wire(client: &mut WireClient) -> Vec<String> {
+    let mut out = Vec::new();
+    let p0 = client.query(Q1).unwrap();
+    let p1 = client.d(p0).unwrap().unwrap();
+    out.push(format!("{:?}", client.fl(p1).unwrap()));
+    let p4 = client.q(Q2, p0).unwrap();
+    let p5 = client.d(p4).unwrap().unwrap();
+    out.push(client.render(p5).unwrap());
+    let p9 = client.q(Q3, p5).unwrap();
+    out.push(client.child_count(p9).unwrap().to_string());
+    out.push(client.render(p9).unwrap());
+    out.push(format!("{:?}", client.export(p5, 0).unwrap()));
+    out.push(format!("{:?}", client.stats().unwrap()));
+    out
+}
+
+/// The same script in-process, via the named wrappers (which route
+/// through the same `dispatch`).
+fn run_script_local() -> Vec<String> {
+    let m = fig2_factory(PrefetchPolicy::Off)();
+    let mut s = m.session();
+    let mut out = Vec::new();
+    let p0 = s.query(Q1).unwrap();
+    let p1 = s.d(p0).unwrap().unwrap();
+    out.push(format!("{:?}", s.fl(p1).unwrap()));
+    let p4 = s.q(Q2, p0).unwrap();
+    let p5 = s.d(p4).unwrap().unwrap();
+    out.push(s.render(p5));
+    let p9 = s.q(Q3, p5).unwrap();
+    out.push(s.child_count(p9).unwrap().to_string());
+    out.push(s.render(p9));
+    out.push(format!("{:?}", s.export(p5, 0).unwrap()));
+    out.push(format!("{:?}", s.stats()));
+    out
+}
+
+#[test]
+fn wire_session_equals_in_process_session() {
+    let mut server = start(ServerConfig::default());
+    let mut client = WireClient::connect(server.addr()).unwrap();
+    let wire = run_script_wire(&mut client);
+    client.close().unwrap();
+    let local = run_script_local();
+    // Same renders, same export blocks, same work counters: the wire
+    // and the in-process surface are one API.
+    assert_eq!(wire, local);
+    server.shutdown();
+}
+
+#[test]
+fn sixty_four_concurrent_sessions_stay_bit_identical() {
+    let mut server = start(ServerConfig {
+        max_sessions: 128,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let expected = run_script_local();
+    let handles: Vec<_> = (0..64)
+        .map(|i| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = WireClient::connect(addr)
+                    .unwrap_or_else(|e| panic!("session {i}: connect: {e}"));
+                let got = run_script_wire(&mut client);
+                assert_eq!(got, expected, "session {i} diverged");
+                client.close().unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("session thread");
+    }
+    assert_eq!(server.stats().get(mix_obs::Counter::SessionsOpened), 64);
+    server.shutdown();
+    assert_eq!(server.stats().get(mix_obs::Counter::SessionsClosed), 64);
+    assert_eq!(server.live_sessions(), 0);
+}
+
+#[test]
+fn admission_control_rejects_past_the_cap() {
+    let mut server = start(ServerConfig {
+        max_sessions: 2,
+        ..ServerConfig::default()
+    });
+    let c1 = WireClient::connect(server.addr()).unwrap();
+    let c2 = WireClient::connect(server.addr()).unwrap();
+    match WireClient::connect(server.addr()) {
+        Err(WireError::Rejected(reason)) => {
+            assert!(reason.contains("session limit"), "{reason}")
+        }
+        Err(other) => panic!("expected rejection, got {other}"),
+        Ok(_) => panic!("expected rejection, got a session"),
+    }
+    assert_eq!(server.stats().get(mix_obs::Counter::SessionsRejected), 1);
+    // Closing a session frees the slot.
+    c1.close().unwrap();
+    // The slot release races with the close reply; retry briefly.
+    let mut admitted = None;
+    for _ in 0..100 {
+        match WireClient::connect(server.addr()) {
+            Ok(c) => {
+                admitted = Some(c);
+                break;
+            }
+            Err(WireError::Rejected(_)) => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+    let c4 = admitted.expect("slot freed by close");
+    c4.close().unwrap();
+    c2.close().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn node_budget_rejects_new_queries_not_navigation() {
+    let mut server = start(ServerConfig {
+        node_budget: 2, // Q1 materializes more nodes than this
+        ..ServerConfig::default()
+    });
+    let mut client = WireClient::connect(server.addr()).unwrap();
+    // The first query is admitted (budget is checked at admission, so
+    // a fresh session can always start working)...
+    let p0 = client.query(Q1).unwrap();
+    // ...and navigation keeps working even once the budget is spent.
+    let p1 = client.d(p0).unwrap().unwrap();
+    assert_eq!(client.fl(p1).unwrap().unwrap().as_str(), "CustRec");
+    assert!(!client.render(p1).unwrap().is_empty());
+    // But new result-creating commands are refused with a clean error.
+    match client.query(Q1) {
+        Err(WireError::Mix(MixError::Plan(msg))) => {
+            assert!(msg.contains("budget"), "{msg}")
+        }
+        other => panic!("expected budget rejection, got {other:?}"),
+    }
+    match client.q(Q2, p0) {
+        Err(WireError::Mix(MixError::Plan(msg))) => {
+            assert!(msg.contains("budget"), "{msg}")
+        }
+        other => panic!("expected budget rejection, got {other:?}"),
+    }
+    // The session survived both rejections.
+    assert!(client.child_count(p0).unwrap() > 0);
+    client.close().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn stale_handles_over_the_wire_answer_plan_errors() {
+    let mut server = start(ServerConfig::default());
+    let mut client = WireClient::connect(server.addr()).unwrap();
+    // Forged handles: a result the session never produced, then a node
+    // id past anything materialized.
+    match client.fl(WireNode { result: 5, node: 0 }) {
+        Err(WireError::Mix(MixError::Plan(msg))) => assert!(msg.contains("result"), "{msg}"),
+        other => panic!("expected Plan error, got {other:?}"),
+    }
+    let p0 = client.query(Q1).unwrap();
+    match client.d(WireNode {
+        result: p0.result,
+        node: 1_000_000,
+    }) {
+        Err(WireError::Mix(MixError::Plan(msg))) => assert!(msg.contains("node"), "{msg}"),
+        other => panic!("expected Plan error, got {other:?}"),
+    }
+    // The session is still usable.
+    assert!(client.d(p0).unwrap().is_some());
+    client.close().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn version_mismatch_is_rejected_at_handshake() {
+    let mut server = start(ServerConfig::default());
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    // A well-formed frame claiming a future protocol version: encode
+    // Hello{v+1} under the current framing by patching the body byte
+    // (the version *field*), not the envelope byte (which the codec
+    // itself guards).
+    let mut bytes = Frame::Hello {
+        version: PROTO_VERSION,
+    }
+    .encode();
+    let last = bytes.len() - 1;
+    bytes[last] = PROTO_VERSION + 1;
+    use std::io::Write;
+    stream.write_all(&bytes).unwrap();
+    match read_frame(&mut stream).unwrap() {
+        Some((Frame::Reject { reason }, _)) => {
+            assert!(reason.contains("version"), "{reason}")
+        }
+        other => panic!("expected Reject, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn idle_sessions_are_closed_with_bye() {
+    let mut server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            idle_timeout: Duration::from_millis(100),
+            ..ServerConfig::default()
+        },
+        fig2_factory(PrefetchPolicy::Off),
+    )
+    .unwrap();
+    let mut client = WireClient::connect(server.addr()).unwrap();
+    // Say nothing; the server should Bye us out.
+    client.wait_server_close().unwrap();
+    server.shutdown();
+    assert_eq!(server.stats().get(mix_obs::Counter::SessionsClosed), 1);
+}
+
+#[test]
+fn graceful_shutdown_drains_sessions_and_joins_prefetchers() {
+    let before = active_prefetchers();
+    let mut server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        fig2_factory(PrefetchPolicy::Depth(2)),
+    )
+    .unwrap();
+    // A few live sessions mid-work, with prefetching sessions among
+    // them.
+    let mut clients: Vec<WireClient> = (0..4)
+        .map(|_| WireClient::connect(server.addr()).unwrap())
+        .collect();
+    for c in &mut clients {
+        let p0 = c.query(Q1).unwrap();
+        assert!(c.d(p0).unwrap().is_some());
+    }
+    server.shutdown();
+    // Every worker joined: no session is live, open == closed, and no
+    // prefetcher thread leaked.
+    assert_eq!(server.live_sessions(), 0);
+    assert_eq!(
+        server.stats().get(mix_obs::Counter::SessionsOpened),
+        server.stats().get(mix_obs::Counter::SessionsClosed)
+    );
+    assert_eq!(active_prefetchers(), before, "leaked prefetcher threads");
+    // Clients see a clean Bye (or a closed socket), not a hang.
+    for mut c in clients {
+        let _ = c.wait_server_close();
+    }
+}
+
+#[test]
+fn raw_command_frames_and_byte_counters() {
+    // Drive the protocol without WireClient to pin the frame-level
+    // contract, and check the server's byte accounting moves.
+    let mut server = start(ServerConfig::default());
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            version: PROTO_VERSION,
+        },
+    )
+    .unwrap();
+    let (welcome, _) = read_frame(&mut stream).unwrap().unwrap();
+    assert!(matches!(welcome, Frame::Welcome { .. }), "{welcome:?}");
+    write_frame(&mut stream, &Frame::Cmd(Command::Query { text: Q1.into() })).unwrap();
+    match read_frame(&mut stream).unwrap().unwrap() {
+        (Frame::Rep(Reply::Node(n)), _) => assert_eq!(n.result, 0),
+        (other, _) => panic!("expected Node reply, got {other:?}"),
+    }
+    // Export from the root: one row per CustRec, col 1 is the label.
+    write_frame(
+        &mut stream,
+        &Frame::Cmd(Command::Export {
+            p: WireNode { result: 0, node: 0 },
+            max_rows: 0,
+        }),
+    )
+    .unwrap();
+    match read_frame(&mut stream).unwrap().unwrap() {
+        (Frame::Rep(Reply::Block(b)), _) => {
+            assert_eq!(b.len(), 2);
+            assert_eq!(b.value_at(0, 1), Value::str("CustRec"));
+        }
+        (other, _) => panic!("expected Block reply, got {other:?}"),
+    }
+    write_frame(&mut stream, &Frame::Bye).unwrap();
+    let (bye, _) = read_frame(&mut stream).unwrap().unwrap();
+    assert!(matches!(bye, Frame::Bye));
+    server.shutdown();
+    let stats = server.stats();
+    assert_eq!(stats.get(mix_obs::Counter::WireCommands), 2);
+    assert!(stats.get(mix_obs::Counter::WireBytesIn) > 0);
+    assert!(stats.get(mix_obs::Counter::WireBytesOut) > 0);
+}

@@ -4,9 +4,13 @@
 //!  * [`Mediator::explain`] renders the plan stages for a query
 //!    *without executing it* — naive logical plan, optimized plan, and
 //!    the post-split physical plan with its SQL pushdowns.
-//!  * [`QdomSession::explain`] annotates the physical plan of a live
+//!  * [`Command::Explain`] annotates the physical plan of a live
 //!    result with per-operator pull/tuple counts, so you can watch the
 //!    lazy engine do exactly as much work as navigation demanded.
+//!
+//! The session half runs entirely through [`QdomSession::dispatch`] —
+//! the same typed commands a `mix-serve` wire client sends — including
+//! the `Stats` command that snapshots the session's work counters.
 //!
 //! Run with `cargo run --example explain`.
 
@@ -15,6 +19,21 @@ use mix::prelude::*;
 const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
      WHERE $C/id/data() = $O/cid/data() \
      RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
+
+/// Unwrap the reply variants this example expects.
+fn node(reply: Reply) -> Result<WireNode> {
+    match reply.into_result()? {
+        Reply::Node(n) => Ok(n),
+        other => Err(MixError::internal(format!("unexpected reply {other:?}"))),
+    }
+}
+
+fn text(reply: Reply) -> Result<String> {
+    match reply.into_result()? {
+        Reply::Text(t) => Ok(t),
+        other => Err(MixError::internal(format!("unexpected reply {other:?}"))),
+    }
+}
 
 fn main() -> Result<()> {
     let (catalog, _db) = mix::wrapper::fig2_catalog();
@@ -26,18 +45,27 @@ fn main() -> Result<()> {
 
     // ---- EXPLAIN ANALYZE: counts from a live lazy session -----------
     let mut session = mediator.session();
-    let root = session.query(Q1)?;
+    let root = node(session.dispatch(Command::Query { text: Q1.into() }))?;
     let before = session.ctx().stats().snapshot();
 
     println!("after `query` (virtual result, nothing pulled yet):");
-    println!("{}", session.explain(root));
+    println!("{}", text(session.dispatch(Command::Explain { p: root }))?);
 
     // One navigation step: descend to the first CustRec and force its
     // children. Only the operators on that path should show pulls.
-    let first = session.d(root).unwrap().expect("result has children");
-    let kids = session.child_count(first).unwrap();
+    let first = match session.dispatch(Command::D { p: root }).into_result()? {
+        Reply::Step(Some(n)) => n,
+        other => panic!("result has children, got {other:?}"),
+    };
+    let kids = match session
+        .dispatch(Command::ChildCount { p: first })
+        .into_result()?
+    {
+        Reply::Count(n) => n,
+        other => panic!("expected a count, got {other:?}"),
+    };
     println!("after `d` + counting {kids} children of the first CustRec:");
-    println!("{}", session.explain(root));
+    println!("{}", text(session.dispatch(Command::Explain { p: root }))?);
 
     println!("work counted during navigation:");
     print!("{}", session.ctx().stats().snapshot().since(&before));
@@ -45,23 +73,47 @@ fn main() -> Result<()> {
     // ---- the plan cache, made visible -------------------------------
     // The same query-in-place issued from two sibling nodes: the first
     // pays the full decontextualize -> rewrite pipeline, the second is
-    // a template hit with only skolem-key substitution. Printing each
-    // query's own counter *delta* (not cumulative totals) is what makes
-    // the `plan cache hits` line visible on the second one.
+    // a template hit with only skolem-key substitution. The `Stats`
+    // command snapshots cumulative counters, so diffing two snapshots
+    // is what makes the `plan cache hits` line visible on the second.
     const QIP: &str = "FOR $O IN document(root)/OrderInfo RETURN $O";
-    let second = session
-        .r(first)
-        .unwrap()
-        .expect("result has a second CustRec");
+    let second = match session.dispatch(Command::R { p: first }).into_result()? {
+        Reply::Step(Some(n)) => n,
+        other => panic!("result has a second CustRec, got {other:?}"),
+    };
+
+    let cache_hits = |session: &mut QdomSession| -> Result<u64> {
+        match session.dispatch(Command::Stats).into_result()? {
+            Reply::Stats(counters) => Ok(counters
+                .iter()
+                .find(|(label, _)| label == Counter::PlanCacheHits.label())
+                .map(|(_, v)| *v)
+                .unwrap_or(0)),
+            other => panic!("expected counters, got {other:?}"),
+        }
+    };
 
     let before_q1 = session.ctx().stats().snapshot();
-    session.q(QIP, first)?;
+    let hits_before = cache_hits(&mut session)?;
+    node(session.dispatch(Command::Q {
+        text: QIP.into(),
+        from: first,
+    }))?;
     println!("first query-in-place (cache miss):");
     print!("{}", session.ctx().stats().snapshot().since(&before_q1));
 
     let before_q2 = session.ctx().stats().snapshot();
-    session.q(QIP, second)?;
+    node(session.dispatch(Command::Q {
+        text: QIP.into(),
+        from: second,
+    }))?;
     println!("second query-in-place from a sibling (cache hit):");
     print!("{}", session.ctx().stats().snapshot().since(&before_q2));
+
+    let hits_after = cache_hits(&mut session)?;
+    println!(
+        "plan cache hits over both (via the Stats command): {}",
+        hits_after - hits_before
+    );
     Ok(())
 }

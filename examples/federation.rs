@@ -58,11 +58,13 @@ fn main() -> Result<()> {
     let mut cur = upper_session.d(p).unwrap();
     for i in 0..3 {
         let Some(acct) = cur else { break };
+        let label = upper_session.fl(acct).unwrap().unwrap();
+        let inner = upper_session.d(acct).unwrap().unwrap();
         println!(
             "  account {}: {} / inner {}",
             i + 1,
-            upper_session.fl(acct).unwrap().unwrap(),
-            upper_session.oid(upper_session.d(acct).unwrap().unwrap())
+            label,
+            upper_session.oid(inner)
         );
         cur = upper_session.r(acct).unwrap();
     }

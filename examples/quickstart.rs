@@ -1,4 +1,5 @@
-//! Quickstart: the paper's running example, end to end.
+//! Quickstart: the paper's running example, end to end, driven through
+//! the typed command surface.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -8,12 +9,47 @@
 //! integrated view (Fig. 3), navigates the virtual result with QDOM
 //! commands, and issues queries in place — printing what the paper's
 //! figures show at each step.
+//!
+//! Every step here goes through [`QdomSession::dispatch`] with a
+//! [`Command`], the same entry point a `mix-serve` wire session uses —
+//! the named methods (`session.d(p)`, `session.query(text)`, …) are
+//! thin wrappers over exactly these commands. See
+//! `examples/served.rs` for the same flow over a socket.
 
 use mix::prelude::*;
 
 const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
      WHERE $C/id/data() = $O/cid/data() \
      RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
+
+/// Unwrap the reply variants this example expects.
+fn node(reply: Reply) -> Result<WireNode> {
+    match reply.into_result()? {
+        Reply::Node(n) => Ok(n),
+        other => Err(MixError::internal(format!("unexpected reply {other:?}"))),
+    }
+}
+
+fn step(reply: Reply) -> Result<Option<WireNode>> {
+    match reply.into_result()? {
+        Reply::Step(n) => Ok(n),
+        other => Err(MixError::internal(format!("unexpected reply {other:?}"))),
+    }
+}
+
+fn label(reply: Reply) -> Result<Name> {
+    match reply.into_result()? {
+        Reply::Label(Some(n)) => Ok(n),
+        other => Err(MixError::internal(format!("unexpected reply {other:?}"))),
+    }
+}
+
+fn text(reply: Reply) -> Result<String> {
+    match reply.into_result()? {
+        Reply::Text(t) => Ok(t),
+        other => Err(MixError::internal(format!("unexpected reply {other:?}"))),
+    }
+}
 
 fn main() -> Result<()> {
     // The Fig. 2 database: customer(id, addr, name), orders(orid, cid, value).
@@ -30,43 +66,58 @@ fn main() -> Result<()> {
 
     // Q1 (Fig. 3): customers with their orders, grouped.
     println!("== query Q1 ==\n{Q1}\n");
-    let p0 = session.query(Q1)?;
-    println!(
-        "== optimized plan ==\n{}",
-        session.result_info(p0).exec_plan.render()
-    );
+    let p0 = node(session.dispatch(Command::Query { text: Q1.into() }))?;
+    let info = session.result_info(session.resolve_handle(p0)?);
+    println!("== optimized plan ==\n{}", info.exec_plan.render());
 
     // Navigate: the result is virtual; each step fetches only what it needs.
-    let p1 = session.d(p0).unwrap().expect("first CustRec");
+    let p1 = step(session.dispatch(Command::D { p: p0 }))?.expect("first CustRec");
     println!(
         "d(p0) -> {} (id {})",
-        session.fl(p1).unwrap().unwrap(),
-        session.oid(p1)
+        label(session.dispatch(Command::Fl { p: p1 }))?,
+        session.oid(session.resolve_handle(p1)?)
     );
     println!(
         "after one step the sources shipped {} tuples",
         db.stats().get(Counter::TuplesShipped)
     );
-    let p2 = session.r(p1).unwrap().expect("second CustRec");
+    let p2 = step(session.dispatch(Command::R { p: p1 }))?.expect("second CustRec");
     println!(
         "r(p1) -> {} (id {})",
-        session.fl(p2).unwrap().unwrap(),
-        session.oid(p2)
+        label(session.dispatch(Command::Fl { p: p2 }))?,
+        session.oid(session.resolve_handle(p2)?)
     );
 
+    // Bulk navigation: the children of the first CustRec as one block —
+    // what a wire client uses to walk a sibling list in one round trip.
+    match session
+        .dispatch(Command::Export { p: p1, max_rows: 0 })
+        .into_result()?
+    {
+        Reply::Block(block) => {
+            println!("\n== export(p1): {} children as one block ==", block.len());
+            for r in 0..block.len() {
+                println!(
+                    "  node={} label={}",
+                    block.value_at(r, 0),
+                    block.value_at(r, 1)
+                );
+            }
+        }
+        other => println!("unexpected reply {other:?}"),
+    }
+
     // Query in place from the first CustRec (decontextualization).
-    let p9 = session.q(
-        "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O",
-        p1,
-    )?;
+    let p9 = node(session.dispatch(Command::Q {
+        text: "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O".into(),
+        from: p1,
+    }))?;
     println!(
         "\n== in-place query result (orders < 600 of {}) ==",
-        session.oid(p1)
+        session.oid(session.resolve_handle(p1)?)
     );
-    println!("{}", session.render(p9));
-    println!(
-        "== its SQL ==\n{}",
-        session.result_info(p9).exec_plan.render()
-    );
+    println!("{}", text(session.dispatch(Command::Render { p: p9 }))?);
+    let info = session.result_info(session.resolve_handle(p9)?);
+    println!("== its SQL ==\n{}", info.exec_plan.render());
     Ok(())
 }

@@ -1,0 +1,99 @@
+//! Served mode: the quickstart flow over a socket.
+//!
+//! Starts a `mix-serve` server on a loopback port, connects a
+//! [`WireClient`], and runs the paper's running example through the
+//! framed wire protocol — the same [`Command`]s `examples/quickstart.rs`
+//! dispatches in process, length-prefix framed over TCP. Also shows
+//! what admission control looks like from the client side.
+//!
+//! Run with `cargo run --example served`.
+
+use mix::prelude::*;
+use std::sync::Arc;
+
+const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
+     WHERE $C/id/data() = $O/cid/data() \
+     RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
+
+fn main() -> std::result::Result<(), WireError> {
+    // Each accepted session gets its own mediator from this factory on
+    // a dedicated worker thread (the engine itself is single-threaded).
+    let factory: Arc<dyn Fn() -> Mediator + Send + Sync> = Arc::new(|| {
+        let (catalog, _db) = mix::wrapper::fig2_catalog();
+        Mediator::new(catalog)
+    });
+
+    let mut server = Server::start(
+        "127.0.0.1:0", // port 0: the OS picks; server.addr() tells us
+        ServerConfig {
+            max_sessions: 2,
+            ..ServerConfig::default()
+        },
+        Arc::clone(&factory),
+    )
+    .map_err(WireError::Io)?;
+    println!("serving on {} (max 2 sessions)", server.addr());
+
+    // Handshake: Hello -> Welcome carries the session id.
+    let mut client = WireClient::connect(server.addr())?;
+    println!("connected as session {}", client.session_id());
+
+    // The quickstart script, now with a network between the halves.
+    let p0 = client.query(Q1)?;
+    let p1 = client.d(p0)?.expect("first CustRec");
+    println!(
+        "d(p0) -> {} over the wire",
+        client.fl(p1)?.expect("an element")
+    );
+
+    // Bulk navigation: one round trip ships the whole child list as a
+    // columnar block instead of 3·n single-step commands.
+    let block = client.export(p1, 0)?;
+    println!("export(p1): {} children in one frame", block.len());
+    for r in 0..block.len() {
+        println!(
+            "  node={} label={}",
+            block.value_at(r, 0),
+            block.value_at(r, 1)
+        );
+    }
+
+    // Query in place from the CustRec node, rendered server-side.
+    let p9 = client.q(
+        "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O",
+        p1,
+    )?;
+    println!("in-place query result:\n{}", client.render(p9)?);
+
+    // A stale handle is a clean error, not a dead session.
+    match client.fl(WireNode {
+        result: 99,
+        node: 0,
+    }) {
+        Err(WireError::Mix(e)) => println!("stale handle over the wire -> {e}"),
+        other => println!("unexpected: {other:?}"),
+    }
+    println!(
+        "...and the session still works: {} children",
+        client.child_count(p0)?
+    );
+
+    // Admission control: a second session fits, a third is rejected.
+    let second = WireClient::connect(server.addr())?;
+    match WireClient::connect(server.addr()) {
+        Err(WireError::Rejected(reason)) => println!("third session rejected: {reason}"),
+        Err(other) => println!("unexpected error: {other}"),
+        Ok(_) => println!("unexpected: third session admitted"),
+    }
+    drop(second);
+
+    client.close()?;
+    server.shutdown(); // drains in-flight commands, joins every worker
+    println!(
+        "server closed cleanly: {} opened / {} closed, {} prefetcher threads live",
+        server.stats().get(Counter::SessionsOpened),
+        server.stats().get(Counter::SessionsClosed),
+        active_prefetchers(),
+    );
+    Ok(())
+}

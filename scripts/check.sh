@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy -p mix-bench -D warnings"
 cargo clippy -p mix-bench --all-targets -- -D warnings
 
+echo "==> cargo clippy -p mix-proto -p mix-serve -D warnings"
+cargo clippy -p mix-proto -p mix-serve --all-targets -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -27,6 +30,9 @@ cargo test -q --test chaos
 # chaos faults) plus gauge-based thread-leak/drop tests instead.
 echo "==> prefetch suite (sync equivalence, laziness, thread leaks)"
 cargo test -q --test prefetch
+
+echo "==> wire protocol + serve suite (codec round trips, wire-vs-in-process equivalence, admission, shutdown)"
+cargo test -q -p mix-proto -p mix-serve
 
 echo "==> no 'validated:' panics in non-test code or release builds"
 if grep -rnE '(panic!|expect|unreachable!)\("validated' crates/*/src src; then
@@ -52,5 +58,8 @@ cargo bench -p mix-bench --bench prefetch_overlap -- --smoke >/dev/null
 
 echo "==> columnar_sweep bench smoke run"
 cargo bench -p mix-bench --bench columnar_sweep -- --smoke >/dev/null
+
+echo "==> serve_bench smoke run (concurrent wire sessions)"
+cargo bench -p mix-bench --bench serve_bench -- --smoke >/dev/null
 
 echo "All checks passed."

@@ -23,7 +23,7 @@ const SEED: u64 = 0xC0FFEE;
 
 /// Walk the whole subtree with the fallible navigation commands,
 /// recording identity, label, and value of every node.
-fn drain_tree(s: &QdomSession<'_>, p: QNode, out: &mut String) -> Result<()> {
+fn drain_tree(s: &mut QdomSession<'_>, p: QNode, out: &mut String) -> Result<()> {
     out.push_str(&format!("{} {:?} {:?}\n", s.oid(p), s.fl(p)?, s.fv(p)?));
     let mut cur = s.d(p)?;
     while let Some(c) = cur {
@@ -66,12 +66,12 @@ fn q123_transcript_repr(
     let mut s = m.session();
     let mut out = String::new();
     let p0 = s.query(Q1)?;
-    drain_tree(&s, p0, &mut out)?;
+    drain_tree(&mut s, p0, &mut out)?;
     let p4 = s.q(Q2, p0)?; // composition from the root
-    drain_tree(&s, p4, &mut out)?;
+    drain_tree(&mut s, p4, &mut out)?;
     let p1 = s.d(p0)?.expect("Q1 has results");
     let p9 = s.q(Q3, p1)?; // decontextualization from a CustRec
-    drain_tree(&s, p9, &mut out)?;
+    drain_tree(&mut s, p9, &mut out)?;
     Ok((out, stats))
 }
 
@@ -227,7 +227,8 @@ fn navigated_prefix_survives_permanent_fault() {
     for &c in &seen {
         assert_eq!(s.fl(c).unwrap().unwrap().as_str(), "customer");
         let id_field = s.d(c).unwrap().expect("fields were materialized");
-        assert!(s.fv(s.d(id_field).unwrap().unwrap()).unwrap().is_some());
+        let leaf = s.d(id_field).unwrap().unwrap();
+        assert!(s.fv(leaf).unwrap().is_some());
     }
     // The failure is latched: re-asking past the end re-reports it.
     let last = *seen.last().unwrap();
@@ -263,7 +264,7 @@ fn retries_show_in_explain_and_backoff_counter() {
     let mut s = m.session();
     let p0 = s.query(Q1).expect("query");
     let mut out = String::new();
-    drain_tree(&s, p0, &mut out).expect("drain succeeds through retries");
+    drain_tree(&mut s, p0, &mut out).expect("drain succeeds through retries");
     assert!(
         stats.get(Counter::RetriesAttempted) > 0,
         "no retries at 25%"

@@ -24,7 +24,7 @@ const SEED: u64 = 0xC0FFEE;
 
 /// Walk the whole subtree with the fallible navigation commands,
 /// recording identity, label, and value of every node.
-fn drain_tree(s: &QdomSession<'_>, p: QNode, out: &mut String) -> Result<()> {
+fn drain_tree(s: &mut QdomSession<'_>, p: QNode, out: &mut String) -> Result<()> {
     out.push_str(&format!("{} {:?} {:?}\n", s.oid(p), s.fl(p)?, s.fv(p)?));
     let mut cur = s.d(p)?;
     while let Some(c) = cur {
@@ -71,12 +71,12 @@ fn q123_transcript(
     let mut s = m.session();
     let mut out = String::new();
     let p0 = s.query(Q1).expect("Q1");
-    drain_tree(&s, p0, &mut out).expect("drain Q1");
+    drain_tree(&mut s, p0, &mut out).expect("drain Q1");
     let p4 = s.q(Q2, p0).expect("Q2");
-    drain_tree(&s, p4, &mut out).expect("drain Q2");
+    drain_tree(&mut s, p4, &mut out).expect("drain Q2");
     let p1 = s.d(p0).expect("d").expect("Q1 has results");
     let p9 = s.q(Q3, p1).expect("Q3");
-    drain_tree(&s, p9, &mut out).expect("drain Q3");
+    drain_tree(&mut s, p9, &mut out).expect("drain Q3");
     drop(s);
     (out, pinned_counters(&stats))
 }
@@ -142,7 +142,7 @@ fn latency_is_invisible_to_results() {
         let mut s = m.session();
         let mut out = String::new();
         let p0 = s.query(Q1).expect("Q1");
-        drain_tree(&s, p0, &mut out).expect("drain");
+        drain_tree(&mut s, p0, &mut out).expect("drain");
         out
     };
     let base = run(None, PrefetchPolicy::Off);
@@ -255,12 +255,12 @@ fn auto_ramp_restarts_floored_within_a_session() {
     let mut s = m.session();
     let mut out1 = String::new();
     let p0 = s.query(SCAN).expect("q");
-    drain_tree(&s, p0, &mut out1).expect("drain 1");
+    drain_tree(&mut s, p0, &mut out1).expect("drain 1");
     let tuples1 = stats.get(Counter::TuplesShipped);
     let blocks1 = stats.get(Counter::BlocksShipped);
     let mut out2 = String::new();
     let p0b = s.query(SCAN).expect("q again");
-    drain_tree(&s, p0b, &mut out2).expect("drain 2");
+    drain_tree(&mut s, p0b, &mut out2).expect("drain 2");
     let tuples2 = stats.get(Counter::TuplesShipped) - tuples1;
     let blocks2 = stats.get(Counter::BlocksShipped) - blocks1;
     assert_eq!(tuples1, tuples2, "same drain, same rows");
