@@ -5,10 +5,19 @@
 //!
 //! Each session is the same navigation-heavy script: one Q1 query,
 //! then a sibling walk over the first children (`d`/`r` + `fl` each),
-//! one bulk `export`, one `stats`. The script matches what the
-//! equivalence suite pins against an in-process session, and the bench
-//! re-asserts one render against an in-process run before timing, so
-//! the numbers describe the wire overhead on *correct* traffic.
+//! repeated in-place nested queries of one class (the
+//! `shared_cache_repeat` case — sessions after the first ride plan
+//! templates other sessions compiled into the process-wide
+//! [`SharedPlanCache`]), one bulk `export`, one `stats`. The script
+//! matches what the equivalence suite pins against an in-process
+//! session, and the bench re-asserts one render against an in-process
+//! run before timing, so the numbers describe the wire overhead on
+//! *correct* traffic.
+//!
+//! Besides latency/throughput, the run records the cross-session
+//! plan-cache hit rate and the process OS-thread count sampled under
+//! load — the pooled server holds `2 + workers (+ prefetch pool)`
+//! threads regardless of session count.
 //!
 //! Pass `--smoke` for a seconds-scale CI run (8 sessions, small
 //! database, no JSON). The full run drives 64 concurrent sessions and
@@ -19,6 +28,26 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const BROWSE: usize = 50;
+
+/// In-place nested query issued from the first CustRec node; the class
+/// every session repeats against the shared plan cache.
+const QREPEAT: &str = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 50000 RETURN $O";
+
+/// Issues of `QREPEAT` per session.
+const REPEATS: usize = 4;
+
+/// This process's live OS-thread count (Linux `/proc`; 0 elsewhere).
+fn os_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
+}
 
 fn percentile(sorted: &[u128], p: f64) -> u128 {
     if sorted.is_empty() {
@@ -32,6 +61,7 @@ fn percentile(sorted: &[u128], p: f64) -> u128 {
 struct Lats {
     query: Vec<u128>,
     nav: Vec<u128>,
+    repeat: Vec<u128>,
     export: Vec<u128>,
 }
 
@@ -39,10 +69,11 @@ impl Lats {
     fn absorb(&mut self, other: Lats) {
         self.query.extend(other.query);
         self.nav.extend(other.nav);
+        self.repeat.extend(other.repeat);
         self.export.extend(other.export);
     }
     fn total(&self) -> usize {
-        self.query.len() + self.nav.len() + self.export.len()
+        self.query.len() + self.nav.len() + self.repeat.len() + self.export.len()
     }
 }
 
@@ -66,6 +97,7 @@ fn session_script(addr: std::net::SocketAddr) -> Lats {
         cur = client.d(p0).expect("d");
     });
     let mut seen = 0;
+    let first = cur;
     while let Some(c) = cur {
         seen += 1;
         timed(&mut lats.nav, &mut || {
@@ -77,6 +109,16 @@ fn session_script(addr: std::net::SocketAddr) -> Lats {
         timed(&mut lats.nav, &mut || {
             cur = client.r(c).expect("r");
         });
+    }
+    // Repeated in-place queries of one class from the first CustRec:
+    // after the first session compiles the template, every other issue
+    // (this session's and every other session's) is a shared-cache hit.
+    if let Some(p1) = first {
+        for _ in 0..REPEATS {
+            timed(&mut lats.repeat, &mut || {
+                client.q(QREPEAT, p1).expect("q");
+            });
+        }
     }
     timed(&mut lats.export, &mut || {
         client.export(p0, BROWSE as u32).expect("export");
@@ -91,16 +133,24 @@ fn main() {
     let (sessions, n_customers) = if smoke { (8, 60) } else { (64, 500) };
     let orders_per = 2;
 
-    let factory: Arc<dyn Fn() -> Mediator + Send + Sync> = Arc::new(move || {
-        let (catalog, _db) = mix_repro::datagen::customers_orders(n_customers, orders_per, 31);
-        Mediator::with_options(
-            catalog,
-            MediatorOptions::builder()
-                .access(AccessMode::Lazy)
-                .optimize(true)
-                .build(),
-        )
-    });
+    // One plan cache for the whole process: every session's mediator
+    // shares it, so repeated query classes compile once, not once per
+    // session.
+    let shared = Arc::new(SharedPlanCache::default());
+    let factory: Arc<dyn Fn() -> Mediator + Send + Sync> = {
+        let shared = Arc::clone(&shared);
+        Arc::new(move || {
+            let (catalog, _db) = mix_repro::datagen::customers_orders(n_customers, orders_per, 31);
+            Mediator::with_options(
+                catalog,
+                MediatorOptions::builder()
+                    .access(AccessMode::Lazy)
+                    .optimize(true)
+                    .shared_plan_cache(Arc::clone(&shared))
+                    .build(),
+            )
+        })
+    };
 
     // Correctness pin before timing: one wire render equals the
     // in-process render of the same node.
@@ -136,26 +186,49 @@ fn main() {
     let handles: Vec<_> = (0..sessions)
         .map(|_| std::thread::spawn(move || session_script(addr)))
         .collect();
+    // Sample the process thread count while the fleet is in flight:
+    // client threads + (2 + workers) server threads + prefetch pool —
+    // bounded by hardware, not by session count.
+    std::thread::sleep(Duration::from_millis(20));
+    let threads_under_load = os_threads();
     let mut lats = Lats::default();
     for h in handles {
         lats.absorb(h.join().expect("session thread"));
     }
     let wall = t0.elapsed();
     let opened = server.stats().get(Counter::SessionsOpened);
+    let server_threads = 2 + server.worker_count();
     server.shutdown();
     assert_eq!(opened as usize, sessions, "admission failed under load");
     assert_eq!(active_prefetchers(), 0, "leaked prefetcher threads");
+    let (cache_hits, cache_misses) = (
+        shared.stats().get(Counter::PlanCacheHits),
+        shared.stats().get(Counter::PlanCacheMisses),
+    );
+    assert!(
+        cache_hits > 0,
+        "expected cross-session plan-cache hits, got {cache_hits} hits / {cache_misses} misses"
+    );
 
     let total = lats.total();
     let throughput = total as f64 / wall.as_secs_f64();
+    let hit_rate = cache_hits as f64 / (cache_hits + cache_misses).max(1) as f64;
     println!(
         "serve_bench: {sessions} concurrent sessions, {total} commands in {:?} \
          ({throughput:.0} cmd/s)",
         wall
     );
+    println!(
+        "  shared plan cache: {cache_hits} hits / {cache_misses} misses \
+         ({:.0}% cross-session hit rate); {server_threads} server threads \
+         (+{} prefetch workers), {threads_under_load} process threads under load",
+        hit_rate * 100.0,
+        prefetch_pool_workers(),
+    );
     let mut classes: Vec<(&str, Vec<u128>)> = vec![
         ("query", lats.query),
         ("nav", lats.nav),
+        ("shared_cache_repeat", lats.repeat),
         ("export", lats.export),
     ];
     let mut case_lines = Vec::new();
@@ -167,7 +240,7 @@ fn main() {
             percentile(lat, 0.99),
         );
         println!(
-            "  {name:<8} n={:<6} p50={} p95={} p99={}",
+            "  {name:<20} n={:<6} p50={} p95={} p99={}",
             lat.len(),
             fmt_ns(p50),
             fmt_ns(p95),
@@ -182,18 +255,29 @@ fn main() {
     if !smoke {
         let json = format!(
             "{{\n  \"description\": \"Served-mode wire benchmark: {sessions} concurrent loopback \
-             sessions against one mix-serve server, each a fresh mediator over a \
-             {n_customers}x{orders_per} customers/orders database on its own worker thread. Each \
-             session runs one Q1 query, a {BROWSE}-sibling d/r+fl walk, one bulk export and a \
-             stats snapshot; latencies are client-observed round trips per command class. Wire \
-             output is pinned bit-identical to an in-process session by the equivalence suite \
-             (crates/serve/tests/serve.rs) and re-asserted by this bench before timing. \
-             Regenerate with `cargo bench -p mix-bench --bench serve_bench`.\",\n  \
+             sessions multiplexed over one mix-serve worker-pool server (acceptor + poller + \
+             {server_threads_minus2} session workers), each session a fresh mediator over a \
+             {n_customers}x{orders_per} customers/orders database sharing one process-wide \
+             SharedPlanCache. Each session runs one Q1 query, a {BROWSE}-sibling d/r+fl walk, \
+             {REPEATS} repeated in-place nested queries of one class (shared_cache_repeat — hits \
+             the plan template other sessions compiled), one bulk export and a stats snapshot; \
+             latencies are client-observed round trips per command class. os_threads_under_load \
+             is the whole process (client threads included) sampled mid-run; server threads are \
+             bounded by the pool, not the session count. Wire output is pinned bit-identical to \
+             an in-process session by the equivalence suite (crates/serve/tests/serve.rs) and \
+             re-asserted by this bench before timing. Regenerate with `cargo bench -p mix-bench \
+             --bench serve_bench`.\",\n  \
              \"sessions\": {sessions},\n  \"commands_total\": {total},\n  \
-             \"wall_ms\": {},\n  \"throughput_cmds_per_s\": {:.0},\n  \"latency\": [\n{}\n  ]\n}}\n",
+             \"wall_ms\": {},\n  \"throughput_cmds_per_s\": {:.0},\n  \
+             \"server_threads\": {server_threads},\n  \
+             \"os_threads_under_load\": {threads_under_load},\n  \
+             \"plan_cache_hits\": {cache_hits},\n  \"plan_cache_misses\": {cache_misses},\n  \
+             \"plan_cache_hit_rate\": {:.3},\n  \"latency\": [\n{}\n  ]\n}}\n",
             wall.as_millis(),
             throughput,
+            hit_rate,
             case_lines.join(",\n"),
+            server_threads_minus2 = server_threads - 2,
         );
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
         std::fs::write(path, json).expect("write BENCH_serve.json");

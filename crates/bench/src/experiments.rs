@@ -326,7 +326,7 @@ pub fn e8_rule_ablation() -> String {
         let split = split_plan(&rewritten.plan, &catalog);
         let n_rq = split.render().matches("rQ(").count();
         // Execute the ablated plan lazily and drain it.
-        let ctx = std::rc::Rc::new(EvalContext::new(catalog, AccessMode::Lazy));
+        let ctx = std::sync::Arc::new(EvalContext::new(catalog, AccessMode::Lazy));
         stats.reset();
         let v = VirtualResult::new(&split, ctx).expect("ablated plan runs");
         let mut n = 0usize;

@@ -227,14 +227,14 @@ pub const RULES: &[(&str, &str)] = &[
 
 fn table1_narration() -> String {
     use mix::engine::stream::build_stream;
-    use std::rc::Rc;
+    use std::sync::Arc;
     let (catalog, db) = mix::wrapper::fig2_catalog();
-    let ctx = Rc::new(EvalContext::new(catalog, AccessMode::Lazy));
+    let ctx = Arc::new(EvalContext::new(catalog, AccessMode::Lazy));
     let plan = translate(&parse_query(Q1).unwrap()).unwrap();
     let mix::algebra::Op::TupleDestroy { input, .. } = plan.root else {
         unreachable!()
     };
-    let mut s = build_stream(&input, &ctx, &Rc::new(HashMap::new())).unwrap();
+    let mut s = build_stream(&input, &ctx, &Arc::new(HashMap::new())).unwrap();
     let stats = db.stats().clone();
     let mut out = String::new();
     out.push_str("getRoot(): compiled, no source tuples pulled\n");

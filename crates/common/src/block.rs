@@ -21,7 +21,7 @@
 //! The ramp state lives in [`BlockRamp`], one per cursor-like consumer.
 
 /// How many rows a lazy consumer may fetch per pull.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BlockPolicy {
     /// One tuple per pull (the paper's model).
     Off,

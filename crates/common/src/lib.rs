@@ -23,9 +23,11 @@ pub mod column;
 pub mod error;
 pub mod intern;
 pub mod name;
+pub mod pool;
 pub mod prefetch;
 pub mod retry;
 pub mod ring;
+pub mod shard;
 pub mod stats;
 pub mod value;
 
@@ -34,7 +36,9 @@ pub use column::{ColData, Column, ColumnBlock};
 pub use error::{BackendError, FaultKind, MixError, Result, ResultContext};
 pub use intern::intern;
 pub use name::Name;
+pub use pool::{JobHandle, Pool, PoolJob, Step};
 pub use prefetch::{PrefetchPolicy, AUTO_PREFETCH_DEPTH};
 pub use retry::RetryPolicy;
+pub use shard::{ShardedLru, DEFAULT_SHARDS};
 pub use stats::{BlockRows, Counter, Delta, Snapshot, Stats};
 pub use value::{CmpOp, Value};

@@ -15,6 +15,12 @@
 //!   it to distinguish "block was already waiting" (a prefetch hit)
 //!   from "must stall" (counted in `PrefetchStallNs`).
 //!
+//! For the *pooled* prefetch executor the producer must never block a
+//! shared worker, so the ring also offers [`Sender::try_send`] plus a
+//! consumer-side waker hook ([`Receiver::set_waker`]): the callback
+//! fires whenever a slot frees up (an item is popped) or the receiver
+//! is dropped, which is how a parked producer job gets re-enqueued.
+//!
 //! Capacity is fixed at construction. One producer, one consumer; the
 //! handles are `Send` but not `Clone`.
 
@@ -26,6 +32,18 @@ struct Shared<T> {
     /// Producer waits on this when full; consumer when empty. One
     /// condvar is enough for SPSC: at most one thread waits per side.
     cv: Condvar,
+    /// Fired (outside the ring lock) when a slot frees up or the
+    /// receiver goes away — the pooled producer's wake signal.
+    waker: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
+}
+
+impl<T> Shared<T> {
+    fn fire_waker(&self) {
+        let w = self.waker.lock().unwrap().clone();
+        if let Some(w) = w {
+            w();
+        }
+    }
 }
 
 struct Ring<T> {
@@ -43,6 +61,19 @@ pub struct Sender<T> {
 /// Consumer half of a [`channel`].
 pub struct Receiver<T> {
     shared: Arc<Shared<T>>,
+}
+
+/// Result of a non-blocking [`Sender::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySend<T> {
+    /// The item was enqueued.
+    Sent,
+    /// The ring is full; the item is handed back — park and retry
+    /// after the waker fires.
+    Full(T),
+    /// The receiver is gone; the item is handed back — the producer
+    /// has been cancelled.
+    Closed(T),
 }
 
 /// Result of a non-blocking [`Receiver::try_recv`].
@@ -66,6 +97,7 @@ pub fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
             receiver_alive: true,
         }),
         cv: Condvar::new(),
+        waker: Mutex::new(None),
     });
     (
         Sender {
@@ -93,6 +125,23 @@ impl<T> Sender<T> {
             q = self.shared.cv.wait(q).unwrap();
         }
     }
+
+    /// Non-blocking enqueue: never waits, handing the item back when
+    /// the ring is full ([`TrySend::Full`]) or the receiver is gone
+    /// ([`TrySend::Closed`]). The pooled prefetch producer's send path.
+    pub fn try_send(&self, item: T) -> TrySend<T> {
+        let mut q = self.shared.q.lock().unwrap();
+        if !q.receiver_alive {
+            return TrySend::Closed(item);
+        }
+        if q.buf.len() < q.cap {
+            q.buf.push_back(item);
+            self.shared.cv.notify_all();
+            TrySend::Sent
+        } else {
+            TrySend::Full(item)
+        }
+    }
 }
 
 impl<T> Drop for Sender<T> {
@@ -104,33 +153,53 @@ impl<T> Drop for Sender<T> {
 }
 
 impl<T> Receiver<T> {
+    /// Register the free-slot callback: fired after every successful
+    /// pop and when this receiver is dropped. At most one waker; a
+    /// later call replaces the earlier one.
+    pub fn set_waker(&self, f: impl Fn() + Send + Sync + 'static) {
+        *self.shared.waker.lock().unwrap() = Some(Arc::new(f));
+    }
+
     /// Block until an item arrives; `None` once the channel is closed
     /// and drained.
     pub fn recv(&self) -> Option<T> {
-        let mut q = self.shared.q.lock().unwrap();
-        loop {
-            if let Some(item) = q.buf.pop_front() {
-                self.shared.cv.notify_all();
-                return Some(item);
+        let item = {
+            let mut q = self.shared.q.lock().unwrap();
+            loop {
+                if let Some(item) = q.buf.pop_front() {
+                    self.shared.cv.notify_all();
+                    break item;
+                }
+                if !q.sender_alive {
+                    return None;
+                }
+                q = self.shared.cv.wait(q).unwrap();
             }
-            if !q.sender_alive {
-                return None;
-            }
-            q = self.shared.cv.wait(q).unwrap();
-        }
+        };
+        self.shared.fire_waker();
+        Some(item)
     }
 
     /// Non-blocking poll.
     pub fn try_recv(&self) -> TryRecv<T> {
-        let mut q = self.shared.q.lock().unwrap();
-        if let Some(item) = q.buf.pop_front() {
-            self.shared.cv.notify_all();
-            return TryRecv::Item(item);
+        let popped = {
+            let mut q = self.shared.q.lock().unwrap();
+            match q.buf.pop_front() {
+                Some(item) => {
+                    self.shared.cv.notify_all();
+                    Some(item)
+                }
+                None if !q.sender_alive => return TryRecv::Closed,
+                None => None,
+            }
+        };
+        match popped {
+            Some(item) => {
+                self.shared.fire_waker();
+                TryRecv::Item(item)
+            }
+            None => TryRecv::Empty,
         }
-        if !q.sender_alive {
-            return TryRecv::Closed;
-        }
-        TryRecv::Empty
     }
 }
 
@@ -142,6 +211,9 @@ impl<T> Drop for Receiver<T> {
         // matters is waking a producer blocked in `send` so it can see
         // the cancellation.
         self.shared.cv.notify_all();
+        drop(q);
+        // And waking a *parked* pooled producer so it can wind down.
+        self.shared.fire_waker();
     }
 }
 
@@ -192,6 +264,40 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         drop(rx);
         assert_eq!(t.join().unwrap(), Err(2));
+    }
+
+    #[test]
+    fn try_send_full_and_closed() {
+        let (tx, rx) = channel(1);
+        assert_eq!(tx.try_send(1), TrySend::Sent);
+        assert_eq!(tx.try_send(2), TrySend::Full(2));
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(tx.try_send(3), TrySend::Sent);
+        drop(rx);
+        assert_eq!(tx.try_send(4), TrySend::Closed(4));
+    }
+
+    #[test]
+    fn waker_fires_on_pop_and_receiver_drop() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let fired = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel(2);
+        {
+            let fired = Arc::clone(&fired);
+            rx.set_waker(move || {
+                fired.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Some(1)); // pop → wake
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert_eq!(rx.try_recv(), TryRecv::Item(2)); // pop → wake
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        assert_eq!(rx.try_recv(), TryRecv::Empty); // no pop → no wake
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        drop(rx); // drop → wake
+        assert_eq!(fired.load(Ordering::SeqCst), 3);
     }
 
     #[test]

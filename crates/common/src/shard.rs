@@ -1,0 +1,202 @@
+//! A mutex-striped, sharded LRU map — the substrate of the process-wide
+//! plan cache shared across server sessions.
+//!
+//! Keys hash to one of N shards; each shard is a small `Mutex<Vec<..>>`
+//! LRU (front = most recent), mirroring the per-session plan cache's
+//! eviction order. Values travel behind `Arc`, so a hit is clone-free:
+//! the caller gets a reference-counted handle to the cached template
+//! and the lock is held only for the lookup/bump itself.
+//!
+//! Contention is observable: a `get`/`insert` that finds its shard lock
+//! taken counts one `PlanCacheShardContention` before blocking. Hits
+//! and misses are counted on the same [`Stats`] (process-wide, distinct
+//! from any session's own counters) so a served workload can report its
+//! *cross-session* hit rate separately from per-session numbers.
+
+use crate::stats::{Counter, Stats};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+/// Default shard count for a process-wide cache: enough stripes that
+/// tens of concurrent sessions rarely collide on one lock.
+pub const DEFAULT_SHARDS: usize = 8;
+
+struct Shard<K, V> {
+    /// Front = most recently used, like the per-session plan cache.
+    entries: Vec<(K, Arc<V>)>,
+}
+
+/// A sharded LRU of `Arc`'d values, safe to share across threads.
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    per_shard_cap: usize,
+    stats: Stats,
+}
+
+impl<K: Hash + Eq, V> ShardedLru<K, V> {
+    /// A cache of `shards` stripes holding at most `per_shard_cap`
+    /// entries each (both clamped to at least 1).
+    pub fn new(shards: usize, per_shard_cap: usize) -> ShardedLru<K, V> {
+        let shards = shards.max(1);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: Vec::new(),
+                    })
+                })
+                .collect(),
+            per_shard_cap: per_shard_cap.max(1),
+            stats: Stats::new(),
+        }
+    }
+
+    /// Process-wide cache counters: `PlanCacheHits`/`Misses` (the
+    /// cross-session hit rate) and `PlanCacheShardContention`.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Number of stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-stripe capacity.
+    pub fn per_shard_cap(&self) -> usize {
+        self.per_shard_cap
+    }
+
+    /// Total entries across all shards (racy snapshot; test/debug use).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().entries.len())
+            .sum()
+    }
+
+    /// True when no shard holds anything.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard_for(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    fn lock<'a>(&self, shard: &'a Mutex<Shard<K, V>>) -> std::sync::MutexGuard<'a, Shard<K, V>> {
+        match shard.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.stats.inc(Counter::PlanCacheShardContention);
+                shard.lock().unwrap()
+            }
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+        }
+    }
+
+    /// Look `key` up, bumping it to most-recent on hit. The returned
+    /// `Arc` is a clone-free handle to the shared value.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let shard = self.shard_for(key);
+        let mut g = self.lock(shard);
+        match g.entries.iter().position(|(k, _)| k == key) {
+            Some(pos) => {
+                let e = g.entries.remove(pos);
+                let v = Arc::clone(&e.1);
+                g.entries.insert(0, e);
+                self.stats.inc(Counter::PlanCacheHits);
+                Some(v)
+            }
+            None => {
+                self.stats.inc(Counter::PlanCacheMisses);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `key`, evicting the shard's least-recent
+    /// entry beyond capacity.
+    pub fn insert(&self, key: K, value: Arc<V>) {
+        let shard = self.shard_for(&key);
+        let mut g = self.lock(shard);
+        g.entries.retain(|(k, _)| k != &key);
+        g.entries.insert(0, (key, value));
+        g.entries.truncate(self.per_shard_cap);
+    }
+}
+
+impl<K, V> std::fmt::Debug for ShardedLru<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedLru")
+            .field("shards", &self.shards.len())
+            .field("per_shard_cap", &self.per_shard_cap)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_lru_bump() {
+        let c: ShardedLru<u32, String> = ShardedLru::new(1, 2);
+        assert!(c.get(&1).is_none());
+        c.insert(1, Arc::new("a".into()));
+        c.insert(2, Arc::new("b".into()));
+        assert_eq!(*c.get(&1).unwrap(), "a"); // bumps 1 to front
+        c.insert(3, Arc::new("c".into())); // evicts 2 (LRU)
+        assert!(c.get(&2).is_none());
+        assert!(c.get(&1).is_some());
+        assert!(c.get(&3).is_some());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().get(Counter::PlanCacheHits), 3);
+        assert_eq!(c.stats().get(Counter::PlanCacheMisses), 2);
+    }
+
+    #[test]
+    fn insert_refreshes_existing_key() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(4, 4);
+        c.insert(7, Arc::new(1));
+        c.insert(7, Arc::new(2));
+        assert_eq!(*c.get(&7).unwrap(), 2);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let c: Arc<ShardedLru<u64, u64>> = Arc::new(ShardedLru::new(4, 8));
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let k = (t * 31 + i) % 32;
+                        c.insert(k, Arc::new(k * 10));
+                        if let Some(v) = c.get(&k) {
+                            assert_eq!(*v % 10, 0);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.len() <= 4 * 8);
+    }
+
+    #[test]
+    fn shards_and_caps_clamped() {
+        let c: ShardedLru<u8, u8> = ShardedLru::new(0, 0);
+        assert_eq!(c.shard_count(), 1);
+        assert_eq!(c.per_shard_cap(), 1);
+        c.insert(1, Arc::new(1));
+        c.insert(2, Arc::new(2));
+        assert_eq!(c.len(), 1);
+    }
+}

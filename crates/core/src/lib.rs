@@ -74,8 +74,12 @@ pub mod prelude {
     pub use mix_engine::{AccessMode, EvalContext, GByMode, VirtualResult};
     pub use mix_obs::{CollectingTracer, LogTracer, Tracer, TracerHandle};
     pub use mix_proto::{Command, Frame, Reply, WireNode, PROTO_VERSION};
-    pub use mix_qdom::{Mediator, MediatorOptions, MediatorOptionsBuilder, QNode, QdomSession};
-    pub use mix_relational::{active_prefetchers, Database, FaultPolicy, Schema};
+    pub use mix_qdom::{
+        Mediator, MediatorOptions, MediatorOptionsBuilder, QNode, QdomSession, SharedPlanCache,
+    };
+    pub use mix_relational::{
+        active_prefetchers, prefetch_pool_workers, Database, FaultPolicy, Schema,
+    };
     pub use mix_rewrite::{optimize, rewrite, split_plan};
     pub use mix_serve::{Server, ServerConfig, WireClient, WireError};
     pub use mix_wrapper::{Catalog, RelationSource};

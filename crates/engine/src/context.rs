@@ -8,9 +8,10 @@ use mix_common::{
 use mix_obs::TracerHandle;
 use mix_wrapper::Catalog;
 use mix_xml::{NavDoc, Oid};
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex;
 
 /// How source views are obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,9 +77,9 @@ pub struct EvalContext {
     /// drain in this session has ramped up, later cursors skip the
     /// small-block warm-up below this floor (see
     /// [`EvalContext::block_ramp`]).
-    ramp_floor: Cell<usize>,
+    ramp_floor: AtomicUsize,
     stats: Stats,
-    docs: RefCell<HashMap<Name, Rc<dyn NavDoc>>>,
+    docs: Mutex<HashMap<Name, Arc<dyn NavDoc>>>,
 }
 
 impl EvalContext {
@@ -94,9 +95,9 @@ impl EvalContext {
             retry: RetryPolicy::default(),
             prefetch: PrefetchPolicy::default(),
             columnar: true,
-            ramp_floor: Cell::new(1),
+            ramp_floor: AtomicUsize::new(1),
             stats: Stats::new(),
-            docs: RefCell::new(HashMap::new()),
+            docs: Mutex::new(HashMap::new()),
         }
     }
 
@@ -106,7 +107,9 @@ impl EvalContext {
     /// same session thus skips the 1→2→4… warm-up that made small
     /// fixed blocks beat `Auto` on short re-drains.
     pub fn block_ramp(&self) -> BlockRamp {
-        self.block.ramp().with_floor(self.ramp_floor.get())
+        self.block
+            .ramp()
+            .with_floor(self.ramp_floor.load(Ordering::Relaxed))
     }
 
     /// Record an observed block size, lifting the session ramp floor.
@@ -114,8 +117,9 @@ impl EvalContext {
     /// blocks must not drag the floor around, and tiny floors save
     /// nothing anyway.
     pub fn note_block(&self, rows: usize) {
-        if rows >= 8 && rows > self.ramp_floor.get() {
-            self.ramp_floor.set(rows.min(MAX_AUTO_BLOCK));
+        if rows >= 8 && rows > self.ramp_floor.load(Ordering::Relaxed) {
+            self.ramp_floor
+                .store(rows.min(MAX_AUTO_BLOCK), Ordering::Relaxed);
         }
     }
 
@@ -137,9 +141,9 @@ impl EvalContext {
     /// The navigable view of a source, cached so all `mksrc` operators
     /// on the same source share one fetch cursor (and node refs stay
     /// stable across the session).
-    pub fn doc(&self, name: &Name) -> Result<Rc<dyn NavDoc>> {
-        if let Some(d) = self.docs.borrow().get(name) {
-            return Ok(Rc::clone(d));
+    pub fn doc(&self, name: &Name) -> Result<Arc<dyn NavDoc>> {
+        if let Some(d) = self.docs.lock().unwrap().get(name) {
+            return Ok(Arc::clone(d));
         }
         let d = match self.mode {
             AccessMode::Lazy => self
@@ -148,15 +152,21 @@ impl EvalContext {
                 .context(name)?,
             AccessMode::Eager => self.catalog.materialized(name.as_str()).context(name)?,
         };
-        self.docs.borrow_mut().insert(name.clone(), Rc::clone(&d));
+        self.docs
+            .lock()
+            .unwrap()
+            .insert(name.clone(), Arc::clone(&d));
         Ok(d)
     }
 
     /// Register an in-memory document under its name (used to splice a
     /// materialized intermediate result in as a source — the
     /// "materialize then re-query" baseline of experiment E3).
-    pub fn register_doc(&self, doc: Rc<dyn NavDoc>) {
-        self.docs.borrow_mut().insert(doc.doc_name().clone(), doc);
+    pub fn register_doc(&self, doc: Arc<dyn NavDoc>) {
+        self.docs
+            .lock()
+            .unwrap()
+            .insert(doc.doc_name().clone(), doc);
     }
 
     // ---- generic LVal navigation ------------------------------------
@@ -309,7 +319,7 @@ mod tests {
         let c = ctx(AccessMode::Lazy);
         let a = c.doc(&Name::new("root1")).unwrap();
         let b = c.doc(&Name::new("root1")).unwrap();
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert!(c.doc(&Name::new("nope")).is_err());
     }
 
@@ -340,7 +350,7 @@ mod tests {
     #[test]
     fn lval_navigation_over_constructed() {
         let c = ctx(AccessMode::Eager);
-        let e = LVal::Elem(Rc::new(LElem {
+        let e = LVal::Elem(Arc::new(LElem {
             label: Name::new("CustRec"),
             oid: Oid::skolem("f", "V", vec![Oid::key("X")]),
             children: LList::fixed(vec![LVal::Leaf(Value::Int(7))]),

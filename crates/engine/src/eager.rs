@@ -19,7 +19,7 @@ use mix_common::{Counter, MixError, Name, Result, ResultContext, Value};
 use mix_obs::ExecProfile;
 use mix_xml::{Document, NodeRef, Oid};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Evaluate a complete plan (rooted at `tD`) into a materialized
 /// result document.
@@ -33,7 +33,7 @@ pub fn evaluate(plan: &mix_algebra::Plan, ctx: &EvalContext) -> Result<Document>
 pub fn evaluate_profiled(
     plan: &mix_algebra::Plan,
     ctx: &EvalContext,
-    profile: Option<&Rc<ExecProfile>>,
+    profile: Option<&Arc<ExecProfile>>,
 ) -> Result<Document> {
     match &plan.root {
         Op::TupleDestroy { input, var, root } => {
@@ -135,7 +135,7 @@ fn eval_table_profiled(
     op: &Op,
     ctx: &EvalContext,
     env: &HashMap<Name, BindingTable>,
-    profile: Option<&Rc<ExecProfile>>,
+    profile: Option<&Arc<ExecProfile>>,
     next: &mut usize,
 ) -> Result<BindingTable> {
     let id = *next;
@@ -169,7 +169,7 @@ fn eval_table_inner(
     op: &Op,
     ctx: &EvalContext,
     env: &HashMap<Name, BindingTable>,
-    profile: Option<&Rc<ExecProfile>>,
+    profile: Option<&Arc<ExecProfile>>,
     next: &mut usize,
     extra: &mut Vec<(&'static str, String)>,
 ) -> Result<BindingTable> {
@@ -177,15 +177,15 @@ fn eval_table_inner(
     match op {
         Op::MkSrc { source, var } => {
             let d = ctx.doc(source)?;
-            let vars = Rc::new(vec![var.clone()]);
+            let vars = Arc::new(vec![var.clone()]);
             let mut table = BindingTable {
-                vars: Rc::clone(&vars),
+                vars: Arc::clone(&vars),
                 tuples: vec![],
             };
             let mut c = d.try_first_child(d.root())?;
             while let Some(n) = c {
                 table.tuples.push(LTuple::new(
-                    Rc::clone(&vars),
+                    Arc::clone(&vars),
                     vec![LVal::Src {
                         doc: source.clone(),
                         node: n,
@@ -211,9 +211,9 @@ fn eval_table_inner(
             };
             *next += 1; // the view's tD node
             let inner = eval_table_profiled(view_input, ctx, env, profile, next)?;
-            let vars = Rc::new(vec![var.clone()]);
+            let vars = Arc::new(vec![var.clone()]);
             let mut table = BindingTable {
-                vars: Rc::clone(&vars),
+                vars: Arc::clone(&vars),
                 tuples: vec![],
             };
             for t in &inner.tuples {
@@ -221,7 +221,7 @@ fn eval_table_inner(
                     .get(view_var)
                     .cloned()
                     .ok_or_else(|| MixError::internal("view tD var missing"))?;
-                table.tuples.push(LTuple::new(Rc::clone(&vars), vec![v]));
+                table.tuples.push(LTuple::new(Arc::clone(&vars), vec![v]));
             }
             Ok(table)
         }
@@ -234,7 +234,7 @@ fn eval_table_inner(
             let inp = eval_table_profiled(input, ctx, env, profile, next)?;
             let vars = extend_vars(&inp.vars, to);
             let mut out = BindingTable {
-                vars: Rc::clone(&vars),
+                vars: Arc::clone(&vars),
                 tuples: vec![],
             };
             for t in &inp.tuples {
@@ -244,7 +244,7 @@ fn eval_table_inner(
                 for hit in eval_path(ctx, base, path)? {
                     let mut vals = t.vals.clone();
                     vals.push(hit);
-                    out.tuples.push(LTuple::new(Rc::clone(&vars), vals));
+                    out.tuples.push(LTuple::new(Arc::clone(&vars), vals));
                 }
             }
             Ok(out)
@@ -279,9 +279,9 @@ fn eval_table_inner(
             let r = eval_table_profiled(right, ctx, env, profile, next)?;
             let mut vars = (*l.vars).clone();
             vars.extend(r.vars.iter().cloned());
-            let vars = Rc::new(vars);
+            let vars = Arc::new(vars);
             let mut out = BindingTable {
-                vars: Rc::clone(&vars),
+                vars: Arc::clone(&vars),
                 tuples: vec![],
             };
             let split = mix_algebra::split_equi(cond.as_ref(), &l.vars, &r.vars);
@@ -397,14 +397,14 @@ fn eval_table_inner(
             let inp = eval_table_profiled(input, ctx, env, profile, next)?;
             let vars = extend_vars(&inp.vars, out);
             let mut table = BindingTable {
-                vars: Rc::clone(&vars),
+                vars: Arc::clone(&vars),
                 tuples: vec![],
             };
             for t in &inp.tuples {
                 let elem = build_element(ctx, t, label, skolem, group, children, out)?;
                 let mut vals = t.vals.clone();
                 vals.push(elem);
-                table.tuples.push(LTuple::new(Rc::clone(&vars), vals));
+                table.tuples.push(LTuple::new(Arc::clone(&vars), vals));
             }
             Ok(table)
         }
@@ -417,14 +417,14 @@ fn eval_table_inner(
             let inp = eval_table_profiled(input, ctx, env, profile, next)?;
             let vars = extend_vars(&inp.vars, out);
             let mut table = BindingTable {
-                vars: Rc::clone(&vars),
+                vars: Arc::clone(&vars),
                 tuples: vec![],
             };
             for t in &inp.tuples {
                 let list = cat_value(t, left, right)?;
                 let mut vals = t.vals.clone();
                 vals.push(list);
-                table.tuples.push(LTuple::new(Rc::clone(&vars), vals));
+                table.tuples.push(LTuple::new(Arc::clone(&vars), vals));
             }
             Ok(table)
         }
@@ -447,9 +447,9 @@ fn eval_table_inner(
                 groups.entry(key).or_default().push(t.clone());
             }
             let vars: Vec<Name> = group.iter().cloned().chain([out.clone()]).collect();
-            let vars = Rc::new(vars);
+            let vars = Arc::new(vars);
             let mut table = BindingTable {
-                vars: Rc::clone(&vars),
+                vars: Arc::clone(&vars),
                 tuples: vec![],
             };
             for key in order {
@@ -464,8 +464,8 @@ fn eval_table_inner(
                             .ok_or_else(|| MixError::plan("gBy var unbound"))
                     })
                     .collect::<Result<_>>()?;
-                vals.push(LVal::Part(Partition::done(Rc::clone(&inp.vars), tuples)));
-                table.tuples.push(LTuple::new(Rc::clone(&vars), vals));
+                vals.push(LVal::Part(Partition::done(Arc::clone(&inp.vars), tuples)));
+                table.tuples.push(LTuple::new(Arc::clone(&vars), vals));
             }
             Ok(table)
         }
@@ -482,7 +482,7 @@ fn eval_table_inner(
             *next += subtree_size(plan);
             let vars = extend_vars(&inp.vars, out);
             let mut table = BindingTable {
-                vars: Rc::clone(&vars),
+                vars: Arc::clone(&vars),
                 tuples: vec![],
             };
             for t in &inp.tuples {
@@ -500,7 +500,7 @@ fn eval_table_inner(
                     env2.insert(
                         p.clone(),
                         BindingTable {
-                            vars: Rc::clone(&part.vars),
+                            vars: Arc::clone(&part.vars),
                             tuples: part.force()?,
                         },
                     );
@@ -508,7 +508,7 @@ fn eval_table_inner(
                 let result = eval_nested(plan, ctx, &env2, profile, nested_base)?;
                 let mut vals = t.vals.clone();
                 vals.push(result);
-                table.tuples.push(LTuple::new(Rc::clone(&vars), vals));
+                table.tuples.push(LTuple::new(Arc::clone(&vars), vals));
             }
             Ok(table)
         }
@@ -522,9 +522,9 @@ fn eval_table_inner(
             let db = ctx.catalog().database(server.as_str()).context(server)?;
             let mut cur = db.execute(sql).context(server)?;
             let vars: Vec<Name> = map.iter().map(|b| b.var.clone()).collect();
-            let vars = Rc::new(vars);
+            let vars = Arc::new(vars);
             let mut table = BindingTable {
-                vars: Rc::clone(&vars),
+                vars: Arc::clone(&vars),
                 tuples: vec![],
             };
             // Eager materialization fetches the whole result in blocks,
@@ -533,9 +533,10 @@ fn eval_table_inner(
             let mut rows = Vec::new();
             cur.drain_retrying(&mut rows, &ctx.retry).context(server)?;
             for row in &rows {
-                table
-                    .tuples
-                    .push(LTuple::new(Rc::clone(&vars), rq_row_to_vals(ctx, map, row)));
+                table.tuples.push(LTuple::new(
+                    Arc::clone(&vars),
+                    rq_row_to_vals(ctx, map, row),
+                ));
             }
             Ok(table)
         }
@@ -572,7 +573,7 @@ fn eval_nested(
     plan: &Op,
     ctx: &EvalContext,
     env: &HashMap<Name, BindingTable>,
-    profile: Option<&Rc<ExecProfile>>,
+    profile: Option<&Arc<ExecProfile>>,
     nested_base: usize,
 ) -> Result<LVal> {
     match plan {
@@ -636,7 +637,7 @@ pub fn build_element(
         },
     };
     ctx.stats().inc(Counter::NodesBuilt);
-    Ok(LVal::Elem(Rc::new(LElem {
+    Ok(LVal::Elem(Arc::new(LElem {
         label: label.clone(),
         oid,
         children: kids,
@@ -695,10 +696,10 @@ pub(crate) fn dedup_key(ctx: &EvalContext, v: &LVal) -> Option<Oid> {
     }
 }
 
-fn extend_vars(vars: &Rc<Vec<Name>>, extra: &Name) -> Rc<Vec<Name>> {
+fn extend_vars(vars: &Arc<Vec<Name>>, extra: &Name) -> Arc<Vec<Name>> {
     let mut v = (**vars).clone();
     v.push(extra.clone());
-    Rc::new(v)
+    Arc::new(v)
 }
 
 /// A deduplication key for projected tuples (π̃ has set semantics).
@@ -730,7 +731,7 @@ pub(crate) fn rq_row_to_vals(
                     .map(|(cname, pos)| {
                         let v = row.get(*pos).cloned().unwrap_or(Value::Null);
                         ctx.stats().inc(Counter::NodesBuilt);
-                        LVal::Elem(Rc::new(LElem {
+                        LVal::Elem(Arc::new(LElem {
                             label: cname.clone(),
                             oid: Oid::key(format!("{key_text}.{cname}")),
                             children: LList::one(LVal::Leaf(v)),
@@ -738,7 +739,7 @@ pub(crate) fn rq_row_to_vals(
                     })
                     .collect();
                 ctx.stats().inc(Counter::NodesBuilt);
-                LVal::Elem(Rc::new(LElem {
+                LVal::Elem(Arc::new(LElem {
                     label: element.clone(),
                     oid: Oid::key(key_text),
                     children: LList::fixed(kids),

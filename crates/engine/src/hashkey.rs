@@ -20,7 +20,7 @@ use crate::lval::LTuple;
 use mix_algebra::{EquiPair, KeyKind, Side};
 use mix_common::{Name, Value};
 use mix_xml::Oid;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One normalized key component.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -88,13 +88,13 @@ pub(crate) fn tuple_key(
 /// [`tuple_key`] resolves each pair's variable by a linear name search
 /// in the tuple's schema — fine for one tuple, loop-invariant work for
 /// a *stream*: every tuple a stream produces shares one
-/// `Rc<Vec<Name>>`. The cache keys on that `Rc`'s identity and
+/// `Arc<Vec<Name>>`. The cache keys on that `Rc`'s identity and
 /// re-resolves only when the schema pointer actually changes (in
 /// practice: once per build/probe side), so the per-tuple cost is an
 /// indexed load instead of `pairs × vars` name comparisons.
 pub(crate) struct KeyCache {
     side: Side,
-    vars: Option<Rc<Vec<Name>>>,
+    vars: Option<Arc<Vec<Name>>>,
     pos: Vec<Option<usize>>,
 }
 
@@ -120,7 +120,7 @@ impl KeyCache {
         t: &LTuple,
         pairs: &[EquiPair],
     ) -> Option<Vec<KeyPart>> {
-        if !self.vars.as_ref().is_some_and(|v| Rc::ptr_eq(v, &t.vars)) {
+        if !self.vars.as_ref().is_some_and(|v| Arc::ptr_eq(v, &t.vars)) {
             self.pos.clear();
             self.pos.extend(pairs.iter().map(|p| {
                 let var = match self.side {
@@ -129,7 +129,7 @@ impl KeyCache {
                 };
                 t.vars.iter().position(|n| n == var)
             }));
-            self.vars = Some(Rc::clone(&t.vars));
+            self.vars = Some(Arc::clone(&t.vars));
         }
         pairs
             .iter()

@@ -9,9 +9,9 @@
 
 use mix_common::{MixError, Name, Result, Value};
 use mix_xml::{NodeRef, Oid};
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 /// A value bound to a variable in a binding list.
 #[derive(Clone)]
@@ -21,7 +21,7 @@ pub enum LVal {
     /// A leaf value (typed text). Its oid is the literal itself.
     Leaf(Value),
     /// An element constructed by `crElt` (or reconstructed by `rQ`).
-    Elem(Rc<LElem>),
+    Elem(Arc<LElem>),
     /// A list of elements (`cat`/`apply` outputs), possibly lazy.
     List(LList),
     /// A set of binding lists: a `groupBy` partition.
@@ -54,14 +54,14 @@ pub enum ChildPart {
     /// re-access is sound because the generated elements are
     /// identified structurally (derived key oids).
     Gen {
-        gen: Rc<dyn KidGen>,
+        gen: Arc<dyn KidGen>,
         row: u32,
         parent: Oid,
     },
 }
 
 /// A stateless child generator (see [`ChildPart::Gen`]).
-pub trait KidGen {
+pub trait KidGen: Send + Sync {
     /// Children per element (every element of one generator has the
     /// same arity).
     fn count(&self) -> usize;
@@ -72,18 +72,20 @@ pub trait KidGen {
 
 /// A list value: an ordered sequence of parts.
 ///
-/// The parts live in a shared slice (`Rc<[ChildPart]>`): one
+/// The parts live in a shared slice (`Arc<[ChildPart]>`): one
 /// allocation per list, and the single-part constructors below build
 /// it directly without an intermediate `Vec`.
 #[derive(Clone)]
 pub struct LList {
-    pub parts: Rc<[ChildPart]>,
+    pub parts: Arc<[ChildPart]>,
 }
 
 impl LList {
     /// The empty list.
     pub fn empty() -> LList {
-        LList { parts: Rc::new([]) }
+        LList {
+            parts: Arc::new([]),
+        }
     }
 
     /// A fully materialized list.
@@ -96,28 +98,28 @@ impl LList {
     /// A one-value list, built without an intermediate `Vec<LVal>`.
     pub fn one(val: LVal) -> LList {
         LList {
-            parts: Rc::new([ChildPart::One(val)]),
+            parts: Arc::new([ChildPart::One(val)]),
         }
     }
 
     /// A two-part list (the `cat` shape), one allocation.
     pub fn two(a: ChildPart, b: ChildPart) -> LList {
         LList {
-            parts: Rc::new([a, b]),
+            parts: Arc::new([a, b]),
         }
     }
 
     /// A list backed by one shared stateless generator run.
-    pub fn generated(gen: Rc<dyn KidGen>, row: u32, parent: Oid) -> LList {
+    pub fn generated(gen: Arc<dyn KidGen>, row: u32, parent: Oid) -> LList {
         LList {
-            parts: Rc::new([ChildPart::Gen { gen, row, parent }]),
+            parts: Arc::new([ChildPart::Gen { gen, row, parent }]),
         }
     }
 
     /// A list backed by one lazy producer.
     pub fn lazy(producer: LazyList) -> LList {
         LList {
-            parts: Rc::new([ChildPart::Lazy(producer)]),
+            parts: Arc::new([ChildPart::Lazy(producer)]),
         }
     }
 
@@ -185,12 +187,12 @@ pub fn force_list(list: &LList) -> Result<Vec<LVal>> {
 /// produced plus an optional producer for the rest.
 #[derive(Clone)]
 pub struct LazyList {
-    inner: Rc<RefCell<LazyListState>>,
+    inner: Arc<Mutex<LazyListState>>,
 }
 
 struct LazyListState {
     produced: Vec<LVal>,
-    producer: Option<Box<dyn FnMut() -> Result<Option<LVal>>>>,
+    producer: Option<Box<dyn FnMut() -> Result<Option<LVal>> + Send>>,
     /// A producer failure, latched: the produced prefix stays
     /// readable, asking for more re-reports the error.
     error: Option<MixError>,
@@ -198,9 +200,9 @@ struct LazyListState {
 
 impl LazyList {
     /// Wrap a producer closure (`Ok(None)` = exhausted; `Err` latches).
-    pub fn new(producer: Box<dyn FnMut() -> Result<Option<LVal>>>) -> LazyList {
+    pub fn new(producer: Box<dyn FnMut() -> Result<Option<LVal>> + Send>) -> LazyList {
         LazyList {
-            inner: Rc::new(RefCell::new(LazyListState {
+            inner: Arc::new(Mutex::new(LazyListState {
                 produced: Vec::new(),
                 producer: Some(producer),
                 error: None,
@@ -211,7 +213,7 @@ impl LazyList {
     /// An already-exhausted lazy list over the given values.
     pub fn done(vals: Vec<LVal>) -> LazyList {
         LazyList {
-            inner: Rc::new(RefCell::new(LazyListState {
+            inner: Arc::new(Mutex::new(LazyListState {
                 produced: vals,
                 producer: None,
                 error: None,
@@ -221,7 +223,7 @@ impl LazyList {
 
     /// The value at `index`, producing up to it on demand.
     pub fn get(&self, index: usize) -> Result<Option<LVal>> {
-        let mut st = self.inner.borrow_mut();
+        let mut st = self.inner.lock().unwrap();
         while st.produced.len() <= index {
             if let Some(e) = &st.error {
                 return Err(e.clone());
@@ -256,7 +258,7 @@ impl LazyList {
 
     /// How many values have been produced so far (laziness metric).
     pub fn produced_len(&self) -> usize {
-        self.inner.borrow().produced.len()
+        self.inner.lock().unwrap().produced.len()
     }
 }
 
@@ -268,27 +270,27 @@ impl LazyList {
 /// commands on the underlying stream until the key changes).
 #[derive(Clone)]
 pub struct Partition {
-    pub vars: Rc<Vec<Name>>,
-    inner: Rc<RefCell<PartitionState>>,
+    pub vars: Arc<Vec<Name>>,
+    inner: Arc<Mutex<PartitionState>>,
 }
 
 struct PartitionState {
     tuples: Vec<LTuple>,
     /// Pulls the next tuple of this group from the shared stream;
     /// `None` once the group is complete.
-    producer: Option<Box<dyn FnMut() -> Result<Option<LTuple>>>>,
+    producer: Option<Box<dyn FnMut() -> Result<Option<LTuple>> + Send>>,
     /// A producer failure, latched (see [`LazyList`]).
     error: Option<MixError>,
 }
 
 impl Partition {
     pub fn new(
-        vars: Rc<Vec<Name>>,
-        producer: Box<dyn FnMut() -> Result<Option<LTuple>>>,
+        vars: Arc<Vec<Name>>,
+        producer: Box<dyn FnMut() -> Result<Option<LTuple>> + Send>,
     ) -> Partition {
         Partition {
             vars,
-            inner: Rc::new(RefCell::new(PartitionState {
+            inner: Arc::new(Mutex::new(PartitionState {
                 tuples: Vec::new(),
                 producer: Some(producer),
                 error: None,
@@ -296,10 +298,10 @@ impl Partition {
         }
     }
 
-    pub fn done(vars: Rc<Vec<Name>>, tuples: Vec<LTuple>) -> Partition {
+    pub fn done(vars: Arc<Vec<Name>>, tuples: Vec<LTuple>) -> Partition {
         Partition {
             vars,
-            inner: Rc::new(RefCell::new(PartitionState {
+            inner: Arc::new(Mutex::new(PartitionState {
                 tuples,
                 producer: None,
                 error: None,
@@ -309,7 +311,7 @@ impl Partition {
 
     /// Tuple at `index`, pulling from the shared stream on demand.
     pub fn get(&self, index: usize) -> Result<Option<LTuple>> {
-        let mut st = self.inner.borrow_mut();
+        let mut st = self.inner.lock().unwrap();
         while st.tuples.len() <= index {
             if let Some(e) = &st.error {
                 return Err(e.clone());
@@ -347,12 +349,12 @@ impl Partition {
 /// is shared across a stream's tuples.
 #[derive(Clone)]
 pub struct LTuple {
-    pub vars: Rc<Vec<Name>>,
+    pub vars: Arc<Vec<Name>>,
     pub vals: Vec<LVal>,
 }
 
 impl LTuple {
-    pub fn new(vars: Rc<Vec<Name>>, vals: Vec<LVal>) -> LTuple {
+    pub fn new(vars: Arc<Vec<Name>>, vals: Vec<LVal>) -> LTuple {
         debug_assert_eq!(vars.len(), vals.len());
         LTuple { vars, vals }
     }
@@ -372,7 +374,7 @@ impl LTuple {
         vars.push(var);
         vals.push(val);
         LTuple {
-            vars: Rc::new(vars),
+            vars: Arc::new(vars),
             vals,
         }
     }
@@ -384,7 +386,7 @@ impl LTuple {
         let mut vals = self.vals.clone();
         vals.extend(other.vals.iter().cloned());
         LTuple {
-            vars: Rc::new(vars),
+            vars: Arc::new(vars),
             vals,
         }
     }
@@ -403,7 +405,7 @@ impl LTuple {
             })
             .collect::<Result<Vec<_>>>()?;
         Ok(LTuple {
-            vars: Rc::new(keep.to_vec()),
+            vars: Arc::new(keep.to_vec()),
             vals,
         })
     }
@@ -413,14 +415,14 @@ impl LTuple {
 /// currency, and the payload of forced partitions).
 #[derive(Clone)]
 pub struct BindingTable {
-    pub vars: Rc<Vec<Name>>,
+    pub vars: Arc<Vec<Name>>,
     pub tuples: Vec<LTuple>,
 }
 
 impl BindingTable {
     pub fn new(vars: Vec<Name>) -> BindingTable {
         BindingTable {
-            vars: Rc::new(vars),
+            vars: Arc::new(vars),
             tuples: Vec::new(),
         }
     }
@@ -535,7 +537,7 @@ mod tests {
 
     #[test]
     fn tuple_operations() {
-        let vars = Rc::new(vec![Name::new("A"), Name::new("B")]);
+        let vars = Arc::new(vec![Name::new("A"), Name::new("B")]);
         let t = LTuple::new(vars, vec![leaf(1), leaf(2)]);
         assert_eq!(as_int(t.get(&Name::new("B")).unwrap()), 2);
         let t2 = t.extended(Name::new("C"), leaf(3));
@@ -548,21 +550,21 @@ mod tests {
             panic!("projection of unbound var must fail");
         };
         assert!(matches!(e, MixError::Plan(_)), "{e}");
-        let u = t.concat(&LTuple::new(Rc::new(vec![Name::new("D")]), vec![leaf(9)]));
+        let u = t.concat(&LTuple::new(Arc::new(vec![Name::new("D")]), vec![leaf(9)]));
         assert_eq!(u.vars.len(), 3);
     }
 
     #[test]
     fn partition_pulls_incrementally() {
-        let vars = Rc::new(vec![Name::new("X")]);
+        let vars = Arc::new(vec![Name::new("X")]);
         let mut n = 0;
-        let vclone = Rc::clone(&vars);
+        let vclone = Arc::clone(&vars);
         let p = Partition::new(
             vars,
             Box::new(move || {
                 if n < 2 {
                     n += 1;
-                    Ok(Some(LTuple::new(Rc::clone(&vclone), vec![leaf(n)])))
+                    Ok(Some(LTuple::new(Arc::clone(&vclone), vec![leaf(n)])))
                 } else {
                     Ok(None)
                 }

@@ -51,7 +51,7 @@ mod tests {
     use mix_common::{Name, Value};
     use mix_wrapper::fig2_catalog;
     use mix_xml::Oid;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn ctx() -> EvalContext {
         EvalContext::new(fig2_catalog().0, AccessMode::Eager)
@@ -87,7 +87,7 @@ mod tests {
             doc: Name::new("root1"),
             node: cust,
         };
-        let elem = LVal::Elem(Rc::new(LElem {
+        let elem = LVal::Elem(Arc::new(LElem {
             label: Name::new("CustRec"),
             oid: Oid::skolem("f", "V", vec![]),
             children: LList::fixed(vec![custv]),

@@ -38,14 +38,14 @@ use mix_common::{ColumnBlock, Counter, MixError, Name, Result, ResultContext, Va
 use mix_obs::{ExecProfile, SpanId, TracerHandle};
 use mix_relational::Cursor;
 use mix_xml::{NavDoc, NodeRef, Oid};
-use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 /// A lazy stream of binding tuples.
-pub trait TStream {
+pub trait TStream: Send {
     /// The variable schema of produced tuples.
-    fn vars(&self) -> Rc<Vec<Name>>;
+    fn vars(&self) -> Arc<Vec<Name>>;
     /// Produce the next tuple, doing only the work it requires.
     /// `Ok(None)` is exhaustion; `Err` is a source/backend failure at
     /// exactly the pull that needed the missing data.
@@ -137,13 +137,13 @@ impl BlockBuf {
 }
 
 /// Nested-plan environment: partition bindings for `nestedSrc`.
-pub type Env = Rc<HashMap<Name, Partition>>;
+pub type Env = Arc<HashMap<Name, Partition>>;
 
 /// Compile a tuple-producing operator into a stream.
 ///
 /// Fails on unresolvable sources/servers; runtime invariants assume a
 /// validated plan.
-pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn TStream>> {
+pub fn build_stream(op: &Op, ctx: &Arc<EvalContext>, env: &Env) -> Result<Box<dyn TStream>> {
     let mut next = 1;
     build_stream_profiled(op, ctx, env, None, &mut next)
 }
@@ -156,9 +156,9 @@ pub fn build_stream(op: &Op, ctx: &Rc<EvalContext>, env: &Env) -> Result<Box<dyn
 /// profile back onto the plan).
 pub(crate) fn build_stream_profiled(
     op: &Op,
-    ctx: &Rc<EvalContext>,
+    ctx: &Arc<EvalContext>,
     env: &Env,
-    profile: Option<&Rc<ExecProfile>>,
+    profile: Option<&Arc<ExecProfile>>,
     next: &mut usize,
 ) -> Result<Box<dyn TStream>> {
     ctx.stats().inc(Counter::MediatorOps);
@@ -172,7 +172,7 @@ pub(crate) fn build_stream_profiled(
             Box::new(MkSrcStream {
                 doc,
                 source: source.clone(),
-                vars: Rc::new(vec![var.clone()]),
+                vars: Arc::new(vec![var.clone()]),
                 cur: None,
                 started: false,
             })
@@ -188,7 +188,7 @@ pub(crate) fn build_stream_profiled(
                 // this subtree is never compiled.
                 *next += subtree_size(input);
                 return Ok(Box::new(EmptyStream {
-                    vars: Rc::new(vec![var.clone()]),
+                    vars: Arc::new(vec![var.clone()]),
                 }));
             };
             *next += 1; // the view's tD node
@@ -196,7 +196,7 @@ pub(crate) fn build_stream_profiled(
             Box::new(MkSrcOverStream {
                 inner,
                 view_var: view_var.clone(),
-                vars: Rc::new(vec![var.clone()]),
+                vars: Arc::new(vec![var.clone()]),
             })
         }
         Op::GetD {
@@ -209,18 +209,18 @@ pub(crate) fn build_stream_profiled(
             let mut vars = (*input.vars()).clone();
             vars.push(to.clone());
             Box::new(GetDStream {
-                ctx: Rc::clone(ctx),
+                ctx: Arc::clone(ctx),
                 input,
                 from: from.clone(),
                 path: path.clone(),
-                vars: Rc::new(vars),
+                vars: Arc::new(vars),
                 pending: VecDeque::new(),
             })
         }
         Op::Select { input, cond } => {
             let input = build_stream_profiled(input, ctx, env, profile, next)?;
             Box::new(SelectStream {
-                ctx: Rc::clone(ctx),
+                ctx: Arc::clone(ctx),
                 input,
                 cond: cond.clone(),
                 buf: Vec::new(),
@@ -230,7 +230,7 @@ pub(crate) fn build_stream_profiled(
             let input = build_stream_profiled(input, ctx, env, profile, next)?;
             Box::new(ProjectStream {
                 input,
-                keep: Rc::new(vars.clone()),
+                keep: Arc::new(vars.clone()),
                 buf: Vec::new(),
             })
         }
@@ -243,7 +243,7 @@ pub(crate) fn build_stream_profiled(
             if ctx.hash_joins && split.hashable() {
                 extra.push(("kernel", "hash".to_string()));
                 Box::new(HashJoinStream {
-                    ctx: Rc::clone(ctx),
+                    ctx: Arc::clone(ctx),
                     left,
                     right: Some(right),
                     index: HashMap::new(),
@@ -252,7 +252,7 @@ pub(crate) fn build_stream_profiled(
                     cur_key: None,
                     idx: 0,
                     cond: cond.clone(),
-                    vars: Rc::new(vars),
+                    vars: Arc::new(vars),
                     lkeys: KeyCache::new(Side::Left),
                     rkeys: KeyCache::new(Side::Right),
                 })
@@ -260,14 +260,14 @@ pub(crate) fn build_stream_profiled(
                 ctx.stats().inc(Counter::NlFallbacks);
                 extra.push(("kernel", "nl".to_string()));
                 Box::new(JoinStream {
-                    ctx: Rc::clone(ctx),
+                    ctx: Arc::clone(ctx),
                     left,
                     right: Some(right),
                     right_rows: Vec::new(),
                     cur_left: None,
                     idx: 0,
                     cond: cond.clone(),
-                    vars: Rc::new(vars),
+                    vars: Arc::new(vars),
                 })
             }
         }
@@ -287,7 +287,7 @@ pub(crate) fn build_stream_profiled(
             if ctx.hash_joins && split.hashable() {
                 extra.push(("kernel", "hash".to_string()));
                 Box::new(HashSemiJoinStream {
-                    ctx: Rc::clone(ctx),
+                    ctx: Arc::clone(ctx),
                     kept,
                     other: Some(other),
                     index: HashMap::new(),
@@ -304,7 +304,7 @@ pub(crate) fn build_stream_profiled(
                 ctx.stats().inc(Counter::NlFallbacks);
                 extra.push(("kernel", "nl".to_string()));
                 Box::new(SemiJoinStream {
-                    ctx: Rc::clone(ctx),
+                    ctx: Arc::clone(ctx),
                     kept,
                     other: Some(other),
                     other_rows: Vec::new(),
@@ -325,9 +325,9 @@ pub(crate) fn build_stream_profiled(
             let mut vars = (*input.vars()).clone();
             vars.push(out.clone());
             Box::new(MapStream {
-                ctx: Rc::clone(ctx),
+                ctx: Arc::clone(ctx),
                 input,
-                vars: Rc::new(vars),
+                vars: Arc::new(vars),
                 buf: Vec::new(),
                 f: MapKind::CrElt {
                     label: label.clone(),
@@ -348,9 +348,9 @@ pub(crate) fn build_stream_profiled(
             let mut vars = (*input.vars()).clone();
             vars.push(out.clone());
             Box::new(MapStream {
-                ctx: Rc::clone(ctx),
+                ctx: Arc::clone(ctx),
                 input,
-                vars: Rc::new(vars),
+                vars: Arc::new(vars),
                 buf: Vec::new(),
                 f: MapKind::Cat {
                     left: left.clone(),
@@ -385,19 +385,19 @@ pub(crate) fn build_stream_profiled(
             ));
             match mode {
                 GByMode::StatelessPresorted => Box::new(GByStream::new(
-                    Rc::clone(ctx),
+                    Arc::clone(ctx),
                     input,
                     group.clone(),
                     out.clone(),
                 )),
                 GByMode::Stateful => Box::new(GByStatefulStream::new(
-                    Rc::clone(ctx),
+                    Arc::clone(ctx),
                     input,
                     group.clone(),
                     out.clone(),
                 )),
                 GByMode::Hash => Box::new(GByHashStream::new(
-                    Rc::clone(ctx),
+                    Arc::clone(ctx),
                     input,
                     group.clone(),
                     out.clone(),
@@ -428,13 +428,13 @@ pub(crate) fn build_stream_profiled(
                 return Err(MixError::plan("nested plans must end in tD"));
             };
             Box::new(ApplyStream {
-                ctx: Rc::clone(ctx),
+                ctx: Arc::clone(ctx),
                 input,
-                nested_input: Rc::new((**nested_input).clone()),
+                nested_input: Arc::new((**nested_input).clone()),
                 nested_var: nested_var.clone(),
                 param: param.clone(),
-                env: Rc::clone(env),
-                vars: Rc::new(vars),
+                env: Arc::clone(env),
+                vars: Arc::new(vars),
                 profile: profile.cloned(),
                 nested_base,
             })
@@ -444,7 +444,7 @@ pub(crate) fn build_stream_profiled(
                 MixError::invalid(format!("nestedSrc({}) unbound", var.display_var()))
             })?;
             Box::new(NestedSrcStream {
-                vars: Rc::clone(&part.vars),
+                vars: Arc::clone(&part.vars),
                 part,
                 idx: 0,
             })
@@ -477,10 +477,10 @@ pub(crate) fn build_stream_profiled(
             let columnar = decoder.is_some() && ctx.columnar;
             extra.push(("repr", if columnar { "col" } else { "row" }.to_string()));
             Box::new(RelQueryStream {
-                ctx: Rc::clone(ctx),
+                ctx: Arc::clone(ctx),
                 cursor,
                 map: map.clone(),
-                vars: Rc::new(map.iter().map(|b| b.var.clone()).collect()),
+                vars: Arc::new(map.iter().map(|b| b.var.clone()).collect()),
                 pending: VecDeque::new(),
                 ramp,
                 rbuf: Vec::new(),
@@ -494,7 +494,7 @@ pub(crate) fn build_stream_profiled(
         Op::OrderBy { input, vars } => {
             let input = build_stream_profiled(input, ctx, env, profile, next)?;
             Box::new(OrderByStream {
-                ctx: Rc::clone(ctx),
+                ctx: Arc::clone(ctx),
                 input: Some(input),
                 keys: vars.clone(),
                 sorted: Vec::new(),
@@ -502,7 +502,7 @@ pub(crate) fn build_stream_profiled(
             })
         }
         Op::Empty { vars } => Box::new(EmptyStream {
-            vars: Rc::new(vars.clone()),
+            vars: Arc::new(vars.clone()),
         }),
         Op::TupleDestroy { .. } => {
             return Err(MixError::invalid(
@@ -521,8 +521,8 @@ fn instrument(
     inner: Box<dyn TStream>,
     kind: &'static str,
     extra: Vec<(&'static str, String)>,
-    ctx: &Rc<EvalContext>,
-    profile: Option<&Rc<ExecProfile>>,
+    ctx: &Arc<EvalContext>,
+    profile: Option<&Arc<ExecProfile>>,
     id: usize,
 ) -> Box<dyn TStream> {
     if let Some(p) = profile {
@@ -561,7 +561,7 @@ fn instrument(
 struct TracedStream {
     inner: Box<dyn TStream>,
     tracer: TracerHandle,
-    profile: Option<Rc<ExecProfile>>,
+    profile: Option<Arc<ExecProfile>>,
     id: usize,
     kind: &'static str,
     extra: Vec<(&'static str, String)>,
@@ -572,7 +572,7 @@ struct TracedStream {
 }
 
 impl TStream for TracedStream {
-    fn vars(&self) -> Rc<Vec<Name>> {
+    fn vars(&self) -> Arc<Vec<Name>> {
         self.inner.vars()
     }
 
@@ -662,16 +662,16 @@ impl Drop for TracedStream {
 // ---------------------------------------------------------------------
 
 struct MkSrcStream {
-    doc: Rc<dyn NavDoc>,
+    doc: Arc<dyn NavDoc>,
     source: Name,
-    vars: Rc<Vec<Name>>,
+    vars: Arc<Vec<Name>>,
     cur: Option<NodeRef>,
     started: bool,
 }
 
 impl TStream for MkSrcStream {
-    fn vars(&self) -> Rc<Vec<Name>> {
-        Rc::clone(&self.vars)
+    fn vars(&self) -> Arc<Vec<Name>> {
+        Arc::clone(&self.vars)
     }
 
     fn next(&mut self) -> Result<Option<LTuple>> {
@@ -688,7 +688,7 @@ impl TStream for MkSrcStream {
             return Ok(None);
         };
         Ok(Some(LTuple::new(
-            Rc::clone(&self.vars),
+            Arc::clone(&self.vars),
             vec![LVal::Src {
                 doc: self.source.clone(),
                 node: n,
@@ -703,12 +703,12 @@ impl TStream for MkSrcStream {
 struct MkSrcOverStream {
     inner: Box<dyn TStream>,
     view_var: Name,
-    vars: Rc<Vec<Name>>,
+    vars: Arc<Vec<Name>>,
 }
 
 impl TStream for MkSrcOverStream {
-    fn vars(&self) -> Rc<Vec<Name>> {
-        Rc::clone(&self.vars)
+    fn vars(&self) -> Arc<Vec<Name>> {
+        Arc::clone(&self.vars)
     }
 
     fn next(&mut self) -> Result<Option<LTuple>> {
@@ -719,16 +719,16 @@ impl TStream for MkSrcOverStream {
             .get(&self.view_var)
             .ok_or_else(|| MixError::plan("view tD var unbound in mksrcOver"))?
             .clone();
-        Ok(Some(LTuple::new(Rc::clone(&self.vars), vec![v])))
+        Ok(Some(LTuple::new(Arc::clone(&self.vars), vec![v])))
     }
 }
 
 struct GetDStream {
-    ctx: Rc<EvalContext>,
+    ctx: Arc<EvalContext>,
     input: Box<dyn TStream>,
     from: Name,
     path: mix_xml::LabelPath,
-    vars: Rc<Vec<Name>>,
+    vars: Arc<Vec<Name>>,
     pending: VecDeque<LTuple>,
 }
 
@@ -744,15 +744,15 @@ impl GetDStream {
             let mut vals = t.vals.clone();
             vals.push(hit);
             self.pending
-                .push_back(LTuple::new(Rc::clone(&self.vars), vals));
+                .push_back(LTuple::new(Arc::clone(&self.vars), vals));
         }
         Ok(())
     }
 }
 
 impl TStream for GetDStream {
-    fn vars(&self) -> Rc<Vec<Name>> {
-        Rc::clone(&self.vars)
+    fn vars(&self) -> Arc<Vec<Name>> {
+        Arc::clone(&self.vars)
     }
 
     fn next(&mut self) -> Result<Option<LTuple>> {
@@ -799,14 +799,14 @@ impl TStream for GetDStream {
 }
 
 struct SelectStream {
-    ctx: Rc<EvalContext>,
+    ctx: Arc<EvalContext>,
     input: Box<dyn TStream>,
     cond: mix_algebra::Cond,
     buf: Vec<LTuple>,
 }
 
 impl TStream for SelectStream {
-    fn vars(&self) -> Rc<Vec<Name>> {
+    fn vars(&self) -> Arc<Vec<Name>> {
         self.input.vars()
     }
 
@@ -848,13 +848,13 @@ impl TStream for SelectStream {
 /// plans rely on `DISTINCT` in the pushed SQL instead.
 struct ProjectStream {
     input: Box<dyn TStream>,
-    keep: Rc<Vec<Name>>,
+    keep: Arc<Vec<Name>>,
     buf: Vec<LTuple>,
 }
 
 impl TStream for ProjectStream {
-    fn vars(&self) -> Rc<Vec<Name>> {
-        Rc::clone(&self.keep)
+    fn vars(&self) -> Arc<Vec<Name>> {
+        Arc::clone(&self.keep)
     }
 
     fn next(&mut self) -> Result<Option<LTuple>> {
@@ -884,19 +884,19 @@ impl TStream for ProjectStream {
 /// executor's build side — but *not* before: an empty driver does zero
 /// work on the inner input.
 struct JoinStream {
-    ctx: Rc<EvalContext>,
+    ctx: Arc<EvalContext>,
     left: Box<dyn TStream>,
     right: Option<Box<dyn TStream>>,
     right_rows: Vec<LTuple>,
     cur_left: Option<LTuple>,
     idx: usize,
     cond: Option<mix_algebra::Cond>,
-    vars: Rc<Vec<Name>>,
+    vars: Arc<Vec<Name>>,
 }
 
 impl TStream for JoinStream {
-    fn vars(&self) -> Rc<Vec<Name>> {
-        Rc::clone(&self.vars)
+    fn vars(&self) -> Arc<Vec<Name>> {
+        Arc::clone(&self.vars)
     }
 
     fn next(&mut self) -> Result<Option<LTuple>> {
@@ -945,7 +945,7 @@ impl TStream for JoinStream {
 /// residual conjuncts and hash-normalization collisions are handled
 /// uniformly.
 struct HashJoinStream {
-    ctx: Rc<EvalContext>,
+    ctx: Arc<EvalContext>,
     left: Box<dyn TStream>,
     right: Option<Box<dyn TStream>>,
     index: HashMap<Vec<KeyPart>, Vec<LTuple>>,
@@ -954,7 +954,7 @@ struct HashJoinStream {
     cur_key: Option<Vec<KeyPart>>,
     idx: usize,
     cond: Option<mix_algebra::Cond>,
-    vars: Rc<Vec<Name>>,
+    vars: Arc<Vec<Name>>,
     /// Per-side variable→position caches: key extraction is an indexed
     /// load per tuple, not a name search ([`KeyCache`]).
     lkeys: KeyCache,
@@ -980,8 +980,8 @@ impl HashJoinStream {
 }
 
 impl TStream for HashJoinStream {
-    fn vars(&self) -> Rc<Vec<Name>> {
-        Rc::clone(&self.vars)
+    fn vars(&self) -> Arc<Vec<Name>> {
+        Arc::clone(&self.vars)
     }
 
     fn next(&mut self) -> Result<Option<LTuple>> {
@@ -1065,7 +1065,7 @@ impl TStream for HashJoinStream {
 }
 
 struct SemiJoinStream {
-    ctx: Rc<EvalContext>,
+    ctx: Arc<EvalContext>,
     kept: Box<dyn TStream>,
     other: Option<Box<dyn TStream>>,
     other_rows: Vec<LTuple>,
@@ -1074,7 +1074,7 @@ struct SemiJoinStream {
 }
 
 impl TStream for SemiJoinStream {
-    fn vars(&self) -> Rc<Vec<Name>> {
+    fn vars(&self) -> Arc<Vec<Name>> {
         self.kept.vars()
     }
 
@@ -1111,7 +1111,7 @@ impl TStream for SemiJoinStream {
 /// hashed on first demand and each kept tuple is admitted iff its
 /// bucket holds a candidate satisfying the full condition.
 struct HashSemiJoinStream {
-    ctx: Rc<EvalContext>,
+    ctx: Arc<EvalContext>,
     kept: Box<dyn TStream>,
     other: Option<Box<dyn TStream>>,
     index: HashMap<Vec<KeyPart>, Vec<LTuple>>,
@@ -1155,7 +1155,7 @@ impl HashSemiJoinStream {
 }
 
 impl TStream for HashSemiJoinStream {
-    fn vars(&self) -> Rc<Vec<Name>> {
+    fn vars(&self) -> Arc<Vec<Name>> {
         self.kept.vars()
     }
 
@@ -1208,9 +1208,9 @@ enum MapKind {
 }
 
 struct MapStream {
-    ctx: Rc<EvalContext>,
+    ctx: Arc<EvalContext>,
     input: Box<dyn TStream>,
-    vars: Rc<Vec<Name>>,
+    vars: Arc<Vec<Name>>,
     f: MapKind,
     /// Scratch for [`TStream::pull_block`], reused across pulls.
     buf: Vec<LTuple>,
@@ -1230,13 +1230,13 @@ impl MapStream {
         };
         let mut vals = t.vals;
         vals.push(val);
-        Ok(LTuple::new(Rc::clone(&self.vars), vals))
+        Ok(LTuple::new(Arc::clone(&self.vars), vals))
     }
 }
 
 impl TStream for MapStream {
-    fn vars(&self) -> Rc<Vec<Name>> {
-        Rc::clone(&self.vars)
+    fn vars(&self) -> Arc<Vec<Name>> {
+        Arc::clone(&self.vars)
     }
 
     fn next(&mut self) -> Result<Option<LTuple>> {
@@ -1293,8 +1293,8 @@ impl GByShared {
 }
 
 struct GByStream {
-    ctx: Rc<EvalContext>,
-    shared: Rc<RefCell<GByShared>>,
+    ctx: Arc<EvalContext>,
+    shared: Arc<Mutex<GByShared>>,
     group: Vec<Name>,
     /// `group[i]`'s slot in the input tuple layout, resolved once —
     /// the per-tuple key checks index `vals` directly instead of
@@ -1302,9 +1302,9 @@ struct GByStream {
     positions: Vec<Option<usize>>,
     /// `positions` fully resolved and shared: every group's producer
     /// closure clones the `Rc` instead of collecting its own vector.
-    pos: Option<Rc<[usize]>>,
-    in_vars: Rc<Vec<Name>>,
-    vars: Rc<Vec<Name>>,
+    pos: Option<Arc<[usize]>>,
+    in_vars: Arc<Vec<Name>>,
+    vars: Arc<Vec<Name>>,
     /// The group currently being (lazily) exposed; drained before the
     /// next group starts — exactly Table 1's `repeat b0s = r(bs) until
     /// keys differ` skip loop.
@@ -1313,7 +1313,7 @@ struct GByStream {
 
 impl GByStream {
     fn new(
-        ctx: Rc<EvalContext>,
+        ctx: Arc<EvalContext>,
         input: Box<dyn TStream>,
         group: Vec<Name>,
         out: Name,
@@ -1327,7 +1327,7 @@ impl GByStream {
         let block = BlockBuf::new(ctx.block, ctx.block_ramp());
         GByStream {
             ctx,
-            shared: Rc::new(RefCell::new(GByShared {
+            shared: Arc::new(Mutex::new(GByShared {
                 input,
                 block,
                 lookahead: None,
@@ -1337,7 +1337,7 @@ impl GByStream {
             positions,
             pos: None,
             in_vars,
-            vars: Rc::new(vars),
+            vars: Arc::new(vars),
             current: None,
         }
     }
@@ -1355,8 +1355,8 @@ fn group_key(ctx: &EvalContext, t: &LTuple, group: &[Name]) -> Result<Vec<Oid>> 
 }
 
 impl TStream for GByStream {
-    fn vars(&self) -> Rc<Vec<Name>> {
-        Rc::clone(&self.vars)
+    fn vars(&self) -> Arc<Vec<Name>> {
+        Arc::clone(&self.vars)
     }
 
     fn next(&mut self) -> Result<Option<LTuple>> {
@@ -1364,11 +1364,11 @@ impl TStream for GByStream {
         if let Some(prev) = self.current.take() {
             prev.force()?;
         }
-        let Some(seed) = self.shared.borrow_mut().pull()? else {
+        let Some(seed) = self.shared.lock().unwrap().pull()? else {
             return Ok(None);
         };
-        let pos: Rc<[usize]> = match &self.pos {
-            Some(p) => Rc::clone(p),
+        let pos: Arc<[usize]> = match &self.pos {
+            Some(p) => Arc::clone(p),
             None => {
                 let resolved: Vec<usize> = self
                     .positions
@@ -1380,8 +1380,8 @@ impl TStream for GByStream {
                         })
                     })
                     .collect::<Result<_>>()?;
-                let p: Rc<[usize]> = Rc::from(resolved);
-                self.pos = Some(Rc::clone(&p));
+                let p: Arc<[usize]> = Arc::from(resolved);
+                self.pos = Some(Arc::clone(&p));
                 p
             }
         };
@@ -1396,15 +1396,15 @@ impl TStream for GByStream {
         // while the key matches (compared slot-wise, no per-tuple key
         // vector); a mismatching tuple is pushed back into the
         // lookahead slot.
-        let shared = Rc::clone(&self.shared);
-        let ctx = Rc::clone(&self.ctx);
+        let shared = Arc::clone(&self.shared);
+        let ctx = Arc::clone(&self.ctx);
         let my_key = key;
         let mut seed = Some(seed);
         let producer = Box::new(move || {
             if let Some(s) = seed.take() {
                 return Ok(Some(s));
             }
-            let mut sh = shared.borrow_mut();
+            let mut sh = shared.lock().unwrap();
             let Some(t) = sh.pull()? else {
                 return Ok(None);
             };
@@ -1419,11 +1419,11 @@ impl TStream for GByStream {
                 Ok(None)
             }
         });
-        let part = Partition::new(Rc::clone(&self.in_vars), producer);
+        let part = Partition::new(Arc::clone(&self.in_vars), producer);
         self.current = Some(part.clone());
         let mut vals = group_vals;
         vals.push(LVal::Part(part));
-        Ok(Some(LTuple::new(Rc::clone(&self.vars), vals)))
+        Ok(Some(LTuple::new(Arc::clone(&self.vars), vals)))
     }
 }
 
@@ -1431,18 +1431,18 @@ impl TStream for GByStream {
 /// input up front. Correct on unsorted input; pays full
 /// materialization.
 struct GByStatefulStream {
-    ctx: Rc<EvalContext>,
+    ctx: Arc<EvalContext>,
     input: Option<Box<dyn TStream>>,
     group: Vec<Name>,
-    in_vars: Rc<Vec<Name>>,
-    vars: Rc<Vec<Name>>,
+    in_vars: Arc<Vec<Name>>,
+    vars: Arc<Vec<Name>>,
     groups: Vec<(Vec<LVal>, Vec<LTuple>)>,
     idx: usize,
 }
 
 impl GByStatefulStream {
     fn new(
-        ctx: Rc<EvalContext>,
+        ctx: Arc<EvalContext>,
         input: Box<dyn TStream>,
         group: Vec<Name>,
         out: Name,
@@ -1454,7 +1454,7 @@ impl GByStatefulStream {
             input: Some(input),
             group,
             in_vars,
-            vars: Rc::new(vars),
+            vars: Arc::new(vars),
             groups: Vec::new(),
             idx: 0,
         }
@@ -1462,8 +1462,8 @@ impl GByStatefulStream {
 }
 
 impl TStream for GByStatefulStream {
-    fn vars(&self) -> Rc<Vec<Name>> {
-        Rc::clone(&self.vars)
+    fn vars(&self) -> Arc<Vec<Name>> {
+        Arc::clone(&self.vars)
     }
 
     fn next(&mut self) -> Result<Option<LTuple>> {
@@ -1494,10 +1494,10 @@ impl TStream for GByStatefulStream {
             return Ok(None);
         };
         self.idx += 1;
-        let part = Partition::done(Rc::clone(&self.in_vars), tuples.clone());
+        let part = Partition::done(Arc::clone(&self.in_vars), tuples.clone());
         let mut vals = vals.clone();
         vals.push(LVal::Part(part));
-        Ok(Some(LTuple::new(Rc::clone(&self.vars), vals)))
+        Ok(Some(LTuple::new(Arc::clone(&self.vars), vals)))
     }
 }
 
@@ -1509,7 +1509,7 @@ impl TStream for GByStatefulStream {
 /// On key-contiguous input the output is identical to the presorted
 /// stream's.
 struct GByHashShared {
-    ctx: Rc<EvalContext>,
+    ctx: Arc<EvalContext>,
     input: Box<dyn TStream>,
     done: bool,
     group: Vec<Name>,
@@ -1553,15 +1553,15 @@ impl GByHashShared {
 }
 
 struct GByHashStream {
-    shared: Rc<RefCell<GByHashShared>>,
-    in_vars: Rc<Vec<Name>>,
-    vars: Rc<Vec<Name>>,
+    shared: Arc<Mutex<GByHashShared>>,
+    in_vars: Arc<Vec<Name>>,
+    vars: Arc<Vec<Name>>,
     next_group: usize,
 }
 
 impl GByHashStream {
     fn new(
-        ctx: Rc<EvalContext>,
+        ctx: Arc<EvalContext>,
         input: Box<dyn TStream>,
         group: Vec<Name>,
         out: Name,
@@ -1570,7 +1570,7 @@ impl GByHashStream {
         let in_vars = input.vars();
         let vars: Vec<Name> = group.iter().cloned().chain([out]).collect();
         GByHashStream {
-            shared: Rc::new(RefCell::new(GByHashShared {
+            shared: Arc::new(Mutex::new(GByHashShared {
                 ctx,
                 input,
                 done: false,
@@ -1579,21 +1579,21 @@ impl GByHashStream {
                 index: HashMap::new(),
             })),
             in_vars,
-            vars: Rc::new(vars),
+            vars: Arc::new(vars),
             next_group: 0,
         }
     }
 }
 
 impl TStream for GByHashStream {
-    fn vars(&self) -> Rc<Vec<Name>> {
-        Rc::clone(&self.vars)
+    fn vars(&self) -> Arc<Vec<Name>> {
+        Arc::clone(&self.vars)
     }
 
     fn next(&mut self) -> Result<Option<LTuple>> {
         let g = self.next_group;
         loop {
-            let mut sh = self.shared.borrow_mut();
+            let mut sh = self.shared.lock().unwrap();
             if sh.groups.len() > g {
                 break;
             }
@@ -1602,11 +1602,11 @@ impl TStream for GByHashStream {
             }
         }
         self.next_group += 1;
-        let group_vals = self.shared.borrow().groups[g].0.clone();
-        let shared = Rc::clone(&self.shared);
+        let group_vals = self.shared.lock().unwrap().groups[g].0.clone();
+        let shared = Arc::clone(&self.shared);
         let mut i = 0;
         let producer = Box::new(move || loop {
-            let mut sh = shared.borrow_mut();
+            let mut sh = shared.lock().unwrap();
             if i < sh.groups[g].1.len() {
                 let t = sh.groups[g].1[i].clone();
                 i += 1;
@@ -1616,25 +1616,25 @@ impl TStream for GByHashStream {
                 return Ok(None);
             }
         });
-        let part = Partition::new(Rc::clone(&self.in_vars), producer);
+        let part = Partition::new(Arc::clone(&self.in_vars), producer);
         let mut vals = group_vals;
         vals.push(LVal::Part(part));
-        Ok(Some(LTuple::new(Rc::clone(&self.vars), vals)))
+        Ok(Some(LTuple::new(Arc::clone(&self.vars), vals)))
     }
 }
 
 // ---------------------------------------------------------------------
 
 struct ApplyStream {
-    ctx: Rc<EvalContext>,
+    ctx: Arc<EvalContext>,
     input: Box<dyn TStream>,
     /// The nested plan below its `tD` (destructured at build time).
-    nested_input: Rc<Op>,
+    nested_input: Arc<Op>,
     nested_var: Name,
     param: Option<Name>,
     env: Env,
-    vars: Rc<Vec<Name>>,
-    profile: Option<Rc<ExecProfile>>,
+    vars: Arc<Vec<Name>>,
+    profile: Option<Arc<ExecProfile>>,
     /// Pre-order id of the nested plan's `tD`; every activation numbers
     /// its streams from `nested_base + 1`, so metrics aggregate across
     /// activations.
@@ -1663,9 +1663,9 @@ impl ApplyStream {
             }
             None => None,
         };
-        let ctx = Rc::clone(&self.ctx);
-        let env = Rc::clone(&self.env);
-        let nested_input = Rc::clone(&self.nested_input);
+        let ctx = Arc::clone(&self.ctx);
+        let env = Arc::clone(&self.env);
+        let nested_input = Arc::clone(&self.nested_input);
         let nvar = self.nested_var.clone();
         let profile = self.profile.clone();
         let nested_base = self.nested_base;
@@ -1682,7 +1682,7 @@ impl ApplyStream {
                 let s = build_stream_profiled(
                     &nested_input,
                     &ctx,
-                    &Rc::new(env2),
+                    &Arc::new(env2),
                     profile.as_ref(),
                     &mut nid,
                 )?;
@@ -1709,13 +1709,13 @@ impl ApplyStream {
         }));
         let mut vals = t.vals;
         vals.push(LVal::List(LList::lazy(lazy)));
-        Ok(LTuple::new(Rc::clone(&self.vars), vals))
+        Ok(LTuple::new(Arc::clone(&self.vars), vals))
     }
 }
 
 impl TStream for ApplyStream {
-    fn vars(&self) -> Rc<Vec<Name>> {
-        Rc::clone(&self.vars)
+    fn vars(&self) -> Arc<Vec<Name>> {
+        Arc::clone(&self.vars)
     }
 
     fn next(&mut self) -> Result<Option<LTuple>> {
@@ -1737,13 +1737,13 @@ impl TStream for ApplyStream {
 
 struct NestedSrcStream {
     part: Partition,
-    vars: Rc<Vec<Name>>,
+    vars: Arc<Vec<Name>>,
     idx: usize,
 }
 
 impl TStream for NestedSrcStream {
-    fn vars(&self) -> Rc<Vec<Name>> {
-        Rc::clone(&self.vars)
+    fn vars(&self) -> Arc<Vec<Name>> {
+        Arc::clone(&self.vars)
     }
 
     fn next(&mut self) -> Result<Option<LTuple>> {
@@ -1780,7 +1780,7 @@ enum RqSlot {
     /// Rebuild a wrapper element, caching the last run.
     Element {
         element: Name,
-        cols: Rc<Vec<(Name, usize)>>,
+        cols: Arc<Vec<(Name, usize)>>,
         key: Vec<usize>,
         /// The `NodesBuilt` charge per row: the element plus its
         /// (deferred) children, matching [`rq_row_to_vals`].
@@ -1797,8 +1797,8 @@ enum RqSlot {
 ///
 /// [`ChildPart::Gen`]: crate::lval::ChildPart::Gen
 struct BlockKids {
-    block: Rc<ColumnBlock>,
-    cols: Rc<Vec<(Name, usize)>>,
+    block: Arc<ColumnBlock>,
+    cols: Arc<Vec<(Name, usize)>>,
 }
 
 impl KidGen for BlockKids {
@@ -1814,7 +1814,7 @@ impl KidGen for BlockKids {
             Value::Null
         };
         let key_text = parent.as_key().unwrap_or("");
-        LVal::Elem(Rc::new(LElem {
+        LVal::Elem(Arc::new(LElem {
             label: cname.clone(),
             oid: Oid::key(format!("{key_text}.{cname}")),
             children: LList::one(LVal::Leaf(v)),
@@ -1824,8 +1824,8 @@ impl KidGen for BlockKids {
 
 /// Row-shaped twin of [`BlockKids`] for the per-row decode path.
 struct RowKids {
-    row: Rc<[Value]>,
-    cols: Rc<Vec<(Name, usize)>>,
+    row: Arc<[Value]>,
+    cols: Arc<Vec<(Name, usize)>>,
 }
 
 impl KidGen for RowKids {
@@ -1837,7 +1837,7 @@ impl KidGen for RowKids {
         let (cname, pos) = &self.cols[i];
         let v = self.row.get(*pos).cloned().unwrap_or(Value::Null);
         let key_text = parent.as_key().unwrap_or("");
-        LVal::Elem(Rc::new(LElem {
+        LVal::Elem(Arc::new(LElem {
             label: cname.clone(),
             oid: Oid::key(format!("{key_text}.{cname}")),
             children: LList::one(LVal::Leaf(v)),
@@ -1865,7 +1865,7 @@ impl RqDecoder {
                         Some(of) => RqSlot::Dup { of, nodes },
                         None => RqSlot::Element {
                             element: element.clone(),
-                            cols: Rc::new(cols.clone()),
+                            cols: Arc::new(cols.clone()),
                             key: key.clone(),
                             nodes,
                             last_key: String::new(),
@@ -1882,7 +1882,7 @@ impl RqDecoder {
         }
     }
 
-    fn decode(&mut self, ctx: &EvalContext, row: &Rc<[Value]>) -> Vec<LVal> {
+    fn decode(&mut self, ctx: &EvalContext, row: &Arc<[Value]>) -> Vec<LVal> {
         use std::fmt::Write as _;
         // Headroom: downstream `crElt`/`cat` stages extend the binding
         // list in place (one push per stage), so an exact-capacity Vec
@@ -1925,11 +1925,11 @@ impl RqDecoder {
                             // shared parent oid; the run cache takes
                             // the scratch buffer by swap.
                             let oid = Oid::key(self.keybuf.clone());
-                            let kids: Rc<dyn KidGen> = Rc::new(RowKids {
-                                row: Rc::clone(row),
-                                cols: Rc::clone(cols),
+                            let kids: Arc<dyn KidGen> = Arc::new(RowKids {
+                                row: Arc::clone(row),
+                                cols: Arc::clone(cols),
                             });
-                            let v = LVal::Elem(Rc::new(LElem {
+                            let v = LVal::Elem(Arc::new(LElem {
                                 label: element.clone(),
                                 oid: oid.clone(),
                                 children: LList::generated(kids, 0, oid),
@@ -1952,8 +1952,8 @@ impl RqDecoder {
     /// on each row, plus two batch-only savings: element run detection
     /// compares adjacent key *cells* ([`ColumnBlock::cell_eq`], no
     /// `Display` rendering on the fast path), and each element's lazy
-    /// children borrow the shared block (`Rc<ColumnBlock>`) instead of
-    /// a per-row `Rc<[Value]>` — one skolem oid minted per run, one
+    /// children borrow the shared block (`Arc<ColumnBlock>`) instead of
+    /// a per-row `Arc<[Value]>` — one skolem oid minted per run, one
     /// block allocation per `cols.len()` children closures.
     ///
     /// Cell equality is stricter than rendered-key equality, so a false
@@ -1962,8 +1962,8 @@ impl RqDecoder {
     fn decode_block(
         &mut self,
         ctx: &EvalContext,
-        block: &Rc<ColumnBlock>,
-        vars: &Rc<Vec<Name>>,
+        block: &Arc<ColumnBlock>,
+        vars: &Arc<Vec<Name>>,
         out: &mut VecDeque<LTuple>,
     ) {
         use std::fmt::Write as _;
@@ -1971,12 +1971,12 @@ impl RqDecoder {
         // One shared child generator per `Element` slot for this whole
         // block: every fresh element clones the `Rc` instead of
         // carrying its own producer.
-        let mut gens: Vec<Option<Rc<dyn KidGen>>> = Vec::with_capacity(self.slots.len());
+        let mut gens: Vec<Option<Arc<dyn KidGen>>> = Vec::with_capacity(self.slots.len());
         for slot in &self.slots {
             gens.push(match slot {
-                RqSlot::Element { cols, .. } => Some(Rc::new(BlockKids {
-                    block: Rc::clone(block),
-                    cols: Rc::clone(cols),
+                RqSlot::Element { cols, .. } => Some(Arc::new(BlockKids {
+                    block: Arc::clone(block),
+                    cols: Arc::clone(cols),
                 })),
                 _ => None,
             });
@@ -2030,10 +2030,10 @@ impl RqDecoder {
                                     // Single key-string allocation per
                                     // fresh element, as in `decode`.
                                     let oid = Oid::key(self.keybuf.clone());
-                                    let gen = Rc::clone(
+                                    let gen = Arc::clone(
                                         gens[s].as_ref().expect("element slot generator"),
                                     );
-                                    let v = LVal::Elem(Rc::new(LElem {
+                                    let v = LVal::Elem(Arc::new(LElem {
                                         label: element.clone(),
                                         oid: oid.clone(),
                                         children: LList::generated(gen, r as u32, oid),
@@ -2048,16 +2048,16 @@ impl RqDecoder {
                 };
                 vals.push(v);
             }
-            out.push_back(LTuple::new(Rc::clone(vars), vals));
+            out.push_back(LTuple::new(Arc::clone(vars), vals));
         }
     }
 }
 
 struct RelQueryStream {
-    ctx: Rc<EvalContext>,
+    ctx: Arc<EvalContext>,
     cursor: Cursor,
     map: Vec<mix_algebra::RqBinding>,
-    vars: Rc<Vec<Name>>,
+    vars: Arc<Vec<Name>>,
     /// Converted tuples fetched ahead of consumption (empty under
     /// [`mix_common::BlockPolicy::Off`], where the ramp pins fetches
     /// to one row).
@@ -2072,7 +2072,7 @@ struct RelQueryStream {
     columnar: bool,
     /// Profile + node id so retry attempts are attributed to this `rQ`
     /// node in EXPLAIN ANALYZE output.
-    profile: Option<Rc<ExecProfile>>,
+    profile: Option<Arc<ExecProfile>>,
     id: usize,
     /// Cursor retries already recorded into the profile.
     counted_retries: u64,
@@ -2111,7 +2111,7 @@ impl RelQueryStream {
             self.pending.reserve(got);
             // The block is shared with every element's lazy children,
             // so each refill adopts a fresh one — no buffer reuse.
-            let block = Rc::new(block);
+            let block = Arc::new(block);
             self.decoder
                 .as_mut()
                 .expect("columnar rQ implies a block decoder")
@@ -2140,9 +2140,9 @@ impl RelQueryStream {
         match &mut self.decoder {
             Some(dec) => {
                 for row in self.rbuf.drain(..) {
-                    let row: Rc<[Value]> = Rc::from(row);
+                    let row: Arc<[Value]> = Arc::from(row);
                     self.pending.push_back(LTuple::new(
-                        Rc::clone(&self.vars),
+                        Arc::clone(&self.vars),
                         dec.decode(&self.ctx, &row),
                     ));
                 }
@@ -2150,7 +2150,7 @@ impl RelQueryStream {
             None => {
                 for row in &self.rbuf {
                     self.pending.push_back(LTuple::new(
-                        Rc::clone(&self.vars),
+                        Arc::clone(&self.vars),
                         rq_row_to_vals(&self.ctx, &self.map, row),
                     ));
                 }
@@ -2172,8 +2172,8 @@ impl RelQueryStream {
 }
 
 impl TStream for RelQueryStream {
-    fn vars(&self) -> Rc<Vec<Name>> {
-        Rc::clone(&self.vars)
+    fn vars(&self) -> Arc<Vec<Name>> {
+        Arc::clone(&self.vars)
     }
 
     fn next(&mut self) -> Result<Option<LTuple>> {
@@ -2213,7 +2213,7 @@ impl TStream for RelQueryStream {
 /// `orderBy` is inherently blocking: it drains its input and sorts by
 /// the node ids of the listed variables.
 struct OrderByStream {
-    ctx: Rc<EvalContext>,
+    ctx: Arc<EvalContext>,
     input: Option<Box<dyn TStream>>,
     keys: Vec<Name>,
     sorted: Vec<LTuple>,
@@ -2221,14 +2221,14 @@ struct OrderByStream {
 }
 
 impl TStream for OrderByStream {
-    fn vars(&self) -> Rc<Vec<Name>> {
+    fn vars(&self) -> Arc<Vec<Name>> {
         match &self.input {
             Some(i) => i.vars(),
             None => self
                 .sorted
                 .first()
-                .map(|t| Rc::clone(&t.vars))
-                .unwrap_or_else(|| Rc::new(Vec::new())),
+                .map(|t| Arc::clone(&t.vars))
+                .unwrap_or_else(|| Arc::new(Vec::new())),
         }
     }
 
@@ -2256,7 +2256,7 @@ impl OrderByStream {
     fn force(&mut self) -> Result<()> {
         if let Some(mut input) = self.input.take() {
             drain_stream(&mut *input, &mut self.sorted)?;
-            let ctx = Rc::clone(&self.ctx);
+            let ctx = Arc::clone(&self.ctx);
             let keys = self.keys.clone();
             self.sorted.sort_by(|a, b| {
                 for k in &keys {
@@ -2277,12 +2277,12 @@ impl OrderByStream {
 }
 
 struct EmptyStream {
-    vars: Rc<Vec<Name>>,
+    vars: Arc<Vec<Name>>,
 }
 
 impl TStream for EmptyStream {
-    fn vars(&self) -> Rc<Vec<Name>> {
-        Rc::clone(&self.vars)
+    fn vars(&self) -> Arc<Vec<Name>> {
+        Arc::clone(&self.vars)
     }
 
     fn next(&mut self) -> Result<Option<LTuple>> {
@@ -2298,8 +2298,8 @@ mod tests {
     use mix_wrapper::fig2_catalog;
     use mix_xquery::parse_query;
 
-    fn lazy_ctx() -> Rc<EvalContext> {
-        Rc::new(EvalContext::new(fig2_catalog().0, AccessMode::Lazy))
+    fn lazy_ctx() -> Arc<EvalContext> {
+        Arc::new(EvalContext::new(fig2_catalog().0, AccessMode::Lazy))
     }
 
     fn plan_input(q: &str) -> Op {
@@ -2320,12 +2320,12 @@ mod tests {
         // navigation pull (Auto would prefetch ahead after the first).
         let mut c = EvalContext::new(fig2_catalog().0, AccessMode::Lazy);
         c.block = mix_common::BlockPolicy::Off;
-        let ctx = Rc::new(c);
+        let ctx = Arc::new(c);
         let op = Op::MkSrc {
             source: Name::new("root2"),
             var: Name::new("O"),
         };
-        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let mut s = build_stream(&op, &ctx, &Arc::new(HashMap::new())).unwrap();
         let stats = ctx.catalog().database("db1").unwrap().stats().clone();
         assert_eq!(stats.get(Counter::TuplesShipped), 0);
         assert!(s.next().unwrap().is_some());
@@ -2341,7 +2341,7 @@ mod tests {
     fn select_filters_lazily() {
         let ctx = lazy_ctx();
         let op = plan_input("FOR $O IN document(root2)/order WHERE $O/value > 2000 RETURN $O");
-        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let mut s = build_stream(&op, &ctx, &Arc::new(HashMap::new())).unwrap();
         let mut n = 0;
         while s.next().unwrap().is_some() {
             n += 1;
@@ -2353,7 +2353,7 @@ mod tests {
     fn q1_stream_produces_custrec_per_customer() {
         let ctx = lazy_ctx();
         let op = plan_input(Q1);
-        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let mut s = build_stream(&op, &ctx, &Arc::new(HashMap::new())).unwrap();
         let t1 = s.next().unwrap().unwrap();
         let v1 = t1.get(&Name::new("V")).unwrap();
         assert_eq!(ctx.lval_oid(v1).to_string(), "&($V,f(&DEF345))");
@@ -2367,7 +2367,7 @@ mod tests {
     fn stateless_gby_partitions_by_group() {
         let ctx = lazy_ctx();
         let op = plan_input(Q1);
-        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let mut s = build_stream(&op, &ctx, &Arc::new(HashMap::new())).unwrap();
         let a = s.next().unwrap().unwrap();
         let LVal::Part(pa) = a.get(&Name::new("X")).unwrap().clone() else {
             panic!()
@@ -2409,7 +2409,7 @@ mod tests {
 
     #[test]
     fn stateful_gby_handles_unsorted_input() {
-        let ctx = Rc::new({
+        let ctx = Arc::new({
             let mut c = EvalContext::new(interleaved_catalog(), AccessMode::Lazy);
             c.gby_mode = GByMode::Stateful;
             c
@@ -2420,7 +2420,7 @@ mod tests {
             "FOR $O IN document(root2)/order $B IN $O/cid/data() \
                              RETURN <g> $O </g> {$B}",
         );
-        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let mut s = build_stream(&op, &ctx, &Arc::new(HashMap::new())).unwrap();
         let mut groups = 0;
         while s.next().unwrap().is_some() {
             groups += 1;
@@ -2435,7 +2435,7 @@ mod tests {
         // trade-off the E7 ablation measures. Forced explicitly:
         // `Auto` would refuse this plan (the group key comes from a
         // data() path) and pick the hash implementation.
-        let ctx = Rc::new({
+        let ctx = Arc::new({
             let mut c = EvalContext::new(interleaved_catalog(), AccessMode::Lazy);
             c.gby_mode = GByMode::StatelessPresorted;
             c
@@ -2444,7 +2444,7 @@ mod tests {
             "FOR $O IN document(root2)/order $B IN $O/cid/data() \
                              RETURN <g> $O </g> {$B}",
         );
-        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let mut s = build_stream(&op, &ctx, &Arc::new(HashMap::new())).unwrap();
         let mut groups = 0;
         while s.next().unwrap().is_some() {
             groups += 1;
@@ -2457,12 +2457,12 @@ mod tests {
         // Default mode is Auto; the group key comes from a data()
         // path, so the analysis refuses presorted and picks hash —
         // which groups the interleaved keys correctly.
-        let ctx = Rc::new(EvalContext::new(interleaved_catalog(), AccessMode::Lazy));
+        let ctx = Arc::new(EvalContext::new(interleaved_catalog(), AccessMode::Lazy));
         let op = plan_input(
             "FOR $O IN document(root2)/order $B IN $O/cid/data() \
                              RETURN <g> $O </g> {$B}",
         );
-        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let mut s = build_stream(&op, &ctx, &Arc::new(HashMap::new())).unwrap();
         let a = s.next().unwrap().unwrap();
         let LVal::Part(pa) = a.get(&Name::new("X")).unwrap().clone() else {
             panic!()
@@ -2480,7 +2480,7 @@ mod tests {
 
     #[test]
     fn hash_gby_first_group_is_lazy() {
-        let ctx = Rc::new({
+        let ctx = Arc::new({
             let mut c = EvalContext::new(interleaved_catalog(), AccessMode::Lazy);
             c.gby_mode = GByMode::Hash;
             c
@@ -2491,7 +2491,7 @@ mod tests {
             "FOR $O IN document(root2)/order $B IN $O/cid/data() \
                              RETURN <g> $O </g> {$B}",
         );
-        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let mut s = build_stream(&op, &ctx, &Arc::new(HashMap::new())).unwrap();
         let _first = s.next().unwrap().unwrap();
         let after_first = stats.get(Counter::TuplesShipped);
         while s.next().unwrap().is_some() {}
@@ -2507,7 +2507,7 @@ mod tests {
     fn apply_collection_is_lazy() {
         let ctx = lazy_ctx();
         let op = plan_input(Q1);
-        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let mut s = build_stream(&op, &ctx, &Arc::new(HashMap::new())).unwrap();
         let t = s.next().unwrap().unwrap();
         let LVal::List(l) = t.get(&Name::new("Z")).unwrap().clone() else {
             panic!()
@@ -2525,7 +2525,7 @@ mod tests {
         let stats = ctx.catalog().database("db1").unwrap().stats().clone();
         stats.reset();
         let op = plan_input(Q1);
-        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let mut s = build_stream(&op, &ctx, &Arc::new(HashMap::new())).unwrap();
         let _first = s.next().unwrap().unwrap();
         let after_first = stats.get(Counter::TuplesShipped);
         while s.next().unwrap().is_some() {}
@@ -2545,7 +2545,7 @@ mod tests {
                 vars: vec![Name::new("X")],
             },
             &ctx,
-            &Rc::new(HashMap::new()),
+            &Arc::new(HashMap::new()),
         )
         .unwrap();
         assert!(s.next().unwrap().is_none());
@@ -2557,7 +2557,7 @@ mod tests {
             }),
             vars: vec![Name::new("C")],
         };
-        let mut s = build_stream(&op, &ctx, &Rc::new(HashMap::new())).unwrap();
+        let mut s = build_stream(&op, &ctx, &Arc::new(HashMap::new())).unwrap();
         let t = s.next().unwrap().unwrap();
         assert_eq!(t.vars.len(), 1);
     }

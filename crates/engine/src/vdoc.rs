@@ -26,16 +26,16 @@ use mix_algebra::Op;
 use mix_common::{Counter, MixError, Name, Result, Value};
 use mix_obs::ExecProfile;
 use mix_xml::{NavDoc, NodeRef, Oid};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 /// A lazily materialized view of an XMAS plan's result.
 pub struct VirtualResult {
-    ctx: Rc<EvalContext>,
+    ctx: Arc<EvalContext>,
     name: Name,
-    profile: Rc<ExecProfile>,
-    inner: RefCell<Inner>,
+    profile: Arc<ExecProfile>,
+    inner: Mutex<Inner>,
 }
 
 struct Inner {
@@ -80,8 +80,8 @@ enum VKind {
 impl VirtualResult {
     /// Build the virtual result of `plan` (rooted at `tD`). No source
     /// work happens yet beyond compiling the streams.
-    pub fn new(plan: &mix_algebra::Plan, ctx: Rc<EvalContext>) -> Result<VirtualResult> {
-        let profile = Rc::new(ExecProfile::new());
+    pub fn new(plan: &mix_algebra::Plan, ctx: Arc<EvalContext>) -> Result<VirtualResult> {
+        let profile = Arc::new(ExecProfile::new());
         let (stream, td_var, name) = match &plan.root {
             Op::TupleDestroy { input, var, root } => {
                 // The plan-root tD is node 0; the stream tree numbers
@@ -90,7 +90,7 @@ impl VirtualResult {
                 let s = build_stream_profiled(
                     input,
                     &ctx,
-                    &Rc::new(HashMap::new()),
+                    &Arc::new(HashMap::new()),
                     Some(&profile),
                     &mut next,
                 )?;
@@ -120,7 +120,7 @@ impl VirtualResult {
             ctx,
             name,
             profile,
-            inner: RefCell::new(Inner {
+            inner: Mutex::new(Inner {
                 nodes: vec![root],
                 stream,
                 td_var,
@@ -133,27 +133,27 @@ impl VirtualResult {
     }
 
     /// The evaluation context (shared stats, sources).
-    pub fn ctx(&self) -> &Rc<EvalContext> {
+    pub fn ctx(&self) -> &Arc<EvalContext> {
         &self.ctx
     }
 
     /// Per-node execution metrics, accumulated as navigation drives the
     /// plan ([`crate::explain::render_annotated`] joins them back onto
     /// the plan tree).
-    pub fn profile(&self) -> &Rc<ExecProfile> {
+    pub fn profile(&self) -> &Arc<ExecProfile> {
         &self.profile
     }
 
     /// Number of arena nodes materialized so far — the navigation
     /// high-watermark.
     pub fn nodes_materialized(&self) -> usize {
-        self.inner.borrow().nodes.len()
+        self.inner.lock().unwrap().nodes.len()
     }
 
     /// The failure that stopped result expansion, if one occurred.
     /// Already-materialized nodes remain navigable regardless.
     pub fn last_error(&self) -> Option<MixError> {
-        self.inner.borrow().error.clone()
+        self.inner.lock().unwrap().error.clone()
     }
 
     /// The decontextualization payload for a node: its oid plus the
@@ -161,7 +161,7 @@ impl VirtualResult {
     /// Skolem oids in this chain carry the bound variable and the
     /// group-by keys (Section 5).
     pub fn context(&self, n: NodeRef) -> NodeContext {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().unwrap();
         let oid = self.oid_inner(&inner, n);
         let mut ancestors = Vec::new();
         let mut cur = inner.nodes[n.0 as usize].parent;
@@ -224,7 +224,7 @@ impl VirtualResult {
     /// expanding, and only asking past the failed producer's
     /// materialized prefix re-reports the error.
     fn kid(&self, parent: u32, i: usize) -> Result<Option<NodeRef>> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         loop {
             let node = &inner.nodes[parent as usize];
             if let Some(&k) = node.kids.get(i) {
@@ -371,7 +371,7 @@ impl NavDoc for VirtualResult {
     fn try_next_sibling(&self, n: NodeRef) -> Result<Option<NodeRef>> {
         self.ctx.stats().inc(Counter::NavCommands);
         let (parent, index) = {
-            let inner = self.inner.borrow();
+            let inner = self.inner.lock().unwrap();
             let node = &inner.nodes[n.0 as usize];
             match node.parent {
                 Some(p) => (p, node.index),
@@ -383,7 +383,7 @@ impl NavDoc for VirtualResult {
 
     fn label(&self, n: NodeRef) -> Option<Name> {
         self.ctx.stats().inc(Counter::NavCommands);
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().unwrap();
         match &inner.nodes[n.0 as usize].kind {
             VKind::Root => Some(Name::new("list")),
             VKind::Src { doc, node } => self.ctx.doc(doc).ok()?.label(*node),
@@ -395,7 +395,7 @@ impl NavDoc for VirtualResult {
 
     fn value(&self, n: NodeRef) -> Option<Value> {
         self.ctx.stats().inc(Counter::NavCommands);
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().unwrap();
         match &inner.nodes[n.0 as usize].kind {
             VKind::Leaf { value } => Some(value.clone()),
             VKind::Src { doc, node } => self.ctx.doc(doc).ok()?.value(*node),
@@ -404,7 +404,7 @@ impl NavDoc for VirtualResult {
     }
 
     fn oid(&self, n: NodeRef) -> Oid {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().unwrap();
         self.oid_inner(&inner, n)
     }
 }
@@ -433,7 +433,7 @@ mod tests {
          RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}";
 
     fn virtual_q1() -> VirtualResult {
-        let ctx = Rc::new(EvalContext::new(fig2_catalog().0, AccessMode::Lazy));
+        let ctx = Arc::new(EvalContext::new(fig2_catalog().0, AccessMode::Lazy));
         let plan = translate(&parse_query(Q1).unwrap()).unwrap();
         VirtualResult::new(&plan, ctx).unwrap()
     }
@@ -451,11 +451,11 @@ mod tests {
 
     #[test]
     fn nothing_computed_until_navigation() {
-        let ctx = Rc::new(EvalContext::new(fig2_catalog().0, AccessMode::Lazy));
+        let ctx = Arc::new(EvalContext::new(fig2_catalog().0, AccessMode::Lazy));
         let db_stats = ctx.catalog().database("db1").unwrap().stats().clone();
         db_stats.reset();
         let plan = translate(&parse_query(Q1).unwrap()).unwrap();
-        let v = VirtualResult::new(&plan, Rc::clone(&ctx)).unwrap();
+        let v = VirtualResult::new(&plan, Arc::clone(&ctx)).unwrap();
         // Creating the virtual document issues no SQL.
         assert_eq!(db_stats.get(Counter::SqlQueries), 0);
         let _root = v.root();

@@ -9,7 +9,7 @@ use mix_engine::{eager, AccessMode, EvalContext, LTuple, LVal};
 use mix_wrapper::fig2_catalog;
 use mix_xml::LabelPath;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn mk(source: &str, var: &str) -> Op {
     Op::MkSrc {
@@ -68,8 +68,8 @@ fn assert_engines_agree(op: &Op) -> Vec<String> {
     let table = eager::eval_table(op, &ectx, &HashMap::new()).unwrap();
     let eager_rows: Vec<String> = table.tuples.iter().map(|t| tuple_key(&ectx, t)).collect();
     // lazy
-    let lctx = Rc::new(EvalContext::new(catalog, AccessMode::Lazy));
-    let mut stream = build_stream(op, &lctx, &Rc::new(HashMap::new())).unwrap();
+    let lctx = Arc::new(EvalContext::new(catalog, AccessMode::Lazy));
+    let mut stream = build_stream(op, &lctx, &Arc::new(HashMap::new())).unwrap();
     let mut lazy_rows = Vec::new();
     while let Some(t) = stream.next().unwrap() {
         lazy_rows.push(tuple_key(&lctx, &t));

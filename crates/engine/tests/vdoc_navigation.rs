@@ -8,10 +8,10 @@ use mix_engine::{AccessMode, EvalContext, VirtualResult};
 use mix_wrapper::fig2_catalog;
 use mix_xml::NavDoc;
 use mix_xquery::parse_query;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn vresult(plan: &mix_algebra::Plan) -> VirtualResult {
-    let ctx = Rc::new(EvalContext::new(fig2_catalog().0, AccessMode::Lazy));
+    let ctx = Arc::new(EvalContext::new(fig2_catalog().0, AccessMode::Lazy));
     VirtualResult::new(plan, ctx).unwrap()
 }
 

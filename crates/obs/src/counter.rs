@@ -1,11 +1,12 @@
 //! Typed work counters.
 //!
 //! Counters use relaxed atomics wrapped in `Arc` by the owners that
-//! share them. The engine proper is single-threaded by design (the
-//! QDOM protocol is a synchronous command loop), but the pipelined
-//! prefetcher runs its retry loop on a background thread and must
-//! account `RetriesAttempted`/`FaultsInjected`/backoff there — so the
-//! counter cells are `AtomicU64` rather than `Cell`. All accesses are
+//! share them. Each QDOM session is a synchronous command loop, but a
+//! session's counters are written from several threads: the pooled
+//! prefetch producers account `RetriesAttempted`/`FaultsInjected`/
+//! backoff from pool workers, and server threads observe session stats
+//! concurrently — so the counter cells are `AtomicU64` rather than
+//! `Cell`. All accesses are
 //! `Relaxed`: counters are statistics, not synchronization. The counter
 //! set is closed and typed: adding a counter means adding a [`Counter`]
 //! variant, and every read goes through [`Stats::get`] or the
@@ -17,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Number of counters (one per [`Counter`] variant).
-const N: usize = 28;
+const N: usize = 31;
 
 /// One kind of work the substrate counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -110,6 +111,18 @@ pub enum Counter {
     /// Bytes written to the wire by the server (frame headers
     /// included).
     WireBytesOut,
+    /// Shared plan-cache lookups/inserts that found their shard lock
+    /// already held and had to wait (mutex-striped LRU; see
+    /// `mix_common::ShardedLru`). High values relative to hits+misses
+    /// mean too few shards for the session count.
+    PlanCacheShardContention,
+    /// Cumulative prefetch-executor queue-depth samples, one per job
+    /// enqueue (depth observed after the push). Divide by
+    /// `PoolTasksRun` for the average backlog a job saw when queued.
+    PrefetchQueueDepth,
+    /// Jobs dispatched by a worker pool (each pickup of a queued job
+    /// counts once; a job that parks and resumes counts again).
+    PoolTasksRun,
 }
 
 impl Counter {
@@ -143,6 +156,9 @@ impl Counter {
         Counter::WireCommands,
         Counter::WireBytesIn,
         Counter::WireBytesOut,
+        Counter::PlanCacheShardContention,
+        Counter::PrefetchQueueDepth,
+        Counter::PoolTasksRun,
     ];
 
     /// A stable snake_case label (table rendering, log output).
@@ -176,6 +192,9 @@ impl Counter {
             Counter::WireCommands => "wire_commands",
             Counter::WireBytesIn => "wire_bytes_in",
             Counter::WireBytesOut => "wire_bytes_out",
+            Counter::PlanCacheShardContention => "plan_cache_shard_contention",
+            Counter::PrefetchQueueDepth => "prefetch_queue_depth",
+            Counter::PoolTasksRun => "pool_tasks_run",
         }
     }
 
@@ -520,7 +539,7 @@ mod tests {
         assert_eq!(Counter::WireCommands.to_string(), "wire_commands");
         assert_eq!(Counter::WireBytesIn.to_string(), "wire_bytes_in");
         assert_eq!(Counter::WireBytesOut.to_string(), "wire_bytes_out");
-        assert_eq!(Counter::ALL.len(), 28);
+        assert_eq!(Counter::ALL.len(), 31);
     }
 
     #[test]

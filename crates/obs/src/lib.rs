@@ -20,8 +20,9 @@
 //! The crate sits below `mix-common` and has no dependencies, so every
 //! layer — the relational executor, the wrappers, the engine, the QDOM
 //! session — can report into the same substrate. Everything is
-//! single-threaded (`Rc`/`Cell`/`RefCell`), matching the engine's
-//! synchronous QDOM command loop.
+//! `Send + Sync` (atomic counters, `Arc`-shared tracers): one `Stats`
+//! handle is shared by a session, its pooled prefetch producers, and
+//! the server threads that observe it.
 
 #![deny(missing_docs)]
 

@@ -7,8 +7,8 @@
 //! `explain()` rendering joins these metrics back onto the plan tree —
 //! `EXPLAIN ANALYZE` for XMAS plans.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// Runtime metrics for one plan node.
 #[derive(Debug, Default, Clone)]
@@ -31,11 +31,11 @@ pub struct OpMetrics {
 }
 
 /// Metrics for every executed node of one plan, keyed by the node's
-/// pre-order id. Shared via `Rc` between the executing streams and the
+/// pre-order id. Shared via `Arc` between the executing streams and the
 /// session that renders the explain output.
 #[derive(Debug, Default)]
 pub struct ExecProfile {
-    nodes: RefCell<BTreeMap<usize, OpMetrics>>,
+    nodes: Mutex<BTreeMap<usize, OpMetrics>>,
 }
 
 impl ExecProfile {
@@ -46,38 +46,43 @@ impl ExecProfile {
 
     /// Count one pull on node `id`.
     pub fn record_pull(&self, id: usize) {
-        self.nodes.borrow_mut().entry(id).or_default().pulls += 1;
+        self.nodes.lock().unwrap().entry(id).or_default().pulls += 1;
     }
 
     /// Count `n` output tuples on node `id`.
     pub fn record_tuples(&self, id: usize, n: u64) {
-        self.nodes.borrow_mut().entry(id).or_default().tuples_out += n;
+        self.nodes.lock().unwrap().entry(id).or_default().tuples_out += n;
     }
 
     /// Count `n` backend retries spent on node `id`.
     pub fn record_retries(&self, id: usize, n: u64) {
-        self.nodes.borrow_mut().entry(id).or_default().retries += n;
+        self.nodes.lock().unwrap().entry(id).or_default().retries += n;
     }
 
     /// Count `n` approximate allocated bytes on node `id`.
     pub fn record_alloc(&self, id: usize, n: u64) {
-        self.nodes.borrow_mut().entry(id).or_default().alloc_bytes += n;
+        self.nodes
+            .lock()
+            .unwrap()
+            .entry(id)
+            .or_default()
+            .alloc_bytes += n;
     }
 
     /// Attach (or replace) the physical detail string for node `id`.
     pub fn set_detail(&self, id: usize, detail: impl Into<String>) {
-        self.nodes.borrow_mut().entry(id).or_default().detail = Some(detail.into());
+        self.nodes.lock().unwrap().entry(id).or_default().detail = Some(detail.into());
     }
 
     /// Metrics for node `id`, if it was ever touched.
     pub fn get(&self, id: usize) -> Option<OpMetrics> {
-        self.nodes.borrow().get(&id).cloned()
+        self.nodes.lock().unwrap().get(&id).cloned()
     }
 
     /// True when no node reported anything — the plan never ran
     /// (or ran untraced).
     pub fn is_empty(&self) -> bool {
-        self.nodes.borrow().is_empty()
+        self.nodes.lock().unwrap().is_empty()
     }
 }
 

@@ -17,9 +17,8 @@
 //! assertable in tests), and [`LogTracer`] (human-readable output on
 //! stderr, gated on the `MIX_TRACE` environment variable).
 
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Span attributes: static keys, rendered values.
 pub type Attrs<'a> = &'a [(&'static str, String)];
@@ -31,9 +30,10 @@ pub struct SpanId(pub u64);
 
 /// A consumer of spans and events.
 ///
-/// Implementations are single-threaded and use interior mutability;
-/// the engine holds them behind `Rc<dyn Tracer>`.
-pub trait Tracer {
+/// Implementations guard their state with interior mutability and are
+/// shared across threads; the engine holds them behind
+/// `Arc<dyn Tracer>`.
+pub trait Tracer: Send + Sync {
     /// Whether this tracer wants any data at all. `false` lets callers
     /// skip attribute formatting entirely (the [`NullTracer`] path).
     fn enabled(&self) -> bool {
@@ -54,9 +54,9 @@ pub trait Tracer {
 // ---------------------------------------------------------------------
 
 struct HandleInner {
-    tracer: Rc<dyn Tracer>,
+    tracer: Arc<dyn Tracer>,
     enabled: bool,
-    stack: RefCell<Vec<SpanId>>,
+    stack: Mutex<Vec<SpanId>>,
 }
 
 /// A cheaply clonable handle to a tracer plus the active-span stack.
@@ -65,7 +65,7 @@ struct HandleInner {
 /// layer parent spans opened deep inside the relational executor.
 #[derive(Clone)]
 pub struct TracerHandle {
-    inner: Rc<HandleInner>,
+    inner: Arc<HandleInner>,
 }
 
 impl Default for TracerHandle {
@@ -85,20 +85,20 @@ impl fmt::Debug for TracerHandle {
 impl TracerHandle {
     /// A handle on `tracer`. The tracer's [`Tracer::enabled`] flag is
     /// sampled once here; tracers do not toggle mid-session.
-    pub fn new(tracer: Rc<dyn Tracer>) -> TracerHandle {
+    pub fn new(tracer: Arc<dyn Tracer>) -> TracerHandle {
         let enabled = tracer.enabled();
         TracerHandle {
-            inner: Rc::new(HandleInner {
+            inner: Arc::new(HandleInner {
                 tracer,
                 enabled,
-                stack: RefCell::new(Vec::new()),
+                stack: Mutex::new(Vec::new()),
             }),
         }
     }
 
     /// The disabled handle (a [`NullTracer`]).
     pub fn null() -> TracerHandle {
-        TracerHandle::new(Rc::new(NullTracer))
+        TracerHandle::new(Arc::new(NullTracer))
     }
 
     /// Whether tracing is on. When `false`, every other method is a
@@ -109,12 +109,12 @@ impl TracerHandle {
 
     /// The innermost active span.
     pub fn current(&self) -> Option<SpanId> {
-        self.inner.stack.borrow().last().copied()
+        self.inner.stack.lock().unwrap().last().copied()
     }
 
     /// Current nesting depth (the lazy engine's "pull depth" attr).
     pub fn depth(&self) -> usize {
-        self.inner.stack.borrow().len()
+        self.inner.stack.lock().unwrap().len()
     }
 
     /// Open a strictly nested span: started now, active (on the stack)
@@ -157,14 +157,14 @@ impl TracerHandle {
     /// Make `id` the innermost active span.
     pub fn push(&self, id: SpanId) {
         if self.enabled() {
-            self.inner.stack.borrow_mut().push(id);
+            self.inner.stack.lock().unwrap().push(id);
         }
     }
 
     /// Deactivate the innermost active span.
     pub fn pop(&self) {
         if self.enabled() {
-            self.inner.stack.borrow_mut().pop();
+            self.inner.stack.lock().unwrap().pop();
         }
     }
 
@@ -250,7 +250,7 @@ struct Store {
 /// operator spans").
 #[derive(Default)]
 pub struct CollectingTracer {
-    store: RefCell<Store>,
+    store: Mutex<Store>,
 }
 
 impl CollectingTracer {
@@ -262,7 +262,8 @@ impl CollectingTracer {
     /// Number of spans recorded (open or closed) whose name is `name`.
     pub fn count(&self, name: &str) -> usize {
         self.store
-            .borrow()
+            .lock()
+            .unwrap()
             .spans
             .iter()
             .filter(|s| s.name == name)
@@ -277,7 +278,8 @@ impl CollectingTracer {
     /// All recorded span names, in start order.
     pub fn span_names(&self) -> Vec<String> {
         self.store
-            .borrow()
+            .lock()
+            .unwrap()
             .spans
             .iter()
             .map(|s| s.name.clone())
@@ -286,7 +288,7 @@ impl CollectingTracer {
 
     /// Drop everything recorded so far.
     pub fn clear(&self) {
-        *self.store.borrow_mut() = Store::default();
+        *self.store.lock().unwrap() = Store::default();
     }
 
     /// Render the span forest as an indented tree: one line per span
@@ -295,7 +297,7 @@ impl CollectingTracer {
     /// for the lazy engine is *demand* order — the laziness claim made
     /// visible.
     pub fn render(&self) -> String {
-        let store = self.store.borrow();
+        let store = self.store.lock().unwrap();
         let mut out = String::new();
         for e in &store.roots {
             render_entry(&store, e, 0, &mut out);
@@ -304,7 +306,7 @@ impl CollectingTracer {
     }
 
     fn record(&self, parent: Option<SpanId>, entry: Entry) {
-        let mut store = self.store.borrow_mut();
+        let mut store = self.store.lock().unwrap();
         match parent {
             // A parent id may be stale after `clear()`; attach at the
             // root rather than panicking (we may be mid-drop).
@@ -353,7 +355,7 @@ fn own_attrs(attrs: Attrs<'_>) -> Vec<(String, String)> {
 
 impl Tracer for CollectingTracer {
     fn span_start(&self, name: &str, parent: Option<SpanId>, attrs: Attrs<'_>) -> SpanId {
-        let mut store = self.store.borrow_mut();
+        let mut store = self.store.lock().unwrap();
         let idx = store.spans.len();
         store.spans.push(SpanRec {
             name: name.to_string(),
@@ -372,7 +374,7 @@ impl Tracer for CollectingTracer {
     }
 
     fn span_end(&self, id: SpanId, attrs: Attrs<'_>) {
-        let mut store = self.store.borrow_mut();
+        let mut store = self.store.lock().unwrap();
         // Stale after `clear()` — ignore (we may be mid-drop).
         if let Some(s) = store.spans.get_mut(id.0 as usize - 1) {
             s.attrs.extend(own_attrs(attrs));
@@ -394,7 +396,7 @@ impl Tracer for CollectingTracer {
 pub struct LogTracer {
     enabled: bool,
     /// id → (name, depth), for end lines and indentation.
-    open: RefCell<Vec<(String, usize)>>,
+    open: Mutex<Vec<(String, usize)>>,
 }
 
 impl LogTracer {
@@ -402,7 +404,7 @@ impl LogTracer {
     pub fn new() -> LogTracer {
         LogTracer {
             enabled: true,
-            open: RefCell::new(Vec::new()),
+            open: Mutex::new(Vec::new()),
         }
     }
 
@@ -410,7 +412,7 @@ impl LogTracer {
     pub fn from_env() -> LogTracer {
         LogTracer {
             enabled: std::env::var_os("MIX_TRACE").is_some(),
-            open: RefCell::new(Vec::new()),
+            open: Mutex::new(Vec::new()),
         }
     }
 
@@ -435,7 +437,7 @@ impl Tracer for LogTracer {
     }
 
     fn span_start(&self, name: &str, parent: Option<SpanId>, attrs: Attrs<'_>) -> SpanId {
-        let mut open = self.open.borrow_mut();
+        let mut open = self.open.lock().unwrap();
         let depth = match parent {
             Some(SpanId(p)) => open[p as usize - 1].1 + 1,
             None => 0,
@@ -448,13 +450,13 @@ impl Tracer for LogTracer {
     }
 
     fn span_end(&self, id: SpanId, attrs: Attrs<'_>) {
-        let (name, depth) = self.open.borrow()[id.0 as usize - 1].clone();
+        let (name, depth) = self.open.lock().unwrap()[id.0 as usize - 1].clone();
         self.line(depth, "<", &name, attrs);
     }
 
     fn event(&self, parent: Option<SpanId>, name: &str, attrs: Attrs<'_>) {
         let depth = match parent {
-            Some(SpanId(p)) => self.open.borrow()[p as usize - 1].1 + 1,
+            Some(SpanId(p)) => self.open.lock().unwrap()[p as usize - 1].1 + 1,
             None => 0,
         };
         self.line(depth, "·", name, attrs);
@@ -465,9 +467,9 @@ impl Tracer for LogTracer {
 mod tests {
     use super::*;
 
-    fn collecting_handle() -> (Rc<CollectingTracer>, TracerHandle) {
-        let t = Rc::new(CollectingTracer::new());
-        let h = TracerHandle::new(Rc::clone(&t) as Rc<dyn Tracer>);
+    fn collecting_handle() -> (Arc<CollectingTracer>, TracerHandle) {
+        let t = Arc::new(CollectingTracer::new());
+        let h = TracerHandle::new(Arc::clone(&t) as Arc<dyn Tracer>);
         (t, h)
     }
 

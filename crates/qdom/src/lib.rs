@@ -28,4 +28,5 @@ pub mod session;
 pub mod splice;
 
 pub use mediator::{Mediator, MediatorOptions, MediatorOptionsBuilder};
+pub use plancache::{SharedPlanCache, DEFAULT_PLAN_CACHE_CAP};
 pub use session::{QNode, QdomSession, ResultInfo};

@@ -1,5 +1,6 @@
 //! The MIX mediator: sources, views, and session factory.
 
+use crate::plancache::{SharedPlanCache, DEFAULT_PLAN_CACHE_CAP};
 use mix_algebra::{translate_with_root, Plan};
 use mix_common::{BlockPolicy, MixError, Name, PrefetchPolicy, Result, RetryPolicy};
 use mix_engine::{AccessMode, GByMode};
@@ -7,6 +8,7 @@ use mix_obs::TracerHandle;
 use mix_wrapper::Catalog;
 use mix_xquery::parse_query;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Evaluation policy knobs (the benchmark axes).
 ///
@@ -68,6 +70,14 @@ pub struct MediatorOptions {
     /// way. Irrelevant under [`BlockPolicy::Off`], where cursors ship
     /// one row per pull regardless.
     pub columnar: bool,
+    /// How many decontextualized plan templates a session's *private*
+    /// cache keeps. With a shared cache installed this knob is unused —
+    /// the shared cache's own per-shard capacity governs instead.
+    pub plan_cache_cap: usize,
+    /// A process-wide plan-template cache shared across sessions (and
+    /// across mediators built with the same handle). `None` (the
+    /// default) keeps each session's cache private.
+    pub shared_plan_cache: Option<Arc<SharedPlanCache>>,
 }
 
 impl Default for MediatorOptions {
@@ -77,11 +87,13 @@ impl Default for MediatorOptions {
             optimize: true,
             gby: GByMode::Auto,
             hash_joins: true,
-            tracer: TracerHandle::new(std::rc::Rc::new(mix_obs::LogTracer::from_env())),
+            tracer: TracerHandle::new(std::sync::Arc::new(mix_obs::LogTracer::from_env())),
             block: BlockPolicy::default(),
             retry: RetryPolicy::default(),
             prefetch: PrefetchPolicy::default(),
             columnar: true,
+            plan_cache_cap: DEFAULT_PLAN_CACHE_CAP,
+            shared_plan_cache: None,
         }
     }
 }
@@ -154,6 +166,21 @@ impl MediatorOptionsBuilder {
     /// ablation baseline).
     pub fn columnar(mut self, columnar: bool) -> Self {
         self.opts.columnar = columnar;
+        self
+    }
+
+    /// Size of each session's private plan-template cache (clamped to
+    /// at least 1 entry at session open).
+    pub fn plan_cache_cap(mut self, cap: usize) -> Self {
+        self.opts.plan_cache_cap = cap;
+        self
+    }
+
+    /// Share `cache` across every session of this mediator: sessions
+    /// consult (and fill) it instead of their private caches, so
+    /// repeated query classes hit plans other sessions compiled.
+    pub fn shared_plan_cache(mut self, cache: Arc<SharedPlanCache>) -> Self {
+        self.opts.shared_plan_cache = Some(cache);
         self
     }
 
@@ -255,9 +282,17 @@ impl Mediator {
         ))
     }
 
-    /// Open a QDOM client session.
+    /// Open a QDOM client session borrowing this mediator.
     pub fn session(&self) -> crate::session::QdomSession<'_> {
         crate::session::QdomSession::new(self)
+    }
+
+    /// Open a QDOM client session that *owns* a handle to this
+    /// mediator: no borrow ties it down, so it can outlive the stack
+    /// frame and migrate across server worker threads
+    /// (`QdomSession<'static>` is what the pooled server queues).
+    pub fn session_arc(self: &Arc<Mediator>) -> crate::session::QdomSession<'static> {
+        crate::session::QdomSession::new_owned(Arc::clone(self))
     }
 }
 

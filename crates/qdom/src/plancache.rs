@@ -19,24 +19,35 @@
 //! text contains the composite-key separator `|`, and a hit is refused
 //! when two old slots map to conflicting new values. All refusals fall
 //! back to the ordinary (correct, slower) pipeline.
+//!
+//! Templates come in two tiers: every session owns a small private
+//! [`PlanCache`], and a server can additionally hand its sessions one
+//! process-wide [`SharedPlanCache`] (a sharded, mutex-striped LRU of
+//! `Arc`'d templates) so the Nth session to walk the same navigation
+//! pattern hits plans the first one compiled. Templates are immutable
+//! once built — instantiation substitutes into a *clone* — which is
+//! what makes sharing them across threads safe and hits clone-free.
 
 use mix_algebra::{Cond, CondArg, Op, Plan};
-use mix_common::{BlockPolicy, Name, PrefetchPolicy, Value};
+use mix_common::{BlockPolicy, Name, PrefetchPolicy, ShardedLru, Stats, Value, DEFAULT_SHARDS};
 use mix_engine::NodeContext;
 use mix_relational::Operand;
 use mix_rewrite::RewriteTrace;
 use mix_xml::{oid::OidKind, Oid};
+use std::sync::Arc;
 
 use crate::splice::{children_of, with_child_of};
 
-/// How many distinct (query, result, shape) templates a session keeps.
-const PLAN_CACHE_CAP: usize = 16;
+/// How many distinct (query, result, shape) templates a session keeps
+/// by default (and the default per-shard capacity of a
+/// [`SharedPlanCache`]).
+pub const DEFAULT_PLAN_CACHE_CAP: usize = 16;
 
 /// The skolem structure of a node id, with key values erased: for the
 /// node and each skolem ancestor, the skolem function, bound variable,
 /// and argument count. Two sibling `CustRec` nodes share a shape; their
 /// ids differ only in the argument oids (the *slots*).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct SkolemShape(Vec<(String, String, usize)>);
 
 /// Cache key: one query text issued from one result at one shape,
@@ -44,7 +55,7 @@ struct SkolemShape(Vec<(String, String, usize)>);
 /// cached physical plan bakes in kernel choices (`hash_joins`) and the
 /// block policy captured at build time, so an entry compiled under one
 /// knob setting must never be replayed under another.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct CacheKey {
     query: String,
     result: usize,
@@ -101,7 +112,9 @@ impl CacheKey {
     }
 }
 
-struct CachedPlan {
+/// One immutable decontextualized template. Shared freely (the shared
+/// cache hands out `Arc`s); instantiation substitutes into clones.
+pub(crate) struct CachedPlan {
     exec: Plan,
     logical: Plan,
     /// The pre-optimization (spliced) plan — what `explain` shows as
@@ -111,13 +124,67 @@ struct CachedPlan {
     slots: Vec<Oid>,
 }
 
-/// A small LRU of decontextualized plan templates.
-#[derive(Default)]
+/// Instantiate a template for a node whose slots are `new_slots`,
+/// renaming the result root to `result_name`. `None` when substitution
+/// would be ambiguous. Shared by both cache tiers.
+fn instantiate(
+    cached: &CachedPlan,
+    new_slots: &[Oid],
+    result_name: &str,
+) -> Option<(Plan, Plan, Plan, RewriteTrace)> {
+    let (omap, vmap) = substitution(&cached.slots, new_slots)?;
+    let exec = rename_root(&subst_plan(&cached.exec, &omap, &vmap), result_name);
+    let logical = rename_root(&subst_plan(&cached.logical, &omap, &vmap), result_name);
+    let naive = rename_root(&subst_plan(&cached.naive, &omap, &vmap), result_name);
+    Some((exec, logical, naive, cached.trace.clone()))
+}
+
+/// Build a template from a freshly decontextualized plan pair, or
+/// `None` when its slots are not unambiguous markers (see the guards
+/// below). Shared by both cache tiers.
+#[allow(clippy::too_many_arguments)]
+fn make_template(
+    slots: Vec<Oid>,
+    exec: &Plan,
+    logical: &Plan,
+    naive: &Plan,
+    trace: &RewriteTrace,
+    query_plan: &Plan,
+    view_plan: &Plan,
+) -> Option<CachedPlan> {
+    if !cacheable(&slots, query_plan, view_plan) {
+        return None;
+    }
+    Some(CachedPlan {
+        exec: exec.clone(),
+        logical: logical.clone(),
+        naive: naive.clone(),
+        trace: trace.clone(),
+        slots,
+    })
+}
+
+/// A small per-session LRU of decontextualized plan templates.
 pub(crate) struct PlanCache {
-    entries: Vec<(CacheKey, CachedPlan)>,
+    entries: Vec<(CacheKey, Arc<CachedPlan>)>,
+    cap: usize,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache::with_cap(DEFAULT_PLAN_CACHE_CAP)
+    }
 }
 
 impl PlanCache {
+    /// An empty cache keeping at most `cap` templates (clamped ≥ 1).
+    pub(crate) fn with_cap(cap: usize) -> PlanCache {
+        PlanCache {
+            entries: Vec::new(),
+            cap: cap.max(1),
+        }
+    }
+
     /// Instantiate a cached template for a node whose slots are
     /// `new_slots`, renaming the result root to `result_name`. `None`
     /// on a structural miss or when substitution would be ambiguous.
@@ -128,16 +195,11 @@ impl PlanCache {
         result_name: &str,
     ) -> Option<(Plan, Plan, Plan, RewriteTrace)> {
         let pos = self.entries.iter().position(|(k, _)| k == key)?;
-        let (omap, vmap) = substitution(&self.entries[pos].1.slots, new_slots)?;
-        // LRU bump before substituting (a hit is a hit either way).
+        let out = instantiate(&self.entries[pos].1, new_slots, result_name)?;
+        // LRU bump (a hit is a hit either way).
         let entry = self.entries.remove(pos);
-        let cached = &entry.1;
-        let exec = rename_root(&subst_plan(&cached.exec, &omap, &vmap), result_name);
-        let logical = rename_root(&subst_plan(&cached.logical, &omap, &vmap), result_name);
-        let naive = rename_root(&subst_plan(&cached.naive, &omap, &vmap), result_name);
-        let trace = cached.trace.clone();
         self.entries.insert(0, entry);
-        Some((exec, logical, naive, trace))
+        Some(out)
     }
 
     /// Remember a freshly decontextualized plan pair as a template, if
@@ -154,24 +216,104 @@ impl PlanCache {
         query_plan: &Plan,
         view_plan: &Plan,
     ) {
-        if !cacheable(&slots, query_plan, view_plan) {
+        let Some(t) = make_template(slots, exec, logical, naive, trace, query_plan, view_plan)
+        else {
             return;
-        }
+        };
         self.entries.retain(|(k, _)| *k != key);
-        self.entries.insert(
-            0,
-            (
-                key,
-                CachedPlan {
-                    exec: exec.clone(),
-                    logical: logical.clone(),
-                    naive: naive.clone(),
-                    trace: trace.clone(),
-                    slots,
-                },
-            ),
-        );
-        self.entries.truncate(PLAN_CACHE_CAP);
+        self.entries.insert(0, (key, Arc::new(t)));
+        self.entries.truncate(self.cap);
+    }
+}
+
+/// A process-wide, thread-safe plan-template cache shared across
+/// sessions (and across mediators over the same catalog): a sharded,
+/// mutex-striped LRU of `Arc`'d templates. Hand one to
+/// [`MediatorOptions::builder`](crate::MediatorOptions::builder) via
+/// `shared_plan_cache` and every session of that mediator consults it
+/// before (and instead of) its private cache — the Nth session to walk
+/// a navigation pattern hits the plans the first one compiled.
+///
+/// Each session still counts its *own* `PlanCacheHits`/`Misses`; the
+/// cache's [`SharedPlanCache::stats`] carries the process-wide
+/// cross-session hit rate and `PlanCacheShardContention`.
+#[derive(Debug)]
+pub struct SharedPlanCache {
+    inner: ShardedLru<CacheKey, CachedPlan>,
+}
+
+impl Default for SharedPlanCache {
+    fn default() -> SharedPlanCache {
+        SharedPlanCache::new(DEFAULT_SHARDS, DEFAULT_PLAN_CACHE_CAP)
+    }
+}
+
+impl SharedPlanCache {
+    /// A cache of `shards` stripes keeping at most `per_shard_cap`
+    /// templates each (both clamped ≥ 1).
+    pub fn new(shards: usize, per_shard_cap: usize) -> SharedPlanCache {
+        SharedPlanCache {
+            inner: ShardedLru::new(shards, per_shard_cap),
+        }
+    }
+
+    /// Process-wide counters: `PlanCacheHits`/`Misses` (the
+    /// cross-session hit rate) and `PlanCacheShardContention`.
+    pub fn stats(&self) -> &Stats {
+        self.inner.stats()
+    }
+
+    /// Number of stripes.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    /// Per-stripe capacity.
+    pub fn per_shard_cap(&self) -> usize {
+        self.inner.per_shard_cap()
+    }
+
+    /// Total templates currently cached (racy snapshot).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Look up and instantiate — the shard lock is held only for the
+    /// lookup itself; substitution runs on the caller's thread against
+    /// the `Arc`'d template.
+    pub(crate) fn lookup(
+        &self,
+        key: &CacheKey,
+        new_slots: &[Oid],
+        result_name: &str,
+    ) -> Option<(Plan, Plan, Plan, RewriteTrace)> {
+        let cached = self.inner.get(key)?;
+        instantiate(&cached, new_slots, result_name)
+    }
+
+    /// Remember a freshly decontextualized plan pair, if cacheable.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn insert(
+        &self,
+        key: CacheKey,
+        slots: Vec<Oid>,
+        exec: &Plan,
+        logical: &Plan,
+        naive: &Plan,
+        trace: &RewriteTrace,
+        query_plan: &Plan,
+        view_plan: &Plan,
+    ) {
+        let Some(t) = make_template(slots, exec, logical, naive, trace, query_plan, view_plan)
+        else {
+            return;
+        };
+        self.inner.insert(key, Arc::new(t));
     }
 }
 
@@ -407,7 +549,7 @@ mod tests {
     fn lru_evicts_beyond_capacity() {
         let mut cache = PlanCache::default();
         let shape = SkolemShape(vec![("f".into(), "V".into(), 1)]);
-        for i in 0..(PLAN_CACHE_CAP + 4) {
+        for i in 0..(DEFAULT_PLAN_CACHE_CAP + 4) {
             let key = CacheKey {
                 query: format!("q{i}"),
                 result: 0,
@@ -428,7 +570,7 @@ mod tests {
                 &empty_plan(),
             );
         }
-        assert_eq!(cache.entries.len(), PLAN_CACHE_CAP);
+        assert_eq!(cache.entries.len(), DEFAULT_PLAN_CACHE_CAP);
         // The oldest entries were evicted.
         let key0 = CacheKey {
             query: "q0".into(),

@@ -2,7 +2,7 @@
 
 use crate::decontext::decontextualize;
 use crate::mediator::Mediator;
-use crate::plancache::{CacheKey, PlanCache};
+use crate::plancache::{CacheKey, PlanCache, SharedPlanCache};
 use crate::splice::{compose, references_source};
 use mix_algebra::{translate_with_root, Plan};
 use mix_common::ColumnBlock;
@@ -13,7 +13,7 @@ use mix_proto::{Command, Reply, WireNode};
 use mix_rewrite::{optimize, rewrite, RewriteTrace};
 use mix_xml::{Document, NavDoc, NodeRef, Oid};
 use mix_xquery::parse_query;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The special source name `document(root)` denotes — the node a
 /// query-in-place was issued from.
@@ -45,13 +45,13 @@ pub struct ResultInfo {
     /// Per-operator execution metrics over `exec_plan` — filled up
     /// front by an eager run, incrementally by navigation in a lazy
     /// one.
-    pub profile: Rc<ExecProfile>,
+    pub profile: Arc<ExecProfile>,
     doc: ResultDoc,
 }
 
 enum ResultDoc {
-    Lazy(Rc<VirtualResult>),
-    Eager(Rc<Document>),
+    Lazy(Arc<VirtualResult>),
+    Eager(Arc<Document>),
 }
 
 impl ResultDoc {
@@ -101,18 +101,47 @@ fn reply_err(r: Reply, cmd: &str) -> MixError {
     }
 }
 
+/// The session's hold on its mediator: a plain borrow for in-process
+/// callers, or an owned `Arc` for sessions that must be `'static` (the
+/// pooled server moves sessions across worker threads).
+enum MediatorRef<'m> {
+    Borrowed(&'m Mediator),
+    Owned(Arc<Mediator>),
+}
+
+impl MediatorRef<'_> {
+    fn get(&self) -> &Mediator {
+        match self {
+            MediatorRef::Borrowed(m) => m,
+            MediatorRef::Owned(m) => m,
+        }
+    }
+}
+
 /// An interactive QDOM session over a [`Mediator`].
 pub struct QdomSession<'m> {
-    mediator: &'m Mediator,
-    ctx: Rc<EvalContext>,
+    mediator: MediatorRef<'m>,
+    ctx: Arc<EvalContext>,
     results: Vec<ResultInfo>,
+    /// Private template cache — the fallback when no shared cache is
+    /// installed.
     plan_cache: PlanCache,
+    /// The process-wide cache, when the mediator options carry one.
+    shared_cache: Option<Arc<SharedPlanCache>>,
 }
 
 impl<'m> QdomSession<'m> {
     pub(crate) fn new(mediator: &'m Mediator) -> QdomSession<'m> {
-        let opts = mediator.options();
-        let mut ctx = EvalContext::new(mediator.catalog().clone(), opts.access);
+        QdomSession::init(MediatorRef::Borrowed(mediator))
+    }
+
+    pub(crate) fn new_owned(mediator: Arc<Mediator>) -> QdomSession<'static> {
+        QdomSession::init(MediatorRef::Owned(mediator))
+    }
+
+    fn init(mediator: MediatorRef<'_>) -> QdomSession<'_> {
+        let opts = mediator.get().options();
+        let mut ctx = EvalContext::new(mediator.get().catalog().clone(), opts.access);
         ctx.gby_mode = opts.gby;
         ctx.hash_joins = opts.hash_joins;
         ctx.tracer = opts.tracer.clone();
@@ -123,19 +152,24 @@ impl<'m> QdomSession<'m> {
         // Sources share the session's tracer, so SQL issuance and row
         // shipping show up as events under the operator that caused
         // them.
-        for db in mediator.catalog().databases() {
+        for db in mediator.get().catalog().databases() {
             db.set_tracer(opts.tracer.clone());
         }
         QdomSession {
-            mediator,
-            ctx: Rc::new(ctx),
+            ctx: Arc::new(ctx),
             results: Vec::new(),
-            plan_cache: PlanCache::default(),
+            plan_cache: PlanCache::with_cap(opts.plan_cache_cap),
+            shared_cache: opts.shared_plan_cache,
+            mediator,
         }
     }
 
+    fn med(&self) -> &Mediator {
+        self.mediator.get()
+    }
+
     /// The shared evaluation context (stats, source views).
-    pub fn ctx(&self) -> &Rc<EvalContext> {
+    pub fn ctx(&self) -> &Arc<EvalContext> {
         &self.ctx
     }
 
@@ -247,12 +281,9 @@ impl<'m> QdomSession<'m> {
         let result_name = format!("rootv{}", self.results.len());
         let mut plan = translate_with_root(&q, &result_name)?;
         // Compose away references to defined views.
-        for vname in self.mediator.view_names() {
+        for vname in self.med().view_names() {
             if references_source(&plan.root, vname.as_str()) {
-                let view = self
-                    .mediator
-                    .view(vname.as_str())
-                    .expect("listed view exists");
+                let view = self.med().view(vname.as_str()).expect("listed view exists");
                 plan = compose(&plan, vname.as_str(), view);
             }
         }
@@ -304,9 +335,15 @@ impl<'m> QdomSession<'m> {
             self.ctx.columnar,
         );
         if let Some((key, new_slots)) = &cache_key {
-            if let Some((exec, logical, naive, trace)) =
-                self.plan_cache.lookup(key, new_slots, &result_name)
-            {
+            // The shared (cross-session) cache, when installed,
+            // replaces the private one entirely — one tier fields every
+            // lookup, so a session's hit/miss counters mean the same
+            // thing either way.
+            let hit = match &self.shared_cache {
+                Some(shared) => shared.lookup(key, new_slots, &result_name),
+                None => self.plan_cache.lookup(key, new_slots, &result_name),
+            };
+            if let Some((exec, logical, naive, trace)) = hit {
                 self.ctx.stats().inc(Counter::PlanCacheHits);
                 return self.push_result(exec, logical, naive, trace);
             }
@@ -315,16 +352,22 @@ impl<'m> QdomSession<'m> {
         let entry = &self.results[p.result];
         let plan = decontextualize(&qplan, &nctx, &entry.logical_plan)?;
         let naive = plan.clone();
-        let (exec, logical, trace) = if self.mediator.options().optimize {
-            let out = optimize(&plan, self.mediator.catalog());
+        let (exec, logical, trace) = if self.med().options().optimize {
+            let out = optimize(&plan, self.med().catalog());
             (out.plan, rewrite(&plan).plan, out.trace)
         } else {
             (plan.clone(), plan, RewriteTrace::default())
         };
         if let Some((key, slots)) = cache_key {
             let view = &self.results[p.result].logical_plan;
-            self.plan_cache
-                .insert(key, slots, &exec, &logical, &naive, &trace, &qplan, view);
+            match &self.shared_cache {
+                Some(shared) => {
+                    shared.insert(key, slots, &exec, &logical, &naive, &trace, &qplan, view)
+                }
+                None => self
+                    .plan_cache
+                    .insert(key, slots, &exec, &logical, &naive, &trace, &qplan, view),
+            }
         }
         self.push_result(exec, logical, naive, trace)
     }
@@ -345,15 +388,15 @@ impl<'m> QdomSession<'m> {
         let mut doc = Document::new(QUERY_ROOT, label);
         let root = doc.root_ref();
         copy_subtree_children(nav, p.node, &mut doc, root, &self.ctx)?;
-        self.ctx.register_doc(Rc::new(doc));
+        self.ctx.register_doc(Arc::new(doc));
         // No composition: the plan's mksrc(root) now resolves to the
         // materialized copy.
         self.execute_unoptimized(plan)
     }
 
     fn execute(&mut self, plan: Plan) -> Result<QNode> {
-        if self.mediator.options().optimize {
-            let out = optimize(&plan, self.mediator.catalog());
+        if self.med().options().optimize {
+            let out = optimize(&plan, self.med().catalog());
             // The logical plan for later composition is the rewritten,
             // pre-split plan.
             let logical = rewrite(&plan).plan;
@@ -380,14 +423,14 @@ impl<'m> QdomSession<'m> {
         mix_algebra::validate(&exec_plan)?;
         let (doc, profile) = match self.ctx.mode() {
             AccessMode::Lazy => {
-                let v = Rc::new(VirtualResult::new(&exec_plan, Rc::clone(&self.ctx))?);
-                let profile = Rc::clone(v.profile());
+                let v = Arc::new(VirtualResult::new(&exec_plan, Arc::clone(&self.ctx))?);
+                let profile = Arc::clone(v.profile());
                 (ResultDoc::Lazy(v), profile)
             }
             AccessMode::Eager => {
-                let profile = Rc::new(ExecProfile::new());
+                let profile = Arc::new(ExecProfile::new());
                 let d = eager::evaluate_profiled(&exec_plan, &self.ctx, Some(&profile))?;
-                (ResultDoc::Eager(Rc::new(d)), profile)
+                (ResultDoc::Eager(Arc::new(d)), profile)
             }
         };
         // Handing the (virtual) result root to the client is the
@@ -514,12 +557,12 @@ impl<'m> QdomSession<'m> {
     /// mediator ("a MIX mediator can be such a source to another MIX
     /// mediator", Section 4), renamed to `name`. Navigation commands
     /// the upper mediator issues propagate into this (lazy) result.
-    pub fn export_result(&self, p: QNode, name: &str) -> Rc<dyn NavDoc> {
-        let inner: Rc<dyn NavDoc> = match &self.results[p.result].doc {
-            ResultDoc::Lazy(v) => Rc::clone(v) as Rc<dyn NavDoc>,
-            ResultDoc::Eager(d) => Rc::clone(d) as Rc<dyn NavDoc>,
+    pub fn export_result(&self, p: QNode, name: &str) -> Arc<dyn NavDoc> {
+        let inner: Arc<dyn NavDoc> = match &self.results[p.result].doc {
+            ResultDoc::Lazy(v) => Arc::clone(v) as Arc<dyn NavDoc>,
+            ResultDoc::Eager(d) => Arc::clone(d) as Arc<dyn NavDoc>,
         };
-        Rc::new(mix_xml::RenamedDoc::new(inner, name))
+        Arc::new(mix_xml::RenamedDoc::new(inner, name))
     }
 
     /// Render the subtree under `p` (paper-figure tree style). Forces
@@ -898,6 +941,82 @@ mod tests {
         let b = s.q(q3, p1).unwrap();
         assert_eq!(s.ctx().stats().get(Counter::PlanCacheHits), 1);
         assert_eq!(content_only(&s.render(a)), content_only(&s.render(b)));
+    }
+
+    #[test]
+    fn plan_cache_cap_evicts_lru() {
+        // With a one-entry private cache, a second query class evicts
+        // the first: re-issuing the first class misses again.
+        let (cat, _) = fig2_catalog();
+        let opts = MediatorOptions::builder().plan_cache_cap(1).build();
+        let m = Mediator::with_options(cat, opts);
+        let mut s = m.session();
+        let p0 = s.query(Q1).unwrap();
+        let p1 = s.d(p0).unwrap().unwrap();
+        let qa = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O";
+        let qb = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value > 100 RETURN $O";
+        s.q(qa, p1).unwrap(); // miss, cached
+        s.q(qb, p1).unwrap(); // miss, evicts qa's template
+        s.q(qa, p1).unwrap(); // miss again — it was evicted
+        assert_eq!(s.ctx().stats().get(Counter::PlanCacheMisses), 3);
+        assert_eq!(s.ctx().stats().get(Counter::PlanCacheHits), 0);
+        // A roomier cache turns the third issue into a hit.
+        let (cat2, _) = fig2_catalog();
+        let m2 = Mediator::with_options(cat2, MediatorOptions::builder().plan_cache_cap(2).build());
+        let mut s2 = m2.session();
+        let c0 = s2.query(Q1).unwrap();
+        let c1 = s2.d(c0).unwrap().unwrap();
+        s2.q(qa, c1).unwrap();
+        s2.q(qb, c1).unwrap();
+        s2.q(qa, c1).unwrap();
+        assert_eq!(s2.ctx().stats().get(Counter::PlanCacheHits), 1);
+    }
+
+    #[test]
+    fn shared_plan_cache_hits_across_sessions() {
+        use crate::plancache::SharedPlanCache;
+        let shared = Arc::new(SharedPlanCache::default());
+        let (cat, _) = fig2_catalog();
+        let opts = MediatorOptions::builder()
+            .shared_plan_cache(Arc::clone(&shared))
+            .build();
+        let m = Mediator::with_options(cat, opts);
+        let q3 = "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O";
+        // Session 1 compiles the template.
+        let mut s1 = m.session();
+        let p0 = s1.query(Q1).unwrap();
+        let p1 = s1.d(p0).unwrap().unwrap();
+        let a = s1.q(q3, p1).unwrap();
+        assert_eq!(s1.ctx().stats().get(Counter::PlanCacheMisses), 1);
+        // Session 2's *first* issue of the same query class hits the
+        // template session 1 compiled, via a sibling node's keys.
+        let mut s2 = m.session();
+        let c0 = s2.query(Q1).unwrap();
+        let c1 = s2.d(c0).unwrap().unwrap();
+        let c2 = s2.r(c1).unwrap().unwrap();
+        let b = s2.q(q3, c2).unwrap();
+        assert_eq!(s2.ctx().stats().get(Counter::PlanCacheHits), 1);
+        assert_eq!(s2.ctx().stats().get(Counter::PlanCacheMisses), 0);
+        // The shared cache's own counters carry the cross-session rate.
+        assert!(shared.stats().get(Counter::PlanCacheHits) >= 1);
+        assert!(!shared.is_empty());
+        // And the instantiation is correct: same answers a cold,
+        // uncached session computes.
+        let mc = mediator(true, AccessMode::Lazy);
+        let mut sc = mc.session();
+        let d0 = sc.query(Q1).unwrap();
+        let d1 = sc.d(d0).unwrap().unwrap();
+        let d2 = sc.r(d1).unwrap().unwrap();
+        let cold_a = sc.q(q3, d1).unwrap();
+        let cold_b = sc.q(q3, d2).unwrap();
+        assert_eq!(
+            content_only(&s1.render(a)),
+            content_only(&sc.render(cold_a))
+        );
+        assert_eq!(
+            content_only(&s2.render(b)),
+            content_only(&sc.render(cold_b))
+        );
     }
 
     #[test]

@@ -9,10 +9,9 @@ use crate::schema::Schema;
 use crate::table::{Row, Table};
 use mix_common::{Counter, MixError, Name, Result, Stats};
 use mix_obs::TracerHandle;
-use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// An in-memory relational database acting as one MIX source server.
 #[derive(Debug, Clone)]
@@ -22,19 +21,19 @@ pub struct Database {
     stats: Stats,
     /// Shared across clones (like `stats`), so a session can point an
     /// already-wrapped database at its tracer.
-    tracer: Rc<RefCell<TracerHandle>>,
+    tracer: Arc<Mutex<TracerHandle>>,
     /// Fault-injection policy for the chaos backend; shared across
     /// clones so tests can flip faults on a database the mediator
     /// already holds.
-    fault: Rc<Cell<Option<FaultPolicy>>>,
+    fault: Arc<Mutex<Option<FaultPolicy>>>,
     /// Modelled backend RTT in milliseconds, resolved per statement at
     /// execute time (see [`Database::set_latency_ms`]); overrides the
     /// fault policy's `latency_ms` and applies even with no faults
     /// installed. Shared across clones like `fault`.
-    latency_ms: Rc<Cell<Option<u64>>>,
+    latency_ms: Arc<Mutex<Option<u64>>>,
     /// Statement sequence number — salts the per-statement fault RNG so
     /// each statement gets an independent, reproducible schedule.
-    stmt_seq: Rc<Cell<u64>>,
+    stmt_seq: Arc<AtomicU64>,
 }
 
 impl Database {
@@ -45,29 +44,29 @@ impl Database {
             name: name.into(),
             tables: BTreeMap::new(),
             stats: Stats::new(),
-            tracer: Rc::new(RefCell::new(TracerHandle::null())),
-            fault: Rc::new(Cell::new(None)),
-            latency_ms: Rc::new(Cell::new(None)),
-            stmt_seq: Rc::new(Cell::new(0)),
+            tracer: Arc::new(Mutex::new(TracerHandle::null())),
+            fault: Arc::new(Mutex::new(None)),
+            latency_ms: Arc::new(Mutex::new(None)),
+            stmt_seq: Arc::new(AtomicU64::new(0)),
         }
     }
 
     /// Send this source's SQL/row events to `tracer`. Affects every
     /// clone of this database (they share the handle, like `stats`).
     pub fn set_tracer(&self, tracer: TracerHandle) {
-        *self.tracer.borrow_mut() = tracer;
+        *self.tracer.lock().unwrap() = tracer;
     }
 
     /// Install (or clear, with `None`) a fault-injection policy. Every
     /// statement executed afterwards — on any clone of this database —
     /// runs behind a chaos wrapper that injects the policy's faults.
     pub fn set_fault_policy(&self, policy: Option<FaultPolicy>) {
-        self.fault.set(policy.filter(|p| p.active()));
+        *self.fault.lock().unwrap() = policy.filter(|p| p.active());
     }
 
     /// The currently installed fault policy, if any.
     pub fn fault_policy(&self) -> Option<FaultPolicy> {
-        self.fault.get()
+        *self.fault.lock().unwrap()
     }
 
     /// Model this backend's round-trip time: every block pull of a
@@ -80,12 +79,12 @@ impl Database {
     /// pull (an unpipelined connection); the pipelined prefetcher
     /// overlaps consecutive RTTs (see [`crate::fault`]).
     pub fn set_latency_ms(&self, ms: Option<u64>) {
-        self.latency_ms.set(ms.filter(|&ms| ms > 0));
+        *self.latency_ms.lock().unwrap() = ms.filter(|&ms| ms > 0);
     }
 
     /// The per-statement RTT override, if any.
     pub fn latency_ms(&self) -> Option<u64> {
-        self.latency_ms.get()
+        *self.latency_ms.lock().unwrap()
     }
 
     /// The server name.
@@ -155,7 +154,7 @@ impl Database {
     pub fn execute(&self, stmt: &SelectStmt) -> Result<Cursor> {
         let plan = build_plan(self, stmt)?;
         self.stats.inc(Counter::SqlQueries);
-        let tracer = self.tracer.borrow().clone();
+        let tracer = self.tracer.lock().unwrap().clone();
         if tracer.enabled() {
             tracer.event(
                 "sql",
@@ -168,8 +167,8 @@ impl Database {
         // The chaos gate carries both faults and the modelled RTT; a
         // latency override alone still routes the statement through it
         // (with an otherwise-empty fault schedule).
-        let fault = self.fault.get();
-        let latency = self.latency_ms.get();
+        let fault = *self.fault.lock().unwrap();
+        let latency = *self.latency_ms.lock().unwrap();
         let chaos = match (fault, latency) {
             (None, None) => None,
             (policy, latency) => {
@@ -177,8 +176,7 @@ impl Database {
                 if let Some(ms) = latency {
                     policy.latency_ms = ms;
                 }
-                let seq = self.stmt_seq.get();
-                self.stmt_seq.set(seq + 1);
+                let seq = self.stmt_seq.fetch_add(1, Ordering::Relaxed);
                 Some(ChaosState::new(
                     policy,
                     self.name.clone(),

@@ -38,6 +38,6 @@ pub use db::Database;
 pub use exec::Cursor;
 pub use fault::FaultPolicy;
 pub use parser::parse_sql;
-pub use prefetch::active_prefetchers;
+pub use prefetch::{active_prefetchers, prefetch_pool_stats, prefetch_pool_workers};
 pub use schema::{Column, ColumnType, Schema};
 pub use table::{Row, Table};

@@ -1,25 +1,36 @@
-//! The pipelined prefetcher: a per-cursor background thread.
+//! The pipelined prefetcher: a pooled, cooperative producer per cursor.
 //!
-//! The thread boundary sits exactly at the cursor seam: the thread owns
-//! the compiled plan (a `RowIter`, plain `Send` data) and its chaos
-//! gate; everything above — wrapper, engine, QDOM — stays the
-//! single-threaded `Rc`/`RefCell` world it was. Rows cross over a
-//! bounded [`mix_common::ring`] channel whose capacity is the prefetch
-//! depth, so readahead is bounded by back-pressure, not discipline.
+//! Prefetch work runs on a process-wide fixed-size worker pool
+//! ([`mix_common::Pool`], one thread per hardware thread by default)
+//! instead of one OS thread per cursor — a served workload with
+//! hundreds of live cursors keeps a bounded thread count. The pool
+//! boundary sits exactly where the thread boundary used to: the job
+//! owns the compiled plan (a `RowIter`, plain `Send` data) and its
+//! chaos gate; rows cross over the same bounded [`mix_common::ring`]
+//! channel whose capacity is the prefetch depth, so readahead is
+//! bounded by back-pressure, not discipline.
+//!
+//! A pooled producer must not *block* on its consumer (that would pin a
+//! pool worker), so the job is cooperative: each [`PoolJob::step`]
+//! produces at most one block and offers it with `try_send`. A full
+//! ring parks the job; the ring's free-slot waker (fired when the
+//! consumer pops or drops the receiver) re-enqueues it. Retry backoff
+//! sleeps stay inside `step` — they are bounded and ms-scale, and
+//! moving them off-worker would change the fault schedule.
 //!
 //! Three invariants make the prefetcher *observationally* identical to
 //! the synchronous path (the chaos suite pins this bit-for-bit):
 //!
-//! 1. **Schedule replay.** The thread pulls with the same
-//!    [`BlockRamp`] the consumer registered, so the sequence of admit
-//!    sizes — which is all the deterministic fault schedule keys off —
-//!    matches the synchronous run exactly.
-//! 2. **In-thread retries.** Transient faults are retried here, with
-//!    the same [`RetryPolicy`] loop the synchronous cursor runs;
-//!    counters go to the shared atomic [`Stats`], and each block
-//!    carries its retry history so the consumer can replay
-//!    `fault`/`retry` trace events in order. An error that escapes the
-//!    budget is shipped over the channel and latches the cursor.
+//! 1. **Schedule replay.** The job pulls with the same [`BlockRamp`]
+//!    the consumer registered, so the sequence of admit sizes — which
+//!    is all the deterministic fault schedule keys off — matches the
+//!    synchronous run exactly.
+//! 2. **In-job retries.** Transient faults are retried here, with the
+//!    same [`RetryPolicy`] loop the synchronous cursor runs; counters
+//!    go to the shared atomic [`Stats`], and each block carries its
+//!    retry history so the consumer can replay `fault`/`retry` trace
+//!    events in order. An error that escapes the budget is shipped
+//!    over the channel and latches the cursor.
 //! 3. **Deferred RTT.** The chaos gate's `latency_ms` models the
 //!    backend round trip. A pipelined connection still delivers each
 //!    response one RTT after its request went out — so each block
@@ -29,36 +40,62 @@
 //!    path cannot have: it pays one full RTT per block, serially.
 //!
 //! Cancellation: dropping the `PrefetchHandle` sets the stop flag,
-//! drops the receiver (waking a producer blocked on a full ring) and
-//! joins the thread — a dropped cursor or abandoned session never
-//! leaks a thread ([`active_prefetchers`] is the test hook) and never
-//! reads ahead unboundedly.
+//! drops the receiver (which fires the waker, resuming a parked job)
+//! and waits for the job to finish — a dropped cursor or abandoned
+//! session never leaks prefetch state ([`active_prefetchers`] is the
+//! test hook) and never reads ahead unboundedly. The job observes the
+//! stop flag on its next step and winds down; its owned state (plan,
+//! ring sender, gauge guard) is dropped by the worker *before* the
+//! handle's wait returns.
 
 use crate::exec::{gated_cpull, RowIter};
 use crate::fault::ChaosState;
 use crate::table::Row;
-use mix_common::ring::{self, Receiver, TryRecv};
-use mix_common::{BlockRamp, ColumnBlock, Counter, MixError, RetryPolicy, Stats};
+use mix_common::ring::{self, Receiver, TryRecv, TrySend};
+use mix_common::{
+    BlockRamp, ColumnBlock, Counter, JobHandle, MixError, Pool, PoolJob, RetryPolicy, Stats, Step,
+};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 static ACTIVE: AtomicUsize = AtomicUsize::new(0);
 
-/// Number of prefetcher threads currently alive, process-wide. The
-/// no-leaked-threads guarantee is testable: after dropping a session
-/// this returns to its prior value (handle drop joins the thread).
+/// The process-wide prefetch executor, started on first use.
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool::new("mix-prefetch", Pool::default_workers()))
+}
+
+/// Number of live prefetch producers, process-wide. The no-leaked-state
+/// guarantee is testable: after dropping a session this returns to its
+/// prior value (handle drop waits out the job, whose gauge guard is
+/// released by the pool worker).
 pub fn active_prefetchers() -> usize {
     ACTIVE.load(Ordering::SeqCst)
 }
 
-/// One successfully fetched block, shipped columnar: the thread builds
+/// Worker-thread count of the shared prefetch pool (starts the pool if
+/// needed). The process runs this many prefetch threads *total*,
+/// regardless of cursor count.
+pub fn prefetch_pool_workers() -> usize {
+    pool().workers()
+}
+
+/// A snapshot handle onto the shared pool's counters: `PoolTasksRun`
+/// (job dispatches) and `PrefetchQueueDepth` (cumulative queue-depth
+/// samples at enqueue). Starts the pool if needed.
+pub fn prefetch_pool_stats() -> Stats {
+    pool().stats().clone()
+}
+
+/// One successfully fetched block, shipped columnar: the job builds
 /// the typed vectors, so a columnar consumer adopts them by move and a
 /// row consumer pays one materialization — never the reverse.
 pub(crate) struct FetchedBlock {
     pub(crate) cols: ColumnBlock,
-    /// Backoff milliseconds of each in-thread retry this block needed,
+    /// Backoff milliseconds of each in-job retry this block needed,
     /// in order (empty for a clean pull) — the consumer replays these
     /// as `fault`/`retry` trace events.
     pub(crate) retry_backoff_ms: Vec<u64>,
@@ -76,12 +113,12 @@ pub(crate) enum PrefetchMsg {
     },
 }
 
-/// Consumer-side handle: receiver + stop flag + join handle. Dropping
-/// it cancels and joins the thread.
+/// Consumer-side handle: receiver + stop flag + job handle. Dropping
+/// it cancels the job and waits for its state to be released.
 pub(crate) struct PrefetchHandle {
     rx: Option<Receiver<PrefetchMsg>>,
     stop: Arc<AtomicBool>,
-    join: Option<JoinHandle<()>>,
+    job: JobHandle,
 }
 
 impl PrefetchHandle {
@@ -97,12 +134,12 @@ impl PrefetchHandle {
 impl Drop for PrefetchHandle {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Dropping the receiver wakes a producer blocked on a full
-        // ring; it observes the cancellation and winds down.
+        // Dropping the receiver closes the ring and fires its waker,
+        // re-enqueueing the job if it was parked on a full ring; the
+        // job observes the cancellation on its next step.
         self.rx.take();
-        if let Some(join) = self.join.take() {
-            let _ = join.join();
-        }
+        self.job.wake();
+        self.job.wait_done();
     }
 }
 
@@ -122,8 +159,9 @@ impl Drop for ActiveGuard {
     }
 }
 
-/// Spawn the prefetcher for one cursor. `ramp` must already be
-/// advanced past every pull the cursor served synchronously.
+/// Submit the prefetch producer for one cursor to the shared pool.
+/// `ramp` must already be advanced past every pull the cursor served
+/// synchronously.
 pub(crate) fn spawn(
     iter: Box<dyn RowIter>,
     chaos: Option<ChaosState>,
@@ -135,74 +173,133 @@ pub(crate) fn spawn(
 ) -> PrefetchHandle {
     let (tx, rx) = ring::channel(depth);
     let stop = Arc::new(AtomicBool::new(false));
-    let stop_t = Arc::clone(&stop);
-    // Acquired *before* the thread starts, so the gauge never dips
-    // between spawn and thread startup.
+    // Acquired *before* the job is submitted, so the gauge never dips
+    // between spawn and the first step.
     let guard = ActiveGuard::acquire();
-    let join = std::thread::Builder::new()
-        .name("mix-prefetch".into())
-        .spawn(move || {
-            let _guard = guard;
-            run(iter, chaos, ramp, retry, stats, stop_t, tx, arity);
-        })
-        .expect("spawn prefetcher thread");
+    let job = PrefetchJob {
+        iter,
+        chaos,
+        ramp,
+        retry,
+        stats,
+        arity,
+        stop: Arc::clone(&stop),
+        tx,
+        pending: None,
+        finished: false,
+        scratch: Vec::new(),
+        _guard: guard,
+    };
+    let handle = pool().spawn(Box::new(job));
+    // Wire the ring's free-slot/close notification to the job *before*
+    // the consumer's first pop, so a park on a full ring is always
+    // followed by a wake.
+    let waker = handle.clone();
+    rx.set_waker(move || waker.wake());
     PrefetchHandle {
         rx: Some(rx),
         stop,
-        join: Some(join),
+        job: handle,
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run(
-    mut iter: Box<dyn RowIter>,
-    mut chaos: Option<ChaosState>,
-    mut ramp: BlockRamp,
+/// The cooperative producer: one cursor's compiled plan plus the state
+/// needed to offer blocks without ever blocking a pool worker.
+struct PrefetchJob {
+    iter: Box<dyn RowIter>,
+    chaos: Option<ChaosState>,
+    ramp: BlockRamp,
     retry: RetryPolicy,
     stats: Stats,
+    arity: usize,
     stop: Arc<AtomicBool>,
     tx: ring::Sender<PrefetchMsg>,
-    arity: usize,
-) {
-    let mut aborted = false;
-    // Row buffer for operators without a native columnar path, reused
-    // across blocks (shipped blocks move their column vectors out).
-    let mut scratch: Vec<Row> = Vec::new();
-    'produce: loop {
-        if stop.load(Ordering::SeqCst) {
-            aborted = true;
-            break;
+    /// A produced message the ring had no room for yet.
+    pending: Option<PrefetchMsg>,
+    /// No more production: the plan is exhausted or failed terminally.
+    /// Once any `pending` is flushed the job is done (dropping `tx`
+    /// closes the channel — clean end-of-stream for the consumer).
+    finished: bool,
+    /// Row buffer for operators without a native columnar path, reused
+    /// across blocks (shipped blocks move their column vectors out).
+    scratch: Vec<Row>,
+    _guard: ActiveGuard,
+}
+
+impl PrefetchJob {
+    /// Cancelled before the plan was exhausted.
+    fn abort(&self) -> Step {
+        self.stats.inc(Counter::PrefetchAborted);
+        Step::Done
+    }
+}
+
+impl PoolJob for PrefetchJob {
+    fn step(&mut self) -> Step {
+        if self.stop.load(Ordering::SeqCst) && !self.finished {
+            return self.abort();
         }
-        let want = ramp.next_size();
-        let mut cols = ColumnBlock::new(arity);
+        // Flush a block the ring previously had no room for.
+        if let Some(msg) = self.pending.take() {
+            match self.tx.try_send(msg) {
+                TrySend::Sent => {
+                    if self.finished {
+                        return Step::Done;
+                    }
+                    return Step::Again;
+                }
+                TrySend::Full(msg) => {
+                    self.pending = Some(msg);
+                    return Step::Park;
+                }
+                TrySend::Closed(_) => {
+                    return if self.finished {
+                        Step::Done
+                    } else {
+                        self.abort()
+                    };
+                }
+            }
+        }
+        if self.finished {
+            return Step::Done;
+        }
+        // Produce one block. The same retry loop
+        // Cursor::next_block_retrying runs, moved in-job: identical
+        // admit sequence (a failed pull appends nothing, so the
+        // re-issued pull is exact), identical counters.
+        let want = self.ramp.next_size();
+        let mut cols = ColumnBlock::new(self.arity);
         cols.reserve(want);
         let mut retry_backoff_ms = Vec::new();
         let mut attempt = 0u32;
         let mut spent_backoff = 0u64;
-        // The same retry loop Cursor::next_block_retrying runs, moved
-        // in-thread: identical admit sequence (a failed pull appends
-        // nothing, so the re-issued pull is exact), identical counters.
         let (k, arrival) = loop {
             let issue = Instant::now();
-            match gated_cpull(&mut *iter, &mut chaos, &mut cols, want, &mut scratch) {
+            match gated_cpull(
+                &mut *self.iter,
+                &mut self.chaos,
+                &mut cols,
+                want,
+                &mut self.scratch,
+            ) {
                 Ok((k, latency_ms)) => break (k, issue + Duration::from_millis(latency_ms)),
                 Err(e) => {
-                    if e.is_transient() && retry.allows(attempt + 1, spent_backoff) {
+                    if e.is_transient() && self.retry.allows(attempt + 1, spent_backoff) {
                         attempt += 1;
-                        let backoff = retry.backoff_ms(attempt);
+                        let backoff = self.retry.backoff_ms(attempt);
                         spent_backoff += backoff;
-                        stats.inc(Counter::RetriesAttempted);
-                        stats.add(Counter::RetryBackoffMs, backoff);
+                        self.stats.inc(Counter::RetriesAttempted);
+                        self.stats.add(Counter::RetryBackoffMs, backoff);
                         retry_backoff_ms.push(backoff);
-                        if stop.load(Ordering::SeqCst) {
-                            aborted = true;
-                            break 'produce;
+                        if self.stop.load(Ordering::SeqCst) {
+                            return self.abort();
                         }
                         if backoff > 0 {
                             std::thread::sleep(Duration::from_millis(backoff));
                         }
                     } else {
-                        stats.inc(Counter::BackendErrors);
+                        self.stats.inc(Counter::BackendErrors);
                         let error = match e {
                             MixError::Backend(mut be) => {
                                 be.retries = attempt;
@@ -210,31 +307,27 @@ fn run(
                             }
                             other => other,
                         };
-                        let _ = tx.send(PrefetchMsg::Failed {
+                        self.finished = true;
+                        self.pending = Some(PrefetchMsg::Failed {
                             error,
                             retry_backoff_ms,
                         });
-                        break 'produce;
+                        return Step::Again;
                     }
                 }
             }
         };
         if k == 0 {
-            // Exhausted; dropping the sender closes the channel, which
-            // the consumer reads as clean end-of-stream.
-            break;
+            // Exhausted; the worker drops the job, dropping the sender,
+            // which the consumer reads as clean end-of-stream.
+            self.finished = true;
+            return Step::Done;
         }
-        let block = FetchedBlock {
+        self.pending = Some(PrefetchMsg::Block(FetchedBlock {
             cols,
             retry_backoff_ms,
             arrival,
-        };
-        if tx.send(PrefetchMsg::Block(block)).is_err() {
-            aborted = true;
-            break;
-        }
-    }
-    if aborted {
-        stats.inc(Counter::PrefetchAborted);
+        }));
+        Step::Again
     }
 }

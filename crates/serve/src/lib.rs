@@ -6,14 +6,20 @@
 //! implements the mediator side of that boundary over `mix-proto`'s
 //! framed protocol:
 //!
-//! * [`Server`] — a TCP listener that gives every accepted connection
-//!   its own QDOM session on a **dedicated blocking worker thread**.
-//!   The engine is deliberately single-threaded (`Rc`-based virtual
-//!   results); the server therefore builds a *fresh mediator per
-//!   session* from a caller-supplied factory, and sessions share
-//!   nothing but the process. The workspace carries no async runtime —
-//!   the listener is plain `std::net` with short read timeouts, which
-//!   keeps the whole stack dependency-free.
+//! * [`Server`] — a TCP listener that multiplexes every accepted
+//!   connection over a **bounded worker pool**: one acceptor, one
+//!   poller that decodes frames into per-session event queues, and a
+//!   fixed number of session workers woken by a condvar (OS threads are
+//!   bounded by [`ServerConfig::workers`], never by session count, and
+//!   the server never busy-waits while idle). The engine is
+//!   `Send + Sync` (`Arc`-based virtual results), so owned sessions
+//!   migrate across workers between commands; the server builds a
+//!   *fresh mediator per session* from a caller-supplied factory, and
+//!   sessions share exactly what the factory wires in — e.g. a
+//!   process-wide [`mix_qdom::SharedPlanCache`] and the pooled prefetch
+//!   executor. The workspace carries no async runtime — the listener is
+//!   plain `std::net` with nonblocking sockets, which keeps the whole
+//!   stack dependency-free.
 //! * Session lifecycle — a `Hello`/`Welcome` handshake (version
 //!   checked), an idle timeout that closes silent sessions, and a
 //!   clean `Bye` in both directions.

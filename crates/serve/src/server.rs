@@ -1,23 +1,55 @@
-//! The listener and the per-session worker loop.
+//! The pooled server: acceptor + poller + a bounded worker pool.
+//!
+//! Three kinds of threads serve every session, and their count is
+//! fixed at startup — OS threads are bounded by the pool size, never by
+//! the session count:
+//!
+//! * **One acceptor** blocks on the listener and registers accepted
+//!   connections with the poller.
+//! * **One poller** owns every connection's read side: it reads
+//!   nonblocking sockets into per-connection buffers, incrementally
+//!   decodes length-prefixed frames, and pushes them (plus synthetic
+//!   idle-timeout and shutdown events) onto per-session queues,
+//!   signalling the worker pool's condvar — workers sleep on readiness,
+//!   not on read-timeout polls. The poller's own sweep sleep adapts:
+//!   tight under traffic, backing off to a few milliseconds when every
+//!   socket is silent.
+//! * **`workers` session workers** drain ready queues. A claimed flag
+//!   gives each session exactly one worker at a time (commands of one
+//!   session never interleave), while a slow session occupies at most
+//!   one worker — it cannot head-of-line-block the rest.
+//!
+//! Back-pressure: a session whose event queue is full stops being read
+//! (TCP back-pressure reaches the client); the queue cap bounds memory
+//! per session.
+//!
+//! Sessions are owned (`QdomSession<'static>` over an `Arc<Mediator>`),
+//! so they migrate freely across worker threads between commands — the
+//! engine's shared state is `Send + Sync` end to end.
 
 use mix_common::MixError;
 use mix_obs::{Counter, Stats};
-use mix_proto::{read_frame, write_frame, Frame, Reply, PROTO_VERSION};
+use mix_proto::{Frame, Reply, MAX_FRAME_LEN, PROTO_VERSION};
 use mix_qdom::{Mediator, QdomSession};
-use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-/// How often idle workers and the acceptor re-check the shutdown flag.
-/// This bounds shutdown latency; it does not throttle busy sessions,
-/// which only hit the poll when waiting for the next command.
+/// How often the acceptor re-checks the shutdown flag.
 const POLL: Duration = Duration::from_millis(20);
 
-/// Once a frame has started arriving, how long the rest may take.
-const FRAME_READ_TIMEOUT: Duration = Duration::from_secs(10);
+/// Poller sweep sleep bounds: tight while sockets carry traffic,
+/// backing off geometrically when everything is silent.
+const SWEEP_MIN: Duration = Duration::from_micros(50);
+const SWEEP_MAX: Duration = Duration::from_millis(5);
+
+/// Per-session event-queue cap; a session at the cap stops being read
+/// until a worker drains it.
+const QUEUE_CAP: usize = 128;
 
 /// Server policy knobs.
 #[derive(Debug, Clone)]
@@ -35,6 +67,11 @@ pub struct ServerConfig {
     /// A session that sends nothing for this long is closed with a
     /// `Bye`.
     pub idle_timeout: Duration,
+    /// Session-worker threads in the pool. `0` (the default) sizes the
+    /// pool to the hardware (`available_parallelism`). Sessions
+    /// multiplex over this pool; OS threads never grow with session
+    /// count.
+    pub workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -43,30 +80,109 @@ impl Default for ServerConfig {
             max_sessions: 256,
             node_budget: 0,
             idle_timeout: Duration::from_secs(30),
+            workers: 0,
         }
     }
 }
 
-/// Builds one mediator per accepted session. The engine is
-/// single-threaded by design (`Rc`-based lazy results), so sessions
-/// never share an engine — only the factory crosses threads.
+impl ServerConfig {
+    fn worker_count(&self) -> usize {
+        if self.workers != 0 {
+            return self.workers;
+        }
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    }
+}
+
+/// Builds one mediator per accepted session. To share compiled plans
+/// across sessions, build the mediators inside with a common
+/// [`mix_qdom::SharedPlanCache`]
+/// (`MediatorOptions::builder().shared_plan_cache(..)`).
 pub type MediatorFactory = dyn Fn() -> Mediator + Send + Sync;
 
-/// A running MIX server: a listener plus one blocking worker thread
-/// per live session.
+/// One session's event, produced by the poller, consumed by a worker.
+enum Event {
+    /// A decoded frame plus its wire size (header included).
+    Frame(Frame, usize),
+    /// The idle deadline passed with no traffic.
+    Idle,
+    /// Peer closed, read error, or undecodable bytes: close silently.
+    Closed,
+    /// Graceful server shutdown: say `Bye` and close.
+    Shutdown,
+}
+
+/// The queue half of a connection — the only state the poller touches.
+struct ConnQueue {
+    events: VecDeque<Event>,
+    /// In the ready queue or claimed by a worker — guards against a
+    /// session being scheduled twice (and so against two workers
+    /// interleaving one session's commands).
+    scheduled: bool,
+}
+
+/// The session half — locked only by the (single) claiming worker.
+struct SessState {
+    session: Option<QdomSession<'static>>,
+    handshook: bool,
+    /// Holds one `live` slot (released exactly once at close).
+    slot_held: bool,
+}
+
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    queue: Mutex<ConnQueue>,
+    sess: Mutex<SessState>,
+    /// Worker → poller: this connection is finished; stop reading it
+    /// and drop its poll state.
+    closed: AtomicBool,
+}
+
+struct Shared {
+    ready: Mutex<VecDeque<Arc<Conn>>>,
+    ready_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Set by the poller once every live session has its `Shutdown`
+    /// event queued — only then may idle workers exit.
+    drained: AtomicBool,
+    stats: Stats,
+    live: AtomicUsize,
+    config: ServerConfig,
+    factory: Arc<MediatorFactory>,
+}
+
+impl Shared {
+    /// Queue one event and schedule the session on the worker pool if
+    /// it is not already scheduled/claimed.
+    fn push_event(&self, conn: &Arc<Conn>, ev: Event) {
+        let schedule = {
+            let mut q = conn.queue.lock().unwrap();
+            q.events.push_back(ev);
+            !std::mem::replace(&mut q.scheduled, true)
+        };
+        if schedule {
+            self.ready.lock().unwrap().push_back(Arc::clone(conn));
+            self.ready_cv.notify_one();
+        }
+    }
+}
+
+/// A running MIX server: acceptor + poller + a fixed worker pool.
 pub struct Server {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
-    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    live: Arc<AtomicUsize>,
-    stats: Stats,
+    poller: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start accepting
-    /// sessions, each served by a fresh `factory()` mediator on its
-    /// own thread.
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving: each
+    /// accepted session gets a fresh `factory()` mediator and is
+    /// multiplexed over the worker pool.
     pub fn start(
         addr: impl ToSocketAddrs,
         config: ServerConfig,
@@ -75,26 +191,48 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let live = Arc::new(AtomicUsize::new(0));
-        let stats = Stats::new();
+        let worker_count = config.worker_count();
+        let shared = Arc::new(Shared {
+            ready: Mutex::new(VecDeque::new()),
+            ready_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            drained: AtomicBool::new(false),
+            stats: Stats::new(),
+            live: AtomicUsize::new(0),
+            config,
+            factory,
+        });
+        let incoming: Arc<Mutex<Vec<Arc<Conn>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
-            let shutdown = Arc::clone(&shutdown);
-            let workers = Arc::clone(&workers);
-            let live = Arc::clone(&live);
-            let stats = stats.clone();
-            thread::spawn(move || {
-                accept_loop(listener, config, factory, shutdown, workers, live, stats)
-            })
+            let shared = Arc::clone(&shared);
+            let incoming = Arc::clone(&incoming);
+            thread::Builder::new()
+                .name("mix-serve-accept".into())
+                .spawn(move || accept_loop(listener, shared, incoming))
+                .expect("spawn acceptor")
         };
+        let poller = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("mix-serve-poll".into())
+                .spawn(move || poll_loop(shared, incoming))
+                .expect("spawn poller")
+        };
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("mix-serve-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn session worker")
+            })
+            .collect();
         Ok(Server {
             addr,
-            shutdown,
+            shared,
             accept: Some(accept),
+            poller: Some(poller),
             workers,
-            live,
-            stats,
         })
     }
 
@@ -108,29 +246,36 @@ impl Server {
     /// (SQL, tuples, nodes) live on each session's own stats and are
     /// readable over the wire via `Command::Stats`.
     pub fn stats(&self) -> &Stats {
-        &self.stats
+        &self.shared.stats
     }
 
     /// Sessions currently live (admitted and not yet closed).
     pub fn live_sessions(&self) -> usize {
-        self.live.load(Ordering::Relaxed)
+        self.shared.live.load(Ordering::Relaxed)
+    }
+
+    /// Session-worker threads in the pool.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
     }
 
     /// Graceful shutdown: stop accepting, let every in-flight command
-    /// finish, send `Bye` to every session, join every worker. When
+    /// finish, send `Bye` to every session, join every thread. When
     /// this returns, all sessions are dropped — including their
-    /// prefetcher threads, so `active_prefetchers()` is back to what
+    /// prefetch producers, so `active_prefetchers()` is back to what
     /// it was before the server started.
     pub fn shutdown(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        let handles: Vec<_> = {
-            let mut guard = self.workers.lock().unwrap();
-            guard.drain(..).collect()
-        };
-        for h in handles {
+        // The poller queues a Shutdown event per live session, then
+        // sets `drained` and exits once workers have closed them all.
+        if let Some(h) = self.poller.take() {
+            let _ = h.join();
+        }
+        self.shared.ready_cv.notify_all();
+        for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
@@ -142,31 +287,31 @@ impl Drop for Server {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn accept_loop(
-    listener: TcpListener,
-    config: ServerConfig,
-    factory: Arc<MediatorFactory>,
-    shutdown: Arc<AtomicBool>,
-    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    live: Arc<AtomicUsize>,
-    stats: Stats,
-) {
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, incoming: Arc<Mutex<Vec<Arc<Conn>>>>) {
     let mut next_id: u64 = 1;
-    while !shutdown.load(Ordering::Relaxed) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let id = next_id;
-                next_id += 1;
-                let config = config.clone();
-                let factory = Arc::clone(&factory);
-                let shutdown = Arc::clone(&shutdown);
-                let live = Arc::clone(&live);
-                let stats = stats.clone();
-                let handle = thread::spawn(move || {
-                    worker(stream, id, config, factory, shutdown, live, stats)
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let conn = Arc::new(Conn {
+                    id: next_id,
+                    stream,
+                    queue: Mutex::new(ConnQueue {
+                        events: VecDeque::new(),
+                        scheduled: false,
+                    }),
+                    sess: Mutex::new(SessState {
+                        session: None,
+                        handshook: false,
+                        slot_held: false,
+                    }),
+                    closed: AtomicBool::new(false),
                 });
-                workers.lock().unwrap().push(handle);
+                next_id += 1;
+                incoming.lock().unwrap().push(conn);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
             Err(_) => thread::sleep(POLL),
@@ -174,53 +319,307 @@ fn accept_loop(
     }
 }
 
-/// What one wait for the next frame produced.
-enum Waited {
-    Frame(Frame, usize),
-    Closed,
-    Idle,
-    Shutdown,
-    Failed,
+/// Poller-side per-connection state: the decode buffer and the idle
+/// deadline. Lives outside `Conn` — no lock is ever needed to decode.
+struct Polled {
+    conn: Arc<Conn>,
+    buf: Vec<u8>,
+    deadline: Instant,
+    /// The poller is done with this connection (events queued, reads
+    /// stopped); it is pruned once the worker marks `conn.closed`.
+    retired: bool,
 }
 
-/// Wait for one frame, polling the shutdown flag and the idle
-/// deadline. The stream's read timeout is `POLL` while waiting; once
-/// the first byte of a frame is visible the whole frame is read with a
-/// generous timeout, so a slow-writing client cannot split a frame
-/// across idle checks.
-fn wait_frame(stream: &mut TcpStream, shutdown: &AtomicBool, idle: Duration) -> Waited {
-    let deadline = Instant::now() + idle;
-    let mut probe = [0u8; 1];
+fn poll_loop(shared: Arc<Shared>, incoming: Arc<Mutex<Vec<Arc<Conn>>>>) {
+    let mut conns: Vec<Polled> = Vec::new();
+    let mut sweep = SWEEP_MAX;
+    let mut tmp = vec![0u8; 16 * 1024];
     loop {
-        if shutdown.load(Ordering::Relaxed) {
-            return Waited::Shutdown;
+        let shutting = shared.shutdown.load(Ordering::Relaxed);
+        let now = Instant::now();
+        for conn in incoming.lock().unwrap().drain(..) {
+            // Connections accepted after shutdown began are dropped
+            // here (their sockets close with the Arc).
+            if !shutting {
+                conns.push(Polled {
+                    conn,
+                    buf: Vec::new(),
+                    deadline: now + shared.config.idle_timeout,
+                    retired: false,
+                });
+            }
         }
-        match stream.peek(&mut probe) {
-            Ok(0) => return Waited::Closed,
-            Ok(_) => {
-                let _ = stream.set_read_timeout(Some(FRAME_READ_TIMEOUT));
-                let r = read_frame(stream);
-                let _ = stream.set_read_timeout(Some(POLL));
-                return match r {
-                    Ok(Some((f, n))) => Waited::Frame(f, n),
-                    Ok(None) => Waited::Closed,
-                    Err(_) => Waited::Failed,
-                };
+        let mut activity = false;
+        for p in &mut conns {
+            if p.retired || p.conn.closed.load(Ordering::Relaxed) {
+                continue;
             }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if Instant::now() >= deadline {
-                    return Waited::Idle;
-                }
+            if shutting {
+                shared.push_event(&p.conn, Event::Shutdown);
+                p.retired = true;
+                continue;
             }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return Waited::Failed,
+            // Back-pressure: a session at its queue cap stops being
+            // read until a worker drains it.
+            if p.conn.queue.lock().unwrap().events.len() >= QUEUE_CAP {
+                continue;
+            }
+            if sweep_read(&shared, p, &mut tmp, now) {
+                activity = true;
+            }
+        }
+        conns.retain(|p| !p.conn.closed.load(Ordering::Relaxed));
+        if shutting {
+            // Every survivor has its Shutdown queued; tell workers the
+            // drain is complete, then wait for them to close the rest.
+            shared.drained.store(true, Ordering::SeqCst);
+            shared.ready_cv.notify_all();
+            if conns.is_empty() {
+                return;
+            }
+        }
+        if activity {
+            // Traffic in flight: yield so workers (and clients, on a
+            // small machine) run, then sweep again without a timer —
+            // a sleeping poller would idle the worker pool.
+            sweep = SWEEP_MIN;
+            thread::yield_now();
+        } else {
+            sweep = (sweep * 2).min(SWEEP_MAX);
+            thread::sleep(sweep);
         }
     }
+}
+
+/// Read whatever one socket has, decode complete frames into events.
+/// Returns true when any bytes arrived.
+fn sweep_read(shared: &Arc<Shared>, p: &mut Polled, tmp: &mut [u8], now: Instant) -> bool {
+    let mut got = false;
+    loop {
+        match (&p.conn.stream).read(tmp) {
+            Ok(0) => {
+                shared.push_event(&p.conn, Event::Closed);
+                p.retired = true;
+                return got;
+            }
+            Ok(n) => {
+                got = true;
+                p.buf.extend_from_slice(&tmp[..n]);
+                p.deadline = now + shared.config.idle_timeout;
+                if n < tmp.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                shared.push_event(&p.conn, Event::Closed);
+                p.retired = true;
+                return got;
+            }
+        }
+    }
+    // Decode every complete frame in the buffer.
+    let mut consumed = 0;
+    while p.buf.len() >= consumed + 4 {
+        let len =
+            u32::from_le_bytes(p.buf[consumed..consumed + 4].try_into().expect("4 bytes")) as usize;
+        if len == 0 || len > MAX_FRAME_LEN as usize {
+            shared.push_event(&p.conn, Event::Closed);
+            p.retired = true;
+            break;
+        }
+        if p.buf.len() < consumed + 4 + len {
+            break; // partial frame; wait for more bytes
+        }
+        let payload = &p.buf[consumed + 4..consumed + 4 + len];
+        match Frame::decode_payload(payload) {
+            Ok(f) => shared.push_event(&p.conn, Event::Frame(f, 4 + len)),
+            Err(_) => {
+                shared.push_event(&p.conn, Event::Closed);
+                p.retired = true;
+                break;
+            }
+        }
+        consumed += 4 + len;
+    }
+    if consumed > 0 {
+        p.buf.drain(..consumed);
+    }
+    if !p.retired && now >= p.deadline {
+        shared.push_event(&p.conn, Event::Idle);
+        p.retired = true;
+    }
+    got
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let conn = {
+            let mut q = shared.ready.lock().unwrap();
+            loop {
+                if let Some(c) = q.pop_front() {
+                    break Some(c);
+                }
+                if shared.drained.load(Ordering::Relaxed) {
+                    break None;
+                }
+                // The timeout only bounds shutdown latency if a notify
+                // is lost; readiness normally arrives via the condvar.
+                q = shared.ready_cv.wait_timeout(q, POLL).unwrap().0;
+            }
+        };
+        let Some(conn) = conn else { return };
+        serve_batch(&shared, &conn);
+    }
+}
+
+/// Drain one session's queued events. The session is claimed
+/// (`scheduled` stayed true when it was popped), so this worker is the
+/// only one touching its `sess` state until the batch ends.
+fn serve_batch(shared: &Arc<Shared>, conn: &Arc<Conn>) {
+    let mut sess = conn.sess.lock().unwrap();
+    loop {
+        let ev = conn.queue.lock().unwrap().events.pop_front();
+        let Some(ev) = ev else { break };
+        if conn.closed.load(Ordering::Relaxed) {
+            continue; // closed mid-batch: discard the remainder
+        }
+        handle_event(shared, conn, &mut sess, ev);
+    }
+    drop(sess);
+    // Unclaim — or reschedule if the poller queued more meanwhile.
+    let reschedule = {
+        let mut q = conn.queue.lock().unwrap();
+        if q.events.is_empty() || conn.closed.load(Ordering::Relaxed) {
+            q.scheduled = false;
+            false
+        } else {
+            true
+        }
+    };
+    if reschedule {
+        shared.ready.lock().unwrap().push_back(Arc::clone(conn));
+        shared.ready_cv.notify_one();
+    }
+}
+
+fn budget_exhausted(session: &QdomSession<'_>, budget: u64) -> bool {
+    budget != 0 && session.ctx().stats().get(Counter::NodesBuilt) >= budget
+}
+
+fn handle_event(shared: &Arc<Shared>, conn: &Arc<Conn>, sess: &mut SessState, ev: Event) {
+    let stats = &shared.stats;
+    if !sess.handshook {
+        // Nothing but a valid Hello opens a session; anything else —
+        // silence until the idle deadline included — just drops the
+        // connection (no slot was ever held).
+        match ev {
+            Event::Frame(Frame::Hello { version }, n) => {
+                stats.add(Counter::WireBytesIn, n as u64);
+                if version != PROTO_VERSION {
+                    stats.inc(Counter::SessionsRejected);
+                    send(
+                        conn,
+                        stats,
+                        &Frame::Reject {
+                            reason: format!(
+                            "protocol version mismatch: client v{version}, server v{PROTO_VERSION}"
+                        ),
+                        },
+                    );
+                    return close(conn, sess, shared);
+                }
+                if !acquire_slot(&shared.live, shared.config.max_sessions) {
+                    stats.inc(Counter::SessionsRejected);
+                    send(
+                        conn,
+                        stats,
+                        &Frame::Reject {
+                            reason: format!(
+                                "session limit reached ({} live)",
+                                shared.config.max_sessions
+                            ),
+                        },
+                    );
+                    return close(conn, sess, shared);
+                }
+                sess.slot_held = true;
+                stats.inc(Counter::SessionsOpened);
+                if !send(
+                    conn,
+                    stats,
+                    &Frame::Welcome {
+                        version: PROTO_VERSION,
+                        session: conn.id,
+                    },
+                ) {
+                    return close(conn, sess, shared);
+                }
+                let mediator = Arc::new((shared.factory)());
+                sess.session = Some(mediator.session_arc());
+                sess.handshook = true;
+            }
+            _ => close(conn, sess, shared),
+        }
+        return;
+    }
+    match ev {
+        Event::Frame(Frame::Cmd(cmd), n) => {
+            stats.add(Counter::WireBytesIn, n as u64);
+            stats.inc(Counter::WireCommands);
+            let session = sess.session.as_mut().expect("handshook session");
+            let reply =
+                if cmd.creates_result() && budget_exhausted(session, shared.config.node_budget) {
+                    Reply::Err(MixError::plan(format!(
+                        "session node budget exhausted ({} nodes); navigation of existing \
+                     results is still allowed",
+                        shared.config.node_budget
+                    )))
+                } else {
+                    session.dispatch(cmd)
+                };
+            if !send(conn, stats, &Frame::Rep(reply)) {
+                close(conn, sess, shared);
+            }
+        }
+        Event::Frame(Frame::Bye, n) => {
+            stats.add(Counter::WireBytesIn, n as u64);
+            send(conn, stats, &Frame::Bye);
+            close(conn, sess, shared);
+        }
+        Event::Frame(_, n) => {
+            // A handshake frame mid-session is a protocol violation;
+            // answer once and close.
+            stats.add(Counter::WireBytesIn, n as u64);
+            send(
+                conn,
+                stats,
+                &Frame::Rep(Reply::Err(MixError::invalid(
+                    "unexpected frame: only Cmd and Bye are valid after the handshake",
+                ))),
+            );
+            close(conn, sess, shared);
+        }
+        Event::Idle | Event::Shutdown => {
+            send(conn, stats, &Frame::Bye);
+            close(conn, sess, shared);
+        }
+        Event::Closed => close(conn, sess, shared),
+    }
+}
+
+/// Finish a connection: drop the session (joining its prefetch
+/// producers), release the admission slot, and hand the socket back to
+/// the OS. The poller prunes its state on the next sweep.
+fn close(conn: &Arc<Conn>, sess: &mut SessState, shared: &Arc<Shared>) {
+    sess.session = None;
+    if std::mem::take(&mut sess.slot_held) {
+        shared.live.fetch_sub(1, Ordering::AcqRel);
+        shared.stats.inc(Counter::SessionsClosed);
+    }
+    conn.closed.store(true, Ordering::SeqCst);
+    let _ = conn.stream.shutdown(NetShutdown::Both);
 }
 
 /// Take one session slot, or refuse if the server is full.
@@ -237,135 +636,24 @@ fn acquire_slot(live: &AtomicUsize, max: usize) -> bool {
     }
 }
 
-fn budget_exhausted(session: &QdomSession<'_>, budget: u64) -> bool {
-    budget != 0 && session.ctx().stats().get(Counter::NodesBuilt) >= budget
-}
-
-fn worker(
-    mut stream: TcpStream,
-    id: u64,
-    config: ServerConfig,
-    factory: Arc<MediatorFactory>,
-    shutdown: Arc<AtomicBool>,
-    live: Arc<AtomicUsize>,
-    stats: Stats,
-) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(POLL));
-
-    // ---- handshake ----------------------------------------------------
-    let hello_version = match wait_frame(&mut stream, &shutdown, config.idle_timeout) {
-        Waited::Frame(Frame::Hello { version }, n) => {
-            stats.add(Counter::WireBytesIn, n as u64);
-            version
-        }
-        // Anything else before Hello — including silence until the
-        // idle deadline — just drops the connection.
-        _ => return,
-    };
-    if hello_version != PROTO_VERSION {
-        stats.inc(Counter::SessionsRejected);
-        send(
-            &mut stream,
-            &stats,
-            &Frame::Reject {
-                reason: format!(
-                    "protocol version mismatch: client v{hello_version}, server v{PROTO_VERSION}"
-                ),
-            },
-        );
-        return;
-    }
-    if !acquire_slot(&live, config.max_sessions) {
-        stats.inc(Counter::SessionsRejected);
-        send(
-            &mut stream,
-            &stats,
-            &Frame::Reject {
-                reason: format!("session limit reached ({} live)", config.max_sessions),
-            },
-        );
-        return;
-    }
-    // The slot is held: every exit path below must release it.
-    stats.inc(Counter::SessionsOpened);
-    if !send(
-        &mut stream,
-        &stats,
-        &Frame::Welcome {
-            version: PROTO_VERSION,
-            session: id,
-        },
-    ) {
-        live.fetch_sub(1, Ordering::AcqRel);
-        stats.inc(Counter::SessionsClosed);
-        return;
-    }
-
-    // ---- the session ----------------------------------------------------
-    let mediator = factory();
-    let mut session = mediator.session();
-    loop {
-        match wait_frame(&mut stream, &shutdown, config.idle_timeout) {
-            Waited::Frame(Frame::Cmd(cmd), n) => {
-                stats.add(Counter::WireBytesIn, n as u64);
-                stats.inc(Counter::WireCommands);
-                let reply =
-                    if cmd.creates_result() && budget_exhausted(&session, config.node_budget) {
-                        Reply::Err(MixError::plan(format!(
-                            "session node budget exhausted ({} nodes); navigation of existing \
-                         results is still allowed",
-                            config.node_budget
-                        )))
-                    } else {
-                        session.dispatch(cmd)
-                    };
-                if !send(&mut stream, &stats, &Frame::Rep(reply)) {
-                    break;
-                }
+/// Write one frame to the (nonblocking, poller-shared) socket, counting
+/// bytes; `false` means the peer is gone. A full send buffer retries
+/// with a short sleep — the cost lands on the slow session's worker
+/// slot, not on the poller or other sessions.
+fn send(conn: &Arc<Conn>, stats: &Stats, frame: &Frame) -> bool {
+    let bytes = frame.encode();
+    let mut off = 0;
+    while off < bytes.len() {
+        match (&conn.stream).write(&bytes[off..]) {
+            Ok(0) => return false,
+            Ok(n) => off += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_micros(100));
             }
-            Waited::Frame(Frame::Bye, n) => {
-                stats.add(Counter::WireBytesIn, n as u64);
-                send(&mut stream, &stats, &Frame::Bye);
-                break;
-            }
-            Waited::Frame(_, n) => {
-                // A handshake frame mid-session is a protocol violation;
-                // answer once and close.
-                stats.add(Counter::WireBytesIn, n as u64);
-                send(
-                    &mut stream,
-                    &stats,
-                    &Frame::Rep(Reply::Err(MixError::invalid(
-                        "unexpected frame: only Cmd and Bye are valid after the handshake",
-                    ))),
-                );
-                break;
-            }
-            Waited::Idle | Waited::Shutdown => {
-                // Idle timeout or graceful shutdown: the in-flight
-                // command (if any) already completed above; say Bye.
-                send(&mut stream, &stats, &Frame::Bye);
-                break;
-            }
-            Waited::Closed | Waited::Failed => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
         }
     }
-    // Dropping the session and its mediator joins any prefetcher
-    // threads the session's lazy results started.
-    drop(session);
-    drop(mediator);
-    live.fetch_sub(1, Ordering::AcqRel);
-    stats.inc(Counter::SessionsClosed);
-}
-
-/// Write one frame, counting bytes; `false` means the peer is gone.
-fn send(stream: &mut TcpStream, stats: &Stats, frame: &Frame) -> bool {
-    match write_frame(stream, frame) {
-        Ok(n) => {
-            stats.add(Counter::WireBytesOut, n as u64);
-            true
-        }
-        Err(_) => false,
-    }
+    stats.add(Counter::WireBytesOut, bytes.len() as u64);
+    true
 }

@@ -1,11 +1,13 @@
 //! The serve suite: lifecycle, admission control, budget, stale
-//! handles, idle timeout, graceful shutdown, and the wire-vs-in-process
-//! equivalence pin.
+//! handles, idle timeout, graceful shutdown, the wire-vs-in-process
+//! equivalence pin, and the shared-state concurrency suite (shared
+//! plan cache + pooled prefetch under the worker-pool server).
 
 use mix_common::{MixError, PrefetchPolicy, Value};
 use mix_engine::AccessMode;
+use mix_obs::Counter;
 use mix_proto::{read_frame, write_frame, Command, Frame, Reply, WireNode, PROTO_VERSION};
-use mix_qdom::{Mediator, MediatorOptions};
+use mix_qdom::{Mediator, MediatorOptions, SharedPlanCache};
 use mix_relational::active_prefetchers;
 use mix_serve::{Server, ServerConfig, WireClient, WireError};
 use mix_wrapper::fig2_catalog;
@@ -285,6 +287,282 @@ fn graceful_shutdown_drains_sessions_and_joins_prefetchers() {
     );
     assert_eq!(active_prefetchers(), before, "leaked prefetcher threads");
     // Clients see a clean Bye (or a closed socket), not a hang.
+    for mut c in clients {
+        let _ = c.wait_server_close();
+    }
+}
+
+/// A factory whose mediators share one plan cache (and, implicitly,
+/// the process-wide prefetch pool when `prefetch` is on).
+fn shared_factory(
+    shared: &Arc<SharedPlanCache>,
+    prefetch: PrefetchPolicy,
+) -> Arc<dyn Fn() -> Mediator + Send + Sync> {
+    let shared = Arc::clone(shared);
+    Arc::new(move || {
+        let (cat, _db) = fig2_catalog();
+        Mediator::with_options(
+            cat,
+            MediatorOptions::builder()
+                .access(AccessMode::Lazy)
+                .optimize(true)
+                .prefetch(prefetch)
+                .shared_plan_cache(Arc::clone(&shared))
+                .build(),
+        )
+    })
+}
+
+/// One script pass over the wire, *without* the stats line (cache
+/// hit/miss and prefetch counters legitimately differ when a session
+/// rides plans another session compiled).
+fn run_pass_wire(client: &mut WireClient) -> Vec<String> {
+    let mut out = run_script_wire(client);
+    out.pop();
+    out
+}
+
+#[test]
+fn shared_state_sessions_match_the_serial_baseline() {
+    // The tentpole equivalence pin: N concurrent sessions over a
+    // *shared* plan cache and the pooled prefetch executor produce
+    // bit-for-bit the renders/exports of a cold serial session. Shared
+    // state may change who compiles a plan — never what it computes.
+    let shared = Arc::new(SharedPlanCache::default());
+    let mut server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: 64,
+            ..ServerConfig::default()
+        },
+        shared_factory(&shared, PrefetchPolicy::Depth(2)),
+    )
+    .unwrap();
+    let addr = server.addr();
+    // Baseline: one serial in-process session (private cache, no
+    // prefetch) running the script twice — result-root names embed
+    // session-local result indices, so pass 1 has its own baseline.
+    let expected: Vec<Vec<String>> = {
+        let m = fig2_factory(PrefetchPolicy::Off)();
+        let mut s = m.session();
+        (0..2)
+            .map(|_| {
+                let mut out = Vec::new();
+                let p0 = s.query(Q1).unwrap();
+                let p1 = s.d(p0).unwrap().unwrap();
+                out.push(format!("{:?}", s.fl(p1).unwrap()));
+                let p4 = s.q(Q2, p0).unwrap();
+                let p5 = s.d(p4).unwrap().unwrap();
+                out.push(s.render(p5));
+                let p9 = s.q(Q3, p5).unwrap();
+                out.push(s.child_count(p9).unwrap().to_string());
+                out.push(s.render(p9));
+                out.push(format!("{:?}", s.export(p5, 0).unwrap()));
+                out
+            })
+            .collect()
+    };
+    // A serial warm-up session compiles every query class first, so
+    // the concurrent fleet's reuse below is deterministic, not a race.
+    {
+        let mut warm = WireClient::connect(addr).unwrap();
+        for (pass, want) in expected.iter().enumerate() {
+            assert_eq!(&run_pass_wire(&mut warm), want, "warm-up pass {pass}");
+        }
+        warm.close().unwrap();
+    }
+    let handles: Vec<_> = (0..16)
+        .map(|i| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = WireClient::connect(addr)
+                    .unwrap_or_else(|e| panic!("session {i}: connect: {e}"));
+                // Two passes per session, interleaved with the other
+                // fifteen sessions' passes.
+                for (pass, want) in expected.iter().enumerate() {
+                    let got = run_pass_wire(&mut client);
+                    assert_eq!(&got, want, "session {i} pass {pass} diverged");
+                }
+                client.close().unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("session thread");
+    }
+    // The cache actually crossed sessions. Only the Q3 issues are
+    // cacheable (Q2 targets the result *root*, which composes with the
+    // producing plan instead): the warm-up compiled Q3's two
+    // templates (one per pass — the target result index differs), and
+    // the fleet's 16 x 2 Q3 issues all ride them.
+    let stats = shared.stats();
+    assert!(
+        stats.get(Counter::PlanCacheHits) >= 32,
+        "expected cross-session plan reuse, got {} hits / {} misses",
+        stats.get(Counter::PlanCacheHits),
+        stats.get(Counter::PlanCacheMisses),
+    );
+    server.shutdown();
+    assert_eq!(active_prefetchers(), 0, "leaked pooled prefetch jobs");
+}
+
+#[test]
+fn sessions_multiplex_over_a_small_worker_pool() {
+    // 16 concurrent sessions over 2 session workers: every session
+    // completes the full script correctly even though sessions
+    // outnumber workers 8:1 — a slow session can occupy at most one
+    // worker, and the rest drain through the other.
+    let mut server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: 64,
+            workers: 2,
+            ..ServerConfig::default()
+        },
+        fig2_factory(PrefetchPolicy::Off),
+    )
+    .unwrap();
+    assert_eq!(server.worker_count(), 2);
+    let addr = server.addr();
+    let expected = run_script_local();
+    let handles: Vec<_> = (0..16)
+        .map(|i| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = WireClient::connect(addr)
+                    .unwrap_or_else(|e| panic!("session {i}: connect: {e}"));
+                let got = run_script_wire(&mut client);
+                assert_eq!(got, expected, "session {i} diverged");
+                client.close().unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("session thread");
+    }
+    assert_eq!(server.stats().get(Counter::SessionsOpened), 16);
+    server.shutdown();
+    assert_eq!(server.stats().get(Counter::SessionsClosed), 16);
+    assert_eq!(server.live_sessions(), 0);
+}
+
+#[test]
+fn shared_cache_contention_and_eviction_stay_correct() {
+    // A deliberately tiny shared cache (2 shards x 2 entries) under 8
+    // sessions each issuing 12 distinct query classes: constant
+    // eviction and shard contention, yet every answer stays correct
+    // and the cache never exceeds its configured capacity.
+    let shared = Arc::new(SharedPlanCache::new(2, 2));
+    let mut server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: 64,
+            ..ServerConfig::default()
+        },
+        shared_factory(&shared, PrefetchPolicy::Off),
+    )
+    .unwrap();
+    let addr = server.addr();
+    // Distinct WHERE constants make distinct cache keys. The target
+    // must be a *non-root* node (a `d`-derived CustRec): queries in
+    // place at the result root compose with the producing plan and
+    // never touch the cache — only decontextualized issues do.
+    let values: Vec<u64> = (1..=12).map(|n| n * 100).collect();
+    let class =
+        |v: u64| format!("FOR $O IN document(root)/OrderInfo WHERE $O/order/value < {v} RETURN $O");
+    let expected: Vec<u64> = {
+        let m = fig2_factory(PrefetchPolicy::Off)();
+        let mut s = m.session();
+        let p0 = s.query(Q1).unwrap();
+        let p1 = s.d(p0).unwrap().unwrap();
+        values
+            .iter()
+            .map(|&v| {
+                let p = s.q(&class(v), p1).unwrap();
+                s.child_count(p).unwrap() as u64
+            })
+            .collect()
+    };
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let values = values.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = WireClient::connect(addr)
+                    .unwrap_or_else(|e| panic!("session {i}: connect: {e}"));
+                let p0 = client.query(Q1).unwrap();
+                let p1 = client.d(p0).unwrap().unwrap();
+                // Walk the classes in a session-dependent order so
+                // shards see interleaved, conflicting access patterns.
+                for k in 0..values.len() {
+                    let j = (k + i) % values.len();
+                    let p = client.q(&class(values[j]), p1).unwrap();
+                    assert_eq!(
+                        client.child_count(p).unwrap(),
+                        expected[j],
+                        "session {i} class {j} diverged under eviction"
+                    );
+                }
+                client.close().unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("session thread");
+    }
+    assert!(
+        shared.len() <= shared.shard_count() * shared.per_shard_cap(),
+        "cache overflowed its cap: {} entries",
+        shared.len()
+    );
+    // 96 nested issues over 12 classes that cannot all fit in a
+    // 4-entry cache: each class was compiled at least once, and
+    // eviction forced recompilations beyond the class count.
+    assert!(
+        shared.stats().get(Counter::PlanCacheMisses) >= 12,
+        "hits {} misses {} contention {} len {}",
+        shared.stats().get(Counter::PlanCacheHits),
+        shared.stats().get(Counter::PlanCacheMisses),
+        shared.stats().get(Counter::PlanCacheShardContention),
+        shared.len(),
+    );
+    server.shutdown();
+}
+
+#[test]
+fn pooled_prefetch_survives_server_shutdown_without_leaks() {
+    // The pool-shutdown leak pin: sessions are abandoned mid-prefetch
+    // (results half-read, rings full), the server shuts down, and the
+    // process-wide prefetch gauge still lands exactly where it began —
+    // cancellation reclaims every pooled job, not just happy-path ones.
+    let before = active_prefetchers();
+    let shared = Arc::new(SharedPlanCache::default());
+    let mut server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: 64,
+            workers: 3,
+            ..ServerConfig::default()
+        },
+        shared_factory(&shared, PrefetchPolicy::Depth(2)),
+    )
+    .unwrap();
+    let mut clients: Vec<WireClient> = (0..8)
+        .map(|_| WireClient::connect(server.addr()).unwrap())
+        .collect();
+    for c in &mut clients {
+        // Start the query and navigate just far enough to arm the
+        // prefetchers, then abandon the session without closing.
+        let p0 = c.query(Q1).unwrap();
+        assert!(c.d(p0).unwrap().is_some());
+    }
+    server.shutdown();
+    assert_eq!(server.live_sessions(), 0);
+    assert_eq!(
+        active_prefetchers(),
+        before,
+        "pooled prefetch jobs leaked past shutdown"
+    );
     for mut c in clients {
         let _ = c.wait_server_close();
     }

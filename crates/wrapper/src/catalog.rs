@@ -11,7 +11,7 @@ use mix_common::{MixError, Name, Result};
 use mix_relational::Database;
 use mix_xml::{Document, NavDoc};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One registered source.
 #[derive(Clone)]
@@ -19,14 +19,14 @@ pub enum Source {
     /// An XML file source (already materialized; the paper notes the
     /// opportunities for lazy QDOM evaluation on file sources are
     /// limited, so they are fetched whole).
-    Xml(Rc<Document>),
+    Xml(Arc<Document>),
     /// A wrapped relation.
     Relation(RelationSource),
     /// Any navigable view — in particular another mediator's (virtual)
     /// query result: "a MIX mediator can be such a source to another
     /// MIX mediator \[and\] client navigations are translated into r and
     /// d commands sent to the source" (Section 4).
-    Nav(Rc<dyn NavDoc>),
+    Nav(Arc<dyn NavDoc>),
 }
 
 /// Named sources available to the mediator.
@@ -45,14 +45,14 @@ impl Catalog {
     /// Register an XML document under its own name.
     pub fn register_xml(&mut self, doc: Document) {
         self.sources
-            .insert(doc.name().clone(), Source::Xml(Rc::new(doc)));
+            .insert(doc.name().clone(), Source::Xml(Arc::new(doc)));
     }
 
     /// Register an arbitrary navigable view (e.g. another mediator's
     /// virtual result) under `name`. Navigation commands on this source
     /// propagate straight into the view — if it is lazy, the whole
     /// stack stays lazy.
-    pub fn register_nav(&mut self, name: impl Into<Name>, doc: Rc<dyn NavDoc>) {
+    pub fn register_nav(&mut self, name: impl Into<Name>, doc: Arc<dyn NavDoc>) {
         self.sources.insert(name.into(), Source::Nav(doc));
     }
 
@@ -103,10 +103,10 @@ impl Catalog {
 
     /// A *materialized* navigable view of the source (the eager
     /// baseline; ships the entire relation).
-    pub fn materialized(&self, name: &str) -> Result<Rc<dyn NavDoc>> {
+    pub fn materialized(&self, name: &str) -> Result<Arc<dyn NavDoc>> {
         match self.source(name)? {
-            Source::Xml(d) => Ok(Rc::clone(d) as Rc<dyn NavDoc>),
-            Source::Relation(r) => Ok(Rc::new(r.materialize()?) as Rc<dyn NavDoc>),
+            Source::Xml(d) => Ok(Arc::clone(d) as Arc<dyn NavDoc>),
+            Source::Relation(r) => Ok(Arc::new(r.materialize()?) as Arc<dyn NavDoc>),
             Source::Nav(d) => {
                 // Force the view into a plain document (the eager
                 // baseline for federated sources).
@@ -116,7 +116,7 @@ impl Catalog {
                 );
                 let root = doc.root_ref();
                 copy_children(&**d, d.root(), &mut doc, root);
-                Ok(Rc::new(doc) as Rc<dyn NavDoc>)
+                Ok(Arc::new(doc) as Arc<dyn NavDoc>)
             }
         }
     }
@@ -124,7 +124,7 @@ impl Catalog {
     /// A *lazy* navigable view of the source. XML file sources are
     /// served from memory (per the paper, they are obtained in one
     /// step); relational sources fetch tuples on demand.
-    pub fn lazy(&self, name: &str) -> Result<Rc<dyn NavDoc>> {
+    pub fn lazy(&self, name: &str) -> Result<Arc<dyn NavDoc>> {
         self.lazy_with_block(name, mix_common::BlockPolicy::default())
     }
 
@@ -135,7 +135,7 @@ impl Catalog {
         &self,
         name: &str,
         block: mix_common::BlockPolicy,
-    ) -> Result<Rc<dyn NavDoc>> {
+    ) -> Result<Arc<dyn NavDoc>> {
         self.lazy_with_opts(name, block, mix_common::RetryPolicy::default())
     }
 
@@ -147,7 +147,7 @@ impl Catalog {
         name: &str,
         block: mix_common::BlockPolicy,
         retry: mix_common::RetryPolicy,
-    ) -> Result<Rc<dyn NavDoc>> {
+    ) -> Result<Arc<dyn NavDoc>> {
         self.lazy_with_policies(name, block, retry, mix_common::PrefetchPolicy::Off)
     }
 
@@ -160,13 +160,13 @@ impl Catalog {
         block: mix_common::BlockPolicy,
         retry: mix_common::RetryPolicy,
         prefetch: mix_common::PrefetchPolicy,
-    ) -> Result<Rc<dyn NavDoc>> {
+    ) -> Result<Arc<dyn NavDoc>> {
         match self.source(name)? {
-            Source::Xml(d) => Ok(Rc::clone(d) as Rc<dyn NavDoc>),
+            Source::Xml(d) => Ok(Arc::clone(d) as Arc<dyn NavDoc>),
             Source::Relation(r) => {
-                Ok(Rc::new(r.lazy_with_policies(block, retry, prefetch)) as Rc<dyn NavDoc>)
+                Ok(Arc::new(r.lazy_with_policies(block, retry, prefetch)) as Arc<dyn NavDoc>)
             }
-            Source::Nav(d) => Ok(Rc::clone(d) as Rc<dyn NavDoc>),
+            Source::Nav(d) => Ok(Arc::clone(d) as Arc<dyn NavDoc>),
         }
     }
 

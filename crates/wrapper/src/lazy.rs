@@ -22,14 +22,14 @@ use mix_common::{
 };
 use mix_relational::{Cursor, Row};
 use mix_xml::{Document, NavDoc, NodeRef, Oid};
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// A virtual document over one relation, fetching tuples on demand.
 pub struct LazyRelationalDoc {
     source: RelationSource,
     retry: RetryPolicy,
     prefetch: PrefetchPolicy,
-    state: RefCell<State>,
+    state: Mutex<State>,
 }
 
 struct State {
@@ -101,7 +101,7 @@ impl LazyRelationalDoc {
             source,
             retry,
             prefetch,
-            state: RefCell::new(State {
+            state: Mutex::new(State {
                 doc,
                 cursor: None,
                 opened: false,
@@ -116,12 +116,12 @@ impl LazyRelationalDoc {
 
     /// Number of tuples fetched so far (the laziness metric).
     pub fn fetched(&self) -> usize {
-        self.state.borrow().tuples.len()
+        self.state.lock().unwrap().tuples.len()
     }
 
     /// The latched backend error, if fetching has failed permanently.
     pub fn last_error(&self) -> Option<MixError> {
-        self.state.borrow().error.clone()
+        self.state.lock().unwrap().error.clone()
     }
 
     /// Ensure at least `n + 1` tuples are fetched (so index `n` exists),
@@ -129,7 +129,7 @@ impl LazyRelationalDoc {
     /// index `n` if it exists; a backend failure the retry policy could
     /// not absorb is latched and re-reported on every further call.
     fn fetch_to(&self, n: usize) -> Result<Option<NodeRef>> {
-        let mut st = self.state.borrow_mut();
+        let mut st = self.state.lock().unwrap();
         // Already-materialized tuples are served even after a failure —
         // the latched error only gates *new* fetches.
         if let Some(&t) = st.tuples.get(n) {
@@ -207,7 +207,7 @@ impl NavDoc for LazyRelationalDoc {
     }
 
     fn root(&self) -> NodeRef {
-        self.state.borrow().doc.root_ref()
+        self.state.lock().unwrap().doc.root_ref()
     }
 
     /// Infallible view of [`NavDoc::try_first_child`]: a backend
@@ -225,12 +225,12 @@ impl NavDoc for LazyRelationalDoc {
         if n == self.root() {
             return self.fetch_to(0);
         }
-        Ok(self.state.borrow().doc.first_child(n))
+        Ok(self.state.lock().unwrap().doc.first_child(n))
     }
 
     fn try_next_sibling(&self, n: NodeRef) -> Result<Option<NodeRef>> {
         {
-            let st = self.state.borrow();
+            let st = self.state.lock().unwrap();
             if let Some(s) = st.doc.next_sibling(n) {
                 return Ok(Some(s));
             }
@@ -239,20 +239,20 @@ impl NavDoc for LazyRelationalDoc {
                 return Ok(None);
             }
         }
-        let idx = self.state.borrow().tuples.len();
+        let idx = self.state.lock().unwrap().tuples.len();
         self.fetch_to(idx)
     }
 
     fn label(&self, n: NodeRef) -> Option<Name> {
-        self.state.borrow().doc.label(n)
+        self.state.lock().unwrap().doc.label(n)
     }
 
     fn value(&self, n: NodeRef) -> Option<Value> {
-        self.state.borrow().doc.value(n)
+        self.state.lock().unwrap().doc.value(n)
     }
 
     fn oid(&self, n: NodeRef) -> Oid {
-        self.state.borrow().doc.oid(n)
+        self.state.lock().unwrap().doc.oid(n)
     }
 }
 

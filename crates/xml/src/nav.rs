@@ -15,7 +15,13 @@ pub struct NodeRef(pub u32);
 
 /// Navigable tree source: the `d`/`r`/`fl`/`fv` command set plus oid
 /// fetch, mirroring the DOM subset QDOM exposes.
-pub trait NavDoc {
+///
+/// Sources are `Send + Sync` so sessions (and the results they hold)
+/// can migrate across server worker threads; stateful sources (the
+/// lazy relational wrapper, virtual results) guard their mutable state
+/// with a mutex that is uncontended in practice — a session is driven
+/// by one worker at a time.
+pub trait NavDoc: Send + Sync {
     /// The name the source is registered under (e.g. `root1`).
     fn doc_name(&self) -> &Name;
     /// The root node.
@@ -76,13 +82,13 @@ pub fn node_scalar<D: NavDoc + ?Sized>(doc: &D, n: NodeRef) -> Option<Value> {
 /// source of another mediator ("a MIX mediator can be such a source to
 /// another MIX mediator", Section 4).
 pub struct RenamedDoc {
-    inner: std::rc::Rc<dyn NavDoc>,
+    inner: std::sync::Arc<dyn NavDoc>,
     name: Name,
 }
 
 impl RenamedDoc {
     /// Wrap `inner`, exposing it as source `name`.
-    pub fn new(inner: std::rc::Rc<dyn NavDoc>, name: impl Into<Name>) -> RenamedDoc {
+    pub fn new(inner: std::sync::Arc<dyn NavDoc>, name: impl Into<Name>) -> RenamedDoc {
         RenamedDoc {
             inner,
             name: name.into(),

@@ -14,11 +14,11 @@
 
 use mix_common::{Name, Value};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A vertex id. Cheap to clone (reference counted).
 #[derive(Clone, PartialEq, Eq, Hash)]
-pub struct Oid(Rc<OidKind>);
+pub struct Oid(Arc<OidKind>);
 
 /// The shapes a vertex id can take.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -51,27 +51,27 @@ pub enum OidKind {
 impl Oid {
     /// A named root id.
     pub fn root(name: impl Into<Name>) -> Oid {
-        Oid(Rc::new(OidKind::Root(name.into())))
+        Oid(Arc::new(OidKind::Root(name.into())))
     }
 
     /// A surrogate id.
     pub fn surrogate(n: u64) -> Oid {
-        Oid(Rc::new(OidKind::Surrogate(n)))
+        Oid(Arc::new(OidKind::Surrogate(n)))
     }
 
     /// A semantic key id (`&XYZ123`).
     pub fn key(k: impl Into<String>) -> Oid {
-        Oid(Rc::new(OidKind::Key(k.into())))
+        Oid(Arc::new(OidKind::Key(k.into())))
     }
 
     /// A literal-value id (used as a skolem argument).
     pub fn lit(v: Value) -> Oid {
-        Oid(Rc::new(OidKind::Lit(v)))
+        Oid(Arc::new(OidKind::Lit(v)))
     }
 
     /// A skolem id `f(args)` bound to variable `var`.
     pub fn skolem(func: impl Into<Name>, var: impl Into<Name>, args: Vec<Oid>) -> Oid {
-        Oid(Rc::new(OidKind::Skolem {
+        Oid(Arc::new(OidKind::Skolem {
             func: func.into(),
             var: var.into(),
             args,

@@ -7,7 +7,7 @@
 use crate::nav::{NavDoc, NodeRef};
 use crate::oid::Oid;
 use mix_common::{Name, Value};
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// What a vertex holds: an element label or a leaf value.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,11 +52,21 @@ struct XNode {
 /// Nodes live in an arena and are addressed by [`NodeRef`]; appending a
 /// child is O(1). Documents only grow (no node removal) — the mediator
 /// never mutates source data.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Document {
     name: Name,
     nodes: Vec<XNode>,
-    next_surrogate: Cell<u64>,
+    next_surrogate: AtomicU64,
+}
+
+impl Clone for Document {
+    fn clone(&self) -> Document {
+        Document {
+            name: self.name.clone(),
+            nodes: self.nodes.clone(),
+            next_surrogate: AtomicU64::new(self.next_surrogate.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Document {
@@ -75,7 +85,7 @@ impl Document {
         Document {
             name,
             nodes: vec![root],
-            next_surrogate: Cell::new(0),
+            next_surrogate: AtomicU64::new(0),
         }
     }
 
@@ -100,8 +110,7 @@ impl Document {
     }
 
     fn fresh_surrogate(&self) -> Oid {
-        let n = self.next_surrogate.get();
-        self.next_surrogate.set(n + 1);
+        let n = self.next_surrogate.fetch_add(1, Ordering::Relaxed);
         Oid::surrogate(n)
     }
 

@@ -16,6 +16,9 @@ cargo clippy -p mix-bench --all-targets -- -D warnings
 echo "==> cargo clippy -p mix-proto -p mix-serve -D warnings"
 cargo clippy -p mix-proto -p mix-serve --all-targets -- -D warnings
 
+echo "==> cargo clippy -p mix-common -p mix-qdom -p mix-relational -D warnings (shared-state modules)"
+cargo clippy -p mix-common -p mix-qdom -p mix-relational --all-targets -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -33,6 +36,16 @@ cargo test -q --test prefetch
 
 echo "==> wire protocol + serve suite (codec round trips, wire-vs-in-process equivalence, admission, shutdown)"
 cargo test -q -p mix-proto -p mix-serve
+
+echo "==> shared-state concurrency suite (shared plan cache, pool, worker-pool server)"
+cargo test -q -p mix-serve --test serve -- shared_ pooled_ sessions_multiplex
+cargo test -q -p mix-common --lib -- pool:: shard:: ring::
+cargo test -q -p mix-qdom --lib -- plan_cache shared_plan
+
+# Deterministic single-threaded re-run: the shared-state suites must
+# pass when the test harness provides no accidental parallelism.
+echo "==> shared-state suite again, RUST_TEST_THREADS=1"
+RUST_TEST_THREADS=1 cargo test -q -p mix-serve --test serve -- shared_ pooled_ sessions_multiplex
 
 echo "==> no 'validated:' panics in non-test code or release builds"
 if grep -rnE '(panic!|expect|unreachable!)\("validated' crates/*/src src; then
@@ -59,7 +72,7 @@ cargo bench -p mix-bench --bench prefetch_overlap -- --smoke >/dev/null
 echo "==> columnar_sweep bench smoke run"
 cargo bench -p mix-bench --bench columnar_sweep -- --smoke >/dev/null
 
-echo "==> serve_bench smoke run (concurrent wire sessions)"
+echo "==> serve_bench smoke run (pooled server, shared plan cache, concurrent wire sessions)"
 cargo bench -p mix-bench --bench serve_bench -- --smoke >/dev/null
 
 echo "All checks passed."

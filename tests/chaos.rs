@@ -242,7 +242,7 @@ fn navigated_prefix_survives_permanent_fault() {
 /// see `fault`/`retry` events.
 #[test]
 fn retries_show_in_explain_and_backoff_counter() {
-    use std::rc::Rc;
+    use std::sync::Arc;
     let (catalog, db) = customers_orders(12, 3, 17);
     let stats = db.stats().clone();
     db.set_fault_policy(Some(FaultPolicy::transient(SEED, 250)));
@@ -252,8 +252,8 @@ fn retries_show_in_explain_and_backoff_counter() {
         max_backoff_ms: 2,
         deadline_ms: None,
     };
-    let tracer = Rc::new(CollectingTracer::new());
-    let handle = TracerHandle::new(Rc::clone(&tracer) as Rc<dyn Tracer>);
+    let tracer = Arc::new(CollectingTracer::new());
+    let handle = TracerHandle::new(Arc::clone(&tracer) as Arc<dyn Tracer>);
     let m = Mediator::with_options(
         catalog,
         MediatorOptions::builder()

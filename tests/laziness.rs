@@ -245,7 +245,7 @@ fn hash_join_probes_are_linear_not_quadratic() {
 fn empty_outer_join_pulls_zero_inner_tuples() {
     use mix::algebra::{Cond, Op, Side};
     use mix::xml::path::LabelPath;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     let n = 40;
     let per = 25; // 1000 orders — pulling any would show in the counter
@@ -309,9 +309,9 @@ fn empty_outer_join_pulls_zero_inner_tuples() {
         });
         validate(&plan).unwrap();
 
-        let ctx = Rc::new(EvalContext::new(catalog.clone(), AccessMode::Lazy));
+        let ctx = Arc::new(EvalContext::new(catalog.clone(), AccessMode::Lazy));
         src_stats.reset();
-        let v = VirtualResult::new(&plan, Rc::clone(&ctx)).unwrap();
+        let v = VirtualResult::new(&plan, Arc::clone(&ctx)).unwrap();
         assert!(v.first_child(v.root()).is_none(), "semijoin={semijoin}");
         // The outer side drained its n customers finding no survivor;
         // none of the n·per orders crossed the wire.

@@ -4,7 +4,7 @@
 //! operator spans until navigation".
 
 use mix::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Q1 flattened: one `R` element per matching (customer, order) pair.
 /// Small enough to pin its whole span tree.
@@ -16,10 +16,10 @@ fn traced_mediator(
     access: AccessMode,
     optimize: bool,
     hash_joins: bool,
-) -> (Rc<CollectingTracer>, Mediator) {
+) -> (Arc<CollectingTracer>, Mediator) {
     let (catalog, _db) = mix::wrapper::fig2_catalog();
-    let tracer = Rc::new(CollectingTracer::new());
-    let handle = TracerHandle::new(Rc::clone(&tracer) as Rc<dyn Tracer>);
+    let tracer = Arc::new(CollectingTracer::new());
+    let handle = TracerHandle::new(Arc::clone(&tracer) as Arc<dyn Tracer>);
     let m = Mediator::with_options(
         catalog,
         MediatorOptions::builder()

@@ -7,7 +7,7 @@
 use mix::engine::eager;
 use mix::prelude::*;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const Q1: &str = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
      WHERE $C/id/data() = $O/cid/data() \
@@ -258,12 +258,12 @@ fn fig22_final_sql() {
 fn table1_stateless_gby_navigation() {
     use mix::engine::stream::build_stream;
     let (catalog, db) = mix::wrapper::fig2_catalog();
-    let ctx = Rc::new(EvalContext::new(catalog, AccessMode::Lazy));
+    let ctx = Arc::new(EvalContext::new(catalog, AccessMode::Lazy));
     let plan = translate(&parse_query(Q1).unwrap()).unwrap();
     let mix::algebra::Op::TupleDestroy { input, .. } = plan.root else {
         panic!()
     };
-    let mut s = build_stream(&input, &ctx, &Rc::new(HashMap::new())).unwrap();
+    let mut s = build_stream(&input, &ctx, &Arc::new(HashMap::new())).unwrap();
     let stats = db.stats().clone();
     // getRoot/d: the first group appears after pulling only its first
     // underlying tuple (plus the join's build side).
