@@ -123,6 +123,7 @@ impl PlanBuilder {
             skolem,
             group,
             children,
+            tag: out.clone(),
             out,
         })
     }

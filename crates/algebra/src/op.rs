@@ -60,6 +60,15 @@ pub enum RqKind {
     },
     /// Bind the leaf value at one result position.
     Value { col: usize },
+    /// Rebuild a single *field element* `<col>value</col>` of FROM
+    /// entry whose tuple key sits at the `key` positions. This is what
+    /// a variable bound to an element-valued path (`$B IN $A/col`,
+    /// no `data()` step) ships as — the element, not its text value.
+    FieldElement {
+        element: Name,
+        col: usize,
+        key: Vec<usize>,
+    },
 }
 
 /// One entry of the `rQ` map parameter `m`, "the mapping between the
@@ -86,6 +95,15 @@ impl fmt::Display for RqBinding {
             }
             RqKind::Value { col } => {
                 write!(f, "{} = {{{}}}", self.var.display_var(), col + 1)
+            }
+            RqKind::FieldElement { element, col, .. } => {
+                write!(
+                    f,
+                    "{} = {{{}:{}}}",
+                    self.var.display_var(),
+                    col + 1,
+                    element
+                )
             }
         }
     }
@@ -138,6 +156,13 @@ pub enum Op {
         group: Vec<Name>,
         children: ChildSpec,
         out: Name,
+        /// Immutable identity namespace for minted oids. Set to the
+        /// translation-time `out` name and renamed only by
+        /// composition-time alpha-renaming (which every evaluation
+        /// mode shares) — never by rewrite-internal hygiene renames,
+        /// so a rewritten plan mints the same `(skolem, tag, args)`
+        /// oids as the naive plan it was derived from.
+        tag: Name,
     },
     /// `cat_{x,y→out}`: per-tuple list concatenation.
     Cat {
@@ -332,6 +357,7 @@ mod tests {
             skolem: Name::new("f"),
             group: vec![Name::new("C")],
             children: ChildSpec::ListVar(Name::new("W")),
+            tag: Name::new("V"),
             out: Name::new("V"),
         };
         assert_eq!(ce.head(), "crElt(custRec, f($C), $W -> $V)");

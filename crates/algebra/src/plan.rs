@@ -376,6 +376,7 @@ pub fn rename_var(op: &Op, from: &Name, to: &Name) -> Op {
             group,
             children,
             out,
+            tag,
         } => Op::CrElt {
             input: rb(input),
             label: label.clone(),
@@ -383,6 +384,8 @@ pub fn rename_var(op: &Op, from: &Name, to: &Name) -> Op {
             group: rv(group),
             children: rc(children),
             out: r(out),
+            // Oid identity survives hygiene renames (see `Op::CrElt`).
+            tag: tag.clone(),
         },
         Op::Cat {
             input,
@@ -502,6 +505,44 @@ fn collect_vars(op: &Op, out: &mut Vec<Name>) {
     if let Op::Apply { plan, .. } = op {
         collect_vars(plan, out);
     }
+}
+
+/// Apply a variable mapping to every `crElt` oid tag in the plan.
+///
+/// Tags deliberately do not follow [`rename_var`]: rewrite-internal
+/// hygiene renames must not change minted oids. Composition-time
+/// alpha-renaming is the one rename that *is* part of node identity
+/// (it runs identically under every evaluation mode), so splicing
+/// calls this with the same mapping it used for the variables.
+pub fn rename_skolem_tags(op: &Op, mapping: &std::collections::HashMap<Name, Name>) -> Op {
+    let mut out = op.clone();
+    if let Op::CrElt { tag, .. } = &mut out {
+        if let Some(t) = mapping.get(tag) {
+            *tag = t.clone();
+        }
+    }
+    let rb = |b: &mut Box<Op>| **b = rename_skolem_tags(b, mapping);
+    match &mut out {
+        Op::MkSrcOver { input, .. }
+        | Op::GetD { input, .. }
+        | Op::Select { input, .. }
+        | Op::Project { input, .. }
+        | Op::CrElt { input, .. }
+        | Op::Cat { input, .. }
+        | Op::TupleDestroy { input, .. }
+        | Op::GroupBy { input, .. }
+        | Op::OrderBy { input, .. } => rb(input),
+        Op::Apply { input, plan, .. } => {
+            rb(input);
+            rb(plan);
+        }
+        Op::Join { left, right, .. } | Op::SemiJoin { left, right, .. } => {
+            rb(left);
+            rb(right);
+        }
+        Op::MkSrc { .. } | Op::NestedSrc { .. } | Op::RelQuery { .. } | Op::Empty { .. } => {}
+    }
+    out
 }
 
 /// A fresh variable named `prefix` + counter, avoiding everything in

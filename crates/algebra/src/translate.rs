@@ -464,6 +464,7 @@ impl Translator {
                 skolem,
                 group,
                 children,
+                tag: out.clone(),
                 out: out.clone(),
             };
             return Ok((op, out));
@@ -508,6 +509,7 @@ impl Translator {
             skolem,
             group: e.group_by.clone(),
             children,
+            tag: out.clone(),
             out: out.clone(),
         };
         Ok((op, out))
@@ -569,6 +571,7 @@ impl Translator {
             skolem,
             group,
             children,
+            tag: out.clone(),
             out: out.clone(),
         };
         Ok((op, out))

@@ -393,6 +393,7 @@ fn eval_table_inner(
             group,
             children,
             out,
+            tag,
         } => {
             let inp = eval_table_profiled(input, ctx, env, profile, next)?;
             let vars = extend_vars(&inp.vars, out);
@@ -401,7 +402,7 @@ fn eval_table_inner(
                 tuples: vec![],
             };
             for t in &inp.tuples {
-                let elem = build_element(ctx, t, label, skolem, group, children, out)?;
+                let elem = build_element(ctx, t, label, skolem, group, children, tag)?;
                 let mut vals = t.vals.clone();
                 vals.push(elem);
                 table.tuples.push(LTuple::new(Arc::clone(&vars), vals));
@@ -611,7 +612,7 @@ pub fn build_element(
     skolem: &Name,
     group: &[Name],
     children: &ChildSpec,
-    out: &Name,
+    tag: &Name,
 ) -> Result<LVal> {
     let args: Vec<Oid> = group
         .iter()
@@ -621,7 +622,7 @@ pub fn build_element(
                 .ok_or_else(|| MixError::internal(format!("skolem arg {g} missing")))
         })
         .collect::<Result<_>>()?;
-    let oid = Oid::skolem(skolem.clone(), out.clone(), args);
+    let oid = Oid::skolem(skolem.clone(), tag.clone(), args);
     let kids = match children {
         ChildSpec::Single(v) => {
             let val = t
@@ -720,6 +721,20 @@ pub(crate) fn rq_row_to_vals(
     map.iter()
         .map(|b| match &b.kind {
             RqKind::Value { col } => LVal::Leaf(row.get(*col).cloned().unwrap_or(Value::Null)),
+            RqKind::FieldElement { element, col, key } => {
+                let key_text: Vec<String> = key
+                    .iter()
+                    .map(|&k| row.get(k).cloned().unwrap_or(Value::Null).to_string())
+                    .collect();
+                let key_text = key_text.join("|");
+                let v = row.get(*col).cloned().unwrap_or(Value::Null);
+                ctx.stats().inc(Counter::NodesBuilt);
+                LVal::Elem(Arc::new(LElem {
+                    label: element.clone(),
+                    oid: Oid::key(format!("{key_text}.{element}")),
+                    children: LList::one(LVal::Leaf(v)),
+                }))
+            }
             RqKind::Element { element, cols, key } => {
                 let key_text: Vec<String> = key
                     .iter()

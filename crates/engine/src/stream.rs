@@ -320,6 +320,7 @@ pub(crate) fn build_stream_profiled(
             group,
             children,
             out,
+            tag,
         } => {
             let input = build_stream_profiled(input, ctx, env, profile, next)?;
             let mut vars = (*input.vars()).clone();
@@ -334,7 +335,7 @@ pub(crate) fn build_stream_profiled(
                     skolem: skolem.clone(),
                     group: group.clone(),
                     children: children.clone(),
-                    out: out.clone(),
+                    tag: tag.clone(),
                 },
             })
         }
@@ -1199,7 +1200,7 @@ enum MapKind {
         skolem: Name,
         group: Vec<Name>,
         children: mix_algebra::ChildSpec,
-        out: Name,
+        tag: Name,
     },
     Cat {
         left: mix_algebra::ChildSpec,
@@ -1224,8 +1225,8 @@ impl MapStream {
                 skolem,
                 group,
                 children,
-                out,
-            } => build_element(&self.ctx, &t, label, skolem, group, children, out)?,
+                tag,
+            } => build_element(&self.ctx, &t, label, skolem, group, children, tag)?,
             MapKind::Cat { left, right } => cat_value(&t, left, right)?,
         };
         let mut vals = t.vals;
@@ -1777,6 +1778,12 @@ enum RqSlot {
     Value { col: usize },
     /// Bit-identical to an earlier Element slot: share its value.
     Dup { of: usize, nodes: u64 },
+    /// Rebuild a single field element `<col>value</col>`.
+    FieldElement {
+        element: Name,
+        col: usize,
+        key: Vec<usize>,
+    },
     /// Rebuild a wrapper element, caching the last run.
     Element {
         element: Name,
@@ -1858,6 +1865,11 @@ impl RqDecoder {
         for (i, b) in map.iter().enumerate() {
             let slot = match &b.kind {
                 RqKind::Value { col } => RqSlot::Value { col: *col },
+                RqKind::FieldElement { element, col, key } => RqSlot::FieldElement {
+                    element: element.clone(),
+                    col: *col,
+                    key: key.clone(),
+                },
                 RqKind::Element { element, cols, key } => {
                     let dup = map[..i].iter().position(|e| e.kind == b.kind);
                     let nodes = 1 + cols.len() as u64;
@@ -1891,6 +1903,27 @@ impl RqDecoder {
         for slot in &mut self.slots {
             let v = match slot {
                 RqSlot::Value { col } => LVal::Leaf(row.get(*col).cloned().unwrap_or(Value::Null)),
+                RqSlot::FieldElement { element, col, key } => {
+                    self.keybuf.clear();
+                    for (i, &k) in key.iter().enumerate() {
+                        if i > 0 {
+                            self.keybuf.push('|');
+                        }
+                        match row.get(k) {
+                            Some(v) => write!(self.keybuf, "{v}").expect("write to String"),
+                            None => {
+                                write!(self.keybuf, "{}", Value::Null).expect("write to String")
+                            }
+                        }
+                    }
+                    let v = row.get(*col).cloned().unwrap_or(Value::Null);
+                    ctx.stats().inc(Counter::NodesBuilt);
+                    LVal::Elem(Arc::new(LElem {
+                        label: element.clone(),
+                        oid: Oid::key(format!("{}.{element}", self.keybuf)),
+                        children: LList::one(LVal::Leaf(v)),
+                    }))
+                }
                 RqSlot::Dup { of, nodes } => {
                     ctx.stats().add(Counter::NodesBuilt, *nodes);
                     out[*of].clone()
@@ -1991,6 +2024,31 @@ impl RqDecoder {
                     } else {
                         Value::Null
                     }),
+                    RqSlot::FieldElement { element, col, key } => {
+                        self.keybuf.clear();
+                        for (i, &k) in key.iter().enumerate() {
+                            if i > 0 {
+                                self.keybuf.push('|');
+                            }
+                            let kv = if k < arity {
+                                block.value_at(r, k)
+                            } else {
+                                Value::Null
+                            };
+                            write!(self.keybuf, "{kv}").expect("write to String");
+                        }
+                        let v = if *col < arity {
+                            block.value_at(r, *col)
+                        } else {
+                            Value::Null
+                        };
+                        ctx.stats().inc(Counter::NodesBuilt);
+                        LVal::Elem(Arc::new(LElem {
+                            label: element.clone(),
+                            oid: Oid::key(format!("{}.{element}", self.keybuf)),
+                            children: LList::one(LVal::Leaf(v)),
+                        }))
+                    }
                     RqSlot::Dup { of, nodes } => {
                         ctx.stats().add(Counter::NodesBuilt, *nodes);
                         vals[*of].clone()

@@ -219,6 +219,7 @@ fn crelt_cat_and_lists() {
         skolem: Name::new("f"),
         group: vec![Name::new("C")],
         children: ChildSpec::Single(Name::new("C")),
+        tag: Name::new("R"),
         out: Name::new("R"),
     };
     let cat = Op::Cat {
@@ -233,6 +234,7 @@ fn crelt_cat_and_lists() {
         skolem: Name::new("g"),
         group: vec![Name::new("C")],
         children: ChildSpec::ListVar(Name::new("W")),
+        tag: Name::new("V"),
         out: Name::new("V"),
     };
     let rows = assert_engines_agree(&wrapped);

@@ -366,11 +366,17 @@ impl<'a> Dec<'a> {
             msg: msg.into(),
         })
     }
+    /// Unread payload bytes. Saturating: even if an arithmetic bug ever
+    /// pushed `pos` past the end, length math degrades to "0 remaining"
+    /// (a truncation error) instead of an underflow panic.
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
     fn take(&mut self, n: usize) -> DResult<&'a [u8]> {
-        if self.buf.len() - self.pos < n {
+        if self.remaining() < n {
             return self.err(format!(
                 "truncated frame: need {n} bytes, have {}",
-                self.buf.len() - self.pos
+                self.remaining()
             ));
         }
         let s = &self.buf[self.pos..self.pos + n];
@@ -400,14 +406,25 @@ impl<'a> Dec<'a> {
         Ok(f64::from_bits(self.u64()?))
     }
     /// A count prefix that still has to fit in the remaining payload:
-    /// `min_elem` is the smallest possible encoding of one element, so
-    /// a corrupt count fails here instead of in an allocation.
+    /// `min_elem` is the smallest possible encoding of one element
+    /// (must be > 0), so a corrupt count fails here instead of in an
+    /// allocation. Division, not multiplication: `n * min_elem` could
+    /// itself overflow-saturate and mask the real bound.
     fn count(&mut self, min_elem: usize) -> DResult<usize> {
         let n = self.u32()? as usize;
-        if n.saturating_mul(min_elem) > self.buf.len() - self.pos {
+        if n > self.remaining() / min_elem.max(1) {
             return self.err(format!("count {n} exceeds remaining payload"));
         }
         Ok(n)
+    }
+    /// Pre-allocation cap for a claimed element count: never reserve
+    /// more than the remaining payload could possibly hold, so a frame
+    /// whose count field survives the semantic checks (e.g. block rows,
+    /// whose per-element floor is 0 bytes for a `Null` column) still
+    /// cannot force a large allocation before the first element read
+    /// fails. Capacity is a hint — `push` past it just grows normally.
+    fn prealloc(&self, n: usize, min_elem: usize) -> usize {
+        n.min(self.remaining() / min_elem.max(1)).min(1 << 16)
     }
     fn str(&mut self) -> DResult<String> {
         let n = self.count(1)?;
@@ -434,47 +451,55 @@ impl<'a> Dec<'a> {
         })
     }
     fn block(&mut self) -> DResult<ColumnBlock> {
-        let rows = self.count(0)?;
+        // Rows is NOT bounded by remaining bytes — a `Null` column costs
+        // zero bytes per row, so a legitimate count can exceed the
+        // payload. It is bounded by the frame cap instead, and every
+        // per-column allocation below is additionally capped by what
+        // the payload could actually hold (`prealloc`).
+        let rows = self.u32()? as usize;
+        if rows > MAX_FRAME_LEN as usize {
+            return self.err(format!("block row count {rows} exceeds frame bound"));
+        }
         // Each column costs at least the type tag + the validity tag.
         let arity = self.count(2)?;
         // A zero-row block still shouldn't claim absurd width.
         if rows.saturating_mul(arity) > MAX_FRAME_LEN as usize {
             return self.err(format!("block {rows}x{arity} exceeds frame bound"));
         }
-        let mut cols = Vec::with_capacity(arity);
+        let mut cols = Vec::with_capacity(self.prealloc(arity, 2));
         for _ in 0..arity {
             let data = match self.u8()? {
                 0 => ColData::Null,
                 1 => {
-                    let mut xs = Vec::with_capacity(rows);
+                    let mut xs = Vec::with_capacity(self.prealloc(rows, 8));
                     for _ in 0..rows {
                         xs.push(self.i64()?);
                     }
                     ColData::Int(xs)
                 }
                 2 => {
-                    let mut xs = Vec::with_capacity(rows);
+                    let mut xs = Vec::with_capacity(self.prealloc(rows, 8));
                     for _ in 0..rows {
                         xs.push(self.f64()?);
                     }
                     ColData::Float(xs)
                 }
                 3 => {
-                    let mut xs = Vec::with_capacity(rows);
+                    let mut xs = Vec::with_capacity(self.prealloc(rows, 1));
                     for _ in 0..rows {
                         xs.push(self.bool()?);
                     }
                     ColData::Bool(xs)
                 }
                 4 => {
-                    let mut xs = Vec::with_capacity(rows);
+                    let mut xs = Vec::with_capacity(self.prealloc(rows, 4));
                     for _ in 0..rows {
                         xs.push(Arc::from(self.str()?));
                     }
                     ColData::Str(xs)
                 }
                 5 => {
-                    let mut xs = Vec::with_capacity(rows);
+                    let mut xs = Vec::with_capacity(self.prealloc(rows, 1));
                     for _ in 0..rows {
                         xs.push(self.value()?);
                     }
@@ -485,7 +510,7 @@ impl<'a> Dec<'a> {
             let valid = match self.u8()? {
                 0 => None,
                 1 => {
-                    let mut mask = Vec::with_capacity(rows);
+                    let mut mask = Vec::with_capacity(self.prealloc(rows, 1));
                     for _ in 0..rows {
                         mask.push(self.bool()?);
                     }
@@ -581,7 +606,7 @@ impl<'a> Dec<'a> {
             }),
             4 => {
                 let n = self.count(8)?;
-                let mut nodes = Vec::with_capacity(n);
+                let mut nodes = Vec::with_capacity(self.prealloc(n, 8));
                 for _ in 0..n {
                     nodes.push(self.node()?);
                 }
@@ -592,7 +617,7 @@ impl<'a> Dec<'a> {
             7 => Reply::Block(self.block()?),
             8 => {
                 let n = self.count(12)?;
-                let mut counters = Vec::with_capacity(n);
+                let mut counters = Vec::with_capacity(self.prealloc(n, 12));
                 for _ in 0..n {
                     let label = self.str()?;
                     counters.push((label, self.u64()?));
@@ -653,16 +678,40 @@ fn static_what(s: &str) -> &'static str {
 
 impl Frame {
     /// Encode the whole frame — length prefix, version byte, tag, body.
+    ///
+    /// Panics if the frame exceeds [`MAX_FRAME_LEN`] — that is a
+    /// programmer error (the engine caps block sizes well below it);
+    /// use [`Frame::try_encode`] where the frame size is data-driven.
     pub fn encode(&self) -> Vec<u8> {
+        self.try_encode().expect("frame exceeds MAX_FRAME_LEN")
+    }
+
+    /// Checked encode: errors (instead of silently truncating the
+    /// `u32` length prefix and shipping a frame the peer would
+    /// misparse) when the body exceeds [`MAX_FRAME_LEN`]. The single
+    /// whole-frame check also subsumes every interior `as u32` count
+    /// cast: any string/sequence long enough to truncate its count
+    /// prefix necessarily pushes the frame past the cap.
+    pub fn try_encode(&self) -> Result<Vec<u8>, DecodeError> {
         let mut e = Enc {
             buf: vec![0u8; 4], // length prefix patched below
         };
         e.u8(PROTO_VERSION);
         e.frame(self);
-        let len = (e.buf.len() - 4) as u32;
-        debug_assert!(len <= MAX_FRAME_LEN, "frame exceeds MAX_FRAME_LEN");
+        let len = match u32::try_from(e.buf.len() - 4) {
+            Ok(n) if n <= MAX_FRAME_LEN => n,
+            _ => {
+                return Err(DecodeError {
+                    pos: 0,
+                    msg: format!(
+                        "frame body of {} bytes exceeds MAX_FRAME_LEN {MAX_FRAME_LEN}",
+                        e.buf.len() - 4
+                    ),
+                })
+            }
+        };
         e.buf[..4].copy_from_slice(&len.to_le_bytes());
-        e.buf
+        Ok(e.buf)
     }
 
     /// Decode one frame payload (everything after the length prefix:
@@ -685,7 +734,7 @@ impl Frame {
 /// Write one frame; returns the bytes put on the wire (header
 /// included), for byte accounting.
 pub fn write_frame<W: Write>(w: &mut W, f: &Frame) -> io::Result<usize> {
-    let bytes = f.encode();
+    let bytes = f.try_encode()?;
     w.write_all(&bytes)?;
     Ok(bytes.len())
 }

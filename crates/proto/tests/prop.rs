@@ -228,3 +228,83 @@ fn frame_streams_survive_concatenation() {
     }
     assert_eq!(back, frames);
 }
+
+/// Adversarial decoder fuzz: every truncation of every generated frame
+/// and a dense sweep of single-byte corruptions must come back as a
+/// clean `DecodeError` — never a panic, never a runaway allocation.
+/// Mutants that still decode must satisfy decode∘encode∘decode
+/// idempotence (re-encoding may legalize, e.g. an unknown error
+/// category collapses to `"input"`, but it must then be a fixpoint).
+#[test]
+fn corrupted_frames_error_cleanly_never_panic() {
+    for seed in 1..=60u64 {
+        let mut rng = Lcg(seed ^ 0xDEC0DE);
+        let frame = rng.frame();
+        let bytes = frame.encode();
+        let payload = &bytes[4..];
+
+        // Every truncation point: must error (only the full payload is
+        // a valid frame, thanks to the trailing-bytes check).
+        for cut in 0..payload.len() {
+            assert!(
+                Frame::decode_payload(&payload[..cut]).is_err(),
+                "seed {seed}: truncation at {cut} decoded"
+            );
+        }
+
+        // Single-byte corruption, all 255 wrong values at a rotating
+        // position plus every position with a bit flip.
+        let check = |mutant: &[u8]| {
+            if let Ok(decoded) = Frame::decode_payload(mutant) {
+                let re = decoded.try_encode().expect("re-encode of decoded mutant");
+                let again = Frame::decode_payload(&re[4..]).expect("re-encoded mutant must decode");
+                assert_eq!(again, decoded, "seed {seed}: decode∘encode not idempotent");
+            }
+        };
+        let mut mutant = payload.to_vec();
+        for pos in 0..mutant.len() {
+            for bit in 0..8 {
+                mutant[pos] ^= 1 << bit;
+                check(&mutant);
+                mutant[pos] ^= 1 << bit;
+            }
+        }
+        let pos = (seed as usize * 7919) % payload.len().max(1);
+        for v in 0..=255u8 {
+            let orig = mutant[pos];
+            mutant[pos] = v;
+            check(&mutant);
+            mutant[pos] = orig;
+        }
+    }
+}
+
+/// A hostile length field cannot force a large allocation: a tiny
+/// frame claiming millions of block rows (or huge counts) must fail
+/// fast on the payload bound, before reserving element storage.
+#[test]
+fn hostile_counts_fail_before_allocating() {
+    // Hand-built payload: version, Rep tag, Block reply tag, then a
+    // block header claiming 16M rows × 1 Int column with 3 bytes left.
+    let mut payload = vec![PROTO_VERSION, 4, 7];
+    payload.extend_from_slice(&(16_000_000u32).to_le_bytes()); // rows
+    payload.extend_from_slice(&1u32.to_le_bytes()); // arity
+    payload.push(1); // ColData::Int tag
+    payload.extend_from_slice(&[0, 0]); // not enough for one i64
+    let err = Frame::decode_payload(&payload).unwrap_err();
+    assert!(err.msg.contains("truncated"), "{err}");
+
+    // Nodes reply claiming u32::MAX entries in an 8-byte payload.
+    let mut payload = vec![PROTO_VERSION, 4, 4];
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    payload.extend_from_slice(&[0; 4]);
+    let err = Frame::decode_payload(&payload).unwrap_err();
+    assert!(err.msg.contains("count"), "{err}");
+
+    // A block wider than the frame bound is rejected up front.
+    let mut payload = vec![PROTO_VERSION, 4, 7];
+    payload.extend_from_slice(&u32::MAX.to_le_bytes()); // rows
+    payload.extend_from_slice(&0u32.to_le_bytes()); // arity
+    let err = Frame::decode_payload(&payload).unwrap_err();
+    assert!(err.msg.contains("exceeds frame bound"), "{err}");
+}

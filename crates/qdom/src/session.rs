@@ -687,10 +687,25 @@ impl<'m> QdomSession<'m> {
     }
 
     fn stats_impl(&self) -> Vec<(String, u64)> {
+        // Mediator-side counters plus the per-source backend counters
+        // (shipped blocks/tuples, faults, retries), summed over the
+        // catalog's databases — so a wire client observes the session's
+        // whole data path, not just the mediator half. Source counters
+        // are shared across clones of a `Database`: sessions whose
+        // mediators share one catalog see combined source totals.
         let snap = self.ctx.stats().snapshot();
+        let sources: Vec<_> = self
+            .ctx
+            .catalog()
+            .databases()
+            .map(|db| db.stats().snapshot())
+            .collect();
         Counter::ALL
             .iter()
-            .map(|&c| (c.label().to_string(), snap.get(c)))
+            .map(|&c| {
+                let v = snap.get(c) + sources.iter().map(|s| s.get(c)).sum::<u64>();
+                (c.label().to_string(), v)
+            })
             .collect()
     }
 }

@@ -1,6 +1,6 @@
 //! Plan splicing: substituting a view plan for `mksrc` operators.
 
-use mix_algebra::plan::{all_vars, fresh_var, rename_var};
+use mix_algebra::plan::{all_vars, fresh_var, rename_skolem_tags, rename_var};
 use mix_algebra::{Op, Plan};
 use mix_common::Name;
 use std::collections::HashMap;
@@ -22,6 +22,10 @@ pub fn alpha_rename(view: &Op, taken_vars: &[Name]) -> (Op, HashMap<Name, Name>)
             mapping.insert(v.clone(), v);
         }
     }
+    // Composition renames are part of node identity (they run the same
+    // under every evaluation mode), so the oid tags follow along —
+    // unlike rewrite-internal hygiene renames, which leave tags alone.
+    let renamed = rename_skolem_tags(&renamed, &mapping);
     (renamed, mapping)
 }
 

@@ -68,15 +68,26 @@ pub fn rewrite_with_disabled(plan: &Plan, disabled: &[&str]) -> RewriteOutcome {
     let mut plan = plan.clone();
     let mut trace = RewriteTrace::default();
     for _ in 0..MAX_STEPS {
-        // Plan-level ⊥: a tD over the empty plan is the empty plan.
-        if let Op::TupleDestroy { input, .. } = &plan.root {
-            if matches!(**input, Op::Empty { .. }) {
-                plan = Plan::new(Op::Empty { vars: vec![] });
-                trace.steps.push(TraceStep {
-                    rule: "empty-propagation".into(),
-                    plan: plan.render(),
-                });
-                continue;
+        // Plan-level ⊥: a tD over the empty plan stays a tD over the
+        // canonical empty — the tD is what carries the result-root
+        // document name, and dropping it would re-root the (empty)
+        // answer under a default name, diverging from the naive plan.
+        if let Op::TupleDestroy { input, var, root } = &plan.root {
+            if let Op::Empty { vars } = &**input {
+                if vars.as_slice() != std::slice::from_ref(var) {
+                    plan = Plan::new(Op::TupleDestroy {
+                        input: Box::new(Op::Empty {
+                            vars: vec![var.clone()],
+                        }),
+                        var: var.clone(),
+                        root: root.clone(),
+                    });
+                    trace.steps.push(TraceStep {
+                        rule: "empty-propagation".into(),
+                        plan: plan.render(),
+                    });
+                    continue;
+                }
             }
         }
         let counts = use_counts(&plan.root);
@@ -318,9 +329,14 @@ mod tests {
             })
         };
         let out = rewrite(&naive);
+        // The plan collapses to tD over empty: the tD survives because
+        // it carries the result-root document name.
         assert!(
-            matches!(out.plan.root, Op::Empty { .. }),
-            "expected empty plan:\n{}",
+            matches!(
+                &out.plan.root,
+                Op::TupleDestroy { input, .. } if matches!(&**input, Op::Empty { .. })
+            ),
+            "expected tD(empty) plan:\n{}",
             out.plan.render()
         );
         assert!(out.trace.rule_sequence().contains(&"R4-unsatisfiable"));

@@ -689,6 +689,7 @@ mod tests {
             skolem: Name::new("f"),
             group: group.iter().map(Name::new).collect(),
             children,
+            tag: Name::new(out),
             out: Name::new(out),
         }
     }

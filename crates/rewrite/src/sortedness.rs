@@ -237,6 +237,14 @@ fn relquery_contiguous(sql: &SelectStmt, map: &[RqBinding], group: &[Name]) -> b
                 key.clone()
             }
             RqKind::Value { col } => vec![*col],
+            // A field element's identity is its owning tuple's key
+            // (the oid), exactly like the full tuple element.
+            RqKind::FieldElement { key, .. } => {
+                if key.is_empty() {
+                    return false;
+                }
+                key.clone()
+            }
         };
         for p in positions {
             let Some(item) = sql.items.get(p) else {

@@ -445,7 +445,24 @@ fn make_rq(frag: Frag, hint: &[Name]) -> Op {
                     key,
                 }
             }
-            VOrigin::Field(i, c) | VOrigin::FieldVal(i, c) => RqKind::Value {
+            // A Field origin is the field *element*, not its value —
+            // shipping it as a bare value collapses `$B IN $A/col` to
+            // `$B IN $A/col/data()` and diverges from the naive plan
+            // (wrong skolem argument, wrong construction).
+            VOrigin::Field(i, c) => {
+                let col = pos_of(&mut items, *i, c.clone());
+                let keys = frag.from[*i].key_columns().unwrap_or_default();
+                let key = keys
+                    .iter()
+                    .map(|k| pos_of(&mut items, *i, k.clone()))
+                    .collect();
+                RqKind::FieldElement {
+                    element: c.clone(),
+                    col,
+                    key,
+                }
+            }
+            VOrigin::FieldVal(i, c) => RqKind::Value {
                 col: pos_of(&mut items, *i, c.clone()),
             },
         };

@@ -167,7 +167,10 @@ pub fn var_label(scope: &Op, var: &Name) -> LabelGuess {
             .iter()
             .find(|b| &b.var == var)
             .map(|b| match &b.kind {
-                mix_algebra::RqKind::Element { element, .. } => LabelGuess::Known(element.clone()),
+                mix_algebra::RqKind::Element { element, .. }
+                | mix_algebra::RqKind::FieldElement { element, .. } => {
+                    LabelGuess::Known(element.clone())
+                }
                 mix_algebra::RqKind::Value { .. } => LabelGuess::Leaf,
             })
             .unwrap_or(LabelGuess::Unknown),

@@ -34,10 +34,21 @@ use mix_qdom::{Mediator, QdomSession};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Lock without poisoning semantics: a panic on another thread while it
+/// held the lock must not cascade into killing this one. Every mutex in
+/// this module guards state that stays consistent across a panic (the
+/// panic paths are session code, which never leaves queues half-pushed),
+/// so recovering the guard is always safe — and one misbehaving session
+/// must never take the shared ready/queue locks down with it.
+fn lock_np<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// How often the acceptor re-checks the shutdown flag.
 const POLL: Duration = Duration::from_millis(20);
@@ -159,12 +170,12 @@ impl Shared {
     /// it is not already scheduled/claimed.
     fn push_event(&self, conn: &Arc<Conn>, ev: Event) {
         let schedule = {
-            let mut q = conn.queue.lock().unwrap();
+            let mut q = lock_np(&conn.queue);
             q.events.push_back(ev);
             !std::mem::replace(&mut q.scheduled, true)
         };
         if schedule {
-            self.ready.lock().unwrap().push_back(Arc::clone(conn));
+            lock_np(&self.ready).push_back(Arc::clone(conn));
             self.ready_cv.notify_one();
         }
     }
@@ -311,7 +322,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, incoming: Arc<Mutex<V
                     closed: AtomicBool::new(false),
                 });
                 next_id += 1;
-                incoming.lock().unwrap().push(conn);
+                lock_np(&incoming).push(conn);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
             Err(_) => thread::sleep(POLL),
@@ -337,7 +348,7 @@ fn poll_loop(shared: Arc<Shared>, incoming: Arc<Mutex<Vec<Arc<Conn>>>>) {
     loop {
         let shutting = shared.shutdown.load(Ordering::Relaxed);
         let now = Instant::now();
-        for conn in incoming.lock().unwrap().drain(..) {
+        for conn in lock_np(&incoming).drain(..) {
             // Connections accepted after shutdown began are dropped
             // here (their sockets close with the Arc).
             if !shutting {
@@ -361,7 +372,7 @@ fn poll_loop(shared: Arc<Shared>, incoming: Arc<Mutex<Vec<Arc<Conn>>>>) {
             }
             // Back-pressure: a session at its queue cap stops being
             // read until a worker drains it.
-            if p.conn.queue.lock().unwrap().events.len() >= QUEUE_CAP {
+            if lock_np(&p.conn.queue).events.len() >= QUEUE_CAP {
                 continue;
             }
             if sweep_read(&shared, p, &mut tmp, now) {
@@ -456,7 +467,7 @@ fn sweep_read(shared: &Arc<Shared>, p: &mut Polled, tmp: &mut [u8], now: Instant
 fn worker_loop(shared: Arc<Shared>) {
     loop {
         let conn = {
-            let mut q = shared.ready.lock().unwrap();
+            let mut q = lock_np(&shared.ready);
             loop {
                 if let Some(c) = q.pop_front() {
                     break Some(c);
@@ -466,7 +477,11 @@ fn worker_loop(shared: Arc<Shared>) {
                 }
                 // The timeout only bounds shutdown latency if a notify
                 // is lost; readiness normally arrives via the condvar.
-                q = shared.ready_cv.wait_timeout(q, POLL).unwrap().0;
+                q = shared
+                    .ready_cv
+                    .wait_timeout(q, POLL)
+                    .unwrap_or_else(|p| p.into_inner())
+                    .0;
             }
         };
         let Some(conn) = conn else { return };
@@ -478,19 +493,37 @@ fn worker_loop(shared: Arc<Shared>) {
 /// (`scheduled` stayed true when it was popped), so this worker is the
 /// only one touching its `sess` state until the batch ends.
 fn serve_batch(shared: &Arc<Shared>, conn: &Arc<Conn>) {
-    let mut sess = conn.sess.lock().unwrap();
+    let mut sess = lock_np(&conn.sess);
     loop {
-        let ev = conn.queue.lock().unwrap().events.pop_front();
+        let ev = lock_np(&conn.queue).events.pop_front();
         let Some(ev) = ev else { break };
         if conn.closed.load(Ordering::Relaxed) {
             continue; // closed mid-batch: discard the remainder
         }
-        handle_event(shared, conn, &mut sess, ev);
+        // A panic in session code (mediator construction, dispatch, a
+        // user-supplied tracer) must cost only this session: report it
+        // on the wire if the socket still works, close the connection,
+        // and keep the worker alive for everyone else. All shared locks
+        // are either not held here or recovered via `lock_np`.
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            handle_event(shared, conn, &mut sess, ev)
+        }))
+        .is_err();
+        if panicked {
+            send(
+                conn,
+                &shared.stats,
+                &Frame::Rep(Reply::Err(MixError::internal(
+                    "session panicked; connection closed",
+                ))),
+            );
+            close(conn, &mut sess, shared);
+        }
     }
     drop(sess);
     // Unclaim — or reschedule if the poller queued more meanwhile.
     let reschedule = {
-        let mut q = conn.queue.lock().unwrap();
+        let mut q = lock_np(&conn.queue);
         if q.events.is_empty() || conn.closed.load(Ordering::Relaxed) {
             q.scheduled = false;
             false
@@ -499,7 +532,7 @@ fn serve_batch(shared: &Arc<Shared>, conn: &Arc<Conn>) {
         }
     };
     if reschedule {
-        shared.ready.lock().unwrap().push_back(Arc::clone(conn));
+        lock_np(&shared.ready).push_back(Arc::clone(conn));
         shared.ready_cv.notify_one();
     }
 }

@@ -613,3 +613,96 @@ fn raw_command_frames_and_byte_counters() {
     assert!(stats.get(mix_obs::Counter::WireBytesIn) > 0);
     assert!(stats.get(mix_obs::Counter::WireBytesOut) > 0);
 }
+
+/// A tracer that panics on the first span — the vehicle for a session
+/// whose very first command blows up inside the engine.
+struct PanickingTracer;
+
+impl mix_obs::Tracer for PanickingTracer {
+    fn span_start(
+        &self,
+        _name: &str,
+        _parent: Option<mix_obs::SpanId>,
+        _attrs: &[(&'static str, String)],
+    ) -> mix_obs::SpanId {
+        panic!("deliberate tracer panic (test)");
+    }
+    fn span_end(&self, _id: mix_obs::SpanId, _attrs: &[(&'static str, String)]) {}
+    fn event(
+        &self,
+        _parent: Option<mix_obs::SpanId>,
+        _name: &str,
+        _attrs: &[(&'static str, String)],
+    ) {
+    }
+}
+
+/// One deliberately-panicking session must cost only itself: with a
+/// single worker thread (the worst case — the panicking batch and every
+/// other session share one thread and all the pool locks), sessions
+/// before and after it keep serving, and shutdown stays clean.
+#[test]
+fn panicking_session_leaves_others_serving() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let n = Arc::new(AtomicUsize::new(0));
+    let factory: Arc<dyn Fn() -> Mediator + Send + Sync> = Arc::new(move || {
+        let (cat, _db) = fig2_catalog();
+        let nth = n.fetch_add(1, Ordering::SeqCst);
+        let mut b = MediatorOptions::builder()
+            .access(AccessMode::Lazy)
+            .optimize(true);
+        if nth == 1 {
+            // Second session gets the poisoned pill.
+            b = b.tracer(mix_obs::TracerHandle::new(Arc::new(PanickingTracer)));
+        }
+        Mediator::with_options(cat, b.build())
+    });
+    let mut server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+        factory,
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    let mut healthy = WireClient::connect(addr).expect("c1 connect");
+    assert!(matches!(
+        healthy.query(Q1).expect("c1 query"),
+        WireNode { result: 0, node: 0 }
+    ));
+
+    // The doomed session: its first Query panics inside dispatch. The
+    // server reports the panic as an error reply (or drops the
+    // connection) — either way the *client* sees an error, not a hang,
+    // and the server survives.
+    let mut doomed = WireClient::connect(addr).expect("c2 connect");
+    match doomed.query(Q1) {
+        Err(_) => {}
+        Ok(n) => panic!("doomed session should not serve, got {n:?}"),
+    }
+
+    // The first session keeps working on the same (sole) worker thread…
+    let d = healthy.d(WireNode { result: 0, node: 0 }).unwrap().unwrap();
+    assert_eq!(
+        healthy.fl(d).unwrap().map(|n| n.to_string()),
+        Some("CustRec".to_string())
+    );
+
+    // …and brand-new sessions still open.
+    let mut late = WireClient::connect(addr).expect("c3 connect");
+    late.query(Q1).expect("c3 query");
+    late.close().ok();
+    healthy.close().ok();
+
+    server.shutdown();
+    let stats = server.stats();
+    assert_eq!(stats.get(Counter::SessionsOpened), 3);
+    assert_eq!(
+        stats.get(Counter::SessionsOpened),
+        stats.get(Counter::SessionsClosed),
+        "every session (panicking one included) must release its slot"
+    );
+}

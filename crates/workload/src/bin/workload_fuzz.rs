@@ -1,0 +1,60 @@
+//! Knob-matrix equivalence fuzz driver.
+//!
+//! ```text
+//! cargo run --release -p mix-workload --bin workload_fuzz -- [--cases N] [--seed S] [--scale K]
+//! ```
+//!
+//! Fixed-seed and fully deterministic: the same arguments explore the
+//! same cases and find the same divergences on every machine — this is
+//! what `scripts/check.sh` runs as the 200-case CI smoke. On failure
+//! the minimized script, dataset parameters and first differing
+//! transcript line are printed, and the process exits nonzero.
+
+use mix_workload::{run_fuzz, FuzzConfig};
+
+fn arg(name: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| {
+            if let Some(hex) = v.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                v.parse().ok()
+            }
+        })
+}
+
+fn main() {
+    let mut cfg = FuzzConfig::default();
+    if let Some(n) = arg("--cases") {
+        cfg.cases = n as usize;
+    }
+    if let Some(s) = arg("--seed") {
+        cfg.master_seed = s;
+    }
+    if let Some(k) = arg("--scale") {
+        cfg.scale = k as usize;
+    }
+    if let Some(l) = arg("--len") {
+        cfg.script_len = l as usize;
+    }
+    let report = run_fuzz(&cfg, 0);
+    println!(
+        "workload_fuzz: {} cases, {} baseline-vs-variant comparisons, seed {:#x}",
+        report.cases, report.comparisons, cfg.master_seed
+    );
+    if report.failures.is_empty() {
+        println!("workload_fuzz: all equivalent");
+        return;
+    }
+    for d in &report.failures {
+        eprintln!("{}", d.pretty());
+    }
+    eprintln!(
+        "workload_fuzz: {} divergence(s) — each printed above, minimized",
+        report.failures.len()
+    );
+    std::process::exit(1);
+}

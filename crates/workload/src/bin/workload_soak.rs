@@ -1,0 +1,77 @@
+//! Served-mode soak driver.
+//!
+//! ```text
+//! cargo run --release -p mix-workload --bin workload_soak            # full run, writes BENCH_soak.json
+//! cargo run --release -p mix-workload --bin workload_soak -- --smoke # ~10s CI smoke, no JSON
+//! ```
+//!
+//! Drives a live `mix-serve` server with concurrent wire sessions
+//! under 10% chaos faults and checks counter invariants at quiesce;
+//! exits nonzero if any invariant fails.
+
+use mix_workload::{run_soak, SoakConfig};
+use std::time::Duration;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        SoakConfig {
+            sessions: 8,
+            classes: 3,
+            duration: Duration::from_secs(10),
+            scale: 30,
+            script_len: 24,
+            ..SoakConfig::default()
+        }
+    } else {
+        SoakConfig {
+            sessions: 32,
+            classes: 4,
+            duration: Duration::from_secs(30),
+            scale: 80,
+            script_len: 48,
+            ..SoakConfig::default()
+        }
+    };
+    let out = run_soak(&cfg);
+    println!(
+        "workload_soak: {} sessions x {} classes, {} iterations, {} commands in {:?} \
+         ({:.0} cmd/s), {} faults injected / {} retries absorbed",
+        out.sessions,
+        out.classes,
+        out.iterations,
+        out.commands,
+        out.wall,
+        out.throughput_cmds_per_s,
+        out.faults_injected,
+        out.retries_attempted,
+    );
+    for c in &out.per_class {
+        println!(
+            "  {:<10} n={:<7} p50={}us p95={}us p99={}us",
+            c.class,
+            c.count,
+            c.p50_ns / 1_000,
+            c.p95_ns / 1_000,
+            c.p99_ns / 1_000,
+        );
+    }
+    for (class, (b, t, n)) in &out.class_triples {
+        println!(
+            "  class {class}: conserved triple blocks={b} tuples={t} nodes={n} across all runs"
+        );
+    }
+    if !smoke {
+        let json = out.to_json(&cfg);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_soak.json");
+        std::fs::write(path, json).expect("write BENCH_soak.json");
+        println!("wrote {path}");
+    }
+    if !out.invariant_failures.is_empty() {
+        for f in &out.invariant_failures {
+            eprintln!("workload_soak: INVARIANT FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("workload_soak: all invariants hold");
+}

@@ -1,0 +1,484 @@
+//! The soak runner: N concurrent wire sessions looping generated
+//! scripts against a live `mix-serve` server whose backends inject
+//! chaos faults, measuring throughput and per-command-class tail
+//! latency and checking counter invariants at quiesce.
+//!
+//! Sessions are grouped into *script classes*: every session of a
+//! class runs the identical script over the identical data, while its
+//! backend runs a *distinct* chaos fault schedule. Because the retry
+//! budget covers the fault bursts and faults land before rows ship,
+//! every run of a class must report the identical
+//! `(BlocksShipped, TuplesShipped, NodesBuilt)` triple — the
+//! conservation invariant: faults may cost retries, never data.
+
+use crate::gen::{Dataset, Rng};
+use crate::script::{gen_script, run_script_raw, Script, Target};
+use mix::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Soak shape: concurrency, duration, data scale, chaos rate.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Master seed (datasets, scripts, chaos schedules derive from it).
+    pub master_seed: u64,
+    /// Concurrent client threads.
+    pub sessions: usize,
+    /// Distinct script classes (sessions cycle through them).
+    pub classes: usize,
+    /// How long client threads keep opening sessions.
+    pub duration: Duration,
+    /// Keyed-source scale of the shared dataset.
+    pub scale: usize,
+    /// Ops per script.
+    pub script_len: usize,
+    /// Transient-fault rate in per-mille admitted statements (100 =
+    /// 10% chaos), burst 1 — inside the default 4-retry budget.
+    pub fault_per_mille: u32,
+    /// Server worker-pool size (0 = hardware).
+    pub workers: usize,
+}
+
+impl Default for SoakConfig {
+    fn default() -> SoakConfig {
+        SoakConfig {
+            master_seed: 0x534f414b,
+            sessions: 16,
+            classes: 4,
+            duration: Duration::from_secs(10),
+            scale: 60,
+            script_len: 40,
+            fault_per_mille: 100,
+            workers: 0,
+        }
+    }
+}
+
+/// Latency population for one command class.
+#[derive(Debug, Clone)]
+pub struct ClassLats {
+    pub class: &'static str,
+    pub count: usize,
+    pub p50_ns: u128,
+    pub p95_ns: u128,
+    pub p99_ns: u128,
+}
+
+/// The soak's result: throughput, tails, and invariant verdicts.
+#[derive(Debug, Clone)]
+pub struct SoakOutcome {
+    pub sessions: usize,
+    pub classes: usize,
+    /// Completed script iterations (sessions opened and closed).
+    pub iterations: u64,
+    /// Wire commands sent (including the per-iteration stats probe).
+    pub commands: u64,
+    pub wall: Duration,
+    pub throughput_cmds_per_s: f64,
+    pub per_class: Vec<ClassLats>,
+    /// Total faults the chaos backends injected (summed over
+    /// sessions' counter snapshots).
+    pub faults_injected: u64,
+    /// Total backend retries spent absorbing them.
+    pub retries_attempted: u64,
+    /// Per script class, the (BlocksShipped, TuplesShipped,
+    /// NodesBuilt) triple every run of the class reported.
+    pub class_triples: Vec<(usize, (u64, u64, u64))>,
+    /// Human-readable invariant failures; empty on a healthy soak.
+    pub invariant_failures: Vec<String>,
+}
+
+const LAT_CLASSES: &[&str] = &["query", "inplace_q", "nav", "render", "export", "stats"];
+
+fn class_of(cmd: &Command) -> usize {
+    match cmd {
+        Command::Query { .. } => 0,
+        Command::Q { .. } => 1,
+        Command::D { .. }
+        | Command::R { .. }
+        | Command::Fl { .. }
+        | Command::Fv { .. }
+        | Command::Children { .. }
+        | Command::ChildCount { .. } => 2,
+        Command::Render { .. } | Command::Explain { .. } => 3,
+        Command::Export { .. } => 4,
+        Command::Stats => 5,
+    }
+}
+
+/// A wire client that times every command and files the latency under
+/// its class.
+struct TimedWire {
+    client: WireClient,
+    lats: Vec<Vec<u128>>,
+    sent: u64,
+}
+
+impl Target for TimedWire {
+    fn call(&mut self, cmd: Command) -> Reply {
+        let class = class_of(&cmd);
+        let t = Instant::now();
+        let reply = match self.client.call(cmd) {
+            Ok(r) => r,
+            Err(e) => panic!("wire transport error mid-soak: {e}"),
+        };
+        self.lats[class].push(t.elapsed().as_nanos());
+        self.sent += 1;
+        reply
+    }
+}
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn counter(stats: &[(String, u64)], label: &str) -> u64 {
+    stats
+        .iter()
+        .find(|(l, _)| l == label)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+/// One client thread: loop `connect → run script of my class → stats
+/// probe → close` until the deadline.
+struct ThreadReport {
+    lats: Vec<Vec<u128>>,
+    sent: u64,
+    iterations: u64,
+    /// Per iteration: (class, BlocksShipped, TuplesShipped,
+    /// NodesBuilt, FaultsInjected, RetriesAttempted, BackendErrors).
+    probes: Vec<(usize, [u64; 6])>,
+}
+
+fn client_thread(
+    addr: std::net::SocketAddr,
+    scripts: Arc<Vec<Script>>,
+    thread_idx: usize,
+    deadline: Instant,
+) -> ThreadReport {
+    let mut report = ThreadReport {
+        lats: vec![Vec::new(); LAT_CLASSES.len()],
+        sent: 0,
+        iterations: 0,
+        probes: Vec::new(),
+    };
+    let mut iter = 0u64;
+    while Instant::now() < deadline {
+        // Spread classes across threads and iterations.
+        let class = (thread_idx as u64 + iter) as usize % scripts.len();
+        let client = WireClient::connect(addr).expect("soak connect");
+        let mut timed = TimedWire {
+            client,
+            lats: std::mem::take(&mut report.lats),
+            sent: 0,
+        };
+        run_script_raw(&mut timed, &scripts[class]);
+        let stats_reply = timed.call(Command::Stats);
+        let Reply::Stats(stats) = stats_reply else {
+            panic!("stats probe answered {stats_reply:?}");
+        };
+        report.probes.push((
+            class,
+            [
+                counter(&stats, "blocks_shipped"),
+                counter(&stats, "tuples_shipped"),
+                counter(&stats, "nodes_built"),
+                counter(&stats, "faults_injected"),
+                counter(&stats, "retries_attempted"),
+                counter(&stats, "backend_errors"),
+            ],
+        ));
+        report.lats = std::mem::take(&mut timed.lats);
+        report.sent += timed.sent;
+        timed.client.close().expect("soak close");
+        report.iterations += 1;
+        iter += 1;
+    }
+    report
+}
+
+/// Run the soak: start a chaos-backed server, drive it with
+/// `cfg.sessions` looping client threads for `cfg.duration`, then
+/// quiesce and check every invariant.
+pub fn run_soak(cfg: &SoakConfig) -> SoakOutcome {
+    let master = Rng(cfg.master_seed);
+    let mut rng = master.split(0);
+    let ds = Dataset::gen(&mut rng, cfg.scale);
+    let scripts: Arc<Vec<Script>> = Arc::new(
+        (0..cfg.classes.max(1))
+            .map(|c| {
+                let mut r = master.split(1000 + c as u64);
+                gen_script(&mut r, &ds, cfg.script_len)
+            })
+            .collect(),
+    );
+
+    // Every session gets a fresh mediator over the same dataset but a
+    // distinct chaos seed: same data, different fault schedule.
+    let shared_cache = Arc::new(SharedPlanCache::new(8, 64));
+    let fault_per_mille = cfg.fault_per_mille;
+    let session_no = Arc::new(AtomicU64::new(0));
+    let factory: Arc<dyn Fn() -> Mediator + Send + Sync> = {
+        let shared_cache = Arc::clone(&shared_cache);
+        let session_no = Arc::clone(&session_no);
+        let seed = cfg.master_seed;
+        Arc::new(move || {
+            let (catalog, _db) = ds.build();
+            if fault_per_mille > 0 {
+                let n = session_no.fetch_add(1, Ordering::Relaxed);
+                let policy =
+                    FaultPolicy::transient(seed ^ n.wrapping_mul(0x9e37), fault_per_mille as u16)
+                        .with_burst(1);
+                for db in catalog.databases() {
+                    db.set_fault_policy(Some(policy));
+                }
+            }
+            Mediator::with_options(
+                catalog,
+                MediatorOptions::builder()
+                    .prefetch(PrefetchPolicy::Depth(2))
+                    .shared_plan_cache(Arc::clone(&shared_cache))
+                    .build(),
+            )
+        })
+    };
+
+    let mut server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: cfg.sessions * 2,
+            workers: cfg.workers,
+            ..ServerConfig::default()
+        },
+        factory,
+    )
+    .expect("start soak server");
+    let addr = server.addr();
+
+    let t0 = Instant::now();
+    let deadline = t0 + cfg.duration;
+    let handles: Vec<_> = (0..cfg.sessions)
+        .map(|i| {
+            let scripts = Arc::clone(&scripts);
+            std::thread::spawn(move || client_thread(addr, scripts, i, deadline))
+        })
+        .collect();
+    let mut lats: Vec<Vec<u128>> = vec![Vec::new(); LAT_CLASSES.len()];
+    let mut sent = 0u64;
+    let mut iterations = 0u64;
+    let mut probes: Vec<(usize, [u64; 6])> = Vec::new();
+    for h in handles {
+        let r = h.join().expect("soak client thread");
+        for (acc, l) in lats.iter_mut().zip(r.lats) {
+            acc.extend(l);
+        }
+        sent += r.sent;
+        iterations += r.iterations;
+        probes.extend(r.probes);
+    }
+    let wall = t0.elapsed();
+
+    // ---- quiesce + invariants ---------------------------------------
+    let mut failures = Vec::new();
+    // Clients saw their Bye acks, but the worker's SessionsClosed tick
+    // can trail by a scheduling quantum; give it a moment.
+    let settle = Instant::now();
+    while server.live_sessions() != 0 && settle.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let live = server.live_sessions();
+    if live != 0 {
+        failures.push(format!("live_sessions == {live} at quiesce, want 0"));
+    }
+    let opened = server.stats().get(Counter::SessionsOpened);
+    let closed = server.stats().get(Counter::SessionsClosed);
+    let rejected = server.stats().get(Counter::SessionsRejected);
+    let wire_cmds = server.stats().get(Counter::WireCommands);
+    if opened != iterations {
+        failures.push(format!(
+            "SessionsOpened == {opened}, want {iterations} (one per completed iteration)"
+        ));
+    }
+    if opened != closed {
+        failures.push(format!(
+            "SessionsOpened {opened} != SessionsClosed {closed}"
+        ));
+    }
+    if rejected != 0 {
+        failures.push(format!("SessionsRejected == {rejected}, want 0"));
+    }
+    if wire_cmds != sent {
+        failures.push(format!(
+            "WireCommands == {wire_cmds}, server-side, but clients sent {sent}"
+        ));
+    }
+    server.shutdown();
+    if active_prefetchers() != 0 {
+        failures.push(format!(
+            "active_prefetchers == {} after shutdown, want 0",
+            active_prefetchers()
+        ));
+    }
+
+    // Conservation: within a class, every run reports one triple.
+    let mut by_class: BTreeMap<usize, Vec<(u64, u64, u64)>> = BTreeMap::new();
+    let mut faults = 0u64;
+    let mut retries = 0u64;
+    for (class, probe) in &probes {
+        by_class
+            .entry(*class)
+            .or_default()
+            .push((probe[0], probe[1], probe[2]));
+        faults += probe[3];
+        retries += probe[4];
+        if probe[5] != 0 {
+            failures.push(format!(
+                "BackendErrors == {} in a class-{class} session (retry budget must absorb \
+                 burst-1 faults)",
+                probe[5]
+            ));
+        }
+    }
+    let mut class_triples = Vec::new();
+    for (class, triples) in &by_class {
+        let first = triples[0];
+        if let Some(bad) = triples.iter().find(|t| **t != first) {
+            failures.push(format!(
+                "class {class} shipped-data triples diverge: {first:?} vs {bad:?} \
+                 (BlocksShipped, TuplesShipped, NodesBuilt must be fault-schedule-independent)"
+            ));
+        }
+        class_triples.push((*class, first));
+    }
+    if cfg.fault_per_mille > 0 && faults == 0 && iterations > 0 {
+        failures.push("chaos enabled but FaultsInjected == 0 across all sessions".to_string());
+    }
+
+    let per_class = LAT_CLASSES
+        .iter()
+        .zip(lats.iter_mut())
+        .map(|(name, l)| {
+            l.sort_unstable();
+            ClassLats {
+                class: name,
+                count: l.len(),
+                p50_ns: percentile(l, 0.50),
+                p95_ns: percentile(l, 0.95),
+                p99_ns: percentile(l, 0.99),
+            }
+        })
+        .collect();
+
+    SoakOutcome {
+        sessions: cfg.sessions,
+        classes: cfg.classes,
+        iterations,
+        commands: sent,
+        wall,
+        throughput_cmds_per_s: sent as f64 / wall.as_secs_f64().max(1e-9),
+        per_class,
+        faults_injected: faults,
+        retries_attempted: retries,
+        class_triples,
+        invariant_failures: failures,
+    }
+}
+
+impl SoakOutcome {
+    /// Render the outcome as the `BENCH_soak.json` document.
+    pub fn to_json(&self, cfg: &SoakConfig) -> String {
+        let classes = self
+            .per_class
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{ \"case\": \"{}\", \"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \
+                     \"p99_ns\": {} }}",
+                    c.class, c.count, c.p50_ns, c.p95_ns, c.p99_ns
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let triples = self
+            .class_triples
+            .iter()
+            .map(|(c, (b, t, n))| {
+                format!(
+                    "    {{ \"class\": {c}, \"blocks_shipped\": {b}, \"tuples_shipped\": {t}, \
+                     \"nodes_built\": {n} }}"
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"description\": \"Soak run: {sessions} concurrent wire sessions looping \
+             {classes_n} seeded session-script classes against one mix-serve worker-pool server \
+             for {secs:.0}s, every backend statement subject to {pm}-per-mille transient chaos \
+             faults (burst 1) under the default 4-retry budget, prefetch depth 2, shared plan \
+             cache. Latencies are client-observed round trips by command class. Invariants \
+             checked at quiesce: sessions opened == closed == completed iterations, zero \
+             rejections, server WireCommands == client-sent commands, live_sessions == 0, \
+             active_prefetchers == 0, zero BackendErrors, and shipped-data conservation — every \
+             run of a script class reports the identical (BlocksShipped, TuplesShipped, \
+             NodesBuilt) triple regardless of its session's fault schedule. Regenerate with \
+             `cargo run --release -p mix-workload --bin workload_soak`.\",\n  \
+             \"sessions\": {sessions},\n  \"script_classes\": {classes_n},\n  \
+             \"iterations\": {iters},\n  \"commands_total\": {cmds},\n  \
+             \"wall_ms\": {wall},\n  \"throughput_cmds_per_s\": {tput:.0},\n  \
+             \"faults_injected\": {faults},\n  \"retries_attempted\": {retries},\n  \
+             \"invariant_failures\": [{fails}],\n  \"latency\": [\n{classes}\n  ],\n  \
+             \"class_conservation\": [\n{triples}\n  ]\n}}\n",
+            sessions = self.sessions,
+            classes_n = self.classes,
+            secs = cfg.duration.as_secs_f64(),
+            pm = cfg.fault_per_mille,
+            iters = self.iterations,
+            cmds = self.commands,
+            wall = self.wall.as_millis(),
+            tput = self.throughput_cmds_per_s,
+            faults = self.faults_injected,
+            retries = self.retries_attempted,
+            fails = self
+                .invariant_failures
+                .iter()
+                .map(|f| format!("\"{}\"", f.replace('"', "'")))
+                .collect::<Vec<_>>()
+                .join(", "),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2-second miniature soak — the inline guard that the runner,
+    /// chaos wiring and every invariant hold together. The CI smoke in
+    /// `scripts/check.sh` runs ~10s via the `workload_soak` binary.
+    #[test]
+    fn mini_soak_invariants_hold() {
+        let cfg = SoakConfig {
+            sessions: 4,
+            classes: 2,
+            duration: Duration::from_secs(2),
+            scale: 16,
+            script_len: 12,
+            workers: 2,
+            ..SoakConfig::default()
+        };
+        let out = run_soak(&cfg);
+        assert!(out.iterations > 0, "no iterations completed");
+        assert!(
+            out.invariant_failures.is_empty(),
+            "{:?}",
+            out.invariant_failures
+        );
+    }
+}

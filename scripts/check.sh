@@ -75,4 +75,15 @@ cargo bench -p mix-bench --bench columnar_sweep -- --smoke >/dev/null
 echo "==> serve_bench smoke run (pooled server, shared plan cache, concurrent wire sessions)"
 cargo bench -p mix-bench --bench serve_bench -- --smoke >/dev/null
 
+echo "==> workload fuzz smoke (fixed-seed 200-case knob-matrix equivalence sweep)"
+# Deterministic: default config is seed 0x4d49585f9, 200 cases. A
+# failure prints the minimized repro script before exiting non-zero.
+cargo run --quiet --release -p mix-workload --bin workload_fuzz
+
+echo "==> workload soak smoke (~10s served-mode chaos soak, invariants only)"
+cargo run --quiet --release -p mix-workload --bin workload_soak -- --smoke >/dev/null
+
+echo "==> fuzzer-surfaced regression repros"
+cargo test -q --test fuzz_regressions
+
 echo "All checks passed."

@@ -1,0 +1,135 @@
+//! Minimized repros for equivalence divergences surfaced by the
+//! `mix-workload` fuzzer (PR 9). Each test pins one fixed bug by
+//! replaying the minimized session script across the knob matrix and
+//! asserting the transcripts agree, exactly as the fuzzer does.
+
+use mix::prelude::*;
+use mix_workload::fuzz::{Variant, ALL_VARIANTS};
+use mix_workload::script::{render_transcript, run_script, run_script_raw, Op, Reg, Script};
+use std::sync::Arc;
+
+fn build() -> mix::wrapper::Catalog {
+    let (catalog, _db) = mix_repro::datagen::customers_orders(5, 2, 7);
+    catalog
+}
+
+/// Replay `script` under every deterministic variant and assert the
+/// transcript matches the baseline at that variant's normalization.
+fn assert_equivalent(script: &Script) {
+    let m = Arc::new(Mediator::new(build()));
+    let mut s = m.session_arc();
+    let raw = run_script_raw(&mut s, script);
+    for &v in ALL_VARIANTS {
+        if matches!(v, Variant::Chaos) {
+            continue; // fault injection is the soak runner's job
+        }
+        let base = render_transcript(script, &raw, v.norm());
+        let got = match v {
+            Variant::CachedPlan => {
+                let opts = MediatorOptions::builder()
+                    .shared_plan_cache(Arc::new(SharedPlanCache::new(4, 64)))
+                    .build();
+                let m = Arc::new(Mediator::with_options(build(), opts));
+                let mut s1 = m.session_arc();
+                let fresh = run_script(&mut s1, script, v.norm());
+                let mut s2 = m.session_arc();
+                let cached = run_script(&mut s2, script, v.norm());
+                assert_eq!(fresh, cached, "fresh vs cached plan transcripts");
+                continue;
+            }
+            Variant::Wire => {
+                let factory = move || Mediator::with_options(build(), Variant::Wire.options());
+                let mut server =
+                    Server::start("127.0.0.1:0", ServerConfig::default(), Arc::new(factory))
+                        .expect("start server");
+                let mut client = WireClient::connect(server.addr()).expect("connect client");
+                let got = run_script(&mut client, script, v.norm());
+                client.close().ok();
+                server.shutdown();
+                got
+            }
+            _ => {
+                let m = Arc::new(Mediator::with_options(build(), v.options()));
+                let mut s = m.session_arc();
+                run_script(&mut s, script, v.norm())
+            }
+        };
+        assert_eq!(base, got, "baseline vs {} transcripts", v.name());
+    }
+}
+
+/// Bug 1: the rewrite driver's empty-propagation collapsed an
+/// unsatisfiable composed plan to a bare `empty`, losing the result
+/// root's `tD` wrapper — so the optimized session named the answer
+/// document `rootv{n+1}` while the naive session kept `rootv{n}`,
+/// and every subsequent root oid render diverged.
+#[test]
+fn empty_propagation_keeps_result_root_name() {
+    let script = Script {
+        queries: vec!["FOR $A IN source(&root1)/customer RETURN $A".into()],
+        inplace: vec![
+            // No `Rec593` child exists in the result: the composed
+            // plan is unsatisfiable and rewrites to empty.
+            "FOR $X IN document(root)/Rec593 RETURN <Z593> $X </Z593> {$X}".into(),
+        ],
+        ops: vec![
+            Op::Query(0),
+            Op::QFrom {
+                query: 0,
+                node: Reg(0),
+            },
+            Op::Render(Reg(1)),
+            Op::ChildCount(Reg(1)),
+        ],
+    };
+    assert_equivalent(&script);
+}
+
+/// Bug 2: SQL pushdown bound element-valued dependent variables
+/// (`$B IN $A/orid` — no `data()` step) as bare column *values*, so
+/// the optimized plan rendered `F = 1` where the naive plan rendered
+/// an `orid` field element inside `F`. Fixed by the `rQ` map's
+/// `FieldElement` binding, which rebuilds `<orid>1</orid>` with its
+/// naive oid `&{key}.orid` from the shipped columns.
+#[test]
+fn pushdown_preserves_dependent_field_elements() {
+    let script = Script {
+        queries: vec!["FOR $A IN document(root2)/order $B IN $A/orid \
+             RETURN <Kid113> $A <F113> $B </F113> {$B} </Kid113> {$A}"
+            .into()],
+        inplace: vec![],
+        ops: vec![Op::Query(0), Op::Render(Reg(0))],
+    };
+    assert_equivalent(&script);
+}
+
+/// Bug 3: rule R9 (join introduction) alpha-renamed the copied
+/// subplan's variables — including `crElt` output variables, whose
+/// names were baked into minted skolem oids. Composing a query over a
+/// grouped view then rendered `&($P_c0,g(…))` oids under the
+/// optimizer where naive evaluation minted `&($P,g(…))`. Fixed by
+/// giving `crElt` an immutable oid `tag` that rewrite-internal
+/// hygiene renames never touch.
+#[test]
+fn rewrite_renames_leave_skolem_oid_tags_alone() {
+    let script = Script {
+        queries: vec!["FOR $A IN document(root2)/order $B IN $A/orid \
+             RETURN <K> $A <F> $B </F> {$B} </K> {$A}"
+            .into()],
+        inplace: vec![
+            // Navigates the view's grouped collection: the composed
+            // plan hits R9, which copies the `crElt(F, g($B))` subplan.
+            "FOR $X IN document(root)/K/F RETURN <P> $X </P> {$X}".into(),
+        ],
+        ops: vec![
+            Op::Query(0),
+            Op::QFrom {
+                query: 0,
+                node: Reg(0),
+            },
+            Op::Render(Reg(1)),
+            Op::ChildCount(Reg(1)),
+        ],
+    };
+    assert_equivalent(&script);
+}
