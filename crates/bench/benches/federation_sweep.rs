@@ -1,0 +1,190 @@
+//! Federation sweep: what sharding buys and what it costs.
+//!
+//! Three question-shaped case families over the customers/orders
+//! schema partitioned as a hash federation (customer by `id`, orders
+//! co-partitioned by `cid`):
+//!
+//! * `routed_point5` — five shard-key point lookups per iteration
+//!   (the plan cache is warm after the first) against the unsharded
+//!   baseline. Routing prunes the scatter to one shard, so the routed
+//!   query must cost about the same as the unsharded one (the
+//!   acceptance bound is within 10%).
+//! * `scatter_drain` — a full Q1 drain at a modelled 4 ms per-shard
+//!   RTT with pipelined prefetch, over 1/2/4 shards of the *same*
+//!   data. Each shard child prefetches independently, so per-shard
+//!   RTTs overlap across the federation: the 4-shard drain must beat
+//!   the 1-shard drain by ≥2x wall-clock.
+//! * `merge_overhead` — the same drain at zero latency, prefetch off:
+//!   the pure CPU cost of the k-way ordered merge over 4 ways vs 1.
+//!
+//! A counter run per shard count records the routing/scatter evidence
+//! (`ShardQueriesRouted`, `ScatterMerges`, `ShardsTargeted`,
+//! `TuplesShipped`). Pass `--smoke` for a seconds-scale CI run (no
+//! JSON); the full run rewrites `BENCH_federation.json` at the repo
+//! root, including the two acceptance ratios.
+
+use mix::prelude::*;
+use mix_bench::harness::{Harness, Measurement};
+use mix_bench::Q1;
+use mix_repro::datagen::{customers_orders, customers_orders_sharded, ShardLayout};
+use std::time::Duration;
+
+fn nanos_of(results: &[Measurement], needle: &str) -> u128 {
+    results
+        .iter()
+        .find(|m| m.name.contains(needle))
+        .unwrap_or_else(|| panic!("case {needle} not measured"))
+        .nanos()
+        .max(1)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut h = Harness::from_args("federation_sweep");
+    let (n, per) = if smoke { (60usize, 2usize) } else { (400, 2) };
+    if smoke {
+        h.measure_for(Duration::from_millis(30));
+    }
+    let rows = n * per;
+    let seed = 31;
+
+    // ---- routed point lookup vs the unsharded baseline (0 ms RTT) ----
+    // Ids are C000000-style; pick one from the middle of the domain.
+    let point = format!(
+        "FOR $C IN source(&root1)/customer WHERE $C/id/data() = \"C{:06}\" RETURN $C",
+        n / 2
+    );
+    // Steady-state shape (the prefetch bench's repeat-5 idiom): a
+    // fresh session runs the lookup five times, so queries 2–5 hit the
+    // plan cache and the iteration approximates the per-query cost an
+    // interactive client pays.
+    {
+        let (catalog, _db) = customers_orders(n, per, seed);
+        let point = point.clone();
+        h.bench(&format!("routed_point5/unsharded/{n}c"), move || {
+            let m = Mediator::new(catalog.clone());
+            let mut s = m.session();
+            let mut total = 0usize;
+            for _ in 0..5 {
+                let p0 = s.query(&point).unwrap();
+                total += s.child_count(p0).unwrap();
+            }
+            total
+        });
+    }
+    {
+        let (catalog, _sharded) = customers_orders_sharded(n, per, seed, ShardLayout::Hash(4));
+        let point = point.clone();
+        h.bench(&format!("routed_point5/sharded-4/{n}c"), move || {
+            let m = Mediator::new(catalog.clone());
+            let mut s = m.session();
+            let mut total = 0usize;
+            for _ in 0..5 {
+                let p0 = s.query(&point).unwrap();
+                total += s.child_count(p0).unwrap();
+            }
+            total
+        });
+    }
+
+    // ---- cross-shard drain: 4 ms per-shard RTT, prefetch overlaps ----
+    for shards in [1usize, 2, 4] {
+        let (catalog, sharded) = customers_orders_sharded(n, per, seed, ShardLayout::Hash(shards));
+        sharded.set_latency_ms(Some(4));
+        h.bench(
+            &format!("scatter_drain/4ms/{shards}shards/{n}x{rows}"),
+            move || {
+                let m = Mediator::with_options(
+                    catalog.clone(),
+                    MediatorOptions::builder()
+                        .block(BlockPolicy::Fixed(32))
+                        .prefetch(PrefetchPolicy::Depth(2))
+                        .build(),
+                );
+                let mut s = m.session();
+                let p0 = s.query(Q1).unwrap();
+                s.child_count(p0)
+            },
+        );
+    }
+
+    // ---- ordered-merge overhead: zero latency, prefetch off ----------
+    for shards in [1usize, 4] {
+        let (catalog, _sharded) = customers_orders_sharded(n, per, seed, ShardLayout::Hash(shards));
+        h.bench(
+            &format!("merge_overhead/0ms/{shards}shards/{n}x{rows}"),
+            move || {
+                let m = Mediator::with_options(
+                    catalog.clone(),
+                    MediatorOptions::builder().block(BlockPolicy::Auto).build(),
+                );
+                let mut s = m.session();
+                let p0 = s.query(Q1).unwrap();
+                s.child_count(p0)
+            },
+        );
+    }
+
+    // ---- one instrumented run per shard count: the routing evidence --
+    for shards in [1usize, 2, 4] {
+        let (catalog, sharded) = customers_orders_sharded(n, per, seed, ShardLayout::Hash(shards));
+        let stats = sharded.stats().clone();
+        let m = Mediator::new(catalog.clone());
+        let mut s = m.session();
+        let p0 = s.query(Q1).unwrap();
+        let _ = s.child_count(p0);
+        let pr = s.query(&point).unwrap();
+        let _ = s.child_count(pr);
+        println!(
+            "counters/{shards}shards: scatter_merges={} shard_queries_routed={} \
+             shards_targeted={} tuples_shipped={}",
+            stats.get(Counter::ScatterMerges),
+            stats.get(Counter::ShardQueriesRouted),
+            stats.get(Counter::ShardsTargeted),
+            stats.get(Counter::TuplesShipped),
+        );
+    }
+
+    let results = h.finish();
+
+    // The two acceptance ratios, from the medians just measured.
+    let routed = nanos_of(&results, "routed_point5/sharded-4") as f64
+        / nanos_of(&results, "routed_point5/unsharded") as f64;
+    let speedup = nanos_of(&results, "scatter_drain/4ms/1shards") as f64
+        / nanos_of(&results, "scatter_drain/4ms/4shards") as f64;
+    println!("routed_vs_unsharded_ratio: {routed:.3} (1.0 = parity; acceptance ≤ 1.10)");
+    println!("scatter_drain_speedup_4_vs_1: {speedup:.2}x (acceptance ≥ 2x)");
+
+    if !smoke {
+        let cases = results
+            .iter()
+            .map(|m| {
+                format!(
+                    "    {{ \"case\": \"{}\", \"median_ns\": {} }}",
+                    m.name,
+                    m.nanos()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let json = format!(
+            "{{\n  \"description\": \"Federation sweep over the customers/orders schema hash-\
+             partitioned by shard key (customer by id, orders co-partitioned by cid), {n} \
+             customers x {per} orders. routed_point5: five shard-key point lookups per iteration (plan cache warm after \
+             the first) routed to one shard vs the unsharded baseline (routing must cost within 10% of unsharded). \
+             scatter_drain: full Q1 drains at a modelled 4 ms per-shard RTT with per-shard \
+             pipelined prefetch (depth 2, 32-row blocks) over 1/2/4 shards of the same data — \
+             shard children prefetch independently, so per-shard RTTs overlap and the 4-shard \
+             drain must beat 1-shard by >= 2x. merge_overhead: the same drain at zero latency, \
+             prefetch off — the pure CPU cost of the k-way ordered merge. Regenerate with \
+             `cargo bench -p mix-bench --bench federation_sweep`.\",\n  \
+             \"rows\": {rows},\n  \
+             \"routed_vs_unsharded_ratio\": {routed:.3},\n  \
+             \"scatter_drain_speedup_4_vs_1\": {speedup:.2},\n  \
+             \"cases\": [\n{cases}\n  ]\n}}\n"
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_federation.json");
+        std::fs::write(path, json).expect("write BENCH_federation.json");
+        println!("wrote {path}");
+    }
+}

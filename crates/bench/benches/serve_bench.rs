@@ -137,10 +137,14 @@ fn main() {
     // shares it, so repeated query classes compile once, not once per
     // session.
     let shared = Arc::new(SharedPlanCache::default());
+    // Built once, cloned per session: plan-cache keys include backend
+    // identity (stable across clones only), so cross-session reuse
+    // requires every session to front the same database.
+    let (catalog, _db) = mix_repro::datagen::customers_orders(n_customers, orders_per, 31);
     let factory: Arc<dyn Fn() -> Mediator + Send + Sync> = {
         let shared = Arc::clone(&shared);
         Arc::new(move || {
-            let (catalog, _db) = mix_repro::datagen::customers_orders(n_customers, orders_per, 31);
+            let catalog = catalog.clone();
             Mediator::with_options(
                 catalog,
                 MediatorOptions::builder()

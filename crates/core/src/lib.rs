@@ -78,7 +78,8 @@ pub mod prelude {
         Mediator, MediatorOptions, MediatorOptionsBuilder, QNode, QdomSession, SharedPlanCache,
     };
     pub use mix_relational::{
-        active_prefetchers, prefetch_pool_workers, Database, FaultPolicy, Schema,
+        active_prefetchers, prefetch_pool_workers, Backend, Database, FaultPolicy, Schema,
+        ShardScheme, ShardSpec, ShardedDatabase,
     };
     pub use mix_rewrite::{optimize, rewrite, split_plan};
     pub use mix_serve::{Server, ServerConfig, WireClient, WireError};

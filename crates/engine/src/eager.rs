@@ -521,6 +521,9 @@ fn eval_table_inner(
             extra.push(("server", server.to_string()));
             extra.push(("sql", sql.to_string()));
             let db = ctx.catalog().database(server.as_str()).context(server)?;
+            if let Some(s) = db.shards_attr(sql) {
+                extra.push(("shards", s));
+            }
             let mut cur = db.execute(sql).context(server)?;
             let vars: Vec<Name> = map.iter().map(|b| b.var.clone()).collect();
             let vars = Arc::new(vars);

@@ -460,6 +460,12 @@ pub(crate) fn build_stream_profiled(
                 extra.push(("prefetch", ctx.prefetch.label()));
             }
             let db = ctx.catalog().database(server.as_str()).context(server)?;
+            // `shards=` appears only for sharded backends ("1/4" routed,
+            // "4/4" scatter, "whole" fallback); single-backend EXPLAIN
+            // trees stay byte-identical.
+            if let Some(s) = db.shards_attr(sql) {
+                extra.push(("shards", s));
+            }
             let mut cursor = db.execute(sql).context(server)?;
             let ramp = ctx.block_ramp();
             if ctx.prefetch.enabled() {

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Number of counters (one per [`Counter`] variant).
-const N: usize = 31;
+const N: usize = 34;
 
 /// One kind of work the substrate counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -123,6 +123,16 @@ pub enum Counter {
     /// Jobs dispatched by a worker pool (each pickup of a queued job
     /// counts once; a job that parks and resumes counts again).
     PoolTasksRun,
+    /// Total shard executions a sharded backend issued: +1 per routed
+    /// query, +N per N-shard scatter. `ShardsTargeted /
+    /// (ShardQueriesRouted + ScatterMerges)` is the average fan-out.
+    ShardsTargeted,
+    /// Statements whose shard-key conjuncts pinned exactly one shard
+    /// (no scatter, no merge — the zero-overhead federation path).
+    ShardQueriesRouted,
+    /// Scatter-gather executions: the statement went to every shard and
+    /// the mediator ran a k-way ordered merge over the shard cursors.
+    ScatterMerges,
 }
 
 impl Counter {
@@ -159,6 +169,9 @@ impl Counter {
         Counter::PlanCacheShardContention,
         Counter::PrefetchQueueDepth,
         Counter::PoolTasksRun,
+        Counter::ShardsTargeted,
+        Counter::ShardQueriesRouted,
+        Counter::ScatterMerges,
     ];
 
     /// A stable snake_case label (table rendering, log output).
@@ -195,6 +208,9 @@ impl Counter {
             Counter::PlanCacheShardContention => "plan_cache_shard_contention",
             Counter::PrefetchQueueDepth => "prefetch_queue_depth",
             Counter::PoolTasksRun => "pool_tasks_run",
+            Counter::ShardsTargeted => "shards_targeted",
+            Counter::ShardQueriesRouted => "shard_queries_routed",
+            Counter::ScatterMerges => "scatter_merges",
         }
     }
 
@@ -336,9 +352,16 @@ impl Stats {
 }
 
 /// An immutable point-in-time copy of [`Stats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Snapshot {
     counts: [u64; N],
+}
+
+// Manual: `Default` is not derivable for arrays longer than 32.
+impl Default for Snapshot {
+    fn default() -> Snapshot {
+        Snapshot { counts: [0; N] }
+    }
 }
 
 impl Snapshot {
@@ -405,9 +428,16 @@ impl fmt::Display for Snapshot {
 }
 
 /// Per-counter differences between two [`Snapshot`]s (saturating).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Delta {
     counts: [u64; N],
+}
+
+// Manual: `Default` is not derivable for arrays longer than 32.
+impl Default for Delta {
+    fn default() -> Delta {
+        Delta { counts: [0; N] }
+    }
 }
 
 impl Delta {
@@ -539,7 +569,13 @@ mod tests {
         assert_eq!(Counter::WireCommands.to_string(), "wire_commands");
         assert_eq!(Counter::WireBytesIn.to_string(), "wire_bytes_in");
         assert_eq!(Counter::WireBytesOut.to_string(), "wire_bytes_out");
-        assert_eq!(Counter::ALL.len(), 31);
+        assert_eq!(Counter::ShardsTargeted.to_string(), "shards_targeted");
+        assert_eq!(
+            Counter::ShardQueriesRouted.to_string(),
+            "shard_queries_routed"
+        );
+        assert_eq!(Counter::ScatterMerges.to_string(), "scatter_merges");
+        assert_eq!(Counter::ALL.len(), 34);
     }
 
     #[test]

@@ -51,10 +51,14 @@ pub const DEFAULT_PLAN_CACHE_CAP: usize = 16;
 struct SkolemShape(Vec<(String, String, usize)>);
 
 /// Cache key: one query text issued from one result at one shape,
-/// compiled under one set of plan-shaping knobs. The knobs matter: a
-/// cached physical plan bakes in kernel choices (`hash_joins`) and the
-/// block policy captured at build time, so an entry compiled under one
-/// knob setting must never be replayed under another.
+/// compiled under one set of plan-shaping knobs, against one set of
+/// backends. The knobs matter: a cached physical plan bakes in kernel
+/// choices (`hash_joins`) and the block policy captured at build time,
+/// so an entry compiled under one knob setting must never be replayed
+/// under another. The backend fingerprint matters for the *shared*
+/// cache: two mediators over different databases (or different shard
+/// layouts) may issue identical query texts whose cached SQL is only
+/// correct against the catalog it was compiled for.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct CacheKey {
     query: String,
@@ -64,13 +68,17 @@ pub(crate) struct CacheKey {
     block: BlockPolicy,
     prefetch: PrefetchPolicy,
     columnar: bool,
+    backend: u64,
 }
 
 impl CacheKey {
     /// The key and slot oids for issuing `query` from a node with
     /// context `ctx` in result `result`, compiled with the given
-    /// plan-shape knobs. `None` when the node's id is not a skolem term
+    /// plan-shape knobs against the catalog whose backends fingerprint
+    /// to `backend` (see [`mix_wrapper::Catalog`] in the session).
+    /// `None` when the node's id is not a skolem term
     /// (decontextualization will fail anyway).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         query: &str,
         result: usize,
@@ -79,6 +87,7 @@ impl CacheKey {
         block: BlockPolicy,
         prefetch: PrefetchPolicy,
         columnar: bool,
+        backend: u64,
     ) -> Option<(CacheKey, Vec<Oid>)> {
         let (func, var, args) = ctx.oid.as_skolem()?;
         let mut shape = vec![(func.to_string(), var.to_string(), args.len())];
@@ -107,6 +116,7 @@ impl CacheKey {
             // The block representation is a session knob too: a replayed
             // plan must decode the way its EXPLAIN (`repr=`) promised.
             columnar,
+            backend,
         };
         Some((key, slots))
     }
@@ -558,6 +568,7 @@ mod tests {
                 block: BlockPolicy::Auto,
                 prefetch: PrefetchPolicy::Off,
                 columnar: true,
+                backend: 0,
             };
             cache.insert(
                 key,
@@ -580,6 +591,7 @@ mod tests {
             block: BlockPolicy::Auto,
             prefetch: PrefetchPolicy::Off,
             columnar: true,
+            backend: 0,
         };
         assert!(cache.lookup(&key0, &[key_slot("K")], "rootv0").is_none());
     }
@@ -596,7 +608,7 @@ mod tests {
         };
         let pf = PrefetchPolicy::Off;
         let (key, slots) =
-            CacheKey::new("q", 0, &ctx, true, BlockPolicy::Auto, pf, true).expect("skolem oid");
+            CacheKey::new("q", 0, &ctx, true, BlockPolicy::Auto, pf, true, 0).expect("skolem oid");
         cache.insert(
             key,
             slots.clone(),
@@ -608,9 +620,11 @@ mod tests {
             &empty_plan(),
         );
         // Same query/node, different knobs: structural misses.
-        let (nl_key, _) = CacheKey::new("q", 0, &ctx, false, BlockPolicy::Auto, pf, true).unwrap();
+        let (nl_key, _) =
+            CacheKey::new("q", 0, &ctx, false, BlockPolicy::Auto, pf, true, 0).unwrap();
         assert!(cache.lookup(&nl_key, &slots, "rootv1").is_none());
-        let (off_key, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Off, pf, true).unwrap();
+        let (off_key, _) =
+            CacheKey::new("q", 0, &ctx, true, BlockPolicy::Off, pf, true, 0).unwrap();
         assert!(cache.lookup(&off_key, &slots, "rootv1").is_none());
         let (pf_key, _) = CacheKey::new(
             "q",
@@ -620,17 +634,21 @@ mod tests {
             BlockPolicy::Auto,
             PrefetchPolicy::Auto,
             true,
+            0,
         )
         .unwrap();
         assert!(cache.lookup(&pf_key, &slots, "rootv1").is_none());
-        let (row_key, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Auto, pf, false).unwrap();
+        let (row_key, _) =
+            CacheKey::new("q", 0, &ctx, true, BlockPolicy::Auto, pf, false, 0).unwrap();
         assert!(cache.lookup(&row_key, &slots, "rootv1").is_none());
         // The original knobs still hit, and Fixed(0) normalizes to
         // Fixed(1) rather than minting a third key for the same plans.
-        let (same, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Auto, pf, true).unwrap();
+        let (same, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Auto, pf, true, 0).unwrap();
         assert!(cache.lookup(&same, &slots, "rootv1").is_some());
-        let (f0, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Fixed(0), pf, true).unwrap();
-        let (f1, _) = CacheKey::new("q", 0, &ctx, true, BlockPolicy::Fixed(1), pf, true).unwrap();
+        let (f0, _) =
+            CacheKey::new("q", 0, &ctx, true, BlockPolicy::Fixed(0), pf, true, 0).unwrap();
+        let (f1, _) =
+            CacheKey::new("q", 0, &ctx, true, BlockPolicy::Fixed(1), pf, true, 0).unwrap();
         assert_eq!(f0, f1);
         // Depth(0) normalizes to Depth(1) likewise.
         let (d0, _) = CacheKey::new(
@@ -641,6 +659,7 @@ mod tests {
             BlockPolicy::Auto,
             PrefetchPolicy::Depth(0),
             true,
+            0,
         )
         .unwrap();
         let (d1, _) = CacheKey::new(
@@ -651,6 +670,7 @@ mod tests {
             BlockPolicy::Auto,
             PrefetchPolicy::Depth(1),
             true,
+            0,
         )
         .unwrap();
         assert_eq!(d0, d1);

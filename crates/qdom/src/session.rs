@@ -128,6 +128,11 @@ pub struct QdomSession<'m> {
     plan_cache: PlanCache,
     /// The process-wide cache, when the mediator options carry one.
     shared_cache: Option<Arc<SharedPlanCache>>,
+    /// Fingerprint of the catalog's backends, computed once at session
+    /// start — part of every plan-cache key, so mediators over
+    /// different databases (or shard layouts) sharing one
+    /// [`SharedPlanCache`] never exchange templates.
+    backend_fp: u64,
 }
 
 impl<'m> QdomSession<'m> {
@@ -155,11 +160,13 @@ impl<'m> QdomSession<'m> {
         for db in mediator.get().catalog().databases() {
             db.set_tracer(opts.tracer.clone());
         }
+        let backend_fp = mediator.get().catalog().fingerprint();
         QdomSession {
             ctx: Arc::new(ctx),
             results: Vec::new(),
             plan_cache: PlanCache::with_cap(opts.plan_cache_cap),
             shared_cache: opts.shared_plan_cache,
+            backend_fp,
             mediator,
         }
     }
@@ -333,6 +340,7 @@ impl<'m> QdomSession<'m> {
             self.ctx.block,
             self.ctx.prefetch,
             self.ctx.columnar,
+            self.backend_fp,
         );
         if let Some((key, new_slots)) = &cache_key {
             // The shared (cross-session) cache, when installed,

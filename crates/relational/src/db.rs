@@ -34,7 +34,15 @@ pub struct Database {
     /// Statement sequence number — salts the per-statement fault RNG so
     /// each statement gets an independent, reproducible schedule.
     stmt_seq: Arc<AtomicU64>,
+    /// Process-unique instance id, copied by `Clone` (clones share
+    /// identity, like `stats`). Distinguishes two databases that happen
+    /// to share a server name — e.g. two mediators over different data
+    /// must not share cached decontextualized plans.
+    instance: u64,
 }
+
+/// Source of process-unique database instance ids.
+static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
 
 impl Database {
     /// An empty database named `name` (the mediator's "server name" —
@@ -48,13 +56,33 @@ impl Database {
             fault: Arc::new(Mutex::new(None)),
             latency_ms: Arc::new(Mutex::new(None)),
             stmt_seq: Arc::new(AtomicU64::new(0)),
+            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
         }
+    }
+
+    /// Process-unique instance id — stable across clones, distinct
+    /// across independently constructed databases. Feeds the plan-cache
+    /// backend fingerprint.
+    pub fn instance_id(&self) -> u64 {
+        self.instance
+    }
+
+    /// Point this database's counters at `stats` (used by the sharded
+    /// backend so every shard accounts into one aggregate).
+    pub(crate) fn set_stats(&mut self, stats: Stats) {
+        self.stats = stats;
     }
 
     /// Send this source's SQL/row events to `tracer`. Affects every
     /// clone of this database (they share the handle, like `stats`).
     pub fn set_tracer(&self, tracer: TracerHandle) {
         *self.tracer.lock().unwrap() = tracer;
+    }
+
+    /// The currently installed tracer (the sharded backend hands it to
+    /// its merge cursor so retry/fault events keep tracing).
+    pub(crate) fn tracer(&self) -> TracerHandle {
+        self.tracer.lock().unwrap().clone()
     }
 
     /// Install (or clear, with `None`) a fault-injection policy. Every

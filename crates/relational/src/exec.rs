@@ -161,6 +161,158 @@ enum Backing {
     Latched(MixError),
     /// Exhausted: the prefetcher drained the plan and was joined.
     Done,
+    /// K-way ordered merge over per-shard child cursors (the
+    /// scatter-gather path of a sharded backend). The children account
+    /// their own shipped tuples/blocks into the shared aggregate
+    /// [`Stats`]; the merge itself only tracks `delivered`.
+    Merge(MergeState),
+}
+
+/// State of a k-way ordered merge over shard cursors.
+///
+/// Each child streams rows already sorted by the comparator key
+/// positions (`keys`); the merge repeatedly emits the smallest buffered
+/// head. Invariants:
+///
+/// * A child is pulled only when its buffer is empty, so `done[i]`
+///   implies `bufs[i]` is empty — exhaustion never strands rows.
+/// * Rows are emitted only while every non-exhausted child has a
+///   buffered row; when a buffer runs dry mid-block the pull returns a
+///   *partial* count (`> 0`), and only full exhaustion returns `0`.
+/// * Refill errors surface before anything is emitted, and a failed
+///   child pull is side-effect-free — so the whole merge pull is
+///   retryable, and a retry only re-pulls the child that failed.
+pub(crate) struct MergeState {
+    children: Vec<Cursor>,
+    bufs: Vec<VecDeque<Row>>,
+    done: Vec<bool>,
+    /// Comparator positions into the (possibly key-widened) child row.
+    keys: Vec<usize>,
+    /// Appended trailing columns to drop before delivery (the shard
+    /// statements were widened with key columns to make the merge order
+    /// total; the consumer sees the original arity).
+    strip: usize,
+    /// DISTINCT merge: break comparator ties on the full row (equal
+    /// rows from different shards become adjacent) and drop adjacent
+    /// duplicates.
+    dedup: bool,
+    /// Last row emitted (pre-strip), for adjacent dedup.
+    last: Option<Row>,
+}
+
+impl MergeState {
+    /// Compare two buffered heads; `ai`/`bi` are shard indexes (the
+    /// final tie-break, making the merge deterministic).
+    fn cmp_rows(&self, a: &Row, ai: usize, b: &Row, bi: usize) -> std::cmp::Ordering {
+        use std::cmp::Ordering::Equal;
+        for &k in &self.keys {
+            let o = a[k].total_cmp(&b[k]);
+            if o != Equal {
+                return o;
+            }
+        }
+        if self.dedup {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let o = x.total_cmp(y);
+                if o != Equal {
+                    return o;
+                }
+            }
+        }
+        ai.cmp(&bi)
+    }
+
+    /// Append up to `n` merged rows to `out`. See the struct docs for
+    /// the refill/emit protocol.
+    fn pull(&mut self, out: &mut Vec<Row>, n: usize) -> Result<usize> {
+        let mut k = 0;
+        loop {
+            // Phase 1: refill every empty, non-exhausted child buffer.
+            // Errors propagate before any row of this round is emitted.
+            for i in 0..self.children.len() {
+                if self.done[i] || !self.bufs[i].is_empty() {
+                    continue;
+                }
+                let mut tmp = Vec::new();
+                if self.children[i].next_block(&mut tmp, n.max(1))? == 0 {
+                    self.done[i] = true;
+                } else {
+                    self.bufs[i].extend(tmp);
+                }
+            }
+            if self.bufs.iter().all(VecDeque::is_empty) {
+                return Ok(k); // fully exhausted (k may be 0)
+            }
+            // Phase 2: emit minima while every live child is buffered.
+            loop {
+                if k == n {
+                    return Ok(k);
+                }
+                if (0..self.children.len()).any(|i| !self.done[i] && self.bufs[i].is_empty()) {
+                    break; // a live child ran dry: partial block or refill
+                }
+                let mut best: Option<usize> = None;
+                for i in 0..self.children.len() {
+                    let Some(head) = self.bufs[i].front() else {
+                        continue;
+                    };
+                    best = Some(match best {
+                        None => i,
+                        Some(b) => {
+                            let cur = self.bufs[b].front().expect("best buffer non-empty");
+                            if self.cmp_rows(head, i, cur, b).is_lt() {
+                                i
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                let Some(b) = best else {
+                    return Ok(k); // all buffers empty and all done
+                };
+                let row = self.bufs[b].pop_front().expect("chosen buffer non-empty");
+                if self.dedup && self.last.as_ref() == Some(&row) {
+                    continue; // cross-shard duplicate under DISTINCT
+                }
+                if self.dedup {
+                    self.last = Some(row.clone());
+                }
+                let mut row = row;
+                if self.strip > 0 {
+                    row.truncate(row.len() - self.strip);
+                }
+                out.push(row);
+                k += 1;
+            }
+            if k > 0 {
+                return Ok(k);
+            }
+            // Dedup consumed the whole round; refill and continue.
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let buffered: usize = self.bufs.iter().map(VecDeque::len).sum();
+        let mut lo = buffered;
+        let mut hi = Some(buffered);
+        for (i, c) in self.children.iter().enumerate() {
+            if self.done[i] {
+                continue;
+            }
+            let (l, h) = c.size_hint();
+            lo += l;
+            hi = match (hi, h) {
+                (Some(a), Some(b)) => Some(a + b),
+                _ => None,
+            };
+        }
+        if self.dedup {
+            (0, hi)
+        } else {
+            (lo, hi)
+        }
+    }
 }
 
 /// Prefetch configuration armed on a cursor but not yet started (the
@@ -216,6 +368,57 @@ impl Cursor {
         }
     }
 
+    /// A scatter-gather cursor: k-way ordered merge over per-shard
+    /// child cursors. `keys` are comparator positions into the child
+    /// rows (which may carry `strip` appended trailing key columns the
+    /// consumer never sees); `dedup` drops adjacent duplicates for
+    /// DISTINCT statements. `arity` is the *delivered* arity (after
+    /// stripping). The children account their own `TuplesShipped`/
+    /// `BlocksShipped` into the shared stats; the merge cursor adds no
+    /// accounting of its own, so sharded and unsharded runs meter the
+    /// source↔mediator boundary the same way.
+    pub(crate) fn merged(
+        children: Vec<Cursor>,
+        keys: Vec<usize>,
+        strip: usize,
+        dedup: bool,
+        arity: usize,
+        stats: Stats,
+        tracer: TracerHandle,
+    ) -> Cursor {
+        let n = children.len();
+        Cursor {
+            backing: Backing::Merge(MergeState {
+                bufs: (0..n).map(|_| VecDeque::new()).collect(),
+                done: vec![false; n],
+                children,
+                keys,
+                strip,
+                dedup,
+                last: None,
+            }),
+            armed: None,
+            stash: VecDeque::new(),
+            scratch: Vec::new(),
+            stats,
+            tracer,
+            arity,
+            delivered: 0,
+            retries: 0,
+        }
+    }
+
+    /// Pull merged rows from a [`Backing::Merge`] cursor, updating only
+    /// `delivered` (the children already accounted the shipped rows).
+    fn merge_block(&mut self, out: &mut Vec<Row>, n: usize) -> Result<usize> {
+        let Backing::Merge(m) = &mut self.backing else {
+            unreachable!()
+        };
+        let k = m.pull(out, n)?;
+        self.delivered += k as u64;
+        Ok(k)
+    }
+
     /// Arm pipelined prefetch on this cursor: once the first block has
     /// been demanded (served synchronously, so the first `d()` still
     /// ships exactly one row), a background thread keeps up to
@@ -235,6 +438,20 @@ impl Cursor {
     /// local backend), speculation is pure thread-and-channel overhead,
     /// so `Auto` stays synchronous. `Depth(n)` is unconditional.
     pub fn enable_prefetch(&mut self, policy: PrefetchPolicy, ramp: BlockRamp, retry: RetryPolicy) {
+        if let Backing::Merge(m) = &mut self.backing {
+            // Scatter-gather: each shard child prefetches independently,
+            // and starts *now* — the merge needs a head row from every
+            // live shard before it can emit anything, so there is no
+            // laziness to protect per child, and priming fetches the
+            // first blocks of all shards in parallel instead of paying
+            // their RTTs serially through the first refill. `Auto`
+            // still gates per child on its own backend latency.
+            for c in &mut m.children {
+                c.enable_prefetch(policy, ramp.clone(), retry);
+                c.prime_prefetch();
+            }
+            return;
+        }
         if matches!(policy, PrefetchPolicy::Auto) && self.backend_latency_ms() == 0 {
             return;
         }
@@ -259,6 +476,12 @@ impl Cursor {
     /// caller does before draining. No-op if prefetch is not armed or
     /// the cursor already started.
     pub fn prime_prefetch(&mut self) {
+        if let Backing::Merge(m) = &mut self.backing {
+            for c in &mut m.children {
+                c.prime_prefetch();
+            }
+            return;
+        }
         if let Some(armed) = self.armed.take() {
             self.start_prefetch(armed);
         }
@@ -296,6 +519,14 @@ impl Cursor {
         if matches!(self.backing, Backing::Live(_)) {
             let mut buf = Vec::new();
             if self.recv_block(&mut buf)? == 0 {
+                return Ok(None);
+            }
+            self.stash.extend(buf);
+            return Ok(self.stash.pop_front());
+        }
+        if matches!(self.backing, Backing::Merge(_)) {
+            let mut buf = Vec::new();
+            if self.merge_block(&mut buf, 1)? == 0 {
                 return Ok(None);
             }
             self.stash.extend(buf);
@@ -377,6 +608,9 @@ impl Cursor {
         if matches!(self.backing, Backing::Live(_)) {
             return self.recv_block(out);
         }
+        if matches!(self.backing, Backing::Merge(_)) {
+            return self.merge_block(out, n);
+        }
         let Backing::Sync { iter, chaos } = &mut self.backing else {
             unreachable!()
         };
@@ -425,6 +659,17 @@ impl Cursor {
         }
         if matches!(self.backing, Backing::Live(_)) {
             return self.recv_cblock(out);
+        }
+        if matches!(self.backing, Backing::Merge(_)) {
+            let mut buf = std::mem::take(&mut self.scratch);
+            buf.clear();
+            let k = self.merge_block(&mut buf, n)?;
+            out.reserve(k);
+            for r in buf.drain(..) {
+                out.push_row(r);
+            }
+            self.scratch = buf;
+            return Ok(k);
         }
         let Backing::Sync { iter, chaos } = &mut self.backing else {
             unreachable!()
@@ -606,10 +851,12 @@ impl Cursor {
         n: usize,
         retry: &RetryPolicy,
     ) -> Result<usize> {
-        if !matches!(self.backing, Backing::Sync { .. }) {
+        if !matches!(self.backing, Backing::Sync { .. } | Backing::Merge(_)) {
             // Prefetched blocks arrive pre-retried (the thread runs
             // this same loop); an error surfacing here already spent
-            // its budget and is terminal.
+            // its budget and is terminal. Merge pulls *do* retry: a
+            // failed refill is side-effect-free, and the re-issued pull
+            // only re-pulls the shard that failed.
             return self.next_block(out, n);
         }
         self.retry_loop(retry, |c| c.next_block(out, n))
@@ -625,7 +872,7 @@ impl Cursor {
         n: usize,
         retry: &RetryPolicy,
     ) -> Result<usize> {
-        if !matches!(self.backing, Backing::Sync { .. }) {
+        if !matches!(self.backing, Backing::Sync { .. } | Backing::Merge(_)) {
             return self.next_cblock(out, n);
         }
         self.retry_loop(retry, |c| c.next_cblock(out, n))
@@ -701,6 +948,10 @@ impl Cursor {
             }
             Backing::Live(_) => (stashed, None),
             Backing::Latched(_) | Backing::Done => (stashed, Some(stashed)),
+            Backing::Merge(m) => {
+                let (lo, hi) = m.size_hint();
+                (lo + stashed, hi.map(|h| h + stashed))
+            }
         }
     }
 

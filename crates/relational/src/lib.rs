@@ -31,6 +31,7 @@ pub mod plan;
 pub mod prefetch;
 pub mod reference;
 pub mod schema;
+pub mod sharded;
 pub mod table;
 
 pub use ast::{ColRef, FromItem, Operand, Pred, SelectItem, SelectStmt};
@@ -40,4 +41,5 @@ pub use fault::FaultPolicy;
 pub use parser::parse_sql;
 pub use prefetch::{active_prefetchers, prefetch_pool_stats, prefetch_pool_workers};
 pub use schema::{Column, ColumnType, Schema};
+pub use sharded::{Backend, ShardScheme, ShardSpec, ShardedDatabase};
 pub use table::{Row, Table};

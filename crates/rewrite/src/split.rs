@@ -31,7 +31,7 @@ pub fn split_plan(plan: &Plan, catalog: &Catalog) -> Plan {
 
 fn split_op(op: &Op, catalog: &Catalog, hint: &[Name]) -> Op {
     if let Some(frag) = convert(op, catalog) {
-        if !frag.vars.is_empty() {
+        if !frag.vars.is_empty() && co_partitioned(&frag, catalog) {
             return make_rq(frag, hint);
         }
     }
@@ -239,6 +239,54 @@ fn convert(op: &Op, catalog: &Catalog) -> Option<Frag> {
         }
         _ => None,
     }
+}
+
+/// Can this fragment execute as one SQL statement on its server even if
+/// that server is a *sharded* federation? A multi-relation statement is
+/// shard-safe only when its FROM entries are provably co-partitioned:
+/// every entry must be linked — transitively — to every other by an
+/// equality predicate over the tables' declared shard columns, so
+/// joining rows always live on the same shard. Single-relation
+/// fragments and unsharded backends are always pushable (this returns
+/// `true` without inspecting predicates, keeping unsharded SQL
+/// byte-identical). When the guard rejects, the split recurses instead,
+/// producing one `rQ` per relation with the join at the mediator.
+fn co_partitioned(frag: &Frag, catalog: &Catalog) -> bool {
+    if frag.from.len() <= 1 {
+        return true;
+    }
+    let Ok(backend) = catalog.database(frag.server.as_str()) else {
+        return true;
+    };
+    if backend.as_sharded().is_none() {
+        return true;
+    }
+    let shard_col = |i: usize| backend.shard_col(frag.from[i].relation().as_str());
+    // Union-find over FROM entries; shard-col = shard-col equi-preds
+    // are the edges.
+    let mut parent: Vec<usize> = (0..frag.from.len()).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for p in &frag.preds {
+        if p.op != CmpOp::Eq {
+            continue;
+        }
+        let FOperand::Col(j, ref jc) = p.rhs else {
+            continue;
+        };
+        let (i, ic) = (p.lhs.0, &p.lhs.1);
+        if shard_col(i) == Some(ic) && shard_col(j) == Some(jc) {
+            let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+            parent[ri] = rj;
+        }
+    }
+    let root = find(&mut parent, 0);
+    (1..frag.from.len()).all(|i| find(&mut parent, i) == root)
 }
 
 fn merge(fl: Frag, fr: Frag, vars_override: Option<Vec<(Name, VOrigin)>>) -> Option<Frag> {
@@ -666,6 +714,50 @@ mod tests {
         assert!(text.contains("FROM orders o1, customer c1"), "{text}");
         assert!(text.contains("o1.value > 20000"), "{text}");
         assert!(text.contains("c1.id = o1.cid"), "{text}");
+    }
+
+    #[test]
+    fn co_partitioned_join_pushes_to_sharded_backend() {
+        // customer.id = orders.cid links the two declared shard
+        // columns, so the join is shard-local and still renders as one
+        // rQ — with SQL byte-identical to the unsharded split.
+        let db = mix_relational::fixtures::sample_db();
+        let (cat, _sharded) = mix_wrapper::wrap_customers_orders_sharded(
+            &db,
+            mix_relational::ShardScheme::Hash { shards: 4 },
+        )
+        .unwrap();
+        let plan = translate(&parse_query(Q1).unwrap()).unwrap();
+        let text = split_plan(&plan, &cat).render();
+        assert_eq!(text.matches("rQ(").count(), 1, "{text}");
+        assert!(text.contains("WHERE c1.id = o1.cid"), "{text}");
+        assert!(text.contains("ORDER BY c1.id, o1.orid"), "{text}");
+
+        let (unsharded_cat, _db) = fig2_catalog();
+        assert_eq!(text, split_plan(&plan, &unsharded_cat).render());
+    }
+
+    #[test]
+    fn non_co_partitioned_join_splits_per_relation() {
+        // id-to-orid joins rows that live on different shards: the
+        // fragment must not become one statement. Each relation gets
+        // its own rQ and the join runs at the mediator.
+        let db = mix_relational::fixtures::sample_db();
+        let (cat, _sharded) = mix_wrapper::wrap_customers_orders_sharded(
+            &db,
+            mix_relational::ShardScheme::Hash { shards: 4 },
+        )
+        .unwrap();
+        let q = "FOR $C IN source(&root1)/customer $O IN document(&root2)/order \
+                 WHERE $C/id/data() = $O/orid/data() RETURN $O";
+        let plan = translate(&parse_query(q).unwrap()).unwrap();
+        let text = split_plan(&plan, &cat).render();
+        assert_eq!(text.matches("rQ(").count(), 2, "{text}");
+        assert!(text.contains("join("), "{text}");
+        // The same query on the unsharded catalog still merges.
+        let (unsharded_cat, _db) = fig2_catalog();
+        let text = split_plan(&plan, &unsharded_cat).render();
+        assert_eq!(text.matches("rQ(").count(), 1, "{text}");
     }
 
     #[test]

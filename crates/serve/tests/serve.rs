@@ -293,14 +293,19 @@ fn graceful_shutdown_drains_sessions_and_joins_prefetchers() {
 }
 
 /// A factory whose mediators share one plan cache (and, implicitly,
-/// the process-wide prefetch pool when `prefetch` is on).
+/// the process-wide prefetch pool when `prefetch` is on). The catalog
+/// is built once and *cloned* per session: cached plans are keyed by
+/// backend identity (stable across clones, distinct across independent
+/// `fig2_catalog()` calls), so sessions share templates only when they
+/// front the same database — exactly a real server's shape.
 fn shared_factory(
     shared: &Arc<SharedPlanCache>,
     prefetch: PrefetchPolicy,
 ) -> Arc<dyn Fn() -> Mediator + Send + Sync> {
     let shared = Arc::clone(shared);
+    let (cat, _db) = fig2_catalog();
     Arc::new(move || {
-        let (cat, _db) = fig2_catalog();
+        let cat = cat.clone();
         Mediator::with_options(
             cat,
             MediatorOptions::builder()

@@ -2,40 +2,21 @@
 //!
 //! ```text
 //! cargo run --release -p mix-workload --bin workload_soak            # full run, writes BENCH_soak.json
-//! cargo run --release -p mix-workload --bin workload_soak -- --smoke # ~10s CI smoke, no JSON
+//! cargo run --release -p mix-workload --bin workload_soak -- --smoke # ~12s CI smoke, no JSON
 //! ```
 //!
 //! Drives a live `mix-serve` server with concurrent wire sessions
-//! under 10% chaos faults and checks counter invariants at quiesce;
-//! exits nonzero if any invariant fails.
+//! under 10% chaos faults and checks counter invariants at quiesce —
+//! once over a single unsharded backend and once over a 4-shard hash
+//! federation (per-shard chaos schedules, scatter-gather merge); exits
+//! nonzero if any invariant fails in either pass.
 
-use mix_workload::{run_soak, SoakConfig};
+use mix_workload::{run_soak, SoakConfig, SoakOutcome};
 use std::time::Duration;
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let cfg = if smoke {
-        SoakConfig {
-            sessions: 8,
-            classes: 3,
-            duration: Duration::from_secs(10),
-            scale: 30,
-            script_len: 24,
-            ..SoakConfig::default()
-        }
-    } else {
-        SoakConfig {
-            sessions: 32,
-            classes: 4,
-            duration: Duration::from_secs(30),
-            scale: 80,
-            script_len: 48,
-            ..SoakConfig::default()
-        }
-    };
-    let out = run_soak(&cfg);
+fn report(label: &str, out: &SoakOutcome) {
     println!(
-        "workload_soak: {} sessions x {} classes, {} iterations, {} commands in {:?} \
+        "workload_soak[{label}]: {} sessions x {} classes, {} iterations, {} commands in {:?} \
          ({:.0} cmd/s), {} faults injected / {} retries absorbed",
         out.sessions,
         out.classes,
@@ -61,16 +42,63 @@ fn main() {
             "  class {class}: conserved triple blocks={b} tuples={t} nodes={n} across all runs"
         );
     }
-    if !smoke {
-        let json = out.to_json(&cfg);
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_soak.json");
-        std::fs::write(path, json).expect("write BENCH_soak.json");
-        println!("wrote {path}");
-    }
-    if !out.invariant_failures.is_empty() {
-        for f in &out.invariant_failures {
-            eprintln!("workload_soak: INVARIANT FAILED: {f}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let base = if smoke {
+        SoakConfig {
+            sessions: 8,
+            classes: 3,
+            duration: Duration::from_secs(6),
+            scale: 30,
+            script_len: 24,
+            ..SoakConfig::default()
         }
+    } else {
+        SoakConfig {
+            sessions: 32,
+            classes: 4,
+            duration: Duration::from_secs(30),
+            scale: 80,
+            script_len: 48,
+            ..SoakConfig::default()
+        }
+    };
+    let mut failed = false;
+    for shards in [0usize, 4] {
+        let cfg = SoakConfig {
+            shards,
+            // The federation pass is a shorter rider on the full run;
+            // in smoke mode both passes share the same short budget.
+            duration: if shards > 0 && !smoke {
+                Duration::from_secs(15)
+            } else {
+                base.duration
+            },
+            ..base.clone()
+        };
+        let label = if shards == 0 {
+            "single".to_string()
+        } else {
+            format!("sharded-{shards}")
+        };
+        let out = run_soak(&cfg);
+        report(&label, &out);
+        if !smoke && shards == 0 {
+            let json = out.to_json(&cfg);
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_soak.json");
+            std::fs::write(path, json).expect("write BENCH_soak.json");
+            println!("wrote {path}");
+        }
+        if !out.invariant_failures.is_empty() {
+            for f in &out.invariant_failures {
+                eprintln!("workload_soak[{label}]: INVARIANT FAILED: {f}");
+            }
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
     println!("workload_soak: all invariants hold");

@@ -52,6 +52,15 @@ pub enum Variant {
     CachedPlan,
     /// The same options served over the wire vs in process.
     Wire,
+    /// The same data as a 2-shard range-partitioned federation: routed
+    /// and scattered SQL must reproduce the single-backend transcripts
+    /// bit-for-bit.
+    Sharded2,
+    /// A 4-shard hash-partitioned federation.
+    Sharded4,
+    /// The 4-shard federation with transient faults on every shard,
+    /// inside the retry budget.
+    Sharded4Chaos,
 }
 
 /// Every variant, in fuzz order.
@@ -70,6 +79,9 @@ pub const ALL_VARIANTS: &[Variant] = &[
     Variant::Chaos,
     Variant::CachedPlan,
     Variant::Wire,
+    Variant::Sharded2,
+    Variant::Sharded4,
+    Variant::Sharded4Chaos,
 ];
 
 impl Variant {
@@ -90,6 +102,21 @@ impl Variant {
             Variant::Chaos => "chaos",
             Variant::CachedPlan => "cached-plan",
             Variant::Wire => "wire",
+            Variant::Sharded2 => "sharded-2",
+            Variant::Sharded4 => "sharded-4",
+            Variant::Sharded4Chaos => "sharded-4-chaos",
+        }
+    }
+
+    /// The sharded layout a federation variant runs on (`None` for the
+    /// single-backend variants).
+    pub fn shard_layout(self) -> Option<mix_repro::datagen::ShardLayout> {
+        match self {
+            Variant::Sharded2 => Some(mix_repro::datagen::ShardLayout::Range(2)),
+            Variant::Sharded4 | Variant::Sharded4Chaos => {
+                Some(mix_repro::datagen::ShardLayout::Hash(4))
+            }
+            _ => None,
         }
     }
 
@@ -101,7 +128,12 @@ impl Variant {
     /// additionally re-mints skolem oids.
     pub fn norm(self) -> Norm {
         match self {
-            Variant::Wire => Norm::Exact,
+            // A sharded federation runs the *same* lazy engine over the
+            // same reconstructed rows, so even handle numerals must
+            // match the single-backend baseline.
+            Variant::Wire | Variant::Sharded2 | Variant::Sharded4 | Variant::Sharded4Chaos => {
+                Norm::Exact
+            }
             Variant::CachedPlan => Norm::Content,
             _ => Norm::NoHandles,
         }
@@ -122,9 +154,14 @@ impl Variant {
             Variant::TinyBlocksNlj => b.block(BlockPolicy::Fixed(1)).hash_joins(false),
             Variant::NoOptimize => b.optimize(false),
             Variant::Prefetch => b.prefetch(PrefetchPolicy::Depth(2)),
-            // Chaos / CachedPlan / Wire run baseline options; the
-            // difference lives outside `MediatorOptions`.
-            Variant::Chaos | Variant::CachedPlan | Variant::Wire => b,
+            // Chaos / CachedPlan / Wire / Sharded* run baseline
+            // options; the difference lives outside `MediatorOptions`.
+            Variant::Chaos
+            | Variant::CachedPlan
+            | Variant::Wire
+            | Variant::Sharded2
+            | Variant::Sharded4
+            | Variant::Sharded4Chaos => b,
         }
         .build()
     }
@@ -218,6 +255,18 @@ fn diverges(
             client.close().ok();
             server.shutdown();
             got
+        }
+        Variant::Sharded2 | Variant::Sharded4 | Variant::Sharded4Chaos => {
+            let layout = variant.shard_layout().expect("federation variant");
+            let (catalog, sharded) = ds.build_sharded(layout);
+            if variant == Variant::Sharded4Chaos {
+                // Faults on every shard, inside the retry budget:
+                // per-shard retries must stay invisible in transcripts.
+                sharded.set_fault_policy(Some(chaos_policy(ds.seed)));
+            }
+            let m = Arc::new(Mediator::with_options(catalog, variant.options()));
+            let mut s = m.session_arc();
+            run_script(&mut s, script, norm)
         }
         _ => {
             let (catalog, _db) = ds.build();

@@ -211,6 +211,27 @@ impl Dataset {
         }
     }
 
+    /// Build the same data as a sharded federation under `layout`
+    /// (keyed source by its key, referencing source co-partitioned by
+    /// its foreign key). Results must be bit-for-bit identical to
+    /// [`Dataset::build`] — the fuzzer's federation variants pin that.
+    pub fn build_sharded(
+        &self,
+        layout: mix_repro::datagen::ShardLayout,
+    ) -> (Catalog, ShardedDatabase) {
+        match self.family {
+            Family::CustomersOrders => mix_repro::datagen::customers_orders_sharded(
+                self.primary,
+                self.per,
+                self.seed,
+                layout,
+            ),
+            Family::Auction => {
+                mix_repro::datagen::auction_db_sharded(self.primary, self.per, self.seed, layout)
+            }
+        }
+    }
+
     /// The keyed source (join build side).
     pub fn keyed(&self) -> SourceShape {
         match self.family {

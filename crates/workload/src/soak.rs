@@ -39,6 +39,10 @@ pub struct SoakConfig {
     pub fault_per_mille: u32,
     /// Server worker-pool size (0 = hardware).
     pub workers: usize,
+    /// Hash-shard the backend across this many shards (0 = a single
+    /// unsharded backend). Chaos faults then land independently on
+    /// every shard, and results flow through the scatter-gather merge.
+    pub shards: usize,
 }
 
 impl Default for SoakConfig {
@@ -52,6 +56,7 @@ impl Default for SoakConfig {
             script_len: 40,
             fault_per_mille: 100,
             workers: 0,
+            shards: 0,
         }
     }
 }
@@ -229,8 +234,22 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakOutcome {
         let shared_cache = Arc::clone(&shared_cache);
         let session_no = Arc::clone(&session_no);
         let seed = cfg.master_seed;
+        let shards = cfg.shards;
         Arc::new(move || {
-            let (catalog, _db) = ds.build();
+            // Sharded mode serves the identical data as a hash
+            // federation; Backend::set_fault_policy fans the chaos
+            // policy out to every shard. Each session builds its own
+            // database on purpose: fault policies ride the database's
+            // shared handle, so per-session fault schedules need
+            // per-session instances — which also means the shared plan
+            // cache (keyed by backend identity) never crosses sessions
+            // here and is exercised only for capacity bounding.
+            let catalog = if shards > 0 {
+                ds.build_sharded(mix_repro::datagen::ShardLayout::Hash(shards))
+                    .0
+            } else {
+                ds.build().0
+            };
             if fault_per_mille > 0 {
                 let n = session_no.fetch_add(1, Ordering::Relaxed);
                 let policy =
@@ -417,25 +436,32 @@ impl SoakOutcome {
             })
             .collect::<Vec<_>>()
             .join(",\n");
+        let backend = if cfg.shards > 0 {
+            format!("a {}-shard hash federation", cfg.shards)
+        } else {
+            "a single unsharded backend".to_string()
+        };
         format!(
             "{{\n  \"description\": \"Soak run: {sessions} concurrent wire sessions looping \
              {classes_n} seeded session-script classes against one mix-serve worker-pool server \
-             for {secs:.0}s, every backend statement subject to {pm}-per-mille transient chaos \
-             faults (burst 1) under the default 4-retry budget, prefetch depth 2, shared plan \
-             cache. Latencies are client-observed round trips by command class. Invariants \
+             for {secs:.0}s over {backend}, every backend statement subject to {pm}-per-mille \
+             transient chaos faults (burst 1) under the default 4-retry budget, prefetch depth 2, \
+             shared plan cache. Latencies are client-observed round trips by command class. Invariants \
              checked at quiesce: sessions opened == closed == completed iterations, zero \
              rejections, server WireCommands == client-sent commands, live_sessions == 0, \
              active_prefetchers == 0, zero BackendErrors, and shipped-data conservation — every \
              run of a script class reports the identical (BlocksShipped, TuplesShipped, \
              NodesBuilt) triple regardless of its session's fault schedule. Regenerate with \
              `cargo run --release -p mix-workload --bin workload_soak`.\",\n  \
-             \"sessions\": {sessions},\n  \"script_classes\": {classes_n},\n  \
+             \"sessions\": {sessions},\n  \"shards\": {shards},\n  \
+             \"script_classes\": {classes_n},\n  \
              \"iterations\": {iters},\n  \"commands_total\": {cmds},\n  \
              \"wall_ms\": {wall},\n  \"throughput_cmds_per_s\": {tput:.0},\n  \
              \"faults_injected\": {faults},\n  \"retries_attempted\": {retries},\n  \
              \"invariant_failures\": [{fails}],\n  \"latency\": [\n{classes}\n  ],\n  \
              \"class_conservation\": [\n{triples}\n  ]\n}}\n",
             sessions = self.sessions,
+            shards = cfg.shards,
             classes_n = self.classes,
             secs = cfg.duration.as_secs_f64(),
             pm = cfg.fault_per_mille,
@@ -471,6 +497,31 @@ mod tests {
             scale: 16,
             script_len: 12,
             workers: 2,
+            ..SoakConfig::default()
+        };
+        let out = run_soak(&cfg);
+        assert!(out.iterations > 0, "no iterations completed");
+        assert!(
+            out.invariant_failures.is_empty(),
+            "{:?}",
+            out.invariant_failures
+        );
+    }
+
+    /// The same miniature soak over a 4-shard hash federation: chaos
+    /// faults land independently per shard, results flow through the
+    /// scatter-gather merge, and every invariant — including
+    /// shipped-data conservation across fault schedules — still holds.
+    #[test]
+    fn mini_soak_sharded_invariants_hold() {
+        let cfg = SoakConfig {
+            sessions: 4,
+            classes: 2,
+            duration: Duration::from_secs(2),
+            scale: 16,
+            script_len: 12,
+            workers: 2,
+            shards: 4,
             ..SoakConfig::default()
         };
         let out = run_soak(&cfg);

@@ -8,7 +8,7 @@
 use crate::lazy::LazyRelationalDoc;
 use crate::relsource::RelationSource;
 use mix_common::{MixError, Name, Result};
-use mix_relational::Database;
+use mix_relational::Backend;
 use mix_xml::{Document, NavDoc};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -33,7 +33,7 @@ pub enum Source {
 #[derive(Clone, Default)]
 pub struct Catalog {
     sources: HashMap<Name, Source>,
-    databases: HashMap<Name, Database>,
+    databases: HashMap<Name, Backend>,
 }
 
 impl Catalog {
@@ -88,8 +88,10 @@ impl Catalog {
         }
     }
 
-    /// A database server by name (the `s` parameter of `rQ`).
-    pub fn database(&self, server: &str) -> Result<&Database> {
+    /// A database server by name (the `s` parameter of `rQ`). Servers
+    /// may be plain [`mix_relational::Database`]s or sharded
+    /// federations; both answer SQL through the same [`Backend`] API.
+    pub fn database(&self, server: &str) -> Result<&Backend> {
         self.databases
             .get(server)
             .ok_or_else(|| MixError::unknown("server", server))
@@ -97,8 +99,26 @@ impl Catalog {
 
     /// All registered database servers — for wiring session-wide state
     /// (tracers) into every source at once.
-    pub fn databases(&self) -> impl Iterator<Item = &Database> {
+    pub fn databases(&self) -> impl Iterator<Item = &Backend> {
         self.databases.values()
+    }
+
+    /// A fingerprint of the registered backends: (server name, backend
+    /// fingerprint) pairs hashed in sorted order. Feeds the shared
+    /// plan-cache key, so two mediators over different databases (or
+    /// different shard layouts of the same data) never exchange cached
+    /// decontextualized plans even when their query texts coincide.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut entries: Vec<(&str, u64)> = self
+            .databases
+            .iter()
+            .map(|(n, b)| (n.as_str(), b.fingerprint()))
+            .collect();
+        entries.sort_unstable();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        entries.hash(&mut h);
+        h.finish()
     }
 
     /// A *materialized* navigable view of the source (the eager

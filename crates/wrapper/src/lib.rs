@@ -70,3 +70,33 @@ pub fn wrap_customers_orders(db: Database) -> Catalog {
     cat.register_relation(RelationSource::new(db, "orders", "order", "root2"));
     cat
 }
+
+/// Wrap a customers/orders database as a *sharded federation*:
+/// `customer` partitioned by `id`, `orders` co-partitioned by `cid`,
+/// registered under the same roots as [`wrap_customers_orders`]. The
+/// returned [`ShardedDatabase`](mix_relational::ShardedDatabase)
+/// handle drives per-shard knobs (fault
+/// injection, latency) that the catalog's shared clone observes.
+pub fn wrap_customers_orders_sharded(
+    db: &Database,
+    scheme: mix_relational::ShardScheme,
+) -> mix_common::Result<(Catalog, mix_relational::ShardedDatabase)> {
+    let spec = mix_relational::ShardSpec::new()
+        .with("customer", "id")
+        .with("orders", "cid");
+    let sharded = mix_relational::ShardedDatabase::partition(db, spec, scheme)?;
+    let mut cat = Catalog::new();
+    cat.register_relation(RelationSource::new(
+        sharded.clone(),
+        "customer",
+        "customer",
+        "root1",
+    ));
+    cat.register_relation(RelationSource::new(
+        sharded.clone(),
+        "orders",
+        "order",
+        "root2",
+    ));
+    Ok((cat, sharded))
+}

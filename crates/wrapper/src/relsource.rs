@@ -2,7 +2,7 @@
 
 use crate::lazy::LazyRelationalDoc;
 use mix_common::{Name, Result, RetryPolicy};
-use mix_relational::{ColRef, Database, FromItem, SelectItem, SelectStmt};
+use mix_relational::{Backend, ColRef, FromItem, SelectItem, SelectStmt};
 use mix_xml::{Document, Oid};
 
 /// A relation exported as an XML view.
@@ -12,22 +12,25 @@ use mix_xml::{Document, Oid};
 /// in `document(root)` / `source(&root)`.
 #[derive(Debug, Clone)]
 pub struct RelationSource {
-    db: Database,
+    db: Backend,
     relation: Name,
     element: Name,
     root: Name,
 }
 
 impl RelationSource {
-    /// Configure a wrapped relation.
+    /// Configure a wrapped relation. The backend may be a plain
+    /// [`mix_relational::Database`] or a sharded federation
+    /// ([`mix_relational::ShardedDatabase`]) — both convert into
+    /// [`Backend`].
     pub fn new(
-        db: Database,
+        db: impl Into<Backend>,
         relation: impl Into<Name>,
         element: impl Into<Name>,
         root: impl Into<Name>,
     ) -> RelationSource {
         RelationSource {
-            db,
+            db: db.into(),
             relation: relation.into(),
             element: element.into(),
             root: root.into(),
@@ -35,7 +38,7 @@ impl RelationSource {
     }
 
     /// The backing database (shared handle).
-    pub fn db(&self) -> &Database {
+    pub fn db(&self) -> &Backend {
         &self.db
     }
 

@@ -75,6 +75,9 @@ cargo bench -p mix-bench --bench columnar_sweep -- --smoke >/dev/null
 echo "==> serve_bench smoke run (pooled server, shared plan cache, concurrent wire sessions)"
 cargo bench -p mix-bench --bench serve_bench -- --smoke >/dev/null
 
+echo "==> federation_sweep bench smoke run (shard routing, scatter-gather, merge overhead)"
+cargo bench -p mix-bench --bench federation_sweep -- --smoke >/dev/null
+
 echo "==> workload fuzz smoke (fixed-seed 200-case knob-matrix equivalence sweep)"
 # Deterministic: default config is seed 0x4d49585f9, 200 cases. A
 # failure prints the minimized repro script before exiting non-zero.

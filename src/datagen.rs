@@ -110,6 +110,73 @@ pub fn auction_db(n_cameras: usize, lenses_per_camera: usize, seed: u64) -> (Cat
     (catalog, db)
 }
 
+/// A sharded-federation layout for the `*_sharded` builders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardLayout {
+    /// `n` shards by stable hash of the shard key.
+    Hash(usize),
+    /// `n` shards by key ranges computed from the actual key domain.
+    Range(usize),
+}
+
+impl ShardLayout {
+    fn scheme(self, db: &Database, spec: &ShardSpec) -> ShardScheme {
+        match self {
+            ShardLayout::Hash(n) => ShardScheme::Hash { shards: n },
+            ShardLayout::Range(n) => {
+                ShardScheme::range_from(db, spec, n).expect("spec covers the shard columns")
+            }
+        }
+    }
+}
+
+/// [`customers_orders`] partitioned across shards: `customer` by `id`,
+/// `orders` co-partitioned by `cid`, wrapped under the same roots. The
+/// returned handle drives per-shard chaos/latency knobs.
+pub fn customers_orders_sharded(
+    n_customers: usize,
+    orders_per_customer: usize,
+    seed: u64,
+    layout: ShardLayout,
+) -> (Catalog, ShardedDatabase) {
+    let db = mix::relational::fixtures::gen_db(n_customers, orders_per_customer, seed);
+    let spec = ShardSpec::new()
+        .with("customer", "id")
+        .with("orders", "cid");
+    let scheme = layout.scheme(&db, &spec);
+    let (catalog, sharded) =
+        mix::wrapper::wrap_customers_orders_sharded(&db, scheme).expect("spec covers all tables");
+    (catalog, sharded)
+}
+
+/// [`auction_db`] partitioned across shards: `camera` by `id`, `lens`
+/// co-partitioned by `camid`, wrapped under the same roots.
+pub fn auction_db_sharded(
+    n_cameras: usize,
+    lenses_per_camera: usize,
+    seed: u64,
+    layout: ShardLayout,
+) -> (Catalog, ShardedDatabase) {
+    let (_, db) = auction_db(n_cameras, lenses_per_camera, seed);
+    let spec = ShardSpec::new().with("camera", "id").with("lens", "camid");
+    let scheme = layout.scheme(&db, &spec);
+    let sharded = ShardedDatabase::partition(&db, spec, scheme).expect("spec covers all tables");
+    let mut catalog = Catalog::new();
+    catalog.register_relation(RelationSource::new(
+        sharded.clone(),
+        "camera",
+        "camera",
+        "cameras",
+    ));
+    catalog.register_relation(RelationSource::new(
+        sharded.clone(),
+        "lens",
+        "lens",
+        "lenses",
+    ));
+    (catalog, sharded)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +207,29 @@ mod tests {
         let (cat, db) = customers_orders(5, 2, 3);
         assert_eq!(db.table("orders").unwrap().len(), 10);
         assert!(cat.relation_info("root1").is_some());
+    }
+
+    #[test]
+    fn sharded_builders_cover_both_families() {
+        let (cat, sharded) = customers_orders_sharded(6, 2, 3, ShardLayout::Hash(4));
+        assert_eq!(sharded.shard_count(), 4);
+        assert!(cat.relation_info("root1").is_some());
+        let total: usize = (0..4)
+            .map(|i| sharded.shard(i).table("customer").unwrap().len())
+            .sum();
+        assert_eq!(total, 6);
+        let (cat, sharded) = auction_db_sharded(6, 2, 3, ShardLayout::Range(2));
+        assert_eq!(sharded.shard_count(), 2);
+        assert!(cat.relation_info("lenses").is_some());
+        // Co-partitioned: every lens lives with its camera's shard.
+        for i in 0..2 {
+            let rows = sharded
+                .shard(i)
+                .execute_sql("SELECT l.id FROM lens l, camera c WHERE l.camid = c.id")
+                .unwrap()
+                .collect_all()
+                .unwrap();
+            assert_eq!(rows.len(), sharded.shard(i).table("lens").unwrap().len());
+        }
     }
 }

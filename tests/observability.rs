@@ -150,6 +150,86 @@ fn sql_and_row_events_nest_under_the_demanding_command() {
     assert!(text.contains("- row n=1"), "{text}");
 }
 
+/// A traced mediator over fig2's data partitioned as a 2-way hash
+/// federation (customer by id, orders co-partitioned by cid). Returns
+/// the federation handle so tests can read the shard counters.
+fn traced_sharded_mediator() -> (Arc<CollectingTracer>, ShardedDatabase, Mediator) {
+    let db = mix::relational::fixtures::sample_db();
+    let (catalog, sharded) =
+        mix::wrapper::wrap_customers_orders_sharded(&db, ShardScheme::Hash { shards: 2 })
+            .expect("fig2 spec covers both tables");
+    let tracer = Arc::new(CollectingTracer::new());
+    let handle = TracerHandle::new(Arc::clone(&tracer) as Arc<dyn Tracer>);
+    let m = Mediator::with_options(
+        catalog,
+        MediatorOptions::builder()
+            .access(AccessMode::Lazy)
+            .optimize(true)
+            .tracer(handle)
+            .build(),
+    );
+    (tracer, sharded, m)
+}
+
+/// A shard-key point lookup routes to exactly one shard: one SQL event,
+/// `shards=1/2` on the rQ, `ShardQueriesRouted` up, no scatter merge.
+#[test]
+fn routed_point_query_targets_one_shard() {
+    let (t, sharded, m) = traced_sharded_mediator();
+    {
+        let mut s = m.session();
+        let p0 = s
+            .query("FOR $C IN source(&root1)/customer WHERE $C/id/data() = \"XYZ123\" RETURN $C")
+            .unwrap();
+        let _ = s.d(p0).unwrap().unwrap();
+        let explain = s.explain(p0);
+        assert!(explain.contains("shards=1/2"), "{explain}");
+    }
+    let text = t.render();
+    let expected = "\
+cmd:query
+  - sql server=db1 stmt=SELECT c1.id, c1.addr, c1.name FROM customer c1 WHERE c1.id = 'XYZ123' ORDER BY c1.id
+cmd:d
+  rQ node=1 depth=1 server=db1 sql=SELECT c1.id, c1.addr, c1.name FROM customer c1 WHERE c1.id = 'XYZ123' ORDER BY c1.id block=auto shards=1/2 repr=col pulls=1 tuples=1
+    - row n=1
+";
+    assert_eq!(text, expected);
+    assert_eq!(sharded.stats().get(Counter::ShardQueriesRouted), 1);
+    assert_eq!(sharded.stats().get(Counter::ShardsTargeted), 1);
+    assert_eq!(sharded.stats().get(Counter::ScatterMerges), 0);
+}
+
+/// A pushed-down co-partitioned join with no shard-key constant
+/// scatters: one SQL event per shard, `shards=2/2` on the rQ,
+/// `ScatterMerges` up, both shards targeted, nothing routed. Rows
+/// still ship lazily — one navigation step pulls exactly one row.
+#[test]
+fn scatter_join_fans_out_and_merges() {
+    let (t, sharded, m) = traced_sharded_mediator();
+    {
+        let mut s = m.session();
+        let p0 = s.query(QJ).unwrap();
+        let _ = s.d(p0).unwrap().unwrap();
+        let explain = s.explain(p0);
+        assert!(explain.contains("shards=2/2"), "{explain}");
+    }
+    let text = t.render();
+    let expected = "\
+cmd:query
+  - sql server=db1 stmt=SELECT c1.id, c1.addr, c1.name, o1.orid, o1.cid, o1.value FROM customer c1, orders o1 WHERE c1.id = o1.cid ORDER BY c1.id, o1.orid
+  - sql server=db1 stmt=SELECT c1.id, c1.addr, c1.name, o1.orid, o1.cid, o1.value FROM customer c1, orders o1 WHERE c1.id = o1.cid ORDER BY c1.id, o1.orid
+cmd:d
+  crElt node=1 depth=1 pulls=1 tuples=1
+    gBy node=2 depth=2 mode=presorted pulls=1 tuples=1
+      rQ node=3 depth=3 server=db1 sql=SELECT c1.id, c1.addr, c1.name, o1.orid, o1.cid, o1.value FROM customer c1, orders o1 WHERE c1.id = o1.cid ORDER BY c1.id, o1.orid block=auto shards=2/2 repr=col pulls=1 tuples=1
+        - row n=1
+";
+    assert_eq!(text, expected);
+    assert_eq!(sharded.stats().get(Counter::ScatterMerges), 1);
+    assert_eq!(sharded.stats().get(Counter::ShardsTargeted), 2);
+    assert_eq!(sharded.stats().get(Counter::ShardQueriesRouted), 0);
+}
+
 #[test]
 fn explain_renders_three_plans_with_counts() {
     let (_t, m) = traced_mediator(AccessMode::Lazy, true, true);

@@ -275,3 +275,54 @@ fn decontextualized_query_ships_single_sql() {
     assert!(text.contains("< 600"), "{text}");
     assert_eq!(s.child_count(p9).unwrap(), 1);
 }
+
+#[test]
+fn shared_plan_cache_never_crosses_backends() {
+    // Regression: the shared plan-cache key must include backend
+    // identity. Two mediators over *different* databases (or different
+    // shard layouts of the same data) issue identical query texts at
+    // identical skolem shapes; a cached decontextualized template bakes
+    // in catalog-specific split decisions, so replaying one mediator's
+    // template in the other is unsound even when it happens to run.
+    use std::sync::Arc;
+    let cache = Arc::new(SharedPlanCache::new(2, 16));
+    let run = |catalog: Catalog| {
+        let opts = MediatorOptions::builder()
+            .shared_plan_cache(Arc::clone(&cache))
+            .build();
+        let m = Mediator::with_options(catalog, opts);
+        let mut s = m.session();
+        let p0 = s.query(Q1).unwrap();
+        let p1 = s.d(p0).unwrap().unwrap();
+        let p9 = s
+            .q(
+                "FOR $O IN document(root)/OrderInfo WHERE $O/order/value < 600 RETURN $O",
+                p1,
+            )
+            .unwrap();
+        assert_eq!(s.child_count(p9).unwrap(), 1);
+    };
+    let hits = || cache.stats().get(Counter::PlanCacheHits);
+    let misses = || cache.stats().get(Counter::PlanCacheMisses);
+
+    // First mediator compiles and caches the navigation template...
+    let (cat_a, db_a) = mix::wrapper::fig2_catalog();
+    run(cat_a);
+    assert_eq!((hits(), misses()), (0, 1));
+    // ...and a second mediator over the *same* database hits it (the
+    // fingerprint is stable across catalog clones).
+    run(mix::wrapper::wrap_customers_orders(db_a.clone()));
+    assert_eq!((hits(), misses()), (1, 1));
+    // A mediator over a *different* database — same schema, same server
+    // name, same query text — must miss and compile its own template.
+    let (cat_b, _db_b) = mix::wrapper::fig2_catalog();
+    run(cat_b);
+    assert_eq!((hits(), misses()), (1, 2));
+    // So must a *sharded layout of the very same data*: the split
+    // decisions (and routed SQL) depend on the layout.
+    let (cat_sharded, _handle) =
+        mix::wrapper::wrap_customers_orders_sharded(&db_a, ShardScheme::Hash { shards: 2 })
+            .unwrap();
+    run(cat_sharded);
+    assert_eq!((hits(), misses()), (1, 3));
+}
